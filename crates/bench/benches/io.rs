@@ -1,0 +1,57 @@
+//! File format throughput: Matrix Market, `.hgr`, and METIS `.graph`
+//! round trips through in-memory buffers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fgh_core::models::{FineGrainModel, StandardGraphModel};
+use std::hint::black_box;
+
+fn bench_io(c: &mut Criterion) {
+    let entry = fgh_sparse::catalog::by_name("bcspwr10").expect("catalog");
+    let a = entry.generate_scaled(8, 1);
+
+    let mut mm = Vec::new();
+    fgh_sparse::io::write_matrix_market_to(&a, &mut mm).expect("write");
+    let fg = FineGrainModel::build(&a).expect("square");
+    let mut hgr = Vec::new();
+    fgh_hypergraph::io::write_hgr_to(fg.hypergraph(), &mut hgr).expect("write");
+    let gm = StandardGraphModel::build(&a).expect("square");
+    let mut metis = Vec::new();
+    fgh_graph::io::write_metis_to(gm.graph(), &mut metis).expect("write");
+
+    let mut group = c.benchmark_group("io_read");
+    group.throughput(Throughput::Bytes(mm.len() as u64));
+    group.bench_function("matrix_market", |b| {
+        b.iter(|| {
+            black_box(
+                fgh_sparse::io::read_matrix_market_from(black_box(mm.as_slice()))
+                    .expect("parse"),
+            )
+        })
+    });
+    group.throughput(Throughput::Bytes(hgr.len() as u64));
+    group.bench_function("hgr", |b| {
+        b.iter(|| {
+            black_box(fgh_hypergraph::io::read_hgr_from(black_box(hgr.as_slice())).expect("parse"))
+        })
+    });
+    group.throughput(Throughput::Bytes(metis.len() as u64));
+    group.bench_function("metis_graph", |b| {
+        b.iter(|| {
+            black_box(fgh_graph::io::read_metis_from(black_box(metis.as_slice())).expect("parse"))
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("io_write");
+    group.bench_function("matrix_market", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(mm.len());
+            fgh_sparse::io::write_matrix_market_to(black_box(&a), &mut buf).expect("write");
+            black_box(buf)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_io);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Model-construction benchmarks: building the fine-grain hypergraph
+//! (Z vertices, 2M nets, 2Z pins) vs the 1D hypergraph (M vertices, M
+//! nets) vs the standard graph — the structural size ratios behind the
+//! paper's runtime discussion in Section 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgh_core::models::{ColumnNetModel, FineGrainModel, StandardGraphModel};
+use std::hint::black_box;
+
+fn bench_model_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_build");
+    for name in ["sherman3", "cq9"] {
+        let entry = fgh_sparse::catalog::by_name(name).expect("catalog name");
+        let a = entry.generate_scaled(8, 1);
+        group.bench_with_input(BenchmarkId::new("fine_grain", name), &a, |b, a| {
+            b.iter(|| black_box(FineGrainModel::build(black_box(a)).expect("square")))
+        });
+        group.bench_with_input(BenchmarkId::new("colnet_1d", name), &a, |b, a| {
+            b.iter(|| black_box(ColumnNetModel::build(black_box(a)).expect("square")))
+        });
+        group.bench_with_input(BenchmarkId::new("graph", name), &a, |b, a| {
+            b.iter(|| black_box(StandardGraphModel::build(black_box(a)).expect("square")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_build);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! SpMV executor benchmarks: serial CSR kernel vs the distributed
+//! simulator vs the threaded executor, under a fine-grain decomposition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgh_core::{decompose, DecomposeConfig, Model};
+use fgh_spmv::parallel::parallel_spmv;
+use fgh_spmv::DistributedSpmv;
+use std::hint::black_box;
+
+fn bench_spmv(c: &mut Criterion) {
+    let entry = fgh_sparse::catalog::by_name("bcspwr10").expect("catalog name");
+    let a = entry.generate_scaled(4, 1);
+    let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 4)).expect("decompose");
+    let plan = DistributedSpmv::build(&a, &out.decomposition).expect("plan");
+    let x: Vec<f64> = (0..a.ncols()).map(|j| j as f64 * 1e-3 + 1.0).collect();
+
+    let mut group = c.benchmark_group("spmv");
+    group.bench_with_input(BenchmarkId::new("serial", a.nnz()), &a, |b, a| {
+        b.iter(|| black_box(a.spmv(black_box(&x)).expect("dims")))
+    });
+    group.bench_with_input(BenchmarkId::new("simulated_k4", a.nnz()), &plan, |b, plan| {
+        b.iter(|| black_box(plan.multiply(black_box(&x)).expect("dims")))
+    });
+    group.bench_with_input(BenchmarkId::new("threaded_k4", a.nnz()), &plan, |b, plan| {
+        b.iter(|| black_box(parallel_spmv(black_box(plan), black_box(&x)).expect("dims")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Regenerates **Table 1** of the paper: properties of the test matrices.
+//!
+//! Prints, for each of the 14 matrices, the paper's reported properties
+//! side by side with the measured properties of the synthetic analogue
+//! used in this reproduction (at the requested `--scale`).
+//!
+//! Usage: `cargo run --release -p fgh-bench --bin table1 [--scale N] [--seed N]`
+
+use fgh_bench::ExperimentConfig;
+
+fn main() {
+    let cfg = match ExperimentConfig::from_args(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "Table 1. Properties of test matrices (paper values vs synthetic analogues, scale 1/{})",
+        cfg.scale
+    );
+    println!();
+    println!(
+        "{:<12} | {:>9} {:>8} {:>5} {:>6} {:>7} | {:>9} {:>8} {:>5} {:>6} {:>7}",
+        "", "paper", "paper", "paper", "paper", "paper", "synth", "synth", "synth", "synth",
+        "synth"
+    );
+    println!(
+        "{:<12} | {:>9} {:>8} {:>5} {:>6} {:>7} | {:>9} {:>8} {:>5} {:>6} {:>7}",
+        "name", "rows/cols", "nnz", "min", "max", "avg", "rows/cols", "nnz", "min", "max", "avg"
+    );
+    println!("{}", "-".repeat(118));
+
+    for entry in cfg.selected_entries() {
+        let s = entry.measured_stats(cfg.scale, cfg.seed);
+        println!(
+            "{:<12} | {:>9} {:>8} {:>5} {:>6} {:>7.2} | {:>9} {:>8} {:>5} {:>6} {:>7.2}",
+            entry.name,
+            entry.paper.rows,
+            entry.paper.nnz,
+            entry.paper.min,
+            entry.paper.max,
+            entry.paper.avg,
+            s.nrows,
+            s.nnz,
+            s.rowcol_min(),
+            s.rowcol_max(),
+            s.rowcol_avg(),
+        );
+    }
+    println!();
+    println!("note: analogues are generated per DESIGN.md (no access to the original");
+    println!("collections); drop real .mtx files in with fgh-sparse::io to use them instead.");
+}

@@ -1,0 +1,167 @@
+//! Regenerates **Table 2** of the paper: average communication
+//! requirements of the standard graph model, the 1D hypergraph model, and
+//! the proposed 2D fine-grain hypergraph model.
+//!
+//! For every matrix and K ∈ {16, 32, 64} (paper protocol), each model is
+//! run with `--runs` random seeds and the metrics are averaged:
+//!
+//! * `tot`  — total communication volume in words, scaled by the matrix
+//!   order,
+//! * `max`  — maximum volume sent by a single processor, scaled likewise,
+//! * `#msg` — average number of messages per processor,
+//! * `time` — partitioning wall time in seconds, with (in parentheses)
+//!   the time normalized to the graph model on the same instance.
+//!
+//! Per-K averages and the overall average close the table, followed by the
+//! paper's headline ratios (fine-grain vs graph / vs 1D hypergraph).
+//!
+//! Usage:
+//!   cargo run --release -p fgh-bench --bin table2 -- [--scale N] [--runs N]
+//!       [--ks 16,32,64] [--matrices a,b] [--seed N] [--full]
+
+use fgh_bench::{run_instance, table2_models, ExperimentConfig, InstanceResult};
+use fgh_core::Model;
+
+fn main() {
+    let cfg = match ExperimentConfig::from_args(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let entries = cfg.selected_entries();
+    if entries.is_empty() {
+        eprintln!("error: no matrices selected");
+        std::process::exit(2);
+    }
+
+    println!(
+        "Table 2. Average communication requirements (scale 1/{}, {} run(s) per instance, eps = 3%)",
+        cfg.scale, cfg.runs
+    );
+    println!();
+    println!(
+        "{:<12} {:>3} | {:>7} {:>7} {:>7} {:>8} | {:>7} {:>7} {:>7} {:>8} {:>7} | {:>7} {:>7} {:>7} {:>8} {:>7}",
+        "", "", "graph", "graph", "graph", "graph", "hg-1d", "hg-1d", "hg-1d", "hg-1d", "",
+        "fg-2d", "fg-2d", "fg-2d", "fg-2d", ""
+    );
+    println!(
+        "{:<12} {:>3} | {:>7} {:>7} {:>7} {:>8} | {:>7} {:>7} {:>7} {:>8} {:>7} | {:>7} {:>7} {:>7} {:>8} {:>7}",
+        "name", "K", "tot", "max", "#msg", "time", "tot", "max", "#msg", "time", "(norm)",
+        "tot", "max", "#msg", "time", "(norm)"
+    );
+    println!("{}", "-".repeat(160));
+
+    // accum[model][k_index] and overall accumulation for the summary rows.
+    let models = table2_models();
+    let nk = cfg.ks.len();
+    let mut per_k_acc: Vec<Vec<InstanceResult>> =
+        vec![vec![InstanceResult::default(); nk]; models.len()];
+    let mut counts = vec![0usize; nk];
+
+    for entry in &entries {
+        let a = entry.generate_scaled(cfg.scale, cfg.seed);
+        for (ki, &k) in cfg.ks.iter().enumerate() {
+            let mut row: Vec<InstanceResult> = Vec::with_capacity(models.len());
+            for &model in &models {
+                match run_instance(&a, model, k, cfg.runs, cfg.seed) {
+                    Ok(r) => row.push(r),
+                    Err(e) => {
+                        eprintln!("{} K={k} {}: {e}", entry.name, model.name());
+                        std::process::exit(1);
+                    }
+                }
+            }
+            print_row(entry.name, k, &row);
+            for (mi, r) in row.iter().enumerate() {
+                acc_add(&mut per_k_acc[mi][ki], r);
+            }
+            counts[ki] += 1;
+        }
+    }
+
+    println!("{}", "-".repeat(160));
+    println!("Averages");
+    let mut overall: Vec<InstanceResult> = vec![InstanceResult::default(); models.len()];
+    for (ki, &k) in cfg.ks.iter().enumerate() {
+        let row: Vec<InstanceResult> = (0..models.len())
+            .map(|mi| acc_scale(&per_k_acc[mi][ki], counts[ki]))
+            .collect();
+        print_row("average", k, &row);
+        for (mi, r) in row.iter().enumerate() {
+            acc_add(&mut overall[mi], r);
+        }
+    }
+    let overall: Vec<InstanceResult> =
+        overall.iter().map(|r| acc_scale(r, nk)).collect();
+    print_row_label("overall average", &overall);
+
+    // Headline claims of the paper's Section 4.
+    println!();
+    let g = &overall[0];
+    let h = &overall[1];
+    let f = &overall[2];
+    println!(
+        "fine-grain total volume vs graph model:      {:>5.1}% lower (paper: 59%)",
+        100.0 * (1.0 - f.tot / g.tot)
+    );
+    println!(
+        "fine-grain total volume vs 1D hypergraph:    {:>5.1}% lower (paper: 43%)",
+        100.0 * (1.0 - f.tot / h.tot)
+    );
+    println!(
+        "fine-grain partition time vs 1D hypergraph:  {:>5.2}x (paper: ~2.4x)",
+        f.time_s / h.time_s
+    );
+    println!(
+        "fine-grain partition time vs graph model:    {:>5.2}x (paper: ~7.3x)",
+        f.time_s / g.time_s
+    );
+    let _ = Model::Graph1D;
+}
+
+fn acc_add(acc: &mut InstanceResult, r: &InstanceResult) {
+    acc.tot += r.tot;
+    acc.max += r.max;
+    acc.avg_msgs += r.avg_msgs;
+    acc.time_s += r.time_s;
+    acc.imbalance += r.imbalance;
+}
+
+fn acc_scale(acc: &InstanceResult, n: usize) -> InstanceResult {
+    let f = n.max(1) as f64;
+    InstanceResult {
+        tot: acc.tot / f,
+        max: acc.max / f,
+        avg_msgs: acc.avg_msgs / f,
+        time_s: acc.time_s / f,
+        imbalance: acc.imbalance / f,
+    }
+}
+
+fn print_row(name: &str, k: u32, row: &[InstanceResult]) {
+    let g = &row[0];
+    let h = &row[1];
+    let f = &row[2];
+    println!(
+        "{:<12} {:>3} | {:>7.3} {:>7.3} {:>7.2} {:>8.3} | {:>7.3} {:>7.3} {:>7.2} {:>8.3} ({:>5.2}) | {:>7.3} {:>7.3} {:>7.2} {:>8.3} ({:>5.2})",
+        name, k,
+        g.tot, g.max, g.avg_msgs, g.time_s,
+        h.tot, h.max, h.avg_msgs, h.time_s, h.time_s / g.time_s.max(1e-12),
+        f.tot, f.max, f.avg_msgs, f.time_s, f.time_s / g.time_s.max(1e-12),
+    );
+}
+
+fn print_row_label(name: &str, row: &[InstanceResult]) {
+    let g = &row[0];
+    let h = &row[1];
+    let f = &row[2];
+    println!(
+        "{:<16} | {:>7.3} {:>7.3} {:>7.2} {:>8.3} | {:>7.3} {:>7.3} {:>7.2} {:>8.3} ({:>5.2}) | {:>7.3} {:>7.3} {:>7.2} {:>8.3} ({:>5.2})",
+        name,
+        g.tot, g.max, g.avg_msgs, g.time_s,
+        h.tot, h.max, h.avg_msgs, h.time_s, h.time_s / g.time_s.max(1e-12),
+        f.tot, f.max, f.avg_msgs, f.time_s, f.time_s / g.time_s.max(1e-12),
+    );
+}

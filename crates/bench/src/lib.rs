@@ -1,0 +1,216 @@
+//! # fgh-bench — harness regenerating the paper's experiments
+//!
+//! Binaries:
+//!
+//! * `table1` — properties of the 14 test matrices (paper values alongside
+//!   the synthetic analogues actually used),
+//! * `table2` — the full model comparison: standard graph model vs 1D
+//!   hypergraph model vs 2D fine-grain model, K ∈ {16, 32, 64}, scaled
+//!   total/max communication volume, average message counts, partitioning
+//!   time (absolute and normalized to the graph model), per-K and overall
+//!   averages,
+//! * `figure1` — the dependency-relation view of the fine-grain model on a
+//!   small example matrix.
+//!
+//! Criterion benches (`cargo bench`) cover partitioning time per model
+//! (the "time" columns), SpMV executor throughput, and model construction.
+//!
+//! The experiment protocol follows the paper: each decomposition instance
+//! is run with several random seeds and *averaged* (the paper used 50
+//! seeds on a 133 MHz PowerPC; the default here is smaller — raise
+//! `--runs` and use `--scale 1` to run the full protocol).
+
+use fgh_core::{decompose, DecomposeConfig, Model};
+use fgh_sparse::catalog::CatalogEntry;
+use fgh_sparse::CsrMatrix;
+
+/// Experiment parameters shared by the harness binaries.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Matrix size divisor (1 = the paper's full sizes).
+    pub scale: u32,
+    /// Random-seed runs averaged per instance (paper: 50).
+    pub runs: usize,
+    /// Processor counts (paper: 16, 32, 64).
+    pub ks: Vec<u32>,
+    /// Matrix names to include (empty = all 14).
+    pub matrices: Vec<String>,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            scale: 8,
+            runs: 3,
+            ks: vec![16, 32, 64],
+            matrices: Vec::new(),
+            seed: 1,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Parses harness CLI flags: `--scale N`, `--runs N`, `--ks a,b,c`,
+    /// `--matrices x,y`, `--seed N`, `--full` (= `--scale 1 --runs 50`).
+    pub fn from_args(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut cfg = ExperimentConfig::default();
+        let mut args = args.peekable();
+        while let Some(flag) = args.next() {
+            let mut take = |what: &str| {
+                args.next().ok_or_else(|| format!("{flag} needs a value ({what})"))
+            };
+            match flag.as_str() {
+                "--scale" => {
+                    cfg.scale = take("integer")?.parse().map_err(|e| format!("--scale: {e}"))?
+                }
+                "--runs" => {
+                    cfg.runs = take("integer")?.parse().map_err(|e| format!("--runs: {e}"))?
+                }
+                "--seed" => {
+                    cfg.seed = take("integer")?.parse().map_err(|e| format!("--seed: {e}"))?
+                }
+                "--ks" => {
+                    cfg.ks = take("comma list")?
+                        .split(',')
+                        .map(|s| s.trim().parse().map_err(|e| format!("--ks: {e}")))
+                        .collect::<Result<_, _>>()?
+                }
+                "--matrices" => {
+                    cfg.matrices =
+                        take("comma list")?.split(',').map(|s| s.trim().to_string()).collect()
+                }
+                "--full" => {
+                    cfg.scale = 1;
+                    cfg.runs = 50;
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        if cfg.scale == 0 || cfg.runs == 0 || cfg.ks.is_empty() {
+            return Err("scale, runs and ks must be nonzero/nonempty".into());
+        }
+        Ok(cfg)
+    }
+
+    /// The catalog entries selected by `matrices` (all when empty).
+    pub fn selected_entries(&self) -> Vec<CatalogEntry> {
+        let all = fgh_sparse::catalog::catalog();
+        if self.matrices.is_empty() {
+            return all;
+        }
+        all.into_iter()
+            .filter(|e| self.matrices.iter().any(|m| m.eq_ignore_ascii_case(e.name)))
+            .collect()
+    }
+}
+
+/// Seed-averaged metrics of one (matrix, model, K) decomposition instance
+/// — one cell group of Table 2.
+#[derive(Debug, Clone, Default)]
+pub struct InstanceResult {
+    /// Mean scaled total volume (words / M).
+    pub tot: f64,
+    /// Mean scaled max per-processor sent volume.
+    pub max: f64,
+    /// Mean messages per processor.
+    pub avg_msgs: f64,
+    /// Mean partitioning wall time in seconds.
+    pub time_s: f64,
+    /// Mean percent load imbalance.
+    pub imbalance: f64,
+}
+
+/// Runs one instance: `runs` independent seeds, metrics averaged (the
+/// paper's protocol).
+pub fn run_instance(
+    a: &CsrMatrix,
+    model: Model,
+    k: u32,
+    runs: usize,
+    base_seed: u64,
+) -> Result<InstanceResult, String> {
+    let mut acc = InstanceResult::default();
+    for r in 0..runs {
+        let cfg = DecomposeConfig {
+            model,
+            k,
+            epsilon: 0.03,
+            seed: base_seed.wrapping_add(r as u64 * 7919),
+            runs: 1,
+        };
+        let out = decompose(a, &cfg).map_err(|e| e.to_string())?;
+        acc.tot += out.stats.scaled_total_volume();
+        acc.max += out.stats.scaled_max_volume();
+        acc.avg_msgs += out.stats.avg_messages_per_proc();
+        acc.time_s += out.elapsed.as_secs_f64();
+        acc.imbalance += out.stats.load_imbalance_percent();
+    }
+    let f = runs as f64;
+    acc.tot /= f;
+    acc.max /= f;
+    acc.avg_msgs /= f;
+    acc.time_s /= f;
+    acc.imbalance /= f;
+    Ok(acc)
+}
+
+/// The three models Table 2 compares, in its column order.
+pub fn table2_models() -> [Model; 3] {
+    [Model::Graph1D, Model::Hypergraph1DColNet, Model::FineGrain2D]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> impl Iterator<Item = String> + '_ {
+        s.split_whitespace().map(String::from)
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let cfg = ExperimentConfig::from_args(args("")).unwrap();
+        assert_eq!(cfg.scale, 8);
+        assert_eq!(cfg.ks, vec![16, 32, 64]);
+    }
+
+    #[test]
+    fn parse_flags() {
+        let cfg = ExperimentConfig::from_args(args(
+            "--scale 4 --runs 5 --ks 8,16 --matrices sherman3,nl --seed 9",
+        ))
+        .unwrap();
+        assert_eq!(cfg.scale, 4);
+        assert_eq!(cfg.runs, 5);
+        assert_eq!(cfg.ks, vec![8, 16]);
+        assert_eq!(cfg.selected_entries().len(), 2);
+        assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    fn parse_full() {
+        let cfg = ExperimentConfig::from_args(args("--full")).unwrap();
+        assert_eq!(cfg.scale, 1);
+        assert_eq!(cfg.runs, 50);
+    }
+
+    #[test]
+    fn parse_rejects_bad_flags() {
+        assert!(ExperimentConfig::from_args(args("--bogus")).is_err());
+        assert!(ExperimentConfig::from_args(args("--scale")).is_err());
+        assert!(ExperimentConfig::from_args(args("--scale zero")).is_err());
+        assert!(ExperimentConfig::from_args(args("--scale 0")).is_err());
+    }
+
+    #[test]
+    fn run_instance_averages() {
+        let entry = fgh_sparse::catalog::by_name("sherman3").unwrap();
+        let a = entry.generate_scaled(32, 1);
+        let r = run_instance(&a, Model::FineGrain2D, 4, 2, 1).unwrap();
+        assert!(r.tot > 0.0);
+        assert!(r.time_s > 0.0);
+        assert!(r.imbalance <= 3.5);
+    }
+}

@@ -1,0 +1,45 @@
+//! `fgh compare` — all models on one matrix, Table-2 style row.
+
+use fgh_core::{decompose, DecomposeConfig, Model};
+
+use crate::commands::load_matrix;
+use crate::opts::Opts;
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args)?;
+    let path = o.one_positional("matrix.mtx")?;
+    let a = load_matrix(path)?;
+    let k: u32 = o.parse_required("k")?;
+    let seed: u64 = o.parse_or("seed", 1)?;
+
+    println!("{path}: {} rows, {} nonzeros, K = {k}\n", a.nrows(), a.nnz());
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>8} {:>9} {:>9}",
+        "model", "volume", "vol/M", "max/proc", "msgs/p", "imbal%", "time"
+    );
+    println!("{}", "-".repeat(84));
+    for model in [
+        Model::Graph1D,
+        Model::Hypergraph1DColNet,
+        Model::Hypergraph1DRowNet,
+        Model::Checkerboard2D,
+        Model::CheckerboardHg2D,
+        Model::Jagged2D,
+        Model::Mondriaan2D,
+        Model::FineGrain2D,
+    ] {
+        let cfg = DecomposeConfig { model, k, epsilon: 0.03, seed, runs: 1 };
+        let out = decompose(&a, &cfg).map_err(|e| format!("{}: {e}", model.name()))?;
+        println!(
+            "{:<22} {:>10} {:>10.4} {:>10} {:>8.2} {:>9.2} {:>8.3}s",
+            model.name(),
+            out.stats.total_volume(),
+            out.stats.scaled_total_volume(),
+            out.stats.max_sent_words(),
+            out.stats.avg_messages_per_proc(),
+            out.stats.load_imbalance_percent(),
+            out.elapsed.as_secs_f64(),
+        );
+    }
+    Ok(())
+}

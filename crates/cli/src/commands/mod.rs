@@ -1,0 +1,82 @@
+//! `fgh` subcommands.
+
+pub mod compare;
+pub mod convert;
+pub mod gen;
+pub mod partition;
+pub mod spmv;
+pub mod spy;
+pub mod stats;
+
+use fgh_sparse::{CsrMatrix, Result as SparseResult};
+
+/// Loads a MatrixMarket file into CSR.
+pub fn load_matrix(path: &str) -> Result<CsrMatrix, String> {
+    let coo: SparseResult<_> = fgh_sparse::io::read_matrix_market(path);
+    Ok(CsrMatrix::from_coo(coo.map_err(|e| format!("{path}: {e}"))?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn workdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join("fgh_cli_integration").join(name);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    /// gen → stats → partition → spmv → convert → spy, end to end through
+    /// the subcommand entry points.
+    #[test]
+    fn full_cli_workflow() {
+        let dir = workdir("workflow");
+        let dirs = dir.to_str().unwrap();
+
+        super::gen::run(&args(&format!("sherman3 --scale 32 --out {dirs}"))).unwrap();
+        let mtx = format!("{dirs}/sherman3_s32.mtx");
+        assert!(std::path::Path::new(&mtx).exists());
+
+        super::stats::run(&args(&mtx)).unwrap();
+
+        let map = format!("{dirs}/map.txt");
+        super::partition::run(&args(&format!("{mtx} --k 4 --out {map}"))).unwrap();
+        let d = super::partition::read_mapping(&map).unwrap();
+        assert_eq!(d.k, 4);
+        let a = load_matrix(&mtx).unwrap();
+        d.validate(&a).unwrap();
+
+        super::spmv::run(&args(&format!("{mtx} --k 4 --threads"))).unwrap();
+
+        let hgr = format!("{dirs}/m.hgr");
+        super::convert::run(&args(&format!("{mtx} --out {hgr}"))).unwrap();
+        let hg = fgh_hypergraph::io::read_hgr(&hgr).unwrap();
+        assert_eq!(hg.num_nets(), 2 * a.nrows());
+
+        super::spy::run(&args(&format!("{mtx} --width 20"))).unwrap();
+        super::spy::run(&args(&format!("{mtx} --width 20 --k 2"))).unwrap();
+    }
+
+    #[test]
+    fn compare_runs_all_models() {
+        let dir = workdir("compare");
+        let dirs = dir.to_str().unwrap();
+        super::gen::run(&args(&format!("bcspwr10 --scale 32 --out {dirs}"))).unwrap();
+        super::compare::run(&args(&format!("{dirs}/bcspwr10_s32.mtx --k 4"))).unwrap();
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(super::stats::run(&args("/nonexistent/x.mtx")).is_err());
+        assert!(super::gen::run(&args("not-a-matrix")).is_err());
+        assert!(super::partition::run(&args("also-missing.mtx --k 4")).is_err());
+        let dir = workdir("errors");
+        let bad = dir.join("bad.mtx");
+        std::fs::write(&bad, "this is not matrix market\n").unwrap();
+        assert!(super::stats::run(&args(bad.to_str().unwrap())).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! `fgh spy` — ASCII spy plot of a matrix, optionally overlaid with a
+//! decomposition's ownership map.
+
+use fgh_core::{decompose, DecomposeConfig};
+
+use crate::commands::load_matrix;
+use crate::opts::Opts;
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args)?;
+    let path = o.one_positional("matrix.mtx")?;
+    let a = load_matrix(path)?;
+    let width: u32 = o.parse_or("width", 60)?;
+
+    println!("{path}: {} x {}, {} nonzeros", a.nrows(), a.ncols(), a.nnz());
+    println!();
+    if let Some(kstr) = o.get("k") {
+        let k: u32 = kstr.parse().map_err(|e| format!("--k: {e}"))?;
+        let cfg = DecomposeConfig {
+            model: o.model()?,
+            k,
+            epsilon: o.parse_or("epsilon", 0.03)?,
+            seed: o.parse_or("seed", 1)?,
+            runs: 1,
+        };
+        let out = decompose(&a, &cfg).map_err(|e| e.to_string())?;
+        println!(
+            "ownership map ({}, K = {k}; cells show the dominant owner, base 36):",
+            cfg.model.name()
+        );
+        println!();
+        print!(
+            "{}",
+            fgh_sparse::spy::spy_owners(&a, &out.decomposition.nonzero_owner, width)
+        );
+        println!();
+        println!(
+            "volume {} words, imbalance {:.2}%",
+            out.stats.total_volume(),
+            out.stats.load_imbalance_percent()
+        );
+    } else {
+        print!("{}", fgh_sparse::spy::spy_pattern(&a, width));
+    }
+    Ok(())
+}

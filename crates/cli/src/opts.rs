@@ -1,0 +1,139 @@
+//! Tiny hand-rolled flag parser shared by the subcommands.
+
+use fgh_core::Model;
+
+/// Parsed command line: positional arguments plus `--flag value` pairs.
+#[derive(Debug, Default)]
+pub struct Opts {
+    pub positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["--threads", "--quiet"];
+
+impl Opts {
+    /// Parses `args`; flags must start with `--`.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut o = Opts::default();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if BOOL_FLAGS.contains(&a.as_str()) {
+                    o.flags.push((name.to_string(), None));
+                } else {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                    o.flags.push((name.to_string(), Some(v.clone())));
+                }
+            } else {
+                o.positional.push(a.clone());
+            }
+        }
+        Ok(o)
+    }
+
+    /// The single required positional argument.
+    pub fn one_positional(&self, what: &str) -> Result<&str, String> {
+        match self.positional.as_slice() {
+            [p] => Ok(p),
+            [] => Err(format!("missing argument: {what}")),
+            _ => Err(format!("expected exactly one argument ({what})")),
+        }
+    }
+
+    /// String flag value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// Boolean flag presence.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    /// Parsed flag with a default.
+    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(name) {
+            Some(v) => v.parse().map_err(|e| format!("--{name}: {e}")),
+            None => Ok(default),
+        }
+    }
+
+    /// Required parsed flag.
+    pub fn parse_required<T: std::str::FromStr>(&self, name: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))?
+            .parse()
+            .map_err(|e| format!("--{name}: {e}"))
+    }
+
+    /// The `--model` flag (default fine-grain 2D).
+    pub fn model(&self) -> Result<Model, String> {
+        match self.get("model").unwrap_or("fine-grain-2d") {
+            "graph-1d" => Ok(Model::Graph1D),
+            "hypergraph-1d-colnet" => Ok(Model::Hypergraph1DColNet),
+            "hypergraph-1d-rownet" => Ok(Model::Hypergraph1DRowNet),
+            "fine-grain-2d" => Ok(Model::FineGrain2D),
+            "checkerboard-2d" => Ok(Model::Checkerboard2D),
+            "mondriaan-2d" => Ok(Model::Mondriaan2D),
+            "jagged-2d" => Ok(Model::Jagged2D),
+            "checkerboard-hg-2d" => Ok(Model::CheckerboardHg2D),
+            other => Err(format!("unknown model {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_positional_and_flags() {
+        let o = Opts::parse(&sv("a.mtx --k 16 --threads --model graph-1d")).unwrap();
+        assert_eq!(o.one_positional("matrix").unwrap(), "a.mtx");
+        assert_eq!(o.parse_required::<u32>("k").unwrap(), 16);
+        assert!(o.has("threads"));
+        assert_eq!(o.model().unwrap(), Model::Graph1D);
+    }
+
+    #[test]
+    fn defaults() {
+        let o = Opts::parse(&sv("m.mtx --k 4")).unwrap();
+        assert_eq!(o.model().unwrap(), Model::FineGrain2D);
+        assert_eq!(o.parse_or("seed", 1u64).unwrap(), 1);
+        assert_eq!(o.parse_or("runs", 3usize).unwrap(), 3);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Opts::parse(&sv("--k")).is_err());
+        let o = Opts::parse(&sv("m.mtx")).unwrap();
+        assert!(o.parse_required::<u32>("k").is_err());
+        let o = Opts::parse(&sv("m.mtx --model bogus")).unwrap();
+        assert!(o.model().is_err());
+        let o = Opts::parse(&sv("a b")).unwrap();
+        assert!(o.one_positional("matrix").is_err());
+    }
+
+    #[test]
+    fn last_flag_wins() {
+        let o = Opts::parse(&sv("m --k 2 --k 8")).unwrap();
+        assert_eq!(o.parse_required::<u32>("k").unwrap(), 8);
+    }
+}

@@ -1,0 +1,325 @@
+//! One-call decomposition API: pick a model, get a decomposition plus its
+//! exact communication statistics and timing — the loop body of the
+//! paper's Table-2 experiment.
+
+use std::time::{Duration, Instant};
+
+use fgh_graph::{partition_graph_best, GraphPartitionConfig};
+use fgh_partition::{partition_hypergraph_best, PartitionConfig};
+use fgh_sparse::CsrMatrix;
+
+use crate::decomp::Decomposition;
+use crate::metrics::CommStats;
+use crate::models::{
+    CheckerboardHgModel, CheckerboardModel, ColumnNetModel, FineGrainModel, JaggedModel,
+    MondriaanModel, RowNetModel, StandardGraphModel,
+};
+use crate::{ModelError, Result};
+
+/// Which decomposition model to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Model {
+    /// 1D row-wise decomposition via the standard graph model (MeTiS-style
+    /// baseline).
+    Graph1D,
+    /// 1D row-wise decomposition via the column-net hypergraph model
+    /// (TPDS'99 baseline).
+    Hypergraph1DColNet,
+    /// 1D column-wise decomposition via the row-net hypergraph model.
+    Hypergraph1DRowNet,
+    /// 2D decomposition via the fine-grain hypergraph model (the paper's
+    /// contribution).
+    FineGrain2D,
+    /// 2D block-checkerboard decomposition on a near-square processor
+    /// grid — the pre-existing 2D scheme of §1, with structured
+    /// communication but no volume minimization. Included as an ablation
+    /// baseline.
+    Checkerboard2D,
+    /// Mondriaan-style recursive matrix bisection with per-step direction
+    /// choice (row vs column 1D model) — the paper's best-known follow-on,
+    /// included as a forward-looking comparison point.
+    Mondriaan2D,
+    /// Jagged 2D decomposition: volume-minimized row stripes, then
+    /// independent per-stripe column groupings — the intermediate point of
+    /// the jagged/checkerboard/fine-grain 2D taxonomy.
+    Jagged2D,
+    /// Coarse-grain checkerboard *hypergraph* decomposition (the
+    /// companion IPDPS 2001 paper): volume-minimized row stripes, then a
+    /// single multi-constraint column grouping shared by all stripes.
+    CheckerboardHg2D,
+}
+
+impl Model {
+    /// Short display name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Model::Graph1D => "graph-1d",
+            Model::Hypergraph1DColNet => "hypergraph-1d-colnet",
+            Model::Hypergraph1DRowNet => "hypergraph-1d-rownet",
+            Model::FineGrain2D => "fine-grain-2d",
+            Model::Checkerboard2D => "checkerboard-2d",
+            Model::Mondriaan2D => "mondriaan-2d",
+            Model::Jagged2D => "jagged-2d",
+            Model::CheckerboardHg2D => "checkerboard-hg-2d",
+        }
+    }
+}
+
+/// Configuration for [`decompose`].
+#[derive(Debug, Clone)]
+pub struct DecomposeConfig {
+    /// The decomposition model.
+    pub model: Model,
+    /// Number of processors K.
+    pub k: u32,
+    /// Maximum load imbalance ε (the paper uses 3%).
+    pub epsilon: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Independent partitioner runs; the best balanced result is kept
+    /// (the paper averages over 50 runs; see the bench harness for the
+    /// averaging protocol).
+    pub runs: usize,
+}
+
+impl DecomposeConfig {
+    /// A config for the given model and K with paper defaults.
+    pub fn new(model: Model, k: u32) -> Self {
+        DecomposeConfig { model, k, epsilon: 0.03, seed: 1, runs: 1 }
+    }
+}
+
+/// The result of a decomposition: the mapping, its exact communication
+/// statistics, the model's internal objective value, and wall-clock time.
+#[derive(Debug, Clone)]
+pub struct DecompositionOutcome {
+    /// The decoded decomposition.
+    pub decomposition: Decomposition,
+    /// Exact communication statistics (ground truth for every model).
+    pub stats: CommStats,
+    /// The objective the partitioner minimized: edge cut for
+    /// [`Model::Graph1D`], connectivity−1 cutsize for hypergraph models.
+    pub objective: u64,
+    /// Partitioning wall-clock time (model build + partitioning + decode).
+    pub elapsed: Duration,
+}
+
+/// Decomposes `a` for parallel SpMV on `cfg.k` processors with the chosen
+/// model and returns the decomposition plus its statistics.
+pub fn decompose(a: &CsrMatrix, cfg: &DecomposeConfig) -> Result<DecompositionOutcome> {
+    if cfg.k == 0 {
+        return Err(ModelError::Invalid("K must be >= 1".into()));
+    }
+    let start = Instant::now();
+    let (decomposition, objective) = match cfg.model {
+        Model::Graph1D => {
+            let model = StandardGraphModel::build(a)?;
+            let gcfg = GraphPartitionConfig {
+                epsilon: cfg.epsilon,
+                seed: cfg.seed,
+                ..Default::default()
+            };
+            let r = partition_graph_best(model.graph(), cfg.k, &gcfg, cfg.runs);
+            (model.decode(a, cfg.k, &r.parts)?, r.edge_cut)
+        }
+        Model::Hypergraph1DColNet => {
+            let model = ColumnNetModel::build(a)?;
+            let pcfg = PartitionConfig {
+                epsilon: cfg.epsilon,
+                seed: cfg.seed,
+                ..Default::default()
+            };
+            let r = partition_hypergraph_best(model.hypergraph(), cfg.k, &pcfg, cfg.runs)?;
+            (model.decode(a, &r.partition)?, r.cutsize)
+        }
+        Model::Hypergraph1DRowNet => {
+            let model = RowNetModel::build(a)?;
+            let pcfg = PartitionConfig {
+                epsilon: cfg.epsilon,
+                seed: cfg.seed,
+                ..Default::default()
+            };
+            let r = partition_hypergraph_best(model.hypergraph(), cfg.k, &pcfg, cfg.runs)?;
+            (model.decode(a, &r.partition)?, r.cutsize)
+        }
+        Model::FineGrain2D => {
+            let model = FineGrainModel::build(a)?;
+            let pcfg = PartitionConfig {
+                epsilon: cfg.epsilon,
+                seed: cfg.seed,
+                ..Default::default()
+            };
+            let r = partition_hypergraph_best(model.hypergraph(), cfg.k, &pcfg, cfg.runs)?;
+            (model.decode(a, &r.partition)?, r.cutsize)
+        }
+        Model::Checkerboard2D => {
+            // Direct construction — no partitioner and no communication
+            // objective; its "objective" is reported as its true volume.
+            let model = CheckerboardModel::build(a, cfg.k)?;
+            let d = model.decode(a)?;
+            let vol = CommStats::compute(a, &d)?.total_volume();
+            (d, vol)
+        }
+        Model::Mondriaan2D => {
+            // The internal per-level cuts approximate volume (no
+            // consistency pins in the directional hypergraphs), so the
+            // reported objective is the exact decoded volume.
+            let model = MondriaanModel::new(cfg.k, cfg.epsilon);
+            let pcfg = PartitionConfig {
+                epsilon: cfg.epsilon,
+                seed: cfg.seed,
+                ..Default::default()
+            };
+            let d = model.decompose(a, &pcfg)?;
+            let vol = CommStats::compute(a, &d)?.total_volume();
+            (d, vol)
+        }
+        Model::Jagged2D => {
+            let model = JaggedModel::new(cfg.k, cfg.epsilon)?;
+            let pcfg = PartitionConfig {
+                epsilon: cfg.epsilon,
+                seed: cfg.seed,
+                ..Default::default()
+            };
+            let d = model.decompose(a, &pcfg)?;
+            let vol = CommStats::compute(a, &d)?.total_volume();
+            (d, vol)
+        }
+        Model::CheckerboardHg2D => {
+            let model = CheckerboardHgModel::new(cfg.k, cfg.epsilon)?;
+            let pcfg = PartitionConfig {
+                epsilon: cfg.epsilon,
+                seed: cfg.seed,
+                ..Default::default()
+            };
+            let d = model.decompose(a, &pcfg)?;
+            let vol = CommStats::compute(a, &d)?.total_volume();
+            (d, vol)
+        }
+    };
+    let elapsed = start.elapsed();
+    let stats = CommStats::compute(a, &decomposition)?;
+    Ok(DecompositionOutcome { decomposition, stats, objective, elapsed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgh_sparse::gen::{self, ValueMode};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn test_matrix() -> CsrMatrix {
+        gen::grid5(16, 16, 1.0, ValueMode::Ones, &mut SmallRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn all_models_produce_valid_decompositions() {
+        let a = test_matrix();
+        for model in [
+            Model::Graph1D,
+            Model::Hypergraph1DColNet,
+            Model::Hypergraph1DRowNet,
+            Model::FineGrain2D,
+        ] {
+            let out = decompose(&a, &DecomposeConfig::new(model, 4)).unwrap();
+            out.decomposition.validate(&a).unwrap();
+            assert_eq!(out.stats.k, 4);
+            assert!(
+                out.stats.load_imbalance_percent() <= 10.0,
+                "{}: imbalance {}%",
+                model.name(),
+                out.stats.load_imbalance_percent()
+            );
+        }
+    }
+
+    #[test]
+    fn hypergraph_objective_equals_true_volume() {
+        // The paper's central claim: for the consistent hypergraph models,
+        // the connectivity−1 cutsize is exactly the communication volume.
+        let a = test_matrix();
+        for model in [Model::Hypergraph1DColNet, Model::Hypergraph1DRowNet, Model::FineGrain2D]
+        {
+            let out = decompose(&a, &DecomposeConfig::new(model, 4)).unwrap();
+            assert_eq!(
+                out.objective,
+                out.stats.total_volume(),
+                "{}: cutsize != decoded volume",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn graph_edge_cut_overestimates_or_mismatches_volume() {
+        // The graph model's objective is generally NOT the true volume
+        // (that is the point of the paper). We only check it is an upper
+        // bound here: each cut edge costs >= the words its x-values incur.
+        let a = test_matrix();
+        let out = decompose(&a, &DecomposeConfig::new(Model::Graph1D, 4)).unwrap();
+        assert!(
+            out.objective >= out.stats.total_volume(),
+            "edge cut {} should bound volume {}",
+            out.objective,
+            out.stats.total_volume()
+        );
+    }
+
+    #[test]
+    fn rowwise_models_have_zero_fold() {
+        let a = test_matrix();
+        for model in [Model::Graph1D, Model::Hypergraph1DColNet] {
+            let out = decompose(&a, &DecomposeConfig::new(model, 4)).unwrap();
+            assert_eq!(out.stats.fold_volume, 0, "{}", model.name());
+        }
+        let out = decompose(&a, &DecomposeConfig::new(Model::Hypergraph1DRowNet, 4)).unwrap();
+        assert_eq!(out.stats.expand_volume, 0);
+    }
+
+    #[test]
+    fn fine_grain_beats_1d_on_average_matrix() {
+        // Not guaranteed instance-wise, but on a stencil matrix with K=8
+        // the 2D model should not be worse than the graph baseline.
+        let a = test_matrix();
+        let g = decompose(&a, &DecomposeConfig::new(Model::Graph1D, 8)).unwrap();
+        let f = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 8)).unwrap();
+        assert!(
+            f.stats.total_volume() <= g.stats.total_volume() * 2,
+            "fine-grain volume {} wildly exceeds graph volume {}",
+            f.stats.total_volume(),
+            g.stats.total_volume()
+        );
+    }
+
+    #[test]
+    fn checkerboard_works_and_loses_to_fine_grain() {
+        // The checkerboard baseline is valid but (being volume-oblivious)
+        // should not beat the fine-grain model.
+        let a = test_matrix();
+        let cb = decompose(&a, &DecomposeConfig::new(Model::Checkerboard2D, 4)).unwrap();
+        cb.decomposition.validate(&a).unwrap();
+        assert_eq!(cb.objective, cb.stats.total_volume());
+        let fg = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 4)).unwrap();
+        assert!(
+            fg.stats.total_volume() <= cb.stats.total_volume(),
+            "fine-grain {} vs checkerboard {}",
+            fg.stats.total_volume(),
+            cb.stats.total_volume()
+        );
+    }
+
+    #[test]
+    fn k0_rejected() {
+        let a = test_matrix();
+        assert!(decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 0)).is_err());
+    }
+
+    #[test]
+    fn k1_trivial() {
+        let a = test_matrix();
+        let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 1)).unwrap();
+        assert_eq!(out.stats.total_volume(), 0);
+        assert_eq!(out.objective, 0);
+    }
+}

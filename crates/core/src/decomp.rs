@@ -1,0 +1,205 @@
+//! The common decomposition vocabulary shared by all models.
+
+use fgh_sparse::CsrMatrix;
+
+use crate::{ModelError, Result};
+
+/// A complete 2D decomposition of a square sparse matrix for parallel
+/// `y = Ax`:
+///
+/// * `nonzero_owner[e]` — the processor that stores nonzero `e` and
+///   performs its scalar multiply, where `e` indexes nonzeros in the
+///   matrix's CSR iteration order ([`CsrMatrix::iter`]),
+/// * `vec_owner[j]` — the processor owning both `x_j` and `y_j`
+///   (conformal *symmetric partitioning*, as iterative solvers require).
+///
+/// 1D row-wise and column-wise decompositions are special cases where
+/// every nonzero of a row (resp. column) shares its row's (column's)
+/// owner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decomposition {
+    /// Number of processors K.
+    pub k: u32,
+    /// Matrix order M.
+    pub n: u32,
+    /// Owner of each nonzero, in CSR iteration order.
+    pub nonzero_owner: Vec<u32>,
+    /// Owner of `x_j` and `y_j` for each `j`.
+    pub vec_owner: Vec<u32>,
+}
+
+impl Decomposition {
+    /// Builds a row-wise 1D decomposition: row `i` (all its nonzeros, plus
+    /// `x_i`/`y_i`) lives on `row_owner[i]`.
+    pub fn rowwise(a: &CsrMatrix, k: u32, row_owner: Vec<u32>) -> Result<Self> {
+        if !a.is_square() {
+            return Err(ModelError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        }
+        if row_owner.len() != a.nrows() as usize {
+            return Err(ModelError::Invalid(format!(
+                "row_owner has {} entries for a {}-row matrix",
+                row_owner.len(),
+                a.nrows()
+            )));
+        }
+        let mut nonzero_owner = Vec::with_capacity(a.nnz());
+        for (i, _, _) in a.iter() {
+            nonzero_owner.push(row_owner[i as usize]);
+        }
+        let d = Decomposition { k, n: a.nrows(), nonzero_owner, vec_owner: row_owner };
+        d.validate(a)?;
+        Ok(d)
+    }
+
+    /// Builds a column-wise 1D decomposition: column `j` lives on
+    /// `col_owner[j]`.
+    pub fn columnwise(a: &CsrMatrix, k: u32, col_owner: Vec<u32>) -> Result<Self> {
+        if !a.is_square() {
+            return Err(ModelError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        }
+        if col_owner.len() != a.ncols() as usize {
+            return Err(ModelError::Invalid(format!(
+                "col_owner has {} entries for a {}-column matrix",
+                col_owner.len(),
+                a.ncols()
+            )));
+        }
+        let mut nonzero_owner = Vec::with_capacity(a.nnz());
+        for (_, j, _) in a.iter() {
+            nonzero_owner.push(col_owner[j as usize]);
+        }
+        let d = Decomposition { k, n: a.nrows(), nonzero_owner, vec_owner: col_owner };
+        d.validate(a)?;
+        Ok(d)
+    }
+
+    /// Builds a fully general (2D) decomposition from explicit owners.
+    pub fn general(
+        a: &CsrMatrix,
+        k: u32,
+        nonzero_owner: Vec<u32>,
+        vec_owner: Vec<u32>,
+    ) -> Result<Self> {
+        if !a.is_square() {
+            return Err(ModelError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        }
+        let d = Decomposition { k, n: a.nrows(), nonzero_owner, vec_owner };
+        d.validate(a)?;
+        Ok(d)
+    }
+
+    /// Validates shape and ownership ranges against a matrix.
+    pub fn validate(&self, a: &CsrMatrix) -> Result<()> {
+        if self.k == 0 {
+            return Err(ModelError::Invalid("K must be >= 1".into()));
+        }
+        if self.n != a.nrows() || !a.is_square() {
+            return Err(ModelError::Invalid(format!(
+                "decomposition order {} does not match matrix {}x{}",
+                self.n,
+                a.nrows(),
+                a.ncols()
+            )));
+        }
+        if self.nonzero_owner.len() != a.nnz() {
+            return Err(ModelError::Invalid(format!(
+                "{} nonzero owners for {} nonzeros",
+                self.nonzero_owner.len(),
+                a.nnz()
+            )));
+        }
+        if self.vec_owner.len() != self.n as usize {
+            return Err(ModelError::Invalid(format!(
+                "{} vector owners for order {}",
+                self.vec_owner.len(),
+                self.n
+            )));
+        }
+        if let Some(&p) = self.nonzero_owner.iter().find(|&&p| p >= self.k) {
+            return Err(ModelError::Invalid(format!("nonzero owner {p} >= K = {}", self.k)));
+        }
+        if let Some(&p) = self.vec_owner.iter().find(|&&p| p >= self.k) {
+            return Err(ModelError::Invalid(format!("vector owner {p} >= K = {}", self.k)));
+        }
+        Ok(())
+    }
+
+    /// Number of nonzeros (scalar multiplies) per processor — the
+    /// computational loads the balance constraint controls.
+    pub fn loads(&self) -> Vec<u64> {
+        let mut l = vec![0u64; self.k as usize];
+        for &p in &self.nonzero_owner {
+            l[p as usize] += 1;
+        }
+        l
+    }
+
+    /// Percent computational imbalance `100 (L_max − L_avg) / L_avg`.
+    pub fn load_imbalance_percent(&self) -> f64 {
+        let l = self.loads();
+        let total: u64 = l.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let avg = total as f64 / self.k as f64;
+        let max = *l.iter().max().expect("k >= 1") as f64;
+        100.0 * (max - avg) / avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgh_sparse::CooMatrix;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_coo(
+            CooMatrix::from_triplets(
+                3,
+                3,
+                vec![(0, 0, 1.0), (0, 2, 1.0), (1, 1, 1.0), (2, 0, 1.0), (2, 2, 1.0)],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn rowwise_owners_follow_rows() {
+        let a = sample();
+        let d = Decomposition::rowwise(&a, 2, vec![0, 1, 0]).unwrap();
+        // CSR order: (0,0),(0,2),(1,1),(2,0),(2,2).
+        assert_eq!(d.nonzero_owner, vec![0, 0, 1, 0, 0]);
+        assert_eq!(d.vec_owner, vec![0, 1, 0]);
+        assert_eq!(d.loads(), vec![4, 1]);
+    }
+
+    #[test]
+    fn columnwise_owners_follow_columns() {
+        let a = sample();
+        let d = Decomposition::columnwise(&a, 2, vec![1, 0, 1]).unwrap();
+        assert_eq!(d.nonzero_owner, vec![1, 1, 0, 1, 1]);
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let a = sample();
+        assert!(Decomposition::rowwise(&a, 2, vec![0, 1]).is_err());
+        assert!(Decomposition::rowwise(&a, 2, vec![0, 1, 5]).is_err());
+        assert!(Decomposition::general(&a, 2, vec![0; 4], vec![0; 3]).is_err());
+        assert!(Decomposition::general(&a, 0, vec![0; 5], vec![0; 3]).is_err());
+    }
+
+    #[test]
+    fn rectangular_rejected() {
+        let a = CsrMatrix::from_coo(CooMatrix::from_triplets(2, 3, vec![(0, 0, 1.0)]).unwrap());
+        assert!(Decomposition::rowwise(&a, 1, vec![0, 0]).is_err());
+    }
+
+    #[test]
+    fn load_imbalance() {
+        let a = sample();
+        let d = Decomposition::rowwise(&a, 2, vec![0, 1, 0]).unwrap();
+        // loads 4 and 1: avg 2.5, max 4 -> 60%.
+        assert!((d.load_imbalance_percent() - 60.0).abs() < 1e-9);
+    }
+}

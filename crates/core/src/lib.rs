@@ -1,0 +1,74 @@
+//! # fgh-core — decomposition models for parallel sparse matrix-vector multiply
+//!
+//! The paper's contribution and its baselines, as reusable decomposition
+//! models over a shared vocabulary:
+//!
+//! * [`models::FineGrainModel`] — **the paper's fine-grain 2D hypergraph
+//!   model**: one vertex per nonzero `a_ij` (an atomic scalar-multiply
+//!   task), one column net `n_j` per column (the *expand* of `x_j`), one
+//!   row net `m_i` per row (the *fold* of `y_i`), zero-weight dummy
+//!   diagonal vertices enforcing the consistency condition
+//!   `v_jj ∈ pins[n_j] ∩ pins[m_j]`.
+//! * [`models::ColumnNetModel`] / [`models::RowNetModel`] — the 1D
+//!   hypergraph models of Çatalyürek & Aykanat (TPDS 1999).
+//! * [`models::StandardGraphModel`] — the classic graph model (MeTiS
+//!   baseline) on the symmetrized pattern with edge costs 1/2.
+//!
+//! Every model decodes its partition into a common [`Decomposition`]
+//! (owner of every nonzero + conformal owner of every `x_j`/`y_j`), and
+//! [`CommStats`] computes the **exact** communication requirements of one
+//! SpMV from that decomposition — volumes in words, per-processor
+//! send/receive loads, and message counts — independent of any model's
+//! objective function. For the fine-grain model, total volume provably
+//! equals the connectivity−1 cutsize (verified in tests and end-to-end by
+//! `fgh-spmv`).
+//!
+//! The [`api`] module offers one-call decomposition ([`api::decompose`])
+//! used by the examples and the Table-2 harness; [`reduction`] generalizes
+//! the model to arbitrary input/output reduction problems with optional
+//! pre-assigned elements (the paper's §3 remark).
+
+pub mod api;
+pub mod decomp;
+pub mod metrics;
+pub mod models;
+pub mod reduction;
+
+pub use api::{decompose, DecomposeConfig, DecompositionOutcome, Model};
+pub use decomp::Decomposition;
+pub use metrics::CommStats;
+
+/// Errors from model construction and decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// Decomposition models require square matrices (symmetric x/y
+    /// partitioning is meaningless otherwise).
+    NotSquare { nrows: u32, ncols: u32 },
+    /// The underlying partitioner failed.
+    Partition(String),
+    /// A decomposition failed validation (see message).
+    Invalid(String),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::NotSquare { nrows, ncols } => {
+                write!(f, "decomposition requires a square matrix, got {nrows} x {ncols}")
+            }
+            ModelError::Partition(m) => write!(f, "partitioning failed: {m}"),
+            ModelError::Invalid(m) => write!(f, "invalid decomposition: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<fgh_hypergraph::HypergraphError> for ModelError {
+    fn from(e: fgh_hypergraph::HypergraphError) -> Self {
+        ModelError::Partition(e.to_string())
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ModelError>;

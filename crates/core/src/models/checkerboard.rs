@@ -1,0 +1,232 @@
+//! Checkerboard 2D decomposition — the *existing* 2D scheme the paper
+//! contrasts with (Hendrickson–Leland–Plimpton and Lewis–van de Geijn
+//! style).
+//!
+//! Processors form a `P x Q` grid. Rows are split into `P` contiguous
+//! blocks (balanced by row nonzero counts), columns into `Q` contiguous
+//! blocks; nonzero `(i, j)` goes to processor `(rowblock(i),
+//! colblock(j))`. Communication is structured (expands stay within
+//! processor columns, folds within processor rows, bounding messages by
+//! `P + Q - 2` per processor) but, as the paper notes, the scheme makes
+//! **no explicit effort to reduce communication volume** — which is
+//! exactly what the fine-grain model fixes. Included as the natural 2D
+//! baseline for ablation benchmarks.
+
+use fgh_sparse::CsrMatrix;
+
+use crate::decomp::Decomposition;
+use crate::{ModelError, Result};
+
+/// A checkerboard decomposition on a `P x Q` processor grid.
+#[derive(Debug, Clone)]
+pub struct CheckerboardModel {
+    p: u32,
+    q: u32,
+    /// Row block id of each row (0..P).
+    row_block: Vec<u32>,
+    /// Column block id of each column (0..Q).
+    col_block: Vec<u32>,
+}
+
+impl CheckerboardModel {
+    /// Builds a checkerboard decomposition of `a` on a near-square
+    /// processor grid with `k` processors (`k = P * Q` with `P <= Q`,
+    /// `P` the largest divisor of `k` with `P <= sqrt(k)`).
+    pub fn build(a: &CsrMatrix, k: u32) -> Result<Self> {
+        let (p, q) = grid_shape(k);
+        Self::build_grid(a, p, q)
+    }
+
+    /// Builds on an explicit `p x q` grid.
+    pub fn build_grid(a: &CsrMatrix, p: u32, q: u32) -> Result<Self> {
+        if !a.is_square() {
+            return Err(ModelError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        }
+        if p == 0 || q == 0 {
+            return Err(ModelError::Invalid("grid dimensions must be >= 1".into()));
+        }
+        let n = a.nrows();
+        let row_weights: Vec<u64> = (0..n).map(|i| a.row_nnz(i) as u64).collect();
+        let mut col_weights = vec![0u64; n as usize];
+        for &j in a.col_idx() {
+            col_weights[j as usize] += 1;
+        }
+        let row_block = contiguous_blocks(&row_weights, p);
+        let col_block = contiguous_blocks(&col_weights, q);
+        Ok(CheckerboardModel { p, q, row_block, col_block })
+    }
+
+    /// Grid height P.
+    pub fn p(&self) -> u32 {
+        self.p
+    }
+
+    /// Grid width Q.
+    pub fn q(&self) -> u32 {
+        self.q
+    }
+
+    /// Processor of nonzero `(i, j)`.
+    pub fn owner(&self, i: u32, j: u32) -> u32 {
+        self.row_block[i as usize] * self.q + self.col_block[j as usize]
+    }
+
+    /// Decodes into a [`Decomposition`]: vectors conform to the diagonal
+    /// blocks (`x_j`, `y_j` on processor `(rowblock(j), colblock(j))`).
+    pub fn decode(&self, a: &CsrMatrix) -> Result<Decomposition> {
+        let k = self.p * self.q;
+        let nonzero_owner: Vec<u32> = a.iter().map(|(i, j, _)| self.owner(i, j)).collect();
+        let vec_owner: Vec<u32> = (0..a.nrows()).map(|j| self.owner(j, j)).collect();
+        Decomposition::general(a, k, nonzero_owner, vec_owner)
+    }
+}
+
+/// Near-square factorization of `k`: the largest divisor `p <= sqrt(k)`.
+pub fn grid_shape(k: u32) -> (u32, u32) {
+    let mut p = (k as f64).sqrt().floor() as u32;
+    while p > 1 && !k.is_multiple_of(p) {
+        p -= 1;
+    }
+    (p.max(1), k / p.max(1))
+}
+
+/// Splits `0..weights.len()` into `blocks` contiguous chunks with greedily
+/// balanced weight; returns the block id of every index. Trailing blocks
+/// may be empty only when there are more blocks than indices.
+fn contiguous_blocks(weights: &[u64], blocks: u32) -> Vec<u32> {
+    let n = weights.len();
+    let total: u64 = weights.iter().sum();
+    let mut ids = vec![0u32; n];
+    let mut acc = 0u64;
+    let mut b = 0u32;
+    let remaining_slots = |b: u32| blocks - b;
+    for (i, &w) in weights.iter().enumerate() {
+        // Close the block when its share is met, keeping enough indices
+        // for the remaining blocks.
+        let target = total * (b as u64 + 1) / blocks as u64;
+        if b + 1 < blocks
+            && acc >= target.max(1)
+            && (n - i) as u32 >= remaining_slots(b + 1)
+        {
+            b += 1;
+        }
+        ids[i] = b;
+        acc += w;
+    }
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::CommStats;
+    use fgh_sparse::gen::{self, ValueMode};
+    use fgh_sparse::CooMatrix;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grid_shapes() {
+        assert_eq!(grid_shape(16), (4, 4));
+        assert_eq!(grid_shape(32), (4, 8));
+        assert_eq!(grid_shape(64), (8, 8));
+        assert_eq!(grid_shape(7), (1, 7));
+        assert_eq!(grid_shape(12), (3, 4));
+        assert_eq!(grid_shape(1), (1, 1));
+    }
+
+    #[test]
+    fn contiguous_blocks_cover_and_are_monotone() {
+        let ids = contiguous_blocks(&[1, 1, 1, 1, 1, 1, 1, 1], 4);
+        assert_eq!(ids, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        let ids = contiguous_blocks(&[10, 1, 1, 1, 1], 2);
+        assert_eq!(ids[0], 0);
+        assert!(ids.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*ids.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn owner_layout() {
+        let a = CsrMatrix::identity(8);
+        let m = CheckerboardModel::build_grid(&a, 2, 2).unwrap();
+        // Rows 0-3 block 0, 4-7 block 1 (unit weights); same for columns.
+        assert_eq!(m.owner(0, 0), 0);
+        assert_eq!(m.owner(0, 7), 1);
+        assert_eq!(m.owner(7, 0), 2);
+        assert_eq!(m.owner(7, 7), 3);
+    }
+
+    #[test]
+    fn decode_is_valid_and_conformal() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = gen::grid5(12, 12, 1.0, ValueMode::Ones, &mut rng);
+        let m = CheckerboardModel::build(&a, 4).unwrap();
+        let d = m.decode(&a).unwrap();
+        d.validate(&a).unwrap();
+        // Diagonal nonzeros live with their vector entries.
+        let mut e = 0;
+        for (i, j, _) in a.iter() {
+            if i == j {
+                assert_eq!(d.nonzero_owner[e], d.vec_owner[i as usize]);
+            }
+            e += 1;
+        }
+    }
+
+    #[test]
+    fn message_bound_p_plus_q_minus_2() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let a = gen::scale_free(300, 3.0, ValueMode::Ones, &mut rng);
+        let m = CheckerboardModel::build(&a, 16).unwrap();
+        let d = m.decode(&a).unwrap();
+        let s = CommStats::compute(&a, &d).unwrap();
+        // Expands stay in processor columns (<= P-1 destinations), folds in
+        // processor rows (<= Q-1): sends bounded by (P-1) + (Q-1).
+        let bound = (m.p() - 1 + m.q() - 1) as u64;
+        assert!(
+            s.max_messages_per_proc() <= bound,
+            "max msgs {} > bound {bound}",
+            s.max_messages_per_proc()
+        );
+    }
+
+    #[test]
+    fn k1_no_comm() {
+        let a = CsrMatrix::identity(5);
+        let m = CheckerboardModel::build(&a, 1).unwrap();
+        let d = m.decode(&a).unwrap();
+        let s = CommStats::compute(&a, &d).unwrap();
+        assert_eq!(s.total_volume(), 0);
+    }
+
+    #[test]
+    fn balanced_on_dense_patterns_poor_on_banded() {
+        // Checkerboard is designed for dense-like patterns: there the
+        // row-block x col-block product balances well...
+        let mut rng = SmallRng::seed_from_u64(3);
+        let dense = gen::random_general(60, 60, 2400, true, &mut rng);
+        let m = CheckerboardModel::build(&dense, 9).unwrap();
+        let d = m.decode(&dense).unwrap();
+        assert!(
+            d.load_imbalance_percent() < 30.0,
+            "dense imbalance {}%",
+            d.load_imbalance_percent()
+        );
+        // ...but on a banded matrix the diagonal blocks soak up all the
+        // load — the structural weakness the paper points out in §1.
+        let banded = gen::grid5(30, 30, 1.0, ValueMode::Ones, &mut rng);
+        let m = CheckerboardModel::build(&banded, 9).unwrap();
+        let d = m.decode(&banded).unwrap();
+        assert!(
+            d.load_imbalance_percent() > 60.0,
+            "banded imbalance unexpectedly good: {}%",
+            d.load_imbalance_percent()
+        );
+    }
+
+    #[test]
+    fn rectangular_rejected() {
+        let a = CsrMatrix::from_coo(CooMatrix::from_triplets(2, 3, vec![(0, 0, 1.0)]).unwrap());
+        assert!(CheckerboardModel::build(&a, 4).is_err());
+    }
+}

@@ -1,0 +1,336 @@
+//! The fine-grain 2D hypergraph model (Section 3 of the paper).
+//!
+//! An `M x M` matrix with `Z` nonzeros becomes a hypergraph with `Z`
+//! vertices (one per nonzero — the atomic task `y_i^j = a_ij * x_j`, unit
+//! weight) and `2M` nets: row net `m_i` holds the nonzeros of row `i`
+//! (modeling the *fold* that accumulates `y_i`), column net `n_j` holds the
+//! nonzeros of column `j` (modeling the *expand* of `x_j`).
+//!
+//! **Consistency condition**: `v_jj ∈ pins[n_j] ∩ pins[m_j]` for every `j`.
+//! Missing diagonals get a zero-weight *dummy* vertex `v_jj` (weight 0 so
+//! balance is unaffected). The condition guarantees `Λ[n_j] ∩ Λ[m_j] ∋
+//! part[v_jj]`, so decoding `map[n_j] = map[m_j] = part[v_jj]` yields a
+//! *symmetric* (conformal) x/y distribution under which the connectivity−1
+//! cutsize (eq. 3) **exactly equals** the total SpMV communication volume.
+
+use fgh_hypergraph::{connectivity_sets, Hypergraph, HypergraphBuilder, Partition};
+use fgh_sparse::CsrMatrix;
+
+use crate::decomp::Decomposition;
+use crate::{ModelError, Result};
+
+/// The fine-grain hypergraph of a square sparse matrix.
+///
+/// Net numbering: row net `m_i` has id `i`; column net `n_j` has id
+/// `M + j`. Vertex numbering: the first `num_real` vertices are the
+/// structural nonzeros in CSR iteration order; dummy diagonal vertices
+/// (weight 0) follow.
+#[derive(Debug, Clone)]
+pub struct FineGrainModel {
+    hypergraph: Hypergraph,
+    /// `(row, col)` of every vertex, dummies included.
+    coords: Vec<(u32, u32)>,
+    /// Vertex id of `v_jj` for each `j` (real or dummy).
+    diag_vertex: Vec<u32>,
+    /// Number of real (nonzero-backed) vertices = Z.
+    num_real: usize,
+    /// Matrix order M.
+    n: u32,
+}
+
+impl FineGrainModel {
+    /// Builds the model from a square matrix.
+    ///
+    /// ```
+    /// use fgh_core::models::FineGrainModel;
+    /// use fgh_sparse::{CooMatrix, CsrMatrix};
+    /// // 2x2 with a full diagonal and one off-diagonal nonzero.
+    /// let a = CsrMatrix::from_coo(CooMatrix::from_triplets(
+    ///     2, 2, vec![(0, 0, 1.0), (1, 1, 1.0), (1, 0, 1.0)]).unwrap());
+    /// let m = FineGrainModel::build(&a).unwrap();
+    /// assert_eq!(m.hypergraph().num_vertices(), 3);      // Z vertices
+    /// assert_eq!(m.hypergraph().num_nets(), 4);          // 2M nets
+    /// assert_eq!(m.hypergraph().num_pins(), 6);          // 2Z pins
+    /// // Column net n_0 holds the nonzeros of column 0: a_00 and a_10.
+    /// assert_eq!(m.hypergraph().net_size(m.col_net(0)), 2);
+    /// ```
+    pub fn build(a: &CsrMatrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(ModelError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        }
+        let n = a.nrows();
+        let z = a.nnz();
+
+        let mut builder = HypergraphBuilder::new();
+        let mut coords: Vec<(u32, u32)> = Vec::with_capacity(z + n as usize / 4);
+        let mut diag_vertex = vec![u32::MAX; n as usize];
+
+        let mut row_pins: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
+        let mut col_pins: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
+
+        for (i, j, _) in a.iter() {
+            let v = builder.add_vertex(1);
+            coords.push((i, j));
+            row_pins[i as usize].push(v);
+            col_pins[j as usize].push(v);
+            if i == j {
+                diag_vertex[i as usize] = v;
+            }
+        }
+        let num_real = z;
+
+        // Dummy diagonal vertices restore the consistency condition where
+        // a_jj = 0; their zero weight keeps the balance model (eq. 1) exact.
+        for j in 0..n {
+            if diag_vertex[j as usize] == u32::MAX {
+                let v = builder.add_vertex(0);
+                coords.push((j, j));
+                row_pins[j as usize].push(v);
+                col_pins[j as usize].push(v);
+                diag_vertex[j as usize] = v;
+            }
+        }
+
+        // Row nets m_i (ids 0..n), then column nets n_j (ids n..2n).
+        for pins in row_pins {
+            builder.add_net(pins);
+        }
+        for pins in col_pins {
+            builder.add_net(pins);
+        }
+
+        let hypergraph = builder.build()?;
+        Ok(FineGrainModel { hypergraph, coords, diag_vertex, num_real, n })
+    }
+
+    /// The underlying hypergraph (|V| = Z + #dummies, |N| = 2M).
+    pub fn hypergraph(&self) -> &Hypergraph {
+        &self.hypergraph
+    }
+
+    /// Matrix order M.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of real (nonzero) vertices Z.
+    pub fn num_real_vertices(&self) -> usize {
+        self.num_real
+    }
+
+    /// Number of zero-weight dummy diagonal vertices added.
+    pub fn num_dummy_vertices(&self) -> usize {
+        self.coords.len() - self.num_real
+    }
+
+    /// `(row, col)` of vertex `v`.
+    pub fn coords(&self, v: u32) -> (u32, u32) {
+        self.coords[v as usize]
+    }
+
+    /// Net id of row net `m_i`.
+    pub fn row_net(&self, i: u32) -> u32 {
+        debug_assert!(i < self.n);
+        i
+    }
+
+    /// Net id of column net `n_j`.
+    pub fn col_net(&self, j: u32) -> u32 {
+        debug_assert!(j < self.n);
+        self.n + j
+    }
+
+    /// Vertex id of the diagonal vertex `v_jj`.
+    pub fn diag_vertex(&self, j: u32) -> u32 {
+        self.diag_vertex[j as usize]
+    }
+
+    /// Decodes a K-way partition of the fine-grain hypergraph into a 2D
+    /// [`Decomposition`]: nonzero `e` goes to `part[v_e]`, and both `x_j`
+    /// and `y_j` go to `part[v_jj]` (`map[n_j] = map[m_j] = part[v_jj]`).
+    ///
+    /// Verifies the paper's consistency claim as a safety check: the
+    /// vector owner of `j` must lie in `Λ[n_j] ∩ Λ[m_j]`.
+    pub fn decode(&self, a: &CsrMatrix, partition: &Partition) -> Result<Decomposition> {
+        if partition.len() != self.hypergraph.num_vertices() as usize {
+            return Err(ModelError::Invalid(format!(
+                "partition covers {} vertices, model has {}",
+                partition.len(),
+                self.hypergraph.num_vertices()
+            )));
+        }
+        let nonzero_owner: Vec<u32> =
+            (0..self.num_real).map(|v| partition.part(v as u32)).collect();
+        let vec_owner: Vec<u32> =
+            (0..self.n).map(|j| partition.part(self.diag_vertex(j))).collect();
+
+        // Consistency check (the paper's Λ[n_j] ∩ Λ[m_j] ∋ part[v_jj]).
+        let sets = connectivity_sets(&self.hypergraph, partition);
+        for j in 0..self.n {
+            let owner = vec_owner[j as usize];
+            let row_set = &sets[self.row_net(j) as usize];
+            let col_set = &sets[self.col_net(j) as usize];
+            if row_set.binary_search(&owner).is_err() || col_set.binary_search(&owner).is_err()
+            {
+                return Err(ModelError::Invalid(format!(
+                    "consistency violated at index {j}: owner {owner} not in Λ[m_{j}] ∩ Λ[n_{j}]"
+                )));
+            }
+        }
+
+        Decomposition::general(a, partition.k(), nonzero_owner, vec_owner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgh_hypergraph::cutsize_connectivity;
+    use fgh_sparse::CooMatrix;
+
+    /// The Figure-1 style matrix: 4x4 with full diagonal plus a few
+    /// off-diagonals.
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_coo(
+            CooMatrix::from_triplets(
+                4,
+                4,
+                vec![
+                    (0, 0, 1.0),
+                    (1, 1, 1.0),
+                    (2, 2, 1.0),
+                    (3, 3, 1.0),
+                    (1, 0, 1.0), // column net n_0 = {v00, v10}
+                    (1, 2, 1.0), // row net m_1 = {v10, v11, v12}
+                    (3, 1, 1.0),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn dimensions_match_paper() {
+        let a = sample();
+        let m = FineGrainModel::build(&a).unwrap();
+        assert_eq!(m.hypergraph().num_vertices() as usize, a.nnz()); // full diag: no dummies
+        assert_eq!(m.hypergraph().num_nets(), 2 * 4);
+        assert_eq!(m.num_dummy_vertices(), 0);
+        // Each vertex has exactly two nets (its row net and column net).
+        for v in 0..m.hypergraph().num_vertices() {
+            assert_eq!(m.hypergraph().vertex_degree(v), 2, "vertex {v}");
+        }
+        // Total pins = 2Z.
+        assert_eq!(m.hypergraph().num_pins(), 2 * a.nnz());
+    }
+
+    #[test]
+    fn net_contents() {
+        let a = sample();
+        let m = FineGrainModel::build(&a).unwrap();
+        // Row net m_1 holds the vertices of nonzeros (1,0), (1,1), (1,2).
+        let m1: Vec<(u32, u32)> = m
+            .hypergraph()
+            .pins(m.row_net(1))
+            .iter()
+            .map(|&v| m.coords(v))
+            .collect();
+        assert_eq!(m1, vec![(1, 0), (1, 1), (1, 2)]);
+        // Column net n_0 holds (0,0) and (1,0).
+        let n0: Vec<(u32, u32)> = m
+            .hypergraph()
+            .pins(m.col_net(0))
+            .iter()
+            .map(|&v| m.coords(v))
+            .collect();
+        assert_eq!(n0, vec![(0, 0), (1, 0)]);
+    }
+
+    #[test]
+    fn unit_weights_for_real_vertices() {
+        let a = sample();
+        let m = FineGrainModel::build(&a).unwrap();
+        assert_eq!(m.hypergraph().total_vertex_weight(), a.nnz() as u64);
+    }
+
+    #[test]
+    fn dummy_vertices_for_missing_diagonal() {
+        // 3x3 with a_11 = 0 structurally.
+        let a = CsrMatrix::from_coo(
+            CooMatrix::from_triplets(
+                3,
+                3,
+                vec![(0, 0, 1.0), (0, 1, 1.0), (1, 2, 1.0), (2, 2, 1.0), (2, 0, 1.0)],
+            )
+            .unwrap(),
+        );
+        let m = FineGrainModel::build(&a).unwrap();
+        assert_eq!(m.num_dummy_vertices(), 1);
+        let d = m.diag_vertex(1);
+        assert_eq!(m.coords(d), (1, 1));
+        assert_eq!(m.hypergraph().vertex_weight(d), 0);
+        // The dummy pins exactly {m_1, n_1}.
+        assert_eq!(m.hypergraph().nets(d), &[m.row_net(1), m.col_net(1)]);
+        // Balance unaffected: total weight still Z.
+        assert_eq!(m.hypergraph().total_vertex_weight(), a.nnz() as u64);
+    }
+
+    #[test]
+    fn consistency_condition_holds() {
+        let a = sample();
+        let m = FineGrainModel::build(&a).unwrap();
+        for j in 0..4u32 {
+            let d = m.diag_vertex(j);
+            assert!(m.hypergraph().pins(m.row_net(j)).contains(&d));
+            assert!(m.hypergraph().pins(m.col_net(j)).contains(&d));
+        }
+    }
+
+    #[test]
+    fn decode_produces_symmetric_owners() {
+        let a = sample();
+        let m = FineGrainModel::build(&a).unwrap();
+        // Partition by column parity of the nonzero.
+        let parts: Vec<u32> = (0..m.hypergraph().num_vertices())
+            .map(|v| m.coords(v).1 % 2)
+            .collect();
+        let p = Partition::new(2, parts).unwrap();
+        let d = m.decode(&a, &p).unwrap();
+        for j in 0..4u32 {
+            assert_eq!(d.vec_owner[j as usize], j % 2, "x_{j}/y_{j} owner");
+        }
+        assert_eq!(d.nonzero_owner.len(), a.nnz());
+    }
+
+    #[test]
+    fn rectangular_rejected() {
+        let a = CsrMatrix::from_coo(CooMatrix::from_triplets(2, 3, vec![(0, 0, 1.0)]).unwrap());
+        assert!(matches!(
+            FineGrainModel::build(&a),
+            Err(ModelError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn cutsize_is_zero_for_one_part() {
+        let a = sample();
+        let m = FineGrainModel::build(&a).unwrap();
+        let p = Partition::trivial(m.hypergraph().num_vertices());
+        assert_eq!(cutsize_connectivity(m.hypergraph(), &p), 0);
+        let d = m.decode(&a, &p).unwrap();
+        assert!(d.vec_owner.iter().all(|&o| o == 0));
+    }
+
+    #[test]
+    fn empty_row_and_column_get_dummy() {
+        // Row 1 and column 1 completely empty.
+        let a = CsrMatrix::from_coo(
+            CooMatrix::from_triplets(3, 3, vec![(0, 0, 1.0), (2, 2, 1.0), (0, 2, 1.0)]).unwrap(),
+        );
+        let m = FineGrainModel::build(&a).unwrap();
+        assert_eq!(m.num_dummy_vertices(), 1);
+        // Nets m_1 and n_1 contain exactly the dummy.
+        assert_eq!(m.hypergraph().net_size(m.row_net(1)), 1);
+        assert_eq!(m.hypergraph().net_size(m.col_net(1)), 1);
+    }
+}

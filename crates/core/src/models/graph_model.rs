@@ -1,0 +1,134 @@
+//! The standard graph model — the classic (MeTiS-style) baseline the
+//! paper critiques.
+//!
+//! Vertices are rows; vertex `i` weighs nnz(row `i`). Edges come from the
+//! symmetrized pattern `A + Aᵀ` (diagonal dropped) with cost 2 when both
+//! `a_ij` and `a_ji` are structurally nonzero and 1 otherwise, so the edge
+//! cut *approximates* the expand volume of a row-wise decomposition. The
+//! approximation is exact only when every cut edge's `x` value is needed
+//! by exactly one extra processor — the flaw (Hendrickson's "emperor"
+//! critique) that hypergraph models repair. All reported volumes are
+//! therefore recomputed exactly from the decoded decomposition.
+
+use fgh_graph::CsrGraph;
+use fgh_sparse::pattern::SymmetrizedPattern;
+use fgh_sparse::CsrMatrix;
+
+use crate::decomp::Decomposition;
+use crate::{ModelError, Result};
+
+/// The standard graph model of a square sparse matrix.
+#[derive(Debug, Clone)]
+pub struct StandardGraphModel {
+    graph: CsrGraph,
+    n: u32,
+}
+
+impl StandardGraphModel {
+    /// Builds the model from a square matrix.
+    pub fn build(a: &CsrMatrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(ModelError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        }
+        let n = a.nrows();
+        let pat = SymmetrizedPattern::build(a)
+            .map_err(|e| ModelError::Invalid(e.to_string()))?;
+        let mut edges: Vec<(u32, u32, u32)> = Vec::with_capacity(pat.num_edges());
+        for i in 0..n {
+            for (&j, &both) in pat.neighbors(i).iter().zip(pat.neighbor_both_flags(i)) {
+                if i < j {
+                    edges.push((i, j, if both { 2 } else { 1 }));
+                }
+            }
+        }
+        let vwgt: Vec<u32> = (0..n).map(|i| a.row_nnz(i) as u32).collect();
+        let graph = CsrGraph::from_edges(n, &edges, Some(vwgt))
+            .map_err(|e| ModelError::Invalid(e.to_string()))?;
+        Ok(StandardGraphModel { graph, n })
+    }
+
+    /// The underlying weighted graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Matrix order.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Decodes a per-row part vector into a row-wise [`Decomposition`].
+    pub fn decode(&self, a: &CsrMatrix, k: u32, parts: &[u32]) -> Result<Decomposition> {
+        if parts.len() != self.n as usize {
+            return Err(ModelError::Invalid(format!(
+                "partition covers {} vertices, model has {}",
+                parts.len(),
+                self.n
+            )));
+        }
+        Decomposition::rowwise(a, k, parts.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgh_sparse::CooMatrix;
+
+    fn sample() -> CsrMatrix {
+        // [ 1 1 0 ]
+        // [ 1 1 0 ]
+        // [ 1 0 1 ]   (edge 0-1 symmetric, edge 0-2 one-sided)
+        CsrMatrix::from_coo(
+            CooMatrix::from_triplets(
+                3,
+                3,
+                vec![
+                    (0, 0, 1.0),
+                    (0, 1, 1.0),
+                    (1, 0, 1.0),
+                    (1, 1, 1.0),
+                    (2, 0, 1.0),
+                    (2, 2, 1.0),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn edge_costs_encode_symmetry() {
+        let m = StandardGraphModel::build(&sample()).unwrap();
+        let g = m.graph();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.num_edges(), 2);
+        // Edge 0-1 symmetric pair -> cost 2; edge 0-2 one-sided -> cost 1.
+        let pos = g.neighbors(0).iter().position(|&u| u == 1).unwrap();
+        assert_eq!(g.edge_weights(0)[pos], 2);
+        let pos = g.neighbors(0).iter().position(|&u| u == 2).unwrap();
+        assert_eq!(g.edge_weights(0)[pos], 1);
+    }
+
+    #[test]
+    fn vertex_weights_are_row_nnz() {
+        let m = StandardGraphModel::build(&sample()).unwrap();
+        assert_eq!(m.graph().vertex_weight(0), 2);
+        assert_eq!(m.graph().vertex_weight(1), 2);
+        assert_eq!(m.graph().vertex_weight(2), 2);
+    }
+
+    #[test]
+    fn decode_rowwise() {
+        let a = sample();
+        let m = StandardGraphModel::build(&a).unwrap();
+        let d = m.decode(&a, 2, &[0, 0, 1]).unwrap();
+        assert_eq!(d.vec_owner, vec![0, 0, 1]);
+        assert_eq!(d.loads(), vec![4, 2]);
+    }
+
+    #[test]
+    fn rectangular_rejected() {
+        let a = CsrMatrix::from_coo(CooMatrix::from_triplets(2, 3, vec![(0, 0, 1.0)]).unwrap());
+        assert!(StandardGraphModel::build(&a).is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! Jagged 2D decomposition — the intermediate point of the classic 2D
+//! taxonomy (jagged / checkerboard / fine-grain) that grew out of this
+//! paper's line of work.
+//!
+//! Processors form a `P x Q` grid. First, *rows* are partitioned into `P`
+//! stripes with the 1D column-net hypergraph model (volume-minimizing,
+//! like the TPDS'99 baseline). Then, independently within each stripe,
+//! the stripe's *columns* are partitioned into `Q` groups with a row-net
+//! model restricted to the stripe's nonzeros — so the column boundaries
+//! are "jagged": different in every stripe. Nonzero `(i, j)` goes to
+//! processor `(stripe(i), group_{stripe(i)}(j))`.
+//!
+//! Communication: folds stay within processor rows (`y_i` is accumulated
+//! across its stripe's `Q` processors), expands cross stripes like 1D
+//! row-wise decomposition. Message bound: `(Q - 1) + (P·Q - Q)` in the
+//! worst case, typically far fewer. Volume is minimized per phase but not
+//! globally (the fine-grain model's advantage).
+
+use fgh_hypergraph::{Hypergraph, HypergraphBuilder, Partition};
+use fgh_partition::{partition_hypergraph, PartitionConfig};
+use fgh_sparse::CsrMatrix;
+
+use crate::decomp::Decomposition;
+use crate::models::checkerboard::grid_shape;
+use crate::{ModelError, Result};
+
+/// Jagged 2D decomposition on a `P x Q` processor grid.
+#[derive(Debug, Clone)]
+pub struct JaggedModel {
+    p: u32,
+    q: u32,
+    epsilon: f64,
+}
+
+impl JaggedModel {
+    /// Near-square grid for `k` processors.
+    pub fn new(k: u32, epsilon: f64) -> Result<Self> {
+        if k == 0 {
+            return Err(ModelError::Invalid("K must be >= 1".into()));
+        }
+        let (p, q) = grid_shape(k);
+        Ok(JaggedModel { p, q, epsilon })
+    }
+
+    /// Explicit grid.
+    pub fn with_grid(p: u32, q: u32, epsilon: f64) -> Result<Self> {
+        if p == 0 || q == 0 {
+            return Err(ModelError::Invalid("grid dimensions must be >= 1".into()));
+        }
+        Ok(JaggedModel { p, q, epsilon })
+    }
+
+    /// Grid height P (number of row stripes).
+    pub fn p(&self) -> u32 {
+        self.p
+    }
+
+    /// Grid width Q (column groups per stripe).
+    pub fn q(&self) -> u32 {
+        self.q
+    }
+
+    /// Decomposes `a` into a `P x Q` jagged 2D [`Decomposition`].
+    pub fn decompose(&self, a: &CsrMatrix, cfg: &PartitionConfig) -> Result<Decomposition> {
+        if !a.is_square() {
+            return Err(ModelError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        }
+        let n = a.nrows();
+        let k = self.p * self.q;
+
+        // Phase 1: row stripes via the 1D column-net model.
+        let stripe_of: Vec<u32> = if self.p == 1 {
+            vec![0; n as usize]
+        } else {
+            let colnet = crate::models::ColumnNetModel::build(a)?;
+            let r = partition_hypergraph(colnet.hypergraph(), self.p, cfg)?;
+            r.partition.parts().to_vec()
+        };
+
+        // Phase 2: per-stripe column grouping via a restricted row-net
+        // model (vertices = columns present in the stripe, weighted by the
+        // stripe's nonzeros; nets = the stripe's rows).
+        let mut group_of: Vec<Vec<u32>> = vec![Vec::new(); self.p as usize]; // per stripe: col -> group (dense n)
+        for s in 0..self.p {
+            group_of[s as usize] = self.partition_stripe_columns(a, &stripe_of, s, cfg)?;
+        }
+
+        let mut nonzero_owner = Vec::with_capacity(a.nnz());
+        for (i, j, _) in a.iter() {
+            let s = stripe_of[i as usize];
+            let g = group_of[s as usize][j as usize];
+            nonzero_owner.push(s * self.q + g);
+        }
+        // Conformal vectors: x_j/y_j on the diagonal's processor.
+        let vec_owner: Vec<u32> = (0..n)
+            .map(|j| {
+                let s = stripe_of[j as usize];
+                s * self.q + group_of[s as usize][j as usize]
+            })
+            .collect();
+        Decomposition::general(a, k, nonzero_owner, vec_owner)
+    }
+
+    /// Partitions the columns of one stripe into Q groups; returns a dense
+    /// per-column group vector (columns absent from the stripe get group
+    /// `j % Q` as a harmless default — no nonzero uses them).
+    fn partition_stripe_columns(
+        &self,
+        a: &CsrMatrix,
+        stripe_of: &[u32],
+        stripe: u32,
+        cfg: &PartitionConfig,
+    ) -> Result<Vec<u32>> {
+        let n = a.nrows();
+        let mut dense = (0..n).map(|j| j % self.q).collect::<Vec<u32>>();
+        if self.q == 1 {
+            return Ok(vec![0; n as usize]);
+        }
+
+        // Collect the stripe's nonzeros per column.
+        let mut col_vertex: Vec<u32> = vec![u32::MAX; n as usize];
+        let mut weights: Vec<u32> = Vec::new();
+        let mut vertex_col: Vec<u32> = Vec::new();
+        let mut nets: Vec<Vec<u32>> = Vec::new();
+        for i in 0..n {
+            if stripe_of[i as usize] != stripe {
+                continue;
+            }
+            let mut pins: Vec<u32> = Vec::with_capacity(a.row_nnz(i));
+            for &j in a.row_cols(i) {
+                let v = if col_vertex[j as usize] == u32::MAX {
+                    let v = weights.len() as u32;
+                    col_vertex[j as usize] = v;
+                    weights.push(0);
+                    vertex_col.push(j);
+                    v
+                } else {
+                    col_vertex[j as usize]
+                };
+                weights[v as usize] += 1;
+                pins.push(v);
+            }
+            if pins.len() >= 2 {
+                nets.push(pins);
+            }
+        }
+        if weights.is_empty() {
+            return Ok(dense); // empty stripe
+        }
+        let mut builder = HypergraphBuilder::new();
+        for &w in &weights {
+            builder.add_vertex(w);
+        }
+        for pins in nets {
+            builder.add_net(pins);
+        }
+        let hg: Hypergraph = builder.build()?;
+        let r = partition_hypergraph(
+            &hg,
+            self.q,
+            &PartitionConfig { epsilon: self.epsilon, ..cfg.clone() },
+        )?;
+        let parts: &Partition = &r.partition;
+        for v in 0..hg.num_vertices() {
+            dense[vertex_col[v as usize] as usize] = parts.part(v);
+        }
+        Ok(dense)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::CommStats;
+    use fgh_sparse::gen::{self, ValueMode};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn matrix() -> CsrMatrix {
+        gen::scale_free(250, 2.5, ValueMode::Laplacian, &mut SmallRng::seed_from_u64(4))
+    }
+
+    #[test]
+    fn decompose_valid() {
+        let a = matrix();
+        let m = JaggedModel::new(6, 0.1).unwrap();
+        assert_eq!((m.p(), m.q()), (2, 3));
+        let d = m.decompose(&a, &PartitionConfig::with_seed(1)).unwrap();
+        d.validate(&a).unwrap();
+        assert_eq!(d.k, 6);
+    }
+
+    #[test]
+    fn row_stripe_structure() {
+        // All nonzeros of a row land in the same processor row (stripe).
+        let a = matrix();
+        let m = JaggedModel::with_grid(2, 2, 0.1).unwrap();
+        let d = m.decompose(&a, &PartitionConfig::with_seed(2)).unwrap();
+        let mut e = 0;
+        let mut stripe_of_row = vec![u32::MAX; a.nrows() as usize];
+        for (i, _, _) in a.iter() {
+            let s = d.nonzero_owner[e] / 2;
+            if stripe_of_row[i as usize] == u32::MAX {
+                stripe_of_row[i as usize] = s;
+            } else {
+                assert_eq!(stripe_of_row[i as usize], s, "row {i} split across stripes");
+            }
+            e += 1;
+        }
+    }
+
+    #[test]
+    fn jagged_between_1d_and_fine_grain_on_average() {
+        // Volume sanity: jagged should be comparable to 1D (not wildly
+        // worse) on a hub-heavy matrix.
+        let a = matrix();
+        let m = JaggedModel::new(8, 0.1).unwrap();
+        let d = m.decompose(&a, &PartitionConfig::with_seed(3)).unwrap();
+        let v_j = CommStats::compute(&a, &d).unwrap().total_volume();
+        let out = crate::api::decompose(
+            &a,
+            &crate::api::DecomposeConfig::new(crate::api::Model::Hypergraph1DColNet, 8),
+        )
+        .unwrap();
+        assert!(
+            v_j as f64 <= out.stats.total_volume() as f64 * 1.6,
+            "jagged {v_j} vs 1D {}",
+            out.stats.total_volume()
+        );
+    }
+
+    #[test]
+    fn k1_trivial_and_degenerate_grids() {
+        let a = matrix();
+        let m = JaggedModel::new(1, 0.1).unwrap();
+        let d = m.decompose(&a, &PartitionConfig::default()).unwrap();
+        assert!(d.nonzero_owner.iter().all(|&p| p == 0));
+        // P = 1 (pure columnwise) and Q = 1 (pure rowwise) degenerate cases.
+        for (p, q) in [(1u32, 4u32), (4, 1)] {
+            let m = JaggedModel::with_grid(p, q, 0.1).unwrap();
+            let d = m.decompose(&a, &PartitionConfig::with_seed(5)).unwrap();
+            d.validate(&a).unwrap();
+        }
+    }
+
+    #[test]
+    fn balanced_loads() {
+        let a = matrix();
+        let m = JaggedModel::new(4, 0.05).unwrap();
+        let d = m.decompose(&a, &PartitionConfig::with_seed(6)).unwrap();
+        assert!(
+            d.load_imbalance_percent() <= 25.0,
+            "imbalance {}% (two-phase balance compounds)",
+            d.load_imbalance_percent()
+        );
+    }
+
+    #[test]
+    fn rectangular_rejected() {
+        let a = CsrMatrix::from_coo(
+            fgh_sparse::CooMatrix::from_triplets(2, 3, vec![(0, 0, 1.0)]).unwrap(),
+        );
+        let m = JaggedModel::new(2, 0.1).unwrap();
+        assert!(m.decompose(&a, &PartitionConfig::default()).is_err());
+    }
+}

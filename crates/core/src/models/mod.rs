@@ -1,0 +1,18 @@
+//! Decomposition models: the fine-grain 2D hypergraph model (the paper's
+//! contribution) and the 1D baselines it is evaluated against.
+
+pub mod checkerboard;
+pub mod checkerboard_hg;
+pub mod fine_grain;
+pub mod graph_model;
+pub mod jagged;
+pub mod mondriaan;
+pub mod oned;
+
+pub use checkerboard::CheckerboardModel;
+pub use checkerboard_hg::CheckerboardHgModel;
+pub use fine_grain::FineGrainModel;
+pub use graph_model::StandardGraphModel;
+pub use jagged::JaggedModel;
+pub use mondriaan::MondriaanModel;
+pub use oned::{ColumnNetModel, RowNetModel};

@@ -1,0 +1,223 @@
+//! The 1D hypergraph models of Çatalyürek & Aykanat (TPDS 1999): the
+//! column-net model for row-wise decomposition and the row-net model for
+//! column-wise decomposition.
+//!
+//! Column-net model: vertex `v_i` = row `i` with weight = nnz(row `i`)
+//! (its multiply-add work); net `n_j` = column `j` with pins
+//! `{v_i : a_ij ≠ 0} ∪ {v_j}` — the extra pin `v_j` is the consistency
+//! term that ties `x_j` to the owner of row `j` under symmetric
+//! partitioning. The connectivity−1 cutsize then equals the expand volume
+//! (row-wise SpMV has no fold communication).
+
+use fgh_hypergraph::{Hypergraph, HypergraphBuilder, Partition};
+use fgh_sparse::CsrMatrix;
+
+use crate::decomp::Decomposition;
+use crate::{ModelError, Result};
+
+/// The 1D column-net hypergraph model (row-wise decomposition).
+#[derive(Debug, Clone)]
+pub struct ColumnNetModel {
+    hypergraph: Hypergraph,
+    n: u32,
+}
+
+impl ColumnNetModel {
+    /// Builds the column-net model of a square matrix.
+    pub fn build(a: &CsrMatrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(ModelError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        }
+        let n = a.nrows();
+        let mut builder = HypergraphBuilder::new();
+        for i in 0..n {
+            builder.add_vertex(a.row_nnz(i) as u32);
+        }
+        let csc = a.to_csc();
+        for j in 0..n {
+            let mut pins: Vec<u32> = csc.col_rows(j).to_vec();
+            if !pins.contains(&j) {
+                pins.push(j); // consistency pin
+            }
+            builder.add_net(pins);
+        }
+        Ok(ColumnNetModel { hypergraph: builder.build()?, n })
+    }
+
+    /// The underlying hypergraph (M vertices, M nets).
+    pub fn hypergraph(&self) -> &Hypergraph {
+        &self.hypergraph
+    }
+
+    /// Matrix order.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Decodes a partition (vertex `i` = row `i`) into a row-wise
+    /// [`Decomposition`].
+    pub fn decode(&self, a: &CsrMatrix, partition: &Partition) -> Result<Decomposition> {
+        if partition.len() != self.n as usize {
+            return Err(ModelError::Invalid(format!(
+                "partition covers {} vertices, model has {}",
+                partition.len(),
+                self.n
+            )));
+        }
+        Decomposition::rowwise(a, partition.k(), partition.parts().to_vec())
+    }
+}
+
+/// The 1D row-net hypergraph model (column-wise decomposition): the exact
+/// dual of [`ColumnNetModel`] — vertex `v_j` = column `j` weighted by
+/// nnz(col `j`), net `m_i` = row `i` with the consistency pin `v_i`. The
+/// connectivity−1 cutsize equals the fold volume (column-wise SpMV has no
+/// expand communication).
+#[derive(Debug, Clone)]
+pub struct RowNetModel {
+    hypergraph: Hypergraph,
+    n: u32,
+}
+
+impl RowNetModel {
+    /// Builds the row-net model of a square matrix.
+    pub fn build(a: &CsrMatrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(ModelError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        }
+        let n = a.nrows();
+        let csc = a.to_csc();
+        let mut builder = HypergraphBuilder::new();
+        for j in 0..n {
+            builder.add_vertex(csc.col_nnz(j) as u32);
+        }
+        for i in 0..n {
+            let mut pins: Vec<u32> = a.row_cols(i).to_vec();
+            if !pins.contains(&i) {
+                pins.push(i); // consistency pin
+            }
+            builder.add_net(pins);
+        }
+        Ok(RowNetModel { hypergraph: builder.build()?, n })
+    }
+
+    /// The underlying hypergraph (M vertices, M nets).
+    pub fn hypergraph(&self) -> &Hypergraph {
+        &self.hypergraph
+    }
+
+    /// Matrix order.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Decodes a partition (vertex `j` = column `j`) into a column-wise
+    /// [`Decomposition`].
+    pub fn decode(&self, a: &CsrMatrix, partition: &Partition) -> Result<Decomposition> {
+        if partition.len() != self.n as usize {
+            return Err(ModelError::Invalid(format!(
+                "partition covers {} vertices, model has {}",
+                partition.len(),
+                self.n
+            )));
+        }
+        Decomposition::columnwise(a, partition.k(), partition.parts().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgh_sparse::CooMatrix;
+
+    fn sample() -> CsrMatrix {
+        // [ 1 1 0 ]
+        // [ 0 1 0 ]
+        // [ 1 0 1 ]
+        CsrMatrix::from_coo(
+            CooMatrix::from_triplets(
+                3,
+                3,
+                vec![(0, 0, 1.0), (0, 1, 1.0), (1, 1, 1.0), (2, 0, 1.0), (2, 2, 1.0)],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn colnet_structure() {
+        let a = sample();
+        let m = ColumnNetModel::build(&a).unwrap();
+        assert_eq!(m.hypergraph().num_vertices(), 3);
+        assert_eq!(m.hypergraph().num_nets(), 3);
+        // Net for column 0: rows {0, 2} (0 is also the consistency pin).
+        assert_eq!(m.hypergraph().pins(0), &[0, 2]);
+        // Net for column 2: row {2} only.
+        assert_eq!(m.hypergraph().pins(2), &[2]);
+        // Vertex weights = row nnz.
+        assert_eq!(m.hypergraph().vertex_weight(0), 2);
+        assert_eq!(m.hypergraph().vertex_weight(1), 1);
+    }
+
+    #[test]
+    fn colnet_consistency_pin_added_when_diag_missing() {
+        // a_00 = 0 but column 0 has nonzeros in rows 1, 2.
+        let a = CsrMatrix::from_coo(
+            CooMatrix::from_triplets(3, 3, vec![(1, 0, 1.0), (2, 0, 1.0), (0, 1, 1.0)]).unwrap(),
+        );
+        let m = ColumnNetModel::build(&a).unwrap();
+        // Column-net 0 must include vertex 0 (the consistency pin).
+        assert_eq!(m.hypergraph().pins(0), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn rownet_is_dual_of_colnet_on_transpose() {
+        let a = sample();
+        let rn = RowNetModel::build(&a).unwrap();
+        let cn_t = ColumnNetModel::build(&a.transpose()).unwrap();
+        // Same structure: vertices/nets/pins coincide.
+        assert_eq!(rn.hypergraph().num_vertices(), cn_t.hypergraph().num_vertices());
+        for net in 0..rn.hypergraph().num_nets() {
+            assert_eq!(rn.hypergraph().pins(net), cn_t.hypergraph().pins(net));
+        }
+        for v in 0..rn.hypergraph().num_vertices() {
+            assert_eq!(rn.hypergraph().vertex_weight(v), cn_t.hypergraph().vertex_weight(v));
+        }
+    }
+
+    #[test]
+    fn decode_rowwise() {
+        let a = sample();
+        let m = ColumnNetModel::build(&a).unwrap();
+        let p = Partition::new(2, vec![0, 1, 0]).unwrap();
+        let d = m.decode(&a, &p).unwrap();
+        assert_eq!(d.vec_owner, vec![0, 1, 0]);
+        // Nonzeros follow their rows (CSR order).
+        assert_eq!(d.nonzero_owner, vec![0, 0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn decode_columnwise() {
+        let a = sample();
+        let m = RowNetModel::build(&a).unwrap();
+        let p = Partition::new(2, vec![1, 0, 1]).unwrap();
+        let d = m.decode(&a, &p).unwrap();
+        assert_eq!(d.vec_owner, vec![1, 0, 1]);
+        assert_eq!(d.nonzero_owner, vec![1, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn rectangular_rejected() {
+        let a = CsrMatrix::from_coo(CooMatrix::from_triplets(2, 3, vec![(0, 0, 1.0)]).unwrap());
+        assert!(ColumnNetModel::build(&a).is_err());
+        assert!(RowNetModel::build(&a).is_err());
+    }
+
+    #[test]
+    fn wrong_partition_size_rejected() {
+        let a = sample();
+        let m = ColumnNetModel::build(&a).unwrap();
+        let p = Partition::new(2, vec![0, 1]).unwrap();
+        assert!(m.decode(&a, &p).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Graph coarsening: heavy-edge matching (HEM) and contraction.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::graph::CsrGraph;
+
+const NIL: u32 = u32::MAX;
+
+/// One coarsening level: contracted graph plus fine→coarse vertex map.
+#[derive(Debug)]
+pub struct GraphLevel {
+    /// The contracted graph.
+    pub coarse: CsrGraph,
+    /// Fine-vertex → coarse-vertex map.
+    pub map: Vec<u32>,
+}
+
+/// One level of heavy-edge matching + contraction. Returns `None` when the
+/// matching shrinks the graph by less than 5% (driver should stop).
+pub fn coarsen_once(g: &CsrGraph, weight_cap: u64, rng: &mut impl Rng) -> Option<GraphLevel> {
+    let n = g.n() as usize;
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+
+    let mut mate = vec![NIL; n];
+    for &u in &order {
+        if mate[u as usize] != NIL {
+            continue;
+        }
+        let uw = g.vertex_weight(u) as u64;
+        let mut best: Option<(u32, u32)> = None; // (weight, neighbor)
+        for (&v, &w) in g.neighbors(u).iter().zip(g.edge_weights(u)) {
+            if mate[v as usize] != NIL || v == u {
+                continue;
+            }
+            if uw + g.vertex_weight(v) as u64 > weight_cap {
+                continue;
+            }
+            match best {
+                Some((bw, _)) if bw >= w => {}
+                _ => best = Some((w, v)),
+            }
+        }
+        match best {
+            Some((_, v)) => {
+                mate[u as usize] = v;
+                mate[v as usize] = u;
+            }
+            None => mate[u as usize] = u, // matched with itself
+        }
+    }
+
+    // Number clusters.
+    let mut map = vec![NIL; n];
+    let mut num = 0u32;
+    for v in 0..n as u32 {
+        if map[v as usize] != NIL {
+            continue;
+        }
+        map[v as usize] = num;
+        let m = mate[v as usize];
+        if m != NIL && m != v {
+            map[m as usize] = num;
+        }
+        num += 1;
+    }
+    if num as f64 > 0.95 * n as f64 {
+        return None;
+    }
+
+    // Contract: sum vertex weights; merge adjacency, dropping intra-cluster
+    // edges and summing parallel ones.
+    let mut vwgt = vec![0u32; num as usize];
+    for v in 0..n as u32 {
+        vwgt[map[v as usize] as usize] += g.vertex_weight(v);
+    }
+    let mut edges: Vec<(u32, u32, u32)> = Vec::with_capacity(g.num_edges());
+    for v in 0..n as u32 {
+        let cv = map[v as usize];
+        for (&u, &w) in g.neighbors(v).iter().zip(g.edge_weights(v)) {
+            let cu = map[u as usize];
+            if cv < cu {
+                edges.push((cv, cu, w));
+            }
+        }
+    }
+    let coarse = CsrGraph::from_edges(num, &edges, Some(vwgt))
+        .expect("contraction preserves validity");
+    Some(GraphLevel { coarse, map })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{random_graph, two_cliques};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn coarsen_shrinks_preserves_weight() {
+        let g = random_graph(200, 300, 1);
+        let lvl = coarsen_once(&g, g.total_vertex_weight(), &mut SmallRng::seed_from_u64(2))
+            .expect("should shrink");
+        assert!(lvl.coarse.n() < g.n());
+        assert!(lvl.coarse.n() as usize >= g.n() as usize / 2);
+        assert_eq!(lvl.coarse.total_vertex_weight(), g.total_vertex_weight());
+    }
+
+    #[test]
+    fn matching_pairs_only() {
+        let g = two_cliques(10);
+        let lvl = coarsen_once(&g, g.total_vertex_weight(), &mut SmallRng::seed_from_u64(3))
+            .expect("should shrink");
+        let mut counts = vec![0u32; lvl.coarse.n() as usize];
+        for &c in &lvl.map {
+            counts[c as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c <= 2));
+    }
+
+    #[test]
+    fn weight_cap_blocks_merges() {
+        let g = two_cliques(6);
+        let lvl = coarsen_once(&g, 1, &mut SmallRng::seed_from_u64(4));
+        // Cap 1 forbids all merges: no shrink.
+        assert!(lvl.is_none());
+    }
+
+    #[test]
+    fn edgeless_graph_stops() {
+        let g = CsrGraph::from_edges(10, &[], None).unwrap();
+        assert!(coarsen_once(&g, 100, &mut SmallRng::seed_from_u64(5)).is_none());
+    }
+
+    #[test]
+    fn cut_preserved_under_projection() {
+        // Edge cut of any coarse partition equals the fine cut of its
+        // projection (intra-cluster edges are internal by construction).
+        let g = random_graph(100, 150, 7);
+        let lvl = coarsen_once(&g, g.total_vertex_weight(), &mut SmallRng::seed_from_u64(8))
+            .expect("should shrink");
+        let coarse_parts: Vec<u32> = (0..lvl.coarse.n()).map(|v| v % 2).collect();
+        let fine_parts: Vec<u32> =
+            (0..g.n()).map(|v| coarse_parts[lvl.map[v as usize] as usize]).collect();
+        assert_eq!(lvl.coarse.edge_cut(&coarse_parts), g.edge_cut(&fine_parts));
+    }
+}

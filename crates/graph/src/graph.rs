@@ -1,0 +1,222 @@
+//! Weighted undirected graph in CSR (adjacency) layout.
+
+/// An undirected graph with `u32` vertex weights and edge weights, stored
+/// as a symmetric CSR adjacency structure (every edge appears in both
+/// endpoint lists). Self loops are not stored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    xadj: Vec<usize>,
+    adjncy: Vec<u32>,
+    adjwgt: Vec<u32>,
+    vwgt: Vec<u32>,
+}
+
+/// Errors from graph construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An endpoint is out of bounds.
+    VertexOutOfBounds { vertex: u32, n: u32 },
+    /// An edge is a self loop.
+    SelfLoop { vertex: u32 },
+    /// Vertex weight vector length mismatch.
+    WeightLength { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::VertexOutOfBounds { vertex, n } => {
+                write!(f, "vertex {vertex} out of bounds (n = {n})")
+            }
+            GraphError::SelfLoop { vertex } => write!(f, "self loop at vertex {vertex}"),
+            GraphError::WeightLength { expected, got } => {
+                write!(f, "vertex weight vector has {got} entries, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl CsrGraph {
+    /// Builds from an undirected edge list `(u, v, weight)` (each edge
+    /// listed once; parallel edges get summed weights). `vwgt` defaults to
+    /// unit weights.
+    pub fn from_edges(
+        n: u32,
+        edges: &[(u32, u32, u32)],
+        vwgt: Option<Vec<u32>>,
+    ) -> Result<Self, GraphError> {
+        let vwgt = match vwgt {
+            Some(w) => {
+                if w.len() != n as usize {
+                    return Err(GraphError::WeightLength { expected: n as usize, got: w.len() });
+                }
+                w
+            }
+            None => vec![1; n as usize],
+        };
+        for &(u, v, _) in edges {
+            if u >= n {
+                return Err(GraphError::VertexOutOfBounds { vertex: u, n });
+            }
+            if v >= n {
+                return Err(GraphError::VertexOutOfBounds { vertex: v, n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { vertex: u });
+            }
+        }
+        // Deduplicate parallel edges by summing weights.
+        let mut dir: Vec<(u32, u32, u32)> = Vec::with_capacity(edges.len() * 2);
+        for &(u, v, w) in edges {
+            dir.push((u, v, w));
+            dir.push((v, u, w));
+        }
+        dir.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        let mut xadj = vec![0usize; n as usize + 1];
+        let mut adjncy = Vec::with_capacity(dir.len());
+        let mut adjwgt = Vec::with_capacity(dir.len());
+        let mut idx = 0usize;
+        for u in 0..n {
+            while idx < dir.len() && dir[idx].0 == u {
+                let v = dir[idx].1;
+                let mut w = 0u32;
+                while idx < dir.len() && dir[idx].0 == u && dir[idx].1 == v {
+                    w += dir[idx].2;
+                    idx += 1;
+                }
+                adjncy.push(v);
+                adjwgt.push(w);
+            }
+            xadj[u as usize + 1] = adjncy.len();
+        }
+        Ok(CsrGraph { xadj, adjncy, adjwgt, vwgt })
+    }
+
+    /// Builds directly from raw CSR arrays (already symmetric).
+    pub fn from_raw(
+        xadj: Vec<usize>,
+        adjncy: Vec<u32>,
+        adjwgt: Vec<u32>,
+        vwgt: Vec<u32>,
+    ) -> Self {
+        debug_assert_eq!(xadj.len(), vwgt.len() + 1);
+        debug_assert_eq!(adjncy.len(), adjwgt.len());
+        CsrGraph { xadj, adjncy, adjwgt, vwgt }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> u32 {
+        self.vwgt.len() as u32
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Neighbors of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adjncy[self.xadj[v as usize]..self.xadj[v as usize + 1]]
+    }
+
+    /// Edge weights parallel to [`CsrGraph::neighbors`].
+    pub fn edge_weights(&self, v: u32) -> &[u32] {
+        &self.adjwgt[self.xadj[v as usize]..self.xadj[v as usize + 1]]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.xadj[v as usize + 1] - self.xadj[v as usize]
+    }
+
+    /// Weight of vertex `v`.
+    pub fn vertex_weight(&self, v: u32) -> u32 {
+        self.vwgt[v as usize]
+    }
+
+    /// All vertex weights.
+    pub fn vertex_weights(&self) -> &[u32] {
+        &self.vwgt
+    }
+
+    /// Sum of vertex weights.
+    pub fn total_vertex_weight(&self) -> u64 {
+        self.vwgt.iter().map(|&w| w as u64).sum()
+    }
+
+    /// Edge cut of a side assignment (`parts[v]` arbitrary small ints):
+    /// sum of weights of edges whose endpoints differ.
+    pub fn edge_cut(&self, parts: &[u32]) -> u64 {
+        let mut cut = 0u64;
+        for v in 0..self.n() {
+            for (&u, &w) in self.neighbors(v).iter().zip(self.edge_weights(v)) {
+                if parts[v as usize] != parts[u as usize] {
+                    cut += w as u64;
+                }
+            }
+        }
+        cut / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_symmetric() {
+        let g = CsrGraph::from_edges(3, &[(0, 1, 2), (1, 2, 3)], None).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.edge_weights(1), &[2, 3]);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.degree(2), 1);
+    }
+
+    #[test]
+    fn parallel_edges_summed() {
+        let g = CsrGraph::from_edges(2, &[(0, 1, 1), (0, 1, 4)], None).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weights(0), &[5]);
+        assert_eq!(g.edge_weights(1), &[5]);
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        assert!(matches!(
+            CsrGraph::from_edges(2, &[(0, 5, 1)], None),
+            Err(GraphError::VertexOutOfBounds { vertex: 5, .. })
+        ));
+        assert!(matches!(
+            CsrGraph::from_edges(2, &[(1, 1, 1)], None),
+            Err(GraphError::SelfLoop { vertex: 1 })
+        ));
+        assert!(CsrGraph::from_edges(2, &[], Some(vec![1])).is_err());
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = CsrGraph::from_edges(4, &[(1, 2, 1)], None).unwrap();
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.neighbors(1), &[2]);
+    }
+
+    #[test]
+    fn edge_cut_counts_once_per_edge() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 2), (1, 2, 3), (2, 3, 5)], None).unwrap();
+        assert_eq!(g.edge_cut(&[0, 0, 1, 1]), 3);
+        assert_eq!(g.edge_cut(&[0, 1, 0, 1]), 2 + 3 + 5);
+        assert_eq!(g.edge_cut(&[0, 0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn vertex_weights_used() {
+        let g = CsrGraph::from_edges(2, &[(0, 1, 1)], Some(vec![3, 9])).unwrap();
+        assert_eq!(g.total_vertex_weight(), 12);
+        assert_eq!(g.vertex_weight(1), 9);
+    }
+}

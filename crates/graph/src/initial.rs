@@ -1,0 +1,118 @@
+//! Initial graph bisection: greedy graph growing (GGP) with multiple tries.
+
+use rand::Rng;
+
+use crate::graph::CsrGraph;
+use crate::refine::GraphBisection;
+
+/// Greedy graph growing: grow side 1 by BFS from a random seed, always
+/// expanding the frontier vertex with the best FM gain, until side 1
+/// reaches its target weight; then refine with FM. Best of `tries` kept.
+pub fn ggp_best(
+    g: &CsrGraph,
+    targets: [f64; 2],
+    epsilon: f64,
+    tries: usize,
+    fm_passes: usize,
+    rng: &mut impl Rng,
+) -> Vec<u8> {
+    let mut best: Option<((u64, u64), Vec<u8>)> = None;
+    for _ in 0..tries.max(1) {
+        let sides = ggp_once(g, targets, epsilon, fm_passes, rng);
+        let st = GraphBisection::new(g, sides, targets, epsilon);
+        let key = (st.balance_penalty(), st.cut());
+        if best.as_ref().map(|(bk, _)| key < *bk).unwrap_or(true) {
+            best = Some((key, st.into_sides()));
+        }
+    }
+    best.expect("tries >= 1").1
+}
+
+fn ggp_once(
+    g: &CsrGraph,
+    targets: [f64; 2],
+    epsilon: f64,
+    fm_passes: usize,
+    rng: &mut impl Rng,
+) -> Vec<u8> {
+    let n = g.n();
+    let mut st = GraphBisection::new(g, vec![0; n as usize], targets, epsilon);
+    let target1 = targets[1].floor().max(0.0) as u64;
+
+    if n > 0 && target1 > 0 {
+        // Grow from random seeds until the weight target is met; gains
+        // steer the growth along the current frontier.
+        let mut grown = vec![false; n as usize];
+        while st.weights()[1] < target1 {
+            // Pick the best-gain ungrown vertex; seed randomly when the
+            // frontier is empty (disconnected graphs).
+            let mut cand: Option<(i64, u32)> = None;
+            for v in 0..n {
+                if grown[v as usize] {
+                    continue;
+                }
+                let has_grown_neighbor =
+                    g.neighbors(v).iter().any(|&u| grown[u as usize]);
+                if !has_grown_neighbor {
+                    continue;
+                }
+                let gain = st.gain(v);
+                match cand {
+                    Some((bg, _)) if bg >= gain => {}
+                    _ => cand = Some((gain, v)),
+                }
+            }
+            let v = match cand {
+                Some((_, v)) => v,
+                None => {
+                    // New random seed among ungrown vertices.
+                    let ungrown: Vec<u32> =
+                        (0..n).filter(|&v| !grown[v as usize]).collect();
+                    if ungrown.is_empty() {
+                        break;
+                    }
+                    ungrown[rng.gen_range(0..ungrown.len())]
+                }
+            };
+            grown[v as usize] = true;
+            st.apply_move(v, None);
+        }
+    }
+    st.refine(rng, fm_passes, 0);
+    st.into_sides()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{random_graph, two_cliques};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ggp_balanced_and_low_cut() {
+        let g = two_cliques(15);
+        let sides =
+            ggp_best(&g, [15.0, 15.0], 0.05, 4, 4, &mut SmallRng::seed_from_u64(1));
+        let st = GraphBisection::new(&g, sides, [15.0, 15.0], 0.05);
+        assert_eq!(st.balance_penalty(), 0);
+        assert_eq!(st.cut(), 1);
+    }
+
+    #[test]
+    fn ggp_on_random_graph_is_balanced() {
+        let g = random_graph(120, 200, 2);
+        let sides =
+            ggp_best(&g, [60.0, 60.0], 0.05, 4, 4, &mut SmallRng::seed_from_u64(2));
+        let c1 = sides.iter().filter(|&&s| s == 1).count();
+        assert!((54..=66).contains(&c1), "side 1 holds {c1}");
+    }
+
+    #[test]
+    fn ggp_disconnected_graph_terminates() {
+        let g = CsrGraph::from_edges(10, &[(0, 1, 1), (2, 3, 1)], None).unwrap();
+        let sides = ggp_best(&g, [5.0, 5.0], 0.2, 2, 2, &mut SmallRng::seed_from_u64(3));
+        let c1 = sides.iter().filter(|&&s| s == 1).count();
+        assert!(c1 >= 4, "side 1 too small: {c1}");
+    }
+}

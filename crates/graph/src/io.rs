@@ -1,0 +1,199 @@
+//! Graph file I/O in the METIS `.graph` format.
+//!
+//! Format (METIS 4 manual):
+//!
+//! ```text
+//! % comments
+//! <#vertices> <#edges> [fmt]
+//! <adjacency of vertex 1, 1-based>        (fmt absent or 0)
+//! <w_v  (adj ew)* >                       (fmt 11: vertex + edge weights)
+//! ```
+//!
+//! `fmt` digits: `1` = edge weights, `10` = vertex weights, `11` = both.
+//! Interoperates with graphs prepared for the MeTiS tool the paper
+//! benchmarks against.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::graph::CsrGraph;
+
+/// I/O and parse errors for `.graph` files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphIoError(pub String);
+
+impl std::fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "graph i/o: {}", self.0)
+    }
+}
+
+impl std::error::Error for GraphIoError {}
+
+type Result<T> = std::result::Result<T, GraphIoError>;
+
+fn err(msg: impl Into<String>) -> GraphIoError {
+    GraphIoError(msg.into())
+}
+
+/// Reads a METIS `.graph` file.
+pub fn read_metis(path: impl AsRef<Path>) -> Result<CsrGraph> {
+    let f = std::fs::File::open(&path).map_err(|e| err(format!("open: {e}")))?;
+    read_metis_from(BufReader::new(f))
+}
+
+/// Reads METIS graph data from any reader.
+pub fn read_metis_from(reader: impl Read) -> Result<CsrGraph> {
+    let mut lines = BufReader::new(reader)
+        .lines()
+        .map(|l| l.map_err(|e| err(e.to_string())));
+
+    let header = loop {
+        match lines.next() {
+            Some(l) => {
+                let l = l?;
+                let t = l.trim().to_string();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break t;
+            }
+            None => return Err(err("empty file")),
+        }
+    };
+    let mut it = header.split_whitespace();
+    let n: u32 = num(it.next(), "vertex count")?;
+    let m: usize = num(it.next(), "edge count")?;
+    let fmt: u32 = match it.next() {
+        Some(t) => t.parse().map_err(|_| err(format!("bad fmt {t:?}")))?,
+        None => 0,
+    };
+    let has_vw = fmt / 10 % 10 == 1;
+    let has_ew = fmt % 10 == 1;
+
+    let mut vwgt: Vec<u32> = Vec::with_capacity(n as usize);
+    let mut edges: Vec<(u32, u32, u32)> = Vec::with_capacity(m);
+    let mut v = 0u32;
+    while v < n {
+        let line = match lines.next() {
+            Some(l) => l?,
+            None => return Err(err(format!("expected {n} vertex lines, got {v}"))),
+        };
+        let t = line.trim();
+        if t.starts_with('%') {
+            continue;
+        }
+        let mut nums = t.split_whitespace();
+        vwgt.push(if has_vw { num(nums.next(), "vertex weight")? } else { 1 });
+        loop {
+            let u: u32 = match nums.next() {
+                Some(tok) => tok.parse().map_err(|_| err(format!("bad neighbor {tok:?}")))?,
+                None => break,
+            };
+            if u == 0 || u > n {
+                return Err(err(format!("neighbor {u} out of 1..={n}")));
+            }
+            let w: u32 = if has_ew { num(nums.next(), "edge weight")? } else { 1 };
+            let u = u - 1;
+            if u == v {
+                return Err(err(format!("self loop at vertex {}", v + 1)));
+            }
+            if v < u {
+                edges.push((v, u, w));
+            }
+        }
+        v += 1;
+    }
+    if edges.len() != m {
+        return Err(err(format!(
+            "header declares {m} edges, adjacency encodes {}",
+            edges.len()
+        )));
+    }
+    CsrGraph::from_edges(n, &edges, Some(vwgt)).map_err(|e| err(e.to_string()))
+}
+
+/// Writes a graph in METIS format (fmt 11).
+pub fn write_metis(g: &CsrGraph, path: impl AsRef<Path>) -> Result<()> {
+    let f = std::fs::File::create(&path).map_err(|e| err(format!("create: {e}")))?;
+    write_metis_to(g, BufWriter::new(f))
+}
+
+/// Writes METIS graph data to any writer.
+pub fn write_metis_to(g: &CsrGraph, mut w: impl Write) -> Result<()> {
+    let io = |e: std::io::Error| err(e.to_string());
+    writeln!(w, "% written by fgh-graph").map_err(io)?;
+    writeln!(w, "{} {} 11", g.n(), g.num_edges()).map_err(io)?;
+    for v in 0..g.n() {
+        write!(w, "{}", g.vertex_weight(v)).map_err(io)?;
+        for (&u, &ew) in g.neighbors(v).iter().zip(g.edge_weights(v)) {
+            write!(w, " {} {}", u + 1, ew).map_err(io)?;
+        }
+        writeln!(w).map_err(io)?;
+    }
+    w.flush().map_err(io)
+}
+
+fn num<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T> {
+    tok.ok_or_else(|| err(format!("missing {what}")))?
+        .parse::<T>()
+        .map_err(|_| err(format!("bad {what}: {tok:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_plain() {
+        // Triangle 1-2-3.
+        let data = "3 3\n2 3\n1 3\n1 2\n";
+        let g = read_metis_from(data.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.vertex_weight(2), 1);
+    }
+
+    #[test]
+    fn read_weighted() {
+        let data = "2 1 11\n5 2 9\n7 1 9\n";
+        let g = read_metis_from(data.as_bytes()).unwrap();
+        assert_eq!(g.vertex_weight(0), 5);
+        assert_eq!(g.vertex_weight(1), 7);
+        assert_eq!(g.edge_weights(0), &[9]);
+    }
+
+    #[test]
+    fn reject_bad() {
+        assert!(read_metis_from("".as_bytes()).is_err());
+        assert!(read_metis_from("2 1\n2\n".as_bytes()).is_err()); // missing line
+        assert!(read_metis_from("2 1\n3\n1\n".as_bytes()).is_err()); // bad neighbor
+        assert!(read_metis_from("2 2\n2\n1\n".as_bytes()).is_err()); // edge count mismatch
+        assert!(read_metis_from("2 1\n1\n2\n".as_bytes()).is_err()); // self loop
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = CsrGraph::from_edges(
+            4,
+            &[(0, 1, 2), (1, 2, 3), (2, 3, 1), (0, 3, 4)],
+            Some(vec![1, 2, 3, 4]),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_metis_to(&g, &mut buf).unwrap();
+        let back = read_metis_from(buf.as_slice()).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = CsrGraph::from_edges(3, &[(0, 1, 1), (1, 2, 1)], None).unwrap();
+        let dir = std::env::temp_dir().join("fgh_metis_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.graph");
+        write_metis(&g, &path).unwrap();
+        assert_eq!(read_metis(&path).unwrap(), g);
+    }
+}

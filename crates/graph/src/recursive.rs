@@ -1,0 +1,325 @@
+//! Multilevel recursive bisection for graphs (K-way, edge-cut objective).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::coarsen::{coarsen_once, GraphLevel};
+use crate::graph::CsrGraph;
+use crate::initial::ggp_best;
+use crate::refine::GraphBisection;
+
+/// Configuration for the multilevel graph partitioner (MeTiS-style
+/// defaults; `epsilon = 0.03` matches the paper's setup).
+#[derive(Debug, Clone)]
+pub struct GraphPartitionConfig {
+    /// Maximum allowed imbalance of the final K-way partition.
+    pub epsilon: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Stop coarsening at this many vertices.
+    pub coarsen_to: u32,
+    /// GGP tries at the coarsest level.
+    pub initial_tries: usize,
+    /// Max FM passes per level.
+    pub fm_passes: usize,
+    /// FM early-exit threshold (consecutive non-improving moves).
+    pub fm_early_exit: usize,
+}
+
+impl Default for GraphPartitionConfig {
+    fn default() -> Self {
+        GraphPartitionConfig {
+            epsilon: 0.03,
+            seed: 1,
+            coarsen_to: 100,
+            initial_tries: 8,
+            fm_passes: 4,
+            fm_early_exit: 400,
+        }
+    }
+}
+
+impl GraphPartitionConfig {
+    /// A config with the given seed, defaults elsewhere.
+    pub fn with_seed(seed: u64) -> Self {
+        GraphPartitionConfig { seed, ..Default::default() }
+    }
+
+    fn per_level_epsilon(&self, k: u32) -> f64 {
+        if k <= 2 {
+            return self.epsilon;
+        }
+        let d = (k as f64).log2().ceil();
+        (1.0 + self.epsilon).powf(1.0 / d) - 1.0
+    }
+}
+
+/// Outcome of a K-way graph partitioning run.
+#[derive(Debug, Clone)]
+pub struct GraphPartitionResult {
+    /// Per-vertex part assignment (`0..k`).
+    pub parts: Vec<u32>,
+    /// Number of parts.
+    pub k: u32,
+    /// Edge cut of the partition (the partitioner's objective — an
+    /// *approximation* of communication volume, per the paper's critique).
+    pub edge_cut: u64,
+    /// Percent load imbalance `100 (W_max − W_avg) / W_avg`.
+    pub imbalance_percent: f64,
+}
+
+/// Partitions `g` into `k` parts by multilevel recursive bisection.
+pub fn partition_graph(g: &CsrGraph, k: u32, cfg: &GraphPartitionConfig) -> GraphPartitionResult {
+    assert!(k >= 1, "K must be >= 1");
+    let n = g.n();
+    let mut parts = vec![0u32; n as usize];
+    if k > 1 && n > 0 {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let eps = cfg.per_level_epsilon(k);
+        let ids: Vec<u32> = (0..n).collect();
+        recurse(g, &ids, k, 0, eps, cfg, &mut rng, &mut parts);
+    }
+    finish(g, k, parts)
+}
+
+fn finish(g: &CsrGraph, k: u32, parts: Vec<u32>) -> GraphPartitionResult {
+    let edge_cut = g.edge_cut(&parts);
+    let mut w = vec![0u64; k as usize];
+    for v in 0..g.n() {
+        w[parts[v as usize] as usize] += g.vertex_weight(v) as u64;
+    }
+    let total: u64 = w.iter().sum();
+    let imbalance_percent = if total == 0 {
+        0.0
+    } else {
+        let avg = total as f64 / k as f64;
+        let max = *w.iter().max().expect("k >= 1") as f64;
+        100.0 * (max - avg) / avg
+    };
+    GraphPartitionResult { parts, k, edge_cut, imbalance_percent }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    g: &CsrGraph,
+    ids: &[u32],
+    k: u32,
+    part_lo: u32,
+    eps: f64,
+    cfg: &GraphPartitionConfig,
+    rng: &mut SmallRng,
+    out: &mut [u32],
+) {
+    if k == 1 {
+        for &orig in ids {
+            out[orig as usize] = part_lo;
+        }
+        return;
+    }
+    let k0 = k.div_ceil(2);
+    let k1 = k - k0;
+    let total = g.total_vertex_weight() as f64;
+    let targets = [total * k0 as f64 / k as f64, total * k1 as f64 / k as f64];
+
+    let sides = multilevel_bisect(g, targets, eps, cfg, rng);
+
+    // Extract the two induced subgraphs.
+    for side in [0u8, 1u8] {
+        let mut new_of_old = vec![u32::MAX; g.n() as usize];
+        let mut sub_ids: Vec<u32> = Vec::new();
+        let mut vwgt: Vec<u32> = Vec::new();
+        for v in 0..g.n() {
+            if sides[v as usize] == side {
+                new_of_old[v as usize] = sub_ids.len() as u32;
+                sub_ids.push(ids[v as usize]);
+                vwgt.push(g.vertex_weight(v));
+            }
+        }
+        let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+        for v in 0..g.n() {
+            if sides[v as usize] != side {
+                continue;
+            }
+            let nv = new_of_old[v as usize];
+            for (&u, &w) in g.neighbors(v).iter().zip(g.edge_weights(v)) {
+                if sides[u as usize] == side && v < u {
+                    edges.push((nv, new_of_old[u as usize], w));
+                }
+            }
+        }
+        let sub = CsrGraph::from_edges(sub_ids.len() as u32, &edges, Some(vwgt))
+            .expect("induced subgraph is valid");
+        let (kk, lo) = if side == 0 { (k0, part_lo) } else { (k1, part_lo + k0) };
+        recurse(&sub, &sub_ids, kk, lo, eps, cfg, rng, out);
+    }
+}
+
+/// Multilevel bisection of a graph: HEM coarsening, GGP initial
+/// partitioning, FM refinement on the way back up.
+pub fn multilevel_bisect(
+    g: &CsrGraph,
+    targets: [f64; 2],
+    epsilon: f64,
+    cfg: &GraphPartitionConfig,
+    rng: &mut SmallRng,
+) -> Vec<u8> {
+    if targets[1] <= 0.0 {
+        return vec![0; g.n() as usize];
+    }
+    if targets[0] <= 0.0 {
+        return vec![1; g.n() as usize];
+    }
+    let min_target = targets[0].min(targets[1]);
+    let max_vw = g.vertex_weights().iter().copied().max().unwrap_or(1) as u64;
+    let weight_cap =
+        (((min_target * (1.0 + epsilon)) / 4.0).ceil().max(1.0) as u64).max(max_vw);
+
+    let mut levels: Vec<GraphLevel> = Vec::new();
+    loop {
+        let cur: &CsrGraph = match levels.last() {
+            Some(l) => &l.coarse,
+            None => g,
+        };
+        if cur.n() <= cfg.coarsen_to {
+            break;
+        }
+        match coarsen_once(cur, weight_cap, rng) {
+            Some(level) => levels.push(level),
+            None => break,
+        }
+    }
+
+    let coarsest: &CsrGraph = match levels.last() {
+        Some(l) => &l.coarse,
+        None => g,
+    };
+    let mut sides =
+        ggp_best(coarsest, targets, epsilon, cfg.initial_tries, cfg.fm_passes, rng);
+
+    for li in (0..levels.len()).rev() {
+        let fine: &CsrGraph = if li == 0 { g } else { &levels[li - 1].coarse };
+        let map = &levels[li].map;
+        let fine_sides: Vec<u8> =
+            (0..fine.n()).map(|v| sides[map[v as usize] as usize]).collect();
+        let mut st = GraphBisection::new(fine, fine_sides, targets, epsilon);
+        st.refine(rng, cfg.fm_passes, cfg.fm_early_exit);
+        sides = st.into_sides();
+    }
+    sides
+}
+
+/// Runs [`partition_graph`] with `runs` seeds in parallel, returning the
+/// best balanced result by edge cut (the paper's MeTiS 50-seed protocol).
+pub fn partition_graph_best(
+    g: &CsrGraph,
+    k: u32,
+    cfg: &GraphPartitionConfig,
+    runs: usize,
+) -> GraphPartitionResult {
+    let runs = runs.max(1);
+    let mut results: Vec<GraphPartitionResult> = Vec::with_capacity(runs);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..runs)
+            .map(|r| {
+                let mut c = cfg.clone();
+                c.seed = cfg.seed.wrapping_add(r as u64);
+                scope.spawn(move || partition_graph(g, k, &c))
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("partition thread panicked"));
+        }
+    });
+    results
+        .into_iter()
+        .min_by(|a, b| {
+            let ab = a.imbalance_percent <= cfg.epsilon * 100.0 + 1e-9;
+            let bb = b.imbalance_percent <= cfg.epsilon * 100.0 + 1e-9;
+            // Balanced first, then lower cut.
+            bb.cmp(&ab).then(a.edge_cut.cmp(&b.edge_cut))
+        })
+        .expect("runs >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{random_graph, two_cliques};
+
+    #[test]
+    fn k2_two_cliques() {
+        let g = two_cliques(50);
+        let r = partition_graph(&g, 2, &GraphPartitionConfig::with_seed(1));
+        assert_eq!(r.edge_cut, 1);
+        assert!(r.imbalance_percent <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn k8_balance_and_coverage() {
+        let g = random_graph(800, 1600, 3);
+        let r = partition_graph(&g, 8, &GraphPartitionConfig::with_seed(2));
+        assert_eq!(r.k, 8);
+        let mut sizes = vec![0usize; 8];
+        for &p in &r.parts {
+            assert!(p < 8);
+            sizes[p as usize] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s > 0), "{sizes:?}");
+        assert!(r.imbalance_percent <= 4.0, "imbalance {}%", r.imbalance_percent);
+        assert_eq!(r.edge_cut, g.edge_cut(&r.parts));
+    }
+
+    #[test]
+    fn non_power_of_two() {
+        let g = random_graph(300, 600, 5);
+        let r = partition_graph(&g, 6, &GraphPartitionConfig::with_seed(3));
+        assert_eq!(r.k, 6);
+        assert!(r.parts.iter().all(|&p| p < 6));
+        assert!(r.imbalance_percent <= 6.0);
+    }
+
+    #[test]
+    fn k1_trivial() {
+        let g = two_cliques(5);
+        let r = partition_graph(&g, 1, &GraphPartitionConfig::default());
+        assert_eq!(r.edge_cut, 0);
+        assert!(r.parts.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn weighted_vertices_balanced_by_weight() {
+        // One heavy vertex should sit alone-ish.
+        let mut edges = Vec::new();
+        for i in 0..9u32 {
+            edges.push((i, i + 1, 1u32));
+        }
+        let mut w = vec![1u32; 10];
+        w[0] = 9; // total 18, target 9 per side
+        let g = CsrGraph::from_edges(10, &edges, Some(w)).unwrap();
+        let r = partition_graph(&g, 2, &GraphPartitionConfig::with_seed(4));
+        let side0 = r.parts[0];
+        let with_heavy: u64 = (0..10)
+            .filter(|&v| r.parts[v as usize] == side0)
+            .map(|v| g.vertex_weight(v) as u64)
+            .sum();
+        assert!(with_heavy <= 10, "heavy side weight {with_heavy}");
+    }
+
+    #[test]
+    fn multi_seed_never_worse() {
+        let g = random_graph(400, 800, 7);
+        let cfg = GraphPartitionConfig::with_seed(1);
+        let single = partition_graph(&g, 8, &cfg);
+        let best = partition_graph_best(&g, 8, &cfg, 4);
+        assert!(best.edge_cut <= single.edge_cut);
+    }
+
+    #[test]
+    fn determinism() {
+        let g = random_graph(200, 400, 9);
+        let cfg = GraphPartitionConfig::with_seed(5);
+        let a = partition_graph(&g, 4, &cfg);
+        let b = partition_graph(&g, 4, &cfg);
+        assert_eq!(a.parts, b.parts);
+    }
+}

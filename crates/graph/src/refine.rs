@@ -1,0 +1,232 @@
+//! FM boundary refinement for graph bisections (edge-cut metric).
+
+use fgh_partition::gain::GainBuckets;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::graph::CsrGraph;
+
+/// Mutable state of a graph bisection: side assignment, side weights, cut.
+#[derive(Debug, Clone)]
+pub struct GraphBisection<'a> {
+    g: &'a CsrGraph,
+    side: Vec<u8>,
+    weight: [u64; 2],
+    cap: [u64; 2],
+    /// One max vertex weight of slack lets FM pass through mildly
+    /// imbalanced intermediate states (the rollback only keeps prefixes
+    /// whose balance penalty did not worsen).
+    slack: u64,
+    cut: u64,
+}
+
+impl<'a> GraphBisection<'a> {
+    /// Builds the state for an existing side assignment with ideal side
+    /// weights `targets` and per-level imbalance `epsilon`.
+    pub fn new(g: &'a CsrGraph, side: Vec<u8>, targets: [f64; 2], epsilon: f64) -> Self {
+        assert_eq!(side.len(), g.n() as usize);
+        let mut weight = [0u64; 2];
+        for v in 0..g.n() {
+            weight[side[v as usize] as usize] += g.vertex_weight(v) as u64;
+        }
+        let parts: Vec<u32> = side.iter().map(|&s| s as u32).collect();
+        let cut = g.edge_cut(&parts);
+        let cap = [
+            (targets[0] * (1.0 + epsilon)).floor().max(0.0) as u64,
+            (targets[1] * (1.0 + epsilon)).floor().max(0.0) as u64,
+        ];
+        let slack = g.vertex_weights().iter().copied().max().unwrap_or(1).max(1) as u64;
+        GraphBisection { g, side, weight, cap, slack, cut }
+    }
+
+    /// Current edge cut.
+    pub fn cut(&self) -> u64 {
+        self.cut
+    }
+
+    /// Current side weights.
+    pub fn weights(&self) -> [u64; 2] {
+        self.weight
+    }
+
+    /// The side assignment.
+    pub fn sides(&self) -> &[u8] {
+        &self.side
+    }
+
+    /// Consumes the state, returning the side assignment.
+    pub fn into_sides(self) -> Vec<u8> {
+        self.side
+    }
+
+    /// Sum of balance-cap violations.
+    pub fn balance_penalty(&self) -> u64 {
+        self.weight[0].saturating_sub(self.cap[0]) + self.weight[1].saturating_sub(self.cap[1])
+    }
+
+    /// FM gain of moving `v`: external minus internal incident edge weight.
+    pub fn gain(&self, v: u32) -> i64 {
+        let s = self.side[v as usize];
+        let mut ext = 0i64;
+        let mut int = 0i64;
+        for (&u, &w) in self.g.neighbors(v).iter().zip(self.g.edge_weights(v)) {
+            if self.side[u as usize] == s {
+                int += w as i64;
+            } else {
+                ext += w as i64;
+            }
+        }
+        ext - int
+    }
+
+    /// Moves `v` to the other side, updating cut and (optionally) queued
+    /// neighbor gains.
+    pub fn apply_move(&mut self, v: u32, mut buckets: Option<&mut GainBuckets>) {
+        let s = self.side[v as usize] as usize;
+        let t = 1 - s;
+        let w = self.g.vertex_weight(v) as u64;
+        for (&u, &ew) in self.g.neighbors(v).iter().zip(self.g.edge_weights(v)) {
+            if self.side[u as usize] as usize == s {
+                self.cut += ew as u64;
+                if let Some(b) = buckets.as_deref_mut() {
+                    b.adjust(u, 2 * ew as i64);
+                }
+            } else {
+                self.cut -= ew as u64;
+                if let Some(b) = buckets.as_deref_mut() {
+                    b.adjust(u, -2 * (ew as i64));
+                }
+            }
+        }
+        self.side[v as usize] = t as u8;
+        self.weight[s] -= w;
+        self.weight[t] += w;
+    }
+
+    fn admissible(&self, v: u32) -> bool {
+        let s = self.side[v as usize] as usize;
+        let t = 1 - s;
+        let w = self.g.vertex_weight(v) as u64;
+        if self.weight[t] + w <= self.cap[t] + self.slack {
+            return true;
+        }
+        if self.weight[s] > self.cap[s] {
+            let before = self.balance_penalty();
+            let after = self.weight[s].saturating_sub(w).saturating_sub(self.cap[s])
+                + (self.weight[t] + w).saturating_sub(self.cap[t]);
+            return after < before;
+        }
+        false
+    }
+
+    /// One FM pass with rollback to the best prefix; returns `true` on
+    /// strict improvement of (balance penalty, cut).
+    pub fn fm_pass(&mut self, rng: &mut impl Rng, early_exit: usize) -> bool {
+        let n = self.g.n();
+        let max_gain = (0..n)
+            .map(|v| self.g.edge_weights(v).iter().map(|&w| w as i64).sum::<i64>())
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let mut buckets = GainBuckets::new(n as usize, max_gain);
+        let mut order: Vec<u32> = (0..n).collect();
+        order.shuffle(rng);
+        for &v in &order {
+            buckets.insert(v, self.gain(v));
+        }
+
+        let start = (self.balance_penalty(), self.cut);
+        let mut best = start;
+        let mut moves: Vec<u32> = Vec::new();
+        let mut best_len = 0usize;
+        let mut since_best = 0usize;
+
+        while let Some((v, _)) = {
+            let st: &GraphBisection<'a> = &*self;
+            buckets.pop_max_where(|u| st.admissible(u))
+        } {
+            self.apply_move(v, Some(&mut buckets));
+            moves.push(v);
+            let now = (self.balance_penalty(), self.cut);
+            if now < best {
+                best = now;
+                best_len = moves.len();
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if early_exit > 0 && since_best >= early_exit {
+                    break;
+                }
+            }
+        }
+        for &v in moves[best_len..].iter().rev() {
+            self.apply_move(v, None);
+        }
+        best < start
+    }
+
+    /// Runs FM passes until no improvement, at most `max_passes`.
+    pub fn refine(&mut self, rng: &mut impl Rng, max_passes: usize, early_exit: usize) -> usize {
+        let mut improved = 0;
+        for _ in 0..max_passes {
+            if self.fm_pass(rng, early_exit) {
+                improved += 1;
+            } else {
+                break;
+            }
+        }
+        improved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{random_graph, two_cliques};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gain_matches_cut_delta() {
+        let g = random_graph(40, 60, 1);
+        let side: Vec<u8> = (0..40).map(|v| (v % 2) as u8).collect();
+        let st = GraphBisection::new(&g, side, [20.0, 20.0], 0.1);
+        for v in 0..40u32 {
+            let mut st2 = st.clone();
+            let before = st2.cut() as i64;
+            st2.apply_move(v, None);
+            assert_eq!(st.gain(v), before - st2.cut() as i64, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn fm_solves_two_cliques() {
+        let g = two_cliques(12);
+        let side: Vec<u8> = (0..24).map(|v| (v % 2) as u8).collect();
+        let mut st = GraphBisection::new(&g, side, [12.0, 12.0], 0.05);
+        st.refine(&mut SmallRng::seed_from_u64(3), 8, 0);
+        assert_eq!(st.cut(), 1);
+        assert_eq!(st.balance_penalty(), 0);
+    }
+
+    #[test]
+    fn fm_restores_balance() {
+        let g = two_cliques(10);
+        let side = vec![0u8; 20];
+        let mut st = GraphBisection::new(&g, side, [10.0, 10.0], 0.1);
+        st.refine(&mut SmallRng::seed_from_u64(4), 8, 0);
+        assert_eq!(st.balance_penalty(), 0);
+    }
+
+    #[test]
+    fn fm_never_worsens() {
+        for seed in 0..4u64 {
+            let g = random_graph(80, 120, seed);
+            let side: Vec<u8> = (0..80).map(|v| u8::from(v >= 40)).collect();
+            let mut st = GraphBisection::new(&g, side, [40.0, 40.0], 0.1);
+            let before = (st.balance_penalty(), st.cut());
+            st.refine(&mut SmallRng::seed_from_u64(seed), 4, 0);
+            assert!((st.balance_penalty(), st.cut()) <= before);
+        }
+    }
+}

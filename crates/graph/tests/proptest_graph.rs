@@ -1,0 +1,71 @@
+//! Property tests of the graph partitioner on random graphs.
+
+use fgh_graph::{partition_graph, CsrGraph, GraphPartitionConfig};
+use proptest::prelude::*;
+
+/// Strategy: a random connected graph (path + extra edges).
+fn graph() -> impl Strategy<Value = CsrGraph> {
+    (4u32..=60).prop_flat_map(|n| {
+        proptest::collection::btree_set((0..n, 0..n), 0..=(n as usize * 2)).prop_map(
+            move |extra| {
+                let mut edges: Vec<(u32, u32, u32)> =
+                    (1..n).map(|i| (i - 1, i, 1)).collect();
+                for (u, v) in extra {
+                    if u != v {
+                        edges.push((u.min(v), u.max(v), 1));
+                    }
+                }
+                edges.sort_unstable();
+                edges.dedup();
+                CsrGraph::from_edges(n, &edges, None).expect("valid edges")
+            },
+        )
+    })
+}
+
+proptest! {
+    /// K-way partitioning always yields full coverage, valid part ids,
+    /// cut consistency, and determinism.
+    #[test]
+    fn partitioner_postconditions(g in graph(), k in 1u32..=4, seed in 0u64..100) {
+        let cfg = GraphPartitionConfig { seed, ..Default::default() };
+        let r = partition_graph(&g, k, &cfg);
+        prop_assert_eq!(r.parts.len(), g.n() as usize);
+        prop_assert!(r.parts.iter().all(|&p| p < k));
+        prop_assert_eq!(r.edge_cut, g.edge_cut(&r.parts));
+        if k == 1 {
+            prop_assert_eq!(r.edge_cut, 0);
+        }
+        let r2 = partition_graph(&g, k, &cfg);
+        prop_assert_eq!(r.parts, r2.parts);
+    }
+
+    /// Balance: with unit weights and n >= 4k, every part is within the
+    /// (generous) compounded tolerance.
+    #[test]
+    fn balance_postcondition(g in graph(), seed in 0u64..100) {
+        let k = 2u32;
+        prop_assume!(g.n() >= 8);
+        let cfg = GraphPartitionConfig { seed, ..Default::default() };
+        let r = partition_graph(&g, k, &cfg);
+        prop_assert!(
+            r.imbalance_percent <= 15.0,
+            "imbalance {}% on n={}",
+            r.imbalance_percent,
+            g.n()
+        );
+    }
+
+    /// The edge cut of any side vector is symmetric in the labels.
+    #[test]
+    fn edge_cut_label_symmetric(g in graph(), seed in 0u64..100) {
+        let mut rng_parts = Vec::with_capacity(g.n() as usize);
+        let mut s = seed;
+        for _ in 0..g.n() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng_parts.push(((s >> 33) % 2) as u32);
+        }
+        let flipped: Vec<u32> = rng_parts.iter().map(|&p| 1 - p).collect();
+        prop_assert_eq!(g.edge_cut(&rng_parts), g.edge_cut(&flipped));
+    }
+}

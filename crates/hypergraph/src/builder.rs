@@ -1,0 +1,109 @@
+//! Incremental hypergraph construction.
+
+use crate::{Hypergraph, Result};
+
+/// Builds a [`Hypergraph`] incrementally: declare vertices (with weights),
+/// then add nets (with costs) as pin lists. The decomposition-model crates
+/// use this to assemble the fine-grain and 1D hypergraphs.
+#[derive(Debug, Clone, Default)]
+pub struct HypergraphBuilder {
+    vertex_weights: Vec<u32>,
+    nets: Vec<Vec<u32>>,
+    net_costs: Vec<u32>,
+}
+
+impl HypergraphBuilder {
+    /// Creates a builder with no vertices or nets.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-populated with `n` vertices of unit weight.
+    pub fn with_unit_vertices(n: u32) -> Self {
+        HypergraphBuilder {
+            vertex_weights: vec![1; n as usize],
+            nets: Vec::new(),
+            net_costs: Vec::new(),
+        }
+    }
+
+    /// Adds a vertex with the given weight; returns its id.
+    pub fn add_vertex(&mut self, weight: u32) -> u32 {
+        self.vertex_weights.push(weight);
+        (self.vertex_weights.len() - 1) as u32
+    }
+
+    /// Current number of vertices.
+    pub fn num_vertices(&self) -> u32 {
+        self.vertex_weights.len() as u32
+    }
+
+    /// Current number of nets.
+    pub fn num_nets(&self) -> u32 {
+        self.nets.len() as u32
+    }
+
+    /// Adds a net with unit cost; returns its id.
+    pub fn add_net(&mut self, pins: Vec<u32>) -> u32 {
+        self.add_net_with_cost(pins, 1)
+    }
+
+    /// Adds a net with an explicit cost; returns its id.
+    pub fn add_net_with_cost(&mut self, pins: Vec<u32>, cost: u32) -> u32 {
+        self.nets.push(pins);
+        self.net_costs.push(cost);
+        (self.nets.len() - 1) as u32
+    }
+
+    /// Appends a pin to an existing net.
+    pub fn add_pin(&mut self, net: u32, vertex: u32) {
+        self.nets[net as usize].push(vertex);
+    }
+
+    /// Finalizes into an immutable [`Hypergraph`], validating pins.
+    pub fn build(self) -> Result<Hypergraph> {
+        Hypergraph::from_nets_weighted(
+            self.vertex_weights.len() as u32,
+            &self.nets,
+            self.vertex_weights,
+            self.net_costs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_build() {
+        let mut b = HypergraphBuilder::new();
+        let v0 = b.add_vertex(1);
+        let v1 = b.add_vertex(2);
+        let v2 = b.add_vertex(0);
+        let n0 = b.add_net(vec![v0, v1]);
+        b.add_pin(n0, v2);
+        b.add_net_with_cost(vec![v1, v2], 5);
+        let hg = b.build().unwrap();
+        assert_eq!(hg.num_vertices(), 3);
+        assert_eq!(hg.num_nets(), 2);
+        assert_eq!(hg.pins(0), &[0, 1, 2]);
+        assert_eq!(hg.net_cost(1), 5);
+        assert_eq!(hg.vertex_weight(2), 0);
+    }
+
+    #[test]
+    fn unit_vertices_shortcut() {
+        let mut b = HypergraphBuilder::with_unit_vertices(4);
+        b.add_net(vec![0, 3]);
+        let hg = b.build().unwrap();
+        assert_eq!(hg.total_vertex_weight(), 4);
+    }
+
+    #[test]
+    fn invalid_pin_caught_at_build() {
+        let mut b = HypergraphBuilder::with_unit_vertices(2);
+        b.add_net(vec![0, 7]);
+        assert!(b.build().is_err());
+    }
+}

@@ -1,0 +1,366 @@
+//! The core [`Hypergraph`] type: dual-CSR pin/net storage.
+
+use crate::{HypergraphError, Partition, Result};
+
+/// An undirected hypergraph with weighted vertices and costed nets.
+///
+/// Storage is dual-CSR: `pins[pin_ptr[n] .. pin_ptr[n+1]]` lists the pins of
+/// net `n`, and `vnets[vnet_ptr[v] .. vnet_ptr[v+1]]` lists the nets
+/// containing vertex `v`. Vertex weights are `u32` (`0` is allowed — the
+/// fine-grain model's dummy diagonal vertices carry zero weight); net costs
+/// are `u32` (the paper uses unit costs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hypergraph {
+    pub(crate) num_vertices: u32,
+    pub(crate) pin_ptr: Vec<usize>,
+    pub(crate) pins: Vec<u32>,
+    pub(crate) vnet_ptr: Vec<usize>,
+    pub(crate) vnets: Vec<u32>,
+    pub(crate) vertex_weights: Vec<u32>,
+    pub(crate) net_costs: Vec<u32>,
+}
+
+impl Hypergraph {
+    /// Builds a hypergraph from per-net pin lists, unit weights and costs.
+    ///
+    /// ```
+    /// use fgh_hypergraph::Hypergraph;
+    /// let hg = Hypergraph::from_nets(4, &[vec![0, 1, 2], vec![2, 3]]).unwrap();
+    /// assert_eq!(hg.num_nets(), 2);
+    /// assert_eq!(hg.pins(0), &[0, 1, 2]);
+    /// assert_eq!(hg.nets(2), &[0, 1]); // vertex 2 pins both nets
+    /// ```
+    pub fn from_nets(num_vertices: u32, nets: &[Vec<u32>]) -> Result<Self> {
+        let weights = vec![1u32; num_vertices as usize];
+        let costs = vec![1u32; nets.len()];
+        Self::from_nets_weighted(num_vertices, nets, weights, costs)
+    }
+
+    /// Builds a hypergraph from per-net pin lists with explicit vertex
+    /// weights and net costs. Pins are validated (in bounds, no duplicates
+    /// within a net) and stored sorted.
+    pub fn from_nets_weighted(
+        num_vertices: u32,
+        nets: &[Vec<u32>],
+        vertex_weights: Vec<u32>,
+        net_costs: Vec<u32>,
+    ) -> Result<Self> {
+        assert_eq!(
+            vertex_weights.len(),
+            num_vertices as usize,
+            "vertex weight vector length must equal the vertex count"
+        );
+        assert_eq!(
+            net_costs.len(),
+            nets.len(),
+            "net cost vector length must equal the net count"
+        );
+        let total_pins: usize = nets.iter().map(|n| n.len()).sum();
+        let mut pin_ptr = Vec::with_capacity(nets.len() + 1);
+        let mut pins = Vec::with_capacity(total_pins);
+        pin_ptr.push(0);
+        for (ni, net) in nets.iter().enumerate() {
+            let ni = ni as u32;
+            let start = pins.len();
+            pins.extend_from_slice(net);
+            let slice = &mut pins[start..];
+            slice.sort_unstable();
+            for w in slice.windows(2) {
+                if w[0] == w[1] {
+                    return Err(HypergraphError::DuplicatePin { net: ni, pin: w[0] });
+                }
+            }
+            if let Some(&last) = slice.last() {
+                if last >= num_vertices {
+                    return Err(HypergraphError::PinOutOfBounds {
+                        net: ni,
+                        pin: last,
+                        num_vertices,
+                    });
+                }
+            }
+            pin_ptr.push(pins.len());
+        }
+
+        // Invert to vertex -> nets.
+        let mut vnet_ptr = vec![0usize; num_vertices as usize + 1];
+        for &p in &pins {
+            vnet_ptr[p as usize + 1] += 1;
+        }
+        for i in 0..num_vertices as usize {
+            vnet_ptr[i + 1] += vnet_ptr[i];
+        }
+        let mut vnets = vec![0u32; pins.len()];
+        let mut next = vnet_ptr.clone();
+        for n in 0..nets.len() {
+            for &p in &pins[pin_ptr[n]..pin_ptr[n + 1]] {
+                vnets[next[p as usize]] = n as u32;
+                next[p as usize] += 1;
+            }
+        }
+
+        Ok(Hypergraph {
+            num_vertices,
+            pin_ptr,
+            pins,
+            vnet_ptr,
+            vnets,
+            vertex_weights,
+            net_costs,
+        })
+    }
+
+    /// Number of vertices `|V|`.
+    pub fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+
+    /// Number of nets `|N|`.
+    pub fn num_nets(&self) -> u32 {
+        (self.pin_ptr.len() - 1) as u32
+    }
+
+    /// Total number of pins `Σ |pins[n]|`.
+    pub fn num_pins(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// The pins (vertices) of net `n`, sorted ascending.
+    pub fn pins(&self, n: u32) -> &[u32] {
+        &self.pins[self.pin_ptr[n as usize]..self.pin_ptr[n as usize + 1]]
+    }
+
+    /// The nets containing vertex `v`, sorted ascending.
+    pub fn nets(&self, v: u32) -> &[u32] {
+        &self.vnets[self.vnet_ptr[v as usize]..self.vnet_ptr[v as usize + 1]]
+    }
+
+    /// Size (pin count) of net `n`.
+    pub fn net_size(&self, n: u32) -> usize {
+        self.pin_ptr[n as usize + 1] - self.pin_ptr[n as usize]
+    }
+
+    /// Degree (net count) of vertex `v`.
+    pub fn vertex_degree(&self, v: u32) -> usize {
+        self.vnet_ptr[v as usize + 1] - self.vnet_ptr[v as usize]
+    }
+
+    /// Weight `w_v` of vertex `v`.
+    pub fn vertex_weight(&self, v: u32) -> u32 {
+        self.vertex_weights[v as usize]
+    }
+
+    /// All vertex weights.
+    pub fn vertex_weights(&self) -> &[u32] {
+        &self.vertex_weights
+    }
+
+    /// Cost `c_n` of net `n`.
+    pub fn net_cost(&self, n: u32) -> u32 {
+        self.net_costs[n as usize]
+    }
+
+    /// All net costs.
+    pub fn net_costs(&self) -> &[u32] {
+        &self.net_costs
+    }
+
+    /// Sum of all vertex weights.
+    pub fn total_vertex_weight(&self) -> u64 {
+        self.vertex_weights.iter().map(|&w| w as u64).sum()
+    }
+
+    /// Extracts the sub-hypergraph induced by the vertices of `part` under
+    /// `partition`, applying **net splitting**: each net keeps only its pins
+    /// inside the part, and nets left with fewer than 2 pins are dropped
+    /// (they can never be cut again). Net costs are preserved.
+    ///
+    /// Returns the sub-hypergraph plus the mapping from new vertex ids to
+    /// original ids.
+    pub fn extract_part(&self, partition: &Partition, part: u32) -> (Hypergraph, Vec<u32>) {
+        self.extract_part_mode(partition, part, true)
+    }
+
+    /// Like [`Hypergraph::extract_part`] but with net splitting optional.
+    /// With `split_nets = false`, *cut* nets are dropped entirely instead
+    /// of keeping their in-part pins — the classic cut-net-metric
+    /// recursive bisection, kept for ablation studies (it under-counts the
+    /// connectivity−1 objective and yields worse K-way volumes).
+    pub fn extract_part_mode(
+        &self,
+        partition: &Partition,
+        part: u32,
+        split_nets: bool,
+    ) -> (Hypergraph, Vec<u32>) {
+        let parts = partition.parts();
+        let mut old_of_new: Vec<u32> = Vec::new();
+        let mut new_of_old: Vec<u32> = vec![u32::MAX; self.num_vertices as usize];
+        for v in 0..self.num_vertices {
+            if parts[v as usize] == part {
+                new_of_old[v as usize] = old_of_new.len() as u32;
+                old_of_new.push(v);
+            }
+        }
+        let mut nets: Vec<Vec<u32>> = Vec::new();
+        let mut costs: Vec<u32> = Vec::new();
+        for n in 0..self.num_nets() {
+            let all_pins = self.pins(n);
+            let mut kept: Vec<u32> = all_pins
+                .iter()
+                .filter_map(|&p| {
+                    let np = new_of_old[p as usize];
+                    (np != u32::MAX).then_some(np)
+                })
+                .collect();
+            if !split_nets && kept.len() != all_pins.len() {
+                continue; // cut net: dropped under the cut-net-metric mode
+            }
+            if kept.len() >= 2 {
+                kept.sort_unstable();
+                nets.push(kept);
+                costs.push(self.net_cost(n));
+            }
+        }
+        let weights: Vec<u32> =
+            old_of_new.iter().map(|&v| self.vertex_weights[v as usize]).collect();
+        let num_vertices = old_of_new.len() as u32;
+        let hg = Hypergraph::from_nets_weighted(num_vertices, &nets, weights, costs)
+            .expect("extraction preserves validity");
+        (hg, old_of_new)
+    }
+
+    /// Checks internal invariants (used in tests and after coarsening).
+    pub fn validate(&self) -> Result<()> {
+        for n in 0..self.num_nets() {
+            let pins = self.pins(n);
+            for w in pins.windows(2) {
+                if w[0] == w[1] {
+                    return Err(HypergraphError::DuplicatePin { net: n, pin: w[0] });
+                }
+            }
+            if let Some(&last) = pins.last() {
+                if last >= self.num_vertices {
+                    return Err(HypergraphError::PinOutOfBounds {
+                        net: n,
+                        pin: last,
+                        num_vertices: self.num_vertices,
+                    });
+                }
+            }
+        }
+        // Dual consistency: v in pins[n] <=> n in nets[v].
+        debug_assert_eq!(self.pins.len(), self.vnets.len());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure-1 example hypergraph: nets n_j = {v0, v1, v2} (column) and
+    /// m_i = {v3, v4, v5, v0} (row) sharing vertex v0 = v_ij.
+    fn figure1_like() -> Hypergraph {
+        Hypergraph::from_nets(6, &[vec![0, 1, 2], vec![3, 4, 5, 0]]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_duals() {
+        let hg = figure1_like();
+        assert_eq!(hg.num_vertices(), 6);
+        assert_eq!(hg.num_nets(), 2);
+        assert_eq!(hg.num_pins(), 7);
+        assert_eq!(hg.pins(0), &[0, 1, 2]);
+        assert_eq!(hg.pins(1), &[0, 3, 4, 5]);
+        assert_eq!(hg.nets(0), &[0, 1], "v0 is the shared pin");
+        assert_eq!(hg.nets(4), &[1]);
+        assert_eq!(hg.net_size(1), 4);
+        assert_eq!(hg.vertex_degree(0), 2);
+    }
+
+    #[test]
+    fn duplicate_pin_rejected() {
+        let err = Hypergraph::from_nets(3, &[vec![0, 1, 1]]).unwrap_err();
+        assert!(matches!(err, HypergraphError::DuplicatePin { net: 0, pin: 1 }));
+    }
+
+    #[test]
+    fn out_of_bounds_pin_rejected() {
+        let err = Hypergraph::from_nets(3, &[vec![0, 5]]).unwrap_err();
+        assert!(matches!(err, HypergraphError::PinOutOfBounds { pin: 5, .. }));
+    }
+
+    #[test]
+    fn weights_and_costs() {
+        let hg = Hypergraph::from_nets_weighted(
+            3,
+            &[vec![0, 1], vec![1, 2]],
+            vec![2, 0, 5],
+            vec![3, 7],
+        )
+        .unwrap();
+        assert_eq!(hg.vertex_weight(1), 0);
+        assert_eq!(hg.net_cost(1), 7);
+        assert_eq!(hg.total_vertex_weight(), 7);
+    }
+
+    #[test]
+    fn empty_net_allowed() {
+        let hg = Hypergraph::from_nets(2, &[vec![], vec![0, 1]]).unwrap();
+        assert_eq!(hg.net_size(0), 0);
+        assert_eq!(hg.num_pins(), 2);
+    }
+
+    #[test]
+    fn extract_part_with_net_splitting() {
+        // Vertices 0..6; nets: {0,1,2,3}, {2,3,4}, {4,5}.
+        let hg =
+            Hypergraph::from_nets(6, &[vec![0, 1, 2, 3], vec![2, 3, 4], vec![4, 5]]).unwrap();
+        // Partition: {0,1,2,3} in part 0, {4,5} in part 1.
+        let p = Partition::new(2, vec![0, 0, 0, 0, 1, 1]).unwrap();
+        let (sub0, map0) = hg.extract_part(&p, 0);
+        assert_eq!(map0, vec![0, 1, 2, 3]);
+        // Net 0 survives whole; net 1 splits to {2,3}; net 2 vanishes.
+        assert_eq!(sub0.num_nets(), 2);
+        assert_eq!(sub0.pins(0), &[0, 1, 2, 3]);
+        assert_eq!(sub0.pins(1), &[2, 3]);
+        let (sub1, map1) = hg.extract_part(&p, 1);
+        assert_eq!(map1, vec![4, 5]);
+        // Net 1 leaves a single pin (4) -> dropped; net 2 survives.
+        assert_eq!(sub1.num_nets(), 1);
+        assert_eq!(sub1.pins(0), &[0, 1]);
+    }
+
+    #[test]
+    fn extract_preserves_weights_and_costs() {
+        let hg = Hypergraph::from_nets_weighted(
+            4,
+            &[vec![0, 1, 2, 3]],
+            vec![1, 2, 3, 4],
+            vec![9],
+        )
+        .unwrap();
+        let p = Partition::new(2, vec![0, 1, 1, 0]).unwrap();
+        let (sub, map) = hg.extract_part(&p, 1);
+        assert_eq!(map, vec![1, 2]);
+        assert_eq!(sub.vertex_weights(), &[2, 3]);
+        assert_eq!(sub.net_cost(0), 9);
+    }
+
+    #[test]
+    fn validate_ok() {
+        assert!(figure1_like().validate().is_ok());
+    }
+
+    #[test]
+    fn extract_without_net_splitting_drops_cut_nets() {
+        let hg =
+            Hypergraph::from_nets(6, &[vec![0, 1, 2, 3], vec![2, 3, 4], vec![4, 5]]).unwrap();
+        let p = Partition::new(2, vec![0, 0, 0, 0, 1, 1]).unwrap();
+        let (sub0, _) = hg.extract_part_mode(&p, 0, false);
+        // Net 0 is internal (kept); net 1 is cut (dropped, unlike the
+        // splitting mode which keeps {2,3}); net 2 has no pins here.
+        assert_eq!(sub0.num_nets(), 1);
+        assert_eq!(sub0.pins(0), &[0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Hypergraph file I/O in the hMETIS/PaToH `.hgr` format.
+//!
+//! Format (hMETIS manual):
+//!
+//! ```text
+//! % comments
+//! <#nets> <#vertices> [fmt]
+//! <pins of net 1 (1-based vertex ids)> ...
+//! ...
+//! [vertex weights, one per line, when fmt includes 10]
+//! ```
+//!
+//! `fmt` is `1` (net costs lead each net line), `10` (vertex weights
+//! follow the net lines), `11` (both), or absent (unweighted). This makes
+//! the partitioner interoperable with hypergraphs produced for/by PaToH
+//! and hMETIS — the tools the paper's experiments used.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::{Hypergraph, HypergraphError, Result};
+
+/// Reads an `.hgr` hypergraph from a file.
+pub fn read_hgr(path: impl AsRef<Path>) -> Result<Hypergraph> {
+    let file = std::fs::File::open(&path).map_err(|e| parse_err(format!("open: {e}")))?;
+    read_hgr_from(BufReader::new(file))
+}
+
+fn parse_err(msg: String) -> HypergraphError {
+    HypergraphError::Io(msg)
+}
+
+/// Reads `.hgr` data from any reader.
+pub fn read_hgr_from(reader: impl Read) -> Result<Hypergraph> {
+    let mut lines = BufReader::new(reader)
+        .lines()
+        .map(|l| l.map_err(|e| parse_err(e.to_string())));
+
+    // Header.
+    let header = loop {
+        match lines.next() {
+            Some(line) => {
+                let line = line?;
+                let t = line.trim().to_string();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break t;
+            }
+            None => return Err(parse_err("empty file".into())),
+        }
+    };
+    let mut it = header.split_whitespace();
+    let num_nets: usize = parse_num(it.next(), "net count")?;
+    let num_vertices: u32 = parse_num(it.next(), "vertex count")?;
+    let fmt: u32 = match it.next() {
+        Some(t) => t.parse().map_err(|_| parse_err(format!("bad fmt {t:?}")))?,
+        None => 0,
+    };
+    let has_net_costs = fmt == 1 || fmt == 11;
+    let has_vertex_weights = fmt == 10 || fmt == 11;
+
+    let mut nets: Vec<Vec<u32>> = Vec::with_capacity(num_nets);
+    let mut costs: Vec<u32> = Vec::with_capacity(num_nets);
+    while nets.len() < num_nets {
+        let line = match lines.next() {
+            Some(l) => l?,
+            None => return Err(parse_err(format!("expected {num_nets} net lines"))),
+        };
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut nums = t.split_whitespace();
+        let cost = if has_net_costs {
+            parse_num::<u32>(nums.next(), "net cost")?
+        } else {
+            1
+        };
+        let mut pins = Vec::new();
+        for tok in nums {
+            let v: u32 = tok.parse().map_err(|_| parse_err(format!("bad pin {tok:?}")))?;
+            if v == 0 || v > num_vertices {
+                return Err(parse_err(format!("pin {v} out of 1..={num_vertices}")));
+            }
+            pins.push(v - 1);
+        }
+        nets.push(pins);
+        costs.push(cost);
+    }
+
+    let mut weights = vec![1u32; num_vertices as usize];
+    if has_vertex_weights {
+        let mut got = 0usize;
+        while got < num_vertices as usize {
+            let line = match lines.next() {
+                Some(l) => l?,
+                None => return Err(parse_err(format!("expected {num_vertices} weight lines"))),
+            };
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('%') {
+                continue;
+            }
+            for tok in t.split_whitespace() {
+                if got >= num_vertices as usize {
+                    return Err(parse_err("too many vertex weights".into()));
+                }
+                weights[got] =
+                    tok.parse().map_err(|_| parse_err(format!("bad weight {tok:?}")))?;
+                got += 1;
+            }
+        }
+    }
+
+    Hypergraph::from_nets_weighted(num_vertices, &nets, weights, costs)
+}
+
+/// Writes a hypergraph to `.hgr` format (fmt 11: costs and weights).
+pub fn write_hgr(hg: &Hypergraph, path: impl AsRef<Path>) -> Result<()> {
+    let file = std::fs::File::create(&path).map_err(|e| parse_err(format!("create: {e}")))?;
+    write_hgr_to(hg, BufWriter::new(file))
+}
+
+/// Writes `.hgr` data to any writer.
+pub fn write_hgr_to(hg: &Hypergraph, mut w: impl Write) -> Result<()> {
+    let io = |e: std::io::Error| parse_err(e.to_string());
+    writeln!(w, "% written by fgh-hypergraph").map_err(io)?;
+    writeln!(w, "{} {} 11", hg.num_nets(), hg.num_vertices()).map_err(io)?;
+    for n in 0..hg.num_nets() {
+        write!(w, "{}", hg.net_cost(n)).map_err(io)?;
+        for &p in hg.pins(n) {
+            write!(w, " {}", p + 1).map_err(io)?;
+        }
+        writeln!(w).map_err(io)?;
+    }
+    for v in 0..hg.num_vertices() {
+        writeln!(w, "{}", hg.vertex_weight(v)).map_err(io)?;
+    }
+    w.flush().map_err(io)
+}
+
+fn parse_num<T: std::str::FromStr>(token: Option<&str>, what: &str) -> Result<T> {
+    token
+        .ok_or_else(|| parse_err(format!("missing {what}")))?
+        .parse::<T>()
+        .map_err(|_| parse_err(format!("bad {what}: {token:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_unweighted() {
+        let data = "% demo\n2 4\n1 2 3\n3 4\n";
+        let hg = read_hgr_from(data.as_bytes()).unwrap();
+        assert_eq!(hg.num_vertices(), 4);
+        assert_eq!(hg.num_nets(), 2);
+        assert_eq!(hg.pins(0), &[0, 1, 2]);
+        assert_eq!(hg.pins(1), &[2, 3]);
+        assert_eq!(hg.net_cost(0), 1);
+        assert_eq!(hg.vertex_weight(3), 1);
+    }
+
+    #[test]
+    fn read_fmt_11() {
+        let data = "2 3 11\n5 1 2\n7 2 3\n10\n20\n30\n";
+        let hg = read_hgr_from(data.as_bytes()).unwrap();
+        assert_eq!(hg.net_cost(0), 5);
+        assert_eq!(hg.net_cost(1), 7);
+        assert_eq!(hg.vertex_weight(0), 10);
+        assert_eq!(hg.vertex_weight(2), 30);
+    }
+
+    #[test]
+    fn read_fmt_1_costs_only() {
+        let data = "1 2 1\n9 1 2\n";
+        let hg = read_hgr_from(data.as_bytes()).unwrap();
+        assert_eq!(hg.net_cost(0), 9);
+        assert_eq!(hg.pins(0), &[0, 1]);
+    }
+
+    #[test]
+    fn reject_bad_input() {
+        assert!(read_hgr_from("".as_bytes()).is_err());
+        assert!(read_hgr_from("2 3\n1 2\n".as_bytes()).is_err()); // missing a net line
+        assert!(read_hgr_from("1 2\n1 5\n".as_bytes()).is_err()); // pin out of range
+        assert!(read_hgr_from("1 2\n0 1\n".as_bytes()).is_err()); // pins are 1-based
+        assert!(read_hgr_from("1 2 10\n1 2\n7\n".as_bytes()).is_err()); // missing weight
+    }
+
+    #[test]
+    fn roundtrip() {
+        let hg = Hypergraph::from_nets_weighted(
+            5,
+            &[vec![0, 1, 4], vec![2, 3], vec![0, 3]],
+            vec![1, 2, 3, 4, 0],
+            vec![1, 5, 2],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_hgr_to(&hg, &mut buf).unwrap();
+        let back = read_hgr_from(buf.as_slice()).unwrap();
+        assert_eq!(back, hg);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let hg = Hypergraph::from_nets(3, &[vec![0, 1], vec![1, 2]]).unwrap();
+        let dir = std::env::temp_dir().join("fgh_hgr_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.hgr");
+        write_hgr(&hg, &path).unwrap();
+        assert_eq!(read_hgr(&path).unwrap(), hg);
+    }
+}

@@ -1,0 +1,155 @@
+//! Cutsize metrics: the cut-net metric (eq. 2) and the connectivity − 1
+//! metric (eq. 3), plus per-net connectivity sets `Λ_j`.
+
+use crate::{Hypergraph, Partition};
+
+/// Computes the connectivity `λ_j` of every net: the number of distinct
+/// parts its pins touch. Empty nets have connectivity 0.
+///
+/// Runs in `O(pins)` using a timestamped marker array of size K.
+pub fn connectivities(hg: &Hypergraph, partition: &Partition) -> Vec<u32> {
+    let k = partition.k() as usize;
+    let mut stamp = vec![u32::MAX; k];
+    let mut lambdas = Vec::with_capacity(hg.num_nets() as usize);
+    for n in 0..hg.num_nets() {
+        let mut lambda = 0u32;
+        for &p in hg.pins(n) {
+            let part = partition.part(p) as usize;
+            if stamp[part] != n {
+                stamp[part] = n;
+                lambda += 1;
+            }
+        }
+        lambdas.push(lambda);
+    }
+    lambdas
+}
+
+/// Computes the connectivity set `Λ_j` of every net: the sorted list of
+/// parts its pins touch.
+pub fn connectivity_sets(hg: &Hypergraph, partition: &Partition) -> Vec<Vec<u32>> {
+    let k = partition.k() as usize;
+    let mut stamp = vec![u32::MAX; k];
+    let mut sets = Vec::with_capacity(hg.num_nets() as usize);
+    for n in 0..hg.num_nets() {
+        let mut set: Vec<u32> = Vec::new();
+        for &p in hg.pins(n) {
+            let part = partition.part(p) as usize;
+            if stamp[part] != n {
+                stamp[part] = n;
+                set.push(part as u32);
+            }
+        }
+        set.sort_unstable();
+        sets.push(set);
+    }
+    sets
+}
+
+/// Cut-net cutsize (eq. 2): `Σ_{cut nets} c_j`.
+pub fn cutsize_cutnet(hg: &Hypergraph, partition: &Partition) -> u64 {
+    connectivities(hg, partition)
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l > 1)
+        .map(|(n, _)| hg.net_cost(n as u32) as u64)
+        .sum()
+}
+
+/// Connectivity − 1 cutsize (eq. 3): `Σ_j c_j (λ_j − 1)`.
+///
+/// For the fine-grain model with unit costs this equals the **total
+/// communication volume in words** of one parallel SpMV (the paper's
+/// central claim, re-verified end-to-end by `fgh-spmv`).
+pub fn cutsize_connectivity(hg: &Hypergraph, partition: &Partition) -> u64 {
+    connectivities(hg, partition)
+        .iter()
+        .enumerate()
+        .map(|(n, &l)| hg.net_cost(n as u32) as u64 * (l.max(1) - 1) as u64)
+        .sum()
+}
+
+/// Number of cut (external) nets.
+pub fn num_cut_nets(hg: &Hypergraph, partition: &Partition) -> usize {
+    connectivities(hg, partition).iter().filter(|&&l| l > 1).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 6 vertices, nets {0,1,2}, {2,3}, {4,5}, {0,5}; parts (0,0,1,1,2,2).
+    fn setup() -> (Hypergraph, Partition) {
+        let hg = Hypergraph::from_nets(
+            6,
+            &[vec![0, 1, 2], vec![2, 3], vec![4, 5], vec![0, 5]],
+        )
+        .unwrap();
+        let p = Partition::new(3, vec![0, 0, 1, 1, 2, 2]).unwrap();
+        (hg, p)
+    }
+
+    #[test]
+    fn lambda_values() {
+        let (hg, p) = setup();
+        assert_eq!(connectivities(&hg, &p), vec![2, 1, 1, 2]);
+    }
+
+    #[test]
+    fn connectivity_sets_sorted() {
+        let (hg, p) = setup();
+        let sets = connectivity_sets(&hg, &p);
+        assert_eq!(sets[0], vec![0, 1]);
+        assert_eq!(sets[1], vec![1]);
+        assert_eq!(sets[2], vec![2]);
+        assert_eq!(sets[3], vec![0, 2]);
+    }
+
+    #[test]
+    fn cutsizes() {
+        let (hg, p) = setup();
+        // Cut nets: 0 and 3, each cost 1, each λ = 2.
+        assert_eq!(cutsize_cutnet(&hg, &p), 2);
+        assert_eq!(cutsize_connectivity(&hg, &p), 2);
+        assert_eq!(num_cut_nets(&hg, &p), 2);
+    }
+
+    #[test]
+    fn connectivity_exceeds_cutnet_when_lambda_high() {
+        // One net spanning 3 parts: cut-net metric 1, λ−1 metric 2.
+        let hg = Hypergraph::from_nets(3, &[vec![0, 1, 2]]).unwrap();
+        let p = Partition::new(3, vec![0, 1, 2]).unwrap();
+        assert_eq!(cutsize_cutnet(&hg, &p), 1);
+        assert_eq!(cutsize_connectivity(&hg, &p), 2);
+    }
+
+    #[test]
+    fn net_costs_scale_cutsize() {
+        let hg = Hypergraph::from_nets_weighted(
+            2,
+            &[vec![0, 1]],
+            vec![1, 1],
+            vec![5],
+        )
+        .unwrap();
+        let p = Partition::new(2, vec![0, 1]).unwrap();
+        assert_eq!(cutsize_cutnet(&hg, &p), 5);
+        assert_eq!(cutsize_connectivity(&hg, &p), 5);
+    }
+
+    #[test]
+    fn uncut_partition_has_zero_cutsize() {
+        let (hg, _) = setup();
+        let p = Partition::trivial(6);
+        assert_eq!(cutsize_cutnet(&hg, &p), 0);
+        assert_eq!(cutsize_connectivity(&hg, &p), 0);
+    }
+
+    #[test]
+    fn empty_net_connectivity_zero() {
+        let hg = Hypergraph::from_nets(2, &[vec![]]).unwrap();
+        let p = Partition::new(2, vec![0, 1]).unwrap();
+        assert_eq!(connectivities(&hg, &p), vec![0]);
+        assert_eq!(cutsize_connectivity(&hg, &p), 0);
+    }
+}

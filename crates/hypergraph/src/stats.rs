@@ -1,0 +1,153 @@
+//! Hypergraph structural statistics — the quantities behind the paper's
+//! §4 runtime discussion (the fine-grain hypergraph has `Z` vertices and
+//! twice the nets/pins of the 1D model, hence the 2–3x partitioning
+//! time).
+
+use crate::Hypergraph;
+
+/// Structural statistics of a hypergraph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HypergraphStats {
+    /// Vertex count `|V|`.
+    pub num_vertices: u32,
+    /// Net count `|N|`.
+    pub num_nets: u32,
+    /// Total pins.
+    pub num_pins: usize,
+    /// Smallest net size (0 for empty nets).
+    pub min_net_size: usize,
+    /// Largest net size.
+    pub max_net_size: usize,
+    /// Mean net size.
+    pub avg_net_size: f64,
+    /// Smallest vertex degree.
+    pub min_degree: usize,
+    /// Largest vertex degree.
+    pub max_degree: usize,
+    /// Mean vertex degree.
+    pub avg_degree: f64,
+    /// Total vertex weight.
+    pub total_weight: u64,
+    /// Number of zero-weight vertices (e.g. fine-grain dummies).
+    pub zero_weight_vertices: u32,
+    /// Number of single-pin nets (never cuttable).
+    pub single_pin_nets: u32,
+}
+
+impl HypergraphStats {
+    /// Computes statistics for `hg`.
+    pub fn compute(hg: &Hypergraph) -> Self {
+        let nv = hg.num_vertices();
+        let nn = hg.num_nets();
+        let (mut min_ns, mut max_ns) = (usize::MAX, 0usize);
+        let mut single = 0u32;
+        for n in 0..nn {
+            let s = hg.net_size(n);
+            min_ns = min_ns.min(s);
+            max_ns = max_ns.max(s);
+            if s == 1 {
+                single += 1;
+            }
+        }
+        if nn == 0 {
+            min_ns = 0;
+        }
+        let (mut min_d, mut max_d) = (usize::MAX, 0usize);
+        let mut zero_w = 0u32;
+        for v in 0..nv {
+            let d = hg.vertex_degree(v);
+            min_d = min_d.min(d);
+            max_d = max_d.max(d);
+            if hg.vertex_weight(v) == 0 {
+                zero_w += 1;
+            }
+        }
+        if nv == 0 {
+            min_d = 0;
+        }
+        HypergraphStats {
+            num_vertices: nv,
+            num_nets: nn,
+            num_pins: hg.num_pins(),
+            min_net_size: min_ns,
+            max_net_size: max_ns,
+            avg_net_size: if nn == 0 { 0.0 } else { hg.num_pins() as f64 / nn as f64 },
+            min_degree: min_d,
+            max_degree: max_d,
+            avg_degree: if nv == 0 { 0.0 } else { hg.num_pins() as f64 / nv as f64 },
+            total_weight: hg.total_vertex_weight(),
+            zero_weight_vertices: zero_w,
+            single_pin_nets: single,
+        }
+    }
+
+    /// Histogram of net sizes in power-of-two buckets: entry `i` counts
+    /// nets with size in `[2^i, 2^(i+1))` (entry 0 covers sizes 0 and 1).
+    pub fn net_size_histogram(hg: &Hypergraph) -> Vec<usize> {
+        let mut hist: Vec<usize> = Vec::new();
+        for n in 0..hg.num_nets() {
+            let s = hg.net_size(n);
+            let bucket = if s <= 1 { 0 } else { usize::BITS as usize - (s.leading_zeros() as usize) - 1 };
+            if hist.len() <= bucket {
+                hist.resize(bucket + 1, 0);
+            }
+            hist[bucket] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basic() {
+        let hg = Hypergraph::from_nets_weighted(
+            4,
+            &[vec![0, 1, 2], vec![2, 3], vec![3]],
+            vec![1, 1, 0, 2],
+            vec![1, 1, 1],
+        )
+        .unwrap();
+        let s = HypergraphStats::compute(&hg);
+        assert_eq!(s.num_vertices, 4);
+        assert_eq!(s.num_nets, 3);
+        assert_eq!(s.num_pins, 6);
+        assert_eq!(s.min_net_size, 1);
+        assert_eq!(s.max_net_size, 3);
+        assert_eq!(s.avg_net_size, 2.0);
+        assert_eq!(s.min_degree, 1);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.total_weight, 4);
+        assert_eq!(s.zero_weight_vertices, 1);
+        assert_eq!(s.single_pin_nets, 1);
+    }
+
+    #[test]
+    fn stats_empty() {
+        let hg = Hypergraph::from_nets(0, &[]).unwrap();
+        let s = HypergraphStats::compute(&hg);
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.min_net_size, 0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        // Sizes 1, 2, 3, 5, 9 -> buckets 0, 1, 1, 2, 3.
+        let hg = Hypergraph::from_nets(
+            9,
+            &[
+                vec![0],
+                vec![0, 1],
+                vec![0, 1, 2],
+                vec![0, 1, 2, 3, 4],
+                vec![0, 1, 2, 3, 4, 5, 6, 7, 8],
+            ],
+        )
+        .unwrap();
+        let h = HypergraphStats::net_size_histogram(&hg);
+        assert_eq!(h, vec![1, 2, 1, 1]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Multilevel bisection driver: coarsen → initial partition → project &
+//! refine back up.
+
+use fgh_hypergraph::Hypergraph;
+use rand::Rng;
+
+use crate::coarsen::{coarsen_once, CoarseLevel};
+use crate::config::PartitionConfig;
+use crate::initial::initial_best;
+use crate::refine::BisectionState;
+
+/// Bisects `hg` into sides 0/1 with ideal side weights `targets` and
+/// per-bisection imbalance `epsilon`. `fixed[v]` pins vertices to a side.
+///
+/// Returns the side assignment and the cut-net cutsize achieved.
+pub fn multilevel_bisect(
+    hg: &Hypergraph,
+    fixed: &[i8],
+    targets: [f64; 2],
+    epsilon: f64,
+    cfg: &PartitionConfig,
+    rng: &mut impl Rng,
+) -> (Vec<u8>, u64) {
+    // Degenerate targets: everything belongs on one side.
+    if targets[1] <= 0.0 {
+        return (vec![0; hg.num_vertices() as usize], 0);
+    }
+    if targets[0] <= 0.0 {
+        return (vec![1; hg.num_vertices() as usize], 0);
+    }
+
+    // --- Coarsening phase ---
+    // Cap cluster weights so no coarse vertex exceeds a fraction of the
+    // smaller side's cap; otherwise balanced bisection can become
+    // infeasible at the coarsest level.
+    let min_target = targets[0].min(targets[1]);
+    let max_vw = hg.vertex_weights().iter().copied().max().unwrap_or(1) as u64;
+    let weight_cap = ((min_target * (1.0 + epsilon)) / 4.0).ceil().max(1.0) as u64;
+    let weight_cap = weight_cap.max(max_vw);
+
+    let mut levels: Vec<CoarseLevel> = Vec::new();
+    loop {
+        let (cur_hg, cur_fixed): (&Hypergraph, &[i8]) = match levels.last() {
+            Some(l) => (&l.coarse, &l.fixed),
+            None => (hg, fixed),
+        };
+        if cur_hg.num_vertices() <= cfg.coarsen_to {
+            break;
+        }
+        let next = coarsen_once(
+            cur_hg,
+            cur_fixed,
+            cfg.coarsening,
+            cfg.max_net_size_for_matching,
+            weight_cap,
+            rng,
+        );
+        match next {
+            Some(level) => levels.push(level),
+            None => break,
+        }
+    }
+
+    // --- Initial partitioning at the coarsest level ---
+    let (coarsest_hg, coarsest_fixed): (&Hypergraph, &[i8]) = match levels.last() {
+        Some(l) => (&l.coarse, &l.fixed),
+        None => (hg, fixed),
+    };
+    let mut sides = initial_best(
+        coarsest_hg,
+        coarsest_fixed,
+        targets,
+        epsilon,
+        cfg.initial,
+        cfg.initial_tries,
+        cfg.fm_passes,
+        rng,
+    );
+
+    // --- Uncoarsening: project and refine at every level ---
+    for li in (0..levels.len()).rev() {
+        let (fine_hg, fine_fixed): (&Hypergraph, &[i8]) = if li == 0 {
+            (hg, fixed)
+        } else {
+            (&levels[li - 1].coarse, &levels[li - 1].fixed)
+        };
+        let map = &levels[li].map;
+        let fine_sides: Vec<u8> = (0..fine_hg.num_vertices())
+            .map(|v| sides[map[v as usize] as usize])
+            .collect();
+        let mut st = BisectionState::new(fine_hg, fine_sides, fine_fixed, targets, epsilon);
+        if cfg.boundary_fm {
+            st.refine_boundary(rng, cfg.fm_passes, cfg.fm_early_exit);
+        } else {
+            st.refine(rng, cfg.fm_passes, cfg.fm_early_exit);
+        }
+        sides = st.into_sides();
+    }
+
+    // Final safety refinement on the original hypergraph when no
+    // coarsening happened (the loop above already covers li == 0).
+    let st = BisectionState::new(hg, sides, fixed, targets, epsilon);
+    let cut = st.cut();
+    (st.into_sides(), cut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarsen::FREE;
+    use crate::testutil::{random_hypergraph, two_clusters};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn free(n: u32) -> Vec<i8> {
+        vec![FREE; n as usize]
+    }
+
+    #[test]
+    fn bisect_two_clusters_optimally() {
+        let hg = two_clusters(200);
+        let cfg = PartitionConfig { coarsen_to: 40, ..Default::default() };
+        let (sides, cut) = multilevel_bisect(
+            &hg,
+            &free(400),
+            [200.0, 200.0],
+            0.03,
+            &cfg,
+            &mut SmallRng::seed_from_u64(5),
+        );
+        assert_eq!(cut, 1, "should discover the single-bridge cut");
+        let w1 = sides.iter().filter(|&&s| s == 1).count();
+        assert!((194..=206).contains(&w1), "balance violated: {w1}/400");
+    }
+
+    #[test]
+    fn bisect_respects_balance_on_random_hypergraphs() {
+        for seed in 0..3u64 {
+            let hg = random_hypergraph(500, 800, 6, seed);
+            let cfg = PartitionConfig::default();
+            let (sides, _) = multilevel_bisect(
+                &hg,
+                &free(500),
+                [250.0, 250.0],
+                0.05,
+                &cfg,
+                &mut SmallRng::seed_from_u64(seed),
+            );
+            let w1 = sides.iter().filter(|&&s| s == 1).count() as f64;
+            assert!(
+                w1 <= 250.0 * 1.05 + 1.0 && (500.0 - w1) <= 250.0 * 1.05 + 1.0,
+                "seed {seed}: side weights {w1}/{}",
+                500.0 - w1
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_targets() {
+        let hg = two_clusters(10);
+        let cfg = PartitionConfig::default();
+        let (sides, cut) = multilevel_bisect(
+            &hg,
+            &free(20),
+            [20.0, 0.0],
+            0.03,
+            &cfg,
+            &mut SmallRng::seed_from_u64(1),
+        );
+        assert!(sides.iter().all(|&s| s == 0));
+        assert_eq!(cut, 0);
+    }
+
+    #[test]
+    fn unbalanced_targets_respected() {
+        // 3:1 split request.
+        let hg = two_clusters(100);
+        let cfg = PartitionConfig::default();
+        let (sides, _) = multilevel_bisect(
+            &hg,
+            &free(200),
+            [150.0, 50.0],
+            0.05,
+            &cfg,
+            &mut SmallRng::seed_from_u64(2),
+        );
+        let w1 = sides.iter().filter(|&&s| s == 1).count() as f64;
+        assert!(w1 <= 50.0 * 1.05 + 1.0, "side 1 too heavy: {w1}");
+        assert!(w1 >= 30.0, "side 1 suspiciously light: {w1}");
+    }
+
+    #[test]
+    fn fixed_vertices_survive_multilevel() {
+        let hg = two_clusters(100);
+        let mut fx = free(200);
+        fx[0] = 1;
+        fx[150] = 0;
+        let cfg = PartitionConfig::default();
+        let (sides, _) = multilevel_bisect(
+            &hg,
+            &fx,
+            [100.0, 100.0],
+            0.05,
+            &cfg,
+            &mut SmallRng::seed_from_u64(3),
+        );
+        assert_eq!(sides[0], 1, "fixed vertex 0 moved");
+        assert_eq!(sides[150], 0, "fixed vertex 150 moved");
+    }
+}

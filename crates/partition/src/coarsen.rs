@@ -1,0 +1,364 @@
+//! Coarsening: heavy-connectivity matching/clustering plus contraction.
+//!
+//! Each level groups strongly connected vertices into clusters and contracts
+//! the hypergraph: cluster = coarse vertex (weights summed), nets keep one
+//! pin per touched cluster, single-pin nets are dropped (they can never be
+//! cut), and nets with identical pin sets are merged with summed costs.
+//! Cluster weights are capped so one coarse vertex can never make balanced
+//! bisection infeasible.
+
+use std::collections::HashMap;
+
+use fgh_hypergraph::Hypergraph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::config::CoarseningScheme;
+
+/// Free (not fixed to any side) marker in fixed-side vectors.
+pub const FREE: i8 = -1;
+
+const NIL: u32 = u32::MAX;
+
+/// Result of one coarsening level.
+#[derive(Debug)]
+pub struct CoarseLevel {
+    /// The contracted hypergraph.
+    pub coarse: Hypergraph,
+    /// Fine-vertex → coarse-vertex map.
+    pub map: Vec<u32>,
+    /// Per-coarse-vertex fixed side (`FREE`, `0`, or `1`).
+    pub fixed: Vec<i8>,
+}
+
+/// Performs one level of coarsening. Returns `None` when clustering fails
+/// to shrink the hypergraph meaningfully (reduction below 5%), signalling
+/// the driver to stop.
+pub fn coarsen_once(
+    hg: &Hypergraph,
+    fixed: &[i8],
+    scheme: CoarseningScheme,
+    max_net_size: usize,
+    weight_cap: u64,
+    rng: &mut impl Rng,
+) -> Option<CoarseLevel> {
+    let n = hg.num_vertices() as usize;
+    debug_assert_eq!(fixed.len(), n);
+
+    let clusters = cluster_vertices(hg, fixed, scheme, max_net_size, weight_cap, rng);
+    let num_clusters = clusters.num_clusters;
+    if num_clusters as f64 > 0.95 * n as f64 {
+        return None;
+    }
+    Some(contract(hg, fixed, &clusters.cluster_of, num_clusters))
+}
+
+struct Clustering {
+    cluster_of: Vec<u32>,
+    num_clusters: u32,
+}
+
+/// Visits vertices in random order; each vertex joins the
+/// heaviest-connectivity cluster among its already-processed neighbors
+/// (subject to the weight cap and fixed-side compatibility) or starts its
+/// own. Under HCM a cluster accepts at most one extra vertex.
+fn cluster_vertices(
+    hg: &Hypergraph,
+    fixed: &[i8],
+    scheme: CoarseningScheme,
+    max_net_size: usize,
+    weight_cap: u64,
+    rng: &mut impl Rng,
+) -> Clustering {
+    let n = hg.num_vertices() as usize;
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+
+    let mut cluster_of = vec![NIL; n];
+    let mut cluster_weight: Vec<u64> = Vec::new();
+    let mut cluster_size: Vec<u32> = Vec::new();
+    let mut cluster_fixed: Vec<i8> = Vec::new();
+
+    // Scratch connectivity scores keyed by cluster id.
+    let mut score: Vec<u64> = Vec::new();
+    let mut touched: Vec<u32> = Vec::new();
+
+    for &u in &order {
+        let uw = hg.vertex_weight(u) as u64;
+        let uf = fixed[u as usize];
+
+        // Score already-formed clusters reachable through u's nets.
+        touched.clear();
+        for &net in hg.nets(u) {
+            if hg.net_size(net) > max_net_size {
+                continue;
+            }
+            let cost = hg.net_cost(net) as u64;
+            for &v in hg.pins(net) {
+                if v == u {
+                    continue;
+                }
+                let c = cluster_of[v as usize];
+                if c == NIL {
+                    continue;
+                }
+                if score.len() <= c as usize {
+                    score.resize(cluster_weight.len(), 0);
+                }
+                if score[c as usize] == 0 {
+                    touched.push(c);
+                }
+                score[c as usize] += cost;
+            }
+        }
+
+        // Best admissible cluster.
+        let mut best: Option<(u32, f64)> = None;
+        for &c in &touched {
+            let s = score[c as usize];
+            score[c as usize] = 0;
+            let cf = cluster_fixed[c as usize];
+            if uf != FREE && cf != FREE && uf != cf {
+                continue;
+            }
+            if cluster_weight[c as usize] + uw > weight_cap {
+                continue;
+            }
+            if scheme == CoarseningScheme::Hcm && cluster_size[c as usize] >= 2 {
+                continue;
+            }
+            // Scaled HCC divides the connectivity score by the merged
+            // weight, discouraging snowball clusters.
+            let key = match scheme {
+                CoarseningScheme::ScaledHcc => {
+                    s as f64 / (cluster_weight[c as usize] + uw).max(1) as f64
+                }
+                _ => s as f64,
+            };
+            match best {
+                Some((_, bs)) if bs >= key => {}
+                _ => best = Some((c, key)),
+            }
+        }
+
+        match best {
+            Some((c, _)) => {
+                cluster_of[u as usize] = c;
+                cluster_weight[c as usize] += uw;
+                cluster_size[c as usize] += 1;
+                if cluster_fixed[c as usize] == FREE {
+                    cluster_fixed[c as usize] = uf;
+                }
+            }
+            None => {
+                let c = cluster_weight.len() as u32;
+                cluster_of[u as usize] = c;
+                cluster_weight.push(uw);
+                cluster_size.push(1);
+                cluster_fixed.push(uf);
+                if score.len() <= c as usize {
+                    score.push(0);
+                }
+            }
+        }
+    }
+
+    Clustering { cluster_of, num_clusters: cluster_weight.len() as u32 }
+}
+
+/// Contracts `hg` under the given clustering.
+fn contract(hg: &Hypergraph, fixed: &[i8], cluster_of: &[u32], num_clusters: u32) -> CoarseLevel {
+    let mut weights = vec![0u64; num_clusters as usize];
+    let mut coarse_fixed = vec![FREE; num_clusters as usize];
+    for v in 0..hg.num_vertices() as usize {
+        let c = cluster_of[v] as usize;
+        weights[c] += hg.vertex_weight(v as u32) as u64;
+        if fixed[v] != FREE {
+            debug_assert!(coarse_fixed[c] == FREE || coarse_fixed[c] == fixed[v]);
+            coarse_fixed[c] = fixed[v];
+        }
+    }
+    let weights: Vec<u32> =
+        weights.into_iter().map(|w| u32::try_from(w).expect("weight overflow")).collect();
+
+    // Build coarse nets: dedupe pins per net, drop singletons, merge
+    // identical nets.
+    let mut stamp = vec![u32::MAX; num_clusters as usize];
+    let mut merged: HashMap<Box<[u32]>, u32> = HashMap::new();
+    let mut nets: Vec<Vec<u32>> = Vec::new();
+    let mut costs: Vec<u32> = Vec::new();
+    for n in 0..hg.num_nets() {
+        let mut pins: Vec<u32> = Vec::with_capacity(hg.net_size(n).min(16));
+        for &p in hg.pins(n) {
+            let c = cluster_of[p as usize];
+            if stamp[c as usize] != n {
+                stamp[c as usize] = n;
+                pins.push(c);
+            }
+        }
+        if pins.len() < 2 {
+            continue;
+        }
+        pins.sort_unstable();
+        let key: Box<[u32]> = pins.clone().into_boxed_slice();
+        match merged.get(&key) {
+            Some(&idx) => costs[idx as usize] += hg.net_cost(n),
+            None => {
+                merged.insert(key, nets.len() as u32);
+                nets.push(pins);
+                costs.push(hg.net_cost(n));
+            }
+        }
+    }
+
+    let coarse = Hypergraph::from_nets_weighted(num_clusters, &nets, weights, costs)
+        .expect("contraction preserves hypergraph validity");
+    CoarseLevel { coarse, map: cluster_of.to_vec(), fixed: coarse_fixed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{random_hypergraph, two_clusters};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    fn free(n: u32) -> Vec<i8> {
+        vec![FREE; n as usize]
+    }
+
+    #[test]
+    fn coarsening_shrinks_and_preserves_weight() {
+        let hg = two_clusters(50);
+        let total = hg.total_vertex_weight();
+        let lvl = coarsen_once(&hg, &free(100), CoarseningScheme::Hcc, 64, total, &mut rng())
+            .expect("should shrink");
+        assert!(lvl.coarse.num_vertices() < hg.num_vertices());
+        assert_eq!(lvl.coarse.total_vertex_weight(), total);
+        lvl.coarse.validate().unwrap();
+        // Every fine vertex maps to a valid coarse vertex.
+        for &c in &lvl.map {
+            assert!(c < lvl.coarse.num_vertices());
+        }
+    }
+
+    #[test]
+    fn hcm_clusters_have_at_most_two_vertices() {
+        let hg = random_hypergraph(200, 300, 5, 7);
+        let lvl = coarsen_once(
+            &hg,
+            &free(200),
+            CoarseningScheme::Hcm,
+            64,
+            hg.total_vertex_weight(),
+            &mut rng(),
+        )
+        .expect("should shrink");
+        let mut sizes = vec![0u32; lvl.coarse.num_vertices() as usize];
+        for &c in &lvl.map {
+            sizes[c as usize] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s <= 2), "HCM formed a cluster of size > 2");
+    }
+
+    #[test]
+    fn weight_cap_respected() {
+        let hg = two_clusters(40);
+        let cap = 3u64;
+        let lvl = coarsen_once(&hg, &free(80), CoarseningScheme::Hcc, 64, cap, &mut rng())
+            .expect("should shrink");
+        assert!(lvl.coarse.vertex_weights().iter().all(|&w| w as u64 <= cap));
+    }
+
+    #[test]
+    fn incompatible_fixed_sides_never_merge() {
+        let hg = two_clusters(20);
+        let mut fixed = free(40);
+        // Fix alternating vertices to opposite sides.
+        for v in 0..40usize {
+            fixed[v] = (v % 2) as i8;
+        }
+        if let Some(lvl) = coarsen_once(
+            &hg,
+            &fixed,
+            CoarseningScheme::Hcc,
+            64,
+            hg.total_vertex_weight(),
+            &mut rng(),
+        ) {
+            // Each coarse vertex must contain fine vertices of one side only.
+            let mut side: Vec<i8> = vec![FREE; lvl.coarse.num_vertices() as usize];
+            for (v, &c) in lvl.map.iter().enumerate() {
+                let f = fixed[v];
+                assert!(side[c as usize] == FREE || side[c as usize] == f);
+                side[c as usize] = f;
+            }
+            // And the coarse fixed vector reflects it.
+            assert_eq!(side, lvl.fixed);
+        }
+    }
+
+    #[test]
+    fn identical_nets_merge_costs() {
+        // Nets {0,1} and {0,1} should merge into one net of cost 2 if 0,1
+        // stay separate clusters, or vanish if merged. Force separation
+        // with a tiny weight cap.
+        let hg = Hypergraph::from_nets(2, &[vec![0, 1], vec![0, 1]]).unwrap();
+        let lvl = contract(&hg, &free(2), &[0, 1], 2);
+        assert_eq!(lvl.coarse.num_nets(), 1);
+        assert_eq!(lvl.coarse.net_cost(0), 2);
+    }
+
+    #[test]
+    fn single_pin_nets_dropped() {
+        let hg = Hypergraph::from_nets(3, &[vec![0, 1], vec![1, 2]]).unwrap();
+        // Merge 0 and 1: net {0,1} collapses to a single pin and is dropped.
+        let lvl = contract(&hg, &free(3), &[0, 0, 1], 2);
+        assert_eq!(lvl.coarse.num_nets(), 1);
+        assert_eq!(lvl.coarse.pins(0), &[0, 1]);
+    }
+
+    #[test]
+    fn stops_when_no_shrink_possible() {
+        // A hypergraph with no nets cannot cluster at all.
+        let hg = Hypergraph::from_nets(10, &[]).unwrap();
+        assert!(coarsen_once(
+            &hg,
+            &free(10),
+            CoarseningScheme::Hcc,
+            64,
+            hg.total_vertex_weight(),
+            &mut rng()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let hg = random_hypergraph(300, 500, 6, 11);
+        let a = coarsen_once(
+            &hg,
+            &free(300),
+            CoarseningScheme::Hcc,
+            64,
+            hg.total_vertex_weight(),
+            &mut SmallRng::seed_from_u64(5),
+        )
+        .unwrap();
+        let b = coarsen_once(
+            &hg,
+            &free(300),
+            CoarseningScheme::Hcc,
+            64,
+            hg.total_vertex_weight(),
+            &mut SmallRng::seed_from_u64(5),
+        )
+        .unwrap();
+        assert_eq!(a.map, b.map);
+        assert_eq!(a.coarse, b.coarse);
+    }
+}

@@ -1,0 +1,180 @@
+//! Partitioner configuration.
+
+/// Coarsening scheme selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoarseningScheme {
+    /// Heavy-connectivity *matching*: clusters have at most two vertices
+    /// per level.
+    Hcm,
+    /// Heavy-connectivity *clustering* (agglomerative): a vertex may join
+    /// an already-formed cluster, allowing multi-vertex clusters per level.
+    Hcc,
+    /// HCC with the connectivity score scaled by the candidate cluster's
+    /// weight (PaToH's "absorption" flavour) — discourages snowballing
+    /// into a few huge clusters.
+    ScaledHcc,
+}
+
+/// Initial-partitioning scheme at the coarsest level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitialScheme {
+    /// Greedy hypergraph growing: grow side 1 by max-gain moves (default).
+    Ghg,
+    /// Random side assignment up to the weight target (ablation baseline).
+    Random,
+    /// Weight-only bin packing: heaviest vertices first onto the lighter
+    /// side, ignoring connectivity (ablation baseline).
+    BinPacking,
+}
+
+/// Configuration for the multilevel partitioner.
+///
+/// The defaults mirror the paper's experimental setup where it specifies
+/// one: `epsilon = 0.03` (all reported imbalances are below 3%).
+#[derive(Debug, Clone)]
+pub struct PartitionConfig {
+    /// Maximum allowed imbalance ratio ε of the *final* K-way partition
+    /// (eq. 1): every part weight ≤ average · (1 + ε).
+    pub epsilon: f64,
+    /// RNG seed; every stage is deterministic given the seed.
+    pub seed: u64,
+    /// Coarsening scheme.
+    pub coarsening: CoarseningScheme,
+    /// Initial-partitioning scheme at the coarsest level.
+    pub initial: InitialScheme,
+    /// Apply net splitting during recursive bisection (the correct
+    /// treatment for the connectivity−1 objective). Disable only for the
+    /// cut-net-metric ablation.
+    pub net_splitting: bool,
+    /// Stop coarsening once the working hypergraph has at most this many
+    /// vertices.
+    pub coarsen_to: u32,
+    /// Nets larger than this are skipped during coarsening neighbor scans
+    /// (they contribute little structural signal and cost O(size²)).
+    pub max_net_size_for_matching: usize,
+    /// Number of greedy-hypergraph-growing tries at the coarsest level.
+    pub initial_tries: usize,
+    /// Maximum FM passes per level (a pass that improves nothing ends
+    /// refinement early).
+    pub fm_passes: usize,
+    /// Abort an FM pass after this many consecutive non-improving moves
+    /// (0 disables the early exit).
+    pub fm_early_exit: usize,
+    /// Run a direct K-way greedy refinement pass over the assembled
+    /// partition after recursive bisection (extension over the paper).
+    pub kway_refine: bool,
+    /// Use boundary-only FM passes during uncoarsening (faster on large
+    /// instances; quality within a percent or two of full passes).
+    pub boundary_fm: bool,
+    /// V-cycles (iterated multilevel K-way refinement) after recursive
+    /// bisection: 0 disables. Each cycle re-coarsens respecting the
+    /// partition and refines at every level — recovers cluster-granular
+    /// moves flat refinement cannot see.
+    pub vcycles: usize,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            epsilon: 0.03,
+            seed: 1,
+            coarsening: CoarseningScheme::Hcc,
+            initial: InitialScheme::Ghg,
+            net_splitting: true,
+            coarsen_to: 100,
+            max_net_size_for_matching: 64,
+            initial_tries: 8,
+            fm_passes: 4,
+            fm_early_exit: 400,
+            kway_refine: true,
+            boundary_fm: false,
+            vcycles: 0,
+        }
+    }
+}
+
+impl PartitionConfig {
+    /// A config with the given seed and defaults elsewhere.
+    pub fn with_seed(seed: u64) -> Self {
+        PartitionConfig { seed, ..Default::default() }
+    }
+
+    /// Quality preset: more initial tries and FM passes, no early exit.
+    /// Roughly 2-3x slower than the default for a few percent lower
+    /// cutsize — use when the decomposition is computed once and reused
+    /// across thousands of SpMV iterations.
+    pub fn quality(seed: u64) -> Self {
+        PartitionConfig {
+            seed,
+            initial_tries: 16,
+            fm_passes: 8,
+            fm_early_exit: 0,
+            vcycles: 3,
+            ..Default::default()
+        }
+    }
+
+    /// Speed preset: fewer tries/passes and aggressive early exit, for
+    /// interactive experimentation on large instances.
+    pub fn fast(seed: u64) -> Self {
+        PartitionConfig {
+            seed,
+            initial_tries: 3,
+            fm_passes: 2,
+            fm_early_exit: 100,
+            coarsen_to: 200,
+            vcycles: 0,
+            boundary_fm: true,
+            ..Default::default()
+        }
+    }
+
+    /// Per-bisection imbalance for recursive bisection so that the final
+    /// K-way imbalance stays within ε: with `d = ceil(log2 K)` levels,
+    /// `(1 + ε') ^ d = 1 + ε`.
+    pub fn per_level_epsilon(&self, k: u32) -> f64 {
+        if k <= 2 {
+            return self.epsilon;
+        }
+        let d = (k as f64).log2().ceil();
+        (1.0 + self.epsilon).powf(1.0 / d) - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = PartitionConfig::default();
+        assert!((c.epsilon - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_level_epsilon_composes() {
+        let c = PartitionConfig::default();
+        for k in [2u32, 4, 8, 16, 32, 64] {
+            let e = c.per_level_epsilon(k);
+            let d = (k as f64).log2().ceil();
+            let total = (1.0 + e).powf(d) - 1.0;
+            assert!(total <= c.epsilon + 1e-9, "k={k}: total {total}");
+            assert!(e > 0.0);
+        }
+    }
+
+    #[test]
+    fn per_level_epsilon_k2_is_full() {
+        let c = PartitionConfig::default();
+        assert_eq!(c.per_level_epsilon(2), c.epsilon);
+    }
+
+    #[test]
+    fn presets_differ_in_effort() {
+        let q = PartitionConfig::quality(1);
+        let f = PartitionConfig::fast(1);
+        assert!(q.initial_tries > f.initial_tries);
+        assert!(q.fm_passes > f.fm_passes);
+        assert_eq!(q.epsilon, f.epsilon);
+    }
+}

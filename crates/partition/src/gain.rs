@@ -1,0 +1,229 @@
+//! Gain-bucket priority structure for FM refinement.
+//!
+//! The classic Fiduccia–Mattheyses structure: an array of doubly-linked
+//! lists indexed by gain (offset so negative gains index safely), with O(1)
+//! insert, remove, gain update, and max-gain extraction (amortized via a
+//! moving max pointer).
+
+/// Intrusive doubly-linked gain buckets over vertex ids `0..n`.
+#[derive(Debug)]
+pub struct GainBuckets {
+    offset: i64,
+    heads: Vec<u32>,
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    gain_of: Vec<i64>,
+    in_bucket: Vec<bool>,
+    max_idx: usize,
+    len: usize,
+}
+
+const NIL: u32 = u32::MAX;
+
+impl GainBuckets {
+    /// Creates buckets for `n` vertices with gains in `[-max_gain, max_gain]`.
+    pub fn new(n: usize, max_gain: i64) -> Self {
+        let span = (2 * max_gain + 1).max(1) as usize;
+        GainBuckets {
+            offset: max_gain,
+            heads: vec![NIL; span],
+            next: vec![NIL; n],
+            prev: vec![NIL; n],
+            gain_of: vec![0; n],
+            in_bucket: vec![false; n],
+            max_idx: 0,
+            len: 0,
+        }
+    }
+
+    fn idx(&self, gain: i64) -> usize {
+        let i = gain + self.offset;
+        debug_assert!(
+            i >= 0 && (i as usize) < self.heads.len(),
+            "gain {gain} out of bucket range ±{}",
+            self.offset
+        );
+        i as usize
+    }
+
+    /// Number of queued vertices.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no vertex is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` if `v` is currently queued.
+    pub fn contains(&self, v: u32) -> bool {
+        self.in_bucket[v as usize]
+    }
+
+    /// Current gain of a queued vertex.
+    pub fn gain(&self, v: u32) -> i64 {
+        debug_assert!(self.in_bucket[v as usize]);
+        self.gain_of[v as usize]
+    }
+
+    /// Inserts `v` with the given gain. `v` must not already be queued.
+    pub fn insert(&mut self, v: u32, gain: i64) {
+        debug_assert!(!self.in_bucket[v as usize], "vertex {v} already queued");
+        let b = self.idx(gain);
+        let head = self.heads[b];
+        self.next[v as usize] = head;
+        self.prev[v as usize] = NIL;
+        if head != NIL {
+            self.prev[head as usize] = v;
+        }
+        self.heads[b] = v;
+        self.gain_of[v as usize] = gain;
+        self.in_bucket[v as usize] = true;
+        self.len += 1;
+        if b > self.max_idx {
+            self.max_idx = b;
+        }
+    }
+
+    /// Removes `v` from its bucket. No-op if not queued.
+    pub fn remove(&mut self, v: u32) {
+        if !self.in_bucket[v as usize] {
+            return;
+        }
+        let b = self.idx(self.gain_of[v as usize]);
+        let (p, n) = (self.prev[v as usize], self.next[v as usize]);
+        if p != NIL {
+            self.next[p as usize] = n;
+        } else {
+            self.heads[b] = n;
+        }
+        if n != NIL {
+            self.prev[n as usize] = p;
+        }
+        self.in_bucket[v as usize] = false;
+        self.len -= 1;
+    }
+
+    /// Adjusts the gain of a queued vertex by `delta`.
+    pub fn adjust(&mut self, v: u32, delta: i64) {
+        if delta == 0 || !self.in_bucket[v as usize] {
+            return;
+        }
+        let g = self.gain_of[v as usize] + delta;
+        self.remove(v);
+        self.insert(v, g);
+    }
+
+    /// Pops a maximum-gain vertex satisfying `admissible`, scanning buckets
+    /// from the max downward. Vertices failing the predicate are skipped
+    /// (left queued). Returns `(vertex, gain)`.
+    pub fn pop_max_where(&mut self, mut admissible: impl FnMut(u32) -> bool) -> Option<(u32, i64)> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut b = self.max_idx.min(self.heads.len() - 1);
+        loop {
+            let mut v = self.heads[b];
+            while v != NIL {
+                if admissible(v) {
+                    let g = self.gain_of[v as usize];
+                    // Lower the cached max to the first non-empty bucket.
+                    self.max_idx = b;
+                    self.remove(v);
+                    return Some((v, g));
+                }
+                v = self.next[v as usize];
+            }
+            if b == 0 {
+                return None;
+            }
+            b -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_pop_order() {
+        let mut gb = GainBuckets::new(5, 10);
+        gb.insert(0, -3);
+        gb.insert(1, 5);
+        gb.insert(2, 5);
+        gb.insert(3, 0);
+        assert_eq!(gb.len(), 4);
+        let (v, g) = gb.pop_max_where(|_| true).unwrap();
+        assert!(v == 1 || v == 2);
+        assert_eq!(g, 5);
+        let (_, g) = gb.pop_max_where(|_| true).unwrap();
+        assert_eq!(g, 5);
+        let (v, g) = gb.pop_max_where(|_| true).unwrap();
+        assert_eq!((v, g), (3, 0));
+        let (v, g) = gb.pop_max_where(|_| true).unwrap();
+        assert_eq!((v, g), (0, -3));
+        assert!(gb.pop_max_where(|_| true).is_none());
+    }
+
+    #[test]
+    fn pop_respects_predicate() {
+        let mut gb = GainBuckets::new(3, 4);
+        gb.insert(0, 4);
+        gb.insert(1, 2);
+        let (v, _) = gb.pop_max_where(|v| v != 0).unwrap();
+        assert_eq!(v, 1);
+        // 0 is still queued.
+        assert!(gb.contains(0));
+        assert_eq!(gb.len(), 1);
+    }
+
+    #[test]
+    fn adjust_moves_between_buckets() {
+        let mut gb = GainBuckets::new(4, 8);
+        gb.insert(0, 1);
+        gb.insert(1, 2);
+        gb.adjust(0, 5); // now 6
+        let (v, g) = gb.pop_max_where(|_| true).unwrap();
+        assert_eq!((v, g), (0, 6));
+        gb.adjust(1, -3); // now -1
+        let (v, g) = gb.pop_max_where(|_| true).unwrap();
+        assert_eq!((v, g), (1, -1));
+    }
+
+    #[test]
+    fn remove_unqueued_is_noop() {
+        let mut gb = GainBuckets::new(2, 2);
+        gb.remove(1);
+        assert_eq!(gb.len(), 0);
+        gb.insert(1, 0);
+        gb.remove(1);
+        gb.remove(1);
+        assert_eq!(gb.len(), 0);
+    }
+
+    #[test]
+    fn middle_removal_keeps_links() {
+        let mut gb = GainBuckets::new(3, 2);
+        gb.insert(0, 1);
+        gb.insert(1, 1);
+        gb.insert(2, 1);
+        gb.remove(1); // middle of the bucket list
+        let mut seen = vec![];
+        while let Some((v, _)) = gb.pop_max_where(|_| true) {
+            seen.push(v);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 2]);
+    }
+
+    #[test]
+    fn negative_only_gains() {
+        let mut gb = GainBuckets::new(2, 3);
+        gb.insert(0, -3);
+        gb.insert(1, -1);
+        let (v, g) = gb.pop_max_where(|_| true).unwrap();
+        assert_eq!((v, g), (1, -1));
+    }
+}

@@ -1,0 +1,232 @@
+//! Initial partitioning of the coarsest hypergraph: greedy hypergraph
+//! growing (GHG) with multiple random tries.
+
+use fgh_hypergraph::Hypergraph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::coarsen::FREE;
+use crate::config::InitialScheme;
+use crate::gain::GainBuckets;
+use crate::refine::BisectionState;
+
+/// Produces an initial bisection with the chosen scheme, FM-refined, best
+/// of `tries` random streams by (balance penalty, cut).
+#[allow(clippy::too_many_arguments)]
+pub fn initial_best(
+    hg: &Hypergraph,
+    fixed: &[i8],
+    targets: [f64; 2],
+    epsilon: f64,
+    scheme: InitialScheme,
+    tries: usize,
+    fm_passes: usize,
+    rng: &mut impl Rng,
+) -> Vec<u8> {
+    let mut best: Option<(u64, u64, Vec<u8>)> = None;
+    for _ in 0..tries.max(1) {
+        let sides = match scheme {
+            InitialScheme::Ghg => ghg_once(hg, fixed, targets, epsilon, fm_passes, rng),
+            InitialScheme::Random => random_once(hg, fixed, targets, epsilon, fm_passes, rng),
+            InitialScheme::BinPacking => {
+                bin_packing_once(hg, fixed, targets, epsilon, fm_passes, rng)
+            }
+        };
+        let st = BisectionState::new(hg, sides, fixed, targets, epsilon);
+        let key = (st.balance_penalty(), st.cut());
+        if best.as_ref().map(|(p, c, _)| key < (*p, *c)).unwrap_or(true) {
+            best = Some((key.0, key.1, st.into_sides()));
+        }
+    }
+    best.expect("tries >= 1").2
+}
+
+/// Greedy hypergraph growing with defaults — kept as the conventional
+/// entry point.
+pub fn ghg_best(
+    hg: &Hypergraph,
+    fixed: &[i8],
+    targets: [f64; 2],
+    epsilon: f64,
+    tries: usize,
+    fm_passes: usize,
+    rng: &mut impl Rng,
+) -> Vec<u8> {
+    initial_best(hg, fixed, targets, epsilon, InitialScheme::Ghg, tries, fm_passes, rng)
+}
+
+/// Random assignment: shuffle free vertices, fill side 1 to its target.
+fn random_once(
+    hg: &Hypergraph,
+    fixed: &[i8],
+    targets: [f64; 2],
+    epsilon: f64,
+    fm_passes: usize,
+    rng: &mut impl Rng,
+) -> Vec<u8> {
+    let n = hg.num_vertices();
+    let mut side: Vec<u8> =
+        (0..n).map(|v| if fixed[v as usize] == 1 { 1 } else { 0 }).collect();
+    let mut order: Vec<u32> = (0..n).filter(|&v| fixed[v as usize] == FREE).collect();
+    order.shuffle(rng);
+    let target1 = targets[1].floor().max(0.0) as u64;
+    let mut w1: u64 = (0..n)
+        .filter(|&v| side[v as usize] == 1)
+        .map(|v| hg.vertex_weight(v) as u64)
+        .sum();
+    for &v in &order {
+        if w1 >= target1 {
+            break;
+        }
+        side[v as usize] = 1;
+        w1 += hg.vertex_weight(v) as u64;
+    }
+    let mut st = BisectionState::new(hg, side, fixed, targets, epsilon);
+    st.refine(rng, fm_passes, 0);
+    st.into_sides()
+}
+
+/// Weight-only greedy bin packing: heaviest free vertices first, each onto
+/// the side with more remaining capacity (ties randomized by a shuffled
+/// pre-pass), connectivity ignored.
+fn bin_packing_once(
+    hg: &Hypergraph,
+    fixed: &[i8],
+    targets: [f64; 2],
+    epsilon: f64,
+    fm_passes: usize,
+    rng: &mut impl Rng,
+) -> Vec<u8> {
+    let n = hg.num_vertices();
+    let mut side: Vec<u8> =
+        (0..n).map(|v| if fixed[v as usize] == 1 { 1 } else { 0 }).collect();
+    let mut w = [0u64; 2];
+    for v in 0..n {
+        if fixed[v as usize] != FREE {
+            w[side[v as usize] as usize] += hg.vertex_weight(v) as u64;
+        }
+    }
+    let mut order: Vec<u32> = (0..n).filter(|&v| fixed[v as usize] == FREE).collect();
+    order.shuffle(rng);
+    order.sort_by_key(|&v| std::cmp::Reverse(hg.vertex_weight(v)));
+    for &v in &order {
+        // Fill toward proportional targets: pick the side with the larger
+        // remaining gap.
+        let gap0 = targets[0] - w[0] as f64;
+        let gap1 = targets[1] - w[1] as f64;
+        let s = usize::from(gap1 > gap0);
+        side[v as usize] = s as u8;
+        w[s] += hg.vertex_weight(v) as u64;
+    }
+    let mut st = BisectionState::new(hg, side, fixed, targets, epsilon);
+    st.refine(rng, fm_passes, 0);
+    st.into_sides()
+}
+
+fn ghg_once(
+    hg: &Hypergraph,
+    fixed: &[i8],
+    targets: [f64; 2],
+    epsilon: f64,
+    fm_passes: usize,
+    rng: &mut impl Rng,
+) -> Vec<u8> {
+    let n = hg.num_vertices();
+    // Fixed vertices start on their side, everything else on side 0.
+    let side: Vec<u8> = (0..n)
+        .map(|v| if fixed[v as usize] == 1 { 1 } else { 0 })
+        .collect();
+    let mut st = BisectionState::new(hg, side, fixed, targets, epsilon);
+
+    // Grow side 1 until it reaches its target weight. Gains make the
+    // growth cluster-shaped: vertices adjacent to side 1 have higher gain.
+    let target1 = targets[1].floor().max(0.0) as u64;
+    if st.weights()[1] < target1 {
+        let mut buckets = GainBuckets::new(n as usize, max_gain_bound(hg));
+        let mut insert_order: Vec<u32> =
+            (0..n).filter(|&v| fixed[v as usize] == FREE).collect();
+        // Random seed bias: shuffle so ties (isolated vertices) vary.
+        insert_order.shuffle(rng);
+        for &v in &insert_order {
+            buckets.insert(v, st.gain(v));
+        }
+        while st.weights()[1] < target1 {
+            let state = &st;
+            let popped = buckets.pop_max_where(|u| state.sides()[u as usize] == 0);
+            match popped {
+                Some((v, _)) => st.apply_move(v, Some(&mut buckets)),
+                None => break,
+            }
+        }
+    }
+
+    st.refine(rng, fm_passes, 0);
+    st.into_sides()
+}
+
+fn max_gain_bound(hg: &Hypergraph) -> i64 {
+    let mut best = 1i64;
+    for v in 0..hg.num_vertices() {
+        let s: i64 = hg.nets(v).iter().map(|&n| hg.net_cost(n) as i64).sum();
+        best = best.max(s);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::two_clusters;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn free(n: u32) -> Vec<i8> {
+        vec![FREE; n as usize]
+    }
+
+    #[test]
+    fn ghg_produces_balanced_bisection() {
+        let hg = two_clusters(20);
+        let fixed = free(40);
+        let sides =
+            ghg_best(&hg, &fixed, [20.0, 20.0], 0.05, 4, 4, &mut SmallRng::seed_from_u64(2));
+        let w1: usize = sides.iter().filter(|&&s| s == 1).count();
+        assert!((15..=25).contains(&w1), "side 1 holds {w1} of 40");
+        let st = BisectionState::new(&hg, sides, &fixed, [20.0, 20.0], 0.05);
+        assert_eq!(st.balance_penalty(), 0);
+        // The two-cluster structure should be found.
+        assert_eq!(st.cut(), 1);
+    }
+
+    #[test]
+    fn ghg_respects_fixed() {
+        let hg = two_clusters(10);
+        let mut fixed = free(20);
+        fixed[0] = 1;
+        fixed[15] = 0;
+        let sides =
+            ghg_best(&hg, &fixed, [10.0, 10.0], 0.2, 4, 4, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(sides[0], 1);
+        assert_eq!(sides[15], 0);
+    }
+
+    #[test]
+    fn ghg_on_netless_hypergraph() {
+        // No nets: any balanced split works; GHG must still terminate.
+        let hg = Hypergraph::from_nets(10, &[]).unwrap();
+        let fixed = free(10);
+        let sides =
+            ghg_best(&hg, &fixed, [5.0, 5.0], 0.0, 2, 2, &mut SmallRng::seed_from_u64(4));
+        let c1 = sides.iter().filter(|&&s| s == 1).count();
+        assert_eq!(c1, 5);
+    }
+
+    #[test]
+    fn ghg_single_vertex() {
+        let hg = Hypergraph::from_nets(1, &[]).unwrap();
+        let fixed = free(1);
+        let sides =
+            ghg_best(&hg, &fixed, [1.0, 0.0], 0.0, 1, 1, &mut SmallRng::seed_from_u64(4));
+        assert_eq!(sides, vec![0]);
+    }
+}

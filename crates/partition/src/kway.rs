@@ -1,0 +1,228 @@
+//! Direct K-way greedy refinement on the connectivity−1 metric.
+//!
+//! Recursive bisection is locally optimal per bisection but cannot move a
+//! vertex between parts created in different subtrees. This post-pass (an
+//! extension over the paper; PaToH later grew a similar phase) sweeps
+//! boundary vertices in random order and applies positive-gain moves under
+//! the K-way balance constraint.
+
+use fgh_hypergraph::{Hypergraph, Partition};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Sparse per-net part-count table: for each net, the (part, pin count)
+/// pairs with nonzero count. Net connectivity `λ` is the list length.
+struct NetParts {
+    table: Vec<Vec<(u32, u32)>>,
+}
+
+impl NetParts {
+    fn build(hg: &Hypergraph, partition: &Partition) -> Self {
+        let mut table: Vec<Vec<(u32, u32)>> = vec![Vec::new(); hg.num_nets() as usize];
+        for (n, row) in table.iter_mut().enumerate() {
+            for &p in hg.pins(n as u32) {
+                let part = partition.part(p);
+                match row.iter_mut().find(|(q, _)| *q == part) {
+                    Some((_, c)) => *c += 1,
+                    None => row.push((part, 1)),
+                }
+            }
+        }
+        NetParts { table }
+    }
+
+    fn count(&self, net: u32, part: u32) -> u32 {
+        self.table[net as usize]
+            .iter()
+            .find(|(q, _)| *q == part)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    fn lambda(&self, net: u32) -> usize {
+        self.table[net as usize].len()
+    }
+
+    fn move_pin(&mut self, net: u32, from: u32, to: u32) {
+        let row = &mut self.table[net as usize];
+        let i = row
+            .iter()
+            .position(|(q, _)| *q == from)
+            .expect("moving a pin the net does not have");
+        row[i].1 -= 1;
+        if row[i].1 == 0 {
+            row.swap_remove(i);
+        }
+        match row.iter_mut().find(|(q, _)| *q == to) {
+            Some((_, c)) => *c += 1,
+            None => row.push((to, 1)),
+        }
+    }
+}
+
+/// Runs up to `passes` greedy K-way refinement sweeps over `partition`
+/// in place. `fixed[v] != u32::MAX` pins vertex `v`. Returns the total
+/// connectivity−1 gain achieved (non-negative).
+pub fn kway_refine(
+    hg: &Hypergraph,
+    partition: &mut Partition,
+    fixed: &[u32],
+    epsilon: f64,
+    passes: usize,
+    rng: &mut impl Rng,
+) -> u64 {
+    let k = partition.k();
+    if k < 2 || hg.num_vertices() == 0 {
+        return 0;
+    }
+    let mut np = NetParts::build(hg, partition);
+    let mut weights = partition.part_weights(hg);
+    let total: u64 = weights.iter().sum();
+    let cap = ((total as f64 / k as f64) * (1.0 + epsilon)).floor() as u64;
+
+    let mut total_gain = 0u64;
+    let mut order: Vec<u32> = (0..hg.num_vertices())
+        .filter(|&v| fixed[v as usize] == u32::MAX)
+        .collect();
+
+    for _ in 0..passes {
+        order.shuffle(rng);
+        let mut pass_gain = 0u64;
+        for &v in &order {
+            let from = partition.part(v);
+            // Only boundary vertices can have positive gain.
+            let mut candidate_parts: Vec<u32> = Vec::new();
+            let mut boundary = false;
+            for &n in hg.nets(v) {
+                if np.lambda(n) > 1 {
+                    boundary = true;
+                }
+                for &(q, _) in &np.table[n as usize] {
+                    if q != from && !candidate_parts.contains(&q) {
+                        candidate_parts.push(q);
+                    }
+                }
+            }
+            if !boundary || candidate_parts.is_empty() {
+                continue;
+            }
+            let w = hg.vertex_weight(v) as u64;
+            let mut best: Option<(i64, u32)> = None;
+            for &q in &candidate_parts {
+                if weights[q as usize] + w > cap {
+                    continue;
+                }
+                let mut gain = 0i64;
+                for &n in hg.nets(v) {
+                    let c = hg.net_cost(n) as i64;
+                    if np.count(n, from) == 1 {
+                        gain += c; // leaving removes `from` from Λ
+                    }
+                    if np.count(n, q) == 0 {
+                        gain -= c; // arriving adds `q` to Λ
+                    }
+                }
+                match best {
+                    Some((bg, _)) if bg >= gain => {}
+                    _ => best = Some((gain, q)),
+                }
+            }
+            if let Some((gain, q)) = best {
+                // Accept strict improvements, or zero-gain moves that
+                // improve balance (helps escape RB artifacts).
+                let improves_balance = weights[q as usize] + w < weights[from as usize];
+                if gain > 0 || (gain == 0 && improves_balance) {
+                    for &n in hg.nets(v) {
+                        np.move_pin(n, from, q);
+                    }
+                    weights[from as usize] -= w;
+                    weights[q as usize] += w;
+                    partition.assign(v, q);
+                    pass_gain += gain.max(0) as u64;
+                }
+            }
+        }
+        total_gain += pass_gain;
+        if pass_gain == 0 {
+            break;
+        }
+    }
+    total_gain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::random_hypergraph;
+    use fgh_hypergraph::cutsize_connectivity;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn refine_improves_or_preserves_cutsize() {
+        for seed in 0..4u64 {
+            let hg = random_hypergraph(200, 300, 5, seed);
+            // Deliberately bad partition: round-robin.
+            let parts: Vec<u32> = (0..200).map(|v| v % 4).collect();
+            let mut p = Partition::new(4, parts).unwrap();
+            let before = cutsize_connectivity(&hg, &p);
+            let fixed = vec![u32::MAX; 200];
+            let gain = kway_refine(
+                &hg,
+                &mut p,
+                &fixed,
+                0.05,
+                4,
+                &mut SmallRng::seed_from_u64(seed),
+            );
+            let after = cutsize_connectivity(&hg, &p);
+            assert_eq!(before - after, gain, "reported gain must match metric delta");
+            assert!(after <= before);
+            assert!(gain > 0, "round-robin should be improvable (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn refine_respects_balance() {
+        let hg = random_hypergraph(120, 200, 4, 2);
+        let parts: Vec<u32> = (0..120).map(|v| v % 3).collect();
+        let mut p = Partition::new(3, parts).unwrap();
+        let fixed = vec![u32::MAX; 120];
+        kway_refine(&hg, &mut p, &fixed, 0.05, 4, &mut SmallRng::seed_from_u64(1));
+        assert!(p.imbalance_percent(&hg) <= 5.0 + 1e-9);
+    }
+
+    #[test]
+    fn refine_respects_fixed() {
+        let hg = random_hypergraph(60, 100, 4, 3);
+        let parts: Vec<u32> = (0..60).map(|v| v % 2).collect();
+        let mut p = Partition::new(2, parts.clone()).unwrap();
+        let fixed: Vec<u32> = (0..60).map(|v| if v < 10 { parts[v as usize] } else { u32::MAX }).collect();
+        kway_refine(&hg, &mut p, &fixed, 0.1, 3, &mut SmallRng::seed_from_u64(5));
+        for v in 0..10u32 {
+            assert_eq!(p.part(v), parts[v as usize], "fixed vertex {v} moved");
+        }
+    }
+
+    #[test]
+    fn netparts_bookkeeping() {
+        let hg = Hypergraph::from_nets(4, &[vec![0, 1, 2, 3]]).unwrap();
+        let p = Partition::new(2, vec![0, 0, 1, 1]).unwrap();
+        let mut np = NetParts::build(&hg, &p);
+        assert_eq!(np.lambda(0), 2);
+        assert_eq!(np.count(0, 0), 2);
+        np.move_pin(0, 0, 1);
+        assert_eq!(np.count(0, 0), 1);
+        assert_eq!(np.count(0, 1), 3);
+        np.move_pin(0, 0, 1);
+        assert_eq!(np.lambda(0), 1);
+    }
+
+    #[test]
+    fn k1_noop() {
+        let hg = random_hypergraph(20, 30, 4, 1);
+        let mut p = Partition::trivial(20);
+        let fixed = vec![u32::MAX; 20];
+        assert_eq!(kway_refine(&hg, &mut p, &fixed, 0.05, 2, &mut SmallRng::seed_from_u64(1)), 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! # fgh-partition — multilevel hypergraph partitioner
+//!
+//! A PaToH-style multilevel hypergraph partitioner, built from scratch:
+//!
+//! * **Coarsening** ([`coarsen`]): heavy-connectivity matching (HCM) or
+//!   agglomerative heavy-connectivity clustering (HCC), followed by
+//!   contraction that dedupes pins, drops single-pin nets, and merges
+//!   identical nets (summing their costs).
+//! * **Initial partitioning** ([`initial`]): greedy hypergraph growing
+//!   (GHG) from random seeds, multiple tries, best kept.
+//! * **Refinement** ([`refine`]): Fiduccia–Mattheyses passes with
+//!   gain-bucket lists, balance-constrained moves, lock-on-move, and
+//!   best-prefix rollback.
+//! * **K-way** ([`recursive`]): recursive bisection with **net splitting**,
+//!   which makes the per-bisection cut-net objective compose to the
+//!   K-way connectivity−1 objective (eq. 3 of the paper) — the metric that
+//!   equals SpMV communication volume under the fine-grain model.
+//! * **Fixed vertices**: vertices may be pre-assigned to parts (the paper's
+//!   §3 remark about reduction problems with pre-assigned inputs/outputs);
+//!   they are respected through coarsening, initial partitioning and
+//!   refinement.
+//!
+//! Entry points: [`partition_hypergraph`] for one run,
+//! [`partition_hypergraph_best`] for the paper's multi-seed protocol
+//! (PaToH was run 50 times per instance; seeds run in parallel here).
+
+pub mod bisect;
+pub mod coarsen;
+pub mod config;
+pub mod gain;
+pub mod initial;
+pub mod kway;
+pub mod multiconstraint;
+pub mod recursive;
+pub mod refine;
+pub mod vcycle;
+
+pub use config::{CoarseningScheme, InitialScheme, PartitionConfig};
+pub use recursive::{partition_hypergraph, partition_hypergraph_best, PartitionResult};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use fgh_hypergraph::Hypergraph;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Random hypergraph for stress tests: `nv` vertices, `nn` nets of size
+    /// 2..=max_size.
+    pub fn random_hypergraph(nv: u32, nn: u32, max_size: usize, seed: u64) -> Hypergraph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut nets = Vec::with_capacity(nn as usize);
+        for _ in 0..nn {
+            let size = rng.gen_range(2..=max_size.max(2)).min(nv as usize);
+            let mut pins: Vec<u32> = Vec::with_capacity(size);
+            while pins.len() < size {
+                let v = rng.gen_range(0..nv);
+                if !pins.contains(&v) {
+                    pins.push(v);
+                }
+            }
+            nets.push(pins);
+        }
+        Hypergraph::from_nets(nv, &nets).unwrap()
+    }
+
+    /// A hypergraph with two dense clusters joined by a single bridge net —
+    /// the obvious optimal bisection cuts only the bridge.
+    pub fn two_clusters(per_side: u32) -> Hypergraph {
+        let n = per_side * 2;
+        let mut nets = Vec::new();
+        for i in 0..per_side - 1 {
+            nets.push(vec![i, i + 1]);
+            nets.push(vec![per_side + i, per_side + i + 1]);
+        }
+        // Triangles for density.
+        for i in 0..per_side.saturating_sub(2) {
+            nets.push(vec![i, i + 2]);
+            nets.push(vec![per_side + i, per_side + i + 2]);
+        }
+        nets.push(vec![per_side - 1, per_side]); // the bridge
+        Hypergraph::from_nets(n, &nets).unwrap()
+    }
+}

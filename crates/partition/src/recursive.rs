@@ -1,0 +1,378 @@
+//! Recursive-bisection K-way partitioning with net splitting, plus the
+//! multi-seed driver matching the paper's experimental protocol.
+
+use fgh_hypergraph::{
+    cutsize_connectivity, cutsize_cutnet, Hypergraph, HypergraphError, Partition,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::bisect::multilevel_bisect;
+use crate::coarsen::FREE;
+use crate::config::PartitionConfig;
+use crate::kway::kway_refine;
+
+/// Outcome of a K-way partitioning run.
+#[derive(Debug, Clone)]
+pub struct PartitionResult {
+    /// The K-way vertex partition.
+    pub partition: Partition,
+    /// Connectivity−1 cutsize (eq. 3) — equals SpMV communication volume
+    /// in words under the fine-grain model.
+    pub cutsize: u64,
+    /// Cut-net cutsize (eq. 2), for reference.
+    pub cutnet: u64,
+    /// Percent load imbalance `100 (W_max − W_avg) / W_avg`.
+    pub imbalance_percent: f64,
+}
+
+/// Partitions `hg` into `k` parts using multilevel recursive bisection.
+///
+/// ```
+/// use fgh_hypergraph::Hypergraph;
+/// use fgh_partition::{partition_hypergraph, PartitionConfig};
+/// // Two pairs tied internally, one bridge net between them.
+/// let hg = Hypergraph::from_nets(4, &[vec![0, 1], vec![2, 3], vec![1, 2]]).unwrap();
+/// let r = partition_hypergraph(&hg, 2, &PartitionConfig::with_seed(1)).unwrap();
+/// assert_eq!(r.cutsize, 1); // only the bridge is cut
+/// assert_eq!(r.partition.part(0), r.partition.part(1));
+/// assert_eq!(r.partition.part(2), r.partition.part(3));
+/// ```
+pub fn partition_hypergraph(
+    hg: &Hypergraph,
+    k: u32,
+    cfg: &PartitionConfig,
+) -> Result<PartitionResult, HypergraphError> {
+    partition_hypergraph_fixed(hg, k, None, cfg)
+}
+
+/// Like [`partition_hypergraph`], with optional pre-assigned vertices:
+/// `fixed[v] = part` pins vertex `v`, `fixed[v] = u32::MAX` leaves it free.
+pub fn partition_hypergraph_fixed(
+    hg: &Hypergraph,
+    k: u32,
+    fixed: Option<&[u32]>,
+    cfg: &PartitionConfig,
+) -> Result<PartitionResult, HypergraphError> {
+    if k == 0 {
+        return Err(HypergraphError::InvalidK);
+    }
+    if let Some(f) = fixed {
+        if f.len() != hg.num_vertices() as usize {
+            return Err(HypergraphError::PartitionLengthMismatch {
+                expected: hg.num_vertices() as usize,
+                got: f.len(),
+            });
+        }
+        for (v, &p) in f.iter().enumerate() {
+            if p != u32::MAX && p >= k {
+                return Err(HypergraphError::PartOutOfBounds { vertex: v as u32, part: p, k });
+            }
+        }
+    }
+
+    let n = hg.num_vertices();
+    let mut parts = vec![0u32; n as usize];
+    if k > 1 && n > 0 {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let eps = cfg.per_level_epsilon(k);
+        let vertex_ids: Vec<u32> = (0..n).collect();
+        let fixed_vec: Vec<u32> = match fixed {
+            Some(f) => f.to_vec(),
+            None => vec![u32::MAX; n as usize],
+        };
+        recurse(hg, &vertex_ids, &fixed_vec, k, 0, eps, cfg, &mut rng, &mut parts);
+    }
+
+    let mut partition = Partition::new(k, parts)?;
+    if (cfg.kway_refine || cfg.vcycles > 0) && k > 2 {
+        let fixed_vec: Vec<u32> = match fixed {
+            Some(f) => f.to_vec(),
+            None => vec![u32::MAX; n as usize],
+        };
+        if cfg.kway_refine {
+            let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(0x9e3779b97f4a7c15));
+            kway_refine(hg, &mut partition, &fixed_vec, cfg.epsilon, 2, &mut rng);
+        }
+        if cfg.vcycles > 0 {
+            crate::vcycle::vcycle_refine(hg, &mut partition, &fixed_vec, cfg, cfg.vcycles);
+        }
+    }
+
+    let cutsize = cutsize_connectivity(hg, &partition);
+    let cutnet = cutsize_cutnet(hg, &partition);
+    let imbalance_percent = partition.imbalance_percent(hg);
+    Ok(PartitionResult { partition, cutsize, cutnet, imbalance_percent })
+}
+
+/// Recursive worker. `sub` is a sub-hypergraph of the original (with nets
+/// already split); `ids[v]` maps its vertices back to original ids;
+/// `fixed` is indexed by *original* vertex id with absolute part numbers.
+/// Parts `part_lo .. part_lo + k` are assigned into `out`.
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    sub: &Hypergraph,
+    ids: &[u32],
+    fixed: &[u32],
+    k: u32,
+    part_lo: u32,
+    eps: f64,
+    cfg: &PartitionConfig,
+    rng: &mut SmallRng,
+    out: &mut [u32],
+) {
+    if k == 1 {
+        for &orig in ids {
+            out[orig as usize] = part_lo;
+        }
+        return;
+    }
+    let k0 = k.div_ceil(2);
+    let k1 = k - k0;
+    let total = sub.total_vertex_weight() as f64;
+    let targets = [total * k0 as f64 / k as f64, total * k1 as f64 / k as f64];
+
+    // Translate absolute fixed parts into bisection sides.
+    let fixed_sides: Vec<i8> = ids
+        .iter()
+        .map(|&orig| {
+            let p = fixed[orig as usize];
+            if p == u32::MAX {
+                FREE
+            } else if p < part_lo + k0 {
+                debug_assert!(p >= part_lo);
+                0
+            } else {
+                1
+            }
+        })
+        .collect();
+
+    let (sides, _cut) = multilevel_bisect(sub, &fixed_sides, targets, eps, cfg, rng);
+
+    // Extract both halves with net splitting and recurse.
+    let side_partition = Partition::new(
+        2,
+        sides.iter().map(|&s| s as u32).collect(),
+    )
+    .expect("sides are 0/1");
+    for (side, (kk, lo)) in [(0u32, (k0, part_lo)), (1u32, (k1, part_lo + k0))] {
+        let (child, child_map) =
+            sub.extract_part_mode(&side_partition, side, cfg.net_splitting);
+        let child_ids: Vec<u32> = child_map.iter().map(|&lv| ids[lv as usize]).collect();
+        recurse(&child, &child_ids, fixed, kk, lo, eps, cfg, rng, out);
+    }
+}
+
+/// Runs [`partition_hypergraph`] with `runs` different seeds (in parallel
+/// across threads) and returns the best balanced result by connectivity−1
+/// cutsize, following the paper's 50-seed protocol.
+pub fn partition_hypergraph_best(
+    hg: &Hypergraph,
+    k: u32,
+    cfg: &PartitionConfig,
+    runs: usize,
+) -> Result<PartitionResult, HypergraphError> {
+    let runs = runs.max(1);
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let mut results: Vec<Result<PartitionResult, HypergraphError>> = Vec::with_capacity(runs);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(runs);
+        for r in 0..runs {
+            let mut c = cfg.clone();
+            c.seed = cfg.seed.wrapping_add(r as u64);
+            handles.push(scope.spawn(move || partition_hypergraph(hg, k, &c)));
+            // Light throttle: join eagerly once we exceed the thread count.
+            if handles.len() >= threads {
+                let h: std::thread::ScopedJoinHandle<'_, _> = handles.remove(0);
+                results.push(h.join().expect("partition thread panicked"));
+            }
+        }
+        for h in handles {
+            results.push(h.join().expect("partition thread panicked"));
+        }
+    });
+    let mut best: Option<PartitionResult> = None;
+    let mut first_err: Option<HypergraphError> = None;
+    for r in results {
+        match r {
+            Ok(res) => {
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        // Prefer balanced results, then lower cutsize.
+                        let rb = res.imbalance_percent <= cfg.epsilon * 100.0 + 1e-9;
+                        let bb = b.imbalance_percent <= cfg.epsilon * 100.0 + 1e-9;
+                        (rb, std::cmp::Reverse(res.cutsize))
+                            > (bb, std::cmp::Reverse(b.cutsize))
+                    }
+                };
+                if better {
+                    best = Some(res);
+                }
+            }
+            Err(e) => first_err = first_err.or(Some(e)),
+        }
+    }
+    match best {
+        Some(b) => Ok(b),
+        None => Err(first_err.expect("runs >= 1 implies a result or an error")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{random_hypergraph, two_clusters};
+
+    #[test]
+    fn k1_is_trivial() {
+        let hg = two_clusters(10);
+        let r = partition_hypergraph(&hg, 1, &PartitionConfig::default()).unwrap();
+        assert_eq!(r.cutsize, 0);
+        assert!(r.partition.parts().iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn k0_rejected() {
+        let hg = two_clusters(4);
+        assert!(matches!(
+            partition_hypergraph(&hg, 0, &PartitionConfig::default()),
+            Err(HypergraphError::InvalidK)
+        ));
+    }
+
+    #[test]
+    fn k2_finds_bridge() {
+        let hg = two_clusters(100);
+        let r = partition_hypergraph(&hg, 2, &PartitionConfig::with_seed(3)).unwrap();
+        assert_eq!(r.cutsize, 1);
+        assert!(r.imbalance_percent <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn k4_balance_and_validity() {
+        let hg = random_hypergraph(400, 600, 5, 1);
+        let cfg = PartitionConfig::with_seed(7);
+        let r = partition_hypergraph(&hg, 4, &cfg).unwrap();
+        assert_eq!(r.partition.k(), 4);
+        r.partition.validate(&hg, true).unwrap();
+        assert!(
+            r.imbalance_percent <= 3.5,
+            "imbalance {}% exceeds epsilon",
+            r.imbalance_percent
+        );
+        // Cutsize fields agree with the metric module.
+        assert_eq!(r.cutsize, cutsize_connectivity(&hg, &r.partition));
+        assert_eq!(r.cutnet, cutsize_cutnet(&hg, &r.partition));
+        assert!(r.cutnet <= r.cutsize);
+    }
+
+    #[test]
+    fn non_power_of_two_k() {
+        let hg = random_hypergraph(300, 450, 5, 2);
+        let r = partition_hypergraph(&hg, 5, &PartitionConfig::with_seed(1)).unwrap();
+        assert_eq!(r.partition.k(), 5);
+        let sizes = r.partition.part_sizes();
+        assert!(sizes.iter().all(|&s| s > 0), "empty part in {sizes:?}");
+        assert!(r.imbalance_percent <= 6.0, "imbalance {}%", r.imbalance_percent);
+    }
+
+    #[test]
+    fn k_exceeding_vertices_yields_empty_parts_error_free() {
+        // 3 vertices into 8 parts: parts will be empty, but the call should
+        // not panic and the partition must still be valid by construction.
+        let hg = Hypergraph::from_nets(3, &[vec![0, 1, 2]]).unwrap();
+        let r = partition_hypergraph(&hg, 8, &PartitionConfig::default()).unwrap();
+        assert_eq!(r.partition.len(), 3);
+    }
+
+    #[test]
+    fn fixed_vertices_respected_through_recursion() {
+        let hg = random_hypergraph(200, 300, 5, 3);
+        let mut fixed = vec![u32::MAX; 200];
+        fixed[0] = 3;
+        fixed[10] = 0;
+        fixed[20] = 2;
+        let r = partition_hypergraph_fixed(&hg, 4, Some(&fixed), &PartitionConfig::with_seed(2))
+            .unwrap();
+        assert_eq!(r.partition.part(0), 3);
+        assert_eq!(r.partition.part(10), 0);
+        assert_eq!(r.partition.part(20), 2);
+    }
+
+    #[test]
+    fn fixed_validation() {
+        let hg = two_clusters(4);
+        let bad = vec![9u32; 8];
+        assert!(partition_hypergraph_fixed(&hg, 4, Some(&bad), &PartitionConfig::default())
+            .is_err());
+        let short = vec![u32::MAX; 3];
+        assert!(partition_hypergraph_fixed(&hg, 4, Some(&short), &PartitionConfig::default())
+            .is_err());
+    }
+
+    #[test]
+    fn multi_seed_never_worse_than_single() {
+        let hg = random_hypergraph(300, 500, 6, 4);
+        let cfg = PartitionConfig::with_seed(1);
+        let single = partition_hypergraph(&hg, 8, &cfg).unwrap();
+        let best = partition_hypergraph_best(&hg, 8, &cfg, 4).unwrap();
+        assert!(best.cutsize <= single.cutsize);
+    }
+
+    #[test]
+    fn all_coarsening_and_initial_schemes_work() {
+        use crate::config::{CoarseningScheme, InitialScheme};
+        let hg = random_hypergraph(300, 450, 5, 12);
+        for coarsening in
+            [CoarseningScheme::Hcm, CoarseningScheme::Hcc, CoarseningScheme::ScaledHcc]
+        {
+            for initial in
+                [InitialScheme::Ghg, InitialScheme::Random, InitialScheme::BinPacking]
+            {
+                let cfg = PartitionConfig {
+                    coarsening,
+                    initial,
+                    ..PartitionConfig::with_seed(4)
+                };
+                let r = partition_hypergraph(&hg, 4, &cfg).unwrap();
+                r.partition.validate(&hg, true).unwrap();
+                assert!(
+                    r.imbalance_percent <= 5.0,
+                    "{coarsening:?}/{initial:?}: imbalance {}%",
+                    r.imbalance_percent
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn net_splitting_ablation_not_better_without() {
+        // Averaged over seeds, disabling net splitting must not improve
+        // the connectivity−1 cutsize (it optimizes the wrong objective).
+        let hg = random_hypergraph(400, 600, 6, 13);
+        let (mut with, mut without) = (0u64, 0u64);
+        for seed in 0..6u64 {
+            let on = PartitionConfig { net_splitting: true, ..PartitionConfig::with_seed(seed) };
+            let off =
+                PartitionConfig { net_splitting: false, ..PartitionConfig::with_seed(seed) };
+            with += partition_hypergraph(&hg, 8, &on).unwrap().cutsize;
+            without += partition_hypergraph(&hg, 8, &off).unwrap().cutsize;
+        }
+        assert!(
+            with <= without,
+            "net splitting should help: with={with} without={without}"
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let hg = random_hypergraph(250, 400, 5, 9);
+        let cfg = PartitionConfig::with_seed(11);
+        let a = partition_hypergraph(&hg, 4, &cfg).unwrap();
+        let b = partition_hypergraph(&hg, 4, &cfg).unwrap();
+        assert_eq!(a.partition.parts(), b.partition.parts());
+        assert_eq!(a.cutsize, b.cutsize);
+    }
+}

@@ -1,0 +1,494 @@
+//! Fiduccia–Mattheyses bisection refinement with gain buckets.
+//!
+//! [`BisectionState`] maintains a 2-way partition of a hypergraph together
+//! with per-net pin counts on each side, the cut-net cutsize, and side
+//! weights. [`BisectionState::fm_pass`] runs one FM pass: tentatively move
+//! max-gain vertices (locking each after its move), then roll back to the
+//! best prefix seen. Gains use the cut-net metric, which recursive
+//! bisection with net splitting composes into the connectivity−1 metric.
+
+use fgh_hypergraph::Hypergraph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::coarsen::FREE;
+use crate::gain::GainBuckets;
+
+/// Mutable state of a hypergraph bisection.
+#[derive(Debug, Clone)]
+pub struct BisectionState<'a> {
+    hg: &'a Hypergraph,
+    /// Side (0/1) of each vertex.
+    side: Vec<u8>,
+    /// Fixed side per vertex (`FREE` = movable).
+    fixed: &'a [i8],
+    /// Pin counts per net on each side.
+    pc: [Vec<u32>; 2],
+    /// Total vertex weight on each side.
+    weight: [u64; 2],
+    /// Balance caps per side: side weight must not exceed `cap[s]`.
+    cap: [u64; 2],
+    /// One max vertex weight of slack lets FM pass through mildly
+    /// imbalanced intermediate states (the rollback only keeps prefixes
+    /// whose balance penalty did not worsen).
+    slack: u64,
+    /// Current cut-net cutsize.
+    cut: u64,
+}
+
+impl<'a> BisectionState<'a> {
+    /// Builds the state for an existing side assignment.
+    ///
+    /// `targets` are the ideal side weights (they sum to the total vertex
+    /// weight for proportional K-way splits); `epsilon` is the per-level
+    /// allowance, so `cap[s] = targets[s] * (1 + epsilon)`.
+    pub fn new(
+        hg: &'a Hypergraph,
+        side: Vec<u8>,
+        fixed: &'a [i8],
+        targets: [f64; 2],
+        epsilon: f64,
+    ) -> Self {
+        assert_eq!(side.len(), hg.num_vertices() as usize);
+        assert_eq!(fixed.len(), side.len());
+        let nn = hg.num_nets() as usize;
+        let mut pc = [vec![0u32; nn], vec![0u32; nn]];
+        let mut weight = [0u64; 2];
+        for v in 0..hg.num_vertices() {
+            let s = side[v as usize] as usize;
+            weight[s] += hg.vertex_weight(v) as u64;
+            for &n in hg.nets(v) {
+                pc[s][n as usize] += 1;
+            }
+        }
+        let mut cut = 0u64;
+        for n in 0..nn {
+            if pc[0][n] > 0 && pc[1][n] > 0 {
+                cut += hg.net_cost(n as u32) as u64;
+            }
+        }
+        let cap = [
+            (targets[0] * (1.0 + epsilon)).floor().max(0.0) as u64,
+            (targets[1] * (1.0 + epsilon)).floor().max(0.0) as u64,
+        ];
+        let slack = hg.vertex_weights().iter().copied().max().unwrap_or(1).max(1) as u64;
+        BisectionState { hg, side, fixed, pc, weight, cap, slack, cut }
+    }
+
+    /// Current cut-net cutsize.
+    pub fn cut(&self) -> u64 {
+        self.cut
+    }
+
+    /// Current side weights.
+    pub fn weights(&self) -> [u64; 2] {
+        self.weight
+    }
+
+    /// Balance caps.
+    pub fn caps(&self) -> [u64; 2] {
+        self.cap
+    }
+
+    /// The side assignment.
+    pub fn sides(&self) -> &[u8] {
+        &self.side
+    }
+
+    /// Consumes the state, returning the side assignment.
+    pub fn into_sides(self) -> Vec<u8> {
+        self.side
+    }
+
+    /// Sum of balance-cap violations (0 when balanced).
+    pub fn balance_penalty(&self) -> u64 {
+        self.weight[0].saturating_sub(self.cap[0]) + self.weight[1].saturating_sub(self.cap[1])
+    }
+
+    /// FM gain of moving `v` to the opposite side (cut-net metric).
+    pub fn gain(&self, v: u32) -> i64 {
+        let s = self.side[v as usize] as usize;
+        let t = 1 - s;
+        let mut g = 0i64;
+        for &n in self.hg.nets(v) {
+            let c = self.hg.net_cost(n) as i64;
+            if self.pc[s][n as usize] == 1 {
+                g += c; // net becomes uncut (or stays internal to t)
+            }
+            if self.pc[t][n as usize] == 0 {
+                g -= c; // net becomes cut
+            }
+        }
+        g
+    }
+
+    /// Moves `v` to the opposite side, updating pin counts, weights, and
+    /// the cutsize. Optionally applies FM delta-gain updates to `buckets`.
+    pub fn apply_move(&mut self, v: u32, buckets: Option<&mut GainBuckets>) {
+        let s = self.side[v as usize] as usize;
+        let t = 1 - s;
+        let w = self.hg.vertex_weight(v) as u64;
+
+        if let Some(buckets) = buckets {
+            for &n in self.hg.nets(v) {
+                let ni = n as usize;
+                let c = self.hg.net_cost(n) as i64;
+                let (tc, fc) = (self.pc[t][ni], self.pc[s][ni]);
+                if tc == 0 {
+                    // Net becomes cut: every other (free, queued) pin gains +c.
+                    self.cut += c as u64;
+                    for &u in self.hg.pins(n) {
+                        if u != v {
+                            buckets.adjust(u, c);
+                        }
+                    }
+                } else if tc == 1 {
+                    // The lone pin on t loses its "uncut by moving" bonus.
+                    for &u in self.hg.pins(n) {
+                        if u != v && self.side[u as usize] as usize == t {
+                            buckets.adjust(u, -c);
+                        }
+                    }
+                }
+                let fc_after = fc - 1;
+                if fc_after == 0 {
+                    // Net becomes internal to t: pins lose the "would cut" malus.
+                    self.cut -= c as u64;
+                    for &u in self.hg.pins(n) {
+                        if u != v {
+                            buckets.adjust(u, -c);
+                        }
+                    }
+                } else if fc_after == 1 {
+                    // The lone remaining pin on s gains the uncut bonus.
+                    for &u in self.hg.pins(n) {
+                        if u != v && self.side[u as usize] as usize == s {
+                            buckets.adjust(u, c);
+                        }
+                    }
+                }
+                self.pc[s][ni] -= 1;
+                self.pc[t][ni] += 1;
+            }
+        } else {
+            for &n in self.hg.nets(v) {
+                let ni = n as usize;
+                let c = self.hg.net_cost(n) as u64;
+                if self.pc[t][ni] == 0 {
+                    self.cut += c;
+                }
+                self.pc[s][ni] -= 1;
+                self.pc[t][ni] += 1;
+                if self.pc[s][ni] == 0 {
+                    self.cut -= c;
+                }
+            }
+        }
+
+        self.side[v as usize] = t as u8;
+        self.weight[s] -= w;
+        self.weight[t] += w;
+    }
+
+    /// `true` when moving `v` to the opposite side is admissible under the
+    /// balance caps: the target side stays under its cap, or the source
+    /// side is over its cap and the move strictly reduces the total
+    /// violation.
+    fn admissible(&self, v: u32) -> bool {
+        let s = self.side[v as usize] as usize;
+        let t = 1 - s;
+        let w = self.hg.vertex_weight(v) as u64;
+        if self.weight[t] + w <= self.cap[t] + self.slack {
+            return true;
+        }
+        if self.weight[s] > self.cap[s] {
+            let before = self.balance_penalty();
+            let after = self.weight[s].saturating_sub(w).saturating_sub(self.cap[s])
+                + (self.weight[t] + w).saturating_sub(self.cap[t]);
+            return after < before;
+        }
+        false
+    }
+
+    /// Largest possible |gain| bound for bucket sizing: the maximum over
+    /// vertices of the total cost of incident nets.
+    fn max_gain_bound(&self) -> i64 {
+        let mut best = 1i64;
+        for v in 0..self.hg.num_vertices() {
+            let s: i64 =
+                self.hg.nets(v).iter().map(|&n| self.hg.net_cost(n) as i64).sum();
+            best = best.max(s);
+        }
+        best
+    }
+
+    /// `true` if `v` touches at least one cut net.
+    pub fn is_boundary(&self, v: u32) -> bool {
+        self.hg.nets(v).iter().any(|&n| {
+            let ni = n as usize;
+            self.pc[0][ni] > 0 && self.pc[1][ni] > 0
+        })
+    }
+
+    /// One FM pass: tentative max-gain moves with lock-on-move, then
+    /// rollback to the best prefix (lexicographic on (balance penalty,
+    /// cut)). Returns `true` if the pass strictly improved that pair.
+    ///
+    /// `early_exit` bounds the number of consecutive non-improving moves
+    /// (0 = unbounded).
+    pub fn fm_pass(&mut self, rng: &mut impl Rng, early_exit: usize) -> bool {
+        self.fm_pass_impl(rng, early_exit, false)
+    }
+
+    /// Boundary variant of [`BisectionState::fm_pass`]: only boundary
+    /// vertices are queued initially, which is substantially faster on
+    /// large well-separated hypergraphs. Interior vertices are not
+    /// reachable as move candidates (their gains are always negative at
+    /// queue time), so quality loss is small; balance-repair moves may be
+    /// missed when the boundary is tiny — use full passes when the start
+    /// state is badly imbalanced.
+    pub fn fm_pass_boundary(&mut self, rng: &mut impl Rng, early_exit: usize) -> bool {
+        self.fm_pass_impl(rng, early_exit, true)
+    }
+
+    fn fm_pass_impl(&mut self, rng: &mut impl Rng, early_exit: usize, boundary: bool) -> bool {
+        let n = self.hg.num_vertices();
+        let mut buckets = GainBuckets::new(n as usize, self.max_gain_bound());
+
+        // Insert free vertices in random order (ties broken by insertion).
+        let mut order: Vec<u32> = (0..n)
+            .filter(|&v| {
+                self.fixed[v as usize] == FREE && (!boundary || self.is_boundary(v))
+            })
+            .collect();
+        order.shuffle(rng);
+        for &v in &order {
+            buckets.insert(v, self.gain(v));
+        }
+
+        let start = (self.balance_penalty(), self.cut);
+        let mut best = start;
+        let mut moves: Vec<u32> = Vec::new();
+        let mut best_len = 0usize;
+        let mut since_best = 0usize;
+
+        while let Some((v, _)) = {
+            // Split borrows: admissibility needs &self, pop needs &mut buckets.
+            let state: &BisectionState<'a> = &*self;
+            buckets.pop_max_where(|u| state.admissible(u))
+        } {
+            self.apply_move(v, Some(&mut buckets));
+            moves.push(v);
+            let now = (self.balance_penalty(), self.cut);
+            if now < best {
+                best = now;
+                best_len = moves.len();
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if early_exit > 0 && since_best >= early_exit {
+                    break;
+                }
+            }
+        }
+
+        // Roll back past the best prefix.
+        for &v in moves[best_len..].iter().rev() {
+            self.apply_move(v, None);
+        }
+        debug_assert_eq!((self.balance_penalty(), self.cut), best);
+        best < start
+    }
+
+    /// Runs up to `max_passes` FM passes, stopping when a pass yields no
+    /// improvement. Returns the number of improving passes.
+    pub fn refine(&mut self, rng: &mut impl Rng, max_passes: usize, early_exit: usize) -> usize {
+        let mut improved = 0;
+        for _ in 0..max_passes {
+            if self.fm_pass(rng, early_exit) {
+                improved += 1;
+            } else {
+                break;
+            }
+        }
+        improved
+    }
+
+    /// Like [`BisectionState::refine`] with boundary-only passes; one full
+    /// pass is run first whenever the state starts imbalanced (boundary
+    /// passes cannot always reach the vertices needed for balance repair).
+    pub fn refine_boundary(
+        &mut self,
+        rng: &mut impl Rng,
+        max_passes: usize,
+        early_exit: usize,
+    ) -> usize {
+        let mut improved = 0;
+        if self.balance_penalty() > 0 && self.fm_pass(rng, early_exit) {
+            improved += 1;
+        }
+        for _ in improved..max_passes {
+            if self.fm_pass_boundary(rng, early_exit) {
+                improved += 1;
+            } else {
+                break;
+            }
+        }
+        improved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::two_clusters;
+    use fgh_hypergraph::{cutsize_cutnet, Partition};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(3)
+    }
+
+    fn free(n: u32) -> Vec<i8> {
+        vec![FREE; n as usize]
+    }
+
+    #[test]
+    fn state_cut_matches_metric() {
+        let hg = two_clusters(10);
+        let fixed = free(20);
+        // Deliberately bad split: even/odd.
+        let side: Vec<u8> = (0..20).map(|v| (v % 2) as u8).collect();
+        let st = BisectionState::new(&hg, side.clone(), &fixed, [10.0, 10.0], 0.1);
+        let p = Partition::new(2, side.iter().map(|&s| s as u32).collect()).unwrap();
+        assert_eq!(st.cut(), cutsize_cutnet(&hg, &p));
+    }
+
+    #[test]
+    fn gain_matches_recompute() {
+        let hg = two_clusters(8);
+        let fixed = free(16);
+        let side: Vec<u8> = (0..16).map(|v| (v % 2) as u8).collect();
+        let st = BisectionState::new(&hg, side, &fixed, [8.0, 8.0], 0.2);
+        for v in 0..16u32 {
+            // Recompute gain by brute force: cut before minus cut after.
+            let mut st2 = st.clone();
+            let before = st2.cut() as i64;
+            st2.apply_move(v, None);
+            let after = st2.cut() as i64;
+            assert_eq!(st.gain(v), before - after, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn apply_move_roundtrip() {
+        let hg = two_clusters(8);
+        let fixed = free(16);
+        let side: Vec<u8> = (0..16).map(|v| u8::from(v >= 8)).collect();
+        let st0 = BisectionState::new(&hg, side, &fixed, [8.0, 8.0], 0.2);
+        let mut st = st0.clone();
+        st.apply_move(3, None);
+        st.apply_move(3, None);
+        assert_eq!(st.cut(), st0.cut());
+        assert_eq!(st.weights(), st0.weights());
+        assert_eq!(st.sides(), st0.sides());
+    }
+
+    #[test]
+    fn fm_finds_the_bridge_cut() {
+        let hg = two_clusters(20);
+        let fixed = free(40);
+        // Start from a random-ish split with the right weights.
+        let side: Vec<u8> = (0..40).map(|v| (v % 2) as u8).collect();
+        let mut st = BisectionState::new(&hg, side, &fixed, [20.0, 20.0], 0.05);
+        st.refine(&mut rng(), 8, 0);
+        assert_eq!(st.cut(), 1, "optimal bisection cuts only the bridge net");
+        assert_eq!(st.balance_penalty(), 0);
+    }
+
+    #[test]
+    fn fm_never_worsens() {
+        for seed in 0..5u64 {
+            let hg = crate::testutil::random_hypergraph(60, 90, 6, seed);
+            let fixed = free(60);
+            let side: Vec<u8> = (0..60).map(|v| u8::from(v >= 30)).collect();
+            let mut st = BisectionState::new(&hg, side, &fixed, [30.0, 30.0], 0.1);
+            let before = (st.balance_penalty(), st.cut());
+            st.refine(&mut SmallRng::seed_from_u64(seed), 6, 0);
+            let after = (st.balance_penalty(), st.cut());
+            assert!(after <= before, "seed {seed}: {before:?} -> {after:?}");
+        }
+    }
+
+    #[test]
+    fn fixed_vertices_never_move() {
+        let hg = two_clusters(10);
+        let mut fixed = free(20);
+        fixed[0] = 1; // pinned to the "wrong" side
+        fixed[19] = 0;
+        let mut side: Vec<u8> = (0..20).map(|v| u8::from(v >= 10)).collect();
+        side[0] = 1;
+        side[19] = 0;
+        let mut st = BisectionState::new(&hg, side, &fixed, [10.0, 10.0], 0.2);
+        st.refine(&mut rng(), 6, 0);
+        assert_eq!(st.sides()[0], 1);
+        assert_eq!(st.sides()[19], 0);
+    }
+
+    #[test]
+    fn rebalances_overweight_side() {
+        let hg = two_clusters(16);
+        let fixed = free(32);
+        // Everything on side 0: grossly imbalanced.
+        let side = vec![0u8; 32];
+        let mut st = BisectionState::new(&hg, side, &fixed, [16.0, 16.0], 0.1);
+        st.refine(&mut rng(), 8, 0);
+        assert_eq!(st.balance_penalty(), 0, "FM must restore balance");
+    }
+
+    #[test]
+    fn boundary_fm_matches_full_fm_on_separable_instance() {
+        let hg = two_clusters(50);
+        let fixed = free(100);
+        let side: Vec<u8> = (0..100).map(|v| (v % 2) as u8).collect();
+        let mut full = BisectionState::new(&hg, side.clone(), &fixed, [50.0, 50.0], 0.05);
+        full.refine(&mut rng(), 8, 0);
+        let mut bnd = BisectionState::new(&hg, side, &fixed, [50.0, 50.0], 0.05);
+        bnd.refine_boundary(&mut rng(), 8, 0);
+        assert_eq!(full.cut(), 1);
+        assert_eq!(bnd.cut(), 1, "boundary FM should also find the bridge");
+        assert_eq!(bnd.balance_penalty(), 0);
+    }
+
+    #[test]
+    fn is_boundary_classification() {
+        let hg = two_clusters(4);
+        let fixed = free(8);
+        // Sides match the cluster structure: only the bridge endpoints
+        // (vertices 3 and 4) touch the single cut net.
+        let side: Vec<u8> = (0..8).map(|v| u8::from(v >= 4)).collect();
+        let st = BisectionState::new(&hg, side, &fixed, [4.0, 4.0], 0.1);
+        assert!(st.is_boundary(3));
+        assert!(st.is_boundary(4));
+        assert!(!st.is_boundary(0));
+        assert!(!st.is_boundary(7));
+    }
+
+    #[test]
+    fn zero_weight_vertices_move_freely() {
+        let hg = fgh_hypergraph::Hypergraph::from_nets_weighted(
+            4,
+            &[vec![0, 1], vec![1, 2], vec![2, 3]],
+            vec![1, 0, 0, 1],
+            vec![1, 1, 1],
+        )
+        .unwrap();
+        let fixed = free(4);
+        let side = vec![0u8, 1, 0, 1];
+        let mut st = BisectionState::new(&hg, side, &fixed, [1.0, 1.0], 0.0);
+        st.refine(&mut rng(), 6, 0);
+        // Best achievable: dummies huddle with their net mates, cut = 1.
+        assert_eq!(st.cut(), 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Compressed sparse column format.
+
+use crate::csr::CsrMatrix;
+
+/// A sparse matrix in compressed sparse column (CSC) format.
+///
+/// Column `j`'s entries occupy `row_idx[col_ptr[j] .. col_ptr[j + 1]]`.
+/// Mostly used for column-oriented scans (column nets of the fine-grain
+/// model, expand-side communication analysis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    nrows: u32,
+    ncols: u32,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Internal constructor: the CSR representation of `Aᵀ` holds exactly
+    /// the CSC arrays of `A`.
+    pub(crate) fn from_transposed_csr(t: CsrMatrix) -> Self {
+        let nrows = t.ncols();
+        let ncols = t.nrows();
+        let col_ptr = t.row_ptr().to_vec();
+        let row_idx = t.col_idx().to_vec();
+        let values = t.values().to_vec();
+        CscMatrix { nrows, ncols, col_ptr, row_idx, values }
+    }
+
+    /// Builds from a CSR matrix.
+    pub fn from_csr(a: &CsrMatrix) -> Self {
+        a.to_csc()
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> u32 {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> u32 {
+        self.ncols
+    }
+
+    /// Number of structural nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// The raw column pointer array (length `ncols + 1`).
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// The raw row index array (length `nnz`).
+    pub fn row_idx(&self) -> &[u32] {
+        &self.row_idx
+    }
+
+    /// The raw value array.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Row indices of column `j`, sorted ascending.
+    pub fn col_rows(&self, j: u32) -> &[u32] {
+        &self.row_idx[self.col_ptr[j as usize]..self.col_ptr[j as usize + 1]]
+    }
+
+    /// Values of column `j`, parallel to [`CscMatrix::col_rows`].
+    pub fn col_vals(&self, j: u32) -> &[f64] {
+        &self.values[self.col_ptr[j as usize]..self.col_ptr[j as usize + 1]]
+    }
+
+    /// Number of nonzeros in column `j`.
+    pub fn col_nnz(&self, j: u32) -> usize {
+        self.col_ptr[j as usize + 1] - self.col_ptr[j as usize]
+    }
+
+    /// Converts back to CSR.
+    pub fn to_csr(&self) -> CsrMatrix {
+        // The CSC arrays of A are the CSR arrays of Aᵀ; transpose recovers A.
+        let t = CsrMatrix::from_raw(
+            self.ncols,
+            self.nrows,
+            self.col_ptr.clone(),
+            self.row_idx.clone(),
+            self.values.clone(),
+        )
+        .expect("CSC invariants imply valid CSR of transpose");
+        t.transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_coo(
+            CooMatrix::from_triplets(
+                3,
+                3,
+                vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn csc_layout() {
+        let c = sample().to_csc();
+        assert_eq!(c.nnz(), 5);
+        assert_eq!(c.col_rows(0), &[0, 2]);
+        assert_eq!(c.col_vals(0), &[1.0, 4.0]);
+        assert_eq!(c.col_rows(1), &[1]);
+        assert_eq!(c.col_nnz(2), 2);
+    }
+
+    #[test]
+    fn csr_csc_roundtrip() {
+        let a = sample();
+        assert_eq!(a.to_csc().to_csr(), a);
+    }
+
+    #[test]
+    fn rectangular_csc() {
+        let a = CsrMatrix::from_coo(
+            CooMatrix::from_triplets(2, 4, vec![(0, 3, 1.0), (1, 0, 2.0)]).unwrap(),
+        );
+        let c = a.to_csc();
+        assert_eq!(c.nrows(), 2);
+        assert_eq!(c.ncols(), 4);
+        assert_eq!(c.col_rows(3), &[0]);
+        assert_eq!(c.col_rows(1), &[] as &[u32]);
+    }
+}

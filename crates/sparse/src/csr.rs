@@ -1,0 +1,373 @@
+//! Compressed sparse row format — the primary analysis/compute format.
+
+use crate::{CooMatrix, CscMatrix, Result, SparseError};
+
+/// A sparse matrix in compressed sparse row (CSR) format.
+///
+/// Row `i`'s entries occupy `col_idx[row_ptr[i] .. row_ptr[i + 1]]` (and the
+/// parallel range of `values`). Column indices within each row are sorted
+/// ascending and unique.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: u32,
+    ncols: u32,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from a COO matrix (compressing it first).
+    pub fn from_coo(mut coo: CooMatrix) -> Self {
+        coo.compress();
+        let (nrows, ncols, rows, cols, vals) = coo.into_parts();
+        let nnz = rows.len();
+        let mut row_ptr = vec![0usize; nrows as usize + 1];
+        for &r in &rows {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..nrows as usize {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        debug_assert_eq!(row_ptr[nrows as usize], nnz);
+        // `compress` already sorted row-major, so cols/vals are in final order.
+        CsrMatrix { nrows, ncols, row_ptr, col_idx: cols, values: vals }
+    }
+
+    /// Builds directly from raw CSR arrays, validating the invariants
+    /// (monotone `row_ptr`, in-bounds sorted unique column indices).
+    pub fn from_raw(
+        nrows: u32,
+        ncols: u32,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if row_ptr.len() != nrows as usize + 1 {
+            return Err(SparseError::Parse(format!(
+                "row_ptr length {} != nrows + 1 = {}",
+                row_ptr.len(),
+                nrows + 1
+            )));
+        }
+        if row_ptr[0] != 0 || *row_ptr.last().expect("len >= 1") != col_idx.len() {
+            return Err(SparseError::Parse("row_ptr endpoints invalid".into()));
+        }
+        if col_idx.len() != values.len() {
+            return Err(SparseError::Parse("col_idx / values length mismatch".into()));
+        }
+        for i in 0..nrows as usize {
+            if row_ptr[i] > row_ptr[i + 1] || row_ptr[i + 1] > col_idx.len() {
+                return Err(SparseError::Parse(format!("row_ptr not monotone at row {i}")));
+            }
+            let row = &col_idx[row_ptr[i]..row_ptr[i + 1]];
+            for w in row.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(SparseError::Parse(format!(
+                        "row {i} columns not sorted/unique"
+                    )));
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last >= ncols {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: i as u32,
+                        col: last,
+                        nrows,
+                        ncols,
+                    });
+                }
+            }
+        }
+        Ok(CsrMatrix { nrows, ncols, row_ptr, col_idx, values })
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: u32) -> Self {
+        let row_ptr = (0..=n as usize).collect();
+        let col_idx = (0..n).collect();
+        let values = vec![1.0; n as usize];
+        CsrMatrix { nrows: n, ncols: n, row_ptr, col_idx, values }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> u32 {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> u32 {
+        self.ncols
+    }
+
+    /// Number of structural nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// `true` for square matrices.
+    pub fn is_square(&self) -> bool {
+        self.nrows == self.ncols
+    }
+
+    /// The raw row pointer array (length `nrows + 1`).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The raw column index array (length `nnz`).
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The raw value array (length `nnz`).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Column indices of row `i`, sorted ascending.
+    pub fn row_cols(&self, i: u32) -> &[u32] {
+        &self.col_idx[self.row_ptr[i as usize]..self.row_ptr[i as usize + 1]]
+    }
+
+    /// Values of row `i`, parallel to [`CsrMatrix::row_cols`].
+    pub fn row_vals(&self, i: u32) -> &[f64] {
+        &self.values[self.row_ptr[i as usize]..self.row_ptr[i as usize + 1]]
+    }
+
+    /// Number of nonzeros in row `i`.
+    pub fn row_nnz(&self, i: u32) -> usize {
+        self.row_ptr[i as usize + 1] - self.row_ptr[i as usize]
+    }
+
+    /// Looks up entry `(i, j)` by binary search over row `i`.
+    pub fn get(&self, i: u32, j: u32) -> Option<f64> {
+        let cols = self.row_cols(i);
+        cols.binary_search(&j).ok().map(|p| self.row_vals(i)[p])
+    }
+
+    /// `true` if entry `(i, j)` is structurally present.
+    pub fn contains(&self, i: u32, j: u32) -> bool {
+        self.row_cols(i).binary_search(&j).is_ok()
+    }
+
+    /// Iterates over all `(row, col, value)` entries in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+        (0..self.nrows).flat_map(move |i| {
+            self.row_cols(i)
+                .iter()
+                .zip(self.row_vals(i))
+                .map(move |(&j, &v)| (i, j, v))
+        })
+    }
+
+    /// The transpose as a new CSR matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        let nnz = self.nnz();
+        let mut row_ptr = vec![0usize; self.ncols as usize + 1];
+        for &j in &self.col_idx {
+            row_ptr[j as usize + 1] += 1;
+        }
+        for i in 0..self.ncols as usize {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut col_idx = vec![0u32; nnz];
+        let mut values = vec![0.0f64; nnz];
+        let mut next = row_ptr.clone();
+        for i in 0..self.nrows {
+            for (&j, &v) in self.row_cols(i).iter().zip(self.row_vals(i)) {
+                let slot = next[j as usize];
+                col_idx[slot] = i;
+                values[slot] = v;
+                next[j as usize] += 1;
+            }
+        }
+        CsrMatrix { nrows: self.ncols, ncols: self.nrows, row_ptr, col_idx, values }
+    }
+
+    /// Converts to compressed sparse column format.
+    pub fn to_csc(&self) -> CscMatrix {
+        let t = self.transpose();
+        // The CSR of Aᵀ holds exactly the CSC arrays of A.
+        CscMatrix::from_transposed_csr(t)
+    }
+
+    /// Converts back to COO format.
+    pub fn to_coo(&self) -> CooMatrix {
+        let mut coo = CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz());
+        for (i, j, v) in self.iter() {
+            coo.push(i, j, v).expect("CSR entries are in bounds");
+        }
+        coo
+    }
+
+    /// Serial sparse matrix-vector multiply `y = A x`.
+    pub fn spmv(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.ncols as usize {
+            return Err(SparseError::DimensionMismatch(format!(
+                "x has length {}, expected {}",
+                x.len(),
+                self.ncols
+            )));
+        }
+        let mut y = vec![0.0f64; self.nrows as usize];
+        for i in 0..self.nrows {
+            let mut acc = 0.0;
+            for (&j, &v) in self.row_cols(i).iter().zip(self.row_vals(i)) {
+                acc += v * x[j as usize];
+            }
+            y[i as usize] = acc;
+        }
+        Ok(y)
+    }
+
+    /// `true` if every diagonal entry `a_ii` is structurally present
+    /// (requires square).
+    pub fn has_full_diagonal(&self) -> bool {
+        self.is_square() && (0..self.nrows).all(|i| self.contains(i, i))
+    }
+
+    /// Indices `i` with no structural `a_ii` (square matrices).
+    pub fn missing_diagonal(&self) -> Vec<u32> {
+        if !self.is_square() {
+            return Vec::new();
+        }
+        (0..self.nrows).filter(|&i| !self.contains(i, i)).collect()
+    }
+
+    /// `true` if the *pattern* is symmetric (values ignored).
+    pub fn pattern_symmetric(&self) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let t = self.transpose();
+        self.row_ptr == t.row_ptr && self.col_idx == t.col_idx
+    }
+
+    /// `true` if the matrix is numerically symmetric.
+    pub fn numerically_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        self.iter().all(|(i, j, v)| match self.get(j, i) {
+            Some(w) => (v - w).abs() <= tol,
+            None => false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [ 1 0 2 ]
+        // [ 0 3 0 ]
+        // [ 4 0 5 ]
+        CsrMatrix::from_coo(
+            CooMatrix::from_triplets(
+                3,
+                3,
+                vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn from_coo_layout() {
+        let m = sample();
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.row_ptr(), &[0, 2, 3, 5]);
+        assert_eq!(m.row_cols(0), &[0, 2]);
+        assert_eq!(m.row_vals(2), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn get_and_contains() {
+        let m = sample();
+        assert_eq!(m.get(0, 2), Some(2.0));
+        assert_eq!(m.get(0, 1), None);
+        assert!(m.contains(2, 0));
+        assert!(!m.contains(1, 0));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let tt = m.transpose().transpose();
+        assert_eq!(m, tt);
+    }
+
+    #[test]
+    fn transpose_entries() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.get(2, 0), Some(2.0));
+        assert_eq!(t.get(0, 2), Some(4.0));
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let m = sample();
+        let y = m.spmv(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(y, vec![1.0 + 6.0, 6.0, 4.0 + 15.0]);
+    }
+
+    #[test]
+    fn spmv_dimension_check() {
+        let m = sample();
+        assert!(m.spmv(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn diagonal_queries() {
+        let m = sample();
+        assert!(m.has_full_diagonal());
+        let m2 = CsrMatrix::from_coo(
+            CooMatrix::from_triplets(2, 2, vec![(0, 1, 1.0), (1, 0, 1.0)]).unwrap(),
+        );
+        assert!(!m2.has_full_diagonal());
+        assert_eq!(m2.missing_diagonal(), vec![0, 1]);
+    }
+
+    #[test]
+    fn symmetry_checks() {
+        let sym = CsrMatrix::from_coo(
+            CooMatrix::from_triplets(2, 2, vec![(0, 1, 2.0), (1, 0, 2.0)]).unwrap(),
+        );
+        assert!(sym.pattern_symmetric());
+        assert!(sym.numerically_symmetric(0.0));
+        let asym = CsrMatrix::from_coo(
+            CooMatrix::from_triplets(2, 2, vec![(0, 1, 2.0)]).unwrap(),
+        );
+        assert!(!asym.pattern_symmetric());
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let i = CsrMatrix::identity(4);
+        assert!(i.has_full_diagonal());
+        let y = i.spmv(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(y, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn from_raw_validation() {
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]).is_ok());
+        // unsorted columns in a row
+        assert!(CsrMatrix::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err());
+        // column out of bounds
+        assert!(CsrMatrix::from_raw(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
+        // bad row_ptr
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 3, 2], vec![0, 1], vec![1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let m = CsrMatrix::from_coo(CooMatrix::from_triplets(3, 3, vec![(1, 1, 1.0)]).unwrap());
+        assert_eq!(m.row_nnz(0), 0);
+        assert_eq!(m.row_nnz(1), 1);
+        assert_eq!(m.row_nnz(2), 0);
+    }
+}

@@ -1,0 +1,607 @@
+//! Synthetic sparse-matrix generators.
+//!
+//! The paper evaluates on 14 real matrices (finite-difference problems,
+//! power grids, network/interior-point LP matrices, finite-element models,
+//! multistage stochastic programs). Without access to those collections we
+//! synthesize structurally analogous patterns; each generator here mimics
+//! one of those application domains. The [`crate::catalog`] module combines
+//! them into analogues of the specific Table-1 matrices.
+//!
+//! All symmetric generators can emit Laplacian-style values
+//! (`a_ii = degree_i + 1`, `a_ij = -1`), which makes the matrices symmetric
+//! positive definite — handy for the CG solver example.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{CooMatrix, CsrMatrix};
+
+/// How to assign numeric values to generated patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueMode {
+    /// Every stored entry is `1.0`.
+    Ones,
+    /// Off-diagonal entries are `-1.0`, diagonals are `degree + 1.0`
+    /// (diagonally dominant, SPD for symmetric patterns).
+    Laplacian,
+}
+
+/// Builds a CSR matrix from a symmetric adjacency list (`adj[i]` lists the
+/// neighbors of `i`, each undirected edge present in both lists), adding a
+/// full diagonal.
+fn from_adjacency(adj: Vec<Vec<u32>>, values: ValueMode) -> CsrMatrix {
+    let n = adj.len() as u32;
+    let nnz: usize = adj.iter().map(|a| a.len()).sum::<usize>() + n as usize;
+    let mut coo = CooMatrix::with_capacity(n, n, nnz);
+    for (i, neigh) in adj.iter().enumerate() {
+        let i = i as u32;
+        let deg = neigh.len() as f64;
+        let dv = match values {
+            ValueMode::Ones => 1.0,
+            ValueMode::Laplacian => deg + 1.0,
+        };
+        coo.push(i, i, dv).expect("in bounds");
+        for &j in neigh {
+            let ov = match values {
+                ValueMode::Ones => 1.0,
+                ValueMode::Laplacian => -1.0,
+            };
+            coo.push(i, j, ov).expect("in bounds");
+        }
+    }
+    CsrMatrix::from_coo(coo)
+}
+
+/// Uniformly random `nrows x ncols` pattern with approximately `nnz`
+/// nonzeros (duplicates collapse). When `ensure_diag` is set (square
+/// matrices only) every `a_ii` is added.
+pub fn random_general(
+    nrows: u32,
+    ncols: u32,
+    nnz: usize,
+    ensure_diag: bool,
+    rng: &mut impl Rng,
+) -> CsrMatrix {
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz + nrows as usize);
+    if ensure_diag && nrows == ncols {
+        for i in 0..nrows {
+            coo.push(i, i, 1.0).expect("in bounds");
+        }
+    }
+    for _ in 0..nnz {
+        let i = rng.gen_range(0..nrows);
+        let j = rng.gen_range(0..ncols);
+        coo.push(i, j, rng.gen_range(-1.0..1.0)).expect("in bounds");
+    }
+    CsrMatrix::from_coo(coo)
+}
+
+/// Symmetric banded matrix of order `n` with half-bandwidth `half_bw`;
+/// each in-band off-diagonal pair is kept with probability `density`.
+pub fn banded(
+    n: u32,
+    half_bw: u32,
+    density: f64,
+    values: ValueMode,
+    rng: &mut impl Rng,
+) -> CsrMatrix {
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
+    for i in 0..n {
+        for d in 1..=half_bw {
+            if i + d < n && rng.gen_bool(density) {
+                adj[i as usize].push(i + d);
+                adj[(i + d) as usize].push(i);
+            }
+        }
+    }
+    from_adjacency(adj, values)
+}
+
+/// 2D 5-point finite-difference stencil on an `nx x ny` grid (order
+/// `nx * ny`), with each off-diagonal link kept with probability `keep`
+/// (use `1.0` for the plain Laplacian). Models matrices like `sherman3`.
+pub fn grid5(nx: u32, ny: u32, keep: f64, values: ValueMode, rng: &mut impl Rng) -> CsrMatrix {
+    grid_stencil(nx, ny, 1, false, keep, values, rng)
+}
+
+/// 2D 9-point stencil (adds diagonal links) — denser FD/FE meshes.
+pub fn grid9(nx: u32, ny: u32, keep: f64, values: ValueMode, rng: &mut impl Rng) -> CsrMatrix {
+    grid_stencil(nx, ny, 1, true, keep, values, rng)
+}
+
+/// Wide-stencil grid: couples every node within Chebyshev radius `radius`
+/// (a `(2r+1)²−1`-point stencil). Mimics higher-order FE discretizations
+/// such as `vibrobox` (average ≈ 25–28 nonzeros per row for `radius = 2`).
+pub fn wide_stencil(
+    nx: u32,
+    ny: u32,
+    radius: u32,
+    keep: f64,
+    values: ValueMode,
+    rng: &mut impl Rng,
+) -> CsrMatrix {
+    grid_stencil(nx, ny, radius, true, keep, values, rng)
+}
+
+fn grid_stencil(
+    nx: u32,
+    ny: u32,
+    radius: u32,
+    diagonal_links: bool,
+    keep: f64,
+    values: ValueMode,
+    rng: &mut impl Rng,
+) -> CsrMatrix {
+    let n = (nx as usize) * (ny as usize);
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let idx = |x: u32, y: u32| (y as usize * nx as usize + x as usize) as u32;
+    for y in 0..ny {
+        for x in 0..nx {
+            let u = idx(x, y);
+            // Enumerate only "forward" offsets so each undirected edge is
+            // considered once.
+            for dy in 0..=radius {
+                let lo_dx = if dy == 0 { 1 } else { -(radius as i64) };
+                for dx in lo_dx..=radius as i64 {
+                    if dy == 0 && dx <= 0 {
+                        continue;
+                    }
+                    if !diagonal_links && dx != 0 && dy != 0 {
+                        continue;
+                    }
+                    let nxp = x as i64 + dx;
+                    let nyp = y as i64 + dy as i64;
+                    if nxp < 0 || nxp >= nx as i64 || nyp >= ny as i64 {
+                        continue;
+                    }
+                    if keep < 1.0 && !rng.gen_bool(keep) {
+                        continue;
+                    }
+                    let v = idx(nxp as u32, nyp as u32);
+                    adj[u as usize].push(v);
+                    adj[v as usize].push(u);
+                }
+            }
+        }
+    }
+    from_adjacency(adj, values)
+}
+
+/// Power-transmission-network topology: a random spanning tree over `n`
+/// buses plus `extra` locally-biased reinforcement edges, degree-capped at
+/// `max_degree`. Low, tightly bounded degrees — the structure of `bcspwr10`.
+pub fn power_grid(
+    n: u32,
+    extra: usize,
+    max_degree: usize,
+    values: ValueMode,
+    rng: &mut impl Rng,
+) -> CsrMatrix {
+    assert!(n > 0, "power_grid needs at least one bus");
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
+    // Random tree: node i attaches to a random earlier node, biased toward
+    // recent nodes to create long stringy feeders like real grids.
+    for i in 1..n {
+        let lo = i.saturating_sub(50);
+        let p = rng.gen_range(lo..i);
+        adj[i as usize].push(p);
+        adj[p as usize].push(i);
+    }
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < extra && attempts < extra * 20 {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        // Locally biased second endpoint.
+        let span = 200.min(n as usize - 1) as u32;
+        let off = rng.gen_range(1..=span);
+        let v = if rng.gen_bool(0.5) { u.saturating_sub(off) } else { (u + off).min(n - 1) };
+        if u == v
+            || adj[u as usize].len() >= max_degree
+            || adj[v as usize].len() >= max_degree
+            || adj[u as usize].contains(&v)
+        {
+            continue;
+        }
+        adj[u as usize].push(v);
+        adj[v as usize].push(u);
+        added += 1;
+    }
+    from_adjacency(adj, values)
+}
+
+/// Scale-free (Barabási–Albert style preferential attachment) graph with
+/// `edges_per_node` links added per new node. Produces the skewed degree
+/// distributions of network-LP normal-equation matrices (`ken`, `cre`,
+/// `cq9`, `co9`, `nl`, `world`, `mod2`): most rows sparse, a few hubs with
+/// hundreds of nonzeros.
+pub fn scale_free(
+    n: u32,
+    edges_per_node: f64,
+    values: ValueMode,
+    rng: &mut impl Rng,
+) -> CsrMatrix {
+    assert!(n >= 2, "scale_free needs at least two nodes");
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
+    // Endpoint multiset for preferential attachment.
+    let mut endpoints: Vec<u32> = Vec::with_capacity((n as usize) * (edges_per_node as usize + 1));
+    adj[0].push(1);
+    adj[1].push(0);
+    endpoints.push(0);
+    endpoints.push(1);
+    let m_floor = edges_per_node.floor() as usize;
+    let frac = edges_per_node - m_floor as f64;
+    for i in 2..n {
+        let m = m_floor + usize::from(rng.gen_bool(frac));
+        let m = m.max(1).min(i as usize);
+        let mut chosen: Vec<u32> = Vec::with_capacity(m);
+        let mut guard = 0;
+        while chosen.len() < m && guard < 50 * m {
+            guard += 1;
+            // Mix preferential attachment with uniform choice to soften the
+            // hub tail slightly (matches the observed max degrees better).
+            let t = if rng.gen_bool(0.8) && !endpoints.is_empty() {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            } else {
+                rng.gen_range(0..i)
+            };
+            if t != i && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for t in chosen {
+            adj[i as usize].push(t);
+            adj[t as usize].push(i);
+            endpoints.push(i);
+            endpoints.push(t);
+        }
+    }
+    from_adjacency(adj, values)
+}
+
+/// Multistage block-structured matrix: `blocks` diagonal blocks of size
+/// `block_size`, each internally banded (half-bandwidth `half_bw`), with
+/// `links_per_block` interface rows per block that couple densely
+/// (`link_span` targets) into the next block. Mimics multistage stochastic
+/// programs (`pltexpA4-6`) and, with hub links, `finan512`.
+pub fn block_multistage(
+    blocks: u32,
+    block_size: u32,
+    half_bw: u32,
+    links_per_block: u32,
+    link_span: u32,
+    values: ValueMode,
+    rng: &mut impl Rng,
+) -> CsrMatrix {
+    let n = (blocks as usize) * (block_size as usize);
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let base = |b: u32| b as usize * block_size as usize;
+    for b in 0..blocks {
+        let s = base(b) as u32;
+        // Banded interior.
+        for i in 0..block_size {
+            for d in 1..=half_bw {
+                if i + d < block_size {
+                    let (u, v) = ((s + i) as usize, (s + i + d) as usize);
+                    adj[u].push(s + i + d);
+                    adj[v].push(s + i);
+                }
+            }
+        }
+        // Interface rows coupling into the next block.
+        if b + 1 < blocks {
+            let ns = base(b + 1) as u32;
+            for l in 0..links_per_block {
+                let u = s + rng.gen_range(0..block_size.max(1));
+                let _ = l;
+                let span = link_span.min(block_size);
+                let mut targets: Vec<u32> = (0..block_size).collect();
+                targets.shuffle(rng);
+                for &t in targets.iter().take(span as usize) {
+                    let v = ns + t;
+                    if !adj[u as usize].contains(&v) {
+                        adj[u as usize].push(v);
+                        adj[v as usize].push(u);
+                    }
+                }
+            }
+        }
+    }
+    from_adjacency(adj, values)
+}
+
+/// Ring lattice (each node linked to its `k` nearest successors) plus
+/// `hubs` hub nodes each wired to `hub_degree` uniformly random nodes.
+/// Mimics `finan512` (min degree 3, a few degree-1400+ hubs).
+pub fn lattice_with_hubs(
+    n: u32,
+    k: u32,
+    hubs: u32,
+    hub_degree: u32,
+    values: ValueMode,
+    rng: &mut impl Rng,
+) -> CsrMatrix {
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
+    for i in 0..n {
+        for d in 1..=k {
+            let j = (i + d) % n;
+            adj[i as usize].push(j);
+            adj[j as usize].push(i);
+        }
+    }
+    for _ in 0..hubs {
+        let h = rng.gen_range(0..n);
+        let mut added = 0;
+        let mut guard = 0;
+        while added < hub_degree && guard < hub_degree * 10 {
+            guard += 1;
+            let t = rng.gen_range(0..n);
+            if t != h && !adj[h as usize].contains(&t) {
+                adj[h as usize].push(t);
+                adj[t as usize].push(h);
+                added += 1;
+            }
+        }
+    }
+    from_adjacency(adj, values)
+}
+
+/// Rectangular network-LP staircase constraint matrix `A` (rows =
+/// constraints, cols = variables): each column has `nnz_per_col` entries in
+/// a local row window, plus `dense_cols` columns with `dense_col_nnz`
+/// scattered entries. Feed to [`aat_pattern`] to obtain the square
+/// normal-equation matrix interior-point methods iterate with.
+pub fn lp_staircase(
+    nrows: u32,
+    ncols: u32,
+    nnz_per_col: u32,
+    dense_cols: u32,
+    dense_col_nnz: u32,
+    rng: &mut impl Rng,
+) -> CsrMatrix {
+    let mut coo = CooMatrix::with_capacity(
+        nrows,
+        ncols,
+        (ncols * nnz_per_col + dense_cols * dense_col_nnz) as usize,
+    );
+    for j in 0..ncols {
+        // Staircase window: columns sweep down the rows.
+        let center = ((j as u64 * nrows as u64) / ncols.max(1) as u64) as u32;
+        for _ in 0..nnz_per_col {
+            let off = rng.gen_range(0..40u32);
+            let i = (center + off) % nrows.max(1);
+            coo.push(i, j, rng.gen_range(-1.0..1.0)).expect("in bounds");
+        }
+    }
+    for d in 0..dense_cols {
+        let j = (d * ncols / dense_cols.max(1)).min(ncols.saturating_sub(1));
+        for _ in 0..dense_col_nnz {
+            let i = rng.gen_range(0..nrows);
+            coo.push(i, j, rng.gen_range(-1.0..1.0)).expect("in bounds");
+        }
+    }
+    CsrMatrix::from_coo(coo)
+}
+
+/// R-MAT (recursive matrix) generator: `nnz` edges placed by recursive
+/// quadrant descent with probabilities `(a, b, c, d)`, `a+b+c+d = 1`.
+/// The classic (0.57, 0.19, 0.19, 0.05) setting yields power-law
+/// degree distributions with community structure — a second family of
+/// skewed patterns alongside [`scale_free`], useful for robustness
+/// checks of the decomposition models. The pattern is symmetrized and a
+/// full diagonal is added so the result is a valid SpMV test matrix.
+pub fn rmat(
+    scale: u32,
+    nnz: usize,
+    probs: (f64, f64, f64, f64),
+    values: ValueMode,
+    rng: &mut impl Rng,
+) -> CsrMatrix {
+    let (a, b, c, d) = probs;
+    assert!((a + b + c + d - 1.0).abs() < 1e-9, "probabilities must sum to 1");
+    assert!((1..=24).contains(&scale), "scale in 1..=24");
+    let n = 1u32 << scale;
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
+    let mut placed = 0usize;
+    let mut attempts = 0usize;
+    while placed < nnz && attempts < nnz * 4 {
+        attempts += 1;
+        let (mut i, mut j) = (0u32, 0u32);
+        for level in (0..scale).rev() {
+            let r: f64 = rng.gen();
+            let (di, dj) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            i |= di << level;
+            j |= dj << level;
+        }
+        if i == j || adj[i as usize].contains(&j) {
+            continue;
+        }
+        adj[i as usize].push(j);
+        adj[j as usize].push(i);
+        placed += 1;
+    }
+    from_adjacency(adj, values)
+}
+
+/// The structural pattern of `A·Aᵀ` (values = number of shared columns,
+/// i.e. the inner-product term count). Always square, symmetric, and with a
+/// full diagonal whenever every row of `A` is non-empty.
+pub fn aat_pattern(a: &CsrMatrix) -> CsrMatrix {
+    let csc = a.to_csc();
+    let n = a.nrows();
+    let mut coo = CooMatrix::with_capacity(n, n, a.nnz() * 4);
+    // For each column, the rows it touches form a clique in A·Aᵀ.
+    for j in 0..a.ncols() {
+        let rows = csc.col_rows(j);
+        for (pi, &r) in rows.iter().enumerate() {
+            coo.push(r, r, 1.0).expect("in bounds");
+            for &s in &rows[pi + 1..] {
+                coo.push(r, s, 1.0).expect("in bounds");
+                coo.push(s, r, 1.0).expect("in bounds");
+            }
+        }
+    }
+    CsrMatrix::from_coo(coo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::MatrixStats;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn random_general_bounds_and_diag() {
+        let a = random_general(50, 50, 200, true, &mut rng());
+        assert!(a.has_full_diagonal());
+        assert!(a.nnz() >= 50);
+        assert!(a.nnz() <= 250);
+    }
+
+    #[test]
+    fn grid5_is_symmetric_spd_shape() {
+        let a = grid5(10, 10, 1.0, ValueMode::Laplacian, &mut rng());
+        assert_eq!(a.nrows(), 100);
+        assert!(a.pattern_symmetric());
+        assert!(a.has_full_diagonal());
+        // Interior nodes have 4 neighbors + diagonal.
+        let s = MatrixStats::compute(&a);
+        assert_eq!(s.row_max, 5);
+        assert_eq!(s.row_min, 3);
+    }
+
+    #[test]
+    fn grid9_has_diagonal_links() {
+        let a = grid9(5, 5, 1.0, ValueMode::Ones, &mut rng());
+        // Center node (2,2) = 12 has 8 neighbors + self.
+        assert_eq!(a.row_nnz(12), 9);
+        assert!(a.pattern_symmetric());
+    }
+
+    #[test]
+    fn wide_stencil_degree() {
+        let a = wide_stencil(9, 9, 2, 1.0, ValueMode::Ones, &mut rng());
+        // Center node has 24 neighbors + self.
+        let center = 4 * 9 + 4;
+        assert_eq!(a.row_nnz(center), 25);
+        assert!(a.pattern_symmetric());
+    }
+
+    #[test]
+    fn power_grid_connected_low_degree() {
+        let a = power_grid(500, 120, 14, ValueMode::Ones, &mut rng());
+        let s = MatrixStats::compute(&a);
+        assert!(s.row_max <= 15, "degree cap exceeded: {}", s.row_max);
+        assert!(s.row_min >= 2, "tree guarantees degree >= 1 plus diagonal");
+        assert!(a.pattern_symmetric());
+        assert!(a.has_full_diagonal());
+    }
+
+    #[test]
+    fn scale_free_has_hubs() {
+        let a = scale_free(2000, 3.0, ValueMode::Ones, &mut rng());
+        let s = MatrixStats::compute(&a);
+        assert!(s.row_max > 30, "expected hub rows, max was {}", s.row_max);
+        assert!(a.pattern_symmetric());
+        assert!((s.row_avg - 7.0).abs() < 2.0, "avg {} should be near 2m+1", s.row_avg);
+    }
+
+    #[test]
+    fn laplacian_values_are_spd_like() {
+        let a = grid5(6, 6, 1.0, ValueMode::Laplacian, &mut rng());
+        for i in 0..a.nrows() {
+            let diag = a.get(i, i).unwrap();
+            let off: f64 =
+                a.row_vals(i).iter().zip(a.row_cols(i)).filter(|(_, &j)| j != i).map(|(v, _)| v.abs()).sum();
+            assert!(diag > off, "row {i} not diagonally dominant");
+        }
+    }
+
+    #[test]
+    fn block_multistage_structure() {
+        let a = block_multistage(4, 100, 3, 2, 30, ValueMode::Ones, &mut rng());
+        assert_eq!(a.nrows(), 400);
+        assert!(a.pattern_symmetric());
+        // No entry may couple non-adjacent blocks.
+        for (i, j, _) in a.iter() {
+            let (bi, bj) = (i / 100, j / 100);
+            assert!(bi.abs_diff(bj) <= 1, "entry ({i},{j}) spans non-adjacent blocks");
+        }
+    }
+
+    #[test]
+    fn lattice_with_hubs_degrees() {
+        let a = lattice_with_hubs(1000, 2, 3, 200, ValueMode::Ones, &mut rng());
+        let s = MatrixStats::compute(&a);
+        assert!(s.row_min >= 5, "lattice base degree 4 + diag, got {}", s.row_min);
+        assert!(s.row_max >= 150, "hubs should be high degree, got {}", s.row_max);
+        assert!(a.pattern_symmetric());
+    }
+
+    #[test]
+    fn aat_pattern_is_square_symmetric() {
+        let a = lp_staircase(300, 450, 2, 3, 40, &mut rng());
+        let m = aat_pattern(&a);
+        assert_eq!(m.nrows(), 300);
+        assert!(m.is_square());
+        assert!(m.pattern_symmetric());
+    }
+
+    #[test]
+    fn aat_pattern_small_exact() {
+        // A = [1 0 1; 0 1 1] -> AAᵀ pattern full 2x2 (rows share col 2).
+        let a = CsrMatrix::from_coo(
+            CooMatrix::from_triplets(2, 3, vec![(0, 0, 1.0), (0, 2, 1.0), (1, 1, 1.0), (1, 2, 1.0)])
+                .unwrap(),
+        );
+        let m = aat_pattern(&a);
+        assert_eq!(m.nnz(), 4);
+        assert!(m.contains(0, 1) && m.contains(1, 0));
+        // Diagonal counts = row nnz of A; shared-column count on off-diagonal.
+        assert_eq!(m.get(0, 0), Some(2.0));
+        assert_eq!(m.get(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn rmat_skewed_and_symmetric() {
+        let a = rmat(10, 4000, (0.57, 0.19, 0.19, 0.05), ValueMode::Ones, &mut rng());
+        assert_eq!(a.nrows(), 1024);
+        assert!(a.pattern_symmetric());
+        assert!(a.has_full_diagonal());
+        let s = MatrixStats::compute(&a);
+        assert!(
+            s.row_max as f64 > 3.0 * s.row_avg,
+            "R-MAT should be skewed: max {} avg {}",
+            s.row_max,
+            s.row_avg
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities must sum to 1")]
+    fn rmat_validates_probs() {
+        rmat(4, 10, (0.5, 0.5, 0.5, 0.5), ValueMode::Ones, &mut rng());
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let a1 = scale_free(500, 2.5, ValueMode::Ones, &mut SmallRng::seed_from_u64(7));
+        let a2 = scale_free(500, 2.5, ValueMode::Ones, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(a1, a2);
+        let a3 = scale_free(500, 2.5, ValueMode::Ones, &mut SmallRng::seed_from_u64(8));
+        assert_ne!(a1, a3);
+    }
+}

@@ -1,0 +1,80 @@
+//! # fgh-sparse — sparse matrix substrate
+//!
+//! Sparse matrix data structures and utilities underpinning the fine-grain
+//! hypergraph decomposition library:
+//!
+//! * [`CooMatrix`] — coordinate (triplet) format, the mutable construction
+//!   format,
+//! * [`CsrMatrix`] — compressed sparse row, the primary analysis/compute
+//!   format,
+//! * [`CscMatrix`] — compressed sparse column,
+//! * [`io`] — Matrix Market (`.mtx`) reading and writing,
+//! * [`gen`] — synthetic sparse matrix generators (stencils, power grids,
+//!   LP constraint blocks, scale-free patterns, ...),
+//! * [`catalog`] — synthetic analogues of the 14 test matrices from Table 1
+//!   of the paper (sherman3 ... finan512),
+//! * [`stats`] — the per-row/per-column nonzero statistics reported in
+//!   Table 1.
+//!
+//! Indices are `u32` (the paper's largest instance has 74 752 rows and
+//! 615 774 nonzeros; `u32` keeps the hypergraphs compact), pointer arrays are
+//! `usize`, values are `f64`.
+
+pub mod catalog;
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod gen;
+pub mod io;
+pub mod pattern;
+pub mod reorder;
+pub mod spy;
+pub mod stats;
+
+pub use coo::CooMatrix;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use stats::MatrixStats;
+
+/// Error type for matrix construction and I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// An entry's row or column index is out of the declared bounds.
+    IndexOutOfBounds { row: u32, col: u32, nrows: u32, ncols: u32 },
+    /// A malformed Matrix Market file, with a human-readable reason.
+    Parse(String),
+    /// An I/O failure while reading/writing a file.
+    Io(String),
+    /// Operation requires a square matrix.
+    NotSquare { nrows: u32, ncols: u32 },
+    /// Dimension mismatch between operands (e.g. SpMV with wrong x length).
+    DimensionMismatch(String),
+}
+
+impl std::fmt::Display for SparseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+                f,
+                "entry ({row}, {col}) out of bounds for a {nrows} x {ncols} matrix"
+            ),
+            SparseError::Parse(msg) => write!(f, "matrix market parse error: {msg}"),
+            SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+            SparseError::NotSquare { nrows, ncols } => {
+                write!(f, "operation requires a square matrix, got {nrows} x {ncols}")
+            }
+            SparseError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SparseError>;

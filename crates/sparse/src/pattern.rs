@@ -1,0 +1,186 @@
+//! Symbolic pattern operations: symmetrization (A + Aᵀ), adjacency
+//! structures for the standard graph model.
+
+use crate::csr::CsrMatrix;
+use crate::{Result, SparseError};
+
+/// The symmetrized off-diagonal adjacency structure of a square matrix:
+/// vertex `i` is adjacent to `j != i` iff `a_ij != 0` or `a_ji != 0`.
+///
+/// This is the pattern of `A + Aᵀ` with the diagonal removed — exactly the
+/// graph the *standard graph model* partitions. For each edge we also record
+/// whether both `a_ij` and `a_ji` are structurally present, which determines
+/// the edge cost (2 when both, 1 otherwise) in the standard model's
+/// communication-volume approximation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymmetrizedPattern {
+    n: u32,
+    adj_ptr: Vec<usize>,
+    adj: Vec<u32>,
+    /// `both[e]` is true when the edge `e` comes from a symmetric nonzero
+    /// pair (both `a_ij` and `a_ji` structurally nonzero).
+    both: Vec<bool>,
+}
+
+impl SymmetrizedPattern {
+    /// Builds the symmetrized off-diagonal pattern of a square matrix.
+    pub fn build(a: &CsrMatrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        }
+        let n = a.nrows();
+        let t = a.transpose();
+        let mut adj_ptr = Vec::with_capacity(n as usize + 1);
+        let mut adj = Vec::new();
+        let mut both = Vec::new();
+        adj_ptr.push(0);
+        for i in 0..n {
+            // Merge the sorted neighbor lists of row i of A and row i of Aᵀ,
+            // skipping the diagonal.
+            let ra = a.row_cols(i);
+            let rt = t.row_cols(i);
+            let (mut p, mut q) = (0usize, 0usize);
+            while p < ra.len() || q < rt.len() {
+                let ca = ra.get(p).copied();
+                let ct = rt.get(q).copied();
+                let (j, is_both) = match (ca, ct) {
+                    (Some(x), Some(y)) if x == y => {
+                        p += 1;
+                        q += 1;
+                        (x, true)
+                    }
+                    (Some(x), Some(y)) if x < y => {
+                        p += 1;
+                        (x, false)
+                    }
+                    (Some(_), Some(y)) => {
+                        q += 1;
+                        (y, false)
+                    }
+                    (Some(x), None) => {
+                        p += 1;
+                        (x, false)
+                    }
+                    (None, Some(y)) => {
+                        q += 1;
+                        (y, false)
+                    }
+                    (None, None) => unreachable!("loop condition"),
+                };
+                if j != i {
+                    adj.push(j);
+                    both.push(is_both);
+                }
+            }
+            adj_ptr.push(adj.len());
+        }
+        Ok(SymmetrizedPattern { n, adj_ptr, adj, both })
+    }
+
+    /// Number of vertices (matrix order).
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of directed adjacency slots (2x the undirected edge count).
+    pub fn adjacency_len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Neighbors of vertex `i` (sorted, diagonal excluded).
+    pub fn neighbors(&self, i: u32) -> &[u32] {
+        &self.adj[self.adj_ptr[i as usize]..self.adj_ptr[i as usize + 1]]
+    }
+
+    /// Per-neighbor "symmetric pair" flags parallel to
+    /// [`SymmetrizedPattern::neighbors`].
+    pub fn neighbor_both_flags(&self, i: u32) -> &[bool] {
+        &self.both[self.adj_ptr[i as usize]..self.adj_ptr[i as usize + 1]]
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.len() / 2
+    }
+}
+
+impl From<CooMatrix> for CsrMatrix {
+    fn from(coo: CooMatrix) -> Self {
+        CsrMatrix::from_coo(coo)
+    }
+}
+
+use crate::CooMatrix;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    #[test]
+    fn symmetrize_nonsymmetric() {
+        // A = [ 1 1 0 ]
+        //     [ 0 1 0 ]
+        //     [ 1 0 1 ]
+        let a = CsrMatrix::from_coo(
+            CooMatrix::from_triplets(
+                3,
+                3,
+                vec![(0, 0, 1.0), (0, 1, 1.0), (1, 1, 1.0), (2, 0, 1.0), (2, 2, 1.0)],
+            )
+            .unwrap(),
+        );
+        let p = SymmetrizedPattern::build(&a).unwrap();
+        assert_eq!(p.neighbors(0), &[1, 2]);
+        assert_eq!(p.neighbors(1), &[0]);
+        assert_eq!(p.neighbors(2), &[0]);
+        assert_eq!(p.num_edges(), 2);
+        // Neither edge has a symmetric nonzero pair.
+        assert_eq!(p.neighbor_both_flags(0), &[false, false]);
+    }
+
+    #[test]
+    fn symmetric_pair_flagged() {
+        let a = CsrMatrix::from_coo(
+            CooMatrix::from_triplets(2, 2, vec![(0, 1, 1.0), (1, 0, 1.0)]).unwrap(),
+        );
+        let p = SymmetrizedPattern::build(&a).unwrap();
+        assert_eq!(p.neighbors(0), &[1]);
+        assert_eq!(p.neighbor_both_flags(0), &[true]);
+        assert_eq!(p.neighbor_both_flags(1), &[true]);
+    }
+
+    #[test]
+    fn diagonal_only_matrix_has_no_edges() {
+        let a = CsrMatrix::identity(5);
+        let p = SymmetrizedPattern::build(&a).unwrap();
+        assert_eq!(p.num_edges(), 0);
+        for i in 0..5 {
+            assert!(p.neighbors(i).is_empty());
+        }
+    }
+
+    #[test]
+    fn rectangular_rejected() {
+        let a = CsrMatrix::from_coo(CooMatrix::new(2, 3));
+        assert!(SymmetrizedPattern::build(&a).is_err());
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let a = CsrMatrix::from_coo(
+            CooMatrix::from_triplets(
+                4,
+                4,
+                vec![(0, 3, 1.0), (1, 2, 1.0), (2, 0, 1.0), (3, 3, 1.0)],
+            )
+            .unwrap(),
+        );
+        let p = SymmetrizedPattern::build(&a).unwrap();
+        for i in 0..4u32 {
+            for &j in p.neighbors(i) {
+                assert!(p.neighbors(j).contains(&i), "edge ({i},{j}) not mirrored");
+            }
+        }
+    }
+}

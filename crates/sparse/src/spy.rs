@@ -1,0 +1,138 @@
+//! ASCII "spy" plots: terminal visualization of sparsity patterns.
+//!
+//! Each character cell aggregates a block of the matrix; density maps to
+//! a ramp of glyphs. Used by the `fgh spy` CLI command and handy when
+//! eyeballing generator output against the original matrices' spy plots.
+
+use crate::csr::CsrMatrix;
+
+/// Density ramp from empty to full.
+const RAMP: [char; 5] = ['.', '\u{2591}', '\u{2592}', '\u{2593}', '\u{2588}'];
+
+/// Renders the sparsity pattern of `a` as an ASCII grid at most
+/// `max_cells` characters wide/tall (aspect preserved for square
+/// matrices). Returns a newline-separated string.
+pub fn spy_pattern(a: &CsrMatrix, max_cells: u32) -> String {
+    let (rows, cols) = (a.nrows().max(1), a.ncols().max(1));
+    let cells_r = rows.min(max_cells).max(1);
+    let cells_c = cols.min(max_cells).max(1);
+    let mut counts = vec![0u32; (cells_r * cells_c) as usize];
+    for (i, j, _) in a.iter() {
+        let r = (i as u64 * cells_r as u64 / rows as u64) as u32;
+        let c = (j as u64 * cells_c as u64 / cols as u64) as u32;
+        counts[(r * cells_c + c) as usize] += 1;
+    }
+    // Cell capacity for normalization.
+    let cell_rows = rows.div_ceil(cells_r) as f64;
+    let cell_cols = cols.div_ceil(cells_c) as f64;
+    let cap = (cell_rows * cell_cols).max(1.0);
+    let mut out = String::with_capacity(((cells_c + 1) * cells_r) as usize);
+    for r in 0..cells_r {
+        for c in 0..cells_c {
+            let d = counts[(r * cells_c + c) as usize] as f64 / cap;
+            let idx = if d <= 0.0 {
+                0
+            } else {
+                (1.0 + d.min(1.0) * 3.0).round() as usize
+            };
+            out.push(RAMP[idx.min(4)]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an ownership map: each character cell shows the *dominant
+/// owner* of the nonzeros it covers (base-36 digit), or `.` when empty.
+/// `owner` must be parallel to the CSR iteration order.
+pub fn spy_owners(a: &CsrMatrix, owner: &[u32], max_cells: u32) -> String {
+    assert_eq!(owner.len(), a.nnz(), "one owner per nonzero");
+    let (rows, cols) = (a.nrows().max(1), a.ncols().max(1));
+    let cells_r = rows.min(max_cells).max(1);
+    let cells_c = cols.min(max_cells).max(1);
+    let k = owner.iter().copied().max().map(|m| m as usize + 1).unwrap_or(1);
+    let mut counts = vec![0u32; (cells_r * cells_c) as usize * k];
+    let mut e = 0usize;
+    for (i, j, _) in a.iter() {
+        let r = (i as u64 * cells_r as u64 / rows as u64) as u32;
+        let c = (j as u64 * cells_c as u64 / cols as u64) as u32;
+        counts[((r * cells_c + c) as usize) * k + owner[e] as usize] += 1;
+        e += 1;
+    }
+    let digit = |p: usize| {
+        char::from_digit((p % 36) as u32, 36).expect("p % 36 < 36")
+    };
+    let mut out = String::with_capacity(((cells_c + 1) * cells_r) as usize);
+    for r in 0..cells_r {
+        for c in 0..cells_c {
+            let cell = &counts[((r * cells_c + c) as usize) * k..][..k];
+            match cell.iter().enumerate().max_by_key(|&(_, &n)| n) {
+                Some((p, &n)) if n > 0 => out.push(digit(p)),
+                _ => out.push('.'),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    #[test]
+    fn spy_pattern_shape() {
+        let a = CsrMatrix::identity(100);
+        let s = spy_pattern(&a, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 10);
+        assert!(lines.iter().all(|l| l.chars().count() == 10));
+        // Diagonal cells are non-empty, corners off-diagonal empty.
+        assert_ne!(lines[0].chars().next().unwrap(), '.');
+        assert_eq!(lines[0].chars().last().unwrap(), '.');
+        assert_eq!(lines[9].chars().next().unwrap(), '.');
+    }
+
+    #[test]
+    fn spy_small_matrix_not_upscaled() {
+        let a = CsrMatrix::identity(3);
+        let s = spy_pattern(&a, 50);
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn spy_owners_dominant() {
+        // 4x4: upper-left block owned by 0, lower-right by 1.
+        let a = CsrMatrix::from_coo(
+            CooMatrix::from_triplets(
+                4,
+                4,
+                vec![(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0), (3, 3, 1.0)],
+            )
+            .unwrap(),
+        );
+        let owner = vec![0u32, 0, 0, 1, 1];
+        let s = spy_owners(&a, &owner, 2);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0].chars().next().unwrap(), '0');
+        assert_eq!(lines[1].chars().last().unwrap(), '1');
+        assert_eq!(lines[1].chars().next().unwrap(), '.');
+    }
+
+    #[test]
+    fn spy_owners_base36() {
+        let a = CsrMatrix::identity(2);
+        let owner = vec![10u32, 35];
+        let s = spy_owners(&a, &owner, 2);
+        assert!(s.contains('a'));
+        assert!(s.contains('z'));
+    }
+
+    #[test]
+    #[should_panic(expected = "one owner per nonzero")]
+    fn spy_owners_length_checked() {
+        let a = CsrMatrix::identity(2);
+        spy_owners(&a, &[0], 2);
+    }
+}

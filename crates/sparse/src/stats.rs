@@ -1,0 +1,142 @@
+//! Per-row / per-column nonzero statistics — the quantities reported in
+//! Table 1 of the paper.
+
+use crate::csr::CsrMatrix;
+
+/// Nonzero-count statistics for a sparse matrix, matching the columns of
+/// Table 1: total nonzeros, and the min / max / average number of nonzeros
+/// per row and per column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixStats {
+    /// Number of rows.
+    pub nrows: u32,
+    /// Number of columns.
+    pub ncols: u32,
+    /// Total structural nonzeros.
+    pub nnz: usize,
+    /// Minimum nonzeros in any row.
+    pub row_min: usize,
+    /// Maximum nonzeros in any row.
+    pub row_max: usize,
+    /// Average nonzeros per row.
+    pub row_avg: f64,
+    /// Minimum nonzeros in any column.
+    pub col_min: usize,
+    /// Maximum nonzeros in any column.
+    pub col_max: usize,
+    /// Average nonzeros per column.
+    pub col_avg: f64,
+}
+
+impl MatrixStats {
+    /// Computes statistics for `a`.
+    pub fn compute(a: &CsrMatrix) -> Self {
+        let nrows = a.nrows();
+        let ncols = a.ncols();
+        let nnz = a.nnz();
+
+        let (mut row_min, mut row_max) = (usize::MAX, 0usize);
+        for i in 0..nrows {
+            let c = a.row_nnz(i);
+            row_min = row_min.min(c);
+            row_max = row_max.max(c);
+        }
+        if nrows == 0 {
+            row_min = 0;
+        }
+
+        let mut col_counts = vec![0usize; ncols as usize];
+        for &j in a.col_idx() {
+            col_counts[j as usize] += 1;
+        }
+        let (mut col_min, mut col_max) = (usize::MAX, 0usize);
+        for &c in &col_counts {
+            col_min = col_min.min(c);
+            col_max = col_max.max(c);
+        }
+        if ncols == 0 {
+            col_min = 0;
+        }
+
+        MatrixStats {
+            nrows,
+            ncols,
+            nnz,
+            row_min,
+            row_max,
+            row_avg: if nrows == 0 { 0.0 } else { nnz as f64 / nrows as f64 },
+            col_min,
+            col_max,
+            col_avg: if ncols == 0 { 0.0 } else { nnz as f64 / ncols as f64 },
+        }
+    }
+
+    /// Min nonzeros over rows *and* columns combined — the single
+    /// "per row/col min" column Table 1 prints for square matrices.
+    pub fn rowcol_min(&self) -> usize {
+        self.row_min.min(self.col_min)
+    }
+
+    /// Max nonzeros over rows and columns combined.
+    pub fn rowcol_max(&self) -> usize {
+        self.row_max.max(self.col_max)
+    }
+
+    /// Average nonzeros per row/column (they coincide for square matrices).
+    pub fn rowcol_avg(&self) -> f64 {
+        if self.nrows == self.ncols {
+            self.row_avg
+        } else {
+            (self.row_avg + self.col_avg) / 2.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    #[test]
+    fn stats_basic() {
+        // [ 1 1 1 ]
+        // [ 0 1 0 ]
+        // [ 0 1 0 ]
+        let a = CsrMatrix::from_coo(
+            CooMatrix::from_triplets(
+                3,
+                3,
+                vec![(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0), (1, 1, 1.0), (2, 1, 1.0)],
+            )
+            .unwrap(),
+        );
+        let s = MatrixStats::compute(&a);
+        assert_eq!(s.nnz, 5);
+        assert_eq!(s.row_min, 1);
+        assert_eq!(s.row_max, 3);
+        assert!((s.row_avg - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.col_min, 1);
+        assert_eq!(s.col_max, 3);
+        assert_eq!(s.rowcol_min(), 1);
+        assert_eq!(s.rowcol_max(), 3);
+    }
+
+    #[test]
+    fn stats_empty_matrix() {
+        let a = CsrMatrix::from_coo(CooMatrix::new(0, 0));
+        let s = MatrixStats::compute(&a);
+        assert_eq!(s.nnz, 0);
+        assert_eq!(s.row_min, 0);
+        assert_eq!(s.col_max, 0);
+        assert_eq!(s.row_avg, 0.0);
+    }
+
+    #[test]
+    fn identity_stats() {
+        let s = MatrixStats::compute(&CsrMatrix::identity(10));
+        assert_eq!(s.row_min, 1);
+        assert_eq!(s.row_max, 1);
+        assert_eq!(s.col_min, 1);
+        assert_eq!(s.rowcol_avg(), 1.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Analytic machine cost model: predicts parallel SpMV time and speedup
+//! from a communication plan under an α-β-γ machine (per-message latency,
+//! per-word bandwidth cost, per-flop compute cost).
+//!
+//! This extends the paper's evaluation: Table 2 reports volumes and
+//! message counts separately; the cost model combines them into a single
+//! predicted runtime, exposing the tradeoff the paper discusses in §4 —
+//! the fine-grain model halves the volume (β term) but may double the
+//! message count (α term), so which model wins depends on the machine's
+//! α/β ratio.
+
+use crate::plan::DistributedSpmv;
+
+/// An α-β-γ machine: `time = α · messages + β · words + γ · flops`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineModel {
+    /// Per-message startup latency, seconds.
+    pub alpha: f64,
+    /// Per-word transfer time, seconds.
+    pub beta: f64,
+    /// Per-flop time (one multiply or add), seconds.
+    pub gamma: f64,
+}
+
+impl MachineModel {
+    /// A mid-1990s MPP in the spirit of the paper's era (Parsytec
+    /// CC-class): ~50 µs message latency, ~10 MB/s per-word transfer,
+    /// ~50 Mflop/s per node.
+    pub fn classic_mpp() -> Self {
+        MachineModel { alpha: 50e-6, beta: 0.8e-6, gamma: 20e-9 }
+    }
+
+    /// A commodity Beowulf-style cluster: ~60 µs TCP latency, ~100 Mb/s.
+    pub fn beowulf() -> Self {
+        MachineModel { alpha: 60e-6, beta: 0.64e-6, gamma: 2e-9 }
+    }
+
+    /// A modern InfiniBand-class cluster: ~1.5 µs latency, ~100 Gb/s,
+    /// ~10 Gflop/s effective per core for sparse kernels.
+    pub fn modern_cluster() -> Self {
+        MachineModel { alpha: 1.5e-6, beta: 0.64e-9, gamma: 0.1e-9 }
+    }
+
+    /// A latency-dominated network (e.g. heavily oversubscribed
+    /// ethernet): message count matters far more than volume.
+    pub fn latency_bound() -> Self {
+        MachineModel { alpha: 500e-6, beta: 0.1e-6, gamma: 2e-9 }
+    }
+}
+
+/// Predicted timing breakdown of one parallel SpMV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostEstimate {
+    /// Serial reference time (`γ · 2Z`).
+    pub t_serial: f64,
+    /// Expand-phase time: bottleneck processor's `α·msgs + β·words`.
+    pub t_expand: f64,
+    /// Compute time: bottleneck processor's `γ · 2·nnz_local`.
+    pub t_compute: f64,
+    /// Fold-phase time.
+    pub t_fold: f64,
+}
+
+impl CostEstimate {
+    /// Total predicted parallel time (phases execute in sequence, as in
+    /// the paper's pre-communication / compute / post-communication
+    /// schedule).
+    pub fn t_parallel(&self) -> f64 {
+        self.t_expand + self.t_compute + self.t_fold
+    }
+
+    /// Predicted speedup over the serial kernel.
+    pub fn speedup(&self) -> f64 {
+        self.t_serial / self.t_parallel().max(f64::MIN_POSITIVE)
+    }
+
+    /// Predicted parallel efficiency for `k` processors.
+    pub fn efficiency(&self, k: u32) -> f64 {
+        self.speedup() / k as f64
+    }
+}
+
+/// Estimates the cost of one SpMV under `machine`, bottlenecked per phase
+/// by the busiest processor (send + receive on the communication phases).
+pub fn estimate(plan: &DistributedSpmv, machine: &MachineModel) -> CostEstimate {
+    let k = plan.k() as usize;
+    let total_nnz: usize = (0..plan.k()).map(|p| plan.local(p).nnz()).sum();
+
+    // Per-processor, per-phase message and word tallies.
+    let mut ex_msgs = vec![0u64; k];
+    let mut ex_words = vec![0u64; k];
+    for t in plan.expand_transfers() {
+        ex_msgs[t.from as usize] += 1;
+        ex_msgs[t.to as usize] += 1;
+        ex_words[t.from as usize] += t.indices.len() as u64;
+        ex_words[t.to as usize] += t.indices.len() as u64;
+    }
+    let mut fo_msgs = vec![0u64; k];
+    let mut fo_words = vec![0u64; k];
+    for t in plan.fold_transfers() {
+        fo_msgs[t.from as usize] += 1;
+        fo_msgs[t.to as usize] += 1;
+        fo_words[t.from as usize] += t.indices.len() as u64;
+        fo_words[t.to as usize] += t.indices.len() as u64;
+    }
+
+    let phase_time = |msgs: &[u64], words: &[u64]| {
+        (0..k)
+            .map(|p| machine.alpha * msgs[p] as f64 + machine.beta * words[p] as f64)
+            .fold(0.0f64, f64::max)
+    };
+
+    let max_nnz = (0..plan.k()).map(|p| plan.local(p).nnz()).max().unwrap_or(0);
+    CostEstimate {
+        t_serial: machine.gamma * 2.0 * total_nnz as f64,
+        t_expand: phase_time(&ex_msgs, &ex_words),
+        t_compute: machine.gamma * 2.0 * max_nnz as f64,
+        t_fold: phase_time(&fo_msgs, &fo_words),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgh_core::{decompose, DecomposeConfig, Decomposition, Model};
+    use fgh_sparse::gen::{self, ValueMode};
+    use fgh_sparse::CsrMatrix;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn matrix() -> CsrMatrix {
+        gen::grid5(24, 24, 1.0, ValueMode::Laplacian, &mut SmallRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn k1_speedup_is_one() {
+        let a = matrix();
+        let d = Decomposition::rowwise(&a, 1, vec![0; a.nrows() as usize]).unwrap();
+        let plan = DistributedSpmv::build(&a, &d).unwrap();
+        let e = estimate(&plan, &MachineModel::classic_mpp());
+        assert_eq!(e.t_expand, 0.0);
+        assert_eq!(e.t_fold, 0.0);
+        assert!((e.speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_bounded_by_k_with_balance() {
+        // A compute-dominated machine: speedup approaches K but can never
+        // exceed it (t_compute >= t_serial / K by the max-load bound).
+        let a = matrix();
+        let machine = MachineModel { alpha: 1e-12, beta: 1e-12, gamma: 1e-6 };
+        for k in [2u32, 4, 8] {
+            let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, k)).unwrap();
+            let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
+            let e = estimate(&plan, &machine);
+            assert!(e.speedup() <= k as f64 + 1e-9, "k={k}: speedup {}", e.speedup());
+            assert!(e.speedup() > 1.0, "k={k}: no speedup at all");
+        }
+    }
+
+    #[test]
+    fn latency_bound_machine_prefers_fewer_messages() {
+        // On an extremely latency-bound machine, phase times are dominated
+        // by α · messages, so the estimate must track message counts.
+        let a = matrix();
+        let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 8)).unwrap();
+        let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
+        let lat = estimate(&plan, &MachineModel::latency_bound());
+        let comm = plan.planned_comm();
+        let alpha = MachineModel::latency_bound().alpha;
+        // Communication time is at least alpha times the max per-proc
+        // message involvement, and alpha dwarfs beta here.
+        assert!(lat.t_expand + lat.t_fold >= alpha);
+        let _ = comm;
+    }
+
+    #[test]
+    fn hand_computed_estimate() {
+        // 2x2 with one off-diagonal nonzero split across 2 processors:
+        // row-wise, rows {0} -> P0, {1} -> P1; a_10 forces x_0 expand
+        // P0 -> P1 (1 message, 1 word); no fold.
+        use fgh_sparse::CooMatrix;
+        let a = CsrMatrix::from_coo(
+            CooMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (1, 0, 1.0), (1, 1, 1.0)])
+                .unwrap(),
+        );
+        let d = Decomposition::rowwise(&a, 2, vec![0, 1]).unwrap();
+        let plan = DistributedSpmv::build(&a, &d).unwrap();
+        let m = MachineModel { alpha: 10.0, beta: 1.0, gamma: 0.5 };
+        let e = estimate(&plan, &m);
+        // Serial: gamma * 2 * 3 nonzeros = 3.0.
+        assert!((e.t_serial - 3.0).abs() < 1e-12);
+        // Expand: both P0 (send) and P1 (recv) handle 1 msg + 1 word = 11.
+        assert!((e.t_expand - 11.0).abs() < 1e-12);
+        assert_eq!(e.t_fold, 0.0);
+        // Compute bottleneck: P1 holds 2 nonzeros -> 0.5 * 2 * 2 = 2.0.
+        assert!((e.t_compute - 2.0).abs() < 1e-12);
+        assert!((e.t_parallel() - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        for m in [
+            MachineModel::classic_mpp(),
+            MachineModel::beowulf(),
+            MachineModel::modern_cluster(),
+            MachineModel::latency_bound(),
+        ] {
+            assert!(m.alpha > m.beta, "latency exceeds per-word cost");
+            assert!(m.beta > 0.0 && m.gamma > 0.0);
+        }
+    }
+}

@@ -1,0 +1,525 @@
+//! Communication plan and single-threaded executing simulator.
+
+use fgh_core::Decomposition;
+use fgh_sparse::CsrMatrix;
+
+use crate::{Result, SpmvError};
+
+/// The local share of one processor: its nonzeros as triplets.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LocalBlock {
+    /// Row index of each local nonzero.
+    pub rows: Vec<u32>,
+    /// Column index of each local nonzero.
+    pub cols: Vec<u32>,
+    /// Value of each local nonzero.
+    pub vals: Vec<f64>,
+}
+
+impl LocalBlock {
+    /// Number of local nonzeros (scalar multiplies).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+}
+
+/// One directed transfer in a phase: `indices` elements go from `from` to
+/// `to` (x indices in the expand phase, y indices in the fold phase).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transfer {
+    /// Sending processor.
+    pub from: u32,
+    /// Receiving processor.
+    pub to: u32,
+    /// Element indices carried by this message.
+    pub indices: Vec<u32>,
+}
+
+/// Words/messages actually moved by one executed SpMV.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MeasuredComm {
+    /// Words moved in the expand phase.
+    pub expand_words: u64,
+    /// Words moved in the fold phase.
+    pub fold_words: u64,
+    /// Messages in the expand phase.
+    pub expand_messages: u64,
+    /// Messages in the fold phase.
+    pub fold_messages: u64,
+    /// Words sent per processor (both phases).
+    pub sent_words_per_proc: Vec<u64>,
+}
+
+impl MeasuredComm {
+    /// Total words moved.
+    pub fn total_words(&self) -> u64 {
+        self.expand_words + self.fold_words
+    }
+
+    /// Total messages.
+    pub fn total_messages(&self) -> u64 {
+        self.expand_messages + self.fold_messages
+    }
+}
+
+/// A distributed matrix plus the full communication plan of one SpMV.
+///
+/// Built once per decomposition; both the simulator and the threaded
+/// executor run off the same plan.
+#[derive(Debug, Clone)]
+pub struct DistributedSpmv {
+    k: u32,
+    n: u32,
+    /// `x_j`/`y_j` owner.
+    vec_owner: Vec<u32>,
+    /// Per-processor local nonzeros.
+    local: Vec<LocalBlock>,
+    /// Expand-phase messages (x words).
+    expand: Vec<Transfer>,
+    /// Fold-phase messages (partial y words).
+    fold: Vec<Transfer>,
+}
+
+impl DistributedSpmv {
+    /// Builds the distributed matrix and communication plan for
+    /// decomposition `d` of matrix `a`.
+    pub fn build(a: &CsrMatrix, d: &Decomposition) -> Result<Self> {
+        d.validate(a).map_err(|e| SpmvError::BadDecomposition(e.to_string()))?;
+        let k = d.k;
+        let n = d.n;
+
+        let mut local = vec![LocalBlock::default(); k as usize];
+        // Needs matrices: which processors hold nonzeros of each column/row.
+        let mut col_needs: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
+        let mut row_holds: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
+        {
+            let mut e = 0usize;
+            for (i, j, v) in a.iter() {
+                let p = d.nonzero_owner[e];
+                e += 1;
+                let b = &mut local[p as usize];
+                b.rows.push(i);
+                b.cols.push(j);
+                b.vals.push(v);
+                if !col_needs[j as usize].contains(&p) {
+                    col_needs[j as usize].push(p);
+                }
+                if !row_holds[i as usize].contains(&p) {
+                    row_holds[i as usize].push(p);
+                }
+            }
+        }
+
+        // Expand: owner(x_j) -> every needer except itself. Group per
+        // (from, to) pair into one message.
+        let mut expand_map: Vec<Vec<(u32, Vec<u32>)>> = vec![Vec::new(); k as usize];
+        for j in 0..n {
+            let owner = d.vec_owner[j as usize];
+            for &p in &col_needs[j as usize] {
+                if p == owner {
+                    continue;
+                }
+                let row = &mut expand_map[owner as usize];
+                match row.iter_mut().find(|(to, _)| *to == p) {
+                    Some((_, idx)) => idx.push(j),
+                    None => row.push((p, vec![j])),
+                }
+            }
+        }
+        // Fold: every holder of row i except owner(y_i) -> owner.
+        let mut fold_map: Vec<Vec<(u32, Vec<u32>)>> = vec![Vec::new(); k as usize];
+        for i in 0..n {
+            let owner = d.vec_owner[i as usize];
+            for &p in &row_holds[i as usize] {
+                if p == owner {
+                    continue;
+                }
+                let row = &mut fold_map[p as usize];
+                match row.iter_mut().find(|(to, _)| *to == owner) {
+                    Some((_, idx)) => idx.push(i),
+                    None => row.push((owner, vec![i])),
+                }
+            }
+        }
+
+        let flatten = |map: Vec<Vec<(u32, Vec<u32>)>>| -> Vec<Transfer> {
+            map.into_iter()
+                .enumerate()
+                .flat_map(|(from, tos)| {
+                    tos.into_iter()
+                        .map(move |(to, indices)| Transfer { from: from as u32, to, indices })
+                })
+                .collect()
+        };
+
+        Ok(DistributedSpmv {
+            k,
+            n,
+            vec_owner: d.vec_owner.clone(),
+            local,
+            expand: flatten(expand_map),
+            fold: flatten(fold_map),
+        })
+    }
+
+    /// Number of processors.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Matrix order.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Owner of `x_j`/`y_j`.
+    pub fn vec_owner(&self) -> &[u32] {
+        &self.vec_owner
+    }
+
+    /// Local nonzeros of processor `p`.
+    pub fn local(&self, p: u32) -> &LocalBlock {
+        &self.local[p as usize]
+    }
+
+    /// Expand-phase transfers.
+    pub fn expand_transfers(&self) -> &[Transfer] {
+        &self.expand
+    }
+
+    /// Fold-phase transfers.
+    pub fn fold_transfers(&self) -> &[Transfer] {
+        &self.fold
+    }
+
+    /// Static communication cost of the plan (what *will* move, each
+    /// SpMV): identical to what [`DistributedSpmv::multiply`] measures.
+    pub fn planned_comm(&self) -> MeasuredComm {
+        let mut m = MeasuredComm { sent_words_per_proc: vec![0; self.k as usize], ..Default::default() };
+        for t in &self.expand {
+            m.expand_words += t.indices.len() as u64;
+            m.expand_messages += 1;
+            m.sent_words_per_proc[t.from as usize] += t.indices.len() as u64;
+        }
+        for t in &self.fold {
+            m.fold_words += t.indices.len() as u64;
+            m.fold_messages += 1;
+            m.sent_words_per_proc[t.from as usize] += t.indices.len() as u64;
+        }
+        m
+    }
+
+    /// Executes one `y = Aᵀx` sequentially using the *same* communication
+    /// plan with the transfer roles swapped: the transpose's expand
+    /// follows the fold transfers in reverse (owner of `x_i` → holders of
+    /// row `i`), and its fold follows the expand transfers in reverse.
+    ///
+    /// A consequence of symmetric partitioning the paper's consistency
+    /// condition buys: `Ax` and `Aᵀx` cost exactly the same communication
+    /// under one decomposition — handy for BiCG-type solvers that need
+    /// both.
+    pub fn multiply_transpose(&self, x: &[f64]) -> Result<(Vec<f64>, MeasuredComm)> {
+        if x.len() != self.n as usize {
+            return Err(SpmvError::DimensionMismatch { expected: self.n as usize, got: x.len() });
+        }
+        let k = self.k as usize;
+        let n = self.n as usize;
+
+        let mut x_local: Vec<Vec<f64>> = vec![vec![f64::NAN; n]; k];
+        for i in 0..n {
+            x_local[self.vec_owner[i] as usize][i] = x[i];
+        }
+        let mut measured =
+            MeasuredComm { sent_words_per_proc: vec![0; k], ..Default::default() };
+
+        // Transpose expand: reverse of the fold plan (owner -> row holders).
+        for t in &self.fold {
+            // In the fold plan, `t.from` holds nonzeros of rows `t.indices`
+            // whose y-owner is `t.to`; for Aᵀ, that x-owner must send x_i
+            // the other way.
+            for &i in &t.indices {
+                let v = x_local[t.to as usize][i as usize];
+                debug_assert!(!v.is_nan(), "transpose expand of x_{i} from non-owner {}", t.to);
+                x_local[t.from as usize][i as usize] = v;
+            }
+            measured.expand_words += t.indices.len() as u64;
+            measured.expand_messages += 1;
+            measured.sent_words_per_proc[t.to as usize] += t.indices.len() as u64;
+        }
+
+        // Local multiply with (i, j) swapped: y_j += a_ij * x_i.
+        let mut y_partial: Vec<Vec<f64>> = vec![vec![0.0; n]; k];
+        for (p, block) in self.local.iter().enumerate() {
+            for e in 0..block.nnz() {
+                let (i, j, v) = (block.rows[e], block.cols[e], block.vals[e]);
+                let xi = x_local[p][i as usize];
+                debug_assert!(!xi.is_nan(), "processor {p} multiplies unreceived x_{i}");
+                y_partial[p][j as usize] += v * xi;
+            }
+        }
+
+        // Transpose fold: reverse of the expand plan (column holders -> owner).
+        for t in &self.expand {
+            for &j in &t.indices {
+                let v = y_partial[t.to as usize][j as usize];
+                y_partial[t.from as usize][j as usize] += v;
+            }
+            measured.fold_words += t.indices.len() as u64;
+            measured.fold_messages += 1;
+            measured.sent_words_per_proc[t.to as usize] += t.indices.len() as u64;
+        }
+
+        let mut y = vec![0.0; n];
+        for j in 0..n {
+            y[j] = y_partial[self.vec_owner[j] as usize][j];
+        }
+        Ok((y, measured))
+    }
+
+    /// Executes one `y = Ax` sequentially, phase by phase, moving values
+    /// exactly as the plan prescribes, and returns `(y, measured
+    /// communication)`.
+    ///
+    /// Every processor reads *only* values it owns or received — this is
+    /// checked with poisoned buffers in debug builds — so the result being
+    /// equal to the serial SpMV certifies the plan is complete.
+    pub fn multiply(&self, x: &[f64]) -> Result<(Vec<f64>, MeasuredComm)> {
+        if x.len() != self.n as usize {
+            return Err(SpmvError::DimensionMismatch { expected: self.n as usize, got: x.len() });
+        }
+        let k = self.k as usize;
+        let n = self.n as usize;
+
+        // Per-processor private x image: own entries + received entries.
+        let mut x_local: Vec<Vec<f64>> = vec![vec![f64::NAN; n]; k];
+        for j in 0..n {
+            x_local[self.vec_owner[j] as usize][j] = x[j];
+        }
+
+        let mut measured =
+            MeasuredComm { sent_words_per_proc: vec![0; k], ..Default::default() };
+
+        // Phase 1: expand.
+        for t in &self.expand {
+            for &j in &t.indices {
+                let v = x_local[t.from as usize][j as usize];
+                debug_assert!(!v.is_nan(), "expand of x_{j} from non-owner {}", t.from);
+                x_local[t.to as usize][j as usize] = v;
+            }
+            measured.expand_words += t.indices.len() as u64;
+            measured.expand_messages += 1;
+            measured.sent_words_per_proc[t.from as usize] += t.indices.len() as u64;
+        }
+
+        // Phase 2: local multiply into per-processor partial y.
+        let mut y_partial: Vec<Vec<f64>> = vec![vec![0.0; n]; k];
+        for (p, block) in self.local.iter().enumerate() {
+            for e in 0..block.nnz() {
+                let (i, j, v) = (block.rows[e], block.cols[e], block.vals[e]);
+                let xj = x_local[p][j as usize];
+                debug_assert!(!xj.is_nan(), "processor {p} multiplies unreceived x_{j}");
+                y_partial[p][i as usize] += v * xj;
+            }
+        }
+
+        // Phase 3: fold partial results to the y owners.
+        for t in &self.fold {
+            for &i in &t.indices {
+                let v = y_partial[t.from as usize][i as usize];
+                y_partial[t.to as usize][i as usize] += v;
+            }
+            measured.fold_words += t.indices.len() as u64;
+            measured.fold_messages += 1;
+            measured.sent_words_per_proc[t.from as usize] += t.indices.len() as u64;
+        }
+
+        // Assemble the global y from each owner.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            y[i] = y_partial[self.vec_owner[i] as usize][i];
+        }
+        Ok((y, measured))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgh_core::{decompose, CommStats, DecomposeConfig, Model};
+    use fgh_sparse::gen::{self, ValueMode};
+    use fgh_sparse::CooMatrix;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_coo(
+            CooMatrix::from_triplets(
+                4,
+                4,
+                vec![
+                    (0, 0, 2.0),
+                    (1, 1, 3.0),
+                    (2, 2, 4.0),
+                    (3, 3, 5.0),
+                    (1, 0, 1.0),
+                    (3, 1, -1.0),
+                    (1, 2, 0.5),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn simulated_spmv_matches_serial() {
+        let a = sample();
+        let d = Decomposition::rowwise(&a, 2, vec![0, 1, 0, 1]).unwrap();
+        let plan = DistributedSpmv::build(&a, &d).unwrap();
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let (y, _) = plan.multiply(&x).unwrap();
+        assert_eq!(y, a.spmv(&x).unwrap());
+    }
+
+    #[test]
+    fn measured_comm_matches_commstats_for_all_models() {
+        let a = gen::grid5(12, 12, 1.0, ValueMode::Laplacian, &mut SmallRng::seed_from_u64(3));
+        for model in [
+            Model::Graph1D,
+            Model::Hypergraph1DColNet,
+            Model::Hypergraph1DRowNet,
+            Model::FineGrain2D,
+        ] {
+            let out = decompose(&a, &DecomposeConfig::new(model, 4)).unwrap();
+            let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
+            let x: Vec<f64> = (0..a.ncols()).map(|j| j as f64 * 0.25 + 1.0).collect();
+            let (y, m) = plan.multiply(&x).unwrap();
+
+            // Numerics: distributed result equals serial result.
+            let y_serial = a.spmv(&x).unwrap();
+            for (ya, yb) in y.iter().zip(&y_serial) {
+                assert!((ya - yb).abs() < 1e-9, "{model:?}");
+            }
+
+            // Measured words/messages equal the analytic CommStats.
+            let s = CommStats::compute(&a, &out.decomposition).unwrap();
+            assert_eq!(m.expand_words, s.expand_volume, "{model:?} expand words");
+            assert_eq!(m.fold_words, s.fold_volume, "{model:?} fold words");
+            assert_eq!(m.expand_messages, s.expand_messages, "{model:?} expand msgs");
+            assert_eq!(m.fold_messages, s.fold_messages, "{model:?} fold msgs");
+            for p in 0..4usize {
+                assert_eq!(
+                    m.sent_words_per_proc[p], s.per_proc[p].sent_words,
+                    "{model:?} proc {p} sent words"
+                );
+            }
+
+            // And the plan's static cost equals the measured cost.
+            assert_eq!(plan.planned_comm(), m);
+        }
+    }
+
+    #[test]
+    fn cutsize_equals_measured_volume_fine_grain() {
+        // The paper's headline identity, end to end: connectivity−1
+        // cutsize == words actually moved.
+        let a = gen::scale_free(150, 2.5, ValueMode::Laplacian, &mut SmallRng::seed_from_u64(9));
+        let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 8)).unwrap();
+        let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
+        let x = vec![1.0; a.ncols() as usize];
+        let (_, m) = plan.multiply(&x).unwrap();
+        assert_eq!(out.objective, m.total_words());
+    }
+
+    #[test]
+    fn random_decompositions_still_compute_correctly() {
+        // Any valid decomposition — even a terrible random one — must give
+        // the right numeric answer.
+        let a = sample();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for k in [1u32, 2, 3, 5] {
+            let nz: Vec<u32> = (0..a.nnz()).map(|_| rng.gen_range(0..k)).collect();
+            let vo: Vec<u32> = (0..4).map(|_| rng.gen_range(0..k)).collect();
+            let d = Decomposition::general(&a, k, nz, vo).unwrap();
+            let plan = DistributedSpmv::build(&a, &d).unwrap();
+            let x = vec![0.5, -1.0, 2.0, 7.0];
+            let (y, _) = plan.multiply(&x).unwrap();
+            let y_serial = a.spmv(&x).unwrap();
+            for (ya, yb) in y.iter().zip(&y_serial) {
+                assert!((ya - yb).abs() < 1e-12, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_multiply_matches_serial_transpose() {
+        let a = gen::scale_free(120, 2.0, ValueMode::Laplacian, &mut SmallRng::seed_from_u64(8));
+        let at = a.transpose();
+        let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 5)).unwrap();
+        let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
+        let x: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.11).sin() + 2.0).collect();
+        let (y, _) = plan.multiply_transpose(&x).unwrap();
+        let y_serial = at.spmv(&x).unwrap();
+        for (a_, b_) in y.iter().zip(&y_serial) {
+            assert!((a_ - b_).abs() < 1e-9, "transpose numeric mismatch");
+        }
+    }
+
+    #[test]
+    fn transpose_costs_the_same_communication() {
+        // Symmetric partitioning makes Ax and Aᵀx equally expensive: same
+        // total words, same message count (phases swap roles).
+        let a = gen::scale_free(150, 2.5, ValueMode::Laplacian, &mut SmallRng::seed_from_u64(3));
+        let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 6)).unwrap();
+        let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
+        let x = vec![1.0; a.nrows() as usize];
+        let (_, m_fwd) = plan.multiply(&x).unwrap();
+        let (_, m_t) = plan.multiply_transpose(&x).unwrap();
+        assert_eq!(m_fwd.total_words(), m_t.total_words());
+        assert_eq!(m_fwd.total_messages(), m_t.total_messages());
+        // Phase volumes swap exactly.
+        assert_eq!(m_fwd.expand_words, m_t.fold_words);
+        assert_eq!(m_fwd.fold_words, m_t.expand_words);
+    }
+
+    #[test]
+    fn transpose_on_nonsymmetric_pattern() {
+        // A strictly triangular (very nonsymmetric) matrix with dummy
+        // diagonal handling via the fine-grain model.
+        let a = CsrMatrix::from_coo(
+            CooMatrix::from_triplets(
+                4,
+                4,
+                vec![(1, 0, 2.0), (2, 0, 3.0), (2, 1, 4.0), (3, 2, 5.0)],
+            )
+            .unwrap(),
+        );
+        let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 2)).unwrap();
+        let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let (y, _) = plan.multiply_transpose(&x).unwrap();
+        assert_eq!(y, a.transpose().spmv(&x).unwrap());
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = sample();
+        let d = Decomposition::rowwise(&a, 2, vec![0, 1, 0, 1]).unwrap();
+        let plan = DistributedSpmv::build(&a, &d).unwrap();
+        assert!(plan.multiply(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn local_blocks_partition_the_nonzeros() {
+        let a = sample();
+        let d = Decomposition::rowwise(&a, 2, vec![0, 1, 0, 1]).unwrap();
+        let plan = DistributedSpmv::build(&a, &d).unwrap();
+        let total: usize = (0..2).map(|p| plan.local(p).nnz()).sum();
+        assert_eq!(total, a.nnz());
+        // Row-wise: every local nonzero's row is owned by that processor.
+        for p in 0..2u32 {
+            for &i in &plan.local(p).rows {
+                assert_eq!(plan.vec_owner()[i as usize], p);
+            }
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Iterative solvers over the distributed SpMV — the application that
+//! motivates the paper (repeated `y = Ax` in iterative methods).
+//!
+//! Because the decomposition is *symmetric* (each processor owns the same
+//! entries of every vector), the vector operations of these solvers (dot
+//! products, AXPYs) involve owned data only — no extra communication
+//! beyond the per-iteration expand/fold of the SpMV itself, plus the
+//! usual scalar all-reduce. That conformality is exactly why the paper's
+//! consistency condition matters.
+
+use crate::plan::{DistributedSpmv, MeasuredComm};
+use crate::{Result, SpmvError};
+
+/// Outcome of an iterative solve.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// The solution (CG) or dominant eigenvector (power iteration).
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final residual norm (CG) or eigenvalue estimate (power iteration).
+    pub scalar: f64,
+    /// Total words communicated across all SpMVs.
+    pub comm: MeasuredComm,
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+fn accumulate(total: &mut MeasuredComm, m: &MeasuredComm) {
+    total.expand_words += m.expand_words;
+    total.fold_words += m.fold_words;
+    total.expand_messages += m.expand_messages;
+    total.fold_messages += m.fold_messages;
+    if total.sent_words_per_proc.len() < m.sent_words_per_proc.len() {
+        total.sent_words_per_proc.resize(m.sent_words_per_proc.len(), 0);
+    }
+    for (t, s) in total.sent_words_per_proc.iter_mut().zip(&m.sent_words_per_proc) {
+        *t += s;
+    }
+}
+
+/// Conjugate gradients for SPD systems `Ax = b` on the distributed matrix.
+///
+/// Converges when `||r|| <= tol * ||b||`; errors with
+/// [`SpmvError::NoConvergence`] after `max_iter` iterations otherwise.
+pub fn conjugate_gradient(
+    plan: &DistributedSpmv,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+) -> Result<SolveOutcome> {
+    let n = plan.n() as usize;
+    if b.len() != n {
+        return Err(SpmvError::DimensionMismatch { expected: n, got: b.len() });
+    }
+    let mut comm = MeasuredComm::default();
+    let b_norm = dot(b, b).sqrt().max(f64::MIN_POSITIVE);
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut rs_old = dot(&r, &r);
+
+    for it in 0..max_iter {
+        if rs_old.sqrt() <= tol * b_norm {
+            return Ok(SolveOutcome { x, iterations: it, scalar: rs_old.sqrt(), comm });
+        }
+        let (ap, m) = plan.multiply(&p)?;
+        accumulate(&mut comm, &m);
+        let alpha = rs_old / dot(&p, &ap).max(f64::MIN_POSITIVE);
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        let rs_new = dot(&r, &r);
+        let beta = rs_new / rs_old;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rs_old = rs_new;
+    }
+    if rs_old.sqrt() <= tol * b_norm {
+        return Ok(SolveOutcome { x, iterations: max_iter, scalar: rs_old.sqrt(), comm });
+    }
+    Err(SpmvError::NoConvergence { iterations: max_iter, residual: rs_old.sqrt() })
+}
+
+/// CGNR — conjugate gradients on the normal equations `AᵀA x = Aᵀb` —
+/// solves *nonsymmetric* (even non-SPD) systems using one `Ax` and one
+/// `Aᵀx` per iteration. Exercises [`DistributedSpmv::multiply_transpose`];
+/// under symmetric partitioning both multiplies cost identical
+/// communication, so one CGNR iteration moves exactly twice the
+/// decomposition's volume.
+pub fn cgnr(
+    plan: &DistributedSpmv,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+) -> Result<SolveOutcome> {
+    let n = plan.n() as usize;
+    if b.len() != n {
+        return Err(SpmvError::DimensionMismatch { expected: n, got: b.len() });
+    }
+    let mut comm = MeasuredComm::default();
+    let b_norm = dot(b, b).sqrt().max(f64::MIN_POSITIVE);
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec(); // residual of Ax = b
+    let (mut z, m) = plan.multiply_transpose(&r)?; // z = Aᵀ r
+    accumulate(&mut comm, &m);
+    let mut p = z.clone();
+    let mut zz = dot(&z, &z);
+
+    for it in 0..max_iter {
+        if dot(&r, &r).sqrt() <= tol * b_norm {
+            return Ok(SolveOutcome { x, iterations: it, scalar: dot(&r, &r).sqrt(), comm });
+        }
+        let (ap, m) = plan.multiply(&p)?;
+        accumulate(&mut comm, &m);
+        let alpha = zz / dot(&ap, &ap).max(f64::MIN_POSITIVE);
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        let (z_new, m) = plan.multiply_transpose(&r)?;
+        accumulate(&mut comm, &m);
+        z = z_new;
+        let zz_new = dot(&z, &z);
+        let beta = zz_new / zz.max(f64::MIN_POSITIVE);
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+        zz = zz_new;
+    }
+    let res = dot(&r, &r).sqrt();
+    if res <= tol * b_norm {
+        return Ok(SolveOutcome { x, iterations: max_iter, scalar: res, comm });
+    }
+    Err(SpmvError::NoConvergence { iterations: max_iter, residual: res })
+}
+
+/// Power iteration: estimates the dominant eigenvalue/eigenvector of `A`.
+pub fn power_iteration(
+    plan: &DistributedSpmv,
+    iterations: usize,
+) -> Result<SolveOutcome> {
+    let n = plan.n() as usize;
+    let mut comm = MeasuredComm::default();
+    let mut x = vec![1.0 / (n as f64).sqrt(); n];
+    let mut lambda = 0.0;
+    for _ in 0..iterations {
+        let (y, m) = plan.multiply(&x)?;
+        accumulate(&mut comm, &m);
+        lambda = dot(&x, &y);
+        let norm = dot(&y, &y).sqrt().max(f64::MIN_POSITIVE);
+        x = y.into_iter().map(|v| v / norm).collect();
+    }
+    Ok(SolveOutcome { x, iterations, scalar: lambda, comm })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgh_core::{decompose, DecomposeConfig, Model};
+    use fgh_sparse::gen::{self, ValueMode};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn spd_plan(k: u32) -> (fgh_sparse::CsrMatrix, DistributedSpmv) {
+        // Laplacian + identity: SPD.
+        let a = gen::grid5(12, 12, 1.0, ValueMode::Laplacian, &mut SmallRng::seed_from_u64(2));
+        let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, k)).unwrap();
+        let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
+        (a, plan)
+    }
+
+    #[test]
+    fn cg_solves_spd_system() {
+        let (a, plan) = spd_plan(4);
+        let n = a.nrows() as usize;
+        let x_true: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
+        let b = a.spmv(&x_true).unwrap();
+        let sol = conjugate_gradient(&plan, &b, 1e-10, 10 * n).unwrap();
+        for (xs, xt) in sol.x.iter().zip(&x_true) {
+            assert!((xs - xt).abs() < 1e-6, "{xs} vs {xt}");
+        }
+        assert!(sol.iterations > 0);
+        assert!(sol.comm.total_words() > 0, "K=4 CG must communicate");
+    }
+
+    #[test]
+    fn cg_comm_is_iterations_times_per_spmv() {
+        let (_, plan) = spd_plan(4);
+        let per = plan.planned_comm().total_words();
+        let n = plan.n() as usize;
+        let b = vec![1.0; n];
+        let sol = conjugate_gradient(&plan, &b, 1e-8, 5 * n).unwrap();
+        assert_eq!(sol.comm.total_words(), per * sol.iterations as u64);
+    }
+
+    #[test]
+    fn cg_reports_nonconvergence() {
+        let (_, plan) = spd_plan(2);
+        // A rough right-hand side that one CG step cannot resolve.
+        let b: Vec<f64> = (0..plan.n()).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let r = conjugate_gradient(&plan, &b, 1e-14, 1);
+        assert!(matches!(r, Err(SpmvError::NoConvergence { .. })));
+    }
+
+    #[test]
+    fn power_iteration_finds_dominant_eigenvalue() {
+        // A hub-dominated matrix has a well-separated top eigenvalue, so
+        // power iteration converges quickly.
+        let a = gen::scale_free(100, 3.0, ValueMode::Laplacian, &mut SmallRng::seed_from_u64(5));
+        let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 2)).unwrap();
+        let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
+        let sol = power_iteration(&plan, 500).unwrap();
+        // Verify A x ≈ λ x (relative to λ).
+        let ax = a.spmv(&sol.x).unwrap();
+        let mut err: f64 = 0.0;
+        for (axi, xi) in ax.iter().zip(&sol.x) {
+            err = err.max((axi - sol.scalar * xi).abs());
+        }
+        assert!(
+            err / sol.scalar < 1e-2,
+            "eigen residual {err}, lambda {}",
+            sol.scalar
+        );
+        assert!(sol.scalar > 1.0);
+    }
+
+    #[test]
+    fn dimension_mismatch() {
+        let (_, plan) = spd_plan(2);
+        assert!(conjugate_gradient(&plan, &[1.0], 1e-8, 10).is_err());
+        assert!(cgnr(&plan, &[1.0], 1e-8, 10).is_err());
+    }
+
+    #[test]
+    fn cgnr_solves_nonsymmetric_system() {
+        // Diagonally dominant but nonsymmetric: CG would be invalid, CGNR
+        // converges.
+        use fgh_sparse::CooMatrix;
+        use fgh_sparse::CsrMatrix;
+        let n = 60u32;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 6.0));
+            if i + 1 < n {
+                t.push((i, i + 1, -2.0)); // upper band only: nonsymmetric
+            }
+            if i >= 3 {
+                t.push((i, i - 3, 1.0));
+            }
+        }
+        let a = CsrMatrix::from_coo(CooMatrix::from_triplets(n, n, t).unwrap());
+        assert!(!a.pattern_symmetric());
+        let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 4)).unwrap();
+        let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
+        let x_true: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let b = a.spmv(&x_true).unwrap();
+        let sol = cgnr(&plan, &b, 1e-12, 2000).unwrap();
+        for (xs, xt) in sol.x.iter().zip(&x_true) {
+            assert!((xs - xt).abs() < 1e-6, "{xs} vs {xt}");
+        }
+        assert!(sol.comm.expand_words > 0 && sol.comm.fold_words > 0);
+    }
+}

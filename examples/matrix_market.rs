@@ -1,0 +1,63 @@
+//! File-based workflow: write a matrix to Matrix Market format, read it
+//! back, reorder it with reverse Cuthill–McKee, and show that hypergraph
+//! decomposition quality is *permutation invariant* (the model sees the
+//! same structure under any symmetric reordering) while the checkerboard
+//! baseline is strongly ordering-dependent.
+//!
+//!     cargo run --release --example matrix_market
+
+use fine_grain_hypergraph::prelude::*;
+use fine_grain_hypergraph::sparse::reorder::{bandwidth, permute_symmetric, rcm_order};
+use rand::seq::SliceRandom;
+
+fn volume(a: &CsrMatrix, model: Model, k: u32, seed: u64) -> u64 {
+    let cfg = DecomposeConfig { seed, ..DecomposeConfig::new(model, k) };
+    decompose(a, &cfg).expect("decompose").stats.total_volume()
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join("fgh_example_mm");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // A banded SPD matrix, scrambled so its structure is hidden.
+    let mut rng = SmallRng::seed_from_u64(5);
+    let banded =
+        fine_grain_hypergraph::sparse::gen::banded(600, 4, 0.9, ValueMode::Laplacian, &mut rng);
+    let mut shuffle: Vec<u32> = (0..600).collect();
+    shuffle.shuffle(&mut rng);
+    let scrambled = permute_symmetric(&banded, &shuffle).expect("bijection");
+
+    // Round-trip through a .mtx file.
+    let path = dir.join("scrambled.mtx");
+    fine_grain_hypergraph::sparse::io::write_matrix_market(&scrambled, &path).expect("write");
+    let loaded = CsrMatrix::from_coo(
+        fine_grain_hypergraph::sparse::io::read_matrix_market(&path).expect("read"),
+    );
+    assert_eq!(loaded, scrambled);
+    println!("wrote + re-read {} ({} nonzeros): identical", path.display(), loaded.nnz());
+
+    // RCM restores the band.
+    let order = rcm_order(&loaded).expect("square");
+    let restored = permute_symmetric(&loaded, &order).expect("bijection");
+    println!(
+        "bandwidth: original {} -> scrambled {} -> RCM {}",
+        bandwidth(&banded),
+        bandwidth(&loaded),
+        bandwidth(&restored)
+    );
+
+    // Decomposition quality under reordering, K = 8.
+    let k = 8;
+    println!();
+    println!("{:<22} {:>12} {:>12}", "model", "scrambled", "RCM-ordered");
+    for model in [Model::FineGrain2D, Model::Checkerboard2D] {
+        let v_scr = volume(&loaded, model, k, 1);
+        let v_rcm = volume(&restored, model, k, 1);
+        println!("{:<22} {:>12} {:>12}", model.name(), v_scr, v_rcm);
+    }
+    println!();
+    println!("the hypergraph model's volume barely moves under reordering (it sees");
+    println!("the same connectivity), while the block checkerboard collapses only");
+    println!("after RCM reveals the band -- ordering sensitivity the paper's model");
+    println!("does not suffer from.");
+}

@@ -1,0 +1,70 @@
+//! Predicted speedup of parallel SpMV per decomposition model under
+//! different machine balances — an extension over the paper's Table 2
+//! combining its volume and message-count columns through an α-β-γ cost
+//! model.
+//!
+//! The interesting effect: the fine-grain model minimizes *volume* (β
+//! term) at the price of up to 2x the *messages* (α term), so its edge
+//! over the 1D models grows on bandwidth-bound machines and shrinks on
+//! latency-bound ones — exactly the tradeoff §4 of the paper discusses.
+//!
+//!     cargo run --release --example speedup [matrix-name] [K]
+
+use fine_grain_hypergraph::prelude::*;
+use fine_grain_hypergraph::spmv::{estimate, MachineModel};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "cre-d".to_string());
+    let k: u32 = args.next().map(|s| s.parse().expect("K must be an integer")).unwrap_or(16);
+
+    let entry = fine_grain_hypergraph::sparse::catalog::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown matrix {name:?}"));
+    let a = entry.generate_scaled(8, 7);
+    println!(
+        "{} analogue: {} rows, {} nonzeros, K = {k}\n",
+        entry.name,
+        a.nrows(),
+        a.nnz()
+    );
+
+    let machines = [
+        ("classic-mpp", MachineModel::classic_mpp()),
+        ("beowulf", MachineModel::beowulf()),
+        ("modern-cluster", MachineModel::modern_cluster()),
+        ("latency-bound", MachineModel::latency_bound()),
+    ];
+
+    print!("{:<22} {:>9} {:>8}", "model", "volume", "msgs");
+    for (mn, _) in &machines {
+        print!(" {:>15}", mn);
+    }
+    println!();
+    println!("{}", "-".repeat(22 + 9 + 8 + 1 + machines.len() * 16));
+
+    for model in [
+        Model::Graph1D,
+        Model::Hypergraph1DColNet,
+        Model::Checkerboard2D,
+        Model::Mondriaan2D,
+        Model::FineGrain2D,
+    ] {
+        let out = decompose(&a, &DecomposeConfig::new(model, k)).expect("decompose");
+        let plan = DistributedSpmv::build(&a, &out.decomposition).expect("plan");
+        print!(
+            "{:<22} {:>9} {:>8}",
+            model.name(),
+            out.stats.total_volume(),
+            out.stats.total_messages()
+        );
+        for (_, machine) in &machines {
+            let e = estimate(&plan, machine);
+            print!(" {:>9.2}x ({:>2.0}%)", e.speedup(), 100.0 * e.efficiency(k));
+        }
+        println!();
+    }
+
+    println!();
+    println!("cells are predicted speedup (parallel efficiency); phases modeled as");
+    println!("alpha*msgs + beta*words per bottleneck processor plus gamma*2nnz compute.");
+}

@@ -1,0 +1,218 @@
+//! End-to-end integration tests across all crates: catalog matrix →
+//! model → partitioner → decode → exact metrics → executed SpMV, checking
+//! the paper's identities at every joint.
+
+use fine_grain_hypergraph::prelude::*;
+use fine_grain_hypergraph::sparse::catalog;
+use fine_grain_hypergraph::spmv::parallel::parallel_spmv;
+
+const TEST_SCALE: u32 = 32;
+
+fn models() -> [Model; 4] {
+    [
+        Model::Graph1D,
+        Model::Hypergraph1DColNet,
+        Model::Hypergraph1DRowNet,
+        Model::FineGrain2D,
+    ]
+}
+
+/// The whole catalog, every model, K = 4: valid decomposition, balanced
+/// load, exact volume identity for hypergraph models, numerically correct
+/// distributed SpMV with exactly the predicted traffic.
+#[test]
+fn full_catalog_pipeline() {
+    for entry in catalog::catalog() {
+        let a = entry.generate_scaled(TEST_SCALE, 1);
+        let x: Vec<f64> = (0..a.ncols()).map(|j| 1.0 + (j % 13) as f64).collect();
+        let y_serial = a.spmv(&x).expect("dims");
+        for model in models() {
+            let out = decompose(&a, &DecomposeConfig::new(model, 4))
+                .unwrap_or_else(|e| panic!("{} {}: {e}", entry.name, model.name()));
+            out.decomposition.validate(&a).expect("valid decomposition");
+            assert!(
+                out.stats.load_imbalance_percent() <= 12.0,
+                "{} {}: imbalance {:.1}%",
+                entry.name,
+                model.name(),
+                out.stats.load_imbalance_percent()
+            );
+            if model != Model::Graph1D {
+                assert_eq!(
+                    out.objective,
+                    out.stats.total_volume(),
+                    "{} {}: cutsize must equal decoded volume",
+                    entry.name,
+                    model.name()
+                );
+            }
+            let plan = DistributedSpmv::build(&a, &out.decomposition).expect("plan");
+            let (y, comm) = plan.multiply(&x).expect("dims");
+            assert_eq!(
+                comm.total_words(),
+                out.stats.total_volume(),
+                "{} {}: executed words != modeled volume",
+                entry.name,
+                model.name()
+            );
+            for (yp, ys) in y.iter().zip(&y_serial) {
+                assert!(
+                    (yp - ys).abs() <= 1e-9 * ys.abs().max(1.0),
+                    "{} {}: numeric mismatch",
+                    entry.name,
+                    model.name()
+                );
+            }
+        }
+    }
+}
+
+/// The threaded executor agrees with the simulator on a few instances.
+#[test]
+fn threaded_executor_agrees_with_simulator() {
+    for name in ["sherman3", "cq9", "finan512"] {
+        let a = catalog::by_name(name).expect("catalog").generate_scaled(TEST_SCALE, 2);
+        let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 6)).expect("ok");
+        let plan = DistributedSpmv::build(&a, &out.decomposition).expect("plan");
+        let x: Vec<f64> = (0..a.ncols()).map(|j| (j as f64 * 0.37).cos()).collect();
+        let (y_sim, m_sim) = plan.multiply(&x).expect("dims");
+        let (y_par, m_par) = parallel_spmv(&plan, &x).expect("dims");
+        assert_eq!(m_sim, m_par, "{name}: traffic mismatch");
+        for (a_, b_) in y_sim.iter().zip(&y_par) {
+            assert!((a_ - b_).abs() < 1e-12, "{name}: value mismatch");
+        }
+    }
+}
+
+/// Paper protocol sanity at reduced scale: on average over the catalog,
+/// the fine-grain model beats the graph model on total volume, and the 1D
+/// hypergraph model sits in between (Table 2's ordering).
+#[test]
+fn table2_ordering_holds_on_average() {
+    let mut vol = [0.0f64; 3]; // graph, hg1d, fg2d
+    for entry in catalog::catalog() {
+        let a = entry.generate_scaled(TEST_SCALE, 3);
+        for (i, model) in
+            [Model::Graph1D, Model::Hypergraph1DColNet, Model::FineGrain2D].iter().enumerate()
+        {
+            let out = decompose(&a, &DecomposeConfig::new(*model, 8)).expect("ok");
+            vol[i] += out.stats.scaled_total_volume();
+        }
+    }
+    assert!(
+        vol[2] < vol[0],
+        "fine-grain ({:.2}) must beat the graph model ({:.2}) on average",
+        vol[2],
+        vol[0]
+    );
+    assert!(
+        vol[2] < vol[1] * 1.05,
+        "fine-grain ({:.2}) must not lose to the 1D hypergraph model ({:.2})",
+        vol[2],
+        vol[1]
+    );
+}
+
+/// Message-count bounds of Section 4: per-processor sent messages are at
+/// most K−1 for 1D models and 2(K−1) for the fine-grain model.
+#[test]
+fn message_bounds() {
+    let a = catalog::by_name("nl").expect("catalog").generate_scaled(TEST_SCALE, 4);
+    let k = 8u32;
+    for model in models() {
+        let out = decompose(&a, &DecomposeConfig::new(model, k)).expect("ok");
+        let bound = match model {
+            Model::FineGrain2D => 2 * (k as u64 - 1),
+            _ => k as u64 - 1,
+        };
+        assert!(
+            out.stats.max_messages_per_proc() <= bound,
+            "{}: {} messages exceeds bound {bound}",
+            model.name(),
+            out.stats.max_messages_per_proc()
+        );
+    }
+}
+
+/// Matrix Market round trip feeding the pipeline: write, read, decompose,
+/// identical results.
+#[test]
+fn matrix_market_roundtrip_through_pipeline() {
+    let a = catalog::by_name("sherman3").expect("catalog").generate_scaled(64, 5);
+    let mut buf = Vec::new();
+    fine_grain_hypergraph::sparse::io::write_matrix_market_to(&a, &mut buf).expect("write");
+    let b = CsrMatrix::from_coo(
+        fine_grain_hypergraph::sparse::io::read_matrix_market_from(buf.as_slice()).expect("read"),
+    );
+    assert_eq!(a, b);
+    let cfg = DecomposeConfig::new(Model::FineGrain2D, 4);
+    let oa = decompose(&a, &cfg).expect("ok");
+    let ob = decompose(&b, &cfg).expect("ok");
+    assert_eq!(oa.decomposition, ob.decomposition, "pipeline must be deterministic");
+}
+
+/// Whole-pipeline determinism: same seed, same decomposition; different
+/// seed, (almost surely) different cutsize or mapping.
+#[test]
+fn pipeline_determinism() {
+    let a = catalog::by_name("cre-d").expect("catalog").generate_scaled(TEST_SCALE, 6);
+    let cfg = DecomposeConfig { seed: 17, ..DecomposeConfig::new(Model::FineGrain2D, 8) };
+    let r1 = decompose(&a, &cfg).expect("ok");
+    let r2 = decompose(&a, &cfg).expect("ok");
+    assert_eq!(r1.decomposition, r2.decomposition);
+    assert_eq!(r1.objective, r2.objective);
+}
+
+/// The extension models (checkerboard, Mondriaan) run the same pipeline:
+/// valid decompositions, objective == decoded volume, exact executed
+/// traffic, correct numerics.
+#[test]
+fn extension_models_pipeline() {
+    for name in ["bcspwr10", "cq9"] {
+        let a = catalog::by_name(name).expect("catalog").generate_scaled(TEST_SCALE, 7);
+        let x: Vec<f64> = (0..a.ncols()).map(|j| 1.0 + (j % 7) as f64).collect();
+        let y_serial = a.spmv(&x).expect("dims");
+        for model in [Model::Checkerboard2D, Model::Mondriaan2D, Model::Jagged2D] {
+            let out = decompose(&a, &DecomposeConfig::new(model, 6))
+                .unwrap_or_else(|e| panic!("{name} {}: {e}", model.name()));
+            out.decomposition.validate(&a).expect("valid");
+            assert_eq!(out.objective, out.stats.total_volume(), "{name} {}", model.name());
+            let plan = DistributedSpmv::build(&a, &out.decomposition).expect("plan");
+            let (y, comm) = plan.multiply(&x).expect("dims");
+            assert_eq!(comm.total_words(), out.stats.total_volume());
+            for (yp, ys) in y.iter().zip(&y_serial) {
+                assert!((yp - ys).abs() <= 1e-9 * ys.abs().max(1.0));
+            }
+        }
+    }
+}
+
+/// Transpose SpMV is numerically exact and costs the same traffic as the
+/// forward multiply across the whole catalog (symmetric partitioning).
+#[test]
+fn transpose_spmv_catalog() {
+    for name in ["ken-11", "world"] {
+        let a = catalog::by_name(name).expect("catalog").generate_scaled(TEST_SCALE, 9);
+        let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 5)).expect("ok");
+        let plan = DistributedSpmv::build(&a, &out.decomposition).expect("plan");
+        let x: Vec<f64> = (0..a.nrows()).map(|i| ((i * 13) % 17) as f64 - 8.0).collect();
+        let (yt, mt) = plan.multiply_transpose(&x).expect("dims");
+        let yt_serial = a.transpose().spmv(&x).expect("dims");
+        for (a_, b_) in yt.iter().zip(&yt_serial) {
+            assert!((a_ - b_).abs() <= 1e-9 * b_.abs().max(1.0), "{name}");
+        }
+        let (_, mf) = plan.multiply(&x).expect("dims");
+        assert_eq!(mf.total_words(), mt.total_words(), "{name}: Ax and Aᵀx volumes differ");
+    }
+}
+
+/// K exceeding the matrix order must not panic anywhere in the pipeline.
+#[test]
+fn degenerate_k_larger_than_matrix() {
+    let a = CsrMatrix::identity(6);
+    let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 16)).expect("ok");
+    out.decomposition.validate(&a).expect("valid");
+    let plan = DistributedSpmv::build(&a, &out.decomposition).expect("plan");
+    let (y, _) = plan.multiply(&[1.0; 6]).expect("dims");
+    assert_eq!(y, vec![1.0; 6]);
+}
