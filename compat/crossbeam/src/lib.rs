@@ -1,0 +1,68 @@
+//! Offline stand-in for the subset of `crossbeam` used by this workspace:
+//! `channel::{unbounded, Sender, Receiver}`. Backed by `std::sync::mpsc`,
+//! with a mutex around the receiver end so `Receiver` stays `Sync` like
+//! crossbeam's (the workspace moves each receiver into one thread, so the
+//! lock is uncontended).
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::Mutex;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    pub struct Receiver<T>(Mutex<mpsc::Receiver<T>>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.lock().expect("channel poisoned").recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.lock().expect("channel poisoned").try_recv()
+        }
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (s, r) = mpsc::channel();
+        (Sender(s), Receiver(Mutex::new(r)))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::unbounded;
+
+        #[test]
+        fn fan_in_across_threads() {
+            let (s, r) = unbounded::<usize>();
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let s = s.clone();
+                    std::thread::spawn(move || s.send(i).unwrap())
+                })
+                .collect();
+            let mut got = Vec::new();
+            for _ in 0..4 {
+                got.push(r.recv().unwrap());
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API used by this
+//! workspace: `SmallRng` (xoshiro256++), `SeedableRng::seed_from_u64`,
+//! `Rng::{gen, gen_bool, gen_range}`, and `seq::SliceRandom::{shuffle,
+//! choose}`. The build environment has no registry access, so the real
+//! crate cannot be vendored; the streams differ from upstream `rand` but
+//! are deterministic per seed, which is all the workspace relies on.
+
+/// Core source of randomness: a 64-bit generator.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators. Only `seed_from_u64` is provided.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A value sampled uniformly from the "standard" distribution of its type.
+pub trait StandardSample: Sized {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types that can be drawn uniformly from a bounded interval. Mirrors
+/// rand's `SampleUniform` so that `gen_range(0..n)` infers the literal's
+/// type from context exactly like the real crate.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: &Self,
+        hi: &Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+macro_rules! impl_int_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(lo: &Self, hi: &Self, inclusive: bool, rng: &mut R) -> $t {
+                let lo = *lo as i128;
+                let width = (*hi as i128 - lo) as u128 + inclusive as u128;
+                assert!(width > 0, "cannot sample empty range");
+                // Multiply-shift keeps the draw within bounds; the bias
+                // for widths << 2^64 is negligible for this workload.
+                let off = ((rng.next_u64() as u128 * width) >> 64) as i128;
+                (lo + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(lo: &Self, hi: &Self, _inclusive: bool, rng: &mut R) -> $t {
+                assert!(lo < hi, "cannot sample empty range");
+                let u = <$t as StandardSample>::standard_sample(rng);
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_sample_uniform!(f32, f64);
+
+/// A range that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_uniform(&self.start, &self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_uniform(&start, &end, true, rng)
+    }
+}
+
+/// User-facing extension methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.gen::<f64>() < p
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast generator (xoshiro256++), seeded via SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::Rng;
+
+    /// Slice helpers, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        type Item;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(1usize..=2);
+            assert!((1..=2).contains(&y));
+            let f = rng.gen_range(-10.0..10.0);
+            assert!((-10.0..10.0).contains(&f));
+            let b = rng.gen_range(0..2u8);
+            assert!(b < 2);
+        }
+    }
+
+    #[test]
+    fn range_endpoints_reachable() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -23,8 +23,7 @@ fn bench_io(c: &mut Criterion) {
     group.bench_function("matrix_market", |b| {
         b.iter(|| {
             black_box(
-                fgh_sparse::io::read_matrix_market_from(black_box(mm.as_slice()))
-                    .expect("parse"),
+                fgh_sparse::io::read_matrix_market_from(black_box(mm.as_slice())).expect("parse"),
             )
         })
     });

@@ -7,7 +7,9 @@
 //! vertices and 2x the nets/pins.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgh_core::models::FineGrainModel;
 use fgh_core::{decompose, DecomposeConfig, Model};
+use fgh_partition::{partition_hypergraph_with, LevelArena, MultilevelDriver, PartitionConfig};
 use std::hint::black_box;
 
 fn bench_models(c: &mut Criterion) {
@@ -16,17 +18,17 @@ fn bench_models(c: &mut Criterion) {
     for name in ["sherman3", "bcspwr10", "ken-11"] {
         let entry = fgh_sparse::catalog::by_name(name).expect("catalog name");
         let a = entry.generate_scaled(16, 1);
-        for model in [Model::Graph1D, Model::Hypergraph1DColNet, Model::FineGrain2D] {
-            group.bench_with_input(
-                BenchmarkId::new(model.name(), name),
-                &a,
-                |b, a| {
-                    b.iter(|| {
-                        let cfg = DecomposeConfig::new(model, 16);
-                        black_box(decompose(black_box(a), &cfg).expect("decompose"))
-                    })
-                },
-            );
+        for model in [
+            Model::Graph1D,
+            Model::Hypergraph1DColNet,
+            Model::FineGrain2D,
+        ] {
+            group.bench_with_input(BenchmarkId::new(model.name(), name), &a, |b, a| {
+                b.iter(|| {
+                    let cfg = DecomposeConfig::new(model, 16);
+                    black_box(decompose(black_box(a), &cfg).expect("decompose"))
+                })
+            });
         }
     }
     group.finish();
@@ -48,5 +50,36 @@ fn bench_k_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_models, bench_k_scaling);
+/// The engine's LevelArena vs per-level allocation: the same K-way run on
+/// the same driver, with buffer pooling on (default) and off (`disabled`).
+/// Results are bit-identical either way; only the allocation count differs.
+fn bench_arena(c: &mut Criterion) {
+    let entry = fgh_sparse::catalog::by_name("ken-11").expect("catalog name");
+    let a = entry.generate_scaled(16, 1);
+    let m = FineGrainModel::build(&a).expect("square");
+    let hg = m.hypergraph();
+
+    let mut group = c.benchmark_group("arena");
+    group.sample_size(10);
+    group.bench_function("pooled", |b| {
+        let mut driver = MultilevelDriver::new(PartitionConfig::with_seed(7));
+        b.iter(|| {
+            black_box(
+                partition_hypergraph_with(&mut driver, black_box(hg), 16, None).expect("partition"),
+            )
+        })
+    });
+    group.bench_function("disabled", |b| {
+        let mut driver =
+            MultilevelDriver::with_arena(PartitionConfig::with_seed(7), LevelArena::disabled());
+        b.iter(|| {
+            black_box(
+                partition_hypergraph_with(&mut driver, black_box(hg), 16, None).expect("partition"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_models, bench_k_scaling, bench_arena);
 criterion_main!(benches);

@@ -23,7 +23,11 @@ fn bench_coarsening(c: &mut Criterion) {
     let hg = m.hypergraph();
     let fixed = vec![FREE; hg.num_vertices() as usize];
     let mut group = c.benchmark_group("coarsening");
-    for scheme in [CoarseningScheme::Hcm, CoarseningScheme::Hcc, CoarseningScheme::ScaledHcc] {
+    for scheme in [
+        CoarseningScheme::Hcm,
+        CoarseningScheme::Hcc,
+        CoarseningScheme::ScaledHcc,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{scheme:?}")),
             &scheme,
@@ -58,16 +62,14 @@ fn bench_fm(c: &mut Criterion) {
     group.bench_function("full", |b| {
         let mut rng = SmallRng::seed_from_u64(2);
         b.iter(|| {
-            let mut st =
-                BisectionState::new(hg, sides.clone(), &fixed, [half, half], 0.03);
+            let mut st = BisectionState::new(hg, sides.clone(), &fixed, [half, half], 0.03);
             black_box(st.fm_pass(&mut rng, 0))
         })
     });
     group.bench_function("boundary", |b| {
         let mut rng = SmallRng::seed_from_u64(2);
         b.iter(|| {
-            let mut st =
-                BisectionState::new(hg, sides.clone(), &fixed, [half, half], 0.03);
+            let mut st = BisectionState::new(hg, sides.clone(), &fixed, [half, half], 0.03);
             black_box(st.fm_pass_boundary(&mut rng, 0))
         })
     });

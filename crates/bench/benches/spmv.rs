@@ -18,12 +18,18 @@ fn bench_spmv(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("serial", a.nnz()), &a, |b, a| {
         b.iter(|| black_box(a.spmv(black_box(&x)).expect("dims")))
     });
-    group.bench_with_input(BenchmarkId::new("simulated_k4", a.nnz()), &plan, |b, plan| {
-        b.iter(|| black_box(plan.multiply(black_box(&x)).expect("dims")))
-    });
-    group.bench_with_input(BenchmarkId::new("threaded_k4", a.nnz()), &plan, |b, plan| {
-        b.iter(|| black_box(parallel_spmv(black_box(plan), black_box(&x)).expect("dims")))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("simulated_k4", a.nnz()),
+        &plan,
+        |b, plan| b.iter(|| black_box(plan.multiply(black_box(&x)).expect("dims"))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("threaded_k4", a.nnz()),
+        &plan,
+        |b, plan| {
+            b.iter(|| black_box(parallel_spmv(black_box(plan), black_box(&x)).expect("dims")))
+        },
+    );
     group.finish();
 }
 

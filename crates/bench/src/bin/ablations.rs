@@ -14,9 +14,7 @@
 use fgh_bench::ExperimentConfig;
 use fgh_core::models::{CheckerboardModel, FineGrainModel};
 use fgh_core::CommStats;
-use fgh_partition::{
-    partition_hypergraph, CoarseningScheme, InitialScheme, PartitionConfig,
-};
+use fgh_partition::{partition_hypergraph, CoarseningScheme, InitialScheme, PartitionConfig};
 use fgh_sparse::CsrMatrix;
 
 struct Variant {
@@ -29,38 +27,65 @@ fn variants() -> Vec<Variant> {
         PartitionConfig::with_seed(seed)
     }
     vec![
-        Variant { name: "baseline (HCC+GHG+split+kway)", cfg: base },
+        Variant {
+            name: "baseline (HCC+GHG+split+kway)",
+            cfg: base,
+        },
         Variant {
             name: "no net splitting",
-            cfg: |s| PartitionConfig { net_splitting: false, ..base(s) },
+            cfg: |s| PartitionConfig {
+                net_splitting: false,
+                ..base(s)
+            },
         },
         Variant {
             name: "1 V-cycle",
-            cfg: |s| PartitionConfig { vcycles: 1, ..base(s) },
+            cfg: |s| PartitionConfig {
+                vcycles: 1,
+                ..base(s)
+            },
         },
         Variant {
             name: "3 V-cycles",
-            cfg: |s| PartitionConfig { vcycles: 3, ..base(s) },
+            cfg: |s| PartitionConfig {
+                vcycles: 3,
+                ..base(s)
+            },
         },
         Variant {
             name: "no k-way refine post-pass",
-            cfg: |s| PartitionConfig { kway_refine: false, ..base(s) },
+            cfg: |s| PartitionConfig {
+                kway_refine: false,
+                ..base(s)
+            },
         },
         Variant {
             name: "coarsening: HCM",
-            cfg: |s| PartitionConfig { coarsening: CoarseningScheme::Hcm, ..base(s) },
+            cfg: |s| PartitionConfig {
+                coarsening: CoarseningScheme::Hcm,
+                ..base(s)
+            },
         },
         Variant {
             name: "coarsening: scaled HCC",
-            cfg: |s| PartitionConfig { coarsening: CoarseningScheme::ScaledHcc, ..base(s) },
+            cfg: |s| PartitionConfig {
+                coarsening: CoarseningScheme::ScaledHcc,
+                ..base(s)
+            },
         },
         Variant {
             name: "initial: random",
-            cfg: |s| PartitionConfig { initial: InitialScheme::Random, ..base(s) },
+            cfg: |s| PartitionConfig {
+                initial: InitialScheme::Random,
+                ..base(s)
+            },
         },
         Variant {
             name: "initial: bin packing",
-            cfg: |s| PartitionConfig { initial: InitialScheme::BinPacking, ..base(s) },
+            cfg: |s| PartitionConfig {
+                initial: InitialScheme::BinPacking,
+                ..base(s)
+            },
         },
     ]
 }
@@ -91,8 +116,12 @@ fn main() {
         }
     };
     if cfg.matrices.is_empty() {
-        cfg.matrices =
-            vec!["sherman3".into(), "ken-11".into(), "vibrobox".into(), "finan512".into()];
+        cfg.matrices = vec![
+            "sherman3".into(),
+            "ken-11".into(),
+            "vibrobox".into(),
+            "finan512".into(),
+        ];
     }
     let k = cfg.ks[0];
     println!(
@@ -109,8 +138,10 @@ fn main() {
     println!();
     println!("{}", "-".repeat(32 + entries.len() * 13));
 
-    let mats: Vec<CsrMatrix> =
-        entries.iter().map(|e| e.generate_scaled(cfg.scale, cfg.seed)).collect();
+    let mats: Vec<CsrMatrix> = entries
+        .iter()
+        .map(|e| e.generate_scaled(cfg.scale, cfg.seed))
+        .collect();
 
     let mut baseline: Vec<f64> = Vec::new();
     for (vi, v) in variants().iter().enumerate() {
@@ -133,7 +164,11 @@ fn main() {
         let cb = CheckerboardModel::build(a, k).expect("square");
         let d = cb.decode(a).expect("valid");
         let vol = CommStats::compute(a, &d).expect("stats").total_volume() as f64;
-        print!(" {:>6.0} ({:+4.0}%)", vol, 100.0 * (vol / baseline[mi] - 1.0));
+        print!(
+            " {:>6.0} ({:+4.0}%)",
+            vol,
+            100.0 * (vol / baseline[mi] - 1.0)
+        );
     }
     println!();
     println!();

@@ -89,15 +89,19 @@ fn main() {
     let mut terms: Vec<String> = Vec::new();
     for &v in hg.pins(mi) {
         let (r, c) = model.coords(v);
-        println!("   pin v_{}{}  -> partial result  y_{}^{}", name(r), name(c), name(r), name(c));
+        println!(
+            "   pin v_{}{}  -> partial result  y_{}^{}",
+            name(r),
+            name(c),
+            name(r),
+            name(c)
+        );
         terms.push(format!("y_{}^{}", name(r), name(c)));
     }
     println!("   accumulation: y_{} = {}", name(i), terms.join(" + "));
     println!();
 
-    println!(
-        "shared pin of n_j and m_j: v_jj (the consistency condition) -> x_j and y_j"
-    );
+    println!("shared pin of n_j and m_j: v_jj (the consistency condition) -> x_j and y_j");
     println!("are both assigned to part[v_jj], preserving symmetric partitioning.");
     println!();
     println!(

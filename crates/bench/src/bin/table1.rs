@@ -24,7 +24,16 @@ fn main() {
     println!();
     println!(
         "{:<12} | {:>9} {:>8} {:>5} {:>6} {:>7} | {:>9} {:>8} {:>5} {:>6} {:>7}",
-        "", "paper", "paper", "paper", "paper", "paper", "synth", "synth", "synth", "synth",
+        "",
+        "paper",
+        "paper",
+        "paper",
+        "paper",
+        "paper",
+        "synth",
+        "synth",
+        "synth",
+        "synth",
         "synth"
     );
     println!(

@@ -93,8 +93,7 @@ fn main() {
             acc_add(&mut overall[mi], r);
         }
     }
-    let overall: Vec<InstanceResult> =
-        overall.iter().map(|r| acc_scale(r, nk)).collect();
+    let overall: Vec<InstanceResult> = overall.iter().map(|r| acc_scale(r, nk)).collect();
     print_row_label("overall average", &overall);
 
     // Headline claims of the paper's Section 4.

@@ -59,17 +59,24 @@ impl ExperimentConfig {
         let mut args = args.peekable();
         while let Some(flag) = args.next() {
             let mut take = |what: &str| {
-                args.next().ok_or_else(|| format!("{flag} needs a value ({what})"))
+                args.next()
+                    .ok_or_else(|| format!("{flag} needs a value ({what})"))
             };
             match flag.as_str() {
                 "--scale" => {
-                    cfg.scale = take("integer")?.parse().map_err(|e| format!("--scale: {e}"))?
+                    cfg.scale = take("integer")?
+                        .parse()
+                        .map_err(|e| format!("--scale: {e}"))?
                 }
                 "--runs" => {
-                    cfg.runs = take("integer")?.parse().map_err(|e| format!("--runs: {e}"))?
+                    cfg.runs = take("integer")?
+                        .parse()
+                        .map_err(|e| format!("--runs: {e}"))?
                 }
                 "--seed" => {
-                    cfg.seed = take("integer")?.parse().map_err(|e| format!("--seed: {e}"))?
+                    cfg.seed = take("integer")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?
                 }
                 "--ks" => {
                     cfg.ks = take("comma list")?
@@ -78,8 +85,10 @@ impl ExperimentConfig {
                         .collect::<Result<_, _>>()?
                 }
                 "--matrices" => {
-                    cfg.matrices =
-                        take("comma list")?.split(',').map(|s| s.trim().to_string()).collect()
+                    cfg.matrices = take("comma list")?
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .collect()
                 }
                 "--full" => {
                     cfg.scale = 1;
@@ -158,7 +167,11 @@ pub fn run_instance(
 
 /// The three models Table 2 compares, in its column order.
 pub fn table2_models() -> [Model; 3] {
-    [Model::Graph1D, Model::Hypergraph1DColNet, Model::FineGrain2D]
+    [
+        Model::Graph1D,
+        Model::Hypergraph1DColNet,
+        Model::FineGrain2D,
+    ]
 }
 
 #[cfg(test)]

@@ -12,7 +12,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let k: u32 = o.parse_required("k")?;
     let seed: u64 = o.parse_or("seed", 1)?;
 
-    println!("{path}: {} rows, {} nonzeros, K = {k}\n", a.nrows(), a.nnz());
+    println!(
+        "{path}: {} rows, {} nonzeros, K = {k}\n",
+        a.nrows(),
+        a.nnz()
+    );
     println!(
         "{:<22} {:>10} {:>10} {:>10} {:>8} {:>9} {:>9}",
         "model", "volume", "vol/M", "max/proc", "msgs/p", "imbal%", "time"
@@ -28,7 +32,13 @@ pub fn run(args: &[String]) -> Result<(), String> {
         Model::Mondriaan2D,
         Model::FineGrain2D,
     ] {
-        let cfg = DecomposeConfig { model, k, epsilon: 0.03, seed, runs: 1 };
+        let cfg = DecomposeConfig {
+            model,
+            k,
+            epsilon: 0.03,
+            seed,
+            runs: 1,
+        };
         let out = decompose(&a, &cfg).map_err(|e| format!("{}: {e}", model.name()))?;
         println!(
             "{:<22} {:>10} {:>10.4} {:>10} {:>8.2} {:>9.2} {:>8.3}s",

@@ -13,7 +13,9 @@ use fgh_sparse::{CsrMatrix, Result as SparseResult};
 /// Loads a MatrixMarket file into CSR.
 pub fn load_matrix(path: &str) -> Result<CsrMatrix, String> {
     let coo: SparseResult<_> = fgh_sparse::io::read_matrix_market(path);
-    Ok(CsrMatrix::from_coo(coo.map_err(|e| format!("{path}: {e}"))?))
+    Ok(CsrMatrix::from_coo(
+        coo.map_err(|e| format!("{path}: {e}"))?,
+    ))
 }
 
 #[cfg(test)]

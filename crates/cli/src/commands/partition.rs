@@ -20,16 +20,37 @@ pub fn run(args: &[String]) -> Result<(), String> {
     };
     let out = decompose(&a, &cfg).map_err(|e| e.to_string())?;
 
-    println!("matrix:            {path} ({} rows, {} nnz)", a.nrows(), a.nnz());
+    println!(
+        "matrix:            {path} ({} rows, {} nnz)",
+        a.nrows(),
+        a.nnz()
+    );
     println!("model:             {}", cfg.model.name());
     println!("processors:        {}", cfg.k);
     println!("objective:         {}", out.objective);
-    println!("comm volume:       {} words ({:.4} scaled by M)", out.stats.total_volume(), out.stats.scaled_total_volume());
-    println!("  expand:          {} words, {} messages", out.stats.expand_volume, out.stats.expand_messages);
-    println!("  fold:            {} words, {} messages", out.stats.fold_volume, out.stats.fold_messages);
+    println!(
+        "comm volume:       {} words ({:.4} scaled by M)",
+        out.stats.total_volume(),
+        out.stats.scaled_total_volume()
+    );
+    println!(
+        "  expand:          {} words, {} messages",
+        out.stats.expand_volume, out.stats.expand_messages
+    );
+    println!(
+        "  fold:            {} words, {} messages",
+        out.stats.fold_volume, out.stats.fold_messages
+    );
     println!("max sent/proc:     {} words", out.stats.max_sent_words());
-    println!("msgs/proc:         avg {:.2}, max {}", out.stats.avg_messages_per_proc(), out.stats.max_messages_per_proc());
-    println!("load imbalance:    {:.2}%", out.stats.load_imbalance_percent());
+    println!(
+        "msgs/proc:         avg {:.2}, max {}",
+        out.stats.avg_messages_per_proc(),
+        out.stats.max_messages_per_proc()
+    );
+    println!(
+        "load imbalance:    {:.2}%",
+        out.stats.load_imbalance_percent()
+    );
     println!("partition time:    {:.3}s", out.elapsed.as_secs_f64());
 
     if let Some(out_path) = o.get("out") {
@@ -83,7 +104,12 @@ pub fn read_mapping(path: &str) -> Result<Decomposition, String> {
     };
     let vec_owner = take(n as usize, "vector owners")?;
     let nonzero_owner = take(nnz, "nonzero owners")?;
-    Ok(Decomposition { k, n, nonzero_owner, vec_owner })
+    Ok(Decomposition {
+        k,
+        n,
+        nonzero_owner,
+        vec_owner,
+    })
 }
 
 #[cfg(test)]

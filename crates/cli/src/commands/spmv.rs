@@ -21,7 +21,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let out = decompose(&a, &cfg).map_err(|e| e.to_string())?;
     let plan = DistributedSpmv::build(&a, &out.decomposition).map_err(|e| e.to_string())?;
 
-    let x: Vec<f64> = (0..a.ncols()).map(|j| 1.0 + (j % 101) as f64 * 1e-2).collect();
+    let x: Vec<f64> = (0..a.ncols())
+        .map(|j| 1.0 + (j % 101) as f64 * 1e-2)
+        .collect();
     let threaded = o.has("threads");
     let (y, comm) = if threaded {
         parallel_spmv(&plan, &x).map_err(|e| e.to_string())?
@@ -36,10 +38,27 @@ pub fn run(args: &[String]) -> Result<(), String> {
         .map(|(p, s)| (p - s).abs())
         .fold(0.0f64, f64::max);
 
-    println!("executor:        {}", if threaded { "threaded (one thread per processor)" } else { "simulator" });
+    println!(
+        "executor:        {}",
+        if threaded {
+            "threaded (one thread per processor)"
+        } else {
+            "simulator"
+        }
+    );
     println!("model:           {}", cfg.model.name());
-    println!("words moved:     {} (expand {}, fold {})", comm.total_words(), comm.expand_words, comm.fold_words);
-    println!("messages:        {} (expand {}, fold {})", comm.total_messages(), comm.expand_messages, comm.fold_messages);
+    println!(
+        "words moved:     {} (expand {}, fold {})",
+        comm.total_words(),
+        comm.expand_words,
+        comm.fold_words
+    );
+    println!(
+        "messages:        {} (expand {}, fold {})",
+        comm.total_messages(),
+        comm.expand_messages,
+        comm.fold_messages
+    );
     println!("modeled volume:  {} words", out.stats.total_volume());
     println!("max |err|:       {max_err:.3e}");
     if comm.total_words() != out.stats.total_volume() {

@@ -12,7 +12,12 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let a = load_matrix(path)?;
     let width: u32 = o.parse_or("width", 60)?;
 
-    println!("{path}: {} x {}, {} nonzeros", a.nrows(), a.ncols(), a.nnz());
+    println!(
+        "{path}: {} x {}, {} nonzeros",
+        a.nrows(),
+        a.ncols(),
+        a.nnz()
+    );
     println!();
     if let Some(kstr) = o.get("k") {
         let k: u32 = kstr.parse().map_err(|e| format!("--k: {e}"))?;

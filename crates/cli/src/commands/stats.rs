@@ -13,8 +13,14 @@ pub fn run(args: &[String]) -> Result<(), String> {
     println!("matrix:      {path}");
     println!("rows x cols: {} x {}", s.nrows, s.ncols);
     println!("nonzeros:    {}", s.nnz);
-    println!("per row:     min {} / max {} / avg {:.2}", s.row_min, s.row_max, s.row_avg);
-    println!("per col:     min {} / max {} / avg {:.2}", s.col_min, s.col_max, s.col_avg);
+    println!(
+        "per row:     min {} / max {} / avg {:.2}",
+        s.row_min, s.row_max, s.row_avg
+    );
+    println!(
+        "per col:     min {} / max {} / avg {:.2}",
+        s.col_min, s.col_max, s.col_avg
+    );
     println!("square:      {}", a.is_square());
     if a.is_square() {
         println!("full diag:   {}", a.has_full_diagonal());

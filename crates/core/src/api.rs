@@ -4,7 +4,7 @@
 
 use std::time::{Duration, Instant};
 
-use fgh_graph::{partition_graph_best, GraphPartitionConfig};
+use fgh_graph::partition_graph_best;
 use fgh_partition::{partition_hypergraph_best, PartitionConfig};
 use fgh_sparse::CsrMatrix;
 
@@ -85,7 +85,13 @@ pub struct DecomposeConfig {
 impl DecomposeConfig {
     /// A config for the given model and K with paper defaults.
     pub fn new(model: Model, k: u32) -> Self {
-        DecomposeConfig { model, k, epsilon: 0.03, seed: 1, runs: 1 }
+        DecomposeConfig {
+            model,
+            k,
+            epsilon: 0.03,
+            seed: 1,
+            runs: 1,
+        }
     }
 }
 
@@ -114,7 +120,7 @@ pub fn decompose(a: &CsrMatrix, cfg: &DecomposeConfig) -> Result<DecompositionOu
     let (decomposition, objective) = match cfg.model {
         Model::Graph1D => {
             let model = StandardGraphModel::build(a)?;
-            let gcfg = GraphPartitionConfig {
+            let gcfg = PartitionConfig {
                 epsilon: cfg.epsilon,
                 seed: cfg.seed,
                 ..Default::default()
@@ -199,7 +205,12 @@ pub fn decompose(a: &CsrMatrix, cfg: &DecomposeConfig) -> Result<DecompositionOu
     };
     let elapsed = start.elapsed();
     let stats = CommStats::compute(a, &decomposition)?;
-    Ok(DecompositionOutcome { decomposition, stats, objective, elapsed })
+    Ok(DecompositionOutcome {
+        decomposition,
+        stats,
+        objective,
+        elapsed,
+    })
 }
 
 #[cfg(test)]
@@ -210,7 +221,13 @@ mod tests {
     use rand::SeedableRng;
 
     fn test_matrix() -> CsrMatrix {
-        gen::grid5(16, 16, 1.0, ValueMode::Ones, &mut SmallRng::seed_from_u64(1))
+        gen::grid5(
+            16,
+            16,
+            1.0,
+            ValueMode::Ones,
+            &mut SmallRng::seed_from_u64(1),
+        )
     }
 
     #[test]
@@ -239,8 +256,11 @@ mod tests {
         // The paper's central claim: for the consistent hypergraph models,
         // the connectivity−1 cutsize is exactly the communication volume.
         let a = test_matrix();
-        for model in [Model::Hypergraph1DColNet, Model::Hypergraph1DRowNet, Model::FineGrain2D]
-        {
+        for model in [
+            Model::Hypergraph1DColNet,
+            Model::Hypergraph1DRowNet,
+            Model::FineGrain2D,
+        ] {
             let out = decompose(&a, &DecomposeConfig::new(model, 4)).unwrap();
             assert_eq!(
                 out.objective,

@@ -33,7 +33,10 @@ impl Decomposition {
     /// `x_i`/`y_i`) lives on `row_owner[i]`.
     pub fn rowwise(a: &CsrMatrix, k: u32, row_owner: Vec<u32>) -> Result<Self> {
         if !a.is_square() {
-            return Err(ModelError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+            return Err(ModelError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
         }
         if row_owner.len() != a.nrows() as usize {
             return Err(ModelError::Invalid(format!(
@@ -46,7 +49,12 @@ impl Decomposition {
         for (i, _, _) in a.iter() {
             nonzero_owner.push(row_owner[i as usize]);
         }
-        let d = Decomposition { k, n: a.nrows(), nonzero_owner, vec_owner: row_owner };
+        let d = Decomposition {
+            k,
+            n: a.nrows(),
+            nonzero_owner,
+            vec_owner: row_owner,
+        };
         d.validate(a)?;
         Ok(d)
     }
@@ -55,7 +63,10 @@ impl Decomposition {
     /// `col_owner[j]`.
     pub fn columnwise(a: &CsrMatrix, k: u32, col_owner: Vec<u32>) -> Result<Self> {
         if !a.is_square() {
-            return Err(ModelError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+            return Err(ModelError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
         }
         if col_owner.len() != a.ncols() as usize {
             return Err(ModelError::Invalid(format!(
@@ -68,7 +79,12 @@ impl Decomposition {
         for (_, j, _) in a.iter() {
             nonzero_owner.push(col_owner[j as usize]);
         }
-        let d = Decomposition { k, n: a.nrows(), nonzero_owner, vec_owner: col_owner };
+        let d = Decomposition {
+            k,
+            n: a.nrows(),
+            nonzero_owner,
+            vec_owner: col_owner,
+        };
         d.validate(a)?;
         Ok(d)
     }
@@ -81,9 +97,17 @@ impl Decomposition {
         vec_owner: Vec<u32>,
     ) -> Result<Self> {
         if !a.is_square() {
-            return Err(ModelError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+            return Err(ModelError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
         }
-        let d = Decomposition { k, n: a.nrows(), nonzero_owner, vec_owner };
+        let d = Decomposition {
+            k,
+            n: a.nrows(),
+            nonzero_owner,
+            vec_owner,
+        };
         d.validate(a)?;
         Ok(d)
     }
@@ -116,10 +140,16 @@ impl Decomposition {
             )));
         }
         if let Some(&p) = self.nonzero_owner.iter().find(|&&p| p >= self.k) {
-            return Err(ModelError::Invalid(format!("nonzero owner {p} >= K = {}", self.k)));
+            return Err(ModelError::Invalid(format!(
+                "nonzero owner {p} >= K = {}",
+                self.k
+            )));
         }
         if let Some(&p) = self.vec_owner.iter().find(|&&p| p >= self.k) {
-            return Err(ModelError::Invalid(format!("vector owner {p} >= K = {}", self.k)));
+            return Err(ModelError::Invalid(format!(
+                "vector owner {p} >= K = {}",
+                self.k
+            )));
         }
         Ok(())
     }
@@ -157,7 +187,13 @@ mod tests {
             CooMatrix::from_triplets(
                 3,
                 3,
-                vec![(0, 0, 1.0), (0, 2, 1.0), (1, 1, 1.0), (2, 0, 1.0), (2, 2, 1.0)],
+                vec![
+                    (0, 0, 1.0),
+                    (0, 2, 1.0),
+                    (1, 1, 1.0),
+                    (2, 0, 1.0),
+                    (2, 2, 1.0),
+                ],
             )
             .unwrap(),
         )

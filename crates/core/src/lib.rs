@@ -54,7 +54,10 @@ impl std::fmt::Display for ModelError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ModelError::NotSquare { nrows, ncols } => {
-                write!(f, "decomposition requires a square matrix, got {nrows} x {ncols}")
+                write!(
+                    f,
+                    "decomposition requires a square matrix, got {nrows} x {ncols}"
+                )
             }
             ModelError::Partition(m) => write!(f, "partitioning failed: {m}"),
             ModelError::Invalid(m) => write!(f, "invalid decomposition: {m}"),

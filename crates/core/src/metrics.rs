@@ -166,13 +166,21 @@ impl CommStats {
     /// Maximum words *sent* by a single processor — the paper's "max"
     /// column.
     pub fn max_sent_words(&self) -> u64 {
-        self.per_proc.iter().map(|p| p.sent_words).max().unwrap_or(0)
+        self.per_proc
+            .iter()
+            .map(|p| p.sent_words)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum words sent + received by a single processor (extended
     /// metric, not in the paper's table).
     pub fn max_sent_recv_words(&self) -> u64 {
-        self.per_proc.iter().map(|p| p.sent_words + p.recv_words).max().unwrap_or(0)
+        self.per_proc
+            .iter()
+            .map(|p| p.sent_words + p.recv_words)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total messages across both phases.
@@ -189,7 +197,11 @@ impl CommStats {
 
     /// Maximum messages sent by a single processor.
     pub fn max_messages_per_proc(&self) -> u64 {
-        self.per_proc.iter().map(|p| p.sent_messages).max().unwrap_or(0)
+        self.per_proc
+            .iter()
+            .map(|p| p.sent_messages)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total volume scaled by the matrix order, as printed in Table 2.
@@ -283,13 +295,7 @@ mod tests {
         let a = sample();
         // Nonzeros in CSR order: (0,0),(1,0),(1,1),(1,2),(2,2),(3,1),(3,3).
         // Put (1,0) and (1,2) on P1, everything else on P0; vectors on P0.
-        let d = Decomposition::general(
-            &a,
-            2,
-            vec![0, 1, 0, 1, 0, 0, 0],
-            vec![0, 0, 0, 0],
-        )
-        .unwrap();
+        let d = Decomposition::general(&a, 2, vec![0, 1, 0, 1, 0, 0, 0], vec![0, 0, 0, 0]).unwrap();
         let s = CommStats::compute(&a, &d).unwrap();
         // Expand: col 0 needed by P0,P1; owner P0 -> 1 word.
         //         col 2 needed by P0 (a_22), P1 (a_12); owner P0 -> 1 word.
@@ -317,13 +323,7 @@ mod tests {
             )
             .unwrap(),
         );
-        let d = Decomposition::general(
-            &a,
-            3,
-            vec![0, 1, 1, 2],
-            vec![2, 1, 2],
-        )
-        .unwrap();
+        let d = Decomposition::general(&a, 3, vec![0, 1, 1, 2], vec![2, 1, 2]).unwrap();
         let s = CommStats::compute(&a, &d).unwrap();
         // Column 0 nonzeros on P0 and P1; owner P2 sends 2 words.
         assert_eq!(s.expand_volume, 2);

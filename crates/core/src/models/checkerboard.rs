@@ -40,7 +40,10 @@ impl CheckerboardModel {
     /// Builds on an explicit `p x q` grid.
     pub fn build_grid(a: &CsrMatrix, p: u32, q: u32) -> Result<Self> {
         if !a.is_square() {
-            return Err(ModelError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+            return Err(ModelError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
         }
         if p == 0 || q == 0 {
             return Err(ModelError::Invalid("grid dimensions must be >= 1".into()));
@@ -53,7 +56,12 @@ impl CheckerboardModel {
         }
         let row_block = contiguous_blocks(&row_weights, p);
         let col_block = contiguous_blocks(&col_weights, q);
-        Ok(CheckerboardModel { p, q, row_block, col_block })
+        Ok(CheckerboardModel {
+            p,
+            q,
+            row_block,
+            col_block,
+        })
     }
 
     /// Grid height P.
@@ -104,10 +112,7 @@ fn contiguous_blocks(weights: &[u64], blocks: u32) -> Vec<u32> {
         // Close the block when its share is met, keeping enough indices
         // for the remaining blocks.
         let target = total * (b as u64 + 1) / blocks as u64;
-        if b + 1 < blocks
-            && acc >= target.max(1)
-            && (n - i) as u32 >= remaining_slots(b + 1)
-        {
+        if b + 1 < blocks && acc >= target.max(1) && (n - i) as u32 >= remaining_slots(b + 1) {
             b += 1;
         }
         ids[i] = b;
@@ -164,12 +169,10 @@ mod tests {
         let d = m.decode(&a).unwrap();
         d.validate(&a).unwrap();
         // Diagonal nonzeros live with their vector entries.
-        let mut e = 0;
-        for (i, j, _) in a.iter() {
+        for (e, (i, j, _)) in a.iter().enumerate() {
             if i == j {
                 assert_eq!(d.nonzero_owner[e], d.vec_owner[i as usize]);
             }
-            e += 1;
         }
     }
 

@@ -68,7 +68,10 @@ impl CheckerboardHgModel {
     /// Decomposes `a` into a `P x Q` checkerboard [`Decomposition`].
     pub fn decompose(&self, a: &CsrMatrix, cfg: &PartitionConfig) -> Result<Decomposition> {
         if !a.is_square() {
-            return Err(ModelError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+            return Err(ModelError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
         }
         let n = a.nrows();
         let k = self.p * self.q;
@@ -130,7 +133,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn matrix() -> CsrMatrix {
-        gen::scale_free(240, 3.0, ValueMode::Laplacian, &mut SmallRng::seed_from_u64(6))
+        gen::scale_free(
+            240,
+            3.0,
+            ValueMode::Laplacian,
+            &mut SmallRng::seed_from_u64(6),
+        )
     }
 
     #[test]
@@ -154,8 +162,7 @@ mod tests {
         let q = 3u32;
         let mut stripe_of_row = vec![u32::MAX; a.nrows() as usize];
         let mut group_of_col = vec![u32::MAX; a.nrows() as usize];
-        let mut e = 0;
-        for (i, j, _) in a.iter() {
+        for (e, (i, j, _)) in a.iter().enumerate() {
             let (s, g) = (d.nonzero_owner[e] / q, d.nonzero_owner[e] % q);
             if stripe_of_row[i as usize] == u32::MAX {
                 stripe_of_row[i as usize] = s;
@@ -165,7 +172,6 @@ mod tests {
             }
             assert_eq!(stripe_of_row[i as usize], s, "row {i} split across stripes");
             assert_eq!(group_of_col[j as usize], g, "col {j} split across groups");
-            e += 1;
         }
     }
 
@@ -205,7 +211,9 @@ mod tests {
         let d = m.decompose(&a, &PartitionConfig::with_seed(5)).unwrap();
         let v_hg = CommStats::compute(&a, &d).unwrap().total_volume();
         let cb = crate::models::CheckerboardModel::build(&a, 4).unwrap();
-        let v_cb = CommStats::compute(&a, &cb.decode(&a).unwrap()).unwrap().total_volume();
+        let v_cb = CommStats::compute(&a, &cb.decode(&a).unwrap())
+            .unwrap()
+            .total_volume();
         assert!(v_hg <= v_cb, "checkerboard-hg {v_hg} vs block {v_cb}");
     }
 

@@ -56,7 +56,10 @@ impl FineGrainModel {
     /// ```
     pub fn build(a: &CsrMatrix) -> Result<Self> {
         if !a.is_square() {
-            return Err(ModelError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+            return Err(ModelError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
         }
         let n = a.nrows();
         let z = a.nnz();
@@ -100,7 +103,13 @@ impl FineGrainModel {
         }
 
         let hypergraph = builder.build()?;
-        Ok(FineGrainModel { hypergraph, coords, diag_vertex, num_real, n })
+        Ok(FineGrainModel {
+            hypergraph,
+            coords,
+            diag_vertex,
+            num_real,
+            n,
+        })
     }
 
     /// The underlying hypergraph (|V| = Z + #dummies, |N| = 2M).
@@ -159,10 +168,12 @@ impl FineGrainModel {
                 self.hypergraph.num_vertices()
             )));
         }
-        let nonzero_owner: Vec<u32> =
-            (0..self.num_real).map(|v| partition.part(v as u32)).collect();
-        let vec_owner: Vec<u32> =
-            (0..self.n).map(|j| partition.part(self.diag_vertex(j))).collect();
+        let nonzero_owner: Vec<u32> = (0..self.num_real)
+            .map(|v| partition.part(v as u32))
+            .collect();
+        let vec_owner: Vec<u32> = (0..self.n)
+            .map(|j| partition.part(self.diag_vertex(j)))
+            .collect();
 
         // Consistency check (the paper's Λ[n_j] ∩ Λ[m_j] ∋ part[v_jj]).
         let sets = connectivity_sets(&self.hypergraph, partition);
@@ -170,8 +181,7 @@ impl FineGrainModel {
             let owner = vec_owner[j as usize];
             let row_set = &sets[self.row_net(j) as usize];
             let col_set = &sets[self.col_net(j) as usize];
-            if row_set.binary_search(&owner).is_err() || col_set.binary_search(&owner).is_err()
-            {
+            if row_set.binary_search(&owner).is_err() || col_set.binary_search(&owner).is_err() {
                 return Err(ModelError::Invalid(format!(
                     "consistency violated at index {j}: owner {owner} not in Λ[m_{j}] ∩ Λ[n_{j}]"
                 )));
@@ -260,7 +270,13 @@ mod tests {
             CooMatrix::from_triplets(
                 3,
                 3,
-                vec![(0, 0, 1.0), (0, 1, 1.0), (1, 2, 1.0), (2, 2, 1.0), (2, 0, 1.0)],
+                vec![
+                    (0, 0, 1.0),
+                    (0, 1, 1.0),
+                    (1, 2, 1.0),
+                    (2, 2, 1.0),
+                    (2, 0, 1.0),
+                ],
             )
             .unwrap(),
         );

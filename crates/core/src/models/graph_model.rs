@@ -28,11 +28,13 @@ impl StandardGraphModel {
     /// Builds the model from a square matrix.
     pub fn build(a: &CsrMatrix) -> Result<Self> {
         if !a.is_square() {
-            return Err(ModelError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+            return Err(ModelError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
         }
         let n = a.nrows();
-        let pat = SymmetrizedPattern::build(a)
-            .map_err(|e| ModelError::Invalid(e.to_string()))?;
+        let pat = SymmetrizedPattern::build(a).map_err(|e| ModelError::Invalid(e.to_string()))?;
         let mut edges: Vec<(u32, u32, u32)> = Vec::with_capacity(pat.num_edges());
         for i in 0..n {
             for (&j, &both) in pat.neighbors(i).iter().zip(pat.neighbor_both_flags(i)) {

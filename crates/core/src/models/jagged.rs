@@ -63,7 +63,10 @@ impl JaggedModel {
     /// Decomposes `a` into a `P x Q` jagged 2D [`Decomposition`].
     pub fn decompose(&self, a: &CsrMatrix, cfg: &PartitionConfig) -> Result<Decomposition> {
         if !a.is_square() {
-            return Err(ModelError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+            return Err(ModelError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
         }
         let n = a.nrows();
         let k = self.p * self.q;
@@ -158,7 +161,10 @@ impl JaggedModel {
         let r = partition_hypergraph(
             &hg,
             self.q,
-            &PartitionConfig { epsilon: self.epsilon, ..cfg.clone() },
+            &PartitionConfig {
+                epsilon: self.epsilon,
+                ..cfg.clone()
+            },
         )?;
         let parts: &Partition = &r.partition;
         for v in 0..hg.num_vertices() {
@@ -177,7 +183,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn matrix() -> CsrMatrix {
-        gen::scale_free(250, 2.5, ValueMode::Laplacian, &mut SmallRng::seed_from_u64(4))
+        gen::scale_free(
+            250,
+            2.5,
+            ValueMode::Laplacian,
+            &mut SmallRng::seed_from_u64(4),
+        )
     }
 
     #[test]
@@ -196,16 +207,14 @@ mod tests {
         let a = matrix();
         let m = JaggedModel::with_grid(2, 2, 0.1).unwrap();
         let d = m.decompose(&a, &PartitionConfig::with_seed(2)).unwrap();
-        let mut e = 0;
         let mut stripe_of_row = vec![u32::MAX; a.nrows() as usize];
-        for (i, _, _) in a.iter() {
+        for (e, (i, _, _)) in a.iter().enumerate() {
             let s = d.nonzero_owner[e] / 2;
             if stripe_of_row[i as usize] == u32::MAX {
                 stripe_of_row[i as usize] = s;
             } else {
                 assert_eq!(stripe_of_row[i as usize], s, "row {i} split across stripes");
             }
-            e += 1;
         }
     }
 

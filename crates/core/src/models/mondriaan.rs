@@ -45,7 +45,10 @@ impl MondriaanModel {
     /// Decomposes `a`, returning the 2D [`Decomposition`].
     pub fn decompose(&self, a: &CsrMatrix, cfg: &PartitionConfig) -> Result<Decomposition> {
         if !a.is_square() {
-            return Err(ModelError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+            return Err(ModelError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
         }
         if self.k == 0 {
             return Err(ModelError::Invalid("K must be >= 1".into()));
@@ -188,7 +191,11 @@ fn recurse(
             .filter(|&(_, &s)| s == side)
             .map(|(&e, _)| e)
             .collect();
-        let (kk, lo) = if side == 0 { (k0, part_lo) } else { (k1, part_lo + k0) };
+        let (kk, lo) = if side == 0 {
+            (k0, part_lo)
+        } else {
+            (k1, part_lo + k0)
+        };
         recurse(coords, &child_ids, kk, lo, eps, cfg, rng, out);
     }
 }
@@ -200,7 +207,12 @@ mod tests {
     use fgh_sparse::gen::{self, ValueMode};
 
     fn matrix() -> CsrMatrix {
-        gen::scale_free(200, 2.5, ValueMode::Laplacian, &mut SmallRng::seed_from_u64(2))
+        gen::scale_free(
+            200,
+            2.5,
+            ValueMode::Laplacian,
+            &mut SmallRng::seed_from_u64(2),
+        )
     }
 
     #[test]
@@ -274,7 +286,9 @@ mod tests {
         let a = CsrMatrix::from_coo(
             fgh_sparse::CooMatrix::from_triplets(2, 3, vec![(0, 0, 1.0)]).unwrap(),
         );
-        assert!(MondriaanModel::new(2, 0.03).decompose(&a, &PartitionConfig::default()).is_err());
+        assert!(MondriaanModel::new(2, 0.03)
+            .decompose(&a, &PartitionConfig::default())
+            .is_err());
     }
 
     #[test]

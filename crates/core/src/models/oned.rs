@@ -26,7 +26,10 @@ impl ColumnNetModel {
     /// Builds the column-net model of a square matrix.
     pub fn build(a: &CsrMatrix) -> Result<Self> {
         if !a.is_square() {
-            return Err(ModelError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+            return Err(ModelError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
         }
         let n = a.nrows();
         let mut builder = HypergraphBuilder::new();
@@ -41,7 +44,10 @@ impl ColumnNetModel {
             }
             builder.add_net(pins);
         }
-        Ok(ColumnNetModel { hypergraph: builder.build()?, n })
+        Ok(ColumnNetModel {
+            hypergraph: builder.build()?,
+            n,
+        })
     }
 
     /// The underlying hypergraph (M vertices, M nets).
@@ -83,7 +89,10 @@ impl RowNetModel {
     /// Builds the row-net model of a square matrix.
     pub fn build(a: &CsrMatrix) -> Result<Self> {
         if !a.is_square() {
-            return Err(ModelError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+            return Err(ModelError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
         }
         let n = a.nrows();
         let csc = a.to_csc();
@@ -98,7 +107,10 @@ impl RowNetModel {
             }
             builder.add_net(pins);
         }
-        Ok(RowNetModel { hypergraph: builder.build()?, n })
+        Ok(RowNetModel {
+            hypergraph: builder.build()?,
+            n,
+        })
     }
 
     /// The underlying hypergraph (M vertices, M nets).
@@ -138,7 +150,13 @@ mod tests {
             CooMatrix::from_triplets(
                 3,
                 3,
-                vec![(0, 0, 1.0), (0, 1, 1.0), (1, 1, 1.0), (2, 0, 1.0), (2, 2, 1.0)],
+                vec![
+                    (0, 0, 1.0),
+                    (0, 1, 1.0),
+                    (1, 1, 1.0),
+                    (2, 0, 1.0),
+                    (2, 2, 1.0),
+                ],
             )
             .unwrap(),
         )
@@ -176,12 +194,18 @@ mod tests {
         let rn = RowNetModel::build(&a).unwrap();
         let cn_t = ColumnNetModel::build(&a.transpose()).unwrap();
         // Same structure: vertices/nets/pins coincide.
-        assert_eq!(rn.hypergraph().num_vertices(), cn_t.hypergraph().num_vertices());
+        assert_eq!(
+            rn.hypergraph().num_vertices(),
+            cn_t.hypergraph().num_vertices()
+        );
         for net in 0..rn.hypergraph().num_nets() {
             assert_eq!(rn.hypergraph().pins(net), cn_t.hypergraph().pins(net));
         }
         for v in 0..rn.hypergraph().num_vertices() {
-            assert_eq!(rn.hypergraph().vertex_weight(v), cn_t.hypergraph().vertex_weight(v));
+            assert_eq!(
+                rn.hypergraph().vertex_weight(v),
+                cn_t.hypergraph().vertex_weight(v)
+            );
         }
     }
 

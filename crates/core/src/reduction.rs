@@ -81,10 +81,14 @@ impl ReductionProblem {
     pub fn validate(&self) -> Result<()> {
         for (t, task) in self.tasks.iter().enumerate() {
             if let Some(&i) = task.inputs.iter().find(|&&i| i >= self.num_inputs) {
-                return Err(ModelError::Invalid(format!("task {t}: input {i} out of range")));
+                return Err(ModelError::Invalid(format!(
+                    "task {t}: input {i} out of range"
+                )));
             }
             if let Some(&o) = task.outputs.iter().find(|&&o| o >= self.num_outputs) {
-                return Err(ModelError::Invalid(format!("task {t}: output {o} out of range")));
+                return Err(ModelError::Invalid(format!(
+                    "task {t}: output {o} out of range"
+                )));
             }
         }
         Ok(())
@@ -105,7 +109,11 @@ impl ReductionProblem {
         }
         // Part vertices (zero weight) for processors referenced by
         // pre-assignments; fixed to their part during partitioning.
-        let has_preassign = self.input_owner.iter().chain(&self.output_owner).any(|&p| p != UNASSIGNED);
+        let has_preassign = self
+            .input_owner
+            .iter()
+            .chain(&self.output_owner)
+            .any(|&p| p != UNASSIGNED);
         let mut part_vertex = vec![u32::MAX; k as usize];
         let mut fixed: Vec<u32> = vec![UNASSIGNED; nt as usize];
         if has_preassign {
@@ -160,15 +168,18 @@ impl ReductionProblem {
         let ni = self.num_inputs as usize;
         let mut input_owner = Vec::with_capacity(ni);
         let mut expand_volume = 0u64;
-        for i in 0..ni {
-            let set = &sets[i];
+        for (i, set) in sets.iter().enumerate().take(ni) {
             let owner = if self.input_owner[i] != UNASSIGNED {
                 self.input_owner[i]
             } else {
                 set.first().copied().unwrap_or(0)
             };
             let lambda = set.len() as u64;
-            expand_volume += if set.contains(&owner) { lambda - 1 } else { lambda };
+            expand_volume += if set.contains(&owner) {
+                lambda - 1
+            } else {
+                lambda
+            };
             input_owner.push(owner);
         }
         let mut output_owner = Vec::with_capacity(self.num_outputs as usize);
@@ -181,7 +192,11 @@ impl ReductionProblem {
                 set.first().copied().unwrap_or(0)
             };
             let lambda = set.len() as u64;
-            fold_volume += if set.contains(&owner) { lambda - 1 } else { lambda };
+            fold_volume += if set.contains(&owner) {
+                lambda - 1
+            } else {
+                lambda
+            };
             output_owner.push(owner);
         }
 
@@ -266,10 +281,26 @@ mod tests {
     fn spmv_as_reduction_matches_fine_grain_semantics() {
         // y = Ax for a 2x2 dense matrix: 4 tasks, input j, output i.
         let tasks = vec![
-            Task { inputs: vec![0], outputs: vec![0], weight: 1 },
-            Task { inputs: vec![1], outputs: vec![0], weight: 1 },
-            Task { inputs: vec![0], outputs: vec![1], weight: 1 },
-            Task { inputs: vec![1], outputs: vec![1], weight: 1 },
+            Task {
+                inputs: vec![0],
+                outputs: vec![0],
+                weight: 1,
+            },
+            Task {
+                inputs: vec![1],
+                outputs: vec![0],
+                weight: 1,
+            },
+            Task {
+                inputs: vec![0],
+                outputs: vec![1],
+                weight: 1,
+            },
+            Task {
+                inputs: vec![1],
+                outputs: vec![1],
+                weight: 1,
+            },
         ];
         let p = ReductionProblem::new(2, 2, tasks);
         let d = p.decompose(2, &PartitionConfig::with_seed(4)).unwrap();

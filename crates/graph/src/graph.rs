@@ -30,7 +30,10 @@ impl std::fmt::Display for GraphError {
             }
             GraphError::SelfLoop { vertex } => write!(f, "self loop at vertex {vertex}"),
             GraphError::WeightLength { expected, got } => {
-                write!(f, "vertex weight vector has {got} entries, expected {expected}")
+                write!(
+                    f,
+                    "vertex weight vector has {got} entries, expected {expected}"
+                )
             }
         }
     }
@@ -50,7 +53,10 @@ impl CsrGraph {
         let vwgt = match vwgt {
             Some(w) => {
                 if w.len() != n as usize {
-                    return Err(GraphError::WeightLength { expected: n as usize, got: w.len() });
+                    return Err(GraphError::WeightLength {
+                        expected: n as usize,
+                        got: w.len(),
+                    });
                 }
                 w
             }
@@ -91,19 +97,24 @@ impl CsrGraph {
             }
             xadj[u as usize + 1] = adjncy.len();
         }
-        Ok(CsrGraph { xadj, adjncy, adjwgt, vwgt })
+        Ok(CsrGraph {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt,
+        })
     }
 
     /// Builds directly from raw CSR arrays (already symmetric).
-    pub fn from_raw(
-        xadj: Vec<usize>,
-        adjncy: Vec<u32>,
-        adjwgt: Vec<u32>,
-        vwgt: Vec<u32>,
-    ) -> Self {
+    pub fn from_raw(xadj: Vec<usize>, adjncy: Vec<u32>, adjwgt: Vec<u32>, vwgt: Vec<u32>) -> Self {
         debug_assert_eq!(xadj.len(), vwgt.len() + 1);
         debug_assert_eq!(adjncy.len(), adjwgt.len());
-        CsrGraph { xadj, adjncy, adjwgt, vwgt }
+        CsrGraph {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt,
+        }
     }
 
     /// Number of vertices.

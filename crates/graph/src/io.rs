@@ -84,16 +84,23 @@ pub fn read_metis_from(reader: impl Read) -> Result<CsrGraph> {
             continue;
         }
         let mut nums = t.split_whitespace();
-        vwgt.push(if has_vw { num(nums.next(), "vertex weight")? } else { 1 });
-        loop {
-            let u: u32 = match nums.next() {
-                Some(tok) => tok.parse().map_err(|_| err(format!("bad neighbor {tok:?}")))?,
-                None => break,
-            };
+        vwgt.push(if has_vw {
+            num(nums.next(), "vertex weight")?
+        } else {
+            1
+        });
+        while let Some(tok) = nums.next() {
+            let u: u32 = tok
+                .parse()
+                .map_err(|_| err(format!("bad neighbor {tok:?}")))?;
             if u == 0 || u > n {
                 return Err(err(format!("neighbor {u} out of 1..={n}")));
             }
-            let w: u32 = if has_ew { num(nums.next(), "edge weight")? } else { 1 };
+            let w: u32 = if has_ew {
+                num(nums.next(), "edge weight")?
+            } else {
+                1
+            };
             let u = u - 1;
             if u == v {
                 return Err(err(format!("self loop at vertex {}", v + 1)));

@@ -10,16 +10,20 @@
 //! approximation error is exactly what the paper's hypergraph models fix —
 //! so the decomposition-model layer (`fgh-core`) always reports true
 //! decoded volumes for every model, including this one.
+//!
+//! The multilevel machinery itself is **not** duplicated here: [`CsrGraph`]
+//! implements `fgh_partition::Substrate` (see [`partition`]), and the whole
+//! coarsen → initial → refine → recurse pipeline runs on
+//! `fgh_partition::MultilevelDriver`, configured by the same
+//! [`PartitionConfig`] as the hypergraph partitioner.
 
-pub mod coarsen;
 pub mod graph;
-pub mod initial;
 pub mod io;
-pub mod recursive;
-pub mod refine;
+pub mod partition;
 
+pub use fgh_partition::PartitionConfig;
 pub use graph::CsrGraph;
-pub use recursive::{partition_graph, partition_graph_best, GraphPartitionConfig, GraphPartitionResult};
+pub use partition::{partition_graph, partition_graph_best, GraphPartitionResult};
 
 #[cfg(test)]
 pub(crate) mod testutil {

@@ -1,0 +1,433 @@
+//! K-way graph partitioning on the unified multilevel engine.
+//!
+//! [`CsrGraph`] implements [`Substrate`], so the MeTiS-style baseline —
+//! heavy-connectivity clustering coarsening, greedy graph growing, FM
+//! boundary refinement, recursive bisection — runs on the exact same
+//! [`MultilevelDriver`] as the hypergraph partitioner. The substrate
+//! differences are small: the cut is the edge cut (no per-net pin counts
+//! needed — gains recompute from the adjacency), contraction merges
+//! parallel edges and drops intra-cluster ones, and extraction builds the
+//! induced subgraph (a cut edge has nothing to "split", so the
+//! `net_splitting` flag is a no-op here and the per-bisection cuts always
+//! sum to the final edge cut).
+//!
+//! Hypergraph-only [`PartitionConfig`] fields (`net_splitting`,
+//! `kway_refine`, `vcycles`) are ignored for graphs.
+
+use fgh_partition::{LevelArena, MultilevelDriver, PartitionConfig, Substrate};
+
+use crate::graph::CsrGraph;
+
+/// Outcome of a K-way graph partitioning run.
+#[derive(Debug, Clone)]
+pub struct GraphPartitionResult {
+    /// Per-vertex part assignment (`0..k`).
+    pub parts: Vec<u32>,
+    /// Number of parts.
+    pub k: u32,
+    /// Edge cut of the partition (the partitioner's objective — an
+    /// *approximation* of communication volume, per the paper's critique).
+    pub edge_cut: u64,
+    /// Percent load imbalance `100 (W_max − W_avg) / W_avg`.
+    pub imbalance_percent: f64,
+}
+
+impl Substrate for CsrGraph {
+    /// Graph gains recompute directly from the adjacency; no incremental
+    /// bookkeeping is kept.
+    type CutState = ();
+
+    fn num_vertices(&self) -> u32 {
+        self.n()
+    }
+
+    fn vertex_weight(&self, v: u32) -> u32 {
+        CsrGraph::vertex_weight(self, v)
+    }
+
+    fn total_vertex_weight(&self) -> u64 {
+        CsrGraph::total_vertex_weight(self)
+    }
+
+    fn max_vertex_weight(&self) -> u64 {
+        self.vertex_weights().iter().copied().max().unwrap_or(1) as u64
+    }
+
+    fn num_incidences(&self) -> u64 {
+        2 * self.num_edges() as u64
+    }
+
+    fn max_gain_bound(&self) -> i64 {
+        let mut best = 1i64;
+        for v in 0..self.n() {
+            let s: i64 = self.edge_weights(v).iter().map(|&w| w as i64).sum();
+            best = best.max(s);
+        }
+        best
+    }
+
+    fn cut_state(&self, side: &[u8], _arena: &mut LevelArena) -> ((), u64) {
+        let mut twice_cut = 0u64;
+        for v in 0..self.n() {
+            let s = side[v as usize];
+            for (&u, &w) in self.neighbors(v).iter().zip(self.edge_weights(v)) {
+                if side[u as usize] != s {
+                    twice_cut += w as u64;
+                }
+            }
+        }
+        ((), twice_cut / 2)
+    }
+
+    fn recycle_cut_state(_cs: (), _arena: &mut LevelArena) {}
+
+    fn gain(&self, _cs: &(), side: &[u8], v: u32) -> i64 {
+        // Classic FM gain: external minus internal edge weight.
+        let s = side[v as usize];
+        let mut g = 0i64;
+        for (&u, &w) in self.neighbors(v).iter().zip(self.edge_weights(v)) {
+            if side[u as usize] == s {
+                g -= w as i64;
+            } else {
+                g += w as i64;
+            }
+        }
+        g
+    }
+
+    fn is_boundary(&self, _cs: &(), side: &[u8], v: u32) -> bool {
+        let s = side[v as usize];
+        self.neighbors(v).iter().any(|&u| side[u as usize] != s)
+    }
+
+    fn apply_move(
+        &self,
+        _cs: &mut (),
+        side: &[u8],
+        v: u32,
+        cut: &mut u64,
+        adjust: Option<&mut dyn FnMut(u32, i64)>,
+    ) {
+        // `side` still holds v's pre-move side; the caller flips it after.
+        let s = side[v as usize];
+        match adjust {
+            Some(adjust) => {
+                for (&u, &w) in self.neighbors(v).iter().zip(self.edge_weights(v)) {
+                    if side[u as usize] == s {
+                        // Internal edge becomes cut: u now profits from following.
+                        *cut += w as u64;
+                        adjust(u, 2 * w as i64);
+                    } else {
+                        *cut -= w as u64;
+                        adjust(u, -2 * w as i64);
+                    }
+                }
+            }
+            None => {
+                for (&u, &w) in self.neighbors(v).iter().zip(self.edge_weights(v)) {
+                    if side[u as usize] == s {
+                        *cut += w as u64;
+                    } else {
+                        *cut -= w as u64;
+                    }
+                }
+            }
+        }
+    }
+
+    fn for_each_scored_neighbor(
+        &self,
+        u: u32,
+        _max_net_size: usize,
+        visit: &mut dyn FnMut(u32, u64),
+    ) {
+        // Every edge is a two-pin net; the net-size filter never applies.
+        for (&v, &w) in self.neighbors(u).iter().zip(self.edge_weights(u)) {
+            visit(v, w as u64);
+        }
+    }
+
+    fn contract(&self, cluster_of: &[u32], num_clusters: u32, arena: &mut LevelArena) -> Self {
+        let nc = num_clusters as usize;
+        let mut weights64 = arena.take_u64(nc, 0);
+        for v in 0..self.n() as usize {
+            weights64[cluster_of[v] as usize] += CsrGraph::vertex_weight(self, v as u32) as u64;
+        }
+        let weights: Vec<u32> = weights64
+            .iter()
+            .map(|&w| u32::try_from(w).expect("weight overflow"))
+            .collect();
+        arena.give_u64(weights64);
+
+        // Inter-cluster edges, each undirected edge emitted once;
+        // `from_edges` merges parallel edges by summing their weights.
+        let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+        for v in 0..self.n() {
+            let cv = cluster_of[v as usize];
+            for (&u, &w) in self.neighbors(v).iter().zip(self.edge_weights(v)) {
+                let cu = cluster_of[u as usize];
+                if v < u && cv != cu {
+                    edges.push((cv.min(cu), cv.max(cu), w));
+                }
+            }
+        }
+        CsrGraph::from_edges(num_clusters, &edges, Some(weights))
+            .expect("contraction preserves graph validity")
+    }
+
+    fn extract_side(&self, side: &[u8], which: u8, _split: bool) -> (Self, Vec<u32>) {
+        let mut new_of_old = vec![u32::MAX; self.n() as usize];
+        let mut map: Vec<u32> = Vec::new();
+        let mut vwgt: Vec<u32> = Vec::new();
+        for v in 0..self.n() {
+            if side[v as usize] == which {
+                new_of_old[v as usize] = map.len() as u32;
+                map.push(v);
+                vwgt.push(CsrGraph::vertex_weight(self, v));
+            }
+        }
+        let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+        for v in 0..self.n() {
+            if side[v as usize] != which {
+                continue;
+            }
+            let nv = new_of_old[v as usize];
+            for (&u, &w) in self.neighbors(v).iter().zip(self.edge_weights(v)) {
+                if side[u as usize] == which && v < u {
+                    edges.push((nv, new_of_old[u as usize], w));
+                }
+            }
+        }
+        let sub = CsrGraph::from_edges(map.len() as u32, &edges, Some(vwgt))
+            .expect("induced subgraph is valid");
+        (sub, map)
+    }
+}
+
+/// Partitions `g` into `k` parts by multilevel recursive bisection on the
+/// unified engine. Graph runs ignore the hypergraph-only config fields
+/// (`net_splitting`, `kway_refine`, `vcycles`).
+pub fn partition_graph(g: &CsrGraph, k: u32, cfg: &PartitionConfig) -> GraphPartitionResult {
+    assert!(k >= 1, "K must be >= 1");
+    let mut driver = MultilevelDriver::new(cfg.clone());
+    let fixed = vec![u32::MAX; g.n() as usize];
+    let out = driver.partition_recursive(g, k, &fixed);
+    let edge_cut = g.edge_cut(&out.parts);
+    // Cut edges are dropped on extraction, so per-bisection cuts compose
+    // exactly (the graph analogue of the eq. 3 invariant).
+    debug_assert_eq!(
+        out.cut_sum, edge_cut,
+        "bisection cuts must sum to the edge cut"
+    );
+    finish(g, k, out.parts, edge_cut)
+}
+
+fn finish(g: &CsrGraph, k: u32, parts: Vec<u32>, edge_cut: u64) -> GraphPartitionResult {
+    let mut w = vec![0u64; k as usize];
+    for v in 0..g.n() {
+        w[parts[v as usize] as usize] += g.vertex_weight(v) as u64;
+    }
+    let total: u64 = w.iter().sum();
+    let imbalance_percent = if total == 0 {
+        0.0
+    } else {
+        let avg = total as f64 / k as f64;
+        let max = *w.iter().max().expect("k >= 1") as f64;
+        100.0 * (max - avg) / avg
+    };
+    GraphPartitionResult {
+        parts,
+        k,
+        edge_cut,
+        imbalance_percent,
+    }
+}
+
+/// Runs [`partition_graph`] with `runs` seeds in parallel, returning the
+/// best balanced result by edge cut (the paper's MeTiS 50-seed protocol).
+pub fn partition_graph_best(
+    g: &CsrGraph,
+    k: u32,
+    cfg: &PartitionConfig,
+    runs: usize,
+) -> GraphPartitionResult {
+    let runs = runs.max(1);
+    let mut results: Vec<GraphPartitionResult> = Vec::with_capacity(runs);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..runs)
+            .map(|r| {
+                let mut c = cfg.clone();
+                c.seed = cfg.seed.wrapping_add(r as u64);
+                scope.spawn(move || partition_graph(g, k, &c))
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("partition thread panicked"));
+        }
+    });
+    results
+        .into_iter()
+        .min_by(|a, b| {
+            let ab = a.imbalance_percent <= cfg.epsilon * 100.0 + 1e-9;
+            let bb = b.imbalance_percent <= cfg.epsilon * 100.0 + 1e-9;
+            // Balanced first, then lower cut.
+            bb.cmp(&ab).then(a.edge_cut.cmp(&b.edge_cut))
+        })
+        .expect("runs >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{random_graph, two_cliques};
+    use fgh_partition::refine::BisectionState;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    const FREE: i8 = -1;
+
+    #[test]
+    fn k2_two_cliques() {
+        let g = two_cliques(50);
+        let r = partition_graph(&g, 2, &PartitionConfig::with_seed(1));
+        assert_eq!(r.edge_cut, 1);
+        assert!(r.imbalance_percent <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn k8_balance_and_coverage() {
+        let g = random_graph(800, 1600, 3);
+        let r = partition_graph(&g, 8, &PartitionConfig::with_seed(2));
+        assert_eq!(r.k, 8);
+        let mut sizes = vec![0usize; 8];
+        for &p in &r.parts {
+            assert!(p < 8);
+            sizes[p as usize] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s > 0), "{sizes:?}");
+        assert!(
+            r.imbalance_percent <= 4.0,
+            "imbalance {}%",
+            r.imbalance_percent
+        );
+        assert_eq!(r.edge_cut, g.edge_cut(&r.parts));
+    }
+
+    #[test]
+    fn non_power_of_two() {
+        let g = random_graph(300, 600, 5);
+        let r = partition_graph(&g, 6, &PartitionConfig::with_seed(3));
+        assert_eq!(r.k, 6);
+        assert!(r.parts.iter().all(|&p| p < 6));
+        assert!(r.imbalance_percent <= 6.0);
+    }
+
+    #[test]
+    fn k1_trivial() {
+        let g = two_cliques(5);
+        let r = partition_graph(&g, 1, &PartitionConfig::default());
+        assert_eq!(r.edge_cut, 0);
+        assert!(r.parts.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn weighted_vertices_balanced_by_weight() {
+        // One heavy vertex should sit alone-ish.
+        let mut edges = Vec::new();
+        for i in 0..9u32 {
+            edges.push((i, i + 1, 1u32));
+        }
+        let mut w = vec![1u32; 10];
+        w[0] = 9; // total 18, target 9 per side
+        let g = CsrGraph::from_edges(10, &edges, Some(w)).unwrap();
+        let r = partition_graph(&g, 2, &PartitionConfig::with_seed(4));
+        let side0 = r.parts[0];
+        let with_heavy: u64 = (0..10)
+            .filter(|&v| r.parts[v as usize] == side0)
+            .map(|v| g.vertex_weight(v) as u64)
+            .sum();
+        assert!(with_heavy <= 10, "heavy side weight {with_heavy}");
+    }
+
+    #[test]
+    fn multi_seed_never_worse() {
+        let g = random_graph(400, 800, 7);
+        let cfg = PartitionConfig::with_seed(1);
+        let single = partition_graph(&g, 8, &cfg);
+        let best = partition_graph_best(&g, 8, &cfg, 4);
+        assert!(best.edge_cut <= single.edge_cut);
+    }
+
+    #[test]
+    fn determinism() {
+        let g = random_graph(200, 400, 9);
+        let cfg = PartitionConfig::with_seed(5);
+        let a = partition_graph(&g, 4, &cfg);
+        let b = partition_graph(&g, 4, &cfg);
+        assert_eq!(a.parts, b.parts);
+    }
+
+    #[test]
+    fn graph_state_cut_matches_edge_cut() {
+        let g = two_cliques(10);
+        let fixed = vec![FREE; 20];
+        let side: Vec<u8> = (0..20).map(|v| (v % 2) as u8).collect();
+        let parts: Vec<u32> = side.iter().map(|&s| s as u32).collect();
+        let st = BisectionState::new(&g, side, &fixed, [10.0, 10.0], 0.1);
+        assert_eq!(st.cut(), g.edge_cut(&parts));
+    }
+
+    #[test]
+    fn graph_gain_matches_recompute() {
+        let g = random_graph(30, 60, 2);
+        let fixed = vec![FREE; 30];
+        let side: Vec<u8> = (0..30).map(|v| (v % 2) as u8).collect();
+        let st = BisectionState::new(&g, side, &fixed, [15.0, 15.0], 0.2);
+        for v in 0..30u32 {
+            let mut st2 = st.clone();
+            let before = st2.cut() as i64;
+            st2.apply_move(v, None);
+            let after = st2.cut() as i64;
+            assert_eq!(st.gain(v), before - after, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn graph_fm_finds_the_bridge() {
+        let g = two_cliques(20);
+        let fixed = vec![FREE; 40];
+        let side: Vec<u8> = (0..40).map(|v| (v % 2) as u8).collect();
+        let mut st = BisectionState::new(&g, side, &fixed, [20.0, 20.0], 0.05);
+        st.refine(&mut SmallRng::seed_from_u64(3), 8, 0);
+        assert_eq!(st.cut(), 1, "FM should isolate the single bridge edge");
+        assert_eq!(st.balance_penalty(), 0);
+    }
+
+    #[test]
+    fn contract_merges_parallel_edges() {
+        // Path 0-1-2-3; clustering {0,1} and {2,3} leaves one edge (1,2).
+        let edges = [(0u32, 1u32, 2u32), (1, 2, 3), (2, 3, 4)];
+        let g = CsrGraph::from_edges(4, &edges, None).unwrap();
+        let c = Substrate::contract(&g, &[0, 0, 1, 1], 2, &mut LevelArena::disabled());
+        assert_eq!(c.n(), 2);
+        assert_eq!(c.num_edges(), 1);
+        assert_eq!(c.edge_weights(0), &[3]);
+        // Cluster weights are summed.
+        assert_eq!(c.vertex_weight(0), 2);
+        assert_eq!(c.vertex_weight(1), 2);
+    }
+
+    #[test]
+    fn extract_side_builds_induced_subgraph() {
+        let g = two_cliques(3); // vertices 0..3 and 3..6, bridge (2,3)
+        let side: Vec<u8> = (0..6).map(|v| u8::from(v >= 3)).collect();
+        let (sub, map) = g.extract_side(&side, 1, true);
+        assert_eq!(map, vec![3, 4, 5]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(
+            sub.num_edges(),
+            3,
+            "the clique survives, the bridge is dropped"
+        );
+    }
+}

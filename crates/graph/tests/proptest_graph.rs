@@ -1,25 +1,22 @@
 //! Property tests of the graph partitioner on random graphs.
 
-use fgh_graph::{partition_graph, CsrGraph, GraphPartitionConfig};
+use fgh_graph::{partition_graph, CsrGraph, PartitionConfig};
 use proptest::prelude::*;
 
 /// Strategy: a random connected graph (path + extra edges).
 fn graph() -> impl Strategy<Value = CsrGraph> {
     (4u32..=60).prop_flat_map(|n| {
-        proptest::collection::btree_set((0..n, 0..n), 0..=(n as usize * 2)).prop_map(
-            move |extra| {
-                let mut edges: Vec<(u32, u32, u32)> =
-                    (1..n).map(|i| (i - 1, i, 1)).collect();
-                for (u, v) in extra {
-                    if u != v {
-                        edges.push((u.min(v), u.max(v), 1));
-                    }
+        proptest::collection::btree_set((0..n, 0..n), 0..=(n as usize * 2)).prop_map(move |extra| {
+            let mut edges: Vec<(u32, u32, u32)> = (1..n).map(|i| (i - 1, i, 1)).collect();
+            for (u, v) in extra {
+                if u != v {
+                    edges.push((u.min(v), u.max(v), 1));
                 }
-                edges.sort_unstable();
-                edges.dedup();
-                CsrGraph::from_edges(n, &edges, None).expect("valid edges")
-            },
-        )
+            }
+            edges.sort_unstable();
+            edges.dedup();
+            CsrGraph::from_edges(n, &edges, None).expect("valid edges")
+        })
     })
 }
 
@@ -28,7 +25,7 @@ proptest! {
     /// cut consistency, and determinism.
     #[test]
     fn partitioner_postconditions(g in graph(), k in 1u32..=4, seed in 0u64..100) {
-        let cfg = GraphPartitionConfig { seed, ..Default::default() };
+        let cfg = PartitionConfig { seed, ..Default::default() };
         let r = partition_graph(&g, k, &cfg);
         prop_assert_eq!(r.parts.len(), g.n() as usize);
         prop_assert!(r.parts.iter().all(|&p| p < k));
@@ -46,7 +43,7 @@ proptest! {
     fn balance_postcondition(g in graph(), seed in 0u64..100) {
         let k = 2u32;
         prop_assume!(g.n() >= 8);
-        let cfg = GraphPartitionConfig { seed, ..Default::default() };
+        let cfg = PartitionConfig { seed, ..Default::default() };
         let r = partition_graph(&g, k, &cfg);
         prop_assert!(
             r.imbalance_percent <= 15.0,

@@ -45,16 +45,18 @@ impl Hypergraph {
         vertex_weights: Vec<u32>,
         net_costs: Vec<u32>,
     ) -> Result<Self> {
-        assert_eq!(
-            vertex_weights.len(),
-            num_vertices as usize,
-            "vertex weight vector length must equal the vertex count"
-        );
-        assert_eq!(
-            net_costs.len(),
-            nets.len(),
-            "net cost vector length must equal the net count"
-        );
+        if vertex_weights.len() != num_vertices as usize {
+            return Err(HypergraphError::WeightLengthMismatch {
+                expected: num_vertices as usize,
+                got: vertex_weights.len(),
+            });
+        }
+        if net_costs.len() != nets.len() {
+            return Err(HypergraphError::CostLengthMismatch {
+                expected: nets.len(),
+                got: net_costs.len(),
+            });
+        }
         let total_pins: usize = nets.iter().map(|n| n.len()).sum();
         let mut pin_ptr = Vec::with_capacity(nets.len() + 1);
         let mut pins = Vec::with_capacity(total_pins);
@@ -93,6 +95,76 @@ impl Hypergraph {
         let mut vnets = vec![0u32; pins.len()];
         let mut next = vnet_ptr.clone();
         for n in 0..nets.len() {
+            for &p in &pins[pin_ptr[n]..pin_ptr[n + 1]] {
+                vnets[next[p as usize]] = n as u32;
+                next[p as usize] += 1;
+            }
+        }
+
+        Ok(Hypergraph {
+            num_vertices,
+            pin_ptr,
+            pins,
+            vnet_ptr,
+            vnets,
+            vertex_weights,
+            net_costs,
+        })
+    }
+
+    /// Builds a hypergraph from an already-flat pin CSR: net `n` owns
+    /// `pins[pin_ptr[n] .. pin_ptr[n + 1]]`. Pins must be sorted and
+    /// duplicate-free within each net; this is the allocation-lean
+    /// constructor contraction uses (no per-net `Vec`). Weight/cost vector
+    /// lengths and pin bounds are validated.
+    pub fn from_flat_nets(
+        num_vertices: u32,
+        pin_ptr: Vec<usize>,
+        pins: Vec<u32>,
+        vertex_weights: Vec<u32>,
+        net_costs: Vec<u32>,
+    ) -> Result<Self> {
+        assert!(!pin_ptr.is_empty(), "pin_ptr needs a leading 0 entry");
+        let num_nets = pin_ptr.len() - 1;
+        if vertex_weights.len() != num_vertices as usize {
+            return Err(HypergraphError::WeightLengthMismatch {
+                expected: num_vertices as usize,
+                got: vertex_weights.len(),
+            });
+        }
+        if net_costs.len() != num_nets {
+            return Err(HypergraphError::CostLengthMismatch {
+                expected: num_nets,
+                got: net_costs.len(),
+            });
+        }
+        for n in 0..num_nets {
+            let net = &pins[pin_ptr[n]..pin_ptr[n + 1]];
+            for w in net.windows(2) {
+                debug_assert!(w[0] < w[1], "net {n} pins must be sorted and unique");
+            }
+            if let Some(&last) = net.last() {
+                if last >= num_vertices {
+                    return Err(HypergraphError::PinOutOfBounds {
+                        net: n as u32,
+                        pin: last,
+                        num_vertices,
+                    });
+                }
+            }
+        }
+
+        // Invert to vertex -> nets.
+        let mut vnet_ptr = vec![0usize; num_vertices as usize + 1];
+        for &p in &pins {
+            vnet_ptr[p as usize + 1] += 1;
+        }
+        for i in 0..num_vertices as usize {
+            vnet_ptr[i + 1] += vnet_ptr[i];
+        }
+        let mut vnets = vec![0u32; pins.len()];
+        let mut next = vnet_ptr.clone();
+        for n in 0..num_nets {
             for &p in &pins[pin_ptr[n]..pin_ptr[n + 1]] {
                 vnets[next[p as usize]] = n as u32;
                 next[p as usize] += 1;
@@ -221,8 +293,10 @@ impl Hypergraph {
                 costs.push(self.net_cost(n));
             }
         }
-        let weights: Vec<u32> =
-            old_of_new.iter().map(|&v| self.vertex_weights[v as usize]).collect();
+        let weights: Vec<u32> = old_of_new
+            .iter()
+            .map(|&v| self.vertex_weights[v as usize])
+            .collect();
         let num_vertices = old_of_new.len() as u32;
         let hg = Hypergraph::from_nets_weighted(num_vertices, &nets, weights, costs)
             .expect("extraction preserves validity");
@@ -281,27 +355,95 @@ mod tests {
     #[test]
     fn duplicate_pin_rejected() {
         let err = Hypergraph::from_nets(3, &[vec![0, 1, 1]]).unwrap_err();
-        assert!(matches!(err, HypergraphError::DuplicatePin { net: 0, pin: 1 }));
+        assert!(matches!(
+            err,
+            HypergraphError::DuplicatePin { net: 0, pin: 1 }
+        ));
     }
 
     #[test]
     fn out_of_bounds_pin_rejected() {
         let err = Hypergraph::from_nets(3, &[vec![0, 5]]).unwrap_err();
-        assert!(matches!(err, HypergraphError::PinOutOfBounds { pin: 5, .. }));
+        assert!(matches!(
+            err,
+            HypergraphError::PinOutOfBounds { pin: 5, .. }
+        ));
     }
 
     #[test]
     fn weights_and_costs() {
-        let hg = Hypergraph::from_nets_weighted(
-            3,
-            &[vec![0, 1], vec![1, 2]],
-            vec![2, 0, 5],
-            vec![3, 7],
-        )
-        .unwrap();
+        let hg =
+            Hypergraph::from_nets_weighted(3, &[vec![0, 1], vec![1, 2]], vec![2, 0, 5], vec![3, 7])
+                .unwrap();
         assert_eq!(hg.vertex_weight(1), 0);
         assert_eq!(hg.net_cost(1), 7);
         assert_eq!(hg.total_vertex_weight(), 7);
+    }
+
+    #[test]
+    fn from_flat_nets_matches_from_nets() {
+        let nested = Hypergraph::from_nets_weighted(
+            4,
+            &[vec![0, 1, 2], vec![2, 3]],
+            vec![1, 2, 3, 4],
+            vec![5, 6],
+        )
+        .unwrap();
+        let flat = Hypergraph::from_flat_nets(
+            4,
+            vec![0, 3, 5],
+            vec![0, 1, 2, 2, 3],
+            vec![1, 2, 3, 4],
+            vec![5, 6],
+        )
+        .unwrap();
+        assert_eq!(nested, flat);
+        assert!(Hypergraph::from_flat_nets(2, vec![0, 1], vec![5], vec![1, 1], vec![1]).is_err());
+        assert!(Hypergraph::from_flat_nets(2, vec![0, 1], vec![0], vec![1], vec![1]).is_err());
+        assert!(Hypergraph::from_flat_nets(2, vec![0, 1], vec![0], vec![1, 1], vec![]).is_err());
+    }
+
+    #[test]
+    fn mismatched_weight_length_rejected() {
+        let err =
+            Hypergraph::from_nets_weighted(3, &[vec![0, 1]], vec![1, 1], vec![1]).unwrap_err();
+        assert_eq!(
+            err,
+            HypergraphError::WeightLengthMismatch {
+                expected: 3,
+                got: 2
+            }
+        );
+        let err =
+            Hypergraph::from_nets_weighted(2, &[vec![0, 1]], vec![1, 1, 1], vec![1]).unwrap_err();
+        assert_eq!(
+            err,
+            HypergraphError::WeightLengthMismatch {
+                expected: 2,
+                got: 3
+            }
+        );
+    }
+
+    #[test]
+    fn mismatched_cost_length_rejected() {
+        let err =
+            Hypergraph::from_nets_weighted(2, &[vec![0, 1]], vec![1, 1], vec![1, 4]).unwrap_err();
+        assert_eq!(
+            err,
+            HypergraphError::CostLengthMismatch {
+                expected: 1,
+                got: 2
+            }
+        );
+        let err = Hypergraph::from_nets_weighted(2, &[vec![0, 1]], vec![1, 1], vec![]).unwrap_err();
+        assert_eq!(
+            err,
+            HypergraphError::CostLengthMismatch {
+                expected: 1,
+                got: 0
+            }
+        );
     }
 
     #[test]
@@ -314,8 +456,7 @@ mod tests {
     #[test]
     fn extract_part_with_net_splitting() {
         // Vertices 0..6; nets: {0,1,2,3}, {2,3,4}, {4,5}.
-        let hg =
-            Hypergraph::from_nets(6, &[vec![0, 1, 2, 3], vec![2, 3, 4], vec![4, 5]]).unwrap();
+        let hg = Hypergraph::from_nets(6, &[vec![0, 1, 2, 3], vec![2, 3, 4], vec![4, 5]]).unwrap();
         // Partition: {0,1,2,3} in part 0, {4,5} in part 1.
         let p = Partition::new(2, vec![0, 0, 0, 0, 1, 1]).unwrap();
         let (sub0, map0) = hg.extract_part(&p, 0);
@@ -333,13 +474,8 @@ mod tests {
 
     #[test]
     fn extract_preserves_weights_and_costs() {
-        let hg = Hypergraph::from_nets_weighted(
-            4,
-            &[vec![0, 1, 2, 3]],
-            vec![1, 2, 3, 4],
-            vec![9],
-        )
-        .unwrap();
+        let hg = Hypergraph::from_nets_weighted(4, &[vec![0, 1, 2, 3]], vec![1, 2, 3, 4], vec![9])
+            .unwrap();
         let p = Partition::new(2, vec![0, 1, 1, 0]).unwrap();
         let (sub, map) = hg.extract_part(&p, 1);
         assert_eq!(map, vec![1, 2]);
@@ -354,8 +490,7 @@ mod tests {
 
     #[test]
     fn extract_without_net_splitting_drops_cut_nets() {
-        let hg =
-            Hypergraph::from_nets(6, &[vec![0, 1, 2, 3], vec![2, 3, 4], vec![4, 5]]).unwrap();
+        let hg = Hypergraph::from_nets(6, &[vec![0, 1, 2, 3], vec![2, 3, 4], vec![4, 5]]).unwrap();
         let p = Partition::new(2, vec![0, 0, 0, 0, 1, 1]).unwrap();
         let (sub0, _) = hg.extract_part_mode(&p, 0, false);
         // Net 0 is internal (kept); net 1 is cut (dropped, unlike the

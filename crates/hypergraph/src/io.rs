@@ -79,7 +79,9 @@ pub fn read_hgr_from(reader: impl Read) -> Result<Hypergraph> {
         };
         let mut pins = Vec::new();
         for tok in nums {
-            let v: u32 = tok.parse().map_err(|_| parse_err(format!("bad pin {tok:?}")))?;
+            let v: u32 = tok
+                .parse()
+                .map_err(|_| parse_err(format!("bad pin {tok:?}")))?;
             if v == 0 || v > num_vertices {
                 return Err(parse_err(format!("pin {v} out of 1..={num_vertices}")));
             }
@@ -105,8 +107,9 @@ pub fn read_hgr_from(reader: impl Read) -> Result<Hypergraph> {
                 if got >= num_vertices as usize {
                     return Err(parse_err("too many vertex weights".into()));
                 }
-                weights[got] =
-                    tok.parse().map_err(|_| parse_err(format!("bad weight {tok:?}")))?;
+                weights[got] = tok
+                    .parse()
+                    .map_err(|_| parse_err(format!("bad weight {tok:?}")))?;
                 got += 1;
             }
         }

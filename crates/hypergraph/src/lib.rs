@@ -36,9 +36,17 @@ pub use stats::HypergraphStats;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HypergraphError {
     /// A pin refers to a vertex id >= the vertex count.
-    PinOutOfBounds { net: u32, pin: u32, num_vertices: u32 },
+    PinOutOfBounds {
+        net: u32,
+        pin: u32,
+        num_vertices: u32,
+    },
     /// A net contains the same pin twice.
     DuplicatePin { net: u32, pin: u32 },
+    /// Vertex weight vector length does not match the vertex count.
+    WeightLengthMismatch { expected: usize, got: usize },
+    /// Net cost vector length does not match the net count.
+    CostLengthMismatch { expected: usize, got: usize },
     /// Partition vector length does not match the vertex count.
     PartitionLengthMismatch { expected: usize, got: usize },
     /// A vertex is assigned to a part id >= K.
@@ -54,15 +62,34 @@ pub enum HypergraphError {
 impl std::fmt::Display for HypergraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            HypergraphError::PinOutOfBounds { net, pin, num_vertices } => write!(
+            HypergraphError::PinOutOfBounds {
+                net,
+                pin,
+                num_vertices,
+            } => write!(
                 f,
                 "net {net} has pin {pin} out of bounds (|V| = {num_vertices})"
             ),
             HypergraphError::DuplicatePin { net, pin } => {
                 write!(f, "net {net} contains pin {pin} more than once")
             }
+            HypergraphError::WeightLengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "vertex weight vector has {got} entries, hypergraph has {expected} vertices"
+                )
+            }
+            HypergraphError::CostLengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "net cost vector has {got} entries, hypergraph has {expected} nets"
+                )
+            }
             HypergraphError::PartitionLengthMismatch { expected, got } => {
-                write!(f, "partition has {got} entries, hypergraph has {expected} vertices")
+                write!(
+                    f,
+                    "partition has {got} entries, hypergraph has {expected} vertices"
+                )
             }
             HypergraphError::PartOutOfBounds { vertex, part, k } => {
                 write!(f, "vertex {vertex} assigned to part {part} >= K = {k}")

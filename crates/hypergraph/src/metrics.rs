@@ -71,7 +71,10 @@ pub fn cutsize_connectivity(hg: &Hypergraph, partition: &Partition) -> u64 {
 
 /// Number of cut (external) nets.
 pub fn num_cut_nets(hg: &Hypergraph, partition: &Partition) -> usize {
-    connectivities(hg, partition).iter().filter(|&&l| l > 1).count()
+    connectivities(hg, partition)
+        .iter()
+        .filter(|&&l| l > 1)
+        .count()
 }
 
 #[cfg(test)]
@@ -80,11 +83,8 @@ mod tests {
 
     /// 6 vertices, nets {0,1,2}, {2,3}, {4,5}, {0,5}; parts (0,0,1,1,2,2).
     fn setup() -> (Hypergraph, Partition) {
-        let hg = Hypergraph::from_nets(
-            6,
-            &[vec![0, 1, 2], vec![2, 3], vec![4, 5], vec![0, 5]],
-        )
-        .unwrap();
+        let hg =
+            Hypergraph::from_nets(6, &[vec![0, 1, 2], vec![2, 3], vec![4, 5], vec![0, 5]]).unwrap();
         let p = Partition::new(3, vec![0, 0, 1, 1, 2, 2]).unwrap();
         (hg, p)
     }
@@ -125,13 +125,7 @@ mod tests {
 
     #[test]
     fn net_costs_scale_cutsize() {
-        let hg = Hypergraph::from_nets_weighted(
-            2,
-            &[vec![0, 1]],
-            vec![1, 1],
-            vec![5],
-        )
-        .unwrap();
+        let hg = Hypergraph::from_nets_weighted(2, &[vec![0, 1]], vec![1, 1], vec![5]).unwrap();
         let p = Partition::new(2, vec![0, 1]).unwrap();
         assert_eq!(cutsize_cutnet(&hg, &p), 5);
         assert_eq!(cutsize_connectivity(&hg, &p), 5);

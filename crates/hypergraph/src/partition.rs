@@ -19,7 +19,11 @@ impl Partition {
         }
         for (v, &p) in parts.iter().enumerate() {
             if p >= k {
-                return Err(HypergraphError::PartOutOfBounds { vertex: v as u32, part: p, k });
+                return Err(HypergraphError::PartOutOfBounds {
+                    vertex: v as u32,
+                    part: p,
+                    k,
+                });
             }
         }
         Ok(Partition { k, parts })
@@ -27,7 +31,10 @@ impl Partition {
 
     /// The trivial 1-way partition of `n` vertices.
     pub fn trivial(n: u32) -> Self {
-        Partition { k: 1, parts: vec![0; n as usize] }
+        Partition {
+            k: 1,
+            parts: vec![0; n as usize],
+        }
     }
 
     /// Number of parts K.
@@ -132,13 +139,8 @@ mod tests {
     use super::*;
 
     fn hg() -> Hypergraph {
-        Hypergraph::from_nets_weighted(
-            4,
-            &[vec![0, 1], vec![2, 3]],
-            vec![1, 2, 3, 4],
-            vec![1, 1],
-        )
-        .unwrap()
+        Hypergraph::from_nets_weighted(4, &[vec![0, 1], vec![2, 3]], vec![1, 2, 3, 4], vec![1, 1])
+            .unwrap()
     }
 
     #[test]
@@ -167,7 +169,10 @@ mod tests {
             Partition::new(2, vec![0, 2]).unwrap_err(),
             HypergraphError::PartOutOfBounds { part: 2, .. }
         ));
-        assert!(matches!(Partition::new(0, vec![]).unwrap_err(), HypergraphError::InvalidK));
+        assert!(matches!(
+            Partition::new(0, vec![]).unwrap_err(),
+            HypergraphError::InvalidK
+        ));
     }
 
     #[test]

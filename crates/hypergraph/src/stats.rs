@@ -71,10 +71,18 @@ impl HypergraphStats {
             num_pins: hg.num_pins(),
             min_net_size: min_ns,
             max_net_size: max_ns,
-            avg_net_size: if nn == 0 { 0.0 } else { hg.num_pins() as f64 / nn as f64 },
+            avg_net_size: if nn == 0 {
+                0.0
+            } else {
+                hg.num_pins() as f64 / nn as f64
+            },
             min_degree: min_d,
             max_degree: max_d,
-            avg_degree: if nv == 0 { 0.0 } else { hg.num_pins() as f64 / nv as f64 },
+            avg_degree: if nv == 0 {
+                0.0
+            } else {
+                hg.num_pins() as f64 / nv as f64
+            },
             total_weight: hg.total_vertex_weight(),
             zero_weight_vertices: zero_w,
             single_pin_nets: single,
@@ -87,7 +95,11 @@ impl HypergraphStats {
         let mut hist: Vec<usize> = Vec::new();
         for n in 0..hg.num_nets() {
             let s = hg.net_size(n);
-            let bucket = if s <= 1 { 0 } else { usize::BITS as usize - (s.leading_zeros() as usize) - 1 };
+            let bucket = if s <= 1 {
+                0
+            } else {
+                usize::BITS as usize - (s.leading_zeros() as usize) - 1
+            };
             if hist.len() <= bucket {
                 hist.resize(bucket + 1, 0);
             }

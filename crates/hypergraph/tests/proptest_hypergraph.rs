@@ -2,9 +2,7 @@
 //! consistency, cutsize identities, net-splitting extraction invariants,
 //! and `.hgr` round trips.
 
-use fgh_hypergraph::{
-    connectivities, cutsize_connectivity, cutsize_cutnet, Hypergraph, Partition,
-};
+use fgh_hypergraph::{connectivities, cutsize_connectivity, cutsize_cutnet, Hypergraph, Partition};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -16,8 +14,7 @@ fn hypergraph() -> impl Strategy<Value = Hypergraph> {
             0..=25,
         )
         .prop_map(move |nets| {
-            let nets: Vec<Vec<u32>> =
-                nets.into_iter().map(|s| s.into_iter().collect()).collect();
+            let nets: Vec<Vec<u32>> = nets.into_iter().map(|s| s.into_iter().collect()).collect();
             Hypergraph::from_nets(nv, &nets).expect("pins in range")
         })
     })
@@ -27,7 +24,9 @@ fn random_partition(hg: &Hypergraph, k: u32, seed: u64) -> Partition {
     let mut rng = SmallRng::seed_from_u64(seed);
     Partition::new(
         k,
-        (0..hg.num_vertices()).map(|_| rand::Rng::gen_range(&mut rng, 0..k)).collect(),
+        (0..hg.num_vertices())
+            .map(|_| rand::Rng::gen_range(&mut rng, 0..k))
+            .collect(),
     )
     .expect("parts < k")
 }

@@ -1,0 +1,187 @@
+//! [`LevelArena`]: pooled scratch buffers for the multilevel engine.
+//!
+//! Every level of every bisection in a K-way run needs the same kinds of
+//! scratch: match/map arrays, projected side vectors, contraction stamps,
+//! and FM gain buckets. Allocating them fresh costs O(levels × vertices)
+//! heap traffic per run; the arena recycles them so a run performs
+//! O(levels) large allocations total (buffers grow to the finest level's
+//! size once and are reused everywhere below it).
+//!
+//! [`LevelArena::disabled`] turns pooling off — every take allocates and
+//! every give drops — which is the honest pre-refactor baseline for
+//! benchmarking the arena's effect without keeping two driver codepaths.
+
+use crate::gain::GainBuckets;
+
+/// How many buffers of each kind the pool retains. Recursion depth bounds
+/// live buffers, so a small cap is enough; it exists only to keep a
+/// pathological caller from hoarding memory.
+const POOL_CAP: usize = 32;
+
+/// Allocation counters, exposed so benchmarks can report the arena's
+/// effect directly (fresh = pool miss, reused = pool hit).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Takes that had to allocate a new buffer.
+    pub fresh: u64,
+    /// Takes served from the pool.
+    pub reused: u64,
+}
+
+macro_rules! pooled {
+    ($take:ident, $give:ident, $field:ident, $t:ty) => {
+        /// Takes a buffer of `len` elements, each set to `fill`.
+        pub fn $take(&mut self, len: usize, fill: $t) -> Vec<$t> {
+            match self.$field.pop() {
+                Some(mut v) => {
+                    self.stats.reused += 1;
+                    v.clear();
+                    v.resize(len, fill);
+                    v
+                }
+                None => {
+                    self.stats.fresh += 1;
+                    vec![fill; len]
+                }
+            }
+        }
+
+        /// Returns a buffer to the pool (dropped when pooling is disabled).
+        pub fn $give(&mut self, v: Vec<$t>) {
+            if self.enabled && self.$field.len() < POOL_CAP {
+                self.$field.push(v);
+            }
+        }
+    };
+}
+
+/// Reusable flat buffers (and gain buckets) shared across the levels of a
+/// multilevel run. See the module docs for the allocation argument.
+#[derive(Debug, Default)]
+pub struct LevelArena {
+    enabled: bool,
+    u8s: Vec<Vec<u8>>,
+    i8s: Vec<Vec<i8>>,
+    u32s: Vec<Vec<u32>>,
+    u64s: Vec<Vec<u64>>,
+    buckets: Vec<GainBuckets>,
+    stats: ArenaStats,
+}
+
+impl LevelArena {
+    /// A pooling arena (the default for [`crate::engine::MultilevelDriver`]).
+    pub fn new() -> Self {
+        LevelArena {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// An arena that never pools: every take allocates fresh, every give
+    /// drops. Matches the allocation behavior of the pre-engine drivers.
+    pub fn disabled() -> Self {
+        LevelArena::default()
+    }
+
+    /// Whether buffers are recycled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Allocation counters accumulated since construction.
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+
+    pooled!(take_u8, give_u8, u8s, u8);
+    pooled!(take_i8, give_i8, i8s, i8);
+    pooled!(take_u32, give_u32, u32s, u32);
+    pooled!(take_u64, give_u64, u64s, u64);
+
+    /// Takes gain buckets sized for `n` vertices and gains in
+    /// `[-max_gain, max_gain]`.
+    pub fn take_buckets(&mut self, n: usize, max_gain: i64) -> GainBuckets {
+        match self.buckets.pop() {
+            Some(mut b) => {
+                self.stats.reused += 1;
+                b.reset(n, max_gain);
+                b
+            }
+            None => {
+                self.stats.fresh += 1;
+                GainBuckets::new(n, max_gain)
+            }
+        }
+    }
+
+    /// Returns gain buckets to the pool.
+    pub fn give_buckets(&mut self, b: GainBuckets) {
+        if self.enabled && self.buckets.len() < POOL_CAP {
+            self.buckets.push(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enabled_arena_reuses_capacity() {
+        let mut a = LevelArena::new();
+        let mut v = a.take_u32(10, 7);
+        assert_eq!(v, vec![7; 10]);
+        v.reserve(1000);
+        let cap = v.capacity();
+        a.give_u32(v);
+        let v2 = a.take_u32(4, 0);
+        assert_eq!(v2, vec![0; 4]);
+        assert!(
+            v2.capacity() >= cap,
+            "pooled buffer should keep its capacity"
+        );
+        assert_eq!(
+            a.stats(),
+            ArenaStats {
+                fresh: 1,
+                reused: 1
+            }
+        );
+    }
+
+    #[test]
+    fn disabled_arena_always_allocates() {
+        let mut a = LevelArena::disabled();
+        let v = a.take_u8(3, 1);
+        a.give_u8(v);
+        a.take_u8(3, 1);
+        assert_eq!(
+            a.stats(),
+            ArenaStats {
+                fresh: 2,
+                reused: 0
+            }
+        );
+    }
+
+    #[test]
+    fn buckets_roundtrip() {
+        let mut a = LevelArena::new();
+        let mut b = a.take_buckets(4, 5);
+        b.insert(0, 3);
+        a.give_buckets(b);
+        let b2 = a.take_buckets(8, 2);
+        assert!(b2.is_empty(), "recycled buckets must come back empty");
+        assert_eq!(a.stats().reused, 1);
+    }
+
+    #[test]
+    fn take_fill_value_respected() {
+        let mut a = LevelArena::new();
+        let v = a.take_i8(5, -1);
+        assert!(v.iter().all(|&x| x == -1));
+        a.give_i8(v);
+        let v = a.take_i8(2, 3);
+        assert_eq!(v, vec![3, 3]);
+    }
+}

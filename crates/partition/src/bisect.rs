@@ -1,18 +1,22 @@
-//! Multilevel bisection driver: coarsen → initial partition → project &
-//! refine back up.
+//! Multilevel bisection: coarsen → initial partition → project & refine
+//! back up.
+//!
+//! The actual V-cycle lives in [`crate::engine::MultilevelDriver`], which
+//! serves graphs and hypergraphs alike; this module keeps the historical
+//! free-function entry point for hypergraph callers.
 
 use fgh_hypergraph::Hypergraph;
 use rand::Rng;
 
-use crate::coarsen::{coarsen_once, CoarseLevel};
 use crate::config::PartitionConfig;
-use crate::initial::initial_best;
-use crate::refine::BisectionState;
+use crate::engine::MultilevelDriver;
 
 /// Bisects `hg` into sides 0/1 with ideal side weights `targets` and
 /// per-bisection imbalance `epsilon`. `fixed[v]` pins vertices to a side.
 ///
-/// Returns the side assignment and the cut-net cutsize achieved.
+/// Returns the side assignment and the cut-net cutsize achieved. Each call
+/// builds a fresh [`MultilevelDriver`]; reuse a driver directly when
+/// running many bisections.
 pub fn multilevel_bisect(
     hg: &Hypergraph,
     fixed: &[i8],
@@ -21,87 +25,7 @@ pub fn multilevel_bisect(
     cfg: &PartitionConfig,
     rng: &mut impl Rng,
 ) -> (Vec<u8>, u64) {
-    // Degenerate targets: everything belongs on one side.
-    if targets[1] <= 0.0 {
-        return (vec![0; hg.num_vertices() as usize], 0);
-    }
-    if targets[0] <= 0.0 {
-        return (vec![1; hg.num_vertices() as usize], 0);
-    }
-
-    // --- Coarsening phase ---
-    // Cap cluster weights so no coarse vertex exceeds a fraction of the
-    // smaller side's cap; otherwise balanced bisection can become
-    // infeasible at the coarsest level.
-    let min_target = targets[0].min(targets[1]);
-    let max_vw = hg.vertex_weights().iter().copied().max().unwrap_or(1) as u64;
-    let weight_cap = ((min_target * (1.0 + epsilon)) / 4.0).ceil().max(1.0) as u64;
-    let weight_cap = weight_cap.max(max_vw);
-
-    let mut levels: Vec<CoarseLevel> = Vec::new();
-    loop {
-        let (cur_hg, cur_fixed): (&Hypergraph, &[i8]) = match levels.last() {
-            Some(l) => (&l.coarse, &l.fixed),
-            None => (hg, fixed),
-        };
-        if cur_hg.num_vertices() <= cfg.coarsen_to {
-            break;
-        }
-        let next = coarsen_once(
-            cur_hg,
-            cur_fixed,
-            cfg.coarsening,
-            cfg.max_net_size_for_matching,
-            weight_cap,
-            rng,
-        );
-        match next {
-            Some(level) => levels.push(level),
-            None => break,
-        }
-    }
-
-    // --- Initial partitioning at the coarsest level ---
-    let (coarsest_hg, coarsest_fixed): (&Hypergraph, &[i8]) = match levels.last() {
-        Some(l) => (&l.coarse, &l.fixed),
-        None => (hg, fixed),
-    };
-    let mut sides = initial_best(
-        coarsest_hg,
-        coarsest_fixed,
-        targets,
-        epsilon,
-        cfg.initial,
-        cfg.initial_tries,
-        cfg.fm_passes,
-        rng,
-    );
-
-    // --- Uncoarsening: project and refine at every level ---
-    for li in (0..levels.len()).rev() {
-        let (fine_hg, fine_fixed): (&Hypergraph, &[i8]) = if li == 0 {
-            (hg, fixed)
-        } else {
-            (&levels[li - 1].coarse, &levels[li - 1].fixed)
-        };
-        let map = &levels[li].map;
-        let fine_sides: Vec<u8> = (0..fine_hg.num_vertices())
-            .map(|v| sides[map[v as usize] as usize])
-            .collect();
-        let mut st = BisectionState::new(fine_hg, fine_sides, fine_fixed, targets, epsilon);
-        if cfg.boundary_fm {
-            st.refine_boundary(rng, cfg.fm_passes, cfg.fm_early_exit);
-        } else {
-            st.refine(rng, cfg.fm_passes, cfg.fm_early_exit);
-        }
-        sides = st.into_sides();
-    }
-
-    // Final safety refinement on the original hypergraph when no
-    // coarsening happened (the loop above already covers li == 0).
-    let st = BisectionState::new(hg, sides, fixed, targets, epsilon);
-    let cut = st.cut();
-    (st.into_sides(), cut)
+    MultilevelDriver::new(cfg.clone()).bisect(hg, fixed, targets, epsilon, rng)
 }
 
 #[cfg(test)]
@@ -119,7 +43,10 @@ mod tests {
     #[test]
     fn bisect_two_clusters_optimally() {
         let hg = two_clusters(200);
-        let cfg = PartitionConfig { coarsen_to: 40, ..Default::default() };
+        let cfg = PartitionConfig {
+            coarsen_to: 40,
+            ..Default::default()
+        };
         let (sides, cut) = multilevel_bisect(
             &hg,
             &free(400),

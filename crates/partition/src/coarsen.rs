@@ -1,38 +1,34 @@
 //! Coarsening: heavy-connectivity matching/clustering plus contraction.
 //!
-//! Each level groups strongly connected vertices into clusters and contracts
-//! the hypergraph: cluster = coarse vertex (weights summed), nets keep one
-//! pin per touched cluster, single-pin nets are dropped (they can never be
-//! cut), and nets with identical pin sets are merged with summed costs.
-//! Cluster weights are capped so one coarse vertex can never make balanced
-//! bisection infeasible.
-
-use std::collections::HashMap;
+//! Each level groups strongly connected vertices into clusters and
+//! contracts the substrate: cluster = coarse vertex (weights summed);
+//! contraction itself (net/edge dedup and merging) lives in each
+//! [`Substrate`] implementation. Cluster weights are capped so one coarse
+//! vertex can never make balanced bisection infeasible. The clustering
+//! loop only needs connectivity scores between a vertex and its
+//! neighbors, so it is written once for graphs and hypergraphs via
+//! [`Substrate::for_each_scored_neighbor`].
 
 use fgh_hypergraph::Hypergraph;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+use crate::arena::LevelArena;
 use crate::config::CoarseningScheme;
+use crate::engine::Substrate;
+use crate::level::Level;
 
 /// Free (not fixed to any side) marker in fixed-side vectors.
 pub const FREE: i8 = -1;
 
 const NIL: u32 = u32::MAX;
 
-/// Result of one coarsening level.
-#[derive(Debug)]
-pub struct CoarseLevel {
-    /// The contracted hypergraph.
-    pub coarse: Hypergraph,
-    /// Fine-vertex → coarse-vertex map.
-    pub map: Vec<u32>,
-    /// Per-coarse-vertex fixed side (`FREE`, `0`, or `1`).
-    pub fixed: Vec<i8>,
-}
+/// Result of one coarsening level of a hypergraph (the historical name;
+/// the engine uses [`Level`] over any substrate).
+pub type CoarseLevel = Level<Hypergraph>;
 
 /// Performs one level of coarsening. Returns `None` when clustering fails
-/// to shrink the hypergraph meaningfully (reduction below 5%), signalling
+/// to shrink the structure meaningfully (reduction below 5%), signalling
 /// the driver to stop.
 pub fn coarsen_once(
     hg: &Hypergraph,
@@ -42,75 +38,107 @@ pub fn coarsen_once(
     weight_cap: u64,
     rng: &mut impl Rng,
 ) -> Option<CoarseLevel> {
-    let n = hg.num_vertices() as usize;
-    debug_assert_eq!(fixed.len(), n);
-
-    let clusters = cluster_vertices(hg, fixed, scheme, max_net_size, weight_cap, rng);
-    let num_clusters = clusters.num_clusters;
-    if num_clusters as f64 > 0.95 * n as f64 {
-        return None;
-    }
-    Some(contract(hg, fixed, &clusters.cluster_of, num_clusters))
+    coarsen_once_in(
+        hg,
+        fixed,
+        scheme,
+        max_net_size,
+        weight_cap,
+        rng,
+        &mut LevelArena::disabled(),
+    )
 }
 
-struct Clustering {
-    cluster_of: Vec<u32>,
-    num_clusters: u32,
-}
-
-/// Visits vertices in random order; each vertex joins the
-/// heaviest-connectivity cluster among its already-processed neighbors
-/// (subject to the weight cap and fixed-side compatibility) or starts its
-/// own. Under HCM a cluster accepts at most one extra vertex.
-fn cluster_vertices(
-    hg: &Hypergraph,
+/// Substrate-generic, arena-backed coarsening level (the engine's entry
+/// point). Scratch buffers and the fine→coarse map are drawn from `arena`;
+/// the returned [`Level`]'s `map`/`fixed` should be given back to it once
+/// projected through.
+pub(crate) fn coarsen_once_in<S: Substrate>(
+    sub: &S,
     fixed: &[i8],
     scheme: CoarseningScheme,
     max_net_size: usize,
     weight_cap: u64,
     rng: &mut impl Rng,
-) -> Clustering {
-    let n = hg.num_vertices() as usize;
-    let mut order: Vec<u32> = (0..n as u32).collect();
+    arena: &mut LevelArena,
+) -> Option<Level<S>> {
+    let n = sub.num_vertices() as usize;
+    debug_assert_eq!(fixed.len(), n);
+
+    let (cluster_of, num_clusters) =
+        cluster_vertices(sub, fixed, scheme, max_net_size, weight_cap, rng, arena);
+    if num_clusters as f64 > 0.95 * n as f64 {
+        arena.give_u32(cluster_of);
+        return None;
+    }
+
+    // Project fixed sides onto clusters (clustering never merges
+    // incompatible fixed vertices, so the projection is well-defined).
+    let mut coarse_fixed = arena.take_i8(num_clusters as usize, FREE);
+    for v in 0..n {
+        if fixed[v] != FREE {
+            let c = cluster_of[v] as usize;
+            debug_assert!(coarse_fixed[c] == FREE || coarse_fixed[c] == fixed[v]);
+            coarse_fixed[c] = fixed[v];
+        }
+    }
+
+    let coarse = sub.contract(&cluster_of, num_clusters, arena);
+    Some(Level {
+        coarse,
+        map: cluster_of,
+        fixed: coarse_fixed,
+    })
+}
+
+/// Visits vertices in random order; each vertex joins the
+/// heaviest-connectivity cluster among its already-processed neighbors
+/// (subject to the weight cap and fixed-side compatibility) or starts its
+/// own. Under HCM a cluster accepts at most one extra vertex. Returns the
+/// per-vertex cluster id (an arena buffer) and the cluster count.
+fn cluster_vertices<S: Substrate>(
+    sub: &S,
+    fixed: &[i8],
+    scheme: CoarseningScheme,
+    max_net_size: usize,
+    weight_cap: u64,
+    rng: &mut impl Rng,
+    arena: &mut LevelArena,
+) -> (Vec<u32>, u32) {
+    let n = sub.num_vertices() as usize;
+    let mut order = arena.take_u32(0, 0);
+    order.extend(0..n as u32);
     order.shuffle(rng);
 
-    let mut cluster_of = vec![NIL; n];
-    let mut cluster_weight: Vec<u64> = Vec::new();
-    let mut cluster_size: Vec<u32> = Vec::new();
-    let mut cluster_fixed: Vec<i8> = Vec::new();
+    let mut cluster_of = arena.take_u32(n, NIL);
+    let mut cluster_weight = arena.take_u64(0, 0);
+    let mut cluster_size = arena.take_u32(0, 0);
+    let mut cluster_fixed = arena.take_i8(0, 0);
 
     // Scratch connectivity scores keyed by cluster id.
-    let mut score: Vec<u64> = Vec::new();
-    let mut touched: Vec<u32> = Vec::new();
+    let mut score = arena.take_u64(0, 0);
+    let mut touched = arena.take_u32(0, 0);
 
-    for &u in &order {
-        let uw = hg.vertex_weight(u) as u64;
+    for &u in order.iter() {
+        let uw = sub.vertex_weight(u) as u64;
         let uf = fixed[u as usize];
 
-        // Score already-formed clusters reachable through u's nets.
+        // Score already-formed clusters reachable through u's incidences.
         touched.clear();
-        for &net in hg.nets(u) {
-            if hg.net_size(net) > max_net_size {
-                continue;
+        let num_formed = cluster_weight.len();
+        sub.for_each_scored_neighbor(u, max_net_size, &mut |v, cost| {
+            let c = cluster_of[v as usize];
+            if c == NIL {
+                return;
             }
-            let cost = hg.net_cost(net) as u64;
-            for &v in hg.pins(net) {
-                if v == u {
-                    continue;
-                }
-                let c = cluster_of[v as usize];
-                if c == NIL {
-                    continue;
-                }
-                if score.len() <= c as usize {
-                    score.resize(cluster_weight.len(), 0);
-                }
-                if score[c as usize] == 0 {
-                    touched.push(c);
-                }
-                score[c as usize] += cost;
+            if score.len() <= c as usize {
+                score.resize(num_formed, 0);
             }
-        }
+            if score[c as usize] == 0 {
+                touched.push(c);
+            }
+            score[c as usize] += cost;
+        });
 
         // Best admissible cluster.
         let mut best: Option<(u32, f64)> = None;
@@ -163,57 +191,14 @@ fn cluster_vertices(
         }
     }
 
-    Clustering { cluster_of, num_clusters: cluster_weight.len() as u32 }
-}
-
-/// Contracts `hg` under the given clustering.
-fn contract(hg: &Hypergraph, fixed: &[i8], cluster_of: &[u32], num_clusters: u32) -> CoarseLevel {
-    let mut weights = vec![0u64; num_clusters as usize];
-    let mut coarse_fixed = vec![FREE; num_clusters as usize];
-    for v in 0..hg.num_vertices() as usize {
-        let c = cluster_of[v] as usize;
-        weights[c] += hg.vertex_weight(v as u32) as u64;
-        if fixed[v] != FREE {
-            debug_assert!(coarse_fixed[c] == FREE || coarse_fixed[c] == fixed[v]);
-            coarse_fixed[c] = fixed[v];
-        }
-    }
-    let weights: Vec<u32> =
-        weights.into_iter().map(|w| u32::try_from(w).expect("weight overflow")).collect();
-
-    // Build coarse nets: dedupe pins per net, drop singletons, merge
-    // identical nets.
-    let mut stamp = vec![u32::MAX; num_clusters as usize];
-    let mut merged: HashMap<Box<[u32]>, u32> = HashMap::new();
-    let mut nets: Vec<Vec<u32>> = Vec::new();
-    let mut costs: Vec<u32> = Vec::new();
-    for n in 0..hg.num_nets() {
-        let mut pins: Vec<u32> = Vec::with_capacity(hg.net_size(n).min(16));
-        for &p in hg.pins(n) {
-            let c = cluster_of[p as usize];
-            if stamp[c as usize] != n {
-                stamp[c as usize] = n;
-                pins.push(c);
-            }
-        }
-        if pins.len() < 2 {
-            continue;
-        }
-        pins.sort_unstable();
-        let key: Box<[u32]> = pins.clone().into_boxed_slice();
-        match merged.get(&key) {
-            Some(&idx) => costs[idx as usize] += hg.net_cost(n),
-            None => {
-                merged.insert(key, nets.len() as u32);
-                nets.push(pins);
-                costs.push(hg.net_cost(n));
-            }
-        }
-    }
-
-    let coarse = Hypergraph::from_nets_weighted(num_clusters, &nets, weights, costs)
-        .expect("contraction preserves hypergraph validity");
-    CoarseLevel { coarse, map: cluster_of.to_vec(), fixed: coarse_fixed }
+    let num_clusters = cluster_weight.len() as u32;
+    arena.give_u32(order);
+    arena.give_u64(cluster_weight);
+    arena.give_u32(cluster_size);
+    arena.give_i8(cluster_fixed);
+    arena.give_u64(score);
+    arena.give_u32(touched);
+    (cluster_of, num_clusters)
 }
 
 #[cfg(test)]
@@ -231,12 +216,24 @@ mod tests {
         vec![FREE; n as usize]
     }
 
+    /// Direct contraction through the [`Substrate`] impl.
+    fn contract(hg: &Hypergraph, cluster_of: &[u32], num_clusters: u32) -> Hypergraph {
+        Substrate::contract(hg, cluster_of, num_clusters, &mut LevelArena::disabled())
+    }
+
     #[test]
     fn coarsening_shrinks_and_preserves_weight() {
         let hg = two_clusters(50);
         let total = hg.total_vertex_weight();
-        let lvl = coarsen_once(&hg, &free(100), CoarseningScheme::Hcc, 64, total, &mut rng())
-            .expect("should shrink");
+        let lvl = coarsen_once(
+            &hg,
+            &free(100),
+            CoarseningScheme::Hcc,
+            64,
+            total,
+            &mut rng(),
+        )
+        .expect("should shrink");
         assert!(lvl.coarse.num_vertices() < hg.num_vertices());
         assert_eq!(lvl.coarse.total_vertex_weight(), total);
         lvl.coarse.validate().unwrap();
@@ -262,7 +259,10 @@ mod tests {
         for &c in &lvl.map {
             sizes[c as usize] += 1;
         }
-        assert!(sizes.iter().all(|&s| s <= 2), "HCM formed a cluster of size > 2");
+        assert!(
+            sizes.iter().all(|&s| s <= 2),
+            "HCM formed a cluster of size > 2"
+        );
     }
 
     #[test]
@@ -279,8 +279,8 @@ mod tests {
         let hg = two_clusters(20);
         let mut fixed = free(40);
         // Fix alternating vertices to opposite sides.
-        for v in 0..40usize {
-            fixed[v] = (v % 2) as i8;
+        for (v, f) in fixed.iter_mut().enumerate() {
+            *f = (v % 2) as i8;
         }
         if let Some(lvl) = coarsen_once(
             &hg,
@@ -305,21 +305,21 @@ mod tests {
     #[test]
     fn identical_nets_merge_costs() {
         // Nets {0,1} and {0,1} should merge into one net of cost 2 if 0,1
-        // stay separate clusters, or vanish if merged. Force separation
-        // with a tiny weight cap.
+        // stay separate clusters, or vanish if merged. Force separation by
+        // keeping each vertex its own cluster.
         let hg = Hypergraph::from_nets(2, &[vec![0, 1], vec![0, 1]]).unwrap();
-        let lvl = contract(&hg, &free(2), &[0, 1], 2);
-        assert_eq!(lvl.coarse.num_nets(), 1);
-        assert_eq!(lvl.coarse.net_cost(0), 2);
+        let coarse = contract(&hg, &[0, 1], 2);
+        assert_eq!(coarse.num_nets(), 1);
+        assert_eq!(coarse.net_cost(0), 2);
     }
 
     #[test]
     fn single_pin_nets_dropped() {
         let hg = Hypergraph::from_nets(3, &[vec![0, 1], vec![1, 2]]).unwrap();
         // Merge 0 and 1: net {0,1} collapses to a single pin and is dropped.
-        let lvl = contract(&hg, &free(3), &[0, 0, 1], 2);
-        assert_eq!(lvl.coarse.num_nets(), 1);
-        assert_eq!(lvl.coarse.pins(0), &[0, 1]);
+        let coarse = contract(&hg, &[0, 0, 1], 2);
+        assert_eq!(coarse.num_nets(), 1);
+        assert_eq!(coarse.pins(0), &[0, 1]);
     }
 
     #[test]

@@ -96,7 +96,10 @@ impl Default for PartitionConfig {
 impl PartitionConfig {
     /// A config with the given seed and defaults elsewhere.
     pub fn with_seed(seed: u64) -> Self {
-        PartitionConfig { seed, ..Default::default() }
+        PartitionConfig {
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Quality preset: more initial tries and FM passes, no early exit.

@@ -1,0 +1,701 @@
+//! The substrate-generic multilevel engine.
+//!
+//! Graph and hypergraph partitioning share one skeleton — coarsen by
+//! clustering, partition the coarsest level, project and FM-refine back up,
+//! recurse for K-way — and differ only in how a cut is counted, how moves
+//! change it, and how contraction/extraction rebuild the structure. The
+//! [`Substrate`] trait captures exactly those differences; everything else
+//! (the FM state machine in [`crate::refine`], the clustering loop in
+//! [`crate::coarsen`], the initial-partitioning schemes in
+//! [`crate::initial`], and the V-cycle + recursive-bisection control flow
+//! here) is written once against the trait.
+//!
+//! [`MultilevelDriver`] owns the run: the [`PartitionConfig`], a
+//! [`LevelArena`] of recycled scratch buffers, and [`EngineStats`]
+//! counters. One driver instance serves a whole K-way run, so every level
+//! of every bisection draws its match/map arrays, side vectors, and gain
+//! buckets from the same pool.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use fgh_hypergraph::{Hypergraph, Partition};
+
+use crate::arena::LevelArena;
+use crate::coarsen::{coarsen_once_in, FREE};
+use crate::config::PartitionConfig;
+use crate::initial::initial_best_in;
+use crate::level::{EngineStats, Level, StageTimer};
+use crate::refine::BisectionState;
+
+/// The structure a multilevel partitioner runs on: vertices with weights,
+/// an incidence structure that defines cut and FM gains, and the
+/// contraction/extraction operations of the V-cycle.
+///
+/// Implemented by [`fgh_hypergraph::Hypergraph`] (cut-net metric over
+/// nets, net splitting on extraction) and by `fgh_graph::CsrGraph`
+/// (edge-cut metric, induced-subgraph extraction — cut edges are split
+/// away trivially).
+pub trait Substrate: Sized {
+    /// Incremental cut bookkeeping for a bisection: per-net side pin
+    /// counts for hypergraphs, nothing for graphs (gains are recomputed
+    /// from the adjacency directly).
+    type CutState: Clone + std::fmt::Debug;
+
+    /// Number of vertices.
+    fn num_vertices(&self) -> u32;
+    /// Weight of vertex `v`.
+    fn vertex_weight(&self, v: u32) -> u32;
+    /// Sum of vertex weights.
+    fn total_vertex_weight(&self) -> u64;
+    /// Maximum vertex weight (1 when there are no vertices).
+    fn max_vertex_weight(&self) -> u64;
+    /// Stored incidences — pins for hypergraphs, directed adjacency
+    /// entries for graphs. Only used for instrumentation.
+    fn num_incidences(&self) -> u64;
+    /// Upper bound on |FM gain| of any single move, for gain-bucket sizing.
+    fn max_gain_bound(&self) -> i64;
+
+    /// Builds cut bookkeeping for `side` and returns it with the cut.
+    fn cut_state(&self, side: &[u8], arena: &mut LevelArena) -> (Self::CutState, u64);
+    /// Returns a cut state's buffers to the arena.
+    fn recycle_cut_state(cs: Self::CutState, arena: &mut LevelArena);
+    /// FM gain of moving `v` to the opposite side.
+    fn gain(&self, cs: &Self::CutState, side: &[u8], v: u32) -> i64;
+    /// `true` if `v` touches the cut.
+    fn is_boundary(&self, cs: &Self::CutState, side: &[u8], v: u32) -> bool;
+    /// Applies the cut/bookkeeping effects of moving `v` to the opposite
+    /// side; the caller flips `side[v]` and the side weights afterwards.
+    /// When `adjust` is given, it receives `(u, delta)` for every other
+    /// vertex whose gain changes (the FM delta-gain updates).
+    fn apply_move(
+        &self,
+        cs: &mut Self::CutState,
+        side: &[u8],
+        v: u32,
+        cut: &mut u64,
+        adjust: Option<&mut dyn FnMut(u32, i64)>,
+    );
+
+    /// Visits the clustering-score contributions of `u`'s neighbors:
+    /// `visit(v, score)` once per shared net of size ≤ `max_net_size`
+    /// (hypergraphs) or once per incident edge (graphs, which ignore
+    /// `max_net_size` — every edge has two pins).
+    fn for_each_scored_neighbor(
+        &self,
+        u: u32,
+        max_net_size: usize,
+        visit: &mut dyn FnMut(u32, u64),
+    );
+    /// Contracts under a clustering: cluster = coarse vertex with summed
+    /// weight, degenerate nets/edges dropped, parallel ones merged.
+    fn contract(&self, cluster_of: &[u32], num_clusters: u32, arena: &mut LevelArena) -> Self;
+    /// Extracts the sub-structure induced by `side[v] == which`, returning
+    /// it with the new→old vertex map. `split` enables net splitting
+    /// (hypergraphs only; graphs always drop cut edges).
+    fn extract_side(&self, side: &[u8], which: u8, split: bool) -> (Self, Vec<u32>);
+}
+
+/// Outcome of [`MultilevelDriver::partition_recursive`].
+#[derive(Debug, Clone)]
+pub struct RecursiveOutcome {
+    /// Per-vertex part assignment in `0..k`.
+    pub parts: Vec<u32>,
+    /// Sum of the per-bisection cuts over the recursion tree. With net
+    /// splitting enabled this equals the connectivity−1 cutsize of
+    /// `parts` (eq. 3 of the paper); for graphs it equals the edge cut.
+    pub cut_sum: u64,
+}
+
+/// The unified multilevel driver: owns the configuration, the scratch
+/// arena, and instrumentation for one partitioning run over any
+/// [`Substrate`].
+#[derive(Debug)]
+pub struct MultilevelDriver {
+    cfg: PartitionConfig,
+    arena: LevelArena,
+    stats: EngineStats,
+}
+
+impl MultilevelDriver {
+    /// A driver with a pooling arena (the default).
+    pub fn new(cfg: PartitionConfig) -> Self {
+        Self::with_arena(cfg, LevelArena::new())
+    }
+
+    /// A driver over a caller-supplied arena — pass
+    /// [`LevelArena::disabled`] to reproduce the allocation behavior of
+    /// the pre-engine per-level drivers (benchmark ablation).
+    pub fn with_arena(cfg: PartitionConfig, arena: LevelArena) -> Self {
+        MultilevelDriver {
+            cfg,
+            arena,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The configuration this driver runs with.
+    pub fn cfg(&self) -> &PartitionConfig {
+        &self.cfg
+    }
+
+    /// Instrumentation accumulated so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// The arena's allocation counters.
+    pub fn arena_stats(&self) -> crate::arena::ArenaStats {
+        self.arena.stats()
+    }
+
+    /// Bisects `sub` into sides 0/1 with ideal side weights `targets` and
+    /// per-bisection imbalance `epsilon`; `fixed[v]` pins vertices to a
+    /// side ([`FREE`] = movable). Returns the side assignment and the cut.
+    pub fn bisect<S: Substrate>(
+        &mut self,
+        sub: &S,
+        fixed: &[i8],
+        targets: [f64; 2],
+        epsilon: f64,
+        rng: &mut impl Rng,
+    ) -> (Vec<u8>, u64) {
+        // Degenerate targets: everything belongs on one side.
+        if targets[1] <= 0.0 {
+            return (vec![0; sub.num_vertices() as usize], 0);
+        }
+        if targets[0] <= 0.0 {
+            return (vec![1; sub.num_vertices() as usize], 0);
+        }
+        self.stats.bisections += 1;
+
+        // --- Coarsening phase ---
+        // Cap cluster weights so no coarse vertex exceeds a fraction of
+        // the smaller side's cap; otherwise balanced bisection can become
+        // infeasible at the coarsest level.
+        let min_target = targets[0].min(targets[1]);
+        let weight_cap = (((min_target * (1.0 + epsilon)) / 4.0).ceil().max(1.0) as u64)
+            .max(sub.max_vertex_weight());
+
+        let mut levels: Vec<Level<S>> = Vec::new();
+        loop {
+            let (cur, cur_fixed): (&S, &[i8]) = match levels.last() {
+                Some(l) => (&l.coarse, &l.fixed),
+                None => (sub, fixed),
+            };
+            if cur.num_vertices() <= self.cfg.coarsen_to {
+                break;
+            }
+            let timer = StageTimer::start();
+            let next = coarsen_once_in(
+                cur,
+                cur_fixed,
+                self.cfg.coarsening,
+                self.cfg.max_net_size_for_matching,
+                weight_cap,
+                rng,
+                &mut self.arena,
+            );
+            timer.stop(&mut self.stats.coarsen_nanos);
+            match next {
+                Some(level) => {
+                    self.stats.levels += 1;
+                    self.stats.contracted_incidences += level.coarse.num_incidences();
+                    levels.push(level);
+                }
+                None => break,
+            }
+        }
+
+        // --- Initial partitioning at the coarsest level ---
+        let (coarsest, coarsest_fixed): (&S, &[i8]) = match levels.last() {
+            Some(l) => (&l.coarse, &l.fixed),
+            None => (sub, fixed),
+        };
+        let timer = StageTimer::start();
+        let mut sides = initial_best_in(
+            coarsest,
+            coarsest_fixed,
+            targets,
+            epsilon,
+            &self.cfg,
+            rng,
+            &mut self.arena,
+            &mut self.stats,
+        );
+        timer.stop(&mut self.stats.initial_nanos);
+
+        // --- Uncoarsening: project and refine at every level ---
+        let timer = StageTimer::start();
+        for li in (0..levels.len()).rev() {
+            let (fine, fine_fixed): (&S, &[i8]) = if li == 0 {
+                (sub, fixed)
+            } else {
+                (&levels[li - 1].coarse, &levels[li - 1].fixed)
+            };
+            let map = &levels[li].map;
+            let nf = fine.num_vertices() as usize;
+            let mut fine_sides = self.arena.take_u8(nf, 0);
+            for (v, fs) in fine_sides.iter_mut().enumerate() {
+                *fs = sides[map[v] as usize];
+            }
+            self.arena
+                .give_u8(std::mem::replace(&mut sides, fine_sides));
+            let mut st = BisectionState::new_in(
+                fine,
+                std::mem::take(&mut sides),
+                fine_fixed,
+                targets,
+                epsilon,
+                &mut self.arena,
+            );
+            st.refine_in(
+                rng,
+                self.cfg.fm_passes,
+                self.cfg.fm_early_exit,
+                self.cfg.boundary_fm,
+                &mut self.arena,
+                &mut self.stats,
+            );
+            sides = st.into_sides_in(&mut self.arena);
+        }
+        timer.stop(&mut self.stats.refine_nanos);
+
+        // Recycle per-level scratch before computing the final cut.
+        for l in levels {
+            self.arena.give_u32(l.map);
+            self.arena.give_i8(l.fixed);
+        }
+        let st = BisectionState::new_in(sub, sides, fixed, targets, epsilon, &mut self.arena);
+        let cut = st.cut();
+        (st.into_sides_in(&mut self.arena), cut)
+    }
+
+    /// Recursive-bisection K-way partitioning. `fixed[v]` pins vertex `v`
+    /// to an absolute part (`u32::MAX` = free); it must have one entry per
+    /// vertex and in-range parts (callers validate). Net splitting /
+    /// edge dropping on extraction follows the config.
+    pub fn partition_recursive<S: Substrate>(
+        &mut self,
+        sub: &S,
+        k: u32,
+        fixed: &[u32],
+    ) -> RecursiveOutcome {
+        let n = sub.num_vertices();
+        let mut parts = vec![0u32; n as usize];
+        let mut cut_sum = 0u64;
+        if k > 1 && n > 0 {
+            let mut rng = SmallRng::seed_from_u64(self.cfg.seed);
+            let eps = self.cfg.per_level_epsilon(k);
+            let ids: Vec<u32> = (0..n).collect();
+            self.recurse(
+                sub,
+                &ids,
+                fixed,
+                k,
+                0,
+                eps,
+                &mut rng,
+                &mut parts,
+                &mut cut_sum,
+            );
+        }
+        RecursiveOutcome { parts, cut_sum }
+    }
+
+    /// Recursive worker. `sub` is a sub-structure of the original (nets
+    /// already split); `ids[v]` maps its vertices back to original ids;
+    /// `fixed` is indexed by *original* vertex id with absolute parts.
+    /// Parts `part_lo .. part_lo + k` are assigned into `out`.
+    #[allow(clippy::too_many_arguments)]
+    fn recurse<S: Substrate>(
+        &mut self,
+        sub: &S,
+        ids: &[u32],
+        fixed: &[u32],
+        k: u32,
+        part_lo: u32,
+        eps: f64,
+        rng: &mut SmallRng,
+        out: &mut [u32],
+        cut_sum: &mut u64,
+    ) {
+        if k == 1 {
+            for &orig in ids {
+                out[orig as usize] = part_lo;
+            }
+            return;
+        }
+        let k0 = k.div_ceil(2);
+        let k1 = k - k0;
+        let total = sub.total_vertex_weight() as f64;
+        let targets = [total * k0 as f64 / k as f64, total * k1 as f64 / k as f64];
+
+        // Translate absolute fixed parts into bisection sides.
+        let mut fixed_sides = self.arena.take_i8(0, 0);
+        fixed_sides.extend(ids.iter().map(|&orig| {
+            let p = fixed[orig as usize];
+            if p == u32::MAX {
+                FREE
+            } else if p < part_lo + k0 {
+                debug_assert!(p >= part_lo);
+                0
+            } else {
+                1
+            }
+        }));
+
+        let (sides, cut) = self.bisect(sub, &fixed_sides, targets, eps, rng);
+        self.arena.give_i8(fixed_sides);
+        *cut_sum += cut;
+
+        // Extract both halves (net splitting per config) and recurse.
+        for (side, (kk, lo)) in [(0u8, (k0, part_lo)), (1u8, (k1, part_lo + k0))] {
+            let (child, child_map) = sub.extract_side(&sides, side, self.cfg.net_splitting);
+            let child_ids: Vec<u32> = child_map.iter().map(|&lv| ids[lv as usize]).collect();
+            self.recurse(&child, &child_ids, fixed, kk, lo, eps, rng, out, cut_sum);
+        }
+    }
+}
+
+/// Per-net side pin counts: the hypergraph cut bookkeeping.
+#[derive(Debug, Clone)]
+pub struct NetSideCounts {
+    /// `pc[s][n]` = pins of net `n` on side `s`.
+    pub pc: [Vec<u32>; 2],
+}
+
+impl Substrate for Hypergraph {
+    type CutState = NetSideCounts;
+
+    fn num_vertices(&self) -> u32 {
+        Hypergraph::num_vertices(self)
+    }
+
+    fn vertex_weight(&self, v: u32) -> u32 {
+        Hypergraph::vertex_weight(self, v)
+    }
+
+    fn total_vertex_weight(&self) -> u64 {
+        Hypergraph::total_vertex_weight(self)
+    }
+
+    fn max_vertex_weight(&self) -> u64 {
+        self.vertex_weights().iter().copied().max().unwrap_or(1) as u64
+    }
+
+    fn num_incidences(&self) -> u64 {
+        self.num_pins() as u64
+    }
+
+    fn max_gain_bound(&self) -> i64 {
+        let mut best = 1i64;
+        for v in 0..Hypergraph::num_vertices(self) {
+            let s: i64 = self.nets(v).iter().map(|&n| self.net_cost(n) as i64).sum();
+            best = best.max(s);
+        }
+        best
+    }
+
+    fn cut_state(&self, side: &[u8], arena: &mut LevelArena) -> (NetSideCounts, u64) {
+        let nn = self.num_nets() as usize;
+        let mut pc = [arena.take_u32(nn, 0), arena.take_u32(nn, 0)];
+        for v in 0..Hypergraph::num_vertices(self) {
+            let s = side[v as usize] as usize;
+            for &n in self.nets(v) {
+                pc[s][n as usize] += 1;
+            }
+        }
+        let mut cut = 0u64;
+        for (n, (&p0, &p1)) in pc[0].iter().zip(pc[1].iter()).enumerate() {
+            if p0 > 0 && p1 > 0 {
+                cut += self.net_cost(n as u32) as u64;
+            }
+        }
+        (NetSideCounts { pc }, cut)
+    }
+
+    fn recycle_cut_state(cs: NetSideCounts, arena: &mut LevelArena) {
+        let [a, b] = cs.pc;
+        arena.give_u32(a);
+        arena.give_u32(b);
+    }
+
+    fn gain(&self, cs: &NetSideCounts, side: &[u8], v: u32) -> i64 {
+        let s = side[v as usize] as usize;
+        let t = 1 - s;
+        let mut g = 0i64;
+        for &n in self.nets(v) {
+            let c = self.net_cost(n) as i64;
+            if cs.pc[s][n as usize] == 1 {
+                g += c; // net becomes uncut (or stays internal to t)
+            }
+            if cs.pc[t][n as usize] == 0 {
+                g -= c; // net becomes cut
+            }
+        }
+        g
+    }
+
+    fn is_boundary(&self, cs: &NetSideCounts, _side: &[u8], v: u32) -> bool {
+        self.nets(v).iter().any(|&n| {
+            let ni = n as usize;
+            cs.pc[0][ni] > 0 && cs.pc[1][ni] > 0
+        })
+    }
+
+    fn apply_move(
+        &self,
+        cs: &mut NetSideCounts,
+        side: &[u8],
+        v: u32,
+        cut: &mut u64,
+        adjust: Option<&mut dyn FnMut(u32, i64)>,
+    ) {
+        let s = side[v as usize] as usize;
+        let t = 1 - s;
+        if let Some(adjust) = adjust {
+            for &n in self.nets(v) {
+                let ni = n as usize;
+                let c = self.net_cost(n) as i64;
+                let (tc, fc) = (cs.pc[t][ni], cs.pc[s][ni]);
+                if tc == 0 {
+                    // Net becomes cut: every other (free, queued) pin gains +c.
+                    *cut += c as u64;
+                    for &u in self.pins(n) {
+                        if u != v {
+                            adjust(u, c);
+                        }
+                    }
+                } else if tc == 1 {
+                    // The lone pin on t loses its "uncut by moving" bonus.
+                    for &u in self.pins(n) {
+                        if u != v && side[u as usize] as usize == t {
+                            adjust(u, -c);
+                        }
+                    }
+                }
+                let fc_after = fc - 1;
+                if fc_after == 0 {
+                    // Net becomes internal to t: pins lose the "would cut" malus.
+                    *cut -= c as u64;
+                    for &u in self.pins(n) {
+                        if u != v {
+                            adjust(u, -c);
+                        }
+                    }
+                } else if fc_after == 1 {
+                    // The lone remaining pin on s gains the uncut bonus.
+                    for &u in self.pins(n) {
+                        if u != v && side[u as usize] as usize == s {
+                            adjust(u, c);
+                        }
+                    }
+                }
+                cs.pc[s][ni] -= 1;
+                cs.pc[t][ni] += 1;
+            }
+        } else {
+            for &n in self.nets(v) {
+                let ni = n as usize;
+                let c = self.net_cost(n) as u64;
+                if cs.pc[t][ni] == 0 {
+                    *cut += c;
+                }
+                cs.pc[s][ni] -= 1;
+                cs.pc[t][ni] += 1;
+                if cs.pc[s][ni] == 0 {
+                    *cut -= c;
+                }
+            }
+        }
+    }
+
+    fn for_each_scored_neighbor(
+        &self,
+        u: u32,
+        max_net_size: usize,
+        visit: &mut dyn FnMut(u32, u64),
+    ) {
+        for &net in self.nets(u) {
+            if self.net_size(net) > max_net_size {
+                continue;
+            }
+            let cost = self.net_cost(net) as u64;
+            for &v in self.pins(net) {
+                if v != u {
+                    visit(v, cost);
+                }
+            }
+        }
+    }
+
+    fn contract(&self, cluster_of: &[u32], num_clusters: u32, arena: &mut LevelArena) -> Self {
+        let nc = num_clusters as usize;
+        let mut weights64 = arena.take_u64(nc, 0);
+        for v in 0..Hypergraph::num_vertices(self) as usize {
+            weights64[cluster_of[v] as usize] += Hypergraph::vertex_weight(self, v as u32) as u64;
+        }
+        let weights: Vec<u32> = weights64
+            .iter()
+            .map(|&w| u32::try_from(w).expect("weight overflow"))
+            .collect();
+        arena.give_u64(weights64);
+
+        // Dedupe pins per net into one flat buffer, dropping nets that
+        // collapse below two pins (they can never be cut).
+        let mut stamp = arena.take_u32(nc, u32::MAX);
+        let mut flat = arena.take_u32(0, 0);
+        let mut start = arena.take_u32(0, 0);
+        let mut cost = arena.take_u32(0, 0);
+        start.push(0);
+        for n in 0..self.num_nets() {
+            let s = flat.len();
+            for &p in self.pins(n) {
+                let c = cluster_of[p as usize];
+                if stamp[c as usize] != n {
+                    stamp[c as usize] = n;
+                    flat.push(c);
+                }
+            }
+            if flat.len() - s < 2 {
+                flat.truncate(s);
+                continue;
+            }
+            flat[s..].sort_unstable();
+            start.push(flat.len() as u32);
+            cost.push(self.net_cost(n));
+        }
+        arena.give_u32(stamp);
+
+        // Merge nets with identical pin sets: sort net ids by pin slice,
+        // then fold runs of equal slices (summed costs). No per-net boxes.
+        let kept = cost.len();
+        let mut order = arena.take_u32(0, 0);
+        order.extend(0..kept as u32);
+        let slice_of = |i: u32| &flat[start[i as usize] as usize..start[i as usize + 1] as usize];
+        order.sort_unstable_by(|&a, &b| slice_of(a).cmp(slice_of(b)));
+
+        let mut pin_ptr: Vec<usize> = Vec::with_capacity(kept + 1);
+        let mut pins: Vec<u32> = Vec::with_capacity(flat.len());
+        let mut costs: Vec<u32> = Vec::with_capacity(kept);
+        pin_ptr.push(0);
+        let mut i = 0usize;
+        while i < kept {
+            let sl = slice_of(order[i]);
+            let mut c = cost[order[i] as usize] as u64;
+            let mut j = i + 1;
+            while j < kept && slice_of(order[j]) == sl {
+                c += cost[order[j] as usize] as u64;
+                j += 1;
+            }
+            pins.extend_from_slice(sl);
+            pin_ptr.push(pins.len());
+            costs.push(u32::try_from(c).expect("net cost overflow"));
+            i = j;
+        }
+        arena.give_u32(order);
+        arena.give_u32(flat);
+        arena.give_u32(start);
+        arena.give_u32(cost);
+
+        Hypergraph::from_flat_nets(num_clusters, pin_ptr, pins, weights, costs)
+            .expect("contraction preserves hypergraph validity")
+    }
+
+    fn extract_side(&self, side: &[u8], which: u8, split: bool) -> (Self, Vec<u32>) {
+        let partition =
+            Partition::new(2, side.iter().map(|&s| s as u32).collect()).expect("sides are 0/1");
+        self.extract_part_mode(&partition, which as u32, split)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{random_hypergraph, two_clusters};
+    use fgh_hypergraph::cutsize_connectivity;
+
+    #[test]
+    fn driver_bisect_matches_quality_of_direct_path() {
+        let hg = two_clusters(200);
+        let fixed = vec![FREE; 400];
+        let cfg = PartitionConfig {
+            coarsen_to: 40,
+            ..PartitionConfig::with_seed(5)
+        };
+        let mut driver = MultilevelDriver::new(cfg);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let (sides, cut) = driver.bisect(&hg, &fixed, [200.0, 200.0], 0.03, &mut rng);
+        assert_eq!(cut, 1, "should discover the single-bridge cut");
+        let w1 = sides.iter().filter(|&&s| s == 1).count();
+        assert!((194..=206).contains(&w1), "balance violated: {w1}/400");
+        let st = driver.stats();
+        assert!(st.bisections == 1 && st.levels > 0 && st.fm_passes > 0);
+    }
+
+    #[test]
+    fn arena_reuses_buffers_across_levels() {
+        let hg = random_hypergraph(600, 900, 6, 3);
+        let mut driver = MultilevelDriver::new(PartitionConfig::with_seed(2));
+        let fixed = vec![u32::MAX; 600];
+        driver.partition_recursive(&hg, 8, &fixed);
+        let a = driver.arena_stats();
+        assert!(a.reused > a.fresh, "pool should serve most takes: {a:?}");
+
+        let mut ablation =
+            MultilevelDriver::with_arena(PartitionConfig::with_seed(2), LevelArena::disabled());
+        ablation.partition_recursive(&hg, 8, &fixed);
+        let b = ablation.arena_stats();
+        assert_eq!(b.reused, 0);
+        assert!(b.fresh > a.fresh, "disabled arena must allocate every take");
+    }
+
+    #[test]
+    fn cut_sum_equals_connectivity_with_net_splitting() {
+        let hg = random_hypergraph(300, 500, 6, 7);
+        let fixed = vec![u32::MAX; 300];
+        for k in [2u32, 4, 8] {
+            let cfg = PartitionConfig {
+                kway_refine: false,
+                vcycles: 0,
+                net_splitting: true,
+                ..PartitionConfig::with_seed(k as u64)
+            };
+            let mut driver = MultilevelDriver::new(cfg);
+            let out = driver.partition_recursive(&hg, k, &fixed);
+            let p = Partition::new(k, out.parts).unwrap();
+            assert_eq!(
+                cutsize_connectivity(&hg, &p),
+                out.cut_sum,
+                "eq. 3 composition failed for k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn recursive_driver_is_deterministic() {
+        let hg = random_hypergraph(250, 400, 5, 9);
+        let fixed = vec![u32::MAX; 250];
+        let run = || {
+            let mut d = MultilevelDriver::new(PartitionConfig::with_seed(11));
+            d.partition_recursive(&hg, 4, &fixed)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.parts, b.parts);
+        assert_eq!(a.cut_sum, b.cut_sum);
+    }
+
+    #[test]
+    fn disabled_arena_gives_identical_results() {
+        let hg = random_hypergraph(300, 450, 5, 4);
+        let fixed = vec![u32::MAX; 300];
+        let cfg = PartitionConfig::with_seed(3);
+        let mut pooled = MultilevelDriver::new(cfg.clone());
+        let mut fresh = MultilevelDriver::with_arena(cfg, LevelArena::disabled());
+        let a = pooled.partition_recursive(&hg, 4, &fixed);
+        let b = fresh.partition_recursive(&hg, 4, &fixed);
+        assert_eq!(a.parts, b.parts, "arena pooling must not change results");
+        assert_eq!(a.cut_sum, b.cut_sum);
+    }
+}

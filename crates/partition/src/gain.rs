@@ -115,6 +115,26 @@ impl GainBuckets {
         self.insert(v, g);
     }
 
+    /// Reinitializes for `n` vertices and gains in `[-max_gain, max_gain]`,
+    /// keeping allocated capacity. Equivalent to `*self = GainBuckets::new(
+    /// n, max_gain)` but reusable from a [`crate::arena::LevelArena`] pool.
+    pub fn reset(&mut self, n: usize, max_gain: i64) {
+        let span = (2 * max_gain + 1).max(1) as usize;
+        self.offset = max_gain;
+        self.heads.clear();
+        self.heads.resize(span, NIL);
+        self.next.clear();
+        self.next.resize(n, NIL);
+        self.prev.clear();
+        self.prev.resize(n, NIL);
+        self.gain_of.clear();
+        self.gain_of.resize(n, 0);
+        self.in_bucket.clear();
+        self.in_bucket.resize(n, false);
+        self.max_idx = 0;
+        self.len = 0;
+    }
+
     /// Pops a maximum-gain vertex satisfying `admissible`, scanning buckets
     /// from the max downward. Vertices failing the predicate are skipped
     /// (left queued). Returns `(vertex, gain)`.
@@ -216,6 +236,22 @@ mod tests {
         }
         seen.sort_unstable();
         assert_eq!(seen, vec![0, 2]);
+    }
+
+    #[test]
+    fn reset_matches_fresh() {
+        let mut gb = GainBuckets::new(3, 4);
+        gb.insert(0, 4);
+        gb.insert(1, -2);
+        gb.reset(5, 10);
+        assert!(gb.is_empty());
+        assert!(!gb.contains(0));
+        gb.insert(4, -9);
+        gb.insert(2, 10);
+        let (v, g) = gb.pop_max_where(|_| true).unwrap();
+        assert_eq!((v, g), (2, 10));
+        let (v, g) = gb.pop_max_where(|_| true).unwrap();
+        assert_eq!((v, g), (4, -9));
     }
 
     #[test]

@@ -1,13 +1,16 @@
-//! Initial partitioning of the coarsest hypergraph: greedy hypergraph
-//! growing (GHG) with multiple random tries.
+//! Initial partitioning of the coarsest substrate: greedy growing (GHG on
+//! hypergraphs, GGP on graphs — the same max-gain frontier growth) with
+//! multiple random tries.
 
 use fgh_hypergraph::Hypergraph;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+use crate::arena::LevelArena;
 use crate::coarsen::FREE;
-use crate::config::InitialScheme;
-use crate::gain::GainBuckets;
+use crate::config::{InitialScheme, PartitionConfig};
+use crate::engine::Substrate;
+use crate::level::EngineStats;
 use crate::refine::BisectionState;
 
 /// Produces an initial bisection with the chosen scheme, FM-refined, best
@@ -23,22 +26,22 @@ pub fn initial_best(
     fm_passes: usize,
     rng: &mut impl Rng,
 ) -> Vec<u8> {
-    let mut best: Option<(u64, u64, Vec<u8>)> = None;
-    for _ in 0..tries.max(1) {
-        let sides = match scheme {
-            InitialScheme::Ghg => ghg_once(hg, fixed, targets, epsilon, fm_passes, rng),
-            InitialScheme::Random => random_once(hg, fixed, targets, epsilon, fm_passes, rng),
-            InitialScheme::BinPacking => {
-                bin_packing_once(hg, fixed, targets, epsilon, fm_passes, rng)
-            }
-        };
-        let st = BisectionState::new(hg, sides, fixed, targets, epsilon);
-        let key = (st.balance_penalty(), st.cut());
-        if best.as_ref().map(|(p, c, _)| key < (*p, *c)).unwrap_or(true) {
-            best = Some((key.0, key.1, st.into_sides()));
-        }
-    }
-    best.expect("tries >= 1").2
+    let cfg = PartitionConfig {
+        initial: scheme,
+        initial_tries: tries,
+        fm_passes,
+        ..Default::default()
+    };
+    initial_best_in(
+        hg,
+        fixed,
+        targets,
+        epsilon,
+        &cfg,
+        rng,
+        &mut LevelArena::disabled(),
+        &mut EngineStats::default(),
+    )
 }
 
 /// Greedy hypergraph growing with defaults — kept as the conventional
@@ -52,102 +55,199 @@ pub fn ghg_best(
     fm_passes: usize,
     rng: &mut impl Rng,
 ) -> Vec<u8> {
-    initial_best(hg, fixed, targets, epsilon, InitialScheme::Ghg, tries, fm_passes, rng)
+    initial_best(
+        hg,
+        fixed,
+        targets,
+        epsilon,
+        InitialScheme::Ghg,
+        tries,
+        fm_passes,
+        rng,
+    )
+}
+
+/// Substrate-generic, arena-backed initial partitioning (the engine's
+/// entry point): scheme, tries, and FM passes are read from `cfg`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn initial_best_in<S: Substrate>(
+    sub: &S,
+    fixed: &[i8],
+    targets: [f64; 2],
+    epsilon: f64,
+    cfg: &PartitionConfig,
+    rng: &mut impl Rng,
+    arena: &mut LevelArena,
+    stats: &mut EngineStats,
+) -> Vec<u8> {
+    let mut best: Option<(u64, u64, Vec<u8>)> = None;
+    for _ in 0..cfg.initial_tries.max(1) {
+        let sides = match cfg.initial {
+            InitialScheme::Ghg => ghg_once(
+                sub,
+                fixed,
+                targets,
+                epsilon,
+                cfg.fm_passes,
+                rng,
+                arena,
+                stats,
+            ),
+            InitialScheme::Random => random_once(
+                sub,
+                fixed,
+                targets,
+                epsilon,
+                cfg.fm_passes,
+                rng,
+                arena,
+                stats,
+            ),
+            InitialScheme::BinPacking => bin_packing_once(
+                sub,
+                fixed,
+                targets,
+                epsilon,
+                cfg.fm_passes,
+                rng,
+                arena,
+                stats,
+            ),
+        };
+        let st = BisectionState::new_in(sub, sides, fixed, targets, epsilon, arena);
+        let key = (st.balance_penalty(), st.cut());
+        let sides = st.into_sides_in(arena);
+        if best
+            .as_ref()
+            .map(|(p, c, _)| key < (*p, *c))
+            .unwrap_or(true)
+        {
+            if let Some((_, _, old)) = best.replace((key.0, key.1, sides)) {
+                arena.give_u8(old);
+            }
+        } else {
+            arena.give_u8(sides);
+        }
+    }
+    best.expect("tries >= 1").2
+}
+
+/// Per-vertex starting side: fixed-1 vertices on side 1, the rest on 0.
+fn seed_sides<S: Substrate>(sub: &S, fixed: &[i8], arena: &mut LevelArena) -> Vec<u8> {
+    let n = sub.num_vertices() as usize;
+    let mut side = arena.take_u8(n, 0);
+    for v in 0..n {
+        if fixed[v] == 1 {
+            side[v] = 1;
+        }
+    }
+    side
 }
 
 /// Random assignment: shuffle free vertices, fill side 1 to its target.
-fn random_once(
-    hg: &Hypergraph,
+#[allow(clippy::too_many_arguments)]
+fn random_once<S: Substrate>(
+    sub: &S,
     fixed: &[i8],
     targets: [f64; 2],
     epsilon: f64,
     fm_passes: usize,
     rng: &mut impl Rng,
+    arena: &mut LevelArena,
+    stats: &mut EngineStats,
 ) -> Vec<u8> {
-    let n = hg.num_vertices();
-    let mut side: Vec<u8> =
-        (0..n).map(|v| if fixed[v as usize] == 1 { 1 } else { 0 }).collect();
-    let mut order: Vec<u32> = (0..n).filter(|&v| fixed[v as usize] == FREE).collect();
+    let n = sub.num_vertices();
+    let mut side = seed_sides(sub, fixed, arena);
+    let mut order = arena.take_u32(0, 0);
+    order.extend((0..n).filter(|&v| fixed[v as usize] == FREE));
     order.shuffle(rng);
     let target1 = targets[1].floor().max(0.0) as u64;
     let mut w1: u64 = (0..n)
         .filter(|&v| side[v as usize] == 1)
-        .map(|v| hg.vertex_weight(v) as u64)
+        .map(|v| sub.vertex_weight(v) as u64)
         .sum();
-    for &v in &order {
+    for &v in order.iter() {
         if w1 >= target1 {
             break;
         }
         side[v as usize] = 1;
-        w1 += hg.vertex_weight(v) as u64;
+        w1 += sub.vertex_weight(v) as u64;
     }
-    let mut st = BisectionState::new(hg, side, fixed, targets, epsilon);
-    st.refine(rng, fm_passes, 0);
-    st.into_sides()
+    arena.give_u32(order);
+    let mut st = BisectionState::new_in(sub, side, fixed, targets, epsilon, arena);
+    st.refine_in(rng, fm_passes, 0, false, arena, stats);
+    st.into_sides_in(arena)
 }
 
 /// Weight-only greedy bin packing: heaviest free vertices first, each onto
 /// the side with more remaining capacity (ties randomized by a shuffled
 /// pre-pass), connectivity ignored.
-fn bin_packing_once(
-    hg: &Hypergraph,
+#[allow(clippy::too_many_arguments)]
+fn bin_packing_once<S: Substrate>(
+    sub: &S,
     fixed: &[i8],
     targets: [f64; 2],
     epsilon: f64,
     fm_passes: usize,
     rng: &mut impl Rng,
+    arena: &mut LevelArena,
+    stats: &mut EngineStats,
 ) -> Vec<u8> {
-    let n = hg.num_vertices();
-    let mut side: Vec<u8> =
-        (0..n).map(|v| if fixed[v as usize] == 1 { 1 } else { 0 }).collect();
+    let n = sub.num_vertices();
+    let mut side = seed_sides(sub, fixed, arena);
     let mut w = [0u64; 2];
     for v in 0..n {
         if fixed[v as usize] != FREE {
-            w[side[v as usize] as usize] += hg.vertex_weight(v) as u64;
+            w[side[v as usize] as usize] += sub.vertex_weight(v) as u64;
         }
     }
-    let mut order: Vec<u32> = (0..n).filter(|&v| fixed[v as usize] == FREE).collect();
+    let mut order = arena.take_u32(0, 0);
+    order.extend((0..n).filter(|&v| fixed[v as usize] == FREE));
     order.shuffle(rng);
-    order.sort_by_key(|&v| std::cmp::Reverse(hg.vertex_weight(v)));
-    for &v in &order {
+    order.sort_by_key(|&v| std::cmp::Reverse(sub.vertex_weight(v)));
+    for &v in order.iter() {
         // Fill toward proportional targets: pick the side with the larger
         // remaining gap.
         let gap0 = targets[0] - w[0] as f64;
         let gap1 = targets[1] - w[1] as f64;
         let s = usize::from(gap1 > gap0);
         side[v as usize] = s as u8;
-        w[s] += hg.vertex_weight(v) as u64;
+        w[s] += sub.vertex_weight(v) as u64;
     }
-    let mut st = BisectionState::new(hg, side, fixed, targets, epsilon);
-    st.refine(rng, fm_passes, 0);
-    st.into_sides()
+    arena.give_u32(order);
+    let mut st = BisectionState::new_in(sub, side, fixed, targets, epsilon, arena);
+    st.refine_in(rng, fm_passes, 0, false, arena, stats);
+    st.into_sides_in(arena)
 }
 
-fn ghg_once(
-    hg: &Hypergraph,
+/// Greedy growing: start everything free on side 0 and pull max-gain
+/// vertices across until side 1 reaches its target weight.
+#[allow(clippy::too_many_arguments)]
+fn ghg_once<S: Substrate>(
+    sub: &S,
     fixed: &[i8],
     targets: [f64; 2],
     epsilon: f64,
     fm_passes: usize,
     rng: &mut impl Rng,
+    arena: &mut LevelArena,
+    stats: &mut EngineStats,
 ) -> Vec<u8> {
-    let n = hg.num_vertices();
+    let n = sub.num_vertices();
     // Fixed vertices start on their side, everything else on side 0.
-    let side: Vec<u8> = (0..n)
-        .map(|v| if fixed[v as usize] == 1 { 1 } else { 0 })
-        .collect();
-    let mut st = BisectionState::new(hg, side, fixed, targets, epsilon);
+    let side = seed_sides(sub, fixed, arena);
+    let mut st = BisectionState::new_in(sub, side, fixed, targets, epsilon, arena);
 
     // Grow side 1 until it reaches its target weight. Gains make the
     // growth cluster-shaped: vertices adjacent to side 1 have higher gain.
     let target1 = targets[1].floor().max(0.0) as u64;
     if st.weights()[1] < target1 {
-        let mut buckets = GainBuckets::new(n as usize, max_gain_bound(hg));
-        let mut insert_order: Vec<u32> =
-            (0..n).filter(|&v| fixed[v as usize] == FREE).collect();
+        let mut buckets = arena.take_buckets(n as usize, sub.max_gain_bound());
+        let mut insert_order = arena.take_u32(0, 0);
+        insert_order.extend((0..n).filter(|&v| fixed[v as usize] == FREE));
         // Random seed bias: shuffle so ties (isolated vertices) vary.
         insert_order.shuffle(rng);
-        for &v in &insert_order {
+        for &v in insert_order.iter() {
             buckets.insert(v, st.gain(v));
         }
         while st.weights()[1] < target1 {
@@ -158,19 +258,12 @@ fn ghg_once(
                 None => break,
             }
         }
+        arena.give_buckets(buckets);
+        arena.give_u32(insert_order);
     }
 
-    st.refine(rng, fm_passes, 0);
-    st.into_sides()
-}
-
-fn max_gain_bound(hg: &Hypergraph) -> i64 {
-    let mut best = 1i64;
-    for v in 0..hg.num_vertices() {
-        let s: i64 = hg.nets(v).iter().map(|&n| hg.net_cost(n) as i64).sum();
-        best = best.max(s);
-    }
-    best
+    st.refine_in(rng, fm_passes, 0, false, arena, stats);
+    st.into_sides_in(arena)
 }
 
 #[cfg(test)]
@@ -188,8 +281,15 @@ mod tests {
     fn ghg_produces_balanced_bisection() {
         let hg = two_clusters(20);
         let fixed = free(40);
-        let sides =
-            ghg_best(&hg, &fixed, [20.0, 20.0], 0.05, 4, 4, &mut SmallRng::seed_from_u64(2));
+        let sides = ghg_best(
+            &hg,
+            &fixed,
+            [20.0, 20.0],
+            0.05,
+            4,
+            4,
+            &mut SmallRng::seed_from_u64(2),
+        );
         let w1: usize = sides.iter().filter(|&&s| s == 1).count();
         assert!((15..=25).contains(&w1), "side 1 holds {w1} of 40");
         let st = BisectionState::new(&hg, sides, &fixed, [20.0, 20.0], 0.05);
@@ -204,8 +304,15 @@ mod tests {
         let mut fixed = free(20);
         fixed[0] = 1;
         fixed[15] = 0;
-        let sides =
-            ghg_best(&hg, &fixed, [10.0, 10.0], 0.2, 4, 4, &mut SmallRng::seed_from_u64(9));
+        let sides = ghg_best(
+            &hg,
+            &fixed,
+            [10.0, 10.0],
+            0.2,
+            4,
+            4,
+            &mut SmallRng::seed_from_u64(9),
+        );
         assert_eq!(sides[0], 1);
         assert_eq!(sides[15], 0);
     }
@@ -215,8 +322,15 @@ mod tests {
         // No nets: any balanced split works; GHG must still terminate.
         let hg = Hypergraph::from_nets(10, &[]).unwrap();
         let fixed = free(10);
-        let sides =
-            ghg_best(&hg, &fixed, [5.0, 5.0], 0.0, 2, 2, &mut SmallRng::seed_from_u64(4));
+        let sides = ghg_best(
+            &hg,
+            &fixed,
+            [5.0, 5.0],
+            0.0,
+            2,
+            2,
+            &mut SmallRng::seed_from_u64(4),
+        );
         let c1 = sides.iter().filter(|&&s| s == 1).count();
         assert_eq!(c1, 5);
     }
@@ -225,8 +339,15 @@ mod tests {
     fn ghg_single_vertex() {
         let hg = Hypergraph::from_nets(1, &[]).unwrap();
         let fixed = free(1);
-        let sides =
-            ghg_best(&hg, &fixed, [1.0, 0.0], 0.0, 1, 1, &mut SmallRng::seed_from_u64(4));
+        let sides = ghg_best(
+            &hg,
+            &fixed,
+            [1.0, 0.0],
+            0.0,
+            1,
+            1,
+            &mut SmallRng::seed_from_u64(4),
+        );
         assert_eq!(sides, vec![0]);
     }
 }

@@ -176,7 +176,11 @@ mod tests {
                 &mut SmallRng::seed_from_u64(seed),
             );
             let after = cutsize_connectivity(&hg, &p);
-            assert_eq!(before - after, gain, "reported gain must match metric delta");
+            assert_eq!(
+                before - after,
+                gain,
+                "reported gain must match metric delta"
+            );
             assert!(after <= before);
             assert!(gain > 0, "round-robin should be improvable (seed {seed})");
         }
@@ -188,7 +192,14 @@ mod tests {
         let parts: Vec<u32> = (0..120).map(|v| v % 3).collect();
         let mut p = Partition::new(3, parts).unwrap();
         let fixed = vec![u32::MAX; 120];
-        kway_refine(&hg, &mut p, &fixed, 0.05, 4, &mut SmallRng::seed_from_u64(1));
+        kway_refine(
+            &hg,
+            &mut p,
+            &fixed,
+            0.05,
+            4,
+            &mut SmallRng::seed_from_u64(1),
+        );
         assert!(p.imbalance_percent(&hg) <= 5.0 + 1e-9);
     }
 
@@ -197,7 +208,9 @@ mod tests {
         let hg = random_hypergraph(60, 100, 4, 3);
         let parts: Vec<u32> = (0..60).map(|v| v % 2).collect();
         let mut p = Partition::new(2, parts.clone()).unwrap();
-        let fixed: Vec<u32> = (0..60).map(|v| if v < 10 { parts[v as usize] } else { u32::MAX }).collect();
+        let fixed: Vec<u32> = (0..60)
+            .map(|v| if v < 10 { parts[v as usize] } else { u32::MAX })
+            .collect();
         kway_refine(&hg, &mut p, &fixed, 0.1, 3, &mut SmallRng::seed_from_u64(5));
         for v in 0..10u32 {
             assert_eq!(p.part(v), parts[v as usize], "fixed vertex {v} moved");
@@ -223,6 +236,16 @@ mod tests {
         let hg = random_hypergraph(20, 30, 4, 1);
         let mut p = Partition::trivial(20);
         let fixed = vec![u32::MAX; 20];
-        assert_eq!(kway_refine(&hg, &mut p, &fixed, 0.05, 2, &mut SmallRng::seed_from_u64(1)), 0);
+        assert_eq!(
+            kway_refine(
+                &hg,
+                &mut p,
+                &fixed,
+                0.05,
+                2,
+                &mut SmallRng::seed_from_u64(1)
+            ),
+            0
+        );
     }
 }

@@ -1,0 +1,107 @@
+//! Per-level storage and instrumentation for the multilevel engine.
+
+/// One coarsening level of a multilevel run over any
+/// [`crate::engine::Substrate`]: the contracted structure plus the
+/// fine→coarse projection map and the coarse fixed-side vector.
+#[derive(Debug)]
+pub struct Level<S> {
+    /// The contracted substrate.
+    pub coarse: S,
+    /// Fine-vertex → coarse-vertex map.
+    pub map: Vec<u32>,
+    /// Per-coarse-vertex fixed side (`FREE`, `0`, or `1`).
+    pub fixed: Vec<i8>,
+}
+
+/// Instrumentation counters threaded through
+/// [`crate::engine::MultilevelDriver`]. Counters are always collected
+/// (they are a handful of integer adds per level/pass); the per-stage
+/// wall-clock fields are only filled in when the `stats` cargo feature is
+/// enabled and read as zero otherwise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Bisections driven (nodes of the recursive-bisection tree).
+    pub bisections: u64,
+    /// Coarsening levels built across all bisections.
+    pub levels: u64,
+    /// Incidences (pins / adjacency entries) surviving contraction, summed
+    /// over all levels.
+    pub contracted_incidences: u64,
+    /// FM passes run (full and boundary, including initial-partitioning
+    /// refinement).
+    pub fm_passes: u64,
+    /// Tentative FM moves applied across all passes (before rollback).
+    pub fm_moves: u64,
+    /// Wall-clock nanoseconds in coarsening (`stats` feature only).
+    pub coarsen_nanos: u64,
+    /// Wall-clock nanoseconds in initial partitioning (`stats` feature only).
+    pub initial_nanos: u64,
+    /// Wall-clock nanoseconds in refinement (`stats` feature only).
+    pub refine_nanos: u64,
+}
+
+impl EngineStats {
+    /// Accumulates `other` into `self` (for merging per-run stats).
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.bisections += other.bisections;
+        self.levels += other.levels;
+        self.contracted_incidences += other.contracted_incidences;
+        self.fm_passes += other.fm_passes;
+        self.fm_moves += other.fm_moves;
+        self.coarsen_nanos += other.coarsen_nanos;
+        self.initial_nanos += other.initial_nanos;
+        self.refine_nanos += other.refine_nanos;
+    }
+}
+
+/// Zero-cost stage timer: measures wall-clock only under the `stats`
+/// feature, otherwise compiles to nothing.
+#[cfg(feature = "stats")]
+pub(crate) struct StageTimer(std::time::Instant);
+
+#[cfg(feature = "stats")]
+impl StageTimer {
+    pub(crate) fn start() -> Self {
+        StageTimer(std::time::Instant::now())
+    }
+
+    pub(crate) fn stop(self, into: &mut u64) {
+        *into += self.0.elapsed().as_nanos() as u64;
+    }
+}
+
+#[cfg(not(feature = "stats"))]
+pub(crate) struct StageTimer;
+
+#[cfg(not(feature = "stats"))]
+impl StageTimer {
+    pub(crate) fn start() -> Self {
+        StageTimer
+    }
+
+    pub(crate) fn stop(self, _into: &mut u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = EngineStats {
+            bisections: 1,
+            fm_moves: 10,
+            ..Default::default()
+        };
+        let b = EngineStats {
+            bisections: 2,
+            fm_moves: 5,
+            levels: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.bisections, 3);
+        assert_eq!(a.fm_moves, 15);
+        assert_eq!(a.levels, 3);
+    }
+}

@@ -23,20 +23,41 @@
 //! Entry points: [`partition_hypergraph`] for one run,
 //! [`partition_hypergraph_best`] for the paper's multi-seed protocol
 //! (PaToH was run 50 times per instance; seeds run in parallel here).
+//!
+//! ## The unified engine
+//!
+//! The multilevel machinery is substrate-generic: the [`engine::Substrate`]
+//! trait abstracts cut accounting, contraction, and extraction, and
+//! [`engine::MultilevelDriver`] runs the V-cycle and recursive bisection
+//! for both hypergraphs and graphs (`fgh-graph` implements the trait for
+//! its CSR graph). The driver draws all per-level scratch from an
+//! [`arena::LevelArena`], so a K-way run performs O(levels) allocations
+//! instead of O(levels × vertices). Enable the `stats` cargo feature for
+//! per-stage wall-clock timing in [`level::EngineStats`] (counters are
+//! always collected).
 
+pub mod arena;
 pub mod bisect;
 pub mod coarsen;
 pub mod config;
+pub mod engine;
 pub mod gain;
 pub mod initial;
 pub mod kway;
+pub mod level;
 pub mod multiconstraint;
 pub mod recursive;
 pub mod refine;
 pub mod vcycle;
 
+pub use arena::{ArenaStats, LevelArena};
 pub use config::{CoarseningScheme, InitialScheme, PartitionConfig};
-pub use recursive::{partition_hypergraph, partition_hypergraph_best, PartitionResult};
+pub use engine::{MultilevelDriver, RecursiveOutcome, Substrate};
+pub use level::{EngineStats, Level};
+pub use recursive::{
+    partition_hypergraph, partition_hypergraph_best, partition_hypergraph_fixed,
+    partition_hypergraph_with, PartitionResult,
+};
 
 #[cfg(test)]
 pub(crate) mod testutil {

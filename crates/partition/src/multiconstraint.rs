@@ -88,12 +88,18 @@ pub fn partition_multiconstraint(
         return Err(HypergraphError::InvalidK);
     }
     let n = hg.num_vertices();
-    assert_eq!(weights.num_vertices(), n as usize, "weights cover every vertex");
+    assert_eq!(
+        weights.num_vertices(),
+        n as usize,
+        "weights cover every vertex"
+    );
     let c = weights.constraints();
     let totals = weights.totals();
     // Caps with one max-entry slack so placement is always feasible-ish.
-    let caps: Vec<f64> =
-        totals.iter().map(|&t| (t as f64 / k as f64) * (1.0 + epsilon)).collect();
+    let caps: Vec<f64> = totals
+        .iter()
+        .map(|&t| (t as f64 / k as f64) * (1.0 + epsilon))
+        .collect();
 
     let mut rng = SmallRng::seed_from_u64(seed);
 
@@ -214,12 +220,18 @@ pub fn partition_multiconstraint(
     for i in 0..c {
         let avg = totals[i] as f64 / k as f64;
         if avg > 0.0 {
-            let max =
-                (0..k).map(|p| part_load[p as usize * c + i]).max().unwrap_or(0) as f64;
+            let max = (0..k)
+                .map(|p| part_load[p as usize * c + i])
+                .max()
+                .unwrap_or(0) as f64;
             worst = worst.max(100.0 * (max - avg) / avg);
         }
     }
-    Ok(MultiConstraintResult { partition, cutsize, worst_imbalance_percent: worst })
+    Ok(MultiConstraintResult {
+        partition,
+        cutsize,
+        worst_imbalance_percent: worst,
+    })
 }
 
 fn norm_total(w: &MultiWeights, totals: &[u64], v: u32) -> f64 {
@@ -231,11 +243,18 @@ fn norm_total(w: &MultiWeights, totals: &[u64], v: u32) -> f64 {
 }
 
 fn count(touch: &[(u32, u32)], p: u32) -> u32 {
-    touch.iter().find(|&&(q, _)| q == p).map(|&(_, c)| c).unwrap_or(0)
+    touch
+        .iter()
+        .find(|&&(q, _)| q == p)
+        .map(|&(_, c)| c)
+        .unwrap_or(0)
 }
 
 fn move_touch(touch: &mut Vec<(u32, u32)>, from: u32, to: u32) {
-    let i = touch.iter().position(|&(q, _)| q == from).expect("pin present");
+    let i = touch
+        .iter()
+        .position(|&(q, _)| q == from)
+        .expect("pin present");
     touch[i].1 -= 1;
     if touch[i].1 == 0 {
         touch.swap_remove(i);
@@ -267,7 +286,11 @@ mod tests {
         let w = MultiWeights::new(1, vec![1; 120]);
         let r = partition_multiconstraint(&hg, &w, 4, 0.05, 1, 4).unwrap();
         r.partition.validate(&hg, true).unwrap();
-        assert!(r.worst_imbalance_percent <= 6.0, "{}", r.worst_imbalance_percent);
+        assert!(
+            r.worst_imbalance_percent <= 6.0,
+            "{}",
+            r.worst_imbalance_percent
+        );
         assert_eq!(r.cutsize, cutsize_connectivity(&hg, &r.partition));
     }
 

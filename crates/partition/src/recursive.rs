@@ -1,5 +1,10 @@
 //! Recursive-bisection K-way partitioning with net splitting, plus the
 //! multi-seed driver matching the paper's experimental protocol.
+//!
+//! The recursion itself lives in
+//! [`MultilevelDriver::partition_recursive`]; this module adds the
+//! hypergraph-specific validation, the K-way greedy / V-cycle
+//! post-refinement, and the metric bookkeeping of [`PartitionResult`].
 
 use fgh_hypergraph::{
     cutsize_connectivity, cutsize_cutnet, Hypergraph, HypergraphError, Partition,
@@ -7,9 +12,8 @@ use fgh_hypergraph::{
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::bisect::multilevel_bisect;
-use crate::coarsen::FREE;
 use crate::config::PartitionConfig;
+use crate::engine::MultilevelDriver;
 use crate::kway::kway_refine;
 
 /// Outcome of a K-way partitioning run.
@@ -24,6 +28,11 @@ pub struct PartitionResult {
     pub cutnet: u64,
     /// Percent load imbalance `100 (W_max − W_avg) / W_avg`.
     pub imbalance_percent: f64,
+    /// Sum of the per-bisection cut-net cuts over the recursion tree,
+    /// before any K-way post-refinement. With net splitting this equals
+    /// the connectivity−1 cutsize of the recursive-bisection partition
+    /// (eq. 3 composition).
+    pub bisection_cut_sum: u64,
 }
 
 /// Partitions `hg` into `k` parts using multilevel recursive bisection.
@@ -54,6 +63,19 @@ pub fn partition_hypergraph_fixed(
     fixed: Option<&[u32]>,
     cfg: &PartitionConfig,
 ) -> Result<PartitionResult, HypergraphError> {
+    let mut driver = MultilevelDriver::new(cfg.clone());
+    partition_hypergraph_with(&mut driver, hg, k, fixed)
+}
+
+/// Like [`partition_hypergraph_fixed`], but running on a caller-supplied
+/// [`MultilevelDriver`] — the driver's arena and instrumentation persist
+/// across calls, so repeated partitioning reuses all scratch buffers.
+pub fn partition_hypergraph_with(
+    driver: &mut MultilevelDriver,
+    hg: &Hypergraph,
+    k: u32,
+    fixed: Option<&[u32]>,
+) -> Result<PartitionResult, HypergraphError> {
     if k == 0 {
         return Err(HypergraphError::InvalidK);
     }
@@ -66,102 +88,44 @@ pub fn partition_hypergraph_fixed(
         }
         for (v, &p) in f.iter().enumerate() {
             if p != u32::MAX && p >= k {
-                return Err(HypergraphError::PartOutOfBounds { vertex: v as u32, part: p, k });
+                return Err(HypergraphError::PartOutOfBounds {
+                    vertex: v as u32,
+                    part: p,
+                    k,
+                });
             }
         }
     }
 
     let n = hg.num_vertices();
-    let mut parts = vec![0u32; n as usize];
-    if k > 1 && n > 0 {
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
-        let eps = cfg.per_level_epsilon(k);
-        let vertex_ids: Vec<u32> = (0..n).collect();
-        let fixed_vec: Vec<u32> = match fixed {
-            Some(f) => f.to_vec(),
-            None => vec![u32::MAX; n as usize],
-        };
-        recurse(hg, &vertex_ids, &fixed_vec, k, 0, eps, cfg, &mut rng, &mut parts);
-    }
+    let fixed_vec: Vec<u32> = match fixed {
+        Some(f) => f.to_vec(),
+        None => vec![u32::MAX; n as usize],
+    };
+    let outcome = driver.partition_recursive(hg, k, &fixed_vec);
+    let cfg = driver.cfg().clone();
 
-    let mut partition = Partition::new(k, parts)?;
+    let mut partition = Partition::new(k, outcome.parts)?;
     if (cfg.kway_refine || cfg.vcycles > 0) && k > 2 {
-        let fixed_vec: Vec<u32> = match fixed {
-            Some(f) => f.to_vec(),
-            None => vec![u32::MAX; n as usize],
-        };
         if cfg.kway_refine {
             let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(0x9e3779b97f4a7c15));
             kway_refine(hg, &mut partition, &fixed_vec, cfg.epsilon, 2, &mut rng);
         }
         if cfg.vcycles > 0 {
-            crate::vcycle::vcycle_refine(hg, &mut partition, &fixed_vec, cfg, cfg.vcycles);
+            crate::vcycle::vcycle_refine(hg, &mut partition, &fixed_vec, &cfg, cfg.vcycles);
         }
     }
 
     let cutsize = cutsize_connectivity(hg, &partition);
     let cutnet = cutsize_cutnet(hg, &partition);
     let imbalance_percent = partition.imbalance_percent(hg);
-    Ok(PartitionResult { partition, cutsize, cutnet, imbalance_percent })
-}
-
-/// Recursive worker. `sub` is a sub-hypergraph of the original (with nets
-/// already split); `ids[v]` maps its vertices back to original ids;
-/// `fixed` is indexed by *original* vertex id with absolute part numbers.
-/// Parts `part_lo .. part_lo + k` are assigned into `out`.
-#[allow(clippy::too_many_arguments)]
-fn recurse(
-    sub: &Hypergraph,
-    ids: &[u32],
-    fixed: &[u32],
-    k: u32,
-    part_lo: u32,
-    eps: f64,
-    cfg: &PartitionConfig,
-    rng: &mut SmallRng,
-    out: &mut [u32],
-) {
-    if k == 1 {
-        for &orig in ids {
-            out[orig as usize] = part_lo;
-        }
-        return;
-    }
-    let k0 = k.div_ceil(2);
-    let k1 = k - k0;
-    let total = sub.total_vertex_weight() as f64;
-    let targets = [total * k0 as f64 / k as f64, total * k1 as f64 / k as f64];
-
-    // Translate absolute fixed parts into bisection sides.
-    let fixed_sides: Vec<i8> = ids
-        .iter()
-        .map(|&orig| {
-            let p = fixed[orig as usize];
-            if p == u32::MAX {
-                FREE
-            } else if p < part_lo + k0 {
-                debug_assert!(p >= part_lo);
-                0
-            } else {
-                1
-            }
-        })
-        .collect();
-
-    let (sides, _cut) = multilevel_bisect(sub, &fixed_sides, targets, eps, cfg, rng);
-
-    // Extract both halves with net splitting and recurse.
-    let side_partition = Partition::new(
-        2,
-        sides.iter().map(|&s| s as u32).collect(),
-    )
-    .expect("sides are 0/1");
-    for (side, (kk, lo)) in [(0u32, (k0, part_lo)), (1u32, (k1, part_lo + k0))] {
-        let (child, child_map) =
-            sub.extract_part_mode(&side_partition, side, cfg.net_splitting);
-        let child_ids: Vec<u32> = child_map.iter().map(|&lv| ids[lv as usize]).collect();
-        recurse(&child, &child_ids, fixed, kk, lo, eps, cfg, rng, out);
-    }
+    Ok(PartitionResult {
+        partition,
+        cutsize,
+        cutnet,
+        imbalance_percent,
+        bisection_cut_sum: outcome.cut_sum,
+    })
 }
 
 /// Runs [`partition_hypergraph`] with `runs` different seeds (in parallel
@@ -174,7 +138,9 @@ pub fn partition_hypergraph_best(
     runs: usize,
 ) -> Result<PartitionResult, HypergraphError> {
     let runs = runs.max(1);
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let mut results: Vec<Result<PartitionResult, HypergraphError>> = Vec::with_capacity(runs);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(runs);
@@ -203,8 +169,7 @@ pub fn partition_hypergraph_best(
                         // Prefer balanced results, then lower cutsize.
                         let rb = res.imbalance_percent <= cfg.epsilon * 100.0 + 1e-9;
                         let bb = b.imbalance_percent <= cfg.epsilon * 100.0 + 1e-9;
-                        (rb, std::cmp::Reverse(res.cutsize))
-                            > (bb, std::cmp::Reverse(b.cutsize))
+                        (rb, std::cmp::Reverse(res.cutsize)) > (bb, std::cmp::Reverse(b.cutsize))
                     }
                 };
                 if better {
@@ -230,6 +195,7 @@ mod tests {
         let hg = two_clusters(10);
         let r = partition_hypergraph(&hg, 1, &PartitionConfig::default()).unwrap();
         assert_eq!(r.cutsize, 0);
+        assert_eq!(r.bisection_cut_sum, 0);
         assert!(r.partition.parts().iter().all(|&p| p == 0));
     }
 
@@ -247,6 +213,7 @@ mod tests {
         let hg = two_clusters(100);
         let r = partition_hypergraph(&hg, 2, &PartitionConfig::with_seed(3)).unwrap();
         assert_eq!(r.cutsize, 1);
+        assert_eq!(r.bisection_cut_sum, 1);
         assert!(r.imbalance_percent <= 3.0 + 1e-9);
     }
 
@@ -275,7 +242,11 @@ mod tests {
         assert_eq!(r.partition.k(), 5);
         let sizes = r.partition.part_sizes();
         assert!(sizes.iter().all(|&s| s > 0), "empty part in {sizes:?}");
-        assert!(r.imbalance_percent <= 6.0, "imbalance {}%", r.imbalance_percent);
+        assert!(
+            r.imbalance_percent <= 6.0,
+            "imbalance {}%",
+            r.imbalance_percent
+        );
     }
 
     #[test]
@@ -305,11 +276,13 @@ mod tests {
     fn fixed_validation() {
         let hg = two_clusters(4);
         let bad = vec![9u32; 8];
-        assert!(partition_hypergraph_fixed(&hg, 4, Some(&bad), &PartitionConfig::default())
-            .is_err());
+        assert!(
+            partition_hypergraph_fixed(&hg, 4, Some(&bad), &PartitionConfig::default()).is_err()
+        );
         let short = vec![u32::MAX; 3];
-        assert!(partition_hypergraph_fixed(&hg, 4, Some(&short), &PartitionConfig::default())
-            .is_err());
+        assert!(
+            partition_hypergraph_fixed(&hg, 4, Some(&short), &PartitionConfig::default()).is_err()
+        );
     }
 
     #[test]
@@ -325,12 +298,16 @@ mod tests {
     fn all_coarsening_and_initial_schemes_work() {
         use crate::config::{CoarseningScheme, InitialScheme};
         let hg = random_hypergraph(300, 450, 5, 12);
-        for coarsening in
-            [CoarseningScheme::Hcm, CoarseningScheme::Hcc, CoarseningScheme::ScaledHcc]
-        {
-            for initial in
-                [InitialScheme::Ghg, InitialScheme::Random, InitialScheme::BinPacking]
-            {
+        for coarsening in [
+            CoarseningScheme::Hcm,
+            CoarseningScheme::Hcc,
+            CoarseningScheme::ScaledHcc,
+        ] {
+            for initial in [
+                InitialScheme::Ghg,
+                InitialScheme::Random,
+                InitialScheme::BinPacking,
+            ] {
                 let cfg = PartitionConfig {
                     coarsening,
                     initial,
@@ -354,9 +331,14 @@ mod tests {
         let hg = random_hypergraph(400, 600, 6, 13);
         let (mut with, mut without) = (0u64, 0u64);
         for seed in 0..6u64 {
-            let on = PartitionConfig { net_splitting: true, ..PartitionConfig::with_seed(seed) };
-            let off =
-                PartitionConfig { net_splitting: false, ..PartitionConfig::with_seed(seed) };
+            let on = PartitionConfig {
+                net_splitting: true,
+                ..PartitionConfig::with_seed(seed)
+            };
+            let off = PartitionConfig {
+                net_splitting: false,
+                ..PartitionConfig::with_seed(seed)
+            };
             with += partition_hypergraph(&hg, 8, &on).unwrap().cutsize;
             without += partition_hypergraph(&hg, 8, &off).unwrap().cutsize;
         }
@@ -374,5 +356,25 @@ mod tests {
         let b = partition_hypergraph(&hg, 4, &cfg).unwrap();
         assert_eq!(a.partition.parts(), b.partition.parts());
         assert_eq!(a.cutsize, b.cutsize);
+    }
+
+    #[test]
+    fn shared_driver_reuses_arena_across_calls() {
+        let hg = random_hypergraph(300, 450, 5, 6);
+        let mut driver = MultilevelDriver::new(PartitionConfig::with_seed(8));
+        let a = partition_hypergraph_with(&mut driver, &hg, 4, None).unwrap();
+        let miss_after_first = driver.arena_stats().fresh;
+        let b = partition_hypergraph_with(&mut driver, &hg, 4, None).unwrap();
+        assert_eq!(
+            a.partition.parts(),
+            b.partition.parts(),
+            "same seed, same result"
+        );
+        // The second run should be served almost entirely from the pool.
+        let growth = driver.arena_stats().fresh - miss_after_first;
+        assert!(
+            growth <= miss_after_first / 4 + 1,
+            "second run allocated {growth} fresh buffers (first: {miss_after_first})"
+        );
     }
 }

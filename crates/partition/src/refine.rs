@@ -1,29 +1,37 @@
 //! Fiduccia–Mattheyses bisection refinement with gain buckets.
 //!
-//! [`BisectionState`] maintains a 2-way partition of a hypergraph together
-//! with per-net pin counts on each side, the cut-net cutsize, and side
-//! weights. [`BisectionState::fm_pass`] runs one FM pass: tentatively move
-//! max-gain vertices (locking each after its move), then roll back to the
-//! best prefix seen. Gains use the cut-net metric, which recursive
-//! bisection with net splitting composes into the connectivity−1 metric.
+//! [`BisectionState`] maintains a 2-way partition of any
+//! [`Substrate`] — a hypergraph with per-net side pin counts and the
+//! cut-net cutsize, or a graph with the edge cut — together with side
+//! weights and balance caps. [`BisectionState::fm_pass`] runs one FM pass:
+//! tentatively move max-gain vertices (locking each after its move), then
+//! roll back to the best prefix seen. For hypergraphs, gains use the
+//! cut-net metric, which recursive bisection with net splitting composes
+//! into the connectivity−1 metric; for graphs they are the classic
+//! external-minus-internal edge weights.
 
 use fgh_hypergraph::Hypergraph;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+use crate::arena::LevelArena;
 use crate::coarsen::FREE;
+use crate::engine::Substrate;
 use crate::gain::GainBuckets;
+use crate::level::EngineStats;
 
-/// Mutable state of a hypergraph bisection.
+/// Mutable state of a bisection over any [`Substrate`] (defaults to
+/// [`Hypergraph`] for backward compatibility).
 #[derive(Debug, Clone)]
-pub struct BisectionState<'a> {
-    hg: &'a Hypergraph,
+pub struct BisectionState<'a, S: Substrate = Hypergraph> {
+    sub: &'a S,
     /// Side (0/1) of each vertex.
     side: Vec<u8>,
     /// Fixed side per vertex (`FREE` = movable).
     fixed: &'a [i8],
-    /// Pin counts per net on each side.
-    pc: [Vec<u32>; 2],
+    /// Substrate-specific cut bookkeeping (per-net side pin counts for
+    /// hypergraphs, nothing for graphs).
+    cs: S::CutState,
     /// Total vertex weight on each side.
     weight: [u64; 2],
     /// Balance caps per side: side weight must not exceed `cap[s]`.
@@ -32,50 +40,69 @@ pub struct BisectionState<'a> {
     /// imbalanced intermediate states (the rollback only keeps prefixes
     /// whose balance penalty did not worsen).
     slack: u64,
-    /// Current cut-net cutsize.
+    /// Current cutsize.
     cut: u64,
 }
 
-impl<'a> BisectionState<'a> {
+impl<'a, S: Substrate> BisectionState<'a, S> {
     /// Builds the state for an existing side assignment.
     ///
     /// `targets` are the ideal side weights (they sum to the total vertex
     /// weight for proportional K-way splits); `epsilon` is the per-level
     /// allowance, so `cap[s] = targets[s] * (1 + epsilon)`.
     pub fn new(
-        hg: &'a Hypergraph,
+        sub: &'a S,
         side: Vec<u8>,
         fixed: &'a [i8],
         targets: [f64; 2],
         epsilon: f64,
     ) -> Self {
-        assert_eq!(side.len(), hg.num_vertices() as usize);
+        Self::new_in(
+            sub,
+            side,
+            fixed,
+            targets,
+            epsilon,
+            &mut LevelArena::disabled(),
+        )
+    }
+
+    /// Arena-backed variant of [`BisectionState::new`]: cut bookkeeping
+    /// buffers are drawn from `arena` (return them with
+    /// [`BisectionState::into_sides_in`]).
+    pub fn new_in(
+        sub: &'a S,
+        side: Vec<u8>,
+        fixed: &'a [i8],
+        targets: [f64; 2],
+        epsilon: f64,
+        arena: &mut LevelArena,
+    ) -> Self {
+        assert_eq!(side.len(), sub.num_vertices() as usize);
         assert_eq!(fixed.len(), side.len());
-        let nn = hg.num_nets() as usize;
-        let mut pc = [vec![0u32; nn], vec![0u32; nn]];
         let mut weight = [0u64; 2];
-        for v in 0..hg.num_vertices() {
-            let s = side[v as usize] as usize;
-            weight[s] += hg.vertex_weight(v) as u64;
-            for &n in hg.nets(v) {
-                pc[s][n as usize] += 1;
-            }
+        for v in 0..sub.num_vertices() {
+            weight[side[v as usize] as usize] += sub.vertex_weight(v) as u64;
         }
-        let mut cut = 0u64;
-        for n in 0..nn {
-            if pc[0][n] > 0 && pc[1][n] > 0 {
-                cut += hg.net_cost(n as u32) as u64;
-            }
-        }
+        let (cs, cut) = sub.cut_state(&side, arena);
         let cap = [
             (targets[0] * (1.0 + epsilon)).floor().max(0.0) as u64,
             (targets[1] * (1.0 + epsilon)).floor().max(0.0) as u64,
         ];
-        let slack = hg.vertex_weights().iter().copied().max().unwrap_or(1).max(1) as u64;
-        BisectionState { hg, side, fixed, pc, weight, cap, slack, cut }
+        let slack = sub.max_vertex_weight().max(1);
+        BisectionState {
+            sub,
+            side,
+            fixed,
+            cs,
+            weight,
+            cap,
+            slack,
+            cut,
+        }
     }
 
-    /// Current cut-net cutsize.
+    /// Current cutsize.
     pub fn cut(&self) -> u64 {
         self.cut
     }
@@ -100,91 +127,42 @@ impl<'a> BisectionState<'a> {
         self.side
     }
 
+    /// Like [`BisectionState::into_sides`], but recycles the cut
+    /// bookkeeping buffers into `arena` first.
+    pub fn into_sides_in(self, arena: &mut LevelArena) -> Vec<u8> {
+        S::recycle_cut_state(self.cs, arena);
+        self.side
+    }
+
     /// Sum of balance-cap violations (0 when balanced).
     pub fn balance_penalty(&self) -> u64 {
         self.weight[0].saturating_sub(self.cap[0]) + self.weight[1].saturating_sub(self.cap[1])
     }
 
-    /// FM gain of moving `v` to the opposite side (cut-net metric).
+    /// FM gain of moving `v` to the opposite side.
     pub fn gain(&self, v: u32) -> i64 {
-        let s = self.side[v as usize] as usize;
-        let t = 1 - s;
-        let mut g = 0i64;
-        for &n in self.hg.nets(v) {
-            let c = self.hg.net_cost(n) as i64;
-            if self.pc[s][n as usize] == 1 {
-                g += c; // net becomes uncut (or stays internal to t)
-            }
-            if self.pc[t][n as usize] == 0 {
-                g -= c; // net becomes cut
-            }
-        }
-        g
+        self.sub.gain(&self.cs, &self.side, v)
     }
 
-    /// Moves `v` to the opposite side, updating pin counts, weights, and
-    /// the cutsize. Optionally applies FM delta-gain updates to `buckets`.
+    /// Moves `v` to the opposite side, updating the cut bookkeeping,
+    /// weights, and the cutsize. Optionally applies FM delta-gain updates
+    /// to `buckets`.
     pub fn apply_move(&mut self, v: u32, buckets: Option<&mut GainBuckets>) {
         let s = self.side[v as usize] as usize;
         let t = 1 - s;
-        let w = self.hg.vertex_weight(v) as u64;
-
-        if let Some(buckets) = buckets {
-            for &n in self.hg.nets(v) {
-                let ni = n as usize;
-                let c = self.hg.net_cost(n) as i64;
-                let (tc, fc) = (self.pc[t][ni], self.pc[s][ni]);
-                if tc == 0 {
-                    // Net becomes cut: every other (free, queued) pin gains +c.
-                    self.cut += c as u64;
-                    for &u in self.hg.pins(n) {
-                        if u != v {
-                            buckets.adjust(u, c);
-                        }
-                    }
-                } else if tc == 1 {
-                    // The lone pin on t loses its "uncut by moving" bonus.
-                    for &u in self.hg.pins(n) {
-                        if u != v && self.side[u as usize] as usize == t {
-                            buckets.adjust(u, -c);
-                        }
-                    }
-                }
-                let fc_after = fc - 1;
-                if fc_after == 0 {
-                    // Net becomes internal to t: pins lose the "would cut" malus.
-                    self.cut -= c as u64;
-                    for &u in self.hg.pins(n) {
-                        if u != v {
-                            buckets.adjust(u, -c);
-                        }
-                    }
-                } else if fc_after == 1 {
-                    // The lone remaining pin on s gains the uncut bonus.
-                    for &u in self.hg.pins(n) {
-                        if u != v && self.side[u as usize] as usize == s {
-                            buckets.adjust(u, c);
-                        }
-                    }
-                }
-                self.pc[s][ni] -= 1;
-                self.pc[t][ni] += 1;
-            }
-        } else {
-            for &n in self.hg.nets(v) {
-                let ni = n as usize;
-                let c = self.hg.net_cost(n) as u64;
-                if self.pc[t][ni] == 0 {
-                    self.cut += c;
-                }
-                self.pc[s][ni] -= 1;
-                self.pc[t][ni] += 1;
-                if self.pc[s][ni] == 0 {
-                    self.cut -= c;
-                }
-            }
+        let w = self.sub.vertex_weight(v) as u64;
+        match buckets {
+            Some(b) => self.sub.apply_move(
+                &mut self.cs,
+                &self.side,
+                v,
+                &mut self.cut,
+                Some(&mut |u, d| b.adjust(u, d)),
+            ),
+            None => self
+                .sub
+                .apply_move(&mut self.cs, &self.side, v, &mut self.cut, None),
         }
-
         self.side[v as usize] = t as u8;
         self.weight[s] -= w;
         self.weight[t] += w;
@@ -197,7 +175,7 @@ impl<'a> BisectionState<'a> {
     fn admissible(&self, v: u32) -> bool {
         let s = self.side[v as usize] as usize;
         let t = 1 - s;
-        let w = self.hg.vertex_weight(v) as u64;
+        let w = self.sub.vertex_weight(v) as u64;
         if self.weight[t] + w <= self.cap[t] + self.slack {
             return true;
         }
@@ -210,24 +188,9 @@ impl<'a> BisectionState<'a> {
         false
     }
 
-    /// Largest possible |gain| bound for bucket sizing: the maximum over
-    /// vertices of the total cost of incident nets.
-    fn max_gain_bound(&self) -> i64 {
-        let mut best = 1i64;
-        for v in 0..self.hg.num_vertices() {
-            let s: i64 =
-                self.hg.nets(v).iter().map(|&n| self.hg.net_cost(n) as i64).sum();
-            best = best.max(s);
-        }
-        best
-    }
-
-    /// `true` if `v` touches at least one cut net.
+    /// `true` if `v` touches the cut.
     pub fn is_boundary(&self, v: u32) -> bool {
-        self.hg.nets(v).iter().any(|&n| {
-            let ni = n as usize;
-            self.pc[0][ni] > 0 && self.pc[1][ni] > 0
-        })
+        self.sub.is_boundary(&self.cs, &self.side, v)
     }
 
     /// One FM pass: tentative max-gain moves with lock-on-move, then
@@ -237,44 +200,66 @@ impl<'a> BisectionState<'a> {
     /// `early_exit` bounds the number of consecutive non-improving moves
     /// (0 = unbounded).
     pub fn fm_pass(&mut self, rng: &mut impl Rng, early_exit: usize) -> bool {
-        self.fm_pass_impl(rng, early_exit, false)
+        self.fm_pass_in(
+            rng,
+            early_exit,
+            false,
+            &mut LevelArena::disabled(),
+            &mut EngineStats::default(),
+        )
     }
 
     /// Boundary variant of [`BisectionState::fm_pass`]: only boundary
     /// vertices are queued initially, which is substantially faster on
-    /// large well-separated hypergraphs. Interior vertices are not
+    /// large well-separated instances. Interior vertices are not
     /// reachable as move candidates (their gains are always negative at
     /// queue time), so quality loss is small; balance-repair moves may be
     /// missed when the boundary is tiny — use full passes when the start
     /// state is badly imbalanced.
     pub fn fm_pass_boundary(&mut self, rng: &mut impl Rng, early_exit: usize) -> bool {
-        self.fm_pass_impl(rng, early_exit, true)
+        self.fm_pass_in(
+            rng,
+            early_exit,
+            true,
+            &mut LevelArena::disabled(),
+            &mut EngineStats::default(),
+        )
     }
 
-    fn fm_pass_impl(&mut self, rng: &mut impl Rng, early_exit: usize, boundary: bool) -> bool {
-        let n = self.hg.num_vertices();
-        let mut buckets = GainBuckets::new(n as usize, self.max_gain_bound());
+    /// Arena-backed FM pass used by the engine: the bucket structure and
+    /// order/move buffers come from `arena`; pass/move counters accumulate
+    /// into `stats`.
+    pub(crate) fn fm_pass_in(
+        &mut self,
+        rng: &mut impl Rng,
+        early_exit: usize,
+        boundary: bool,
+        arena: &mut LevelArena,
+        stats: &mut EngineStats,
+    ) -> bool {
+        let n = self.sub.num_vertices();
+        let mut buckets = arena.take_buckets(n as usize, self.sub.max_gain_bound());
 
         // Insert free vertices in random order (ties broken by insertion).
-        let mut order: Vec<u32> = (0..n)
-            .filter(|&v| {
-                self.fixed[v as usize] == FREE && (!boundary || self.is_boundary(v))
-            })
-            .collect();
+        let mut order = arena.take_u32(0, 0);
+        order.extend(
+            (0..n)
+                .filter(|&v| self.fixed[v as usize] == FREE && (!boundary || self.is_boundary(v))),
+        );
         order.shuffle(rng);
-        for &v in &order {
+        for &v in order.iter() {
             buckets.insert(v, self.gain(v));
         }
 
         let start = (self.balance_penalty(), self.cut);
         let mut best = start;
-        let mut moves: Vec<u32> = Vec::new();
+        let mut moves = arena.take_u32(0, 0);
         let mut best_len = 0usize;
         let mut since_best = 0usize;
 
         while let Some((v, _)) = {
             // Split borrows: admissibility needs &self, pop needs &mut buckets.
-            let state: &BisectionState<'a> = &*self;
+            let state: &Self = &*self;
             buckets.pop_max_where(|u| state.admissible(u))
         } {
             self.apply_move(v, Some(&mut buckets));
@@ -291,27 +276,31 @@ impl<'a> BisectionState<'a> {
                 }
             }
         }
+        stats.fm_passes += 1;
+        stats.fm_moves += moves.len() as u64;
 
         // Roll back past the best prefix.
         for &v in moves[best_len..].iter().rev() {
             self.apply_move(v, None);
         }
         debug_assert_eq!((self.balance_penalty(), self.cut), best);
+        arena.give_buckets(buckets);
+        arena.give_u32(order);
+        arena.give_u32(moves);
         best < start
     }
 
     /// Runs up to `max_passes` FM passes, stopping when a pass yields no
     /// improvement. Returns the number of improving passes.
     pub fn refine(&mut self, rng: &mut impl Rng, max_passes: usize, early_exit: usize) -> usize {
-        let mut improved = 0;
-        for _ in 0..max_passes {
-            if self.fm_pass(rng, early_exit) {
-                improved += 1;
-            } else {
-                break;
-            }
-        }
-        improved
+        self.refine_in(
+            rng,
+            max_passes,
+            early_exit,
+            false,
+            &mut LevelArena::disabled(),
+            &mut EngineStats::default(),
+        )
     }
 
     /// Like [`BisectionState::refine`] with boundary-only passes; one full
@@ -323,12 +312,37 @@ impl<'a> BisectionState<'a> {
         max_passes: usize,
         early_exit: usize,
     ) -> usize {
+        self.refine_in(
+            rng,
+            max_passes,
+            early_exit,
+            true,
+            &mut LevelArena::disabled(),
+            &mut EngineStats::default(),
+        )
+    }
+
+    /// Arena-backed refinement loop used by the engine (`boundary` selects
+    /// boundary-only passes after an optional balance-repair full pass).
+    pub(crate) fn refine_in(
+        &mut self,
+        rng: &mut impl Rng,
+        max_passes: usize,
+        early_exit: usize,
+        boundary: bool,
+        arena: &mut LevelArena,
+        stats: &mut EngineStats,
+    ) -> usize {
         let mut improved = 0;
-        if self.balance_penalty() > 0 && self.fm_pass(rng, early_exit) {
+        if boundary
+            && self.balance_penalty() > 0
+            && self.fm_pass_in(rng, early_exit, false, arena, stats)
+        {
             improved += 1;
         }
-        for _ in improved..max_passes {
-            if self.fm_pass_boundary(rng, early_exit) {
+        let remaining = max_passes.saturating_sub(improved);
+        for _ in 0..remaining {
+            if self.fm_pass_in(rng, early_exit, boundary, arena, stats) {
                 improved += 1;
             } else {
                 break;
@@ -490,5 +504,28 @@ mod tests {
         st.refine(&mut rng(), 6, 0);
         // Best achievable: dummies huddle with their net mates, cut = 1.
         assert_eq!(st.cut(), 1);
+    }
+
+    #[test]
+    fn arena_backed_state_matches_plain() {
+        let hg = two_clusters(12);
+        let fixed = free(24);
+        let side: Vec<u8> = (0..24).map(|v| (v % 2) as u8).collect();
+        let mut arena = LevelArena::new();
+        let mut stats = EngineStats::default();
+        let mut a =
+            BisectionState::new_in(&hg, side.clone(), &fixed, [12.0, 12.0], 0.1, &mut arena);
+        let mut b = BisectionState::new(&hg, side, &fixed, [12.0, 12.0], 0.1);
+        a.refine_in(&mut rng(), 8, 0, false, &mut arena, &mut stats);
+        b.refine(&mut rng(), 8, 0);
+        assert_eq!(a.cut(), b.cut());
+        assert_eq!(a.sides(), b.sides());
+        assert!(stats.fm_passes > 0 && stats.fm_moves > 0);
+        let sides = a.into_sides_in(&mut arena);
+        assert_eq!(sides.len(), 24);
+        assert!(
+            arena.stats().reused > 0,
+            "pass 2+ should reuse pooled buffers"
+        );
     }
 }

@@ -262,7 +262,10 @@ mod tests {
         let mut total_gain = 0u64;
         for seed in 0..4u64 {
             let hg = random_hypergraph(600, 900, 8, seed);
-            let cfg = PartitionConfig { kway_refine: false, ..PartitionConfig::with_seed(seed) };
+            let cfg = PartitionConfig {
+                kway_refine: false,
+                ..PartitionConfig::with_seed(seed)
+            };
             let r = partition_hypergraph(&hg, 8, &cfg).unwrap();
             let before = r.cutsize;
             let mut p = r.partition;
@@ -273,7 +276,10 @@ mod tests {
             assert!(after <= before);
             total_gain += gain;
         }
-        assert!(total_gain > 0, "V-cycles should find something across 4 seeds");
+        assert!(
+            total_gain > 0,
+            "V-cycles should find something across 4 seeds"
+        );
     }
 
     #[test]
@@ -298,8 +304,7 @@ mod tests {
         let mut fixed = vec![u32::MAX; 200];
         fixed[0] = 1;
         fixed[5] = 3;
-        let r = crate::recursive::partition_hypergraph_fixed(&hg, 4, Some(&fixed), &cfg)
-            .unwrap();
+        let r = crate::recursive::partition_hypergraph_fixed(&hg, 4, Some(&fixed), &cfg).unwrap();
         let mut p = r.partition;
         vcycle_refine(&hg, &mut p, &fixed, &cfg, 2);
         assert_eq!(p.part(0), 1);
@@ -337,6 +342,9 @@ mod tests {
         let hg = random_hypergraph(50, 80, 4, 7);
         let mut p = Partition::trivial(50);
         let fixed = vec![u32::MAX; 50];
-        assert_eq!(vcycle_refine(&hg, &mut p, &fixed, &PartitionConfig::default(), 2), 0);
+        assert_eq!(
+            vcycle_refine(&hg, &mut p, &fixed, &PartitionConfig::default(), 2),
+            0
+        );
     }
 }

@@ -18,8 +18,7 @@ fn hypergraph() -> impl Strategy<Value = Hypergraph> {
             1..=30,
         )
         .prop_map(move |nets| {
-            let nets: Vec<Vec<u32>> =
-                nets.into_iter().map(|s| s.into_iter().collect()).collect();
+            let nets: Vec<Vec<u32>> = nets.into_iter().map(|s| s.into_iter().collect()).collect();
             Hypergraph::from_nets(nv, &nets).expect("pins in range")
         })
     })
@@ -27,7 +26,9 @@ fn hypergraph() -> impl Strategy<Value = Hypergraph> {
 
 fn sides_for(hg: &Hypergraph, seed: u64) -> Vec<u8> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    (0..hg.num_vertices()).map(|_| rand::Rng::gen_range(&mut rng, 0..2u8)).collect()
+    (0..hg.num_vertices())
+        .map(|_| rand::Rng::gen_range(&mut rng, 0..2u8))
+        .collect()
 }
 
 proptest! {

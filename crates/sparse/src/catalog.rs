@@ -85,7 +85,13 @@ impl CatalogEntry {
             }
             Family::PowerGrid => {
                 let extra = (((avg - 1.0) / 2.0 - 1.0) * n as f64).max(0.0) as usize;
-                gen::power_grid(n, extra, self.paper.max.saturating_sub(1), ValueMode::Laplacian, &mut rng)
+                gen::power_grid(
+                    n,
+                    extra,
+                    self.paper.max.saturating_sub(1),
+                    ValueMode::Laplacian,
+                    &mut rng,
+                )
             }
             Family::NetworkLp => {
                 let m = ((avg - 1.0) / 2.0).max(1.0);
@@ -143,7 +149,13 @@ pub fn catalog() -> Vec<CatalogEntry> {
     use Family::*;
     let e = |name, rows, nnz, min, max, avg, family| CatalogEntry {
         name,
-        paper: PaperStats { rows, nnz, min, max, avg },
+        paper: PaperStats {
+            rows,
+            nnz,
+            min,
+            max,
+            avg,
+        },
         family,
     };
     vec![
@@ -166,7 +178,9 @@ pub fn catalog() -> Vec<CatalogEntry> {
 
 /// Looks up a catalog entry by (case-insensitive) name.
 pub fn by_name(name: &str) -> Option<CatalogEntry> {
-    catalog().into_iter().find(|e| e.name.eq_ignore_ascii_case(name))
+    catalog()
+        .into_iter()
+        .find(|e| e.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]
@@ -178,7 +192,10 @@ mod tests {
         let c = catalog();
         assert_eq!(c.len(), 14);
         for w in c.windows(2) {
-            assert!(w[0].paper.nnz <= w[1].paper.nnz, "catalog must be nnz-sorted");
+            assert!(
+                w[0].paper.nnz <= w[1].paper.nnz,
+                "catalog must be nnz-sorted"
+            );
         }
     }
 
@@ -204,8 +221,16 @@ mod tests {
                 target
             );
             assert!(a.is_square());
-            assert!(a.has_full_diagonal(), "{} analogue must have a diagonal", entry.name);
-            assert!(a.pattern_symmetric(), "{} analogue should be symmetric", entry.name);
+            assert!(
+                a.has_full_diagonal(),
+                "{} analogue must have a diagonal",
+                entry.name
+            );
+            assert!(
+                a.pattern_symmetric(),
+                "{} analogue should be symmetric",
+                entry.name
+            );
         }
     }
 
@@ -237,6 +262,9 @@ mod tests {
     fn hubs_present_in_network_lp_analogues() {
         let e = by_name("cre-d").unwrap();
         let s = e.measured_stats(8, 1);
-        assert!(s.row_max as f64 > 4.0 * s.row_avg, "expected skewed degrees");
+        assert!(
+            s.row_max as f64 > 4.0 * s.row_avg,
+            "expected skewed degrees"
+        );
     }
 }

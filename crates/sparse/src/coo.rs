@@ -20,7 +20,13 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Creates an empty `nrows x ncols` matrix.
     pub fn new(nrows: u32, ncols: u32) -> Self {
-        CooMatrix { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Creates an empty matrix with room for `cap` entries.
@@ -169,8 +175,7 @@ mod tests {
 
     #[test]
     fn compress_keeps_explicit_zero_sum() {
-        let mut m =
-            CooMatrix::from_triplets(2, 2, vec![(1, 1, 2.0), (1, 1, -2.0)]).unwrap();
+        let mut m = CooMatrix::from_triplets(2, 2, vec![(1, 1, 2.0), (1, 1, -2.0)]).unwrap();
         m.compress();
         assert_eq!(m.nnz(), 1);
         assert_eq!(m.iter().next(), Some((1, 1, 0.0)));

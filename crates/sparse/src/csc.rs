@@ -25,7 +25,13 @@ impl CscMatrix {
         let col_ptr = t.row_ptr().to_vec();
         let row_idx = t.col_idx().to_vec();
         let values = t.values().to_vec();
-        CscMatrix { nrows, ncols, col_ptr, row_idx, values }
+        CscMatrix {
+            nrows,
+            ncols,
+            col_ptr,
+            row_idx,
+            values,
+        }
     }
 
     /// Builds from a CSR matrix.
@@ -103,7 +109,13 @@ mod tests {
             CooMatrix::from_triplets(
                 3,
                 3,
-                vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+                vec![
+                    (0, 0, 1.0),
+                    (0, 2, 2.0),
+                    (1, 1, 3.0),
+                    (2, 0, 4.0),
+                    (2, 2, 5.0),
+                ],
             )
             .unwrap(),
         )

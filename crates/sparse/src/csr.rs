@@ -31,7 +31,13 @@ impl CsrMatrix {
         }
         debug_assert_eq!(row_ptr[nrows as usize], nnz);
         // `compress` already sorted row-major, so cols/vals are in final order.
-        CsrMatrix { nrows, ncols, row_ptr, col_idx: cols, values: vals }
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx: cols,
+            values: vals,
+        }
     }
 
     /// Builds directly from raw CSR arrays, validating the invariants
@@ -54,11 +60,15 @@ impl CsrMatrix {
             return Err(SparseError::Parse("row_ptr endpoints invalid".into()));
         }
         if col_idx.len() != values.len() {
-            return Err(SparseError::Parse("col_idx / values length mismatch".into()));
+            return Err(SparseError::Parse(
+                "col_idx / values length mismatch".into(),
+            ));
         }
         for i in 0..nrows as usize {
             if row_ptr[i] > row_ptr[i + 1] || row_ptr[i + 1] > col_idx.len() {
-                return Err(SparseError::Parse(format!("row_ptr not monotone at row {i}")));
+                return Err(SparseError::Parse(format!(
+                    "row_ptr not monotone at row {i}"
+                )));
             }
             let row = &col_idx[row_ptr[i]..row_ptr[i + 1]];
             for w in row.windows(2) {
@@ -79,7 +89,13 @@ impl CsrMatrix {
                 }
             }
         }
-        Ok(CsrMatrix { nrows, ncols, row_ptr, col_idx, values })
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Identity matrix of order `n`.
@@ -87,7 +103,13 @@ impl CsrMatrix {
         let row_ptr = (0..=n as usize).collect();
         let col_idx = (0..n).collect();
         let values = vec![1.0; n as usize];
-        CsrMatrix { nrows: n, ncols: n, row_ptr, col_idx, values }
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -182,7 +204,13 @@ impl CsrMatrix {
                 next[j as usize] += 1;
             }
         }
-        CsrMatrix { nrows: self.ncols, ncols: self.nrows, row_ptr, col_idx, values }
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Converts to compressed sparse column format.
@@ -268,7 +296,13 @@ mod tests {
             CooMatrix::from_triplets(
                 3,
                 3,
-                vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+                vec![
+                    (0, 0, 1.0),
+                    (0, 2, 2.0),
+                    (1, 1, 3.0),
+                    (2, 0, 4.0),
+                    (2, 2, 5.0),
+                ],
             )
             .unwrap(),
         )
@@ -338,9 +372,7 @@ mod tests {
         );
         assert!(sym.pattern_symmetric());
         assert!(sym.numerically_symmetric(0.0));
-        let asym = CsrMatrix::from_coo(
-            CooMatrix::from_triplets(2, 2, vec![(0, 1, 2.0)]).unwrap(),
-        );
+        let asym = CsrMatrix::from_coo(CooMatrix::from_triplets(2, 2, vec![(0, 1, 2.0)]).unwrap());
         assert!(!asym.pattern_symmetric());
     }
 

@@ -195,7 +195,11 @@ pub fn power_grid(
         // Locally biased second endpoint.
         let span = 200.min(n as usize - 1) as u32;
         let off = rng.gen_range(1..=span);
-        let v = if rng.gen_bool(0.5) { u.saturating_sub(off) } else { (u + off).min(n - 1) };
+        let v = if rng.gen_bool(0.5) {
+            u.saturating_sub(off)
+        } else {
+            (u + off).min(n - 1)
+        };
         if u == v
             || adj[u as usize].len() >= max_degree
             || adj[v as usize].len() >= max_degree
@@ -215,12 +219,7 @@ pub fn power_grid(
 /// distributions of network-LP normal-equation matrices (`ken`, `cre`,
 /// `cq9`, `co9`, `nl`, `world`, `mod2`): most rows sparse, a few hubs with
 /// hundreds of nonzeros.
-pub fn scale_free(
-    n: u32,
-    edges_per_node: f64,
-    values: ValueMode,
-    rng: &mut impl Rng,
-) -> CsrMatrix {
+pub fn scale_free(n: u32, edges_per_node: f64, values: ValueMode, rng: &mut impl Rng) -> CsrMatrix {
     assert!(n >= 2, "scale_free needs at least two nodes");
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
     // Endpoint multiset for preferential attachment.
@@ -398,7 +397,10 @@ pub fn rmat(
     rng: &mut impl Rng,
 ) -> CsrMatrix {
     let (a, b, c, d) = probs;
-    assert!((a + b + c + d - 1.0).abs() < 1e-9, "probabilities must sum to 1");
+    assert!(
+        (a + b + c + d - 1.0).abs() < 1e-9,
+        "probabilities must sum to 1"
+    );
     assert!((1..=24).contains(&scale), "scale in 1..=24");
     let n = 1u32 << scale;
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
@@ -516,7 +518,11 @@ mod tests {
         let s = MatrixStats::compute(&a);
         assert!(s.row_max > 30, "expected hub rows, max was {}", s.row_max);
         assert!(a.pattern_symmetric());
-        assert!((s.row_avg - 7.0).abs() < 2.0, "avg {} should be near 2m+1", s.row_avg);
+        assert!(
+            (s.row_avg - 7.0).abs() < 2.0,
+            "avg {} should be near 2m+1",
+            s.row_avg
+        );
     }
 
     #[test]
@@ -524,8 +530,13 @@ mod tests {
         let a = grid5(6, 6, 1.0, ValueMode::Laplacian, &mut rng());
         for i in 0..a.nrows() {
             let diag = a.get(i, i).unwrap();
-            let off: f64 =
-                a.row_vals(i).iter().zip(a.row_cols(i)).filter(|(_, &j)| j != i).map(|(v, _)| v.abs()).sum();
+            let off: f64 = a
+                .row_vals(i)
+                .iter()
+                .zip(a.row_cols(i))
+                .filter(|(_, &j)| j != i)
+                .map(|(v, _)| v.abs())
+                .sum();
             assert!(diag > off, "row {i} not diagonally dominant");
         }
     }
@@ -538,7 +549,10 @@ mod tests {
         // No entry may couple non-adjacent blocks.
         for (i, j, _) in a.iter() {
             let (bi, bj) = (i / 100, j / 100);
-            assert!(bi.abs_diff(bj) <= 1, "entry ({i},{j}) spans non-adjacent blocks");
+            assert!(
+                bi.abs_diff(bj) <= 1,
+                "entry ({i},{j}) spans non-adjacent blocks"
+            );
         }
     }
 
@@ -546,8 +560,16 @@ mod tests {
     fn lattice_with_hubs_degrees() {
         let a = lattice_with_hubs(1000, 2, 3, 200, ValueMode::Ones, &mut rng());
         let s = MatrixStats::compute(&a);
-        assert!(s.row_min >= 5, "lattice base degree 4 + diag, got {}", s.row_min);
-        assert!(s.row_max >= 150, "hubs should be high degree, got {}", s.row_max);
+        assert!(
+            s.row_min >= 5,
+            "lattice base degree 4 + diag, got {}",
+            s.row_min
+        );
+        assert!(
+            s.row_max >= 150,
+            "hubs should be high degree, got {}",
+            s.row_max
+        );
         assert!(a.pattern_symmetric());
     }
 
@@ -564,8 +586,12 @@ mod tests {
     fn aat_pattern_small_exact() {
         // A = [1 0 1; 0 1 1] -> AAᵀ pattern full 2x2 (rows share col 2).
         let a = CsrMatrix::from_coo(
-            CooMatrix::from_triplets(2, 3, vec![(0, 0, 1.0), (0, 2, 1.0), (1, 1, 1.0), (1, 2, 1.0)])
-                .unwrap(),
+            CooMatrix::from_triplets(
+                2,
+                3,
+                vec![(0, 0, 1.0), (0, 2, 1.0), (1, 1, 1.0), (1, 2, 1.0)],
+            )
+            .unwrap(),
         );
         let m = aat_pattern(&a);
         assert_eq!(m.nnz(), 4);
@@ -577,7 +603,13 @@ mod tests {
 
     #[test]
     fn rmat_skewed_and_symmetric() {
-        let a = rmat(10, 4000, (0.57, 0.19, 0.19, 0.05), ValueMode::Ones, &mut rng());
+        let a = rmat(
+            10,
+            4000,
+            (0.57, 0.19, 0.19, 0.05),
+            ValueMode::Ones,
+            &mut rng(),
+        );
         assert_eq!(a.nrows(), 1024);
         assert!(a.pattern_symmetric());
         assert!(a.has_full_diagonal());

@@ -82,7 +82,11 @@ pub fn read_matrix_market_from(reader: impl Read) -> Result<CooMatrix> {
     let mut coo = CooMatrix::with_capacity(
         nrows,
         ncols,
-        if symmetry == MmSymmetry::General { nnz } else { nnz * 2 },
+        if symmetry == MmSymmetry::General {
+            nnz
+        } else {
+            nnz * 2
+        },
     );
     let mut seen = 0usize;
     for line in lines {
@@ -95,7 +99,9 @@ pub fn read_matrix_market_from(reader: impl Read) -> Result<CooMatrix> {
         let i: u32 = parse_num(it.next(), "row index")?;
         let j: u32 = parse_num(it.next(), "col index")?;
         if i == 0 || j == 0 {
-            return Err(SparseError::Parse("matrix market indices are 1-based".into()));
+            return Err(SparseError::Parse(
+                "matrix market indices are 1-based".into(),
+            ));
         }
         let v = match field {
             MmField::Pattern => 1.0,
@@ -162,8 +168,10 @@ fn fmt_f64(v: f64) -> String {
 }
 
 fn parse_header(line: &str) -> Result<(MmField, MmSymmetry)> {
-    let tokens: Vec<String> =
-        line.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    let tokens: Vec<String> = line
+        .split_whitespace()
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
     if tokens.len() != 5
         || tokens[0] != "%%matrixmarket"
         || tokens[1] != "matrix"
@@ -178,7 +186,9 @@ fn parse_header(line: &str) -> Result<(MmField, MmSymmetry)> {
         "integer" => MmField::Integer,
         "pattern" => MmField::Pattern,
         other => {
-            return Err(SparseError::Parse(format!("unsupported field type {other:?}")))
+            return Err(SparseError::Parse(format!(
+                "unsupported field type {other:?}"
+            )))
         }
     };
     let symmetry = match tokens[4].as_str() {
@@ -186,7 +196,9 @@ fn parse_header(line: &str) -> Result<(MmField, MmSymmetry)> {
         "symmetric" => MmSymmetry::Symmetric,
         "skew-symmetric" => MmSymmetry::SkewSymmetric,
         other => {
-            return Err(SparseError::Parse(format!("unsupported symmetry {other:?}")))
+            return Err(SparseError::Parse(format!(
+                "unsupported symmetry {other:?}"
+            )))
         }
     };
     Ok((field, symmetry))
@@ -252,7 +264,10 @@ mod tests {
 
     #[test]
     fn reject_bad_header() {
-        assert!(read_matrix_market_from("%%MatrixMarket matrix array real general\n1 1\n1.0\n".as_bytes()).is_err());
+        assert!(read_matrix_market_from(
+            "%%MatrixMarket matrix array real general\n1 1\n1.0\n".as_bytes()
+        )
+        .is_err());
         assert!(read_matrix_market_from("not a header\n".as_bytes()).is_err());
         assert!(read_matrix_market_from("".as_bytes()).is_err());
     }
@@ -278,12 +293,7 @@ mod tests {
     #[test]
     fn write_read_roundtrip() {
         let a = CsrMatrix::from_coo(
-            CooMatrix::from_triplets(
-                3,
-                4,
-                vec![(0, 0, 1.25), (1, 3, -7.0), (2, 2, 1e-9)],
-            )
-            .unwrap(),
+            CooMatrix::from_triplets(3, 4, vec![(0, 0, 1.25), (1, 3, -7.0), (2, 2, 1e-9)]).unwrap(),
         );
         let mut buf = Vec::new();
         write_matrix_market_to(&a, &mut buf).unwrap();

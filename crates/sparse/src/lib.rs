@@ -40,7 +40,12 @@ pub use stats::MatrixStats;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SparseError {
     /// An entry's row or column index is out of the declared bounds.
-    IndexOutOfBounds { row: u32, col: u32, nrows: u32, ncols: u32 },
+    IndexOutOfBounds {
+        row: u32,
+        col: u32,
+        nrows: u32,
+        ncols: u32,
+    },
     /// A malformed Matrix Market file, with a human-readable reason.
     Parse(String),
     /// An I/O failure while reading/writing a file.
@@ -54,14 +59,22 @@ pub enum SparseError {
 impl std::fmt::Display for SparseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
                 f,
                 "entry ({row}, {col}) out of bounds for a {nrows} x {ncols} matrix"
             ),
             SparseError::Parse(msg) => write!(f, "matrix market parse error: {msg}"),
             SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
             SparseError::NotSquare { nrows, ncols } => {
-                write!(f, "operation requires a square matrix, got {nrows} x {ncols}")
+                write!(
+                    f,
+                    "operation requires a square matrix, got {nrows} x {ncols}"
+                )
             }
             SparseError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
         }

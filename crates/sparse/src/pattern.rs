@@ -26,7 +26,10 @@ impl SymmetrizedPattern {
     /// Builds the symmetrized off-diagonal pattern of a square matrix.
     pub fn build(a: &CsrMatrix) -> Result<Self> {
         if !a.is_square() {
-            return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+            return Err(SparseError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
         }
         let n = a.nrows();
         let t = a.transpose();
@@ -74,7 +77,12 @@ impl SymmetrizedPattern {
             }
             adj_ptr.push(adj.len());
         }
-        Ok(SymmetrizedPattern { n, adj_ptr, adj, both })
+        Ok(SymmetrizedPattern {
+            n,
+            adj_ptr,
+            adj,
+            both,
+        })
     }
 
     /// Number of vertices (matrix order).
@@ -126,7 +134,13 @@ mod tests {
             CooMatrix::from_triplets(
                 3,
                 3,
-                vec![(0, 0, 1.0), (0, 1, 1.0), (1, 1, 1.0), (2, 0, 1.0), (2, 2, 1.0)],
+                vec![
+                    (0, 0, 1.0),
+                    (0, 1, 1.0),
+                    (1, 1, 1.0),
+                    (2, 0, 1.0),
+                    (2, 2, 1.0),
+                ],
             )
             .unwrap(),
         );

@@ -96,7 +96,10 @@ fn bfs_farthest(pat: &SymmetrizedPattern, start: u32) -> (u32, usize) {
 /// old` convention returned by [`rcm_order`]).
 pub fn permute_symmetric(a: &CsrMatrix, perm: &[u32]) -> Result<CsrMatrix> {
     if !a.is_square() {
-        return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        return Err(SparseError::NotSquare {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+        });
     }
     let n = a.nrows() as usize;
     if perm.len() != n {
@@ -117,7 +120,8 @@ pub fn permute_symmetric(a: &CsrMatrix, perm: &[u32]) -> Result<CsrMatrix> {
     }
     let mut coo = crate::CooMatrix::with_capacity(a.nrows(), a.ncols(), a.nnz());
     for (i, j, v) in a.iter() {
-        coo.push(inv[i as usize], inv[j as usize], v).expect("bijection stays in range");
+        coo.push(inv[i as usize], inv[j as usize], v)
+            .expect("bijection stays in range");
     }
     Ok(CsrMatrix::from_coo(coo))
 }
@@ -155,7 +159,10 @@ mod tests {
         let mut shuffle: Vec<u32> = (0..200).collect();
         shuffle.shuffle(&mut rng);
         let scrambled = permute_symmetric(&banded, &shuffle).unwrap();
-        assert!(bandwidth(&scrambled) > 10 * bw0, "shuffle should destroy the band");
+        assert!(
+            bandwidth(&scrambled) > 10 * bw0,
+            "shuffle should destroy the band"
+        );
         let rcm = rcm_order(&scrambled).unwrap();
         let restored = permute_symmetric(&scrambled, &rcm).unwrap();
         assert!(

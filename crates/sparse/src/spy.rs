@@ -50,18 +50,19 @@ pub fn spy_owners(a: &CsrMatrix, owner: &[u32], max_cells: u32) -> String {
     let (rows, cols) = (a.nrows().max(1), a.ncols().max(1));
     let cells_r = rows.min(max_cells).max(1);
     let cells_c = cols.min(max_cells).max(1);
-    let k = owner.iter().copied().max().map(|m| m as usize + 1).unwrap_or(1);
+    let k = owner
+        .iter()
+        .copied()
+        .max()
+        .map(|m| m as usize + 1)
+        .unwrap_or(1);
     let mut counts = vec![0u32; (cells_r * cells_c) as usize * k];
-    let mut e = 0usize;
-    for (i, j, _) in a.iter() {
+    for (e, (i, j, _)) in a.iter().enumerate() {
         let r = (i as u64 * cells_r as u64 / rows as u64) as u32;
         let c = (j as u64 * cells_c as u64 / cols as u64) as u32;
         counts[((r * cells_c + c) as usize) * k + owner[e] as usize] += 1;
-        e += 1;
     }
-    let digit = |p: usize| {
-        char::from_digit((p % 36) as u32, 36).expect("p % 36 < 36")
-    };
+    let digit = |p: usize| char::from_digit((p % 36) as u32, 36).expect("p % 36 < 36");
     let mut out = String::with_capacity(((cells_c + 1) * cells_r) as usize);
     for r in 0..cells_r {
         for c in 0..cells_c {
@@ -108,7 +109,13 @@ mod tests {
             CooMatrix::from_triplets(
                 4,
                 4,
-                vec![(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0), (3, 3, 1.0)],
+                vec![
+                    (0, 0, 1.0),
+                    (0, 1, 1.0),
+                    (1, 0, 1.0),
+                    (2, 3, 1.0),
+                    (3, 3, 1.0),
+                ],
             )
             .unwrap(),
         );

@@ -64,10 +64,18 @@ impl MatrixStats {
             nnz,
             row_min,
             row_max,
-            row_avg: if nrows == 0 { 0.0 } else { nnz as f64 / nrows as f64 },
+            row_avg: if nrows == 0 {
+                0.0
+            } else {
+                nnz as f64 / nrows as f64
+            },
             col_min,
             col_max,
-            col_avg: if ncols == 0 { 0.0 } else { nnz as f64 / ncols as f64 },
+            col_avg: if ncols == 0 {
+                0.0
+            } else {
+                nnz as f64 / ncols as f64
+            },
         }
     }
 
@@ -106,7 +114,13 @@ mod tests {
             CooMatrix::from_triplets(
                 3,
                 3,
-                vec![(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0), (1, 1, 1.0), (2, 1, 1.0)],
+                vec![
+                    (0, 0, 1.0),
+                    (0, 1, 1.0),
+                    (0, 2, 1.0),
+                    (1, 1, 1.0),
+                    (2, 1, 1.0),
+                ],
             )
             .unwrap(),
         );

@@ -27,24 +27,40 @@ impl MachineModel {
     /// CC-class): ~50 µs message latency, ~10 MB/s per-word transfer,
     /// ~50 Mflop/s per node.
     pub fn classic_mpp() -> Self {
-        MachineModel { alpha: 50e-6, beta: 0.8e-6, gamma: 20e-9 }
+        MachineModel {
+            alpha: 50e-6,
+            beta: 0.8e-6,
+            gamma: 20e-9,
+        }
     }
 
     /// A commodity Beowulf-style cluster: ~60 µs TCP latency, ~100 Mb/s.
     pub fn beowulf() -> Self {
-        MachineModel { alpha: 60e-6, beta: 0.64e-6, gamma: 2e-9 }
+        MachineModel {
+            alpha: 60e-6,
+            beta: 0.64e-6,
+            gamma: 2e-9,
+        }
     }
 
     /// A modern InfiniBand-class cluster: ~1.5 µs latency, ~100 Gb/s,
     /// ~10 Gflop/s effective per core for sparse kernels.
     pub fn modern_cluster() -> Self {
-        MachineModel { alpha: 1.5e-6, beta: 0.64e-9, gamma: 0.1e-9 }
+        MachineModel {
+            alpha: 1.5e-6,
+            beta: 0.64e-9,
+            gamma: 0.1e-9,
+        }
     }
 
     /// A latency-dominated network (e.g. heavily oversubscribed
     /// ethernet): message count matters far more than volume.
     pub fn latency_bound() -> Self {
-        MachineModel { alpha: 500e-6, beta: 0.1e-6, gamma: 2e-9 }
+        MachineModel {
+            alpha: 500e-6,
+            beta: 0.1e-6,
+            gamma: 2e-9,
+        }
     }
 }
 
@@ -110,7 +126,10 @@ pub fn estimate(plan: &DistributedSpmv, machine: &MachineModel) -> CostEstimate 
             .fold(0.0f64, f64::max)
     };
 
-    let max_nnz = (0..plan.k()).map(|p| plan.local(p).nnz()).max().unwrap_or(0);
+    let max_nnz = (0..plan.k())
+        .map(|p| plan.local(p).nnz())
+        .max()
+        .unwrap_or(0);
     CostEstimate {
         t_serial: machine.gamma * 2.0 * total_nnz as f64,
         t_expand: phase_time(&ex_msgs, &ex_words),
@@ -129,7 +148,13 @@ mod tests {
     use rand::SeedableRng;
 
     fn matrix() -> CsrMatrix {
-        gen::grid5(24, 24, 1.0, ValueMode::Laplacian, &mut SmallRng::seed_from_u64(1))
+        gen::grid5(
+            24,
+            24,
+            1.0,
+            ValueMode::Laplacian,
+            &mut SmallRng::seed_from_u64(1),
+        )
     }
 
     #[test]
@@ -148,12 +173,20 @@ mod tests {
         // A compute-dominated machine: speedup approaches K but can never
         // exceed it (t_compute >= t_serial / K by the max-load bound).
         let a = matrix();
-        let machine = MachineModel { alpha: 1e-12, beta: 1e-12, gamma: 1e-6 };
+        let machine = MachineModel {
+            alpha: 1e-12,
+            beta: 1e-12,
+            gamma: 1e-6,
+        };
         for k in [2u32, 4, 8] {
             let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, k)).unwrap();
             let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
             let e = estimate(&plan, &machine);
-            assert!(e.speedup() <= k as f64 + 1e-9, "k={k}: speedup {}", e.speedup());
+            assert!(
+                e.speedup() <= k as f64 + 1e-9,
+                "k={k}: speedup {}",
+                e.speedup()
+            );
             assert!(e.speedup() > 1.0, "k={k}: no speedup at all");
         }
     }
@@ -181,12 +214,15 @@ mod tests {
         // P0 -> P1 (1 message, 1 word); no fold.
         use fgh_sparse::CooMatrix;
         let a = CsrMatrix::from_coo(
-            CooMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (1, 0, 1.0), (1, 1, 1.0)])
-                .unwrap(),
+            CooMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (1, 0, 1.0), (1, 1, 1.0)]).unwrap(),
         );
         let d = Decomposition::rowwise(&a, 2, vec![0, 1]).unwrap();
         let plan = DistributedSpmv::build(&a, &d).unwrap();
-        let m = MachineModel { alpha: 10.0, beta: 1.0, gamma: 0.5 };
+        let m = MachineModel {
+            alpha: 10.0,
+            beta: 1.0,
+            gamma: 0.5,
+        };
         let e = estimate(&plan, &m);
         // Serial: gamma * 2 * 3 nonzeros = 3.0.
         assert!((e.t_serial - 3.0).abs() < 1e-12);

@@ -52,8 +52,14 @@ impl std::fmt::Display for SpmvError {
             SpmvError::DimensionMismatch { expected, got } => {
                 write!(f, "vector has length {got}, expected {expected}")
             }
-            SpmvError::NoConvergence { iterations, residual } => {
-                write!(f, "no convergence after {iterations} iterations (residual {residual:e})")
+            SpmvError::NoConvergence {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "no convergence after {iterations} iterations (residual {residual:e})"
+                )
             }
         }
     }

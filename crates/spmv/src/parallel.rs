@@ -25,7 +25,10 @@ enum Msg {
 pub fn parallel_spmv(plan: &DistributedSpmv, x: &[f64]) -> Result<(Vec<f64>, MeasuredComm)> {
     let n = plan.n() as usize;
     if x.len() != n {
-        return Err(SpmvError::DimensionMismatch { expected: n, got: x.len() });
+        return Err(SpmvError::DimensionMismatch {
+            expected: n,
+            got: x.len(),
+        });
     }
     let k = plan.k() as usize;
 
@@ -68,8 +71,11 @@ pub fn parallel_spmv(plan: &DistributedSpmv, x: &[f64]) -> Result<(Vec<f64>, Mea
 
                 // Phase 1: expand — send what we own to the needers.
                 for t in plan.expand_transfers().iter().filter(|t| t.from == p) {
-                    let payload: Vec<(u32, f64)> =
-                        t.indices.iter().map(|&j| (j, x_local[j as usize])).collect();
+                    let payload: Vec<(u32, f64)> = t
+                        .indices
+                        .iter()
+                        .map(|&j| (j, x_local[j as usize]))
+                        .collect();
                     senders[t.to as usize]
                         .send(Msg::X(payload))
                         .expect("receiver alive for the whole scope");
@@ -102,8 +108,11 @@ pub fn parallel_spmv(plan: &DistributedSpmv, x: &[f64]) -> Result<(Vec<f64>, Mea
 
                 // Phase 3: fold — ship partials to the y owners.
                 for t in plan.fold_transfers().iter().filter(|t| t.from == p) {
-                    let payload: Vec<(u32, f64)> =
-                        t.indices.iter().map(|&i| (i, y_partial[i as usize])).collect();
+                    let payload: Vec<(u32, f64)> = t
+                        .indices
+                        .iter()
+                        .map(|&i| (i, y_partial[i as usize]))
+                        .collect();
                     senders[t.to as usize]
                         .send(Msg::Y(payload))
                         .expect("receiver alive for the whole scope");
@@ -165,7 +174,13 @@ mod tests {
             CooMatrix::from_triplets(
                 3,
                 3,
-                vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+                vec![
+                    (0, 0, 1.0),
+                    (0, 2, 2.0),
+                    (1, 1, 3.0),
+                    (2, 0, 4.0),
+                    (2, 2, 5.0),
+                ],
             )
             .unwrap(),
         );
@@ -178,7 +193,13 @@ mod tests {
 
     #[test]
     fn parallel_matches_simulator_all_models() {
-        let a = gen::grid5(10, 10, 1.0, ValueMode::Laplacian, &mut SmallRng::seed_from_u64(4));
+        let a = gen::grid5(
+            10,
+            10,
+            1.0,
+            ValueMode::Laplacian,
+            &mut SmallRng::seed_from_u64(4),
+        );
         let x: Vec<f64> = (0..a.ncols()).map(|j| (j as f64).sin() + 2.0).collect();
         for model in [
             Model::Graph1D,
@@ -210,7 +231,12 @@ mod tests {
     #[test]
     fn repeated_multiplies_are_stable() {
         // Iterative-solver usage: same plan, many multiplies.
-        let a = gen::scale_free(80, 2.0, ValueMode::Laplacian, &mut SmallRng::seed_from_u64(6));
+        let a = gen::scale_free(
+            80,
+            2.0,
+            ValueMode::Laplacian,
+            &mut SmallRng::seed_from_u64(6),
+        );
         let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 4)).unwrap();
         let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
         let mut x = vec![1.0; a.ncols() as usize];

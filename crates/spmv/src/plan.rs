@@ -84,7 +84,8 @@ impl DistributedSpmv {
     /// Builds the distributed matrix and communication plan for
     /// decomposition `d` of matrix `a`.
     pub fn build(a: &CsrMatrix, d: &Decomposition) -> Result<Self> {
-        d.validate(a).map_err(|e| SpmvError::BadDecomposition(e.to_string()))?;
+        d.validate(a)
+            .map_err(|e| SpmvError::BadDecomposition(e.to_string()))?;
         let k = d.k;
         let n = d.n;
 
@@ -93,10 +94,8 @@ impl DistributedSpmv {
         let mut col_needs: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
         let mut row_holds: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
         {
-            let mut e = 0usize;
-            for (i, j, v) in a.iter() {
+            for (e, (i, j, v)) in a.iter().enumerate() {
                 let p = d.nonzero_owner[e];
-                e += 1;
                 let b = &mut local[p as usize];
                 b.rows.push(i);
                 b.cols.push(j);
@@ -146,8 +145,11 @@ impl DistributedSpmv {
             map.into_iter()
                 .enumerate()
                 .flat_map(|(from, tos)| {
-                    tos.into_iter()
-                        .map(move |(to, indices)| Transfer { from: from as u32, to, indices })
+                    tos.into_iter().map(move |(to, indices)| Transfer {
+                        from: from as u32,
+                        to,
+                        indices,
+                    })
                 })
                 .collect()
         };
@@ -195,7 +197,10 @@ impl DistributedSpmv {
     /// Static communication cost of the plan (what *will* move, each
     /// SpMV): identical to what [`DistributedSpmv::multiply`] measures.
     pub fn planned_comm(&self) -> MeasuredComm {
-        let mut m = MeasuredComm { sent_words_per_proc: vec![0; self.k as usize], ..Default::default() };
+        let mut m = MeasuredComm {
+            sent_words_per_proc: vec![0; self.k as usize],
+            ..Default::default()
+        };
         for t in &self.expand {
             m.expand_words += t.indices.len() as u64;
             m.expand_messages += 1;
@@ -220,7 +225,10 @@ impl DistributedSpmv {
     /// both.
     pub fn multiply_transpose(&self, x: &[f64]) -> Result<(Vec<f64>, MeasuredComm)> {
         if x.len() != self.n as usize {
-            return Err(SpmvError::DimensionMismatch { expected: self.n as usize, got: x.len() });
+            return Err(SpmvError::DimensionMismatch {
+                expected: self.n as usize,
+                got: x.len(),
+            });
         }
         let k = self.k as usize;
         let n = self.n as usize;
@@ -229,8 +237,10 @@ impl DistributedSpmv {
         for i in 0..n {
             x_local[self.vec_owner[i] as usize][i] = x[i];
         }
-        let mut measured =
-            MeasuredComm { sent_words_per_proc: vec![0; k], ..Default::default() };
+        let mut measured = MeasuredComm {
+            sent_words_per_proc: vec![0; k],
+            ..Default::default()
+        };
 
         // Transpose expand: reverse of the fold plan (owner -> row holders).
         for t in &self.fold {
@@ -239,7 +249,11 @@ impl DistributedSpmv {
             // the other way.
             for &i in &t.indices {
                 let v = x_local[t.to as usize][i as usize];
-                debug_assert!(!v.is_nan(), "transpose expand of x_{i} from non-owner {}", t.to);
+                debug_assert!(
+                    !v.is_nan(),
+                    "transpose expand of x_{i} from non-owner {}",
+                    t.to
+                );
                 x_local[t.from as usize][i as usize] = v;
             }
             measured.expand_words += t.indices.len() as u64;
@@ -285,7 +299,10 @@ impl DistributedSpmv {
     /// equal to the serial SpMV certifies the plan is complete.
     pub fn multiply(&self, x: &[f64]) -> Result<(Vec<f64>, MeasuredComm)> {
         if x.len() != self.n as usize {
-            return Err(SpmvError::DimensionMismatch { expected: self.n as usize, got: x.len() });
+            return Err(SpmvError::DimensionMismatch {
+                expected: self.n as usize,
+                got: x.len(),
+            });
         }
         let k = self.k as usize;
         let n = self.n as usize;
@@ -296,8 +313,10 @@ impl DistributedSpmv {
             x_local[self.vec_owner[j] as usize][j] = x[j];
         }
 
-        let mut measured =
-            MeasuredComm { sent_words_per_proc: vec![0; k], ..Default::default() };
+        let mut measured = MeasuredComm {
+            sent_words_per_proc: vec![0; k],
+            ..Default::default()
+        };
 
         // Phase 1: expand.
         for t in &self.expand {
@@ -382,7 +401,13 @@ mod tests {
 
     #[test]
     fn measured_comm_matches_commstats_for_all_models() {
-        let a = gen::grid5(12, 12, 1.0, ValueMode::Laplacian, &mut SmallRng::seed_from_u64(3));
+        let a = gen::grid5(
+            12,
+            12,
+            1.0,
+            ValueMode::Laplacian,
+            &mut SmallRng::seed_from_u64(3),
+        );
         for model in [
             Model::Graph1D,
             Model::Hypergraph1DColNet,
@@ -404,7 +429,10 @@ mod tests {
             let s = CommStats::compute(&a, &out.decomposition).unwrap();
             assert_eq!(m.expand_words, s.expand_volume, "{model:?} expand words");
             assert_eq!(m.fold_words, s.fold_volume, "{model:?} fold words");
-            assert_eq!(m.expand_messages, s.expand_messages, "{model:?} expand msgs");
+            assert_eq!(
+                m.expand_messages, s.expand_messages,
+                "{model:?} expand msgs"
+            );
             assert_eq!(m.fold_messages, s.fold_messages, "{model:?} fold msgs");
             for p in 0..4usize {
                 assert_eq!(
@@ -422,7 +450,12 @@ mod tests {
     fn cutsize_equals_measured_volume_fine_grain() {
         // The paper's headline identity, end to end: connectivity−1
         // cutsize == words actually moved.
-        let a = gen::scale_free(150, 2.5, ValueMode::Laplacian, &mut SmallRng::seed_from_u64(9));
+        let a = gen::scale_free(
+            150,
+            2.5,
+            ValueMode::Laplacian,
+            &mut SmallRng::seed_from_u64(9),
+        );
         let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 8)).unwrap();
         let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
         let x = vec![1.0; a.ncols() as usize];
@@ -452,11 +485,18 @@ mod tests {
 
     #[test]
     fn transpose_multiply_matches_serial_transpose() {
-        let a = gen::scale_free(120, 2.0, ValueMode::Laplacian, &mut SmallRng::seed_from_u64(8));
+        let a = gen::scale_free(
+            120,
+            2.0,
+            ValueMode::Laplacian,
+            &mut SmallRng::seed_from_u64(8),
+        );
         let at = a.transpose();
         let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 5)).unwrap();
         let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
-        let x: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.11).sin() + 2.0).collect();
+        let x: Vec<f64> = (0..a.nrows())
+            .map(|i| (i as f64 * 0.11).sin() + 2.0)
+            .collect();
         let (y, _) = plan.multiply_transpose(&x).unwrap();
         let y_serial = at.spmv(&x).unwrap();
         for (a_, b_) in y.iter().zip(&y_serial) {
@@ -468,7 +508,12 @@ mod tests {
     fn transpose_costs_the_same_communication() {
         // Symmetric partitioning makes Ax and Aᵀx equally expensive: same
         // total words, same message count (phases swap roles).
-        let a = gen::scale_free(150, 2.5, ValueMode::Laplacian, &mut SmallRng::seed_from_u64(3));
+        let a = gen::scale_free(
+            150,
+            2.5,
+            ValueMode::Laplacian,
+            &mut SmallRng::seed_from_u64(3),
+        );
         let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 6)).unwrap();
         let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
         let x = vec![1.0; a.nrows() as usize];

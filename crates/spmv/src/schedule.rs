@@ -125,7 +125,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn transfer(from: u32, to: u32, words: usize) -> Transfer {
-        Transfer { from, to, indices: (0..words as u32).collect() }
+        Transfer {
+            from,
+            to,
+            indices: (0..words as u32).collect(),
+        }
     }
 
     /// Validates single-port constraints and completeness.
@@ -136,7 +140,11 @@ mod tests {
             let mut r = vec![false; k as usize];
             for &ti in round {
                 let t = &transfers[ti];
-                assert!(!s[t.from as usize], "sender {} busy twice in a round", t.from);
+                assert!(
+                    !s[t.from as usize],
+                    "sender {} busy twice in a round",
+                    t.from
+                );
                 assert!(!r[t.to as usize], "receiver {} busy twice in a round", t.to);
                 s[t.from as usize] = true;
                 r[t.to as usize] = true;
@@ -177,8 +185,7 @@ mod tests {
     fn ring_shift_one_round() {
         // p -> p+1 mod K: every endpoint degree 1, one round.
         let k = 6u32;
-        let transfers: Vec<Transfer> =
-            (0..k).map(|p| transfer(p, (p + 1) % k, 1)).collect();
+        let transfers: Vec<Transfer> = (0..k).map(|p| transfer(p, (p + 1) % k, 1)).collect();
         let sch = schedule_phase(&transfers, k);
         check(&sch, &transfers, k);
         assert_eq!(sch.num_rounds(), 1);
@@ -186,7 +193,12 @@ mod tests {
 
     #[test]
     fn real_plan_schedules_validly_and_within_bounds() {
-        let a = gen::scale_free(200, 3.0, ValueMode::Laplacian, &mut SmallRng::seed_from_u64(2));
+        let a = gen::scale_free(
+            200,
+            3.0,
+            ValueMode::Laplacian,
+            &mut SmallRng::seed_from_u64(2),
+        );
         let k = 8;
         for model in [Model::Hypergraph1DColNet, Model::FineGrain2D] {
             let out = decompose(&a, &DecomposeConfig::new(model, k)).unwrap();

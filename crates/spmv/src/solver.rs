@@ -40,9 +40,15 @@ fn accumulate(total: &mut MeasuredComm, m: &MeasuredComm) {
     total.expand_messages += m.expand_messages;
     total.fold_messages += m.fold_messages;
     if total.sent_words_per_proc.len() < m.sent_words_per_proc.len() {
-        total.sent_words_per_proc.resize(m.sent_words_per_proc.len(), 0);
+        total
+            .sent_words_per_proc
+            .resize(m.sent_words_per_proc.len(), 0);
     }
-    for (t, s) in total.sent_words_per_proc.iter_mut().zip(&m.sent_words_per_proc) {
+    for (t, s) in total
+        .sent_words_per_proc
+        .iter_mut()
+        .zip(&m.sent_words_per_proc)
+    {
         *t += s;
     }
 }
@@ -59,7 +65,10 @@ pub fn conjugate_gradient(
 ) -> Result<SolveOutcome> {
     let n = plan.n() as usize;
     if b.len() != n {
-        return Err(SpmvError::DimensionMismatch { expected: n, got: b.len() });
+        return Err(SpmvError::DimensionMismatch {
+            expected: n,
+            got: b.len(),
+        });
     }
     let mut comm = MeasuredComm::default();
     let b_norm = dot(b, b).sqrt().max(f64::MIN_POSITIVE);
@@ -71,7 +80,12 @@ pub fn conjugate_gradient(
 
     for it in 0..max_iter {
         if rs_old.sqrt() <= tol * b_norm {
-            return Ok(SolveOutcome { x, iterations: it, scalar: rs_old.sqrt(), comm });
+            return Ok(SolveOutcome {
+                x,
+                iterations: it,
+                scalar: rs_old.sqrt(),
+                comm,
+            });
         }
         let (ap, m) = plan.multiply(&p)?;
         accumulate(&mut comm, &m);
@@ -86,9 +100,17 @@ pub fn conjugate_gradient(
         rs_old = rs_new;
     }
     if rs_old.sqrt() <= tol * b_norm {
-        return Ok(SolveOutcome { x, iterations: max_iter, scalar: rs_old.sqrt(), comm });
+        return Ok(SolveOutcome {
+            x,
+            iterations: max_iter,
+            scalar: rs_old.sqrt(),
+            comm,
+        });
     }
-    Err(SpmvError::NoConvergence { iterations: max_iter, residual: rs_old.sqrt() })
+    Err(SpmvError::NoConvergence {
+        iterations: max_iter,
+        residual: rs_old.sqrt(),
+    })
 }
 
 /// CGNR — conjugate gradients on the normal equations `AᵀA x = Aᵀb` —
@@ -97,15 +119,13 @@ pub fn conjugate_gradient(
 /// under symmetric partitioning both multiplies cost identical
 /// communication, so one CGNR iteration moves exactly twice the
 /// decomposition's volume.
-pub fn cgnr(
-    plan: &DistributedSpmv,
-    b: &[f64],
-    tol: f64,
-    max_iter: usize,
-) -> Result<SolveOutcome> {
+pub fn cgnr(plan: &DistributedSpmv, b: &[f64], tol: f64, max_iter: usize) -> Result<SolveOutcome> {
     let n = plan.n() as usize;
     if b.len() != n {
-        return Err(SpmvError::DimensionMismatch { expected: n, got: b.len() });
+        return Err(SpmvError::DimensionMismatch {
+            expected: n,
+            got: b.len(),
+        });
     }
     let mut comm = MeasuredComm::default();
     let b_norm = dot(b, b).sqrt().max(f64::MIN_POSITIVE);
@@ -119,7 +139,12 @@ pub fn cgnr(
 
     for it in 0..max_iter {
         if dot(&r, &r).sqrt() <= tol * b_norm {
-            return Ok(SolveOutcome { x, iterations: it, scalar: dot(&r, &r).sqrt(), comm });
+            return Ok(SolveOutcome {
+                x,
+                iterations: it,
+                scalar: dot(&r, &r).sqrt(),
+                comm,
+            });
         }
         let (ap, m) = plan.multiply(&p)?;
         accumulate(&mut comm, &m);
@@ -138,16 +163,21 @@ pub fn cgnr(
     }
     let res = dot(&r, &r).sqrt();
     if res <= tol * b_norm {
-        return Ok(SolveOutcome { x, iterations: max_iter, scalar: res, comm });
+        return Ok(SolveOutcome {
+            x,
+            iterations: max_iter,
+            scalar: res,
+            comm,
+        });
     }
-    Err(SpmvError::NoConvergence { iterations: max_iter, residual: res })
+    Err(SpmvError::NoConvergence {
+        iterations: max_iter,
+        residual: res,
+    })
 }
 
 /// Power iteration: estimates the dominant eigenvalue/eigenvector of `A`.
-pub fn power_iteration(
-    plan: &DistributedSpmv,
-    iterations: usize,
-) -> Result<SolveOutcome> {
+pub fn power_iteration(plan: &DistributedSpmv, iterations: usize) -> Result<SolveOutcome> {
     let n = plan.n() as usize;
     let mut comm = MeasuredComm::default();
     let mut x = vec![1.0 / (n as f64).sqrt(); n];
@@ -159,7 +189,12 @@ pub fn power_iteration(
         let norm = dot(&y, &y).sqrt().max(f64::MIN_POSITIVE);
         x = y.into_iter().map(|v| v / norm).collect();
     }
-    Ok(SolveOutcome { x, iterations, scalar: lambda, comm })
+    Ok(SolveOutcome {
+        x,
+        iterations,
+        scalar: lambda,
+        comm,
+    })
 }
 
 #[cfg(test)]
@@ -172,7 +207,13 @@ mod tests {
 
     fn spd_plan(k: u32) -> (fgh_sparse::CsrMatrix, DistributedSpmv) {
         // Laplacian + identity: SPD.
-        let a = gen::grid5(12, 12, 1.0, ValueMode::Laplacian, &mut SmallRng::seed_from_u64(2));
+        let a = gen::grid5(
+            12,
+            12,
+            1.0,
+            ValueMode::Laplacian,
+            &mut SmallRng::seed_from_u64(2),
+        );
         let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, k)).unwrap();
         let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
         (a, plan)
@@ -215,7 +256,12 @@ mod tests {
     fn power_iteration_finds_dominant_eigenvalue() {
         // A hub-dominated matrix has a well-separated top eigenvalue, so
         // power iteration converges quickly.
-        let a = gen::scale_free(100, 3.0, ValueMode::Laplacian, &mut SmallRng::seed_from_u64(5));
+        let a = gen::scale_free(
+            100,
+            3.0,
+            ValueMode::Laplacian,
+            &mut SmallRng::seed_from_u64(5),
+        );
         let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 2)).unwrap();
         let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
         let sol = power_iteration(&plan, 500).unwrap();

@@ -13,7 +13,10 @@ use rand::SeedableRng;
 fn square_matrix() -> impl Strategy<Value = CsrMatrix> {
     (2u32..=16)
         .prop_flat_map(|n| {
-            (Just(n), proptest::collection::btree_set((0..n, 0..n), 1..=60))
+            (
+                Just(n),
+                proptest::collection::btree_set((0..n, 0..n), 1..=60),
+            )
         })
         .prop_map(|(n, pos)| {
             let triplets: Vec<(u32, u32, f64)> = pos
@@ -27,8 +30,12 @@ fn square_matrix() -> impl Strategy<Value = CsrMatrix> {
 
 fn random_decomposition(a: &CsrMatrix, k: u32, seed: u64) -> Decomposition {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let nz: Vec<u32> = (0..a.nnz()).map(|_| rand::Rng::gen_range(&mut rng, 0..k)).collect();
-    let vo: Vec<u32> = (0..a.nrows()).map(|_| rand::Rng::gen_range(&mut rng, 0..k)).collect();
+    let nz: Vec<u32> = (0..a.nnz())
+        .map(|_| rand::Rng::gen_range(&mut rng, 0..k))
+        .collect();
+    let vo: Vec<u32> = (0..a.nrows())
+        .map(|_| rand::Rng::gen_range(&mut rng, 0..k))
+        .collect();
     Decomposition::general(a, k, nz, vo).expect("valid by construction")
 }
 

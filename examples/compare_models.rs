@@ -11,7 +11,10 @@ use fine_grain_hypergraph::prelude::*;
 fn main() {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "ken-11".to_string());
-    let k: u32 = args.next().map(|s| s.parse().expect("K must be an integer")).unwrap_or(16);
+    let k: u32 = args
+        .next()
+        .map(|s| s.parse().expect("K must be an integer"))
+        .unwrap_or(16);
 
     let entry = fine_grain_hypergraph::sparse::catalog::by_name(&name)
         .unwrap_or_else(|| panic!("unknown matrix {name:?}; see `table1` for the catalog"));

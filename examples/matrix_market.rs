@@ -11,7 +11,10 @@ use fine_grain_hypergraph::sparse::reorder::{bandwidth, permute_symmetric, rcm_o
 use rand::seq::SliceRandom;
 
 fn volume(a: &CsrMatrix, model: Model, k: u32, seed: u64) -> u64 {
-    let cfg = DecomposeConfig { seed, ..DecomposeConfig::new(model, k) };
+    let cfg = DecomposeConfig {
+        seed,
+        ..DecomposeConfig::new(model, k)
+    };
     decompose(a, &cfg).expect("decompose").stats.total_volume()
 }
 
@@ -34,7 +37,11 @@ fn main() {
         fine_grain_hypergraph::sparse::io::read_matrix_market(&path).expect("read"),
     );
     assert_eq!(loaded, scrambled);
-    println!("wrote + re-read {} ({} nonzeros): identical", path.display(), loaded.nnz());
+    println!(
+        "wrote + re-read {} ({} nonzeros): identical",
+        path.display(),
+        loaded.nnz()
+    );
 
     // RCM restores the band.
     let order = rcm_order(&loaded).expect("square");

@@ -9,8 +9,8 @@ fn main() {
     // 1. Get a matrix. Here: a synthetic analogue of the paper's
     //    `bcspwr10` power grid (use fgh_sparse::io::read_matrix_market for
     //    your own .mtx files). Scale 1/8 keeps the demo fast.
-    let entry = fine_grain_hypergraph::sparse::catalog::by_name("bcspwr10")
-        .expect("catalog matrix");
+    let entry =
+        fine_grain_hypergraph::sparse::catalog::by_name("bcspwr10").expect("catalog matrix");
     let a = entry.generate_scaled(8, 42);
     println!(
         "matrix: {} analogue, {} rows, {} nonzeros",
@@ -22,8 +22,8 @@ fn main() {
     // 2. Decompose for K = 8 processors with the paper's fine-grain 2D
     //    hypergraph model (3% load-imbalance tolerance).
     let k = 8;
-    let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, k))
-        .expect("square matrix, K >= 1");
+    let out =
+        decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, k)).expect("square matrix, K >= 1");
     println!(
         "fine-grain 2D decomposition for K = {k}: \
          cutsize (= predicted comm volume) {} words",

@@ -23,7 +23,7 @@ fn main() {
     let num_outputs = 60u32;
     let tasks: Vec<Task> = (0..600)
         .map(|t| {
-            let base = (t * num_inputs / 600);
+            let base = t * num_inputs / 600;
             let n_in = rng.gen_range(2..=4usize);
             let inputs: Vec<u32> = (0..n_in)
                 .map(|_| (base + rng.gen_range(0..8)) % num_inputs)
@@ -33,13 +33,16 @@ fn main() {
             inputs.dedup();
             let n_out = rng.gen_range(1..=2usize);
             let outputs: Vec<u32> = {
-                let mut o: Vec<u32> =
-                    (0..n_out).map(|_| rng.gen_range(0..num_outputs)).collect();
+                let mut o: Vec<u32> = (0..n_out).map(|_| rng.gen_range(0..num_outputs)).collect();
                 o.sort_unstable();
                 o.dedup();
                 o
             };
-            Task { inputs, outputs, weight: 1 }
+            Task {
+                inputs,
+                outputs,
+                weight: 1,
+            }
         })
         .collect();
 
@@ -52,16 +55,27 @@ fn main() {
         problem.output_owner[o as usize] = o % k;
     }
 
-    let d = problem.decompose(k, &PartitionConfig::with_seed(5)).expect("valid problem");
+    let d = problem
+        .decompose(k, &PartitionConfig::with_seed(5))
+        .expect("valid problem");
 
     println!("reduction decomposition over K = {k} processors");
     let mut per_part = vec![0usize; k as usize];
     for &o in &d.task_owner {
         per_part[o as usize] += 1;
     }
-    println!("  tasks per processor: {per_part:?} (imbalance {:.2}%)", d.imbalance_percent);
-    println!("  expand volume (input distribution): {} words", d.expand_volume);
-    println!("  fold volume (output accumulation):  {} words", d.fold_volume);
+    println!(
+        "  tasks per processor: {per_part:?} (imbalance {:.2}%)",
+        d.imbalance_percent
+    );
+    println!(
+        "  expand volume (input distribution): {} words",
+        d.expand_volume
+    );
+    println!(
+        "  fold volume (output accumulation):  {} words",
+        d.fold_volume
+    );
 
     // Pre-assigned buckets kept their pinned owners.
     for o in 0..8u32 {
@@ -70,7 +84,10 @@ fn main() {
     println!("  pinned buckets respected: OK");
 
     // Free elements always land on a processor that touches them.
-    let free_inputs =
-        problem.input_owner.iter().filter(|&&p| p == UNASSIGNED).count();
+    let free_inputs = problem
+        .input_owner
+        .iter()
+        .filter(|&&p| p == UNASSIGNED)
+        .count();
     println!("  {free_inputs}/{num_inputs} inputs were free; each placed on a using processor");
 }

@@ -12,7 +12,10 @@ use fine_grain_hypergraph::spmv::schedule::SpmvSchedule;
 fn main() {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "world".to_string());
-    let k: u32 = args.next().map(|s| s.parse().expect("K must be an integer")).unwrap_or(16);
+    let k: u32 = args
+        .next()
+        .map(|s| s.parse().expect("K must be an integer"))
+        .unwrap_or(16);
 
     let entry = fine_grain_hypergraph::sparse::catalog::by_name(&name)
         .unwrap_or_else(|| panic!("unknown matrix {name:?}"));
@@ -48,7 +51,11 @@ fn main() {
             sch.fold.num_rounds(),
             sch.fold.max_degree,
             sch.total_rounds(),
-            if sch.expand.is_optimal() && sch.fold.is_optimal() { "yes" } else { "near" },
+            if sch.expand.is_optimal() && sch.fold.is_optimal() {
+                "yes"
+            } else {
+                "near"
+            },
         );
     }
 

@@ -14,14 +14,15 @@ use fine_grain_hypergraph::spmv::{estimate, MachineModel};
 /// model on a catalog analogue.
 #[test]
 fn schedules_cover_all_messages() {
-    let a = catalog::by_name("nl").expect("catalog").generate_scaled(32, 1);
+    let a = catalog::by_name("nl")
+        .expect("catalog")
+        .generate_scaled(32, 1);
     for model in [Model::Graph1D, Model::FineGrain2D, Model::Checkerboard2D] {
         let out = decompose(&a, &DecomposeConfig::new(model, 8)).expect("ok");
         let plan = DistributedSpmv::build(&a, &out.decomposition).expect("plan");
         let sch = SpmvSchedule::build(&plan);
-        let scheduled: usize =
-            sch.expand.rounds.iter().map(|r| r.len()).sum::<usize>()
-                + sch.fold.rounds.iter().map(|r| r.len()).sum::<usize>();
+        let scheduled: usize = sch.expand.rounds.iter().map(|r| r.len()).sum::<usize>()
+            + sch.fold.rounds.iter().map(|r| r.len()).sum::<usize>();
         assert_eq!(
             scheduled as u64,
             out.stats.total_messages(),
@@ -42,7 +43,9 @@ fn schedules_cover_all_messages() {
 /// latency-bound machine.
 #[test]
 fn cost_model_tradeoff_direction() {
-    let a = catalog::by_name("ken-11").expect("catalog").generate_scaled(16, 2);
+    let a = catalog::by_name("ken-11")
+        .expect("catalog")
+        .generate_scaled(16, 2);
     let fg = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 8)).expect("ok");
     let cb = decompose(&a, &DecomposeConfig::new(Model::Checkerboard2D, 8)).expect("ok");
     // Sanity preconditions for this instance: fg has less volume, more msgs.
@@ -55,8 +58,16 @@ fn cost_model_tradeoff_direction() {
     // Latency-dominated: the message-light checkerboard should not lose
     // badly; specifically its communication time advantage must be larger
     // (or its disadvantage smaller) than on a pure-bandwidth machine.
-    let lat = MachineModel { alpha: 1e-3, beta: 1e-9, gamma: 1e-12 };
-    let bw = MachineModel { alpha: 1e-12, beta: 1e-6, gamma: 1e-12 };
+    let lat = MachineModel {
+        alpha: 1e-3,
+        beta: 1e-9,
+        gamma: 1e-12,
+    };
+    let bw = MachineModel {
+        alpha: 1e-12,
+        beta: 1e-6,
+        gamma: 1e-12,
+    };
     let t = |p: &DistributedSpmv, m: &MachineModel| {
         let e = estimate(p, m);
         e.t_expand + e.t_fold
@@ -75,7 +86,9 @@ fn cost_model_tradeoff_direction() {
 /// correct on the permuted system.
 #[test]
 fn reordering_pipeline() {
-    let a = catalog::by_name("bcspwr10").expect("catalog").generate_scaled(16, 3);
+    let a = catalog::by_name("bcspwr10")
+        .expect("catalog")
+        .generate_scaled(16, 3);
     let order = rcm_order(&a).expect("square");
     let b = permute_symmetric(&a, &order).expect("bijection");
     assert_eq!(a.nnz(), b.nnz());
@@ -84,8 +97,14 @@ fn reordering_pipeline() {
     let ob = decompose(&b, &DecomposeConfig::new(Model::FineGrain2D, 4)).expect("ok");
     // Identical structure, so volumes should be close (partitioner
     // randomness aside) — generous 2x band.
-    let (va, vb) = (oa.stats.total_volume() as f64, ob.stats.total_volume() as f64);
-    assert!(va <= 2.0 * vb && vb <= 2.0 * va, "volumes {va} vs {vb} diverged");
+    let (va, vb) = (
+        oa.stats.total_volume() as f64,
+        ob.stats.total_volume() as f64,
+    );
+    assert!(
+        va <= 2.0 * vb && vb <= 2.0 * va,
+        "volumes {va} vs {vb} diverged"
+    );
 
     let plan = DistributedSpmv::build(&b, &ob.decomposition).expect("plan");
     let x: Vec<f64> = (0..b.ncols()).map(|j| 1.0 + (j % 5) as f64).collect();
@@ -97,17 +116,33 @@ fn reordering_pipeline() {
 /// correctly, and their Cartesian/stripe structures differ as designed.
 #[test]
 fn two_dimensional_taxonomy() {
-    let a = catalog::by_name("cq9").expect("catalog").generate_scaled(32, 4);
-    let x: Vec<f64> = (0..a.ncols()).map(|j| (j as f64 * 0.01).exp() % 3.0).collect();
+    let a = catalog::by_name("cq9")
+        .expect("catalog")
+        .generate_scaled(32, 4);
+    let x: Vec<f64> = (0..a.ncols())
+        .map(|j| (j as f64 * 0.01).exp() % 3.0)
+        .collect();
     let y_serial = a.spmv(&x).expect("dims");
 
     let pcfg = PartitionConfig::with_seed(2);
     let decomps = vec![
-        ("jagged", JaggedModel::new(4, 0.1).unwrap().decompose(&a, &pcfg).unwrap()),
-        ("mondriaan", MondriaanModel::new(4, 0.1).decompose(&a, &pcfg).unwrap()),
+        (
+            "jagged",
+            JaggedModel::new(4, 0.1)
+                .unwrap()
+                .decompose(&a, &pcfg)
+                .unwrap(),
+        ),
+        (
+            "mondriaan",
+            MondriaanModel::new(4, 0.1).decompose(&a, &pcfg).unwrap(),
+        ),
         (
             "checkerboard-hg",
-            CheckerboardHgModel::new(4, 0.25).unwrap().decompose(&a, &pcfg).unwrap(),
+            CheckerboardHgModel::new(4, 0.25)
+                .unwrap()
+                .decompose(&a, &pcfg)
+                .unwrap(),
         ),
     ];
     for (name, d) in &decomps {
@@ -129,7 +164,9 @@ fn multiconstraint_on_fine_grain_stripes() {
     use fine_grain_hypergraph::partition::multiconstraint::{
         partition_multiconstraint, MultiWeights,
     };
-    let a = catalog::by_name("sherman3").expect("catalog").generate_scaled(16, 5);
+    let a = catalog::by_name("sherman3")
+        .expect("catalog")
+        .generate_scaled(16, 5);
     let m = fine_grain_hypergraph::core::models::ColumnNetModel::build(&a).expect("square");
     let hg = m.hypergraph();
     // Two constraints: nonzeros in the left half vs right half of the row.

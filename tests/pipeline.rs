@@ -71,7 +71,9 @@ fn full_catalog_pipeline() {
 #[test]
 fn threaded_executor_agrees_with_simulator() {
     for name in ["sherman3", "cq9", "finan512"] {
-        let a = catalog::by_name(name).expect("catalog").generate_scaled(TEST_SCALE, 2);
+        let a = catalog::by_name(name)
+            .expect("catalog")
+            .generate_scaled(TEST_SCALE, 2);
         let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 6)).expect("ok");
         let plan = DistributedSpmv::build(&a, &out.decomposition).expect("plan");
         let x: Vec<f64> = (0..a.ncols()).map(|j| (j as f64 * 0.37).cos()).collect();
@@ -92,8 +94,13 @@ fn table2_ordering_holds_on_average() {
     let mut vol = [0.0f64; 3]; // graph, hg1d, fg2d
     for entry in catalog::catalog() {
         let a = entry.generate_scaled(TEST_SCALE, 3);
-        for (i, model) in
-            [Model::Graph1D, Model::Hypergraph1DColNet, Model::FineGrain2D].iter().enumerate()
+        for (i, model) in [
+            Model::Graph1D,
+            Model::Hypergraph1DColNet,
+            Model::FineGrain2D,
+        ]
+        .iter()
+        .enumerate()
         {
             let out = decompose(&a, &DecomposeConfig::new(*model, 8)).expect("ok");
             vol[i] += out.stats.scaled_total_volume();
@@ -117,7 +124,9 @@ fn table2_ordering_holds_on_average() {
 /// most K−1 for 1D models and 2(K−1) for the fine-grain model.
 #[test]
 fn message_bounds() {
-    let a = catalog::by_name("nl").expect("catalog").generate_scaled(TEST_SCALE, 4);
+    let a = catalog::by_name("nl")
+        .expect("catalog")
+        .generate_scaled(TEST_SCALE, 4);
     let k = 8u32;
     for model in models() {
         let out = decompose(&a, &DecomposeConfig::new(model, k)).expect("ok");
@@ -138,7 +147,9 @@ fn message_bounds() {
 /// identical results.
 #[test]
 fn matrix_market_roundtrip_through_pipeline() {
-    let a = catalog::by_name("sherman3").expect("catalog").generate_scaled(64, 5);
+    let a = catalog::by_name("sherman3")
+        .expect("catalog")
+        .generate_scaled(64, 5);
     let mut buf = Vec::new();
     fine_grain_hypergraph::sparse::io::write_matrix_market_to(&a, &mut buf).expect("write");
     let b = CsrMatrix::from_coo(
@@ -148,15 +159,23 @@ fn matrix_market_roundtrip_through_pipeline() {
     let cfg = DecomposeConfig::new(Model::FineGrain2D, 4);
     let oa = decompose(&a, &cfg).expect("ok");
     let ob = decompose(&b, &cfg).expect("ok");
-    assert_eq!(oa.decomposition, ob.decomposition, "pipeline must be deterministic");
+    assert_eq!(
+        oa.decomposition, ob.decomposition,
+        "pipeline must be deterministic"
+    );
 }
 
 /// Whole-pipeline determinism: same seed, same decomposition; different
 /// seed, (almost surely) different cutsize or mapping.
 #[test]
 fn pipeline_determinism() {
-    let a = catalog::by_name("cre-d").expect("catalog").generate_scaled(TEST_SCALE, 6);
-    let cfg = DecomposeConfig { seed: 17, ..DecomposeConfig::new(Model::FineGrain2D, 8) };
+    let a = catalog::by_name("cre-d")
+        .expect("catalog")
+        .generate_scaled(TEST_SCALE, 6);
+    let cfg = DecomposeConfig {
+        seed: 17,
+        ..DecomposeConfig::new(Model::FineGrain2D, 8)
+    };
     let r1 = decompose(&a, &cfg).expect("ok");
     let r2 = decompose(&a, &cfg).expect("ok");
     assert_eq!(r1.decomposition, r2.decomposition);
@@ -169,14 +188,21 @@ fn pipeline_determinism() {
 #[test]
 fn extension_models_pipeline() {
     for name in ["bcspwr10", "cq9"] {
-        let a = catalog::by_name(name).expect("catalog").generate_scaled(TEST_SCALE, 7);
+        let a = catalog::by_name(name)
+            .expect("catalog")
+            .generate_scaled(TEST_SCALE, 7);
         let x: Vec<f64> = (0..a.ncols()).map(|j| 1.0 + (j % 7) as f64).collect();
         let y_serial = a.spmv(&x).expect("dims");
         for model in [Model::Checkerboard2D, Model::Mondriaan2D, Model::Jagged2D] {
             let out = decompose(&a, &DecomposeConfig::new(model, 6))
                 .unwrap_or_else(|e| panic!("{name} {}: {e}", model.name()));
             out.decomposition.validate(&a).expect("valid");
-            assert_eq!(out.objective, out.stats.total_volume(), "{name} {}", model.name());
+            assert_eq!(
+                out.objective,
+                out.stats.total_volume(),
+                "{name} {}",
+                model.name()
+            );
             let plan = DistributedSpmv::build(&a, &out.decomposition).expect("plan");
             let (y, comm) = plan.multiply(&x).expect("dims");
             assert_eq!(comm.total_words(), out.stats.total_volume());
@@ -192,17 +218,25 @@ fn extension_models_pipeline() {
 #[test]
 fn transpose_spmv_catalog() {
     for name in ["ken-11", "world"] {
-        let a = catalog::by_name(name).expect("catalog").generate_scaled(TEST_SCALE, 9);
+        let a = catalog::by_name(name)
+            .expect("catalog")
+            .generate_scaled(TEST_SCALE, 9);
         let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 5)).expect("ok");
         let plan = DistributedSpmv::build(&a, &out.decomposition).expect("plan");
-        let x: Vec<f64> = (0..a.nrows()).map(|i| ((i * 13) % 17) as f64 - 8.0).collect();
+        let x: Vec<f64> = (0..a.nrows())
+            .map(|i| ((i * 13) % 17) as f64 - 8.0)
+            .collect();
         let (yt, mt) = plan.multiply_transpose(&x).expect("dims");
         let yt_serial = a.transpose().spmv(&x).expect("dims");
         for (a_, b_) in yt.iter().zip(&yt_serial) {
             assert!((a_ - b_).abs() <= 1e-9 * b_.abs().max(1.0), "{name}");
         }
         let (_, mf) = plan.multiply(&x).expect("dims");
-        assert_eq!(mf.total_words(), mt.total_words(), "{name}: Ax and Aᵀx volumes differ");
+        assert_eq!(
+            mf.total_words(),
+            mt.total_words(),
+            "{name}: Ax and Aᵀx volumes differ"
+        );
     }
 }
 

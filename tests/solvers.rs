@@ -13,7 +13,9 @@ use fine_grain_hypergraph::spmv::solver::{cgnr, conjugate_gradient, power_iterat
 #[test]
 fn cg_across_models() {
     // Laplacian-valued analogues are SPD.
-    let a = catalog::by_name("sherman3").expect("catalog").generate_scaled(16, 1);
+    let a = catalog::by_name("sherman3")
+        .expect("catalog")
+        .generate_scaled(16, 1);
     let n = a.nrows() as usize;
     let x_true: Vec<f64> = (0..n).map(|i| ((i % 9) as f64) - 4.0).collect();
     let b = a.spmv(&x_true).expect("dims");
@@ -49,7 +51,9 @@ fn cgnr_nonsymmetric_catalog() {
     // Take a symmetric analogue and skew it: keep upper triangle values,
     // scale lower triangle — still diagonally dominant, no longer
     // symmetric.
-    let base = catalog::by_name("bcspwr10").expect("catalog").generate_scaled(32, 2);
+    let base = catalog::by_name("bcspwr10")
+        .expect("catalog")
+        .generate_scaled(32, 2);
     let mut coo = CooMatrix::new(base.nrows(), base.ncols());
     for (i, j, v) in base.iter() {
         let w = if i > j { v * 0.25 } else { v };
@@ -77,7 +81,9 @@ fn cgnr_nonsymmetric_catalog() {
 /// analogue with a dominant hub.
 #[test]
 fn power_iteration_catalog() {
-    let a = catalog::by_name("cre-b").expect("catalog").generate_scaled(32, 3);
+    let a = catalog::by_name("cre-b")
+        .expect("catalog")
+        .generate_scaled(32, 3);
     let out = decompose(&a, &DecomposeConfig::new(Model::Hypergraph1DColNet, 4)).expect("ok");
     let plan = DistributedSpmv::build(&a, &out.decomposition).expect("plan");
     let sol = power_iteration(&plan, 400).expect("runs");
