@@ -148,6 +148,7 @@ pub fn run_instance(
             epsilon: 0.03,
             seed: base_seed.wrapping_add(r as u64 * 7919),
             runs: 1,
+            budget: fgh_core::Budget::UNLIMITED,
         };
         let out = decompose(a, &cfg).map_err(|e| e.to_string())?;
         acc.tot += out.stats.scaled_total_volume();

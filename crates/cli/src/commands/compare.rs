@@ -2,10 +2,11 @@
 
 use fgh_core::{decompose, DecomposeConfig, Model};
 
-use crate::commands::load_matrix;
+use crate::commands::{finish_outcome, load_matrix};
+use crate::error::{CmdError, CmdResult};
 use crate::opts::Opts;
 
-pub fn run(args: &[String]) -> Result<(), String> {
+pub fn run(args: &[String]) -> CmdResult {
     let o = Opts::parse(args)?;
     let path = o.one_positional("matrix.mtx")?;
     let a = load_matrix(path)?;
@@ -38,8 +39,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
             epsilon: 0.03,
             seed,
             runs: 1,
+            budget: o.budget()?,
         };
-        let out = decompose(&a, &cfg).map_err(|e| format!("{}: {e}", model.name()))?;
+        let out = finish_outcome(decompose(&a, &cfg), o.has("strict"))
+            .map_err(|e| CmdError::new(e.code, format!("{}: {}", model.name(), e.msg)))?;
         println!(
             "{:<22} {:>10} {:>10.4} {:>10} {:>8.2} {:>9.2} {:>8.3}s",
             model.name(),

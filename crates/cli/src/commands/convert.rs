@@ -5,9 +5,10 @@
 use fgh_core::models::{ColumnNetModel, FineGrainModel, RowNetModel, StandardGraphModel};
 
 use crate::commands::load_matrix;
+use crate::error::CmdResult;
 use crate::opts::Opts;
 
-pub fn run(args: &[String]) -> Result<(), String> {
+pub fn run(args: &[String]) -> CmdResult {
     let o = Opts::parse(args)?;
     let path = o.one_positional("matrix.mtx")?;
     let a = load_matrix(path)?;
@@ -55,7 +56,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 m.graph().num_edges()
             );
         }
-        other => return Err(format!("cannot export model {other:?} (no file format)")),
+        other => return Err(format!("cannot export model {other:?} (no file format)").into()),
     }
     Ok(())
 }

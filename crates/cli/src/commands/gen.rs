@@ -2,9 +2,10 @@
 
 use std::path::PathBuf;
 
+use crate::error::CmdResult;
 use crate::opts::Opts;
 
-pub fn run(args: &[String]) -> Result<(), String> {
+pub fn run(args: &[String]) -> CmdResult {
     let o = Opts::parse(args)?;
     let which = o.one_positional("matrix name or 'all'")?.to_string();
     let scale: u32 = o.parse_or("scale", 8)?;

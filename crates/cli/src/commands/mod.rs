@@ -8,14 +8,37 @@ pub mod spmv;
 pub mod spy;
 pub mod stats;
 
-use fgh_sparse::{CsrMatrix, Result as SparseResult};
+use fgh_core::{DecompositionOutcome, FghError};
+use fgh_sparse::CsrMatrix;
 
-/// Loads a MatrixMarket file into CSR.
+use crate::error::CmdError;
+
+/// Loads a MatrixMarket file into CSR. Compression honors the COO
+/// matrix's attached duplicate policy via [`CsrMatrix::try_from_coo`], so
+/// a policy violation surfaces as a typed error rather than a panic.
 pub fn load_matrix(path: &str) -> Result<CsrMatrix, String> {
-    let coo: SparseResult<_> = fgh_sparse::io::read_matrix_market(path);
-    Ok(CsrMatrix::from_coo(
-        coo.map_err(|e| format!("{path}: {e}"))?,
-    ))
+    let coo = fgh_sparse::io::read_matrix_market(path).map_err(|e| format!("{path}: {e}"))?;
+    CsrMatrix::try_from_coo(coo).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Applies the degraded-outcome policy shared by the subcommands: errors
+/// propagate with their exit code, `--strict` converts a degraded outcome
+/// into an error (exit 3, or 4 when a budget tripped), and otherwise the
+/// degradation reason is reported on stderr while the run continues.
+pub fn finish_outcome(
+    r: Result<DecompositionOutcome, FghError>,
+    strict: bool,
+) -> Result<DecompositionOutcome, CmdError> {
+    let out = r.map_err(CmdError::from)?;
+    let out = if strict {
+        out.into_strict().map_err(CmdError::from)?
+    } else {
+        out
+    };
+    if let Some(reason) = out.status.reason() {
+        eprintln!("warning: degraded decomposition: {reason}");
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -4,10 +4,11 @@ use std::io::Write;
 
 use fgh_core::{decompose, DecomposeConfig, Decomposition};
 
-use crate::commands::load_matrix;
+use crate::commands::{finish_outcome, load_matrix};
+use crate::error::CmdResult;
 use crate::opts::Opts;
 
-pub fn run(args: &[String]) -> Result<(), String> {
+pub fn run(args: &[String]) -> CmdResult {
     let o = Opts::parse(args)?;
     let path = o.one_positional("matrix.mtx")?;
     let a = load_matrix(path)?;
@@ -17,8 +18,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
         epsilon: o.parse_or("epsilon", 0.03)?,
         seed: o.parse_or("seed", 1)?,
         runs: o.parse_or("runs", 1)?,
+        budget: o.budget()?,
     };
-    let out = decompose(&a, &cfg).map_err(|e| e.to_string())?;
+    let out = finish_outcome(decompose(&a, &cfg), o.has("strict"))?;
 
     println!(
         "matrix:            {path} ({} rows, {} nnz)",
@@ -52,6 +54,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
         out.stats.load_imbalance_percent()
     );
     println!("partition time:    {:.3}s", out.elapsed.as_secs_f64());
+    println!(
+        "status:            {}",
+        out.status.reason().unwrap_or("full")
+    );
 
     if let Some(out_path) = o.get("out") {
         write_mapping(&out.decomposition, out_path)?;

@@ -4,10 +4,11 @@ use fgh_core::{decompose, DecomposeConfig};
 use fgh_spmv::parallel::parallel_spmv;
 use fgh_spmv::DistributedSpmv;
 
-use crate::commands::load_matrix;
+use crate::commands::{finish_outcome, load_matrix};
+use crate::error::CmdResult;
 use crate::opts::Opts;
 
-pub fn run(args: &[String]) -> Result<(), String> {
+pub fn run(args: &[String]) -> CmdResult {
     let o = Opts::parse(args)?;
     let path = o.one_positional("matrix.mtx")?;
     let a = load_matrix(path)?;
@@ -17,8 +18,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
         epsilon: o.parse_or("epsilon", 0.03)?,
         seed: o.parse_or("seed", 1)?,
         runs: o.parse_or("runs", 1)?,
+        budget: o.budget()?,
     };
-    let out = decompose(&a, &cfg).map_err(|e| e.to_string())?;
+    let out = finish_outcome(decompose(&a, &cfg), o.has("strict"))?;
     let plan = DistributedSpmv::build(&a, &out.decomposition).map_err(|e| e.to_string())?;
 
     let x: Vec<f64> = (0..a.ncols())
@@ -62,10 +64,16 @@ pub fn run(args: &[String]) -> Result<(), String> {
     println!("modeled volume:  {} words", out.stats.total_volume());
     println!("max |err|:       {max_err:.3e}");
     if comm.total_words() != out.stats.total_volume() {
-        return Err("executed word count does not match the model (bug)".into());
+        return Err(crate::error::CmdError::new(
+            1,
+            "executed word count does not match the model (bug)",
+        ));
     }
     if max_err > 1e-6 {
-        return Err(format!("numeric mismatch vs serial SpMV: {max_err}"));
+        return Err(crate::error::CmdError::new(
+            1,
+            format!("numeric mismatch vs serial SpMV: {max_err}"),
+        ));
     }
     println!("verified: distributed result matches serial, traffic matches model");
     Ok(())

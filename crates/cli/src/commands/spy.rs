@@ -3,10 +3,11 @@
 
 use fgh_core::{decompose, DecomposeConfig};
 
-use crate::commands::load_matrix;
+use crate::commands::{finish_outcome, load_matrix};
+use crate::error::CmdResult;
 use crate::opts::Opts;
 
-pub fn run(args: &[String]) -> Result<(), String> {
+pub fn run(args: &[String]) -> CmdResult {
     let o = Opts::parse(args)?;
     let path = o.one_positional("matrix.mtx")?;
     let a = load_matrix(path)?;
@@ -27,8 +28,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
             epsilon: o.parse_or("epsilon", 0.03)?,
             seed: o.parse_or("seed", 1)?,
             runs: 1,
+            budget: o.budget()?,
         };
-        let out = decompose(&a, &cfg).map_err(|e| e.to_string())?;
+        let out = finish_outcome(decompose(&a, &cfg), o.has("strict"))?;
         println!(
             "ownership map ({}, K = {k}; cells show the dominant owner, base 36):",
             cfg.model.name()

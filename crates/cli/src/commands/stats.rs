@@ -3,9 +3,10 @@
 use fgh_sparse::MatrixStats;
 
 use crate::commands::load_matrix;
+use crate::error::CmdResult;
 use crate::opts::Opts;
 
-pub fn run(args: &[String]) -> Result<(), String> {
+pub fn run(args: &[String]) -> CmdResult {
     let o = Opts::parse(args)?;
     let path = o.one_positional("matrix.mtx")?;
     let a = load_matrix(path)?;

@@ -14,9 +14,12 @@
 //! `hypergraph-1d-rownet`, `fine-grain-2d` (default), `checkerboard-2d`.
 
 mod commands;
+mod error;
 mod opts;
 
 use std::process::ExitCode;
+
+use error::CmdError;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,13 +42,16 @@ fn main() -> ExitCode {
             print!("{}", usage());
             return ExitCode::SUCCESS;
         }
-        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+        other => Err(CmdError::new(
+            2,
+            format!("unknown command {other:?}\n\n{}", usage()),
+        )),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.msg);
+            ExitCode::from(e.code)
         }
     }
 }
@@ -59,9 +65,9 @@ fn usage() -> &'static str {
      \x20 fgh stats <matrix.mtx>\n\
      \x20     print the matrix properties Table 1 reports\n\
      \x20 fgh partition <matrix.mtx> --k K [--model M] [--epsilon E] [--seed N]\n\
-     \x20               [--runs N] [--out parts.txt]\n\
+     \x20               [--runs N] [--out parts.txt] [--max-wall-ms N] [--strict]\n\
      \x20     decompose for K processors; optionally write the mapping\n\
-     \x20 fgh spmv <matrix.mtx> --k K [--model M] [--threads]\n\
+     \x20 fgh spmv <matrix.mtx> --k K [--model M] [--threads] [--max-wall-ms N] [--strict]\n\
      \x20     decompose, execute one distributed y = Ax, verify and report\n\
      \x20 fgh compare <matrix.mtx> --k K [--seed N]\n\
      \x20     run every model on the matrix and print a comparison table\n\
@@ -71,5 +77,14 @@ fn usage() -> &'static str {
      \x20     ASCII spy plot, optionally with a decomposition ownership map\n\
      \n\
      models: graph-1d | hypergraph-1d-colnet | hypergraph-1d-rownet |\n\
-     \x20       fine-grain-2d (default) | checkerboard-2d | mondriaan-2d | jagged-2d | checkerboard-hg-2d\n"
+     \x20       fine-grain-2d (default) | checkerboard-2d | mondriaan-2d | jagged-2d | checkerboard-hg-2d\n\
+     \n\
+     common flags:\n\
+     \x20 --max-wall-ms N   wall-clock budget for the partitioner; when it\n\
+     \x20                   trips, the best partition found is returned\n\
+     \x20 --strict          reject degraded outcomes (infeasible balance,\n\
+     \x20                   exhausted budget) instead of warning on stderr\n\
+     \n\
+     exit codes: 0 ok (degraded outcomes warn on stderr) | 1 internal error |\n\
+     \x20 2 bad input | 3 infeasible under --strict | 4 budget exhausted under --strict\n"
 }

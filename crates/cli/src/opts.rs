@@ -10,7 +10,7 @@ pub struct Opts {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["--threads", "--quiet"];
+const BOOL_FLAGS: &[&str] = &["--threads", "--quiet", "--strict"];
 
 impl Opts {
     /// Parses `args`; flags must start with `--`.
@@ -77,6 +77,18 @@ impl Opts {
             .ok_or_else(|| format!("missing required flag --{name}"))?
             .parse()
             .map_err(|e| format!("--{name}: {e}"))
+    }
+
+    /// The `--max-wall-ms` flag as a partitioner budget (default
+    /// unlimited).
+    pub fn budget(&self) -> Result<fgh_core::Budget, String> {
+        match self.get("max-wall-ms") {
+            Some(v) => {
+                let ms: u64 = v.parse().map_err(|e| format!("--max-wall-ms: {e}"))?;
+                Ok(fgh_core::Budget::wall(std::time::Duration::from_millis(ms)))
+            }
+            None => Ok(fgh_core::Budget::UNLIMITED),
+        }
     }
 
     /// The `--model` flag (default fine-grain 2D).

@@ -5,7 +5,7 @@
 use std::time::{Duration, Instant};
 
 use fgh_graph::partition_graph_best;
-use fgh_partition::{partition_hypergraph_best, PartitionConfig};
+use fgh_partition::{partition_hypergraph_best, Budget, EngineStats, PartitionConfig};
 use fgh_sparse::CsrMatrix;
 
 use crate::decomp::Decomposition;
@@ -14,7 +14,7 @@ use crate::models::{
     CheckerboardHgModel, CheckerboardModel, ColumnNetModel, FineGrainModel, JaggedModel,
     MondriaanModel, RowNetModel, StandardGraphModel,
 };
-use crate::{ModelError, Result};
+use crate::{FghError, ModelError};
 
 /// Which decomposition model to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +80,11 @@ pub struct DecomposeConfig {
     /// (the paper averages over 50 runs; see the bench harness for the
     /// averaging protocol).
     pub runs: usize,
+    /// Resource budget for the partitioner. When a limit trips, the best
+    /// partition found so far is returned, the truncation is recorded in
+    /// [`DecompositionOutcome::engine`], and the outcome is tagged
+    /// [`DecompositionStatus::Degraded`].
+    pub budget: Budget,
 }
 
 impl DecomposeConfig {
@@ -91,6 +96,43 @@ impl DecomposeConfig {
             epsilon: 0.03,
             seed: 1,
             runs: 1,
+            budget: Budget::UNLIMITED,
+        }
+    }
+
+    /// The same config with a resource budget attached.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// Whether a decomposition fully met its request or was degraded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompositionStatus {
+    /// The decomposition meets the balance target and no budget tripped.
+    Full,
+    /// A best-effort decomposition: still valid (every nonzero and vector
+    /// entry has an owner in `0..K`), but the balance target was
+    /// infeasible, a budget limit truncated the run, or the input was
+    /// pathological. `reason` says which.
+    Degraded {
+        /// Human-readable explanation of the degradation.
+        reason: String,
+    },
+}
+
+impl DecompositionStatus {
+    /// `true` for [`DecompositionStatus::Degraded`].
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, DecompositionStatus::Degraded { .. })
+    }
+
+    /// The degradation reason, when degraded.
+    pub fn reason(&self) -> Option<&str> {
+        match self {
+            DecompositionStatus::Full => None,
+            DecompositionStatus::Degraded { reason } => Some(reason),
         }
     }
 }
@@ -108,55 +150,221 @@ pub struct DecompositionOutcome {
     pub objective: u64,
     /// Partitioning wall-clock time (model build + partitioning + decode).
     pub elapsed: Duration,
+    /// Full or degraded, with the reason when degraded.
+    pub status: DecompositionStatus,
+    /// Multilevel engine statistics, including budget-truncation counters.
+    /// Zeroed for models that bypass the multilevel engine
+    /// ([`Model::Checkerboard2D`]) or aggregate several internal runs
+    /// ([`Model::Mondriaan2D`], [`Model::Jagged2D`],
+    /// [`Model::CheckerboardHg2D`]).
+    pub engine: EngineStats,
+}
+
+impl DecompositionOutcome {
+    /// Strict-mode check: returns the outcome unchanged when
+    /// [`DecompositionStatus::Full`], otherwise converts the degradation
+    /// into a typed error — [`FghError::BudgetExhausted`] when a budget
+    /// limit truncated the run, [`FghError::Infeasible`] otherwise.
+    pub fn into_strict(self) -> std::result::Result<Self, FghError> {
+        match &self.status {
+            DecompositionStatus::Full => Ok(self),
+            DecompositionStatus::Degraded { reason } => {
+                if self.engine.truncated() {
+                    Err(FghError::BudgetExhausted(reason.clone()))
+                } else {
+                    Err(FghError::Infeasible(reason.clone()))
+                }
+            }
+        }
+    }
+}
+
+/// Best-effort fallback for degenerate inputs the models cannot handle
+/// (e.g. `K` larger than the number of partitionable units): round-robin
+/// nonzeros across processors, vector entries following the first nonzero
+/// of their column where one exists. Valid by construction, never balanced
+/// cleverly — callers tag the outcome [`DecompositionStatus::Degraded`].
+fn best_effort_round_robin(a: &CsrMatrix, k: u32) -> std::result::Result<Decomposition, FghError> {
+    let n = a.nrows() as usize;
+    let mut vec_owner: Vec<u32> = (0..n as u32).map(|j| j % k).collect();
+    let mut nonzero_owner = Vec::with_capacity(a.nnz());
+    let mut col_seen = vec![false; n];
+    for (e, (_, j, _)) in a.iter().enumerate() {
+        let owner = e as u32 % k;
+        nonzero_owner.push(owner);
+        if !col_seen[j as usize] {
+            col_seen[j as usize] = true;
+            vec_owner[j as usize] = owner;
+        }
+    }
+    Ok(Decomposition::general(a, k, nonzero_owner, vec_owner)?)
 }
 
 /// Decomposes `a` for parallel SpMV on `cfg.k` processors with the chosen
 /// model and returns the decomposition plus its statistics.
-pub fn decompose(a: &CsrMatrix, cfg: &DecomposeConfig) -> Result<DecompositionOutcome> {
+///
+/// # Failure semantics
+///
+/// * Malformed requests (`K = 0`, non-finite or negative ε, a
+///   non-square matrix) return a typed [`FghError`] — never a panic.
+/// * Pathological-but-valid inputs (empty matrix, `K > nnz`) return a
+///   best-effort decomposition tagged [`DecompositionStatus::Degraded`].
+/// * When [`DecomposeConfig::budget`] trips, the best partition found so
+///   far is returned, the truncation is visible in
+///   [`DecompositionOutcome::engine`], and the outcome is `Degraded`.
+///   Strict callers reject these via
+///   [`DecompositionOutcome::into_strict`].
+pub fn decompose(
+    a: &CsrMatrix,
+    cfg: &DecomposeConfig,
+) -> std::result::Result<DecompositionOutcome, FghError> {
     if cfg.k == 0 {
-        return Err(ModelError::Invalid("K must be >= 1".into()));
+        return Err(FghError::InvalidInput("K must be >= 1".into()));
+    }
+    if !cfg.epsilon.is_finite() || cfg.epsilon < 0.0 {
+        return Err(FghError::InvalidInput(format!(
+            "epsilon must be finite and >= 0, got {}",
+            cfg.epsilon
+        )));
+    }
+    if !a.is_square() {
+        return Err(FghError::Model(ModelError::NotSquare {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+        }));
     }
     let start = Instant::now();
-    let (decomposition, objective) = match cfg.model {
+
+    // Degenerate inputs are served a trivial decomposition up front rather
+    // than fed to partitioners that assume at least one unit of work.
+    if a.nnz() == 0 {
+        let decomposition = Decomposition::rowwise(a, cfg.k, vec![0; a.nrows() as usize])?;
+        let stats = CommStats::compute(a, &decomposition)?;
+        return Ok(DecompositionOutcome {
+            decomposition,
+            stats,
+            objective: 0,
+            elapsed: start.elapsed(),
+            status: DecompositionStatus::Degraded {
+                reason: "matrix has no nonzeros; trivial decomposition".into(),
+            },
+            engine: EngineStats::default(),
+        });
+    }
+    let mut forced_reason: Option<String> = None;
+    if cfg.k as u64 > a.nnz() as u64 {
+        forced_reason = Some(format!(
+            "K = {} exceeds the {} nonzeros; some processors receive no work",
+            cfg.k,
+            a.nnz()
+        ));
+    }
+
+    let attempt = decompose_with_model(a, cfg);
+    let (decomposition, objective, engine) = match attempt {
+        Ok(t) => t,
+        Err(e) if forced_reason.is_some() => {
+            // The model choked on the degenerate K; fall back instead of
+            // failing, keeping the reason visible.
+            forced_reason = Some(format!(
+                "{} ({} failed on degenerate input: {e})",
+                forced_reason.unwrap_or_default(),
+                cfg.model.name()
+            ));
+            let d = best_effort_round_robin(a, cfg.k)?;
+            let vol = CommStats::compute(a, &d)?.total_volume();
+            (d, vol, EngineStats::default())
+        }
+        Err(e) => return Err(e),
+    };
+    let elapsed = start.elapsed();
+    let stats = CommStats::compute(a, &decomposition)?;
+
+    // Degradation check: budget truncation, or a missed balance target.
+    // The balance tolerance adds one work unit of slack (100·K/nnz
+    // percent) on top of ε — integer loads cannot hit a fractional
+    // average exactly, and that granularity is not a degradation.
+    let imbalance = stats.load_imbalance_percent();
+    let allowed = cfg.epsilon * 100.0 + 100.0 * cfg.k as f64 / a.nnz() as f64 + 1e-9;
+    let status = if let Some(reason) = forced_reason {
+        DecompositionStatus::Degraded { reason }
+    } else if engine.truncated() {
+        DecompositionStatus::Degraded {
+            reason: format!(
+                "budget exhausted (wall: {}, levels: {}, fm passes: {}); best partition found so far",
+                engine.wall_truncations, engine.level_truncations, engine.fm_truncations
+            ),
+        }
+    } else if imbalance > allowed {
+        DecompositionStatus::Degraded {
+            reason: format!(
+                "balance target ε = {:.3} infeasible: achieved {imbalance:.2}% load imbalance",
+                cfg.epsilon
+            ),
+        }
+    } else {
+        DecompositionStatus::Full
+    };
+    Ok(DecompositionOutcome {
+        decomposition,
+        stats,
+        objective,
+        elapsed,
+        status,
+        engine,
+    })
+}
+
+/// Runs the configured model, returning the decoded decomposition, the
+/// model's objective value, and the engine statistics where available.
+fn decompose_with_model(
+    a: &CsrMatrix,
+    cfg: &DecomposeConfig,
+) -> std::result::Result<(Decomposition, u64, EngineStats), FghError> {
+    let out = match cfg.model {
         Model::Graph1D => {
             let model = StandardGraphModel::build(a)?;
             let gcfg = PartitionConfig {
                 epsilon: cfg.epsilon,
                 seed: cfg.seed,
+                budget: cfg.budget,
                 ..Default::default()
             };
-            let r = partition_graph_best(model.graph(), cfg.k, &gcfg, cfg.runs);
-            (model.decode(a, cfg.k, &r.parts)?, r.edge_cut)
+            let r = partition_graph_best(model.graph(), cfg.k, &gcfg, cfg.runs)?;
+            (model.decode(a, cfg.k, &r.parts)?, r.edge_cut, r.stats)
         }
         Model::Hypergraph1DColNet => {
             let model = ColumnNetModel::build(a)?;
             let pcfg = PartitionConfig {
                 epsilon: cfg.epsilon,
                 seed: cfg.seed,
+                budget: cfg.budget,
                 ..Default::default()
             };
             let r = partition_hypergraph_best(model.hypergraph(), cfg.k, &pcfg, cfg.runs)?;
-            (model.decode(a, &r.partition)?, r.cutsize)
+            (model.decode(a, &r.partition)?, r.cutsize, r.stats)
         }
         Model::Hypergraph1DRowNet => {
             let model = RowNetModel::build(a)?;
             let pcfg = PartitionConfig {
                 epsilon: cfg.epsilon,
                 seed: cfg.seed,
+                budget: cfg.budget,
                 ..Default::default()
             };
             let r = partition_hypergraph_best(model.hypergraph(), cfg.k, &pcfg, cfg.runs)?;
-            (model.decode(a, &r.partition)?, r.cutsize)
+            (model.decode(a, &r.partition)?, r.cutsize, r.stats)
         }
         Model::FineGrain2D => {
             let model = FineGrainModel::build(a)?;
             let pcfg = PartitionConfig {
                 epsilon: cfg.epsilon,
                 seed: cfg.seed,
+                budget: cfg.budget,
                 ..Default::default()
             };
             let r = partition_hypergraph_best(model.hypergraph(), cfg.k, &pcfg, cfg.runs)?;
-            (model.decode(a, &r.partition)?, r.cutsize)
+            (model.decode(a, &r.partition)?, r.cutsize, r.stats)
         }
         Model::Checkerboard2D => {
             // Direct construction — no partitioner and no communication
@@ -164,7 +372,7 @@ pub fn decompose(a: &CsrMatrix, cfg: &DecomposeConfig) -> Result<DecompositionOu
             let model = CheckerboardModel::build(a, cfg.k)?;
             let d = model.decode(a)?;
             let vol = CommStats::compute(a, &d)?.total_volume();
-            (d, vol)
+            (d, vol, EngineStats::default())
         }
         Model::Mondriaan2D => {
             // The internal per-level cuts approximate volume (no
@@ -174,43 +382,39 @@ pub fn decompose(a: &CsrMatrix, cfg: &DecomposeConfig) -> Result<DecompositionOu
             let pcfg = PartitionConfig {
                 epsilon: cfg.epsilon,
                 seed: cfg.seed,
+                budget: cfg.budget,
                 ..Default::default()
             };
             let d = model.decompose(a, &pcfg)?;
             let vol = CommStats::compute(a, &d)?.total_volume();
-            (d, vol)
+            (d, vol, EngineStats::default())
         }
         Model::Jagged2D => {
             let model = JaggedModel::new(cfg.k, cfg.epsilon)?;
             let pcfg = PartitionConfig {
                 epsilon: cfg.epsilon,
                 seed: cfg.seed,
+                budget: cfg.budget,
                 ..Default::default()
             };
             let d = model.decompose(a, &pcfg)?;
             let vol = CommStats::compute(a, &d)?.total_volume();
-            (d, vol)
+            (d, vol, EngineStats::default())
         }
         Model::CheckerboardHg2D => {
             let model = CheckerboardHgModel::new(cfg.k, cfg.epsilon)?;
             let pcfg = PartitionConfig {
                 epsilon: cfg.epsilon,
                 seed: cfg.seed,
+                budget: cfg.budget,
                 ..Default::default()
             };
             let d = model.decompose(a, &pcfg)?;
             let vol = CommStats::compute(a, &d)?.total_volume();
-            (d, vol)
+            (d, vol, EngineStats::default())
         }
     };
-    let elapsed = start.elapsed();
-    let stats = CommStats::compute(a, &decomposition)?;
-    Ok(DecompositionOutcome {
-        decomposition,
-        stats,
-        objective,
-        elapsed,
-    })
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -172,7 +172,7 @@ impl Decomposition {
             return 0.0;
         }
         let avg = total as f64 / self.k as f64;
-        let max = *l.iter().max().expect("k >= 1") as f64;
+        let max = l.iter().copied().max().unwrap_or(0) as f64;
         100.0 * (max - avg) / avg
     }
 }

@@ -28,14 +28,19 @@
 //! the model to arbitrary input/output reduction problems with optional
 //! pre-assigned elements (the paper's §3 remark).
 
+// Robustness contract: library (non-test) code must not panic; provably
+// infallible sites carry a narrowly scoped `allow` with a justification.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod api;
 pub mod decomp;
 pub mod metrics;
 pub mod models;
 pub mod reduction;
 
-pub use api::{decompose, DecomposeConfig, DecompositionOutcome, Model};
+pub use api::{decompose, DecomposeConfig, DecompositionOutcome, DecompositionStatus, Model};
 pub use decomp::Decomposition;
+pub use fgh_partition::{Budget, EngineStats};
 pub use metrics::CommStats;
 
 /// Errors from model construction and decomposition.
@@ -73,5 +78,119 @@ impl From<fgh_hypergraph::HypergraphError> for ModelError {
     }
 }
 
+impl From<fgh_partition::PartitionError> for ModelError {
+    fn from(e: fgh_partition::PartitionError) -> Self {
+        ModelError::Partition(e.to_string())
+    }
+}
+
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, ModelError>;
+
+/// Coarse category of an [`FghError`], used by the CLI to map failures to
+/// exit codes (bad input → 2, infeasible → 3, budget → 4, internal → 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCategory {
+    /// The input (matrix file, K, ε, ...) is malformed or out of range.
+    BadInput,
+    /// The request is well-formed but cannot be satisfied (e.g. a strict
+    /// caller rejected a `Degraded` balance outcome).
+    Infeasible,
+    /// A resource budget was exhausted and the caller demanded a complete
+    /// run.
+    Budget,
+    /// An internal invariant failed (partitioner defect, worker panic).
+    Internal,
+}
+
+/// Unified error for the whole decomposition pipeline: every fallible step
+/// from parsing a matrix file through partitioning to decoding surfaces
+/// here as one typed, categorized error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FghError {
+    /// Matrix construction / Matrix Market parsing failed.
+    Sparse(fgh_sparse::SparseError),
+    /// Hypergraph construction or partition validation failed.
+    Hypergraph(fgh_hypergraph::HypergraphError),
+    /// The multilevel partitioner failed.
+    Partition(fgh_partition::PartitionError),
+    /// Model construction or decoding failed.
+    Model(ModelError),
+    /// A decompose-boundary validation rejected the request.
+    InvalidInput(String),
+    /// The request cannot be satisfied (strict caller rejected a degraded
+    /// outcome).
+    Infeasible(String),
+    /// A [`Budget`] limit truncated the run and the caller was strict.
+    BudgetExhausted(String),
+}
+
+impl FghError {
+    /// The coarse category of this error (drives CLI exit codes).
+    pub fn category(&self) -> ErrorCategory {
+        use fgh_hypergraph::HypergraphError as He;
+        match self {
+            FghError::Sparse(_) | FghError::InvalidInput(_) => ErrorCategory::BadInput,
+            FghError::Hypergraph(He::InvalidK) => ErrorCategory::BadInput,
+            FghError::Partition(fgh_partition::PartitionError::Hypergraph(He::InvalidK)) => {
+                ErrorCategory::BadInput
+            }
+            FghError::Model(ModelError::NotSquare { .. }) => ErrorCategory::BadInput,
+            FghError::Infeasible(_) => ErrorCategory::Infeasible,
+            FghError::BudgetExhausted(_) => ErrorCategory::Budget,
+            FghError::Hypergraph(_) | FghError::Partition(_) | FghError::Model(_) => {
+                ErrorCategory::Internal
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FghError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FghError::Sparse(e) => write!(f, "{e}"),
+            FghError::Hypergraph(e) => write!(f, "{e}"),
+            FghError::Partition(e) => write!(f, "{e}"),
+            FghError::Model(e) => write!(f, "{e}"),
+            FghError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+            FghError::Infeasible(m) => write!(f, "infeasible: {m}"),
+            FghError::BudgetExhausted(m) => write!(f, "budget exhausted: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FghError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FghError::Sparse(e) => Some(e),
+            FghError::Hypergraph(e) => Some(e),
+            FghError::Partition(e) => Some(e),
+            FghError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fgh_sparse::SparseError> for FghError {
+    fn from(e: fgh_sparse::SparseError) -> Self {
+        FghError::Sparse(e)
+    }
+}
+
+impl From<fgh_hypergraph::HypergraphError> for FghError {
+    fn from(e: fgh_hypergraph::HypergraphError) -> Self {
+        FghError::Hypergraph(e)
+    }
+}
+
+impl From<fgh_partition::PartitionError> for FghError {
+    fn from(e: fgh_partition::PartitionError) -> Self {
+        FghError::Partition(e)
+    }
+}
+
+impl From<ModelError> for FghError {
+    fn from(e: ModelError) -> Self {
+        FghError::Model(e)
+    }
+}

@@ -135,6 +135,9 @@ fn directional_hypergraph(coords: &[Coord], ids: &[u32], by_rows: bool) -> (Hype
     for (_, pins) in nets_of {
         builder.add_net(pins);
     }
+    // Infallible: every pin is a group id in `0..weights.len()`, and
+    // exactly that many vertices were added above, so `build` cannot fail.
+    #[allow(clippy::expect_used)]
     let hg = builder.build().expect("pins in range by construction");
     (hg, nz_group)
 }

@@ -17,6 +17,10 @@
 //! `fgh_partition::MultilevelDriver`, configured by the same
 //! [`PartitionConfig`] as the hypergraph partitioner.
 
+// Robustness contract: library (non-test) code must not panic; provably
+// infallible sites carry a narrowly scoped `allow` with a justification.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod graph;
 pub mod io;
 pub mod partition;

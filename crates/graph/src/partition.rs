@@ -14,7 +14,10 @@
 //! Hypergraph-only [`PartitionConfig`] fields (`net_splitting`,
 //! `kway_refine`, `vcycles`) are ignored for graphs.
 
-use fgh_partition::{LevelArena, MultilevelDriver, PartitionConfig, Substrate};
+use fgh_partition::error::{panic_message, HypergraphError};
+use fgh_partition::{
+    EngineStats, LevelArena, MultilevelDriver, PartitionConfig, PartitionError, Substrate,
+};
 
 use crate::graph::CsrGraph;
 
@@ -30,6 +33,9 @@ pub struct GraphPartitionResult {
     pub edge_cut: u64,
     /// Percent load imbalance `100 (W_max − W_avg) / W_avg`.
     pub imbalance_percent: f64,
+    /// Engine instrumentation for this run, including budget-truncation
+    /// counters (see [`EngineStats::truncated`]).
+    pub stats: EngineStats,
 }
 
 impl Substrate for CsrGraph {
@@ -147,15 +153,19 @@ impl Substrate for CsrGraph {
         }
     }
 
+    // Infallible `expect` below: contraction emits in-bounds, deduped
+    // edges, which is exactly what `from_edges` validates.
+    #[allow(clippy::expect_used)]
     fn contract(&self, cluster_of: &[u32], num_clusters: u32, arena: &mut LevelArena) -> Self {
         let nc = num_clusters as usize;
         let mut weights64 = arena.take_u64(nc, 0);
         for v in 0..self.n() as usize {
             weights64[cluster_of[v] as usize] += CsrGraph::vertex_weight(self, v as u32) as u64;
         }
+        // Cluster weights saturate rather than abort on absurd inputs.
         let weights: Vec<u32> = weights64
             .iter()
-            .map(|&w| u32::try_from(w).expect("weight overflow"))
+            .map(|&w| u32::try_from(w).unwrap_or(u32::MAX))
             .collect();
         arena.give_u64(weights64);
 
@@ -175,6 +185,9 @@ impl Substrate for CsrGraph {
             .expect("contraction preserves graph validity")
     }
 
+    // Infallible `expect` below: the induced subgraph's edges are renumbered
+    // into `0..map.len()`, which is exactly what `from_edges` validates.
+    #[allow(clippy::expect_used)]
     fn extract_side(&self, side: &[u8], which: u8, _split: bool) -> (Self, Vec<u32>) {
         let mut new_of_old = vec![u32::MAX; self.n() as usize];
         let mut map: Vec<u32> = Vec::new();
@@ -207,22 +220,35 @@ impl Substrate for CsrGraph {
 /// Partitions `g` into `k` parts by multilevel recursive bisection on the
 /// unified engine. Graph runs ignore the hypergraph-only config fields
 /// (`net_splitting`, `kway_refine`, `vcycles`).
-pub fn partition_graph(g: &CsrGraph, k: u32, cfg: &PartitionConfig) -> GraphPartitionResult {
-    assert!(k >= 1, "K must be >= 1");
+pub fn partition_graph(
+    g: &CsrGraph,
+    k: u32,
+    cfg: &PartitionConfig,
+) -> Result<GraphPartitionResult, PartitionError> {
+    if k == 0 {
+        return Err(HypergraphError::InvalidK.into());
+    }
     let mut driver = MultilevelDriver::new(cfg.clone());
     let fixed = vec![u32::MAX; g.n() as usize];
     let out = driver.partition_recursive(g, k, &fixed);
     let edge_cut = g.edge_cut(&out.parts);
     // Cut edges are dropped on extraction, so per-bisection cuts compose
-    // exactly (the graph analogue of the eq. 3 invariant).
-    debug_assert_eq!(
-        out.cut_sum, edge_cut,
+    // exactly (the graph analogue of the eq. 3 invariant) — unless a
+    // budget truncation skipped refinement work.
+    debug_assert!(
+        out.cut_sum == edge_cut || driver.stats().truncated(),
         "bisection cuts must sum to the edge cut"
     );
-    finish(g, k, out.parts, edge_cut)
+    Ok(finish(g, k, out.parts, edge_cut, driver.stats()))
 }
 
-fn finish(g: &CsrGraph, k: u32, parts: Vec<u32>, edge_cut: u64) -> GraphPartitionResult {
+fn finish(
+    g: &CsrGraph,
+    k: u32,
+    parts: Vec<u32>,
+    edge_cut: u64,
+    stats: EngineStats,
+) -> GraphPartitionResult {
     let mut w = vec![0u64; k as usize];
     for v in 0..g.n() {
         w[parts[v as usize] as usize] += g.vertex_weight(v) as u64;
@@ -232,7 +258,7 @@ fn finish(g: &CsrGraph, k: u32, parts: Vec<u32>, edge_cut: u64) -> GraphPartitio
         0.0
     } else {
         let avg = total as f64 / k as f64;
-        let max = *w.iter().max().expect("k >= 1") as f64;
+        let max = w.iter().copied().max().unwrap_or(0) as f64;
         100.0 * (max - avg) / avg
     };
     GraphPartitionResult {
@@ -240,6 +266,7 @@ fn finish(g: &CsrGraph, k: u32, parts: Vec<u32>, edge_cut: u64) -> GraphPartitio
         k,
         edge_cut,
         imbalance_percent,
+        stats,
     }
 }
 
@@ -250,9 +277,9 @@ pub fn partition_graph_best(
     k: u32,
     cfg: &PartitionConfig,
     runs: usize,
-) -> GraphPartitionResult {
+) -> Result<GraphPartitionResult, PartitionError> {
     let runs = runs.max(1);
-    let mut results: Vec<GraphPartitionResult> = Vec::with_capacity(runs);
+    let mut results: Vec<Result<GraphPartitionResult, PartitionError>> = Vec::with_capacity(runs);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..runs)
             .map(|r| {
@@ -262,18 +289,35 @@ pub fn partition_graph_best(
             })
             .collect();
         for h in handles {
-            results.push(h.join().expect("partition thread panicked"));
+            // A panicking worker becomes an error value; surviving seeds
+            // still compete for the best result.
+            results.push(
+                h.join()
+                    .unwrap_or_else(|p| Err(PartitionError::Worker(panic_message(p)))),
+            );
         }
     });
-    results
+    let mut first_err: Option<PartitionError> = None;
+    let ok: Vec<GraphPartitionResult> = results
         .into_iter()
+        .filter_map(|r| match r {
+            Ok(res) => Some(res),
+            Err(e) => {
+                first_err = first_err.take().or(Some(e));
+                None
+            }
+        })
+        .collect();
+    ok.into_iter()
         .min_by(|a, b| {
             let ab = a.imbalance_percent <= cfg.epsilon * 100.0 + 1e-9;
             let bb = b.imbalance_percent <= cfg.epsilon * 100.0 + 1e-9;
             // Balanced first, then lower cut.
             bb.cmp(&ab).then(a.edge_cut.cmp(&b.edge_cut))
         })
-        .expect("runs >= 1")
+        .ok_or_else(|| {
+            first_err.unwrap_or_else(|| PartitionError::Worker("no seed produced a result".into()))
+        })
 }
 
 #[cfg(test)]
@@ -289,7 +333,7 @@ mod tests {
     #[test]
     fn k2_two_cliques() {
         let g = two_cliques(50);
-        let r = partition_graph(&g, 2, &PartitionConfig::with_seed(1));
+        let r = partition_graph(&g, 2, &PartitionConfig::with_seed(1)).unwrap();
         assert_eq!(r.edge_cut, 1);
         assert!(r.imbalance_percent <= 3.0 + 1e-9);
     }
@@ -297,7 +341,7 @@ mod tests {
     #[test]
     fn k8_balance_and_coverage() {
         let g = random_graph(800, 1600, 3);
-        let r = partition_graph(&g, 8, &PartitionConfig::with_seed(2));
+        let r = partition_graph(&g, 8, &PartitionConfig::with_seed(2)).unwrap();
         assert_eq!(r.k, 8);
         let mut sizes = vec![0usize; 8];
         for &p in &r.parts {
@@ -316,7 +360,7 @@ mod tests {
     #[test]
     fn non_power_of_two() {
         let g = random_graph(300, 600, 5);
-        let r = partition_graph(&g, 6, &PartitionConfig::with_seed(3));
+        let r = partition_graph(&g, 6, &PartitionConfig::with_seed(3)).unwrap();
         assert_eq!(r.k, 6);
         assert!(r.parts.iter().all(|&p| p < 6));
         assert!(r.imbalance_percent <= 6.0);
@@ -325,7 +369,7 @@ mod tests {
     #[test]
     fn k1_trivial() {
         let g = two_cliques(5);
-        let r = partition_graph(&g, 1, &PartitionConfig::default());
+        let r = partition_graph(&g, 1, &PartitionConfig::default()).unwrap();
         assert_eq!(r.edge_cut, 0);
         assert!(r.parts.iter().all(|&p| p == 0));
     }
@@ -340,7 +384,7 @@ mod tests {
         let mut w = vec![1u32; 10];
         w[0] = 9; // total 18, target 9 per side
         let g = CsrGraph::from_edges(10, &edges, Some(w)).unwrap();
-        let r = partition_graph(&g, 2, &PartitionConfig::with_seed(4));
+        let r = partition_graph(&g, 2, &PartitionConfig::with_seed(4)).unwrap();
         let side0 = r.parts[0];
         let with_heavy: u64 = (0..10)
             .filter(|&v| r.parts[v as usize] == side0)
@@ -353,8 +397,8 @@ mod tests {
     fn multi_seed_never_worse() {
         let g = random_graph(400, 800, 7);
         let cfg = PartitionConfig::with_seed(1);
-        let single = partition_graph(&g, 8, &cfg);
-        let best = partition_graph_best(&g, 8, &cfg, 4);
+        let single = partition_graph(&g, 8, &cfg).unwrap();
+        let best = partition_graph_best(&g, 8, &cfg, 4).unwrap();
         assert!(best.edge_cut <= single.edge_cut);
     }
 
@@ -362,8 +406,8 @@ mod tests {
     fn determinism() {
         let g = random_graph(200, 400, 9);
         let cfg = PartitionConfig::with_seed(5);
-        let a = partition_graph(&g, 4, &cfg);
-        let b = partition_graph(&g, 4, &cfg);
+        let a = partition_graph(&g, 4, &cfg).unwrap();
+        let b = partition_graph(&g, 4, &cfg).unwrap();
         assert_eq!(a.parts, b.parts);
     }
 

@@ -26,14 +26,14 @@ proptest! {
     #[test]
     fn partitioner_postconditions(g in graph(), k in 1u32..=4, seed in 0u64..100) {
         let cfg = PartitionConfig { seed, ..Default::default() };
-        let r = partition_graph(&g, k, &cfg);
+        let r = partition_graph(&g, k, &cfg).unwrap();
         prop_assert_eq!(r.parts.len(), g.n() as usize);
         prop_assert!(r.parts.iter().all(|&p| p < k));
         prop_assert_eq!(r.edge_cut, g.edge_cut(&r.parts));
         if k == 1 {
             prop_assert_eq!(r.edge_cut, 0);
         }
-        let r2 = partition_graph(&g, k, &cfg);
+        let r2 = partition_graph(&g, k, &cfg).unwrap();
         prop_assert_eq!(r.parts, r2.parts);
     }
 
@@ -44,7 +44,7 @@ proptest! {
         let k = 2u32;
         prop_assume!(g.n() >= 8);
         let cfg = PartitionConfig { seed, ..Default::default() };
-        let r = partition_graph(&g, k, &cfg);
+        let r = partition_graph(&g, k, &cfg).unwrap();
         prop_assert!(
             r.imbalance_percent <= 15.0,
             "imbalance {}% on n={}",

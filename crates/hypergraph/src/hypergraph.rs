@@ -258,6 +258,10 @@ impl Hypergraph {
     /// of keeping their in-part pins — the classic cut-net-metric
     /// recursive bisection, kept for ablation studies (it under-counts the
     /// connectivity−1 objective and yields worse K-way volumes).
+    // Infallible `expect` below: extraction renumbers pins into
+    // `0..old_of_new.len()` with sorted, deduped nets — exactly what
+    // `from_nets_weighted` validates.
+    #[allow(clippy::expect_used)]
     pub fn extract_part_mode(
         &self,
         partition: &Partition,

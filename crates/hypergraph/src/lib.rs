@@ -19,6 +19,11 @@
 //! than one part is *cut* (external); `λ_j` is the number of parts net `j`
 //! connects.
 
+// Robustness contract: this crate sits on user-reachable paths, so the
+// library (non-test) code must not panic. Sites that are provably
+// infallible carry a narrowly scoped `allow` with a justification.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod builder;
 pub mod hypergraph;
 pub mod io;

@@ -1,5 +1,48 @@
 //! Partitioner configuration.
 
+use std::time::Duration;
+
+/// Resource budget for a partitioning run. Each limit is optional; `None`
+/// means unbounded (the default). Budgets degrade gracefully: when a limit
+/// trips, the engine keeps the best partition found so far and records the
+/// truncation in [`crate::EngineStats`] rather than failing.
+///
+/// Checkpoints sit between coarsening levels and between FM passes, so a
+/// budget is honored to the granularity of one level / one pass — a single
+/// checkpoint interval may overshoot `max_wall` slightly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock deadline for the whole run (coarsening through
+    /// refinement, including K-way post-refinement).
+    pub max_wall: Option<Duration>,
+    /// Cap on total FM passes across all levels and bisections.
+    pub max_fm_passes: Option<u64>,
+    /// Cap on coarsening levels built per bisection.
+    pub max_levels: Option<u64>,
+}
+
+impl Budget {
+    /// An unbounded budget.
+    pub const UNLIMITED: Budget = Budget {
+        max_wall: None,
+        max_fm_passes: None,
+        max_levels: None,
+    };
+
+    /// A wall-clock-only budget.
+    pub fn wall(limit: Duration) -> Budget {
+        Budget {
+            max_wall: Some(limit),
+            ..Budget::UNLIMITED
+        }
+    }
+
+    /// `true` when no limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        *self == Budget::UNLIMITED
+    }
+}
+
 /// Coarsening scheme selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CoarseningScheme {
@@ -71,6 +114,9 @@ pub struct PartitionConfig {
     /// partition and refines at every level — recovers cluster-granular
     /// moves flat refinement cannot see.
     pub vcycles: usize,
+    /// Resource budget (wall clock / FM passes / levels); unlimited by
+    /// default. See [`Budget`].
+    pub budget: Budget,
 }
 
 impl Default for PartitionConfig {
@@ -89,6 +135,7 @@ impl Default for PartitionConfig {
             kway_refine: true,
             boundary_fm: false,
             vcycles: 0,
+            budget: Budget::UNLIMITED,
         }
     }
 }

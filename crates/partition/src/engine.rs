@@ -115,6 +115,9 @@ pub struct MultilevelDriver {
     cfg: PartitionConfig,
     arena: LevelArena,
     stats: EngineStats,
+    /// Wall-clock deadline derived from `cfg.budget.max_wall`, armed at
+    /// the start of a run (see [`MultilevelDriver::arm_budget`]).
+    deadline: Option<std::time::Instant>,
 }
 
 impl MultilevelDriver {
@@ -131,6 +134,48 @@ impl MultilevelDriver {
             cfg,
             arena,
             stats: EngineStats::default(),
+            deadline: None,
+        }
+    }
+
+    /// Starts the wall-clock budget: the deadline is
+    /// `now + cfg.budget.max_wall`, measured from this call. Returns
+    /// `true` if a deadline was armed (idempotent: re-arming while armed
+    /// is a no-op so an outer caller's window covers nested runs).
+    pub fn arm_budget(&mut self) -> bool {
+        if self.deadline.is_none() {
+            if let Some(limit) = self.cfg.budget.max_wall {
+                self.deadline = Some(std::time::Instant::now() + limit);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Clears the wall-clock deadline.
+    pub fn disarm_budget(&mut self) {
+        self.deadline = None;
+    }
+
+    /// `true` once the armed wall-clock deadline has passed.
+    pub fn wall_exhausted(&self) -> bool {
+        self.deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
+    }
+
+    /// FM passes still allowed by `Budget::max_fm_passes`, capped at
+    /// `want`; records an `fm_truncations` tick when the cap bites.
+    fn fm_pass_allowance(&mut self, want: usize) -> usize {
+        match self.cfg.budget.max_fm_passes {
+            None => want,
+            Some(max) => {
+                let remaining = max.saturating_sub(self.stats.fm_passes);
+                let allowed = (want as u64).min(remaining) as usize;
+                if allowed < want {
+                    self.stats.fm_truncations += 1;
+                }
+                allowed
+            }
         }
     }
 
@@ -186,6 +231,19 @@ impl MultilevelDriver {
             if cur.num_vertices() <= self.cfg.coarsen_to {
                 break;
             }
+            // Budget checkpoints: stop building levels once the per-
+            // bisection level cap or the wall deadline is hit; the run
+            // continues from whatever coarseness was reached.
+            if let Some(max_levels) = self.cfg.budget.max_levels {
+                if levels.len() as u64 >= max_levels {
+                    self.stats.level_truncations += 1;
+                    break;
+                }
+            }
+            if self.wall_exhausted() {
+                self.stats.wall_truncations += 1;
+                break;
+            }
             let timer = StageTimer::start();
             let next = coarsen_once_in(
                 cur,
@@ -213,16 +271,38 @@ impl MultilevelDriver {
             None => (sub, fixed),
         };
         let timer = StageTimer::start();
-        let mut sides = initial_best_in(
-            coarsest,
-            coarsest_fixed,
-            targets,
-            epsilon,
-            &self.cfg,
-            rng,
-            &mut self.arena,
-            &mut self.stats,
-        );
+        let mut sides = if self.wall_exhausted() {
+            // Out of time: one weight-only split instead of multi-try
+            // greedy growing — still balanced, no connectivity work.
+            self.stats.wall_truncations += 1;
+            let quick = PartitionConfig {
+                initial: crate::config::InitialScheme::BinPacking,
+                initial_tries: 1,
+                fm_passes: 0,
+                ..self.cfg.clone()
+            };
+            initial_best_in(
+                coarsest,
+                coarsest_fixed,
+                targets,
+                epsilon,
+                &quick,
+                rng,
+                &mut self.arena,
+                &mut self.stats,
+            )
+        } else {
+            initial_best_in(
+                coarsest,
+                coarsest_fixed,
+                targets,
+                epsilon,
+                &self.cfg,
+                rng,
+                &mut self.arena,
+                &mut self.stats,
+            )
+        };
         timer.stop(&mut self.stats.initial_nanos);
 
         // --- Uncoarsening: project and refine at every level ---
@@ -241,6 +321,15 @@ impl MultilevelDriver {
             }
             self.arena
                 .give_u8(std::mem::replace(&mut sides, fine_sides));
+            // Budget checkpoint between refinement levels: out of wall
+            // time → project only; FM-pass cap → run the remaining
+            // allowance.
+            let passes = if self.wall_exhausted() {
+                self.stats.wall_truncations += 1;
+                0
+            } else {
+                self.fm_pass_allowance(self.cfg.fm_passes)
+            };
             let mut st = BisectionState::new_in(
                 fine,
                 std::mem::take(&mut sides),
@@ -251,7 +340,7 @@ impl MultilevelDriver {
             );
             st.refine_in(
                 rng,
-                self.cfg.fm_passes,
+                passes,
                 self.cfg.fm_early_exit,
                 self.cfg.boundary_fm,
                 &mut self.arena,
@@ -284,6 +373,9 @@ impl MultilevelDriver {
         let n = sub.num_vertices();
         let mut parts = vec![0u32; n as usize];
         let mut cut_sum = 0u64;
+        // Arm the wall budget here unless an outer caller (whose window
+        // should also cover post-refinement) already did.
+        let armed_here = self.arm_budget();
         if k > 1 && n > 0 {
             let mut rng = SmallRng::seed_from_u64(self.cfg.seed);
             let eps = self.cfg.per_level_epsilon(k);
@@ -299,6 +391,9 @@ impl MultilevelDriver {
                 &mut parts,
                 &mut cut_sum,
             );
+        }
+        if armed_here {
+            self.disarm_budget();
         }
         RecursiveOutcome { parts, cut_sum }
     }
@@ -530,15 +625,21 @@ impl Substrate for Hypergraph {
         }
     }
 
+    // Infallible `expect` below: contraction emits sorted, deduped,
+    // in-bounds pin lists with matched pointer arrays, which is exactly
+    // what `from_flat_nets` validates.
+    #[allow(clippy::expect_used)]
     fn contract(&self, cluster_of: &[u32], num_clusters: u32, arena: &mut LevelArena) -> Self {
         let nc = num_clusters as usize;
         let mut weights64 = arena.take_u64(nc, 0);
         for v in 0..Hypergraph::num_vertices(self) as usize {
             weights64[cluster_of[v] as usize] += Hypergraph::vertex_weight(self, v as u32) as u64;
         }
+        // Cluster weights saturate rather than abort: a u32::MAX-weight
+        // coarse vertex only degrades balance quality on absurd inputs.
         let weights: Vec<u32> = weights64
             .iter()
-            .map(|&w| u32::try_from(w).expect("weight overflow"))
+            .map(|&w| u32::try_from(w).unwrap_or(u32::MAX))
             .collect();
         arena.give_u64(weights64);
 
@@ -591,7 +692,7 @@ impl Substrate for Hypergraph {
             }
             pins.extend_from_slice(sl);
             pin_ptr.push(pins.len());
-            costs.push(u32::try_from(c).expect("net cost overflow"));
+            costs.push(u32::try_from(c).unwrap_or(u32::MAX));
             i = j;
         }
         arena.give_u32(order);
@@ -603,6 +704,9 @@ impl Substrate for Hypergraph {
             .expect("contraction preserves hypergraph validity")
     }
 
+    // Infallible `expect`: `side` holds only 0/1 by construction, so the
+    // 2-way `Partition` is always valid.
+    #[allow(clippy::expect_used)]
     fn extract_side(&self, side: &[u8], which: u8, split: bool) -> (Self, Vec<u32>) {
         let partition =
             Partition::new(2, side.iter().map(|&s| s as u32).collect()).expect("sides are 0/1");

@@ -129,7 +129,12 @@ pub(crate) fn initial_best_in<S: Substrate>(
             arena.give_u8(sides);
         }
     }
-    best.expect("tries >= 1").2
+    match best {
+        Some((_, _, sides)) => sides,
+        // Unreachable (the loop runs at least once), but a seed split is
+        // a safe fallback rather than a panic.
+        None => seed_sides(sub, fixed, arena),
+    }
 }
 
 /// Per-vertex starting side: fixed-1 vertices on side 1, the rest on 0.

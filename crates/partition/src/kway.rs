@@ -45,10 +45,10 @@ impl NetParts {
 
     fn move_pin(&mut self, net: u32, from: u32, to: u32) {
         let row = &mut self.table[net as usize];
-        let i = row
-            .iter()
-            .position(|(q, _)| *q == from)
-            .expect("moving a pin the net does not have");
+        let Some(i) = row.iter().position(|(q, _)| *q == from) else {
+            debug_assert!(false, "moving a pin the net does not have");
+            return;
+        };
         row[i].1 -= 1;
         if row[i].1 == 0 {
             row.swap_remove(i);

@@ -32,6 +32,15 @@ pub struct EngineStats {
     pub fm_passes: u64,
     /// Tentative FM moves applied across all passes (before rollback).
     pub fm_moves: u64,
+    /// Times the wall-clock budget checkpoint fired and skipped work
+    /// (coarsening stopped, quick initial split, or refinement skipped).
+    pub wall_truncations: u64,
+    /// Times coarsening stopped early because `Budget::max_levels` was
+    /// reached in a bisection.
+    pub level_truncations: u64,
+    /// Times refinement ran fewer FM passes than configured because
+    /// `Budget::max_fm_passes` was exhausted.
+    pub fm_truncations: u64,
     /// Wall-clock nanoseconds in coarsening (`stats` feature only).
     pub coarsen_nanos: u64,
     /// Wall-clock nanoseconds in initial partitioning (`stats` feature only).
@@ -41,6 +50,13 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
+    /// `true` when any budget checkpoint truncated work during the run —
+    /// the partition is valid but may be lower quality than an unbounded
+    /// run would produce.
+    pub fn truncated(&self) -> bool {
+        self.wall_truncations > 0 || self.level_truncations > 0 || self.fm_truncations > 0
+    }
+
     /// Accumulates `other` into `self` (for merging per-run stats).
     pub fn merge(&mut self, other: &EngineStats) {
         self.bisections += other.bisections;
@@ -48,6 +64,9 @@ impl EngineStats {
         self.contracted_incidences += other.contracted_incidences;
         self.fm_passes += other.fm_passes;
         self.fm_moves += other.fm_moves;
+        self.wall_truncations += other.wall_truncations;
+        self.level_truncations += other.level_truncations;
+        self.fm_truncations += other.fm_truncations;
         self.coarsen_nanos += other.coarsen_nanos;
         self.initial_nanos += other.initial_nanos;
         self.refine_nanos += other.refine_nanos;

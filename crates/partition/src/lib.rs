@@ -36,11 +36,17 @@
 //! per-stage wall-clock timing in [`level::EngineStats`] (counters are
 //! always collected).
 
+// Robustness contract: partitioning runs on untrusted, possibly degenerate
+// instances, so the library (non-test) code must not panic. Sites that are
+// provably infallible carry a narrowly scoped `allow` with a justification.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod arena;
 pub mod bisect;
 pub mod coarsen;
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod gain;
 pub mod initial;
 pub mod kway;
@@ -51,8 +57,9 @@ pub mod refine;
 pub mod vcycle;
 
 pub use arena::{ArenaStats, LevelArena};
-pub use config::{CoarseningScheme, InitialScheme, PartitionConfig};
+pub use config::{Budget, CoarseningScheme, InitialScheme, PartitionConfig};
 pub use engine::{MultilevelDriver, RecursiveOutcome, Substrate};
+pub use error::PartitionError;
 pub use level::{EngineStats, Level};
 pub use recursive::{
     partition_hypergraph, partition_hypergraph_best, partition_hypergraph_fixed,

@@ -112,7 +112,7 @@ pub fn partition_multiconstraint(
     order.sort_by(|&a, &b| {
         let na: f64 = norm_total(weights, &totals, a);
         let nb: f64 = norm_total(weights, &totals, b);
-        nb.partial_cmp(&na).expect("weights are finite")
+        nb.partial_cmp(&na).unwrap_or(std::cmp::Ordering::Equal)
     });
 
     let mut part_load = vec![0u64; k as usize * c];
@@ -140,7 +140,9 @@ pub fn partition_multiconstraint(
                 _ => best = Some((score, p)),
             }
         }
-        let p = best.expect("k >= 1").1;
+        // `k >= 1` makes the candidate loop non-empty; part 0 is a safe
+        // fallback rather than a panic.
+        let p = best.map(|(_, p)| p).unwrap_or(0);
         parts[v as usize] = p;
         for (i, &w) in weights.of(v).iter().enumerate() {
             part_load[p as usize * c + i] += w as u64;
@@ -251,10 +253,10 @@ fn count(touch: &[(u32, u32)], p: u32) -> u32 {
 }
 
 fn move_touch(touch: &mut Vec<(u32, u32)>, from: u32, to: u32) {
-    let i = touch
-        .iter()
-        .position(|&(q, _)| q == from)
-        .expect("pin present");
+    let Some(i) = touch.iter().position(|&(q, _)| q == from) else {
+        debug_assert!(false, "pin present");
+        return;
+    };
     touch[i].1 -= 1;
     if touch[i].1 == 0 {
         touch.swap_remove(i);

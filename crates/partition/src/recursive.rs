@@ -14,7 +14,9 @@ use rand::SeedableRng;
 
 use crate::config::PartitionConfig;
 use crate::engine::MultilevelDriver;
+use crate::error::{panic_message, PartitionError};
 use crate::kway::kway_refine;
+use crate::level::EngineStats;
 
 /// Outcome of a K-way partitioning run.
 #[derive(Debug, Clone)]
@@ -33,6 +35,9 @@ pub struct PartitionResult {
     /// the connectivity−1 cutsize of the recursive-bisection partition
     /// (eq. 3 composition).
     pub bisection_cut_sum: u64,
+    /// Engine instrumentation for this run, including budget-truncation
+    /// counters (see [`EngineStats::truncated`]).
+    pub stats: EngineStats,
 }
 
 /// Partitions `hg` into `k` parts using multilevel recursive bisection.
@@ -51,7 +56,7 @@ pub fn partition_hypergraph(
     hg: &Hypergraph,
     k: u32,
     cfg: &PartitionConfig,
-) -> Result<PartitionResult, HypergraphError> {
+) -> Result<PartitionResult, PartitionError> {
     partition_hypergraph_fixed(hg, k, None, cfg)
 }
 
@@ -62,7 +67,7 @@ pub fn partition_hypergraph_fixed(
     k: u32,
     fixed: Option<&[u32]>,
     cfg: &PartitionConfig,
-) -> Result<PartitionResult, HypergraphError> {
+) -> Result<PartitionResult, PartitionError> {
     let mut driver = MultilevelDriver::new(cfg.clone());
     partition_hypergraph_with(&mut driver, hg, k, fixed)
 }
@@ -75,16 +80,17 @@ pub fn partition_hypergraph_with(
     hg: &Hypergraph,
     k: u32,
     fixed: Option<&[u32]>,
-) -> Result<PartitionResult, HypergraphError> {
+) -> Result<PartitionResult, PartitionError> {
     if k == 0 {
-        return Err(HypergraphError::InvalidK);
+        return Err(HypergraphError::InvalidK.into());
     }
     if let Some(f) = fixed {
         if f.len() != hg.num_vertices() as usize {
             return Err(HypergraphError::PartitionLengthMismatch {
                 expected: hg.num_vertices() as usize,
                 got: f.len(),
-            });
+            }
+            .into());
         }
         for (v, &p) in f.iter().enumerate() {
             if p != u32::MAX && p >= k {
@@ -92,7 +98,8 @@ pub fn partition_hypergraph_with(
                     vertex: v as u32,
                     part: p,
                     k,
-                });
+                }
+                .into());
             }
         }
     }
@@ -102,18 +109,24 @@ pub fn partition_hypergraph_with(
         Some(f) => f.to_vec(),
         None => vec![u32::MAX; n as usize],
     };
+    // Arm the wall budget here so the window also covers the K-way
+    // post-refinement below (partition_recursive arms only if unarmed).
+    let armed_here = driver.arm_budget();
     let outcome = driver.partition_recursive(hg, k, &fixed_vec);
     let cfg = driver.cfg().clone();
 
-    let mut partition = Partition::new(k, outcome.parts)?;
-    if (cfg.kway_refine || cfg.vcycles > 0) && k > 2 {
+    let mut partition = Partition::new(k, outcome.parts).map_err(PartitionError::from)?;
+    if (cfg.kway_refine || cfg.vcycles > 0) && k > 2 && !driver.wall_exhausted() {
         if cfg.kway_refine {
             let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(0x9e3779b97f4a7c15));
             kway_refine(hg, &mut partition, &fixed_vec, cfg.epsilon, 2, &mut rng);
         }
-        if cfg.vcycles > 0 {
+        if cfg.vcycles > 0 && !driver.wall_exhausted() {
             crate::vcycle::vcycle_refine(hg, &mut partition, &fixed_vec, &cfg, cfg.vcycles);
         }
+    }
+    if armed_here {
+        driver.disarm_budget();
     }
 
     let cutsize = cutsize_connectivity(hg, &partition);
@@ -125,6 +138,7 @@ pub fn partition_hypergraph_with(
         cutnet,
         imbalance_percent,
         bisection_cut_sum: outcome.cut_sum,
+        stats: driver.stats(),
     })
 }
 
@@ -136,12 +150,18 @@ pub fn partition_hypergraph_best(
     k: u32,
     cfg: &PartitionConfig,
     runs: usize,
-) -> Result<PartitionResult, HypergraphError> {
+) -> Result<PartitionResult, PartitionError> {
     let runs = runs.max(1);
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
-    let mut results: Vec<Result<PartitionResult, HypergraphError>> = Vec::with_capacity(runs);
+    let mut results: Vec<Result<PartitionResult, PartitionError>> = Vec::with_capacity(runs);
+    // A panicking worker becomes a `PartitionError::Worker` value; the
+    // surviving seeds still compete for the best result.
+    let join = |h: std::thread::ScopedJoinHandle<'_, Result<PartitionResult, PartitionError>>| {
+        h.join()
+            .unwrap_or_else(|p| Err(PartitionError::Worker(panic_message(p))))
+    };
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(runs);
         for r in 0..runs {
@@ -150,16 +170,15 @@ pub fn partition_hypergraph_best(
             handles.push(scope.spawn(move || partition_hypergraph(hg, k, &c)));
             // Light throttle: join eagerly once we exceed the thread count.
             if handles.len() >= threads {
-                let h: std::thread::ScopedJoinHandle<'_, _> = handles.remove(0);
-                results.push(h.join().expect("partition thread panicked"));
+                results.push(join(handles.remove(0)));
             }
         }
         for h in handles {
-            results.push(h.join().expect("partition thread panicked"));
+            results.push(join(h));
         }
     });
     let mut best: Option<PartitionResult> = None;
-    let mut first_err: Option<HypergraphError> = None;
+    let mut first_err: Option<PartitionError> = None;
     for r in results {
         match r {
             Ok(res) => {
@@ -181,7 +200,10 @@ pub fn partition_hypergraph_best(
     }
     match best {
         Some(b) => Ok(b),
-        None => Err(first_err.expect("runs >= 1 implies a result or an error")),
+        None => {
+            Err(first_err
+                .unwrap_or_else(|| PartitionError::Worker("no seed produced a result".into())))
+        }
     }
 }
 
@@ -204,7 +226,7 @@ mod tests {
         let hg = two_clusters(4);
         assert!(matches!(
             partition_hypergraph(&hg, 0, &PartitionConfig::default()),
-            Err(HypergraphError::InvalidK)
+            Err(PartitionError::Hypergraph(HypergraphError::InvalidK))
         ));
     }
 

@@ -99,7 +99,12 @@ fn one_cycle(
     let mut parts_at: Vec<u32> = levels[coarsest_idx].1.clone();
     for li in (0..levels.len()).rev() {
         let level_hg: &Hypergraph = &levels[li].0.coarse;
-        let mut p = Partition::new(k, parts_at.clone()).expect("parts valid");
+        // Projected parts are always in `0..k`; bail out of the cycle
+        // rather than panic if that invariant were ever violated.
+        let Ok(mut p) = Partition::new(k, parts_at.clone()) else {
+            debug_assert!(false, "projected parts out of range");
+            break;
+        };
         // Coarse fixed vertices: a cluster is pinned if any member is.
         let level_fixed = project_fixed(hg, &levels, li, fixed);
         let gain = kway_refine(level_hg, &mut p, &level_fixed, cfg.epsilon, 2, rng);
@@ -193,7 +198,7 @@ fn coarsen_respecting(
     // nets keep their connectivity).
     let weights: Vec<u32> = cluster_weight
         .iter()
-        .map(|&w| u32::try_from(w).expect("weight overflow"))
+        .map(|&w| u32::try_from(w).unwrap_or(u32::MAX))
         .collect();
     let mut stamp = vec![u32::MAX; next_cluster as usize];
     let mut nets: Vec<Vec<u32>> = Vec::new();

@@ -2,12 +2,27 @@
 
 use crate::{Result, SparseError};
 
+/// How duplicate `(row, col)` entries are resolved when a COO matrix is
+/// compressed or converted to CSR.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DedupPolicy {
+    /// Duplicates are an error ([`SparseError::DuplicateEntry`]).
+    Error,
+    /// Duplicate values are summed (the classical COO semantics; default).
+    #[default]
+    Sum,
+    /// The last-pushed value wins.
+    LastWins,
+}
+
 /// A sparse matrix in coordinate (COO / triplet) format.
 ///
 /// Entries are stored as `(row, col, value)` triplets in arbitrary order and
 /// may contain duplicates until [`CooMatrix::compress`] is called. This is
 /// the format every generator and the Matrix Market reader produce; convert
-/// to [`crate::CsrMatrix`] for analysis.
+/// to [`crate::CsrMatrix`] for analysis. The [`DedupPolicy`] attached to the
+/// matrix decides what duplicates mean — summed (default), last-wins, or a
+/// hard error via [`crate::CsrMatrix::try_from_coo`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct CooMatrix {
     nrows: u32,
@@ -15,6 +30,7 @@ pub struct CooMatrix {
     rows: Vec<u32>,
     cols: Vec<u32>,
     vals: Vec<f64>,
+    dedup_policy: DedupPolicy,
 }
 
 impl CooMatrix {
@@ -26,6 +42,7 @@ impl CooMatrix {
             rows: Vec::new(),
             cols: Vec::new(),
             vals: Vec::new(),
+            dedup_policy: DedupPolicy::default(),
         }
     }
 
@@ -37,7 +54,24 @@ impl CooMatrix {
             rows: Vec::with_capacity(cap),
             cols: Vec::with_capacity(cap),
             vals: Vec::with_capacity(cap),
+            dedup_policy: DedupPolicy::default(),
         }
+    }
+
+    /// The duplicate-resolution policy applied on compression.
+    pub fn dedup_policy(&self) -> DedupPolicy {
+        self.dedup_policy
+    }
+
+    /// Sets the duplicate-resolution policy (builder style).
+    pub fn with_dedup_policy(mut self, policy: DedupPolicy) -> Self {
+        self.dedup_policy = policy;
+        self
+    }
+
+    /// Sets the duplicate-resolution policy in place.
+    pub fn set_dedup_policy(&mut self, policy: DedupPolicy) {
+        self.dedup_policy = policy;
     }
 
     /// Number of rows.
@@ -97,23 +131,53 @@ impl CooMatrix {
         (0..self.rows.len()).map(move |i| (self.rows[i], self.cols[i], self.vals[i]))
     }
 
-    /// Sorts entries into row-major order and sums duplicates in place.
+    /// Sorts entries into row-major order and sums duplicates in place
+    /// (equivalent to [`CooMatrix::compress_with`] under
+    /// [`DedupPolicy::Sum`], regardless of the attached policy).
     /// Entries whose summed value is exactly `0.0` are *kept* (explicit
     /// zeros are structurally meaningful for decomposition: they are
     /// nonzeros of the pattern).
     pub fn compress(&mut self) {
+        // Sum never fails, so the error arm is unreachable.
+        let _ = self.compress_with(DedupPolicy::Sum);
+    }
+
+    /// Sorts entries into row-major order, resolving duplicates according
+    /// to `policy`. Under [`DedupPolicy::Error`] the matrix is left
+    /// untouched when a duplicate exists and the offending coordinate is
+    /// reported.
+    pub fn compress_with(&mut self, policy: DedupPolicy) -> Result<()> {
         let n = self.rows.len();
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_unstable_by_key(|&i| (self.rows[i], self.cols[i]));
+        // The index tiebreak keeps duplicates in push order, which is what
+        // gives `LastWins` its meaning.
+        order.sort_unstable_by_key(|&i| (self.rows[i], self.cols[i], i));
 
-        let mut rows = Vec::with_capacity(n);
-        let mut cols = Vec::with_capacity(n);
-        let mut vals = Vec::with_capacity(n);
+        if policy == DedupPolicy::Error {
+            for w in order.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                if self.rows[a] == self.rows[b] && self.cols[a] == self.cols[b] {
+                    return Err(SparseError::DuplicateEntry {
+                        row: self.rows[a],
+                        col: self.cols[a],
+                    });
+                }
+            }
+        }
+
+        let mut rows: Vec<u32> = Vec::with_capacity(n);
+        let mut cols: Vec<u32> = Vec::with_capacity(n);
+        let mut vals: Vec<f64> = Vec::with_capacity(n);
         for &i in &order {
             let (r, c, v) = (self.rows[i], self.cols[i], self.vals[i]);
-            if let (Some(&lr), Some(&lc)) = (rows.last(), cols.last()) {
-                if lr == r && lc == c {
-                    *vals.last_mut().expect("vals parallel to rows") += v;
+            if let Some(last) = vals.last_mut() {
+                if rows[rows.len() - 1] == r && cols[cols.len() - 1] == c {
+                    match policy {
+                        DedupPolicy::Sum => *last += v,
+                        DedupPolicy::LastWins => *last = v,
+                        // Checked above; duplicates cannot reach here.
+                        DedupPolicy::Error => {}
+                    }
                     continue;
                 }
             }
@@ -124,6 +188,12 @@ impl CooMatrix {
         self.rows = rows;
         self.cols = cols;
         self.vals = vals;
+        Ok(())
+    }
+
+    /// Compresses using the matrix's attached [`DedupPolicy`].
+    pub fn compress_policy(&mut self) -> Result<()> {
+        self.compress_with(self.dedup_policy)
     }
 
     /// Consumes the matrix and returns `(nrows, ncols, rows, cols, vals)`.
@@ -179,6 +249,35 @@ mod tests {
         m.compress();
         assert_eq!(m.nnz(), 1);
         assert_eq!(m.iter().next(), Some((1, 1, 0.0)));
+    }
+
+    #[test]
+    fn dedup_policy_error_reports_coordinate_and_preserves_matrix() {
+        let mut m = CooMatrix::from_triplets(3, 3, vec![(1, 2, 1.0), (0, 0, 2.0), (1, 2, 3.0)])
+            .unwrap()
+            .with_dedup_policy(DedupPolicy::Error);
+        assert_eq!(m.dedup_policy(), DedupPolicy::Error);
+        match m.compress_policy() {
+            Err(SparseError::DuplicateEntry { row: 1, col: 2 }) => {}
+            other => panic!("expected DuplicateEntry(1,2), got {other:?}"),
+        }
+        assert_eq!(m.nnz(), 3, "failed compression must not mutate");
+    }
+
+    #[test]
+    fn dedup_policy_last_wins() {
+        let mut m =
+            CooMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, 9.0), (1, 1, 5.0)]).unwrap();
+        m.compress_with(DedupPolicy::LastWins).unwrap();
+        let entries: Vec<_> = m.iter().collect();
+        assert_eq!(entries, vec![(0, 0, 9.0), (1, 1, 5.0)]);
+    }
+
+    #[test]
+    fn dedup_policy_error_accepts_unique_entries() {
+        let mut m = CooMatrix::from_triplets(2, 2, vec![(0, 1, 1.0), (1, 0, 2.0)]).unwrap();
+        m.compress_with(DedupPolicy::Error).unwrap();
+        assert_eq!(m.nnz(), 2);
     }
 
     #[test]

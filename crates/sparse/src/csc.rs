@@ -85,6 +85,10 @@ impl CscMatrix {
     }
 
     /// Converts back to CSR.
+    // Infallible: a well-formed `CscMatrix` (enforced at construction) has
+    // sorted pointers and in-bounds indices, which is exactly what
+    // `CsrMatrix::from_raw` validates.
+    #[allow(clippy::expect_used)]
     pub fn to_csr(&self) -> CsrMatrix {
         // The CSC arrays of A are the CSR arrays of Aᵀ; transpose recovers A.
         let t = CsrMatrix::from_raw(

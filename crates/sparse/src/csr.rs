@@ -17,9 +17,27 @@ pub struct CsrMatrix {
 }
 
 impl CsrMatrix {
-    /// Builds a CSR matrix from a COO matrix (compressing it first).
+    /// Builds a CSR matrix from a COO matrix, summing duplicates (the
+    /// historical behavior, equal to [`crate::coo::DedupPolicy::Sum`]).
+    /// Use [`CsrMatrix::try_from_coo`] to honor the COO matrix's attached
+    /// dedup policy — including rejecting duplicates outright.
     pub fn from_coo(mut coo: CooMatrix) -> Self {
         coo.compress();
+        Self::from_compressed(coo)
+    }
+
+    /// Builds a CSR matrix from a COO matrix, resolving duplicates with
+    /// the COO matrix's [`crate::coo::DedupPolicy`]. Fails with
+    /// [`SparseError::DuplicateEntry`] under the `Error` policy when a
+    /// duplicate coordinate exists.
+    pub fn try_from_coo(mut coo: CooMatrix) -> Result<Self> {
+        coo.compress_policy()?;
+        Ok(Self::from_compressed(coo))
+    }
+
+    /// CSR assembly from an already-compressed (row-major, duplicate-free)
+    /// COO matrix.
+    fn from_compressed(coo: CooMatrix) -> Self {
         let (nrows, ncols, rows, cols, vals) = coo.into_parts();
         let nnz = rows.len();
         let mut row_ptr = vec![0usize; nrows as usize + 1];
@@ -56,7 +74,7 @@ impl CsrMatrix {
                 nrows + 1
             )));
         }
-        if row_ptr[0] != 0 || *row_ptr.last().expect("len >= 1") != col_idx.len() {
+        if row_ptr[0] != 0 || row_ptr[nrows as usize] != col_idx.len() {
             return Err(SparseError::Parse("row_ptr endpoints invalid".into()));
         }
         if col_idx.len() != values.len() {
@@ -221,6 +239,9 @@ impl CsrMatrix {
     }
 
     /// Converts back to COO format.
+    // Infallible: `iter` yields indices already validated at construction,
+    // so they are in bounds for a matrix of the same shape.
+    #[allow(clippy::expect_used)]
     pub fn to_coo(&self) -> CooMatrix {
         let mut coo = CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz());
         for (i, j, v) in self.iter() {

@@ -11,6 +11,12 @@
 //! (`a_ii = degree_i + 1`, `a_ij = -1`), which makes the matrices symmetric
 //! positive definite — handy for the CG solver example.
 
+// Infallible-by-construction: every generator pushes indices it just drew
+// from `0..nrows` / `0..ncols`, so `CooMatrix::push` cannot fail here. The
+// generators are developer-facing (synthetic test data), not an untrusted
+// input path.
+#![allow(clippy::expect_used)]
+
 use rand::seq::SliceRandom;
 use rand::Rng;
 

@@ -39,102 +39,122 @@ pub fn read_matrix_market(path: impl AsRef<Path>) -> Result<CooMatrix> {
 }
 
 /// Reads Matrix Market data from any reader.
+///
+/// The parser is strict about structure (every error carries the 1-based
+/// line number where it was detected) but lenient about presentation:
+/// banner keywords are case-insensitive, and blank lines or trailing
+/// whitespace anywhere — including before EOF — are tolerated.
 pub fn read_matrix_market_from(reader: impl Read) -> Result<CooMatrix> {
-    let mut lines = BufReader::new(reader).lines();
+    // Pair every line with its 1-based line number so parse errors point
+    // at the offending input.
+    let mut lines = BufReader::new(reader).lines().zip(1u64..);
+    let at = |line: u64, msg: String| SparseError::ParseAt { line, msg };
 
-    let header = loop {
+    let (header, header_line) = loop {
         match lines.next() {
-            Some(line) => {
+            Some((line, no)) => {
                 let line = line?;
                 if !line.trim().is_empty() {
-                    break line;
+                    break (line, no);
                 }
             }
             None => return Err(SparseError::Parse("empty file".into())),
         }
     };
 
-    let (field, symmetry) = parse_header(&header)?;
+    let (field, symmetry) = parse_header(&header, header_line)?;
 
     // Skip comments, find the size line.
-    let size_line = loop {
+    let (size_line, size_line_no) = loop {
         match lines.next() {
-            Some(line) => {
+            Some((line, no)) => {
                 let line = line?;
                 let t = line.trim();
                 if t.is_empty() || t.starts_with('%') {
                     continue;
                 }
-                break line;
+                break (line, no);
             }
             None => return Err(SparseError::Parse("missing size line".into())),
         }
     };
 
     let mut it = size_line.split_whitespace();
-    let nrows: u32 = parse_num(it.next(), "rows")?;
-    let ncols: u32 = parse_num(it.next(), "cols")?;
-    let nnz: usize = parse_num(it.next(), "nnz")?;
+    let nrows: u32 = parse_num(it.next(), "rows", size_line_no)?;
+    let ncols: u32 = parse_num(it.next(), "cols", size_line_no)?;
+    let nnz: usize = parse_num(it.next(), "nnz", size_line_no)?;
     if it.next().is_some() {
-        return Err(SparseError::Parse("size line has extra fields".into()));
+        return Err(at(size_line_no, "size line has extra fields".into()));
+    }
+    let stored_max = (nrows as usize).saturating_mul(ncols as usize);
+    if nnz > stored_max {
+        return Err(at(
+            size_line_no,
+            format!("declared {nnz} entries exceed the {nrows} x {ncols} capacity {stored_max}"),
+        ));
     }
 
-    let mut coo = CooMatrix::with_capacity(
-        nrows,
-        ncols,
-        if symmetry == MmSymmetry::General {
-            nnz
-        } else {
-            nnz * 2
-        },
-    );
+    // Cap the speculative preallocation: a hostile header may declare a
+    // huge nnz and then supply no entries, which must not OOM the process.
+    const MAX_PREALLOC: usize = 1 << 20;
+    let want = if symmetry == MmSymmetry::General {
+        nnz
+    } else {
+        nnz.saturating_mul(2)
+    };
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, want.min(MAX_PREALLOC));
     let mut seen = 0usize;
-    for line in lines {
+    let mut last_line = size_line_no;
+    for (line, no) in lines {
         let line = line?;
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;
         }
+        last_line = no;
+        if seen == nnz {
+            return Err(at(no, format!("more entries than the declared {nnz}")));
+        }
         let mut it = t.split_whitespace();
-        let i: u32 = parse_num(it.next(), "row index")?;
-        let j: u32 = parse_num(it.next(), "col index")?;
+        let i: u32 = parse_num(it.next(), "row index", no)?;
+        let j: u32 = parse_num(it.next(), "col index", no)?;
         if i == 0 || j == 0 {
-            return Err(SparseError::Parse(
-                "matrix market indices are 1-based".into(),
-            ));
+            return Err(at(no, "matrix market indices are 1-based".into()));
         }
         let v = match field {
             MmField::Pattern => 1.0,
             MmField::Real | MmField::Integer => it
                 .next()
-                .ok_or_else(|| SparseError::Parse("missing value".into()))?
+                .ok_or_else(|| at(no, "missing value".into()))?
                 .parse::<f64>()
-                .map_err(|e| SparseError::Parse(format!("bad value: {e}")))?,
+                .map_err(|e| at(no, format!("bad value: {e}")))?,
         };
+        if it.next().is_some() {
+            return Err(at(no, "entry line has extra fields".into()));
+        }
         let (i, j) = (i - 1, j - 1);
-        coo.push(i, j, v)?;
+        coo.push(i, j, v).map_err(|e| at(no, e.to_string()))?;
         match symmetry {
             MmSymmetry::General => {}
             MmSymmetry::Symmetric => {
                 if i != j {
-                    coo.push(j, i, v)?;
+                    coo.push(j, i, v).map_err(|e| at(no, e.to_string()))?;
                 }
             }
             MmSymmetry::SkewSymmetric => {
                 if i == j {
-                    return Err(SparseError::Parse(
-                        "skew-symmetric matrix with diagonal entry".into(),
-                    ));
+                    return Err(at(no, "skew-symmetric matrix with diagonal entry".into()));
                 }
-                coo.push(j, i, -v)?;
+                coo.push(j, i, -v).map_err(|e| at(no, e.to_string()))?;
             }
         }
         seen += 1;
     }
     if seen != nnz {
-        return Err(SparseError::Parse(format!(
-            "declared {nnz} entries, found {seen}"
-        )));
+        return Err(at(
+            last_line,
+            format!("declared {nnz} entries, found {seen}"),
+        ));
     }
     Ok(coo)
 }
@@ -167,7 +187,10 @@ fn fmt_f64(v: f64) -> String {
     s
 }
 
-fn parse_header(line: &str) -> Result<(MmField, MmSymmetry)> {
+fn parse_header(line: &str, line_no: u64) -> Result<(MmField, MmSymmetry)> {
+    let err = |msg: String| SparseError::ParseAt { line: line_no, msg };
+    // Banner keywords are matched case-insensitively (files in the wild
+    // use `%%MatrixMarket`, `%%matrixmarket`, and everything in between).
     let tokens: Vec<String> = line
         .split_whitespace()
         .map(|t| t.to_ascii_lowercase())
@@ -177,7 +200,7 @@ fn parse_header(line: &str) -> Result<(MmField, MmSymmetry)> {
         || tokens[1] != "matrix"
         || tokens[2] != "coordinate"
     {
-        return Err(SparseError::Parse(format!(
+        return Err(err(format!(
             "unsupported header: {line:?} (only `matrix coordinate` is supported)"
         )));
     }
@@ -185,30 +208,28 @@ fn parse_header(line: &str) -> Result<(MmField, MmSymmetry)> {
         "real" => MmField::Real,
         "integer" => MmField::Integer,
         "pattern" => MmField::Pattern,
-        other => {
-            return Err(SparseError::Parse(format!(
-                "unsupported field type {other:?}"
-            )))
-        }
+        other => return Err(err(format!("unsupported field type {other:?}"))),
     };
     let symmetry = match tokens[4].as_str() {
         "general" => MmSymmetry::General,
         "symmetric" => MmSymmetry::Symmetric,
         "skew-symmetric" => MmSymmetry::SkewSymmetric,
-        other => {
-            return Err(SparseError::Parse(format!(
-                "unsupported symmetry {other:?}"
-            )))
-        }
+        other => return Err(err(format!("unsupported symmetry {other:?}"))),
     };
     Ok((field, symmetry))
 }
 
-fn parse_num<T: std::str::FromStr>(token: Option<&str>, what: &str) -> Result<T> {
+fn parse_num<T: std::str::FromStr>(token: Option<&str>, what: &str, line: u64) -> Result<T> {
     token
-        .ok_or_else(|| SparseError::Parse(format!("missing {what}")))?
+        .ok_or_else(|| SparseError::ParseAt {
+            line,
+            msg: format!("missing {what}"),
+        })?
         .parse::<T>()
-        .map_err(|_| SparseError::Parse(format!("bad {what}: {token:?}")))
+        .map_err(|_| SparseError::ParseAt {
+            line,
+            msg: format!("bad {what}: {token:?}"),
+        })
 }
 
 #[cfg(test)]
@@ -288,6 +309,65 @@ mod tests {
     fn reject_out_of_bounds() {
         let data = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
         assert!(read_matrix_market_from(data.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn banner_case_insensitive_and_trailing_blanks_tolerated() {
+        let data = "%%MATRIXMARKET MATRIX COORDINATE REAL GENERAL\n\
+                    2 2 1\n\
+                    1 1 3.5   \n\
+                    \n\
+                    \t\n";
+        let coo = read_matrix_market_from(data.as_bytes()).unwrap();
+        assert_eq!(coo.nnz(), 1);
+    }
+
+    #[test]
+    fn count_mismatch_is_line_numbered() {
+        let data = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n2 2 1.0\n";
+        match read_matrix_market_from(data.as_bytes()) {
+            Err(SparseError::ParseAt { line, msg }) => {
+                assert_eq!(line, 4, "should point at the last entry line");
+                assert!(msg.contains("declared 3"), "{msg}");
+            }
+            other => panic!("expected line-numbered parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn excess_entries_rejected_at_offending_line() {
+        let data = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n2 2 1.0\n";
+        match read_matrix_market_from(data.as_bytes()) {
+            Err(SparseError::ParseAt { line, .. }) => assert_eq!(line, 4),
+            other => panic!("expected line-numbered parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extra_fields_on_entry_line_rejected() {
+        let data = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0 7\n";
+        match read_matrix_market_from(data.as_bytes()) {
+            Err(SparseError::ParseAt { line, msg }) => {
+                assert_eq!(line, 3);
+                assert!(msg.contains("extra fields"), "{msg}");
+            }
+            other => panic!("expected line-numbered parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_nnz_declaration_does_not_preallocate() {
+        // Declares far more entries than the dimensions can hold.
+        let data = "%%MatrixMarket matrix coordinate real general\n2 2 999999999999\n1 1 1.0\n";
+        assert!(read_matrix_market_from(data.as_bytes()).is_err());
+        // Declares a large-but-plausible nnz, then supplies one entry:
+        // must fail with a count mismatch, not exhaust memory up front.
+        let data =
+            "%%MatrixMarket matrix coordinate real general\n100000 100000 4000000000\n1 1 1.0\n";
+        assert!(matches!(
+            read_matrix_market_from(data.as_bytes()),
+            Err(SparseError::ParseAt { .. })
+        ));
     }
 
     #[test]

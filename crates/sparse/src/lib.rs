@@ -20,6 +20,11 @@
 //! 615 774 nonzeros; `u32` keeps the hypergraphs compact), pointer arrays are
 //! `usize`, values are `f64`.
 
+// Robustness contract: this crate parses untrusted input, so the library
+// (non-test) code must not panic. Sites that are provably infallible carry
+// a narrowly scoped `allow` with a justification.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod catalog;
 pub mod coo;
 pub mod csc;
@@ -31,7 +36,7 @@ pub mod reorder;
 pub mod spy;
 pub mod stats;
 
-pub use coo::CooMatrix;
+pub use coo::{CooMatrix, DedupPolicy};
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use stats::MatrixStats;
@@ -48,6 +53,12 @@ pub enum SparseError {
     },
     /// A malformed Matrix Market file, with a human-readable reason.
     Parse(String),
+    /// A malformed Matrix Market file, with the 1-based line number where
+    /// the problem was detected.
+    ParseAt { line: u64, msg: String },
+    /// A duplicate `(row, col)` entry rejected by
+    /// [`coo::DedupPolicy::Error`].
+    DuplicateEntry { row: u32, col: u32 },
     /// An I/O failure while reading/writing a file.
     Io(String),
     /// Operation requires a square matrix.
@@ -69,6 +80,12 @@ impl std::fmt::Display for SparseError {
                 "entry ({row}, {col}) out of bounds for a {nrows} x {ncols} matrix"
             ),
             SparseError::Parse(msg) => write!(f, "matrix market parse error: {msg}"),
+            SparseError::ParseAt { line, msg } => {
+                write!(f, "matrix market parse error at line {line}: {msg}")
+            }
+            SparseError::DuplicateEntry { row, col } => {
+                write!(f, "duplicate entry at ({row}, {col})")
+            }
             SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
             SparseError::NotSquare { nrows, ncols } => {
                 write!(

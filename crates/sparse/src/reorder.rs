@@ -120,8 +120,7 @@ pub fn permute_symmetric(a: &CsrMatrix, perm: &[u32]) -> Result<CsrMatrix> {
     }
     let mut coo = crate::CooMatrix::with_capacity(a.nrows(), a.ncols(), a.nnz());
     for (i, j, v) in a.iter() {
-        coo.push(inv[i as usize], inv[j as usize], v)
-            .expect("bijection stays in range");
+        coo.push(inv[i as usize], inv[j as usize], v)?;
     }
     Ok(CsrMatrix::from_coo(coo))
 }

@@ -62,7 +62,7 @@ pub fn spy_owners(a: &CsrMatrix, owner: &[u32], max_cells: u32) -> String {
         let c = (j as u64 * cells_c as u64 / cols as u64) as u32;
         counts[((r * cells_c + c) as usize) * k + owner[e] as usize] += 1;
     }
-    let digit = |p: usize| char::from_digit((p % 36) as u32, 36).expect("p % 36 < 36");
+    let digit = |p: usize| char::from_digit((p % 36) as u32, 36).unwrap_or('?');
     let mut out = String::with_capacity(((cells_c + 1) * cells_r) as usize);
     for r in 0..cells_r {
         for c in 0..cells_c {

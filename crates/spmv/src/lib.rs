@@ -24,6 +24,10 @@
 //! conformal vector ownership so vector operations need no communication —
 //! the reason the paper insists on symmetric x/y partitioning.
 
+// Robustness contract: library (non-test) code must not panic; provably
+// infallible sites carry a narrowly scoped `allow` with a justification.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cost;
 pub mod parallel;
 pub mod plan;
@@ -43,6 +47,9 @@ pub enum SpmvError {
     DimensionMismatch { expected: usize, got: usize },
     /// An iterative solver failed to converge.
     NoConvergence { iterations: usize, residual: f64 },
+    /// A parallel-executor worker thread failed (panicked or lost its
+    /// channel peer mid-multiply).
+    Worker(String),
 }
 
 impl std::fmt::Display for SpmvError {
@@ -61,6 +68,7 @@ impl std::fmt::Display for SpmvError {
                     "no convergence after {iterations} iterations (residual {residual:e})"
                 )
             }
+            SpmvError::Worker(m) => write!(f, "spmv worker failed: {m}"),
         }
     }
 }

@@ -51,15 +51,26 @@ pub fn parallel_spmv(plan: &DistributedSpmv, x: &[f64]) -> Result<(Vec<f64>, Mea
         expect_y[t.to as usize] += 1;
     }
 
-    let mut results: Vec<Vec<(u32, f64)>> = vec![Vec::new(); k];
+    // A worker that loses a channel peer (because that peer died) returns
+    // an error instead of panicking; the first error wins below.
+    fn dead_peer() -> SpmvError {
+        SpmvError::Worker("channel peer disconnected mid-multiply".into())
+    }
+
+    let mut results: Vec<Result<Vec<(u32, f64)>>> = Vec::with_capacity(k);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(k);
-        for p in 0..k {
-            let inbox = receivers[p].take().expect("one receiver per processor");
+        for (p, inbox_slot) in receivers.iter_mut().enumerate() {
+            let Some(inbox) = inbox_slot.take() else {
+                results.push(Err(SpmvError::Worker(
+                    "missing receiver for processor".into(),
+                )));
+                continue;
+            };
             let senders = senders.clone();
             let expect_x = expect_x[p];
             let expect_y = expect_y[p];
-            handles.push(scope.spawn(move || -> Vec<(u32, f64)> {
+            handles.push(scope.spawn(move || -> Result<Vec<(u32, f64)>> {
                 let p = p as u32;
                 // Private x image: own values first.
                 let mut x_local: Vec<f64> = vec![f64::NAN; n];
@@ -78,14 +89,14 @@ pub fn parallel_spmv(plan: &DistributedSpmv, x: &[f64]) -> Result<(Vec<f64>, Mea
                         .collect();
                     senders[t.to as usize]
                         .send(Msg::X(payload))
-                        .expect("receiver alive for the whole scope");
+                        .map_err(|_| dead_peer())?;
                 }
                 // Receive the x values addressed to us. Fold messages from
                 // fast peers may already be interleaved; stash them.
                 let mut stashed_y: Vec<Vec<(u32, f64)>> = Vec::new();
                 let mut got_x = 0usize;
                 while got_x < expect_x {
-                    match inbox.recv().expect("peers alive") {
+                    match inbox.recv().map_err(|_| dead_peer())? {
                         Msg::X(items) => {
                             for (j, v) in items {
                                 x_local[j as usize] = v;
@@ -115,7 +126,7 @@ pub fn parallel_spmv(plan: &DistributedSpmv, x: &[f64]) -> Result<(Vec<f64>, Mea
                         .collect();
                     senders[t.to as usize]
                         .send(Msg::Y(payload))
-                        .expect("receiver alive for the whole scope");
+                        .map_err(|_| dead_peer())?;
                 }
                 let mut got_y = 0usize;
                 for items in stashed_y {
@@ -125,34 +136,50 @@ pub fn parallel_spmv(plan: &DistributedSpmv, x: &[f64]) -> Result<(Vec<f64>, Mea
                     got_y += 1;
                 }
                 while got_y < expect_y {
-                    match inbox.recv().expect("peers alive") {
+                    match inbox.recv().map_err(|_| dead_peer())? {
                         Msg::Y(items) => {
                             for (i, v) in items {
                                 y_partial[i as usize] += v;
                             }
                             got_y += 1;
                         }
-                        Msg::X(_) => unreachable!("all expand messages already received"),
+                        Msg::X(_) => {
+                            // Protocol violation: all expand messages were
+                            // already received.
+                            return Err(SpmvError::Worker(
+                                "unexpected expand message during fold phase".into(),
+                            ));
+                        }
                     }
                 }
 
                 // Emit the y entries we own.
-                plan.vec_owner()
+                Ok(plan
+                    .vec_owner()
                     .iter()
                     .enumerate()
                     .filter(|&(_, &owner)| owner == p)
                     .map(|(i, _)| (i as u32, y_partial[i]))
-                    .collect()
+                    .collect())
             }));
         }
-        for (p, h) in handles.into_iter().enumerate() {
-            results[p] = h.join().expect("spmv worker panicked");
+        for h in handles {
+            results.push(h.join().unwrap_or_else(|e| {
+                let msg = if let Some(s) = e.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = e.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "worker panicked".to_string()
+                };
+                Err(SpmvError::Worker(msg))
+            }));
         }
     });
 
     let mut y = vec![0.0; n];
     for owned in results {
-        for (i, v) in owned {
+        for (i, v) in owned? {
             y[i as usize] = v;
         }
     }

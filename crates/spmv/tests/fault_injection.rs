@@ -1,0 +1,330 @@
+//! Adversarial fault-injection harness for the full pipeline:
+//! Matrix Market parse → `decompose` → SpMV plan → multiply.
+//!
+//! The contract under test is simple: **no input may panic the
+//! pipeline**. Parsing either yields a matrix or a typed
+//! [`fgh_sparse::SparseError`]; `decompose` either yields a valid
+//! decomposition (possibly tagged `Degraded`) or a typed
+//! [`fgh_core::FghError`]; the SpMV executors agree with the serial
+//! kernel. For consistent hypergraph models, an `Ok` outcome must also
+//! satisfy eq. 3 of the paper (connectivity−1 cutsize = true volume) and
+//! the balance contract its status claims.
+//!
+//! Four property tests at 64 cases each (overridable via
+//! `PROPTEST_CASES`) give ≥ 256 generated fault cases per run, plus the
+//! checked-in corpus in `tests/corpus/`.
+
+use std::time::Duration;
+
+use fgh_core::{decompose, Budget, DecomposeConfig, DecompositionStatus, Model};
+use fgh_sparse::io::read_matrix_market_from;
+use fgh_sparse::{CooMatrix, CsrMatrix};
+use fgh_spmv::parallel::parallel_spmv;
+use fgh_spmv::DistributedSpmv;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+// ---------------------------------------------------------------------
+// Garbled Matrix Market inputs
+// ---------------------------------------------------------------------
+
+/// A syntactically valid little Matrix Market file.
+fn valid_mm(n: u32, entries: &[(u32, u32, f64)]) -> String {
+    let mut s = format!(
+        "%%MatrixMarket matrix coordinate real general\n{n} {n} {}\n",
+        entries.len()
+    );
+    for &(i, j, v) in entries {
+        s.push_str(&format!("{} {} {v}\n", i + 1, j + 1));
+    }
+    s
+}
+
+/// A random small valid file, deterministic in `seed`.
+fn random_valid_mm(seed: u64) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = rng.gen_range(2u32..=6);
+    let nnz = rng.gen_range(0usize..=12);
+    let mut seen = std::collections::BTreeSet::new();
+    for _ in 0..nnz {
+        seen.insert((rng.gen_range(0..n), rng.gen_range(0..n)));
+    }
+    let entries: Vec<(u32, u32, f64)> = seen
+        .into_iter()
+        .enumerate()
+        .map(|(e, (i, j))| (i, j, e as f64 - 1.5))
+        .collect();
+    valid_mm(n, &entries)
+}
+
+/// Hostile parser input number `variant`: a truncation, a byte mutation,
+/// a junk-line splice, or free-form junk.
+fn garbled_mm(variant: usize, seed: u64) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    let base = random_valid_mm(seed);
+    match variant % 4 {
+        0 => {
+            // Truncated at an arbitrary byte.
+            let cut = rng.gen_range(0..=base.len());
+            base[..cut].to_string()
+        }
+        1 => {
+            // One byte replaced with an arbitrary printable character.
+            let mut s = base;
+            if !s.is_empty() {
+                let at = rng.gen_range(0..s.len());
+                let b = rng.gen_range(0x20u8..0x7f) as char;
+                s.replace_range(at..at + 1, &b.to_string());
+            }
+            s
+        }
+        2 => {
+            // A junk line spliced in at an arbitrary line boundary.
+            let junk: String = (0..rng.gen_range(0..30))
+                .map(|_| rng.gen_range(0x20u8..0x7f) as char)
+                .collect();
+            let mut lines: Vec<String> = base.lines().map(String::from).collect();
+            let at = rng.gen_range(0..=lines.len());
+            lines.insert(at, junk);
+            lines.join("\n")
+        }
+        _ => {
+            // Free-form junk, sometimes behind a banner-like prefix.
+            let mut s = if rng.gen_range(0..2) == 0 {
+                String::from("%%MatrixMarket ")
+            } else {
+                String::new()
+            };
+            for _ in 0..rng.gen_range(0..120) {
+                let c = rng.gen_range(0x0au8..0x7f) as char;
+                s.push(if c.is_ascii_graphic() || c == ' ' || c == '\n' {
+                    c
+                } else {
+                    '\n'
+                });
+            }
+            s
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pathological matrices
+// ---------------------------------------------------------------------
+
+/// Pathological matrix number `variant`: empty, diagonal-only, dense row,
+/// dense column, duplicate entries, or a small random pattern.
+fn pathological_matrix(variant: usize, n: u32, seed: u64) -> CsrMatrix {
+    let n = n.max(1);
+    let t: Vec<(u32, u32, f64)> = match variant % 6 {
+        0 => vec![],
+        1 => (0..n).map(|i| (i, i, 1.0 + i as f64)).collect(),
+        2 => {
+            let r = (seed as u32) % n;
+            let mut t: Vec<_> = (0..n).map(|j| (r, j, 1.0)).collect();
+            t.extend((0..n).filter(|&i| i != r).map(|i| (i, i, 2.0)));
+            t
+        }
+        3 => {
+            let c = (seed as u32) % n;
+            let mut t: Vec<_> = (0..n).map(|i| (i, c, 1.0)).collect();
+            t.extend((0..n).filter(|&j| j != c).map(|j| (j, j, 2.0)));
+            t
+        }
+        4 => {
+            let mut t: Vec<_> = (0..n).map(|i| (i, i, 1.0)).collect();
+            t.push((0, 0, 2.5));
+            t.push((n - 1, 0, 0.5));
+            t.push((n - 1, 0, -0.5));
+            t
+        }
+        _ => {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut seen = std::collections::BTreeSet::new();
+            for _ in 0..rng.gen_range(1usize..=40) {
+                seen.insert((rng.gen_range(0..n), rng.gen_range(0..n)));
+            }
+            seen.into_iter()
+                .enumerate()
+                .map(|(e, (i, j))| (i, j, e as f64 * 0.3 - 2.0))
+                .collect()
+        }
+    };
+    CsrMatrix::from_coo(CooMatrix::from_triplets(n, n, t).expect("in bounds by construction"))
+}
+
+/// Runs one matrix through decompose → plan → multiply and checks every
+/// contract an `Ok` outcome promises.
+fn check_pipeline(a: &CsrMatrix, model: Model, k: u32, epsilon: f64, budget: Budget) {
+    let mut cfg = DecomposeConfig::new(model, k);
+    cfg.epsilon = epsilon;
+    cfg.budget = budget;
+    let out = match decompose(a, &cfg) {
+        Ok(out) => out,
+        // A typed error is an acceptable outcome; a panic is not (it
+        // would abort the test).
+        Err(_) => return,
+    };
+    out.decomposition
+        .validate(a)
+        .expect("Ok outcome must carry a valid decomposition");
+
+    // Eq. 3: for the consistent hypergraph models the partitioner's
+    // cutsize IS the communication volume, degraded or not.
+    if matches!(
+        model,
+        Model::FineGrain2D | Model::Hypergraph1DColNet | Model::Hypergraph1DRowNet
+    ) {
+        assert_eq!(
+            out.objective,
+            out.stats.total_volume(),
+            "{}: eq.-3 violated (cutsize {} != volume {})",
+            model.name(),
+            out.objective,
+            out.stats.total_volume()
+        );
+    }
+
+    // Balance contract: a Full outcome meets ε up to one work unit of
+    // integer granularity; a Degraded outcome must say why.
+    let imbalance = out.stats.load_imbalance_percent();
+    match &out.status {
+        DecompositionStatus::Full => {
+            let allowed = epsilon * 100.0 + 100.0 * k as f64 / a.nnz().max(1) as f64 + 1e-6;
+            assert!(
+                imbalance <= allowed,
+                "{}: Full outcome with {imbalance:.2}% > allowed {allowed:.2}%",
+                model.name()
+            );
+        }
+        DecompositionStatus::Degraded { reason } => {
+            assert!(!reason.is_empty(), "degraded outcome without a reason");
+        }
+    }
+
+    // The plan and both executors must take any valid decomposition.
+    let plan =
+        DistributedSpmv::build(a, &out.decomposition).expect("plan from valid decomposition");
+    let x: Vec<f64> = (0..a.ncols()).map(|j| (j as f64) * 0.4 - 1.0).collect();
+    let (y_sim, _) = plan.multiply(&x).expect("simulate");
+    let (y_par, _) = parallel_spmv(&plan, &x).expect("parallel");
+    let y_serial = a.spmv(&x).expect("serial");
+    for ((s, p), r) in y_sim.iter().zip(&y_par).zip(&y_serial) {
+        assert!((s - r).abs() <= 1e-9 * r.abs().max(1.0));
+        assert!((p - r).abs() <= 1e-9 * r.abs().max(1.0));
+    }
+}
+
+const MODELS: [Model; 3] = [
+    Model::FineGrain2D,
+    Model::Hypergraph1DColNet,
+    Model::Graph1D,
+];
+
+proptest! {
+    /// The parser never panics on garbled input; it returns a matrix or a
+    /// typed error.
+    #[test]
+    fn parser_survives_garbled_input(variant in 0usize..4, seed in 0u64..1_000_000) {
+        let text = garbled_mm(variant, seed);
+        let _ = read_matrix_market_from(text.as_bytes());
+    }
+
+    /// Garbled input that happens to parse still flows through the whole
+    /// pipeline without panicking.
+    #[test]
+    fn garbled_parse_feeds_pipeline(variant in 0usize..4, seed in 0u64..1_000_000) {
+        let text = garbled_mm(variant, seed);
+        if let Ok(coo) = read_matrix_market_from(text.as_bytes()) {
+            if let Ok(a) = CsrMatrix::try_from_coo(coo) {
+                check_pipeline(&a, Model::FineGrain2D, 3, 0.03, Budget::UNLIMITED);
+            }
+        }
+    }
+
+    /// Pathological matrices × three models × boundary K values: the
+    /// pipeline never panics, and Ok outcomes pass eq.-3 + balance +
+    /// executor validation.
+    #[test]
+    fn pipeline_survives_pathological_matrices(
+        variant in 0usize..6,
+        n in 1u32..=12,
+        seed in 0u64..1_000_000,
+        model_ix in 0usize..3,
+        k_sel in 0usize..4,
+        eps_ix in 0usize..3,
+    ) {
+        let a = pathological_matrix(variant, n, seed);
+        let nnz = a.nnz() as u32;
+        let k = [1, 2, nnz.max(1), nnz + 1][k_sel];
+        let epsilon = [0.0, 0.03, 0.5][eps_ix];
+        check_pipeline(&a, MODELS[model_ix], k, epsilon, Budget::UNLIMITED);
+    }
+
+    /// The same pipeline under hostile budgets: an already-expired
+    /// deadline and 1-pass/1-level caps must still produce valid
+    /// outcomes.
+    #[test]
+    fn pipeline_survives_hostile_budgets(
+        variant in 0usize..6,
+        n in 1u32..=12,
+        seed in 0u64..1_000_000,
+        model_ix in 0usize..3,
+        tight_wall in 0u32..2,
+    ) {
+        let a = pathological_matrix(variant, n, seed);
+        let budget = if tight_wall == 1 {
+            Budget::wall(Duration::from_nanos(1))
+        } else {
+            Budget { max_fm_passes: Some(1), max_levels: Some(1), ..Budget::UNLIMITED }
+        };
+        check_pipeline(&a, MODELS[model_ix], 3, 0.03, budget);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checked-in adversarial corpus
+// ---------------------------------------------------------------------
+
+/// Every file in `tests/corpus/` goes through the full pipeline. Files
+/// that parse feed `decompose` under all three models; files that do not
+/// must fail with a typed error. Nothing panics either way.
+#[test]
+fn corpus_never_panics() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus");
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "mtx"))
+        .collect();
+    entries.sort();
+    assert!(
+        entries.len() >= 10,
+        "corpus shrank to {} files",
+        entries.len()
+    );
+
+    let (mut parsed, mut rejected) = (0usize, 0usize);
+    for path in &entries {
+        let text = std::fs::read(path).expect("readable corpus file");
+        match read_matrix_market_from(text.as_slice()) {
+            Err(_) => rejected += 1,
+            Ok(coo) => {
+                parsed += 1;
+                let a = match CsrMatrix::try_from_coo(coo) {
+                    Ok(a) => a,
+                    Err(_) => continue,
+                };
+                for model in MODELS {
+                    check_pipeline(&a, model, 3, 0.03, Budget::UNLIMITED);
+                    check_pipeline(&a, model, 1, 0.03, Budget::UNLIMITED);
+                }
+            }
+        }
+    }
+    // The corpus must stay adversarially mixed: some files parse, some
+    // must be rejected.
+    assert!(parsed >= 4, "only {parsed} corpus files parsed");
+    assert!(rejected >= 3, "only {rejected} corpus files rejected");
+}

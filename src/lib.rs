@@ -45,7 +45,8 @@ pub use fgh_spmv as spmv;
 /// Commonly used items, re-exported for one-line imports.
 pub mod prelude {
     pub use fgh_core::{
-        decompose, CommStats, DecomposeConfig, Decomposition, DecompositionOutcome, Model,
+        decompose, Budget, CommStats, DecomposeConfig, Decomposition, DecompositionOutcome,
+        DecompositionStatus, EngineStats, ErrorCategory, FghError, Model,
     };
     pub use fgh_hypergraph::{
         cutsize_connectivity, cutsize_cutnet, Hypergraph, HypergraphBuilder, Partition,
