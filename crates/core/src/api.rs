@@ -186,11 +186,11 @@ impl DecompositionOutcome {
 /// cleverly — callers tag the outcome [`DecompositionStatus::Degraded`].
 fn best_effort_round_robin(a: &CsrMatrix, k: u32) -> std::result::Result<Decomposition, FghError> {
     let n = a.nrows() as usize;
-    let mut vec_owner: Vec<u32> = (0..n as u32).map(|j| j % k).collect();
+    let mut vec_owner: Vec<u32> = (0..n as u32).map(|j| j % k).collect(); // lint: checked-cast — n = ncols, a u32
     let mut nonzero_owner = Vec::with_capacity(a.nnz());
     let mut col_seen = vec![false; n];
     for (e, (_, j, _)) in a.iter().enumerate() {
-        let owner = e as u32 % k;
+        let owner = e as u32 % k; // lint: checked-cast — e % k is taken next; value < k either way
         nonzero_owner.push(owner);
         if !col_seen[j as usize] {
             col_seen[j as usize] = true;

@@ -91,7 +91,7 @@ impl CheckerboardModel {
 
 /// Near-square factorization of `k`: the largest divisor `p <= sqrt(k)`.
 pub fn grid_shape(k: u32) -> (u32, u32) {
-    let mut p = (k as f64).sqrt().floor() as u32;
+    let mut p = (k as f64).sqrt().floor() as u32; // lint: checked-cast — floor(sqrt(k)) <= k, a u32
     while p > 1 && !k.is_multiple_of(p) {
         p -= 1;
     }
@@ -112,7 +112,8 @@ fn contiguous_blocks(weights: &[u64], blocks: u32) -> Vec<u32> {
         // Close the block when its share is met, keeping enough indices
         // for the remaining blocks.
         let target = total * (b as u64 + 1) / blocks as u64;
-        if b + 1 < blocks && acc >= target.max(1) && (n - i) as u32 >= remaining_slots(b + 1) {
+        let room = (n - i) as u32; // lint: checked-cast — n - i <= nrows, a u32
+        if b + 1 < blocks && acc >= target.max(1) && room >= remaining_slots(b + 1) {
             b += 1;
         }
         ids[i] = b;

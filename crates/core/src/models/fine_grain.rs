@@ -14,6 +14,7 @@
 //! cutsize (eq. 3) **exactly equals** the total SpMV communication volume.
 
 use fgh_hypergraph::{connectivity_sets, Hypergraph, HypergraphBuilder, Partition};
+use fgh_invariant::{invariant, InvariantViolation};
 use fgh_sparse::CsrMatrix;
 
 use crate::decomp::Decomposition;
@@ -154,6 +155,126 @@ impl FineGrainModel {
         self.diag_vertex[j as usize]
     }
 
+    /// Audits the model against the paper's Section-3 structure: the
+    /// underlying hypergraph is internally consistent, there are exactly
+    /// `2M` nets, every vertex pins exactly its row net `m_i` and column
+    /// net `n_j`, real vertices have weight 1 and dummies weight 0, and
+    /// the **consistency condition** `v_jj ∈ pins[n_j] ∩ pins[m_j]` holds
+    /// for every diagonal index `j`.
+    pub fn validate(&self) -> std::result::Result<(), InvariantViolation> {
+        const S: &str = "FineGrainModel";
+        self.hypergraph.validate_invariants()?;
+        invariant!(
+            self.hypergraph.num_nets() == 2 * self.n,
+            S,
+            "nets.count",
+            "{} nets for order {} (expected 2M = {})",
+            self.hypergraph.num_nets(),
+            self.n,
+            2 * self.n
+        );
+        invariant!(
+            self.coords.len() == self.hypergraph.num_vertices() as usize,
+            S,
+            "coords.len",
+            "{} coords for {} vertices",
+            self.coords.len(),
+            self.hypergraph.num_vertices()
+        );
+        invariant!(
+            self.num_real <= self.coords.len(),
+            S,
+            "real.count",
+            "num_real = {} exceeds {} vertices",
+            self.num_real,
+            self.coords.len()
+        );
+        invariant!(
+            self.diag_vertex.len() == self.n as usize,
+            S,
+            "diag.len",
+            "{} diagonal vertices for order {}",
+            self.diag_vertex.len(),
+            self.n
+        );
+        for (v, &(i, j)) in self.coords.iter().enumerate() {
+            let v = v as u32; // lint: checked-cast — v < Z = nnz, u32-bounded
+            invariant!(
+                i < self.n && j < self.n,
+                S,
+                "coords.in_bounds",
+                "vertex {v} at ({i}, {j}) outside order {}",
+                self.n
+            );
+            // Each atomic task y_i += a_ij * x_j belongs to exactly m_i
+            // (fold) and n_j (expand).
+            invariant!(
+                self.hypergraph.nets(v) == [self.row_net(i), self.col_net(j)],
+                S,
+                "vertex.nets",
+                "vertex {v} at ({i}, {j}) pins nets {:?}, expected [m_{i} = {}, n_{j} = {}]",
+                self.hypergraph.nets(v),
+                self.row_net(i),
+                self.col_net(j)
+            );
+            let expected_weight = if (v as usize) < self.num_real { 1 } else { 0 };
+            invariant!(
+                self.hypergraph.vertex_weight(v) == expected_weight,
+                S,
+                "vertex.weight",
+                "vertex {v} ({}) has weight {}, expected {expected_weight}",
+                if (v as usize) < self.num_real {
+                    "real"
+                } else {
+                    "dummy"
+                },
+                self.hypergraph.vertex_weight(v)
+            );
+            if (v as usize) >= self.num_real {
+                invariant!(
+                    i == j && self.diag_vertex[i as usize] == v,
+                    S,
+                    "dummy.diagonal",
+                    "dummy vertex {v} at ({i}, {j}) is not a registered diagonal"
+                );
+            }
+        }
+        // The consistency condition of Section 3: v_jj ∈ pins[n_j] ∩
+        // pins[m_j], so decoding map[n_j] = map[m_j] = part[v_jj] always
+        // lands in Λ[n_j] ∩ Λ[m_j].
+        for j in 0..self.n {
+            let d = self.diag_vertex[j as usize];
+            invariant!(
+                d < self.hypergraph.num_vertices(),
+                S,
+                "diag.in_bounds",
+                "diag_vertex[{j}] = {d} out of range"
+            );
+            invariant!(
+                self.coords[d as usize] == (j, j),
+                S,
+                "diag.coords",
+                "diag_vertex[{j}] = {d} sits at {:?}, expected ({j}, {j})",
+                self.coords[d as usize]
+            );
+            invariant!(
+                self.hypergraph
+                    .pins(self.row_net(j))
+                    .binary_search(&d)
+                    .is_ok()
+                    && self
+                        .hypergraph
+                        .pins(self.col_net(j))
+                        .binary_search(&d)
+                        .is_ok(),
+                S,
+                "fine_grain.consistency",
+                "v_{j}{j} (vertex {d}) missing from pins[m_{j}] ∩ pins[n_{j}]"
+            );
+        }
+        Ok(())
+    }
+
     /// Decodes a K-way partition of the fine-grain hypergraph into a 2D
     /// [`Decomposition`]: nonzero `e` goes to `part[v_e]`, and both `x_j`
     /// and `y_j` go to `part[v_jj]` (`map[n_j] = map[m_j] = part[v_jj]`).
@@ -169,7 +290,7 @@ impl FineGrainModel {
             )));
         }
         let nonzero_owner: Vec<u32> = (0..self.num_real)
-            .map(|v| partition.part(v as u32))
+            .map(|v| partition.part(v as u32)) // lint: checked-cast — v < Z = nnz, u32-bounded
             .collect();
         let vec_owner: Vec<u32> = (0..self.n)
             .map(|j| partition.part(self.diag_vertex(j)))
@@ -316,6 +437,19 @@ mod tests {
             assert_eq!(d.vec_owner[j as usize], j % 2, "x_{j}/y_{j} owner");
         }
         assert_eq!(d.nonzero_owner.len(), a.nnz());
+    }
+
+    #[test]
+    fn validate_accepts_built_models() {
+        FineGrainModel::build(&sample())
+            .unwrap()
+            .validate()
+            .unwrap();
+        // With a structural zero on the diagonal (dummy path).
+        let a = CsrMatrix::from_coo(
+            CooMatrix::from_triplets(3, 3, vec![(0, 0, 1.0), (2, 2, 1.0), (0, 2, 1.0)]).unwrap(),
+        );
+        FineGrainModel::build(&a).unwrap().validate().unwrap();
     }
 
     #[test]

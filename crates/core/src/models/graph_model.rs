@@ -43,7 +43,7 @@ impl StandardGraphModel {
                 }
             }
         }
-        let vwgt: Vec<u32> = (0..n).map(|i| a.row_nnz(i) as u32).collect();
+        let vwgt: Vec<u32> = (0..n).map(|i| a.row_nnz(i) as u32).collect(); // lint: checked-cast — row_nnz <= ncols, a u32
         let graph = CsrGraph::from_edges(n, &edges, Some(vwgt))
             .map_err(|e| ModelError::Invalid(e.to_string()))?;
         Ok(StandardGraphModel { graph, n })

@@ -132,7 +132,7 @@ impl JaggedModel {
             let mut pins: Vec<u32> = Vec::with_capacity(a.row_nnz(i));
             for &j in a.row_cols(i) {
                 let v = if col_vertex[j as usize] == u32::MAX {
-                    let v = weights.len() as u32;
+                    let v = weights.len() as u32; // lint: checked-cast — vertex count <= nnz, u32-bounded
                     col_vertex[j as usize] = v;
                     weights.push(0);
                     vertex_col.push(j);

@@ -58,7 +58,7 @@ impl MondriaanModel {
         if self.k > 1 && !coords.is_empty() {
             let mut rng = SmallRng::seed_from_u64(cfg.seed);
             let eps = per_level_epsilon(self.epsilon, self.k);
-            let ids: Vec<u32> = (0..coords.len() as u32).collect();
+            let ids: Vec<u32> = (0..coords.len() as u32).collect(); // lint: checked-cast — coords.len() <= nnz, u32-bounded
             recurse(&coords, &ids, self.k, 0, eps, cfg, &mut rng, &mut owner);
         }
 
@@ -116,7 +116,7 @@ fn directional_hypergraph(coords: &[Coord], ids: &[u32], by_rows: bool) -> (Hype
                 g
             }
             None => {
-                let g = weights.len() as u32;
+                let g = weights.len() as u32; // lint: checked-cast — vertex count <= nnz, u32-bounded
                 group_of.insert(g_key, g);
                 weights.push(1);
                 g

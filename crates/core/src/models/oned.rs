@@ -34,7 +34,7 @@ impl ColumnNetModel {
         let n = a.nrows();
         let mut builder = HypergraphBuilder::new();
         for i in 0..n {
-            builder.add_vertex(a.row_nnz(i) as u32);
+            builder.add_vertex(a.row_nnz(i) as u32); // lint: checked-cast — row_nnz <= ncols, a u32
         }
         let csc = a.to_csc();
         for j in 0..n {
@@ -98,7 +98,7 @@ impl RowNetModel {
         let csc = a.to_csc();
         let mut builder = HypergraphBuilder::new();
         for j in 0..n {
-            builder.add_vertex(csc.col_nnz(j) as u32);
+            builder.add_vertex(csc.col_nnz(j) as u32); // lint: checked-cast — col_nnz <= nrows, a u32
         }
         for i in 0..n {
             let mut pins: Vec<u32> = a.row_cols(i).to_vec();

@@ -101,7 +101,7 @@ impl ReductionProblem {
         if k == 0 {
             return Err(ModelError::Invalid("K must be >= 1".into()));
         }
-        let nt = self.tasks.len() as u32;
+        let nt = self.tasks.len() as u32; // lint: checked-cast — task count <= nnz, u32-bounded
 
         let mut builder = HypergraphBuilder::new();
         for task in &self.tasks {
@@ -129,10 +129,10 @@ impl ReductionProblem {
         let mut output_pins: Vec<Vec<u32>> = vec![Vec::new(); self.num_outputs as usize];
         for (t, task) in self.tasks.iter().enumerate() {
             for &i in &task.inputs {
-                input_pins[i as usize].push(t as u32);
+                input_pins[i as usize].push(t as u32); // lint: checked-cast — t < task count, u32-bounded
             }
             for &o in &task.outputs {
-                output_pins[o as usize].push(t as u32);
+                output_pins[o as usize].push(t as u32); // lint: checked-cast — t < task count, u32-bounded
             }
         }
         for (i, mut pins) in input_pins.into_iter().enumerate() {

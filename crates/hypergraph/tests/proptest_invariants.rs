@@ -1,0 +1,90 @@
+//! Property tests of the runtime invariant validators:
+//! `Hypergraph::validate_invariants` must hold after every public
+//! construction path (from_nets, the incremental builder, extraction),
+//! and `Partition::validate_invariants` after every assignment.
+
+use fgh_hypergraph::{Hypergraph, HypergraphBuilder, Partition};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn nets() -> impl Strategy<Value = (u32, Vec<Vec<u32>>)> {
+    (2u32..=16).prop_flat_map(|nv| {
+        proptest::collection::vec(
+            proptest::collection::btree_set(0..nv, 1..=(nv as usize).min(6)),
+            0..=20,
+        )
+        .prop_map(move |ns| {
+            (
+                nv,
+                ns.into_iter()
+                    .map(|s| s.into_iter().collect::<Vec<u32>>())
+                    .collect(),
+            )
+        })
+    })
+}
+
+proptest! {
+    /// Every `from_nets` construction satisfies the structural invariants.
+    #[test]
+    fn from_nets_valid((nv, ns) in nets()) {
+        let hg = Hypergraph::from_nets(nv, &ns).expect("pins in range");
+        hg.validate_invariants().expect("from_nets");
+    }
+
+    /// The incremental builder produces structurally valid hypergraphs,
+    /// including with out-of-order `add_pin` calls.
+    #[test]
+    fn builder_valid((nv, ns) in nets(), seed in 0u64..100) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut b = HypergraphBuilder::with_unit_vertices(nv);
+        for pins in &ns {
+            // Half the nets go in whole, half are grown pin by pin — the
+            // builder must canonicalize both the same way.
+            if rand::Rng::gen_bool(&mut rng, 0.5) {
+                b.add_net(pins.clone());
+            } else {
+                let n = b.add_net(Vec::new());
+                let mut shuffled = pins.clone();
+                rand::seq::SliceRandom::shuffle(shuffled.as_mut_slice(), &mut rng);
+                for &p in &shuffled {
+                    b.add_pin(n, p);
+                }
+            }
+        }
+        let hg = b.build().expect("valid construction");
+        hg.validate_invariants().expect("builder");
+    }
+
+    /// Extraction keeps both the invariants and the id map consistent,
+    /// and partitions stay valid after every reassignment.
+    #[test]
+    fn extraction_and_partition_valid((nv, ns) in nets(), k in 1u32..=4, seed in 0u64..200) {
+        let hg = Hypergraph::from_nets(nv, &ns).expect("pins in range");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let parts: Vec<u32> = (0..nv)
+            .map(|_| rand::Rng::gen_range(&mut rng, 0..k))
+            .collect();
+        let mut p = Partition::new(k, parts).expect("parts < k");
+        p.validate_invariants(&hg).expect("fresh partition");
+
+        for part in 0..k {
+            let (sub, ids) = hg.extract_part(&p, part);
+            sub.validate_invariants().expect("extracted part");
+            prop_assert_eq!(sub.num_vertices() as usize, ids.len());
+            for &orig in &ids {
+                prop_assert!(orig < nv);
+                prop_assert_eq!(p.part(orig), part);
+            }
+        }
+
+        // Reassign a few vertices; the invariants must hold throughout.
+        for _ in 0..5 {
+            let v = rand::Rng::gen_range(&mut rng, 0..nv);
+            let q = rand::Rng::gen_range(&mut rng, 0..k);
+            p.assign(v, q);
+            p.validate_invariants(&hg).expect("after assign");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! # fgh-invariant — the shared vocabulary of structural invariants
+//!
+//! Every core data structure in the workspace (`CooMatrix`, `CsrMatrix`,
+//! `CscMatrix`, `Hypergraph`, `Partition`, the decomposition models)
+//! exposes a `validate()`-style method returning
+//! `Result<(), InvariantViolation>`. The violations are *diagnoses*, not
+//! recoverable errors: a violation means the structure's own construction
+//! contract was broken somewhere — memory corruption, a partitioner
+//! defect, or a bug in a mutating operation — so callers log/abort rather
+//! than branch on the variant. Keeping the type in a leaf crate lets the
+//! bottom-of-stack crates (`fgh-sparse`, `fgh-hypergraph`) share it
+//! without depending on each other.
+//!
+//! The checks themselves run in three places:
+//! * **proptest harnesses** — after every public mutating operation,
+//! * **`MultilevelDriver` checkpoints** — behind the `paranoid` cargo
+//!   feature of `fgh-partition` (off by default; zero cost when off),
+//! * **`cargo xtask lint --paranoid-smoke`-style CI jobs** via the test
+//!   suites.
+
+// Robustness contract: library (non-test) code must not panic.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+/// A broken structural invariant: which structure, which rule, and a
+/// human-readable account of the offending indices/values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    structure: &'static str,
+    rule: &'static str,
+    detail: String,
+}
+
+impl InvariantViolation {
+    /// Creates a violation report for `structure` (type name) breaking
+    /// `rule` (a short dotted identifier such as `"row_ptr.monotone"`).
+    pub fn new(structure: &'static str, rule: &'static str, detail: String) -> Self {
+        InvariantViolation {
+            structure,
+            rule,
+            detail,
+        }
+    }
+
+    /// The structure that failed validation (e.g. `"CsrMatrix"`).
+    pub fn structure(&self) -> &'static str {
+        self.structure
+    }
+
+    /// The violated rule's identifier (e.g. `"fine_grain.consistency"`).
+    pub fn rule(&self) -> &'static str {
+        self.rule
+    }
+
+    /// The human-readable account of the violation.
+    pub fn detail(&self) -> &str {
+        &self.detail
+    }
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invariant violated [{}/{}]: {}",
+            self.structure, self.rule, self.detail
+        )
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Early-returns an [`InvariantViolation`] when `cond` is false.
+///
+/// The enclosing function must return `Result<_, InvariantViolation>`:
+///
+/// ```
+/// use fgh_invariant::{invariant, InvariantViolation};
+/// fn check(len: usize) -> Result<(), InvariantViolation> {
+///     invariant!(len < 10, "Demo", "len.bound", "len {len} out of range");
+///     Ok(())
+/// }
+/// assert!(check(3).is_ok());
+/// assert_eq!(check(12).unwrap_err().rule(), "len.bound");
+/// ```
+#[macro_export]
+macro_rules! invariant {
+    ($cond:expr, $structure:expr, $rule:expr, $($arg:tt)+) => {
+        if !$cond {
+            return Err($crate::InvariantViolation::new(
+                $structure,
+                $rule,
+                format!($($arg)+),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_structure_rule_and_detail() {
+        let v = InvariantViolation::new("CsrMatrix", "row_ptr.monotone", "at row 3".into());
+        let s = v.to_string();
+        assert!(s.contains("CsrMatrix"), "{s}");
+        assert!(s.contains("row_ptr.monotone"), "{s}");
+        assert!(s.contains("at row 3"), "{s}");
+    }
+
+    #[test]
+    fn macro_passes_and_fails() {
+        fn f(x: u32) -> Result<(), InvariantViolation> {
+            invariant!(x.is_multiple_of(2), "T", "even", "{x} is odd");
+            Ok(())
+        }
+        assert!(f(2).is_ok());
+        let e = f(3).unwrap_err();
+        assert_eq!(e.structure(), "T");
+        assert_eq!(e.detail(), "3 is odd");
+    }
+}

@@ -53,6 +53,7 @@ pub fn coarsen_once(
 /// point). Scratch buffers and the fine→coarse map are drawn from `arena`;
 /// the returned [`Level`]'s `map`/`fixed` should be given back to it once
 /// projected through.
+// lint: checked-index — v < n == fixed.len() == cluster_of.len(); cluster ids are < num_clusters == coarse_fixed.len()
 pub(crate) fn coarsen_once_in<S: Substrate>(
     sub: &S,
     fixed: &[i8],
@@ -96,6 +97,7 @@ pub(crate) fn coarsen_once_in<S: Substrate>(
 /// (subject to the weight cap and fixed-side compatibility) or starts its
 /// own. Under HCM a cluster accepts at most one extra vertex. Returns the
 /// per-vertex cluster id (an arena buffer) and the cluster count.
+// lint: checked-index — u and neighbors are < n == cluster_of.len(); cluster ids index the per-cluster vecs, which grow with each new cluster, and score is resized before use
 fn cluster_vertices<S: Substrate>(
     sub: &S,
     fixed: &[i8],
@@ -107,7 +109,7 @@ fn cluster_vertices<S: Substrate>(
 ) -> (Vec<u32>, u32) {
     let n = sub.num_vertices() as usize;
     let mut order = arena.take_u32(0, 0);
-    order.extend(0..n as u32);
+    order.extend(0..n as u32); // lint: checked-cast — n = num_vertices, a u32
     order.shuffle(rng);
 
     let mut cluster_of = arena.take_u32(n, NIL);
@@ -179,7 +181,7 @@ fn cluster_vertices<S: Substrate>(
                 }
             }
             None => {
-                let c = cluster_weight.len() as u32;
+                let c = cluster_weight.len() as u32; // lint: checked-cast — cluster count <= vertex count, a u32
                 cluster_of[u as usize] = c;
                 cluster_weight.push(uw);
                 cluster_size.push(1);
@@ -191,7 +193,7 @@ fn cluster_vertices<S: Substrate>(
         }
     }
 
-    let num_clusters = cluster_weight.len() as u32;
+    let num_clusters = cluster_weight.len() as u32; // lint: checked-cast — cluster count <= vertex count, a u32
     arena.give_u32(order);
     arena.give_u64(cluster_weight);
     arena.give_u32(cluster_size);

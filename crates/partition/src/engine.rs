@@ -20,6 +20,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use fgh_hypergraph::{Hypergraph, Partition};
+use fgh_invariant::InvariantViolation;
 
 use crate::arena::LevelArena;
 use crate::coarsen::{coarsen_once_in, FREE};
@@ -94,6 +95,26 @@ pub trait Substrate: Sized {
     /// it with the new→old vertex map. `split` enables net splitting
     /// (hypergraphs only; graphs always drop cut edges).
     fn extract_side(&self, side: &[u8], which: u8, split: bool) -> (Self, Vec<u32>);
+
+    /// Full structural self-audit, run by the driver at multilevel
+    /// checkpoints when the `paranoid` feature is enabled. The default is
+    /// a no-op so lightweight substrates opt in by overriding.
+    fn validate_invariants(&self) -> Result<(), InvariantViolation> {
+        Ok(())
+    }
+}
+
+/// Audits `sub` at a named driver checkpoint. Compiled to nothing without
+/// the `paranoid` feature; with it, a violation aborts the run — a broken
+/// substrate invariant mid-partition is a defect in coarsening/extraction,
+/// never a recoverable input condition.
+#[inline]
+fn paranoid_check<S: Substrate>(sub: &S, checkpoint: &str) {
+    if cfg!(feature = "paranoid") {
+        if let Err(v) = sub.validate_invariants() {
+            panic!("paranoid checkpoint '{checkpoint}': {v}");
+        }
+    }
 }
 
 /// Outcome of [`MultilevelDriver::partition_recursive`].
@@ -257,6 +278,7 @@ impl MultilevelDriver {
             timer.stop(&mut self.stats.coarsen_nanos);
             match next {
                 Some(level) => {
+                    paranoid_check(&level.coarse, "coarsen.contract");
                     self.stats.levels += 1;
                     self.stats.contracted_incidences += level.coarse.num_incidences();
                     levels.push(level);
@@ -370,6 +392,7 @@ impl MultilevelDriver {
         k: u32,
         fixed: &[u32],
     ) -> RecursiveOutcome {
+        paranoid_check(sub, "recursive.input");
         let n = sub.num_vertices();
         let mut parts = vec![0u32; n as usize];
         let mut cut_sum = 0u64;
@@ -447,6 +470,7 @@ impl MultilevelDriver {
         // Extract both halves (net splitting per config) and recurse.
         for (side, (kk, lo)) in [(0u8, (k0, part_lo)), (1u8, (k1, part_lo + k0))] {
             let (child, child_map) = sub.extract_side(&sides, side, self.cfg.net_splitting);
+            paranoid_check(&child, "recurse.extract");
             let child_ids: Vec<u32> = child_map.iter().map(|&lv| ids[lv as usize]).collect();
             self.recurse(&child, &child_ids, fixed, kk, lo, eps, rng, out, cut_sum);
         }
@@ -504,7 +528,7 @@ impl Substrate for Hypergraph {
         let mut cut = 0u64;
         for (n, (&p0, &p1)) in pc[0].iter().zip(pc[1].iter()).enumerate() {
             if p0 > 0 && p1 > 0 {
-                cut += self.net_cost(n as u32) as u64;
+                cut += self.net_cost(n as u32) as u64; // lint: checked-cast — n < num_nets, a u32
             }
         }
         (NetSideCounts { pc }, cut)
@@ -633,7 +657,8 @@ impl Substrate for Hypergraph {
         let nc = num_clusters as usize;
         let mut weights64 = arena.take_u64(nc, 0);
         for v in 0..Hypergraph::num_vertices(self) as usize {
-            weights64[cluster_of[v] as usize] += Hypergraph::vertex_weight(self, v as u32) as u64;
+            let v32 = v as u32; // lint: checked-cast — v < num_vertices, a u32
+            weights64[cluster_of[v] as usize] += Hypergraph::vertex_weight(self, v32) as u64;
         }
         // Cluster weights saturate rather than abort: a u32::MAX-weight
         // coarse vertex only degrades balance quality on absurd inputs.
@@ -664,7 +689,7 @@ impl Substrate for Hypergraph {
                 continue;
             }
             flat[s..].sort_unstable();
-            start.push(flat.len() as u32);
+            start.push(flat.len() as u32); // lint: checked-cast — pin count <= u32::MAX by substrate contract
             cost.push(self.net_cost(n));
         }
         arena.give_u32(stamp);
@@ -673,7 +698,7 @@ impl Substrate for Hypergraph {
         // then fold runs of equal slices (summed costs). No per-net boxes.
         let kept = cost.len();
         let mut order = arena.take_u32(0, 0);
-        order.extend(0..kept as u32);
+        order.extend(0..kept as u32); // lint: checked-cast — kept <= num_nets, a u32
         let slice_of = |i: u32| &flat[start[i as usize] as usize..start[i as usize + 1] as usize];
         order.sort_unstable_by(|&a, &b| slice_of(a).cmp(slice_of(b)));
 
@@ -709,8 +734,12 @@ impl Substrate for Hypergraph {
     #[allow(clippy::expect_used)]
     fn extract_side(&self, side: &[u8], which: u8, split: bool) -> (Self, Vec<u32>) {
         let partition =
-            Partition::new(2, side.iter().map(|&s| s as u32).collect()).expect("sides are 0/1");
-        self.extract_part_mode(&partition, which as u32, split)
+            Partition::new(2, side.iter().map(|&s| s as u32).collect()).expect("sides are 0/1"); // lint: checked-cast — side entries are 0 or 1
+        self.extract_part_mode(&partition, which as u32, split) // lint: checked-cast — which is 0 or 1
+    }
+
+    fn validate_invariants(&self) -> Result<(), InvariantViolation> {
+        Hypergraph::validate_invariants(self)
     }
 }
 

@@ -18,6 +18,18 @@ pub enum PartitionError {
     /// A worker thread of a multi-seed run panicked; the payload is the
     /// panic message when one was recoverable.
     Worker(String),
+    /// An internal bookkeeping invariant broke mid-run (a partitioner
+    /// defect, not bad input). Replaces what used to be
+    /// `debug_assert!(false, ...)` sites: release builds now surface the
+    /// defect as an error instead of silently continuing on corrupt state.
+    Internal(String),
+}
+
+impl PartitionError {
+    /// Builds an [`Internal`](PartitionError::Internal) error.
+    pub fn internal(detail: impl Into<String>) -> Self {
+        PartitionError::Internal(detail.into())
+    }
 }
 
 impl std::fmt::Display for PartitionError {
@@ -25,6 +37,9 @@ impl std::fmt::Display for PartitionError {
         match self {
             PartitionError::Hypergraph(e) => write!(f, "{e}"),
             PartitionError::Worker(msg) => write!(f, "partition worker failed: {msg}"),
+            PartitionError::Internal(msg) => {
+                write!(f, "internal partitioner invariant broken: {msg}")
+            }
         }
     }
 }
@@ -33,7 +48,7 @@ impl std::error::Error for PartitionError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PartitionError::Hypergraph(e) => Some(e),
-            PartitionError::Worker(_) => None,
+            PartitionError::Worker(_) | PartitionError::Internal(_) => None,
         }
     }
 }

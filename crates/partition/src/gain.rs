@@ -57,17 +57,20 @@ impl GainBuckets {
     }
 
     /// `true` if `v` is currently queued.
+    // lint: checked-index — v < n by the constructor contract; all arrays have length n
     pub fn contains(&self, v: u32) -> bool {
         self.in_bucket[v as usize]
     }
 
     /// Current gain of a queued vertex.
+    // lint: checked-index — v < n by the constructor contract; all arrays have length n
     pub fn gain(&self, v: u32) -> i64 {
         debug_assert!(self.in_bucket[v as usize]);
         self.gain_of[v as usize]
     }
 
     /// Inserts `v` with the given gain. `v` must not already be queued.
+    // lint: checked-index — v and list links are < n; idx() asserts the bucket is in range
     pub fn insert(&mut self, v: u32, gain: i64) {
         debug_assert!(!self.in_bucket[v as usize], "vertex {v} already queued");
         let b = self.idx(gain);
@@ -87,6 +90,7 @@ impl GainBuckets {
     }
 
     /// Removes `v` from its bucket. No-op if not queued.
+    // lint: checked-index — v and list links are < n; idx() asserts the bucket is in range
     pub fn remove(&mut self, v: u32) {
         if !self.in_bucket[v as usize] {
             return;
@@ -106,6 +110,7 @@ impl GainBuckets {
     }
 
     /// Adjusts the gain of a queued vertex by `delta`.
+    // lint: checked-index — v < n by the constructor contract; all arrays have length n
     pub fn adjust(&mut self, v: u32, delta: i64) {
         if delta == 0 || !self.in_bucket[v as usize] {
             return;
@@ -138,6 +143,7 @@ impl GainBuckets {
     /// Pops a maximum-gain vertex satisfying `admissible`, scanning buckets
     /// from the max downward. Vertices failing the predicate are skipped
     /// (left queued). Returns `(vertex, gain)`.
+    // lint: checked-index — b starts clamped to heads.len()-1 and only decreases; links are < n
     pub fn pop_max_where(&mut self, mut admissible: impl FnMut(u32) -> bool) -> Option<(u32, i64)> {
         if self.len == 0 {
             return None;

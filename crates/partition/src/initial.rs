@@ -216,7 +216,7 @@ fn bin_packing_once<S: Substrate>(
         let gap0 = targets[0] - w[0] as f64;
         let gap1 = targets[1] - w[1] as f64;
         let s = usize::from(gap1 > gap0);
-        side[v as usize] = s as u8;
+        side[v as usize] = s as u8; // lint: checked-cast — s is 0 or 1
         w[s] += sub.vertex_weight(v) as u64;
     }
     arena.give_u32(order);

@@ -10,6 +10,8 @@ use fgh_hypergraph::{Hypergraph, Partition};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+use crate::error::PartitionError;
+
 /// Sparse per-net part-count table: for each net, the (part, pin count)
 /// pairs with nonzero count. Net connectivity `λ` is the list length.
 struct NetParts {
@@ -20,7 +22,8 @@ impl NetParts {
     fn build(hg: &Hypergraph, partition: &Partition) -> Self {
         let mut table: Vec<Vec<(u32, u32)>> = vec![Vec::new(); hg.num_nets() as usize];
         for (n, row) in table.iter_mut().enumerate() {
-            for &p in hg.pins(n as u32) {
+            let nn = n as u32; // lint: checked-cast — n < num_nets, a u32
+            for &p in hg.pins(nn) {
                 let part = partition.part(p);
                 match row.iter_mut().find(|(q, _)| *q == part) {
                     Some((_, c)) => *c += 1,
@@ -43,11 +46,14 @@ impl NetParts {
         self.table[net as usize].len()
     }
 
-    fn move_pin(&mut self, net: u32, from: u32, to: u32) {
+    fn move_pin(&mut self, net: u32, from: u32, to: u32) -> Result<(), PartitionError> {
         let row = &mut self.table[net as usize];
         let Some(i) = row.iter().position(|(q, _)| *q == from) else {
-            debug_assert!(false, "moving a pin the net does not have");
-            return;
+            // Corrupt bookkeeping: a typed error, so release builds abort
+            // the refinement instead of continuing on a broken table.
+            return Err(PartitionError::internal(format!(
+                "net {net} has no pins in part {from} to move to part {to}"
+            )));
         };
         row[i].1 -= 1;
         if row[i].1 == 0 {
@@ -57,12 +63,15 @@ impl NetParts {
             Some((_, c)) => *c += 1,
             None => row.push((to, 1)),
         }
+        Ok(())
     }
 }
 
 /// Runs up to `passes` greedy K-way refinement sweeps over `partition`
 /// in place. `fixed[v] != u32::MAX` pins vertex `v`. Returns the total
-/// connectivity−1 gain achieved (non-negative).
+/// connectivity−1 gain achieved (non-negative), or
+/// [`PartitionError::Internal`] when the part-count bookkeeping is found
+/// corrupt mid-sweep.
 pub fn kway_refine(
     hg: &Hypergraph,
     partition: &mut Partition,
@@ -70,10 +79,10 @@ pub fn kway_refine(
     epsilon: f64,
     passes: usize,
     rng: &mut impl Rng,
-) -> u64 {
+) -> Result<u64, PartitionError> {
     let k = partition.k();
     if k < 2 || hg.num_vertices() == 0 {
-        return 0;
+        return Ok(0);
     }
     let mut np = NetParts::build(hg, partition);
     let mut weights = partition.part_weights(hg);
@@ -133,7 +142,7 @@ pub fn kway_refine(
                 let improves_balance = weights[q as usize] + w < weights[from as usize];
                 if gain > 0 || (gain == 0 && improves_balance) {
                     for &n in hg.nets(v) {
-                        np.move_pin(n, from, q);
+                        np.move_pin(n, from, q)?;
                     }
                     weights[from as usize] -= w;
                     weights[q as usize] += w;
@@ -147,7 +156,7 @@ pub fn kway_refine(
             break;
         }
     }
-    total_gain
+    Ok(total_gain)
 }
 
 #[cfg(test)]
@@ -174,7 +183,8 @@ mod tests {
                 0.05,
                 4,
                 &mut SmallRng::seed_from_u64(seed),
-            );
+            )
+            .unwrap();
             let after = cutsize_connectivity(&hg, &p);
             assert_eq!(
                 before - after,
@@ -199,7 +209,8 @@ mod tests {
             0.05,
             4,
             &mut SmallRng::seed_from_u64(1),
-        );
+        )
+        .unwrap();
         assert!(p.imbalance_percent(&hg) <= 5.0 + 1e-9);
     }
 
@@ -211,7 +222,7 @@ mod tests {
         let fixed: Vec<u32> = (0..60)
             .map(|v| if v < 10 { parts[v as usize] } else { u32::MAX })
             .collect();
-        kway_refine(&hg, &mut p, &fixed, 0.1, 3, &mut SmallRng::seed_from_u64(5));
+        kway_refine(&hg, &mut p, &fixed, 0.1, 3, &mut SmallRng::seed_from_u64(5)).unwrap();
         for v in 0..10u32 {
             assert_eq!(p.part(v), parts[v as usize], "fixed vertex {v} moved");
         }
@@ -224,11 +235,13 @@ mod tests {
         let mut np = NetParts::build(&hg, &p);
         assert_eq!(np.lambda(0), 2);
         assert_eq!(np.count(0, 0), 2);
-        np.move_pin(0, 0, 1);
+        np.move_pin(0, 0, 1).unwrap();
         assert_eq!(np.count(0, 0), 1);
         assert_eq!(np.count(0, 1), 3);
-        np.move_pin(0, 0, 1);
+        np.move_pin(0, 0, 1).unwrap();
         assert_eq!(np.lambda(0), 1);
+        // Moving from a part with no pins is the typed internal error.
+        assert!(np.move_pin(0, 0, 1).is_err());
     }
 
     #[test]
@@ -244,7 +257,8 @@ mod tests {
                 0.05,
                 2,
                 &mut SmallRng::seed_from_u64(1)
-            ),
+            )
+            .unwrap(),
             0
         );
     }

@@ -19,6 +19,8 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use crate::error::PartitionError;
+
 /// Per-vertex weight vectors for `c` constraints, stored row-major
 /// (`weights[v * c + i]`).
 #[derive(Debug, Clone)]
@@ -54,7 +56,8 @@ impl MultiWeights {
     pub fn totals(&self) -> Vec<u64> {
         let mut t = vec![0u64; self.c];
         for v in 0..self.num_vertices() {
-            for (i, &w) in self.of(v as u32).iter().enumerate() {
+            let v32 = v as u32; // lint: checked-cast — v < num_vertices, a u32
+            for (i, &w) in self.of(v32).iter().enumerate() {
                 t[i] += w as u64;
             }
         }
@@ -75,7 +78,9 @@ pub struct MultiConstraintResult {
 
 /// Partitions `hg` into `k` parts balancing every constraint of `weights`
 /// within `epsilon`, minimizing the connectivity−1 cutsize with greedy
-/// sweeps. Deterministic in `seed`.
+/// sweeps. Deterministic in `seed`. Structural problems (invalid `k`)
+/// surface as wrapped [`HypergraphError`]s; corrupt internal bookkeeping
+/// surfaces as [`PartitionError::Internal`].
 pub fn partition_multiconstraint(
     hg: &Hypergraph,
     weights: &MultiWeights,
@@ -83,9 +88,9 @@ pub fn partition_multiconstraint(
     epsilon: f64,
     seed: u64,
     passes: usize,
-) -> Result<MultiConstraintResult, HypergraphError> {
+) -> Result<MultiConstraintResult, PartitionError> {
     if k == 0 {
-        return Err(HypergraphError::InvalidK);
+        return Err(HypergraphError::InvalidK.into());
     }
     let n = hg.num_vertices();
     assert_eq!(
@@ -205,7 +210,7 @@ pub fn partition_multiconstraint(
                         part_load[q as usize * c + i] += w as u64;
                     }
                     for &nn in hg.nets(v) {
-                        move_touch(&mut net_touch[nn as usize], from, q);
+                        move_touch(&mut net_touch[nn as usize], nn, from, q)?;
                     }
                     moved += 1;
                 }
@@ -252,10 +257,18 @@ fn count(touch: &[(u32, u32)], p: u32) -> u32 {
         .unwrap_or(0)
 }
 
-fn move_touch(touch: &mut Vec<(u32, u32)>, from: u32, to: u32) {
+fn move_touch(
+    touch: &mut Vec<(u32, u32)>,
+    net: u32,
+    from: u32,
+    to: u32,
+) -> Result<(), PartitionError> {
     let Some(i) = touch.iter().position(|&(q, _)| q == from) else {
-        debug_assert!(false, "pin present");
-        return;
+        // Corrupt per-net touch table: a typed error so release builds
+        // abort the sweep instead of continuing on broken counts.
+        return Err(PartitionError::internal(format!(
+            "net {net} has no pins in part {from} to move to part {to}"
+        )));
     };
     touch[i].1 -= 1;
     if touch[i].1 == 0 {
@@ -265,6 +278,7 @@ fn move_touch(touch: &mut Vec<(u32, u32)>, from: u32, to: u32) {
         Some((_, c)) => *c += 1,
         None => touch.push((to, 1)),
     }
+    Ok(())
 }
 
 #[cfg(test)]

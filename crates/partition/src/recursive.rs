@@ -95,7 +95,7 @@ pub fn partition_hypergraph_with(
         for (v, &p) in f.iter().enumerate() {
             if p != u32::MAX && p >= k {
                 return Err(HypergraphError::PartOutOfBounds {
-                    vertex: v as u32,
+                    vertex: v as u32, // lint: checked-cast — v < num_vertices, a u32
                     part: p,
                     k,
                 }
@@ -119,10 +119,10 @@ pub fn partition_hypergraph_with(
     if (cfg.kway_refine || cfg.vcycles > 0) && k > 2 && !driver.wall_exhausted() {
         if cfg.kway_refine {
             let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(0x9e3779b97f4a7c15));
-            kway_refine(hg, &mut partition, &fixed_vec, cfg.epsilon, 2, &mut rng);
+            kway_refine(hg, &mut partition, &fixed_vec, cfg.epsilon, 2, &mut rng)?;
         }
         if cfg.vcycles > 0 && !driver.wall_exhausted() {
-            crate::vcycle::vcycle_refine(hg, &mut partition, &fixed_vec, &cfg, cfg.vcycles);
+            crate::vcycle::vcycle_refine(hg, &mut partition, &fixed_vec, &cfg, cfg.vcycles)?;
         }
     }
     if armed_here {

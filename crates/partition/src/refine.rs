@@ -70,6 +70,7 @@ impl<'a, S: Substrate> BisectionState<'a, S> {
     /// Arena-backed variant of [`BisectionState::new`]: cut bookkeeping
     /// buffers are drawn from `arena` (return them with
     /// [`BisectionState::into_sides_in`]).
+    // lint: checked-index — side/fixed lengths are asserted == num_vertices; weight/cap are [u64; 2] indexed by 0/1 sides
     pub fn new_in(
         sub: &'a S,
         side: Vec<u8>,
@@ -135,6 +136,7 @@ impl<'a, S: Substrate> BisectionState<'a, S> {
     }
 
     /// Sum of balance-cap violations (0 when balanced).
+    // lint: checked-index — weight and cap are [u64; 2] indexed by constant 0/1
     pub fn balance_penalty(&self) -> u64 {
         self.weight[0].saturating_sub(self.cap[0]) + self.weight[1].saturating_sub(self.cap[1])
     }
@@ -147,6 +149,7 @@ impl<'a, S: Substrate> BisectionState<'a, S> {
     /// Moves `v` to the opposite side, updating the cut bookkeeping,
     /// weights, and the cutsize. Optionally applies FM delta-gain updates
     /// to `buckets`.
+    // lint: checked-index — v < num_vertices == side.len(); s/t are 0/1 into [u64; 2]
     pub fn apply_move(&mut self, v: u32, buckets: Option<&mut GainBuckets>) {
         let s = self.side[v as usize] as usize;
         let t = 1 - s;
@@ -163,7 +166,7 @@ impl<'a, S: Substrate> BisectionState<'a, S> {
                 .sub
                 .apply_move(&mut self.cs, &self.side, v, &mut self.cut, None),
         }
-        self.side[v as usize] = t as u8;
+        self.side[v as usize] = t as u8; // lint: checked-cast — t is a 0/1 side
         self.weight[s] -= w;
         self.weight[t] += w;
     }
@@ -172,6 +175,7 @@ impl<'a, S: Substrate> BisectionState<'a, S> {
     /// balance caps: the target side stays under its cap, or the source
     /// side is over its cap and the move strictly reduces the total
     /// violation.
+    // lint: checked-index — v < num_vertices == side.len(); s/t are 0/1 into [u64; 2]
     fn admissible(&self, v: u32) -> bool {
         let s = self.side[v as usize] as usize;
         let t = 1 - s;
@@ -229,6 +233,7 @@ impl<'a, S: Substrate> BisectionState<'a, S> {
     /// Arena-backed FM pass used by the engine: the bucket structure and
     /// order/move buffers come from `arena`; pass/move counters accumulate
     /// into `stats`.
+    // lint: checked-index — v ranges over 0..num_vertices == fixed.len(); best_len <= moves.len()
     pub(crate) fn fm_pass_in(
         &mut self,
         rng: &mut impl Rng,

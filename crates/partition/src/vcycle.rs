@@ -21,27 +21,30 @@ use rand::SeedableRng;
 
 use crate::coarsen::{coarsen_once, CoarseLevel, FREE};
 use crate::config::{CoarseningScheme, PartitionConfig};
+use crate::error::PartitionError;
 use crate::kway::kway_refine;
 
 /// Runs up to `cycles` V-cycles of K-way refinement on `partition` in
-/// place. Returns the total connectivity−1 improvement.
+/// place. Returns the total connectivity−1 improvement, or
+/// [`PartitionError::Internal`] when a projected partition falls outside
+/// `0..k` (a coarsening-map defect, not bad input).
 pub fn vcycle_refine(
     hg: &Hypergraph,
     partition: &mut Partition,
     fixed: &[u32],
     cfg: &PartitionConfig,
     cycles: usize,
-) -> u64 {
+) -> Result<u64, PartitionError> {
     let k = partition.k();
     if k < 2 || hg.num_vertices() == 0 {
-        return 0;
+        return Ok(0);
     }
     let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(0xd1b54a32d192ed03));
     let start = cutsize_connectivity(hg, partition);
     let mut current = start;
 
     for _ in 0..cycles {
-        let improved = one_cycle(hg, partition, fixed, cfg, &mut rng);
+        let improved = one_cycle(hg, partition, fixed, cfg, &mut rng)?;
         let now = cutsize_connectivity(hg, partition);
         debug_assert!(now <= current, "V-cycle must never worsen");
         if !improved || now == current {
@@ -50,7 +53,7 @@ pub fn vcycle_refine(
         }
         current = now;
     }
-    start - current
+    Ok(start - current)
 }
 
 fn one_cycle(
@@ -59,7 +62,7 @@ fn one_cycle(
     fixed: &[u32],
     cfg: &PartitionConfig,
     rng: &mut SmallRng,
-) -> bool {
+) -> Result<bool, PartitionError> {
     let k = partition.k();
     // Partition-respecting coarsening: cluster only same-part vertices so
     // the current partition projects exactly onto every coarse level.
@@ -89,8 +92,8 @@ fn one_cycle(
     }
     if levels.is_empty() {
         // No coarsening possible: fall back to one flat K-way pass.
-        let gain = kway_refine(hg, partition, fixed, cfg.epsilon, 1, rng);
-        return gain > 0;
+        let gain = kway_refine(hg, partition, fixed, cfg.epsilon, 1, rng)?;
+        return Ok(gain > 0);
     }
 
     // Refine at the coarsest level, then project down refining each level.
@@ -99,15 +102,17 @@ fn one_cycle(
     let mut parts_at: Vec<u32> = levels[coarsest_idx].1.clone();
     for li in (0..levels.len()).rev() {
         let level_hg: &Hypergraph = &levels[li].0.coarse;
-        // Projected parts are always in `0..k`; bail out of the cycle
-        // rather than panic if that invariant were ever violated.
-        let Ok(mut p) = Partition::new(k, parts_at.clone()) else {
-            debug_assert!(false, "projected parts out of range");
-            break;
-        };
+        // Projected parts are always in `0..k`: restricted coarsening only
+        // merges same-part vertices, so a failure here is a defect in the
+        // coarsening maps and surfaces as a typed internal error.
+        let mut p = Partition::new(k, parts_at.clone()).map_err(|e| {
+            PartitionError::internal(format!(
+                "V-cycle level {li}: projected parts out of range: {e}"
+            ))
+        })?;
         // Coarse fixed vertices: a cluster is pinned if any member is.
         let level_fixed = project_fixed(hg, &levels, li, fixed);
-        let gain = kway_refine(level_hg, &mut p, &level_fixed, cfg.epsilon, 2, rng);
+        let gain = kway_refine(level_hg, &mut p, &level_fixed, cfg.epsilon, 2, rng)?;
         improved_any |= gain > 0;
         // Project to the next finer level (or the original hypergraph).
         let map = &levels[li].map_ref().map;
@@ -121,8 +126,8 @@ fn one_cycle(
         }
     }
     // Final flat pass on the original hypergraph.
-    let gain = kway_refine(hg, partition, fixed, cfg.epsilon, 1, rng);
-    improved_any | (gain > 0)
+    let gain = kway_refine(hg, partition, fixed, cfg.epsilon, 1, rng)?;
+    Ok(improved_any | (gain > 0))
 }
 
 /// Helper so `levels[li].map_ref()` reads naturally above.
@@ -221,7 +226,7 @@ fn coarsen_respecting(
         match merged.get(&key) {
             Some(&i) => costs[i as usize] += hg.net_cost(nn),
             None => {
-                merged.insert(key, nets.len() as u32);
+                merged.insert(key, nets.len() as u32); // lint: checked-cast — coarse net count <= original num_nets, a u32
                 nets.push(pins);
                 costs.push(hg.net_cost(nn));
             }
@@ -275,7 +280,7 @@ mod tests {
             let before = r.cutsize;
             let mut p = r.partition;
             let fixed = vec![u32::MAX; 600];
-            let gain = vcycle_refine(&hg, &mut p, &fixed, &cfg, 3);
+            let gain = vcycle_refine(&hg, &mut p, &fixed, &cfg, 3).unwrap();
             let after = cutsize_connectivity(&hg, &p);
             assert_eq!(before - after, gain, "gain accounting");
             assert!(after <= before);
@@ -294,7 +299,7 @@ mod tests {
         let r = partition_hypergraph(&hg, 4, &cfg).unwrap();
         let mut p = r.partition;
         let fixed = vec![u32::MAX; 400];
-        vcycle_refine(&hg, &mut p, &fixed, &cfg, 2);
+        vcycle_refine(&hg, &mut p, &fixed, &cfg, 2).unwrap();
         assert!(
             p.imbalance_percent(&hg) <= cfg.epsilon * 100.0 + 1.0,
             "imbalance {}%",
@@ -311,7 +316,7 @@ mod tests {
         fixed[5] = 3;
         let r = crate::recursive::partition_hypergraph_fixed(&hg, 4, Some(&fixed), &cfg).unwrap();
         let mut p = r.partition;
-        vcycle_refine(&hg, &mut p, &fixed, &cfg, 2);
+        vcycle_refine(&hg, &mut p, &fixed, &cfg, 2).unwrap();
         assert_eq!(p.part(0), 1);
         assert_eq!(p.part(5), 3);
     }
@@ -348,7 +353,7 @@ mod tests {
         let mut p = Partition::trivial(50);
         let fixed = vec![u32::MAX; 50];
         assert_eq!(
-            vcycle_refine(&hg, &mut p, &fixed, &PartitionConfig::default(), 2),
+            vcycle_refine(&hg, &mut p, &fixed, &PartitionConfig::default(), 2).unwrap(),
             0
         );
     }

@@ -79,7 +79,7 @@ impl CatalogEntry {
             Family::ThinnedGrid => {
                 // 5-point stencil has interior degree 5 (incl. diagonal);
                 // thin links to match the target average.
-                let side = (n as f64).sqrt().ceil() as u32;
+                let side = (n as f64).sqrt().ceil() as u32; // lint: checked-cast — ceil(sqrt(n)) <= n, a u32
                 let keep = ((avg - 1.0) / 4.0).clamp(0.05, 1.0);
                 gen::grid5(side, side, keep, ValueMode::Laplacian, &mut rng)
             }
@@ -101,8 +101,8 @@ impl CatalogEntry {
                 let block = 512u32.min(n);
                 let blocks = (n / block).max(1);
                 // Interior half-bandwidth chosen so banded degree ≈ avg.
-                let half_bw = (((avg - 1.0) / 2.0).round() as u32).max(1);
-                let link_span = (self.paper.max as u32 / 2).min(block);
+                let half_bw = (((avg - 1.0) / 2.0).round() as u32).max(1); // lint: checked-cast — avg nnz/row of Table 1 matrices is < 100
+                let link_span = (self.paper.max as u32 / 2).min(block); // lint: checked-cast — Table 1 max nnz/row is < 1500
                 gen::block_multistage(
                     blocks,
                     block,
@@ -114,15 +114,15 @@ impl CatalogEntry {
                 )
             }
             Family::WideStencil => {
-                let side = (n as f64).sqrt().ceil() as u32;
-                // radius-2 stencil: interior degree 25 (incl. diag).
+                let side = (n as f64).sqrt().ceil() as u32; // lint: checked-cast — ceil(sqrt(n)) <= n, a u32
+                                                            // radius-2 stencil: interior degree 25 (incl. diag).
                 let keep = ((avg - 1.0) / 24.0).clamp(0.05, 1.0);
                 gen::wide_stencil(side, side, 2, keep, ValueMode::Laplacian, &mut rng)
             }
             Family::LatticeHubs => {
-                let k = (((avg - 1.0) / 2.0).floor() as u32).max(1);
+                let k = (((avg - 1.0) / 2.0).floor() as u32).max(1); // lint: checked-cast — avg nnz/row of Table 1 matrices is < 100
                 let hubs = (n / 4096).max(1);
-                let hub_degree = (self.paper.max as u32).min(n / 2).max(8);
+                let hub_degree = (self.paper.max as u32).min(n / 2).max(8); // lint: checked-cast — Table 1 max nnz/row is < 1500
                 gen::lattice_with_hubs(n, k, hubs, hub_degree, ValueMode::Laplacian, &mut rng)
             }
         }

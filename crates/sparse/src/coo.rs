@@ -1,5 +1,7 @@
 //! Coordinate (triplet) format — the mutable construction format.
 
+use fgh_invariant::{invariant, InvariantViolation};
+
 use crate::{Result, SparseError};
 
 /// How duplicate `(row, col)` entries are resolved when a COO matrix is
@@ -205,6 +207,34 @@ impl CooMatrix {
     pub fn transpose(&mut self) {
         std::mem::swap(&mut self.rows, &mut self.cols);
         std::mem::swap(&mut self.nrows, &mut self.ncols);
+    }
+
+    /// Checks the structural invariants: the three triplet arrays are
+    /// parallel and every coordinate is inside the declared dimensions.
+    /// Every public mutating operation preserves these (proptested);
+    /// a violation therefore indicates a defect, not bad user input.
+    pub fn validate(&self) -> std::result::Result<(), InvariantViolation> {
+        const S: &str = "CooMatrix";
+        invariant!(
+            self.rows.len() == self.cols.len() && self.cols.len() == self.vals.len(),
+            S,
+            "triplets.parallel",
+            "rows/cols/vals have lengths {}/{}/{}",
+            self.rows.len(),
+            self.cols.len(),
+            self.vals.len()
+        );
+        for (e, (&r, &c)) in self.rows.iter().zip(&self.cols).enumerate() {
+            invariant!(
+                r < self.nrows && c < self.ncols,
+                S,
+                "entry.in_bounds",
+                "entry {e} at ({r}, {c}) outside {} x {}",
+                self.nrows,
+                self.ncols
+            );
+        }
+        Ok(())
     }
 }
 

@@ -1,5 +1,7 @@
 //! Compressed sparse column format.
 
+use fgh_invariant::{invariant, InvariantViolation};
+
 use crate::csr::CsrMatrix;
 
 /// A sparse matrix in compressed sparse column (CSC) format.
@@ -82,6 +84,76 @@ impl CscMatrix {
     /// Number of nonzeros in column `j`.
     pub fn col_nnz(&self, j: u32) -> usize {
         self.col_ptr[j as usize + 1] - self.col_ptr[j as usize]
+    }
+
+    /// Checks the structural invariants: pointer array shape, monotonicity,
+    /// parallel index/value arrays, and sorted, unique, in-bounds row
+    /// indices per column. Mirrors [`CsrMatrix::validate`] with the roles
+    /// of rows and columns swapped.
+    pub fn validate(&self) -> Result<(), InvariantViolation> {
+        const S: &str = "CscMatrix";
+        invariant!(
+            self.col_ptr.len() == self.ncols as usize + 1,
+            S,
+            "col_ptr.len",
+            "col_ptr has {} entries for {} columns",
+            self.col_ptr.len(),
+            self.ncols
+        );
+        invariant!(
+            self.col_ptr.first() == Some(&0),
+            S,
+            "col_ptr.origin",
+            "col_ptr[0] = {:?}, expected 0",
+            self.col_ptr.first()
+        );
+        invariant!(
+            self.col_ptr.last() == Some(&self.row_idx.len()),
+            S,
+            "col_ptr.end",
+            "col_ptr ends at {:?}, expected nnz = {}",
+            self.col_ptr.last(),
+            self.row_idx.len()
+        );
+        invariant!(
+            self.row_idx.len() == self.values.len(),
+            S,
+            "arrays.parallel",
+            "row_idx/values have lengths {}/{}",
+            self.row_idx.len(),
+            self.values.len()
+        );
+        for j in 0..self.ncols as usize {
+            invariant!(
+                self.col_ptr[j] <= self.col_ptr[j + 1],
+                S,
+                "col_ptr.monotone",
+                "col_ptr not monotone at column {j}: {} > {}",
+                self.col_ptr[j],
+                self.col_ptr[j + 1]
+            );
+            let col = &self.row_idx[self.col_ptr[j]..self.col_ptr[j + 1]];
+            for w in col.windows(2) {
+                invariant!(
+                    w[0] < w[1],
+                    S,
+                    "rows.sorted_unique",
+                    "column {j} rows not sorted/unique: {} then {}",
+                    w[0],
+                    w[1]
+                );
+            }
+            if let Some(&last) = col.last() {
+                invariant!(
+                    last < self.nrows,
+                    S,
+                    "rows.in_bounds",
+                    "column {j} has row {last} >= nrows = {}",
+                    self.nrows
+                );
+            }
+        }
+        Ok(())
     }
 
     /// Converts back to CSR.

@@ -1,5 +1,7 @@
 //! Compressed sparse row format — the primary analysis/compute format.
 
+use fgh_invariant::{invariant, InvariantViolation};
+
 use crate::{CooMatrix, CscMatrix, Result, SparseError};
 
 /// A sparse matrix in compressed sparse row (CSR) format.
@@ -68,10 +70,12 @@ impl CsrMatrix {
         values: Vec<f64>,
     ) -> Result<Self> {
         if row_ptr.len() != nrows as usize + 1 {
+            // `nrows as u64 + 1`, not `nrows + 1`: the latter overflows u32
+            // (and panics under overflow-checks) when nrows == u32::MAX.
             return Err(SparseError::Parse(format!(
                 "row_ptr length {} != nrows + 1 = {}",
                 row_ptr.len(),
-                nrows + 1
+                nrows as u64 + 1
             )));
         }
         if row_ptr[0] != 0 || row_ptr[nrows as usize] != col_idx.len() {
@@ -99,7 +103,7 @@ impl CsrMatrix {
             if let Some(&last) = row.last() {
                 if last >= ncols {
                     return Err(SparseError::IndexOutOfBounds {
-                        row: i as u32,
+                        row: i as u32, // lint: checked-cast — i < nrows, a u32
                         col: last,
                         nrows,
                         ncols,
@@ -291,6 +295,77 @@ impl CsrMatrix {
         }
         let t = self.transpose();
         self.row_ptr == t.row_ptr && self.col_idx == t.col_idx
+    }
+
+    /// Checks the structural invariants of the compressed layout: pointer
+    /// array shape, monotonicity, parallel index/value arrays, and sorted,
+    /// unique, in-bounds column indices per row. Construction enforces all
+    /// of these, so a violation indicates a defect (or corruption), not
+    /// bad user input.
+    pub fn validate(&self) -> std::result::Result<(), InvariantViolation> {
+        const S: &str = "CsrMatrix";
+        invariant!(
+            self.row_ptr.len() == self.nrows as usize + 1,
+            S,
+            "row_ptr.len",
+            "row_ptr has {} entries for {} rows",
+            self.row_ptr.len(),
+            self.nrows
+        );
+        invariant!(
+            self.row_ptr.first() == Some(&0),
+            S,
+            "row_ptr.origin",
+            "row_ptr[0] = {:?}, expected 0",
+            self.row_ptr.first()
+        );
+        invariant!(
+            self.row_ptr.last() == Some(&self.col_idx.len()),
+            S,
+            "row_ptr.end",
+            "row_ptr ends at {:?}, expected nnz = {}",
+            self.row_ptr.last(),
+            self.col_idx.len()
+        );
+        invariant!(
+            self.col_idx.len() == self.values.len(),
+            S,
+            "arrays.parallel",
+            "col_idx/values have lengths {}/{}",
+            self.col_idx.len(),
+            self.values.len()
+        );
+        for i in 0..self.nrows as usize {
+            invariant!(
+                self.row_ptr[i] <= self.row_ptr[i + 1],
+                S,
+                "row_ptr.monotone",
+                "row_ptr not monotone at row {i}: {} > {}",
+                self.row_ptr[i],
+                self.row_ptr[i + 1]
+            );
+            let row = &self.col_idx[self.row_ptr[i]..self.row_ptr[i + 1]];
+            for w in row.windows(2) {
+                invariant!(
+                    w[0] < w[1],
+                    S,
+                    "cols.sorted_unique",
+                    "row {i} columns not sorted/unique: {} then {}",
+                    w[0],
+                    w[1]
+                );
+            }
+            if let Some(&last) = row.last() {
+                invariant!(
+                    last < self.ncols,
+                    S,
+                    "cols.in_bounds",
+                    "row {i} has column {last} >= ncols = {}",
+                    self.ncols
+                );
+            }
+        }
+        Ok(())
     }
 
     /// `true` if the matrix is numerically symmetric.

@@ -36,11 +36,11 @@ pub enum ValueMode {
 /// neighbors of `i`, each undirected edge present in both lists), adding a
 /// full diagonal.
 fn from_adjacency(adj: Vec<Vec<u32>>, values: ValueMode) -> CsrMatrix {
-    let n = adj.len() as u32;
+    let n = adj.len() as u32; // lint: checked-cast — generator sizes are u32-bounded
     let nnz: usize = adj.iter().map(|a| a.len()).sum::<usize>() + n as usize;
     let mut coo = CooMatrix::with_capacity(n, n, nnz);
     for (i, neigh) in adj.iter().enumerate() {
-        let i = i as u32;
+        let i = i as u32; // lint: checked-cast — i < adj.len() = n, a u32
         let deg = neigh.len() as f64;
         let dv = match values {
             ValueMode::Ones => 1.0,
@@ -140,7 +140,7 @@ fn grid_stencil(
 ) -> CsrMatrix {
     let n = (nx as usize) * (ny as usize);
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
-    let idx = |x: u32, y: u32| (y as usize * nx as usize + x as usize) as u32;
+    let idx = |x: u32, y: u32| (y as usize * nx as usize + x as usize) as u32; // lint: checked-cast — grid has nx*ny cells, validated to fit u32
     for y in 0..ny {
         for x in 0..nx {
             let u = idx(x, y);
@@ -163,7 +163,7 @@ fn grid_stencil(
                     if keep < 1.0 && !rng.gen_bool(keep) {
                         continue;
                     }
-                    let v = idx(nxp as u32, nyp as u32);
+                    let v = idx(nxp as u32, nyp as u32); // lint: checked-cast — neighbour coords bounds-checked against nx/ny
                     adj[u as usize].push(v);
                     adj[v as usize].push(u);
                 }
@@ -199,7 +199,7 @@ pub fn power_grid(
         attempts += 1;
         let u = rng.gen_range(0..n);
         // Locally biased second endpoint.
-        let span = 200.min(n as usize - 1) as u32;
+        let span = 200.min(n as usize - 1) as u32; // lint: checked-cast — min with 200
         let off = rng.gen_range(1..=span);
         let v = if rng.gen_bool(0.5) {
             u.saturating_sub(off)
@@ -282,8 +282,8 @@ pub fn block_multistage(
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
     let base = |b: u32| b as usize * block_size as usize;
     for b in 0..blocks {
-        let s = base(b) as u32;
-        // Banded interior.
+        let s = base(b) as u32; // lint: checked-cast — block base index < n, a u32
+                                // Banded interior.
         for i in 0..block_size {
             for d in 1..=half_bw {
                 if i + d < block_size {
@@ -295,7 +295,7 @@ pub fn block_multistage(
         }
         // Interface rows coupling into the next block.
         if b + 1 < blocks {
-            let ns = base(b + 1) as u32;
+            let ns = base(b + 1) as u32; // lint: checked-cast — block base index < n, a u32
             for l in 0..links_per_block {
                 let u = s + rng.gen_range(0..block_size.max(1));
                 let _ = l;
@@ -371,7 +371,7 @@ pub fn lp_staircase(
     );
     for j in 0..ncols {
         // Staircase window: columns sweep down the rows.
-        let center = ((j as u64 * nrows as u64) / ncols.max(1) as u64) as u32;
+        let center = ((j as u64 * nrows as u64) / ncols.max(1) as u64) as u32; // lint: checked-cast — quotient < nrows, a u32
         for _ in 0..nnz_per_col {
             let off = rng.gen_range(0..40u32);
             let i = (center + off) % nrows.max(1);

@@ -79,10 +79,13 @@ pub fn read_matrix_market_from(reader: impl Read) -> Result<CooMatrix> {
         }
     };
 
+    // Parse dimensions and nnz as u64 first, then narrow with a typed
+    // error: a 5-billion-row header must surface as `TooLarge`, not as a
+    // confusing "bad rows" parse failure or a silent truncation.
     let mut it = size_line.split_whitespace();
-    let nrows: u32 = parse_num(it.next(), "rows", size_line_no)?;
-    let ncols: u32 = parse_num(it.next(), "cols", size_line_no)?;
-    let nnz: usize = parse_num(it.next(), "nnz", size_line_no)?;
+    let nrows: u32 = narrow_u32(parse_num(it.next(), "rows", size_line_no)?, "row count")?;
+    let ncols: u32 = narrow_u32(parse_num(it.next(), "cols", size_line_no)?, "column count")?;
+    let nnz: usize = narrow_usize(parse_num(it.next(), "nnz", size_line_no)?, "nonzero count")?;
     if it.next().is_some() {
         return Err(at(size_line_no, "size line has extra fields".into()));
     }
@@ -219,6 +222,22 @@ fn parse_header(line: &str, line_no: u64) -> Result<(MmField, MmSymmetry)> {
     Ok((field, symmetry))
 }
 
+fn narrow_u32(value: u64, what: &'static str) -> Result<u32> {
+    u32::try_from(value).map_err(|_| SparseError::TooLarge {
+        what,
+        value,
+        max: u32::MAX as u64,
+    })
+}
+
+fn narrow_usize(value: u64, what: &'static str) -> Result<usize> {
+    usize::try_from(value).map_err(|_| SparseError::TooLarge {
+        what,
+        value,
+        max: usize::MAX as u64,
+    })
+}
+
 fn parse_num<T: std::str::FromStr>(token: Option<&str>, what: &str, line: u64) -> Result<T> {
     token
         .ok_or_else(|| SparseError::ParseAt {
@@ -281,6 +300,40 @@ mod tests {
         let a = CsrMatrix::from_coo(read_matrix_market_from(data.as_bytes()).unwrap());
         assert_eq!(a.get(0, 2), Some(1.0));
         assert_eq!(a.get(1, 0), Some(1.0));
+    }
+
+    #[test]
+    fn oversized_dimensions_are_typed_errors() {
+        // 5e9 rows parses as u64 but does not fit u32: the reader must
+        // report TooLarge, not a generic parse failure or a truncation.
+        let data = "%%MatrixMarket matrix coordinate real general\n\
+                    5000000000 3 1\n\
+                    1 1 1.0\n";
+        match read_matrix_market_from(data.as_bytes()) {
+            Err(SparseError::TooLarge { what, value, max }) => {
+                assert_eq!(what, "row count");
+                assert_eq!(value, 5_000_000_000);
+                assert_eq!(max, u32::MAX as u64);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        let data = "%%MatrixMarket matrix coordinate real general\n\
+                    3 5000000000 1\n\
+                    1 1 1.0\n";
+        assert!(matches!(
+            read_matrix_market_from(data.as_bytes()),
+            Err(SparseError::TooLarge {
+                what: "column count",
+                ..
+            })
+        ));
+        // A non-numeric field is still a positioned parse error.
+        let data = "%%MatrixMarket matrix coordinate real general\n\
+                    x 3 1\n";
+        assert!(matches!(
+            read_matrix_market_from(data.as_bytes()),
+            Err(SparseError::ParseAt { line: 2, .. })
+        ));
     }
 
     #[test]

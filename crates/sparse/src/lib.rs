@@ -61,6 +61,15 @@ pub enum SparseError {
     DuplicateEntry { row: u32, col: u32 },
     /// An I/O failure while reading/writing a file.
     Io(String),
+    /// A declared dimension or count exceeds what the `u32`/`usize` index
+    /// types can represent. Carries what overflowed, the declared value,
+    /// and the representable maximum — so a 5-billion-row header is a
+    /// typed error instead of a silent `as` truncation.
+    TooLarge {
+        what: &'static str,
+        value: u64,
+        max: u64,
+    },
     /// Operation requires a square matrix.
     NotSquare { nrows: u32, ncols: u32 },
     /// Dimension mismatch between operands (e.g. SpMV with wrong x length).
@@ -87,6 +96,9 @@ impl std::fmt::Display for SparseError {
                 write!(f, "duplicate entry at ({row}, {col})")
             }
             SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+            SparseError::TooLarge { what, value, max } => {
+                write!(f, "{what} {value} exceeds the supported maximum {max}")
+            }
             SparseError::NotSquare { nrows, ncols } => {
                 write!(
                     f,

@@ -116,7 +116,7 @@ pub fn permute_symmetric(a: &CsrMatrix, perm: &[u32]) -> Result<CsrMatrix> {
                 "permutation is not a bijection".into(),
             ));
         }
-        inv[old as usize] = new as u32;
+        inv[old as usize] = new as u32; // lint: checked-cast — permutation index < n, a u32
     }
     let mut coo = crate::CooMatrix::with_capacity(a.nrows(), a.ncols(), a.nnz());
     for (i, j, v) in a.iter() {

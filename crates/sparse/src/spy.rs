@@ -18,8 +18,8 @@ pub fn spy_pattern(a: &CsrMatrix, max_cells: u32) -> String {
     let cells_c = cols.min(max_cells).max(1);
     let mut counts = vec![0u32; (cells_r * cells_c) as usize];
     for (i, j, _) in a.iter() {
-        let r = (i as u64 * cells_r as u64 / rows as u64) as u32;
-        let c = (j as u64 * cells_c as u64 / cols as u64) as u32;
+        let r = (i as u64 * cells_r as u64 / rows as u64) as u32; // lint: checked-cast — quotient < cells_r, a small display grid
+        let c = (j as u64 * cells_c as u64 / cols as u64) as u32; // lint: checked-cast — quotient < cells_c, a small display grid
         counts[(r * cells_c + c) as usize] += 1;
     }
     // Cell capacity for normalization.
@@ -58,11 +58,11 @@ pub fn spy_owners(a: &CsrMatrix, owner: &[u32], max_cells: u32) -> String {
         .unwrap_or(1);
     let mut counts = vec![0u32; (cells_r * cells_c) as usize * k];
     for (e, (i, j, _)) in a.iter().enumerate() {
-        let r = (i as u64 * cells_r as u64 / rows as u64) as u32;
-        let c = (j as u64 * cells_c as u64 / cols as u64) as u32;
+        let r = (i as u64 * cells_r as u64 / rows as u64) as u32; // lint: checked-cast — quotient < cells_r, a small display grid
+        let c = (j as u64 * cells_c as u64 / cols as u64) as u32; // lint: checked-cast — quotient < cells_c, a small display grid
         counts[((r * cells_c + c) as usize) * k + owner[e] as usize] += 1;
     }
-    let digit = |p: usize| char::from_digit((p % 36) as u32, 36).unwrap_or('?');
+    let digit = |p: usize| char::from_digit((p % 36) as u32, 36).unwrap_or('?'); // lint: checked-cast — p % 36 < 36
     let mut out = String::with_capacity(((cells_c + 1) * cells_r) as usize);
     for r in 0..cells_r {
         for c in 0..cells_c {

@@ -71,8 +71,8 @@ pub fn parallel_spmv(plan: &DistributedSpmv, x: &[f64]) -> Result<(Vec<f64>, Mea
             let expect_x = expect_x[p];
             let expect_y = expect_y[p];
             handles.push(scope.spawn(move || -> Result<Vec<(u32, f64)>> {
-                let p = p as u32;
-                // Private x image: own values first.
+                let p = p as u32; // lint: checked-cast — p < k, a u32
+                                  // Private x image: own values first.
                 let mut x_local: Vec<f64> = vec![f64::NAN; n];
                 for (j, &owner) in plan.vec_owner().iter().enumerate() {
                     if owner == p {
@@ -159,7 +159,7 @@ pub fn parallel_spmv(plan: &DistributedSpmv, x: &[f64]) -> Result<(Vec<f64>, Mea
                     .iter()
                     .enumerate()
                     .filter(|&(_, &owner)| owner == p)
-                    .map(|(i, _)| (i as u32, y_partial[i]))
+                    .map(|(i, _)| (i as u32, y_partial[i])) // lint: checked-cast — i < n = nrows, a u32
                     .collect())
             }));
         }

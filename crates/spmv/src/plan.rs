@@ -1,6 +1,7 @@
 //! Communication plan and single-threaded executing simulator.
 
 use fgh_core::Decomposition;
+use fgh_invariant::{invariant, InvariantViolation};
 use fgh_sparse::CsrMatrix;
 
 use crate::{Result, SpmvError};
@@ -146,7 +147,7 @@ impl DistributedSpmv {
                 .enumerate()
                 .flat_map(|(from, tos)| {
                     tos.into_iter().map(move |(to, indices)| Transfer {
-                        from: from as u32,
+                        from: from as u32, // lint: checked-cast — from < k, a u32
                         to,
                         indices,
                     })
@@ -212,6 +213,139 @@ impl DistributedSpmv {
             m.sent_words_per_proc[t.from as usize] += t.indices.len() as u64;
         }
         m
+    }
+
+    /// Checks the structural invariants of the plan: vector owners in
+    /// range, every transfer nonempty with distinct in-range endpoints and
+    /// in-bounds element indices, and local nonzero coordinates inside the
+    /// matrix order.
+    pub fn validate(&self) -> std::result::Result<(), InvariantViolation> {
+        const S: &str = "DistributedSpmv";
+        invariant!(self.k > 0, S, "k.nonzero", "plan has k = 0 processors");
+        invariant!(
+            self.vec_owner.len() == self.n as usize,
+            S,
+            "vec_owner.len",
+            "{} vector owners for order {}",
+            self.vec_owner.len(),
+            self.n
+        );
+        for (j, &p) in self.vec_owner.iter().enumerate() {
+            invariant!(
+                p < self.k,
+                S,
+                "vec_owner.in_range",
+                "x_{j}/y_{j} owned by processor {p} >= k = {}",
+                self.k
+            );
+        }
+        invariant!(
+            self.local.len() == self.k as usize,
+            S,
+            "local.len",
+            "{} local blocks for {} processors",
+            self.local.len(),
+            self.k
+        );
+        for (p, b) in self.local.iter().enumerate() {
+            invariant!(
+                b.rows.len() == b.cols.len() && b.cols.len() == b.vals.len(),
+                S,
+                "local.parallel",
+                "processor {p} block has rows/cols/vals lengths {}/{}/{}",
+                b.rows.len(),
+                b.cols.len(),
+                b.vals.len()
+            );
+            for (&i, &j) in b.rows.iter().zip(&b.cols) {
+                invariant!(
+                    i < self.n && j < self.n,
+                    S,
+                    "local.in_bounds",
+                    "processor {p} holds nonzero at ({i}, {j}) outside order {}",
+                    self.n
+                );
+            }
+        }
+        for (phase, transfers) in [("expand", &self.expand), ("fold", &self.fold)] {
+            for t in transfers.iter() {
+                invariant!(
+                    t.from < self.k && t.to < self.k && t.from != t.to,
+                    S,
+                    "transfer.endpoints",
+                    "{phase} transfer {} -> {} invalid for k = {}",
+                    t.from,
+                    t.to,
+                    self.k
+                );
+                invariant!(
+                    !t.indices.is_empty(),
+                    S,
+                    "transfer.nonempty",
+                    "{phase} transfer {} -> {} carries no words",
+                    t.from,
+                    t.to
+                );
+                for &e in &t.indices {
+                    invariant!(
+                        e < self.n,
+                        S,
+                        "transfer.in_bounds",
+                        "{phase} transfer {} -> {} carries element {e} >= n = {}",
+                        t.from,
+                        t.to,
+                        self.n
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Cross-checks the paper's headline identity against an *executed*
+    /// SpMV: replays one `y = Ax` with a deterministic input and verifies
+    /// that the words actually moved equal both the static
+    /// [`DistributedSpmv::planned_comm`] cost and `cutsize` — the
+    /// connectivity−1 objective the partitioner reported. For consistent
+    /// models (fine-grain and both 1D hypergraph variants) the equality is
+    /// exact (eq. 3 of the paper); a mismatch means either the plan or the
+    /// cutsize bookkeeping is wrong.
+    pub fn validate_cutsize(&self, cutsize: u64) -> std::result::Result<(), InvariantViolation> {
+        const S: &str = "DistributedSpmv";
+        self.validate()?;
+        let x: Vec<f64> = (0..self.n).map(|j| j as f64 * 0.5 + 1.0).collect();
+        let measured = match self.multiply(&x) {
+            Ok((_, m)) => m,
+            Err(e) => {
+                return Err(InvariantViolation::new(
+                    S,
+                    "replay.failed",
+                    format!("plan replay aborted: {e}"),
+                ))
+            }
+        };
+        let planned = self.planned_comm();
+        invariant!(
+            planned == measured,
+            S,
+            "plan.vs_replay",
+            "planned {} words / {} messages, replay moved {} words / {} messages",
+            planned.total_words(),
+            planned.total_messages(),
+            measured.total_words(),
+            measured.total_messages()
+        );
+        invariant!(
+            measured.total_words() == cutsize,
+            S,
+            "cutsize.vs_volume",
+            "connectivity-1 cutsize {cutsize} != replayed volume {} \
+             (expand {} + fold {})",
+            measured.total_words(),
+            measured.expand_words,
+            measured.fold_words
+        );
+        Ok(())
     }
 
     /// Executes one `y = Aᵀx` sequentially using the *same* communication

@@ -1,0 +1,76 @@
+//! End-to-end check of the paper's central identity: the connectivity−1
+//! cutsize reported by the partitioner equals the communication volume a
+//! replayed distributed SpMV actually measures, for all three hypergraph
+//! models (fine-grain 2D, 1D column-net, 1D row-net) on scaled-down
+//! catalog matrices.
+
+use fgh_core::models::{ColumnNetModel, FineGrainModel, RowNetModel};
+use fgh_core::Decomposition;
+use fgh_partition::{partition_hypergraph, PartitionConfig, PartitionResult};
+use fgh_sparse::catalog::by_name;
+use fgh_sparse::CsrMatrix;
+use fgh_spmv::DistributedSpmv;
+
+/// Catalog entries used for the identity check, scaled down to keep the
+/// suite fast while preserving each family's sparsity structure.
+const CASES: &[(&str, u32)] = &[("sherman3", 64), ("ken-11", 256), ("cre-d", 128)];
+
+fn partition(hg: &fgh_hypergraph::Hypergraph, k: u32, seed: u64) -> PartitionResult {
+    partition_hypergraph(hg, k, &PartitionConfig::with_seed(seed)).expect("partition")
+}
+
+/// Builds the plan, validates its internal invariants, and asserts the
+/// planned/measured/cutsize triple agreement.
+fn check_volume(name: &str, model: &str, a: &CsrMatrix, d: &Decomposition, cutsize: u64) {
+    let plan = DistributedSpmv::build(a, d).expect("plan");
+    plan.validate()
+        .unwrap_or_else(|e| panic!("{name}/{model}: plan invariants: {e}"));
+    plan.validate_cutsize(cutsize)
+        .unwrap_or_else(|e| panic!("{name}/{model}: cutsize identity: {e}"));
+}
+
+#[test]
+fn fine_grain_cutsize_equals_measured_volume() {
+    for &(name, scale) in CASES {
+        let a = by_name(name)
+            .expect("catalog entry")
+            .generate_scaled(scale, 42);
+        let model = FineGrainModel::build(&a).expect("fine-grain model");
+        model.validate().expect("fine-grain invariants");
+        for k in [2u32, 4] {
+            let r = partition(model.hypergraph(), k, 7);
+            let d = model.decode(&a, &r.partition).expect("decode");
+            check_volume(name, "fine-grain", &a, &d, r.cutsize);
+        }
+    }
+}
+
+#[test]
+fn column_net_cutsize_equals_measured_volume() {
+    for &(name, scale) in CASES {
+        let a = by_name(name)
+            .expect("catalog entry")
+            .generate_scaled(scale, 43);
+        let model = ColumnNetModel::build(&a).expect("column-net model");
+        for k in [2u32, 4] {
+            let r = partition(model.hypergraph(), k, 11);
+            let d = model.decode(&a, &r.partition).expect("decode");
+            check_volume(name, "column-net", &a, &d, r.cutsize);
+        }
+    }
+}
+
+#[test]
+fn row_net_cutsize_equals_measured_volume() {
+    for &(name, scale) in CASES {
+        let a = by_name(name)
+            .expect("catalog entry")
+            .generate_scaled(scale, 44);
+        let model = RowNetModel::build(&a).expect("row-net model");
+        for k in [2u32, 4] {
+            let r = partition(model.hypergraph(), k, 13);
+            let d = model.decode(&a, &r.partition).expect("decode");
+            check_volume(name, "row-net", &a, &d, r.cutsize);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! `xtask/lint.toml` loading.
+//!
+//! The build environment has no registry access, so instead of a `toml`
+//! dependency this parses the small subset the config actually uses:
+//! `[section]` headers and `key = ["a", "b", ...]` string-array entries
+//! (arrays may span lines), with `#` comments.
+
+use std::collections::BTreeMap;
+
+/// Parsed lint configuration.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    /// Crate directories (relative to the workspace root) whose `src/`
+    /// trees the pass walks.
+    pub crate_roots: Vec<String>,
+    /// Files (relative to the workspace root) where raw slice indexing
+    /// requires a `checked-index` audit marker (rule FGH003).
+    pub hot_modules: Vec<String>,
+}
+
+/// A config-file problem, reported with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl LintConfig {
+    /// Parses the config from TOML text.
+    pub fn parse(text: &str) -> Result<LintConfig, ConfigError> {
+        let mut sections = parse_sections(text)?;
+        let mut cfg = LintConfig::default();
+        if let Some(arr) = sections.remove("crates.roots") {
+            cfg.crate_roots = arr;
+        }
+        if let Some(arr) = sections.remove("indexing.hot_modules") {
+            cfg.hot_modules = arr;
+        }
+        if let Some(key) = sections.keys().next() {
+            return Err(ConfigError {
+                line: 0,
+                message: format!("unknown config key `{key}`"),
+            });
+        }
+        if cfg.crate_roots.is_empty() {
+            return Err(ConfigError {
+                line: 0,
+                message: "config must list at least one crate under [crates] roots".into(),
+            });
+        }
+        Ok(cfg)
+    }
+}
+
+/// Parses `[section]` + `key = [ "…" ]` pairs into `section.key` entries.
+fn parse_sections(text: &str) -> Result<BTreeMap<String, Vec<String>>, ConfigError> {
+    let mut out = BTreeMap::new();
+    let mut section = String::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((i, raw)) = lines.next() {
+        let lineno = i as u32 + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = name.trim().to_string();
+            continue;
+        }
+        let Some((key, mut value)) = line
+            .split_once('=')
+            .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+        else {
+            return Err(ConfigError {
+                line: lineno,
+                message: format!("expected `key = [...]`, got `{line}`"),
+            });
+        };
+        // Arrays may span lines: accumulate until brackets balance.
+        while !brackets_balanced(&value) {
+            let Some((_, next)) = lines.next() else {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("unterminated array for key `{key}`"),
+                });
+            };
+            value.push(' ');
+            value.push_str(strip_comment(next).trim());
+        }
+        let full_key = if section.is_empty() {
+            key.clone()
+        } else {
+            format!("{section}.{key}")
+        };
+        out.insert(full_key, parse_string_array(&value, lineno)?);
+    }
+    Ok(out)
+}
+
+/// Drops a `#` comment that is not inside a string literal.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn brackets_balanced(value: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for c in value.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth <= 0
+}
+
+fn parse_string_array(value: &str, line: u32) -> Result<Vec<String>, ConfigError> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| ConfigError {
+            line,
+            message: format!("expected a `[...]` string array, got `{value}`"),
+        })?;
+    let mut items = Vec::new();
+    for piece in inner.split(',') {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue; // trailing comma
+        }
+        let s = piece
+            .strip_prefix('"')
+            .and_then(|p| p.strip_suffix('"'))
+            .ok_or_else(|| ConfigError {
+                line,
+                message: format!("array elements must be quoted strings, got `{piece}`"),
+            })?;
+        items.push(s.to_string());
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_multiline_arrays() {
+        let cfg = LintConfig::parse(
+            r#"
+# comment
+[crates]
+roots = [
+    "crates/a",  # inline comment
+    "crates/b",
+]
+
+[indexing]
+hot_modules = ["crates/a/src/hot.rs"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.crate_roots, vec!["crates/a", "crates/b"]);
+        assert_eq!(cfg.hot_modules, vec!["crates/a/src/hot.rs"]);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_bad_syntax() {
+        assert!(LintConfig::parse("[crates]\nroots = [\"a\"]\nbogus = [\"x\"]").is_err());
+        assert!(LintConfig::parse("[crates]\nroots [\"a\"]").is_err());
+        assert!(LintConfig::parse("[crates]\nroots = [unquoted]").is_err());
+        assert!(LintConfig::parse("").is_err(), "empty roots rejected");
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = LintConfig::parse("[crates]\nroots = [\"a#b\"]").unwrap();
+        assert_eq!(cfg.crate_roots, vec!["a#b"]);
+    }
+}

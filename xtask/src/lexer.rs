@@ -1,0 +1,452 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The lint pass needs token-level structure — comments separated from
+//! code, string/char literals that can't produce false `as`/`[` matches,
+//! and line/column positions for diagnostics. It does **not** need a full
+//! grammar, so this is a scanner producing a flat token stream. The
+//! subtle cases it must get right (all covered by tests):
+//!
+//! * nested block comments (`/* /* */ */`),
+//! * raw strings with arbitrary `#` fences (`r#"…"#`, `br##"…"##`),
+//! * lifetimes vs char literals (`'a` vs `'a'` vs `'\n'`),
+//! * raw identifiers (`r#type`).
+
+/// What a token is. Punctuation is one token per character — the rules
+/// match multi-character operators by looking at adjacent tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the rules tell them apart by text).
+    Ident,
+    /// Numeric literal (integer or float, any base).
+    Num,
+    /// String literal, including raw and byte strings.
+    Str,
+    /// Char or byte literal.
+    Char,
+    /// Lifetime (`'a`) or loop label.
+    Lifetime,
+    /// Single punctuation character.
+    Punct(char),
+    /// `// …` comment (doc comments included), without the newline.
+    LineComment,
+    /// `/* … */` comment, nesting collapsed.
+    BlockComment,
+}
+
+/// One token: kind, byte span into the source, and 1-based position.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// `true` for comments (tokens the code-structure rules skip).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Tokenizes `src`. The scanner never fails: unterminated literals are
+/// closed at end of input so the linter still reports on broken files
+/// (rustc will reject them anyway).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        while let Some(c) = self.peek() {
+            let (line, col, start) = (self.line, self.col, self.pos);
+            let kind = match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                    continue;
+                }
+                '/' if self.peek_at(1) == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    TokenKind::LineComment
+                }
+                '/' if self.peek_at(1) == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1u32;
+                    while depth > 0 {
+                        match (self.peek(), self.peek_at(1)) {
+                            (Some('/'), Some('*')) => {
+                                depth += 1;
+                                self.bump();
+                                self.bump();
+                            }
+                            (Some('*'), Some('/')) => {
+                                depth -= 1;
+                                self.bump();
+                                self.bump();
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => break,
+                        }
+                    }
+                    TokenKind::BlockComment
+                }
+                '"' => {
+                    self.eat_string();
+                    TokenKind::Str
+                }
+                'r' | 'b' if self.raw_or_byte_literal(&mut out, line, col, start) => continue,
+                '\'' => self.eat_quote(),
+                c if c.is_alphabetic() || c == '_' => {
+                    self.eat_ident();
+                    TokenKind::Ident
+                }
+                c if c.is_ascii_digit() => {
+                    self.eat_number();
+                    TokenKind::Num
+                }
+                c => {
+                    self.bump();
+                    TokenKind::Punct(c)
+                }
+            };
+            out.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+                col,
+            });
+        }
+        out
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `r#ident`, `b"…"`, `br#"…"#`, `b'…'`.
+    /// Returns `true` when it consumed a literal (and pushed the token);
+    /// `false` leaves the `r`/`b` for ordinary identifier lexing.
+    fn raw_or_byte_literal(
+        &mut self,
+        out: &mut Vec<Token>,
+        line: u32,
+        col: u32,
+        start: usize,
+    ) -> bool {
+        let rest = &self.src[self.pos..];
+        let prefix_len = if rest.starts_with("br") || rest.starts_with("rb") {
+            2
+        } else {
+            1
+        };
+        let after: &str = &rest[prefix_len..];
+        let kind = if after.starts_with('"') || after.starts_with('#') {
+            // Possibly raw string (r/br) or raw identifier (r#foo). A raw
+            // string needs `"` after the fence; a raw ident has an ident
+            // char after one `#`.
+            let fences = after.bytes().take_while(|&b| b == b'#').count();
+            match after[fences..].chars().next() {
+                Some('"') => {
+                    for _ in 0..prefix_len + fences + 1 {
+                        self.bump();
+                    }
+                    let close: String = format!("\"{}", "#".repeat(fences));
+                    while self.pos < self.bytes.len() && !self.src[self.pos..].starts_with(&close) {
+                        self.bump();
+                    }
+                    for _ in 0..close.len() {
+                        if self.peek().is_none() {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    Some(TokenKind::Str)
+                }
+                Some(c)
+                    if fences == 1 && rest.starts_with('r') && (c.is_alphabetic() || c == '_') =>
+                {
+                    // Raw identifier r#foo.
+                    self.bump(); // r
+                    self.bump(); // #
+                    self.eat_ident();
+                    Some(TokenKind::Ident)
+                }
+                _ => None,
+            }
+        } else if rest.starts_with("b\"") {
+            self.bump();
+            self.eat_string();
+            Some(TokenKind::Str)
+        } else if rest.starts_with("b'") {
+            self.bump();
+            self.bump();
+            self.eat_char_body();
+            Some(TokenKind::Char)
+        } else {
+            None
+        };
+        match kind {
+            Some(kind) => {
+                out.push(Token {
+                    kind,
+                    start,
+                    end: self.pos,
+                    line,
+                    col,
+                });
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// After a `'`: lifetime (`'a`, `'static`) or char literal (`'a'`,
+    /// `'\n'`). A lifetime is a `'` followed by an identifier **not**
+    /// closed by another `'`.
+    fn eat_quote(&mut self) -> TokenKind {
+        self.bump(); // the opening '
+        match self.peek() {
+            Some(c) if (c.is_alphanumeric() || c == '_') && c != '\\' => {
+                // Scan the ident; if a `'` follows immediately it was a
+                // one-char char literal like 'a'.
+                let ident_start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let ident_len = self.pos - ident_start;
+                if self.peek() == Some('\'') && ident_len == 1 {
+                    self.bump();
+                    TokenKind::Char
+                } else {
+                    TokenKind::Lifetime
+                }
+            }
+            _ => {
+                self.eat_char_body();
+                TokenKind::Char
+            }
+        }
+    }
+
+    /// Consumes a char literal body (after the opening `'`) up to and
+    /// including the closing `'`, honoring escapes.
+    fn eat_char_body(&mut self) {
+        while let Some(c) = self.peek() {
+            match c {
+                '\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                '\'' => {
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Consumes a `"`-delimited string (cursor on the opening quote).
+    fn eat_string(&mut self) {
+        self.bump();
+        while let Some(c) = self.peek() {
+            match c {
+                '\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                '"' => {
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn eat_ident(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat_number(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else if c == '.' {
+                // `1.5` continues the number; `1..n` is a range.
+                match self.peek_at(1) {
+                    Some(d) if d.is_ascii_digit() => self.bump(),
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    fn bump(&mut self) {
+        if let Some(c) = self.peek() {
+            self.pos += c.len_utf8();
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).iter().map(|t| t.kind).collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).iter().map(|t| t.text(src).to_string()).collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        assert_eq!(
+            kinds("let x = 42;"),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Ident,
+                TokenKind::Punct('='),
+                TokenKind::Num,
+                TokenKind::Punct(';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_keep_text_and_positions() {
+        let src = "a // trailing\n/* block\n still */ b";
+        let toks = lex(src);
+        assert_eq!(toks[1].kind, TokenKind::LineComment);
+        assert_eq!(toks[1].text(src), "// trailing");
+        assert_eq!(toks[2].kind, TokenKind::BlockComment);
+        let b = toks[3];
+        assert_eq!((b.line, b.text(src)), (3, "b"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still */ x";
+        let toks = lex(src);
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert_eq!(toks[1].text(src), "x");
+    }
+
+    #[test]
+    fn strings_hide_code_like_content() {
+        // The `as u8` inside the string must not become tokens.
+        let src = r#"let s = "x as u8 [0]";"#;
+        assert_eq!(
+            kinds(src),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Ident,
+                TokenKind::Punct('='),
+                TokenKind::Str,
+                TokenKind::Punct(';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r###"r#"say "hi" as u8"# + rb"bytes""###;
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::Str);
+        assert!(toks[0].text(src).ends_with("\"#"));
+        assert_eq!(toks[2].kind, TokenKind::Str);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        assert_eq!(
+            kinds("&'a str"),
+            vec![TokenKind::Punct('&'), TokenKind::Lifetime, TokenKind::Ident]
+        );
+        assert_eq!(kinds("'x'"), vec![TokenKind::Char]);
+        assert_eq!(kinds(r"'\n'"), vec![TokenKind::Char]);
+        assert_eq!(kinds("'static"), vec![TokenKind::Lifetime]);
+        assert_eq!(kinds("b'z'"), vec![TokenKind::Char]);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let toks = lex("r#type");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, TokenKind::Ident);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        assert_eq!(texts("0..n"), vec!["0", ".", ".", "n"]);
+        assert_eq!(texts("1.5e3"), vec!["1.5e3"]);
+        assert_eq!(texts("0xFF_u32"), vec!["0xFF_u32"]);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,608 @@
+//! The lint rules, marker handling, and rustc-style diagnostics.
+//!
+//! | Rule   | What it rejects                                                 |
+//! |--------|-----------------------------------------------------------------|
+//! | FGH001 | Lossy `as` casts (narrowing target) without an audit marker     |
+//! | FGH002 | `debug_assert!(false, …)` — must be a typed internal error      |
+//! | FGH003 | Raw slice indexing `x[…]` in configured hot modules, unaudited  |
+//! | FGH004 | Crate roots missing the `deny(clippy::unwrap_used, …)` gate     |
+//!
+//! Audit markers are line comments of the form
+//! `// lint: checked-cast — <reason>` or
+//! `// lint: checked-index — <reason>`, placed on the offending line or
+//! the line directly above. A `checked-index` marker directly above an
+//! `fn` item covers the whole (brace-matched) function body — hot loops
+//! index dozens of times per function and per-line markers there would
+//! drown the code.
+//!
+//! Test code (`#[cfg(test)]` items and `#[test]` functions) is exempt
+//! from FGH001–FGH003: a panic in a test *is* the failure report.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Cast targets that can lose value or precision from the wider types the
+/// workspace works in. The 64-bit targets (`usize`, `u64`, `i64`, `f64`)
+/// are accepted without a marker: the documented policy is that indices
+/// are `u32` and widen freely on a 64-bit host.
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32", "isize"];
+
+/// Keywords that may directly precede `[` without forming an index
+/// expression (`return [a, b]`, `in [x, y]`, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "return", "in", "if", "else", "match", "break", "continue", "move", "while", "loop", "as",
+    "const", "static", "let", "mut", "ref", "dyn", "impl", "where", "type", "fn",
+];
+
+/// One finding, formatted like a rustc diagnostic.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+    /// Caret width in the source line.
+    pub len: usize,
+    pub message: String,
+    pub help: &'static str,
+    /// The offending source line, for the snippet.
+    pub snippet: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "error[{}]: {}", self.rule, self.message)?;
+        let gutter = self.line.to_string().len();
+        writeln!(
+            f,
+            "{:>gutter$}--> {}:{}:{}",
+            "",
+            self.path,
+            self.line,
+            self.col,
+            gutter = gutter + 1
+        )?;
+        writeln!(f, "{:>gutter$} |", "", gutter = gutter)?;
+        writeln!(f, "{} | {}", self.line, self.snippet)?;
+        writeln!(
+            f,
+            "{:>gutter$} | {:>col$}{}",
+            "",
+            "",
+            "^".repeat(self.len.max(1)),
+            gutter = gutter,
+            col = self.col as usize - 1
+        )?;
+        write!(f, "{:>gutter$} = help: {}", "", self.help, gutter = gutter)
+    }
+}
+
+/// An audit marker found in a file.
+#[derive(Debug, Clone)]
+pub struct Marker {
+    pub path: String,
+    pub line: u32,
+    pub kind: MarkerKind,
+    pub reason: String,
+    /// Lines this marker covers (the marker line, the next line, and for
+    /// fn-scope `checked-index` markers the whole function body).
+    pub covers: (u32, u32),
+    /// How many findings this marker suppressed.
+    pub uses: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarkerKind {
+    CheckedCast,
+    CheckedIndex,
+}
+
+impl MarkerKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MarkerKind::CheckedCast => "checked-cast",
+            MarkerKind::CheckedIndex => "checked-index",
+        }
+    }
+}
+
+/// Result of linting one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub diagnostics: Vec<Diagnostic>,
+    pub markers: Vec<Marker>,
+}
+
+/// Lints one file's source. `path` is the repo-relative path used in
+/// diagnostics; `hot` enables FGH003 for this file.
+pub fn lint_file(path: &str, src: &str, hot: bool) -> FileReport {
+    let tokens = lex(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let mut report = FileReport::default();
+
+    let sig: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let test_spans = test_item_spans(&tokens, &sig, src);
+    let in_test = |tok: &Token| {
+        test_spans
+            .iter()
+            .any(|&(s, e)| tok.start >= s && tok.start < e)
+    };
+
+    report.markers = collect_markers(path, src, &tokens, &sig);
+
+    let diag = |tok: &Token, end: &Token, rule, message, help| Diagnostic {
+        rule,
+        path: path.to_string(),
+        line: tok.line,
+        col: tok.col,
+        len: end.end.saturating_sub(tok.start),
+        message,
+        help,
+        snippet: lines.get(tok.line as usize - 1).unwrap_or(&"").to_string(),
+    };
+
+    // FGH001 — lossy `as` casts, and FGH002 — debug_assert!(false, …).
+    for (si, &i) in sig.iter().enumerate() {
+        let tok = &tokens[i];
+        if tok.kind != TokenKind::Ident || in_test(tok) {
+            continue;
+        }
+        match tok.text(src) {
+            "as" => {
+                let Some(&ti) = sig.get(si + 1) else { continue };
+                let target = &tokens[ti];
+                if target.kind == TokenKind::Ident
+                    && NARROW_TARGETS.contains(&target.text(src))
+                    && !suppressed(&mut report.markers, MarkerKind::CheckedCast, tok.line)
+                {
+                    report.diagnostics.push(diag(
+                        tok,
+                        target,
+                        "FGH001",
+                        format!(
+                            "lossy numeric cast `as {}` without an audit marker",
+                            target.text(src)
+                        ),
+                        "prove the value fits and annotate with \
+                         `// lint: checked-cast — <why it fits>`, or use `try_from`",
+                    ));
+                }
+            }
+            "debug_assert" => {
+                let bang = sig.get(si + 1).map(|&j| &tokens[j]);
+                let paren = sig.get(si + 2).map(|&j| &tokens[j]);
+                let arg = sig.get(si + 3).map(|&j| &tokens[j]);
+                if let (Some(b), Some(p), Some(a)) = (bang, paren, arg) {
+                    if b.kind == TokenKind::Punct('!')
+                        && p.kind == TokenKind::Punct('(')
+                        && a.kind == TokenKind::Ident
+                        && a.text(src) == "false"
+                    {
+                        report.diagnostics.push(diag(
+                            tok,
+                            a,
+                            "FGH002",
+                            "`debug_assert!(false, ...)`: unreachable-state reporting must be a \
+                             typed internal error"
+                                .to_string(),
+                            "return a typed error (e.g. `PartitionError::internal(...)`) so \
+                             release builds surface the defect instead of continuing silently",
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // FGH003 — raw indexing in hot modules.
+    if hot {
+        for (si, &i) in sig.iter().enumerate() {
+            let tok = &tokens[i];
+            if tok.kind != TokenKind::Punct('[') || si == 0 || in_test(tok) {
+                continue;
+            }
+            let prev = &tokens[sig[si - 1]];
+            let is_index_base = match prev.kind {
+                TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text(src)),
+                TokenKind::Punct(']') | TokenKind::Punct(')') => true,
+                _ => false,
+            };
+            if is_index_base && !suppressed(&mut report.markers, MarkerKind::CheckedIndex, tok.line)
+            {
+                report.diagnostics.push(diag(
+                    tok,
+                    tok,
+                    "FGH003",
+                    "raw slice indexing in a hot module without an audit marker".to_string(),
+                    "prove the index is in bounds and annotate the line or enclosing fn with \
+                     `// lint: checked-index — <why it is in bounds>`, or use `get`",
+                ));
+            }
+        }
+    }
+
+    report
+}
+
+/// FGH004 — checks a crate root (`lib.rs`) for the panic-robustness gate:
+/// an inner attribute that `deny`s both `clippy::unwrap_used` and
+/// `clippy::expect_used`.
+pub fn lint_crate_root(path: &str, src: &str) -> Option<Diagnostic> {
+    let tokens = lex(src);
+    let sig: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    for (si, &i) in sig.iter().enumerate() {
+        // Match `#![ ... ]` and inspect the idents inside.
+        if tokens[i].kind != TokenKind::Punct('#') {
+            continue;
+        }
+        let bang = sig.get(si + 1).map(|&j| &tokens[j]);
+        let open = sig.get(si + 2).map(|&j| &tokens[j]);
+        if !matches!(bang.map(|t| t.kind), Some(TokenKind::Punct('!')))
+            || !matches!(open.map(|t| t.kind), Some(TokenKind::Punct('[')))
+        {
+            continue;
+        }
+        let mut depth = 0i32;
+        let (mut has_deny, mut has_unwrap, mut has_expect) = (false, false, false);
+        for &j in &sig[si + 2..] {
+            match tokens[j].kind {
+                TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenKind::Ident => match tokens[j].text(src) {
+                    "deny" => has_deny = true,
+                    "unwrap_used" => has_unwrap = true,
+                    "expect_used" => has_expect = true,
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+        if has_deny && has_unwrap && has_expect {
+            return None;
+        }
+    }
+    Some(Diagnostic {
+        rule: "FGH004",
+        path: path.to_string(),
+        line: 1,
+        col: 1,
+        len: 1,
+        message: "crate root is missing the panic-robustness gate".to_string(),
+        help: "add `#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]` \
+               at the top of lib.rs",
+        snippet: src.lines().next().unwrap_or("").to_string(),
+    })
+}
+
+/// Finds a marker of `kind` covering `line` and records the use. A marker
+/// sitting on the violation's own line wins over one covering it from the
+/// line above — otherwise, with trailing markers on consecutive lines, the
+/// first marker would claim both violations and the second read as unused.
+fn suppressed(markers: &mut [Marker], kind: MarkerKind, line: u32) -> bool {
+    let covering = |m: &Marker| m.kind == kind && line >= m.covers.0 && line <= m.covers.1;
+    if let Some(m) = markers.iter_mut().find(|m| m.line == line && covering(m)) {
+        m.uses += 1;
+        return true;
+    }
+    for m in markers.iter_mut() {
+        if covering(m) {
+            m.uses += 1;
+            return true;
+        }
+    }
+    false
+}
+
+/// Extracts `// lint: …` markers and computes their coverage spans.
+fn collect_markers(path: &str, src: &str, tokens: &[Token], sig: &[usize]) -> Vec<Marker> {
+    let mut markers = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::LineComment {
+            continue;
+        }
+        let body = tok.text(src).trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let (kind, tail) = if let Some(t) = rest.strip_prefix("checked-cast") {
+            (MarkerKind::CheckedCast, t)
+        } else if let Some(t) = rest.strip_prefix("checked-index") {
+            (MarkerKind::CheckedIndex, t)
+        } else {
+            continue;
+        };
+        let reason = tail
+            .trim_start_matches(|c: char| c.is_whitespace() || c == '-' || c == '—' || c == ':')
+            .trim()
+            .to_string();
+        // Default coverage: the marker's own line (trailing comment) and
+        // the line below (marker on its own line).
+        let mut covers = (tok.line, tok.line + 1);
+        // Fn-scope: a checked-index marker directly above an `fn` item
+        // covers the whole brace-matched body.
+        if kind == MarkerKind::CheckedIndex {
+            if let Some(span) = fn_body_span(tokens, sig, src, i) {
+                covers = span;
+            }
+        }
+        markers.push(Marker {
+            path: path.to_string(),
+            line: tok.line,
+            kind,
+            reason,
+            covers,
+            uses: 0,
+        });
+    }
+    markers
+}
+
+/// If the first significant tokens after `tokens[marker_idx]` introduce a
+/// function (`pub`/`unsafe`/… then `fn`), returns the line span of the
+/// marker through the function's closing brace.
+fn fn_body_span(
+    tokens: &[Token],
+    sig: &[usize],
+    src: &str,
+    marker_idx: usize,
+) -> Option<(u32, u32)> {
+    let after: Vec<usize> = sig.iter().copied().filter(|&j| j > marker_idx).collect();
+    // Look for `fn` among the item's leading tokens (qualifiers and the
+    // name come before the parameter list opens).
+    let mut saw_fn = false;
+    let mut k = 0usize;
+    while k < after.len() && k < 8 {
+        let t = &tokens[after[k]];
+        if t.kind == TokenKind::Ident && t.text(src) == "fn" {
+            saw_fn = true;
+            break;
+        }
+        // Only qualifiers may precede `fn` in an item header.
+        let is_qualifier = matches!(t.kind, TokenKind::Ident if matches!(t.text(src), "pub" | "unsafe" | "const" | "async" | "extern" | "crate"))
+            || matches!(
+                t.kind,
+                TokenKind::Punct('(') | TokenKind::Punct(')') | TokenKind::Str
+            );
+        if !is_qualifier {
+            return None;
+        }
+        k += 1;
+    }
+    if !saw_fn {
+        return None;
+    }
+    // The first `{` after `fn` opens the body (generics, parameters, and
+    // return types cannot contain a bare `{`); match braces to its close.
+    // Bracket/paren depth is tracked too: the `;` of an array type in the
+    // signature (`targets: [f64; 2]`) must not read as a body-less fn.
+    let mut depth = 0i32;
+    let mut nest = 0i32;
+    let mut start_line = None;
+    for &j in after.iter().skip(k) {
+        match tokens[j].kind {
+            TokenKind::Punct('{') => {
+                if depth == 0 {
+                    start_line = Some(tokens[j].line);
+                }
+                depth += 1;
+            }
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    let marker_line = tokens[marker_idx].line;
+                    return start_line.map(|_| (marker_line, tokens[j].line));
+                }
+            }
+            TokenKind::Punct('(') | TokenKind::Punct('[') => nest += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') => nest -= 1,
+            // A top-level `;` before any `{` means a body-less fn (trait
+            // method or extern declaration).
+            TokenKind::Punct(';') if depth == 0 && nest == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Byte spans of test-only items: the item following `#[cfg(test)]` or
+/// `#[test]` (attributes stack, so intermediate attributes are skipped).
+fn test_item_spans(tokens: &[Token], sig: &[usize], src: &str) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut si = 0usize;
+    while si < sig.len() {
+        if is_test_attr(tokens, sig, src, si) {
+            // Skip this and any following attributes, then span the item.
+            let mut sj = si;
+            while sj < sig.len() && tokens[sig[sj]].kind == TokenKind::Punct('#') {
+                sj = skip_attr(tokens, sig, sj);
+            }
+            if let Some((start, end)) = item_span(tokens, sig, sj) {
+                spans.push((start, end));
+            }
+        }
+        si += 1;
+    }
+    spans
+}
+
+/// Is `sig[si]` the `#` of `#[cfg(test)]` or `#[test]`?
+fn is_test_attr(tokens: &[Token], sig: &[usize], src: &str, si: usize) -> bool {
+    if tokens[sig[si]].kind != TokenKind::Punct('#') {
+        return false;
+    }
+    let idents: Vec<&str> = sig[si..]
+        .iter()
+        .take(8)
+        .map(|&j| tokens[j].text(src))
+        .collect();
+    matches!(
+        idents.as_slice(),
+        ["#", "[", "test", "]", ..] | ["#", "[", "cfg", "(", "test", ")", "]", ..]
+    )
+}
+
+/// Returns the sig index just past the attribute starting at `sig[si]`.
+fn skip_attr(tokens: &[Token], sig: &[usize], si: usize) -> usize {
+    let mut depth = 0i32;
+    for (off, &j) in sig[si..].iter().enumerate() {
+        match tokens[j].kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return si + off + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    sig.len()
+}
+
+/// Byte span of the item starting at `sig[si]`: through the matching `}`
+/// of its first open brace, or through a `;` for brace-less items.
+fn item_span(tokens: &[Token], sig: &[usize], si: usize) -> Option<(usize, usize)> {
+    let start = tokens[*sig.get(si)?].start;
+    let mut depth = 0i32;
+    for &j in &sig[si..] {
+        match tokens[j].kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((start, tokens[j].end));
+                }
+            }
+            TokenKind::Punct(';') if depth == 0 => return Some((start, tokens[j].end)),
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(report: &FileReport) -> Vec<&'static str> {
+        report.diagnostics.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn fgh001_flags_narrow_casts_only() {
+        let src = "fn f(x: u64) -> u32 { let _ = x as usize; x as u32 }\n";
+        let r = lint_file("t.rs", src, false);
+        assert_eq!(rules(&r), vec!["FGH001"]);
+        assert!(r.diagnostics[0].message.contains("as u32"));
+    }
+
+    #[test]
+    fn fgh001_marker_same_line_and_above() {
+        let src = "fn f(x: u64) -> u32 {\n    // lint: checked-cast — x is a vertex id\n    x as u32\n}\nfn g(x: u64) -> u8 {\n    x as u8 // lint: checked-cast — bounded by caller\n}\n";
+        let r = lint_file("t.rs", src, false);
+        assert!(rules(&r).is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.markers.len(), 2);
+        assert!(r.markers.iter().all(|m| m.uses == 1));
+        assert_eq!(r.markers[0].reason, "x is a vertex id");
+    }
+
+    #[test]
+    fn fgh001_ignores_strings_comments_and_tests() {
+        let src = "fn f() { let _ = \"x as u8\"; } // y as u8\n#[cfg(test)]\nmod tests {\n    fn g(x: u64) -> u8 { x as u8 }\n}\n";
+        let r = lint_file("t.rs", src, false);
+        assert!(rules(&r).is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn fgh002_flags_debug_assert_false() {
+        let src = "fn f() { debug_assert!(false, \"unreachable\"); }\n";
+        let r = lint_file("t.rs", src, false);
+        assert_eq!(rules(&r), vec!["FGH002"]);
+        // Ordinary debug_assert on a condition is fine.
+        let ok = lint_file("t.rs", "fn f(x: u32) { debug_assert!(x > 0); }\n", false);
+        assert!(rules(&ok).is_empty());
+    }
+
+    #[test]
+    fn fgh003_only_in_hot_modules() {
+        let src = "fn f(v: &[u32], i: usize) -> u32 { v[i] }\n";
+        assert!(rules(&lint_file("t.rs", src, false)).is_empty());
+        assert_eq!(rules(&lint_file("t.rs", src, true)), vec!["FGH003"]);
+    }
+
+    #[test]
+    fn fgh003_skips_non_index_brackets() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn f() -> [u8; 2] { let v = vec![1, 2]; [v[0], 3] }\n// lint: checked-index — v has 2 elements\n";
+        // Only `v[0]` is an index expression; it is on the line above the
+        // marker, which does NOT cover upwards — so exactly one finding.
+        let r = lint_file("t.rs", src, true);
+        assert_eq!(rules(&r), vec!["FGH003"]);
+    }
+
+    #[test]
+    fn fgh003_fn_scope_marker_covers_body() {
+        let src = "// lint: checked-index — all ids are < len by construction\npub fn hot(v: &[u32]) -> u32 {\n    let a = v[0];\n    let b = v[1];\n    a + b\n}\nfn other(v: &[u32]) -> u32 { v[2] }\n";
+        let r = lint_file("t.rs", src, true);
+        assert_eq!(rules(&r), vec!["FGH003"], "{:?}", r.diagnostics);
+        assert_eq!(r.diagnostics[0].line, 7);
+        assert_eq!(r.markers[0].uses, 2);
+    }
+
+    #[test]
+    fn fgh003_fn_scope_survives_array_types_in_signature() {
+        // The `;` inside `[f64; 2]` is part of the signature, not a
+        // body-less fn terminator: the marker must still cover the body.
+        let src = "// lint: checked-index — t is 0/1 into a [u64; 2]\npub fn hot(t: [f64; 2], w: &[u64]) -> u64 {\n    w[t[0] as usize]\n}\n";
+        let r = lint_file("t.rs", src, true);
+        assert!(rules(&r).is_empty(), "{:?}", r.diagnostics);
+        assert!(r.markers[0].uses > 0);
+    }
+
+    #[test]
+    fn consecutive_trailing_markers_each_count() {
+        // Each line's own trailing marker claims its violation; the first
+        // must not absorb the second line's and leave it "unused".
+        let src = "fn f(a: u64, b: u64) -> (u32, u32) {\n    let x = a as u32; // lint: checked-cast — a < 100\n    let y = b as u32; // lint: checked-cast — b < 100\n    (x, y)\n}\n";
+        let r = lint_file("t.rs", src, false);
+        assert!(rules(&r).is_empty(), "{:?}", r.diagnostics);
+        assert!(r.markers.iter().all(|m| m.uses == 1), "{:?}", r.markers);
+    }
+
+    #[test]
+    fn fgh004_detects_missing_gate() {
+        let good = "#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]\npub fn f() {}\n";
+        assert!(lint_crate_root("lib.rs", good).is_none());
+        let bad = "#![deny(clippy::unwrap_used)]\npub fn f() {}\n";
+        assert!(lint_crate_root("lib.rs", bad).is_some());
+        assert!(lint_crate_root("lib.rs", "pub fn f() {}\n").is_some());
+    }
+
+    #[test]
+    fn diagnostic_renders_rustc_style() {
+        let src = "fn f(x: u64) -> u32 { x as u32 }\n";
+        let r = lint_file("crates/x/src/f.rs", src, false);
+        let text = r.diagnostics[0].to_string();
+        assert!(text.contains("error[FGH001]"), "{text}");
+        assert!(text.contains("--> crates/x/src/f.rs:1:25"), "{text}");
+        assert!(text.contains("^^^^^^"), "{text}");
+        assert!(text.contains("help:"), "{text}");
+    }
+
+    #[test]
+    fn unused_markers_are_tracked() {
+        let src = "// lint: checked-cast — nothing here needs it\nfn f() {}\n";
+        let r = lint_file("t.rs", src, false);
+        assert_eq!(r.markers.len(), 1);
+        assert_eq!(r.markers[0].uses, 0);
+    }
+}

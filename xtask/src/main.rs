@@ -1,0 +1,181 @@
+//! Workspace automation. The one command that exists today:
+//!
+//! ```text
+//! cargo xtask lint                 # run the custom static-analysis pass
+//! cargo xtask lint --list-allowed  # audit report of every suppression marker
+//! ```
+//!
+//! The pass walks the `src/` trees of the crates listed in
+//! `xtask/lint.toml` and enforces the workspace's robustness rules
+//! (see [`lint`] for the rule table). Exit status is nonzero when any
+//! violation is found, so CI can gate on it.
+
+mod config;
+mod lexer;
+mod lint;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use config::LintConfig;
+use lint::{Diagnostic, Marker};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let list_allowed = args.iter().any(|a| a == "--list-allowed");
+            if let Some(bad) = args[1..].iter().find(|a| a.as_str() != "--list-allowed") {
+                eprintln!("error: unknown argument `{bad}`");
+                return usage();
+            }
+            run_lint(list_allowed)
+        }
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo xtask lint [--list-allowed]");
+    ExitCode::from(2)
+}
+
+/// The workspace root: xtask always sits directly under it.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn run_lint(list_allowed: bool) -> ExitCode {
+    let root = workspace_root();
+    let cfg_path = root.join("xtask/lint.toml");
+    let cfg_text = match std::fs::read_to_string(&cfg_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", cfg_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = match LintConfig::parse(&cfg_text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut markers: Vec<Marker> = Vec::new();
+    let mut files_scanned = 0usize;
+
+    for crate_root in &cfg.crate_roots {
+        let src_dir = root.join(crate_root).join("src");
+        let mut files = Vec::new();
+        if let Err(e) = collect_rs_files(&src_dir, &mut files) {
+            eprintln!("error: cannot walk {}: {e}", src_dir.display());
+            return ExitCode::FAILURE;
+        }
+        files.sort();
+        for file in files {
+            let rel = file
+                .strip_prefix(&root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let src = match std::fs::read_to_string(&file) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot read {rel}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            files_scanned += 1;
+            let hot = cfg.hot_modules.iter().any(|h| h == &rel);
+            let mut report = lint::lint_file(&rel, &src, hot);
+            if file.file_name().is_some_and(|n| n == "lib.rs")
+                && file
+                    .parent()
+                    .is_some_and(|p| p == root.join(crate_root).join("src"))
+            {
+                if let Some(d) = lint::lint_crate_root(&rel, &src) {
+                    report.diagnostics.push(d);
+                }
+            }
+            diagnostics.append(&mut report.diagnostics);
+            markers.append(&mut report.markers);
+        }
+    }
+
+    if list_allowed {
+        print_allowed_report(&markers);
+        return ExitCode::SUCCESS;
+    }
+
+    for d in &diagnostics {
+        eprintln!("{d}\n");
+    }
+    let unused: Vec<&Marker> = markers.iter().filter(|m| m.uses == 0).collect();
+    for m in &unused {
+        eprintln!(
+            "warning: unused `{}` marker at {}:{} — nothing on its lines needs auditing",
+            m.kind.as_str(),
+            m.path,
+            m.line
+        );
+    }
+    eprintln!(
+        "lint: {} file(s), {} violation(s), {} audit marker(s) ({} unused)",
+        files_scanned,
+        diagnostics.len(),
+        markers.len(),
+        unused.len()
+    );
+    if diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The `--list-allowed` audit report: every suppression marker, where it
+/// is, how many findings it absorbs, and the recorded justification.
+fn print_allowed_report(markers: &[Marker]) {
+    println!("# Audit of lint suppression markers");
+    println!("#");
+    println!("# kind          uses  location                                  reason");
+    for m in markers {
+        println!(
+            "{:<13} {:>5}  {:<40}  {}",
+            m.kind.as_str(),
+            m.uses,
+            format!("{}:{}", m.path, m.line),
+            if m.reason.is_empty() {
+                "(no reason given)"
+            } else {
+                &m.reason
+            }
+        );
+    }
+    let total_uses: usize = markers.iter().map(|m| m.uses).sum();
+    println!(
+        "# {} marker(s) covering {} audited site(s)",
+        markers.len(),
+        total_uses
+    );
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if entry.file_type()?.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
