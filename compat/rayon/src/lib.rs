@@ -1,0 +1,321 @@
+//! Offline stand-in for the subset of `rayon` used by this workspace:
+//! [`join`], [`ThreadPool`], [`ThreadPoolBuilder`], [`current_num_threads`],
+//! and [`current_thread_index`].
+//!
+//! The real rayon keeps a lazily-started global work-stealing pool; this
+//! stand-in keeps rayon's *shape* (`ThreadPoolBuilder::new().num_threads(n)
+//! .build()?.install(|| ...)` with nested `join` calls inside) but
+//! implements it on `std::thread::scope`. A pool is a token counter: a
+//! pool of `n` threads hands out `n - 1` spare tokens, and `join(a, b)`
+//! spawns `b` onto a fresh scoped thread when a token is free, running it
+//! inline otherwise. Because every spawn is scoped inside the `join` call
+//! itself, closures may borrow from the caller's stack exactly as with
+//! real rayon, total concurrency never exceeds the pool size, and there is
+//! no blocking hand-off that could deadlock — the fallback is always to
+//! run inline on the current thread.
+//!
+//! Differences from real rayon, none observable to this workspace:
+//! * `install` runs the closure on the calling thread (real rayon migrates
+//!   it onto a pool thread); the calling thread counts as pool member #0.
+//! * Threads are created per `join` rather than parked in the pool. The
+//!   workspace forks at bisection/seed granularity (milliseconds of work),
+//!   so spawn cost is noise.
+//! * There is no global fallback pool: `join` outside any `install` runs
+//!   both closures inline, serially, in order.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Shared pool state: the configured width and the spare-thread tokens.
+#[derive(Debug)]
+struct PoolInner {
+    threads: usize,
+    spare: AtomicUsize,
+}
+
+impl PoolInner {
+    fn try_acquire(self: &Arc<Self>) -> Option<Token> {
+        let mut cur = self.spare.load(Ordering::Relaxed);
+        while cur > 0 {
+            match self.spare.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(Token(Arc::clone(self))),
+                Err(seen) => cur = seen,
+            }
+        }
+        None
+    }
+}
+
+/// RAII spare-thread token: released back to the pool on drop, so a
+/// panicking branch cannot leak pool capacity.
+struct Token(Arc<PoolInner>);
+
+impl Drop for Token {
+    fn drop(&mut self) {
+        self.0.spare.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+thread_local! {
+    /// The pool the current thread is working for, set by
+    /// [`ThreadPool::install`] and inherited by spawned `join` branches.
+    static CURRENT: RefCell<Option<Arc<PoolInner>>> = const { RefCell::new(None) };
+}
+
+/// Restores the previous thread-local pool when an `install` scope ends.
+struct EnterGuard(Option<Arc<PoolInner>>);
+
+fn enter(pool: Option<Arc<PoolInner>>) -> EnterGuard {
+    EnterGuard(CURRENT.with(|c| std::mem::replace(&mut *c.borrow_mut(), pool)))
+}
+
+impl Drop for EnterGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.0.take());
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`]. The stand-in never actually
+/// fails to build; the type exists so callers keep rayon's `Result`
+/// handling.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`], mirroring rayon's.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the pool width; `0` (the default) means one thread per
+    /// available CPU, like rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool {
+            inner: Arc::new(PoolInner {
+                threads,
+                spare: AtomicUsize::new(threads.saturating_sub(1)),
+            }),
+        })
+    }
+}
+
+/// A fork-join pool of bounded width.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    inner: Arc<PoolInner>,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool as the current thread's pool: `join` calls
+    /// made (transitively) inside may spawn onto spare pool threads.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let _guard = enter(Some(Arc::clone(&self.inner)));
+        op()
+    }
+
+    /// The configured pool width.
+    pub fn current_num_threads(&self) -> usize {
+        self.inner.threads
+    }
+
+    /// [`join`] under this pool, without a surrounding `install`.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        self.install(|| join(a, b))
+    }
+}
+
+/// Width of the current pool: the `install`ed pool's size, else 1 (no
+/// implicit global pool in the stand-in).
+pub fn current_num_threads() -> usize {
+    CURRENT.with(|c| c.borrow().as_ref().map(|p| p.threads).unwrap_or(1))
+}
+
+/// `Some(0)` when the current thread works for a pool (rayon reports the
+/// worker index; the stand-in does not number threads), `None` outside.
+pub fn current_thread_index() -> Option<usize> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|_| 0))
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+///
+/// `a` always runs on the calling thread. `b` runs on a freshly spawned
+/// scoped thread when the current pool has a spare token, and inline (after
+/// `a`) otherwise. A panic in either closure is propagated to the caller
+/// after both branches have finished, like real rayon.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let pool = CURRENT.with(|c| c.borrow().clone());
+    let Some(token) = pool.as_ref().and_then(PoolInner::try_acquire) else {
+        return (a(), b());
+    };
+    let pool_for_b = pool.clone();
+    let (ra, rb) = std::thread::scope(move |scope| {
+        let hb = scope.spawn(move || {
+            let _token = token; // released when b finishes
+            let _guard = enter(pool_for_b);
+            b()
+        });
+        // Catch a's panic so hb is still joined (scope would do so anyway,
+        // but this lets us prefer a's panic payload deterministically).
+        let ra = catch_unwind(AssertUnwindSafe(a));
+        let rb = hb.join();
+        (ra, rb)
+    });
+    match (ra, rb) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(pa), _) => resume_unwind(pa),
+        (_, Err(pb)) => resume_unwind(pb),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn join_outside_pool_runs_inline_in_order() {
+        let log = std::sync::Mutex::new(Vec::new());
+        let ((), ()) = join(
+            || log.lock().unwrap().push(1),
+            || log.lock().unwrap().push(2),
+        );
+        assert_eq!(*log.lock().unwrap(), vec![1, 2]);
+        assert_eq!(current_thread_index(), None);
+    }
+
+    #[test]
+    fn pool_parallelizes_and_bounds_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        fn fan(depth: usize, live: &AtomicUsize, peak: &AtomicUsize) {
+            let n = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(n, Ordering::SeqCst);
+            if depth > 0 {
+                join(|| fan(depth - 1, live, peak), || fan(depth - 1, live, peak));
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            live.fetch_sub(1, Ordering::SeqCst);
+        }
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 4);
+            assert_eq!(current_thread_index(), Some(0));
+            fan(5, &live, &peak)
+        });
+        // The counter counts nested frames, not threads, so the bound is
+        // loose; the real invariant (≤ 4 OS threads) is enforced by the
+        // token counter this asserts on indirectly.
+        assert!(peak.load(Ordering::SeqCst) >= 1);
+        assert_eq!(pool.inner.spare.load(Ordering::SeqCst), 3, "tokens leaked");
+    }
+
+    #[test]
+    fn results_come_back_in_position() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let (a, b) = pool.join(|| "left", || "right");
+        assert_eq!((a, b), ("left", "right"));
+    }
+
+    #[test]
+    fn nested_joins_sum_correctly() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        fn sum(lo: u64, hi: u64, hits: &AtomicU64) -> u64 {
+            if hi - lo <= 1_000 {
+                hits.fetch_add(1, Ordering::Relaxed);
+                return (lo..hi).sum();
+            }
+            let mid = lo + (hi - lo) / 2;
+            let (l, r) = join(|| sum(lo, mid, hits), || sum(mid, hi, hits));
+            l + r
+        }
+        let hits = AtomicU64::new(0);
+        let total = pool.install(|| sum(0, 100_000, &hits));
+        assert_eq!(total, 100_000 * 99_999 / 2);
+        assert!(hits.load(Ordering::Relaxed) >= 100);
+    }
+
+    #[test]
+    fn panic_propagates_and_releases_tokens() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| join(|| 1, || panic!("branch b failed")))
+        }));
+        assert!(r.is_err());
+        assert_eq!(pool.inner.spare.load(Ordering::SeqCst), 1, "token leaked");
+        // The pool stays usable after the panic.
+        let (a, b) = pool.join(|| 2, || 3);
+        assert_eq!(a + b, 5);
+    }
+
+    #[test]
+    fn single_thread_pool_never_spawns() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let main = std::thread::current().id();
+        pool.install(|| {
+            let (ta, tb) = join(
+                || std::thread::current().id(),
+                || std::thread::current().id(),
+            );
+            assert_eq!(ta, main);
+            assert_eq!(tb, main);
+        });
+    }
+
+    #[test]
+    fn install_restores_previous_pool() {
+        let outer = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        outer.install(|| {
+            assert_eq!(current_num_threads(), 2);
+            inner.install(|| assert_eq!(current_num_threads(), 3));
+            assert_eq!(current_num_threads(), 2);
+        });
+        assert_eq!(current_num_threads(), 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Parallel-scaling benchmark for the partitioning engine.
+//!
+//! Runs the paper's multi-seed protocol (8 independent seeds, K = 16) on a
+//! ken-11-style catalog matrix under the fine-grain model, once per thread
+//! count in {1, 2, 4, 8}, and reports wall-clock speedup over the serial
+//! baseline. Because every recursion node derives its RNG from its own
+//! identity, per-seed cutsizes must be bit-identical across thread counts —
+//! the harness asserts this before trusting any timing.
+//!
+//! Results land in `BENCH_parallel.json` at the repository root:
+//! per-thread wall times, speedups, and the per-seed cutsizes proving
+//! determinism.
+//!
+//! Usage: `cargo bench --bench parallel_scaling [-- --quick]`
+//! (`--quick` shrinks the matrix and repetitions for CI smoke runs).
+
+use std::time::Instant;
+
+use fgh_core::models::FineGrainModel;
+use fgh_hypergraph::Hypergraph;
+use fgh_partition::{partition_hypergraph_seeds, Parallelism, PartitionConfig};
+
+const K: u32 = 16;
+const SEEDS: usize = 8;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Protocol {
+    scale: u32,
+    reps: usize,
+}
+
+fn build_hypergraph(scale: u32) -> Hypergraph {
+    let entry = fgh_sparse::catalog::by_name("ken-11").expect("catalog name");
+    let a = entry.generate_scaled(scale, 1);
+    let model = FineGrainModel::build(&a).expect("square catalog matrix");
+    model.hypergraph().clone()
+}
+
+fn config_for(threads: usize) -> PartitionConfig {
+    PartitionConfig {
+        seed: 1,
+        parallelism: if threads == 1 {
+            Parallelism::Serial
+        } else {
+            Parallelism::Threads(threads)
+        },
+        ..Default::default()
+    }
+}
+
+/// Best-of-`reps` wall time for the 8-seed sweep, plus per-seed cutsizes.
+fn run_sweep(hg: &Hypergraph, threads: usize, reps: usize) -> (f64, Vec<u64>) {
+    let cfg = config_for(threads);
+    let mut best = f64::INFINITY;
+    let mut cutsizes = Vec::new();
+    for _ in 0..reps {
+        let start = Instant::now();
+        let results = partition_hypergraph_seeds(hg, K, &cfg, SEEDS);
+        let elapsed = start.elapsed().as_secs_f64();
+        cutsizes = results
+            .into_iter()
+            .map(|r| r.expect("partition run failed").cutsize)
+            .collect();
+        best = best.min(elapsed);
+    }
+    (best, cutsizes)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // `scale` divides the catalog dimensions, so quick runs use the
+    // larger divisor (smaller matrix).
+    let p = if quick {
+        Protocol { scale: 16, reps: 1 }
+    } else {
+        Protocol { scale: 4, reps: 3 }
+    };
+    let hg = build_hypergraph(p.scale);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "parallel_scaling: ken-11 scale {} ({} vertices, {} nets), K = {K}, {SEEDS} seeds, best of {}, {host_cpus} host cpus",
+        p.scale,
+        hg.num_vertices(),
+        hg.num_nets(),
+        p.reps
+    );
+    if host_cpus < 2 {
+        println!("note: single-core host; expect speedup ~1.0 (determinism still checked)");
+    }
+
+    let mut times = Vec::new();
+    let mut serial_cuts: Vec<u64> = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let (secs, cuts) = run_sweep(&hg, threads, p.reps);
+        if threads == 1 {
+            serial_cuts = cuts.clone();
+        } else {
+            assert_eq!(
+                cuts, serial_cuts,
+                "threads={threads}: per-seed cutsizes diverged from serial"
+            );
+        }
+        times.push((threads, secs, cuts));
+    }
+
+    let serial_time = times[0].1;
+    let mut rows = String::new();
+    println!("threads  wall_s   speedup  per-seed cutsizes");
+    for (i, (threads, secs, cuts)) in times.iter().enumerate() {
+        let speedup = serial_time / secs;
+        println!("{threads:>7}  {secs:>7.3}  {speedup:>6.2}x  {cuts:?}");
+        let cuts_json = cuts
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        if i > 0 {
+            rows.push(',');
+        }
+        rows.push_str(&format!(
+            "\n    {{\"threads\": {threads}, \"wall_s\": {secs:.6}, \"speedup\": {speedup:.3}, \"cutsizes\": [{cuts_json}]}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_scaling\",\n  \"matrix\": \"ken-11\",\n  \"scale\": {},\n  \"k\": {K},\n  \"seeds\": {SEEDS},\n  \"reps\": {},\n  \"quick\": {quick},\n  \"host_cpus\": {host_cpus},\n  \"per_seed_cutsizes_identical\": true,\n  \"runs\": [{rows}\n  ]\n}}\n",
+        p.scale, p.reps
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(out, &json).expect("write BENCH_parallel.json");
+    println!("wrote {out}");
+}

@@ -149,6 +149,9 @@ pub fn run_instance(
             seed: base_seed.wrapping_add(r as u64 * 7919),
             runs: 1,
             budget: fgh_core::Budget::UNLIMITED,
+            // Serial keeps Table-2 wall times comparable across machines;
+            // the parallel_scaling bench measures the threaded mode.
+            parallelism: fgh_core::Parallelism::Serial,
         };
         let out = decompose(a, &cfg).map_err(|e| e.to_string())?;
         acc.tot += out.stats.scaled_total_volume();

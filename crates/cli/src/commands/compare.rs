@@ -40,6 +40,7 @@ pub fn run(args: &[String]) -> CmdResult {
             seed,
             runs: 1,
             budget: o.budget()?,
+            parallelism: o.parallelism()?,
         };
         let out = finish_outcome(decompose(&a, &cfg), o.has("strict"))
             .map_err(|e| CmdError::new(e.code, format!("{}: {}", model.name(), e.msg)))?;

@@ -75,7 +75,7 @@ mod tests {
         let a = load_matrix(&mtx).unwrap();
         d.validate(&a).unwrap();
 
-        super::spmv::run(&args(&format!("{mtx} --k 4 --threads"))).unwrap();
+        super::spmv::run(&args(&format!("{mtx} --k 4 --parallel --threads 2"))).unwrap();
 
         let hgr = format!("{dirs}/m.hgr");
         super::convert::run(&args(&format!("{mtx} --out {hgr}"))).unwrap();

@@ -19,6 +19,7 @@ pub fn run(args: &[String]) -> CmdResult {
         seed: o.parse_or("seed", 1)?,
         runs: o.parse_or("runs", 1)?,
         budget: o.budget()?,
+        parallelism: o.parallelism()?,
     };
     let out = finish_outcome(decompose(&a, &cfg), o.has("strict"))?;
 

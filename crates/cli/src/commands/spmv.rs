@@ -19,6 +19,7 @@ pub fn run(args: &[String]) -> CmdResult {
         seed: o.parse_or("seed", 1)?,
         runs: o.parse_or("runs", 1)?,
         budget: o.budget()?,
+        parallelism: o.parallelism()?,
     };
     let out = finish_outcome(decompose(&a, &cfg), o.has("strict"))?;
     let plan = DistributedSpmv::build(&a, &out.decomposition).map_err(|e| e.to_string())?;
@@ -26,7 +27,7 @@ pub fn run(args: &[String]) -> CmdResult {
     let x: Vec<f64> = (0..a.ncols())
         .map(|j| 1.0 + (j % 101) as f64 * 1e-2)
         .collect();
-    let threaded = o.has("threads");
+    let threaded = o.has("parallel");
     let (y, comm) = if threaded {
         parallel_spmv(&plan, &x).map_err(|e| e.to_string())?
     } else {

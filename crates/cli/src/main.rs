@@ -6,7 +6,7 @@
 //! fgh stats <matrix.mtx>
 //! fgh partition <matrix.mtx> --k K [--model MODEL] [--epsilon E]
 //!               [--seed N] [--runs N] [--out parts.txt]
-//! fgh spmv <matrix.mtx> --k K [--model MODEL] [--threads]
+//! fgh spmv <matrix.mtx> --k K [--model MODEL] [--parallel]
 //! fgh compare <matrix.mtx> --k K [--seed N]
 //! ```
 //!
@@ -67,7 +67,7 @@ fn usage() -> &'static str {
      \x20 fgh partition <matrix.mtx> --k K [--model M] [--epsilon E] [--seed N]\n\
      \x20               [--runs N] [--out parts.txt] [--max-wall-ms N] [--strict]\n\
      \x20     decompose for K processors; optionally write the mapping\n\
-     \x20 fgh spmv <matrix.mtx> --k K [--model M] [--threads] [--max-wall-ms N] [--strict]\n\
+     \x20 fgh spmv <matrix.mtx> --k K [--model M] [--parallel] [--max-wall-ms N] [--strict]\n\
      \x20     decompose, execute one distributed y = Ax, verify and report\n\
      \x20 fgh compare <matrix.mtx> --k K [--seed N]\n\
      \x20     run every model on the matrix and print a comparison table\n\
@@ -80,6 +80,9 @@ fn usage() -> &'static str {
      \x20       fine-grain-2d (default) | checkerboard-2d | mondriaan-2d | jagged-2d | checkerboard-hg-2d\n\
      \n\
      common flags:\n\
+     \x20 --threads N       partitioner thread count (default: all cores);\n\
+     \x20                   results are bit-identical for every N\n\
+     \x20 --parallel        (spmv) execute with one thread per processor\n\
      \x20 --max-wall-ms N   wall-clock budget for the partitioner; when it\n\
      \x20                   trips, the best partition found is returned\n\
      \x20 --strict          reject degraded outcomes (infeasible balance,\n\

@@ -1,6 +1,6 @@
 //! Tiny hand-rolled flag parser shared by the subcommands.
 
-use fgh_core::Model;
+use fgh_core::{Model, Parallelism};
 
 /// Parsed command line: positional arguments plus `--flag value` pairs.
 #[derive(Debug, Default)]
@@ -10,7 +10,7 @@ pub struct Opts {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["--threads", "--quiet", "--strict"];
+const BOOL_FLAGS: &[&str] = &["--parallel", "--quiet", "--strict"];
 
 impl Opts {
     /// Parses `args`; flags must start with `--`.
@@ -91,6 +91,22 @@ impl Opts {
         }
     }
 
+    /// The `--threads N` flag as a partitioner thread policy. Absent means
+    /// [`Parallelism::Auto`] (all available cores); `--threads 1` forces a
+    /// serial run. Results are bit-identical across thread counts.
+    pub fn parallelism(&self) -> Result<Parallelism, String> {
+        match self.get("threads") {
+            Some(v) => {
+                let n: usize = v.parse().map_err(|e| format!("--threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads: thread count must be >= 1".into());
+                }
+                Ok(Parallelism::Threads(n))
+            }
+            None => Ok(Parallelism::Auto),
+        }
+    }
+
     /// The `--model` flag (default fine-grain 2D).
     pub fn model(&self) -> Result<Model, String> {
         match self.get("model").unwrap_or("fine-grain-2d") {
@@ -117,11 +133,23 @@ mod tests {
 
     #[test]
     fn parse_positional_and_flags() {
-        let o = Opts::parse(&sv("a.mtx --k 16 --threads --model graph-1d")).unwrap();
+        let o = Opts::parse(&sv("a.mtx --k 16 --parallel --model graph-1d")).unwrap();
         assert_eq!(o.one_positional("matrix").unwrap(), "a.mtx");
         assert_eq!(o.parse_required::<u32>("k").unwrap(), 16);
-        assert!(o.has("threads"));
+        assert!(o.has("parallel"));
         assert_eq!(o.model().unwrap(), Model::Graph1D);
+    }
+
+    #[test]
+    fn threads_flag_maps_to_parallelism() {
+        let o = Opts::parse(&sv("a.mtx --threads 4")).unwrap();
+        assert_eq!(o.parallelism().unwrap(), Parallelism::Threads(4));
+        let o = Opts::parse(&sv("a.mtx")).unwrap();
+        assert_eq!(o.parallelism().unwrap(), Parallelism::Auto);
+        let o = Opts::parse(&sv("a.mtx --threads 0")).unwrap();
+        assert!(o.parallelism().is_err());
+        let o = Opts::parse(&sv("a.mtx --threads lots")).unwrap();
+        assert!(o.parallelism().is_err());
     }
 
     #[test]

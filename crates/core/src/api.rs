@@ -5,7 +5,7 @@
 use std::time::{Duration, Instant};
 
 use fgh_graph::partition_graph_best;
-use fgh_partition::{partition_hypergraph_best, Budget, EngineStats, PartitionConfig};
+use fgh_partition::{partition_hypergraph_best, Budget, EngineStats, Parallelism, PartitionConfig};
 use fgh_sparse::CsrMatrix;
 
 use crate::decomp::Decomposition;
@@ -85,6 +85,10 @@ pub struct DecomposeConfig {
     /// [`DecompositionOutcome::engine`], and the outcome is tagged
     /// [`DecompositionStatus::Degraded`].
     pub budget: Budget,
+    /// Thread fan-out for the partitioner. [`Parallelism::Serial`] and
+    /// multi-threaded modes produce bit-identical decompositions; threads
+    /// change wall-clock time only.
+    pub parallelism: Parallelism,
 }
 
 impl DecomposeConfig {
@@ -97,12 +101,20 @@ impl DecomposeConfig {
             seed: 1,
             runs: 1,
             budget: Budget::UNLIMITED,
+            parallelism: Parallelism::Auto,
         }
     }
 
     /// The same config with a resource budget attached.
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// The same config with a thread fan-out policy attached. Results are
+    /// bit-identical across policies; only wall-clock time changes.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 }
@@ -328,6 +340,7 @@ fn decompose_with_model(
                 epsilon: cfg.epsilon,
                 seed: cfg.seed,
                 budget: cfg.budget,
+                parallelism: cfg.parallelism,
                 ..Default::default()
             };
             let r = partition_graph_best(model.graph(), cfg.k, &gcfg, cfg.runs)?;
@@ -339,6 +352,7 @@ fn decompose_with_model(
                 epsilon: cfg.epsilon,
                 seed: cfg.seed,
                 budget: cfg.budget,
+                parallelism: cfg.parallelism,
                 ..Default::default()
             };
             let r = partition_hypergraph_best(model.hypergraph(), cfg.k, &pcfg, cfg.runs)?;
@@ -350,6 +364,7 @@ fn decompose_with_model(
                 epsilon: cfg.epsilon,
                 seed: cfg.seed,
                 budget: cfg.budget,
+                parallelism: cfg.parallelism,
                 ..Default::default()
             };
             let r = partition_hypergraph_best(model.hypergraph(), cfg.k, &pcfg, cfg.runs)?;
@@ -361,6 +376,7 @@ fn decompose_with_model(
                 epsilon: cfg.epsilon,
                 seed: cfg.seed,
                 budget: cfg.budget,
+                parallelism: cfg.parallelism,
                 ..Default::default()
             };
             let r = partition_hypergraph_best(model.hypergraph(), cfg.k, &pcfg, cfg.runs)?;
@@ -383,6 +399,7 @@ fn decompose_with_model(
                 epsilon: cfg.epsilon,
                 seed: cfg.seed,
                 budget: cfg.budget,
+                parallelism: cfg.parallelism,
                 ..Default::default()
             };
             let d = model.decompose(a, &pcfg)?;
@@ -395,6 +412,7 @@ fn decompose_with_model(
                 epsilon: cfg.epsilon,
                 seed: cfg.seed,
                 budget: cfg.budget,
+                parallelism: cfg.parallelism,
                 ..Default::default()
             };
             let d = model.decompose(a, &pcfg)?;
@@ -407,6 +425,7 @@ fn decompose_with_model(
                 epsilon: cfg.epsilon,
                 seed: cfg.seed,
                 budget: cfg.budget,
+                parallelism: cfg.parallelism,
                 ..Default::default()
             };
             let d = model.decompose(a, &pcfg)?;

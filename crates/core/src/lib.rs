@@ -40,7 +40,7 @@ pub mod reduction;
 
 pub use api::{decompose, DecomposeConfig, DecompositionOutcome, DecompositionStatus, Model};
 pub use decomp::Decomposition;
-pub use fgh_partition::{Budget, EngineStats};
+pub use fgh_partition::{Budget, EngineStats, Parallelism};
 pub use metrics::CommStats;
 
 /// Errors from model construction and decomposition.

@@ -27,7 +27,9 @@ pub mod partition;
 
 pub use fgh_partition::PartitionConfig;
 pub use graph::CsrGraph;
-pub use partition::{partition_graph, partition_graph_best, GraphPartitionResult};
+pub use partition::{
+    partition_graph, partition_graph_best, partition_graph_with, GraphPartitionResult,
+};
 
 #[cfg(test)]
 pub(crate) mod testutil {

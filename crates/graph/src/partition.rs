@@ -14,9 +14,12 @@
 //! Hypergraph-only [`PartitionConfig`] fields (`net_splitting`,
 //! `kway_refine`, `vcycles`) are ignored for graphs.
 
+use std::sync::Arc;
+
 use fgh_partition::error::{panic_message, HypergraphError};
 use fgh_partition::{
-    EngineStats, LevelArena, MultilevelDriver, PartitionConfig, PartitionError, Substrate,
+    ArenaPool, EngineStats, LevelArena, MultilevelDriver, PartitionConfig, PartitionError,
+    Substrate,
 };
 
 use crate::graph::CsrGraph;
@@ -217,6 +220,49 @@ impl Substrate for CsrGraph {
         (sub, map)
     }
 
+    // Infallible `expect`s below: same contract as `extract_side`, for
+    // both sides built in a single pass over the adjacency.
+    #[allow(clippy::expect_used)]
+    fn extract_both(
+        &self,
+        side: &[u8],
+        _split: bool,
+        arena: &mut LevelArena,
+    ) -> [(Self, Vec<u32>); 2] {
+        let n = self.n() as usize;
+        // One remap pass: new_id[v] = rank of v within its side.
+        let mut new_id = arena.take_u32(n, 0);
+        let mut maps: [Vec<u32>; 2] = [Vec::new(), Vec::new()];
+        let mut vwgt: [Vec<u32>; 2] = [Vec::new(), Vec::new()];
+        for v in 0..self.n() {
+            let s = side[v as usize] as usize;
+            new_id[v as usize] = maps[s].len() as u32; // lint: checked-cast — per-side count <= n, a u32
+            maps[s].push(v);
+            vwgt[s].push(CsrGraph::vertex_weight(self, v));
+        }
+        // One pass over the adjacency: each uncut edge (emitted once, at
+        // its lower endpoint) lands in its side's induced edge list.
+        let mut edges: [Vec<(u32, u32, u32)>; 2] = [Vec::new(), Vec::new()];
+        for v in 0..self.n() {
+            let s = side[v as usize];
+            let nv = new_id[v as usize];
+            for (&u, &w) in self.neighbors(v).iter().zip(self.edge_weights(v)) {
+                if v < u && side[u as usize] == s {
+                    edges[s as usize].push((nv, new_id[u as usize], w));
+                }
+            }
+        }
+        arena.give_u32(new_id);
+        let [map0, map1] = maps;
+        let [w0, w1] = vwgt;
+        let [e0, e1] = edges;
+        let nv0 = map0.len() as u32; // lint: checked-cast — per-side count <= n, a u32
+        let nv1 = map1.len() as u32; // lint: checked-cast — per-side count <= n, a u32
+        let g0 = CsrGraph::from_edges(nv0, &e0, Some(w0)).expect("induced subgraph is valid");
+        let g1 = CsrGraph::from_edges(nv1, &e1, Some(w1)).expect("induced subgraph is valid");
+        [(g0, map0), (g1, map1)]
+    }
+
     fn validate_invariants(&self) -> Result<(), fgh_invariant::InvariantViolation> {
         CsrGraph::validate(self)
     }
@@ -230,10 +276,21 @@ pub fn partition_graph(
     k: u32,
     cfg: &PartitionConfig,
 ) -> Result<GraphPartitionResult, PartitionError> {
+    let mut driver = MultilevelDriver::new(cfg.clone());
+    partition_graph_with(&mut driver, g, k)
+}
+
+/// Like [`partition_graph`], but running on a caller-supplied
+/// [`MultilevelDriver`] — its arena and instrumentation persist across
+/// calls, so repeated partitioning reuses all scratch buffers.
+pub fn partition_graph_with(
+    driver: &mut MultilevelDriver,
+    g: &CsrGraph,
+    k: u32,
+) -> Result<GraphPartitionResult, PartitionError> {
     if k == 0 {
         return Err(HypergraphError::InvalidK.into());
     }
-    let mut driver = MultilevelDriver::new(cfg.clone());
     let fixed = vec![u32::MAX; g.n() as usize];
     let out = driver.partition_recursive(g, k, &fixed);
     let edge_cut = g.edge_cut(&out.parts);
@@ -275,8 +332,10 @@ fn finish(
     }
 }
 
-/// Runs [`partition_graph`] with `runs` seeds in parallel, returning the
-/// best balanced result by edge cut (the paper's MeTiS 50-seed protocol).
+/// Runs [`partition_graph`] with `runs` seeds — fanned out over threads
+/// per `cfg.parallelism` — returning the best balanced result by edge cut
+/// (the paper's MeTiS 50-seed protocol). A panicking seed becomes an
+/// error value; surviving seeds still compete for the best result.
 pub fn partition_graph_best(
     g: &CsrGraph,
     k: u32,
@@ -284,24 +343,16 @@ pub fn partition_graph_best(
     runs: usize,
 ) -> Result<GraphPartitionResult, PartitionError> {
     let runs = runs.max(1);
-    let mut results: Vec<Result<GraphPartitionResult, PartitionError>> = Vec::with_capacity(runs);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..runs)
-            .map(|r| {
-                let mut c = cfg.clone();
-                c.seed = cfg.seed.wrapping_add(r as u64);
-                scope.spawn(move || partition_graph(g, k, &c))
-            })
-            .collect();
-        for h in handles {
-            // A panicking worker becomes an error value; surviving seeds
-            // still compete for the best result.
-            results.push(
-                h.join()
-                    .unwrap_or_else(|p| Err(PartitionError::Worker(panic_message(p)))),
-            );
+    let pool = Arc::new(ArenaPool::new());
+    let threads = cfg.parallelism.resolved();
+    let results = if threads > 1 && rayon::current_thread_index().is_none() {
+        match rayon::ThreadPoolBuilder::new().num_threads(threads).build() {
+            Ok(tp) => tp.install(|| seed_range(g, k, cfg, 0, runs, &pool)),
+            Err(_) => seed_range(g, k, cfg, 0, runs, &pool),
         }
-    });
+    } else {
+        seed_range(g, k, cfg, 0, runs, &pool)
+    };
     let mut first_err: Option<PartitionError> = None;
     let ok: Vec<GraphPartitionResult> = results
         .into_iter()
@@ -323,6 +374,37 @@ pub fn partition_graph_best(
         .ok_or_else(|| {
             first_err.unwrap_or_else(|| PartitionError::Worker("no seed produced a result".into()))
         })
+}
+
+/// Runs seed offsets `lo..hi`, halving the range across `rayon::join`
+/// until single seeds remain; results concatenate back in seed order.
+/// Each seed partitions on a driver drawn from the shared arena pool,
+/// with panics contained to that seed's slot.
+fn seed_range(
+    g: &CsrGraph,
+    k: u32,
+    cfg: &PartitionConfig,
+    lo: usize,
+    hi: usize,
+    pool: &Arc<ArenaPool>,
+) -> Vec<Result<GraphPartitionResult, PartitionError>> {
+    if hi - lo <= 1 {
+        let mut c = cfg.clone();
+        c.seed = cfg.seed.wrapping_add(lo as u64);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut driver = MultilevelDriver::with_pool(c, Arc::clone(pool));
+            partition_graph_with(&mut driver, g, k)
+        }))
+        .unwrap_or_else(|p| Err(PartitionError::Worker(panic_message(p))));
+        return vec![result];
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (mut left, mut right) = rayon::join(
+        || seed_range(g, k, cfg, lo, mid, pool),
+        || seed_range(g, k, cfg, mid, hi, pool),
+    );
+    left.append(&mut right);
+    left
 }
 
 #[cfg(test)]
@@ -464,6 +546,53 @@ mod tests {
         // Cluster weights are summed.
         assert_eq!(c.vertex_weight(0), 2);
         assert_eq!(c.vertex_weight(1), 2);
+    }
+
+    #[test]
+    fn extract_both_matches_extract_side() {
+        let g = random_graph(150, 400, 11);
+        let side: Vec<u8> = (0..150u32)
+            .map(|v| ((v.wrapping_mul(2_654_435_761) >> 16) & 1) as u8)
+            .collect();
+        let mut arena = LevelArena::new();
+        let [(g0, m0), (g1, m1)] = g.extract_both(&side, true, &mut arena);
+        for (which, (sub, map)) in [(0u8, (&g0, &m0)), (1u8, (&g1, &m1))] {
+            let (es, em) = g.extract_side(&side, which, true);
+            assert_eq!(map, &em, "side-{which} map differs");
+            assert_eq!(sub.n(), es.n());
+            assert_eq!(sub.num_edges(), es.num_edges());
+            for v in 0..sub.n() {
+                assert_eq!(sub.neighbors(v), es.neighbors(v), "side {which} vertex {v}");
+                assert_eq!(sub.edge_weights(v), es.edge_weights(v));
+                assert_eq!(sub.vertex_weight(v), es.vertex_weight(v));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_graph_partition_matches_serial() {
+        use fgh_partition::Parallelism;
+        let g = random_graph(500, 1000, 13);
+        let run = |parallelism| {
+            let cfg = PartitionConfig {
+                parallelism,
+                ..PartitionConfig::with_seed(6)
+            };
+            partition_graph(&g, 8, &cfg).unwrap()
+        };
+        let serial = run(Parallelism::Serial);
+        let par = run(Parallelism::Threads(4));
+        assert_eq!(serial.parts, par.parts);
+        assert_eq!(serial.edge_cut, par.edge_cut);
+
+        let best_cfg = PartitionConfig {
+            parallelism: Parallelism::Threads(4),
+            ..PartitionConfig::with_seed(6)
+        };
+        let best_serial = partition_graph_best(&g, 8, &PartitionConfig::with_seed(6), 4).unwrap();
+        let best_par = partition_graph_best(&g, 8, &best_cfg, 4).unwrap();
+        assert_eq!(best_serial.parts, best_par.parts);
+        assert_eq!(best_serial.edge_cut, best_par.edge_cut);
     }
 
     #[test]

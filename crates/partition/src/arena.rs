@@ -12,6 +12,7 @@
 //! benchmarking the arena's effect without keeping two driver codepaths.
 
 use crate::gain::GainBuckets;
+use std::sync::{Mutex, PoisonError};
 
 /// How many buffers of each kind the pool retains. Recursion depth bounds
 /// live buffers, so a small cap is enough; it exists only to keep a
@@ -122,6 +123,65 @@ impl LevelArena {
     }
 }
 
+/// A thread-safe pool of [`LevelArena`]s for parallel runs.
+///
+/// Each concurrency domain (a forked bisection subtree, a seed of a
+/// multi-seed fan-out) checks out a whole arena, works on it without any
+/// synchronization, and checks it back in when done. The mutex is touched
+/// only at fork/join boundaries — never inside the multilevel hot loops —
+/// so contention is bounded by the number of forks, not the number of
+/// levels.
+#[derive(Debug, Default)]
+pub struct ArenaPool {
+    arenas: Mutex<Vec<LevelArena>>,
+}
+
+/// Cap on retained arenas: forks are bounded by thread count, so anything
+/// past a generous multiple is a caller hoarding memory.
+const ARENA_POOL_CAP: usize = 64;
+
+impl ArenaPool {
+    /// An empty pool; arenas are created on first checkout.
+    pub fn new() -> Self {
+        ArenaPool::default()
+    }
+
+    /// Takes an arena out of the pool, creating a fresh pooling arena when
+    /// the pool is empty.
+    // LevelArena::default() is the *disabled* arena, so clippy's
+    // unwrap_or_default() suggestion would turn pooling off.
+    #[allow(clippy::unwrap_or_default)]
+    pub fn checkout(&self) -> LevelArena {
+        self.arenas
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+            .unwrap_or_else(LevelArena::new)
+    }
+
+    /// Returns an arena to the pool so its buffers survive for the next
+    /// checkout. Disabled arenas are dropped: they hold no buffers and
+    /// recycling them would silently turn pooling back off for a future
+    /// checkout.
+    pub fn checkin(&self, arena: LevelArena) {
+        if !arena.is_enabled() {
+            return;
+        }
+        let mut arenas = self.arenas.lock().unwrap_or_else(PoisonError::into_inner);
+        if arenas.len() < ARENA_POOL_CAP {
+            arenas.push(arena);
+        }
+    }
+
+    /// Number of idle arenas currently held.
+    pub fn idle(&self) -> usize {
+        self.arenas
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +233,53 @@ mod tests {
         let b2 = a.take_buckets(8, 2);
         assert!(b2.is_empty(), "recycled buckets must come back empty");
         assert_eq!(a.stats().reused, 1);
+    }
+
+    #[test]
+    fn pool_roundtrips_arenas_with_their_buffers() {
+        let pool = ArenaPool::new();
+        assert_eq!(pool.idle(), 0);
+        let mut a = pool.checkout();
+        assert!(a.is_enabled());
+        let v = a.take_u32(16, 0);
+        a.give_u32(v);
+        pool.checkin(a);
+        assert_eq!(pool.idle(), 1);
+        let mut b = pool.checkout();
+        assert_eq!(pool.idle(), 0);
+        b.take_u32(8, 1);
+        assert_eq!(
+            b.stats(),
+            ArenaStats {
+                fresh: 1,
+                reused: 1
+            }
+        );
+    }
+
+    #[test]
+    fn pool_drops_disabled_arenas() {
+        let pool = ArenaPool::new();
+        pool.checkin(LevelArena::disabled());
+        assert_eq!(pool.idle(), 0, "disabled arenas must not be recycled");
+    }
+
+    #[test]
+    fn pool_is_shareable_across_threads() {
+        let pool = std::sync::Arc::new(ArenaPool::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = std::sync::Arc::clone(&pool);
+                s.spawn(move || {
+                    let mut a = pool.checkout();
+                    let v = a.take_u64(32, 9);
+                    assert_eq!(v.len(), 32);
+                    a.give_u64(v);
+                    pool.checkin(a);
+                });
+            }
+        });
+        assert!(pool.idle() >= 1 && pool.idle() <= 4);
     }
 
     #[test]

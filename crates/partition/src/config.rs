@@ -43,6 +43,45 @@ impl Budget {
     }
 }
 
+/// How much of the machine a partitioning run may use.
+///
+/// Parallelism never changes results: every recursion node and every seed
+/// derives its RNG stream from its own identity (see
+/// [`crate::engine::MultilevelDriver::partition_recursive`]), so
+/// [`Parallelism::Threads`] and [`Parallelism::Auto`] produce bit-identical
+/// partitions to [`Parallelism::Serial`] for the same seed — threads only
+/// change wall-clock time.
+///
+/// One budget caveat: `Budget::max_fm_passes` is a *global* pass counter
+/// in serial runs but is accounted per concurrency domain (per forked
+/// subtree / per seed) in parallel runs, so a run limited by that knob may
+/// do more total FM work under `Threads(n)` than under `Serial`. The
+/// wall-clock budget is shared across all threads of a run either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Everything on the calling thread (the default for
+    /// [`PartitionConfig`]).
+    #[default]
+    Serial,
+    /// Fork-join pool of exactly `n` threads (`0` is treated as `1`).
+    Threads(usize),
+    /// One thread per available CPU.
+    Auto,
+}
+
+impl Parallelism {
+    /// The concrete thread count this setting resolves to on this machine.
+    pub fn resolved(&self) -> usize {
+        match *self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
 /// Coarsening scheme selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CoarseningScheme {
@@ -117,6 +156,11 @@ pub struct PartitionConfig {
     /// Resource budget (wall clock / FM passes / levels); unlimited by
     /// default. See [`Budget`].
     pub budget: Budget,
+    /// Thread usage of a run: recursive-bisection subtrees and multi-seed
+    /// fan-outs execute as fork-join tasks under [`Parallelism::Threads`] /
+    /// [`Parallelism::Auto`]. Results are bit-identical across settings;
+    /// see [`Parallelism`].
+    pub parallelism: Parallelism,
 }
 
 impl Default for PartitionConfig {
@@ -136,6 +180,7 @@ impl Default for PartitionConfig {
             boundary_fm: false,
             vcycles: 0,
             budget: Budget::UNLIMITED,
+            parallelism: Parallelism::Serial,
         }
     }
 }
@@ -217,6 +262,19 @@ mod tests {
     fn per_level_epsilon_k2_is_full() {
         let c = PartitionConfig::default();
         assert_eq!(c.per_level_epsilon(2), c.epsilon);
+    }
+
+    #[test]
+    fn parallelism_resolves_to_positive_thread_counts() {
+        assert_eq!(Parallelism::default(), Parallelism::Serial);
+        assert_eq!(Parallelism::Serial.resolved(), 1);
+        assert_eq!(Parallelism::Threads(4).resolved(), 4);
+        assert_eq!(
+            Parallelism::Threads(0).resolved(),
+            1,
+            "0 means 1, not a hang"
+        );
+        assert!(Parallelism::Auto.resolved() >= 1);
     }
 
     #[test]

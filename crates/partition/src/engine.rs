@@ -16,13 +16,16 @@
 //! of every bisection draws its match/map arrays, side vectors, and gain
 //! buckets from the same pool.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use fgh_hypergraph::{Hypergraph, Partition};
 use fgh_invariant::InvariantViolation;
 
-use crate::arena::LevelArena;
+use crate::arena::{ArenaPool, LevelArena};
 use crate::coarsen::{coarsen_once_in, FREE};
 use crate::config::PartitionConfig;
 use crate::initial::initial_best_in;
@@ -96,6 +99,25 @@ pub trait Substrate: Sized {
     /// (hypergraphs only; graphs always drop cut edges).
     fn extract_side(&self, side: &[u8], which: u8, split: bool) -> (Self, Vec<u32>);
 
+    /// Extracts both sides of a bisection at once, returning the side-0
+    /// and side-1 sub-structures with their new→old maps. The default
+    /// delegates to two [`Substrate::extract_side`] passes; substrates
+    /// override it to build both halves in a *single* pass over the
+    /// incidence structure, drawing remap scratch from `arena`. Must
+    /// produce exactly what the two `extract_side` calls would.
+    fn extract_both(
+        &self,
+        side: &[u8],
+        split: bool,
+        arena: &mut LevelArena,
+    ) -> [(Self, Vec<u32>); 2] {
+        let _ = arena;
+        [
+            self.extract_side(side, 0, split),
+            self.extract_side(side, 1, split),
+        ]
+    }
+
     /// Full structural self-audit, run by the driver at multilevel
     /// checkpoints when the `paranoid` feature is enabled. The default is
     /// a no-op so lightweight substrates opt in by overriding.
@@ -128,17 +150,82 @@ pub struct RecursiveOutcome {
     pub cut_sum: u64,
 }
 
+/// A wall-clock deadline shared by every thread of a run (forked workers
+/// clone the `Arc`). The `tripped` flag latches the first observed expiry
+/// so later checkpoint polls — on any thread — are a relaxed atomic load
+/// instead of a clock read, and all domains agree the budget is gone.
+#[derive(Debug)]
+struct SharedDeadline {
+    at: std::time::Instant,
+    tripped: AtomicBool,
+}
+
+impl SharedDeadline {
+    fn new(at: std::time::Instant) -> Self {
+        SharedDeadline {
+            at,
+            tripped: AtomicBool::new(false),
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        if self.tripped.load(Ordering::Relaxed) {
+            return true;
+        }
+        let hit = std::time::Instant::now() >= self.at;
+        if hit {
+            self.tripped.store(true, Ordering::Relaxed);
+        }
+        hit
+    }
+}
+
+/// RNG seed for one node of the recursive-bisection tree, mixed from the
+/// run seed and the node's identity. The half-open part range
+/// `[part_lo, part_lo + k)` is unique per node, so each node's stream is
+/// independent of *traversal order* — the invariant that makes parallel
+/// runs bit-identical to serial ones. splitmix64 finalization separates
+/// the streams of adjacent nodes.
+fn node_seed(seed: u64, part_lo: u32, k: u32) -> u64 {
+    let node = ((part_lo as u64) << 32) | k as u64;
+    let mut z = seed ^ node.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// The unified multilevel driver: owns the configuration, the scratch
 /// arena, and instrumentation for one partitioning run over any
 /// [`Substrate`].
+///
+/// Under [`crate::Parallelism::Threads`] / `Auto`, recursive-bisection
+/// subtrees fork onto a bounded rayon pool; each fork checks a whole
+/// [`LevelArena`] out of a shared [`ArenaPool`] so the multilevel hot
+/// loops stay synchronization-free. On drop the driver returns its arena
+/// to that pool.
 #[derive(Debug)]
 pub struct MultilevelDriver {
     cfg: PartitionConfig,
     arena: LevelArena,
+    /// Shared arena pool serving forked workers; this driver's own arena
+    /// returns here on drop so repeated runs reuse warm buffers.
+    pool: Arc<ArenaPool>,
+    /// Thread count resolved from `cfg.parallelism`.
+    threads: usize,
     stats: EngineStats,
     /// Wall-clock deadline derived from `cfg.budget.max_wall`, armed at
-    /// the start of a run (see [`MultilevelDriver::arm_budget`]).
-    deadline: Option<std::time::Instant>,
+    /// the start of a run (see [`MultilevelDriver::arm_budget`]) and
+    /// shared with forked workers.
+    deadline: Option<Arc<SharedDeadline>>,
+}
+
+impl Drop for MultilevelDriver {
+    fn drop(&mut self) {
+        // Return the warm arena to the shared pool (disabled arenas are
+        // dropped there): forked workers recycle buffers across forks,
+        // and a caller holding the pool keeps them across whole runs.
+        self.pool.checkin(std::mem::take(&mut self.arena));
+    }
 }
 
 impl MultilevelDriver {
@@ -151,22 +238,59 @@ impl MultilevelDriver {
     /// [`LevelArena::disabled`] to reproduce the allocation behavior of
     /// the pre-engine per-level drivers (benchmark ablation).
     pub fn with_arena(cfg: PartitionConfig, arena: LevelArena) -> Self {
+        Self::assemble(cfg, arena, Arc::new(ArenaPool::new()))
+    }
+
+    /// A driver drawing its scratch arena from (and returning it to) a
+    /// shared [`ArenaPool`] — what parallel fan-outs use so every
+    /// concurrency domain recycles the same warm buffers over time.
+    pub fn with_pool(cfg: PartitionConfig, pool: Arc<ArenaPool>) -> Self {
+        let arena = pool.checkout();
+        Self::assemble(cfg, arena, pool)
+    }
+
+    fn assemble(cfg: PartitionConfig, arena: LevelArena, pool: Arc<ArenaPool>) -> Self {
+        let threads = cfg.parallelism.resolved();
         MultilevelDriver {
             cfg,
             arena,
+            pool,
+            threads,
             stats: EngineStats::default(),
             deadline: None,
         }
     }
 
+    /// A worker for one forked recursion branch: same config, shared
+    /// budget deadline and arena pool, fresh stats (merged back at the
+    /// join).
+    fn fork(&self) -> MultilevelDriver {
+        let arena = if self.arena.is_enabled() {
+            self.pool.checkout()
+        } else {
+            LevelArena::disabled()
+        };
+        MultilevelDriver {
+            cfg: self.cfg.clone(),
+            arena,
+            pool: Arc::clone(&self.pool),
+            threads: self.threads,
+            stats: EngineStats::default(),
+            deadline: self.deadline.clone(),
+        }
+    }
+
     /// Starts the wall-clock budget: the deadline is
-    /// `now + cfg.budget.max_wall`, measured from this call. Returns
-    /// `true` if a deadline was armed (idempotent: re-arming while armed
-    /// is a no-op so an outer caller's window covers nested runs).
+    /// `now + cfg.budget.max_wall`, measured from this call, and is
+    /// shared with every worker forked during the run. Returns `true` if
+    /// a deadline was armed (idempotent: re-arming while armed is a no-op
+    /// so an outer caller's window covers nested runs).
     pub fn arm_budget(&mut self) -> bool {
         if self.deadline.is_none() {
             if let Some(limit) = self.cfg.budget.max_wall {
-                self.deadline = Some(std::time::Instant::now() + limit);
+                self.deadline = Some(Arc::new(SharedDeadline::new(
+                    std::time::Instant::now() + limit,
+                )));
                 return true;
             }
         }
@@ -178,10 +302,10 @@ impl MultilevelDriver {
         self.deadline = None;
     }
 
-    /// `true` once the armed wall-clock deadline has passed.
+    /// `true` once the armed wall-clock deadline has passed (on any
+    /// thread of the run).
     pub fn wall_exhausted(&self) -> bool {
-        self.deadline
-            .is_some_and(|d| std::time::Instant::now() >= d)
+        self.deadline.as_ref().is_some_and(|d| d.exhausted())
     }
 
     /// FM passes still allowed by `Budget::max_fm_passes`, capped at
@@ -386,7 +510,13 @@ impl MultilevelDriver {
     /// to an absolute part (`u32::MAX` = free); it must have one entry per
     /// vertex and in-range parts (callers validate). Net splitting /
     /// edge dropping on extraction follows the config.
-    pub fn partition_recursive<S: Substrate>(
+    ///
+    /// Under a parallel [`crate::Parallelism`] setting this builds a
+    /// fork-join pool and runs independent subtrees concurrently; results
+    /// are bit-identical to a serial run (see [`node_seed`]). When the
+    /// caller is already inside a pool (a multi-seed fan-out), no nested
+    /// pool is built — subtree forks draw from the outer pool's threads.
+    pub fn partition_recursive<S: Substrate + Send + Sync>(
         &mut self,
         sub: &S,
         k: u32,
@@ -400,20 +530,37 @@ impl MultilevelDriver {
         // should also cover post-refinement) already did.
         let armed_here = self.arm_budget();
         if k > 1 && n > 0 {
-            let mut rng = SmallRng::seed_from_u64(self.cfg.seed);
             let eps = self.cfg.per_level_epsilon(k);
-            let ids: Vec<u32> = (0..n).collect();
-            self.recurse(
-                sub,
-                &ids,
-                fixed,
-                k,
-                0,
-                eps,
-                &mut rng,
-                &mut parts,
-                &mut cut_sum,
-            );
+            let mut ids = self.arena.take_u32(0, 0);
+            ids.extend(0..n);
+            let mut leaves: Vec<(u32, Vec<u32>)> = Vec::new();
+            let pool = (self.threads > 1 && rayon::current_thread_index().is_none())
+                .then(|| {
+                    rayon::ThreadPoolBuilder::new()
+                        .num_threads(self.threads)
+                        .build()
+                        .ok()
+                })
+                .flatten();
+            match pool {
+                Some(pool) => {
+                    let (l, c) = pool.install(|| {
+                        let mut leaves = Vec::new();
+                        let mut cut = 0u64;
+                        self.recurse(sub, ids, fixed, k, 0, eps, &mut leaves, &mut cut);
+                        (leaves, cut)
+                    });
+                    leaves = l;
+                    cut_sum = c;
+                }
+                None => self.recurse(sub, ids, fixed, k, 0, eps, &mut leaves, &mut cut_sum),
+            }
+            for (part, leaf_ids) in leaves {
+                for &orig in &leaf_ids {
+                    parts[orig as usize] = part;
+                }
+                self.arena.give_u32(leaf_ids);
+            }
         }
         if armed_here {
             self.disarm_budget();
@@ -424,30 +571,30 @@ impl MultilevelDriver {
     /// Recursive worker. `sub` is a sub-structure of the original (nets
     /// already split); `ids[v]` maps its vertices back to original ids;
     /// `fixed` is indexed by *original* vertex id with absolute parts.
-    /// Parts `part_lo .. part_lo + k` are assigned into `out`.
+    /// Finished `(part, original-ids)` leaves accumulate into `leaves`
+    /// (each branch owns its own sink, so forked subtrees never write
+    /// into shared output).
     #[allow(clippy::too_many_arguments)]
-    fn recurse<S: Substrate>(
+    fn recurse<S: Substrate + Send + Sync>(
         &mut self,
         sub: &S,
-        ids: &[u32],
+        ids: Vec<u32>,
         fixed: &[u32],
         k: u32,
         part_lo: u32,
         eps: f64,
-        rng: &mut SmallRng,
-        out: &mut [u32],
+        leaves: &mut Vec<(u32, Vec<u32>)>,
         cut_sum: &mut u64,
     ) {
         if k == 1 {
-            for &orig in ids {
-                out[orig as usize] = part_lo;
-            }
+            leaves.push((part_lo, ids));
             return;
         }
         let k0 = k.div_ceil(2);
         let k1 = k - k0;
         let total = sub.total_vertex_weight() as f64;
         let targets = [total * k0 as f64 / k as f64, total * k1 as f64 / k as f64];
+        let mut rng = SmallRng::seed_from_u64(node_seed(self.cfg.seed, part_lo, k));
 
         // Translate absolute fixed parts into bisection sides.
         let mut fixed_sides = self.arena.take_i8(0, 0);
@@ -463,16 +610,55 @@ impl MultilevelDriver {
             }
         }));
 
-        let (sides, cut) = self.bisect(sub, &fixed_sides, targets, eps, rng);
+        let (sides, cut) = self.bisect(sub, &fixed_sides, targets, eps, &mut rng);
         self.arena.give_i8(fixed_sides);
         *cut_sum += cut;
 
-        // Extract both halves (net splitting per config) and recurse.
-        for (side, (kk, lo)) in [(0u8, (k0, part_lo)), (1u8, (k1, part_lo + k0))] {
-            let (child, child_map) = sub.extract_side(&sides, side, self.cfg.net_splitting);
-            paranoid_check(&child, "recurse.extract");
-            let child_ids: Vec<u32> = child_map.iter().map(|&lv| ids[lv as usize]).collect();
-            self.recurse(&child, &child_ids, fixed, kk, lo, eps, rng, out, cut_sum);
+        // Extract both halves in one pass (net splitting per config).
+        let [(child0, map0), (child1, map1)] =
+            sub.extract_both(&sides, self.cfg.net_splitting, &mut self.arena);
+        paranoid_check(&child0, "recurse.extract");
+        paranoid_check(&child1, "recurse.extract");
+        self.arena.give_u8(sides);
+        let mut ids0 = self.arena.take_u32(0, 0);
+        ids0.extend(map0.iter().map(|&lv| ids[lv as usize]));
+        let mut ids1 = self.arena.take_u32(0, 0);
+        ids1.extend(map1.iter().map(|&lv| ids[lv as usize]));
+        self.arena.give_u32(map0);
+        self.arena.give_u32(map1);
+        self.arena.give_u32(ids);
+
+        // Fork only when both halves carry further bisection work and a
+        // pool is installed; the right branch runs on a forked worker
+        // whose stats merge back at the join. A trivial (k == 1) half is
+        // a leaf push — never worth a fork.
+        if k0 > 1 && k1 > 1 && self.threads > 1 && rayon::current_thread_index().is_some() {
+            let mut worker = self.fork();
+            let ((), (mut right_leaves, right_cut, worker)) = rayon::join(
+                || self.recurse(&child0, ids0, fixed, k0, part_lo, eps, leaves, cut_sum),
+                move || {
+                    let mut right_leaves = Vec::new();
+                    let mut right_cut = 0u64;
+                    worker.recurse(
+                        &child1,
+                        ids1,
+                        fixed,
+                        k1,
+                        part_lo + k0,
+                        eps,
+                        &mut right_leaves,
+                        &mut right_cut,
+                    );
+                    (right_leaves, right_cut, worker)
+                },
+            );
+            self.stats.parallel_forks += 1;
+            self.stats.merge(&worker.stats);
+            leaves.append(&mut right_leaves);
+            *cut_sum += right_cut;
+        } else {
+            self.recurse(&child0, ids0, fixed, k0, part_lo, eps, leaves, cut_sum);
+            self.recurse(&child1, ids1, fixed, k1, part_lo + k0, eps, leaves, cut_sum);
         }
     }
 }
@@ -738,6 +924,74 @@ impl Substrate for Hypergraph {
         self.extract_part_mode(&partition, which as u32, split) // lint: checked-cast — which is 0 or 1
     }
 
+    // Infallible `expect`s: extraction renumbers pins into `0..map.len()`
+    // with sorted, deduped, in-bounds nets — exactly what
+    // `from_flat_nets` validates.
+    #[allow(clippy::expect_used)]
+    fn extract_both(
+        &self,
+        side: &[u8],
+        split: bool,
+        arena: &mut LevelArena,
+    ) -> [(Self, Vec<u32>); 2] {
+        let n = Hypergraph::num_vertices(self) as usize;
+        // One remap pass: new_id[v] = rank of v within its side. New ids
+        // rise with old ids, so remapped pins inherit the pin sort order.
+        let mut new_id = arena.take_u32(n, 0);
+        let mut maps: [Vec<u32>; 2] = [Vec::new(), Vec::new()];
+        for v in 0..n {
+            let s = side[v] as usize;
+            new_id[v] = maps[s].len() as u32; // lint: checked-cast — per-side count <= num_vertices, a u32
+            maps[s].push(v as u32); // lint: checked-cast — v < num_vertices, a u32
+        }
+
+        // One pass over the pins: route each pin into its side's flat
+        // CSR, then keep or revert the net per side. Split mode keeps any
+        // remainder of >= 2 pins; cut-net mode keeps a net only on the
+        // side that received *all* of its pins.
+        let mut pin_ptr = [vec![0usize], vec![0usize]];
+        let mut pins: [Vec<u32>; 2] = [Vec::new(), Vec::new()];
+        let mut costs: [Vec<u32>; 2] = [Vec::new(), Vec::new()];
+        for net in 0..self.num_nets() {
+            let all = self.pins(net);
+            let before = [pins[0].len(), pins[1].len()];
+            for &p in all {
+                let s = side[p as usize] as usize;
+                pins[s].push(new_id[p as usize]);
+            }
+            let cost = self.net_cost(net);
+            for s in 0..2 {
+                let cnt = pins[s].len() - before[s];
+                if cnt >= 2 && (split || cnt == all.len()) {
+                    pin_ptr[s].push(pins[s].len());
+                    costs[s].push(cost);
+                } else {
+                    pins[s].truncate(before[s]);
+                }
+            }
+        }
+        arena.give_u32(new_id);
+
+        let [map0, map1] = maps;
+        let [ptr0, ptr1] = pin_ptr;
+        let [pins0, pins1] = pins;
+        let [costs0, costs1] = costs;
+        let weights_of = |map: &[u32]| -> Vec<u32> {
+            map.iter()
+                .map(|&v| Hypergraph::vertex_weight(self, v))
+                .collect()
+        };
+        let w0 = weights_of(&map0);
+        let w1 = weights_of(&map1);
+        let nv0 = map0.len() as u32; // lint: checked-cast — per-side count <= num_vertices, a u32
+        let nv1 = map1.len() as u32; // lint: checked-cast — per-side count <= num_vertices, a u32
+        let h0 = Hypergraph::from_flat_nets(nv0, ptr0, pins0, w0, costs0)
+            .expect("extraction preserves hypergraph validity");
+        let h1 = Hypergraph::from_flat_nets(nv1, ptr1, pins1, w1, costs1)
+            .expect("extraction preserves hypergraph validity");
+        [(h0, map0), (h1, map1)]
+    }
+
     fn validate_invariants(&self) -> Result<(), InvariantViolation> {
         Hypergraph::validate_invariants(self)
     }
@@ -817,6 +1071,74 @@ mod tests {
         let (a, b) = (run(), run());
         assert_eq!(a.parts, b.parts);
         assert_eq!(a.cut_sum, b.cut_sum);
+    }
+
+    #[test]
+    fn extract_both_matches_extract_side() {
+        let hg = random_hypergraph(200, 320, 6, 21);
+        // An arbitrary deterministic 0/1 side vector.
+        let side: Vec<u8> = (0..200u32)
+            .map(|v| ((v.wrapping_mul(2_654_435_761) >> 16) & 1) as u8)
+            .collect();
+        let mut arena = LevelArena::new();
+        for split in [true, false] {
+            let [(h0, m0), (h1, m1)] = hg.extract_both(&side, split, &mut arena);
+            let (e0, em0) = hg.extract_side(&side, 0, split);
+            let (e1, em1) = hg.extract_side(&side, 1, split);
+            assert_eq!(m0, em0, "side-0 map differs (split={split})");
+            assert_eq!(m1, em1, "side-1 map differs (split={split})");
+            assert_eq!(h0, e0, "side-0 hypergraph differs (split={split})");
+            assert_eq!(h1, e1, "side-1 hypergraph differs (split={split})");
+        }
+    }
+
+    #[test]
+    fn parallel_recursion_matches_serial_bit_for_bit() {
+        use crate::config::Parallelism;
+        let hg = random_hypergraph(500, 800, 6, 13);
+        let fixed = vec![u32::MAX; 500];
+        let mut serial_driver = MultilevelDriver::new(PartitionConfig::with_seed(7));
+        let serial = serial_driver.partition_recursive(&hg, 16, &fixed);
+        for threads in [2usize, 4] {
+            let cfg = PartitionConfig {
+                parallelism: Parallelism::Threads(threads),
+                ..PartitionConfig::with_seed(7)
+            };
+            let mut d = MultilevelDriver::new(cfg);
+            let par = d.partition_recursive(&hg, 16, &fixed);
+            assert_eq!(par.parts, serial.parts, "threads={threads}");
+            assert_eq!(par.cut_sum, serial.cut_sum, "threads={threads}");
+            assert!(
+                d.stats().parallel_forks > 0,
+                "parallel run should dispatch forks (threads={threads})"
+            );
+        }
+        assert_eq!(serial_driver.stats().parallel_forks, 0);
+    }
+
+    #[test]
+    fn parallel_fixed_vertices_match_serial() {
+        use crate::config::Parallelism;
+        let hg = random_hypergraph(300, 500, 5, 17);
+        let mut fixed = vec![u32::MAX; 300];
+        for v in 0..24 {
+            fixed[v * 12] = (v % 8) as u32;
+        }
+        let run = |parallelism| {
+            let cfg = PartitionConfig {
+                parallelism,
+                ..PartitionConfig::with_seed(21)
+            };
+            MultilevelDriver::new(cfg).partition_recursive(&hg, 8, &fixed)
+        };
+        let serial = run(Parallelism::Serial);
+        let par = run(Parallelism::Threads(4));
+        assert_eq!(serial.parts, par.parts);
+        for (v, &p) in fixed.iter().enumerate() {
+            if p != u32::MAX {
+                assert_eq!(par.parts[v], p, "fixed vertex {v} moved");
+            }
+        }
     }
 
     #[test]

@@ -9,6 +9,9 @@
 #[derive(Debug)]
 pub struct GainBuckets {
     offset: i64,
+    /// The `max_gain` the caller declared — may exceed the bucket span
+    /// (see [`MAX_SPAN`]); kept for debug assertions on inserted gains.
+    bound: i64,
     heads: Vec<u32>,
     next: Vec<u32>,
     prev: Vec<u32>,
@@ -20,13 +23,29 @@ pub struct GainBuckets {
 
 const NIL: u32 = u32::MAX;
 
+/// Hard cap on the bucket-array length. Callers sometimes pass a very
+/// conservative `max_gain` bound (up to `i64::MAX`); the former
+/// `2 * max_gain + 1` span arithmetic overflowed there, and even
+/// non-overflowing huge bounds would allocate absurd head arrays. Gains
+/// beyond the capped range share the two extreme buckets: true gains are
+/// still stored and returned exactly, only the pop *ordering* among
+/// same-extreme out-of-range gains degrades to insertion order.
+const MAX_SPAN: usize = 1 << 22;
+
+/// Half-width of the bucket array for a requested `max_gain`, clamped so
+/// the span `2 * half + 1` never exceeds [`MAX_SPAN`] nor overflows.
+fn clamped_half_span(max_gain: i64) -> i64 {
+    max_gain.clamp(0, ((MAX_SPAN - 1) / 2) as i64)
+}
+
 impl GainBuckets {
     /// Creates buckets for `n` vertices with gains in `[-max_gain, max_gain]`.
     pub fn new(n: usize, max_gain: i64) -> Self {
-        let span = (2 * max_gain + 1).max(1) as usize;
+        let half = clamped_half_span(max_gain);
         GainBuckets {
-            offset: max_gain,
-            heads: vec![NIL; span],
+            offset: half,
+            bound: max_gain.max(0),
+            heads: vec![NIL; (2 * half + 1) as usize],
             next: vec![NIL; n],
             prev: vec![NIL; n],
             gain_of: vec![0; n],
@@ -37,13 +56,13 @@ impl GainBuckets {
     }
 
     fn idx(&self, gain: i64) -> usize {
-        let i = gain + self.offset;
         debug_assert!(
-            i >= 0 && (i as usize) < self.heads.len(),
-            "gain {gain} out of bucket range ±{}",
-            self.offset
+            -self.bound <= gain && gain <= self.bound,
+            "gain {gain} out of declared range ±{}",
+            self.bound
         );
-        i as usize
+        let hi = (self.heads.len() - 1) as i64;
+        gain.saturating_add(self.offset).clamp(0, hi) as usize
     }
 
     /// Number of queued vertices.
@@ -124,10 +143,11 @@ impl GainBuckets {
     /// keeping allocated capacity. Equivalent to `*self = GainBuckets::new(
     /// n, max_gain)` but reusable from a [`crate::arena::LevelArena`] pool.
     pub fn reset(&mut self, n: usize, max_gain: i64) {
-        let span = (2 * max_gain + 1).max(1) as usize;
-        self.offset = max_gain;
+        let half = clamped_half_span(max_gain);
+        self.offset = half;
+        self.bound = max_gain.max(0);
         self.heads.clear();
-        self.heads.resize(span, NIL);
+        self.heads.resize((2 * half + 1) as usize, NIL);
         self.next.clear();
         self.next.resize(n, NIL);
         self.prev.clear();
@@ -258,6 +278,33 @@ mod tests {
         assert_eq!((v, g), (2, 10));
         let (v, g) = gb.pop_max_where(|_| true).unwrap();
         assert_eq!((v, g), (4, -9));
+    }
+
+    #[test]
+    fn extreme_max_gain_saturates_instead_of_overflowing() {
+        // Regression: the former `2 * max_gain + 1` span overflowed for
+        // conservative bounds like `i64::MAX` (a panic under test
+        // profiles with overflow checks, a garbage allocation size in
+        // release). The span is now capped at MAX_SPAN with out-of-range
+        // gains clamped into the extreme buckets.
+        let mut gb = GainBuckets::new(4, i64::MAX);
+        assert!(gb.heads.len() <= MAX_SPAN);
+        gb.insert(0, 1 << 40);
+        gb.insert(1, -(1 << 40));
+        gb.insert(2, 0);
+        // True gains come back exactly, and order across the clamp
+        // boundary is preserved: above-range > in-range > below-range.
+        assert_eq!(gb.pop_max_where(|_| true), Some((0, 1 << 40)));
+        assert_eq!(gb.pop_max_where(|_| true), Some((2, 0)));
+        assert_eq!(gb.pop_max_where(|_| true), Some((1, -(1 << 40))));
+
+        // reset() takes the same saturating path.
+        gb.reset(2, i64::MAX / 2);
+        assert!(gb.heads.len() <= MAX_SPAN);
+        gb.insert(1, i64::MAX / 4);
+        gb.insert(0, -(i64::MAX / 4));
+        assert_eq!(gb.pop_max_where(|_| true), Some((1, i64::MAX / 4)));
+        assert_eq!(gb.pop_max_where(|_| true), Some((0, -(i64::MAX / 4))));
     }
 
     #[test]

@@ -41,6 +41,9 @@ pub struct EngineStats {
     /// Times refinement ran fewer FM passes than configured because
     /// `Budget::max_fm_passes` was exhausted.
     pub fm_truncations: u64,
+    /// Fork-join forks actually taken by the parallel driver (0 in serial
+    /// runs and whenever the recursion ran inline).
+    pub parallel_forks: u64,
     /// Wall-clock nanoseconds in coarsening (`stats` feature only).
     pub coarsen_nanos: u64,
     /// Wall-clock nanoseconds in initial partitioning (`stats` feature only).
@@ -67,6 +70,7 @@ impl EngineStats {
         self.wall_truncations += other.wall_truncations;
         self.level_truncations += other.level_truncations;
         self.fm_truncations += other.fm_truncations;
+        self.parallel_forks += other.parallel_forks;
         self.coarsen_nanos += other.coarsen_nanos;
         self.initial_nanos += other.initial_nanos;
         self.refine_nanos += other.refine_nanos;

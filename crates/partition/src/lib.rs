@@ -35,6 +35,17 @@
 //! instead of O(levels × vertices). Enable the `stats` cargo feature for
 //! per-stage wall-clock timing in [`level::EngineStats`] (counters are
 //! always collected).
+//!
+//! ## Parallelism
+//!
+//! [`PartitionConfig::parallelism`] gates a fork-join parallel mode
+//! ([`Parallelism::Threads`] / [`Parallelism::Auto`]): independent
+//! recursive-bisection subtrees and the seeds of a multi-seed sweep
+//! ([`parallel::partition_hypergraph_seeds`]) run concurrently, each
+//! domain drawing its scratch from a shared [`arena::ArenaPool`]. Every
+//! recursion node seeds its RNG from its own identity, so parallel runs
+//! are **bit-identical** to serial ones — threads change wall-clock time
+//! only.
 
 // Robustness contract: partitioning runs on untrusted, possibly degenerate
 // instances, so the library (non-test) code must not panic. Sites that are
@@ -52,15 +63,17 @@ pub mod initial;
 pub mod kway;
 pub mod level;
 pub mod multiconstraint;
+pub mod parallel;
 pub mod recursive;
 pub mod refine;
 pub mod vcycle;
 
-pub use arena::{ArenaStats, LevelArena};
-pub use config::{Budget, CoarseningScheme, InitialScheme, PartitionConfig};
+pub use arena::{ArenaPool, ArenaStats, LevelArena};
+pub use config::{Budget, CoarseningScheme, InitialScheme, Parallelism, PartitionConfig};
 pub use engine::{MultilevelDriver, RecursiveOutcome, Substrate};
 pub use error::PartitionError;
 pub use level::{EngineStats, Level};
+pub use parallel::partition_hypergraph_seeds;
 pub use recursive::{
     partition_hypergraph, partition_hypergraph_best, partition_hypergraph_fixed,
     partition_hypergraph_with, PartitionResult,

@@ -1,0 +1,145 @@
+//! Multi-seed fan-out: run the partitioner under several seeds, possibly
+//! concurrently, and collect every result (the paper's 50-seed protocol
+//! keeps the best of them — see
+//! [`crate::recursive::partition_hypergraph_best`]).
+//!
+//! Parallelism is config-gated through [`crate::Parallelism`] and changes
+//! wall-clock only: each seed derives its own RNG streams, so per-seed
+//! results are bit-identical whether the seeds run serially, fanned out
+//! here, or both this fan-out *and* the recursive-bisection forks inside
+//! each seed share one pool's threads. Every concurrency domain checks a
+//! scratch arena out of a shared [`ArenaPool`], keeping the multilevel
+//! hot loops free of synchronization.
+
+use std::sync::Arc;
+
+use fgh_hypergraph::Hypergraph;
+
+use crate::arena::ArenaPool;
+use crate::config::PartitionConfig;
+use crate::engine::MultilevelDriver;
+use crate::error::{panic_message, PartitionError};
+use crate::recursive::{partition_hypergraph_with, PartitionResult};
+
+/// Partitions `hg` once per seed `cfg.seed + i` for `i in 0..runs` and
+/// returns the results in seed order (`runs` is clamped to at least 1).
+///
+/// Under a parallel `cfg.parallelism`, the seed range fans out over a
+/// bounded fork-join pool by binary splitting; when the caller is already
+/// inside a pool, its threads are reused instead of building a nested
+/// one. A panicking seed becomes `Err(PartitionError::Worker(..))` in its
+/// slot and leaves the other seeds unaffected.
+pub fn partition_hypergraph_seeds(
+    hg: &Hypergraph,
+    k: u32,
+    cfg: &PartitionConfig,
+    runs: usize,
+) -> Vec<Result<PartitionResult, PartitionError>> {
+    let runs = runs.max(1);
+    let pool = Arc::new(ArenaPool::new());
+    let threads = cfg.parallelism.resolved();
+    if threads > 1 && rayon::current_thread_index().is_none() {
+        if let Ok(tp) = rayon::ThreadPoolBuilder::new().num_threads(threads).build() {
+            return tp.install(|| run_range(hg, k, cfg, 0, runs, &pool));
+        }
+    }
+    run_range(hg, k, cfg, 0, runs, &pool)
+}
+
+/// Runs seed offsets `lo..hi`, halving the range across `rayon::join`
+/// until single seeds remain. Results concatenate back in seed order.
+fn run_range(
+    hg: &Hypergraph,
+    k: u32,
+    cfg: &PartitionConfig,
+    lo: usize,
+    hi: usize,
+    pool: &Arc<ArenaPool>,
+) -> Vec<Result<PartitionResult, PartitionError>> {
+    if hi - lo <= 1 {
+        return vec![run_seeded(hg, k, cfg, lo, pool)];
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (mut left, mut right) = rayon::join(
+        || run_range(hg, k, cfg, lo, mid, pool),
+        || run_range(hg, k, cfg, mid, hi, pool),
+    );
+    left.append(&mut right);
+    left
+}
+
+/// One seed: a fresh driver over the shared arena pool, panics contained
+/// to this seed's slot. The engine is panic-free by design; the catch is
+/// defense in depth so a defect in one seed cannot sink a 50-seed sweep.
+fn run_seeded(
+    hg: &Hypergraph,
+    k: u32,
+    cfg: &PartitionConfig,
+    offset: usize,
+    pool: &Arc<ArenaPool>,
+) -> Result<PartitionResult, PartitionError> {
+    let mut c = cfg.clone();
+    c.seed = cfg.seed.wrapping_add(offset as u64);
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut driver = MultilevelDriver::with_pool(c, Arc::clone(pool));
+        partition_hypergraph_with(&mut driver, hg, k, None)
+    }))
+    .unwrap_or_else(|p| Err(PartitionError::Worker(panic_message(p))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Parallelism;
+    use crate::recursive::partition_hypergraph;
+    use crate::testutil::random_hypergraph;
+
+    #[test]
+    fn seeds_come_back_in_order_and_match_single_runs() {
+        let hg = random_hypergraph(250, 400, 5, 31);
+        let cfg = PartitionConfig::with_seed(5);
+        let fanned = partition_hypergraph_seeds(&hg, 4, &cfg, 4);
+        assert_eq!(fanned.len(), 4);
+        for (i, r) in fanned.iter().enumerate() {
+            let mut c = cfg.clone();
+            c.seed = cfg.seed + i as u64;
+            let single = partition_hypergraph(&hg, 4, &c).unwrap();
+            let r = r.as_ref().unwrap();
+            assert_eq!(
+                r.partition.parts(),
+                single.partition.parts(),
+                "seed offset {i} differs from a standalone run"
+            );
+            assert_eq!(r.cutsize, single.cutsize);
+        }
+    }
+
+    #[test]
+    fn parallel_fanout_matches_serial_per_seed() {
+        let hg = random_hypergraph(300, 500, 6, 7);
+        let serial_cfg = PartitionConfig {
+            parallelism: Parallelism::Serial,
+            ..PartitionConfig::with_seed(9)
+        };
+        let par_cfg = PartitionConfig {
+            parallelism: Parallelism::Threads(4),
+            ..PartitionConfig::with_seed(9)
+        };
+        let serial = partition_hypergraph_seeds(&hg, 8, &serial_cfg, 6);
+        let par = partition_hypergraph_seeds(&hg, 8, &par_cfg, 6);
+        for (i, (s, p)) in serial.iter().zip(par.iter()).enumerate() {
+            let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
+            assert_eq!(s.cutsize, p.cutsize, "seed offset {i}");
+            assert_eq!(s.imbalance_percent, p.imbalance_percent, "seed offset {i}");
+            assert_eq!(s.partition.parts(), p.partition.parts(), "seed offset {i}");
+        }
+    }
+
+    #[test]
+    fn zero_runs_clamps_to_one() {
+        let hg = random_hypergraph(100, 150, 4, 2);
+        let out = partition_hypergraph_seeds(&hg, 2, &PartitionConfig::with_seed(1), 0);
+        assert_eq!(out.len(), 1);
+        assert!(out.first().is_some_and(|r| r.is_ok()));
+    }
+}

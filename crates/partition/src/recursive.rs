@@ -14,7 +14,7 @@ use rand::SeedableRng;
 
 use crate::config::PartitionConfig;
 use crate::engine::MultilevelDriver;
-use crate::error::{panic_message, PartitionError};
+use crate::error::PartitionError;
 use crate::kway::kway_refine;
 use crate::level::EngineStats;
 
@@ -142,41 +142,18 @@ pub fn partition_hypergraph_with(
     })
 }
 
-/// Runs [`partition_hypergraph`] with `runs` different seeds (in parallel
-/// across threads) and returns the best balanced result by connectivity−1
-/// cutsize, following the paper's 50-seed protocol.
+/// Runs [`partition_hypergraph`] with `runs` different seeds — fanned out
+/// over threads per `cfg.parallelism` — and returns the best balanced
+/// result by connectivity−1 cutsize, following the paper's 50-seed
+/// protocol. A panicking seed becomes a `PartitionError::Worker` value;
+/// the surviving seeds still compete for the best result.
 pub fn partition_hypergraph_best(
     hg: &Hypergraph,
     k: u32,
     cfg: &PartitionConfig,
     runs: usize,
 ) -> Result<PartitionResult, PartitionError> {
-    let runs = runs.max(1);
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
-    let mut results: Vec<Result<PartitionResult, PartitionError>> = Vec::with_capacity(runs);
-    // A panicking worker becomes a `PartitionError::Worker` value; the
-    // surviving seeds still compete for the best result.
-    let join = |h: std::thread::ScopedJoinHandle<'_, Result<PartitionResult, PartitionError>>| {
-        h.join()
-            .unwrap_or_else(|p| Err(PartitionError::Worker(panic_message(p))))
-    };
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(runs);
-        for r in 0..runs {
-            let mut c = cfg.clone();
-            c.seed = cfg.seed.wrapping_add(r as u64);
-            handles.push(scope.spawn(move || partition_hypergraph(hg, k, &c)));
-            // Light throttle: join eagerly once we exceed the thread count.
-            if handles.len() >= threads {
-                results.push(join(handles.remove(0)));
-            }
-        }
-        for h in handles {
-            results.push(join(h));
-        }
-    });
+    let results = crate::parallel::partition_hypergraph_seeds(hg, k, cfg, runs);
     let mut best: Option<PartitionResult> = None;
     let mut first_err: Option<PartitionError> = None;
     for r in results {

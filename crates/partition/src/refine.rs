@@ -42,6 +42,10 @@ pub struct BisectionState<'a, S: Substrate = Hypergraph> {
     slack: u64,
     /// Current cutsize.
     cut: u64,
+    /// Lazily computed [`Substrate::max_gain_bound`]: the bound is an
+    /// O(incidences) scan, so it is cached across the FM passes of this
+    /// bisection instead of being recomputed per pass.
+    gain_bound: Option<i64>,
 }
 
 impl<'a, S: Substrate> BisectionState<'a, S> {
@@ -100,6 +104,20 @@ impl<'a, S: Substrate> BisectionState<'a, S> {
             cap,
             slack,
             cut,
+            gain_bound: None,
+        }
+    }
+
+    /// The substrate's gain bound, computed on first use and cached for
+    /// the remaining FM passes of this bisection.
+    fn cached_gain_bound(&mut self) -> i64 {
+        match self.gain_bound {
+            Some(b) => b,
+            None => {
+                let b = self.sub.max_gain_bound();
+                self.gain_bound = Some(b);
+                b
+            }
         }
     }
 
@@ -243,7 +261,8 @@ impl<'a, S: Substrate> BisectionState<'a, S> {
         stats: &mut EngineStats,
     ) -> bool {
         let n = self.sub.num_vertices();
-        let mut buckets = arena.take_buckets(n as usize, self.sub.max_gain_bound());
+        let bound = self.cached_gain_bound();
+        let mut buckets = arena.take_buckets(n as usize, bound);
 
         // Insert free vertices in random order (ties broken by insertion).
         let mut order = arena.take_u32(0, 0);
