@@ -8,8 +8,9 @@
 //! the harness asserts this before trusting any timing.
 //!
 //! Results land in `BENCH_parallel.json` at the repository root:
-//! per-thread wall times, speedups, and the per-seed cutsizes proving
-//! determinism.
+//! per-thread wall times, speedups, the per-seed cutsizes proving
+//! determinism, and a per-phase wall-clock breakdown (coarsen / initial /
+//! fm-pass / …) from one traced sweep per thread count.
 //!
 //! Usage: `cargo bench --bench parallel_scaling [-- --quick]`
 //! (`--quick` shrinks the matrix and repetitions for CI smoke runs).
@@ -18,7 +19,10 @@ use std::time::Instant;
 
 use fgh_core::models::FineGrainModel;
 use fgh_hypergraph::Hypergraph;
-use fgh_partition::{partition_hypergraph_seeds, Parallelism, PartitionConfig};
+use fgh_partition::{
+    partition_hypergraph_seeds, partition_hypergraph_seeds_traced, Parallelism, PartitionConfig,
+};
+use fgh_trace::Tracer;
 
 const K: u32 = 16;
 const SEEDS: usize = 8;
@@ -46,6 +50,21 @@ fn config_for(threads: usize) -> PartitionConfig {
         },
         ..Default::default()
     }
+}
+
+/// One traced (untimed) sweep: total nanoseconds per span name, summed
+/// over the whole tree. Keyed by phase name (`coarsen`, `initial`,
+/// `fm-pass`, `run`, …) for the `phase_ns` column of the JSON report.
+fn phase_breakdown(hg: &Hypergraph, threads: usize) -> Vec<(&'static str, u64)> {
+    let cfg = config_for(threads);
+    let (tracer, sink) = Tracer::collecting();
+    let root = tracer.span("sweep");
+    let results = partition_hypergraph_seeds_traced(hg, K, &cfg, SEEDS, &root.handle());
+    drop(root);
+    for r in results {
+        r.expect("traced partition run failed");
+    }
+    sink.build_trace().phase_totals()
 }
 
 /// Best-of-`reps` wall time for the 8-seed sweep, plus per-seed cutsizes.
@@ -100,13 +119,14 @@ fn main() {
                 "threads={threads}: per-seed cutsizes diverged from serial"
             );
         }
-        times.push((threads, secs, cuts));
+        let phases = phase_breakdown(&hg, threads);
+        times.push((threads, secs, cuts, phases));
     }
 
     let serial_time = times[0].1;
     let mut rows = String::new();
     println!("threads  wall_s   speedup  per-seed cutsizes");
-    for (i, (threads, secs, cuts)) in times.iter().enumerate() {
+    for (i, (threads, secs, cuts, phases)) in times.iter().enumerate() {
         let speedup = serial_time / secs;
         println!("{threads:>7}  {secs:>7.3}  {speedup:>6.2}x  {cuts:?}");
         let cuts_json = cuts
@@ -114,11 +134,16 @@ fn main() {
             .map(|c| c.to_string())
             .collect::<Vec<_>>()
             .join(",");
+        let phase_json = phases
+            .iter()
+            .map(|(name, ns)| format!("\"{name}\": {ns}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         if i > 0 {
             rows.push(',');
         }
         rows.push_str(&format!(
-            "\n    {{\"threads\": {threads}, \"wall_s\": {secs:.6}, \"speedup\": {speedup:.3}, \"cutsizes\": [{cuts_json}]}}"
+            "\n    {{\"threads\": {threads}, \"wall_s\": {secs:.6}, \"speedup\": {speedup:.3}, \"cutsizes\": [{cuts_json}], \"phase_ns\": {{{phase_json}}}}}"
         ));
     }
 

@@ -142,17 +142,11 @@ pub fn run_instance(
 ) -> Result<InstanceResult, String> {
     let mut acc = InstanceResult::default();
     for r in 0..runs {
-        let cfg = DecomposeConfig {
-            model,
-            k,
-            epsilon: 0.03,
-            seed: base_seed.wrapping_add(r as u64 * 7919),
-            runs: 1,
-            budget: fgh_core::Budget::UNLIMITED,
-            // Serial keeps Table-2 wall times comparable across machines;
-            // the parallel_scaling bench measures the threaded mode.
-            parallelism: fgh_core::Parallelism::Serial,
-        };
+        // Serial keeps Table-2 wall times comparable across machines;
+        // the parallel_scaling bench measures the threaded mode.
+        let cfg = DecomposeConfig::new(model, k)
+            .with_seed(base_seed.wrapping_add(r as u64 * 7919))
+            .with_parallelism(fgh_core::Parallelism::Serial);
         let out = decompose(a, &cfg).map_err(|e| e.to_string())?;
         acc.tot += out.stats.scaled_total_volume();
         acc.max += out.stats.scaled_max_volume();

@@ -23,25 +23,11 @@ pub fn run(args: &[String]) -> CmdResult {
         "model", "volume", "vol/M", "max/proc", "msgs/p", "imbal%", "time"
     );
     println!("{}", "-".repeat(84));
-    for model in [
-        Model::Graph1D,
-        Model::Hypergraph1DColNet,
-        Model::Hypergraph1DRowNet,
-        Model::Checkerboard2D,
-        Model::CheckerboardHg2D,
-        Model::Jagged2D,
-        Model::Mondriaan2D,
-        Model::FineGrain2D,
-    ] {
-        let cfg = DecomposeConfig {
-            model,
-            k,
-            epsilon: 0.03,
-            seed,
-            runs: 1,
-            budget: o.budget()?,
-            parallelism: o.parallelism()?,
-        };
+    for model in Model::ALL {
+        let cfg = DecomposeConfig::new(model, k)
+            .with_seed(seed)
+            .with_budget(o.budget()?)
+            .with_parallelism(o.parallelism()?);
         let out = finish_outcome(decompose(&a, &cfg), o.has("strict"))
             .map_err(|e| CmdError::new(e.code, format!("{}: {}", model.name(), e.msg)))?;
         println!(

@@ -2,7 +2,7 @@
 
 use std::io::Write;
 
-use fgh_core::{decompose, DecomposeConfig, Decomposition};
+use fgh_core::{decompose, Decomposition};
 
 use crate::commands::{finish_outcome, load_matrix};
 use crate::error::CmdResult;
@@ -12,16 +12,12 @@ pub fn run(args: &[String]) -> CmdResult {
     let o = Opts::parse(args)?;
     let path = o.one_positional("matrix.mtx")?;
     let a = load_matrix(path)?;
-    let cfg = DecomposeConfig {
-        model: o.model()?,
-        k: o.parse_required("k")?,
-        epsilon: o.parse_or("epsilon", 0.03)?,
-        seed: o.parse_or("seed", 1)?,
-        runs: o.parse_or("runs", 1)?,
-        budget: o.budget()?,
-        parallelism: o.parallelism()?,
-    };
+    let cfg = o.decompose_config(o.parse_required("k")?)?;
     let out = finish_outcome(decompose(&a, &cfg), o.has("strict"))?;
+
+    if let Some(trace) = &out.trace {
+        eprint!("{}", trace.render());
+    }
 
     println!(
         "matrix:            {path} ({} rows, {} nnz)",
@@ -63,6 +59,11 @@ pub fn run(args: &[String]) -> CmdResult {
     if let Some(out_path) = o.get("out") {
         write_mapping(&out.decomposition, out_path)?;
         println!("mapping written:   {out_path}");
+    }
+    if let Some(json_path) = o.get("metrics-json") {
+        let doc = fgh_core::metrics_json(&a, &cfg, &out) + "\n";
+        std::fs::write(json_path, doc).map_err(|e| format!("{json_path}: {e}"))?;
+        println!("metrics written:   {json_path}");
     }
     Ok(())
 }

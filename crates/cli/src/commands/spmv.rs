@@ -1,6 +1,6 @@
 //! `fgh spmv` — decompose, execute one distributed SpMV, verify.
 
-use fgh_core::{decompose, DecomposeConfig};
+use fgh_core::{decompose, Tracer};
 use fgh_spmv::parallel::parallel_spmv;
 use fgh_spmv::DistributedSpmv;
 
@@ -12,16 +12,11 @@ pub fn run(args: &[String]) -> CmdResult {
     let o = Opts::parse(args)?;
     let path = o.one_positional("matrix.mtx")?;
     let a = load_matrix(path)?;
-    let cfg = DecomposeConfig {
-        model: o.model()?,
-        k: o.parse_required("k")?,
-        epsilon: o.parse_or("epsilon", 0.03)?,
-        seed: o.parse_or("seed", 1)?,
-        runs: o.parse_or("runs", 1)?,
-        budget: o.budget()?,
-        parallelism: o.parallelism()?,
-    };
+    let cfg = o.decompose_config(o.parse_required("k")?)?;
     let out = finish_outcome(decompose(&a, &cfg), o.has("strict"))?;
+    if let Some(trace) = &out.trace {
+        eprint!("{}", trace.render());
+    }
     let plan = DistributedSpmv::build(&a, &out.decomposition).map_err(|e| e.to_string())?;
 
     let x: Vec<f64> = (0..a.ncols())
@@ -30,6 +25,17 @@ pub fn run(args: &[String]) -> CmdResult {
     let threaded = o.has("parallel");
     let (y, comm) = if threaded {
         parallel_spmv(&plan, &x).map_err(|e| e.to_string())?
+    } else if o.has("trace") {
+        // A second span tree for the execution itself: the simulator's
+        // expand / local-mult / fold phases with word counters.
+        let (tracer, sink) = Tracer::collecting();
+        let root = tracer.span("spmv");
+        let r = plan
+            .multiply_traced(&x, &root.handle())
+            .map_err(|e| e.to_string())?;
+        drop(root);
+        eprint!("{}", sink.build_trace().render());
+        r
     } else {
         plan.multiply(&x).map_err(|e| e.to_string())?
     };

@@ -1,7 +1,7 @@
 //! `fgh spy` — ASCII spy plot of a matrix, optionally overlaid with a
 //! decomposition's ownership map.
 
-use fgh_core::{decompose, DecomposeConfig};
+use fgh_core::decompose;
 
 use crate::commands::{finish_outcome, load_matrix};
 use crate::error::CmdResult;
@@ -22,15 +22,7 @@ pub fn run(args: &[String]) -> CmdResult {
     println!();
     if let Some(kstr) = o.get("k") {
         let k: u32 = kstr.parse().map_err(|e| format!("--k: {e}"))?;
-        let cfg = DecomposeConfig {
-            model: o.model()?,
-            k,
-            epsilon: o.parse_or("epsilon", 0.03)?,
-            seed: o.parse_or("seed", 1)?,
-            runs: 1,
-            budget: o.budget()?,
-            parallelism: o.parallelism()?,
-        };
+        let cfg = o.decompose_config(k)?;
         let out = finish_outcome(decompose(&a, &cfg), o.has("strict"))?;
         println!(
             "ownership map ({}, K = {k}; cells show the dominant owner, base 36):",

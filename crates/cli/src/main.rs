@@ -11,7 +11,9 @@
 //! ```
 //!
 //! `MODEL` is one of `graph-1d`, `hypergraph-1d-colnet`,
-//! `hypergraph-1d-rownet`, `fine-grain-2d` (default), `checkerboard-2d`.
+//! `hypergraph-1d-rownet`, `fine-grain-2d` (default), `checkerboard-2d`,
+//! `mondriaan-2d`, `jagged-2d`, `checkerboard-hg-2d` (short aliases like
+//! `graph`, `finegrain`, `mondriaan` work too).
 
 mod commands;
 mod error;
@@ -66,8 +68,10 @@ fn usage() -> &'static str {
      \x20     print the matrix properties Table 1 reports\n\
      \x20 fgh partition <matrix.mtx> --k K [--model M] [--epsilon E] [--seed N]\n\
      \x20               [--runs N] [--out parts.txt] [--max-wall-ms N] [--strict]\n\
+     \x20               [--trace] [--metrics-json FILE]\n\
      \x20     decompose for K processors; optionally write the mapping\n\
      \x20 fgh spmv <matrix.mtx> --k K [--model M] [--parallel] [--max-wall-ms N] [--strict]\n\
+     \x20          [--trace]\n\
      \x20     decompose, execute one distributed y = Ax, verify and report\n\
      \x20 fgh compare <matrix.mtx> --k K [--seed N]\n\
      \x20     run every model on the matrix and print a comparison table\n\
@@ -87,6 +91,10 @@ fn usage() -> &'static str {
      \x20                   trips, the best partition found is returned\n\
      \x20 --strict          reject degraded outcomes (infeasible balance,\n\
      \x20                   exhausted budget) instead of warning on stderr\n\
+     \x20 --trace           record per-phase spans and print the span tree\n\
+     \x20                   (durations + counters) on stderr\n\
+     \x20 --metrics-json F  (partition) write the run as an fgh-metrics/1\n\
+     \x20                   JSON document (comm + engine stats + trace)\n\
      \n\
      exit codes: 0 ok (degraded outcomes warn on stderr) | 1 internal error |\n\
      \x20 2 bad input | 3 infeasible under --strict | 4 budget exhausted under --strict\n"

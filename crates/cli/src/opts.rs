@@ -1,6 +1,6 @@
 //! Tiny hand-rolled flag parser shared by the subcommands.
 
-use fgh_core::{Model, Parallelism};
+use fgh_core::{DecomposeConfig, Model, Parallelism};
 
 /// Parsed command line: positional arguments plus `--flag value` pairs.
 #[derive(Debug, Default)]
@@ -10,7 +10,7 @@ pub struct Opts {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["--parallel", "--quiet", "--strict"];
+const BOOL_FLAGS: &[&str] = &["--parallel", "--quiet", "--strict", "--trace"];
 
 impl Opts {
     /// Parses `args`; flags must start with `--`.
@@ -107,19 +107,26 @@ impl Opts {
         }
     }
 
-    /// The `--model` flag (default fine-grain 2D).
+    /// The `--model` flag (default fine-grain 2D). Accepts every name
+    /// and alias [`Model`]'s `FromStr` knows.
     pub fn model(&self) -> Result<Model, String> {
-        match self.get("model").unwrap_or("fine-grain-2d") {
-            "graph-1d" => Ok(Model::Graph1D),
-            "hypergraph-1d-colnet" => Ok(Model::Hypergraph1DColNet),
-            "hypergraph-1d-rownet" => Ok(Model::Hypergraph1DRowNet),
-            "fine-grain-2d" => Ok(Model::FineGrain2D),
-            "checkerboard-2d" => Ok(Model::Checkerboard2D),
-            "mondriaan-2d" => Ok(Model::Mondriaan2D),
-            "jagged-2d" => Ok(Model::Jagged2D),
-            "checkerboard-hg-2d" => Ok(Model::CheckerboardHg2D),
-            other => Err(format!("unknown model {other:?}")),
-        }
+        self.get("model")
+            .unwrap_or("fine-grain-2d")
+            .parse()
+            .map_err(|e| format!("--model: {e}"))
+    }
+
+    /// Builds the decomposition request shared by the subcommands from
+    /// the common flags (`--model --epsilon --seed --runs --max-wall-ms
+    /// --threads --trace`) and an already-resolved processor count.
+    pub fn decompose_config(&self, k: u32) -> Result<DecomposeConfig, String> {
+        Ok(DecomposeConfig::new(self.model()?, k)
+            .with_epsilon(self.parse_or("epsilon", 0.03)?)
+            .with_seed(self.parse_or("seed", 1)?)
+            .with_runs(self.parse_or("runs", 1)?)
+            .with_budget(self.budget()?)
+            .with_parallelism(self.parallelism()?)
+            .with_trace(self.has("trace")))
     }
 }
 

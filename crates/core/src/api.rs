@@ -4,9 +4,12 @@
 
 use std::time::{Duration, Instant};
 
-use fgh_graph::partition_graph_best;
-use fgh_partition::{partition_hypergraph_best, Budget, EngineStats, Parallelism, PartitionConfig};
+use fgh_graph::partition_graph_best_traced;
+use fgh_partition::{
+    partition_hypergraph_best_traced, Budget, EngineStats, Parallelism, PartitionConfig,
+};
 use fgh_sparse::CsrMatrix;
+use fgh_trace::{SpanHandle, Trace, Tracer};
 
 use crate::decomp::Decomposition;
 use crate::metrics::CommStats;
@@ -50,7 +53,23 @@ pub enum Model {
 }
 
 impl Model {
-    /// Short display name as used in the paper's tables.
+    /// Every model, in the canonical presentation order of the paper's
+    /// tables (1D baselines first, then the 2D schemes). The single
+    /// source of truth for "all models" sweeps — the CLI's `compare`
+    /// command and the metrics tests iterate this array.
+    pub const ALL: [Model; 8] = [
+        Model::Graph1D,
+        Model::Hypergraph1DColNet,
+        Model::Hypergraph1DRowNet,
+        Model::FineGrain2D,
+        Model::Checkerboard2D,
+        Model::Mondriaan2D,
+        Model::Jagged2D,
+        Model::CheckerboardHg2D,
+    ];
+
+    /// Short display name as used in the paper's tables. Each name parses
+    /// back via [`Model::from_str`].
     pub fn name(&self) -> &'static str {
         match self {
             Model::Graph1D => "graph-1d",
@@ -62,6 +81,41 @@ impl Model {
             Model::Jagged2D => "jagged-2d",
             Model::CheckerboardHg2D => "checkerboard-hg-2d",
         }
+    }
+}
+
+impl std::fmt::Display for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Model {
+    type Err = String;
+
+    /// Parses a model from its canonical [`Model::name`], accepting the
+    /// historical CLI aliases (`graph`, `colnet`, `rownet`, `finegrain`,
+    /// `fine-grain`, `checkerboard`, `mondriaan`, `jagged`,
+    /// `checkerboard-hg`) case-insensitively.
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        let m = match lower.as_str() {
+            "graph" | "graph-1d" => Model::Graph1D,
+            "colnet" | "hypergraph-1d-colnet" => Model::Hypergraph1DColNet,
+            "rownet" | "hypergraph-1d-rownet" => Model::Hypergraph1DRowNet,
+            "finegrain" | "fine-grain" | "fine-grain-2d" => Model::FineGrain2D,
+            "checkerboard" | "checkerboard-2d" => Model::Checkerboard2D,
+            "mondriaan" | "mondriaan-2d" => Model::Mondriaan2D,
+            "jagged" | "jagged-2d" => Model::Jagged2D,
+            "checkerboard-hg" | "checkerboard-hg-2d" => Model::CheckerboardHg2D,
+            _ => {
+                return Err(format!(
+                    "unknown model '{s}' (expected one of: {})",
+                    Model::ALL.map(|m| m.name()).join(", ")
+                ))
+            }
+        };
+        Ok(m)
     }
 }
 
@@ -89,6 +143,12 @@ pub struct DecomposeConfig {
     /// multi-threaded modes produce bit-identical decompositions; threads
     /// change wall-clock time only.
     pub parallelism: Parallelism,
+    /// Record a structured execution trace: per-phase spans (model build,
+    /// coarsening levels, initial partitioning, FM passes, decode) with
+    /// monotonic timings and engine counters, surfaced as
+    /// [`DecompositionOutcome::trace`]. Off by default; tracing never
+    /// changes the decomposition, only observes it.
+    pub trace: bool,
 }
 
 impl DecomposeConfig {
@@ -102,6 +162,7 @@ impl DecomposeConfig {
             runs: 1,
             budget: Budget::UNLIMITED,
             parallelism: Parallelism::Auto,
+            trace: false,
         }
     }
 
@@ -116,6 +177,47 @@ impl DecomposeConfig {
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
         self
+    }
+
+    /// The same config with a different base RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The same config running `runs` independent partitioner seeds,
+    /// keeping the best balanced result.
+    pub fn with_runs(mut self, runs: usize) -> Self {
+        self.runs = runs;
+        self
+    }
+
+    /// The same config with a different balance tolerance ε.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// The same config with trace recording switched on or off (see
+    /// [`DecomposeConfig::trace`]).
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The [`PartitionConfig`] every engine-backed model runs under: the
+    /// request's ε, seed, budget, and parallelism carry over, everything
+    /// else keeps the partitioner's defaults. The single source of truth
+    /// for the config translation (each model arm used to spell out this
+    /// struct by hand).
+    pub fn partition_config(&self) -> PartitionConfig {
+        PartitionConfig {
+            epsilon: self.epsilon,
+            seed: self.seed,
+            budget: self.budget,
+            parallelism: self.parallelism,
+            ..Default::default()
+        }
     }
 }
 
@@ -165,11 +267,20 @@ pub struct DecompositionOutcome {
     /// Full or degraded, with the reason when degraded.
     pub status: DecompositionStatus,
     /// Multilevel engine statistics, including budget-truncation counters.
-    /// Zeroed for models that bypass the multilevel engine
-    /// ([`Model::Checkerboard2D`]) or aggregate several internal runs
-    /// ([`Model::Mondriaan2D`], [`Model::Jagged2D`],
-    /// [`Model::CheckerboardHg2D`]).
+    /// For the single-partition models this is the winning run's stats;
+    /// for the composite models ([`Model::Mondriaan2D`],
+    /// [`Model::Jagged2D`], [`Model::CheckerboardHg2D`]) it is the
+    /// **aggregate** over every internal engine run (merged counters —
+    /// note [`Model::CheckerboardHg2D`]'s phase-2 multi-constraint
+    /// partitioner is not engine-backed and contributes nothing). Zeroed
+    /// only for [`Model::Checkerboard2D`], which builds its decomposition
+    /// directly without any partitioner.
     pub engine: EngineStats,
+    /// Structured execution trace, recorded when
+    /// [`DecomposeConfig::trace`] was set: a tree of per-phase spans
+    /// (monotonic start + duration, engine counters) rooted at
+    /// `decompose`. `None` when tracing was off.
+    pub trace: Option<Trace>,
 }
 
 impl DecompositionOutcome {
@@ -245,22 +356,35 @@ pub fn decompose(
             ncols: a.ncols(),
         }));
     }
+    // Tracing observes the same window `elapsed` measures: the root
+    // `decompose` span opens at `start` and closes right after the model
+    // finishes (statistics computation is outside both).
+    let (tracer, sink) = if cfg.trace {
+        let (t, s) = Tracer::collecting();
+        (t, Some(s))
+    } else {
+        (Tracer::disabled(), None)
+    };
     let start = Instant::now();
+    let root = tracer.span("decompose");
 
     // Degenerate inputs are served a trivial decomposition up front rather
     // than fed to partitioners that assume at least one unit of work.
     if a.nnz() == 0 {
         let decomposition = Decomposition::rowwise(a, cfg.k, vec![0; a.nrows() as usize])?;
+        let elapsed = start.elapsed();
+        drop(root);
         let stats = CommStats::compute(a, &decomposition)?;
         return Ok(DecompositionOutcome {
             decomposition,
             stats,
             objective: 0,
-            elapsed: start.elapsed(),
+            elapsed,
             status: DecompositionStatus::Degraded {
                 reason: "matrix has no nonzeros; trivial decomposition".into(),
             },
             engine: EngineStats::default(),
+            trace: sink.map(|s| s.build_trace()),
         });
     }
     let mut forced_reason: Option<String> = None;
@@ -272,7 +396,7 @@ pub fn decompose(
         ));
     }
 
-    let attempt = decompose_with_model(a, cfg);
+    let attempt = decompose_with_model(a, cfg, &root.handle());
     let (decomposition, objective, engine) = match attempt {
         Ok(t) => t,
         Err(e) if forced_reason.is_some() => {
@@ -290,6 +414,8 @@ pub fn decompose(
         Err(e) => return Err(e),
     };
     let elapsed = start.elapsed();
+    drop(root);
+    let trace = sink.map(|s| s.build_trace());
     let stats = CommStats::compute(a, &decomposition)?;
 
     // Degradation check: budget truncation, or a missed balance target.
@@ -324,70 +450,61 @@ pub fn decompose(
         elapsed,
         status,
         engine,
+        trace,
     })
 }
 
 /// Runs the configured model, returning the decoded decomposition, the
 /// model's objective value, and the engine statistics where available.
+/// Under an enabled `scope`, the phases record as `model-build` /
+/// `partition` / `decode` child spans (plus `objective` for the models
+/// whose reported objective is a separate exact-volume computation).
 fn decompose_with_model(
     a: &CsrMatrix,
     cfg: &DecomposeConfig,
+    scope: &SpanHandle,
 ) -> std::result::Result<(Decomposition, u64, EngineStats), FghError> {
+    let pcfg = cfg.partition_config();
     let out = match cfg.model {
         Model::Graph1D => {
+            let mb = scope.child("model-build");
             let model = StandardGraphModel::build(a)?;
-            let gcfg = PartitionConfig {
-                epsilon: cfg.epsilon,
-                seed: cfg.seed,
-                budget: cfg.budget,
-                parallelism: cfg.parallelism,
-                ..Default::default()
-            };
-            let r = partition_graph_best(model.graph(), cfg.k, &gcfg, cfg.runs)?;
-            (model.decode(a, cfg.k, &r.parts)?, r.edge_cut, r.stats)
+            drop(mb);
+            let ps = scope.child("partition");
+            let r =
+                partition_graph_best_traced(model.graph(), cfg.k, &pcfg, cfg.runs, &ps.handle())?;
+            drop(ps);
+            let ds = scope.child("decode");
+            let d = model.decode(a, cfg.k, &r.parts)?;
+            drop(ds);
+            (d, r.edge_cut, r.stats)
         }
         Model::Hypergraph1DColNet => {
-            let model = ColumnNetModel::build(a)?;
-            let pcfg = PartitionConfig {
-                epsilon: cfg.epsilon,
-                seed: cfg.seed,
-                budget: cfg.budget,
-                parallelism: cfg.parallelism,
-                ..Default::default()
-            };
-            let r = partition_hypergraph_best(model.hypergraph(), cfg.k, &pcfg, cfg.runs)?;
-            (model.decode(a, &r.partition)?, r.cutsize, r.stats)
+            let model = build_spanned(scope, || ColumnNetModel::build(a))?;
+            hypergraph_arm(a, cfg, &pcfg, scope, model.hypergraph(), |r| {
+                model.decode(a, &r.partition)
+            })?
         }
         Model::Hypergraph1DRowNet => {
-            let model = RowNetModel::build(a)?;
-            let pcfg = PartitionConfig {
-                epsilon: cfg.epsilon,
-                seed: cfg.seed,
-                budget: cfg.budget,
-                parallelism: cfg.parallelism,
-                ..Default::default()
-            };
-            let r = partition_hypergraph_best(model.hypergraph(), cfg.k, &pcfg, cfg.runs)?;
-            (model.decode(a, &r.partition)?, r.cutsize, r.stats)
+            let model = build_spanned(scope, || RowNetModel::build(a))?;
+            hypergraph_arm(a, cfg, &pcfg, scope, model.hypergraph(), |r| {
+                model.decode(a, &r.partition)
+            })?
         }
         Model::FineGrain2D => {
-            let model = FineGrainModel::build(a)?;
-            let pcfg = PartitionConfig {
-                epsilon: cfg.epsilon,
-                seed: cfg.seed,
-                budget: cfg.budget,
-                parallelism: cfg.parallelism,
-                ..Default::default()
-            };
-            let r = partition_hypergraph_best(model.hypergraph(), cfg.k, &pcfg, cfg.runs)?;
-            (model.decode(a, &r.partition)?, r.cutsize, r.stats)
+            let model = build_spanned(scope, || FineGrainModel::build(a))?;
+            hypergraph_arm(a, cfg, &pcfg, scope, model.hypergraph(), |r| {
+                model.decode(a, &r.partition)
+            })?
         }
         Model::Checkerboard2D => {
             // Direct construction — no partitioner and no communication
             // objective; its "objective" is reported as its true volume.
-            let model = CheckerboardModel::build(a, cfg.k)?;
+            let model = build_spanned(scope, || CheckerboardModel::build(a, cfg.k))?;
+            let ds = scope.child("decode");
             let d = model.decode(a)?;
-            let vol = CommStats::compute(a, &d)?.total_volume();
+            drop(ds);
+            let vol = objective_volume(a, &d, scope)?;
             (d, vol, EngineStats::default())
         }
         Model::Mondriaan2D => {
@@ -395,45 +512,74 @@ fn decompose_with_model(
             // consistency pins in the directional hypergraphs), so the
             // reported objective is the exact decoded volume.
             let model = MondriaanModel::new(cfg.k, cfg.epsilon);
-            let pcfg = PartitionConfig {
-                epsilon: cfg.epsilon,
-                seed: cfg.seed,
-                budget: cfg.budget,
-                parallelism: cfg.parallelism,
-                ..Default::default()
-            };
-            let d = model.decompose(a, &pcfg)?;
-            let vol = CommStats::compute(a, &d)?.total_volume();
-            (d, vol, EngineStats::default())
+            let ps = scope.child("partition");
+            let (d, stats) = model.decompose_traced(a, &pcfg, &ps.handle())?;
+            drop(ps);
+            let vol = objective_volume(a, &d, scope)?;
+            (d, vol, stats)
         }
         Model::Jagged2D => {
             let model = JaggedModel::new(cfg.k, cfg.epsilon)?;
-            let pcfg = PartitionConfig {
-                epsilon: cfg.epsilon,
-                seed: cfg.seed,
-                budget: cfg.budget,
-                parallelism: cfg.parallelism,
-                ..Default::default()
-            };
-            let d = model.decompose(a, &pcfg)?;
-            let vol = CommStats::compute(a, &d)?.total_volume();
-            (d, vol, EngineStats::default())
+            let ps = scope.child("partition");
+            let (d, stats) = model.decompose_traced(a, &pcfg, &ps.handle())?;
+            drop(ps);
+            let vol = objective_volume(a, &d, scope)?;
+            (d, vol, stats)
         }
         Model::CheckerboardHg2D => {
             let model = CheckerboardHgModel::new(cfg.k, cfg.epsilon)?;
-            let pcfg = PartitionConfig {
-                epsilon: cfg.epsilon,
-                seed: cfg.seed,
-                budget: cfg.budget,
-                parallelism: cfg.parallelism,
-                ..Default::default()
-            };
-            let d = model.decompose(a, &pcfg)?;
-            let vol = CommStats::compute(a, &d)?.total_volume();
-            (d, vol, EngineStats::default())
+            let ps = scope.child("partition");
+            let (d, stats) = model.decompose_traced(a, &pcfg, &ps.handle())?;
+            drop(ps);
+            let vol = objective_volume(a, &d, scope)?;
+            (d, vol, stats)
         }
     };
     Ok(out)
+}
+
+/// Runs a model-construction closure under a `model-build` span.
+fn build_spanned<T, E>(
+    scope: &SpanHandle,
+    build: impl FnOnce() -> std::result::Result<T, E>,
+) -> std::result::Result<T, E> {
+    let _span = scope.child("model-build");
+    build()
+}
+
+/// The shared partition + decode tail of the three 1D/2D hypergraph-model
+/// arms: multi-seed partitioning under a `partition` span, decoding under
+/// a `decode` span.
+fn hypergraph_arm<D>(
+    _a: &CsrMatrix,
+    cfg: &DecomposeConfig,
+    pcfg: &PartitionConfig,
+    scope: &SpanHandle,
+    hg: &fgh_hypergraph::Hypergraph,
+    decode: D,
+) -> std::result::Result<(Decomposition, u64, EngineStats), FghError>
+where
+    D: FnOnce(&fgh_partition::PartitionResult) -> crate::Result<Decomposition>,
+{
+    let ps = scope.child("partition");
+    let r = partition_hypergraph_best_traced(hg, cfg.k, pcfg, cfg.runs, &ps.handle())?;
+    drop(ps);
+    let ds = scope.child("decode");
+    let d = decode(&r)?;
+    drop(ds);
+    Ok((d, r.cutsize, r.stats))
+}
+
+/// Computes the exact decoded volume under an `objective` span — the
+/// reported objective for the models whose internal cuts only
+/// approximate communication volume.
+fn objective_volume(
+    a: &CsrMatrix,
+    d: &Decomposition,
+    scope: &SpanHandle,
+) -> std::result::Result<u64, FghError> {
+    let _span = scope.child("objective");
+    Ok(CommStats::compute(a, d)?.total_volume())
 }
 
 #[cfg(test)]

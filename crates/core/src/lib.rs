@@ -37,11 +37,14 @@ pub mod decomp;
 pub mod metrics;
 pub mod models;
 pub mod reduction;
+pub mod report;
 
 pub use api::{decompose, DecomposeConfig, DecompositionOutcome, DecompositionStatus, Model};
 pub use decomp::Decomposition;
 pub use fgh_partition::{Budget, EngineStats, Parallelism};
+pub use fgh_trace::{Trace, Tracer};
 pub use metrics::CommStats;
+pub use report::{metrics_document, metrics_json, validate_metrics_value, METRICS_SCHEMA};
 
 /// Errors from model construction and decomposition.
 #[derive(Debug, Clone, PartialEq)]

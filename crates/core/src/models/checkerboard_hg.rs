@@ -21,8 +21,9 @@
 
 use fgh_hypergraph::HypergraphBuilder;
 use fgh_partition::multiconstraint::{partition_multiconstraint, MultiWeights};
-use fgh_partition::{partition_hypergraph, PartitionConfig};
+use fgh_partition::{partition_hypergraph_traced, EngineStats, PartitionConfig};
 use fgh_sparse::CsrMatrix;
+use fgh_trace::SpanHandle;
 
 use crate::decomp::Decomposition;
 use crate::models::checkerboard::grid_shape;
@@ -67,6 +68,22 @@ impl CheckerboardHgModel {
 
     /// Decomposes `a` into a `P x Q` checkerboard [`Decomposition`].
     pub fn decompose(&self, a: &CsrMatrix, cfg: &PartitionConfig) -> Result<Decomposition> {
+        self.decompose_traced(a, cfg, &SpanHandle::noop())
+            .map(|(d, _)| d)
+    }
+
+    /// [`CheckerboardHgModel::decompose`] with engine instrumentation and
+    /// trace recording. The returned [`EngineStats`] cover the phase-1 row
+    /// partitioning only: phase 2 runs the direct (non-multilevel)
+    /// multi-constraint partitioner, which keeps no engine counters. Under
+    /// an enabled `parent` scope the phases record as `rows` and `cols`
+    /// spans, with the multilevel spans nested inside `rows`.
+    pub fn decompose_traced(
+        &self,
+        a: &CsrMatrix,
+        cfg: &PartitionConfig,
+        parent: &SpanHandle,
+    ) -> Result<(Decomposition, EngineStats)> {
         if !a.is_square() {
             return Err(ModelError::NotSquare {
                 nrows: a.nrows(),
@@ -75,13 +92,16 @@ impl CheckerboardHgModel {
         }
         let n = a.nrows();
         let k = self.p * self.q;
+        let mut stats = EngineStats::default();
 
         // Phase 1: row stripes (column-net model, single constraint).
         let stripe_of: Vec<u32> = if self.p == 1 {
             vec![0; n as usize]
         } else {
+            let rspan = parent.child("rows");
             let colnet = ColumnNetModel::build(a)?;
-            let r = partition_hypergraph(colnet.hypergraph(), self.p, cfg)?;
+            let r = partition_hypergraph_traced(colnet.hypergraph(), self.p, cfg, &rspan.handle())?;
+            stats.merge(&r.stats);
             r.partition.parts().to_vec()
         };
 
@@ -90,6 +110,7 @@ impl CheckerboardHgModel {
         let group_of: Vec<u32> = if self.q == 1 {
             vec![0; n as usize]
         } else {
+            let _cspan = parent.child("cols");
             // Row-net hypergraph: vertices = columns, nets = rows.
             let mut builder = HypergraphBuilder::with_unit_vertices(n);
             for i in 0..n {
@@ -120,7 +141,10 @@ impl CheckerboardHgModel {
         let vec_owner: Vec<u32> = (0..n)
             .map(|j| stripe_of[j as usize] * self.q + group_of[j as usize])
             .collect();
-        Decomposition::general(a, k, nonzero_owner, vec_owner)
+        Ok((
+            Decomposition::general(a, k, nonzero_owner, vec_owner)?,
+            stats,
+        ))
     }
 }
 

@@ -17,8 +17,9 @@
 //! globally (the fine-grain model's advantage).
 
 use fgh_hypergraph::{Hypergraph, HypergraphBuilder, Partition};
-use fgh_partition::{partition_hypergraph, PartitionConfig};
+use fgh_partition::{partition_hypergraph_traced, EngineStats, PartitionConfig};
 use fgh_sparse::CsrMatrix;
+use fgh_trace::SpanHandle;
 
 use crate::decomp::Decomposition;
 use crate::models::checkerboard::grid_shape;
@@ -62,6 +63,21 @@ impl JaggedModel {
 
     /// Decomposes `a` into a `P x Q` jagged 2D [`Decomposition`].
     pub fn decompose(&self, a: &CsrMatrix, cfg: &PartitionConfig) -> Result<Decomposition> {
+        self.decompose_traced(a, cfg, &SpanHandle::noop())
+            .map(|(d, _)| d)
+    }
+
+    /// [`JaggedModel::decompose`] with engine instrumentation and trace
+    /// recording. The returned [`EngineStats`] merge the phase-1 row
+    /// partitioning and every per-stripe column partitioning. Under an
+    /// enabled `parent` scope the phases record as a `rows` span and
+    /// `stripe[s]` spans with the multilevel spans nested inside.
+    pub fn decompose_traced(
+        &self,
+        a: &CsrMatrix,
+        cfg: &PartitionConfig,
+        parent: &SpanHandle,
+    ) -> Result<(Decomposition, EngineStats)> {
         if !a.is_square() {
             return Err(ModelError::NotSquare {
                 nrows: a.nrows(),
@@ -70,13 +86,16 @@ impl JaggedModel {
         }
         let n = a.nrows();
         let k = self.p * self.q;
+        let mut stats = EngineStats::default();
 
         // Phase 1: row stripes via the 1D column-net model.
         let stripe_of: Vec<u32> = if self.p == 1 {
             vec![0; n as usize]
         } else {
+            let rspan = parent.child("rows");
             let colnet = crate::models::ColumnNetModel::build(a)?;
-            let r = partition_hypergraph(colnet.hypergraph(), self.p, cfg)?;
+            let r = partition_hypergraph_traced(colnet.hypergraph(), self.p, cfg, &rspan.handle())?;
+            stats.merge(&r.stats);
             r.partition.parts().to_vec()
         };
 
@@ -85,7 +104,9 @@ impl JaggedModel {
         // stripe's nonzeros; nets = the stripe's rows).
         let mut group_of: Vec<Vec<u32>> = vec![Vec::new(); self.p as usize]; // per stripe: col -> group (dense n)
         for s in 0..self.p {
-            group_of[s as usize] = self.partition_stripe_columns(a, &stripe_of, s, cfg)?;
+            let sspan = parent.child_indexed("stripe", s as u64);
+            group_of[s as usize] =
+                self.partition_stripe_columns(a, &stripe_of, s, cfg, &sspan.handle(), &mut stats)?;
         }
 
         let mut nonzero_owner = Vec::with_capacity(a.nnz());
@@ -101,7 +122,10 @@ impl JaggedModel {
                 s * self.q + group_of[s as usize][j as usize]
             })
             .collect();
-        Decomposition::general(a, k, nonzero_owner, vec_owner)
+        Ok((
+            Decomposition::general(a, k, nonzero_owner, vec_owner)?,
+            stats,
+        ))
     }
 
     /// Partitions the columns of one stripe into Q groups; returns a dense
@@ -113,6 +137,8 @@ impl JaggedModel {
         stripe_of: &[u32],
         stripe: u32,
         cfg: &PartitionConfig,
+        span: &SpanHandle,
+        stats: &mut EngineStats,
     ) -> Result<Vec<u32>> {
         let n = a.nrows();
         let mut dense = (0..n).map(|j| j % self.q).collect::<Vec<u32>>();
@@ -158,14 +184,16 @@ impl JaggedModel {
             builder.add_net(pins);
         }
         let hg: Hypergraph = builder.build()?;
-        let r = partition_hypergraph(
+        let r = partition_hypergraph_traced(
             &hg,
             self.q,
             &PartitionConfig {
                 epsilon: self.epsilon,
                 ..cfg.clone()
             },
+            span,
         )?;
+        stats.merge(&r.stats);
         let parts: &Partition = &r.partition;
         for v in 0..hg.num_vertices() {
             dense[vertex_col[v as usize] as usize] = parts.part(v);

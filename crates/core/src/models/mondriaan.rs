@@ -17,9 +17,9 @@
 //! [`crate::CommStats`] like every other model.
 
 use fgh_hypergraph::{Hypergraph, HypergraphBuilder};
-use fgh_partition::bisect::multilevel_bisect;
-use fgh_partition::PartitionConfig;
+use fgh_partition::{EngineStats, MultilevelDriver, PartitionConfig};
 use fgh_sparse::CsrMatrix;
+use fgh_trace::SpanHandle;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -44,6 +44,22 @@ impl MondriaanModel {
 
     /// Decomposes `a`, returning the 2D [`Decomposition`].
     pub fn decompose(&self, a: &CsrMatrix, cfg: &PartitionConfig) -> Result<Decomposition> {
+        self.decompose_traced(a, cfg, &SpanHandle::noop())
+            .map(|(d, _)| d)
+    }
+
+    /// [`MondriaanModel::decompose`] with engine instrumentation and trace
+    /// recording. All matrix bisections run on **one** reused
+    /// [`MultilevelDriver`], so the returned [`EngineStats`] aggregate the
+    /// whole recursion (every level's coarsening/FM work, summed). Under
+    /// an enabled `parent` scope each recursion node records a
+    /// `bisect[part_lo]` span with the cuts of both candidate directions.
+    pub fn decompose_traced(
+        &self,
+        a: &CsrMatrix,
+        cfg: &PartitionConfig,
+        parent: &SpanHandle,
+    ) -> Result<(Decomposition, EngineStats)> {
         if !a.is_square() {
             return Err(ModelError::NotSquare {
                 nrows: a.nrows(),
@@ -55,11 +71,24 @@ impl MondriaanModel {
         }
         let coords: Vec<Coord> = a.iter().map(|(i, j, _)| (i, j)).collect();
         let mut owner = vec![0u32; coords.len()];
+        let mut stats = EngineStats::default();
         if self.k > 1 && !coords.is_empty() {
             let mut rng = SmallRng::seed_from_u64(cfg.seed);
             let eps = per_level_epsilon(self.epsilon, self.k);
             let ids: Vec<u32> = (0..coords.len() as u32).collect(); // lint: checked-cast — coords.len() <= nnz, u32-bounded
-            recurse(&coords, &ids, self.k, 0, eps, cfg, &mut rng, &mut owner);
+            let mut driver = MultilevelDriver::new(cfg.clone());
+            recurse(
+                &coords,
+                &ids,
+                self.k,
+                0,
+                eps,
+                &mut driver,
+                &mut rng,
+                &mut owner,
+                parent,
+            );
+            stats = driver.stats();
         }
 
         // Conformal vector owners: for each index j, pick the part with the
@@ -84,7 +113,7 @@ impl MondriaanModel {
             })
             .collect();
 
-        Decomposition::general(a, self.k, owner, vec_owner)
+        Ok((Decomposition::general(a, self.k, owner, vec_owner)?, stats))
     }
 }
 
@@ -150,12 +179,12 @@ fn bisect_direction(
     by_rows: bool,
     targets: [f64; 2],
     eps: f64,
-    cfg: &PartitionConfig,
+    driver: &mut MultilevelDriver,
     rng: &mut SmallRng,
 ) -> (Vec<u8>, u64) {
     let (hg, nz_group) = directional_hypergraph(coords, ids, by_rows);
     let fixed = vec![-1i8; hg.num_vertices() as usize];
-    let (sides, cut) = multilevel_bisect(&hg, &fixed, targets, eps, cfg, rng);
+    let (sides, cut) = driver.bisect(&hg, &fixed, targets, eps, rng);
     let nz_sides: Vec<u8> = nz_group.iter().map(|&g| sides[g as usize]).collect();
     (nz_sides, cut)
 }
@@ -167,9 +196,10 @@ fn recurse(
     k: u32,
     part_lo: u32,
     eps: f64,
-    cfg: &PartitionConfig,
+    driver: &mut MultilevelDriver,
     rng: &mut SmallRng,
     out: &mut [u32],
+    span: &SpanHandle,
 ) {
     if k == 1 {
         for &e in ids {
@@ -177,15 +207,23 @@ fn recurse(
         }
         return;
     }
+    let bspan = span.child_indexed("bisect", part_lo as u64);
+    let scope = bspan.handle();
+    driver.set_trace_parent(scope.clone());
     let k0 = k.div_ceil(2);
     let k1 = k - k0;
     let total = ids.len() as f64;
     let targets = [total * k0 as f64 / k as f64, total * k1 as f64 / k as f64];
 
     // Try both split directions; keep the smaller cut (Mondriaan's rule).
-    let (sides_r, cut_r) = bisect_direction(coords, ids, true, targets, eps, cfg, rng);
-    let (sides_c, cut_c) = bisect_direction(coords, ids, false, targets, eps, cfg, rng);
+    let (sides_r, cut_r) = bisect_direction(coords, ids, true, targets, eps, driver, rng);
+    let (sides_c, cut_c) = bisect_direction(coords, ids, false, targets, eps, driver, rng);
     let sides = if cut_r <= cut_c { sides_r } else { sides_c };
+    if bspan.is_enabled() {
+        bspan.counter("nonzeros", ids.len() as u64);
+        bspan.counter("cut_rowwise", cut_r);
+        bspan.counter("cut_colwise", cut_c);
+    }
 
     for side in [0u8, 1u8] {
         let child_ids: Vec<u32> = ids
@@ -199,7 +237,7 @@ fn recurse(
         } else {
             (k1, part_lo + k0)
         };
-        recurse(coords, &child_ids, kk, lo, eps, cfg, rng, out);
+        recurse(coords, &child_ids, kk, lo, eps, driver, rng, out, &scope);
     }
 }
 
@@ -254,10 +292,8 @@ mod tests {
             mond += CommStats::compute(&a, &d).unwrap().total_volume();
             let out = crate::api::decompose(
                 &a,
-                &crate::api::DecomposeConfig {
-                    seed,
-                    ..crate::api::DecomposeConfig::new(crate::api::Model::Hypergraph1DColNet, 8)
-                },
+                &crate::api::DecomposeConfig::new(crate::api::Model::Hypergraph1DColNet, 8)
+                    .with_seed(seed),
             )
             .unwrap();
             oned += out.stats.total_volume();

@@ -1,0 +1,359 @@
+//! Machine-readable metrics reports: the **`fgh-metrics/1`** JSON
+//! document.
+//!
+//! One decomposition run → one self-describing JSON object carrying the
+//! request, the exact communication statistics, the engine counters, and
+//! (when tracing was on) the full span tree. The CLI's `--metrics-json`
+//! flag writes exactly this document; [`validate_metrics_value`] is the
+//! schema checker the golden tests and downstream tooling share.
+//!
+//! # Schema `fgh-metrics/1`
+//!
+//! ```json
+//! {
+//!   "schema": "fgh-metrics/1",
+//!   "model": "fine-grain-2d",
+//!   "k": 4, "epsilon": 0.03, "seed": 1, "runs": 1,
+//!   "matrix": {"nrows": 256, "ncols": 256, "nnz": 1216},
+//!   "status": "full",
+//!   "degraded_reason": null,
+//!   "objective": 104,
+//!   "elapsed_ns": 5123456,
+//!   "comm": {
+//!     "total_volume": 104, "expand_volume": 60, "fold_volume": 44,
+//!     "expand_messages": 9, "fold_messages": 7, "total_messages": 16,
+//!     "max_messages_per_proc": 5, "max_sent_recv_words": 61,
+//!     "load_imbalance_percent": 1.97
+//!   },
+//!   "engine": {
+//!     "bisections": 3, "levels": 9, "contracted_incidences": 3120,
+//!     "fm_passes": 40, "fm_moves": 512, "fm_rollbacks": 80,
+//!     "wall_truncations": 0, "level_truncations": 0,
+//!     "fm_truncations": 0, "parallel_forks": 0
+//!   },
+//!   "trace": [ …fgh-trace/1 span objects… ]
+//! }
+//! ```
+//!
+//! Every member above is required. `degraded_reason` is a string when
+//! `status` is `"degraded"` and `null` otherwise; `trace` is either
+//! `null` or a span forest in the `fgh-trace/1` format
+//! ([`fgh_trace::Trace::to_json`], validated by
+//! [`fgh_trace::validate_trace_value`]). All integer members are
+//! non-negative and f64-exact.
+
+use std::collections::BTreeMap;
+
+use fgh_sparse::CsrMatrix;
+use fgh_trace::json::{parse, Value};
+use fgh_trace::validate_trace_value;
+
+use crate::api::{DecomposeConfig, DecompositionOutcome};
+
+/// The schema identifier stamped into every document.
+pub const METRICS_SCHEMA: &str = "fgh-metrics/1";
+
+fn num(n: u64) -> Value {
+    // Counters are far below 2^53, so u64→f64 is exact there and merely
+    // rounds beyond (the read side validates with `as_u64`).
+    Value::Num(n as f64)
+}
+
+/// Assembles the `fgh-metrics/1` document for one decomposition run.
+/// `a` must be the matrix the outcome was computed from.
+pub fn metrics_document(a: &CsrMatrix, cfg: &DecomposeConfig, out: &DecompositionOutcome) -> Value {
+    let mut matrix = BTreeMap::new();
+    matrix.insert("nrows".into(), num(a.nrows() as u64));
+    matrix.insert("ncols".into(), num(a.ncols() as u64));
+    matrix.insert(
+        "nnz".into(),
+        num(out.decomposition.nonzero_owner.len() as u64),
+    );
+
+    let s = &out.stats;
+    let mut comm = BTreeMap::new();
+    comm.insert("total_volume".into(), num(s.total_volume()));
+    comm.insert("expand_volume".into(), num(s.expand_volume));
+    comm.insert("fold_volume".into(), num(s.fold_volume));
+    comm.insert("expand_messages".into(), num(s.expand_messages));
+    comm.insert("fold_messages".into(), num(s.fold_messages));
+    comm.insert("total_messages".into(), num(s.total_messages()));
+    comm.insert(
+        "max_messages_per_proc".into(),
+        num(s.max_messages_per_proc()),
+    );
+    comm.insert("max_sent_recv_words".into(), num(s.max_sent_recv_words()));
+    comm.insert(
+        "load_imbalance_percent".into(),
+        Value::Num(s.load_imbalance_percent()),
+    );
+
+    let e = &out.engine;
+    let mut engine = BTreeMap::new();
+    engine.insert("bisections".into(), num(e.bisections));
+    engine.insert("levels".into(), num(e.levels));
+    engine.insert("contracted_incidences".into(), num(e.contracted_incidences));
+    engine.insert("fm_passes".into(), num(e.fm_passes));
+    engine.insert("fm_moves".into(), num(e.fm_moves));
+    engine.insert("fm_rollbacks".into(), num(e.fm_rollbacks));
+    engine.insert("wall_truncations".into(), num(e.wall_truncations));
+    engine.insert("level_truncations".into(), num(e.level_truncations));
+    engine.insert("fm_truncations".into(), num(e.fm_truncations));
+    engine.insert("parallel_forks".into(), num(e.parallel_forks));
+
+    let trace = match &out.trace {
+        // The span tree already has a tested serializer; round-tripping
+        // through it keeps exactly one source of truth for that format.
+        Some(t) => parse(&t.to_json()).unwrap_or(Value::Null),
+        None => Value::Null,
+    };
+
+    let mut doc = BTreeMap::new();
+    doc.insert("schema".into(), Value::Str(METRICS_SCHEMA.into()));
+    doc.insert("model".into(), Value::Str(cfg.model.name().into()));
+    doc.insert("k".into(), num(cfg.k as u64));
+    doc.insert("epsilon".into(), Value::Num(cfg.epsilon));
+    doc.insert("seed".into(), num(cfg.seed));
+    doc.insert("runs".into(), num(cfg.runs as u64));
+    doc.insert("matrix".into(), Value::Obj(matrix));
+    doc.insert(
+        "status".into(),
+        Value::Str(
+            if out.status.is_degraded() {
+                "degraded"
+            } else {
+                "full"
+            }
+            .into(),
+        ),
+    );
+    doc.insert(
+        "degraded_reason".into(),
+        match out.status.reason() {
+            Some(r) => Value::Str(r.into()),
+            None => Value::Null,
+        },
+    );
+    doc.insert("objective".into(), num(out.objective));
+    let elapsed_ns = out.elapsed.as_nanos().min(u64::MAX as u128) as u64;
+    doc.insert("elapsed_ns".into(), num(elapsed_ns));
+    doc.insert("comm".into(), Value::Obj(comm));
+    doc.insert("engine".into(), Value::Obj(engine));
+    doc.insert("trace".into(), trace);
+    Value::Obj(doc)
+}
+
+/// [`metrics_document`] serialized to a compact JSON string (what the
+/// CLI writes for `--metrics-json`).
+pub fn metrics_json(a: &CsrMatrix, cfg: &DecomposeConfig, out: &DecompositionOutcome) -> String {
+    metrics_document(a, cfg, out).to_json()
+}
+
+const TOP_MEMBERS: [&str; 13] = [
+    "schema",
+    "model",
+    "k",
+    "epsilon",
+    "seed",
+    "runs",
+    "matrix",
+    "status",
+    "degraded_reason",
+    "objective",
+    "elapsed_ns",
+    "comm",
+    "engine",
+];
+
+const MATRIX_MEMBERS: [&str; 3] = ["nrows", "ncols", "nnz"];
+
+const COMM_MEMBERS: [&str; 9] = [
+    "total_volume",
+    "expand_volume",
+    "fold_volume",
+    "expand_messages",
+    "fold_messages",
+    "total_messages",
+    "max_messages_per_proc",
+    "max_sent_recv_words",
+    "load_imbalance_percent",
+];
+
+const ENGINE_MEMBERS: [&str; 10] = [
+    "bisections",
+    "levels",
+    "contracted_incidences",
+    "fm_passes",
+    "fm_moves",
+    "fm_rollbacks",
+    "wall_truncations",
+    "level_truncations",
+    "fm_truncations",
+    "parallel_forks",
+];
+
+fn require_counters(
+    v: &Value,
+    members: &[&str],
+    path: &str,
+    float_ok: &[&str],
+) -> Result<(), String> {
+    let obj = v.as_obj().ok_or(format!("{path}: expected an object"))?;
+    for key in obj.keys() {
+        if !members.contains(&key.as_str()) {
+            return Err(format!("{path}: unknown member {key:?}"));
+        }
+    }
+    for m in members {
+        let val = obj.get(*m).ok_or(format!("{path}.{m}: missing"))?;
+        if float_ok.contains(m) {
+            val.as_f64()
+                .ok_or(format!("{path}.{m}: expected a number"))?;
+        } else {
+            val.as_u64()
+                .ok_or(format!("{path}.{m}: expected a non-negative integer"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Validates a parsed JSON value against the `fgh-metrics/1` schema.
+/// Checks the exact member sets of the top-level object and its `matrix`
+/// / `comm` / `engine` sub-objects, the type of every member, the
+/// `status` / `degraded_reason` coupling, and — when `trace` is not null
+/// — the embedded `fgh-trace/1` span forest. Returns the first violation
+/// as a `path: problem` message.
+pub fn validate_metrics_value(v: &Value) -> Result<(), String> {
+    let obj = v
+        .as_obj()
+        .ok_or("metrics: expected an object".to_string())?;
+    for key in obj.keys() {
+        if !TOP_MEMBERS.contains(&key.as_str()) && key != "trace" {
+            return Err(format!("metrics: unknown member {key:?}"));
+        }
+    }
+    match v.get("schema").and_then(|s| s.as_str()) {
+        Some(s) if s == METRICS_SCHEMA => {}
+        Some(s) => return Err(format!("metrics.schema: unknown schema {s:?}")),
+        None => return Err("metrics.schema: missing".to_string()),
+    }
+    v.get("model")
+        .and_then(|m| m.as_str())
+        .ok_or("metrics.model: expected a string")?;
+    for m in ["k", "seed", "runs", "objective", "elapsed_ns"] {
+        v.get(m)
+            .and_then(|n| n.as_u64())
+            .ok_or(format!("metrics.{m}: expected a non-negative integer"))?;
+    }
+    v.get("epsilon")
+        .and_then(|n| n.as_f64())
+        .ok_or("metrics.epsilon: expected a number")?;
+    require_counters(
+        v.get("matrix").unwrap_or(&Value::Null),
+        &MATRIX_MEMBERS,
+        "metrics.matrix",
+        &[],
+    )?;
+    require_counters(
+        v.get("comm").unwrap_or(&Value::Null),
+        &COMM_MEMBERS,
+        "metrics.comm",
+        &["load_imbalance_percent"],
+    )?;
+    require_counters(
+        v.get("engine").unwrap_or(&Value::Null),
+        &ENGINE_MEMBERS,
+        "metrics.engine",
+        &[],
+    )?;
+    let status = v
+        .get("status")
+        .and_then(|s| s.as_str())
+        .ok_or("metrics.status: expected a string")?;
+    let reason = v
+        .get("degraded_reason")
+        .ok_or("metrics.degraded_reason: missing")?;
+    match status {
+        "full" if reason.is_null() => {}
+        "full" => return Err("metrics.degraded_reason: must be null when full".to_string()),
+        "degraded" if reason.as_str().is_some() => {}
+        "degraded" => {
+            return Err("metrics.degraded_reason: must be a string when degraded".to_string())
+        }
+        other => return Err(format!("metrics.status: unknown status {other:?}")),
+    }
+    match v.get("trace") {
+        Some(t) if t.is_null() => Ok(()),
+        Some(t) => validate_trace_value(t),
+        None => Err("metrics.trace: missing".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{decompose, Model};
+    use fgh_sparse::gen::{self, ValueMode};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn matrix() -> CsrMatrix {
+        gen::grid5(
+            12,
+            12,
+            1.0,
+            ValueMode::Ones,
+            &mut SmallRng::seed_from_u64(3),
+        )
+    }
+
+    #[test]
+    fn document_round_trips_and_validates() {
+        let a = matrix();
+        let cfg = DecomposeConfig::new(Model::FineGrain2D, 4).with_trace(true);
+        let out = decompose(&a, &cfg).unwrap();
+        let text = metrics_json(&a, &cfg, &out);
+        let v = parse(&text).unwrap();
+        validate_metrics_value(&v).unwrap();
+        assert_eq!(v.get("model").unwrap().as_str(), Some("fine-grain-2d"));
+        assert_eq!(v.get("k").unwrap().as_u64(), Some(4));
+        assert_eq!(
+            v.get("comm").unwrap().get("total_volume").unwrap().as_u64(),
+            Some(out.stats.total_volume())
+        );
+        assert!(!v.get("trace").unwrap().is_null(), "trace was requested");
+    }
+
+    #[test]
+    fn untraced_document_has_null_trace() {
+        let a = matrix();
+        let cfg = DecomposeConfig::new(Model::Graph1D, 2);
+        let out = decompose(&a, &cfg).unwrap();
+        let v = parse(&metrics_json(&a, &cfg, &out)).unwrap();
+        validate_metrics_value(&v).unwrap();
+        assert!(v.get("trace").unwrap().is_null());
+    }
+
+    #[test]
+    fn validator_rejects_mutations() {
+        let a = matrix();
+        let cfg = DecomposeConfig::new(Model::FineGrain2D, 2).with_trace(true);
+        let out = decompose(&a, &cfg).unwrap();
+        let good = metrics_json(&a, &cfg, &out);
+        for (needle, replacement, why) in [
+            (
+                r#""schema":"fgh-metrics/1""#,
+                r#""schema":"bogus/9""#,
+                "schema",
+            ),
+            (r#""status":"full""#, r#""status":"great""#, "status"),
+            (r#""k":2"#, r#""k":-2"#, "negative k"),
+            (r#""fm_moves""#, r#""fm_movez""#, "engine member"),
+        ] {
+            let bad = good.replace(needle, replacement);
+            assert_ne!(good, bad, "mutation {why} did not apply");
+            let v = parse(&bad).unwrap();
+            assert!(validate_metrics_value(&v).is_err(), "accepted bad {why}");
+        }
+    }
+}

@@ -18,9 +18,10 @@ use std::sync::Arc;
 
 use fgh_partition::error::{panic_message, HypergraphError};
 use fgh_partition::{
-    ArenaPool, EngineStats, LevelArena, MultilevelDriver, PartitionConfig, PartitionError,
-    Substrate,
+    record_run_counters, ArenaPool, EngineStats, LevelArena, MultilevelDriver, PartitionConfig,
+    PartitionError, Substrate,
 };
+use fgh_trace::{Span, SpanHandle};
 
 use crate::graph::CsrGraph;
 
@@ -342,16 +343,30 @@ pub fn partition_graph_best(
     cfg: &PartitionConfig,
     runs: usize,
 ) -> Result<GraphPartitionResult, PartitionError> {
+    partition_graph_best_traced(g, k, cfg, runs, &SpanHandle::noop())
+}
+
+/// [`partition_graph_best`] recording under a trace scope: each seed gets
+/// a `run[offset]` child span of `parent` carrying the run's engine/arena
+/// counters, with the multilevel phase spans nested inside (requires the
+/// `trace` cargo feature to record anything).
+pub fn partition_graph_best_traced(
+    g: &CsrGraph,
+    k: u32,
+    cfg: &PartitionConfig,
+    runs: usize,
+    parent: &SpanHandle,
+) -> Result<GraphPartitionResult, PartitionError> {
     let runs = runs.max(1);
     let pool = Arc::new(ArenaPool::new());
     let threads = cfg.parallelism.resolved();
     let results = if threads > 1 && rayon::current_thread_index().is_none() {
         match rayon::ThreadPoolBuilder::new().num_threads(threads).build() {
-            Ok(tp) => tp.install(|| seed_range(g, k, cfg, 0, runs, &pool)),
-            Err(_) => seed_range(g, k, cfg, 0, runs, &pool),
+            Ok(tp) => tp.install(|| seed_range(g, k, cfg, 0, runs, &pool, parent)),
+            Err(_) => seed_range(g, k, cfg, 0, runs, &pool, parent),
         }
     } else {
-        seed_range(g, k, cfg, 0, runs, &pool)
+        seed_range(g, k, cfg, 0, runs, &pool, parent)
     };
     let mut first_err: Option<PartitionError> = None;
     let ok: Vec<GraphPartitionResult> = results
@@ -380,6 +395,7 @@ pub fn partition_graph_best(
 /// until single seeds remain; results concatenate back in seed order.
 /// Each seed partitions on a driver drawn from the shared arena pool,
 /// with panics contained to that seed's slot.
+#[allow(clippy::too_many_arguments)]
 fn seed_range(
     g: &CsrGraph,
     k: u32,
@@ -387,21 +403,33 @@ fn seed_range(
     lo: usize,
     hi: usize,
     pool: &Arc<ArenaPool>,
+    span: &SpanHandle,
 ) -> Vec<Result<GraphPartitionResult, PartitionError>> {
     if hi - lo <= 1 {
         let mut c = cfg.clone();
         c.seed = cfg.seed.wrapping_add(lo as u64);
+        let rspan = if cfg!(feature = "trace") {
+            span.child_indexed("run", lo as u64)
+        } else {
+            Span::noop()
+        };
+        let scope = rspan.handle();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut driver = MultilevelDriver::with_pool(c, Arc::clone(pool));
-            partition_graph_with(&mut driver, g, k)
+            driver.set_trace_parent(scope.clone());
+            let r = partition_graph_with(&mut driver, g, k);
+            if let Ok(res) = &r {
+                record_run_counters(&scope, &res.stats, driver.arena_stats());
+            }
+            r
         }))
         .unwrap_or_else(|p| Err(PartitionError::Worker(panic_message(p))));
         return vec![result];
     }
     let mid = lo + (hi - lo) / 2;
     let (mut left, mut right) = rayon::join(
-        || seed_range(g, k, cfg, lo, mid, pool),
-        || seed_range(g, k, cfg, mid, hi, pool),
+        || seed_range(g, k, cfg, lo, mid, pool, span),
+        || seed_range(g, k, cfg, mid, hi, pool, span),
     );
     left.append(&mut right);
     left

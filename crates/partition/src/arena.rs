@@ -27,6 +27,10 @@ pub struct ArenaStats {
     pub fresh: u64,
     /// Takes served from the pool.
     pub reused: u64,
+    /// Gain-bucket takes that had to (re)allocate backing storage —
+    /// fresh builds, plus pooled buckets whose capacity had to grow for a
+    /// larger vertex count or gain span.
+    pub bucket_grows: u64,
 }
 
 macro_rules! pooled {
@@ -105,11 +109,14 @@ impl LevelArena {
         match self.buckets.pop() {
             Some(mut b) => {
                 self.stats.reused += 1;
-                b.reset(n, max_gain);
+                if b.reset(n, max_gain) {
+                    self.stats.bucket_grows += 1;
+                }
                 b
             }
             None => {
                 self.stats.fresh += 1;
+                self.stats.bucket_grows += 1;
                 GainBuckets::new(n, max_gain)
             }
         }
@@ -204,7 +211,8 @@ mod tests {
             a.stats(),
             ArenaStats {
                 fresh: 1,
-                reused: 1
+                reused: 1,
+                bucket_grows: 0
             }
         );
     }
@@ -219,7 +227,8 @@ mod tests {
             a.stats(),
             ArenaStats {
                 fresh: 2,
-                reused: 0
+                reused: 0,
+                bucket_grows: 0
             }
         );
     }
@@ -252,7 +261,8 @@ mod tests {
             b.stats(),
             ArenaStats {
                 fresh: 1,
-                reused: 1
+                reused: 1,
+                bucket_grows: 0
             }
         );
     }

@@ -24,6 +24,7 @@ use rand::{Rng, SeedableRng};
 
 use fgh_hypergraph::{Hypergraph, Partition};
 use fgh_invariant::InvariantViolation;
+use fgh_trace::{Span, SpanHandle};
 
 use crate::arena::{ArenaPool, LevelArena};
 use crate::coarsen::{coarsen_once_in, FREE};
@@ -217,6 +218,10 @@ pub struct MultilevelDriver {
     /// the start of a run (see [`MultilevelDriver::arm_budget`]) and
     /// shared with forked workers.
     deadline: Option<Arc<SharedDeadline>>,
+    /// Trace scope this driver records phase spans under. A noop handle
+    /// (the default) makes every span site a single branch; see
+    /// [`MultilevelDriver::set_trace_parent`].
+    span: SpanHandle,
 }
 
 impl Drop for MultilevelDriver {
@@ -258,6 +263,31 @@ impl MultilevelDriver {
             threads,
             stats: EngineStats::default(),
             deadline: None,
+            span: SpanHandle::noop(),
+        }
+    }
+
+    /// Attaches this driver to a trace scope: subsequent phase spans
+    /// (`bisect[part] → coarsen[level] / initial / refine[level] →
+    /// fm-pass[i]`) are recorded as children of `span`. Forked workers
+    /// inherit the scope through per-domain child spans, so parallel
+    /// traces stitch under the same parent. Requires the `trace` cargo
+    /// feature; without it the span sites compile to no-ops and this
+    /// setter has no observable effect.
+    pub fn set_trace_parent(&mut self, span: SpanHandle) {
+        self.span = span;
+    }
+
+    /// Opens a child span under this driver's trace scope — a noop span
+    /// unless the `trace` feature is on *and* a real scope was attached.
+    fn trace_child(&self, name: &'static str, index: Option<u64>) -> Span {
+        if cfg!(feature = "trace") {
+            match index {
+                Some(i) => self.span.child_indexed(name, i),
+                None => self.span.child(name),
+            }
+        } else {
+            Span::noop()
         }
     }
 
@@ -277,6 +307,7 @@ impl MultilevelDriver {
             threads: self.threads,
             stats: EngineStats::default(),
             deadline: self.deadline.clone(),
+            span: self.span.clone(),
         }
     }
 
@@ -389,6 +420,7 @@ impl MultilevelDriver {
                 self.stats.wall_truncations += 1;
                 break;
             }
+            let cspan = self.trace_child("coarsen", Some(levels.len() as u64));
             let timer = StageTimer::start();
             let next = coarsen_once_in(
                 cur,
@@ -405,6 +437,10 @@ impl MultilevelDriver {
                     paranoid_check(&level.coarse, "coarsen.contract");
                     self.stats.levels += 1;
                     self.stats.contracted_incidences += level.coarse.num_incidences();
+                    if cspan.is_enabled() {
+                        cspan.counter("vertices", level.coarse.num_vertices() as u64);
+                        cspan.counter("incidences", level.coarse.num_incidences());
+                    }
                     levels.push(level);
                 }
                 None => break,
@@ -416,6 +452,7 @@ impl MultilevelDriver {
             Some(l) => (&l.coarse, &l.fixed),
             None => (sub, fixed),
         };
+        let ispan = self.trace_child("initial", None);
         let timer = StageTimer::start();
         let mut sides = if self.wall_exhausted() {
             // Out of time: one weight-only split instead of multi-try
@@ -450,6 +487,10 @@ impl MultilevelDriver {
             )
         };
         timer.stop(&mut self.stats.initial_nanos);
+        if ispan.is_enabled() {
+            ispan.counter("vertices", coarsest.num_vertices() as u64);
+        }
+        drop(ispan);
 
         // --- Uncoarsening: project and refine at every level ---
         let timer = StageTimer::start();
@@ -476,6 +517,7 @@ impl MultilevelDriver {
             } else {
                 self.fm_pass_allowance(self.cfg.fm_passes)
             };
+            let rspan = self.trace_child("refine", Some(li as u64));
             let mut st = BisectionState::new_in(
                 fine,
                 std::mem::take(&mut sides),
@@ -491,6 +533,7 @@ impl MultilevelDriver {
                 self.cfg.boundary_fm,
                 &mut self.arena,
                 &mut self.stats,
+                &rspan.handle(),
             );
             sides = st.into_sides_in(&mut self.arena);
         }
@@ -610,7 +653,18 @@ impl MultilevelDriver {
             }
         }));
 
+        // Phase spans of this bisection nest under a `bisect[part_lo]`
+        // span; `part_lo` is the node's identity, so serial and parallel
+        // traversals produce the same tree.
+        let bspan = self.trace_child("bisect", Some(part_lo as u64));
+        let saved_scope = std::mem::replace(&mut self.span, bspan.handle());
         let (sides, cut) = self.bisect(sub, &fixed_sides, targets, eps, &mut rng);
+        self.span = saved_scope;
+        if bspan.is_enabled() {
+            bspan.counter("vertices", sub.num_vertices() as u64);
+            bspan.counter("cut", cut);
+        }
+        drop(bspan);
         self.arena.give_i8(fixed_sides);
         *cut_sum += cut;
 
@@ -634,9 +688,15 @@ impl MultilevelDriver {
         // a leaf push — never worth a fork.
         if k0 > 1 && k1 > 1 && self.threads > 1 && rayon::current_thread_index().is_some() {
             let mut worker = self.fork();
+            // The forked branch records under a `domain[first-part]` child
+            // span whose guard rides into the closure, so its subtree
+            // stitches deterministically under this driver's scope.
+            let dspan = self.trace_child("domain", Some((part_lo + k0) as u64));
+            worker.span = dspan.handle();
             let ((), (mut right_leaves, right_cut, worker)) = rayon::join(
                 || self.recurse(&child0, ids0, fixed, k0, part_lo, eps, leaves, cut_sum),
                 move || {
+                    let _domain = dspan;
                     let mut right_leaves = Vec::new();
                     let mut right_cut = 0u64;
                     worker.recurse(

@@ -142,8 +142,11 @@ impl GainBuckets {
     /// Reinitializes for `n` vertices and gains in `[-max_gain, max_gain]`,
     /// keeping allocated capacity. Equivalent to `*self = GainBuckets::new(
     /// n, max_gain)` but reusable from a [`crate::arena::LevelArena`] pool.
-    pub fn reset(&mut self, n: usize, max_gain: i64) {
+    /// Returns `true` when any backing vector had to grow (a pool-reuse
+    /// "resize" event, counted by [`crate::arena::ArenaStats`]).
+    pub fn reset(&mut self, n: usize, max_gain: i64) -> bool {
         let half = clamped_half_span(max_gain);
+        let grew = self.heads.capacity() < (2 * half + 1) as usize || self.next.capacity() < n;
         self.offset = half;
         self.bound = max_gain.max(0);
         self.heads.clear();
@@ -158,6 +161,7 @@ impl GainBuckets {
         self.in_bucket.resize(n, false);
         self.max_idx = 0;
         self.len = 0;
+        grew
     }
 
     /// Pops a maximum-gain vertex satisfying `admissible`, scanning buckets

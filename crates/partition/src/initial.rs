@@ -180,7 +180,15 @@ fn random_once<S: Substrate>(
     }
     arena.give_u32(order);
     let mut st = BisectionState::new_in(sub, side, fixed, targets, epsilon, arena);
-    st.refine_in(rng, fm_passes, 0, false, arena, stats);
+    st.refine_in(
+        rng,
+        fm_passes,
+        0,
+        false,
+        arena,
+        stats,
+        &fgh_trace::SpanHandle::noop(),
+    );
     st.into_sides_in(arena)
 }
 
@@ -221,7 +229,15 @@ fn bin_packing_once<S: Substrate>(
     }
     arena.give_u32(order);
     let mut st = BisectionState::new_in(sub, side, fixed, targets, epsilon, arena);
-    st.refine_in(rng, fm_passes, 0, false, arena, stats);
+    st.refine_in(
+        rng,
+        fm_passes,
+        0,
+        false,
+        arena,
+        stats,
+        &fgh_trace::SpanHandle::noop(),
+    );
     st.into_sides_in(arena)
 }
 
@@ -267,7 +283,15 @@ fn ghg_once<S: Substrate>(
         arena.give_u32(insert_order);
     }
 
-    st.refine_in(rng, fm_passes, 0, false, arena, stats);
+    st.refine_in(
+        rng,
+        fm_passes,
+        0,
+        false,
+        arena,
+        stats,
+        &fgh_trace::SpanHandle::noop(),
+    );
     st.into_sides_in(arena)
 }
 

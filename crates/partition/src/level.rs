@@ -32,6 +32,9 @@ pub struct EngineStats {
     pub fm_passes: u64,
     /// Tentative FM moves applied across all passes (before rollback).
     pub fm_moves: u64,
+    /// Tentative moves undone by best-prefix rollback (so
+    /// `fm_moves - fm_rollbacks` moves were actually kept).
+    pub fm_rollbacks: u64,
     /// Times the wall-clock budget checkpoint fired and skipped work
     /// (coarsening stopped, quick initial split, or refinement skipped).
     pub wall_truncations: u64,
@@ -67,6 +70,7 @@ impl EngineStats {
         self.contracted_incidences += other.contracted_incidences;
         self.fm_passes += other.fm_passes;
         self.fm_moves += other.fm_moves;
+        self.fm_rollbacks += other.fm_rollbacks;
         self.wall_truncations += other.wall_truncations;
         self.level_truncations += other.level_truncations;
         self.fm_truncations += other.fm_truncations;

@@ -73,10 +73,13 @@ pub use config::{Budget, CoarseningScheme, InitialScheme, Parallelism, Partition
 pub use engine::{MultilevelDriver, RecursiveOutcome, Substrate};
 pub use error::PartitionError;
 pub use level::{EngineStats, Level};
-pub use parallel::partition_hypergraph_seeds;
+pub use parallel::{
+    partition_hypergraph_seeds, partition_hypergraph_seeds_traced, record_run_counters,
+};
 pub use recursive::{
-    partition_hypergraph, partition_hypergraph_best, partition_hypergraph_fixed,
-    partition_hypergraph_with, PartitionResult,
+    partition_hypergraph, partition_hypergraph_best, partition_hypergraph_best_traced,
+    partition_hypergraph_fixed, partition_hypergraph_traced, partition_hypergraph_with,
+    PartitionResult,
 };
 
 #[cfg(test)]

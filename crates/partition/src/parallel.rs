@@ -14,11 +14,13 @@
 use std::sync::Arc;
 
 use fgh_hypergraph::Hypergraph;
+use fgh_trace::{Span, SpanHandle};
 
 use crate::arena::ArenaPool;
 use crate::config::PartitionConfig;
 use crate::engine::MultilevelDriver;
 use crate::error::{panic_message, PartitionError};
+use crate::level::EngineStats;
 use crate::recursive::{partition_hypergraph_with, PartitionResult};
 
 /// Partitions `hg` once per seed `cfg.seed + i` for `i in 0..runs` and
@@ -35,19 +37,34 @@ pub fn partition_hypergraph_seeds(
     cfg: &PartitionConfig,
     runs: usize,
 ) -> Vec<Result<PartitionResult, PartitionError>> {
+    partition_hypergraph_seeds_traced(hg, k, cfg, runs, &SpanHandle::noop())
+}
+
+/// [`partition_hypergraph_seeds`] recording under a trace scope: each
+/// seed gets a `run[offset]` child span of `parent` carrying the run's
+/// engine/arena counters, with the multilevel phase spans nested inside
+/// (requires the `trace` cargo feature to record anything).
+pub fn partition_hypergraph_seeds_traced(
+    hg: &Hypergraph,
+    k: u32,
+    cfg: &PartitionConfig,
+    runs: usize,
+    parent: &SpanHandle,
+) -> Vec<Result<PartitionResult, PartitionError>> {
     let runs = runs.max(1);
     let pool = Arc::new(ArenaPool::new());
     let threads = cfg.parallelism.resolved();
     if threads > 1 && rayon::current_thread_index().is_none() {
         if let Ok(tp) = rayon::ThreadPoolBuilder::new().num_threads(threads).build() {
-            return tp.install(|| run_range(hg, k, cfg, 0, runs, &pool));
+            return tp.install(|| run_range(hg, k, cfg, 0, runs, &pool, parent));
         }
     }
-    run_range(hg, k, cfg, 0, runs, &pool)
+    run_range(hg, k, cfg, 0, runs, &pool, parent)
 }
 
 /// Runs seed offsets `lo..hi`, halving the range across `rayon::join`
 /// until single seeds remain. Results concatenate back in seed order.
+#[allow(clippy::too_many_arguments)]
 fn run_range(
     hg: &Hypergraph,
     k: u32,
@@ -55,17 +72,45 @@ fn run_range(
     lo: usize,
     hi: usize,
     pool: &Arc<ArenaPool>,
+    span: &SpanHandle,
 ) -> Vec<Result<PartitionResult, PartitionError>> {
     if hi - lo <= 1 {
-        return vec![run_seeded(hg, k, cfg, lo, pool)];
+        return vec![run_seeded(hg, k, cfg, lo, pool, span)];
     }
     let mid = lo + (hi - lo) / 2;
     let (mut left, mut right) = rayon::join(
-        || run_range(hg, k, cfg, lo, mid, pool),
-        || run_range(hg, k, cfg, mid, hi, pool),
+        || run_range(hg, k, cfg, lo, mid, pool, span),
+        || run_range(hg, k, cfg, mid, hi, pool, span),
     );
     left.append(&mut right);
     left
+}
+
+/// Records a finished run's engine and arena counters onto its `run[i]`
+/// span (a no-op for noop scopes). Public so substrate crates driving
+/// their own seed fan-outs (e.g. the graph baseline) emit the same
+/// counter vocabulary.
+pub fn record_run_counters(
+    scope: &SpanHandle,
+    stats: &EngineStats,
+    arena: crate::arena::ArenaStats,
+) {
+    if !scope.is_enabled() {
+        return;
+    }
+    scope.counter("bisections", stats.bisections);
+    scope.counter("levels", stats.levels);
+    scope.counter("fm_passes", stats.fm_passes);
+    scope.counter("fm_moves", stats.fm_moves);
+    scope.counter("fm_rollbacks", stats.fm_rollbacks);
+    scope.counter("parallel_forks", stats.parallel_forks);
+    scope.counter(
+        "budget_truncations",
+        stats.wall_truncations + stats.level_truncations + stats.fm_truncations,
+    );
+    scope.counter("arena_fresh", arena.fresh);
+    scope.counter("arena_reused", arena.reused);
+    scope.counter("gain_resizes", arena.bucket_grows);
 }
 
 /// One seed: a fresh driver over the shared arena pool, panics contained
@@ -77,12 +122,24 @@ fn run_seeded(
     cfg: &PartitionConfig,
     offset: usize,
     pool: &Arc<ArenaPool>,
+    span: &SpanHandle,
 ) -> Result<PartitionResult, PartitionError> {
     let mut c = cfg.clone();
     c.seed = cfg.seed.wrapping_add(offset as u64);
+    let rspan = if cfg!(feature = "trace") {
+        span.child_indexed("run", offset as u64)
+    } else {
+        Span::noop()
+    };
+    let scope = rspan.handle();
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let mut driver = MultilevelDriver::with_pool(c, Arc::clone(pool));
-        partition_hypergraph_with(&mut driver, hg, k, None)
+        driver.set_trace_parent(scope.clone());
+        let r = partition_hypergraph_with(&mut driver, hg, k, None);
+        if let Ok(res) = &r {
+            record_run_counters(&scope, &res.stats, driver.arena_stats());
+        }
+        r
     }))
     .unwrap_or_else(|p| Err(PartitionError::Worker(panic_message(p))))
 }

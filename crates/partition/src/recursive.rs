@@ -12,6 +12,8 @@ use fgh_hypergraph::{
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use fgh_trace::SpanHandle;
+
 use crate::config::PartitionConfig;
 use crate::engine::MultilevelDriver;
 use crate::error::PartitionError;
@@ -58,6 +60,27 @@ pub fn partition_hypergraph(
     cfg: &PartitionConfig,
 ) -> Result<PartitionResult, PartitionError> {
     partition_hypergraph_fixed(hg, k, None, cfg)
+}
+
+/// [`partition_hypergraph`] recording under a trace scope: the multilevel
+/// phase spans (`bisect` → `coarsen`/`initial`/`refine`) nest directly
+/// under `parent`, and the run's engine/arena counters are recorded onto
+/// `parent` itself (requires the `trace` cargo feature to record
+/// anything). Meant for composite models that stitch several single runs
+/// into one decomposition.
+pub fn partition_hypergraph_traced(
+    hg: &Hypergraph,
+    k: u32,
+    cfg: &PartitionConfig,
+    parent: &SpanHandle,
+) -> Result<PartitionResult, PartitionError> {
+    let mut driver = MultilevelDriver::new(cfg.clone());
+    driver.set_trace_parent(parent.clone());
+    let r = partition_hypergraph_with(&mut driver, hg, k, None);
+    if let Ok(res) = &r {
+        crate::parallel::record_run_counters(parent, &res.stats, driver.arena_stats());
+    }
+    r
 }
 
 /// Like [`partition_hypergraph`], with optional pre-assigned vertices:
@@ -153,7 +176,21 @@ pub fn partition_hypergraph_best(
     cfg: &PartitionConfig,
     runs: usize,
 ) -> Result<PartitionResult, PartitionError> {
-    let results = crate::parallel::partition_hypergraph_seeds(hg, k, cfg, runs);
+    partition_hypergraph_best_traced(hg, k, cfg, runs, &SpanHandle::noop())
+}
+
+/// [`partition_hypergraph_best`] recording under a trace scope: each seed
+/// gets a `run[offset]` child span of `parent` carrying the run's
+/// engine/arena counters, with the multilevel phase spans nested inside
+/// (requires the `trace` cargo feature to record anything).
+pub fn partition_hypergraph_best_traced(
+    hg: &Hypergraph,
+    k: u32,
+    cfg: &PartitionConfig,
+    runs: usize,
+    parent: &SpanHandle,
+) -> Result<PartitionResult, PartitionError> {
+    let results = crate::parallel::partition_hypergraph_seeds_traced(hg, k, cfg, runs, parent);
     let mut best: Option<PartitionResult> = None;
     let mut first_err: Option<PartitionError> = None;
     for r in results {

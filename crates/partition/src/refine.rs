@@ -11,6 +11,7 @@
 //! external-minus-internal edge weights.
 
 use fgh_hypergraph::Hypergraph;
+use fgh_trace::{Span, SpanHandle};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -302,6 +303,7 @@ impl<'a, S: Substrate> BisectionState<'a, S> {
         }
         stats.fm_passes += 1;
         stats.fm_moves += moves.len() as u64;
+        stats.fm_rollbacks += (moves.len() - best_len) as u64;
 
         // Roll back past the best prefix.
         for &v in moves[best_len..].iter().rev() {
@@ -324,6 +326,7 @@ impl<'a, S: Substrate> BisectionState<'a, S> {
             false,
             &mut LevelArena::disabled(),
             &mut EngineStats::default(),
+            &SpanHandle::noop(),
         )
     }
 
@@ -343,11 +346,16 @@ impl<'a, S: Substrate> BisectionState<'a, S> {
             true,
             &mut LevelArena::disabled(),
             &mut EngineStats::default(),
+            &SpanHandle::noop(),
         )
     }
 
     /// Arena-backed refinement loop used by the engine (`boundary` selects
     /// boundary-only passes after an optional balance-repair full pass).
+    /// Each FM pass opens an `fm-pass[i]` child span under `span` (free
+    /// when the handle is a noop) carrying per-pass `moves`/`rollbacks`
+    /// counters.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn refine_in(
         &mut self,
         rng: &mut impl Rng,
@@ -356,21 +364,54 @@ impl<'a, S: Substrate> BisectionState<'a, S> {
         boundary: bool,
         arena: &mut LevelArena,
         stats: &mut EngineStats,
+        span: &SpanHandle,
     ) -> usize {
         let mut improved = 0;
-        if boundary
-            && self.balance_penalty() > 0
-            && self.fm_pass_in(rng, early_exit, false, arena, stats)
-        {
-            improved += 1;
+        let mut pass_idx = 0u64;
+        if boundary && self.balance_penalty() > 0 {
+            // Balance repair: boundary passes cannot always reach the
+            // vertices a rebalance needs, so run one full pass first.
+            if self.traced_pass(rng, early_exit, false, arena, stats, span, pass_idx) {
+                improved += 1;
+            }
+            pass_idx += 1;
         }
         let remaining = max_passes.saturating_sub(improved);
         for _ in 0..remaining {
-            if self.fm_pass_in(rng, early_exit, boundary, arena, stats) {
+            if self.traced_pass(rng, early_exit, boundary, arena, stats, span, pass_idx) {
+                pass_idx += 1;
                 improved += 1;
             } else {
                 break;
             }
+        }
+        improved
+    }
+
+    /// One [`BisectionState::fm_pass_in`] wrapped in an `fm-pass[idx]`
+    /// span with per-pass counters. With the `trace` feature off, or a
+    /// noop handle, this is exactly an `fm_pass_in` call.
+    #[allow(clippy::too_many_arguments)]
+    fn traced_pass(
+        &mut self,
+        rng: &mut impl Rng,
+        early_exit: usize,
+        boundary: bool,
+        arena: &mut LevelArena,
+        stats: &mut EngineStats,
+        span: &SpanHandle,
+        idx: u64,
+    ) -> bool {
+        let sp = if cfg!(feature = "trace") {
+            span.child_indexed("fm-pass", idx)
+        } else {
+            Span::noop()
+        };
+        let (moves0, rollbacks0) = (stats.fm_moves, stats.fm_rollbacks);
+        let improved = self.fm_pass_in(rng, early_exit, boundary, arena, stats);
+        if sp.is_enabled() {
+            sp.counter("moves", stats.fm_moves - moves0);
+            sp.counter("rollbacks", stats.fm_rollbacks - rollbacks0);
         }
         improved
     }
@@ -540,7 +581,15 @@ mod tests {
         let mut a =
             BisectionState::new_in(&hg, side.clone(), &fixed, [12.0, 12.0], 0.1, &mut arena);
         let mut b = BisectionState::new(&hg, side, &fixed, [12.0, 12.0], 0.1);
-        a.refine_in(&mut rng(), 8, 0, false, &mut arena, &mut stats);
+        a.refine_in(
+            &mut rng(),
+            8,
+            0,
+            false,
+            &mut arena,
+            &mut stats,
+            &SpanHandle::noop(),
+        );
         b.refine(&mut rng(), 8, 0);
         assert_eq!(a.cut(), b.cut());
         assert_eq!(a.sides(), b.sides());

@@ -3,6 +3,7 @@
 use fgh_core::Decomposition;
 use fgh_invariant::{invariant, InvariantViolation};
 use fgh_sparse::CsrMatrix;
+use fgh_trace::SpanHandle;
 
 use crate::{Result, SpmvError};
 
@@ -432,6 +433,19 @@ impl DistributedSpmv {
     /// checked with poisoned buffers in debug builds — so the result being
     /// equal to the serial SpMV certifies the plan is complete.
     pub fn multiply(&self, x: &[f64]) -> Result<(Vec<f64>, MeasuredComm)> {
+        self.multiply_traced(x, &SpanHandle::noop())
+    }
+
+    /// [`DistributedSpmv::multiply`] recording the three phases as
+    /// `expand` / `local-mult` / `fold` child spans of `parent`, with
+    /// `words` and `messages` counters on the communication phases and a
+    /// `nonzeros` counter on the multiply. Under a no-op handle this is
+    /// exactly [`DistributedSpmv::multiply`].
+    pub fn multiply_traced(
+        &self,
+        x: &[f64],
+        parent: &SpanHandle,
+    ) -> Result<(Vec<f64>, MeasuredComm)> {
         if x.len() != self.n as usize {
             return Err(SpmvError::DimensionMismatch {
                 expected: self.n as usize,
@@ -453,37 +467,59 @@ impl DistributedSpmv {
         };
 
         // Phase 1: expand.
-        for t in &self.expand {
-            for &j in &t.indices {
-                let v = x_local[t.from as usize][j as usize];
-                debug_assert!(!v.is_nan(), "expand of x_{j} from non-owner {}", t.from);
-                x_local[t.to as usize][j as usize] = v;
+        {
+            let espan = parent.child("expand");
+            for t in &self.expand {
+                for &j in &t.indices {
+                    let v = x_local[t.from as usize][j as usize];
+                    debug_assert!(!v.is_nan(), "expand of x_{j} from non-owner {}", t.from);
+                    x_local[t.to as usize][j as usize] = v;
+                }
+                measured.expand_words += t.indices.len() as u64;
+                measured.expand_messages += 1;
+                measured.sent_words_per_proc[t.from as usize] += t.indices.len() as u64;
             }
-            measured.expand_words += t.indices.len() as u64;
-            measured.expand_messages += 1;
-            measured.sent_words_per_proc[t.from as usize] += t.indices.len() as u64;
+            if espan.is_enabled() {
+                espan.counter("words", measured.expand_words);
+                espan.counter("messages", measured.expand_messages);
+            }
         }
 
         // Phase 2: local multiply into per-processor partial y.
         let mut y_partial: Vec<Vec<f64>> = vec![vec![0.0; n]; k];
-        for (p, block) in self.local.iter().enumerate() {
-            for e in 0..block.nnz() {
-                let (i, j, v) = (block.rows[e], block.cols[e], block.vals[e]);
-                let xj = x_local[p][j as usize];
-                debug_assert!(!xj.is_nan(), "processor {p} multiplies unreceived x_{j}");
-                y_partial[p][i as usize] += v * xj;
+        {
+            let mspan = parent.child("local-mult");
+            let mut flops = 0u64;
+            for (p, block) in self.local.iter().enumerate() {
+                for e in 0..block.nnz() {
+                    let (i, j, v) = (block.rows[e], block.cols[e], block.vals[e]);
+                    let xj = x_local[p][j as usize];
+                    debug_assert!(!xj.is_nan(), "processor {p} multiplies unreceived x_{j}");
+                    y_partial[p][i as usize] += v * xj;
+                }
+                flops += block.nnz() as u64;
+            }
+            if mspan.is_enabled() {
+                mspan.counter("nonzeros", flops);
             }
         }
 
         // Phase 3: fold partial results to the y owners.
-        for t in &self.fold {
-            for &i in &t.indices {
-                let v = y_partial[t.from as usize][i as usize];
-                y_partial[t.to as usize][i as usize] += v;
+        {
+            let fspan = parent.child("fold");
+            for t in &self.fold {
+                for &i in &t.indices {
+                    let v = y_partial[t.from as usize][i as usize];
+                    y_partial[t.to as usize][i as usize] += v;
+                }
+                measured.fold_words += t.indices.len() as u64;
+                measured.fold_messages += 1;
+                measured.sent_words_per_proc[t.from as usize] += t.indices.len() as u64;
             }
-            measured.fold_words += t.indices.len() as u64;
-            measured.fold_messages += 1;
-            measured.sent_words_per_proc[t.from as usize] += t.indices.len() as u64;
+            if fspan.is_enabled() {
+                fspan.counter("words", measured.fold_words);
+                fspan.counter("messages", measured.fold_messages);
+            }
         }
 
         // Assemble the global y from each owner.

@@ -1,0 +1,78 @@
+//! Pluggable destinations for completed spans and counters.
+
+use std::sync::Mutex;
+
+use crate::tree::Trace;
+use crate::{CounterRecord, SpanRecord};
+
+/// A destination for trace records. Sinks must be thread-safe: fork-join
+/// workers record concurrently. Implementations should be cheap and
+/// non-blocking-ish — they run inline in the instrumented code (at phase
+/// granularity, never inside per-move loops).
+pub trait Sink: Send + Sync {
+    /// Called once per span, when it closes.
+    fn record_span(&self, span: SpanRecord);
+    /// Called once per counter attachment.
+    fn record_counter(&self, counter: CounterRecord);
+}
+
+/// A sink that drops everything. Useful as an explicit "tracing off"
+/// sink; note that [`crate::Tracer::disabled`] is cheaper still (no ids,
+/// no clock reads).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record_span(&self, _span: SpanRecord) {}
+    fn record_counter(&self, _counter: CounterRecord) {}
+}
+
+/// A sink that buffers every record in memory, for tests and for
+/// assembling a [`Trace`] after the traced region completes.
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    spans: Mutex<Vec<SpanRecord>>,
+    counters: Mutex<Vec<CounterRecord>>,
+}
+
+impl CollectingSink {
+    /// An empty sink.
+    pub fn new() -> CollectingSink {
+        CollectingSink::default()
+    }
+
+    /// Snapshot of the spans recorded so far (completion order).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        match self.spans.lock() {
+            Ok(g) => g.clone(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Snapshot of the counters recorded so far.
+    pub fn counters(&self) -> Vec<CounterRecord> {
+        match self.counters.lock() {
+            Ok(g) => g.clone(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Assembles the records into a deterministic [`Trace`] tree.
+    pub fn build_trace(&self) -> Trace {
+        Trace::from_records(&self.spans(), &self.counters())
+    }
+}
+
+impl Sink for CollectingSink {
+    fn record_span(&self, span: SpanRecord) {
+        if let Ok(mut g) = self.spans.lock() {
+            g.push(span);
+        }
+    }
+
+    fn record_counter(&self, counter: CounterRecord) {
+        if let Ok(mut g) = self.counters.lock() {
+            g.push(counter);
+        }
+    }
+}
