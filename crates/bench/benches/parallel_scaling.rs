@@ -85,6 +85,20 @@ fn run_sweep(hg: &Hypergraph, threads: usize, reps: usize) -> (f64, Vec<u64>) {
     (best, cutsizes)
 }
 
+/// Peak resident set size of this process in kilobytes, read from
+/// `/proc/self/status` (`VmHWM`). 0 when unavailable (non-Linux hosts);
+/// the JSON field is informational, never gated.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1)?.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     // `scale` divides the catalog dimensions, so quick runs use the
@@ -147,8 +161,10 @@ fn main() {
         ));
     }
 
+    let peak_rss_kb = peak_rss_kb();
+    println!("peak rss: {peak_rss_kb} kB");
     let json = format!(
-        "{{\n  \"bench\": \"parallel_scaling\",\n  \"matrix\": \"ken-11\",\n  \"scale\": {},\n  \"k\": {K},\n  \"seeds\": {SEEDS},\n  \"reps\": {},\n  \"quick\": {quick},\n  \"host_cpus\": {host_cpus},\n  \"per_seed_cutsizes_identical\": true,\n  \"runs\": [{rows}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"parallel_scaling\",\n  \"matrix\": \"ken-11\",\n  \"scale\": {},\n  \"k\": {K},\n  \"seeds\": {SEEDS},\n  \"reps\": {},\n  \"quick\": {quick},\n  \"host_cpus\": {host_cpus},\n  \"peak_rss_kb\": {peak_rss_kb},\n  \"per_seed_cutsizes_identical\": true,\n  \"runs\": [{rows}\n  ]\n}}\n",
         p.scale, p.reps
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");

@@ -9,7 +9,7 @@ pub mod spy;
 pub mod stats;
 
 use fgh_core::{DecompositionOutcome, FghError};
-use fgh_sparse::CsrMatrix;
+use fgh_sparse::{AnyCsrMatrix, CsrMatrix};
 
 use crate::error::CmdError;
 
@@ -19,6 +19,16 @@ use crate::error::CmdError;
 pub fn load_matrix(path: &str) -> Result<CsrMatrix, String> {
     let coo = fgh_sparse::io::read_matrix_market(path).map_err(|e| format!("{path}: {e}"))?;
     CsrMatrix::try_from_coo(coo).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Loads a MatrixMarket file into a CSR carrier at the index width its
+/// header demands: catalog-scale inputs stay on the `u32` fast path,
+/// inputs whose fine-grain hypergraph would overflow 32-bit ids come back
+/// `u64`. Decomposition commands route this through
+/// [`fgh_core::decompose_any`] so the CLI never names an index width.
+pub fn load_matrix_any(path: &str) -> Result<AnyCsrMatrix, String> {
+    let coo = fgh_sparse::io::read_matrix_market_any(path).map_err(|e| format!("{path}: {e}"))?;
+    coo.try_into_csr().map_err(|e| format!("{path}: {e}"))
 }
 
 /// Applies the degraded-outcome policy shared by the subcommands: errors

@@ -2,18 +2,19 @@
 
 use std::io::Write;
 
-use fgh_core::{decompose, Decomposition};
+use fgh_core::{decompose_any, Decomposition};
+use fgh_sparse::AnyCsrMatrix;
 
-use crate::commands::{finish_outcome, load_matrix};
+use crate::commands::{finish_outcome, load_matrix_any};
 use crate::error::CmdResult;
 use crate::opts::Opts;
 
 pub fn run(args: &[String]) -> CmdResult {
     let o = Opts::parse(args)?;
     let path = o.one_positional("matrix.mtx")?;
-    let a = load_matrix(path)?;
+    let a = load_matrix_any(path)?;
     let cfg = o.decompose_config(o.parse_required("k")?)?;
-    let out = finish_outcome(decompose(&a, &cfg), o.has("strict"))?;
+    let out = finish_outcome(decompose_any(&a, &cfg), o.has("strict"))?;
 
     if let Some(trace) = &out.trace {
         eprint!("{}", trace.render());
@@ -25,6 +26,7 @@ pub fn run(args: &[String]) -> CmdResult {
         a.nnz()
     );
     println!("model:             {}", cfg.model.name());
+    println!("index width:       {} bits", out.width.bits());
     println!("processors:        {}", cfg.k);
     println!("objective:         {}", out.objective);
     println!(
@@ -61,7 +63,12 @@ pub fn run(args: &[String]) -> CmdResult {
         println!("mapping written:   {out_path}");
     }
     if let Some(json_path) = o.get("metrics-json") {
-        let doc = fgh_core::metrics_json(&a, &cfg, &out) + "\n";
+        // Dispatch on the carrier width; the document itself only reads
+        // width-independent dimensions from the matrix.
+        let doc = match &a {
+            AnyCsrMatrix::U32(m) => fgh_core::metrics_json(m, &cfg, &out),
+            AnyCsrMatrix::U64(m) => fgh_core::metrics_json(m, &cfg, &out),
+        } + "\n";
         std::fs::write(json_path, doc).map_err(|e| format!("{json_path}: {e}"))?;
         println!("metrics written:   {json_path}");
     }
@@ -98,7 +105,7 @@ pub fn read_mapping(path: &str) -> Result<Decomposition, String> {
             .map_err(|e| format!("{path}: bad {what}: {e}"))
     };
     let k = parse(it.next(), "k")? as u32;
-    let n = parse(it.next(), "n")? as u32;
+    let n = parse(it.next(), "n")?;
     let nnz = parse(it.next(), "nnz")? as usize;
     let mut nums = lines.map(|l| l.trim().parse::<u32>());
     let mut take = |count: usize, what: &str| -> Result<Vec<u32>, String> {

@@ -89,6 +89,8 @@ fn usage() -> &'static str {
      \x20 --parallel        (spmv) execute with one thread per processor\n\
      \x20 --max-wall-ms N   wall-clock budget for the partitioner; when it\n\
      \x20                   trips, the best partition found is returned\n\
+     \x20 --max-bytes N     working-set byte budget for the partitioner;\n\
+     \x20                   exceeding it truncates descent, never aborts\n\
      \x20 --strict          reject degraded outcomes (infeasible balance,\n\
      \x20                   exhausted budget) instead of warning on stderr\n\
      \x20 --trace           record per-phase spans and print the span tree\n\

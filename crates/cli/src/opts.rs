@@ -79,16 +79,19 @@ impl Opts {
             .map_err(|e| format!("--{name}: {e}"))
     }
 
-    /// The `--max-wall-ms` flag as a partitioner budget (default
-    /// unlimited).
+    /// The `--max-wall-ms` and `--max-bytes` flags as a partitioner
+    /// budget (default unlimited). Both degrade rather than abort: the
+    /// engine keeps the best partition found when a cap trips.
     pub fn budget(&self) -> Result<fgh_core::Budget, String> {
-        match self.get("max-wall-ms") {
-            Some(v) => {
-                let ms: u64 = v.parse().map_err(|e| format!("--max-wall-ms: {e}"))?;
-                Ok(fgh_core::Budget::wall(std::time::Duration::from_millis(ms)))
-            }
-            None => Ok(fgh_core::Budget::UNLIMITED),
+        let mut b = fgh_core::Budget::UNLIMITED;
+        if let Some(v) = self.get("max-wall-ms") {
+            let ms: u64 = v.parse().map_err(|e| format!("--max-wall-ms: {e}"))?;
+            b.max_wall = Some(std::time::Duration::from_millis(ms));
         }
+        if let Some(v) = self.get("max-bytes") {
+            b.max_bytes = Some(v.parse().map_err(|e| format!("--max-bytes: {e}"))?);
+        }
+        Ok(b)
     }
 
     /// The `--threads N` flag as a partitioner thread policy. Absent means
@@ -118,7 +121,8 @@ impl Opts {
 
     /// Builds the decomposition request shared by the subcommands from
     /// the common flags (`--model --epsilon --seed --runs --max-wall-ms
-    /// --threads --trace`) and an already-resolved processor count.
+    /// --max-bytes --threads --trace`) and an already-resolved processor
+    /// count.
     pub fn decompose_config(&self, k: u32) -> Result<DecomposeConfig, String> {
         Ok(DecomposeConfig::new(self.model()?, k)
             .with_epsilon(self.parse_or("epsilon", 0.03)?)

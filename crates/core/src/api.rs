@@ -1,14 +1,24 @@
 //! One-call decomposition API: pick a model, get a decomposition plus its
 //! exact communication statistics and timing — the loop body of the
 //! paper's Table-2 experiment.
+//!
+//! The entry points come in two flavors:
+//!
+//! * [`decompose`] — width-generic: callers holding a `CsrMatrix<u32>`
+//!   (the fast path, every catalog matrix) or a `CsrMatrix<u64>` (the big
+//!   path) call it directly and monomorphize to that width.
+//! * [`decompose_any`] — width-erased: consumes an [`AnyCsrMatrix`] (as
+//!   produced by streaming Matrix Market input), auto-upgrading a `u32`
+//!   carrier to `u64` when the fine-grain hypergraph would overflow
+//!   32-bit ids. The CLI uses this and never names an index width.
 
 use std::time::{Duration, Instant};
 
 use fgh_graph::partition_graph_best_traced;
 use fgh_partition::{
-    partition_hypergraph_best_traced, Budget, EngineStats, Parallelism, PartitionConfig,
+    partition_hypergraph_best_traced, ArenaIndex, Budget, EngineStats, Parallelism, PartitionConfig,
 };
-use fgh_sparse::CsrMatrix;
+use fgh_sparse::{AnyCsrMatrix, CsrMatrix, IndexType, IndexWidth};
 use fgh_trace::{SpanHandle, Trace, Tracer};
 
 use crate::decomp::Decomposition;
@@ -18,6 +28,43 @@ use crate::models::{
     MondriaanModel, RowNetModel, StandardGraphModel,
 };
 use crate::{FghError, ModelError};
+
+/// The index widths [`decompose`] runs at. Sealed by construction: it
+/// extends [`ArenaIndex`] (itself sealed), and only `u32` / `u64`
+/// implement it.
+///
+/// The one width-dependent capability lives here: the composite 2D models
+/// ([`Model::Checkerboard2D`], [`Model::Mondriaan2D`], [`Model::Jagged2D`],
+/// [`Model::CheckerboardHg2D`]) are `u32`-only, and
+/// [`DecomposeIndex::as_u32_matrix`] is the zero-cost evidence check —
+/// `Some` (the identity) on the fast path, `None` (→
+/// [`FghError::UnsupportedWidth`]) on the big path. No conversion is ever
+/// performed behind the caller's back.
+pub trait DecomposeIndex: ArenaIndex {
+    /// Runtime tag for this width, stamped into
+    /// [`DecompositionOutcome::width`].
+    const WIDTH: IndexWidth;
+
+    /// `Some(a)` iff `Self` is `u32` (a zero-cost identity), `None` on
+    /// the big-index path.
+    fn as_u32_matrix(a: &CsrMatrix<Self>) -> Option<&CsrMatrix<u32>>;
+}
+
+impl DecomposeIndex for u32 {
+    const WIDTH: IndexWidth = IndexWidth::U32;
+
+    fn as_u32_matrix(a: &CsrMatrix<u32>) -> Option<&CsrMatrix<u32>> {
+        Some(a)
+    }
+}
+
+impl DecomposeIndex for u64 {
+    const WIDTH: IndexWidth = IndexWidth::U64;
+
+    fn as_u32_matrix(_a: &CsrMatrix<u64>) -> Option<&CsrMatrix<u32>> {
+        None
+    }
+}
 
 /// Which decomposition model to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +128,19 @@ impl Model {
             Model::Jagged2D => "jagged-2d",
             Model::CheckerboardHg2D => "checkerboard-hg-2d",
         }
+    }
+
+    /// `true` for the models that run at either index width (the
+    /// engine-backed single-partition models). The composite 2D models are
+    /// `u32`-only.
+    pub fn supports_wide_indices(&self) -> bool {
+        matches!(
+            self,
+            Model::Graph1D
+                | Model::Hypergraph1DColNet
+                | Model::Hypergraph1DRowNet
+                | Model::FineGrain2D
+        )
     }
 }
 
@@ -266,6 +326,10 @@ pub struct DecompositionOutcome {
     pub elapsed: Duration,
     /// Full or degraded, with the reason when degraded.
     pub status: DecompositionStatus,
+    /// The index width the decomposition ran at: `U32` for the fast path,
+    /// `U64` for the big path (via [`decompose_any`]'s auto-upgrade or a
+    /// caller's own wide matrix).
+    pub width: IndexWidth,
     /// Multilevel engine statistics, including budget-truncation counters.
     /// For the single-partition models this is the winning run's stats;
     /// for the composite models ([`Model::Mondriaan2D`],
@@ -307,38 +371,63 @@ impl DecompositionOutcome {
 /// nonzeros across processors, vector entries following the first nonzero
 /// of their column where one exists. Valid by construction, never balanced
 /// cleverly — callers tag the outcome [`DecompositionStatus::Degraded`].
-fn best_effort_round_robin(a: &CsrMatrix, k: u32) -> std::result::Result<Decomposition, FghError> {
-    let n = a.nrows() as usize;
-    let mut vec_owner: Vec<u32> = (0..n as u32).map(|j| j % k).collect(); // lint: checked-cast — n = ncols, a u32
+fn best_effort_round_robin<I: IndexType>(
+    a: &CsrMatrix<I>,
+    k: u32,
+) -> std::result::Result<Decomposition, FghError> {
+    let n = a.nrows().index();
+    let mut vec_owner: Vec<u32> = (0..n)
+        .map(|j| (j % k as usize) as u32) // lint: checked-cast — value < k, a u32
+        .collect();
     let mut nonzero_owner = Vec::with_capacity(a.nnz());
     let mut col_seen = vec![false; n];
     for (e, (_, j, _)) in a.iter().enumerate() {
-        let owner = e as u32 % k; // lint: checked-cast — e % k is taken next; value < k either way
+        let owner = (e % k as usize) as u32; // lint: checked-cast — value < k, a u32
         nonzero_owner.push(owner);
-        if !col_seen[j as usize] {
-            col_seen[j as usize] = true;
-            vec_owner[j as usize] = owner;
+        let ju = j.index();
+        if !col_seen[ju] {
+            col_seen[ju] = true;
+            vec_owner[ju] = owner;
         }
     }
     Ok(Decomposition::general(a, k, nonzero_owner, vec_owner)?)
 }
 
+/// Downcast evidence for the `u32`-only composite models: `Some` on the
+/// fast path, a typed [`FghError::UnsupportedWidth`] on the big path.
+fn require_u32<I: DecomposeIndex>(
+    a: &CsrMatrix<I>,
+    model: Model,
+) -> std::result::Result<&CsrMatrix<u32>, FghError> {
+    I::as_u32_matrix(a).ok_or(FghError::UnsupportedWidth {
+        model: model.name(),
+        width: I::WIDTH,
+    })
+}
+
 /// Decomposes `a` for parallel SpMV on `cfg.k` processors with the chosen
 /// model and returns the decomposition plus its statistics.
+///
+/// Generic over the index width: `CsrMatrix<u32>` (the default, every
+/// catalog matrix) monomorphizes to the fast path; `CsrMatrix<u64>` runs
+/// the same engine-backed models at 64-bit ids. Width-erased callers use
+/// [`decompose_any`].
 ///
 /// # Failure semantics
 ///
 /// * Malformed requests (`K = 0`, non-finite or negative ε, a
 ///   non-square matrix) return a typed [`FghError`] — never a panic.
+/// * The composite 2D models on a `u64` matrix return
+///   [`FghError::UnsupportedWidth`] (see [`Model::supports_wide_indices`]).
 /// * Pathological-but-valid inputs (empty matrix, `K > nnz`) return a
 ///   best-effort decomposition tagged [`DecompositionStatus::Degraded`].
-/// * When [`DecomposeConfig::budget`] trips, the best partition found so
-///   far is returned, the truncation is visible in
-///   [`DecompositionOutcome::engine`], and the outcome is `Degraded`.
-///   Strict callers reject these via
-///   [`DecompositionOutcome::into_strict`].
-pub fn decompose(
-    a: &CsrMatrix,
+/// * When [`DecomposeConfig::budget`] trips (wall clock, level, FM-pass,
+///   or byte caps), the best partition found so far is returned, the
+///   truncation is visible in [`DecompositionOutcome::engine`], and the
+///   outcome is `Degraded` — never an OOM abort. Strict callers reject
+///   these via [`DecompositionOutcome::into_strict`].
+pub fn decompose<I: DecomposeIndex>(
+    a: &CsrMatrix<I>,
     cfg: &DecomposeConfig,
 ) -> std::result::Result<DecompositionOutcome, FghError> {
     if cfg.k == 0 {
@@ -352,8 +441,8 @@ pub fn decompose(
     }
     if !a.is_square() {
         return Err(FghError::Model(ModelError::NotSquare {
-            nrows: a.nrows(),
-            ncols: a.ncols(),
+            nrows: a.nrows().as_u64(),
+            ncols: a.ncols().as_u64(),
         }));
     }
     // Tracing observes the same window `elapsed` measures: the root
@@ -371,7 +460,7 @@ pub fn decompose(
     // Degenerate inputs are served a trivial decomposition up front rather
     // than fed to partitioners that assume at least one unit of work.
     if a.nnz() == 0 {
-        let decomposition = Decomposition::rowwise(a, cfg.k, vec![0; a.nrows() as usize])?;
+        let decomposition = Decomposition::rowwise(a, cfg.k, vec![0; a.nrows().index()])?;
         let elapsed = start.elapsed();
         drop(root);
         let stats = CommStats::compute(a, &decomposition)?;
@@ -383,6 +472,7 @@ pub fn decompose(
             status: DecompositionStatus::Degraded {
                 reason: "matrix has no nonzeros; trivial decomposition".into(),
             },
+            width: I::WIDTH,
             engine: EngineStats::default(),
             trace: sink.map(|s| s.build_trace()),
         });
@@ -429,8 +519,11 @@ pub fn decompose(
     } else if engine.truncated() {
         DecompositionStatus::Degraded {
             reason: format!(
-                "budget exhausted (wall: {}, levels: {}, fm passes: {}); best partition found so far",
-                engine.wall_truncations, engine.level_truncations, engine.fm_truncations
+                "budget exhausted (wall: {}, levels: {}, fm passes: {}, bytes: {}); best partition found so far",
+                engine.wall_truncations,
+                engine.level_truncations,
+                engine.fm_truncations,
+                engine.byte_truncations
             ),
         }
     } else if imbalance > allowed {
@@ -449,9 +542,41 @@ pub fn decompose(
         objective,
         elapsed,
         status,
+        width: I::WIDTH,
         engine,
         trace,
     })
+}
+
+/// [`decompose`] over a width-erased carrier, choosing the index width
+/// automatically:
+///
+/// * a `u64` carrier runs the big path directly;
+/// * a `u32` carrier normally runs the fast path, but is upgraded to
+///   `u64` first when [`IndexWidth::select`] says the fine-grain
+///   hypergraph (nnz + dummies vertices, `2M` nets) would overflow
+///   32-bit ids — the matrix itself fitting `u32` is not sufficient;
+/// * building with the `force-u64` cargo feature upgrades every carrier,
+///   which CI uses to route the whole test suite through the big path.
+///
+/// [`DecompositionOutcome::width`] records which path actually ran.
+pub fn decompose_any(
+    a: &AnyCsrMatrix,
+    cfg: &DecomposeConfig,
+) -> std::result::Result<DecompositionOutcome, FghError> {
+    let needed = IndexWidth::select(a.nrows(), a.ncols(), a.nnz() as u64);
+    let force_wide = cfg!(feature = "force-u64");
+    match a {
+        AnyCsrMatrix::U64(m) => decompose(m, cfg),
+        AnyCsrMatrix::U32(m) => {
+            if needed == IndexWidth::U64 || force_wide {
+                let wide: CsrMatrix<u64> = m.convert_width()?;
+                decompose(&wide, cfg)
+            } else {
+                decompose(m, cfg)
+            }
+        }
+    }
 }
 
 /// Runs the configured model, returning the decoded decomposition, the
@@ -459,8 +584,8 @@ pub fn decompose(
 /// Under an enabled `scope`, the phases record as `model-build` /
 /// `partition` / `decode` child spans (plus `objective` for the models
 /// whose reported objective is a separate exact-volume computation).
-fn decompose_with_model(
-    a: &CsrMatrix,
+fn decompose_with_model<I: DecomposeIndex>(
+    a: &CsrMatrix<I>,
     cfg: &DecomposeConfig,
     scope: &SpanHandle,
 ) -> std::result::Result<(Decomposition, u64, EngineStats), FghError> {
@@ -481,57 +606,61 @@ fn decompose_with_model(
         }
         Model::Hypergraph1DColNet => {
             let model = build_spanned(scope, || ColumnNetModel::build(a))?;
-            hypergraph_arm(a, cfg, &pcfg, scope, model.hypergraph(), |r| {
+            hypergraph_arm(cfg, &pcfg, scope, model.hypergraph(), |r| {
                 model.decode(a, &r.partition)
             })?
         }
         Model::Hypergraph1DRowNet => {
             let model = build_spanned(scope, || RowNetModel::build(a))?;
-            hypergraph_arm(a, cfg, &pcfg, scope, model.hypergraph(), |r| {
+            hypergraph_arm(cfg, &pcfg, scope, model.hypergraph(), |r| {
                 model.decode(a, &r.partition)
             })?
         }
         Model::FineGrain2D => {
             let model = build_spanned(scope, || FineGrainModel::build(a))?;
-            hypergraph_arm(a, cfg, &pcfg, scope, model.hypergraph(), |r| {
+            hypergraph_arm(cfg, &pcfg, scope, model.hypergraph(), |r| {
                 model.decode(a, &r.partition)
             })?
         }
         Model::Checkerboard2D => {
             // Direct construction — no partitioner and no communication
             // objective; its "objective" is reported as its true volume.
-            let model = build_spanned(scope, || CheckerboardModel::build(a, cfg.k))?;
+            let a32 = require_u32(a, cfg.model)?;
+            let model = build_spanned(scope, || CheckerboardModel::build(a32, cfg.k))?;
             let ds = scope.child("decode");
-            let d = model.decode(a)?;
+            let d = model.decode(a32)?;
             drop(ds);
-            let vol = objective_volume(a, &d, scope)?;
+            let vol = objective_volume(a32, &d, scope)?;
             (d, vol, EngineStats::default())
         }
         Model::Mondriaan2D => {
             // The internal per-level cuts approximate volume (no
             // consistency pins in the directional hypergraphs), so the
             // reported objective is the exact decoded volume.
+            let a32 = require_u32(a, cfg.model)?;
             let model = MondriaanModel::new(cfg.k, cfg.epsilon);
             let ps = scope.child("partition");
-            let (d, stats) = model.decompose_traced(a, &pcfg, &ps.handle())?;
+            let (d, stats) = model.decompose_traced(a32, &pcfg, &ps.handle())?;
             drop(ps);
-            let vol = objective_volume(a, &d, scope)?;
+            let vol = objective_volume(a32, &d, scope)?;
             (d, vol, stats)
         }
         Model::Jagged2D => {
+            let a32 = require_u32(a, cfg.model)?;
             let model = JaggedModel::new(cfg.k, cfg.epsilon)?;
             let ps = scope.child("partition");
-            let (d, stats) = model.decompose_traced(a, &pcfg, &ps.handle())?;
+            let (d, stats) = model.decompose_traced(a32, &pcfg, &ps.handle())?;
             drop(ps);
-            let vol = objective_volume(a, &d, scope)?;
+            let vol = objective_volume(a32, &d, scope)?;
             (d, vol, stats)
         }
         Model::CheckerboardHg2D => {
+            let a32 = require_u32(a, cfg.model)?;
             let model = CheckerboardHgModel::new(cfg.k, cfg.epsilon)?;
             let ps = scope.child("partition");
-            let (d, stats) = model.decompose_traced(a, &pcfg, &ps.handle())?;
+            let (d, stats) = model.decompose_traced(a32, &pcfg, &ps.handle())?;
             drop(ps);
-            let vol = objective_volume(a, &d, scope)?;
+            let vol = objective_volume(a32, &d, scope)?;
             (d, vol, stats)
         }
     };
@@ -550,15 +679,15 @@ fn build_spanned<T, E>(
 /// The shared partition + decode tail of the three 1D/2D hypergraph-model
 /// arms: multi-seed partitioning under a `partition` span, decoding under
 /// a `decode` span.
-fn hypergraph_arm<D>(
-    _a: &CsrMatrix,
+fn hypergraph_arm<I, D>(
     cfg: &DecomposeConfig,
     pcfg: &PartitionConfig,
     scope: &SpanHandle,
-    hg: &fgh_hypergraph::Hypergraph,
+    hg: &fgh_hypergraph::Hypergraph<I>,
     decode: D,
 ) -> std::result::Result<(Decomposition, u64, EngineStats), FghError>
 where
+    I: ArenaIndex,
     D: FnOnce(&fgh_partition::PartitionResult) -> crate::Result<Decomposition>,
 {
     let ps = scope.child("partition");
@@ -573,8 +702,8 @@ where
 /// Computes the exact decoded volume under an `objective` span — the
 /// reported objective for the models whose internal cuts only
 /// approximate communication volume.
-fn objective_volume(
-    a: &CsrMatrix,
+fn objective_volume<I: IndexType>(
+    a: &CsrMatrix<I>,
     d: &Decomposition,
     scope: &SpanHandle,
 ) -> std::result::Result<u64, FghError> {
@@ -611,6 +740,7 @@ mod tests {
             let out = decompose(&a, &DecomposeConfig::new(model, 4)).unwrap();
             out.decomposition.validate(&a).unwrap();
             assert_eq!(out.stats.k, 4);
+            assert_eq!(out.width, IndexWidth::U32);
             assert!(
                 out.stats.load_imbalance_percent() <= 10.0,
                 "{}: imbalance {}%",
@@ -710,5 +840,88 @@ mod tests {
         let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 1)).unwrap();
         assert_eq!(out.stats.total_volume(), 0);
         assert_eq!(out.objective, 0);
+    }
+
+    #[test]
+    fn wide_path_matches_fast_path_for_engine_models() {
+        // Golden width parity: the same matrix forced through u64 indices
+        // must produce the identical decomposition as the u32 fast path
+        // for every engine-backed model.
+        let a = test_matrix();
+        let a64: CsrMatrix<u64> = a.convert_width().unwrap();
+        for model in [
+            Model::Graph1D,
+            Model::Hypergraph1DColNet,
+            Model::Hypergraph1DRowNet,
+            Model::FineGrain2D,
+        ] {
+            let cfg = DecomposeConfig::new(model, 4);
+            let narrow = decompose(&a, &cfg).unwrap();
+            let wide = decompose(&a64, &cfg).unwrap();
+            assert_eq!(wide.width, IndexWidth::U64);
+            assert_eq!(
+                narrow.decomposition,
+                wide.decomposition,
+                "{}: widths disagree",
+                model.name()
+            );
+            assert_eq!(narrow.objective, wide.objective, "{}", model.name());
+        }
+    }
+
+    #[test]
+    fn composite_models_reject_wide_indices() {
+        let a64: CsrMatrix<u64> = test_matrix().convert_width().unwrap();
+        for model in Model::ALL {
+            let r = decompose(&a64, &DecomposeConfig::new(model, 4));
+            if model.supports_wide_indices() {
+                assert!(r.is_ok(), "{} must run wide", model.name());
+            } else {
+                match r {
+                    Err(FghError::UnsupportedWidth { model: m, width }) => {
+                        assert_eq!(m, model.name());
+                        assert_eq!(width, IndexWidth::U64);
+                    }
+                    other => panic!("{}: expected UnsupportedWidth, got {other:?}", model.name()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decompose_any_dispatches_and_matches_typed_path() {
+        let a = test_matrix();
+        let cfg = DecomposeConfig::new(Model::FineGrain2D, 4);
+        let typed = decompose(&a, &cfg).unwrap();
+        let any = AnyCsrMatrix::from(a.clone());
+        let erased = decompose_any(&any, &cfg).unwrap();
+        // Small matrices stay on the fast path (unless CI forces u64, in
+        // which case the decomposition must still be identical).
+        if cfg!(feature = "force-u64") {
+            assert_eq!(erased.width, IndexWidth::U64);
+        } else {
+            assert_eq!(erased.width, IndexWidth::U32);
+        }
+        assert_eq!(typed.decomposition, erased.decomposition);
+
+        // A wide carrier runs the big path directly.
+        let wide_any = any.convert_width(IndexWidth::U64).unwrap();
+        let wide = decompose_any(&wide_any, &cfg).unwrap();
+        assert_eq!(wide.width, IndexWidth::U64);
+        assert_eq!(typed.decomposition, wide.decomposition);
+    }
+
+    #[test]
+    fn byte_budget_degrades_instead_of_aborting() {
+        // A byte cap far below the model's footprint must still return a
+        // valid partition, tagged Degraded with the byte counter visible.
+        let a = test_matrix();
+        let cfg = DecomposeConfig::new(Model::FineGrain2D, 4).with_budget(Budget::bytes(1));
+        let out = decompose(&a, &cfg).unwrap();
+        out.decomposition.validate(&a).unwrap();
+        assert!(out.engine.byte_truncations > 0, "cap must be recorded");
+        assert!(out.status.is_degraded());
+        let reason = out.status.reason().unwrap();
+        assert!(reason.contains("bytes"), "reason must name bytes: {reason}");
     }
 }

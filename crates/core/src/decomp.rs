@@ -1,6 +1,6 @@
 //! The common decomposition vocabulary shared by all models.
 
-use fgh_sparse::CsrMatrix;
+use fgh_sparse::{CsrMatrix, IndexType};
 
 use crate::{ModelError, Result};
 
@@ -16,12 +16,16 @@ use crate::{ModelError, Result};
 /// 1D row-wise and column-wise decompositions are special cases where
 /// every nonzero of a row (resp. column) shares its row's (column's)
 /// owner.
+///
+/// The struct itself is width-erased: owners are part ids (always `u32` —
+/// K never approaches the index range) and the order is carried as `u64`,
+/// so one decomposition type serves matrices at either index width.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Decomposition {
     /// Number of processors K.
     pub k: u32,
-    /// Matrix order M.
-    pub n: u32,
+    /// Matrix order M (widened so `u64`-indexed matrices fit).
+    pub n: u64,
     /// Owner of each nonzero, in CSR iteration order.
     pub nonzero_owner: Vec<u32>,
     /// Owner of `x_j` and `y_j` for each `j`.
@@ -31,14 +35,14 @@ pub struct Decomposition {
 impl Decomposition {
     /// Builds a row-wise 1D decomposition: row `i` (all its nonzeros, plus
     /// `x_i`/`y_i`) lives on `row_owner[i]`.
-    pub fn rowwise(a: &CsrMatrix, k: u32, row_owner: Vec<u32>) -> Result<Self> {
+    pub fn rowwise<I: IndexType>(a: &CsrMatrix<I>, k: u32, row_owner: Vec<u32>) -> Result<Self> {
         if !a.is_square() {
             return Err(ModelError::NotSquare {
-                nrows: a.nrows(),
-                ncols: a.ncols(),
+                nrows: a.nrows().as_u64(),
+                ncols: a.ncols().as_u64(),
             });
         }
-        if row_owner.len() != a.nrows() as usize {
+        if row_owner.len() != a.nrows().index() {
             return Err(ModelError::Invalid(format!(
                 "row_owner has {} entries for a {}-row matrix",
                 row_owner.len(),
@@ -47,11 +51,11 @@ impl Decomposition {
         }
         let mut nonzero_owner = Vec::with_capacity(a.nnz());
         for (i, _, _) in a.iter() {
-            nonzero_owner.push(row_owner[i as usize]);
+            nonzero_owner.push(row_owner[i.index()]);
         }
         let d = Decomposition {
             k,
-            n: a.nrows(),
+            n: a.nrows().as_u64(),
             nonzero_owner,
             vec_owner: row_owner,
         };
@@ -61,14 +65,14 @@ impl Decomposition {
 
     /// Builds a column-wise 1D decomposition: column `j` lives on
     /// `col_owner[j]`.
-    pub fn columnwise(a: &CsrMatrix, k: u32, col_owner: Vec<u32>) -> Result<Self> {
+    pub fn columnwise<I: IndexType>(a: &CsrMatrix<I>, k: u32, col_owner: Vec<u32>) -> Result<Self> {
         if !a.is_square() {
             return Err(ModelError::NotSquare {
-                nrows: a.nrows(),
-                ncols: a.ncols(),
+                nrows: a.nrows().as_u64(),
+                ncols: a.ncols().as_u64(),
             });
         }
-        if col_owner.len() != a.ncols() as usize {
+        if col_owner.len() != a.ncols().index() {
             return Err(ModelError::Invalid(format!(
                 "col_owner has {} entries for a {}-column matrix",
                 col_owner.len(),
@@ -77,11 +81,11 @@ impl Decomposition {
         }
         let mut nonzero_owner = Vec::with_capacity(a.nnz());
         for (_, j, _) in a.iter() {
-            nonzero_owner.push(col_owner[j as usize]);
+            nonzero_owner.push(col_owner[j.index()]);
         }
         let d = Decomposition {
             k,
-            n: a.nrows(),
+            n: a.nrows().as_u64(),
             nonzero_owner,
             vec_owner: col_owner,
         };
@@ -90,21 +94,21 @@ impl Decomposition {
     }
 
     /// Builds a fully general (2D) decomposition from explicit owners.
-    pub fn general(
-        a: &CsrMatrix,
+    pub fn general<I: IndexType>(
+        a: &CsrMatrix<I>,
         k: u32,
         nonzero_owner: Vec<u32>,
         vec_owner: Vec<u32>,
     ) -> Result<Self> {
         if !a.is_square() {
             return Err(ModelError::NotSquare {
-                nrows: a.nrows(),
-                ncols: a.ncols(),
+                nrows: a.nrows().as_u64(),
+                ncols: a.ncols().as_u64(),
             });
         }
         let d = Decomposition {
             k,
-            n: a.nrows(),
+            n: a.nrows().as_u64(),
             nonzero_owner,
             vec_owner,
         };
@@ -113,11 +117,11 @@ impl Decomposition {
     }
 
     /// Validates shape and ownership ranges against a matrix.
-    pub fn validate(&self, a: &CsrMatrix) -> Result<()> {
+    pub fn validate<I: IndexType>(&self, a: &CsrMatrix<I>) -> Result<()> {
         if self.k == 0 {
             return Err(ModelError::Invalid("K must be >= 1".into()));
         }
-        if self.n != a.nrows() || !a.is_square() {
+        if self.n != a.nrows().as_u64() || !a.is_square() {
             return Err(ModelError::Invalid(format!(
                 "decomposition order {} does not match matrix {}x{}",
                 self.n,
@@ -132,7 +136,7 @@ impl Decomposition {
                 a.nnz()
             )));
         }
-        if self.vec_owner.len() != self.n as usize {
+        if self.vec_owner.len() as u64 != self.n {
             return Err(ModelError::Invalid(format!(
                 "{} vector owners for order {}",
                 self.vec_owner.len(),
@@ -227,7 +231,8 @@ mod tests {
 
     #[test]
     fn rectangular_rejected() {
-        let a = CsrMatrix::from_coo(CooMatrix::from_triplets(2, 3, vec![(0, 0, 1.0)]).unwrap());
+        let a: CsrMatrix =
+            CsrMatrix::from_coo(CooMatrix::from_triplets(2, 3, vec![(0, 0, 1.0)]).unwrap());
         assert!(Decomposition::rowwise(&a, 1, vec![0, 0]).is_err());
     }
 
@@ -237,5 +242,17 @@ mod tests {
         let d = Decomposition::rowwise(&a, 2, vec![0, 1, 0]).unwrap();
         // loads 4 and 1: avg 2.5, max 4 -> 60%.
         assert!((d.load_imbalance_percent() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wide_matrix_decomposes_identically() {
+        let a = sample();
+        let a64: CsrMatrix<u64> = a.convert_width().unwrap();
+        let d32 = Decomposition::rowwise(&a, 2, vec![0, 1, 0]).unwrap();
+        let d64 = Decomposition::rowwise(&a64, 2, vec![0, 1, 0]).unwrap();
+        assert_eq!(d32, d64, "a width-erased decomposition must not differ");
+        // Cross-width validation works because the struct is width-erased.
+        d32.validate(&a64).unwrap();
+        d64.validate(&a).unwrap();
     }
 }

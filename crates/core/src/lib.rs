@@ -39,7 +39,10 @@ pub mod models;
 pub mod reduction;
 pub mod report;
 
-pub use api::{decompose, DecomposeConfig, DecompositionOutcome, DecompositionStatus, Model};
+pub use api::{
+    decompose, decompose_any, DecomposeConfig, DecomposeIndex, DecompositionOutcome,
+    DecompositionStatus, Model,
+};
 pub use decomp::Decomposition;
 pub use fgh_partition::{Budget, EngineStats, Parallelism};
 pub use fgh_trace::{Trace, Tracer};
@@ -50,8 +53,9 @@ pub use report::{metrics_document, metrics_json, validate_metrics_value, METRICS
 #[derive(Debug, Clone, PartialEq)]
 pub enum ModelError {
     /// Decomposition models require square matrices (symmetric x/y
-    /// partitioning is meaningless otherwise).
-    NotSquare { nrows: u32, ncols: u32 },
+    /// partitioning is meaningless otherwise). Dimensions are reported
+    /// widened so one error type serves both index widths.
+    NotSquare { nrows: u64, ncols: u64 },
     /// The underlying partitioner failed.
     Partition(String),
     /// A decomposition failed validation (see message).
@@ -126,6 +130,21 @@ pub enum FghError {
     Infeasible(String),
     /// A [`Budget`] limit truncated the run and the caller was strict.
     BudgetExhausted(String),
+    /// The chosen model does not support the matrix's index width: the
+    /// composite 2D models ([`Model::Checkerboard2D`],
+    /// [`Model::Mondriaan2D`], [`Model::Jagged2D`],
+    /// [`Model::CheckerboardHg2D`]) run on the `u32` fast path only.
+    ///
+    /// [`Model::Checkerboard2D`]: api::Model::Checkerboard2D
+    /// [`Model::Mondriaan2D`]: api::Model::Mondriaan2D
+    /// [`Model::Jagged2D`]: api::Model::Jagged2D
+    /// [`Model::CheckerboardHg2D`]: api::Model::CheckerboardHg2D
+    UnsupportedWidth {
+        /// Canonical name of the rejected model.
+        model: &'static str,
+        /// The index width the matrix is carried at.
+        width: fgh_sparse::IndexWidth,
+    },
 }
 
 impl FghError {
@@ -133,7 +152,9 @@ impl FghError {
     pub fn category(&self) -> ErrorCategory {
         use fgh_hypergraph::HypergraphError as He;
         match self {
-            FghError::Sparse(_) | FghError::InvalidInput(_) => ErrorCategory::BadInput,
+            FghError::Sparse(_) | FghError::InvalidInput(_) | FghError::UnsupportedWidth { .. } => {
+                ErrorCategory::BadInput
+            }
             FghError::Hypergraph(He::InvalidK) => ErrorCategory::BadInput,
             FghError::Partition(fgh_partition::PartitionError::Hypergraph(He::InvalidK)) => {
                 ErrorCategory::BadInput
@@ -158,6 +179,12 @@ impl std::fmt::Display for FghError {
             FghError::InvalidInput(m) => write!(f, "invalid input: {m}"),
             FghError::Infeasible(m) => write!(f, "infeasible: {m}"),
             FghError::BudgetExhausted(m) => write!(f, "budget exhausted: {m}"),
+            FghError::UnsupportedWidth { model, width } => write!(
+                f,
+                "model {model} does not support {width}-bit indices (only the \
+                 engine-backed models run on the big-index path)",
+                width = width.bits()
+            ),
         }
     }
 }

@@ -17,7 +17,7 @@
 //! one message. The paper's per-processor message bound is `K − 1` for 1D
 //! models (single phase) and `2(K − 1)` for the fine-grain model.
 
-use fgh_sparse::CsrMatrix;
+use fgh_sparse::{CsrMatrix, IndexType};
 
 use crate::decomp::Decomposition;
 use crate::Result;
@@ -42,8 +42,9 @@ pub struct ProcStats {
 pub struct CommStats {
     /// Number of processors.
     pub k: u32,
-    /// Matrix order (used for the paper's volume scaling).
-    pub n: u32,
+    /// Matrix order (used for the paper's volume scaling; widened so
+    /// `u64`-indexed matrices fit).
+    pub n: u64,
     /// Total words moved in the expand (pre-communication) phase.
     pub expand_volume: u64,
     /// Total words moved in the fold (post-communication) phase.
@@ -58,10 +59,10 @@ pub struct CommStats {
 
 impl CommStats {
     /// Computes the exact statistics for decomposition `d` of matrix `a`.
-    pub fn compute(a: &CsrMatrix, d: &Decomposition) -> Result<Self> {
+    pub fn compute<I: IndexType>(a: &CsrMatrix<I>, d: &Decomposition) -> Result<Self> {
         d.validate(a)?;
         let k = d.k as usize;
-        let n = d.n;
+        let n = a.nrows().index();
 
         let mut per_proc = vec![ProcStats::default(); k];
         for &p in &d.nonzero_owner {
@@ -70,12 +71,12 @@ impl CommStats {
 
         // Owners of nonzeros per column (CSR iteration is row-major, so
         // bucket by column) and per row (directly from CSR layout).
-        let mut col_parts: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
+        let mut col_parts: Vec<Vec<u32>> = vec![Vec::new(); n];
         {
             let mut e = 0usize;
             for i in 0..n {
-                for &j in a.row_cols(i) {
-                    col_parts[j as usize].push(d.nonzero_owner[e]);
+                for &j in a.row_cols(I::from_index(i)) {
+                    col_parts[j.index()].push(d.nonzero_owner[e]);
                     e += 1;
                 }
             }
@@ -88,10 +89,10 @@ impl CommStats {
 
         let mut expand_volume = 0u64;
         // Expand: owner(x_j) -> each distinct part with a nonzero in col j.
-        for j in 0..n {
-            let owner = d.vec_owner[j as usize] as usize;
+        for (j, cols) in col_parts.iter().enumerate().take(n) {
+            let owner = d.vec_owner[j] as usize;
             let tick = j as u64;
-            for &p in &col_parts[j as usize] {
+            for &p in cols {
                 let p = p as usize;
                 if stamp[p] == tick || p == owner {
                     stamp[p] = tick;
@@ -111,9 +112,9 @@ impl CommStats {
         {
             let mut e = 0usize;
             for i in 0..n {
-                let receiver = d.vec_owner[i as usize] as usize;
+                let receiver = d.vec_owner[i] as usize;
                 let tick = i as u64;
-                for _ in a.row_cols(i) {
+                for _ in a.row_cols(I::from_index(i)) {
                     let p = d.nonzero_owner[e] as usize;
                     e += 1;
                     if stamp[p] == tick || p == receiver {
@@ -148,7 +149,7 @@ impl CommStats {
 
         Ok(CommStats {
             k: d.k,
-            n,
+            n: d.n,
             expand_volume,
             fold_volume,
             expand_messages,
@@ -315,7 +316,7 @@ mod tests {
     fn owner_without_local_nonzero_still_sends_to_all() {
         // x_0 owned by P2 which owns no nonzero of column 0: it must send
         // to every part in Λ.
-        let a = CsrMatrix::from_coo(
+        let a: CsrMatrix = CsrMatrix::from_coo(
             CooMatrix::from_triplets(
                 3,
                 3,
@@ -338,6 +339,16 @@ mod tests {
         let loads: Vec<u64> = s.per_proc.iter().map(|p| p.load).collect();
         assert_eq!(loads, d.loads());
         assert_eq!(s.load_imbalance_percent(), d.load_imbalance_percent());
+    }
+
+    #[test]
+    fn wide_stats_match_narrow() {
+        let a = sample();
+        let a64: fgh_sparse::CsrMatrix<u64> = a.convert_width().unwrap();
+        let d = Decomposition::rowwise(&a, 2, vec![0, 1, 0, 1]).unwrap();
+        let s32 = CommStats::compute(&a, &d).unwrap();
+        let s64 = CommStats::compute(&a64, &d).unwrap();
+        assert_eq!(s32, s64, "ground-truth stats must be width-independent");
     }
 
     #[test]

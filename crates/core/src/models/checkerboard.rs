@@ -41,8 +41,8 @@ impl CheckerboardModel {
     pub fn build_grid(a: &CsrMatrix, p: u32, q: u32) -> Result<Self> {
         if !a.is_square() {
             return Err(ModelError::NotSquare {
-                nrows: a.nrows(),
-                ncols: a.ncols(),
+                nrows: u64::from(a.nrows()),
+                ncols: u64::from(a.ncols()),
             });
         }
         if p == 0 || q == 0 {

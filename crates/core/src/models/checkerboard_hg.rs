@@ -86,8 +86,8 @@ impl CheckerboardHgModel {
     ) -> Result<(Decomposition, EngineStats)> {
         if !a.is_square() {
             return Err(ModelError::NotSquare {
-                nrows: a.nrows(),
-                ncols: a.ncols(),
+                nrows: u64::from(a.nrows()),
+                ncols: u64::from(a.ncols()),
             });
         }
         let n = a.nrows();

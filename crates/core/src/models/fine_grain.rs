@@ -12,10 +12,15 @@
 //! part[v_jj]`, so decoding `map[n_j] = map[m_j] = part[v_jj]` yields a
 //! *symmetric* (conformal) x/y distribution under which the connectivity−1
 //! cutsize (eq. 3) **exactly equals** the total SpMV communication volume.
+//!
+//! The model is generic over the index width: `Z + M` vertices and `2M`
+//! nets overflow `u32` well before the matrix's own indices do, so the
+//! `u64` instantiation is the first structure in the pipeline that big
+//! inputs force wide (see `IndexWidth::select`).
 
 use fgh_hypergraph::{connectivity_sets, Hypergraph, HypergraphBuilder, Partition};
 use fgh_invariant::{invariant, InvariantViolation};
-use fgh_sparse::CsrMatrix;
+use fgh_sparse::{CsrMatrix, IndexType};
 
 use crate::decomp::Decomposition;
 use crate::{ModelError, Result};
@@ -27,26 +32,26 @@ use crate::{ModelError, Result};
 /// structural nonzeros in CSR iteration order; dummy diagonal vertices
 /// (weight 0) follow.
 #[derive(Debug, Clone)]
-pub struct FineGrainModel {
-    hypergraph: Hypergraph,
+pub struct FineGrainModel<I: IndexType = u32> {
+    hypergraph: Hypergraph<I>,
     /// `(row, col)` of every vertex, dummies included.
-    coords: Vec<(u32, u32)>,
+    coords: Vec<(I, I)>,
     /// Vertex id of `v_jj` for each `j` (real or dummy).
-    diag_vertex: Vec<u32>,
+    diag_vertex: Vec<I>,
     /// Number of real (nonzero-backed) vertices = Z.
     num_real: usize,
     /// Matrix order M.
-    n: u32,
+    n: I,
 }
 
-impl FineGrainModel {
+impl<I: IndexType> FineGrainModel<I> {
     /// Builds the model from a square matrix.
     ///
     /// ```
     /// use fgh_core::models::FineGrainModel;
     /// use fgh_sparse::{CooMatrix, CsrMatrix};
     /// // 2x2 with a full diagonal and one off-diagonal nonzero.
-    /// let a = CsrMatrix::from_coo(CooMatrix::from_triplets(
+    /// let a: CsrMatrix = CsrMatrix::from_coo(CooMatrix::from_triplets(
     ///     2, 2, vec![(0, 0, 1.0), (1, 1, 1.0), (1, 0, 1.0)]).unwrap());
     /// let m = FineGrainModel::build(&a).unwrap();
     /// assert_eq!(m.hypergraph().num_vertices(), 3);      // Z vertices
@@ -55,30 +60,30 @@ impl FineGrainModel {
     /// // Column net n_0 holds the nonzeros of column 0: a_00 and a_10.
     /// assert_eq!(m.hypergraph().net_size(m.col_net(0)), 2);
     /// ```
-    pub fn build(a: &CsrMatrix) -> Result<Self> {
+    pub fn build(a: &CsrMatrix<I>) -> Result<Self> {
         if !a.is_square() {
             return Err(ModelError::NotSquare {
-                nrows: a.nrows(),
-                ncols: a.ncols(),
+                nrows: a.nrows().as_u64(),
+                ncols: a.ncols().as_u64(),
             });
         }
-        let n = a.nrows();
+        let n = a.nrows().index();
         let z = a.nnz();
 
-        let mut builder = HypergraphBuilder::new();
-        let mut coords: Vec<(u32, u32)> = Vec::with_capacity(z + n as usize / 4);
-        let mut diag_vertex = vec![u32::MAX; n as usize];
+        let mut builder = HypergraphBuilder::<I>::new();
+        let mut coords: Vec<(I, I)> = Vec::with_capacity(z + n / 4);
+        let mut diag_vertex = vec![I::MAX; n];
 
-        let mut row_pins: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
-        let mut col_pins: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
+        let mut row_pins: Vec<Vec<I>> = vec![Vec::new(); n];
+        let mut col_pins: Vec<Vec<I>> = vec![Vec::new(); n];
 
         for (i, j, _) in a.iter() {
             let v = builder.add_vertex(1);
             coords.push((i, j));
-            row_pins[i as usize].push(v);
-            col_pins[j as usize].push(v);
+            row_pins[i.index()].push(v);
+            col_pins[j.index()].push(v);
             if i == j {
-                diag_vertex[i as usize] = v;
+                diag_vertex[i.index()] = v;
             }
         }
         let num_real = z;
@@ -86,12 +91,12 @@ impl FineGrainModel {
         // Dummy diagonal vertices restore the consistency condition where
         // a_jj = 0; their zero weight keeps the balance model (eq. 1) exact.
         for j in 0..n {
-            if diag_vertex[j as usize] == u32::MAX {
+            if diag_vertex[j] == I::MAX {
                 let v = builder.add_vertex(0);
-                coords.push((j, j));
-                row_pins[j as usize].push(v);
-                col_pins[j as usize].push(v);
-                diag_vertex[j as usize] = v;
+                coords.push((I::from_index(j), I::from_index(j)));
+                row_pins[j].push(v);
+                col_pins[j].push(v);
+                diag_vertex[j] = v;
             }
         }
 
@@ -109,17 +114,17 @@ impl FineGrainModel {
             coords,
             diag_vertex,
             num_real,
-            n,
+            n: a.nrows(),
         })
     }
 
     /// The underlying hypergraph (|V| = Z + #dummies, |N| = 2M).
-    pub fn hypergraph(&self) -> &Hypergraph {
+    pub fn hypergraph(&self) -> &Hypergraph<I> {
         &self.hypergraph
     }
 
     /// Matrix order M.
-    pub fn n(&self) -> u32 {
+    pub fn n(&self) -> I {
         self.n
     }
 
@@ -134,25 +139,25 @@ impl FineGrainModel {
     }
 
     /// `(row, col)` of vertex `v`.
-    pub fn coords(&self, v: u32) -> (u32, u32) {
-        self.coords[v as usize]
+    pub fn coords(&self, v: I) -> (I, I) {
+        self.coords[v.index()]
     }
 
     /// Net id of row net `m_i`.
-    pub fn row_net(&self, i: u32) -> u32 {
+    pub fn row_net(&self, i: I) -> I {
         debug_assert!(i < self.n);
         i
     }
 
     /// Net id of column net `n_j`.
-    pub fn col_net(&self, j: u32) -> u32 {
+    pub fn col_net(&self, j: I) -> I {
         debug_assert!(j < self.n);
-        self.n + j
+        I::from_index(self.n.index() + j.index())
     }
 
     /// Vertex id of the diagonal vertex `v_jj`.
-    pub fn diag_vertex(&self, j: u32) -> u32 {
-        self.diag_vertex[j as usize]
+    pub fn diag_vertex(&self, j: I) -> I {
+        self.diag_vertex[j.index()]
     }
 
     /// Audits the model against the paper's Section-3 structure: the
@@ -163,18 +168,19 @@ impl FineGrainModel {
     /// for every diagonal index `j`.
     pub fn validate(&self) -> std::result::Result<(), InvariantViolation> {
         const S: &str = "FineGrainModel";
+        let n = self.n.index();
         self.hypergraph.validate_invariants()?;
         invariant!(
-            self.hypergraph.num_nets() == 2 * self.n,
+            self.hypergraph.num_nets().index() == 2 * n,
             S,
             "nets.count",
             "{} nets for order {} (expected 2M = {})",
             self.hypergraph.num_nets(),
             self.n,
-            2 * self.n
+            2 * n
         );
         invariant!(
-            self.coords.len() == self.hypergraph.num_vertices() as usize,
+            self.coords.len() == self.hypergraph.num_vertices().index(),
             S,
             "coords.len",
             "{} coords for {} vertices",
@@ -190,15 +196,15 @@ impl FineGrainModel {
             self.coords.len()
         );
         invariant!(
-            self.diag_vertex.len() == self.n as usize,
+            self.diag_vertex.len() == n,
             S,
             "diag.len",
             "{} diagonal vertices for order {}",
             self.diag_vertex.len(),
             self.n
         );
-        for (v, &(i, j)) in self.coords.iter().enumerate() {
-            let v = v as u32; // lint: checked-cast — v < Z = nnz, u32-bounded
+        for (vu, &(i, j)) in self.coords.iter().enumerate() {
+            let v = I::from_index(vu);
             invariant!(
                 i < self.n && j < self.n,
                 S,
@@ -217,22 +223,18 @@ impl FineGrainModel {
                 self.row_net(i),
                 self.col_net(j)
             );
-            let expected_weight = if (v as usize) < self.num_real { 1 } else { 0 };
+            let expected_weight = if vu < self.num_real { 1 } else { 0 };
             invariant!(
                 self.hypergraph.vertex_weight(v) == expected_weight,
                 S,
                 "vertex.weight",
                 "vertex {v} ({}) has weight {}, expected {expected_weight}",
-                if (v as usize) < self.num_real {
-                    "real"
-                } else {
-                    "dummy"
-                },
+                if vu < self.num_real { "real" } else { "dummy" },
                 self.hypergraph.vertex_weight(v)
             );
-            if (v as usize) >= self.num_real {
+            if vu >= self.num_real {
                 invariant!(
-                    i == j && self.diag_vertex[i as usize] == v,
+                    i == j && self.diag_vertex[i.index()] == v,
                     S,
                     "dummy.diagonal",
                     "dummy vertex {v} at ({i}, {j}) is not a registered diagonal"
@@ -242,8 +244,9 @@ impl FineGrainModel {
         // The consistency condition of Section 3: v_jj ∈ pins[n_j] ∩
         // pins[m_j], so decoding map[n_j] = map[m_j] = part[v_jj] always
         // lands in Λ[n_j] ∩ Λ[m_j].
-        for j in 0..self.n {
-            let d = self.diag_vertex[j as usize];
+        for ju in 0..n {
+            let j = I::from_index(ju);
+            let d = self.diag_vertex[ju];
             invariant!(
                 d < self.hypergraph.num_vertices(),
                 S,
@@ -251,11 +254,11 @@ impl FineGrainModel {
                 "diag_vertex[{j}] = {d} out of range"
             );
             invariant!(
-                self.coords[d as usize] == (j, j),
+                self.coords[d.index()] == (j, j),
                 S,
                 "diag.coords",
                 "diag_vertex[{j}] = {d} sits at {:?}, expected ({j}, {j})",
-                self.coords[d as usize]
+                self.coords[d.index()]
             );
             invariant!(
                 self.hypergraph
@@ -281,27 +284,26 @@ impl FineGrainModel {
     ///
     /// Verifies the paper's consistency claim as a safety check: the
     /// vector owner of `j` must lie in `Λ[n_j] ∩ Λ[m_j]`.
-    pub fn decode(&self, a: &CsrMatrix, partition: &Partition) -> Result<Decomposition> {
-        if partition.len() != self.hypergraph.num_vertices() as usize {
+    pub fn decode(&self, a: &CsrMatrix<I>, partition: &Partition) -> Result<Decomposition> {
+        if partition.len() != self.hypergraph.num_vertices().index() {
             return Err(ModelError::Invalid(format!(
                 "partition covers {} vertices, model has {}",
                 partition.len(),
                 self.hypergraph.num_vertices()
             )));
         }
-        let nonzero_owner: Vec<u32> = (0..self.num_real)
-            .map(|v| partition.part(v as u32)) // lint: checked-cast — v < Z = nnz, u32-bounded
-            .collect();
-        let vec_owner: Vec<u32> = (0..self.n)
-            .map(|j| partition.part(self.diag_vertex(j)))
+        let n = self.n.index();
+        let nonzero_owner: Vec<u32> = (0..self.num_real).map(|v| partition.part_at(v)).collect();
+        let vec_owner: Vec<u32> = (0..n)
+            .map(|j| partition.part_at(self.diag_vertex[j].index()))
             .collect();
 
         // Consistency check (the paper's Λ[n_j] ∩ Λ[m_j] ∋ part[v_jj]).
         let sets = connectivity_sets(&self.hypergraph, partition);
-        for j in 0..self.n {
-            let owner = vec_owner[j as usize];
-            let row_set = &sets[self.row_net(j) as usize];
-            let col_set = &sets[self.col_net(j) as usize];
+        for (ju, &owner) in vec_owner.iter().enumerate().take(n) {
+            let j = I::from_index(ju);
+            let row_set = &sets[self.row_net(j).index()];
+            let col_set = &sets[self.col_net(j).index()];
             if row_set.binary_search(&owner).is_err() || col_set.binary_search(&owner).is_err() {
                 return Err(ModelError::Invalid(format!(
                     "consistency violated at index {j}: owner {owner} not in Λ[m_{j}] ∩ Λ[n_{j}]"
@@ -387,7 +389,7 @@ mod tests {
     #[test]
     fn dummy_vertices_for_missing_diagonal() {
         // 3x3 with a_11 = 0 structurally.
-        let a = CsrMatrix::from_coo(
+        let a: CsrMatrix = CsrMatrix::from_coo(
             CooMatrix::from_triplets(
                 3,
                 3,
@@ -446,7 +448,7 @@ mod tests {
             .validate()
             .unwrap();
         // With a structural zero on the diagonal (dummy path).
-        let a = CsrMatrix::from_coo(
+        let a: CsrMatrix = CsrMatrix::from_coo(
             CooMatrix::from_triplets(3, 3, vec![(0, 0, 1.0), (2, 2, 1.0), (0, 2, 1.0)]).unwrap(),
         );
         FineGrainModel::build(&a).unwrap().validate().unwrap();
@@ -454,7 +456,8 @@ mod tests {
 
     #[test]
     fn rectangular_rejected() {
-        let a = CsrMatrix::from_coo(CooMatrix::from_triplets(2, 3, vec![(0, 0, 1.0)]).unwrap());
+        let a: CsrMatrix =
+            CsrMatrix::from_coo(CooMatrix::from_triplets(2, 3, vec![(0, 0, 1.0)]).unwrap());
         assert!(matches!(
             FineGrainModel::build(&a),
             Err(ModelError::NotSquare { .. })
@@ -474,7 +477,7 @@ mod tests {
     #[test]
     fn empty_row_and_column_get_dummy() {
         // Row 1 and column 1 completely empty.
-        let a = CsrMatrix::from_coo(
+        let a: CsrMatrix = CsrMatrix::from_coo(
             CooMatrix::from_triplets(3, 3, vec![(0, 0, 1.0), (2, 2, 1.0), (0, 2, 1.0)]).unwrap(),
         );
         let m = FineGrainModel::build(&a).unwrap();
@@ -482,5 +485,30 @@ mod tests {
         // Nets m_1 and n_1 contain exactly the dummy.
         assert_eq!(m.hypergraph().net_size(m.row_net(1)), 1);
         assert_eq!(m.hypergraph().net_size(m.col_net(1)), 1);
+    }
+
+    #[test]
+    fn wide_model_matches_narrow() {
+        // The same matrix at both widths must yield structurally identical
+        // fine-grain hypergraphs (ids widened, everything else equal).
+        let a = sample();
+        let a64: CsrMatrix<u64> = a.convert_width().unwrap();
+        let m32 = FineGrainModel::build(&a).unwrap();
+        let m64 = FineGrainModel::build(&a64).unwrap();
+        m64.validate().unwrap();
+        assert_eq!(
+            m32.hypergraph().num_vertices() as u64,
+            m64.hypergraph().num_vertices()
+        );
+        assert_eq!(m32.num_dummy_vertices(), m64.num_dummy_vertices());
+        for net in 0..m32.hypergraph().num_nets() {
+            let p32: Vec<u64> = m32
+                .hypergraph()
+                .pins(net)
+                .iter()
+                .map(|&v| v as u64)
+                .collect();
+            assert_eq!(p32, m64.hypergraph().pins(net as u64), "net {net}");
+        }
     }
 }

@@ -12,56 +12,61 @@
 
 use fgh_graph::CsrGraph;
 use fgh_sparse::pattern::SymmetrizedPattern;
-use fgh_sparse::CsrMatrix;
+use fgh_sparse::{CsrMatrix, IndexType};
 
 use crate::decomp::Decomposition;
 use crate::{ModelError, Result};
 
 /// The standard graph model of a square sparse matrix.
 #[derive(Debug, Clone)]
-pub struct StandardGraphModel {
-    graph: CsrGraph,
-    n: u32,
+pub struct StandardGraphModel<I: IndexType = u32> {
+    graph: CsrGraph<I>,
+    n: I,
 }
 
-impl StandardGraphModel {
+impl<I: IndexType> StandardGraphModel<I> {
     /// Builds the model from a square matrix.
-    pub fn build(a: &CsrMatrix) -> Result<Self> {
+    pub fn build(a: &CsrMatrix<I>) -> Result<Self> {
         if !a.is_square() {
             return Err(ModelError::NotSquare {
-                nrows: a.nrows(),
-                ncols: a.ncols(),
+                nrows: a.nrows().as_u64(),
+                ncols: a.ncols().as_u64(),
             });
         }
         let n = a.nrows();
         let pat = SymmetrizedPattern::build(a).map_err(|e| ModelError::Invalid(e.to_string()))?;
-        let mut edges: Vec<(u32, u32, u32)> = Vec::with_capacity(pat.num_edges());
-        for i in 0..n {
+        let mut edges: Vec<(I, I, u32)> = Vec::with_capacity(pat.num_edges());
+        for iu in 0..n.index() {
+            let i = I::from_index(iu);
             for (&j, &both) in pat.neighbors(i).iter().zip(pat.neighbor_both_flags(i)) {
                 if i < j {
                     edges.push((i, j, if both { 2 } else { 1 }));
                 }
             }
         }
-        let vwgt: Vec<u32> = (0..n).map(|i| a.row_nnz(i) as u32).collect(); // lint: checked-cast — row_nnz <= ncols, a u32
+        // Saturating weight: a row cannot practically exceed u32::MAX
+        // nonzeros, but the big-index path must not wrap.
+        let vwgt: Vec<u32> = (0..n.index())
+            .map(|i| u32::try_from(a.row_nnz(I::from_index(i))).unwrap_or(u32::MAX))
+            .collect();
         let graph = CsrGraph::from_edges(n, &edges, Some(vwgt))
             .map_err(|e| ModelError::Invalid(e.to_string()))?;
         Ok(StandardGraphModel { graph, n })
     }
 
     /// The underlying weighted graph.
-    pub fn graph(&self) -> &CsrGraph {
+    pub fn graph(&self) -> &CsrGraph<I> {
         &self.graph
     }
 
     /// Matrix order.
-    pub fn n(&self) -> u32 {
+    pub fn n(&self) -> I {
         self.n
     }
 
     /// Decodes a per-row part vector into a row-wise [`Decomposition`].
-    pub fn decode(&self, a: &CsrMatrix, k: u32, parts: &[u32]) -> Result<Decomposition> {
-        if parts.len() != self.n as usize {
+    pub fn decode(&self, a: &CsrMatrix<I>, k: u32, parts: &[u32]) -> Result<Decomposition> {
+        if parts.len() != self.n.index() {
             return Err(ModelError::Invalid(format!(
                 "partition covers {} vertices, model has {}",
                 parts.len(),
@@ -130,7 +135,30 @@ mod tests {
 
     #[test]
     fn rectangular_rejected() {
-        let a = CsrMatrix::from_coo(CooMatrix::from_triplets(2, 3, vec![(0, 0, 1.0)]).unwrap());
+        let a: CsrMatrix =
+            CsrMatrix::from_coo(CooMatrix::from_triplets(2, 3, vec![(0, 0, 1.0)]).unwrap());
         assert!(StandardGraphModel::build(&a).is_err());
+    }
+
+    #[test]
+    fn wide_graph_model_matches_narrow() {
+        let a = sample();
+        let a64: CsrMatrix<u64> = a.convert_width().unwrap();
+        let m32 = StandardGraphModel::build(&a).unwrap();
+        let m64 = StandardGraphModel::build(&a64).unwrap();
+        assert_eq!(m64.graph().n(), 3u64);
+        assert_eq!(m32.graph().num_edges(), m64.graph().num_edges());
+        for v in 0..3u32 {
+            let n32: Vec<u64> = m32.graph().neighbors(v).iter().map(|&u| u as u64).collect();
+            assert_eq!(n32, m64.graph().neighbors(v as u64));
+            assert_eq!(
+                m32.graph().edge_weights(v),
+                m64.graph().edge_weights(v as u64)
+            );
+            assert_eq!(
+                m32.graph().vertex_weight(v),
+                m64.graph().vertex_weight(v as u64)
+            );
+        }
     }
 }

@@ -62,8 +62,8 @@ impl MondriaanModel {
     ) -> Result<(Decomposition, EngineStats)> {
         if !a.is_square() {
             return Err(ModelError::NotSquare {
-                nrows: a.nrows(),
-                ncols: a.ncols(),
+                nrows: u64::from(a.nrows()),
+                ncols: u64::from(a.ncols()),
             });
         }
         if self.k == 0 {

@@ -8,37 +8,49 @@
 //! term that ties `x_j` to the owner of row `j` under symmetric
 //! partitioning. The connectivity−1 cutsize then equals the expand volume
 //! (row-wise SpMV has no fold communication).
+//!
+//! Both models are generic over the index width (`M` vertices and nets
+//! track the matrix order directly, so they go wide exactly when the
+//! matrix does).
 
 use fgh_hypergraph::{Hypergraph, HypergraphBuilder, Partition};
-use fgh_sparse::CsrMatrix;
+use fgh_sparse::{CsrMatrix, IndexType};
 
 use crate::decomp::Decomposition;
 use crate::{ModelError, Result};
 
-/// The 1D column-net hypergraph model (row-wise decomposition).
-#[derive(Debug, Clone)]
-pub struct ColumnNetModel {
-    hypergraph: Hypergraph,
-    n: u32,
+/// Per-row/column work weight, saturated into the `u32` the hypergraph
+/// carries (a single row holding > 4B nonzeros is beyond any practical
+/// input, but the big-index path must not wrap).
+fn weight_of(nnz: usize) -> u32 {
+    u32::try_from(nnz).unwrap_or(u32::MAX)
 }
 
-impl ColumnNetModel {
+/// The 1D column-net hypergraph model (row-wise decomposition).
+#[derive(Debug, Clone)]
+pub struct ColumnNetModel<I: IndexType = u32> {
+    hypergraph: Hypergraph<I>,
+    n: I,
+}
+
+impl<I: IndexType> ColumnNetModel<I> {
     /// Builds the column-net model of a square matrix.
-    pub fn build(a: &CsrMatrix) -> Result<Self> {
+    pub fn build(a: &CsrMatrix<I>) -> Result<Self> {
         if !a.is_square() {
             return Err(ModelError::NotSquare {
-                nrows: a.nrows(),
-                ncols: a.ncols(),
+                nrows: a.nrows().as_u64(),
+                ncols: a.ncols().as_u64(),
             });
         }
-        let n = a.nrows();
-        let mut builder = HypergraphBuilder::new();
+        let n = a.nrows().index();
+        let mut builder = HypergraphBuilder::<I>::new();
         for i in 0..n {
-            builder.add_vertex(a.row_nnz(i) as u32); // lint: checked-cast — row_nnz <= ncols, a u32
+            builder.add_vertex(weight_of(a.row_nnz(I::from_index(i))));
         }
         let csc = a.to_csc();
-        for j in 0..n {
-            let mut pins: Vec<u32> = csc.col_rows(j).to_vec();
+        for ju in 0..n {
+            let j = I::from_index(ju);
+            let mut pins: Vec<I> = csc.col_rows(j).to_vec();
             if !pins.contains(&j) {
                 pins.push(j); // consistency pin
             }
@@ -46,24 +58,24 @@ impl ColumnNetModel {
         }
         Ok(ColumnNetModel {
             hypergraph: builder.build()?,
-            n,
+            n: a.nrows(),
         })
     }
 
     /// The underlying hypergraph (M vertices, M nets).
-    pub fn hypergraph(&self) -> &Hypergraph {
+    pub fn hypergraph(&self) -> &Hypergraph<I> {
         &self.hypergraph
     }
 
     /// Matrix order.
-    pub fn n(&self) -> u32 {
+    pub fn n(&self) -> I {
         self.n
     }
 
     /// Decodes a partition (vertex `i` = row `i`) into a row-wise
     /// [`Decomposition`].
-    pub fn decode(&self, a: &CsrMatrix, partition: &Partition) -> Result<Decomposition> {
-        if partition.len() != self.n as usize {
+    pub fn decode(&self, a: &CsrMatrix<I>, partition: &Partition) -> Result<Decomposition> {
+        if partition.len() != self.n.index() {
             return Err(ModelError::Invalid(format!(
                 "partition covers {} vertices, model has {}",
                 partition.len(),
@@ -80,28 +92,29 @@ impl ColumnNetModel {
 /// connectivity−1 cutsize equals the fold volume (column-wise SpMV has no
 /// expand communication).
 #[derive(Debug, Clone)]
-pub struct RowNetModel {
-    hypergraph: Hypergraph,
-    n: u32,
+pub struct RowNetModel<I: IndexType = u32> {
+    hypergraph: Hypergraph<I>,
+    n: I,
 }
 
-impl RowNetModel {
+impl<I: IndexType> RowNetModel<I> {
     /// Builds the row-net model of a square matrix.
-    pub fn build(a: &CsrMatrix) -> Result<Self> {
+    pub fn build(a: &CsrMatrix<I>) -> Result<Self> {
         if !a.is_square() {
             return Err(ModelError::NotSquare {
-                nrows: a.nrows(),
-                ncols: a.ncols(),
+                nrows: a.nrows().as_u64(),
+                ncols: a.ncols().as_u64(),
             });
         }
-        let n = a.nrows();
+        let n = a.nrows().index();
         let csc = a.to_csc();
-        let mut builder = HypergraphBuilder::new();
+        let mut builder = HypergraphBuilder::<I>::new();
         for j in 0..n {
-            builder.add_vertex(csc.col_nnz(j) as u32); // lint: checked-cast — col_nnz <= nrows, a u32
+            builder.add_vertex(weight_of(csc.col_nnz(I::from_index(j))));
         }
-        for i in 0..n {
-            let mut pins: Vec<u32> = a.row_cols(i).to_vec();
+        for iu in 0..n {
+            let i = I::from_index(iu);
+            let mut pins: Vec<I> = a.row_cols(i).to_vec();
             if !pins.contains(&i) {
                 pins.push(i); // consistency pin
             }
@@ -109,24 +122,24 @@ impl RowNetModel {
         }
         Ok(RowNetModel {
             hypergraph: builder.build()?,
-            n,
+            n: a.nrows(),
         })
     }
 
     /// The underlying hypergraph (M vertices, M nets).
-    pub fn hypergraph(&self) -> &Hypergraph {
+    pub fn hypergraph(&self) -> &Hypergraph<I> {
         &self.hypergraph
     }
 
     /// Matrix order.
-    pub fn n(&self) -> u32 {
+    pub fn n(&self) -> I {
         self.n
     }
 
     /// Decodes a partition (vertex `j` = column `j`) into a column-wise
     /// [`Decomposition`].
-    pub fn decode(&self, a: &CsrMatrix, partition: &Partition) -> Result<Decomposition> {
-        if partition.len() != self.n as usize {
+    pub fn decode(&self, a: &CsrMatrix<I>, partition: &Partition) -> Result<Decomposition> {
+        if partition.len() != self.n.index() {
             return Err(ModelError::Invalid(format!(
                 "partition covers {} vertices, model has {}",
                 partition.len(),
@@ -180,7 +193,7 @@ mod tests {
     #[test]
     fn colnet_consistency_pin_added_when_diag_missing() {
         // a_00 = 0 but column 0 has nonzeros in rows 1, 2.
-        let a = CsrMatrix::from_coo(
+        let a: CsrMatrix = CsrMatrix::from_coo(
             CooMatrix::from_triplets(3, 3, vec![(1, 0, 1.0), (2, 0, 1.0), (0, 1, 1.0)]).unwrap(),
         );
         let m = ColumnNetModel::build(&a).unwrap();
@@ -232,7 +245,8 @@ mod tests {
 
     #[test]
     fn rectangular_rejected() {
-        let a = CsrMatrix::from_coo(CooMatrix::from_triplets(2, 3, vec![(0, 0, 1.0)]).unwrap());
+        let a: CsrMatrix =
+            CsrMatrix::from_coo(CooMatrix::from_triplets(2, 3, vec![(0, 0, 1.0)]).unwrap());
         assert!(ColumnNetModel::build(&a).is_err());
         assert!(RowNetModel::build(&a).is_err());
     }
@@ -243,5 +257,31 @@ mod tests {
         let m = ColumnNetModel::build(&a).unwrap();
         let p = Partition::new(2, vec![0, 1]).unwrap();
         assert!(m.decode(&a, &p).is_err());
+    }
+
+    #[test]
+    fn wide_models_match_narrow() {
+        let a = sample();
+        let a64: CsrMatrix<u64> = a.convert_width().unwrap();
+        let cn32 = ColumnNetModel::build(&a).unwrap();
+        let cn64 = ColumnNetModel::build(&a64).unwrap();
+        let rn32 = RowNetModel::build(&a).unwrap();
+        let rn64 = RowNetModel::build(&a64).unwrap();
+        for net in 0..3u32 {
+            let c32: Vec<u64> = cn32
+                .hypergraph()
+                .pins(net)
+                .iter()
+                .map(|&v| v as u64)
+                .collect();
+            assert_eq!(c32, cn64.hypergraph().pins(net as u64));
+            let r32: Vec<u64> = rn32
+                .hypergraph()
+                .pins(net)
+                .iter()
+                .map(|&v| v as u64)
+                .collect();
+            assert_eq!(r32, rn64.hypergraph().pins(net as u64));
+        }
     }
 }

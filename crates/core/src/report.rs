@@ -14,7 +14,7 @@
 //!   "schema": "fgh-metrics/1",
 //!   "model": "fine-grain-2d",
 //!   "k": 4, "epsilon": 0.03, "seed": 1, "runs": 1,
-//!   "matrix": {"nrows": 256, "ncols": 256, "nnz": 1216},
+//!   "matrix": {"nrows": 256, "ncols": 256, "nnz": 1216, "index_bits": 32},
 //!   "status": "full",
 //!   "degraded_reason": null,
 //!   "objective": 104,
@@ -29,7 +29,7 @@
 //!     "bisections": 3, "levels": 9, "contracted_incidences": 3120,
 //!     "fm_passes": 40, "fm_moves": 512, "fm_rollbacks": 80,
 //!     "wall_truncations": 0, "level_truncations": 0,
-//!     "fm_truncations": 0, "parallel_forks": 0
+//!     "fm_truncations": 0, "byte_truncations": 0, "parallel_forks": 0
 //!   },
 //!   "trace": [ …fgh-trace/1 span objects… ]
 //! }
@@ -44,7 +44,7 @@
 
 use std::collections::BTreeMap;
 
-use fgh_sparse::CsrMatrix;
+use fgh_sparse::{CsrMatrix, IndexType};
 use fgh_trace::json::{parse, Value};
 use fgh_trace::validate_trace_value;
 
@@ -61,14 +61,19 @@ fn num(n: u64) -> Value {
 
 /// Assembles the `fgh-metrics/1` document for one decomposition run.
 /// `a` must be the matrix the outcome was computed from.
-pub fn metrics_document(a: &CsrMatrix, cfg: &DecomposeConfig, out: &DecompositionOutcome) -> Value {
+pub fn metrics_document<I: IndexType>(
+    a: &CsrMatrix<I>,
+    cfg: &DecomposeConfig,
+    out: &DecompositionOutcome,
+) -> Value {
     let mut matrix = BTreeMap::new();
-    matrix.insert("nrows".into(), num(a.nrows() as u64));
-    matrix.insert("ncols".into(), num(a.ncols() as u64));
+    matrix.insert("nrows".into(), num(a.nrows().as_u64()));
+    matrix.insert("ncols".into(), num(a.ncols().as_u64()));
     matrix.insert(
         "nnz".into(),
         num(out.decomposition.nonzero_owner.len() as u64),
     );
+    matrix.insert("index_bits".into(), num(out.width.bits() as u64));
 
     let s = &out.stats;
     let mut comm = BTreeMap::new();
@@ -99,6 +104,7 @@ pub fn metrics_document(a: &CsrMatrix, cfg: &DecomposeConfig, out: &Decompositio
     engine.insert("wall_truncations".into(), num(e.wall_truncations));
     engine.insert("level_truncations".into(), num(e.level_truncations));
     engine.insert("fm_truncations".into(), num(e.fm_truncations));
+    engine.insert("byte_truncations".into(), num(e.byte_truncations));
     engine.insert("parallel_forks".into(), num(e.parallel_forks));
 
     let trace = match &out.trace {
@@ -145,7 +151,11 @@ pub fn metrics_document(a: &CsrMatrix, cfg: &DecomposeConfig, out: &Decompositio
 
 /// [`metrics_document`] serialized to a compact JSON string (what the
 /// CLI writes for `--metrics-json`).
-pub fn metrics_json(a: &CsrMatrix, cfg: &DecomposeConfig, out: &DecompositionOutcome) -> String {
+pub fn metrics_json<I: IndexType>(
+    a: &CsrMatrix<I>,
+    cfg: &DecomposeConfig,
+    out: &DecompositionOutcome,
+) -> String {
     metrics_document(a, cfg, out).to_json()
 }
 
@@ -165,7 +175,7 @@ const TOP_MEMBERS: [&str; 13] = [
     "engine",
 ];
 
-const MATRIX_MEMBERS: [&str; 3] = ["nrows", "ncols", "nnz"];
+const MATRIX_MEMBERS: [&str; 4] = ["nrows", "ncols", "nnz", "index_bits"];
 
 const COMM_MEMBERS: [&str; 9] = [
     "total_volume",
@@ -179,7 +189,7 @@ const COMM_MEMBERS: [&str; 9] = [
     "load_imbalance_percent",
 ];
 
-const ENGINE_MEMBERS: [&str; 10] = [
+const ENGINE_MEMBERS: [&str; 11] = [
     "bisections",
     "levels",
     "contracted_incidences",
@@ -189,6 +199,7 @@ const ENGINE_MEMBERS: [&str; 10] = [
     "wall_truncations",
     "level_truncations",
     "fm_truncations",
+    "byte_truncations",
     "parallel_forks",
 ];
 

@@ -106,7 +106,8 @@ fn bad_epsilon_is_a_typed_bad_input() {
 
 #[test]
 fn rectangular_is_a_typed_error() {
-    let a = CsrMatrix::from_coo(CooMatrix::from_triplets(1, 5, vec![(0, 2, 1.0)]).unwrap());
+    let a: CsrMatrix =
+        CsrMatrix::from_coo(CooMatrix::from_triplets(1, 5, vec![(0, 2, 1.0)]).unwrap());
     for model in MODELS {
         match decompose(&a, &DecomposeConfig::new(model, 2)) {
             Err(FghError::Model(fgh_core::ModelError::NotSquare { nrows: 1, ncols: 5 })) => {}

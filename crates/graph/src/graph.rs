@@ -1,25 +1,30 @@
 //! Weighted undirected graph in CSR (adjacency) layout.
 
 use fgh_invariant::{invariant, InvariantViolation};
+use fgh_sparse::IndexType;
 
 /// An undirected graph with `u32` vertex weights and edge weights, stored
 /// as a symmetric CSR adjacency structure (every edge appears in both
 /// endpoint lists). Self loops are not stored.
+///
+/// Generic over the vertex-id width `I` (`u32` by default; `u64` for
+/// graphs with ≥ `u32::MAX` vertices). Weights stay `u32` at any width.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CsrGraph {
+pub struct CsrGraph<I: IndexType = u32> {
     xadj: Vec<usize>,
-    adjncy: Vec<u32>,
+    adjncy: Vec<I>,
     adjwgt: Vec<u32>,
     vwgt: Vec<u32>,
 }
 
-/// Errors from graph construction.
+/// Errors from graph construction. Vertex ids are reported widened to
+/// `u64` so one error type serves every index width.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GraphError {
     /// An endpoint is out of bounds.
-    VertexOutOfBounds { vertex: u32, n: u32 },
+    VertexOutOfBounds { vertex: u64, n: u64 },
     /// An edge is a self loop.
-    SelfLoop { vertex: u32 },
+    SelfLoop { vertex: u64 },
     /// Vertex weight vector length mismatch.
     WeightLength { expected: usize, got: usize },
 }
@@ -43,61 +48,68 @@ impl std::fmt::Display for GraphError {
 
 impl std::error::Error for GraphError {}
 
-impl CsrGraph {
+impl<I: IndexType> CsrGraph<I> {
     /// Builds from an undirected edge list `(u, v, weight)` (each edge
     /// listed once; parallel edges get summed weights). `vwgt` defaults to
     /// unit weights.
     pub fn from_edges(
-        n: u32,
-        edges: &[(u32, u32, u32)],
+        n: I,
+        edges: &[(I, I, u32)],
         vwgt: Option<Vec<u32>>,
     ) -> Result<Self, GraphError> {
+        let nn = n.index();
         let vwgt = match vwgt {
             Some(w) => {
-                if w.len() != n as usize {
+                if w.len() != nn {
                     return Err(GraphError::WeightLength {
-                        expected: n as usize,
+                        expected: nn,
                         got: w.len(),
                     });
                 }
                 w
             }
-            None => vec![1; n as usize],
+            None => vec![1; nn],
         };
         for &(u, v, _) in edges {
             if u >= n {
-                return Err(GraphError::VertexOutOfBounds { vertex: u, n });
+                return Err(GraphError::VertexOutOfBounds {
+                    vertex: u.as_u64(),
+                    n: n.as_u64(),
+                });
             }
             if v >= n {
-                return Err(GraphError::VertexOutOfBounds { vertex: v, n });
+                return Err(GraphError::VertexOutOfBounds {
+                    vertex: v.as_u64(),
+                    n: n.as_u64(),
+                });
             }
             if u == v {
-                return Err(GraphError::SelfLoop { vertex: u });
+                return Err(GraphError::SelfLoop { vertex: u.as_u64() });
             }
         }
         // Deduplicate parallel edges by summing weights.
-        let mut dir: Vec<(u32, u32, u32)> = Vec::with_capacity(edges.len() * 2);
+        let mut dir: Vec<(I, I, u32)> = Vec::with_capacity(edges.len() * 2);
         for &(u, v, w) in edges {
             dir.push((u, v, w));
             dir.push((v, u, w));
         }
         dir.sort_unstable_by_key(|&(u, v, _)| (u, v));
-        let mut xadj = vec![0usize; n as usize + 1];
+        let mut xadj = vec![0usize; nn + 1];
         let mut adjncy = Vec::with_capacity(dir.len());
         let mut adjwgt = Vec::with_capacity(dir.len());
         let mut idx = 0usize;
-        for u in 0..n {
-            while idx < dir.len() && dir[idx].0 == u {
+        for u in 0..nn {
+            while idx < dir.len() && dir[idx].0.index() == u {
                 let v = dir[idx].1;
                 let mut w = 0u32;
-                while idx < dir.len() && dir[idx].0 == u && dir[idx].1 == v {
+                while idx < dir.len() && dir[idx].0.index() == u && dir[idx].1 == v {
                     w += dir[idx].2;
                     idx += 1;
                 }
                 adjncy.push(v);
                 adjwgt.push(w);
             }
-            xadj[u as usize + 1] = adjncy.len();
+            xadj[u + 1] = adjncy.len();
         }
         Ok(CsrGraph {
             xadj,
@@ -108,7 +120,7 @@ impl CsrGraph {
     }
 
     /// Builds directly from raw CSR arrays (already symmetric).
-    pub fn from_raw(xadj: Vec<usize>, adjncy: Vec<u32>, adjwgt: Vec<u32>, vwgt: Vec<u32>) -> Self {
+    pub fn from_raw(xadj: Vec<usize>, adjncy: Vec<I>, adjwgt: Vec<u32>, vwgt: Vec<u32>) -> Self {
         debug_assert_eq!(xadj.len(), vwgt.len() + 1);
         debug_assert_eq!(adjncy.len(), adjwgt.len());
         CsrGraph {
@@ -120,8 +132,8 @@ impl CsrGraph {
     }
 
     /// Number of vertices.
-    pub fn n(&self) -> u32 {
-        self.vwgt.len() as u32 // lint: checked-cast — from_edges caps the vertex count at u32::MAX
+    pub fn n(&self) -> I {
+        I::from_index(self.vwgt.len())
     }
 
     /// Number of undirected edges.
@@ -130,23 +142,23 @@ impl CsrGraph {
     }
 
     /// Neighbors of `v`.
-    pub fn neighbors(&self, v: u32) -> &[u32] {
-        &self.adjncy[self.xadj[v as usize]..self.xadj[v as usize + 1]]
+    pub fn neighbors(&self, v: I) -> &[I] {
+        &self.adjncy[self.xadj[v.index()]..self.xadj[v.index() + 1]]
     }
 
     /// Edge weights parallel to [`CsrGraph::neighbors`].
-    pub fn edge_weights(&self, v: u32) -> &[u32] {
-        &self.adjwgt[self.xadj[v as usize]..self.xadj[v as usize + 1]]
+    pub fn edge_weights(&self, v: I) -> &[u32] {
+        &self.adjwgt[self.xadj[v.index()]..self.xadj[v.index() + 1]]
     }
 
     /// Degree of `v`.
-    pub fn degree(&self, v: u32) -> usize {
-        self.xadj[v as usize + 1] - self.xadj[v as usize]
+    pub fn degree(&self, v: I) -> usize {
+        self.xadj[v.index() + 1] - self.xadj[v.index()]
     }
 
     /// Weight of vertex `v`.
-    pub fn vertex_weight(&self, v: u32) -> u32 {
-        self.vwgt[v as usize]
+    pub fn vertex_weight(&self, v: I) -> u32 {
+        self.vwgt[v.index()]
     }
 
     /// All vertex weights.
@@ -157,6 +169,14 @@ impl CsrGraph {
     /// Sum of vertex weights.
     pub fn total_vertex_weight(&self) -> u64 {
         self.vwgt.iter().map(|&w| w as u64).sum()
+    }
+
+    /// Heap bytes held by the CSR arrays — the engine's byte-budget input.
+    pub fn heap_bytes(&self) -> usize {
+        self.xadj.capacity() * std::mem::size_of::<usize>()
+            + self.adjncy.capacity() * std::mem::size_of::<I>()
+            + self.adjwgt.capacity() * std::mem::size_of::<u32>()
+            + self.vwgt.capacity() * std::mem::size_of::<u32>()
     }
 
     /// Checks the structural invariants of the symmetric CSR adjacency:
@@ -215,21 +235,16 @@ impl CsrGraph {
             }
             for (i, &u) in nbrs.iter().enumerate() {
                 invariant!(
-                    (u as usize) < n,
+                    u.index() < n,
                     S,
                     "neighbors.in_bounds",
                     "vertex {v} has neighbor {u} >= n = {n}"
                 );
-                invariant!(
-                    u as usize != v,
-                    S,
-                    "no_self_loop",
-                    "vertex {v} lists itself"
-                );
+                invariant!(u.index() != v, S, "no_self_loop", "vertex {v} lists itself");
                 // Symmetry: the mirror entry must exist with equal weight.
-                let mirror = &self.adjncy[self.xadj[u as usize]..self.xadj[u as usize + 1]];
-                let v32 = v as u32; // lint: checked-cast — v < num_vertices, a u32
-                let Ok(j) = mirror.binary_search(&v32) else {
+                let mirror = &self.adjncy[self.xadj[u.index()]..self.xadj[u.index() + 1]];
+                let vi = I::from_index(v);
+                let Ok(j) = mirror.binary_search(&vi) else {
                     return Err(InvariantViolation::new(
                         S,
                         "symmetry.missing",
@@ -237,7 +252,7 @@ impl CsrGraph {
                     ));
                 };
                 let w_uv = self.adjwgt[self.xadj[v] + i];
-                let w_vu = self.adjwgt[self.xadj[u as usize] + j];
+                let w_vu = self.adjwgt[self.xadj[u.index()] + j];
                 invariant!(
                     w_uv == w_vu,
                     S,
@@ -253,9 +268,13 @@ impl CsrGraph {
     /// sum of weights of edges whose endpoints differ.
     pub fn edge_cut(&self, parts: &[u32]) -> u64 {
         let mut cut = 0u64;
-        for v in 0..self.n() {
-            for (&u, &w) in self.neighbors(v).iter().zip(self.edge_weights(v)) {
-                if parts[v as usize] != parts[u as usize] {
+        for v in 0..self.vwgt.len() {
+            for (&u, &w) in self
+                .neighbors(I::from_index(v))
+                .iter()
+                .zip(&self.adjwgt[self.xadj[v]..self.xadj[v + 1]])
+            {
+                if parts[v] != parts[u.index()] {
                     cut += w as u64;
                 }
             }
@@ -270,7 +289,7 @@ mod tests {
 
     #[test]
     fn from_edges_symmetric() {
-        let g = CsrGraph::from_edges(3, &[(0, 1, 2), (1, 2, 3)], None).unwrap();
+        let g = CsrGraph::from_edges(3u32, &[(0, 1, 2), (1, 2, 3)], None).unwrap();
         assert_eq!(g.n(), 3);
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.neighbors(1), &[0, 2]);
@@ -281,7 +300,7 @@ mod tests {
 
     #[test]
     fn parallel_edges_summed() {
-        let g = CsrGraph::from_edges(2, &[(0, 1, 1), (0, 1, 4)], None).unwrap();
+        let g = CsrGraph::from_edges(2u32, &[(0, 1, 1), (0, 1, 4)], None).unwrap();
         assert_eq!(g.num_edges(), 1);
         assert_eq!(g.edge_weights(0), &[5]);
         assert_eq!(g.edge_weights(1), &[5]);
@@ -290,19 +309,19 @@ mod tests {
     #[test]
     fn rejects_bad_edges() {
         assert!(matches!(
-            CsrGraph::from_edges(2, &[(0, 5, 1)], None),
+            CsrGraph::from_edges(2u32, &[(0, 5, 1)], None),
             Err(GraphError::VertexOutOfBounds { vertex: 5, .. })
         ));
         assert!(matches!(
-            CsrGraph::from_edges(2, &[(1, 1, 1)], None),
+            CsrGraph::from_edges(2u32, &[(1, 1, 1)], None),
             Err(GraphError::SelfLoop { vertex: 1 })
         ));
-        assert!(CsrGraph::from_edges(2, &[], Some(vec![1])).is_err());
+        assert!(CsrGraph::from_edges(2u32, &[], Some(vec![1])).is_err());
     }
 
     #[test]
     fn isolated_vertices() {
-        let g = CsrGraph::from_edges(4, &[(1, 2, 1)], None).unwrap();
+        let g = CsrGraph::from_edges(4u32, &[(1, 2, 1)], None).unwrap();
         assert_eq!(g.degree(0), 0);
         assert_eq!(g.degree(3), 0);
         assert_eq!(g.neighbors(1), &[2]);
@@ -310,7 +329,7 @@ mod tests {
 
     #[test]
     fn edge_cut_counts_once_per_edge() {
-        let g = CsrGraph::from_edges(4, &[(0, 1, 2), (1, 2, 3), (2, 3, 5)], None).unwrap();
+        let g = CsrGraph::from_edges(4u32, &[(0, 1, 2), (1, 2, 3), (2, 3, 5)], None).unwrap();
         assert_eq!(g.edge_cut(&[0, 0, 1, 1]), 3);
         assert_eq!(g.edge_cut(&[0, 1, 0, 1]), 2 + 3 + 5);
         assert_eq!(g.edge_cut(&[0, 0, 0, 0]), 0);
@@ -318,8 +337,29 @@ mod tests {
 
     #[test]
     fn vertex_weights_used() {
-        let g = CsrGraph::from_edges(2, &[(0, 1, 1)], Some(vec![3, 9])).unwrap();
+        let g = CsrGraph::from_edges(2u32, &[(0, 1, 1)], Some(vec![3, 9])).unwrap();
         assert_eq!(g.total_vertex_weight(), 12);
         assert_eq!(g.vertex_weight(1), 9);
+    }
+
+    #[test]
+    fn wide_graph_matches_narrow() {
+        let edges32 = [(0u32, 1, 2u32), (1, 2, 3), (2, 3, 5), (0, 3, 1)];
+        let edges64: Vec<(u64, u64, u32)> = edges32
+            .iter()
+            .map(|&(u, v, w)| (u as u64, v as u64, w))
+            .collect();
+        let g32 = CsrGraph::from_edges(4u32, &edges32, None).unwrap();
+        let g64 = CsrGraph::from_edges(4u64, &edges64, None).unwrap();
+        assert_eq!(g64.n(), 4u64);
+        assert_eq!(g32.num_edges(), g64.num_edges());
+        for v in 0..4usize {
+            let n32: Vec<u64> = g32.neighbors(v as u32).iter().map(|&u| u as u64).collect();
+            assert_eq!(n32, g64.neighbors(v as u64));
+            assert_eq!(g32.edge_weights(v as u32), g64.edge_weights(v as u64));
+        }
+        assert_eq!(g32.edge_cut(&[0, 0, 1, 1]), g64.edge_cut(&[0, 0, 1, 1]));
+        g64.validate().unwrap();
+        assert!(g64.heap_bytes() > g32.heap_bytes(), "wider ids cost bytes");
     }
 }

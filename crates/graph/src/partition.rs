@@ -11,6 +11,9 @@
 //! `net_splitting` flag is a no-op here and the per-bisection cuts always
 //! sum to the final edge cut).
 //!
+//! Both index widths run on the one engine: `CsrGraph<u32>` for graphs
+//! that fit 32-bit ids, `CsrGraph<u64>` beyond that.
+//!
 //! Hypergraph-only [`PartitionConfig`] fields (`net_splitting`,
 //! `kway_refine`, `vcycles`) are ignored for graphs.
 
@@ -18,8 +21,8 @@ use std::sync::Arc;
 
 use fgh_partition::error::{panic_message, HypergraphError};
 use fgh_partition::{
-    record_run_counters, ArenaPool, EngineStats, LevelArena, MultilevelDriver, PartitionConfig,
-    PartitionError, Substrate,
+    record_run_counters, ArenaIndex, ArenaPool, EngineStats, LevelArena, MultilevelDriver,
+    PartitionConfig, PartitionError, Substrate,
 };
 use fgh_trace::{Span, SpanHandle};
 
@@ -42,16 +45,18 @@ pub struct GraphPartitionResult {
     pub stats: EngineStats,
 }
 
-impl Substrate for CsrGraph {
+impl<I: ArenaIndex> Substrate for CsrGraph<I> {
     /// Graph gains recompute directly from the adjacency; no incremental
     /// bookkeeping is kept.
     type CutState = ();
 
-    fn num_vertices(&self) -> u32 {
-        self.n()
+    type Ix = I;
+
+    fn num_vertices(&self) -> usize {
+        CsrGraph::n(self).index()
     }
 
-    fn vertex_weight(&self, v: u32) -> u32 {
+    fn vertex_weight(&self, v: I) -> u32 {
         CsrGraph::vertex_weight(self, v)
     }
 
@@ -69,19 +74,28 @@ impl Substrate for CsrGraph {
 
     fn max_gain_bound(&self) -> i64 {
         let mut best = 1i64;
-        for v in 0..self.n() {
-            let s: i64 = self.edge_weights(v).iter().map(|&w| w as i64).sum();
+        for v in 0..Substrate::num_vertices(self) {
+            let s: i64 = self
+                .edge_weights(I::from_index(v))
+                .iter()
+                .map(|&w| w as i64)
+                .sum();
             best = best.max(s);
         }
         best
     }
 
+    fn heap_bytes(&self) -> usize {
+        CsrGraph::heap_bytes(self)
+    }
+
     fn cut_state(&self, side: &[u8], _arena: &mut LevelArena) -> ((), u64) {
         let mut twice_cut = 0u64;
-        for v in 0..self.n() {
-            let s = side[v as usize];
-            for (&u, &w) in self.neighbors(v).iter().zip(self.edge_weights(v)) {
-                if side[u as usize] != s {
+        for v in 0..Substrate::num_vertices(self) {
+            let s = side[v];
+            let vi = I::from_index(v);
+            for (&u, &w) in self.neighbors(vi).iter().zip(self.edge_weights(vi)) {
+                if side[u.index()] != s {
                     twice_cut += w as u64;
                 }
             }
@@ -91,12 +105,12 @@ impl Substrate for CsrGraph {
 
     fn recycle_cut_state(_cs: (), _arena: &mut LevelArena) {}
 
-    fn gain(&self, _cs: &(), side: &[u8], v: u32) -> i64 {
+    fn gain(&self, _cs: &(), side: &[u8], v: I) -> i64 {
         // Classic FM gain: external minus internal edge weight.
-        let s = side[v as usize];
+        let s = side[v.index()];
         let mut g = 0i64;
         for (&u, &w) in self.neighbors(v).iter().zip(self.edge_weights(v)) {
-            if side[u as usize] == s {
+            if side[u.index()] == s {
                 g -= w as i64;
             } else {
                 g += w as i64;
@@ -105,25 +119,25 @@ impl Substrate for CsrGraph {
         g
     }
 
-    fn is_boundary(&self, _cs: &(), side: &[u8], v: u32) -> bool {
-        let s = side[v as usize];
-        self.neighbors(v).iter().any(|&u| side[u as usize] != s)
+    fn is_boundary(&self, _cs: &(), side: &[u8], v: I) -> bool {
+        let s = side[v.index()];
+        self.neighbors(v).iter().any(|&u| side[u.index()] != s)
     }
 
     fn apply_move(
         &self,
         _cs: &mut (),
         side: &[u8],
-        v: u32,
+        v: I,
         cut: &mut u64,
-        adjust: Option<&mut dyn FnMut(u32, i64)>,
+        adjust: Option<&mut dyn FnMut(I, i64)>,
     ) {
         // `side` still holds v's pre-move side; the caller flips it after.
-        let s = side[v as usize];
+        let s = side[v.index()];
         match adjust {
             Some(adjust) => {
                 for (&u, &w) in self.neighbors(v).iter().zip(self.edge_weights(v)) {
-                    if side[u as usize] == s {
+                    if side[u.index()] == s {
                         // Internal edge becomes cut: u now profits from following.
                         *cut += w as u64;
                         adjust(u, 2 * w as i64);
@@ -135,7 +149,7 @@ impl Substrate for CsrGraph {
             }
             None => {
                 for (&u, &w) in self.neighbors(v).iter().zip(self.edge_weights(v)) {
-                    if side[u as usize] == s {
+                    if side[u.index()] == s {
                         *cut += w as u64;
                     } else {
                         *cut -= w as u64;
@@ -145,12 +159,7 @@ impl Substrate for CsrGraph {
         }
     }
 
-    fn for_each_scored_neighbor(
-        &self,
-        u: u32,
-        _max_net_size: usize,
-        visit: &mut dyn FnMut(u32, u64),
-    ) {
+    fn for_each_scored_neighbor(&self, u: I, _max_net_size: usize, visit: &mut dyn FnMut(I, u64)) {
         // Every edge is a two-pin net; the net-size filter never applies.
         for (&v, &w) in self.neighbors(u).iter().zip(self.edge_weights(u)) {
             visit(v, w as u64);
@@ -160,12 +169,11 @@ impl Substrate for CsrGraph {
     // Infallible `expect` below: contraction emits in-bounds, deduped
     // edges, which is exactly what `from_edges` validates.
     #[allow(clippy::expect_used)]
-    fn contract(&self, cluster_of: &[u32], num_clusters: u32, arena: &mut LevelArena) -> Self {
-        let nc = num_clusters as usize;
-        let mut weights64 = arena.take_u64(nc, 0);
-        for v in 0..self.n() as usize {
-            let v32 = v as u32; // lint: checked-cast — v < num_vertices, a u32
-            weights64[cluster_of[v] as usize] += CsrGraph::vertex_weight(self, v32) as u64;
+    fn contract(&self, cluster_of: &[I], num_clusters: usize, arena: &mut LevelArena) -> Self {
+        let mut weights64 = arena.take_u64(num_clusters, 0);
+        for v in 0..Substrate::num_vertices(self) {
+            weights64[cluster_of[v].index()] +=
+                CsrGraph::vertex_weight(self, I::from_index(v)) as u64;
         }
         // Cluster weights saturate rather than abort on absurd inputs.
         let weights: Vec<u32> = weights64
@@ -176,47 +184,50 @@ impl Substrate for CsrGraph {
 
         // Inter-cluster edges, each undirected edge emitted once;
         // `from_edges` merges parallel edges by summing their weights.
-        let mut edges: Vec<(u32, u32, u32)> = Vec::new();
-        for v in 0..self.n() {
-            let cv = cluster_of[v as usize];
-            for (&u, &w) in self.neighbors(v).iter().zip(self.edge_weights(v)) {
-                let cu = cluster_of[u as usize];
-                if v < u && cv != cu {
+        let mut edges: Vec<(I, I, u32)> = Vec::new();
+        for v in 0..Substrate::num_vertices(self) {
+            let cv = cluster_of[v];
+            let vi = I::from_index(v);
+            for (&u, &w) in self.neighbors(vi).iter().zip(self.edge_weights(vi)) {
+                let cu = cluster_of[u.index()];
+                if vi < u && cv != cu {
                     edges.push((cv.min(cu), cv.max(cu), w));
                 }
             }
         }
-        CsrGraph::from_edges(num_clusters, &edges, Some(weights))
+        CsrGraph::from_edges(I::from_index(num_clusters), &edges, Some(weights))
             .expect("contraction preserves graph validity")
     }
 
     // Infallible `expect` below: the induced subgraph's edges are renumbered
     // into `0..map.len()`, which is exactly what `from_edges` validates.
     #[allow(clippy::expect_used)]
-    fn extract_side(&self, side: &[u8], which: u8, _split: bool) -> (Self, Vec<u32>) {
-        let mut new_of_old = vec![u32::MAX; self.n() as usize];
-        let mut map: Vec<u32> = Vec::new();
+    fn extract_side(&self, side: &[u8], which: u8, _split: bool) -> (Self, Vec<I>) {
+        let n = Substrate::num_vertices(self);
+        let mut new_of_old = vec![I::MAX; n];
+        let mut map: Vec<I> = Vec::new();
         let mut vwgt: Vec<u32> = Vec::new();
-        for v in 0..self.n() {
-            if side[v as usize] == which {
-                new_of_old[v as usize] = map.len() as u32; // lint: checked-cast — coarse vertex count <= fine count, a u32
-                map.push(v);
-                vwgt.push(CsrGraph::vertex_weight(self, v));
+        for v in 0..n {
+            if side[v] == which {
+                new_of_old[v] = I::from_index(map.len());
+                map.push(I::from_index(v));
+                vwgt.push(CsrGraph::vertex_weight(self, I::from_index(v)));
             }
         }
-        let mut edges: Vec<(u32, u32, u32)> = Vec::new();
-        for v in 0..self.n() {
-            if side[v as usize] != which {
+        let mut edges: Vec<(I, I, u32)> = Vec::new();
+        for v in 0..n {
+            if side[v] != which {
                 continue;
             }
-            let nv = new_of_old[v as usize];
-            for (&u, &w) in self.neighbors(v).iter().zip(self.edge_weights(v)) {
-                if side[u as usize] == which && v < u {
-                    edges.push((nv, new_of_old[u as usize], w));
+            let nv = new_of_old[v];
+            let vi = I::from_index(v);
+            for (&u, &w) in self.neighbors(vi).iter().zip(self.edge_weights(vi)) {
+                if side[u.index()] == which && vi < u {
+                    edges.push((nv, new_of_old[u.index()], w));
                 }
             }
         }
-        let sub = CsrGraph::from_edges(map.len() as u32, &edges, Some(vwgt)) // lint: checked-cast — coarse vertex count <= fine count, a u32
+        let sub = CsrGraph::from_edges(I::from_index(map.len()), &edges, Some(vwgt))
             .expect("induced subgraph is valid");
         (sub, map)
     }
@@ -229,36 +240,37 @@ impl Substrate for CsrGraph {
         side: &[u8],
         _split: bool,
         arena: &mut LevelArena,
-    ) -> [(Self, Vec<u32>); 2] {
-        let n = self.n() as usize;
+    ) -> [(Self, Vec<I>); 2] {
+        let n = Substrate::num_vertices(self);
         // One remap pass: new_id[v] = rank of v within its side.
-        let mut new_id = arena.take_u32(n, 0);
-        let mut maps: [Vec<u32>; 2] = [Vec::new(), Vec::new()];
+        let mut new_id = I::take_ids(arena, n, I::ZERO);
+        let mut maps: [Vec<I>; 2] = [Vec::new(), Vec::new()];
         let mut vwgt: [Vec<u32>; 2] = [Vec::new(), Vec::new()];
-        for v in 0..self.n() {
-            let s = side[v as usize] as usize;
-            new_id[v as usize] = maps[s].len() as u32; // lint: checked-cast — per-side count <= n, a u32
-            maps[s].push(v);
-            vwgt[s].push(CsrGraph::vertex_weight(self, v));
+        for v in 0..n {
+            let s = side[v] as usize;
+            new_id[v] = I::from_index(maps[s].len());
+            maps[s].push(I::from_index(v));
+            vwgt[s].push(CsrGraph::vertex_weight(self, I::from_index(v)));
         }
         // One pass over the adjacency: each uncut edge (emitted once, at
         // its lower endpoint) lands in its side's induced edge list.
-        let mut edges: [Vec<(u32, u32, u32)>; 2] = [Vec::new(), Vec::new()];
-        for v in 0..self.n() {
-            let s = side[v as usize];
-            let nv = new_id[v as usize];
-            for (&u, &w) in self.neighbors(v).iter().zip(self.edge_weights(v)) {
-                if v < u && side[u as usize] == s {
-                    edges[s as usize].push((nv, new_id[u as usize], w));
+        let mut edges: [Vec<(I, I, u32)>; 2] = [Vec::new(), Vec::new()];
+        for v in 0..n {
+            let s = side[v];
+            let nv = new_id[v];
+            let vi = I::from_index(v);
+            for (&u, &w) in self.neighbors(vi).iter().zip(self.edge_weights(vi)) {
+                if vi < u && side[u.index()] == s {
+                    edges[s as usize].push((nv, new_id[u.index()], w));
                 }
             }
         }
-        arena.give_u32(new_id);
+        I::give_ids(arena, new_id);
         let [map0, map1] = maps;
         let [w0, w1] = vwgt;
         let [e0, e1] = edges;
-        let nv0 = map0.len() as u32; // lint: checked-cast — per-side count <= n, a u32
-        let nv1 = map1.len() as u32; // lint: checked-cast — per-side count <= n, a u32
+        let nv0 = I::from_index(map0.len());
+        let nv1 = I::from_index(map1.len());
         let g0 = CsrGraph::from_edges(nv0, &e0, Some(w0)).expect("induced subgraph is valid");
         let g1 = CsrGraph::from_edges(nv1, &e1, Some(w1)).expect("induced subgraph is valid");
         [(g0, map0), (g1, map1)]
@@ -272,8 +284,8 @@ impl Substrate for CsrGraph {
 /// Partitions `g` into `k` parts by multilevel recursive bisection on the
 /// unified engine. Graph runs ignore the hypergraph-only config fields
 /// (`net_splitting`, `kway_refine`, `vcycles`).
-pub fn partition_graph(
-    g: &CsrGraph,
+pub fn partition_graph<I: ArenaIndex>(
+    g: &CsrGraph<I>,
     k: u32,
     cfg: &PartitionConfig,
 ) -> Result<GraphPartitionResult, PartitionError> {
@@ -284,15 +296,15 @@ pub fn partition_graph(
 /// Like [`partition_graph`], but running on a caller-supplied
 /// [`MultilevelDriver`] — its arena and instrumentation persist across
 /// calls, so repeated partitioning reuses all scratch buffers.
-pub fn partition_graph_with(
+pub fn partition_graph_with<I: ArenaIndex>(
     driver: &mut MultilevelDriver,
-    g: &CsrGraph,
+    g: &CsrGraph<I>,
     k: u32,
 ) -> Result<GraphPartitionResult, PartitionError> {
     if k == 0 {
         return Err(HypergraphError::InvalidK.into());
     }
-    let fixed = vec![u32::MAX; g.n() as usize];
+    let fixed = vec![u32::MAX; Substrate::num_vertices(g)];
     let out = driver.partition_recursive(g, k, &fixed);
     let edge_cut = g.edge_cut(&out.parts);
     // Cut edges are dropped on extraction, so per-bisection cuts compose
@@ -305,16 +317,16 @@ pub fn partition_graph_with(
     Ok(finish(g, k, out.parts, edge_cut, driver.stats()))
 }
 
-fn finish(
-    g: &CsrGraph,
+fn finish<I: ArenaIndex>(
+    g: &CsrGraph<I>,
     k: u32,
     parts: Vec<u32>,
     edge_cut: u64,
     stats: EngineStats,
 ) -> GraphPartitionResult {
     let mut w = vec![0u64; k as usize];
-    for v in 0..g.n() {
-        w[parts[v as usize] as usize] += g.vertex_weight(v) as u64;
+    for v in 0..Substrate::num_vertices(g) {
+        w[parts[v] as usize] += g.vertex_weight(I::from_index(v)) as u64;
     }
     let total: u64 = w.iter().sum();
     let imbalance_percent = if total == 0 {
@@ -337,8 +349,8 @@ fn finish(
 /// per `cfg.parallelism` — returning the best balanced result by edge cut
 /// (the paper's MeTiS 50-seed protocol). A panicking seed becomes an
 /// error value; surviving seeds still compete for the best result.
-pub fn partition_graph_best(
-    g: &CsrGraph,
+pub fn partition_graph_best<I: ArenaIndex>(
+    g: &CsrGraph<I>,
     k: u32,
     cfg: &PartitionConfig,
     runs: usize,
@@ -350,8 +362,8 @@ pub fn partition_graph_best(
 /// a `run[offset]` child span of `parent` carrying the run's engine/arena
 /// counters, with the multilevel phase spans nested inside (requires the
 /// `trace` cargo feature to record anything).
-pub fn partition_graph_best_traced(
-    g: &CsrGraph,
+pub fn partition_graph_best_traced<I: ArenaIndex>(
+    g: &CsrGraph<I>,
     k: u32,
     cfg: &PartitionConfig,
     runs: usize,
@@ -396,8 +408,8 @@ pub fn partition_graph_best_traced(
 /// Each seed partitions on a driver drawn from the shared arena pool,
 /// with panics contained to that seed's slot.
 #[allow(clippy::too_many_arguments)]
-fn seed_range(
-    g: &CsrGraph,
+fn seed_range<I: ArenaIndex>(
+    g: &CsrGraph<I>,
     k: u32,
     cfg: &PartitionConfig,
     lo: usize,
@@ -498,7 +510,7 @@ mod tests {
         }
         let mut w = vec![1u32; 10];
         w[0] = 9; // total 18, target 9 per side
-        let g = CsrGraph::from_edges(10, &edges, Some(w)).unwrap();
+        let g = CsrGraph::from_edges(10u32, &edges, Some(w)).unwrap();
         let r = partition_graph(&g, 2, &PartitionConfig::with_seed(4)).unwrap();
         let side0 = r.parts[0];
         let with_heavy: u64 = (0..10)
@@ -524,6 +536,25 @@ mod tests {
         let a = partition_graph(&g, 4, &cfg).unwrap();
         let b = partition_graph(&g, 4, &cfg).unwrap();
         assert_eq!(a.parts, b.parts);
+    }
+
+    #[test]
+    fn wide_graph_partition_matches_narrow() {
+        let g = random_graph(400, 800, 17);
+        let mut edges64: Vec<(u64, u64, u32)> = Vec::new();
+        for v in 0..400u32 {
+            for (&u, &w) in g.neighbors(v).iter().zip(g.edge_weights(v)) {
+                if v < u {
+                    edges64.push((v as u64, u as u64, w));
+                }
+            }
+        }
+        let g64 = CsrGraph::from_edges(400u64, &edges64, None).unwrap();
+        let cfg = PartitionConfig::with_seed(14);
+        let r32 = partition_graph(&g, 8, &cfg).unwrap();
+        let r64 = partition_graph(&g64, 8, &cfg).unwrap();
+        assert_eq!(r32.parts, r64.parts, "widths must agree bit-for-bit");
+        assert_eq!(r32.edge_cut, r64.edge_cut);
     }
 
     #[test]
@@ -566,7 +597,7 @@ mod tests {
     fn contract_merges_parallel_edges() {
         // Path 0-1-2-3; clustering {0,1} and {2,3} leaves one edge (1,2).
         let edges = [(0u32, 1u32, 2u32), (1, 2, 3), (2, 3, 4)];
-        let g = CsrGraph::from_edges(4, &edges, None).unwrap();
+        let g = CsrGraph::from_edges(4u32, &edges, None).unwrap();
         let c = Substrate::contract(&g, &[0, 0, 1, 1], 2, &mut LevelArena::disabled());
         assert_eq!(c.n(), 2);
         assert_eq!(c.num_edges(), 1);

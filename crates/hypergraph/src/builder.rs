@@ -1,69 +1,78 @@
 //! Incremental hypergraph construction.
 
+use fgh_sparse::IndexType;
+
 use crate::{Hypergraph, Result};
 
 /// Builds a [`Hypergraph`] incrementally: declare vertices (with weights),
 /// then add nets (with costs) as pin lists. The decomposition-model crates
 /// use this to assemble the fine-grain and 1D hypergraphs.
+///
+/// Generic over the index width `I` (default `u32`); the `u64`
+/// instantiation serves models whose vertex/net counts overflow `u32`.
 #[derive(Debug, Clone, Default)]
-pub struct HypergraphBuilder {
+pub struct HypergraphBuilder<I: IndexType = u32> {
     vertex_weights: Vec<u32>,
-    nets: Vec<Vec<u32>>,
+    nets: Vec<Vec<I>>,
     net_costs: Vec<u32>,
 }
 
-impl HypergraphBuilder {
+impl<I: IndexType> HypergraphBuilder<I> {
     /// Creates a builder with no vertices or nets.
     pub fn new() -> Self {
-        Self::default()
+        HypergraphBuilder {
+            vertex_weights: Vec::new(),
+            nets: Vec::new(),
+            net_costs: Vec::new(),
+        }
     }
 
     /// Creates a builder pre-populated with `n` vertices of unit weight.
-    pub fn with_unit_vertices(n: u32) -> Self {
+    pub fn with_unit_vertices(n: I) -> Self {
         HypergraphBuilder {
-            vertex_weights: vec![1; n as usize],
+            vertex_weights: vec![1; n.index()],
             nets: Vec::new(),
             net_costs: Vec::new(),
         }
     }
 
     /// Adds a vertex with the given weight; returns its id.
-    pub fn add_vertex(&mut self, weight: u32) -> u32 {
+    pub fn add_vertex(&mut self, weight: u32) -> I {
         self.vertex_weights.push(weight);
-        (self.vertex_weights.len() - 1) as u32 // lint: checked-cast — add_vertex caps the count at u32::MAX
+        I::from_index(self.vertex_weights.len() - 1)
     }
 
     /// Current number of vertices.
-    pub fn num_vertices(&self) -> u32 {
-        self.vertex_weights.len() as u32 // lint: checked-cast — add_vertex caps the count at u32::MAX
+    pub fn num_vertices(&self) -> I {
+        I::from_index(self.vertex_weights.len())
     }
 
     /// Current number of nets.
-    pub fn num_nets(&self) -> u32 {
-        self.nets.len() as u32 // lint: checked-cast — add_net caps the count at u32::MAX
+    pub fn num_nets(&self) -> I {
+        I::from_index(self.nets.len())
     }
 
     /// Adds a net with unit cost; returns its id.
-    pub fn add_net(&mut self, pins: Vec<u32>) -> u32 {
+    pub fn add_net(&mut self, pins: Vec<I>) -> I {
         self.add_net_with_cost(pins, 1)
     }
 
     /// Adds a net with an explicit cost; returns its id.
-    pub fn add_net_with_cost(&mut self, pins: Vec<u32>, cost: u32) -> u32 {
+    pub fn add_net_with_cost(&mut self, pins: Vec<I>, cost: u32) -> I {
         self.nets.push(pins);
         self.net_costs.push(cost);
-        (self.nets.len() - 1) as u32 // lint: checked-cast — add_net caps the count at u32::MAX
+        I::from_index(self.nets.len() - 1)
     }
 
     /// Appends a pin to an existing net.
-    pub fn add_pin(&mut self, net: u32, vertex: u32) {
-        self.nets[net as usize].push(vertex);
+    pub fn add_pin(&mut self, net: I, vertex: I) {
+        self.nets[net.index()].push(vertex);
     }
 
     /// Finalizes into an immutable [`Hypergraph`], validating pins.
-    pub fn build(self) -> Result<Hypergraph> {
+    pub fn build(self) -> Result<Hypergraph<I>> {
         Hypergraph::from_nets_weighted(
-            self.vertex_weights.len() as u32, // lint: checked-cast — add_vertex caps the count at u32::MAX
+            I::from_index(self.vertex_weights.len()),
             &self.nets,
             self.vertex_weights,
             self.net_costs,
@@ -77,7 +86,7 @@ mod tests {
 
     #[test]
     fn incremental_build() {
-        let mut b = HypergraphBuilder::new();
+        let mut b: HypergraphBuilder = HypergraphBuilder::new();
         let v0 = b.add_vertex(1);
         let v1 = b.add_vertex(2);
         let v2 = b.add_vertex(0);
@@ -94,15 +103,25 @@ mod tests {
 
     #[test]
     fn unit_vertices_shortcut() {
-        let mut b = HypergraphBuilder::with_unit_vertices(4);
+        let mut b: HypergraphBuilder = HypergraphBuilder::with_unit_vertices(4);
         b.add_net(vec![0, 3]);
         let hg = b.build().unwrap();
         assert_eq!(hg.total_vertex_weight(), 4);
     }
 
     #[test]
+    fn u64_builder_roundtrip() {
+        let mut b: HypergraphBuilder<u64> = HypergraphBuilder::with_unit_vertices(3);
+        let n = b.add_net(vec![0, 2]);
+        b.add_pin(n, 1);
+        let hg = b.build().unwrap();
+        assert_eq!(hg.num_nets(), 1u64);
+        assert_eq!(hg.pins(0), &[0u64, 1, 2]);
+    }
+
+    #[test]
     fn invalid_pin_caught_at_build() {
-        let mut b = HypergraphBuilder::with_unit_vertices(2);
+        let mut b: HypergraphBuilder = HypergraphBuilder::with_unit_vertices(2);
         b.add_net(vec![0, 7]);
         assert!(b.build().is_err());
     }

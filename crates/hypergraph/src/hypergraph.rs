@@ -1,6 +1,8 @@
-//! The core [`Hypergraph`] type: dual-CSR pin/net storage.
+//! The core [`Hypergraph`] type: dual-CSR pin/net storage, generic over
+//! the index width.
 
 use fgh_invariant::{invariant, InvariantViolation};
+use fgh_sparse::IndexType;
 
 use crate::{HypergraphError, Partition, Result};
 
@@ -11,29 +13,36 @@ use crate::{HypergraphError, Partition, Result};
 /// containing vertex `v`. Vertex weights are `u32` (`0` is allowed — the
 /// fine-grain model's dummy diagonal vertices carry zero weight); net costs
 /// are `u32` (the paper uses unit costs).
+///
+/// The vertex/net id type `I` is [`u32`] by default (the fast path: half the
+/// pin-array footprint and better cache behavior) and [`u64`] for
+/// hypergraphs whose vertex, net, or pin counts overflow `u32` — the
+/// fine-grain model reaches `2·nnz` pins, which crosses `u32::MAX` around
+/// 2.1 billion nonzeros. `I::MAX` is reserved as a sentinel throughout, so
+/// usable ids are `0 .. I::MAX` exclusive.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Hypergraph {
-    pub(crate) num_vertices: u32,
+pub struct Hypergraph<I: IndexType = u32> {
+    pub(crate) num_vertices: I,
     pub(crate) pin_ptr: Vec<usize>,
-    pub(crate) pins: Vec<u32>,
+    pub(crate) pins: Vec<I>,
     pub(crate) vnet_ptr: Vec<usize>,
-    pub(crate) vnets: Vec<u32>,
+    pub(crate) vnets: Vec<I>,
     pub(crate) vertex_weights: Vec<u32>,
     pub(crate) net_costs: Vec<u32>,
 }
 
-impl Hypergraph {
+impl<I: IndexType> Hypergraph<I> {
     /// Builds a hypergraph from per-net pin lists, unit weights and costs.
     ///
     /// ```
     /// use fgh_hypergraph::Hypergraph;
-    /// let hg = Hypergraph::from_nets(4, &[vec![0, 1, 2], vec![2, 3]]).unwrap();
+    /// let hg = Hypergraph::<u32>::from_nets(4, &[vec![0, 1, 2], vec![2, 3]]).unwrap();
     /// assert_eq!(hg.num_nets(), 2);
     /// assert_eq!(hg.pins(0), &[0, 1, 2]);
     /// assert_eq!(hg.nets(2), &[0, 1]); // vertex 2 pins both nets
     /// ```
-    pub fn from_nets(num_vertices: u32, nets: &[Vec<u32>]) -> Result<Self> {
-        let weights = vec![1u32; num_vertices as usize];
+    pub fn from_nets(num_vertices: I, nets: &[Vec<I>]) -> Result<Self> {
+        let weights = vec![1u32; num_vertices.index()];
         let costs = vec![1u32; nets.len()];
         Self::from_nets_weighted(num_vertices, nets, weights, costs)
     }
@@ -42,14 +51,14 @@ impl Hypergraph {
     /// weights and net costs. Pins are validated (in bounds, no duplicates
     /// within a net) and stored sorted.
     pub fn from_nets_weighted(
-        num_vertices: u32,
-        nets: &[Vec<u32>],
+        num_vertices: I,
+        nets: &[Vec<I>],
         vertex_weights: Vec<u32>,
         net_costs: Vec<u32>,
     ) -> Result<Self> {
-        if vertex_weights.len() != num_vertices as usize {
+        if vertex_weights.len() != num_vertices.index() {
             return Err(HypergraphError::WeightLengthMismatch {
-                expected: num_vertices as usize,
+                expected: num_vertices.index(),
                 got: vertex_weights.len(),
             });
         }
@@ -64,22 +73,24 @@ impl Hypergraph {
         let mut pins = Vec::with_capacity(total_pins);
         pin_ptr.push(0);
         for (ni, net) in nets.iter().enumerate() {
-            let ni = ni as u32; // lint: checked-cast — ni < nets.len() <= num_nets, a u32
             let start = pins.len();
             pins.extend_from_slice(net);
             let slice = &mut pins[start..];
             slice.sort_unstable();
             for w in slice.windows(2) {
                 if w[0] == w[1] {
-                    return Err(HypergraphError::DuplicatePin { net: ni, pin: w[0] });
+                    return Err(HypergraphError::DuplicatePin {
+                        net: ni as u64,
+                        pin: w[0].as_u64(),
+                    });
                 }
             }
             if let Some(&last) = slice.last() {
                 if last >= num_vertices {
                     return Err(HypergraphError::PinOutOfBounds {
-                        net: ni,
-                        pin: last,
-                        num_vertices,
+                        net: ni as u64,
+                        pin: last.as_u64(),
+                        num_vertices: num_vertices.as_u64(),
                     });
                 }
             }
@@ -87,21 +98,7 @@ impl Hypergraph {
         }
 
         // Invert to vertex -> nets.
-        let mut vnet_ptr = vec![0usize; num_vertices as usize + 1];
-        for &p in &pins {
-            vnet_ptr[p as usize + 1] += 1;
-        }
-        for i in 0..num_vertices as usize {
-            vnet_ptr[i + 1] += vnet_ptr[i];
-        }
-        let mut vnets = vec![0u32; pins.len()];
-        let mut next = vnet_ptr.clone();
-        for n in 0..nets.len() {
-            for &p in &pins[pin_ptr[n]..pin_ptr[n + 1]] {
-                vnets[next[p as usize]] = n as u32; // lint: checked-cast — n < num_nets, a u32
-                next[p as usize] += 1;
-            }
-        }
+        let (vnet_ptr, vnets) = invert_pins(num_vertices.index(), &pin_ptr, &pins);
 
         Ok(Hypergraph {
             num_vertices,
@@ -120,17 +117,17 @@ impl Hypergraph {
     /// constructor contraction uses (no per-net `Vec`). Weight/cost vector
     /// lengths and pin bounds are validated.
     pub fn from_flat_nets(
-        num_vertices: u32,
+        num_vertices: I,
         pin_ptr: Vec<usize>,
-        pins: Vec<u32>,
+        pins: Vec<I>,
         vertex_weights: Vec<u32>,
         net_costs: Vec<u32>,
     ) -> Result<Self> {
         assert!(!pin_ptr.is_empty(), "pin_ptr needs a leading 0 entry");
         let num_nets = pin_ptr.len() - 1;
-        if vertex_weights.len() != num_vertices as usize {
+        if vertex_weights.len() != num_vertices.index() {
             return Err(HypergraphError::WeightLengthMismatch {
-                expected: num_vertices as usize,
+                expected: num_vertices.index(),
                 got: vertex_weights.len(),
             });
         }
@@ -148,30 +145,16 @@ impl Hypergraph {
             if let Some(&last) = net.last() {
                 if last >= num_vertices {
                     return Err(HypergraphError::PinOutOfBounds {
-                        net: n as u32, // lint: checked-cast — n < num_nets, a u32
-                        pin: last,
-                        num_vertices,
+                        net: n as u64,
+                        pin: last.as_u64(),
+                        num_vertices: num_vertices.as_u64(),
                     });
                 }
             }
         }
 
         // Invert to vertex -> nets.
-        let mut vnet_ptr = vec![0usize; num_vertices as usize + 1];
-        for &p in &pins {
-            vnet_ptr[p as usize + 1] += 1;
-        }
-        for i in 0..num_vertices as usize {
-            vnet_ptr[i + 1] += vnet_ptr[i];
-        }
-        let mut vnets = vec![0u32; pins.len()];
-        let mut next = vnet_ptr.clone();
-        for n in 0..num_nets {
-            for &p in &pins[pin_ptr[n]..pin_ptr[n + 1]] {
-                vnets[next[p as usize]] = n as u32; // lint: checked-cast — n < num_nets, a u32
-                next[p as usize] += 1;
-            }
-        }
+        let (vnet_ptr, vnets) = invert_pins(num_vertices.index(), &pin_ptr, &pins);
 
         Ok(Hypergraph {
             num_vertices,
@@ -185,13 +168,13 @@ impl Hypergraph {
     }
 
     /// Number of vertices `|V|`.
-    pub fn num_vertices(&self) -> u32 {
+    pub fn num_vertices(&self) -> I {
         self.num_vertices
     }
 
     /// Number of nets `|N|`.
-    pub fn num_nets(&self) -> u32 {
-        (self.pin_ptr.len() - 1) as u32 // lint: checked-cast — construction caps num_vertices at u32::MAX
+    pub fn num_nets(&self) -> I {
+        I::from_index(self.pin_ptr.len() - 1)
     }
 
     /// Total number of pins `Σ |pins[n]|`.
@@ -200,28 +183,28 @@ impl Hypergraph {
     }
 
     /// The pins (vertices) of net `n`, sorted ascending.
-    pub fn pins(&self, n: u32) -> &[u32] {
-        &self.pins[self.pin_ptr[n as usize]..self.pin_ptr[n as usize + 1]]
+    pub fn pins(&self, n: I) -> &[I] {
+        &self.pins[self.pin_ptr[n.index()]..self.pin_ptr[n.index() + 1]]
     }
 
     /// The nets containing vertex `v`, sorted ascending.
-    pub fn nets(&self, v: u32) -> &[u32] {
-        &self.vnets[self.vnet_ptr[v as usize]..self.vnet_ptr[v as usize + 1]]
+    pub fn nets(&self, v: I) -> &[I] {
+        &self.vnets[self.vnet_ptr[v.index()]..self.vnet_ptr[v.index() + 1]]
     }
 
     /// Size (pin count) of net `n`.
-    pub fn net_size(&self, n: u32) -> usize {
-        self.pin_ptr[n as usize + 1] - self.pin_ptr[n as usize]
+    pub fn net_size(&self, n: I) -> usize {
+        self.pin_ptr[n.index() + 1] - self.pin_ptr[n.index()]
     }
 
     /// Degree (net count) of vertex `v`.
-    pub fn vertex_degree(&self, v: u32) -> usize {
-        self.vnet_ptr[v as usize + 1] - self.vnet_ptr[v as usize]
+    pub fn vertex_degree(&self, v: I) -> usize {
+        self.vnet_ptr[v.index() + 1] - self.vnet_ptr[v.index()]
     }
 
     /// Weight `w_v` of vertex `v`.
-    pub fn vertex_weight(&self, v: u32) -> u32 {
-        self.vertex_weights[v as usize]
+    pub fn vertex_weight(&self, v: I) -> u32 {
+        self.vertex_weights[v.index()]
     }
 
     /// All vertex weights.
@@ -230,8 +213,8 @@ impl Hypergraph {
     }
 
     /// Cost `c_n` of net `n`.
-    pub fn net_cost(&self, n: u32) -> u32 {
-        self.net_costs[n as usize]
+    pub fn net_cost(&self, n: I) -> u32 {
+        self.net_costs[n.index()]
     }
 
     /// All net costs.
@@ -244,6 +227,19 @@ impl Hypergraph {
         self.vertex_weights.iter().map(|&w| w as u64).sum()
     }
 
+    /// Heap footprint of the dual-CSR storage in bytes (capacities, not
+    /// lengths — what the allocator actually holds). This is the accounting
+    /// primitive behind `Budget::max_bytes` in the partitioning engine.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.pin_ptr.capacity() * size_of::<usize>()
+            + self.pins.capacity() * size_of::<I>()
+            + self.vnet_ptr.capacity() * size_of::<usize>()
+            + self.vnets.capacity() * size_of::<I>()
+            + self.vertex_weights.capacity() * size_of::<u32>()
+            + self.net_costs.capacity() * size_of::<u32>()
+    }
+
     /// Extracts the sub-hypergraph induced by the vertices of `part` under
     /// `partition`, applying **net splitting**: each net keeps only its pins
     /// inside the part, and nets left with fewer than 2 pins are dropped
@@ -251,7 +247,7 @@ impl Hypergraph {
     ///
     /// Returns the sub-hypergraph plus the mapping from new vertex ids to
     /// original ids.
-    pub fn extract_part(&self, partition: &Partition, part: u32) -> (Hypergraph, Vec<u32>) {
+    pub fn extract_part(&self, partition: &Partition, part: u32) -> (Hypergraph<I>, Vec<I>) {
         self.extract_part_mode(partition, part, true)
     }
 
@@ -269,25 +265,25 @@ impl Hypergraph {
         partition: &Partition,
         part: u32,
         split_nets: bool,
-    ) -> (Hypergraph, Vec<u32>) {
+    ) -> (Hypergraph<I>, Vec<I>) {
         let parts = partition.parts();
-        let mut old_of_new: Vec<u32> = Vec::new();
-        let mut new_of_old: Vec<u32> = vec![u32::MAX; self.num_vertices as usize];
-        for v in 0..self.num_vertices {
-            if parts[v as usize] == part {
-                new_of_old[v as usize] = old_of_new.len() as u32; // lint: checked-cast — old_of_new.len() <= num_vertices, a u32
-                old_of_new.push(v);
+        let mut old_of_new: Vec<I> = Vec::new();
+        let mut new_of_old: Vec<I> = vec![I::MAX; self.num_vertices.index()];
+        for v in 0..self.num_vertices.index() {
+            if parts[v] == part {
+                new_of_old[v] = I::from_index(old_of_new.len());
+                old_of_new.push(I::from_index(v));
             }
         }
-        let mut nets: Vec<Vec<u32>> = Vec::new();
+        let mut nets: Vec<Vec<I>> = Vec::new();
         let mut costs: Vec<u32> = Vec::new();
-        for n in 0..self.num_nets() {
-            let all_pins = self.pins(n);
-            let mut kept: Vec<u32> = all_pins
+        for n in 0..self.pin_ptr.len() - 1 {
+            let all_pins = &self.pins[self.pin_ptr[n]..self.pin_ptr[n + 1]];
+            let mut kept: Vec<I> = all_pins
                 .iter()
                 .filter_map(|&p| {
-                    let np = new_of_old[p as usize];
-                    (np != u32::MAX).then_some(np)
+                    let np = new_of_old[p.index()];
+                    (np != I::MAX).then_some(np)
                 })
                 .collect();
             if !split_nets && kept.len() != all_pins.len() {
@@ -296,14 +292,14 @@ impl Hypergraph {
             if kept.len() >= 2 {
                 kept.sort_unstable();
                 nets.push(kept);
-                costs.push(self.net_cost(n));
+                costs.push(self.net_costs[n]);
             }
         }
         let weights: Vec<u32> = old_of_new
             .iter()
-            .map(|&v| self.vertex_weights[v as usize])
+            .map(|&v| self.vertex_weights[v.index()])
             .collect();
-        let num_vertices = old_of_new.len() as u32; // lint: checked-cast — old_of_new.len() <= num_vertices, a u32
+        let num_vertices = I::from_index(old_of_new.len());
         let hg = Hypergraph::from_nets_weighted(num_vertices, &nets, weights, costs)
             .expect("extraction preserves validity");
         (hg, old_of_new)
@@ -311,19 +307,22 @@ impl Hypergraph {
 
     /// Checks internal invariants (used in tests and after coarsening).
     pub fn validate(&self) -> Result<()> {
-        for n in 0..self.num_nets() {
-            let pins = self.pins(n);
+        for n in 0..self.pin_ptr.len() - 1 {
+            let pins = &self.pins[self.pin_ptr[n]..self.pin_ptr[n + 1]];
             for w in pins.windows(2) {
                 if w[0] == w[1] {
-                    return Err(HypergraphError::DuplicatePin { net: n, pin: w[0] });
+                    return Err(HypergraphError::DuplicatePin {
+                        net: n as u64,
+                        pin: w[0].as_u64(),
+                    });
                 }
             }
             if let Some(&last) = pins.last() {
                 if last >= self.num_vertices {
                     return Err(HypergraphError::PinOutOfBounds {
-                        net: n,
-                        pin: last,
-                        num_vertices: self.num_vertices,
+                        net: n as u64,
+                        pin: last.as_u64(),
+                        num_vertices: self.num_vertices.as_u64(),
                     });
                 }
             }
@@ -360,7 +359,7 @@ impl Hypergraph {
             self.pins.len()
         );
         invariant!(
-            self.vnet_ptr.len() == self.num_vertices as usize + 1,
+            self.vnet_ptr.len() == self.num_vertices.index() + 1,
             S,
             "vnet_ptr.len",
             "vnet_ptr has {} entries for {} vertices",
@@ -385,7 +384,7 @@ impl Hypergraph {
             self.vnets.len()
         );
         invariant!(
-            self.vertex_weights.len() == self.num_vertices as usize,
+            self.vertex_weights.len() == self.num_vertices.index(),
             S,
             "weights.len",
             "{} weights for {} vertices",
@@ -422,14 +421,15 @@ impl Hypergraph {
         }
         // Forward direction: every pin list sorted, unique, in bounds, and
         // mirrored in the vertex's net list.
-        for n in 0..self.num_nets() {
+        for ni in 0..self.pin_ptr.len() - 1 {
+            let n = I::from_index(ni);
             let pins = self.pins(n);
             for w in pins.windows(2) {
                 invariant!(
                     w[0] < w[1],
                     S,
                     "pins.sorted_unique",
-                    "net {n} pins not sorted/unique: {} then {}",
+                    "net {ni} pins not sorted/unique: {} then {}",
                     w[0],
                     w[1]
                 );
@@ -439,14 +439,14 @@ impl Hypergraph {
                     v < self.num_vertices,
                     S,
                     "pins.in_bounds",
-                    "net {n} pin {v} >= |V| = {}",
+                    "net {ni} pin {v} >= |V| = {}",
                     self.num_vertices
                 );
                 invariant!(
                     self.nets(v).binary_search(&n).is_ok(),
                     S,
                     "dual.forward",
-                    "v{v} ∈ pins[{n}] but net {n} ∉ nets[{v}]"
+                    "v{v} ∈ pins[{ni}] but net {ni} ∉ nets[{v}]"
                 );
             }
         }
@@ -454,36 +454,62 @@ impl Hypergraph {
         // bounds, and mirrored in the net's pin list. Together with the
         // forward pass and the equal incidence counts this proves the two
         // CSRs are exact duals.
-        for v in 0..self.num_vertices {
+        for vi in 0..self.num_vertices.index() {
+            let v = I::from_index(vi);
             let nets = self.nets(v);
             for w in nets.windows(2) {
                 invariant!(
                     w[0] < w[1],
                     S,
                     "vnets.sorted_unique",
-                    "vertex {v} nets not sorted/unique: {} then {}",
+                    "vertex {vi} nets not sorted/unique: {} then {}",
                     w[0],
                     w[1]
                 );
             }
             for &n in nets {
                 invariant!(
-                    (n as usize) < self.pin_ptr.len() - 1,
+                    n.index() < self.pin_ptr.len() - 1,
                     S,
                     "vnets.in_bounds",
-                    "vertex {v} lists net {n} >= |N| = {}",
+                    "vertex {vi} lists net {n} >= |N| = {}",
                     self.pin_ptr.len() - 1
                 );
                 invariant!(
                     self.pins(n).binary_search(&v).is_ok(),
                     S,
                     "dual.reverse",
-                    "n{n} ∈ nets[{v}] but vertex {v} ∉ pins[{n}]"
+                    "n{n} ∈ nets[{vi}] but vertex {vi} ∉ pins[{n}]"
                 );
             }
         }
         Ok(())
     }
+}
+
+/// Inverts a net→pin CSR into the dual vertex→net CSR (counting sort).
+fn invert_pins<I: IndexType>(
+    num_vertices: usize,
+    pin_ptr: &[usize],
+    pins: &[I],
+) -> (Vec<usize>, Vec<I>) {
+    let mut vnet_ptr = vec![0usize; num_vertices + 1];
+    for &p in pins {
+        vnet_ptr[p.index() + 1] += 1;
+    }
+    for i in 0..num_vertices {
+        vnet_ptr[i + 1] += vnet_ptr[i];
+    }
+    let mut vnets = vec![I::ZERO; pins.len()];
+    let mut next = vnet_ptr.clone();
+    for n in 0..pin_ptr.len() - 1 {
+        let net = I::from_index(n);
+        for &p in &pins[pin_ptr[n]..pin_ptr[n + 1]] {
+            vnets[next[p.index()]] = net;
+            next[p.index()] += 1;
+        }
+    }
+    (vnet_ptr, vnets)
 }
 
 #[cfg(test)]
@@ -511,8 +537,21 @@ mod tests {
     }
 
     #[test]
+    fn u64_width_construction_and_duals() {
+        let hg = Hypergraph::<u64>::from_nets(6, &[vec![0, 1, 2], vec![3, 4, 5, 0]]).unwrap();
+        assert_eq!(hg.num_vertices(), 6u64);
+        assert_eq!(hg.num_nets(), 2u64);
+        assert_eq!(hg.pins(0), &[0u64, 1, 2]);
+        assert_eq!(hg.nets(0), &[0u64, 1]);
+        assert!(hg.validate_invariants().is_ok());
+        // Same structure at both widths, u64 costs twice the pin bytes.
+        let hg32 = figure1_like();
+        assert!(hg.heap_bytes() > hg32.heap_bytes());
+    }
+
+    #[test]
     fn duplicate_pin_rejected() {
-        let err = Hypergraph::from_nets(3, &[vec![0, 1, 1]]).unwrap_err();
+        let err = Hypergraph::<u32>::from_nets(3, &[vec![0, 1, 1]]).unwrap_err();
         assert!(matches!(
             err,
             HypergraphError::DuplicatePin { net: 0, pin: 1 }
@@ -521,7 +560,7 @@ mod tests {
 
     #[test]
     fn out_of_bounds_pin_rejected() {
-        let err = Hypergraph::from_nets(3, &[vec![0, 5]]).unwrap_err();
+        let err = Hypergraph::<u32>::from_nets(3, &[vec![0, 5]]).unwrap_err();
         assert!(matches!(
             err,
             HypergraphError::PinOutOfBounds { pin: 5, .. }
@@ -530,7 +569,7 @@ mod tests {
 
     #[test]
     fn weights_and_costs() {
-        let hg =
+        let hg: Hypergraph =
             Hypergraph::from_nets_weighted(3, &[vec![0, 1], vec![1, 2]], vec![2, 0, 5], vec![3, 7])
                 .unwrap();
         assert_eq!(hg.vertex_weight(1), 0);
@@ -540,7 +579,7 @@ mod tests {
 
     #[test]
     fn from_flat_nets_matches_from_nets() {
-        let nested = Hypergraph::from_nets_weighted(
+        let nested: Hypergraph = Hypergraph::from_nets_weighted(
             4,
             &[vec![0, 1, 2], vec![2, 3]],
             vec![1, 2, 3, 4],
@@ -556,15 +595,21 @@ mod tests {
         )
         .unwrap();
         assert_eq!(nested, flat);
-        assert!(Hypergraph::from_flat_nets(2, vec![0, 1], vec![5], vec![1, 1], vec![1]).is_err());
-        assert!(Hypergraph::from_flat_nets(2, vec![0, 1], vec![0], vec![1], vec![1]).is_err());
-        assert!(Hypergraph::from_flat_nets(2, vec![0, 1], vec![0], vec![1, 1], vec![]).is_err());
+        assert!(
+            Hypergraph::<u32>::from_flat_nets(2, vec![0, 1], vec![5], vec![1, 1], vec![1]).is_err()
+        );
+        assert!(
+            Hypergraph::<u32>::from_flat_nets(2, vec![0, 1], vec![0], vec![1], vec![1]).is_err()
+        );
+        assert!(
+            Hypergraph::<u32>::from_flat_nets(2, vec![0, 1], vec![0], vec![1, 1], vec![]).is_err()
+        );
     }
 
     #[test]
     fn mismatched_weight_length_rejected() {
-        let err =
-            Hypergraph::from_nets_weighted(3, &[vec![0, 1]], vec![1, 1], vec![1]).unwrap_err();
+        let err = Hypergraph::<u32>::from_nets_weighted(3, &[vec![0, 1]], vec![1, 1], vec![1])
+            .unwrap_err();
         assert_eq!(
             err,
             HypergraphError::WeightLengthMismatch {
@@ -572,8 +617,8 @@ mod tests {
                 got: 2
             }
         );
-        let err =
-            Hypergraph::from_nets_weighted(2, &[vec![0, 1]], vec![1, 1, 1], vec![1]).unwrap_err();
+        let err = Hypergraph::<u32>::from_nets_weighted(2, &[vec![0, 1]], vec![1, 1, 1], vec![1])
+            .unwrap_err();
         assert_eq!(
             err,
             HypergraphError::WeightLengthMismatch {
@@ -585,8 +630,8 @@ mod tests {
 
     #[test]
     fn mismatched_cost_length_rejected() {
-        let err =
-            Hypergraph::from_nets_weighted(2, &[vec![0, 1]], vec![1, 1], vec![1, 4]).unwrap_err();
+        let err = Hypergraph::<u32>::from_nets_weighted(2, &[vec![0, 1]], vec![1, 1], vec![1, 4])
+            .unwrap_err();
         assert_eq!(
             err,
             HypergraphError::CostLengthMismatch {
@@ -594,7 +639,8 @@ mod tests {
                 got: 2
             }
         );
-        let err = Hypergraph::from_nets_weighted(2, &[vec![0, 1]], vec![1, 1], vec![]).unwrap_err();
+        let err = Hypergraph::<u32>::from_nets_weighted(2, &[vec![0, 1]], vec![1, 1], vec![])
+            .unwrap_err();
         assert_eq!(
             err,
             HypergraphError::CostLengthMismatch {
@@ -606,7 +652,7 @@ mod tests {
 
     #[test]
     fn empty_net_allowed() {
-        let hg = Hypergraph::from_nets(2, &[vec![], vec![0, 1]]).unwrap();
+        let hg: Hypergraph = Hypergraph::from_nets(2, &[vec![], vec![0, 1]]).unwrap();
         assert_eq!(hg.net_size(0), 0);
         assert_eq!(hg.num_pins(), 2);
     }
@@ -614,7 +660,8 @@ mod tests {
     #[test]
     fn extract_part_with_net_splitting() {
         // Vertices 0..6; nets: {0,1,2,3}, {2,3,4}, {4,5}.
-        let hg = Hypergraph::from_nets(6, &[vec![0, 1, 2, 3], vec![2, 3, 4], vec![4, 5]]).unwrap();
+        let hg: Hypergraph =
+            Hypergraph::from_nets(6, &[vec![0, 1, 2, 3], vec![2, 3, 4], vec![4, 5]]).unwrap();
         // Partition: {0,1,2,3} in part 0, {4,5} in part 1.
         let p = Partition::new(2, vec![0, 0, 0, 0, 1, 1]).unwrap();
         let (sub0, map0) = hg.extract_part(&p, 0);
@@ -632,8 +679,9 @@ mod tests {
 
     #[test]
     fn extract_preserves_weights_and_costs() {
-        let hg = Hypergraph::from_nets_weighted(4, &[vec![0, 1, 2, 3]], vec![1, 2, 3, 4], vec![9])
-            .unwrap();
+        let hg: Hypergraph =
+            Hypergraph::from_nets_weighted(4, &[vec![0, 1, 2, 3]], vec![1, 2, 3, 4], vec![9])
+                .unwrap();
         let p = Partition::new(2, vec![0, 1, 1, 0]).unwrap();
         let (sub, map) = hg.extract_part(&p, 1);
         assert_eq!(map, vec![1, 2]);
@@ -648,7 +696,8 @@ mod tests {
 
     #[test]
     fn extract_without_net_splitting_drops_cut_nets() {
-        let hg = Hypergraph::from_nets(6, &[vec![0, 1, 2, 3], vec![2, 3, 4], vec![4, 5]]).unwrap();
+        let hg: Hypergraph =
+            Hypergraph::from_nets(6, &[vec![0, 1, 2, 3], vec![2, 3, 4], vec![4, 5]]).unwrap();
         let p = Partition::new(2, vec![0, 0, 0, 0, 1, 1]).unwrap();
         let (sub0, _) = hg.extract_part_mode(&p, 0, false);
         // Net 0 is internal (kept); net 1 is cut (dropped, unlike the

@@ -18,6 +18,8 @@
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+use fgh_sparse::IndexType;
+
 use crate::{Hypergraph, HypergraphError, Result};
 
 /// Reads an `.hgr` hypergraph from a file.
@@ -119,25 +121,29 @@ pub fn read_hgr_from(reader: impl Read) -> Result<Hypergraph> {
 }
 
 /// Writes a hypergraph to `.hgr` format (fmt 11: costs and weights).
-pub fn write_hgr(hg: &Hypergraph, path: impl AsRef<Path>) -> Result<()> {
+pub fn write_hgr<I: IndexType>(hg: &Hypergraph<I>, path: impl AsRef<Path>) -> Result<()> {
     let file = std::fs::File::create(&path).map_err(|e| parse_err(format!("create: {e}")))?;
     write_hgr_to(hg, BufWriter::new(file))
 }
 
-/// Writes `.hgr` data to any writer.
-pub fn write_hgr_to(hg: &Hypergraph, mut w: impl Write) -> Result<()> {
+/// Writes `.hgr` data to any writer. Generic over the index width — ids
+/// are emitted in decimal either way, so a `u64` hypergraph writes a file
+/// any compliant reader accepts (the *reader* here stays `u32`: `.hgr`
+/// interchange with PaToH/hMETIS never involves >4G-vertex inputs).
+pub fn write_hgr_to<I: IndexType>(hg: &Hypergraph<I>, mut w: impl Write) -> Result<()> {
     let io = |e: std::io::Error| parse_err(e.to_string());
     writeln!(w, "% written by fgh-hypergraph").map_err(io)?;
     writeln!(w, "{} {} 11", hg.num_nets(), hg.num_vertices()).map_err(io)?;
-    for n in 0..hg.num_nets() {
+    for n in 0..hg.num_nets().index() {
+        let n = I::from_index(n);
         write!(w, "{}", hg.net_cost(n)).map_err(io)?;
         for &p in hg.pins(n) {
-            write!(w, " {}", p + 1).map_err(io)?;
+            write!(w, " {}", p.as_u64() + 1).map_err(io)?;
         }
         writeln!(w).map_err(io)?;
     }
-    for v in 0..hg.num_vertices() {
-        writeln!(w, "{}", hg.vertex_weight(v)).map_err(io)?;
+    for v in 0..hg.num_vertices().index() {
+        writeln!(w, "{}", hg.vertex_weight(I::from_index(v))).map_err(io)?;
     }
     w.flush().map_err(io)
 }
@@ -194,7 +200,7 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let hg = Hypergraph::from_nets_weighted(
+        let hg: Hypergraph = Hypergraph::from_nets_weighted(
             5,
             &[vec![0, 1, 4], vec![2, 3], vec![0, 3]],
             vec![1, 2, 3, 4, 0],
@@ -208,8 +214,19 @@ mod tests {
     }
 
     #[test]
+    fn u64_hypergraph_writes_readable_hgr() {
+        let hg64 = Hypergraph::<u64>::from_nets(3, &[vec![0, 1], vec![1, 2]]).unwrap();
+        let mut buf = Vec::new();
+        write_hgr_to(&hg64, &mut buf).unwrap();
+        let back = read_hgr_from(buf.as_slice()).unwrap();
+        assert_eq!(back.num_nets(), 2);
+        assert_eq!(back.pins(0), &[0, 1]);
+        assert_eq!(back.pins(1), &[1, 2]);
+    }
+
+    #[test]
     fn file_roundtrip() {
-        let hg = Hypergraph::from_nets(3, &[vec![0, 1], vec![1, 2]]).unwrap();
+        let hg: Hypergraph = Hypergraph::from_nets(3, &[vec![0, 1], vec![1, 2]]).unwrap();
         let dir = std::env::temp_dir().join("fgh_hgr_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.hgr");

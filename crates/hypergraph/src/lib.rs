@@ -38,16 +38,19 @@ pub use partition::Partition;
 pub use stats::HypergraphStats;
 
 /// Errors from hypergraph construction and partition validation.
+///
+/// Vertex/net/pin ids are reported as `u64` so the same error type serves
+/// every [`fgh_sparse::IndexType`] width the hypergraph is instantiated at.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HypergraphError {
     /// A pin refers to a vertex id >= the vertex count.
     PinOutOfBounds {
-        net: u32,
-        pin: u32,
-        num_vertices: u32,
+        net: u64,
+        pin: u64,
+        num_vertices: u64,
     },
     /// A net contains the same pin twice.
-    DuplicatePin { net: u32, pin: u32 },
+    DuplicatePin { net: u64, pin: u64 },
     /// Vertex weight vector length does not match the vertex count.
     WeightLengthMismatch { expected: usize, got: usize },
     /// Net cost vector length does not match the net count.
@@ -55,7 +58,7 @@ pub enum HypergraphError {
     /// Partition vector length does not match the vertex count.
     PartitionLengthMismatch { expected: usize, got: usize },
     /// A vertex is assigned to a part id >= K.
-    PartOutOfBounds { vertex: u32, part: u32, k: u32 },
+    PartOutOfBounds { vertex: u64, part: u32, k: u32 },
     /// K must be at least 1.
     InvalidK,
     /// A part of the partition received no vertices.

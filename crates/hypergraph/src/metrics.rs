@@ -1,20 +1,24 @@
 //! Cutsize metrics: the cut-net metric (eq. 2) and the connectivity − 1
 //! metric (eq. 3), plus per-net connectivity sets `Λ_j`.
 
+use fgh_sparse::IndexType;
+
 use crate::{Hypergraph, Partition};
 
 /// Computes the connectivity `λ_j` of every net: the number of distinct
 /// parts its pins touch. Empty nets have connectivity 0.
 ///
-/// Runs in `O(pins)` using a timestamped marker array of size K.
-pub fn connectivities(hg: &Hypergraph, partition: &Partition) -> Vec<u32> {
+/// Runs in `O(pins)` using a timestamped marker array of size K (stamps are
+/// `usize` net indices so the same code serves every index width).
+pub fn connectivities<I: IndexType>(hg: &Hypergraph<I>, partition: &Partition) -> Vec<u32> {
     let k = partition.k() as usize;
-    let mut stamp = vec![u32::MAX; k];
-    let mut lambdas = Vec::with_capacity(hg.num_nets() as usize);
-    for n in 0..hg.num_nets() {
+    let num_nets = hg.num_nets().index();
+    let mut stamp = vec![usize::MAX; k];
+    let mut lambdas = Vec::with_capacity(num_nets);
+    for n in 0..num_nets {
         let mut lambda = 0u32;
-        for &p in hg.pins(n) {
-            let part = partition.part(p) as usize;
+        for &p in hg.pins(I::from_index(n)) {
+            let part = partition.parts()[p.index()] as usize;
             if stamp[part] != n {
                 stamp[part] = n;
                 lambda += 1;
@@ -27,14 +31,15 @@ pub fn connectivities(hg: &Hypergraph, partition: &Partition) -> Vec<u32> {
 
 /// Computes the connectivity set `Λ_j` of every net: the sorted list of
 /// parts its pins touch.
-pub fn connectivity_sets(hg: &Hypergraph, partition: &Partition) -> Vec<Vec<u32>> {
+pub fn connectivity_sets<I: IndexType>(hg: &Hypergraph<I>, partition: &Partition) -> Vec<Vec<u32>> {
     let k = partition.k() as usize;
-    let mut stamp = vec![u32::MAX; k];
-    let mut sets = Vec::with_capacity(hg.num_nets() as usize);
-    for n in 0..hg.num_nets() {
+    let num_nets = hg.num_nets().index();
+    let mut stamp = vec![usize::MAX; k];
+    let mut sets = Vec::with_capacity(num_nets);
+    for n in 0..num_nets {
         let mut set: Vec<u32> = Vec::new();
-        for &p in hg.pins(n) {
-            let part = partition.part(p) as usize;
+        for &p in hg.pins(I::from_index(n)) {
+            let part = partition.parts()[p.index()] as usize;
             if stamp[part] != n {
                 stamp[part] = n;
                 set.push(part as u32); // lint: checked-cast — part < k, a u32
@@ -47,12 +52,12 @@ pub fn connectivity_sets(hg: &Hypergraph, partition: &Partition) -> Vec<Vec<u32>
 }
 
 /// Cut-net cutsize (eq. 2): `Σ_{cut nets} c_j`.
-pub fn cutsize_cutnet(hg: &Hypergraph, partition: &Partition) -> u64 {
+pub fn cutsize_cutnet<I: IndexType>(hg: &Hypergraph<I>, partition: &Partition) -> u64 {
     connectivities(hg, partition)
         .iter()
         .enumerate()
         .filter(|(_, &l)| l > 1)
-        .map(|(n, _)| hg.net_cost(n as u32) as u64) // lint: checked-cast — n < num_nets, a u32
+        .map(|(n, _)| hg.net_costs()[n] as u64)
         .sum()
 }
 
@@ -61,16 +66,16 @@ pub fn cutsize_cutnet(hg: &Hypergraph, partition: &Partition) -> u64 {
 /// For the fine-grain model with unit costs this equals the **total
 /// communication volume in words** of one parallel SpMV (the paper's
 /// central claim, re-verified end-to-end by `fgh-spmv`).
-pub fn cutsize_connectivity(hg: &Hypergraph, partition: &Partition) -> u64 {
+pub fn cutsize_connectivity<I: IndexType>(hg: &Hypergraph<I>, partition: &Partition) -> u64 {
     connectivities(hg, partition)
         .iter()
         .enumerate()
-        .map(|(n, &l)| hg.net_cost(n as u32) as u64 * (l.max(1) - 1) as u64) // lint: checked-cast — n < num_nets, a u32
+        .map(|(n, &l)| hg.net_costs()[n] as u64 * (l.max(1) - 1) as u64)
         .sum()
 }
 
 /// Number of cut (external) nets.
-pub fn num_cut_nets(hg: &Hypergraph, partition: &Partition) -> usize {
+pub fn num_cut_nets<I: IndexType>(hg: &Hypergraph<I>, partition: &Partition) -> usize {
     connectivities(hg, partition)
         .iter()
         .filter(|&&l| l > 1)
@@ -117,15 +122,30 @@ mod tests {
     #[test]
     fn connectivity_exceeds_cutnet_when_lambda_high() {
         // One net spanning 3 parts: cut-net metric 1, λ−1 metric 2.
-        let hg = Hypergraph::from_nets(3, &[vec![0, 1, 2]]).unwrap();
+        let hg: Hypergraph = Hypergraph::from_nets(3, &[vec![0, 1, 2]]).unwrap();
         let p = Partition::new(3, vec![0, 1, 2]).unwrap();
         assert_eq!(cutsize_cutnet(&hg, &p), 1);
         assert_eq!(cutsize_connectivity(&hg, &p), 2);
     }
 
     #[test]
+    fn metrics_agree_across_index_widths() {
+        let (hg, p) = setup();
+        let hg64 =
+            Hypergraph::<u64>::from_nets(6, &[vec![0, 1, 2], vec![2, 3], vec![4, 5], vec![0, 5]])
+                .unwrap();
+        assert_eq!(connectivities(&hg, &p), connectivities(&hg64, &p));
+        assert_eq!(cutsize_cutnet(&hg, &p), cutsize_cutnet(&hg64, &p));
+        assert_eq!(
+            cutsize_connectivity(&hg, &p),
+            cutsize_connectivity(&hg64, &p)
+        );
+    }
+
+    #[test]
     fn net_costs_scale_cutsize() {
-        let hg = Hypergraph::from_nets_weighted(2, &[vec![0, 1]], vec![1, 1], vec![5]).unwrap();
+        let hg: Hypergraph =
+            Hypergraph::from_nets_weighted(2, &[vec![0, 1]], vec![1, 1], vec![5]).unwrap();
         let p = Partition::new(2, vec![0, 1]).unwrap();
         assert_eq!(cutsize_cutnet(&hg, &p), 5);
         assert_eq!(cutsize_connectivity(&hg, &p), 5);
@@ -141,7 +161,7 @@ mod tests {
 
     #[test]
     fn empty_net_connectivity_zero() {
-        let hg = Hypergraph::from_nets(2, &[vec![]]).unwrap();
+        let hg: Hypergraph = Hypergraph::from_nets(2, &[vec![]]).unwrap();
         let p = Partition::new(2, vec![0, 1]).unwrap();
         assert_eq!(connectivities(&hg, &p), vec![0]);
         assert_eq!(cutsize_connectivity(&hg, &p), 0);

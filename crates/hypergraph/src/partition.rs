@@ -1,11 +1,16 @@
 //! K-way vertex partitions and balance queries.
 
 use fgh_invariant::{invariant, InvariantViolation};
+use fgh_sparse::IndexType;
 
 use crate::{Hypergraph, HypergraphError, Result};
 
 /// A K-way partition `Π = {P_1, ..., P_K}` of a hypergraph's vertex set,
 /// stored as a per-vertex part id in `0..k`.
+///
+/// Part ids stay `u32` regardless of the hypergraph's index width — K is
+/// a processor count, never anywhere near `u32::MAX`. Only vertex *indices*
+/// widen, and those are plain `usize` positions into the part vector here.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
     k: u32,
@@ -22,7 +27,7 @@ impl Partition {
         for (v, &p) in parts.iter().enumerate() {
             if p >= k {
                 return Err(HypergraphError::PartOutOfBounds {
-                    vertex: v as u32, // lint: checked-cast — v < parts.len() <= num_vertices, a u32
+                    vertex: v as u64,
                     part: p,
                     k,
                 });
@@ -33,9 +38,15 @@ impl Partition {
 
     /// The trivial 1-way partition of `n` vertices.
     pub fn trivial(n: u32) -> Self {
+        Self::trivial_n(n as usize)
+    }
+
+    /// The trivial 1-way partition of `n` vertices, sized by `usize` —
+    /// the entry point for index widths whose vertex counts exceed `u32`.
+    pub fn trivial_n(n: usize) -> Self {
         Partition {
             k: 1,
-            parts: vec![0; n as usize],
+            parts: vec![0; n],
         }
     }
 
@@ -59,6 +70,12 @@ impl Partition {
         self.parts[v as usize]
     }
 
+    /// Part id of vertex `v`, addressed by `usize` position — the accessor
+    /// for index widths whose vertex ids exceed `u32`.
+    pub fn part_at(&self, v: usize) -> u32 {
+        self.parts[v]
+    }
+
     /// The raw per-vertex part vector.
     pub fn parts(&self) -> &[u32] {
         &self.parts
@@ -75,13 +92,20 @@ impl Partition {
         self.parts[v as usize] = part;
     }
 
+    /// Reassigns vertex `v` (a `usize` position) to `part` — the mutator
+    /// counterpart of [`Partition::part_at`] for wide index types.
+    pub fn assign_at(&mut self, v: usize, part: u32) {
+        debug_assert!(part < self.k);
+        self.parts[v] = part;
+    }
+
     /// Part weights `W_k = Σ_{v in P_k} w_v` under the hypergraph's vertex
     /// weights.
-    pub fn part_weights(&self, hg: &Hypergraph) -> Vec<u64> {
-        assert_eq!(self.parts.len(), hg.num_vertices() as usize);
+    pub fn part_weights<I: IndexType>(&self, hg: &Hypergraph<I>) -> Vec<u64> {
+        assert_eq!(self.parts.len(), hg.num_vertices().index());
         let mut w = vec![0u64; self.k as usize];
         for (v, &p) in self.parts.iter().enumerate() {
-            w[p as usize] += hg.vertex_weight(v as u32) as u64; // lint: checked-cast — v < num_vertices, a u32
+            w[p as usize] += hg.vertex_weights()[v] as u64;
         }
         w
     }
@@ -97,7 +121,7 @@ impl Partition {
 
     /// Percent load imbalance `100 · (W_max − W_avg) / W_avg`, the measure
     /// the paper reports (kept below 3% in all its experiments).
-    pub fn imbalance_percent(&self, hg: &Hypergraph) -> f64 {
+    pub fn imbalance_percent<I: IndexType>(&self, hg: &Hypergraph<I>) -> f64 {
         let w = self.part_weights(hg);
         let total: u64 = w.iter().sum();
         if total == 0 {
@@ -110,7 +134,7 @@ impl Partition {
 
     /// Checks the balance criterion (eq. 1): every part weight is at most
     /// `W_avg · (1 + epsilon)`.
-    pub fn is_balanced(&self, hg: &Hypergraph, epsilon: f64) -> bool {
+    pub fn is_balanced<I: IndexType>(&self, hg: &Hypergraph<I>, epsilon: f64) -> bool {
         let w = self.part_weights(hg);
         let total: u64 = w.iter().sum();
         let cap = (total as f64 / self.k as f64) * (1.0 + epsilon);
@@ -119,10 +143,10 @@ impl Partition {
 
     /// Validates the partition against a hypergraph: length matches and,
     /// when `require_nonempty`, every part has at least one vertex.
-    pub fn validate(&self, hg: &Hypergraph, require_nonempty: bool) -> Result<()> {
-        if self.parts.len() != hg.num_vertices() as usize {
+    pub fn validate<I: IndexType>(&self, hg: &Hypergraph<I>, require_nonempty: bool) -> Result<()> {
+        if self.parts.len() != hg.num_vertices().index() {
             return Err(HypergraphError::PartitionLengthMismatch {
-                expected: hg.num_vertices() as usize,
+                expected: hg.num_vertices().index(),
                 got: self.parts.len(),
             });
         }
@@ -141,14 +165,14 @@ impl Partition {
     /// [`Partition::new`] enforces the id range, but refinement algorithms
     /// mutate the vector through [`Partition::parts_mut`], so this re-checks
     /// it from scratch.
-    pub fn validate_invariants(
+    pub fn validate_invariants<I: IndexType>(
         &self,
-        hg: &Hypergraph,
+        hg: &Hypergraph<I>,
     ) -> std::result::Result<(), InvariantViolation> {
         const S: &str = "Partition";
         invariant!(self.k > 0, S, "k.nonzero", "partition has k = 0 parts");
         invariant!(
-            self.parts.len() == hg.num_vertices() as usize,
+            self.parts.len() == hg.num_vertices().index(),
             S,
             "parts.len",
             "part vector covers {} vertices, hypergraph has {}",
@@ -229,6 +253,22 @@ mod tests {
         let p = Partition::trivial(4);
         assert_eq!(p.k(), 1);
         assert_eq!(p.imbalance_percent(&hg()), 0.0);
+        assert_eq!(Partition::trivial_n(4), p);
+    }
+
+    #[test]
+    fn balance_queries_work_at_u64_width() {
+        let hg64 = Hypergraph::<u64>::from_nets_weighted(
+            4,
+            &[vec![0, 1], vec![2, 3]],
+            vec![1, 2, 3, 4],
+            vec![1, 1],
+        )
+        .unwrap();
+        let p = Partition::new(2, vec![0, 1, 1, 0]).unwrap();
+        assert_eq!(p.part_weights(&hg64), vec![5, 5]);
+        assert!(p.validate(&hg64, true).is_ok());
+        assert!(p.validate_invariants(&hg64).is_ok());
     }
 
     #[test]

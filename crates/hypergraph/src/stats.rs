@@ -3,15 +3,19 @@
 //! twice the nets/pins of the 1D model, hence the 2–3x partitioning
 //! time).
 
+use fgh_sparse::IndexType;
+
 use crate::Hypergraph;
 
 /// Structural statistics of a hypergraph.
+///
+/// Count fields are `u64` so the same struct reports on any index width.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HypergraphStats {
     /// Vertex count `|V|`.
-    pub num_vertices: u32,
+    pub num_vertices: u64,
     /// Net count `|N|`.
-    pub num_nets: u32,
+    pub num_nets: u64,
     /// Total pins.
     pub num_pins: usize,
     /// Smallest net size (0 for empty nets).
@@ -29,20 +33,20 @@ pub struct HypergraphStats {
     /// Total vertex weight.
     pub total_weight: u64,
     /// Number of zero-weight vertices (e.g. fine-grain dummies).
-    pub zero_weight_vertices: u32,
+    pub zero_weight_vertices: u64,
     /// Number of single-pin nets (never cuttable).
-    pub single_pin_nets: u32,
+    pub single_pin_nets: u64,
 }
 
 impl HypergraphStats {
     /// Computes statistics for `hg`.
-    pub fn compute(hg: &Hypergraph) -> Self {
-        let nv = hg.num_vertices();
-        let nn = hg.num_nets();
+    pub fn compute<I: IndexType>(hg: &Hypergraph<I>) -> Self {
+        let nv = hg.num_vertices().index();
+        let nn = hg.num_nets().index();
         let (mut min_ns, mut max_ns) = (usize::MAX, 0usize);
-        let mut single = 0u32;
+        let mut single = 0u64;
         for n in 0..nn {
-            let s = hg.net_size(n);
+            let s = hg.net_size(I::from_index(n));
             min_ns = min_ns.min(s);
             max_ns = max_ns.max(s);
             if s == 1 {
@@ -53,8 +57,9 @@ impl HypergraphStats {
             min_ns = 0;
         }
         let (mut min_d, mut max_d) = (usize::MAX, 0usize);
-        let mut zero_w = 0u32;
+        let mut zero_w = 0u64;
         for v in 0..nv {
+            let v = I::from_index(v);
             let d = hg.vertex_degree(v);
             min_d = min_d.min(d);
             max_d = max_d.max(d);
@@ -66,8 +71,8 @@ impl HypergraphStats {
             min_d = 0;
         }
         HypergraphStats {
-            num_vertices: nv,
-            num_nets: nn,
+            num_vertices: nv as u64,
+            num_nets: nn as u64,
             num_pins: hg.num_pins(),
             min_net_size: min_ns,
             max_net_size: max_ns,
@@ -91,10 +96,10 @@ impl HypergraphStats {
 
     /// Histogram of net sizes in power-of-two buckets: entry `i` counts
     /// nets with size in `[2^i, 2^(i+1))` (entry 0 covers sizes 0 and 1).
-    pub fn net_size_histogram(hg: &Hypergraph) -> Vec<usize> {
+    pub fn net_size_histogram<I: IndexType>(hg: &Hypergraph<I>) -> Vec<usize> {
         let mut hist: Vec<usize> = Vec::new();
-        for n in 0..hg.num_nets() {
-            let s = hg.net_size(n);
+        for n in 0..hg.num_nets().index() {
+            let s = hg.net_size(I::from_index(n));
             let bucket = if s <= 1 {
                 0
             } else {
@@ -115,7 +120,7 @@ mod tests {
 
     #[test]
     fn stats_basic() {
-        let hg = Hypergraph::from_nets_weighted(
+        let hg: Hypergraph = Hypergraph::from_nets_weighted(
             4,
             &[vec![0, 1, 2], vec![2, 3], vec![3]],
             vec![1, 1, 0, 2],
@@ -138,7 +143,7 @@ mod tests {
 
     #[test]
     fn stats_empty() {
-        let hg = Hypergraph::from_nets(0, &[]).unwrap();
+        let hg: Hypergraph = Hypergraph::from_nets(0, &[]).unwrap();
         let s = HypergraphStats::compute(&hg);
         assert_eq!(s.num_vertices, 0);
         assert_eq!(s.avg_degree, 0.0);
@@ -146,9 +151,24 @@ mod tests {
     }
 
     #[test]
+    fn stats_agree_across_widths() {
+        let nets = [vec![0, 1, 2], vec![2, 3], vec![3]];
+        let hg32: Hypergraph = Hypergraph::from_nets(4, &nets).unwrap();
+        let nets64: Vec<Vec<u64>> = nets
+            .iter()
+            .map(|n| n.iter().map(|&p| p as u64).collect())
+            .collect();
+        let hg64 = Hypergraph::<u64>::from_nets(4, &nets64).unwrap();
+        assert_eq!(
+            HypergraphStats::compute(&hg32),
+            HypergraphStats::compute(&hg64)
+        );
+    }
+
+    #[test]
     fn histogram_buckets() {
         // Sizes 1, 2, 3, 5, 9 -> buckets 0, 1, 1, 2, 3.
-        let hg = Hypergraph::from_nets(
+        let hg: Hypergraph = Hypergraph::from_nets(
             9,
             &[
                 vec![0],

@@ -10,8 +10,15 @@
 //! [`LevelArena::disabled`] turns pooling off — every take allocates and
 //! every give drops — which is the honest pre-refactor baseline for
 //! benchmarking the arena's effect without keeping two driver codepaths.
+//!
+//! The arena itself is *not* generic over the index width: it holds
+//! separate `u32` and `u64` pools side by side, and the [`ArenaIndex`]
+//! trait statically dispatches a generic caller (`S::Ix::take_ids(...)`)
+//! to the right pool. This keeps one arena (and one [`ArenaPool`])
+//! servicing substrates of both widths in the same process.
 
 use crate::gain::GainBuckets;
+use fgh_sparse::IndexType;
 use std::sync::{Mutex, PoisonError};
 
 /// How many buffers of each kind the pool retains. Recursion depth bounds
@@ -60,6 +67,36 @@ macro_rules! pooled {
     };
 }
 
+macro_rules! pooled_buckets {
+    ($take:ident, $give:ident, $field:ident, $t:ty) => {
+        /// Takes gain buckets sized for `n` vertices and gains in
+        /// `[-max_gain, max_gain]`.
+        pub fn $take(&mut self, n: usize, max_gain: i64) -> GainBuckets<$t> {
+            match self.$field.pop() {
+                Some(mut b) => {
+                    self.stats.reused += 1;
+                    if b.reset(n, max_gain) {
+                        self.stats.bucket_grows += 1;
+                    }
+                    b
+                }
+                None => {
+                    self.stats.fresh += 1;
+                    self.stats.bucket_grows += 1;
+                    GainBuckets::new(n, max_gain)
+                }
+            }
+        }
+
+        /// Returns gain buckets to the pool.
+        pub fn $give(&mut self, b: GainBuckets<$t>) {
+            if self.enabled && self.$field.len() < POOL_CAP {
+                self.$field.push(b);
+            }
+        }
+    };
+}
+
 /// Reusable flat buffers (and gain buckets) shared across the levels of a
 /// multilevel run. See the module docs for the allocation argument.
 #[derive(Debug, Default)]
@@ -70,6 +107,7 @@ pub struct LevelArena {
     u32s: Vec<Vec<u32>>,
     u64s: Vec<Vec<u64>>,
     buckets: Vec<GainBuckets>,
+    buckets64: Vec<GainBuckets<u64>>,
     stats: ArenaStats,
 }
 
@@ -98,35 +136,89 @@ impl LevelArena {
         self.stats
     }
 
+    /// Heap bytes currently *retained* by the idle pools — the arena's
+    /// contribution to [`crate::config::Budget::max_bytes`] accounting.
+    /// Buffers checked out to callers are counted by their owners (the
+    /// levels and substrates holding them), not here.
+    pub fn heap_bytes(&self) -> usize {
+        fn vecs<T>(pool: &[Vec<T>]) -> usize {
+            pool.iter()
+                .map(|v| v.capacity() * std::mem::size_of::<T>())
+                .sum()
+        }
+        vecs(&self.u8s)
+            + vecs(&self.i8s)
+            + vecs(&self.u32s)
+            + vecs(&self.u64s)
+            + self
+                .buckets
+                .iter()
+                .map(GainBuckets::heap_bytes)
+                .sum::<usize>()
+            + self
+                .buckets64
+                .iter()
+                .map(GainBuckets::heap_bytes)
+                .sum::<usize>()
+    }
+
     pooled!(take_u8, give_u8, u8s, u8);
     pooled!(take_i8, give_i8, i8s, i8);
     pooled!(take_u32, give_u32, u32s, u32);
     pooled!(take_u64, give_u64, u64s, u64);
 
-    /// Takes gain buckets sized for `n` vertices and gains in
-    /// `[-max_gain, max_gain]`.
-    pub fn take_buckets(&mut self, n: usize, max_gain: i64) -> GainBuckets {
-        match self.buckets.pop() {
-            Some(mut b) => {
-                self.stats.reused += 1;
-                if b.reset(n, max_gain) {
-                    self.stats.bucket_grows += 1;
-                }
-                b
-            }
-            None => {
-                self.stats.fresh += 1;
-                self.stats.bucket_grows += 1;
-                GainBuckets::new(n, max_gain)
-            }
-        }
+    pooled_buckets!(take_buckets, give_buckets, buckets, u32);
+    pooled_buckets!(take_buckets64, give_buckets64, buckets64, u64);
+}
+
+/// Static dispatch from a generic index width to the matching
+/// [`LevelArena`] pools. The engine's generic code paths write
+/// `S::Ix::take_ids(arena, n, fill)` and monomorphize straight to
+/// `take_u32`/`take_u64` with zero runtime branching.
+pub trait ArenaIndex: IndexType {
+    /// Takes a pooled id buffer of `len` elements set to `fill`.
+    fn take_ids(arena: &mut LevelArena, len: usize, fill: Self) -> Vec<Self>;
+    /// Returns an id buffer to its pool.
+    fn give_ids(arena: &mut LevelArena, v: Vec<Self>);
+    /// Takes pooled gain buckets of this width.
+    fn take_buckets(arena: &mut LevelArena, n: usize, max_gain: i64) -> GainBuckets<Self>;
+    /// Returns gain buckets to their pool.
+    fn give_buckets(arena: &mut LevelArena, b: GainBuckets<Self>);
+}
+
+impl ArenaIndex for u32 {
+    fn take_ids(arena: &mut LevelArena, len: usize, fill: Self) -> Vec<Self> {
+        arena.take_u32(len, fill)
     }
 
-    /// Returns gain buckets to the pool.
-    pub fn give_buckets(&mut self, b: GainBuckets) {
-        if self.enabled && self.buckets.len() < POOL_CAP {
-            self.buckets.push(b);
-        }
+    fn give_ids(arena: &mut LevelArena, v: Vec<Self>) {
+        arena.give_u32(v)
+    }
+
+    fn take_buckets(arena: &mut LevelArena, n: usize, max_gain: i64) -> GainBuckets<Self> {
+        arena.take_buckets(n, max_gain)
+    }
+
+    fn give_buckets(arena: &mut LevelArena, b: GainBuckets<Self>) {
+        arena.give_buckets(b)
+    }
+}
+
+impl ArenaIndex for u64 {
+    fn take_ids(arena: &mut LevelArena, len: usize, fill: Self) -> Vec<Self> {
+        arena.take_u64(len, fill)
+    }
+
+    fn give_ids(arena: &mut LevelArena, v: Vec<Self>) {
+        arena.give_u64(v)
+    }
+
+    fn take_buckets(arena: &mut LevelArena, n: usize, max_gain: i64) -> GainBuckets<Self> {
+        arena.take_buckets64(n, max_gain)
+    }
+
+    fn give_buckets(arena: &mut LevelArena, b: GainBuckets<Self>) {
+        arena.give_buckets64(b)
     }
 }
 
@@ -242,6 +334,40 @@ mod tests {
         let b2 = a.take_buckets(8, 2);
         assert!(b2.is_empty(), "recycled buckets must come back empty");
         assert_eq!(a.stats().reused, 1);
+    }
+
+    #[test]
+    fn wide_and_narrow_pools_are_independent() {
+        let mut a = LevelArena::new();
+        let v32 = <u32 as ArenaIndex>::take_ids(&mut a, 4, 7);
+        assert_eq!(v32, vec![7u32; 4]);
+        let v64 = <u64 as ArenaIndex>::take_ids(&mut a, 4, 9);
+        assert_eq!(v64, vec![9u64; 4]);
+        <u32 as ArenaIndex>::give_ids(&mut a, v32);
+        <u64 as ArenaIndex>::give_ids(&mut a, v64);
+        // Each width hits its own pool on the next take.
+        <u32 as ArenaIndex>::take_ids(&mut a, 2, 0);
+        <u64 as ArenaIndex>::take_ids(&mut a, 2, 0);
+        assert_eq!(a.stats().reused, 2);
+
+        let mut b64 = <u64 as ArenaIndex>::take_buckets(&mut a, 3, 4);
+        b64.insert(1u64, 2);
+        <u64 as ArenaIndex>::give_buckets(&mut a, b64);
+        let b64 = <u64 as ArenaIndex>::take_buckets(&mut a, 3, 4);
+        assert!(b64.is_empty(), "recycled u64 buckets must come back empty");
+    }
+
+    #[test]
+    fn heap_bytes_counts_idle_buffers() {
+        let mut a = LevelArena::new();
+        assert_eq!(a.heap_bytes(), 0);
+        let v = a.take_u64(100, 0);
+        assert_eq!(a.heap_bytes(), 0, "checked-out buffers belong to callers");
+        a.give_u64(v);
+        assert!(a.heap_bytes() >= 100 * 8);
+        let b = a.take_buckets(50, 10);
+        a.give_buckets(b);
+        assert!(a.heap_bytes() > 100 * 8);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use fgh_hypergraph::Hypergraph;
 use rand::Rng;
 
+use crate::arena::ArenaIndex;
 use crate::config::PartitionConfig;
 use crate::engine::MultilevelDriver;
 
@@ -17,8 +18,8 @@ use crate::engine::MultilevelDriver;
 /// Returns the side assignment and the cut-net cutsize achieved. Each call
 /// builds a fresh [`MultilevelDriver`]; reuse a driver directly when
 /// running many bisections.
-pub fn multilevel_bisect(
-    hg: &Hypergraph,
+pub fn multilevel_bisect<I: ArenaIndex>(
+    hg: &Hypergraph<I>,
     fixed: &[i8],
     targets: [f64; 2],
     epsilon: f64,

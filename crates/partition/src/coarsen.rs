@@ -7,21 +7,20 @@
 //! vertex can never make balanced bisection infeasible. The clustering
 //! loop only needs connectivity scores between a vertex and its
 //! neighbors, so it is written once for graphs and hypergraphs via
-//! [`Substrate::for_each_scored_neighbor`].
+//! [`Substrate::for_each_scored_neighbor`], at either index width.
 
 use fgh_hypergraph::Hypergraph;
+use fgh_sparse::IndexType;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::arena::LevelArena;
+use crate::arena::{ArenaIndex, LevelArena};
 use crate::config::CoarseningScheme;
 use crate::engine::Substrate;
 use crate::level::Level;
 
 /// Free (not fixed to any side) marker in fixed-side vectors.
 pub const FREE: i8 = -1;
-
-const NIL: u32 = u32::MAX;
 
 /// Result of one coarsening level of a hypergraph (the historical name;
 /// the engine uses [`Level`] over any substrate).
@@ -63,22 +62,22 @@ pub(crate) fn coarsen_once_in<S: Substrate>(
     rng: &mut impl Rng,
     arena: &mut LevelArena,
 ) -> Option<Level<S>> {
-    let n = sub.num_vertices() as usize;
+    let n = sub.num_vertices();
     debug_assert_eq!(fixed.len(), n);
 
     let (cluster_of, num_clusters) =
         cluster_vertices(sub, fixed, scheme, max_net_size, weight_cap, rng, arena);
     if num_clusters as f64 > 0.95 * n as f64 {
-        arena.give_u32(cluster_of);
+        S::Ix::give_ids(arena, cluster_of);
         return None;
     }
 
     // Project fixed sides onto clusters (clustering never merges
     // incompatible fixed vertices, so the projection is well-defined).
-    let mut coarse_fixed = arena.take_i8(num_clusters as usize, FREE);
+    let mut coarse_fixed = arena.take_i8(num_clusters, FREE);
     for v in 0..n {
         if fixed[v] != FREE {
-            let c = cluster_of[v] as usize;
+            let c = cluster_of[v].index();
             debug_assert!(coarse_fixed[c] == FREE || coarse_fixed[c] == fixed[v]);
             coarse_fixed[c] = fixed[v];
         }
@@ -96,7 +95,9 @@ pub(crate) fn coarsen_once_in<S: Substrate>(
 /// heaviest-connectivity cluster among its already-processed neighbors
 /// (subject to the weight cap and fixed-side compatibility) or starts its
 /// own. Under HCM a cluster accepts at most one extra vertex. Returns the
-/// per-vertex cluster id (an arena buffer) and the cluster count.
+/// per-vertex cluster id (an arena buffer, at the substrate's index
+/// width — `S::Ix::MAX` is the "unclustered" sentinel during the pass)
+/// and the cluster count.
 // lint: checked-index — u and neighbors are < n == cluster_of.len(); cluster ids index the per-cluster vecs, which grow with each new cluster, and score is resized before use
 fn cluster_vertices<S: Substrate>(
     sub: &S,
@@ -106,63 +107,64 @@ fn cluster_vertices<S: Substrate>(
     weight_cap: u64,
     rng: &mut impl Rng,
     arena: &mut LevelArena,
-) -> (Vec<u32>, u32) {
-    let n = sub.num_vertices() as usize;
-    let mut order = arena.take_u32(0, 0);
-    order.extend(0..n as u32); // lint: checked-cast — n = num_vertices, a u32
+) -> (Vec<S::Ix>, usize) {
+    let n = sub.num_vertices();
+    let mut order = S::Ix::take_ids(arena, 0, S::Ix::ZERO);
+    order.extend((0..n).map(S::Ix::from_index));
     order.shuffle(rng);
 
-    let mut cluster_of = arena.take_u32(n, NIL);
+    let mut cluster_of = S::Ix::take_ids(arena, n, S::Ix::MAX);
     let mut cluster_weight = arena.take_u64(0, 0);
+    // Cluster sizes only gate HCM admission (size < 2), so u32 values
+    // suffice at any index width.
     let mut cluster_size = arena.take_u32(0, 0);
     let mut cluster_fixed = arena.take_i8(0, 0);
 
     // Scratch connectivity scores keyed by cluster id.
     let mut score = arena.take_u64(0, 0);
-    let mut touched = arena.take_u32(0, 0);
+    let mut touched = S::Ix::take_ids(arena, 0, S::Ix::ZERO);
 
     for &u in order.iter() {
         let uw = sub.vertex_weight(u) as u64;
-        let uf = fixed[u as usize];
+        let uf = fixed[u.index()];
 
         // Score already-formed clusters reachable through u's incidences.
         touched.clear();
         let num_formed = cluster_weight.len();
         sub.for_each_scored_neighbor(u, max_net_size, &mut |v, cost| {
-            let c = cluster_of[v as usize];
-            if c == NIL {
+            let c = cluster_of[v.index()];
+            if c == S::Ix::MAX {
                 return;
             }
-            if score.len() <= c as usize {
+            if score.len() <= c.index() {
                 score.resize(num_formed, 0);
             }
-            if score[c as usize] == 0 {
+            if score[c.index()] == 0 {
                 touched.push(c);
             }
-            score[c as usize] += cost;
+            score[c.index()] += cost;
         });
 
         // Best admissible cluster.
-        let mut best: Option<(u32, f64)> = None;
-        for &c in &touched {
-            let s = score[c as usize];
-            score[c as usize] = 0;
-            let cf = cluster_fixed[c as usize];
+        let mut best: Option<(S::Ix, f64)> = None;
+        for &c in touched.iter() {
+            let ci = c.index();
+            let s = score[ci];
+            score[ci] = 0;
+            let cf = cluster_fixed[ci];
             if uf != FREE && cf != FREE && uf != cf {
                 continue;
             }
-            if cluster_weight[c as usize] + uw > weight_cap {
+            if cluster_weight[ci] + uw > weight_cap {
                 continue;
             }
-            if scheme == CoarseningScheme::Hcm && cluster_size[c as usize] >= 2 {
+            if scheme == CoarseningScheme::Hcm && cluster_size[ci] >= 2 {
                 continue;
             }
             // Scaled HCC divides the connectivity score by the merged
             // weight, discouraging snowball clusters.
             let key = match scheme {
-                CoarseningScheme::ScaledHcc => {
-                    s as f64 / (cluster_weight[c as usize] + uw).max(1) as f64
-                }
+                CoarseningScheme::ScaledHcc => s as f64 / (cluster_weight[ci] + uw).max(1) as f64,
                 _ => s as f64,
             };
             match best {
@@ -173,33 +175,34 @@ fn cluster_vertices<S: Substrate>(
 
         match best {
             Some((c, _)) => {
-                cluster_of[u as usize] = c;
-                cluster_weight[c as usize] += uw;
-                cluster_size[c as usize] += 1;
-                if cluster_fixed[c as usize] == FREE {
-                    cluster_fixed[c as usize] = uf;
+                let ci = c.index();
+                cluster_of[u.index()] = c;
+                cluster_weight[ci] += uw;
+                cluster_size[ci] += 1;
+                if cluster_fixed[ci] == FREE {
+                    cluster_fixed[ci] = uf;
                 }
             }
             None => {
-                let c = cluster_weight.len() as u32; // lint: checked-cast — cluster count <= vertex count, a u32
-                cluster_of[u as usize] = c;
+                let c = cluster_weight.len();
+                cluster_of[u.index()] = S::Ix::from_index(c);
                 cluster_weight.push(uw);
                 cluster_size.push(1);
                 cluster_fixed.push(uf);
-                if score.len() <= c as usize {
+                if score.len() <= c {
                     score.push(0);
                 }
             }
         }
     }
 
-    let num_clusters = cluster_weight.len() as u32; // lint: checked-cast — cluster count <= vertex count, a u32
-    arena.give_u32(order);
+    let num_clusters = cluster_weight.len();
+    S::Ix::give_ids(arena, order);
     arena.give_u64(cluster_weight);
     arena.give_u32(cluster_size);
     arena.give_i8(cluster_fixed);
     arena.give_u64(score);
-    arena.give_u32(touched);
+    S::Ix::give_ids(arena, touched);
     (cluster_of, num_clusters)
 }
 
@@ -219,7 +222,7 @@ mod tests {
     }
 
     /// Direct contraction through the [`Substrate`] impl.
-    fn contract(hg: &Hypergraph, cluster_of: &[u32], num_clusters: u32) -> Hypergraph {
+    fn contract(hg: &Hypergraph, cluster_of: &[u32], num_clusters: usize) -> Hypergraph {
         Substrate::contract(hg, cluster_of, num_clusters, &mut LevelArena::disabled())
     }
 
@@ -322,6 +325,27 @@ mod tests {
         let coarse = contract(&hg, &[0, 0, 1], 2);
         assert_eq!(coarse.num_nets(), 1);
         assert_eq!(coarse.pins(0), &[0, 1]);
+    }
+
+    #[test]
+    fn wide_contraction_matches_narrow() {
+        // The same clustering at u64 width produces the same coarse
+        // structure, modulo the id type.
+        let hg = random_hypergraph(40, 60, 5, 2);
+        let nets: Vec<Vec<u64>> = (0..hg.num_nets())
+            .map(|n| hg.pins(n).iter().map(|&p| p as u64).collect())
+            .collect();
+        let hg64 = Hypergraph::<u64>::from_nets(40u64, &nets).unwrap();
+        let cluster32: Vec<u32> = (0..40).map(|v| v / 2).collect();
+        let cluster64: Vec<u64> = cluster32.iter().map(|&c| c as u64).collect();
+        let c32 = contract(&hg, &cluster32, 20);
+        let c64 = Substrate::contract(&hg64, &cluster64, 20, &mut LevelArena::disabled());
+        assert_eq!(c32.num_nets() as u64, c64.num_nets());
+        for n in 0..c32.num_nets() {
+            let narrow: Vec<u64> = c32.pins(n).iter().map(|&p| p as u64).collect();
+            assert_eq!(narrow.as_slice(), c64.pins(n as u64));
+            assert_eq!(c32.net_cost(n), c64.net_cost(n as u64));
+        }
     }
 
     #[test]

@@ -19,6 +19,13 @@ pub struct Budget {
     pub max_fm_passes: Option<u64>,
     /// Cap on coarsening levels built per bisection.
     pub max_levels: Option<u64>,
+    /// Cap on engine heap bytes (levels + contracted substrates + arena
+    /// pools), checked between coarsening levels. When the cap trips,
+    /// coarsening stops at the size it reached and the run continues —
+    /// a truncated-but-valid partition instead of an OOM abort. The input
+    /// substrate itself is counted, so a cap smaller than the input stops
+    /// level-building immediately (flat FM on the original structure).
+    pub max_bytes: Option<usize>,
 }
 
 impl Budget {
@@ -27,12 +34,21 @@ impl Budget {
         max_wall: None,
         max_fm_passes: None,
         max_levels: None,
+        max_bytes: None,
     };
 
     /// A wall-clock-only budget.
     pub fn wall(limit: Duration) -> Budget {
         Budget {
             max_wall: Some(limit),
+            ..Budget::UNLIMITED
+        }
+    }
+
+    /// A byte-cap-only budget.
+    pub fn bytes(limit: usize) -> Budget {
+        Budget {
+            max_bytes: Some(limit),
             ..Budget::UNLIMITED
         }
     }

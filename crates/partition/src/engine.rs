@@ -10,11 +10,20 @@
 //! [`crate::initial`], and the V-cycle + recursive-bisection control flow
 //! here) is written once against the trait.
 //!
+//! A substrate also declares its index width through [`Substrate::Ix`]:
+//! `u32` for everything that fits 32-bit ids (the fast path — half the
+//! scratch memory) and `u64` for instances whose vertex/net/pin counts
+//! overflow it. The engine's own loops run on `usize` positions and only
+//! materialize typed ids where they are stored (maps, gain-bucket links,
+//! cut bookkeeping), so one monomorphization per width covers the whole
+//! multilevel stack.
+//!
 //! [`MultilevelDriver`] owns the run: the [`PartitionConfig`], a
 //! [`LevelArena`] of recycled scratch buffers, and [`EngineStats`]
 //! counters. One driver instance serves a whole K-way run, so every level
 //! of every bisection draws its match/map arrays, side vectors, and gain
-//! buckets from the same pool.
+//! buckets from the same pool. The driver itself is *not* generic — its
+//! methods are — so a single driver can serve substrates of both widths.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -24,9 +33,10 @@ use rand::{Rng, SeedableRng};
 
 use fgh_hypergraph::{Hypergraph, Partition};
 use fgh_invariant::InvariantViolation;
+use fgh_sparse::IndexType;
 use fgh_trace::{Span, SpanHandle};
 
-use crate::arena::{ArenaPool, LevelArena};
+use crate::arena::{ArenaIndex, ArenaPool, LevelArena};
 use crate::coarsen::{coarsen_once_in, FREE};
 use crate::config::PartitionConfig;
 use crate::initial::initial_best_in;
@@ -40,17 +50,21 @@ use crate::refine::BisectionState;
 /// Implemented by [`fgh_hypergraph::Hypergraph`] (cut-net metric over
 /// nets, net splitting on extraction) and by `fgh_graph::CsrGraph`
 /// (edge-cut metric, induced-subgraph extraction — cut edges are split
-/// away trivially).
+/// away trivially), each at both index widths.
 pub trait Substrate: Sized {
     /// Incremental cut bookkeeping for a bisection: per-net side pin
     /// counts for hypergraphs, nothing for graphs (gains are recomputed
     /// from the adjacency directly).
     type CutState: Clone + std::fmt::Debug;
 
+    /// Vertex-id width of this substrate. Drives the width of projection
+    /// maps, gain-bucket links, and cut bookkeeping throughout the engine.
+    type Ix: ArenaIndex;
+
     /// Number of vertices.
-    fn num_vertices(&self) -> u32;
+    fn num_vertices(&self) -> usize;
     /// Weight of vertex `v`.
-    fn vertex_weight(&self, v: u32) -> u32;
+    fn vertex_weight(&self, v: Self::Ix) -> u32;
     /// Sum of vertex weights.
     fn total_vertex_weight(&self) -> u64;
     /// Maximum vertex weight (1 when there are no vertices).
@@ -60,15 +74,18 @@ pub trait Substrate: Sized {
     fn num_incidences(&self) -> u64;
     /// Upper bound on |FM gain| of any single move, for gain-bucket sizing.
     fn max_gain_bound(&self) -> i64;
+    /// Heap bytes held by this substrate's backing arrays — the input to
+    /// the engine's `Budget::max_bytes` accounting.
+    fn heap_bytes(&self) -> usize;
 
     /// Builds cut bookkeeping for `side` and returns it with the cut.
     fn cut_state(&self, side: &[u8], arena: &mut LevelArena) -> (Self::CutState, u64);
     /// Returns a cut state's buffers to the arena.
     fn recycle_cut_state(cs: Self::CutState, arena: &mut LevelArena);
     /// FM gain of moving `v` to the opposite side.
-    fn gain(&self, cs: &Self::CutState, side: &[u8], v: u32) -> i64;
+    fn gain(&self, cs: &Self::CutState, side: &[u8], v: Self::Ix) -> i64;
     /// `true` if `v` touches the cut.
-    fn is_boundary(&self, cs: &Self::CutState, side: &[u8], v: u32) -> bool;
+    fn is_boundary(&self, cs: &Self::CutState, side: &[u8], v: Self::Ix) -> bool;
     /// Applies the cut/bookkeeping effects of moving `v` to the opposite
     /// side; the caller flips `side[v]` and the side weights afterwards.
     /// When `adjust` is given, it receives `(u, delta)` for every other
@@ -77,9 +94,9 @@ pub trait Substrate: Sized {
         &self,
         cs: &mut Self::CutState,
         side: &[u8],
-        v: u32,
+        v: Self::Ix,
         cut: &mut u64,
-        adjust: Option<&mut dyn FnMut(u32, i64)>,
+        adjust: Option<&mut dyn FnMut(Self::Ix, i64)>,
     );
 
     /// Visits the clustering-score contributions of `u`'s neighbors:
@@ -88,17 +105,22 @@ pub trait Substrate: Sized {
     /// `max_net_size` — every edge has two pins).
     fn for_each_scored_neighbor(
         &self,
-        u: u32,
+        u: Self::Ix,
         max_net_size: usize,
-        visit: &mut dyn FnMut(u32, u64),
+        visit: &mut dyn FnMut(Self::Ix, u64),
     );
     /// Contracts under a clustering: cluster = coarse vertex with summed
     /// weight, degenerate nets/edges dropped, parallel ones merged.
-    fn contract(&self, cluster_of: &[u32], num_clusters: u32, arena: &mut LevelArena) -> Self;
+    fn contract(
+        &self,
+        cluster_of: &[Self::Ix],
+        num_clusters: usize,
+        arena: &mut LevelArena,
+    ) -> Self;
     /// Extracts the sub-structure induced by `side[v] == which`, returning
     /// it with the new→old vertex map. `split` enables net splitting
     /// (hypergraphs only; graphs always drop cut edges).
-    fn extract_side(&self, side: &[u8], which: u8, split: bool) -> (Self, Vec<u32>);
+    fn extract_side(&self, side: &[u8], which: u8, split: bool) -> (Self, Vec<Self::Ix>);
 
     /// Extracts both sides of a bisection at once, returning the side-0
     /// and side-1 sub-structures with their new→old maps. The default
@@ -111,7 +133,7 @@ pub trait Substrate: Sized {
         side: &[u8],
         split: bool,
         arena: &mut LevelArena,
-    ) -> [(Self, Vec<u32>); 2] {
+    ) -> [(Self, Vec<Self::Ix>); 2] {
         let _ = arena;
         [
             self.extract_side(side, 0, split),
@@ -383,10 +405,10 @@ impl MultilevelDriver {
     ) -> (Vec<u8>, u64) {
         // Degenerate targets: everything belongs on one side.
         if targets[1] <= 0.0 {
-            return (vec![0; sub.num_vertices() as usize], 0);
+            return (vec![0; sub.num_vertices()], 0);
         }
         if targets[0] <= 0.0 {
-            return (vec![1; sub.num_vertices() as usize], 0);
+            return (vec![1; sub.num_vertices()], 0);
         }
         self.stats.bisections += 1;
 
@@ -404,12 +426,12 @@ impl MultilevelDriver {
                 Some(l) => (&l.coarse, &l.fixed),
                 None => (sub, fixed),
             };
-            if cur.num_vertices() <= self.cfg.coarsen_to {
+            if cur.num_vertices() <= self.cfg.coarsen_to as usize {
                 break;
             }
             // Budget checkpoints: stop building levels once the per-
-            // bisection level cap or the wall deadline is hit; the run
-            // continues from whatever coarseness was reached.
+            // bisection level cap, the wall deadline, or the byte cap is
+            // hit; the run continues from whatever coarseness was reached.
             if let Some(max_levels) = self.cfg.budget.max_levels {
                 if levels.len() as u64 >= max_levels {
                     self.stats.level_truncations += 1;
@@ -419,6 +441,19 @@ impl MultilevelDriver {
             if self.wall_exhausted() {
                 self.stats.wall_truncations += 1;
                 break;
+            }
+            if let Some(max_bytes) = self.cfg.budget.max_bytes {
+                // Everything the multilevel state holds right now: the
+                // input structure, every contracted level (substrate +
+                // projection map), and the arena's idle pools. Honored to
+                // the granularity of one level, like the wall checkpoint.
+                let held = sub.heap_bytes()
+                    + levels.iter().map(Level::heap_bytes).sum::<usize>()
+                    + self.arena.heap_bytes();
+                if held > max_bytes {
+                    self.stats.byte_truncations += 1;
+                    break;
+                }
             }
             let cspan = self.trace_child("coarsen", Some(levels.len() as u64));
             let timer = StageTimer::start();
@@ -501,10 +536,10 @@ impl MultilevelDriver {
                 (&levels[li - 1].coarse, &levels[li - 1].fixed)
             };
             let map = &levels[li].map;
-            let nf = fine.num_vertices() as usize;
+            let nf = fine.num_vertices();
             let mut fine_sides = self.arena.take_u8(nf, 0);
             for (v, fs) in fine_sides.iter_mut().enumerate() {
-                *fs = sides[map[v] as usize];
+                *fs = sides[map[v].index()];
             }
             self.arena
                 .give_u8(std::mem::replace(&mut sides, fine_sides));
@@ -541,7 +576,7 @@ impl MultilevelDriver {
 
         // Recycle per-level scratch before computing the final cut.
         for l in levels {
-            self.arena.give_u32(l.map);
+            S::Ix::give_ids(&mut self.arena, l.map);
             self.arena.give_i8(l.fixed);
         }
         let st = BisectionState::new_in(sub, sides, fixed, targets, epsilon, &mut self.arena);
@@ -567,16 +602,16 @@ impl MultilevelDriver {
     ) -> RecursiveOutcome {
         paranoid_check(sub, "recursive.input");
         let n = sub.num_vertices();
-        let mut parts = vec![0u32; n as usize];
+        let mut parts = vec![0u32; n];
         let mut cut_sum = 0u64;
         // Arm the wall budget here unless an outer caller (whose window
         // should also cover post-refinement) already did.
         let armed_here = self.arm_budget();
         if k > 1 && n > 0 {
             let eps = self.cfg.per_level_epsilon(k);
-            let mut ids = self.arena.take_u32(0, 0);
-            ids.extend(0..n);
-            let mut leaves: Vec<(u32, Vec<u32>)> = Vec::new();
+            let mut ids = S::Ix::take_ids(&mut self.arena, 0, S::Ix::ZERO);
+            ids.extend((0..n).map(S::Ix::from_index));
+            let mut leaves: Vec<(u32, Vec<S::Ix>)> = Vec::new();
             let pool = (self.threads > 1 && rayon::current_thread_index().is_none())
                 .then(|| {
                     rayon::ThreadPoolBuilder::new()
@@ -600,9 +635,9 @@ impl MultilevelDriver {
             }
             for (part, leaf_ids) in leaves {
                 for &orig in &leaf_ids {
-                    parts[orig as usize] = part;
+                    parts[orig.index()] = part;
                 }
-                self.arena.give_u32(leaf_ids);
+                S::Ix::give_ids(&mut self.arena, leaf_ids);
             }
         }
         if armed_here {
@@ -621,12 +656,12 @@ impl MultilevelDriver {
     fn recurse<S: Substrate + Send + Sync>(
         &mut self,
         sub: &S,
-        ids: Vec<u32>,
+        ids: Vec<S::Ix>,
         fixed: &[u32],
         k: u32,
         part_lo: u32,
         eps: f64,
-        leaves: &mut Vec<(u32, Vec<u32>)>,
+        leaves: &mut Vec<(u32, Vec<S::Ix>)>,
         cut_sum: &mut u64,
     ) {
         if k == 1 {
@@ -642,7 +677,7 @@ impl MultilevelDriver {
         // Translate absolute fixed parts into bisection sides.
         let mut fixed_sides = self.arena.take_i8(0, 0);
         fixed_sides.extend(ids.iter().map(|&orig| {
-            let p = fixed[orig as usize];
+            let p = fixed[orig.index()];
             if p == u32::MAX {
                 FREE
             } else if p < part_lo + k0 {
@@ -674,13 +709,13 @@ impl MultilevelDriver {
         paranoid_check(&child0, "recurse.extract");
         paranoid_check(&child1, "recurse.extract");
         self.arena.give_u8(sides);
-        let mut ids0 = self.arena.take_u32(0, 0);
-        ids0.extend(map0.iter().map(|&lv| ids[lv as usize]));
-        let mut ids1 = self.arena.take_u32(0, 0);
-        ids1.extend(map1.iter().map(|&lv| ids[lv as usize]));
-        self.arena.give_u32(map0);
-        self.arena.give_u32(map1);
-        self.arena.give_u32(ids);
+        let mut ids0 = S::Ix::take_ids(&mut self.arena, 0, S::Ix::ZERO);
+        ids0.extend(map0.iter().map(|&lv| ids[lv.index()]));
+        let mut ids1 = S::Ix::take_ids(&mut self.arena, 0, S::Ix::ZERO);
+        ids1.extend(map1.iter().map(|&lv| ids[lv.index()]));
+        S::Ix::give_ids(&mut self.arena, map0);
+        S::Ix::give_ids(&mut self.arena, map1);
+        S::Ix::give_ids(&mut self.arena, ids);
 
         // Fork only when both halves carry further bisection work and a
         // pool is installed; the right branch runs on a forked worker
@@ -723,21 +758,25 @@ impl MultilevelDriver {
     }
 }
 
-/// Per-net side pin counts: the hypergraph cut bookkeeping.
+/// Per-net side pin counts: the hypergraph cut bookkeeping. Counts are
+/// stored at the substrate's index width — a count never exceeds the net's
+/// pin total, which fits `I` by construction — so the buffers recycle
+/// through the same width-matched arena pools as every other id array.
 #[derive(Debug, Clone)]
-pub struct NetSideCounts {
+pub struct NetSideCounts<I: IndexType = u32> {
     /// `pc[s][n]` = pins of net `n` on side `s`.
-    pub pc: [Vec<u32>; 2],
+    pub pc: [Vec<I>; 2],
 }
 
-impl Substrate for Hypergraph {
-    type CutState = NetSideCounts;
+impl<I: ArenaIndex> Substrate for Hypergraph<I> {
+    type CutState = NetSideCounts<I>;
+    type Ix = I;
 
-    fn num_vertices(&self) -> u32 {
-        Hypergraph::num_vertices(self)
+    fn num_vertices(&self) -> usize {
+        Hypergraph::num_vertices(self).index()
     }
 
-    fn vertex_weight(&self, v: u32) -> u32 {
+    fn vertex_weight(&self, v: I) -> u32 {
         Hypergraph::vertex_weight(self, v)
     }
 
@@ -755,76 +794,88 @@ impl Substrate for Hypergraph {
 
     fn max_gain_bound(&self) -> i64 {
         let mut best = 1i64;
-        for v in 0..Hypergraph::num_vertices(self) {
-            let s: i64 = self.nets(v).iter().map(|&n| self.net_cost(n) as i64).sum();
+        for v in 0..Hypergraph::num_vertices(self).index() {
+            let s: i64 = self
+                .nets(I::from_index(v))
+                .iter()
+                .map(|&n| self.net_cost(n) as i64)
+                .sum();
             best = best.max(s);
         }
         best
     }
 
-    fn cut_state(&self, side: &[u8], arena: &mut LevelArena) -> (NetSideCounts, u64) {
-        let nn = self.num_nets() as usize;
-        let mut pc = [arena.take_u32(nn, 0), arena.take_u32(nn, 0)];
-        for v in 0..Hypergraph::num_vertices(self) {
-            let s = side[v as usize] as usize;
-            for &n in self.nets(v) {
-                pc[s][n as usize] += 1;
+    fn heap_bytes(&self) -> usize {
+        Hypergraph::heap_bytes(self)
+    }
+
+    fn cut_state(&self, side: &[u8], arena: &mut LevelArena) -> (NetSideCounts<I>, u64) {
+        let nn = self.num_nets().index();
+        let mut pc = [
+            I::take_ids(arena, nn, I::ZERO),
+            I::take_ids(arena, nn, I::ZERO),
+        ];
+        for (v, &sv) in side.iter().enumerate() {
+            let s = sv as usize;
+            for &n in self.nets(I::from_index(v)) {
+                let ni = n.index();
+                pc[s][ni] = I::from_index(pc[s][ni].index() + 1);
             }
         }
         let mut cut = 0u64;
         for (n, (&p0, &p1)) in pc[0].iter().zip(pc[1].iter()).enumerate() {
-            if p0 > 0 && p1 > 0 {
-                cut += self.net_cost(n as u32) as u64; // lint: checked-cast — n < num_nets, a u32
+            if p0 > I::ZERO && p1 > I::ZERO {
+                cut += self.net_cost(I::from_index(n)) as u64;
             }
         }
         (NetSideCounts { pc }, cut)
     }
 
-    fn recycle_cut_state(cs: NetSideCounts, arena: &mut LevelArena) {
+    fn recycle_cut_state(cs: NetSideCounts<I>, arena: &mut LevelArena) {
         let [a, b] = cs.pc;
-        arena.give_u32(a);
-        arena.give_u32(b);
+        I::give_ids(arena, a);
+        I::give_ids(arena, b);
     }
 
-    fn gain(&self, cs: &NetSideCounts, side: &[u8], v: u32) -> i64 {
-        let s = side[v as usize] as usize;
+    fn gain(&self, cs: &NetSideCounts<I>, side: &[u8], v: I) -> i64 {
+        let s = side[v.index()] as usize;
         let t = 1 - s;
         let mut g = 0i64;
         for &n in self.nets(v) {
             let c = self.net_cost(n) as i64;
-            if cs.pc[s][n as usize] == 1 {
+            if cs.pc[s][n.index()] == I::ONE {
                 g += c; // net becomes uncut (or stays internal to t)
             }
-            if cs.pc[t][n as usize] == 0 {
+            if cs.pc[t][n.index()] == I::ZERO {
                 g -= c; // net becomes cut
             }
         }
         g
     }
 
-    fn is_boundary(&self, cs: &NetSideCounts, _side: &[u8], v: u32) -> bool {
+    fn is_boundary(&self, cs: &NetSideCounts<I>, _side: &[u8], v: I) -> bool {
         self.nets(v).iter().any(|&n| {
-            let ni = n as usize;
-            cs.pc[0][ni] > 0 && cs.pc[1][ni] > 0
+            let ni = n.index();
+            cs.pc[0][ni] > I::ZERO && cs.pc[1][ni] > I::ZERO
         })
     }
 
     fn apply_move(
         &self,
-        cs: &mut NetSideCounts,
+        cs: &mut NetSideCounts<I>,
         side: &[u8],
-        v: u32,
+        v: I,
         cut: &mut u64,
-        adjust: Option<&mut dyn FnMut(u32, i64)>,
+        adjust: Option<&mut dyn FnMut(I, i64)>,
     ) {
-        let s = side[v as usize] as usize;
+        let s = side[v.index()] as usize;
         let t = 1 - s;
         if let Some(adjust) = adjust {
             for &n in self.nets(v) {
-                let ni = n as usize;
+                let ni = n.index();
                 let c = self.net_cost(n) as i64;
                 let (tc, fc) = (cs.pc[t][ni], cs.pc[s][ni]);
-                if tc == 0 {
+                if tc == I::ZERO {
                     // Net becomes cut: every other (free, queued) pin gains +c.
                     *cut += c as u64;
                     for &u in self.pins(n) {
@@ -832,15 +883,15 @@ impl Substrate for Hypergraph {
                             adjust(u, c);
                         }
                     }
-                } else if tc == 1 {
+                } else if tc == I::ONE {
                     // The lone pin on t loses its "uncut by moving" bonus.
                     for &u in self.pins(n) {
-                        if u != v && side[u as usize] as usize == t {
+                        if u != v && side[u.index()] as usize == t {
                             adjust(u, -c);
                         }
                     }
                 }
-                let fc_after = fc - 1;
+                let fc_after = fc.index() - 1;
                 if fc_after == 0 {
                     // Net becomes internal to t: pins lose the "would cut" malus.
                     *cut -= c as u64;
@@ -852,36 +903,31 @@ impl Substrate for Hypergraph {
                 } else if fc_after == 1 {
                     // The lone remaining pin on s gains the uncut bonus.
                     for &u in self.pins(n) {
-                        if u != v && side[u as usize] as usize == s {
+                        if u != v && side[u.index()] as usize == s {
                             adjust(u, c);
                         }
                     }
                 }
-                cs.pc[s][ni] -= 1;
-                cs.pc[t][ni] += 1;
+                cs.pc[s][ni] = I::from_index(fc_after);
+                cs.pc[t][ni] = I::from_index(tc.index() + 1);
             }
         } else {
             for &n in self.nets(v) {
-                let ni = n as usize;
+                let ni = n.index();
                 let c = self.net_cost(n) as u64;
-                if cs.pc[t][ni] == 0 {
+                if cs.pc[t][ni] == I::ZERO {
                     *cut += c;
                 }
-                cs.pc[s][ni] -= 1;
-                cs.pc[t][ni] += 1;
-                if cs.pc[s][ni] == 0 {
+                cs.pc[s][ni] = I::from_index(cs.pc[s][ni].index() - 1);
+                cs.pc[t][ni] = I::from_index(cs.pc[t][ni].index() + 1);
+                if cs.pc[s][ni] == I::ZERO {
                     *cut -= c;
                 }
             }
         }
     }
 
-    fn for_each_scored_neighbor(
-        &self,
-        u: u32,
-        max_net_size: usize,
-        visit: &mut dyn FnMut(u32, u64),
-    ) {
+    fn for_each_scored_neighbor(&self, u: I, max_net_size: usize, visit: &mut dyn FnMut(I, u64)) {
         for &net in self.nets(u) {
             if self.net_size(net) > max_net_size {
                 continue;
@@ -899,12 +945,11 @@ impl Substrate for Hypergraph {
     // in-bounds pin lists with matched pointer arrays, which is exactly
     // what `from_flat_nets` validates.
     #[allow(clippy::expect_used)]
-    fn contract(&self, cluster_of: &[u32], num_clusters: u32, arena: &mut LevelArena) -> Self {
-        let nc = num_clusters as usize;
+    fn contract(&self, cluster_of: &[I], num_clusters: usize, arena: &mut LevelArena) -> Self {
+        let nc = num_clusters;
         let mut weights64 = arena.take_u64(nc, 0);
-        for v in 0..Hypergraph::num_vertices(self) as usize {
-            let v32 = v as u32; // lint: checked-cast — v < num_vertices, a u32
-            weights64[cluster_of[v] as usize] += Hypergraph::vertex_weight(self, v32) as u64;
+        for (v, &c) in cluster_of.iter().enumerate() {
+            weights64[c.index()] += Hypergraph::vertex_weight(self, I::from_index(v)) as u64;
         }
         // Cluster weights saturate rather than abort: a u32::MAX-weight
         // coarse vertex only degrades balance quality on absurd inputs.
@@ -915,18 +960,21 @@ impl Substrate for Hypergraph {
         arena.give_u64(weights64);
 
         // Dedupe pins per net into one flat buffer, dropping nets that
-        // collapse below two pins (they can never be cut).
-        let mut stamp = arena.take_u32(nc, u32::MAX);
-        let mut flat = arena.take_u32(0, 0);
-        let mut start = arena.take_u32(0, 0);
+        // collapse below two pins (they can never be cut). Stamps hold
+        // the current net id; `I::MAX` (never a valid id) is the unseen
+        // marker.
+        let mut stamp = I::take_ids(arena, nc, I::MAX);
+        let mut flat = I::take_ids(arena, 0, I::ZERO);
+        let mut start = I::take_ids(arena, 0, I::ZERO);
         let mut cost = arena.take_u32(0, 0);
-        start.push(0);
-        for n in 0..self.num_nets() {
+        start.push(I::ZERO);
+        for n in 0..self.num_nets().index() {
+            let n = I::from_index(n);
             let s = flat.len();
             for &p in self.pins(n) {
-                let c = cluster_of[p as usize];
-                if stamp[c as usize] != n {
-                    stamp[c as usize] = n;
+                let c = cluster_of[p.index()];
+                if stamp[c.index()] != n {
+                    stamp[c.index()] = n;
                     flat.push(c);
                 }
             }
@@ -935,30 +983,30 @@ impl Substrate for Hypergraph {
                 continue;
             }
             flat[s..].sort_unstable();
-            start.push(flat.len() as u32); // lint: checked-cast — pin count <= u32::MAX by substrate contract
+            start.push(I::from_index(flat.len()));
             cost.push(self.net_cost(n));
         }
-        arena.give_u32(stamp);
+        I::give_ids(arena, stamp);
 
         // Merge nets with identical pin sets: sort net ids by pin slice,
         // then fold runs of equal slices (summed costs). No per-net boxes.
         let kept = cost.len();
-        let mut order = arena.take_u32(0, 0);
-        order.extend(0..kept as u32); // lint: checked-cast — kept <= num_nets, a u32
-        let slice_of = |i: u32| &flat[start[i as usize] as usize..start[i as usize + 1] as usize];
+        let mut order = I::take_ids(arena, 0, I::ZERO);
+        order.extend((0..kept).map(I::from_index));
+        let slice_of = |i: I| &flat[start[i.index()].index()..start[i.index() + 1].index()];
         order.sort_unstable_by(|&a, &b| slice_of(a).cmp(slice_of(b)));
 
         let mut pin_ptr: Vec<usize> = Vec::with_capacity(kept + 1);
-        let mut pins: Vec<u32> = Vec::with_capacity(flat.len());
+        let mut pins: Vec<I> = Vec::with_capacity(flat.len());
         let mut costs: Vec<u32> = Vec::with_capacity(kept);
         pin_ptr.push(0);
         let mut i = 0usize;
         while i < kept {
             let sl = slice_of(order[i]);
-            let mut c = cost[order[i] as usize] as u64;
+            let mut c = cost[order[i].index()] as u64;
             let mut j = i + 1;
             while j < kept && slice_of(order[j]) == sl {
-                c += cost[order[j] as usize] as u64;
+                c += cost[order[j].index()] as u64;
                 j += 1;
             }
             pins.extend_from_slice(sl);
@@ -966,19 +1014,19 @@ impl Substrate for Hypergraph {
             costs.push(u32::try_from(c).unwrap_or(u32::MAX));
             i = j;
         }
-        arena.give_u32(order);
-        arena.give_u32(flat);
-        arena.give_u32(start);
+        I::give_ids(arena, order);
+        I::give_ids(arena, flat);
+        I::give_ids(arena, start);
         arena.give_u32(cost);
 
-        Hypergraph::from_flat_nets(num_clusters, pin_ptr, pins, weights, costs)
+        Hypergraph::from_flat_nets(I::from_index(num_clusters), pin_ptr, pins, weights, costs)
             .expect("contraction preserves hypergraph validity")
     }
 
     // Infallible `expect`: `side` holds only 0/1 by construction, so the
     // 2-way `Partition` is always valid.
     #[allow(clippy::expect_used)]
-    fn extract_side(&self, side: &[u8], which: u8, split: bool) -> (Self, Vec<u32>) {
+    fn extract_side(&self, side: &[u8], which: u8, split: bool) -> (Self, Vec<I>) {
         let partition =
             Partition::new(2, side.iter().map(|&s| s as u32).collect()).expect("sides are 0/1"); // lint: checked-cast — side entries are 0 or 1
         self.extract_part_mode(&partition, which as u32, split) // lint: checked-cast — which is 0 or 1
@@ -993,16 +1041,16 @@ impl Substrate for Hypergraph {
         side: &[u8],
         split: bool,
         arena: &mut LevelArena,
-    ) -> [(Self, Vec<u32>); 2] {
-        let n = Hypergraph::num_vertices(self) as usize;
+    ) -> [(Self, Vec<I>); 2] {
+        let n = Hypergraph::num_vertices(self).index();
         // One remap pass: new_id[v] = rank of v within its side. New ids
         // rise with old ids, so remapped pins inherit the pin sort order.
-        let mut new_id = arena.take_u32(n, 0);
-        let mut maps: [Vec<u32>; 2] = [Vec::new(), Vec::new()];
+        let mut new_id = I::take_ids(arena, n, I::ZERO);
+        let mut maps: [Vec<I>; 2] = [Vec::new(), Vec::new()];
         for v in 0..n {
             let s = side[v] as usize;
-            new_id[v] = maps[s].len() as u32; // lint: checked-cast — per-side count <= num_vertices, a u32
-            maps[s].push(v as u32); // lint: checked-cast — v < num_vertices, a u32
+            new_id[v] = I::from_index(maps[s].len());
+            maps[s].push(I::from_index(v));
         }
 
         // One pass over the pins: route each pin into its side's flat
@@ -1010,14 +1058,15 @@ impl Substrate for Hypergraph {
         // remainder of >= 2 pins; cut-net mode keeps a net only on the
         // side that received *all* of its pins.
         let mut pin_ptr = [vec![0usize], vec![0usize]];
-        let mut pins: [Vec<u32>; 2] = [Vec::new(), Vec::new()];
+        let mut pins: [Vec<I>; 2] = [Vec::new(), Vec::new()];
         let mut costs: [Vec<u32>; 2] = [Vec::new(), Vec::new()];
-        for net in 0..self.num_nets() {
+        for net in 0..self.num_nets().index() {
+            let net = I::from_index(net);
             let all = self.pins(net);
             let before = [pins[0].len(), pins[1].len()];
             for &p in all {
-                let s = side[p as usize] as usize;
-                pins[s].push(new_id[p as usize]);
+                let s = side[p.index()] as usize;
+                pins[s].push(new_id[p.index()]);
             }
             let cost = self.net_cost(net);
             for s in 0..2 {
@@ -1030,21 +1079,21 @@ impl Substrate for Hypergraph {
                 }
             }
         }
-        arena.give_u32(new_id);
+        I::give_ids(arena, new_id);
 
         let [map0, map1] = maps;
         let [ptr0, ptr1] = pin_ptr;
         let [pins0, pins1] = pins;
         let [costs0, costs1] = costs;
-        let weights_of = |map: &[u32]| -> Vec<u32> {
+        let weights_of = |map: &[I]| -> Vec<u32> {
             map.iter()
                 .map(|&v| Hypergraph::vertex_weight(self, v))
                 .collect()
         };
         let w0 = weights_of(&map0);
         let w1 = weights_of(&map1);
-        let nv0 = map0.len() as u32; // lint: checked-cast — per-side count <= num_vertices, a u32
-        let nv1 = map1.len() as u32; // lint: checked-cast — per-side count <= num_vertices, a u32
+        let nv0 = I::from_index(map0.len());
+        let nv1 = I::from_index(map1.len());
         let h0 = Hypergraph::from_flat_nets(nv0, ptr0, pins0, w0, costs0)
             .expect("extraction preserves hypergraph validity");
         let h1 = Hypergraph::from_flat_nets(nv1, ptr1, pins1, w1, costs1)
@@ -1060,8 +1109,23 @@ impl Substrate for Hypergraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Budget;
     use crate::testutil::{random_hypergraph, two_clusters};
     use fgh_hypergraph::cutsize_connectivity;
+
+    /// Rebuilds a `u32` hypergraph at `u64` width with identical content.
+    fn widen(hg: &Hypergraph) -> Hypergraph<u64> {
+        let nets: Vec<Vec<u64>> = (0..hg.num_nets())
+            .map(|n| hg.pins(n).iter().map(|&p| p as u64).collect())
+            .collect();
+        Hypergraph::<u64>::from_nets_weighted(
+            hg.num_vertices() as u64,
+            &nets,
+            hg.vertex_weights().to_vec(),
+            hg.net_costs().to_vec(),
+        )
+        .unwrap()
+    }
 
     #[test]
     fn driver_bisect_matches_quality_of_direct_path() {
@@ -1131,6 +1195,58 @@ mod tests {
         let (a, b) = (run(), run());
         assert_eq!(a.parts, b.parts);
         assert_eq!(a.cut_sum, b.cut_sum);
+    }
+
+    #[test]
+    fn u64_width_reproduces_u32_partitions() {
+        // The same structure at both index widths must drive the engine
+        // through identical decisions: same RNG consumption, same gains,
+        // same final parts and cut. This is the golden width-parity test
+        // for the whole multilevel stack.
+        let hg32 = random_hypergraph(300, 500, 6, 7);
+        let hg64 = widen(&hg32);
+        let fixed = vec![u32::MAX; 300];
+        for k in [2u32, 4, 8] {
+            let cfg = PartitionConfig::with_seed(k as u64 + 40);
+            let mut d32 = MultilevelDriver::new(cfg.clone());
+            let mut d64 = MultilevelDriver::new(cfg);
+            let out32 = d32.partition_recursive(&hg32, k, &fixed);
+            let out64 = d64.partition_recursive(&hg64, k, &fixed);
+            assert_eq!(out32.parts, out64.parts, "width divergence at k = {k}");
+            assert_eq!(out32.cut_sum, out64.cut_sum, "cut divergence at k = {k}");
+        }
+    }
+
+    #[test]
+    fn byte_budget_truncates_but_stays_valid() {
+        let hg = random_hypergraph(400, 600, 6, 5);
+        let fixed = vec![u32::MAX; 400];
+        // A 1-byte cap trips the checkpoint before any level is built:
+        // flat FM on the input structure, never an abort.
+        let cfg = PartitionConfig {
+            budget: Budget::bytes(1),
+            ..PartitionConfig::with_seed(3)
+        };
+        let mut d = MultilevelDriver::new(cfg);
+        let out = d.partition_recursive(&hg, 4, &fixed);
+        assert_eq!(out.parts.len(), 400);
+        assert!(out.parts.iter().all(|&p| p < 4), "parts must stay in range");
+        let st = d.stats();
+        assert!(st.byte_truncations > 0, "cap must be recorded: {st:?}");
+        assert_eq!(st.levels, 0, "no level fits a 1-byte cap");
+        assert!(st.truncated());
+
+        // A generous cap must not change results vs. unlimited.
+        let cfg_roomy = PartitionConfig {
+            budget: Budget::bytes(1 << 30),
+            ..PartitionConfig::with_seed(3)
+        };
+        let mut roomy = MultilevelDriver::new(cfg_roomy);
+        let out_roomy = roomy.partition_recursive(&hg, 4, &fixed);
+        let mut unlimited = MultilevelDriver::new(PartitionConfig::with_seed(3));
+        let out_unlimited = unlimited.partition_recursive(&hg, 4, &fixed);
+        assert_eq!(out_roomy.parts, out_unlimited.parts);
+        assert_eq!(roomy.stats().byte_truncations, 0);
     }
 
     #[test]

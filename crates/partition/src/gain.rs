@@ -4,24 +4,29 @@
 //! lists indexed by gain (offset so negative gains index safely), with O(1)
 //! insert, remove, gain update, and max-gain extraction (amortized via a
 //! moving max pointer).
+//!
+//! Generic over the vertex-id width `I` (default `u32`): the link arrays
+//! (`heads`/`next`/`prev`) store vertex ids, so a `u64` substrate needs
+//! `u64` links while the fast path keeps the half-size `u32` arrays.
+//! `I::MAX` is the NIL sentinel, matching the engine-wide convention.
+
+use fgh_sparse::IndexType;
 
 /// Intrusive doubly-linked gain buckets over vertex ids `0..n`.
 #[derive(Debug)]
-pub struct GainBuckets {
+pub struct GainBuckets<I: IndexType = u32> {
     offset: i64,
     /// The `max_gain` the caller declared — may exceed the bucket span
     /// (see [`MAX_SPAN`]); kept for debug assertions on inserted gains.
     bound: i64,
-    heads: Vec<u32>,
-    next: Vec<u32>,
-    prev: Vec<u32>,
+    heads: Vec<I>,
+    next: Vec<I>,
+    prev: Vec<I>,
     gain_of: Vec<i64>,
     in_bucket: Vec<bool>,
     max_idx: usize,
     len: usize,
 }
-
-const NIL: u32 = u32::MAX;
 
 /// Hard cap on the bucket-array length. Callers sometimes pass a very
 /// conservative `max_gain` bound (up to `i64::MAX`); the former
@@ -38,16 +43,16 @@ fn clamped_half_span(max_gain: i64) -> i64 {
     max_gain.clamp(0, ((MAX_SPAN - 1) / 2) as i64)
 }
 
-impl GainBuckets {
+impl<I: IndexType> GainBuckets<I> {
     /// Creates buckets for `n` vertices with gains in `[-max_gain, max_gain]`.
     pub fn new(n: usize, max_gain: i64) -> Self {
         let half = clamped_half_span(max_gain);
         GainBuckets {
             offset: half,
             bound: max_gain.max(0),
-            heads: vec![NIL; (2 * half + 1) as usize],
-            next: vec![NIL; n],
-            prev: vec![NIL; n],
+            heads: vec![I::MAX; (2 * half + 1) as usize],
+            next: vec![I::MAX; n],
+            prev: vec![I::MAX; n],
             gain_of: vec![0; n],
             in_bucket: vec![false; n],
             max_idx: 0,
@@ -77,31 +82,31 @@ impl GainBuckets {
 
     /// `true` if `v` is currently queued.
     // lint: checked-index — v < n by the constructor contract; all arrays have length n
-    pub fn contains(&self, v: u32) -> bool {
-        self.in_bucket[v as usize]
+    pub fn contains(&self, v: I) -> bool {
+        self.in_bucket[v.index()]
     }
 
     /// Current gain of a queued vertex.
     // lint: checked-index — v < n by the constructor contract; all arrays have length n
-    pub fn gain(&self, v: u32) -> i64 {
-        debug_assert!(self.in_bucket[v as usize]);
-        self.gain_of[v as usize]
+    pub fn gain(&self, v: I) -> i64 {
+        debug_assert!(self.in_bucket[v.index()]);
+        self.gain_of[v.index()]
     }
 
     /// Inserts `v` with the given gain. `v` must not already be queued.
     // lint: checked-index — v and list links are < n; idx() asserts the bucket is in range
-    pub fn insert(&mut self, v: u32, gain: i64) {
-        debug_assert!(!self.in_bucket[v as usize], "vertex {v} already queued");
+    pub fn insert(&mut self, v: I, gain: i64) {
+        debug_assert!(!self.in_bucket[v.index()], "vertex {v} already queued");
         let b = self.idx(gain);
         let head = self.heads[b];
-        self.next[v as usize] = head;
-        self.prev[v as usize] = NIL;
-        if head != NIL {
-            self.prev[head as usize] = v;
+        self.next[v.index()] = head;
+        self.prev[v.index()] = I::MAX;
+        if head != I::MAX {
+            self.prev[head.index()] = v;
         }
         self.heads[b] = v;
-        self.gain_of[v as usize] = gain;
-        self.in_bucket[v as usize] = true;
+        self.gain_of[v.index()] = gain;
+        self.in_bucket[v.index()] = true;
         self.len += 1;
         if b > self.max_idx {
             self.max_idx = b;
@@ -110,31 +115,31 @@ impl GainBuckets {
 
     /// Removes `v` from its bucket. No-op if not queued.
     // lint: checked-index — v and list links are < n; idx() asserts the bucket is in range
-    pub fn remove(&mut self, v: u32) {
-        if !self.in_bucket[v as usize] {
+    pub fn remove(&mut self, v: I) {
+        if !self.in_bucket[v.index()] {
             return;
         }
-        let b = self.idx(self.gain_of[v as usize]);
-        let (p, n) = (self.prev[v as usize], self.next[v as usize]);
-        if p != NIL {
-            self.next[p as usize] = n;
+        let b = self.idx(self.gain_of[v.index()]);
+        let (p, n) = (self.prev[v.index()], self.next[v.index()]);
+        if p != I::MAX {
+            self.next[p.index()] = n;
         } else {
             self.heads[b] = n;
         }
-        if n != NIL {
-            self.prev[n as usize] = p;
+        if n != I::MAX {
+            self.prev[n.index()] = p;
         }
-        self.in_bucket[v as usize] = false;
+        self.in_bucket[v.index()] = false;
         self.len -= 1;
     }
 
     /// Adjusts the gain of a queued vertex by `delta`.
     // lint: checked-index — v < n by the constructor contract; all arrays have length n
-    pub fn adjust(&mut self, v: u32, delta: i64) {
-        if delta == 0 || !self.in_bucket[v as usize] {
+    pub fn adjust(&mut self, v: I, delta: i64) {
+        if delta == 0 || !self.in_bucket[v.index()] {
             return;
         }
-        let g = self.gain_of[v as usize] + delta;
+        let g = self.gain_of[v.index()] + delta;
         self.remove(v);
         self.insert(v, g);
     }
@@ -150,11 +155,11 @@ impl GainBuckets {
         self.offset = half;
         self.bound = max_gain.max(0);
         self.heads.clear();
-        self.heads.resize((2 * half + 1) as usize, NIL);
+        self.heads.resize((2 * half + 1) as usize, I::MAX);
         self.next.clear();
-        self.next.resize(n, NIL);
+        self.next.resize(n, I::MAX);
         self.prev.clear();
-        self.prev.resize(n, NIL);
+        self.prev.resize(n, I::MAX);
         self.gain_of.clear();
         self.gain_of.resize(n, 0);
         self.in_bucket.clear();
@@ -164,26 +169,35 @@ impl GainBuckets {
         grew
     }
 
+    /// Heap bytes held by the backing arrays — the buckets' contribution
+    /// to the engine's byte-budget accounting.
+    pub fn heap_bytes(&self) -> usize {
+        let links = self.heads.capacity() + self.next.capacity() + self.prev.capacity();
+        links * std::mem::size_of::<I>()
+            + self.gain_of.capacity() * std::mem::size_of::<i64>()
+            + self.in_bucket.capacity()
+    }
+
     /// Pops a maximum-gain vertex satisfying `admissible`, scanning buckets
     /// from the max downward. Vertices failing the predicate are skipped
     /// (left queued). Returns `(vertex, gain)`.
     // lint: checked-index — b starts clamped to heads.len()-1 and only decreases; links are < n
-    pub fn pop_max_where(&mut self, mut admissible: impl FnMut(u32) -> bool) -> Option<(u32, i64)> {
+    pub fn pop_max_where(&mut self, mut admissible: impl FnMut(I) -> bool) -> Option<(I, i64)> {
         if self.len == 0 {
             return None;
         }
         let mut b = self.max_idx.min(self.heads.len() - 1);
         loop {
             let mut v = self.heads[b];
-            while v != NIL {
+            while v != I::MAX {
                 if admissible(v) {
-                    let g = self.gain_of[v as usize];
+                    let g = self.gain_of[v.index()];
                     // Lower the cached max to the first non-empty bucket.
                     self.max_idx = b;
                     self.remove(v);
                     return Some((v, g));
                 }
-                v = self.next[v as usize];
+                v = self.next[v.index()];
             }
             if b == 0 {
                 return None;
@@ -199,7 +213,7 @@ mod tests {
 
     #[test]
     fn insert_pop_order() {
-        let mut gb = GainBuckets::new(5, 10);
+        let mut gb: GainBuckets = GainBuckets::new(5, 10);
         gb.insert(0, -3);
         gb.insert(1, 5);
         gb.insert(2, 5);
@@ -219,7 +233,7 @@ mod tests {
 
     #[test]
     fn pop_respects_predicate() {
-        let mut gb = GainBuckets::new(3, 4);
+        let mut gb: GainBuckets = GainBuckets::new(3, 4);
         gb.insert(0, 4);
         gb.insert(1, 2);
         let (v, _) = gb.pop_max_where(|v| v != 0).unwrap();
@@ -231,7 +245,7 @@ mod tests {
 
     #[test]
     fn adjust_moves_between_buckets() {
-        let mut gb = GainBuckets::new(4, 8);
+        let mut gb: GainBuckets = GainBuckets::new(4, 8);
         gb.insert(0, 1);
         gb.insert(1, 2);
         gb.adjust(0, 5); // now 6
@@ -244,7 +258,7 @@ mod tests {
 
     #[test]
     fn remove_unqueued_is_noop() {
-        let mut gb = GainBuckets::new(2, 2);
+        let mut gb: GainBuckets = GainBuckets::new(2, 2);
         gb.remove(1);
         assert_eq!(gb.len(), 0);
         gb.insert(1, 0);
@@ -255,7 +269,7 @@ mod tests {
 
     #[test]
     fn middle_removal_keeps_links() {
-        let mut gb = GainBuckets::new(3, 2);
+        let mut gb: GainBuckets = GainBuckets::new(3, 2);
         gb.insert(0, 1);
         gb.insert(1, 1);
         gb.insert(2, 1);
@@ -270,7 +284,7 @@ mod tests {
 
     #[test]
     fn reset_matches_fresh() {
-        let mut gb = GainBuckets::new(3, 4);
+        let mut gb: GainBuckets = GainBuckets::new(3, 4);
         gb.insert(0, 4);
         gb.insert(1, -2);
         gb.reset(5, 10);
@@ -291,7 +305,7 @@ mod tests {
         // profiles with overflow checks, a garbage allocation size in
         // release). The span is now capped at MAX_SPAN with out-of-range
         // gains clamped into the extreme buckets.
-        let mut gb = GainBuckets::new(4, i64::MAX);
+        let mut gb: GainBuckets = GainBuckets::new(4, i64::MAX);
         assert!(gb.heads.len() <= MAX_SPAN);
         gb.insert(0, 1 << 40);
         gb.insert(1, -(1 << 40));
@@ -313,10 +327,23 @@ mod tests {
 
     #[test]
     fn negative_only_gains() {
-        let mut gb = GainBuckets::new(2, 3);
+        let mut gb: GainBuckets = GainBuckets::new(2, 3);
         gb.insert(0, -3);
         gb.insert(1, -1);
         let (v, g) = gb.pop_max_where(|_| true).unwrap();
         assert_eq!((v, g), (1, -1));
+    }
+
+    #[test]
+    fn u64_buckets_share_behavior() {
+        let mut gb: GainBuckets<u64> = GainBuckets::new(4, 6);
+        gb.insert(0, 2);
+        gb.insert(3, 6);
+        gb.insert(1, -6);
+        gb.adjust(0, 3); // now 5
+        assert_eq!(gb.pop_max_where(|_| true), Some((3u64, 6)));
+        assert_eq!(gb.pop_max_where(|_| true), Some((0u64, 5)));
+        assert_eq!(gb.pop_max_where(|_| true), Some((1u64, -6)));
+        assert!(gb.heap_bytes() > 0);
     }
 }

@@ -3,10 +3,11 @@
 //! multiple random tries.
 
 use fgh_hypergraph::Hypergraph;
+use fgh_sparse::IndexType;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::arena::LevelArena;
+use crate::arena::{ArenaIndex, LevelArena};
 use crate::coarsen::FREE;
 use crate::config::{InitialScheme, PartitionConfig};
 use crate::engine::Substrate;
@@ -139,7 +140,7 @@ pub(crate) fn initial_best_in<S: Substrate>(
 
 /// Per-vertex starting side: fixed-1 vertices on side 1, the rest on 0.
 fn seed_sides<S: Substrate>(sub: &S, fixed: &[i8], arena: &mut LevelArena) -> Vec<u8> {
-    let n = sub.num_vertices() as usize;
+    let n = sub.num_vertices();
     let mut side = arena.take_u8(n, 0);
     for v in 0..n {
         if fixed[v] == 1 {
@@ -163,22 +164,26 @@ fn random_once<S: Substrate>(
 ) -> Vec<u8> {
     let n = sub.num_vertices();
     let mut side = seed_sides(sub, fixed, arena);
-    let mut order = arena.take_u32(0, 0);
-    order.extend((0..n).filter(|&v| fixed[v as usize] == FREE));
+    let mut order = S::Ix::take_ids(arena, 0, S::Ix::ZERO);
+    order.extend(
+        (0..n)
+            .map(S::Ix::from_index)
+            .filter(|&v| fixed[v.index()] == FREE),
+    );
     order.shuffle(rng);
     let target1 = targets[1].floor().max(0.0) as u64;
     let mut w1: u64 = (0..n)
-        .filter(|&v| side[v as usize] == 1)
-        .map(|v| sub.vertex_weight(v) as u64)
+        .filter(|&v| side[v] == 1)
+        .map(|v| sub.vertex_weight(S::Ix::from_index(v)) as u64)
         .sum();
     for &v in order.iter() {
         if w1 >= target1 {
             break;
         }
-        side[v as usize] = 1;
+        side[v.index()] = 1;
         w1 += sub.vertex_weight(v) as u64;
     }
-    arena.give_u32(order);
+    S::Ix::give_ids(arena, order);
     let mut st = BisectionState::new_in(sub, side, fixed, targets, epsilon, arena);
     st.refine_in(
         rng,
@@ -210,12 +215,16 @@ fn bin_packing_once<S: Substrate>(
     let mut side = seed_sides(sub, fixed, arena);
     let mut w = [0u64; 2];
     for v in 0..n {
-        if fixed[v as usize] != FREE {
-            w[side[v as usize] as usize] += sub.vertex_weight(v) as u64;
+        if fixed[v] != FREE {
+            w[side[v] as usize] += sub.vertex_weight(S::Ix::from_index(v)) as u64;
         }
     }
-    let mut order = arena.take_u32(0, 0);
-    order.extend((0..n).filter(|&v| fixed[v as usize] == FREE));
+    let mut order = S::Ix::take_ids(arena, 0, S::Ix::ZERO);
+    order.extend(
+        (0..n)
+            .map(S::Ix::from_index)
+            .filter(|&v| fixed[v.index()] == FREE),
+    );
     order.shuffle(rng);
     order.sort_by_key(|&v| std::cmp::Reverse(sub.vertex_weight(v)));
     for &v in order.iter() {
@@ -224,10 +233,10 @@ fn bin_packing_once<S: Substrate>(
         let gap0 = targets[0] - w[0] as f64;
         let gap1 = targets[1] - w[1] as f64;
         let s = usize::from(gap1 > gap0);
-        side[v as usize] = s as u8; // lint: checked-cast — s is 0 or 1
+        side[v.index()] = s as u8; // lint: checked-cast — s is 0 or 1
         w[s] += sub.vertex_weight(v) as u64;
     }
-    arena.give_u32(order);
+    S::Ix::give_ids(arena, order);
     let mut st = BisectionState::new_in(sub, side, fixed, targets, epsilon, arena);
     st.refine_in(
         rng,
@@ -263,9 +272,13 @@ fn ghg_once<S: Substrate>(
     // growth cluster-shaped: vertices adjacent to side 1 have higher gain.
     let target1 = targets[1].floor().max(0.0) as u64;
     if st.weights()[1] < target1 {
-        let mut buckets = arena.take_buckets(n as usize, sub.max_gain_bound());
-        let mut insert_order = arena.take_u32(0, 0);
-        insert_order.extend((0..n).filter(|&v| fixed[v as usize] == FREE));
+        let mut buckets = S::Ix::take_buckets(arena, n, sub.max_gain_bound());
+        let mut insert_order = S::Ix::take_ids(arena, 0, S::Ix::ZERO);
+        insert_order.extend(
+            (0..n)
+                .map(S::Ix::from_index)
+                .filter(|&v| fixed[v.index()] == FREE),
+        );
         // Random seed bias: shuffle so ties (isolated vertices) vary.
         insert_order.shuffle(rng);
         for &v in insert_order.iter() {
@@ -273,14 +286,14 @@ fn ghg_once<S: Substrate>(
         }
         while st.weights()[1] < target1 {
             let state = &st;
-            let popped = buckets.pop_max_where(|u| state.sides()[u as usize] == 0);
+            let popped = buckets.pop_max_where(|u| state.sides()[u.index()] == 0);
             match popped {
                 Some((v, _)) => st.apply_move(v, Some(&mut buckets)),
                 None => break,
             }
         }
-        arena.give_buckets(buckets);
-        arena.give_u32(insert_order);
+        S::Ix::give_buckets(arena, buckets);
+        S::Ix::give_ids(arena, insert_order);
     }
 
     st.refine_in(

@@ -4,9 +4,13 @@
 //! vertex between parts created in different subtrees. This post-pass (an
 //! extension over the paper; PaToH later grew a similar phase) sweeps
 //! boundary vertices in random order and applies positive-gain moves under
-//! the K-way balance constraint.
+//! the K-way balance constraint. It is generic over the hypergraph's index
+//! width: vertex/net ids carry `I`, part ids stay `u32`, and per-part pin
+//! counts are `u64` (a net at `u64` width can hold more than `u32::MAX`
+//! pins in one part).
 
 use fgh_hypergraph::{Hypergraph, Partition};
+use fgh_sparse::IndexType;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -15,16 +19,15 @@ use crate::error::PartitionError;
 /// Sparse per-net part-count table: for each net, the (part, pin count)
 /// pairs with nonzero count. Net connectivity `λ` is the list length.
 struct NetParts {
-    table: Vec<Vec<(u32, u32)>>,
+    table: Vec<Vec<(u32, u64)>>,
 }
 
 impl NetParts {
-    fn build(hg: &Hypergraph, partition: &Partition) -> Self {
-        let mut table: Vec<Vec<(u32, u32)>> = vec![Vec::new(); hg.num_nets() as usize];
+    fn build<I: IndexType>(hg: &Hypergraph<I>, partition: &Partition) -> Self {
+        let mut table: Vec<Vec<(u32, u64)>> = vec![Vec::new(); hg.num_nets().index()];
         for (n, row) in table.iter_mut().enumerate() {
-            let nn = n as u32; // lint: checked-cast — n < num_nets, a u32
-            for &p in hg.pins(nn) {
-                let part = partition.part(p);
+            for &p in hg.pins(I::from_index(n)) {
+                let part = partition.part_at(p.index());
                 match row.iter_mut().find(|(q, _)| *q == part) {
                     Some((_, c)) => *c += 1,
                     None => row.push((part, 1)),
@@ -34,20 +37,20 @@ impl NetParts {
         NetParts { table }
     }
 
-    fn count(&self, net: u32, part: u32) -> u32 {
-        self.table[net as usize]
+    fn count<I: IndexType>(&self, net: I, part: u32) -> u64 {
+        self.table[net.index()]
             .iter()
             .find(|(q, _)| *q == part)
             .map(|(_, c)| *c)
             .unwrap_or(0)
     }
 
-    fn lambda(&self, net: u32) -> usize {
-        self.table[net as usize].len()
+    fn lambda<I: IndexType>(&self, net: I) -> usize {
+        self.table[net.index()].len()
     }
 
-    fn move_pin(&mut self, net: u32, from: u32, to: u32) -> Result<(), PartitionError> {
-        let row = &mut self.table[net as usize];
+    fn move_pin<I: IndexType>(&mut self, net: I, from: u32, to: u32) -> Result<(), PartitionError> {
+        let row = &mut self.table[net.index()];
         let Some(i) = row.iter().position(|(q, _)| *q == from) else {
             // Corrupt bookkeeping: a typed error, so release builds abort
             // the refinement instead of continuing on a broken table.
@@ -72,8 +75,8 @@ impl NetParts {
 /// connectivity−1 gain achieved (non-negative), or
 /// [`PartitionError::Internal`] when the part-count bookkeeping is found
 /// corrupt mid-sweep.
-pub fn kway_refine(
-    hg: &Hypergraph,
+pub fn kway_refine<I: IndexType>(
+    hg: &Hypergraph<I>,
     partition: &mut Partition,
     fixed: &[u32],
     epsilon: f64,
@@ -81,7 +84,7 @@ pub fn kway_refine(
     rng: &mut impl Rng,
 ) -> Result<u64, PartitionError> {
     let k = partition.k();
-    if k < 2 || hg.num_vertices() == 0 {
+    if k < 2 || hg.num_vertices() == I::ZERO {
         return Ok(0);
     }
     let mut np = NetParts::build(hg, partition);
@@ -90,15 +93,16 @@ pub fn kway_refine(
     let cap = ((total as f64 / k as f64) * (1.0 + epsilon)).floor() as u64;
 
     let mut total_gain = 0u64;
-    let mut order: Vec<u32> = (0..hg.num_vertices())
-        .filter(|&v| fixed[v as usize] == u32::MAX)
+    let mut order: Vec<I> = (0..hg.num_vertices().index())
+        .map(I::from_index)
+        .filter(|&v| fixed[v.index()] == u32::MAX)
         .collect();
 
     for _ in 0..passes {
         order.shuffle(rng);
         let mut pass_gain = 0u64;
         for &v in &order {
-            let from = partition.part(v);
+            let from = partition.part_at(v.index());
             // Only boundary vertices can have positive gain.
             let mut candidate_parts: Vec<u32> = Vec::new();
             let mut boundary = false;
@@ -106,7 +110,7 @@ pub fn kway_refine(
                 if np.lambda(n) > 1 {
                     boundary = true;
                 }
-                for &(q, _) in &np.table[n as usize] {
+                for &(q, _) in &np.table[n.index()] {
                     if q != from && !candidate_parts.contains(&q) {
                         candidate_parts.push(q);
                     }
@@ -146,7 +150,7 @@ pub fn kway_refine(
                     }
                     weights[from as usize] -= w;
                     weights[q as usize] += w;
-                    partition.assign(v, q);
+                    partition.assign_at(v.index(), q);
                     pass_gain += gain.max(0) as u64;
                 }
             }
@@ -229,19 +233,52 @@ mod tests {
     }
 
     #[test]
+    fn wide_refine_matches_narrow() {
+        let hg = random_hypergraph(150, 240, 5, 8);
+        let nets: Vec<Vec<u64>> = (0..hg.num_nets())
+            .map(|n| hg.pins(n).iter().map(|&p| p as u64).collect())
+            .collect();
+        let hg64 = Hypergraph::<u64>::from_nets(150u64, &nets).unwrap();
+        let parts: Vec<u32> = (0..150).map(|v| v % 4).collect();
+        let mut p32 = Partition::new(4, parts.clone()).unwrap();
+        let mut p64 = Partition::new(4, parts).unwrap();
+        let fixed = vec![u32::MAX; 150];
+        let g32 = kway_refine(
+            &hg,
+            &mut p32,
+            &fixed,
+            0.05,
+            3,
+            &mut SmallRng::seed_from_u64(6),
+        )
+        .unwrap();
+        let g64 = kway_refine(
+            &hg64,
+            &mut p64,
+            &fixed,
+            0.05,
+            3,
+            &mut SmallRng::seed_from_u64(6),
+        )
+        .unwrap();
+        assert_eq!(g32, g64);
+        assert_eq!(p32.parts(), p64.parts());
+    }
+
+    #[test]
     fn netparts_bookkeeping() {
-        let hg = Hypergraph::from_nets(4, &[vec![0, 1, 2, 3]]).unwrap();
+        let hg = Hypergraph::from_nets(4u32, &[vec![0, 1, 2, 3]]).unwrap();
         let p = Partition::new(2, vec![0, 0, 1, 1]).unwrap();
         let mut np = NetParts::build(&hg, &p);
-        assert_eq!(np.lambda(0), 2);
-        assert_eq!(np.count(0, 0), 2);
-        np.move_pin(0, 0, 1).unwrap();
-        assert_eq!(np.count(0, 0), 1);
-        assert_eq!(np.count(0, 1), 3);
-        np.move_pin(0, 0, 1).unwrap();
-        assert_eq!(np.lambda(0), 1);
+        assert_eq!(np.lambda(0u32), 2);
+        assert_eq!(np.count(0u32, 0), 2);
+        np.move_pin(0u32, 0, 1).unwrap();
+        assert_eq!(np.count(0u32, 0), 1);
+        assert_eq!(np.count(0u32, 1), 3);
+        np.move_pin(0u32, 0, 1).unwrap();
+        assert_eq!(np.lambda(0u32), 1);
         // Moving from a part with no pins is the typed internal error.
-        assert!(np.move_pin(0, 0, 1).is_err());
+        assert!(np.move_pin(0u32, 0, 1).is_err());
     }
 
     #[test]

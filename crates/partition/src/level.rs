@@ -1,16 +1,33 @@
 //! Per-level storage and instrumentation for the multilevel engine.
 
+use crate::engine::Substrate;
+
 /// One coarsening level of a multilevel run over any
 /// [`crate::engine::Substrate`]: the contracted structure plus the
 /// fine→coarse projection map and the coarse fixed-side vector.
+///
+/// The map entries are coarse vertex ids, so they carry the substrate's
+/// index width `S::Ix` — at `u64` width a map over `n` fine vertices is
+/// the single largest per-level allocation, which is exactly what the
+/// byte-budget checkpoint accounts via [`Level::heap_bytes`].
 #[derive(Debug)]
-pub struct Level<S> {
+pub struct Level<S: Substrate> {
     /// The contracted substrate.
     pub coarse: S,
     /// Fine-vertex → coarse-vertex map.
-    pub map: Vec<u32>,
+    pub map: Vec<S::Ix>,
     /// Per-coarse-vertex fixed side (`FREE`, `0`, or `1`).
     pub fixed: Vec<i8>,
+}
+
+impl<S: Substrate> Level<S> {
+    /// Heap bytes held by this level: the contracted substrate plus the
+    /// projection map and fixed vector.
+    pub fn heap_bytes(&self) -> usize {
+        self.coarse.heap_bytes()
+            + self.map.capacity() * std::mem::size_of::<S::Ix>()
+            + self.fixed.capacity()
+    }
 }
 
 /// Instrumentation counters threaded through
@@ -44,6 +61,10 @@ pub struct EngineStats {
     /// Times refinement ran fewer FM passes than configured because
     /// `Budget::max_fm_passes` was exhausted.
     pub fm_truncations: u64,
+    /// Times coarsening stopped early because `Budget::max_bytes` was
+    /// reached in a bisection (the run continues from the coarseness it
+    /// reached — truncated but valid, never an abort).
+    pub byte_truncations: u64,
     /// Fork-join forks actually taken by the parallel driver (0 in serial
     /// runs and whenever the recursion ran inline).
     pub parallel_forks: u64,
@@ -60,7 +81,10 @@ impl EngineStats {
     /// the partition is valid but may be lower quality than an unbounded
     /// run would produce.
     pub fn truncated(&self) -> bool {
-        self.wall_truncations > 0 || self.level_truncations > 0 || self.fm_truncations > 0
+        self.wall_truncations > 0
+            || self.level_truncations > 0
+            || self.fm_truncations > 0
+            || self.byte_truncations > 0
     }
 
     /// Accumulates `other` into `self` (for merging per-run stats).
@@ -74,6 +98,7 @@ impl EngineStats {
         self.wall_truncations += other.wall_truncations;
         self.level_truncations += other.level_truncations;
         self.fm_truncations += other.fm_truncations;
+        self.byte_truncations += other.byte_truncations;
         self.parallel_forks += other.parallel_forks;
         self.coarsen_nanos += other.coarsen_nanos;
         self.initial_nanos += other.initial_nanos;
@@ -124,11 +149,14 @@ mod tests {
             bisections: 2,
             fm_moves: 5,
             levels: 3,
+            byte_truncations: 1,
             ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.bisections, 3);
         assert_eq!(a.fm_moves, 15);
         assert_eq!(a.levels, 3);
+        assert_eq!(a.byte_truncations, 1);
+        assert!(a.truncated());
     }
 }

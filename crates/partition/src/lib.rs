@@ -68,7 +68,7 @@ pub mod recursive;
 pub mod refine;
 pub mod vcycle;
 
-pub use arena::{ArenaPool, ArenaStats, LevelArena};
+pub use arena::{ArenaIndex, ArenaPool, ArenaStats, LevelArena};
 pub use config::{Budget, CoarseningScheme, InitialScheme, Parallelism, PartitionConfig};
 pub use engine::{MultilevelDriver, RecursiveOutcome, Substrate};
 pub use error::PartitionError;

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use fgh_hypergraph::Hypergraph;
 use fgh_trace::{Span, SpanHandle};
 
-use crate::arena::ArenaPool;
+use crate::arena::{ArenaIndex, ArenaPool};
 use crate::config::PartitionConfig;
 use crate::engine::MultilevelDriver;
 use crate::error::{panic_message, PartitionError};
@@ -31,8 +31,8 @@ use crate::recursive::{partition_hypergraph_with, PartitionResult};
 /// inside a pool, its threads are reused instead of building a nested
 /// one. A panicking seed becomes `Err(PartitionError::Worker(..))` in its
 /// slot and leaves the other seeds unaffected.
-pub fn partition_hypergraph_seeds(
-    hg: &Hypergraph,
+pub fn partition_hypergraph_seeds<I: ArenaIndex>(
+    hg: &Hypergraph<I>,
     k: u32,
     cfg: &PartitionConfig,
     runs: usize,
@@ -44,8 +44,8 @@ pub fn partition_hypergraph_seeds(
 /// seed gets a `run[offset]` child span of `parent` carrying the run's
 /// engine/arena counters, with the multilevel phase spans nested inside
 /// (requires the `trace` cargo feature to record anything).
-pub fn partition_hypergraph_seeds_traced(
-    hg: &Hypergraph,
+pub fn partition_hypergraph_seeds_traced<I: ArenaIndex>(
+    hg: &Hypergraph<I>,
     k: u32,
     cfg: &PartitionConfig,
     runs: usize,
@@ -65,8 +65,8 @@ pub fn partition_hypergraph_seeds_traced(
 /// Runs seed offsets `lo..hi`, halving the range across `rayon::join`
 /// until single seeds remain. Results concatenate back in seed order.
 #[allow(clippy::too_many_arguments)]
-fn run_range(
-    hg: &Hypergraph,
+fn run_range<I: ArenaIndex>(
+    hg: &Hypergraph<I>,
     k: u32,
     cfg: &PartitionConfig,
     lo: usize,
@@ -106,7 +106,10 @@ pub fn record_run_counters(
     scope.counter("parallel_forks", stats.parallel_forks);
     scope.counter(
         "budget_truncations",
-        stats.wall_truncations + stats.level_truncations + stats.fm_truncations,
+        stats.wall_truncations
+            + stats.level_truncations
+            + stats.fm_truncations
+            + stats.byte_truncations,
     );
     scope.counter("arena_fresh", arena.fresh);
     scope.counter("arena_reused", arena.reused);
@@ -116,8 +119,8 @@ pub fn record_run_counters(
 /// One seed: a fresh driver over the shared arena pool, panics contained
 /// to this seed's slot. The engine is panic-free by design; the catch is
 /// defense in depth so a defect in one seed cannot sink a 50-seed sweep.
-fn run_seeded(
-    hg: &Hypergraph,
+fn run_seeded<I: ArenaIndex>(
+    hg: &Hypergraph<I>,
     k: u32,
     cfg: &PartitionConfig,
     offset: usize,

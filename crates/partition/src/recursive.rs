@@ -5,6 +5,10 @@
 //! [`MultilevelDriver::partition_recursive`]; this module adds the
 //! hypergraph-specific validation, the K-way greedy / V-cycle
 //! post-refinement, and the metric bookkeeping of [`PartitionResult`].
+//!
+//! Every entry point is generic over the hypergraph's index width `I`
+//! (`u32` by default, `u64` for instances whose pin counts overflow
+//! `u32`); the partition itself always carries `u32` part ids.
 
 use fgh_hypergraph::{
     cutsize_connectivity, cutsize_cutnet, Hypergraph, HypergraphError, Partition,
@@ -14,6 +18,7 @@ use rand::SeedableRng;
 
 use fgh_trace::SpanHandle;
 
+use crate::arena::ArenaIndex;
 use crate::config::PartitionConfig;
 use crate::engine::MultilevelDriver;
 use crate::error::PartitionError;
@@ -48,14 +53,14 @@ pub struct PartitionResult {
 /// use fgh_hypergraph::Hypergraph;
 /// use fgh_partition::{partition_hypergraph, PartitionConfig};
 /// // Two pairs tied internally, one bridge net between them.
-/// let hg = Hypergraph::from_nets(4, &[vec![0, 1], vec![2, 3], vec![1, 2]]).unwrap();
+/// let hg = Hypergraph::from_nets(4u32, &[vec![0, 1], vec![2, 3], vec![1, 2]]).unwrap();
 /// let r = partition_hypergraph(&hg, 2, &PartitionConfig::with_seed(1)).unwrap();
 /// assert_eq!(r.cutsize, 1); // only the bridge is cut
 /// assert_eq!(r.partition.part(0), r.partition.part(1));
 /// assert_eq!(r.partition.part(2), r.partition.part(3));
 /// ```
-pub fn partition_hypergraph(
-    hg: &Hypergraph,
+pub fn partition_hypergraph<I: ArenaIndex>(
+    hg: &Hypergraph<I>,
     k: u32,
     cfg: &PartitionConfig,
 ) -> Result<PartitionResult, PartitionError> {
@@ -68,8 +73,8 @@ pub fn partition_hypergraph(
 /// `parent` itself (requires the `trace` cargo feature to record
 /// anything). Meant for composite models that stitch several single runs
 /// into one decomposition.
-pub fn partition_hypergraph_traced(
-    hg: &Hypergraph,
+pub fn partition_hypergraph_traced<I: ArenaIndex>(
+    hg: &Hypergraph<I>,
     k: u32,
     cfg: &PartitionConfig,
     parent: &SpanHandle,
@@ -85,8 +90,8 @@ pub fn partition_hypergraph_traced(
 
 /// Like [`partition_hypergraph`], with optional pre-assigned vertices:
 /// `fixed[v] = part` pins vertex `v`, `fixed[v] = u32::MAX` leaves it free.
-pub fn partition_hypergraph_fixed(
-    hg: &Hypergraph,
+pub fn partition_hypergraph_fixed<I: ArenaIndex>(
+    hg: &Hypergraph<I>,
     k: u32,
     fixed: Option<&[u32]>,
     cfg: &PartitionConfig,
@@ -98,9 +103,9 @@ pub fn partition_hypergraph_fixed(
 /// Like [`partition_hypergraph_fixed`], but running on a caller-supplied
 /// [`MultilevelDriver`] — the driver's arena and instrumentation persist
 /// across calls, so repeated partitioning reuses all scratch buffers.
-pub fn partition_hypergraph_with(
+pub fn partition_hypergraph_with<I: ArenaIndex>(
     driver: &mut MultilevelDriver,
-    hg: &Hypergraph,
+    hg: &Hypergraph<I>,
     k: u32,
     fixed: Option<&[u32]>,
 ) -> Result<PartitionResult, PartitionError> {
@@ -108,9 +113,9 @@ pub fn partition_hypergraph_with(
         return Err(HypergraphError::InvalidK.into());
     }
     if let Some(f) = fixed {
-        if f.len() != hg.num_vertices() as usize {
+        if f.len() != hg.num_vertices().index() {
             return Err(HypergraphError::PartitionLengthMismatch {
-                expected: hg.num_vertices() as usize,
+                expected: hg.num_vertices().index(),
                 got: f.len(),
             }
             .into());
@@ -118,7 +123,7 @@ pub fn partition_hypergraph_with(
         for (v, &p) in f.iter().enumerate() {
             if p != u32::MAX && p >= k {
                 return Err(HypergraphError::PartOutOfBounds {
-                    vertex: v as u32, // lint: checked-cast — v < num_vertices, a u32
+                    vertex: v as u64,
                     part: p,
                     k,
                 }
@@ -127,10 +132,10 @@ pub fn partition_hypergraph_with(
         }
     }
 
-    let n = hg.num_vertices();
+    let n = hg.num_vertices().index();
     let fixed_vec: Vec<u32> = match fixed {
         Some(f) => f.to_vec(),
-        None => vec![u32::MAX; n as usize],
+        None => vec![u32::MAX; n],
     };
     // Arm the wall budget here so the window also covers the K-way
     // post-refinement below (partition_recursive arms only if unarmed).
@@ -170,8 +175,8 @@ pub fn partition_hypergraph_with(
 /// result by connectivity−1 cutsize, following the paper's 50-seed
 /// protocol. A panicking seed becomes a `PartitionError::Worker` value;
 /// the surviving seeds still compete for the best result.
-pub fn partition_hypergraph_best(
-    hg: &Hypergraph,
+pub fn partition_hypergraph_best<I: ArenaIndex>(
+    hg: &Hypergraph<I>,
     k: u32,
     cfg: &PartitionConfig,
     runs: usize,
@@ -183,8 +188,8 @@ pub fn partition_hypergraph_best(
 /// gets a `run[offset]` child span of `parent` carrying the run's
 /// engine/arena counters, with the multilevel phase spans nested inside
 /// (requires the `trace` cargo feature to record anything).
-pub fn partition_hypergraph_best_traced(
-    hg: &Hypergraph,
+pub fn partition_hypergraph_best_traced<I: ArenaIndex>(
+    hg: &Hypergraph<I>,
     k: u32,
     cfg: &PartitionConfig,
     runs: usize,
@@ -289,7 +294,7 @@ mod tests {
     fn k_exceeding_vertices_yields_empty_parts_error_free() {
         // 3 vertices into 8 parts: parts will be empty, but the call should
         // not panic and the partition must still be valid by construction.
-        let hg = Hypergraph::from_nets(3, &[vec![0, 1, 2]]).unwrap();
+        let hg = Hypergraph::from_nets(3u32, &[vec![0, 1, 2]]).unwrap();
         let r = partition_hypergraph(&hg, 8, &PartitionConfig::default()).unwrap();
         assert_eq!(r.partition.len(), 3);
     }
@@ -328,6 +333,26 @@ mod tests {
         let single = partition_hypergraph(&hg, 8, &cfg).unwrap();
         let best = partition_hypergraph_best(&hg, 8, &cfg, 4).unwrap();
         assert!(best.cutsize <= single.cutsize);
+    }
+
+    #[test]
+    fn wide_partition_matches_narrow_end_to_end() {
+        // The full pipeline (RB + K-way + V-cycle post-refinement) must be
+        // bit-identical across index widths for the same seed.
+        let hg = random_hypergraph(350, 520, 6, 21);
+        let nets: Vec<Vec<u64>> = (0..hg.num_nets())
+            .map(|n| hg.pins(n).iter().map(|&p| p as u64).collect())
+            .collect();
+        let hg64 = Hypergraph::<u64>::from_nets(350u64, &nets).unwrap();
+        let cfg = PartitionConfig {
+            vcycles: 1,
+            ..PartitionConfig::with_seed(21)
+        };
+        let r32 = partition_hypergraph(&hg, 6, &cfg).unwrap();
+        let r64 = partition_hypergraph(&hg64, 6, &cfg).unwrap();
+        assert_eq!(r32.partition.parts(), r64.partition.parts());
+        assert_eq!(r32.cutsize, r64.cutsize);
+        assert_eq!(r32.bisection_cut_sum, r64.bisection_cut_sum);
     }
 
     #[test]

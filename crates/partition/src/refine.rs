@@ -9,13 +9,18 @@
 //! cut-net metric, which recursive bisection with net splitting composes
 //! into the connectivity−1 metric; for graphs they are the classic
 //! external-minus-internal edge weights.
+//!
+//! Vertex ids carry the substrate's index width [`Substrate::Ix`]; the
+//! gain buckets, order buffers, and move log are all width-matched so the
+//! u32 fast path keeps its compact memory layout.
 
 use fgh_hypergraph::Hypergraph;
+use fgh_sparse::IndexType;
 use fgh_trace::{Span, SpanHandle};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::arena::LevelArena;
+use crate::arena::{ArenaIndex, LevelArena};
 use crate::coarsen::FREE;
 use crate::engine::Substrate;
 use crate::gain::GainBuckets;
@@ -84,11 +89,11 @@ impl<'a, S: Substrate> BisectionState<'a, S> {
         epsilon: f64,
         arena: &mut LevelArena,
     ) -> Self {
-        assert_eq!(side.len(), sub.num_vertices() as usize);
+        assert_eq!(side.len(), sub.num_vertices());
         assert_eq!(fixed.len(), side.len());
         let mut weight = [0u64; 2];
-        for v in 0..sub.num_vertices() {
-            weight[side[v as usize] as usize] += sub.vertex_weight(v) as u64;
+        for (v, &s) in side.iter().enumerate() {
+            weight[s as usize] += sub.vertex_weight(S::Ix::from_index(v)) as u64;
         }
         let (cs, cut) = sub.cut_state(&side, arena);
         let cap = [
@@ -161,7 +166,7 @@ impl<'a, S: Substrate> BisectionState<'a, S> {
     }
 
     /// FM gain of moving `v` to the opposite side.
-    pub fn gain(&self, v: u32) -> i64 {
+    pub fn gain(&self, v: S::Ix) -> i64 {
         self.sub.gain(&self.cs, &self.side, v)
     }
 
@@ -169,8 +174,8 @@ impl<'a, S: Substrate> BisectionState<'a, S> {
     /// weights, and the cutsize. Optionally applies FM delta-gain updates
     /// to `buckets`.
     // lint: checked-index — v < num_vertices == side.len(); s/t are 0/1 into [u64; 2]
-    pub fn apply_move(&mut self, v: u32, buckets: Option<&mut GainBuckets>) {
-        let s = self.side[v as usize] as usize;
+    pub fn apply_move(&mut self, v: S::Ix, buckets: Option<&mut GainBuckets<S::Ix>>) {
+        let s = self.side[v.index()] as usize;
         let t = 1 - s;
         let w = self.sub.vertex_weight(v) as u64;
         match buckets {
@@ -185,7 +190,7 @@ impl<'a, S: Substrate> BisectionState<'a, S> {
                 .sub
                 .apply_move(&mut self.cs, &self.side, v, &mut self.cut, None),
         }
-        self.side[v as usize] = t as u8; // lint: checked-cast — t is a 0/1 side
+        self.side[v.index()] = t as u8; // lint: checked-cast — t is a 0/1 side
         self.weight[s] -= w;
         self.weight[t] += w;
     }
@@ -195,8 +200,8 @@ impl<'a, S: Substrate> BisectionState<'a, S> {
     /// side is over its cap and the move strictly reduces the total
     /// violation.
     // lint: checked-index — v < num_vertices == side.len(); s/t are 0/1 into [u64; 2]
-    fn admissible(&self, v: u32) -> bool {
-        let s = self.side[v as usize] as usize;
+    fn admissible(&self, v: S::Ix) -> bool {
+        let s = self.side[v.index()] as usize;
         let t = 1 - s;
         let w = self.sub.vertex_weight(v) as u64;
         if self.weight[t] + w <= self.cap[t] + self.slack {
@@ -212,7 +217,7 @@ impl<'a, S: Substrate> BisectionState<'a, S> {
     }
 
     /// `true` if `v` touches the cut.
-    pub fn is_boundary(&self, v: u32) -> bool {
+    pub fn is_boundary(&self, v: S::Ix) -> bool {
         self.sub.is_boundary(&self.cs, &self.side, v)
     }
 
@@ -263,13 +268,14 @@ impl<'a, S: Substrate> BisectionState<'a, S> {
     ) -> bool {
         let n = self.sub.num_vertices();
         let bound = self.cached_gain_bound();
-        let mut buckets = arena.take_buckets(n as usize, bound);
+        let mut buckets = S::Ix::take_buckets(arena, n, bound);
 
         // Insert free vertices in random order (ties broken by insertion).
-        let mut order = arena.take_u32(0, 0);
+        let mut order = S::Ix::take_ids(arena, 0, S::Ix::ZERO);
         order.extend(
             (0..n)
-                .filter(|&v| self.fixed[v as usize] == FREE && (!boundary || self.is_boundary(v))),
+                .map(S::Ix::from_index)
+                .filter(|&v| self.fixed[v.index()] == FREE && (!boundary || self.is_boundary(v))),
         );
         order.shuffle(rng);
         for &v in order.iter() {
@@ -278,7 +284,7 @@ impl<'a, S: Substrate> BisectionState<'a, S> {
 
         let start = (self.balance_penalty(), self.cut);
         let mut best = start;
-        let mut moves = arena.take_u32(0, 0);
+        let mut moves = S::Ix::take_ids(arena, 0, S::Ix::ZERO);
         let mut best_len = 0usize;
         let mut since_best = 0usize;
 
@@ -310,9 +316,9 @@ impl<'a, S: Substrate> BisectionState<'a, S> {
             self.apply_move(v, None);
         }
         debug_assert_eq!((self.balance_penalty(), self.cut), best);
-        arena.give_buckets(buckets);
-        arena.give_u32(order);
-        arena.give_u32(moves);
+        S::Ix::give_buckets(arena, buckets);
+        S::Ix::give_ids(arena, order);
+        S::Ix::give_ids(arena, moves);
         best < start
     }
 
@@ -557,7 +563,7 @@ mod tests {
     #[test]
     fn zero_weight_vertices_move_freely() {
         let hg = fgh_hypergraph::Hypergraph::from_nets_weighted(
-            4,
+            4u32,
             &[vec![0, 1], vec![1, 2], vec![2, 3]],
             vec![1, 0, 0, 1],
             vec![1, 1, 1],
@@ -569,6 +575,24 @@ mod tests {
         st.refine(&mut rng(), 6, 0);
         // Best achievable: dummies huddle with their net mates, cut = 1.
         assert_eq!(st.cut(), 1);
+    }
+
+    #[test]
+    fn u64_state_matches_u32_state() {
+        // The same structure at both widths refines to the same sides.
+        let hg = two_clusters(12);
+        let nets: Vec<Vec<u64>> = (0..hg.num_nets())
+            .map(|n| hg.pins(n).iter().map(|&p| p as u64).collect())
+            .collect();
+        let hg64 = Hypergraph::<u64>::from_nets(24u64, &nets).unwrap();
+        let fixed = free(24);
+        let side: Vec<u8> = (0..24).map(|v| (v % 2) as u8).collect();
+        let mut a = BisectionState::new(&hg, side.clone(), &fixed, [12.0, 12.0], 0.1);
+        let mut b = BisectionState::new(&hg64, side, &fixed, [12.0, 12.0], 0.1);
+        a.refine(&mut rng(), 8, 0);
+        b.refine(&mut rng(), 8, 0);
+        assert_eq!(a.cut(), b.cut());
+        assert_eq!(a.sides(), b.sides());
     }
 
     #[test]

@@ -19,24 +19,26 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 use rand::SeedableRng;
 
-use crate::coarsen::{coarsen_once, CoarseLevel, FREE};
+use crate::arena::{ArenaIndex, LevelArena};
+use crate::coarsen::{coarsen_once_in, FREE};
 use crate::config::{CoarseningScheme, PartitionConfig};
 use crate::error::PartitionError;
 use crate::kway::kway_refine;
+use crate::level::Level;
 
 /// Runs up to `cycles` V-cycles of K-way refinement on `partition` in
 /// place. Returns the total connectivity−1 improvement, or
 /// [`PartitionError::Internal`] when a projected partition falls outside
 /// `0..k` (a coarsening-map defect, not bad input).
-pub fn vcycle_refine(
-    hg: &Hypergraph,
+pub fn vcycle_refine<I: ArenaIndex>(
+    hg: &Hypergraph<I>,
     partition: &mut Partition,
     fixed: &[u32],
     cfg: &PartitionConfig,
     cycles: usize,
 ) -> Result<u64, PartitionError> {
     let k = partition.k();
-    if k < 2 || hg.num_vertices() == 0 {
+    if k < 2 || hg.num_vertices() == I::ZERO {
         return Ok(0);
     }
     let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(0xd1b54a32d192ed03));
@@ -56,8 +58,8 @@ pub fn vcycle_refine(
     Ok(start - current)
 }
 
-fn one_cycle(
-    hg: &Hypergraph,
+fn one_cycle<I: ArenaIndex>(
+    hg: &Hypergraph<I>,
     partition: &mut Partition,
     fixed: &[u32],
     cfg: &PartitionConfig,
@@ -66,15 +68,15 @@ fn one_cycle(
     let k = partition.k();
     // Partition-respecting coarsening: cluster only same-part vertices so
     // the current partition projects exactly onto every coarse level.
-    let mut levels: Vec<(CoarseLevel, Vec<u32>)> = Vec::new(); // (level, coarse parts)
+    let mut levels: Vec<(Level<Hypergraph<I>>, Vec<u32>)> = Vec::new(); // (level, coarse parts)
     let weight_cap = (hg.total_vertex_weight() / (k as u64 * 2)).max(1);
 
     for _ in 0..10 {
-        let (cur_hg, cur_parts): (&Hypergraph, &[u32]) = match levels.last() {
+        let (cur_hg, cur_parts): (&Hypergraph<I>, &[u32]) = match levels.last() {
             Some((l, p)) => (&l.coarse, p.as_slice()),
             None => (hg, partition.parts()),
         };
-        if cur_hg.num_vertices() <= (cfg.coarsen_to * k).max(200) {
+        if cur_hg.num_vertices().index() <= (cfg.coarsen_to as usize * k as usize).max(200) {
             break;
         }
         let next = coarsen_respecting(
@@ -101,7 +103,7 @@ fn one_cycle(
     let coarsest_idx = levels.len() - 1;
     let mut parts_at: Vec<u32> = levels[coarsest_idx].1.clone();
     for li in (0..levels.len()).rev() {
-        let level_hg: &Hypergraph = &levels[li].0.coarse;
+        let level_hg: &Hypergraph<I> = &levels[li].0.coarse;
         // Projected parts are always in `0..k`: restricted coarsening only
         // merges same-part vertices, so a failure here is a defect in the
         // coarsening maps and surfaces as a typed internal error.
@@ -115,14 +117,14 @@ fn one_cycle(
         let gain = kway_refine(level_hg, &mut p, &level_fixed, cfg.epsilon, 2, rng)?;
         improved_any |= gain > 0;
         // Project to the next finer level (or the original hypergraph).
-        let map = &levels[li].map_ref().map;
+        let map = &levels[li].0.map;
         if li == 0 {
-            for v in 0..hg.num_vertices() {
-                partition.assign(v, p.part(map[v as usize]));
+            for (v, m) in map.iter().enumerate().take(hg.num_vertices().index()) {
+                partition.assign_at(v, p.part_at(m.index()));
             }
         } else {
-            let finer_n = levels[li - 1].0.coarse.num_vertices();
-            parts_at = (0..finer_n).map(|v| p.part(map[v as usize])).collect();
+            let finer_n = levels[li - 1].0.coarse.num_vertices().index();
+            parts_at = (0..finer_n).map(|v| p.part_at(map[v].index())).collect();
         }
     }
     // Final flat pass on the original hypergraph.
@@ -130,27 +132,16 @@ fn one_cycle(
     Ok(improved_any | (gain > 0))
 }
 
-/// Helper so `levels[li].map_ref()` reads naturally above.
-trait MapRef {
-    fn map_ref(&self) -> &CoarseLevel;
-}
-
-impl MapRef for (CoarseLevel, Vec<u32>) {
-    fn map_ref(&self) -> &CoarseLevel {
-        &self.0
-    }
-}
-
 /// Coarsens while merging only vertices of the same part. Returns the
 /// level plus the coarse per-vertex parts.
-fn coarsen_respecting(
-    hg: &Hypergraph,
+fn coarsen_respecting<I: ArenaIndex>(
+    hg: &Hypergraph<I>,
     parts: &[u32],
     scheme: CoarseningScheme,
     max_net: usize,
     weight_cap: u64,
     rng: &mut impl Rng,
-) -> Option<(CoarseLevel, Vec<u32>)> {
+) -> Option<(Level<Hypergraph<I>>, Vec<u32>)> {
     // Reuse the two-sided fixed mechanism by running coarsening with a
     // "fixed" vector derived from parity, then rejecting any cross-part
     // cluster post-hoc would break the map; instead, encode each part in
@@ -160,33 +151,41 @@ fn coarsen_respecting(
     // sub-hypergraph separately and stitch the maps.
     let k = parts.iter().copied().max().map(|m| m + 1).unwrap_or(1);
     let partition = Partition::new(k, parts.to_vec()).ok()?;
-    let n = hg.num_vertices();
+    let n = hg.num_vertices().index();
 
-    let mut map = vec![u32::MAX; n as usize];
+    let mut map = vec![I::MAX; n];
     let mut coarse_parts: Vec<u32> = Vec::new();
     let mut cluster_weight: Vec<u64> = Vec::new();
-    let mut next_cluster = 0u32;
+    let mut next_cluster = 0usize;
     for part in 0..k {
         let (sub, ids) = hg.extract_part(&partition, part);
-        if sub.num_vertices() == 0 {
+        if sub.num_vertices() == I::ZERO {
             continue;
         }
-        let fixed = vec![FREE; sub.num_vertices() as usize];
-        match coarsen_once(&sub, &fixed, scheme, max_net, weight_cap, rng) {
+        let fixed = vec![FREE; sub.num_vertices().index()];
+        match coarsen_once_in(
+            &sub,
+            &fixed,
+            scheme,
+            max_net,
+            weight_cap,
+            rng,
+            &mut LevelArena::disabled(),
+        ) {
             Some(level) => {
                 for (lv, &c) in level.map.iter().enumerate() {
-                    map[ids[lv] as usize] = next_cluster + c;
+                    map[ids[lv].index()] = I::from_index(next_cluster + c.index());
                 }
-                for c in 0..level.coarse.num_vertices() {
+                for c in 0..level.coarse.num_vertices().index() {
                     coarse_parts.push(part);
-                    cluster_weight.push(level.coarse.vertex_weight(c) as u64);
+                    cluster_weight.push(level.coarse.vertex_weight(I::from_index(c)) as u64);
                 }
-                next_cluster += level.coarse.num_vertices();
+                next_cluster += level.coarse.num_vertices().index();
             }
             None => {
                 // Part too small/rigid to coarsen: singleton clusters.
                 for &orig in &ids {
-                    map[orig as usize] = next_cluster;
+                    map[orig.index()] = I::from_index(next_cluster);
                     coarse_parts.push(part);
                     cluster_weight.push(hg.vertex_weight(orig) as u64);
                     next_cluster += 1;
@@ -205,16 +204,17 @@ fn coarsen_respecting(
         .iter()
         .map(|&w| u32::try_from(w).unwrap_or(u32::MAX))
         .collect();
-    let mut stamp = vec![u32::MAX; next_cluster as usize];
-    let mut nets: Vec<Vec<u32>> = Vec::new();
+    let mut stamp = vec![I::MAX; next_cluster];
+    let mut nets: Vec<Vec<I>> = Vec::new();
     let mut costs: Vec<u32> = Vec::new();
-    let mut merged: std::collections::HashMap<Box<[u32]>, u32> = Default::default();
-    for nn in 0..hg.num_nets() {
-        let mut pins: Vec<u32> = Vec::new();
+    let mut merged: std::collections::HashMap<Box<[I]>, usize> = Default::default();
+    for nn in 0..hg.num_nets().index() {
+        let nn = I::from_index(nn);
+        let mut pins: Vec<I> = Vec::new();
         for &p in hg.pins(nn) {
-            let c = map[p as usize];
-            if stamp[c as usize] != nn {
-                stamp[c as usize] = nn;
+            let c = map[p.index()];
+            if stamp[c.index()] != nn {
+                stamp[c.index()] = nn;
                 pins.push(c);
             }
         }
@@ -222,40 +222,41 @@ fn coarsen_respecting(
             continue;
         }
         pins.sort_unstable();
-        let key: Box<[u32]> = pins.clone().into_boxed_slice();
+        let key: Box<[I]> = pins.clone().into_boxed_slice();
         match merged.get(&key) {
-            Some(&i) => costs[i as usize] += hg.net_cost(nn),
+            Some(&i) => costs[i] += hg.net_cost(nn),
             None => {
-                merged.insert(key, nets.len() as u32); // lint: checked-cast — coarse net count <= original num_nets, a u32
+                merged.insert(key, nets.len());
                 nets.push(pins);
                 costs.push(hg.net_cost(nn));
             }
         }
     }
-    let coarse = Hypergraph::from_nets_weighted(next_cluster, &nets, weights, costs).ok()?;
-    let fixed = vec![FREE; next_cluster as usize];
-    Some((CoarseLevel { coarse, map, fixed }, coarse_parts))
+    let coarse =
+        Hypergraph::from_nets_weighted(I::from_index(next_cluster), &nets, weights, costs).ok()?;
+    let fixed = vec![FREE; next_cluster];
+    Some((Level { coarse, map, fixed }, coarse_parts))
 }
 
 /// Projects original fixed-vertex pins to a level's clusters.
-fn project_fixed(
-    hg: &Hypergraph,
-    levels: &[(CoarseLevel, Vec<u32>)],
+fn project_fixed<I: ArenaIndex>(
+    hg: &Hypergraph<I>,
+    levels: &[(Level<Hypergraph<I>>, Vec<u32>)],
     li: usize,
     fixed: &[u32],
 ) -> Vec<u32> {
     // Compose maps 0..=li.
-    let mut composed: Vec<u32> = levels[0].0.map.clone();
+    let mut composed: Vec<I> = levels[0].0.map.clone();
     for level in &levels[1..=li] {
         for c in composed.iter_mut() {
-            *c = level.0.map[*c as usize];
+            *c = level.0.map[c.index()];
         }
     }
-    let n_coarse = levels[li].0.coarse.num_vertices();
-    let mut out = vec![u32::MAX; n_coarse as usize];
-    for v in 0..hg.num_vertices() {
-        if fixed[v as usize] != u32::MAX {
-            out[composed[v as usize] as usize] = fixed[v as usize];
+    let n_coarse = levels[li].0.coarse.num_vertices().index();
+    let mut out = vec![u32::MAX; n_coarse];
+    for v in 0..hg.num_vertices().index() {
+        if fixed[v] != u32::MAX {
+            out[composed[v].index()] = fixed[v];
         }
     }
     out
@@ -319,6 +320,27 @@ mod tests {
         vcycle_refine(&hg, &mut p, &fixed, &cfg, 2).unwrap();
         assert_eq!(p.part(0), 1);
         assert_eq!(p.part(5), 3);
+    }
+
+    #[test]
+    fn wide_vcycle_matches_narrow() {
+        let hg = random_hypergraph(300, 450, 6, 11);
+        let nets: Vec<Vec<u64>> = (0..hg.num_nets())
+            .map(|n| hg.pins(n).iter().map(|&p| p as u64).collect())
+            .collect();
+        let hg64 = Hypergraph::<u64>::from_nets(300u64, &nets).unwrap();
+        let cfg = PartitionConfig {
+            kway_refine: false,
+            ..PartitionConfig::with_seed(11)
+        };
+        let r = partition_hypergraph(&hg, 4, &cfg).unwrap();
+        let mut p32 = r.partition.clone();
+        let mut p64 = r.partition;
+        let fixed = vec![u32::MAX; 300];
+        let g32 = vcycle_refine(&hg, &mut p32, &fixed, &cfg, 2).unwrap();
+        let g64 = vcycle_refine(&hg64, &mut p64, &fixed, &cfg, 2).unwrap();
+        assert_eq!(g32, g64, "width must not change V-cycle behavior");
+        assert_eq!(p32.parts(), p64.parts());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use fgh_invariant::{invariant, InvariantViolation};
 
+use crate::index::IndexType;
 use crate::{Result, SparseError};
 
 /// How duplicate `(row, col)` entries are resolved when a COO matrix is
@@ -17,7 +18,9 @@ pub enum DedupPolicy {
     LastWins,
 }
 
-/// A sparse matrix in coordinate (COO / triplet) format.
+/// A sparse matrix in coordinate (COO / triplet) format, generic over the
+/// index width `I` ([`IndexType`]; `u32` by default, `u64` for instances
+/// beyond 32-bit addressing).
 ///
 /// Entries are stored as `(row, col, value)` triplets in arbitrary order and
 /// may contain duplicates until [`CooMatrix::compress`] is called. This is
@@ -26,18 +29,18 @@ pub enum DedupPolicy {
 /// matrix decides what duplicates mean — summed (default), last-wins, or a
 /// hard error via [`crate::CsrMatrix::try_from_coo`].
 #[derive(Debug, Clone, PartialEq)]
-pub struct CooMatrix {
-    nrows: u32,
-    ncols: u32,
-    rows: Vec<u32>,
-    cols: Vec<u32>,
+pub struct CooMatrix<I: IndexType = u32> {
+    nrows: I,
+    ncols: I,
+    rows: Vec<I>,
+    cols: Vec<I>,
     vals: Vec<f64>,
     dedup_policy: DedupPolicy,
 }
 
-impl CooMatrix {
+impl<I: IndexType> CooMatrix<I> {
     /// Creates an empty `nrows x ncols` matrix.
-    pub fn new(nrows: u32, ncols: u32) -> Self {
+    pub fn new(nrows: I, ncols: I) -> Self {
         CooMatrix {
             nrows,
             ncols,
@@ -49,7 +52,7 @@ impl CooMatrix {
     }
 
     /// Creates an empty matrix with room for `cap` entries.
-    pub fn with_capacity(nrows: u32, ncols: u32, cap: usize) -> Self {
+    pub fn with_capacity(nrows: I, ncols: I, cap: usize) -> Self {
         CooMatrix {
             nrows,
             ncols,
@@ -77,12 +80,12 @@ impl CooMatrix {
     }
 
     /// Number of rows.
-    pub fn nrows(&self) -> u32 {
+    pub fn nrows(&self) -> I {
         self.nrows
     }
 
     /// Number of columns.
-    pub fn ncols(&self) -> u32 {
+    pub fn ncols(&self) -> I {
         self.ncols
     }
 
@@ -100,13 +103,13 @@ impl CooMatrix {
     /// bounds. Duplicates are allowed and later summed by [`compress`].
     ///
     /// [`compress`]: CooMatrix::compress
-    pub fn push(&mut self, row: u32, col: u32, val: f64) -> Result<()> {
+    pub fn push(&mut self, row: I, col: I, val: f64) -> Result<()> {
         if row >= self.nrows || col >= self.ncols {
             return Err(SparseError::IndexOutOfBounds {
-                row,
-                col,
-                nrows: self.nrows,
-                ncols: self.ncols,
+                row: row.as_u64(),
+                col: col.as_u64(),
+                nrows: self.nrows.as_u64(),
+                ncols: self.ncols.as_u64(),
             });
         }
         self.rows.push(row);
@@ -117,9 +120,9 @@ impl CooMatrix {
 
     /// Builds a matrix from triplet slices, validating bounds.
     pub fn from_triplets(
-        nrows: u32,
-        ncols: u32,
-        triplets: impl IntoIterator<Item = (u32, u32, f64)>,
+        nrows: I,
+        ncols: I,
+        triplets: impl IntoIterator<Item = (I, I, f64)>,
     ) -> Result<Self> {
         let mut m = CooMatrix::new(nrows, ncols);
         for (r, c, v) in triplets {
@@ -129,7 +132,7 @@ impl CooMatrix {
     }
 
     /// Iterates over the raw (possibly duplicated) entries.
-    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = (I, I, f64)> + '_ {
         (0..self.rows.len()).map(move |i| (self.rows[i], self.cols[i], self.vals[i]))
     }
 
@@ -160,15 +163,15 @@ impl CooMatrix {
                 let (a, b) = (w[0], w[1]);
                 if self.rows[a] == self.rows[b] && self.cols[a] == self.cols[b] {
                     return Err(SparseError::DuplicateEntry {
-                        row: self.rows[a],
-                        col: self.cols[a],
+                        row: self.rows[a].as_u64(),
+                        col: self.cols[a].as_u64(),
                     });
                 }
             }
         }
 
-        let mut rows: Vec<u32> = Vec::with_capacity(n);
-        let mut cols: Vec<u32> = Vec::with_capacity(n);
+        let mut rows: Vec<I> = Vec::with_capacity(n);
+        let mut cols: Vec<I> = Vec::with_capacity(n);
         let mut vals: Vec<f64> = Vec::with_capacity(n);
         for &i in &order {
             let (r, c, v) = (self.rows[i], self.cols[i], self.vals[i]);
@@ -199,7 +202,7 @@ impl CooMatrix {
     }
 
     /// Consumes the matrix and returns `(nrows, ncols, rows, cols, vals)`.
-    pub fn into_parts(self) -> (u32, u32, Vec<u32>, Vec<u32>, Vec<f64>) {
+    pub fn into_parts(self) -> (I, I, Vec<I>, Vec<I>, Vec<f64>) {
         (self.nrows, self.ncols, self.rows, self.cols, self.vals)
     }
 
@@ -207,6 +210,26 @@ impl CooMatrix {
     pub fn transpose(&mut self) {
         std::mem::swap(&mut self.rows, &mut self.cols);
         std::mem::swap(&mut self.nrows, &mut self.ncols);
+    }
+
+    /// Re-expresses the matrix under another index width, with a typed
+    /// [`SparseError::TooLarge`] when narrowing does not fit. Widening
+    /// (`u32` → `u64`) always succeeds.
+    pub fn convert_width<J: IndexType>(&self) -> Result<CooMatrix<J>> {
+        let mut m: CooMatrix<J> = CooMatrix::with_capacity(
+            J::checked(self.nrows.as_u64(), "row count")?,
+            J::checked(self.ncols.as_u64(), "column count")?,
+            self.nnz(),
+        );
+        m.dedup_policy = self.dedup_policy;
+        for (r, c, v) in self.iter() {
+            m.push(
+                J::checked(r.as_u64(), "row index")?,
+                J::checked(c.as_u64(), "column index")?,
+                v,
+            )?;
+        }
+        Ok(m)
     }
 
     /// Checks the structural invariants: the three triplet arrays are
@@ -244,7 +267,7 @@ mod tests {
 
     #[test]
     fn push_and_iter_roundtrip() {
-        let mut m = CooMatrix::new(3, 4);
+        let mut m: CooMatrix = CooMatrix::new(3, 4);
         m.push(0, 1, 2.0).unwrap();
         m.push(2, 3, -1.0).unwrap();
         assert_eq!(m.nnz(), 2);
@@ -254,7 +277,7 @@ mod tests {
 
     #[test]
     fn push_out_of_bounds_is_rejected() {
-        let mut m = CooMatrix::new(2, 2);
+        let mut m: CooMatrix = CooMatrix::new(2, 2);
         assert!(m.push(2, 0, 1.0).is_err());
         assert!(m.push(0, 2, 1.0).is_err());
         assert_eq!(m.nnz(), 0);
@@ -262,7 +285,7 @@ mod tests {
 
     #[test]
     fn compress_sums_duplicates_and_sorts() {
-        let mut m = CooMatrix::from_triplets(
+        let mut m: CooMatrix = CooMatrix::from_triplets(
             3,
             3,
             vec![(2, 2, 1.0), (0, 0, 1.0), (2, 2, 3.0), (0, 1, 5.0)],
@@ -275,7 +298,8 @@ mod tests {
 
     #[test]
     fn compress_keeps_explicit_zero_sum() {
-        let mut m = CooMatrix::from_triplets(2, 2, vec![(1, 1, 2.0), (1, 1, -2.0)]).unwrap();
+        let mut m: CooMatrix =
+            CooMatrix::from_triplets(2, 2, vec![(1, 1, 2.0), (1, 1, -2.0)]).unwrap();
         m.compress();
         assert_eq!(m.nnz(), 1);
         assert_eq!(m.iter().next(), Some((1, 1, 0.0)));
@@ -283,9 +307,10 @@ mod tests {
 
     #[test]
     fn dedup_policy_error_reports_coordinate_and_preserves_matrix() {
-        let mut m = CooMatrix::from_triplets(3, 3, vec![(1, 2, 1.0), (0, 0, 2.0), (1, 2, 3.0)])
-            .unwrap()
-            .with_dedup_policy(DedupPolicy::Error);
+        let mut m: CooMatrix =
+            CooMatrix::from_triplets(3, 3, vec![(1, 2, 1.0), (0, 0, 2.0), (1, 2, 3.0)])
+                .unwrap()
+                .with_dedup_policy(DedupPolicy::Error);
         assert_eq!(m.dedup_policy(), DedupPolicy::Error);
         match m.compress_policy() {
             Err(SparseError::DuplicateEntry { row: 1, col: 2 }) => {}
@@ -296,7 +321,7 @@ mod tests {
 
     #[test]
     fn dedup_policy_last_wins() {
-        let mut m =
+        let mut m: CooMatrix =
             CooMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, 9.0), (1, 1, 5.0)]).unwrap();
         m.compress_with(DedupPolicy::LastWins).unwrap();
         let entries: Vec<_> = m.iter().collect();
@@ -305,14 +330,15 @@ mod tests {
 
     #[test]
     fn dedup_policy_error_accepts_unique_entries() {
-        let mut m = CooMatrix::from_triplets(2, 2, vec![(0, 1, 1.0), (1, 0, 2.0)]).unwrap();
+        let mut m: CooMatrix =
+            CooMatrix::from_triplets(2, 2, vec![(0, 1, 1.0), (1, 0, 2.0)]).unwrap();
         m.compress_with(DedupPolicy::Error).unwrap();
         assert_eq!(m.nnz(), 2);
     }
 
     #[test]
     fn transpose_swaps_coordinates() {
-        let mut m = CooMatrix::from_triplets(2, 3, vec![(0, 2, 7.0)]).unwrap();
+        let mut m: CooMatrix = CooMatrix::from_triplets(2, 3, vec![(0, 2, 7.0)]).unwrap();
         m.transpose();
         assert_eq!(m.nrows(), 3);
         assert_eq!(m.ncols(), 2);
@@ -321,8 +347,33 @@ mod tests {
 
     #[test]
     fn empty_matrix() {
-        let m = CooMatrix::new(0, 0);
+        let m: CooMatrix = CooMatrix::new(0, 0);
         assert!(m.is_empty());
         assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn u64_width_accepts_indices_beyond_u32() {
+        let big = (1u64 << 33) + 5;
+        let mut m: CooMatrix<u64> = CooMatrix::new(1 << 34, 1 << 34);
+        m.push(big, 3, 1.5).unwrap();
+        assert_eq!(m.iter().next(), Some((big, 3, 1.5)));
+    }
+
+    #[test]
+    fn convert_width_roundtrips_and_narrows_checked() {
+        let m: CooMatrix = CooMatrix::from_triplets(3, 3, vec![(0, 1, 2.0), (2, 2, 4.0)])
+            .unwrap()
+            .with_dedup_policy(DedupPolicy::LastWins);
+        let wide: CooMatrix<u64> = m.convert_width().unwrap();
+        assert_eq!(wide.dedup_policy(), DedupPolicy::LastWins);
+        let back: CooMatrix<u32> = wide.convert_width().unwrap();
+        assert_eq!(m, back);
+
+        let big: CooMatrix<u64> = CooMatrix::new(1 << 40, 2);
+        assert!(matches!(
+            big.convert_width::<u32>(),
+            Err(SparseError::TooLarge { .. })
+        ));
     }
 }

@@ -3,25 +3,27 @@
 use fgh_invariant::{invariant, InvariantViolation};
 
 use crate::csr::CsrMatrix;
+use crate::index::IndexType;
 
-/// A sparse matrix in compressed sparse column (CSC) format.
+/// A sparse matrix in compressed sparse column (CSC) format, generic over
+/// the index width `I` ([`IndexType`]; `u32` by default).
 ///
 /// Column `j`'s entries occupy `row_idx[col_ptr[j] .. col_ptr[j + 1]]`.
 /// Mostly used for column-oriented scans (column nets of the fine-grain
 /// model, expand-side communication analysis).
 #[derive(Debug, Clone, PartialEq)]
-pub struct CscMatrix {
-    nrows: u32,
-    ncols: u32,
+pub struct CscMatrix<I: IndexType = u32> {
+    nrows: I,
+    ncols: I,
     col_ptr: Vec<usize>,
-    row_idx: Vec<u32>,
+    row_idx: Vec<I>,
     values: Vec<f64>,
 }
 
-impl CscMatrix {
+impl<I: IndexType> CscMatrix<I> {
     /// Internal constructor: the CSR representation of `Aᵀ` holds exactly
     /// the CSC arrays of `A`.
-    pub(crate) fn from_transposed_csr(t: CsrMatrix) -> Self {
+    pub(crate) fn from_transposed_csr(t: CsrMatrix<I>) -> Self {
         let nrows = t.ncols();
         let ncols = t.nrows();
         let col_ptr = t.row_ptr().to_vec();
@@ -37,17 +39,17 @@ impl CscMatrix {
     }
 
     /// Builds from a CSR matrix.
-    pub fn from_csr(a: &CsrMatrix) -> Self {
+    pub fn from_csr(a: &CsrMatrix<I>) -> Self {
         a.to_csc()
     }
 
     /// Number of rows.
-    pub fn nrows(&self) -> u32 {
+    pub fn nrows(&self) -> I {
         self.nrows
     }
 
     /// Number of columns.
-    pub fn ncols(&self) -> u32 {
+    pub fn ncols(&self) -> I {
         self.ncols
     }
 
@@ -62,7 +64,7 @@ impl CscMatrix {
     }
 
     /// The raw row index array (length `nnz`).
-    pub fn row_idx(&self) -> &[u32] {
+    pub fn row_idx(&self) -> &[I] {
         &self.row_idx
     }
 
@@ -72,18 +74,18 @@ impl CscMatrix {
     }
 
     /// Row indices of column `j`, sorted ascending.
-    pub fn col_rows(&self, j: u32) -> &[u32] {
-        &self.row_idx[self.col_ptr[j as usize]..self.col_ptr[j as usize + 1]]
+    pub fn col_rows(&self, j: I) -> &[I] {
+        &self.row_idx[self.col_ptr[j.index()]..self.col_ptr[j.index() + 1]]
     }
 
     /// Values of column `j`, parallel to [`CscMatrix::col_rows`].
-    pub fn col_vals(&self, j: u32) -> &[f64] {
-        &self.values[self.col_ptr[j as usize]..self.col_ptr[j as usize + 1]]
+    pub fn col_vals(&self, j: I) -> &[f64] {
+        &self.values[self.col_ptr[j.index()]..self.col_ptr[j.index() + 1]]
     }
 
     /// Number of nonzeros in column `j`.
-    pub fn col_nnz(&self, j: u32) -> usize {
-        self.col_ptr[j as usize + 1] - self.col_ptr[j as usize]
+    pub fn col_nnz(&self, j: I) -> usize {
+        self.col_ptr[j.index() + 1] - self.col_ptr[j.index()]
     }
 
     /// Checks the structural invariants: pointer array shape, monotonicity,
@@ -93,7 +95,7 @@ impl CscMatrix {
     pub fn validate(&self) -> Result<(), InvariantViolation> {
         const S: &str = "CscMatrix";
         invariant!(
-            self.col_ptr.len() == self.ncols as usize + 1,
+            self.col_ptr.len() == self.ncols.index() + 1,
             S,
             "col_ptr.len",
             "col_ptr has {} entries for {} columns",
@@ -123,7 +125,7 @@ impl CscMatrix {
             self.row_idx.len(),
             self.values.len()
         );
-        for j in 0..self.ncols as usize {
+        for j in 0..self.ncols.index() {
             invariant!(
                 self.col_ptr[j] <= self.col_ptr[j + 1],
                 S,
@@ -161,7 +163,7 @@ impl CscMatrix {
     // sorted pointers and in-bounds indices, which is exactly what
     // `CsrMatrix::from_raw` validates.
     #[allow(clippy::expect_used)]
-    pub fn to_csr(&self) -> CsrMatrix {
+    pub fn to_csr(&self) -> CsrMatrix<I> {
         // The CSC arrays of A are the CSR arrays of Aᵀ; transpose recovers A.
         let t = CsrMatrix::from_raw(
             self.ncols,
@@ -215,7 +217,7 @@ mod tests {
 
     #[test]
     fn rectangular_csc() {
-        let a = CsrMatrix::from_coo(
+        let a: CsrMatrix = CsrMatrix::from_coo(
             CooMatrix::from_triplets(2, 4, vec![(0, 3, 1.0), (1, 0, 2.0)]).unwrap(),
         );
         let c = a.to_csc();

@@ -4,11 +4,34 @@
 //! `pattern` fields and `general`, `symmetric`, and `skew-symmetric`
 //! symmetry qualifiers — enough to read every matrix the paper evaluates
 //! straight from the UF/SuiteSparse collection when available.
+//!
+//! ## Streaming architecture
+//!
+//! The parser is a line-fed state machine ([`MmParser`]) that builds the
+//! COO matrix directly from byte slices without ever materializing the
+//! text: drivers hand it one `&[u8]` line at a time with its 1-based line
+//! number. Three drivers share the machine:
+//!
+//! * [`parse_matrix_market_bytes`] — zero-copy over an in-memory slice
+//!   (also the mmap path: on unix, [`read_matrix_market_typed`] maps the
+//!   file read-only and scans the mapping),
+//! * [`read_matrix_market_from_typed`] — chunked scanning over any
+//!   [`Read`] with a carry buffer for lines that straddle chunks,
+//! * [`read_matrix_market_any`] — peeks the header first
+//!   ([`read_mm_header`]), selects the index width with
+//!   [`IndexWidth::select`], then parses at that width into an
+//!   [`AnyCooMatrix`].
+//!
+//! Error reporting is unchanged from the historical in-memory parser:
+//! every structural error carries the 1-based line number where it was
+//! detected. That parser survives as [`legacy`] — a deliberately naive
+//! oracle the test suite diffs the streaming parser against.
 
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use crate::{CooMatrix, CsrMatrix, Result, SparseError};
+use crate::index::{IndexType, IndexWidth};
+use crate::{AnyCooMatrix, CooMatrix, CsrMatrix, Result, SparseError};
 
 /// The value field declared in the Matrix Market header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,150 +55,432 @@ pub enum MmSymmetry {
     SkewSymmetric,
 }
 
-/// Reads a Matrix Market file from disk into COO format.
-pub fn read_matrix_market(path: impl AsRef<Path>) -> Result<CooMatrix> {
-    let file = std::fs::File::open(path)?;
-    read_matrix_market_from(BufReader::new(file))
+/// Everything a Matrix Market banner + size line declare, before any entry
+/// is read. Dimensions stay `u64` — this is what width selection consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmHeader {
+    /// Declared row count.
+    pub nrows: u64,
+    /// Declared column count.
+    pub ncols: u64,
+    /// Declared entry count (stored entries, pre-expansion).
+    pub nnz: u64,
+    /// Value field.
+    pub field: MmField,
+    /// Symmetry qualifier.
+    pub symmetry: MmSymmetry,
 }
 
-/// Reads Matrix Market data from any reader.
+impl MmHeader {
+    /// The narrowest index width able to hold this matrix's fine-grain
+    /// hypergraph (symmetry expansion can double the stored entry count,
+    /// which the pin estimate must survive).
+    pub fn select_width(&self) -> IndexWidth {
+        let nnz = if self.symmetry == MmSymmetry::General {
+            self.nnz
+        } else {
+            self.nnz.saturating_mul(2)
+        };
+        IndexWidth::select(self.nrows, self.ncols, nnz)
+    }
+}
+
+// Cap the speculative preallocation: a hostile header may declare a huge
+// nnz and then supply no entries, which must not OOM the process.
+const MAX_PREALLOC: usize = 1 << 20;
+
+enum MmState {
+    ExpectHeader,
+    ExpectSize {
+        field: MmField,
+        symmetry: MmSymmetry,
+    },
+    Entries,
+}
+
+/// The streaming Matrix Market parser: a state machine fed one line at a
+/// time as raw bytes. Drivers call [`MmParser::feed_line`] for every input
+/// line (1-based numbering, no terminator) and [`MmParser::finish`] at
+/// EOF. The COO matrix is built incrementally — no intermediate text or
+/// token buffers outlive a single line.
+pub struct MmParser<I: IndexType = u32> {
+    state: MmState,
+    field: MmField,
+    symmetry: MmSymmetry,
+    nnz: usize,
+    seen: usize,
+    last_line: u64,
+    coo: CooMatrix<I>,
+}
+
+impl<I: IndexType> Default for MmParser<I> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I: IndexType> MmParser<I> {
+    /// A fresh parser expecting the banner line.
+    pub fn new() -> Self {
+        MmParser {
+            state: MmState::ExpectHeader,
+            field: MmField::Real,
+            symmetry: MmSymmetry::General,
+            nnz: 0,
+            seen: 0,
+            last_line: 0,
+            coo: CooMatrix::new(I::ZERO, I::ZERO),
+        }
+    }
+
+    /// The parsed header, once the size line has been consumed.
+    pub fn header(&self) -> Option<MmHeader> {
+        match self.state {
+            MmState::Entries => Some(MmHeader {
+                nrows: self.coo.nrows().as_u64(),
+                ncols: self.coo.ncols().as_u64(),
+                nnz: self.nnz as u64,
+                field: self.field,
+                symmetry: self.symmetry,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Feeds one input line (without its terminator). `no` is the 1-based
+    /// line number used in error reports.
+    pub fn feed_line(&mut self, no: u64, line: &[u8]) -> Result<()> {
+        let at = |msg: String| SparseError::ParseAt { line: no, msg };
+        // Invalid UTF-8 surfaces like the BufRead::lines() failure the
+        // historical parser produced, keeping error variants stable.
+        let text = std::str::from_utf8(line)
+            .map_err(|_| SparseError::Io("stream did not contain valid UTF-8".into()))?;
+        let t = text.trim();
+        match self.state {
+            MmState::ExpectHeader => {
+                if t.is_empty() {
+                    return Ok(());
+                }
+                let (field, symmetry) = parse_header(text, no)?;
+                self.state = MmState::ExpectSize { field, symmetry };
+                Ok(())
+            }
+            MmState::ExpectSize { field, symmetry } => {
+                if t.is_empty() || t.starts_with('%') {
+                    return Ok(());
+                }
+                // Parse dimensions and nnz as u64 first, then narrow with
+                // a typed error: a 5-billion-row header must surface as
+                // `TooLarge`, not as a confusing "bad rows" parse failure
+                // or a silent truncation.
+                let mut it = t.split_whitespace();
+                let nrows_raw = parse_num::<u64>(it.next(), "rows", no)?;
+                let ncols_raw = parse_num::<u64>(it.next(), "cols", no)?;
+                let nnz_raw = parse_num::<u64>(it.next(), "nnz", no)?;
+                let nrows = I::checked(nrows_raw, "row count")?;
+                let ncols = I::checked(ncols_raw, "column count")?;
+                let nnz = usize::try_from(nnz_raw).map_err(|_| SparseError::TooLarge {
+                    what: "nonzero count",
+                    value: nnz_raw,
+                    max: usize::MAX as u64,
+                })?;
+                if it.next().is_some() {
+                    return Err(at("size line has extra fields".into()));
+                }
+                let stored_max = (nrows_raw as u128) * (ncols_raw as u128);
+                if nnz as u128 > stored_max {
+                    return Err(at(format!(
+                        "declared {nnz} entries exceed the {nrows_raw} x {ncols_raw} capacity {stored_max}"
+                    )));
+                }
+                let want = if symmetry == MmSymmetry::General {
+                    nnz
+                } else {
+                    nnz.saturating_mul(2)
+                };
+                self.field = field;
+                self.symmetry = symmetry;
+                self.nnz = nnz;
+                self.last_line = no;
+                self.coo = CooMatrix::with_capacity(nrows, ncols, want.min(MAX_PREALLOC));
+                self.state = MmState::Entries;
+                Ok(())
+            }
+            MmState::Entries => {
+                if t.is_empty() || t.starts_with('%') {
+                    return Ok(());
+                }
+                self.last_line = no;
+                if self.seen == self.nnz {
+                    return Err(at(format!("more entries than the declared {}", self.nnz)));
+                }
+                let mut it = t.split_whitespace();
+                let i_raw = parse_num::<u64>(it.next(), "row index", no)?;
+                let j_raw = parse_num::<u64>(it.next(), "col index", no)?;
+                if i_raw == 0 || j_raw == 0 {
+                    return Err(at("matrix market indices are 1-based".into()));
+                }
+                let v = match self.field {
+                    MmField::Pattern => 1.0,
+                    MmField::Real | MmField::Integer => it
+                        .next()
+                        .ok_or_else(|| SparseError::ParseAt {
+                            line: no,
+                            msg: "missing value".into(),
+                        })?
+                        .parse::<f64>()
+                        .map_err(|e| SparseError::ParseAt {
+                            line: no,
+                            msg: format!("bad value: {e}"),
+                        })?,
+                };
+                if it.next().is_some() {
+                    return Err(at("entry line has extra fields".into()));
+                }
+                let i = I::from_u64_checked(i_raw - 1)
+                    .ok_or_else(|| at(format!("row index {i_raw} exceeds {} range", I::NAME)))?;
+                let j = I::from_u64_checked(j_raw - 1)
+                    .ok_or_else(|| at(format!("col index {j_raw} exceeds {} range", I::NAME)))?;
+                self.coo.push(i, j, v).map_err(|e| at(e.to_string()))?;
+                match self.symmetry {
+                    MmSymmetry::General => {}
+                    MmSymmetry::Symmetric => {
+                        if i != j {
+                            self.coo.push(j, i, v).map_err(|e| at(e.to_string()))?;
+                        }
+                    }
+                    MmSymmetry::SkewSymmetric => {
+                        if i == j {
+                            return Err(at("skew-symmetric matrix with diagonal entry".into()));
+                        }
+                        self.coo.push(j, i, -v).map_err(|e| at(e.to_string()))?;
+                    }
+                }
+                self.seen += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Consumes the parser at EOF, returning the COO matrix or the
+    /// structural error an incomplete stream implies.
+    pub fn finish(self) -> Result<CooMatrix<I>> {
+        match self.state {
+            MmState::ExpectHeader => Err(SparseError::Parse("empty file".into())),
+            MmState::ExpectSize { .. } => Err(SparseError::Parse("missing size line".into())),
+            MmState::Entries => {
+                if self.seen != self.nnz {
+                    return Err(SparseError::ParseAt {
+                        line: self.last_line,
+                        msg: format!("declared {} entries, found {}", self.nnz, self.seen),
+                    });
+                }
+                Ok(self.coo)
+            }
+        }
+    }
+}
+
+/// Splits a byte buffer into lines at `\n`, stripping one trailing `\r`
+/// per line (CRLF input). The final fragment counts as a line even without
+/// a terminator.
+// lint: checked-index — p comes from position() over the same slice, so p < rest.len()
+fn for_each_line<F>(data: &[u8], mut f: F) -> Result<()>
+where
+    F: FnMut(u64, &[u8]) -> Result<()>,
+{
+    let mut no = 0u64;
+    let mut rest = data;
+    while !rest.is_empty() {
+        no += 1;
+        let (line, tail) = match rest.iter().position(|&b| b == b'\n') {
+            Some(p) => (&rest[..p], &rest[p + 1..]),
+            None => (rest, &rest[rest.len()..]),
+        };
+        f(no, trim_cr(line))?;
+        rest = tail;
+    }
+    Ok(())
+}
+
+fn trim_cr(line: &[u8]) -> &[u8] {
+    match line.split_last() {
+        Some((&b'\r', head)) => head,
+        _ => line,
+    }
+}
+
+/// Parses a complete in-memory Matrix Market document at an explicit
+/// width. Zero-copy: also serves the mmap path.
+pub fn parse_matrix_market_bytes<I: IndexType>(data: &[u8]) -> Result<CooMatrix<I>> {
+    let mut p = MmParser::<I>::new();
+    for_each_line(data, |no, line| p.feed_line(no, line))?;
+    p.finish()
+}
+
+/// Parses an in-memory Matrix Market document, selecting the index width
+/// from its header.
+pub fn parse_matrix_market_bytes_any(data: &[u8]) -> Result<AnyCooMatrix> {
+    match scan_header_bytes(data)?.select_width() {
+        IndexWidth::U32 => Ok(AnyCooMatrix::U32(parse_matrix_market_bytes(data)?)),
+        IndexWidth::U64 => Ok(AnyCooMatrix::U64(parse_matrix_market_bytes(data)?)),
+    }
+}
+
+/// Scans only as far as the size line of an in-memory document.
+// lint: checked-index — pos comes from position() over the same slice, so pos < rest.len()
+fn scan_header_bytes(data: &[u8]) -> Result<MmHeader> {
+    // Widths at or above the banner+size capacity never fail narrowing, so
+    // u64 sees every header verbatim.
+    let mut p = MmParser::<u64>::new();
+    let mut no = 0u64;
+    let mut rest = data;
+    while !rest.is_empty() {
+        no += 1;
+        let (line, tail) = match rest.iter().position(|&b| b == b'\n') {
+            Some(pos) => (&rest[..pos], &rest[pos + 1..]),
+            None => (rest, &rest[rest.len()..]),
+        };
+        p.feed_line(no, trim_cr(line))?;
+        if let Some(h) = p.header() {
+            return Ok(h);
+        }
+        rest = tail;
+    }
+    match p.finish() {
+        Err(e) => Err(e),
+        // Unreachable: a stream that reached the Entries state returned
+        // above, and finish() errors in every earlier state.
+        Ok(_) => Err(SparseError::Parse("missing size line".into())),
+    }
+}
+
+/// Drives an [`MmParser`] over any reader in fixed-size chunks, carrying
+/// partial lines across chunk boundaries. Memory use is O(longest line),
+/// independent of file size.
+// lint: checked-index — n <= buf.len() from read(); pos from position() over the same chunk
+fn drive_reader<I: IndexType>(mut reader: impl Read) -> Result<CooMatrix<I>> {
+    let mut p = MmParser::<I>::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut pending: Vec<u8> = Vec::new();
+    let mut no = 0u64;
+    loop {
+        let n = match reader.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        };
+        let mut chunk = &buf[..n];
+        while let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            let (line, rest) = (&chunk[..pos], &chunk[pos + 1..]);
+            no += 1;
+            if pending.is_empty() {
+                p.feed_line(no, trim_cr(line))?;
+            } else {
+                pending.extend_from_slice(line);
+                p.feed_line(no, trim_cr(&pending))?;
+                pending.clear();
+            }
+            chunk = rest;
+        }
+        pending.extend_from_slice(chunk);
+    }
+    if !pending.is_empty() {
+        no += 1;
+        p.feed_line(no, trim_cr(&pending))?;
+    }
+    p.finish()
+}
+
+/// Reads a Matrix Market file from disk into COO format at the default
+/// `u32` width. See [`read_matrix_market_any`] for automatic width
+/// selection and [`read_matrix_market_typed`] for an explicit width.
+pub fn read_matrix_market(path: impl AsRef<Path>) -> Result<CooMatrix> {
+    read_matrix_market_typed::<u32>(path)
+}
+
+/// Reads a Matrix Market file from disk at an explicit index width. On
+/// unix the file is memory-mapped and scanned zero-copy; elsewhere (and
+/// whenever mapping fails, e.g. an empty file or a pipe) it falls back to
+/// chunked streaming reads.
+pub fn read_matrix_market_typed<I: IndexType>(path: impl AsRef<Path>) -> Result<CooMatrix<I>> {
+    let file = std::fs::File::open(path)?;
+    #[cfg(all(unix, not(miri)))]
+    if let Some(map) = mmap::Mmap::map(&file) {
+        return parse_matrix_market_bytes(map.bytes());
+    }
+    drive_reader(file)
+}
+
+/// Reads a Matrix Market file from disk, selecting the index width from
+/// its header: `u32` when the fine-grain hypergraph fits 32-bit ids, `u64`
+/// otherwise. The header is peeked (a bounded scan to the size line), then
+/// the file is parsed once at the selected width.
+pub fn read_matrix_market_any(path: impl AsRef<Path>) -> Result<AnyCooMatrix> {
+    let path = path.as_ref();
+    let header = read_mm_header(path)?;
+    match header.select_width() {
+        IndexWidth::U32 => Ok(AnyCooMatrix::U32(read_matrix_market_typed(path)?)),
+        IndexWidth::U64 => Ok(AnyCooMatrix::U64(read_matrix_market_typed(path)?)),
+    }
+}
+
+/// Reads only the banner and size line of a Matrix Market file — enough
+/// for width selection and admission control without touching the entries.
+pub fn read_mm_header(path: impl AsRef<Path>) -> Result<MmHeader> {
+    let file = std::fs::File::open(path)?;
+    let mut p = MmParser::<u64>::new();
+    let mut reader = BufReader::new(file);
+    let mut line = String::new();
+    let mut no = 0u64;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return match p.finish() {
+                Err(e) => Err(e),
+                Ok(_) => Err(SparseError::Parse("missing size line".into())),
+            };
+        }
+        no += 1;
+        let bytes = line.as_bytes();
+        let bytes = bytes.strip_suffix(b"\n").unwrap_or(bytes);
+        p.feed_line(no, trim_cr(bytes))?;
+        if let Some(h) = p.header() {
+            return Ok(h);
+        }
+    }
+}
+
+/// Reads Matrix Market data from any reader at the default `u32` width.
 ///
 /// The parser is strict about structure (every error carries the 1-based
 /// line number where it was detected) but lenient about presentation:
 /// banner keywords are case-insensitive, and blank lines or trailing
 /// whitespace anywhere — including before EOF — are tolerated.
 pub fn read_matrix_market_from(reader: impl Read) -> Result<CooMatrix> {
-    // Pair every line with its 1-based line number so parse errors point
-    // at the offending input.
-    let mut lines = BufReader::new(reader).lines().zip(1u64..);
-    let at = |line: u64, msg: String| SparseError::ParseAt { line, msg };
+    drive_reader(reader)
+}
 
-    let (header, header_line) = loop {
-        match lines.next() {
-            Some((line, no)) => {
-                let line = line?;
-                if !line.trim().is_empty() {
-                    break (line, no);
-                }
-            }
-            None => return Err(SparseError::Parse("empty file".into())),
-        }
-    };
-
-    let (field, symmetry) = parse_header(&header, header_line)?;
-
-    // Skip comments, find the size line.
-    let (size_line, size_line_no) = loop {
-        match lines.next() {
-            Some((line, no)) => {
-                let line = line?;
-                let t = line.trim();
-                if t.is_empty() || t.starts_with('%') {
-                    continue;
-                }
-                break (line, no);
-            }
-            None => return Err(SparseError::Parse("missing size line".into())),
-        }
-    };
-
-    // Parse dimensions and nnz as u64 first, then narrow with a typed
-    // error: a 5-billion-row header must surface as `TooLarge`, not as a
-    // confusing "bad rows" parse failure or a silent truncation.
-    let mut it = size_line.split_whitespace();
-    let nrows: u32 = narrow_u32(parse_num(it.next(), "rows", size_line_no)?, "row count")?;
-    let ncols: u32 = narrow_u32(parse_num(it.next(), "cols", size_line_no)?, "column count")?;
-    let nnz: usize = narrow_usize(parse_num(it.next(), "nnz", size_line_no)?, "nonzero count")?;
-    if it.next().is_some() {
-        return Err(at(size_line_no, "size line has extra fields".into()));
-    }
-    let stored_max = (nrows as usize).saturating_mul(ncols as usize);
-    if nnz > stored_max {
-        return Err(at(
-            size_line_no,
-            format!("declared {nnz} entries exceed the {nrows} x {ncols} capacity {stored_max}"),
-        ));
-    }
-
-    // Cap the speculative preallocation: a hostile header may declare a
-    // huge nnz and then supply no entries, which must not OOM the process.
-    const MAX_PREALLOC: usize = 1 << 20;
-    let want = if symmetry == MmSymmetry::General {
-        nnz
-    } else {
-        nnz.saturating_mul(2)
-    };
-    let mut coo = CooMatrix::with_capacity(nrows, ncols, want.min(MAX_PREALLOC));
-    let mut seen = 0usize;
-    let mut last_line = size_line_no;
-    for (line, no) in lines {
-        let line = line?;
-        let t = line.trim();
-        if t.is_empty() || t.starts_with('%') {
-            continue;
-        }
-        last_line = no;
-        if seen == nnz {
-            return Err(at(no, format!("more entries than the declared {nnz}")));
-        }
-        let mut it = t.split_whitespace();
-        let i: u32 = parse_num(it.next(), "row index", no)?;
-        let j: u32 = parse_num(it.next(), "col index", no)?;
-        if i == 0 || j == 0 {
-            return Err(at(no, "matrix market indices are 1-based".into()));
-        }
-        let v = match field {
-            MmField::Pattern => 1.0,
-            MmField::Real | MmField::Integer => it
-                .next()
-                .ok_or_else(|| at(no, "missing value".into()))?
-                .parse::<f64>()
-                .map_err(|e| at(no, format!("bad value: {e}")))?,
-        };
-        if it.next().is_some() {
-            return Err(at(no, "entry line has extra fields".into()));
-        }
-        let (i, j) = (i - 1, j - 1);
-        coo.push(i, j, v).map_err(|e| at(no, e.to_string()))?;
-        match symmetry {
-            MmSymmetry::General => {}
-            MmSymmetry::Symmetric => {
-                if i != j {
-                    coo.push(j, i, v).map_err(|e| at(no, e.to_string()))?;
-                }
-            }
-            MmSymmetry::SkewSymmetric => {
-                if i == j {
-                    return Err(at(no, "skew-symmetric matrix with diagonal entry".into()));
-                }
-                coo.push(j, i, -v).map_err(|e| at(no, e.to_string()))?;
-            }
-        }
-        seen += 1;
-    }
-    if seen != nnz {
-        return Err(at(
-            last_line,
-            format!("declared {nnz} entries, found {seen}"),
-        ));
-    }
-    Ok(coo)
+/// [`read_matrix_market_from`] at an explicit index width.
+pub fn read_matrix_market_from_typed<I: IndexType>(reader: impl Read) -> Result<CooMatrix<I>> {
+    drive_reader(reader)
 }
 
 /// Writes a CSR matrix to a Matrix Market file (`general real` coordinate
 /// format).
-pub fn write_matrix_market(a: &CsrMatrix, path: impl AsRef<Path>) -> Result<()> {
+pub fn write_matrix_market<I: IndexType>(a: &CsrMatrix<I>, path: impl AsRef<Path>) -> Result<()> {
     let file = std::fs::File::create(path)?;
     write_matrix_market_to(a, BufWriter::new(file))
 }
 
 /// Writes a CSR matrix as Matrix Market data to any writer.
-pub fn write_matrix_market_to(a: &CsrMatrix, mut w: impl Write) -> Result<()> {
+pub fn write_matrix_market_to<I: IndexType>(a: &CsrMatrix<I>, mut w: impl Write) -> Result<()> {
     writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
     writeln!(w, "% written by fgh-sparse")?;
     writeln!(w, "{} {} {}", a.nrows(), a.ncols(), a.nnz())?;
     for (i, j, v) in a.iter() {
-        writeln!(w, "{} {} {}", i + 1, j + 1, fmt_f64(v))?;
+        writeln!(w, "{} {} {}", i.as_u64() + 1, j.as_u64() + 1, fmt_f64(v))?;
     }
     w.flush()?;
     Ok(())
@@ -190,6 +495,7 @@ fn fmt_f64(v: f64) -> String {
     s
 }
 
+// lint: checked-index — tokens.len() == 5 is checked before any fixed-position access
 fn parse_header(line: &str, line_no: u64) -> Result<(MmField, MmSymmetry)> {
     let err = |msg: String| SparseError::ParseAt { line: line_no, msg };
     // Banner keywords are matched case-insensitively (files in the wild
@@ -222,22 +528,6 @@ fn parse_header(line: &str, line_no: u64) -> Result<(MmField, MmSymmetry)> {
     Ok((field, symmetry))
 }
 
-fn narrow_u32(value: u64, what: &'static str) -> Result<u32> {
-    u32::try_from(value).map_err(|_| SparseError::TooLarge {
-        what,
-        value,
-        max: u32::MAX as u64,
-    })
-}
-
-fn narrow_usize(value: u64, what: &'static str) -> Result<usize> {
-    usize::try_from(value).map_err(|_| SparseError::TooLarge {
-        what,
-        value,
-        max: usize::MAX as u64,
-    })
-}
-
 fn parse_num<T: std::str::FromStr>(token: Option<&str>, what: &str, line: u64) -> Result<T> {
     token
         .ok_or_else(|| SparseError::ParseAt {
@@ -249,6 +539,207 @@ fn parse_num<T: std::str::FromStr>(token: Option<&str>, what: &str, line: u64) -
             line,
             msg: format!("bad {what}: {token:?}"),
         })
+}
+
+/// Minimal read-only mmap over raw libc — no external crate, unmapped on
+/// drop. Used only as a fast path; every failure falls back to streaming
+/// reads.
+#[cfg(all(unix, not(miri)))]
+mod mmap {
+    use std::os::unix::io::AsRawFd;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    }
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    pub struct Mmap {
+        ptr: *mut core::ffi::c_void,
+        len: usize,
+    }
+
+    impl Mmap {
+        /// Maps a file read-only; `None` for empty/unstatable/unmappable
+        /// inputs (pipes, zero-length files), signalling "use the reader".
+        pub fn map(file: &std::fs::File) -> Option<Mmap> {
+            let len = file.metadata().ok()?.len();
+            if len == 0 || len > usize::MAX as u64 {
+                return None;
+            }
+            let len = len as usize;
+            // SAFETY: a fresh private read-only mapping of a file we hold
+            // open; address chosen by the kernel; length is the file size.
+            let ptr = unsafe {
+                mmap(
+                    core::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            // MAP_FAILED is (void*)-1.
+            if ptr.is_null() || ptr as usize == usize::MAX {
+                return None;
+            }
+            Some(Mmap { ptr, len })
+        }
+
+        pub fn bytes(&self) -> &[u8] {
+            // SAFETY: the mapping is valid for `len` bytes until drop, and
+            // PROT_READ makes it plain immutable memory.
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for Mmap {
+        fn drop(&mut self) {
+            // SAFETY: ptr/len are exactly what mmap returned.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+/// The historical in-memory parser, retained verbatim as a differential
+/// oracle: the proptest suite checks that the streaming parser produces
+/// byte-identical matrices and identically positioned errors. Not part of
+/// the supported API.
+#[doc(hidden)]
+pub mod legacy {
+    use super::*;
+
+    /// The pre-streaming `read_matrix_market_from`, `u32`-only.
+    pub fn read_matrix_market_from(reader: impl Read) -> Result<CooMatrix> {
+        let mut lines = BufReader::new(reader).lines().zip(1u64..);
+        let at = |line: u64, msg: String| SparseError::ParseAt { line, msg };
+
+        let (header, header_line) = loop {
+            match lines.next() {
+                Some((line, no)) => {
+                    let line = line?;
+                    if !line.trim().is_empty() {
+                        break (line, no);
+                    }
+                }
+                None => return Err(SparseError::Parse("empty file".into())),
+            }
+        };
+
+        let (field, symmetry) = parse_header(&header, header_line)?;
+
+        let (size_line, size_line_no) = loop {
+            match lines.next() {
+                Some((line, no)) => {
+                    let line = line?;
+                    let t = line.trim();
+                    if t.is_empty() || t.starts_with('%') {
+                        continue;
+                    }
+                    break (line, no);
+                }
+                None => return Err(SparseError::Parse("missing size line".into())),
+            }
+        };
+
+        let mut it = size_line.split_whitespace();
+        let nrows = u32::checked(parse_num(it.next(), "rows", size_line_no)?, "row count")?;
+        let ncols = u32::checked(parse_num(it.next(), "cols", size_line_no)?, "column count")?;
+        let nnz_raw: u64 = parse_num(it.next(), "nnz", size_line_no)?;
+        let nnz = usize::try_from(nnz_raw).map_err(|_| SparseError::TooLarge {
+            what: "nonzero count",
+            value: nnz_raw,
+            max: usize::MAX as u64,
+        })?;
+        if it.next().is_some() {
+            return Err(at(size_line_no, "size line has extra fields".into()));
+        }
+        let stored_max = (nrows as u128) * (ncols as u128);
+        if nnz as u128 > stored_max {
+            return Err(at(
+                size_line_no,
+                format!(
+                    "declared {nnz} entries exceed the {nrows} x {ncols} capacity {stored_max}"
+                ),
+            ));
+        }
+
+        let want = if symmetry == MmSymmetry::General {
+            nnz
+        } else {
+            nnz.saturating_mul(2)
+        };
+        let mut coo = CooMatrix::with_capacity(nrows, ncols, want.min(MAX_PREALLOC));
+        let mut seen = 0usize;
+        let mut last_line = size_line_no;
+        for (line, no) in lines {
+            let line = line?;
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('%') {
+                continue;
+            }
+            last_line = no;
+            if seen == nnz {
+                return Err(at(no, format!("more entries than the declared {nnz}")));
+            }
+            let mut it = t.split_whitespace();
+            let i_raw: u64 = parse_num(it.next(), "row index", no)?;
+            let j_raw: u64 = parse_num(it.next(), "col index", no)?;
+            if i_raw == 0 || j_raw == 0 {
+                return Err(at(no, "matrix market indices are 1-based".into()));
+            }
+            let v = match field {
+                MmField::Pattern => 1.0,
+                MmField::Real | MmField::Integer => it
+                    .next()
+                    .ok_or_else(|| at(no, "missing value".into()))?
+                    .parse::<f64>()
+                    .map_err(|e| at(no, format!("bad value: {e}")))?,
+            };
+            if it.next().is_some() {
+                return Err(at(no, "entry line has extra fields".into()));
+            }
+            let i = u32::from_u64_checked(i_raw - 1)
+                .ok_or_else(|| at(no, format!("row index {i_raw} exceeds u32 range")))?;
+            let j = u32::from_u64_checked(j_raw - 1)
+                .ok_or_else(|| at(no, format!("col index {j_raw} exceeds u32 range")))?;
+            coo.push(i, j, v).map_err(|e| at(no, e.to_string()))?;
+            match symmetry {
+                MmSymmetry::General => {}
+                MmSymmetry::Symmetric => {
+                    if i != j {
+                        coo.push(j, i, v).map_err(|e| at(no, e.to_string()))?;
+                    }
+                }
+                MmSymmetry::SkewSymmetric => {
+                    if i == j {
+                        return Err(at(no, "skew-symmetric matrix with diagonal entry".into()));
+                    }
+                    coo.push(j, i, -v).map_err(|e| at(no, e.to_string()))?;
+                }
+            }
+            seen += 1;
+        }
+        if seen != nnz {
+            return Err(at(
+                last_line,
+                format!("declared {nnz} entries, found {seen}"),
+            ));
+        }
+        Ok(coo)
+    }
 }
 
 #[cfg(test)]
@@ -310,10 +801,9 @@ mod tests {
                     5000000000 3 1\n\
                     1 1 1.0\n";
         match read_matrix_market_from(data.as_bytes()) {
-            Err(SparseError::TooLarge { what, value, max }) => {
+            Err(SparseError::TooLarge { what, value, .. }) => {
                 assert_eq!(what, "row count");
                 assert_eq!(value, 5_000_000_000);
-                assert_eq!(max, u32::MAX as u64);
             }
             other => panic!("expected TooLarge, got {other:?}"),
         }
@@ -334,6 +824,31 @@ mod tests {
             read_matrix_market_from(data.as_bytes()),
             Err(SparseError::ParseAt { line: 2, .. })
         ));
+    }
+
+    #[test]
+    fn u64_width_accepts_oversized_dimensions() {
+        // The same 5-billion-row header parses fine on the big path.
+        let data = "%%MatrixMarket matrix coordinate real general\n\
+                    5000000000 3 1\n\
+                    4999999999 2 1.0\n";
+        let coo = read_matrix_market_from_typed::<u64>(data.as_bytes()).unwrap();
+        assert_eq!(coo.nrows(), 5_000_000_000);
+        assert_eq!(coo.nnz(), 1);
+        assert_eq!(coo.iter().next(), Some((4_999_999_998, 1, 1.0)));
+    }
+
+    #[test]
+    fn any_selects_width_from_header() {
+        let small = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n";
+        let any = parse_matrix_market_bytes_any(small.as_bytes()).unwrap();
+        assert_eq!(any.width(), IndexWidth::U32);
+        let big = "%%MatrixMarket matrix coordinate real general\n\
+                   5000000000 3 1\n\
+                   1 1 1.0\n";
+        let any = parse_matrix_market_bytes_any(big.as_bytes()).unwrap();
+        assert_eq!(any.width(), IndexWidth::U64);
+        assert_eq!(any.nrows(), 5_000_000_000);
     }
 
     #[test]
@@ -424,8 +939,74 @@ mod tests {
     }
 
     #[test]
+    fn chunk_boundary_straddling_lines() {
+        // Force a tiny chunked read path by feeding through a reader that
+        // returns one byte at a time — every line straddles a "chunk".
+        struct OneByte<'a>(&'a [u8]);
+        impl Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                match self.0.split_first() {
+                    Some((&b, rest)) => {
+                        buf[0] = b;
+                        self.0 = rest;
+                        Ok(1)
+                    }
+                    None => Ok(0),
+                }
+            }
+        }
+        let data = "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.5\n3 2 -2.0\n";
+        let a = read_matrix_market_from(OneByte(data.as_bytes())).unwrap();
+        let b = read_matrix_market_from(data.as_bytes()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn missing_final_newline_and_crlf_tolerated() {
+        let unix = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0";
+        let dos = "%%MatrixMarket matrix coordinate real general\r\n2 2 1\r\n1 1 1.0\r\n";
+        let a = read_matrix_market_from(unix.as_bytes()).unwrap();
+        let b = read_matrix_market_from(dos.as_bytes()).unwrap();
+        assert_eq!(a, b);
+        let c = parse_matrix_market_bytes::<u32>(unix.as_bytes()).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn streaming_matches_legacy_on_basics() {
+        for data in [
+            "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.5\n3 2 -2.0\n",
+            "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 4.0\n2 1 7.0\n",
+            "%%MatrixMarket matrix coordinate pattern general\n2 3 2\n1 3\n2 1\n",
+        ] {
+            let new = read_matrix_market_from(data.as_bytes()).unwrap();
+            let old = legacy::read_matrix_market_from(data.as_bytes()).unwrap();
+            assert_eq!(new, old);
+        }
+    }
+
+    #[test]
+    fn header_peek() {
+        let data = "%%MatrixMarket matrix coordinate pattern symmetric\n% c\n10 10 7\n";
+        let h = scan_header_bytes(data.as_bytes()).unwrap();
+        assert_eq!(
+            h,
+            MmHeader {
+                nrows: 10,
+                ncols: 10,
+                nnz: 7,
+                field: MmField::Pattern,
+                symmetry: MmSymmetry::Symmetric,
+            }
+        );
+        // Symmetric storage doubles the effective nnz for width selection.
+        assert_eq!(h.select_width(), IndexWidth::U32);
+        assert!(scan_header_bytes(b"%%MatrixMarket matrix coordinate real general\n").is_err());
+    }
+
+    #[test]
     fn write_read_roundtrip() {
-        let a = CsrMatrix::from_coo(
+        let a: CsrMatrix = CsrMatrix::from_coo(
             CooMatrix::from_triplets(3, 4, vec![(0, 0, 1.25), (1, 3, -7.0), (2, 2, 1e-9)]).unwrap(),
         );
         let mut buf = Vec::new();
@@ -436,12 +1017,21 @@ mod tests {
 
     #[test]
     fn file_roundtrip() {
-        let a = CsrMatrix::identity(5);
+        let a: CsrMatrix = CsrMatrix::identity(5);
         let dir = std::env::temp_dir().join("fgh_sparse_io_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("id5.mtx");
         write_matrix_market(&a, &path).unwrap();
         let b = CsrMatrix::from_coo(read_matrix_market(&path).unwrap());
         assert_eq!(a, b);
+        // The mmap fast path and width peeking agree with the reader path.
+        let c = read_matrix_market_from(std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(b.to_coo(), c);
+        let h = read_mm_header(&path).unwrap();
+        assert_eq!((h.nrows, h.ncols, h.nnz), (5, 5, 5));
+        assert_eq!(
+            read_matrix_market_any(&path).unwrap().width(),
+            IndexWidth::U32
+        );
     }
 }

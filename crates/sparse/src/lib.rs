@@ -16,40 +16,50 @@
 //! * [`stats`] — the per-row/per-column nonzero statistics reported in
 //!   Table 1.
 //!
-//! Indices are `u32` (the paper's largest instance has 74 752 rows and
-//! 615 774 nonzeros; `u32` keeps the hypergraphs compact), pointer arrays are
-//! `usize`, values are `f64`.
+//! Indices are generic over [`IndexType`] — `u32` by default (the paper's
+//! largest instance has 74 752 rows and 615 774 nonzeros; `u32` keeps the
+//! hypergraphs compact) with a `u64` big path for instances whose
+//! fine-grain hypergraphs exceed what 32 bits address. Pointer arrays are
+//! `usize`, values are `f64`. [`IndexWidth::select`] picks the narrowest
+//! width from a parsed header, and [`AnyCooMatrix`] / [`AnyCsrMatrix`]
+//! carry a width-erased matrix across API boundaries.
 
 // Robustness contract: this crate parses untrusted input, so the library
 // (non-test) code must not panic. Sites that are provably infallible carry
 // a narrowly scoped `allow` with a justification.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod any;
 pub mod catalog;
 pub mod coo;
 pub mod csc;
 pub mod csr;
 pub mod gen;
+pub mod index;
 pub mod io;
 pub mod pattern;
 pub mod reorder;
 pub mod spy;
 pub mod stats;
 
+pub use any::{AnyCooMatrix, AnyCsrMatrix};
 pub use coo::{CooMatrix, DedupPolicy};
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
+pub use index::{IndexType, IndexWidth};
 pub use stats::MatrixStats;
 
 /// Error type for matrix construction and I/O.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SparseError {
     /// An entry's row or column index is out of the declared bounds.
+    /// Coordinates are reported as `u64` so the same error serves both
+    /// index widths.
     IndexOutOfBounds {
-        row: u32,
-        col: u32,
-        nrows: u32,
-        ncols: u32,
+        row: u64,
+        col: u64,
+        nrows: u64,
+        ncols: u64,
     },
     /// A malformed Matrix Market file, with a human-readable reason.
     Parse(String),
@@ -58,7 +68,7 @@ pub enum SparseError {
     ParseAt { line: u64, msg: String },
     /// A duplicate `(row, col)` entry rejected by
     /// [`coo::DedupPolicy::Error`].
-    DuplicateEntry { row: u32, col: u32 },
+    DuplicateEntry { row: u64, col: u64 },
     /// An I/O failure while reading/writing a file.
     Io(String),
     /// A declared dimension or count exceeds what the `u32`/`usize` index
@@ -71,7 +81,7 @@ pub enum SparseError {
         max: u64,
     },
     /// Operation requires a square matrix.
-    NotSquare { nrows: u32, ncols: u32 },
+    NotSquare { nrows: u64, ncols: u64 },
     /// Dimension mismatch between operands (e.g. SpMV with wrong x length).
     DimensionMismatch(String),
 }

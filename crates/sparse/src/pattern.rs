@@ -2,6 +2,7 @@
 //! structures for the standard graph model.
 
 use crate::csr::CsrMatrix;
+use crate::index::IndexType;
 use crate::{Result, SparseError};
 
 /// The symmetrized off-diagonal adjacency structure of a square matrix:
@@ -13,31 +14,32 @@ use crate::{Result, SparseError};
 /// the edge cost (2 when both, 1 otherwise) in the standard model's
 /// communication-volume approximation.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SymmetrizedPattern {
-    n: u32,
+pub struct SymmetrizedPattern<I: IndexType = u32> {
+    n: I,
     adj_ptr: Vec<usize>,
-    adj: Vec<u32>,
+    adj: Vec<I>,
     /// `both[e]` is true when the edge `e` comes from a symmetric nonzero
     /// pair (both `a_ij` and `a_ji` structurally nonzero).
     both: Vec<bool>,
 }
 
-impl SymmetrizedPattern {
+impl<I: IndexType> SymmetrizedPattern<I> {
     /// Builds the symmetrized off-diagonal pattern of a square matrix.
-    pub fn build(a: &CsrMatrix) -> Result<Self> {
+    pub fn build(a: &CsrMatrix<I>) -> Result<Self> {
         if !a.is_square() {
             return Err(SparseError::NotSquare {
-                nrows: a.nrows(),
-                ncols: a.ncols(),
+                nrows: a.nrows().as_u64(),
+                ncols: a.ncols().as_u64(),
             });
         }
         let n = a.nrows();
         let t = a.transpose();
-        let mut adj_ptr = Vec::with_capacity(n as usize + 1);
-        let mut adj = Vec::new();
+        let mut adj_ptr = Vec::with_capacity(n.index() + 1);
+        let mut adj: Vec<I> = Vec::new();
         let mut both = Vec::new();
         adj_ptr.push(0);
-        for i in 0..n {
+        for iu in 0..n.index() {
+            let i = I::from_index(iu);
             // Merge the sorted neighbor lists of row i of A and row i of Aᵀ,
             // skipping the diagonal.
             let ra = a.row_cols(i);
@@ -86,7 +88,7 @@ impl SymmetrizedPattern {
     }
 
     /// Number of vertices (matrix order).
-    pub fn n(&self) -> u32 {
+    pub fn n(&self) -> I {
         self.n
     }
 
@@ -96,14 +98,14 @@ impl SymmetrizedPattern {
     }
 
     /// Neighbors of vertex `i` (sorted, diagonal excluded).
-    pub fn neighbors(&self, i: u32) -> &[u32] {
-        &self.adj[self.adj_ptr[i as usize]..self.adj_ptr[i as usize + 1]]
+    pub fn neighbors(&self, i: I) -> &[I] {
+        &self.adj[self.adj_ptr[i.index()]..self.adj_ptr[i.index() + 1]]
     }
 
     /// Per-neighbor "symmetric pair" flags parallel to
     /// [`SymmetrizedPattern::neighbors`].
-    pub fn neighbor_both_flags(&self, i: u32) -> &[bool] {
-        &self.both[self.adj_ptr[i as usize]..self.adj_ptr[i as usize + 1]]
+    pub fn neighbor_both_flags(&self, i: I) -> &[bool] {
+        &self.both[self.adj_ptr[i.index()]..self.adj_ptr[i.index() + 1]]
     }
 
     /// Number of undirected edges.
@@ -112,8 +114,8 @@ impl SymmetrizedPattern {
     }
 }
 
-impl From<CooMatrix> for CsrMatrix {
-    fn from(coo: CooMatrix) -> Self {
+impl<I: crate::IndexType> From<CooMatrix<I>> for CsrMatrix<I> {
+    fn from(coo: CooMatrix<I>) -> Self {
         CsrMatrix::from_coo(coo)
     }
 }
@@ -130,7 +132,7 @@ mod tests {
         // A = [ 1 1 0 ]
         //     [ 0 1 0 ]
         //     [ 1 0 1 ]
-        let a = CsrMatrix::from_coo(
+        let a: CsrMatrix = CsrMatrix::from_coo(
             CooMatrix::from_triplets(
                 3,
                 3,
@@ -155,7 +157,7 @@ mod tests {
 
     #[test]
     fn symmetric_pair_flagged() {
-        let a = CsrMatrix::from_coo(
+        let a: CsrMatrix = CsrMatrix::from_coo(
             CooMatrix::from_triplets(2, 2, vec![(0, 1, 1.0), (1, 0, 1.0)]).unwrap(),
         );
         let p = SymmetrizedPattern::build(&a).unwrap();
@@ -166,7 +168,7 @@ mod tests {
 
     #[test]
     fn diagonal_only_matrix_has_no_edges() {
-        let a = CsrMatrix::identity(5);
+        let a = CsrMatrix::identity(5u32);
         let p = SymmetrizedPattern::build(&a).unwrap();
         assert_eq!(p.num_edges(), 0);
         for i in 0..5 {
@@ -176,13 +178,13 @@ mod tests {
 
     #[test]
     fn rectangular_rejected() {
-        let a = CsrMatrix::from_coo(CooMatrix::new(2, 3));
+        let a: CsrMatrix = CsrMatrix::from_coo(CooMatrix::new(2, 3));
         assert!(SymmetrizedPattern::build(&a).is_err());
     }
 
     #[test]
     fn adjacency_is_symmetric() {
-        let a = CsrMatrix::from_coo(
+        let a: CsrMatrix = CsrMatrix::from_coo(
             CooMatrix::from_triplets(
                 4,
                 4,
@@ -195,6 +197,30 @@ mod tests {
             for &j in p.neighbors(i) {
                 assert!(p.neighbors(j).contains(&i), "edge ({i},{j}) not mirrored");
             }
+        }
+    }
+
+    #[test]
+    fn wide_pattern_matches_narrow() {
+        let a: CsrMatrix = CsrMatrix::from_coo(
+            CooMatrix::from_triplets(
+                4,
+                4,
+                vec![(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0), (0, 3, 1.0)],
+            )
+            .unwrap(),
+        );
+        let a64: CsrMatrix<u64> = a.convert_width().unwrap();
+        let p32 = SymmetrizedPattern::build(&a).unwrap();
+        let p64 = SymmetrizedPattern::build(&a64).unwrap();
+        assert_eq!(p32.num_edges(), p64.num_edges());
+        for i in 0..4u32 {
+            let n32: Vec<u64> = p32.neighbors(i).iter().map(|&j| j as u64).collect();
+            assert_eq!(n32, p64.neighbors(i as u64));
+            assert_eq!(
+                p32.neighbor_both_flags(i),
+                p64.neighbor_both_flags(i as u64)
+            );
         }
     }
 }

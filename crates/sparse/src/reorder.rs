@@ -97,8 +97,8 @@ fn bfs_farthest(pat: &SymmetrizedPattern, start: u32) -> (u32, usize) {
 pub fn permute_symmetric(a: &CsrMatrix, perm: &[u32]) -> Result<CsrMatrix> {
     if !a.is_square() {
         return Err(SparseError::NotSquare {
-            nrows: a.nrows(),
-            ncols: a.ncols(),
+            nrows: a.nrows() as u64,
+            ncols: a.ncols() as u64,
         });
     }
     let n = a.nrows() as usize;

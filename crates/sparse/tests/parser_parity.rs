@@ -1,0 +1,141 @@
+//! Differential tests of the streaming Matrix Market parser against the
+//! retained in-memory legacy parser (`io::legacy`): on every input —
+//! randomly generated documents, mutilated documents, and the curated
+//! corpus under `tests/corpus/` — the two must agree: both reject, or
+//! both accept with identical matrices.
+
+use fgh_sparse::io::{legacy, parse_matrix_market_bytes, parse_matrix_market_bytes_any};
+use fgh_sparse::{AnyCooMatrix, CooMatrix};
+use proptest::prelude::*;
+
+/// Renders a syntactically well-formed coordinate document: random field
+/// (real / integer / pattern), random symmetry (symmetric only when
+/// square, entries kept lower-triangular), optional comments and blank
+/// lines, in-bounds 1-based entries.
+fn documents() -> impl Strategy<Value = String> {
+    // flags bit 0: symmetric, bit 1: leading comment + blank line.
+    (1u32..=15, 1u32..=15, 0u8..3, 0u8..4).prop_flat_map(|(nr, nc, field_idx, flags)| {
+        let field = ["real", "integer", "pattern"][field_idx as usize];
+        let comment = flags & 2 != 0;
+        // Symmetric storage requires a square matrix.
+        let (nr, nc, sym) = if flags & 1 != 0 {
+            (nr, nr, true)
+        } else {
+            (nr, nc, false)
+        };
+        let entry = (1..=nr, 1..=nc, -50i32..50);
+        proptest::collection::vec(entry, 0..=30).prop_map(move |mut entries| {
+            if sym {
+                // Keep the stored triangle lower: i >= j.
+                for e in &mut entries {
+                    if e.0 < e.1 {
+                        std::mem::swap(&mut e.0, &mut e.1);
+                    }
+                }
+            }
+            // Coordinates must be unique: repeating a position would
+            // let the declared nnz exceed the matrix capacity, which
+            // the streaming parser rejects up front.
+            entries.sort_by_key(|e| (e.0, e.1));
+            entries.dedup_by_key(|e| (e.0, e.1));
+            let mut doc = format!(
+                "%%MatrixMarket matrix coordinate {field} {}\n",
+                if sym { "symmetric" } else { "general" }
+            );
+            if comment {
+                doc.push_str("% a comment line\n\n");
+            }
+            doc.push_str(&format!("{nr} {nc} {}\n", entries.len()));
+            for (i, j, v) in entries {
+                match field {
+                    "pattern" => doc.push_str(&format!("{i} {j}\n")),
+                    "integer" => doc.push_str(&format!("{i} {j} {v}\n")),
+                    _ => doc.push_str(&format!("{i} {j} {}\n", v as f64 * 0.5)),
+                }
+            }
+            doc
+        })
+    })
+}
+
+/// Both parsers on the same bytes: agree on accept/reject, and on the
+/// parsed matrix when accepting.
+fn assert_parity(data: &[u8], what: &str) {
+    let streaming = parse_matrix_market_bytes::<u32>(data);
+    let oracle = legacy::read_matrix_market_from(data);
+    match (streaming, oracle) {
+        (Ok(new), Ok(old)) => assert_eq!(new, old, "{what}: parsers accept different matrices"),
+        (Err(_), Err(_)) => {}
+        (new, old) => panic!(
+            "{what}: parsers disagree: streaming {:?}, legacy {:?}",
+            new.map(|m| m.nnz()),
+            old.map(|m| m.nnz())
+        ),
+    }
+}
+
+proptest! {
+    /// Well-formed documents: identical matrices from both parsers, and
+    /// the width-erased entry point picks the fast path with the same
+    /// content.
+    #[test]
+    fn streaming_matches_legacy_on_generated_documents(doc in documents()) {
+        let data = doc.as_bytes();
+        let new: CooMatrix = parse_matrix_market_bytes(data).unwrap_or_else(|e| panic!("streaming rejected {doc:?}: {e}"));
+        let old = legacy::read_matrix_market_from(data).expect("well-formed");
+        prop_assert_eq!(&new, &old);
+        match parse_matrix_market_bytes_any(data).expect("well-formed") {
+            AnyCooMatrix::U32(m) => prop_assert_eq!(&m, &old),
+            AnyCooMatrix::U64(_) => prop_assert!(false, "small doc must stay u32"),
+        }
+    }
+
+    /// Mutilated documents: truncate at an arbitrary byte. The parsers
+    /// must still agree — both reject, or both accept the same prefix
+    /// (truncation can leave a shorter-but-valid document only when it
+    /// cuts exactly at the declared nnz, which both must treat alike).
+    #[test]
+    fn streaming_matches_legacy_on_truncated_documents(
+        doc in documents(),
+        cut in 0usize..400,
+    ) {
+        let data = doc.as_bytes();
+        let cut = cut.min(data.len());
+        assert_parity(&data[..cut], "truncated document");
+    }
+
+    /// Byte corruption: overwrite one byte with random garbage.
+    #[test]
+    fn streaming_matches_legacy_on_corrupted_documents(
+        doc in documents(),
+        pos in 0usize..400,
+        byte in 0u8..128,
+    ) {
+        let mut data = doc.into_bytes();
+        if data.is_empty() {
+            return Ok(());
+        }
+        let pos = pos % data.len();
+        data[pos] = byte;
+        assert_parity(&data, "corrupted document");
+    }
+}
+
+/// Every curated corpus file — lenient banners, garbled banners, bad
+/// values, out-of-bounds entries, huge dimensions, truncations — gets the
+/// same verdict and the same matrix from both parsers.
+#[test]
+fn corpus_files_agree() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("tests/corpus must exist") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("mtx") {
+            continue;
+        }
+        let data = std::fs::read(&path).unwrap();
+        assert_parity(&data, path.file_name().unwrap().to_str().unwrap());
+        seen += 1;
+    }
+    assert!(seen >= 10, "corpus unexpectedly small: {seen} files");
+}

@@ -89,7 +89,9 @@ impl DistributedSpmv {
         d.validate(a)
             .map_err(|e| SpmvError::BadDecomposition(e.to_string()))?;
         let k = d.k;
-        let n = d.n;
+        // `d.validate(a)` guaranteed `d.n == a.nrows()`, so the order fits
+        // the matrix's u32 indices even though `Decomposition` carries u64.
+        let n = a.nrows();
 
         let mut local = vec![LocalBlock::default(); k as usize];
         // Needs matrices: which processors hold nonzeros of each column/row.
