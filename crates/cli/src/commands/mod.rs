@@ -4,6 +4,7 @@ pub mod compare;
 pub mod convert;
 pub mod gen;
 pub mod partition;
+pub mod serve;
 pub mod spmv;
 pub mod spy;
 pub mod stats;

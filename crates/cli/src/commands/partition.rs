@@ -53,10 +53,10 @@ pub fn run(args: &[String]) -> CmdResult {
         out.stats.load_imbalance_percent()
     );
     println!("partition time:    {:.3}s", out.elapsed.as_secs_f64());
-    println!(
-        "status:            {}",
-        out.status.reason().unwrap_or("full")
-    );
+    match out.status.reason() {
+        Some(r) => println!("status:            degraded ({}): {r}", r.code()),
+        None => println!("status:            full"),
+    }
 
     if let Some(out_path) = o.get("out") {
         write_mapping(&out.decomposition, out_path)?;

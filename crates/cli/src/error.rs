@@ -8,7 +8,9 @@
 //! * `2` — bad input: unparseable matrix file, bad flags, `K = 0`, ...
 //! * `3` — infeasible request rejected under `--strict` (balance target
 //!   cannot be met),
-//! * `4` — a resource budget was exhausted under `--strict`.
+//! * `4` — a resource budget was exhausted under `--strict`,
+//! * `5` — the chosen model has no big-index (u64) path for a matrix
+//!   that needs one; the stderr hint names the width-capable models.
 
 use fgh_core::{ErrorCategory, FghError};
 
@@ -39,9 +41,21 @@ impl From<String> for CmdError {
     }
 }
 
-/// Pipeline errors map through [`FghError::category`].
+/// Pipeline errors map through [`FghError::category`], except
+/// [`FghError::UnsupportedWidth`], which gets its own exit code (5) and a
+/// hint naming the models that do run on the big-index path — the fix is
+/// almost always `--model`, not a different matrix.
 impl From<FghError> for CmdError {
     fn from(e: FghError) -> Self {
+        if let FghError::UnsupportedWidth { .. } = &e {
+            return CmdError {
+                code: 5,
+                msg: format!(
+                    "{e}\nhint: width-capable models: graph-1d, hypergraph-1d-colnet, \
+                     hypergraph-1d-rownet, fine-grain-2d"
+                ),
+            };
+        }
         let code = match e.category() {
             ErrorCategory::BadInput => 2,
             ErrorCategory::Infeasible => 3,
@@ -75,5 +89,28 @@ mod tests {
             CmdError::from(FghError::Model(fgh_core::ModelError::Invalid("x".into()))).code,
             1
         );
+    }
+
+    #[test]
+    fn unsupported_width_gets_exit_5_and_a_model_hint() {
+        let e = CmdError::from(FghError::UnsupportedWidth {
+            model: "checkerboard-2d",
+            width: fgh_sparse::IndexWidth::U64,
+        });
+        assert_eq!(e.code, 5);
+        assert!(e.msg.contains("checkerboard-2d"), "{}", e.msg);
+        assert!(e.msg.contains("64-bit"), "{}", e.msg);
+        for capable in [
+            "graph-1d",
+            "hypergraph-1d-colnet",
+            "hypergraph-1d-rownet",
+            "fine-grain-2d",
+        ] {
+            assert!(
+                e.msg.contains(capable),
+                "hint must name {capable}: {}",
+                e.msg
+            );
+        }
     }
 }

@@ -8,6 +8,7 @@
 //!               [--seed N] [--runs N] [--out parts.txt]
 //! fgh spmv <matrix.mtx> --k K [--model MODEL] [--parallel]
 //! fgh compare <matrix.mtx> --k K [--seed N]
+//! fgh serve [--listen ADDR | --uds PATH] [--workers N] [--queue N]
 //! ```
 //!
 //! `MODEL` is one of `graph-1d`, `hypergraph-1d-colnet`,
@@ -36,6 +37,7 @@ fn main() -> ExitCode {
         "gen" => commands::gen::run(rest),
         "stats" => commands::stats::run(rest),
         "partition" => commands::partition::run(rest),
+        "serve" => commands::serve::run(rest),
         "spmv" => commands::spmv::run(rest),
         "spy" => commands::spy::run(rest),
         "compare" => commands::compare::run(rest),
@@ -79,6 +81,16 @@ fn usage() -> &'static str {
      \x20     export the model as .hgr (PaToH/hMETIS) or .graph (MeTiS)\n\
      \x20 fgh spy <matrix.mtx> [--width N] [--k K --model M]\n\
      \x20     ASCII spy plot, optionally with a decomposition ownership map\n\
+     \x20 fgh serve [--listen ADDR | --uds PATH] [--workers N] [--queue N]\n\
+     \x20           [--drain-ms N] [--cache-bytes N] [--fault-injection]\n\
+     \x20           [--metrics-json FILE] [--addr-file FILE]\n\
+     \x20     run the partition daemon until SIGTERM, then drain and report\n\
+     \x20 fgh serve --self-test [--jobs N] [--concurrency N] [--metrics-json FILE]\n\
+     \x20     in-process daemon + hostile load mix; exit 0 only on a clean run\n\
+     \x20 fgh serve --load ADDR [--jobs N] [--concurrency N] [--inject]\n\
+     \x20     run the load generator against a running daemon\n\
+     \x20 fgh serve --check-metrics FILE\n\
+     \x20     validate an fgh-serve-metrics/1 report file\n\
      \n\
      models: graph-1d | hypergraph-1d-colnet | hypergraph-1d-rownet |\n\
      \x20       fine-grain-2d (default) | checkerboard-2d | mondriaan-2d | jagged-2d | checkerboard-hg-2d\n\
@@ -99,5 +111,7 @@ fn usage() -> &'static str {
      \x20                   JSON document (comm + engine stats + trace)\n\
      \n\
      exit codes: 0 ok (degraded outcomes warn on stderr) | 1 internal error |\n\
-     \x20 2 bad input | 3 infeasible under --strict | 4 budget exhausted under --strict\n"
+     \x20 2 bad input | 3 infeasible under --strict | 4 budget exhausted under --strict |\n\
+     \x20 5 model has no big-index (u64) path for this matrix (use graph-1d,\n\
+     \x20   hypergraph-1d-colnet, hypergraph-1d-rownet, or fine-grain-2d)\n"
 }

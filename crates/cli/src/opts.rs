@@ -10,7 +10,15 @@ pub struct Opts {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["--parallel", "--quiet", "--strict", "--trace"];
+const BOOL_FLAGS: &[&str] = &[
+    "--parallel",
+    "--quiet",
+    "--strict",
+    "--trace",
+    "--fault-injection",
+    "--self-test",
+    "--inject",
+];
 
 impl Opts {
     /// Parses `args`; flags must start with `--`.

@@ -12,11 +12,13 @@
 //!   carrier to `u64` when the fine-grain hypergraph would overflow
 //!   32-bit ids. The CLI uses this and never names an index width.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use fgh_graph::partition_graph_best_traced;
+use fgh_graph::partition_graph_best_traced_in;
 use fgh_partition::{
-    partition_hypergraph_best_traced, ArenaIndex, Budget, EngineStats, Parallelism, PartitionConfig,
+    partition_hypergraph_best_traced_in, ArenaIndex, ArenaPool, Budget, CancelToken, EngineStats,
+    Parallelism, PartitionConfig,
 };
 use fgh_sparse::{AnyCsrMatrix, CsrMatrix, IndexType, IndexWidth};
 use fgh_trace::{SpanHandle, Trace, Tracer};
@@ -27,6 +29,7 @@ use crate::models::{
     CheckerboardHgModel, CheckerboardModel, ColumnNetModel, FineGrainModel, JaggedModel,
     MondriaanModel, RowNetModel, StandardGraphModel,
 };
+use crate::status::{DecompositionStatus, DegradedReason};
 use crate::{FghError, ModelError};
 
 /// The index widths [`decompose`] runs at. Sealed by construction: it
@@ -209,6 +212,13 @@ pub struct DecomposeConfig {
     /// [`DecompositionOutcome::trace`]. Off by default; tracing never
     /// changes the decomposition, only observes it.
     pub trace: bool,
+    /// Cooperative cancellation: when a token is attached and tripped,
+    /// the partitioner stops at its next multilevel checkpoint, the best
+    /// partition found so far is decoded, and the outcome is tagged
+    /// [`DecompositionStatus::Degraded`] with
+    /// [`DegradedReason::Cancelled`]. `None` (the default) disables
+    /// polling.
+    pub cancel: Option<CancelToken>,
 }
 
 impl DecomposeConfig {
@@ -223,6 +233,7 @@ impl DecomposeConfig {
             budget: Budget::UNLIMITED,
             parallelism: Parallelism::Auto,
             trace: false,
+            cancel: None,
         }
     }
 
@@ -265,48 +276,26 @@ impl DecomposeConfig {
         self
     }
 
+    /// The same config with a cancellation token attached (see
+    /// [`DecomposeConfig::cancel`]).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
     /// The [`PartitionConfig`] every engine-backed model runs under: the
-    /// request's ε, seed, budget, and parallelism carry over, everything
-    /// else keeps the partitioner's defaults. The single source of truth
-    /// for the config translation (each model arm used to spell out this
-    /// struct by hand).
+    /// request's ε, seed, budget, parallelism, and cancel token carry
+    /// over, everything else keeps the partitioner's defaults. The single
+    /// source of truth for the config translation (each model arm used to
+    /// spell out this struct by hand).
     pub fn partition_config(&self) -> PartitionConfig {
         PartitionConfig {
             epsilon: self.epsilon,
             seed: self.seed,
             budget: self.budget,
             parallelism: self.parallelism,
+            cancel: self.cancel.clone(),
             ..Default::default()
-        }
-    }
-}
-
-/// Whether a decomposition fully met its request or was degraded.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum DecompositionStatus {
-    /// The decomposition meets the balance target and no budget tripped.
-    Full,
-    /// A best-effort decomposition: still valid (every nonzero and vector
-    /// entry has an owner in `0..K`), but the balance target was
-    /// infeasible, a budget limit truncated the run, or the input was
-    /// pathological. `reason` says which.
-    Degraded {
-        /// Human-readable explanation of the degradation.
-        reason: String,
-    },
-}
-
-impl DecompositionStatus {
-    /// `true` for [`DecompositionStatus::Degraded`].
-    pub fn is_degraded(&self) -> bool {
-        matches!(self, DecompositionStatus::Degraded { .. })
-    }
-
-    /// The degradation reason, when degraded.
-    pub fn reason(&self) -> Option<&str> {
-        match self {
-            DecompositionStatus::Full => None,
-            DecompositionStatus::Degraded { reason } => Some(reason),
         }
     }
 }
@@ -351,17 +340,18 @@ impl DecompositionOutcome {
     /// Strict-mode check: returns the outcome unchanged when
     /// [`DecompositionStatus::Full`], otherwise converts the degradation
     /// into a typed error — [`FghError::BudgetExhausted`] when a budget
-    /// limit truncated the run, [`FghError::Infeasible`] otherwise.
+    /// limit truncated the run, [`FghError::Cancelled`] when a cancel
+    /// token stopped it, [`FghError::Infeasible`] otherwise.
     pub fn into_strict(self) -> std::result::Result<Self, FghError> {
         match &self.status {
             DecompositionStatus::Full => Ok(self),
-            DecompositionStatus::Degraded { reason } => {
-                if self.engine.truncated() {
-                    Err(FghError::BudgetExhausted(reason.clone()))
-                } else {
-                    Err(FghError::Infeasible(reason.clone()))
+            DecompositionStatus::Degraded { reason } => match reason {
+                DegradedReason::BudgetExhausted { .. } => {
+                    Err(FghError::BudgetExhausted(reason.to_string()))
                 }
-            }
+                DegradedReason::Cancelled => Err(FghError::Cancelled(reason.to_string())),
+                _ => Err(FghError::Infeasible(reason.to_string())),
+            },
         }
     }
 }
@@ -430,6 +420,20 @@ pub fn decompose<I: DecomposeIndex>(
     a: &CsrMatrix<I>,
     cfg: &DecomposeConfig,
 ) -> std::result::Result<DecompositionOutcome, FghError> {
+    decompose_in(a, cfg, &Arc::new(ArenaPool::new()))
+}
+
+/// [`decompose`] drawing all partitioner scratch arenas from a
+/// caller-supplied [`ArenaPool`] — the session-reuse entry point behind
+/// [`crate::session::EngineSession`]. A long-lived caller passes the same
+/// pool to every request so warm buffers survive across whole
+/// decompositions; the engine-backed models benefit, the composite 2D
+/// models keep run-internal pools.
+pub fn decompose_in<I: DecomposeIndex>(
+    a: &CsrMatrix<I>,
+    cfg: &DecomposeConfig,
+    pool: &Arc<ArenaPool>,
+) -> std::result::Result<DecompositionOutcome, FghError> {
     if cfg.k == 0 {
         return Err(FghError::InvalidInput("K must be >= 1".into()));
     }
@@ -470,33 +474,36 @@ pub fn decompose<I: DecomposeIndex>(
             objective: 0,
             elapsed,
             status: DecompositionStatus::Degraded {
-                reason: "matrix has no nonzeros; trivial decomposition".into(),
+                reason: DegradedReason::EmptyMatrix,
             },
             width: I::WIDTH,
             engine: EngineStats::default(),
             trace: sink.map(|s| s.build_trace()),
         });
     }
-    let mut forced_reason: Option<String> = None;
+    let mut forced_reason: Option<DegradedReason> = None;
     if cfg.k as u64 > a.nnz() as u64 {
-        forced_reason = Some(format!(
-            "K = {} exceeds the {} nonzeros; some processors receive no work",
-            cfg.k,
-            a.nnz()
-        ));
+        forced_reason = Some(DegradedReason::DegenerateK {
+            k: cfg.k,
+            nnz: a.nnz() as u64,
+            fallback: None,
+        });
     }
 
-    let attempt = decompose_with_model(a, cfg, &root.handle());
+    let attempt = decompose_with_model(a, cfg, pool, &root.handle());
     let (decomposition, objective, engine) = match attempt {
         Ok(t) => t,
         Err(e) if forced_reason.is_some() => {
             // The model choked on the degenerate K; fall back instead of
             // failing, keeping the reason visible.
-            forced_reason = Some(format!(
-                "{} ({} failed on degenerate input: {e})",
-                forced_reason.unwrap_or_default(),
-                cfg.model.name()
-            ));
+            forced_reason = Some(DegradedReason::DegenerateK {
+                k: cfg.k,
+                nnz: a.nnz() as u64,
+                fallback: Some(format!(
+                    "{} failed on degenerate input: {e}",
+                    cfg.model.name()
+                )),
+            });
             let d = best_effort_round_robin(a, cfg.k)?;
             let vol = CommStats::compute(a, &d)?.total_volume();
             (d, vol, EngineStats::default())
@@ -516,22 +523,27 @@ pub fn decompose<I: DecomposeIndex>(
     let allowed = cfg.epsilon * 100.0 + 100.0 * cfg.k as f64 / a.nnz() as f64 + 1e-9;
     let status = if let Some(reason) = forced_reason {
         DecompositionStatus::Degraded { reason }
+    } else if engine.cancelled() {
+        // Cancellation wins the attribution over budget truncation: a
+        // cancelled run is reported as cancelled, not a budget accident.
+        DecompositionStatus::Degraded {
+            reason: DegradedReason::Cancelled,
+        }
     } else if engine.truncated() {
         DecompositionStatus::Degraded {
-            reason: format!(
-                "budget exhausted (wall: {}, levels: {}, fm passes: {}, bytes: {}); best partition found so far",
-                engine.wall_truncations,
-                engine.level_truncations,
-                engine.fm_truncations,
-                engine.byte_truncations
-            ),
+            reason: DegradedReason::BudgetExhausted {
+                wall: engine.wall_truncations,
+                levels: engine.level_truncations,
+                fm_passes: engine.fm_truncations,
+                bytes: engine.byte_truncations,
+            },
         }
     } else if imbalance > allowed {
         DecompositionStatus::Degraded {
-            reason: format!(
-                "balance target ε = {:.3} infeasible: achieved {imbalance:.2}% load imbalance",
-                cfg.epsilon
-            ),
+            reason: DegradedReason::BalanceInfeasible {
+                epsilon: cfg.epsilon,
+                achieved_percent: imbalance,
+            },
         }
     } else {
         DecompositionStatus::Full
@@ -564,16 +576,26 @@ pub fn decompose_any(
     a: &AnyCsrMatrix,
     cfg: &DecomposeConfig,
 ) -> std::result::Result<DecompositionOutcome, FghError> {
+    decompose_any_in(a, cfg, &Arc::new(ArenaPool::new()))
+}
+
+/// [`decompose_any`] drawing partitioner scratch from a caller-supplied
+/// [`ArenaPool`] — see [`decompose_in`].
+pub fn decompose_any_in(
+    a: &AnyCsrMatrix,
+    cfg: &DecomposeConfig,
+    pool: &Arc<ArenaPool>,
+) -> std::result::Result<DecompositionOutcome, FghError> {
     let needed = IndexWidth::select(a.nrows(), a.ncols(), a.nnz() as u64);
     let force_wide = cfg!(feature = "force-u64");
     match a {
-        AnyCsrMatrix::U64(m) => decompose(m, cfg),
+        AnyCsrMatrix::U64(m) => decompose_in(m, cfg, pool),
         AnyCsrMatrix::U32(m) => {
             if needed == IndexWidth::U64 || force_wide {
                 let wide: CsrMatrix<u64> = m.convert_width()?;
-                decompose(&wide, cfg)
+                decompose_in(&wide, cfg, pool)
             } else {
-                decompose(m, cfg)
+                decompose_in(m, cfg, pool)
             }
         }
     }
@@ -587,6 +609,7 @@ pub fn decompose_any(
 fn decompose_with_model<I: DecomposeIndex>(
     a: &CsrMatrix<I>,
     cfg: &DecomposeConfig,
+    pool: &Arc<ArenaPool>,
     scope: &SpanHandle,
 ) -> std::result::Result<(Decomposition, u64, EngineStats), FghError> {
     let pcfg = cfg.partition_config();
@@ -596,8 +619,14 @@ fn decompose_with_model<I: DecomposeIndex>(
             let model = StandardGraphModel::build(a)?;
             drop(mb);
             let ps = scope.child("partition");
-            let r =
-                partition_graph_best_traced(model.graph(), cfg.k, &pcfg, cfg.runs, &ps.handle())?;
+            let r = partition_graph_best_traced_in(
+                model.graph(),
+                cfg.k,
+                &pcfg,
+                cfg.runs,
+                pool,
+                &ps.handle(),
+            )?;
             drop(ps);
             let ds = scope.child("decode");
             let d = model.decode(a, cfg.k, &r.parts)?;
@@ -606,19 +635,19 @@ fn decompose_with_model<I: DecomposeIndex>(
         }
         Model::Hypergraph1DColNet => {
             let model = build_spanned(scope, || ColumnNetModel::build(a))?;
-            hypergraph_arm(cfg, &pcfg, scope, model.hypergraph(), |r| {
+            hypergraph_arm(cfg, &pcfg, pool, scope, model.hypergraph(), |r| {
                 model.decode(a, &r.partition)
             })?
         }
         Model::Hypergraph1DRowNet => {
             let model = build_spanned(scope, || RowNetModel::build(a))?;
-            hypergraph_arm(cfg, &pcfg, scope, model.hypergraph(), |r| {
+            hypergraph_arm(cfg, &pcfg, pool, scope, model.hypergraph(), |r| {
                 model.decode(a, &r.partition)
             })?
         }
         Model::FineGrain2D => {
             let model = build_spanned(scope, || FineGrainModel::build(a))?;
-            hypergraph_arm(cfg, &pcfg, scope, model.hypergraph(), |r| {
+            hypergraph_arm(cfg, &pcfg, pool, scope, model.hypergraph(), |r| {
                 model.decode(a, &r.partition)
             })?
         }
@@ -682,6 +711,7 @@ fn build_spanned<T, E>(
 fn hypergraph_arm<I, D>(
     cfg: &DecomposeConfig,
     pcfg: &PartitionConfig,
+    pool: &Arc<ArenaPool>,
     scope: &SpanHandle,
     hg: &fgh_hypergraph::Hypergraph<I>,
     decode: D,
@@ -691,7 +721,7 @@ where
     D: FnOnce(&fgh_partition::PartitionResult) -> crate::Result<Decomposition>,
 {
     let ps = scope.child("partition");
-    let r = partition_hypergraph_best_traced(hg, cfg.k, pcfg, cfg.runs, &ps.handle())?;
+    let r = partition_hypergraph_best_traced_in(hg, cfg.k, pcfg, cfg.runs, pool, &ps.handle())?;
     drop(ps);
     let ds = scope.child("decode");
     let d = decode(&r)?;
@@ -922,6 +952,10 @@ mod tests {
         assert!(out.engine.byte_truncations > 0, "cap must be recorded");
         assert!(out.status.is_degraded());
         let reason = out.status.reason().unwrap();
-        assert!(reason.contains("bytes"), "reason must name bytes: {reason}");
+        assert_eq!(out.status.code(), Some("budget-exhausted"));
+        assert!(
+            reason.to_string().contains("bytes"),
+            "reason must name bytes: {reason}"
+        );
     }
 }

@@ -38,16 +38,20 @@ pub mod metrics;
 pub mod models;
 pub mod reduction;
 pub mod report;
+pub mod session;
+pub mod status;
 
 pub use api::{
-    decompose, decompose_any, DecomposeConfig, DecomposeIndex, DecompositionOutcome,
-    DecompositionStatus, Model,
+    decompose, decompose_any, decompose_any_in, decompose_in, DecomposeConfig, DecomposeIndex,
+    DecompositionOutcome, Model,
 };
 pub use decomp::Decomposition;
-pub use fgh_partition::{Budget, EngineStats, Parallelism};
+pub use fgh_partition::{ArenaPool, Budget, CancelToken, EngineStats, Parallelism};
 pub use fgh_trace::{Trace, Tracer};
 pub use metrics::CommStats;
 pub use report::{metrics_document, metrics_json, validate_metrics_value, METRICS_SCHEMA};
+pub use session::{EngineSession, JobParams};
+pub use status::{DecompositionStatus, DegradedReason};
 
 /// Errors from model construction and decomposition.
 #[derive(Debug, Clone, PartialEq)]
@@ -130,6 +134,10 @@ pub enum FghError {
     Infeasible(String),
     /// A [`Budget`] limit truncated the run and the caller was strict.
     BudgetExhausted(String),
+    /// A [`CancelToken`] stopped the run and the caller was strict. Like
+    /// [`FghError::BudgetExhausted`] this is a resource-style truncation
+    /// of an otherwise-valid run, so it shares [`ErrorCategory::Budget`].
+    Cancelled(String),
     /// The chosen model does not support the matrix's index width: the
     /// composite 2D models ([`Model::Checkerboard2D`],
     /// [`Model::Mondriaan2D`], [`Model::Jagged2D`],
@@ -161,7 +169,7 @@ impl FghError {
             }
             FghError::Model(ModelError::NotSquare { .. }) => ErrorCategory::BadInput,
             FghError::Infeasible(_) => ErrorCategory::Infeasible,
-            FghError::BudgetExhausted(_) => ErrorCategory::Budget,
+            FghError::BudgetExhausted(_) | FghError::Cancelled(_) => ErrorCategory::Budget,
             FghError::Hypergraph(_) | FghError::Partition(_) | FghError::Model(_) => {
                 ErrorCategory::Internal
             }
@@ -179,6 +187,7 @@ impl std::fmt::Display for FghError {
             FghError::InvalidInput(m) => write!(f, "invalid input: {m}"),
             FghError::Infeasible(m) => write!(f, "infeasible: {m}"),
             FghError::BudgetExhausted(m) => write!(f, "budget exhausted: {m}"),
+            FghError::Cancelled(m) => write!(f, "cancelled: {m}"),
             FghError::UnsupportedWidth { model, width } => write!(
                 f,
                 "model {model} does not support {width}-bit indices (only the \

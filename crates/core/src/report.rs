@@ -17,6 +17,7 @@
 //!   "matrix": {"nrows": 256, "ncols": 256, "nnz": 1216, "index_bits": 32},
 //!   "status": "full",
 //!   "degraded_reason": null,
+//!   "degraded_code": null,
 //!   "objective": 104,
 //!   "elapsed_ns": 5123456,
 //!   "comm": {
@@ -29,15 +30,18 @@
 //!     "bisections": 3, "levels": 9, "contracted_incidences": 3120,
 //!     "fm_passes": 40, "fm_moves": 512, "fm_rollbacks": 80,
 //!     "wall_truncations": 0, "level_truncations": 0,
-//!     "fm_truncations": 0, "byte_truncations": 0, "parallel_forks": 0
+//!     "fm_truncations": 0, "byte_truncations": 0,
+//!     "cancel_truncations": 0, "parallel_forks": 0
 //!   },
 //!   "trace": [ …fgh-trace/1 span objects… ]
 //! }
 //! ```
 //!
-//! Every member above is required. `degraded_reason` is a string when
-//! `status` is `"degraded"` and `null` otherwise; `trace` is either
-//! `null` or a span forest in the `fgh-trace/1` format
+//! Every member above is required. `degraded_reason` (human-readable
+//! text) and `degraded_code` (one of the stable
+//! [`crate::status::DegradedReason::CODES`]) are strings when `status`
+//! is `"degraded"` and `null` otherwise; `trace` is either `null` or a
+//! span forest in the `fgh-trace/1` format
 //! ([`fgh_trace::Trace::to_json`], validated by
 //! [`fgh_trace::validate_trace_value`]). All integer members are
 //! non-negative and f64-exact.
@@ -105,6 +109,7 @@ pub fn metrics_document<I: IndexType>(
     engine.insert("level_truncations".into(), num(e.level_truncations));
     engine.insert("fm_truncations".into(), num(e.fm_truncations));
     engine.insert("byte_truncations".into(), num(e.byte_truncations));
+    engine.insert("cancel_truncations".into(), num(e.cancel_truncations));
     engine.insert("parallel_forks".into(), num(e.parallel_forks));
 
     let trace = match &out.trace {
@@ -136,7 +141,14 @@ pub fn metrics_document<I: IndexType>(
     doc.insert(
         "degraded_reason".into(),
         match out.status.reason() {
-            Some(r) => Value::Str(r.into()),
+            Some(r) => Value::Str(r.to_string()),
+            None => Value::Null,
+        },
+    );
+    doc.insert(
+        "degraded_code".into(),
+        match out.status.code() {
+            Some(c) => Value::Str(c.into()),
             None => Value::Null,
         },
     );
@@ -159,7 +171,7 @@ pub fn metrics_json<I: IndexType>(
     metrics_document(a, cfg, out).to_json()
 }
 
-const TOP_MEMBERS: [&str; 13] = [
+const TOP_MEMBERS: [&str; 14] = [
     "schema",
     "model",
     "k",
@@ -169,6 +181,7 @@ const TOP_MEMBERS: [&str; 13] = [
     "matrix",
     "status",
     "degraded_reason",
+    "degraded_code",
     "objective",
     "elapsed_ns",
     "comm",
@@ -189,7 +202,7 @@ const COMM_MEMBERS: [&str; 9] = [
     "load_imbalance_percent",
 ];
 
-const ENGINE_MEMBERS: [&str; 11] = [
+const ENGINE_MEMBERS: [&str; 12] = [
     "bisections",
     "levels",
     "contracted_incidences",
@@ -200,6 +213,7 @@ const ENGINE_MEMBERS: [&str; 11] = [
     "level_truncations",
     "fm_truncations",
     "byte_truncations",
+    "cancel_truncations",
     "parallel_forks",
 ];
 
@@ -284,6 +298,9 @@ pub fn validate_metrics_value(v: &Value) -> Result<(), String> {
     let reason = v
         .get("degraded_reason")
         .ok_or("metrics.degraded_reason: missing")?;
+    let code = v
+        .get("degraded_code")
+        .ok_or("metrics.degraded_code: missing")?;
     match status {
         "full" if reason.is_null() => {}
         "full" => return Err("metrics.degraded_reason: must be null when full".to_string()),
@@ -292,6 +309,16 @@ pub fn validate_metrics_value(v: &Value) -> Result<(), String> {
             return Err("metrics.degraded_reason: must be a string when degraded".to_string())
         }
         other => return Err(format!("metrics.status: unknown status {other:?}")),
+    }
+    match (status, code.as_str()) {
+        ("full", _) if code.is_null() => {}
+        ("full", _) => return Err("metrics.degraded_code: must be null when full".to_string()),
+        ("degraded", Some(c)) if crate::status::DegradedReason::CODES.contains(&c) => {}
+        ("degraded", Some(c)) => return Err(format!("metrics.degraded_code: unknown code {c:?}")),
+        ("degraded", None) => {
+            return Err("metrics.degraded_code: must be a string when degraded".to_string())
+        }
+        _ => {}
     }
     match v.get("trace") {
         Some(t) if t.is_null() => Ok(()),

@@ -1,0 +1,226 @@
+//! Typed decomposition degradation: [`DecompositionStatus`] and the
+//! stable [`DegradedReason`] enum.
+//!
+//! A degraded outcome is still a *valid* decomposition — every nonzero
+//! and vector entry has an owner in `0..K` — but something kept the run
+//! from fully meeting its request. Services and tools need to branch on
+//! *which* thing, so the reason is an enum with a stable machine-readable
+//! [`DegradedReason::code`] (carried on the wire by `fgh-serve` and in
+//! the `fgh-metrics/1` document as `degraded_code`) alongside the
+//! human-readable `Display` text.
+
+/// Why a decomposition was degraded rather than full.
+///
+/// The variant set and each [`DegradedReason::code`] string are a
+/// stability contract: downstream consumers (the serve protocol, metrics
+/// dashboards) match on the codes, so variants may be added but existing
+/// codes never change meaning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DegradedReason {
+    /// The matrix has no nonzeros; a trivial decomposition was returned.
+    EmptyMatrix,
+    /// `K` exceeds the number of nonzeros, so some processors necessarily
+    /// receive no work. When the configured model also failed outright on
+    /// the degenerate input, `fallback` describes that failure and the
+    /// outcome came from the round-robin fallback instead.
+    DegenerateK {
+        /// The requested processor count.
+        k: u32,
+        /// The matrix's nonzero count.
+        nnz: u64,
+        /// Set when the model failed and the round-robin fallback served
+        /// the request: `"<model> failed on degenerate input: <error>"`.
+        fallback: Option<String>,
+    },
+    /// A [`fgh_partition::Budget`] limit truncated the run; the best
+    /// partition found so far was kept. The fields are the engine's
+    /// truncation counters for the run.
+    BudgetExhausted {
+        /// Wall-clock checkpoint trips.
+        wall: u64,
+        /// `max_levels` checkpoint trips.
+        levels: u64,
+        /// `max_fm_passes` checkpoint trips.
+        fm_passes: u64,
+        /// `max_bytes` checkpoint trips.
+        bytes: u64,
+    },
+    /// A [`fgh_partition::CancelToken`] was tripped mid-run; the outcome
+    /// is a valid partial built from the best partition found before the
+    /// engine observed the cancellation.
+    Cancelled,
+    /// The balance target ε could not be met; `achieved_percent` is the
+    /// load imbalance the decomposition actually has.
+    BalanceInfeasible {
+        /// The requested tolerance.
+        epsilon: f64,
+        /// The achieved load imbalance, in percent.
+        achieved_percent: f64,
+    },
+}
+
+impl DegradedReason {
+    /// Every code [`DegradedReason::code`] can return, for validators.
+    pub const CODES: [&'static str; 5] = [
+        "empty-matrix",
+        "degenerate-k",
+        "budget-exhausted",
+        "cancelled",
+        "balance-infeasible",
+    ];
+
+    /// Stable machine-readable code for this reason — what the serve
+    /// protocol and the `fgh-metrics/1` `degraded_code` member carry.
+    pub fn code(&self) -> &'static str {
+        match self {
+            DegradedReason::EmptyMatrix => "empty-matrix",
+            DegradedReason::DegenerateK { .. } => "degenerate-k",
+            DegradedReason::BudgetExhausted { .. } => "budget-exhausted",
+            DegradedReason::Cancelled => "cancelled",
+            DegradedReason::BalanceInfeasible { .. } => "balance-infeasible",
+        }
+    }
+}
+
+impl std::fmt::Display for DegradedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradedReason::EmptyMatrix => {
+                write!(f, "matrix has no nonzeros; trivial decomposition")
+            }
+            DegradedReason::DegenerateK { k, nnz, fallback } => {
+                write!(
+                    f,
+                    "K = {k} exceeds the {nnz} nonzeros; some processors receive no work"
+                )?;
+                if let Some(detail) = fallback {
+                    write!(f, " ({detail})")?;
+                }
+                Ok(())
+            }
+            DegradedReason::BudgetExhausted {
+                wall,
+                levels,
+                fm_passes,
+                bytes,
+            } => write!(
+                f,
+                "budget exhausted (wall: {wall}, levels: {levels}, fm passes: {fm_passes}, \
+                 bytes: {bytes}); best partition found so far"
+            ),
+            DegradedReason::Cancelled => {
+                write!(f, "cancelled by caller; best partition found so far")
+            }
+            DegradedReason::BalanceInfeasible {
+                epsilon,
+                achieved_percent,
+            } => write!(
+                f,
+                "balance target ε = {epsilon:.3} infeasible: achieved \
+                 {achieved_percent:.2}% load imbalance"
+            ),
+        }
+    }
+}
+
+/// Whether a decomposition fully met its request or was degraded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecompositionStatus {
+    /// The decomposition meets the balance target and no budget tripped.
+    Full,
+    /// A best-effort decomposition: still valid (every nonzero and vector
+    /// entry has an owner in `0..K`), but the balance target was
+    /// infeasible, a budget limit or cancellation truncated the run, or
+    /// the input was pathological. `reason` says which, with a stable
+    /// machine-readable [`DegradedReason::code`].
+    Degraded {
+        /// The typed degradation reason.
+        reason: DegradedReason,
+    },
+}
+
+impl DecompositionStatus {
+    /// `true` for [`DecompositionStatus::Degraded`].
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, DecompositionStatus::Degraded { .. })
+    }
+
+    /// The typed degradation reason, when degraded.
+    pub fn reason(&self) -> Option<&DegradedReason> {
+        match self {
+            DecompositionStatus::Full => None,
+            DecompositionStatus::Degraded { reason } => Some(reason),
+        }
+    }
+
+    /// The machine-readable degradation code, when degraded.
+    pub fn code(&self) -> Option<&'static str> {
+        self.reason().map(DegradedReason::code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_exhaustive() {
+        let reasons = [
+            DegradedReason::EmptyMatrix,
+            DegradedReason::DegenerateK {
+                k: 8,
+                nnz: 3,
+                fallback: None,
+            },
+            DegradedReason::BudgetExhausted {
+                wall: 1,
+                levels: 0,
+                fm_passes: 0,
+                bytes: 2,
+            },
+            DegradedReason::Cancelled,
+            DegradedReason::BalanceInfeasible {
+                epsilon: 0.03,
+                achieved_percent: 12.5,
+            },
+        ];
+        let codes: Vec<&str> = reasons.iter().map(DegradedReason::code).collect();
+        assert_eq!(codes, DegradedReason::CODES);
+    }
+
+    #[test]
+    fn display_text_names_the_condition() {
+        assert!(DegradedReason::EmptyMatrix
+            .to_string()
+            .contains("no nonzeros"));
+        let b = DegradedReason::BudgetExhausted {
+            wall: 0,
+            levels: 0,
+            fm_passes: 0,
+            bytes: 3,
+        };
+        assert!(b.to_string().contains("budget"));
+        assert!(b.to_string().contains("bytes: 3"));
+        assert!(DegradedReason::Cancelled.to_string().contains("cancelled"));
+        let d = DegradedReason::DegenerateK {
+            k: 9,
+            nnz: 2,
+            fallback: Some("fine-grain-2d failed on degenerate input: boom".into()),
+        };
+        let text = d.to_string();
+        assert!(text.contains("K = 9"));
+        assert!(text.contains("failed on degenerate input"));
+    }
+
+    #[test]
+    fn status_accessors() {
+        assert!(!DecompositionStatus::Full.is_degraded());
+        assert_eq!(DecompositionStatus::Full.code(), None);
+        let s = DecompositionStatus::Degraded {
+            reason: DegradedReason::Cancelled,
+        };
+        assert!(s.is_degraded());
+        assert_eq!(s.code(), Some("cancelled"));
+        assert_eq!(s.reason(), Some(&DegradedReason::Cancelled));
+    }
+}

@@ -1,0 +1,114 @@
+//! Concurrent engine reuse: many threads driving one [`EngineSession`]
+//! (one shared [`ArenaPool`]) must produce exactly the results serial
+//! runs produce, with no arena cross-talk. This is the contract
+//! `fgh serve`'s worker pool is built on; CI runs it additionally under
+//! the `paranoid` feature, which turns on the engine's internal
+//! invariant sweeps.
+
+use std::sync::Arc;
+
+use fgh_core::{DecomposeConfig, EngineSession, JobParams, Model};
+use fgh_sparse::gen::{self, ValueMode};
+use fgh_sparse::{AnyCsrMatrix, CsrMatrix};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn matrix(seed: u64) -> CsrMatrix {
+    gen::grid5(
+        16,
+        16,
+        1.0,
+        ValueMode::Ones,
+        &mut SmallRng::seed_from_u64(seed),
+    )
+}
+
+#[test]
+fn threads_sharing_one_session_match_serial_results() {
+    let session = Arc::new(EngineSession::new());
+    let jobs: Vec<(u64, Model, u32)> = (0..12)
+        .map(|i| {
+            let model = [
+                Model::FineGrain2D,
+                Model::Hypergraph1DColNet,
+                Model::Graph1D,
+            ][i as usize % 3];
+            (i, model, [2u32, 4, 8][i as usize % 3])
+        })
+        .collect();
+
+    // Serial ground truth through the one-shot API (its own pools).
+    let expected: Vec<_> = jobs
+        .iter()
+        .map(|&(seed, model, k)| {
+            let a = matrix(seed);
+            let out =
+                fgh_core::decompose(&a, &DecomposeConfig::new(model, k).with_seed(seed)).unwrap();
+            (out.decomposition, out.objective)
+        })
+        .collect();
+
+    // The same jobs, concurrently, all through ONE shared session/pool.
+    let handles: Vec<_> = jobs
+        .iter()
+        .map(|&(seed, model, k)| {
+            let session = Arc::clone(&session);
+            std::thread::spawn(move || {
+                let a = AnyCsrMatrix::U32(matrix(seed));
+                let out = session
+                    .decompose_any(&a, JobParams::new(model, k).with_seed(seed))
+                    .unwrap();
+                (seed, out)
+            })
+        })
+        .collect();
+
+    for h in handles {
+        let (seed, out) = h.join().expect("no worker may panic");
+        let (want_d, want_obj) = &expected[seed as usize];
+        out.decomposition.validate(&matrix(seed)).unwrap();
+        assert_eq!(
+            &out.decomposition, want_d,
+            "seed {seed}: concurrent result differs from serial"
+        );
+        assert_eq!(out.objective, *want_obj, "seed {seed}: objective differs");
+    }
+}
+
+#[test]
+fn pool_stabilizes_under_repeated_concurrent_waves() {
+    let session = Arc::new(EngineSession::new());
+    let run_wave = |threads: usize| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let session = Arc::clone(&session);
+                std::thread::spawn(move || {
+                    let a = matrix(7);
+                    session
+                        .decompose(
+                            &a,
+                            JobParams::new(Model::FineGrain2D, 4).with_seed(t as u64),
+                        )
+                        .unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            let out = h.join().expect("no worker may panic");
+            out.decomposition.validate(&matrix(7)).unwrap();
+        }
+    };
+    run_wave(6);
+    let idle_after_first = session.idle_arenas();
+    assert!(idle_after_first > 0, "arenas must be parked for reuse");
+    // Subsequent identical waves reuse parked arenas instead of growing
+    // the pool without bound.
+    run_wave(6);
+    run_wave(6);
+    assert!(
+        session.idle_arenas() <= idle_after_first,
+        "pool grew across identical waves: {} -> {}",
+        idle_after_first,
+        session.idle_arenas()
+    );
+}

@@ -122,7 +122,11 @@ fn empty_matrix_degrades_with_reason() {
     let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 4)).unwrap();
     match &out.status {
         DecompositionStatus::Degraded { reason } => {
-            assert!(reason.contains("no nonzeros"), "reason: {reason}")
+            assert_eq!(reason.code(), "empty-matrix");
+            assert!(
+                reason.to_string().contains("no nonzeros"),
+                "reason: {reason}"
+            );
         }
         DecompositionStatus::Full => panic!("empty matrix must be degraded"),
     }
@@ -147,8 +151,13 @@ fn expired_wall_budget_still_returns_valid_partition() {
         out.engine
     );
     assert!(out.status.is_degraded());
+    assert_eq!(out.status.code(), Some("budget-exhausted"));
     assert!(
-        out.status.reason().unwrap_or("").contains("budget"),
+        out.status
+            .reason()
+            .map(ToString::to_string)
+            .unwrap_or_default()
+            .contains("budget"),
         "reason: {:?}",
         out.status.reason()
     );

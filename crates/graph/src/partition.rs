@@ -369,8 +369,22 @@ pub fn partition_graph_best_traced<I: ArenaIndex>(
     runs: usize,
     parent: &SpanHandle,
 ) -> Result<GraphPartitionResult, PartitionError> {
+    partition_graph_best_traced_in(g, k, cfg, runs, &Arc::new(ArenaPool::new()), parent)
+}
+
+/// [`partition_graph_best_traced`] drawing every seed's scratch arena
+/// from a caller-supplied [`ArenaPool`] — the session-reuse entry point
+/// matching `fgh_partition::partition_hypergraph_best_traced_in`.
+pub fn partition_graph_best_traced_in<I: ArenaIndex>(
+    g: &CsrGraph<I>,
+    k: u32,
+    cfg: &PartitionConfig,
+    runs: usize,
+    pool: &Arc<ArenaPool>,
+    parent: &SpanHandle,
+) -> Result<GraphPartitionResult, PartitionError> {
     let runs = runs.max(1);
-    let pool = Arc::new(ArenaPool::new());
+    let pool = Arc::clone(pool);
     let threads = cfg.parallelism.resolved();
     let results = if threads > 1 && rayon::current_thread_index().is_none() {
         match rayon::ThreadPoolBuilder::new().num_threads(threads).build() {

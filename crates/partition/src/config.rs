@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use crate::cancel::CancelToken;
+
 /// Resource budget for a partitioning run. Each limit is optional; `None`
 /// means unbounded (the default). Budgets degrade gracefully: when a limit
 /// trips, the engine keeps the best partition found so far and records the
@@ -56,6 +58,26 @@ impl Budget {
     /// `true` when no limit is set.
     pub fn is_unlimited(&self) -> bool {
         *self == Budget::UNLIMITED
+    }
+
+    /// The tighter of two budgets, limit by limit: a limit set on either
+    /// side applies, and when both sides set one the smaller wins. A
+    /// service uses this to clamp per-request budgets under a global
+    /// ceiling — no request can escape the ceiling by asking for more.
+    pub fn intersect(&self, other: &Budget) -> Budget {
+        fn tighter<T: Ord + Copy>(a: Option<T>, b: Option<T>) -> Option<T> {
+            match (a, b) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, None) => x,
+                (None, y) => y,
+            }
+        }
+        Budget {
+            max_wall: tighter(self.max_wall, other.max_wall),
+            max_fm_passes: tighter(self.max_fm_passes, other.max_fm_passes),
+            max_levels: tighter(self.max_levels, other.max_levels),
+            max_bytes: tighter(self.max_bytes, other.max_bytes),
+        }
     }
 }
 
@@ -177,6 +199,13 @@ pub struct PartitionConfig {
     /// [`Parallelism::Auto`]. Results are bit-identical across settings;
     /// see [`Parallelism`].
     pub parallelism: Parallelism,
+    /// Cooperative cancellation: when a token is attached and tripped, the
+    /// engine stops at its next multilevel checkpoint, keeps the best
+    /// partition found so far, and records the stop in
+    /// [`crate::EngineStats::cancel_truncations`] — same graceful
+    /// degradation as an exhausted [`Budget`], but attributed to the
+    /// caller. `None` (the default) disables polling.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for PartitionConfig {
@@ -197,6 +226,7 @@ impl Default for PartitionConfig {
             vcycles: 0,
             budget: Budget::UNLIMITED,
             parallelism: Parallelism::Serial,
+            cancel: None,
         }
     }
 }

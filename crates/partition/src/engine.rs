@@ -25,7 +25,6 @@
 //! buckets from the same pool. The driver itself is *not* generic — its
 //! methods are — so a single driver can serve substrates of both widths.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use rand::rngs::SmallRng;
@@ -37,6 +36,7 @@ use fgh_sparse::IndexType;
 use fgh_trace::{Span, SpanHandle};
 
 use crate::arena::{ArenaIndex, ArenaPool, LevelArena};
+use crate::cancel::{CancelToken, SharedDeadline};
 use crate::coarsen::{coarsen_once_in, FREE};
 use crate::config::PartitionConfig;
 use crate::initial::initial_best_in;
@@ -171,36 +171,6 @@ pub struct RecursiveOutcome {
     /// splitting enabled this equals the connectivity−1 cutsize of
     /// `parts` (eq. 3 of the paper); for graphs it equals the edge cut.
     pub cut_sum: u64,
-}
-
-/// A wall-clock deadline shared by every thread of a run (forked workers
-/// clone the `Arc`). The `tripped` flag latches the first observed expiry
-/// so later checkpoint polls — on any thread — are a relaxed atomic load
-/// instead of a clock read, and all domains agree the budget is gone.
-#[derive(Debug)]
-struct SharedDeadline {
-    at: std::time::Instant,
-    tripped: AtomicBool,
-}
-
-impl SharedDeadline {
-    fn new(at: std::time::Instant) -> Self {
-        SharedDeadline {
-            at,
-            tripped: AtomicBool::new(false),
-        }
-    }
-
-    fn exhausted(&self) -> bool {
-        if self.tripped.load(Ordering::Relaxed) {
-            return true;
-        }
-        let hit = std::time::Instant::now() >= self.at;
-        if hit {
-            self.tripped.store(true, Ordering::Relaxed);
-        }
-        hit
-    }
 }
 
 /// RNG seed for one node of the recursive-bisection tree, mixed from the
@@ -361,6 +331,39 @@ impl MultilevelDriver {
         self.deadline.as_ref().is_some_and(|d| d.exhausted())
     }
 
+    /// `true` once the external [`CancelToken`] attached to the config
+    /// has been cancelled. Polled at the same multilevel checkpoints as
+    /// the wall deadline; always `false` when no token was attached.
+    pub fn cancel_requested(&self) -> bool {
+        self.cfg
+            .cancel
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// `true` once the run should stop early for any reason — external
+    /// cancellation or the armed wall-clock deadline. Callers layering
+    /// post-refinement on top of the engine gate it on this.
+    pub fn interrupted(&self) -> bool {
+        self.cancel_requested() || self.wall_exhausted()
+    }
+
+    /// Interrupt checkpoint: polls cancellation and the wall deadline,
+    /// recording the matching truncation counter when one has tripped.
+    /// Cancellation wins the attribution when both have — a cancelled run
+    /// must be reported as cancelled, not as a budget accident.
+    fn interrupt_checkpoint(&mut self) -> bool {
+        if self.cancel_requested() {
+            self.stats.cancel_truncations += 1;
+            true
+        } else if self.wall_exhausted() {
+            self.stats.wall_truncations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
     /// FM passes still allowed by `Budget::max_fm_passes`, capped at
     /// `want`; records an `fm_truncations` tick when the cap bites.
     fn fm_pass_allowance(&mut self, want: usize) -> usize {
@@ -430,16 +433,16 @@ impl MultilevelDriver {
                 break;
             }
             // Budget checkpoints: stop building levels once the per-
-            // bisection level cap, the wall deadline, or the byte cap is
-            // hit; the run continues from whatever coarseness was reached.
+            // bisection level cap, the wall deadline / cancel token, or
+            // the byte cap is hit; the run continues from whatever
+            // coarseness was reached.
             if let Some(max_levels) = self.cfg.budget.max_levels {
                 if levels.len() as u64 >= max_levels {
                     self.stats.level_truncations += 1;
                     break;
                 }
             }
-            if self.wall_exhausted() {
-                self.stats.wall_truncations += 1;
+            if self.interrupt_checkpoint() {
                 break;
             }
             if let Some(max_bytes) = self.cfg.budget.max_bytes {
@@ -489,10 +492,10 @@ impl MultilevelDriver {
         };
         let ispan = self.trace_child("initial", None);
         let timer = StageTimer::start();
-        let mut sides = if self.wall_exhausted() {
-            // Out of time: one weight-only split instead of multi-try
-            // greedy growing — still balanced, no connectivity work.
-            self.stats.wall_truncations += 1;
+        let mut sides = if self.interrupt_checkpoint() {
+            // Out of time or cancelled: one weight-only split instead of
+            // multi-try greedy growing — still balanced, no connectivity
+            // work.
             let quick = PartitionConfig {
                 initial: crate::config::InitialScheme::BinPacking,
                 initial_tries: 1,
@@ -544,10 +547,9 @@ impl MultilevelDriver {
             self.arena
                 .give_u8(std::mem::replace(&mut sides, fine_sides));
             // Budget checkpoint between refinement levels: out of wall
-            // time → project only; FM-pass cap → run the remaining
-            // allowance.
-            let passes = if self.wall_exhausted() {
-                self.stats.wall_truncations += 1;
+            // time or cancelled → project only; FM-pass cap → run the
+            // remaining allowance.
+            let passes = if self.interrupt_checkpoint() {
                 0
             } else {
                 self.fm_pass_allowance(self.cfg.fm_passes)

@@ -65,6 +65,11 @@ pub struct EngineStats {
     /// reached in a bisection (the run continues from the coarseness it
     /// reached — truncated but valid, never an abort).
     pub byte_truncations: u64,
+    /// Times a checkpoint stopped work because an external
+    /// [`crate::CancelToken`] was tripped. Deliberately *not* part of
+    /// [`EngineStats::truncated`]: a cancelled run is reported as
+    /// cancelled, not as a budget accident.
+    pub cancel_truncations: u64,
     /// Fork-join forks actually taken by the parallel driver (0 in serial
     /// runs and whenever the recursion ran inline).
     pub parallel_forks: u64,
@@ -77,14 +82,22 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
-    /// `true` when any budget checkpoint truncated work during the run —
+    /// `true` when any *budget* checkpoint truncated work during the run —
     /// the partition is valid but may be lower quality than an unbounded
-    /// run would produce.
+    /// run would produce. Cancellation is excluded; see
+    /// [`EngineStats::cancelled`].
     pub fn truncated(&self) -> bool {
         self.wall_truncations > 0
             || self.level_truncations > 0
             || self.fm_truncations > 0
             || self.byte_truncations > 0
+    }
+
+    /// `true` when a checkpoint observed a tripped [`crate::CancelToken`]
+    /// during the run — the partition is a valid partial of a cancelled
+    /// job.
+    pub fn cancelled(&self) -> bool {
+        self.cancel_truncations > 0
     }
 
     /// Accumulates `other` into `self` (for merging per-run stats).
@@ -99,6 +112,7 @@ impl EngineStats {
         self.level_truncations += other.level_truncations;
         self.fm_truncations += other.fm_truncations;
         self.byte_truncations += other.byte_truncations;
+        self.cancel_truncations += other.cancel_truncations;
         self.parallel_forks += other.parallel_forks;
         self.coarsen_nanos += other.coarsen_nanos;
         self.initial_nanos += other.initial_nanos;

@@ -54,6 +54,7 @@
 
 pub mod arena;
 pub mod bisect;
+pub mod cancel;
 pub mod coarsen;
 pub mod config;
 pub mod engine;
@@ -69,17 +70,19 @@ pub mod refine;
 pub mod vcycle;
 
 pub use arena::{ArenaIndex, ArenaPool, ArenaStats, LevelArena};
+pub use cancel::CancelToken;
 pub use config::{Budget, CoarseningScheme, InitialScheme, Parallelism, PartitionConfig};
 pub use engine::{MultilevelDriver, RecursiveOutcome, Substrate};
 pub use error::PartitionError;
 pub use level::{EngineStats, Level};
 pub use parallel::{
-    partition_hypergraph_seeds, partition_hypergraph_seeds_traced, record_run_counters,
+    partition_hypergraph_seeds, partition_hypergraph_seeds_traced,
+    partition_hypergraph_seeds_traced_in, record_run_counters,
 };
 pub use recursive::{
     partition_hypergraph, partition_hypergraph_best, partition_hypergraph_best_traced,
-    partition_hypergraph_fixed, partition_hypergraph_traced, partition_hypergraph_with,
-    PartitionResult,
+    partition_hypergraph_best_traced_in, partition_hypergraph_fixed, partition_hypergraph_traced,
+    partition_hypergraph_with, PartitionResult,
 };
 
 #[cfg(test)]

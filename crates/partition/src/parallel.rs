@@ -51,15 +51,30 @@ pub fn partition_hypergraph_seeds_traced<I: ArenaIndex>(
     runs: usize,
     parent: &SpanHandle,
 ) -> Vec<Result<PartitionResult, PartitionError>> {
+    partition_hypergraph_seeds_traced_in(hg, k, cfg, runs, &Arc::new(ArenaPool::new()), parent)
+}
+
+/// [`partition_hypergraph_seeds_traced`] drawing every seed's scratch
+/// arena from a caller-supplied [`ArenaPool`] instead of a run-local one.
+/// A long-lived session passes the same pool to every request so warm
+/// buffers survive across whole decompositions, not just across the seeds
+/// of one fan-out.
+pub fn partition_hypergraph_seeds_traced_in<I: ArenaIndex>(
+    hg: &Hypergraph<I>,
+    k: u32,
+    cfg: &PartitionConfig,
+    runs: usize,
+    pool: &Arc<ArenaPool>,
+    parent: &SpanHandle,
+) -> Vec<Result<PartitionResult, PartitionError>> {
     let runs = runs.max(1);
-    let pool = Arc::new(ArenaPool::new());
     let threads = cfg.parallelism.resolved();
     if threads > 1 && rayon::current_thread_index().is_none() {
         if let Ok(tp) = rayon::ThreadPoolBuilder::new().num_threads(threads).build() {
-            return tp.install(|| run_range(hg, k, cfg, 0, runs, &pool, parent));
+            return tp.install(|| run_range(hg, k, cfg, 0, runs, pool, parent));
         }
     }
-    run_range(hg, k, cfg, 0, runs, &pool, parent)
+    run_range(hg, k, cfg, 0, runs, pool, parent)
 }
 
 /// Runs seed offsets `lo..hi`, halving the range across `rayon::join`
@@ -111,6 +126,7 @@ pub fn record_run_counters(
             + stats.fm_truncations
             + stats.byte_truncations,
     );
+    scope.counter("cancel_truncations", stats.cancel_truncations);
     scope.counter("arena_fresh", arena.fresh);
     scope.counter("arena_reused", arena.reused);
     scope.counter("gain_resizes", arena.bucket_grows);

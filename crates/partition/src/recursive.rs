@@ -144,12 +144,12 @@ pub fn partition_hypergraph_with<I: ArenaIndex>(
     let cfg = driver.cfg().clone();
 
     let mut partition = Partition::new(k, outcome.parts).map_err(PartitionError::from)?;
-    if (cfg.kway_refine || cfg.vcycles > 0) && k > 2 && !driver.wall_exhausted() {
+    if (cfg.kway_refine || cfg.vcycles > 0) && k > 2 && !driver.interrupted() {
         if cfg.kway_refine {
             let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(0x9e3779b97f4a7c15));
             kway_refine(hg, &mut partition, &fixed_vec, cfg.epsilon, 2, &mut rng)?;
         }
-        if cfg.vcycles > 0 && !driver.wall_exhausted() {
+        if cfg.vcycles > 0 && !driver.interrupted() {
             crate::vcycle::vcycle_refine(hg, &mut partition, &fixed_vec, &cfg, cfg.vcycles)?;
         }
     }
@@ -195,7 +195,30 @@ pub fn partition_hypergraph_best_traced<I: ArenaIndex>(
     runs: usize,
     parent: &SpanHandle,
 ) -> Result<PartitionResult, PartitionError> {
-    let results = crate::parallel::partition_hypergraph_seeds_traced(hg, k, cfg, runs, parent);
+    partition_hypergraph_best_traced_in(
+        hg,
+        k,
+        cfg,
+        runs,
+        &std::sync::Arc::new(crate::arena::ArenaPool::new()),
+        parent,
+    )
+}
+
+/// [`partition_hypergraph_best_traced`] drawing every seed's scratch
+/// arena from a caller-supplied [`crate::ArenaPool`] — the session-reuse
+/// entry point: a server passes one pool for its whole lifetime so warm
+/// buffers survive across requests.
+pub fn partition_hypergraph_best_traced_in<I: ArenaIndex>(
+    hg: &Hypergraph<I>,
+    k: u32,
+    cfg: &PartitionConfig,
+    runs: usize,
+    pool: &std::sync::Arc<crate::arena::ArenaPool>,
+    parent: &SpanHandle,
+) -> Result<PartitionResult, PartitionError> {
+    let results =
+        crate::parallel::partition_hypergraph_seeds_traced_in(hg, k, cfg, runs, pool, parent);
     let mut best: Option<PartitionResult> = None;
     let mut first_err: Option<PartitionError> = None;
     for r in results {

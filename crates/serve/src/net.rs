@@ -1,0 +1,199 @@
+//! Transport abstraction: one listener/stream pair over TCP or (on
+//! unix) a filesystem socket, so the rest of the daemon is
+//! transport-blind.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::time::Duration;
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Listen {
+    /// A TCP address, e.g. `127.0.0.1:0` (port 0 = ephemeral).
+    Tcp(String),
+    /// A unix-domain socket path (created on bind, removed on drop).
+    #[cfg(unix)]
+    Unix(std::path::PathBuf),
+}
+
+/// A bound listener.
+pub enum Listener {
+    /// TCP.
+    Tcp(TcpListener),
+    /// Unix-domain.
+    #[cfg(unix)]
+    Unix(UnixListener, std::path::PathBuf),
+}
+
+impl Listener {
+    /// Binds the requested transport.
+    pub fn bind(listen: &Listen) -> std::io::Result<Listener> {
+        match listen {
+            Listen::Tcp(addr) => Ok(Listener::Tcp(TcpListener::bind(addr)?)),
+            #[cfg(unix)]
+            Listen::Unix(path) => {
+                // A stale socket file from a crashed predecessor blocks
+                // bind; remove it (a live daemon would still hold it via
+                // the listening socket, but this daemon is single-owner
+                // by deployment contract).
+                let _ = std::fs::remove_file(path);
+                Ok(Listener::Unix(UnixListener::bind(path)?, path.clone()))
+            }
+        }
+    }
+
+    /// The bound address as a display/connect string (`host:port` for
+    /// TCP, the path for unix).
+    pub fn local_addr_string(&self) -> String {
+        match self {
+            Listener::Tcp(l) => l
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "<unknown>".into()),
+            #[cfg(unix)]
+            Listener::Unix(_, path) => path.display().to_string(),
+        }
+    }
+
+    /// Switches the accept path between blocking and polling modes.
+    pub fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+            #[cfg(unix)]
+            Listener::Unix(l, _) => l.set_nonblocking(nb),
+        }
+    }
+
+    /// Accepts one connection (errors include `WouldBlock` in
+    /// nonblocking mode).
+    pub fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                Ok(Stream::Tcp(s))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l, _) => {
+                let (s, _) = l.accept()?;
+                Ok(Stream::Unix(s))
+            }
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// What a liveness probe on an idle-during-request connection saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// Socket open, no data — the client is waiting for its response.
+    Alive,
+    /// EOF — the client went away.
+    Disconnected,
+    /// The client sent bytes while its request was still in flight —
+    /// a protocol violation (the protocol is strictly request/response).
+    UnexpectedData,
+}
+
+/// One accepted connection.
+pub enum Stream {
+    /// TCP.
+    Tcp(TcpStream),
+    /// Unix-domain.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    /// Connects to a daemon address (TCP `host:port`).
+    pub fn connect_tcp(addr: &str) -> std::io::Result<Stream> {
+        Ok(Stream::Tcp(TcpStream::connect(addr)?))
+    }
+
+    /// Connects to a daemon's unix socket.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &std::path::Path) -> std::io::Result<Stream> {
+        Ok(Stream::Unix(UnixStream::connect(path)?))
+    }
+
+    /// Applies a read timeout (None = blocking forever).
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(t),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(t),
+        }
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_nonblocking(nb),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_nonblocking(nb),
+        }
+    }
+
+    /// Non-destructive-enough liveness probe while a request is in
+    /// flight: a nonblocking 1-byte read. EOF means the client
+    /// disconnected (its job should be cancelled); actual data is a
+    /// protocol violation (no pipelining), reported as such.
+    pub fn probe_liveness(&mut self) -> Probe {
+        if self.set_nonblocking(true).is_err() {
+            return Probe::Disconnected;
+        }
+        let mut byte = [0u8; 1];
+        let result = match self {
+            Stream::Tcp(s) => s.read(&mut byte),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(&mut byte),
+        };
+        let probe = match result {
+            Ok(0) => Probe::Disconnected,
+            Ok(_) => Probe::UnexpectedData,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Probe::Alive,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => Probe::Alive,
+            Err(_) => Probe::Disconnected,
+        };
+        if self.set_nonblocking(false).is_err() {
+            return Probe::Disconnected;
+        }
+        probe
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}

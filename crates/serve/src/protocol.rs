@@ -1,0 +1,445 @@
+//! The wire protocol: length-prefixed JSON frames, typed requests and
+//! responses, and stable error codes.
+//!
+//! # Framing
+//!
+//! Every message — request or response — is one *frame*: a 4-byte
+//! little-endian payload length followed by that many bytes of UTF-8
+//! JSON. Frames larger than [`MAX_FRAME_BYTES`] are rejected without
+//! allocation (a garbage length prefix must not OOM the daemon).
+//! Connections are strictly request/response: one frame in, one frame
+//! out, repeat. A malformed frame (bad length, bad UTF-8, bad JSON)
+//! earns a typed [`codes::BAD_FRAME`] error response and closes the
+//! connection.
+//!
+//! # Requests
+//!
+//! ```json
+//! {"op": "decompose", "matrix": "bcspwr10", "scale": 48, "gen_seed": 7,
+//!  "model": "fine-grain-2d", "k": 4, "epsilon": 0.03, "seed": 1,
+//!  "runs": 1, "budget_ms": 2000, "include_owners": false}
+//! ```
+//!
+//! The matrix is named from the built-in catalog (`matrix` +
+//! `scale`/`gen_seed`) or shipped inline as Matrix Market text
+//! (`matrix_mm`). `{"op":"ping"}` health-checks; `{"op":"stats"}`
+//! returns live counters.
+//!
+//! # Responses
+//!
+//! Success: `{"ok": true, "status": "full"|"degraded",
+//! "degraded_code": null|<code>, "volume": N, "imbalance": F, "k": K,
+//! "nnz": N, "cache": "hit"|"miss", "elapsed_ns": N, ...}` (plus
+//! `nonzero_owner`/`vec_owner` arrays when `include_owners` was set).
+//! Failure: `{"ok": false, "error": {"code": <stable code>,
+//! "message": <text>, "retry_after_ms": N?}}` — see [`codes`].
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+
+use fgh_trace::json::{parse, Value};
+
+/// Hard per-frame payload cap (16 MiB). A length prefix beyond this is
+/// treated as a malformed frame, not an allocation request.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Stable machine-readable error codes carried in failure responses.
+/// Like `DegradedReason::CODES`, these are a compatibility contract:
+/// codes may be added but never change meaning.
+pub mod codes {
+    /// The frame itself was malformed (length, UTF-8, or JSON).
+    pub const BAD_FRAME: &str = "bad-frame";
+    /// The frame parsed but the request is invalid (unknown op, missing
+    /// or out-of-range field, unknown matrix/model).
+    pub const BAD_REQUEST: &str = "bad-request";
+    /// Load shed: the job queue is full. The response carries a
+    /// `retry_after_ms` hint.
+    pub const OVERLOADED: &str = "overloaded";
+    /// The daemon is draining for shutdown and admits no new work.
+    pub const SHUTTING_DOWN: &str = "shutting-down";
+    /// The worker executing the job panicked; the job is lost but the
+    /// daemon and the worker pool survive.
+    pub const WORKER_PANIC: &str = "worker-panic";
+    /// The chosen model cannot run at the matrix's index width.
+    pub const UNSUPPORTED_WIDTH: &str = "unsupported-width";
+    /// Any other decomposition failure (typed `FghError` text attached).
+    pub const DECOMPOSE_FAILED: &str = "decompose-failed";
+
+    /// Every code, for validators and exhaustive tests.
+    pub const ALL: [&str; 7] = [
+        BAD_FRAME,
+        BAD_REQUEST,
+        OVERLOADED,
+        SHUTTING_DOWN,
+        WORKER_PANIC,
+        UNSUPPORTED_WIDTH,
+        DECOMPOSE_FAILED,
+    ];
+}
+
+/// Errors from reading a frame off a connection.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly (EOF at a frame boundary).
+    Closed,
+    /// No frame arrived within the stream's read timeout and no bytes
+    /// were consumed — the caller can poll its shutdown flag and retry.
+    Idle,
+    /// An I/O error mid-frame.
+    Io(std::io::Error),
+    /// The frame violates the protocol (oversized length, truncated
+    /// payload, bad UTF-8, bad JSON, or a mid-frame stall). The message
+    /// is safe to echo back.
+    Malformed(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Idle => write!(f, "no frame within the read timeout"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Read timeouts tolerated *inside* a frame before the peer is declared
+/// stalled. At the daemon's 100ms read timeout this is ~60s of silence
+/// mid-frame — far beyond any honest client writing a frame it already
+/// started.
+const MAX_MIDFRAME_STALLS: u32 = 600;
+
+/// Reads one length-prefixed JSON frame. [`FrameError::Closed`] only at
+/// a clean frame boundary; EOF mid-frame is [`FrameError::Malformed`];
+/// a read timeout before the first byte is [`FrameError::Idle`].
+pub fn read_frame(r: &mut impl Read) -> Result<Value, FrameError> {
+    let mut stalls = 0u32;
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Err(FrameError::Closed),
+            Ok(0) => return Err(FrameError::Malformed("eof inside length prefix".into())),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) && filled == 0 => return Err(FrameError::Idle),
+            Err(e) if is_timeout(&e) => {
+                stalls += 1;
+                if stalls > MAX_MIDFRAME_STALLS {
+                    return Err(FrameError::Malformed("peer stalled mid-frame".into()));
+                }
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::Malformed(format!(
+            "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => return Err(FrameError::Malformed("eof inside payload".into())),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => {
+                stalls += 1;
+                if stalls > MAX_MIDFRAME_STALLS {
+                    return Err(FrameError::Malformed("peer stalled mid-frame".into()));
+                }
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let text = std::str::from_utf8(&payload)
+        .map_err(|e| FrameError::Malformed(format!("payload is not utf-8: {e}")))?;
+    parse(text).map_err(|e| FrameError::Malformed(format!("payload is not json: {e}")))
+}
+
+/// Writes one length-prefixed JSON frame.
+pub fn write_frame(w: &mut impl Write, v: &Value) -> std::io::Result<()> {
+    let text = v.to_json();
+    let bytes = text.as_bytes();
+    let len = bytes.len().min(u32::MAX as usize) as u32; // lint: checked-cast — min-clamped
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Builds a typed failure response: `{"ok": false, "error": {...}}`.
+pub fn error_response(code: &str, message: &str, retry_after_ms: Option<u64>) -> Value {
+    let mut err = BTreeMap::new();
+    err.insert("code".into(), Value::Str(code.into()));
+    err.insert("message".into(), Value::Str(message.into()));
+    if let Some(ms) = retry_after_ms {
+        err.insert("retry_after_ms".into(), Value::Num(ms as f64));
+    }
+    let mut obj = BTreeMap::new();
+    obj.insert("ok".into(), Value::Bool(false));
+    obj.insert("error".into(), Value::Obj(err));
+    Value::Obj(obj)
+}
+
+/// The matrix a decompose request names: a catalog entry (generated
+/// deterministically server-side) or inline Matrix Market text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatrixSource {
+    /// `{"matrix": name, "scale": s, "gen_seed": seed}`.
+    Catalog {
+        /// Case-insensitive catalog name.
+        name: String,
+        /// Dimension divisor (1 = full size).
+        scale: u32,
+        /// Generator seed.
+        gen_seed: u64,
+    },
+    /// `{"matrix_mm": "<matrix market text>"}`.
+    Inline(String),
+}
+
+/// A parsed, validated decompose request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecomposeRequest {
+    /// Where the matrix comes from.
+    pub source: MatrixSource,
+    /// Model name (validated against `Model::from_str` by the caller).
+    pub model: String,
+    /// Processor count K (>= 1).
+    pub k: u32,
+    /// Balance tolerance ε.
+    pub epsilon: f64,
+    /// Partitioner base seed.
+    pub seed: u64,
+    /// Independent partitioner runs.
+    pub runs: usize,
+    /// Optional per-request wall budget, milliseconds.
+    pub budget_ms: Option<u64>,
+    /// Optional per-request byte budget.
+    pub budget_bytes: Option<u64>,
+    /// Ship the full owner arrays back (off by default: summaries only).
+    pub include_owners: bool,
+    /// Fault-injection directive (only honored when the daemon runs with
+    /// fault injection enabled): `"panic"` makes the worker panic
+    /// mid-job, `"sleep_ms:N"` stalls the job.
+    pub inject: Option<String>,
+}
+
+/// The operations a request frame can carry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Health check; answered inline by the connection thread.
+    Ping,
+    /// Live counters; answered inline.
+    Stats,
+    /// A decomposition job; queued for a worker.
+    Decompose(Box<DecomposeRequest>),
+}
+
+fn get_u64(v: &Value, key: &str, default: u64) -> Result<u64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(n) => n
+            .as_u64()
+            .ok_or_else(|| format!("{key}: expected a non-negative integer")),
+    }
+}
+
+/// Parses and validates a request frame. Errors are
+/// [`codes::BAD_REQUEST`] material, safe to echo to the client.
+pub fn parse_request(v: &Value) -> Result<Request, String> {
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or("op: expected a string")?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "decompose" => {
+            let source = match (v.get("matrix"), v.get("matrix_mm")) {
+                (Some(_), Some(_)) => {
+                    return Err("matrix and matrix_mm are mutually exclusive".into())
+                }
+                (Some(name), None) => MatrixSource::Catalog {
+                    name: name
+                        .as_str()
+                        .ok_or("matrix: expected a string")?
+                        .to_string(),
+                    scale: u32::try_from(get_u64(v, "scale", 1)?.max(1))
+                        .map_err(|_| "scale: out of range")?,
+                    gen_seed: get_u64(v, "gen_seed", 1)?,
+                },
+                (None, Some(mm)) => {
+                    MatrixSource::Inline(mm.as_str().ok_or("matrix_mm: expected a string")?.into())
+                }
+                (None, None) => return Err("one of matrix / matrix_mm is required".into()),
+            };
+            let k64 = get_u64(v, "k", 0)?;
+            if k64 == 0 {
+                return Err("k: required, must be >= 1".into());
+            }
+            let k = u32::try_from(k64).map_err(|_| "k: out of range")?;
+            let epsilon = match v.get("epsilon") {
+                None => 0.03,
+                Some(e) => {
+                    let e = e.as_f64().ok_or("epsilon: expected a number")?;
+                    if !e.is_finite() || e < 0.0 {
+                        return Err("epsilon: must be finite and >= 0".into());
+                    }
+                    e
+                }
+            };
+            let model = v
+                .get("model")
+                .map(|m| m.as_str().ok_or("model: expected a string"))
+                .transpose()?
+                .unwrap_or("fine-grain-2d")
+                .to_string();
+            let runs = get_u64(v, "runs", 1)?.max(1) as usize; // lint: checked-cast — small count
+            let budget_ms = v
+                .get("budget_ms")
+                .map(|n| n.as_u64().ok_or("budget_ms: expected an integer"))
+                .transpose()?;
+            let budget_bytes = v
+                .get("budget_bytes")
+                .map(|n| n.as_u64().ok_or("budget_bytes: expected an integer"))
+                .transpose()?;
+            let include_owners = matches!(v.get("include_owners"), Some(Value::Bool(true)));
+            let inject = v
+                .get("inject")
+                .map(|i| i.as_str().ok_or("inject: expected a string"))
+                .transpose()?
+                .map(str::to_string);
+            Ok(Request::Decompose(Box::new(DecomposeRequest {
+                source,
+                model,
+                k,
+                epsilon,
+                seed: get_u64(v, "seed", 1)?,
+                runs,
+                budget_ms,
+                budget_bytes,
+                include_owners,
+                inject,
+            })))
+        }
+        other => Err(format!("op: unknown operation {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn obj(pairs: &[(&str, Value)]) -> Value {
+        Value::Obj(
+            pairs
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.clone()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let v = obj(&[("op", Value::Str("ping".into()))]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &v).unwrap();
+        let back = read_frame(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn oversized_length_is_malformed_not_alloc() {
+        let mut buf = (u32::MAX).to_le_bytes().to_vec();
+        buf.extend_from_slice(b"junk");
+        match read_frame(&mut Cursor::new(buf)) {
+            Err(FrameError::Malformed(m)) => assert!(m.contains("cap")),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_and_garbage_frames_are_malformed() {
+        // Length says 100 bytes, only 3 present.
+        let mut buf = 100u32.to_le_bytes().to_vec();
+        buf.extend_from_slice(b"abc");
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(FrameError::Malformed(_))
+        ));
+        // Valid length, payload is not JSON.
+        let mut buf = 3u32.to_le_bytes().to_vec();
+        buf.extend_from_slice(b"{{{");
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(FrameError::Malformed(_))
+        ));
+        // Clean EOF before any byte.
+        assert!(matches!(
+            read_frame(&mut Cursor::new(Vec::new())),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn parse_decompose_defaults_and_validation() {
+        let v = obj(&[
+            ("op", Value::Str("decompose".into())),
+            ("matrix", Value::Str("bcspwr10".into())),
+            ("k", Value::Num(4.0)),
+        ]);
+        match parse_request(&v).unwrap() {
+            Request::Decompose(d) => {
+                assert_eq!(d.k, 4);
+                assert_eq!(d.model, "fine-grain-2d");
+                assert_eq!(d.runs, 1);
+                assert!(!d.include_owners);
+                assert_eq!(
+                    d.source,
+                    MatrixSource::Catalog {
+                        name: "bcspwr10".into(),
+                        scale: 1,
+                        gen_seed: 1
+                    }
+                );
+            }
+            other => panic!("expected Decompose, got {other:?}"),
+        }
+        // Missing k.
+        let v = obj(&[
+            ("op", Value::Str("decompose".into())),
+            ("matrix", Value::Str("x".into())),
+        ]);
+        assert!(parse_request(&v).unwrap_err().contains("k"));
+        // No matrix at all.
+        let v = obj(&[
+            ("op", Value::Str("decompose".into())),
+            ("k", Value::Num(2.0)),
+        ]);
+        assert!(parse_request(&v).is_err());
+        // Unknown op.
+        let v = obj(&[("op", Value::Str("fly".into()))]);
+        assert!(parse_request(&v).is_err());
+    }
+
+    #[test]
+    fn error_response_shape() {
+        let e = error_response(codes::OVERLOADED, "queue full", Some(120));
+        assert_eq!(e.get("ok"), Some(&Value::Bool(false)));
+        let err = e.get("error").unwrap();
+        assert_eq!(err.get("code").unwrap().as_str(), Some("overloaded"));
+        assert_eq!(err.get("retry_after_ms").unwrap().as_u64(), Some(120));
+    }
+}

@@ -1,0 +1,174 @@
+//! Bounded job queue with load-shed admission: the backpressure point of
+//! the daemon.
+//!
+//! `push` never blocks — a full queue is an *admission decision*, and
+//! the connection thread turns it into an `overloaded` rejection with a
+//! retry-after hint rather than stacking latency invisibly. `pop`
+//! blocks workers until a job, a close, or a drain-poll timeout.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a `push` was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// At capacity — shed the job.
+    Full {
+        /// Jobs currently queued (== capacity).
+        depth: usize,
+    },
+    /// The queue is closed for shutdown.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    peak_depth: usize,
+}
+
+/// A bounded MPMC queue: `Mutex<VecDeque>` + `Condvar`, no async
+/// runtime. Cheap at the scale of decomposition jobs (each worth
+/// milliseconds to seconds of partitioning).
+pub struct BoundedQueue<T> {
+    cap: usize,
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `cap` (>= 1) waiting jobs.
+    pub fn new(cap: usize) -> Self {
+        BoundedQueue {
+            cap: cap.max(1),
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+                peak_depth: 0,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// The admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        // A poisoned queue mutex means a panic *while holding the lock*;
+        // the queue state itself (a VecDeque of jobs) is still coherent,
+        // and refusing to serve would turn one lost job into a dead
+        // daemon. Recover the guard.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Non-blocking admission: `Ok` enqueues, `Err` sheds.
+    pub fn push(&self, item: T) -> Result<(), PushError> {
+        let mut g = self.lock();
+        if g.closed {
+            return Err(PushError::Closed);
+        }
+        if g.items.len() >= self.cap {
+            return Err(PushError::Full {
+                depth: g.items.len(),
+            });
+        }
+        g.items.push_back(item);
+        g.peak_depth = g.peak_depth.max(g.items.len());
+        drop(g);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocking take with a poll timeout. `None` means "no job right
+    /// now" — either the timeout elapsed (caller re-checks its shutdown
+    /// flag and calls again) or the queue is closed *and* empty (caller
+    /// exits).
+    pub fn pop(&self, timeout: Duration) -> Option<T> {
+        let mut g = self.lock();
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            let (guard, result) = match self.available.wait_timeout(g, timeout) {
+                Ok(pair) => pair,
+                Err(poisoned) => {
+                    let pair = poisoned.into_inner();
+                    (pair.0, pair.1)
+                }
+            };
+            g = guard;
+            if result.timed_out() {
+                return g.items.pop_front();
+            }
+        }
+    }
+
+    /// Jobs currently waiting.
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// The deepest the queue has ever been.
+    pub fn peak_depth(&self) -> usize {
+        self.lock().peak_depth
+    }
+
+    /// Closes admission (pushes fail with [`PushError::Closed`]) and
+    /// wakes every waiting worker. Queued jobs remain poppable — drain
+    /// semantics, not abandonment.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// `true` once [`BoundedQueue::close`] has run.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_sheds_at_capacity() {
+        let q = BoundedQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(PushError::Full { depth: 2 }));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.peak_depth(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = BoundedQueue::new(4);
+        q.push("a").unwrap();
+        q.close();
+        assert_eq!(q.push("b"), Err(PushError::Closed));
+        // The queued job is still served (drain), then pop returns None.
+        assert_eq!(q.pop(Duration::from_millis(10)), Some("a"));
+        assert_eq!(q.pop(Duration::from_millis(10)), None);
+    }
+
+    #[test]
+    fn pop_wakes_on_cross_thread_push() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(42).unwrap();
+        assert_eq!(t.join().unwrap(), Some(42));
+    }
+}

@@ -1,0 +1,57 @@
+//! Minimal async-signal-safe shutdown flag.
+//!
+//! The workspace builds offline with no registry access, so there is no
+//! `libc`/`signal-hook` to lean on: the handler is installed through the
+//! C library's `signal(2)` directly (always linked on unix). The handler
+//! body does the only thing that is async-signal-safe here — a relaxed
+//! store to a static `AtomicBool` — and the accept loop polls the flag.
+//! On non-unix targets installation is a no-op and shutdown comes from
+//! the in-process [`crate::server::ServerHandle::shutdown`] path only.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod unix {
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // int (*signal(int signum, void (*handler)(int)))(int)
+        pub fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub extern "C" fn handle(_signum: i32) {
+        super::SHUTDOWN_REQUESTED.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// Installs SIGTERM/SIGINT handlers that set the shutdown flag. Safe to
+/// call more than once; a no-op off unix.
+pub fn install_shutdown_handlers() {
+    #[cfg(unix)]
+    // SAFETY: `signal` only swaps the process handler table entry, and
+    // the handler does nothing but a relaxed atomic store.
+    unsafe {
+        unix::signal(unix::SIGTERM, unix::handle as extern "C" fn(i32) as usize);
+        unix::signal(unix::SIGINT, unix::handle as extern "C" fn(i32) as usize);
+    }
+}
+
+/// `true` once a shutdown signal has arrived (or
+/// [`request_shutdown`] ran).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN_REQUESTED.load(Ordering::Relaxed)
+}
+
+/// Sets the flag from in-process code — the same path a signal takes,
+/// used by `ServerHandle::shutdown` and tests.
+pub fn request_shutdown() {
+    SHUTDOWN_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+/// Clears the flag (test isolation: the flag is process-global).
+pub fn reset_shutdown_flag() {
+    SHUTDOWN_REQUESTED.store(false, Ordering::Relaxed);
+}

@@ -1,0 +1,221 @@
+//! The resilience acceptance test: a daemon under concurrent hostile
+//! load must crash zero times, answer every surviving request with a
+//! valid partition or a typed rejection, observe at least one
+//! disconnect-driven cancellation, contain injected worker panics, and
+//! drain cleanly on shutdown with a schema-valid metrics report.
+
+use std::time::{Duration, Instant};
+
+use fgh_serve::client::{decompose_request, LoadConfig, ServeClient};
+use fgh_serve::metrics::validate_serve_metrics_value;
+use fgh_serve::protocol::codes;
+use fgh_serve::server::{ServeConfig, Server};
+use fgh_serve::{run_load, Listen};
+use fgh_trace::json::Value;
+
+fn test_config() -> ServeConfig {
+    let mut cfg = ServeConfig::loopback();
+    cfg.workers = 4;
+    cfg.queue_capacity = 8; // small on purpose: the load must trip admission control
+    cfg.fault_injection = true;
+    cfg.drain = Duration::from_secs(30);
+    cfg
+}
+
+#[test]
+fn hostile_load_then_clean_drain() {
+    let handle = Server::start(test_config()).expect("daemon must start");
+    let addr = handle.addr().to_string();
+
+    // 64+ concurrent jobs with malformed frames, invalid requests,
+    // injected worker panics, and mid-request disconnects mixed in.
+    let load = LoadConfig::new(72, 12);
+    let report = run_load(&addr, &load);
+
+    assert!(
+        report.is_clean(),
+        "protocol violations or refused connections: {:?} (connect_failures={})",
+        report.violations,
+        report.connect_failures
+    );
+    assert!(report.jobs >= 64, "load must issue >= 64 jobs");
+    assert!(report.ok_full >= 1, "some jobs must complete fully");
+    assert!(report.malformed_sent >= 1);
+    assert!(report.disconnects_sent >= 1);
+    assert!(report.panics_sent >= 1);
+    assert!(report.bad_requests_sent >= 1);
+    // Every injected panic came back as the typed worker-panic error.
+    assert_eq!(
+        report.typed_errors.get(codes::WORKER_PANIC).copied(),
+        Some(report.panics_sent),
+        "typed errors seen: {:?}",
+        report.typed_errors
+    );
+    // The daemon is still alive and serving after all of that.
+    let mut probe = ServeClient::connect_tcp(&addr).expect("daemon must still accept");
+    let pong = probe.ping().expect("daemon must still answer");
+    assert_eq!(pong.get("ok"), Some(&Value::Bool(true)));
+    drop(probe);
+
+    // Graceful shutdown: drain must finish well inside the deadline.
+    let drain_started = Instant::now();
+    handle.shutdown();
+    let snapshot = handle.join();
+    assert!(
+        drain_started.elapsed() < Duration::from_secs(30),
+        "drain exceeded the deadline"
+    );
+    assert!(snapshot.drain_clean, "drain must be clean: {snapshot:?}");
+
+    // Cancellation was observable: every mid-request disconnect tripped
+    // a token and the worker returned to service (it kept completing
+    // jobs afterwards — report.ok_full proves that).
+    assert!(
+        snapshot.cancelled_jobs >= 1,
+        "disconnects must cancel jobs: {snapshot:?}"
+    );
+    assert!(
+        snapshot.worker_panics >= report.panics_sent,
+        "injected panics must be counted: {snapshot:?}"
+    );
+    assert_eq!(
+        snapshot.rejected_bad_frame, report.malformed_sent,
+        "malformed frames must be counted: {snapshot:?}"
+    );
+    assert!(snapshot.rejected_bad_request >= report.bad_requests_sent);
+    assert!(snapshot.accepted_connections >= report.jobs);
+    // Identical honest jobs repeat across the mix, so the plan cache
+    // must have served hits.
+    assert!(
+        snapshot.cache_hits >= 1,
+        "cache must see hits: {snapshot:?}"
+    );
+
+    // The final report is schema-valid fgh-serve-metrics/1 and survives
+    // a JSON round trip.
+    let doc = snapshot.to_document();
+    validate_serve_metrics_value(&doc).expect("snapshot must validate");
+    let back = fgh_trace::json::parse(&doc.to_json()).expect("report must be valid json");
+    validate_serve_metrics_value(&back).expect("round-tripped report must validate");
+}
+
+#[test]
+fn overload_sheds_with_retry_hint() {
+    let mut cfg = test_config();
+    cfg.workers = 1;
+    cfg.queue_capacity = 1;
+    let handle = Server::start(cfg).expect("daemon must start");
+    let addr = handle.addr().to_string();
+
+    // Saturate the single worker with a stalled job, fill the queue,
+    // then observe the shed.
+    let slow = || {
+        let mut v = decompose_request("bcspwr10", 64, 2, 1);
+        if let Value::Obj(doc) = &mut v {
+            doc.insert("inject".into(), Value::Str("sleep_ms:1500".into()));
+        }
+        v
+    };
+    let addr2 = addr.clone();
+    let stall = std::thread::spawn(move || {
+        let mut c = ServeClient::connect_tcp(&addr2).unwrap();
+        c.request(&slow()) // occupies the worker
+    });
+    std::thread::sleep(Duration::from_millis(200));
+    let addr3 = addr.clone();
+    let queued = std::thread::spawn(move || {
+        let mut c = ServeClient::connect_tcp(&addr3).unwrap();
+        c.request(&slow()) // fills the queue slot
+    });
+    std::thread::sleep(Duration::from_millis(200));
+
+    let mut c = ServeClient::connect_tcp(&addr).expect("connect");
+    let shed = c
+        .request(&decompose_request("bcspwr10", 64, 2, 2))
+        .expect("shed response must arrive");
+    assert_eq!(shed.get("ok"), Some(&Value::Bool(false)));
+    let err = shed.get("error").expect("typed error");
+    assert_eq!(
+        err.get("code").and_then(Value::as_str),
+        Some(codes::OVERLOADED)
+    );
+    assert!(
+        err.get("retry_after_ms").and_then(Value::as_u64).is_some(),
+        "shed must carry a retry-after hint: {}",
+        shed.to_json()
+    );
+
+    stall.join().unwrap().expect("stalled job must complete");
+    queued.join().unwrap().expect("queued job must complete");
+    handle.shutdown();
+    let snapshot = handle.join();
+    assert!(snapshot.rejected_overloaded >= 1);
+    assert!(snapshot.drain_clean);
+}
+
+#[test]
+fn shutdown_rejects_new_work_and_reports_dirty_drain_past_deadline() {
+    let mut cfg = test_config();
+    cfg.workers = 1;
+    cfg.drain = Duration::from_millis(300); // far shorter than the stalled job
+    let handle = Server::start(cfg).expect("daemon must start");
+    let addr = handle.addr().to_string();
+
+    // Park a long job on the single worker, then shut down mid-job.
+    let addr2 = addr.clone();
+    let stalled = std::thread::spawn(move || {
+        let mut c = ServeClient::connect_tcp(&addr2).unwrap();
+        let mut v = decompose_request("bcspwr10", 64, 2, 1);
+        if let Value::Obj(doc) = &mut v {
+            doc.insert("inject".into(), Value::Str("sleep_ms:30000".into()));
+        }
+        c.request(&v)
+    });
+    std::thread::sleep(Duration::from_millis(300));
+    let started = Instant::now();
+    handle.shutdown();
+    let snapshot = handle.join();
+    // The drain deadline cancelled the stalled job instead of waiting
+    // the full 30s sleep out.
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "drain must not wait out the stalled job"
+    );
+    assert!(!snapshot.drain_clean, "deadline overrun must be reported");
+    assert!(
+        snapshot.cancelled_jobs >= 1,
+        "the stalled job must have been cancelled: {snapshot:?}"
+    );
+    // The client still got a typed response (cancelled-degraded success),
+    // not a dropped connection.
+    let response = stalled
+        .join()
+        .unwrap()
+        .expect("stalled client must get a frame");
+    assert_eq!(response.get("ok"), Some(&Value::Bool(true)));
+    assert_eq!(
+        response.get("degraded_code").and_then(Value::as_str),
+        Some("cancelled"),
+        "{}",
+        response.to_json()
+    );
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_transport_serves() {
+    let path = std::env::temp_dir().join(format!("fgh-serve-test-{}.sock", std::process::id()));
+    let mut cfg = test_config();
+    cfg.listen = Listen::Unix(path.clone());
+    let handle = Server::start(cfg).expect("daemon must start on a unix socket");
+    let mut c = ServeClient::connect_unix(&path).expect("unix connect");
+    let r = c
+        .request(&decompose_request("bcspwr10", 64, 2, 1))
+        .expect("decompose over unix socket");
+    assert_eq!(r.get("ok"), Some(&Value::Bool(true)));
+    drop(c);
+    handle.shutdown();
+    let snapshot = handle.join();
+    assert!(snapshot.drain_clean);
+    assert!(!path.exists(), "socket file must be removed on shutdown");
+}

@@ -199,7 +199,10 @@ fn check_pipeline(a: &CsrMatrix, model: Model, k: u32, epsilon: f64, budget: Bud
             );
         }
         DecompositionStatus::Degraded { reason } => {
-            assert!(!reason.is_empty(), "degraded outcome without a reason");
+            assert!(
+                !reason.to_string().is_empty() && !reason.code().is_empty(),
+                "degraded outcome without a reason"
+            );
         }
     }
 
