@@ -23,6 +23,9 @@
 //! * There is no global fallback pool: `join` outside any `install` runs
 //!   both closures inline, serially, in order.
 
+// Robustness contract: library (non-test) code must not panic.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::cell::RefCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -36,6 +39,9 @@ struct PoolInner {
 }
 
 impl PoolInner {
+    // lint: atomic — relaxed: the token count is its own synchronization
+    // object; the CAS only needs atomicity, and the spawned thread is
+    // synchronized by `thread::scope`'s join edge, not by this counter
     fn try_acquire(self: &Arc<Self>) -> Option<Token> {
         let mut cur = self.spare.load(Ordering::Relaxed);
         while cur > 0 {
@@ -59,7 +65,7 @@ struct Token(Arc<PoolInner>);
 
 impl Drop for Token {
     fn drop(&mut self) {
-        self.0.spare.fetch_add(1, Ordering::Relaxed);
+        self.0.spare.fetch_add(1, Ordering::Relaxed); // lint: atomic — relaxed: token release; scope join provides the ordering
     }
 }
 

@@ -104,9 +104,10 @@ pub fn read_mapping(path: &str) -> Result<Decomposition, String> {
             .parse()
             .map_err(|e| format!("{path}: bad {what}: {e}"))
     };
-    let k = parse(it.next(), "k")? as u32;
+    let k = u32::try_from(parse(it.next(), "k")?).map_err(|_| format!("{path}: k out of range"))?;
     let n = parse(it.next(), "n")?;
-    let nnz = parse(it.next(), "nnz")? as usize;
+    let nnz = usize::try_from(parse(it.next(), "nnz")?)
+        .map_err(|_| format!("{path}: nnz out of range"))?;
     let mut nums = lines.map(|l| l.trim().parse::<u32>());
     let mut take = |count: usize, what: &str| -> Result<Vec<u32>, String> {
         (0..count)

@@ -21,6 +21,10 @@
 // Robustness contract: library (non-test) code must not panic.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod ordered;
+
+pub use ordered::{lock_order, OrderedMutex, OrderedMutexGuard};
+
 /// A broken structural invariant: which structure, which rule, and a
 /// human-readable account of the offending indices/values.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -19,7 +19,9 @@
 
 use crate::gain::GainBuckets;
 use fgh_sparse::IndexType;
-use std::sync::{Mutex, PoisonError};
+use std::sync::PoisonError;
+
+use fgh_invariant::{lock_order, OrderedMutex};
 
 /// How many buffers of each kind the pool retains. Recursion depth bounds
 /// live buffers, so a small cap is enough; it exists only to keep a
@@ -230,9 +232,17 @@ impl ArenaIndex for u64 {
 /// only at fork/join boundaries — never inside the multilevel hot loops —
 /// so contention is bounded by the number of forks, not the number of
 /// levels.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ArenaPool {
-    arenas: Mutex<Vec<LevelArena>>,
+    arenas: OrderedMutex<Vec<LevelArena>>,
+}
+
+impl Default for ArenaPool {
+    fn default() -> Self {
+        ArenaPool {
+            arenas: OrderedMutex::new("ArenaPool", lock_order::ARENA_POOL, Vec::new()),
+        }
+    }
 }
 
 /// Cap on retained arenas: forks are bounded by thread count, so anything

@@ -47,12 +47,12 @@ impl CancelToken {
     /// Requests cancellation. Latches: there is no way to un-cancel, so
     /// every thread of the run converges on stopping.
     pub fn cancel(&self) {
-        self.tripped.store(true, Ordering::Relaxed);
+        self.tripped.store(true, Ordering::Relaxed); // lint: atomic — relaxed: latched flag; checkpoints poll it, no data guarded
     }
 
     /// `true` once any clone of this token has been cancelled.
     pub fn is_cancelled(&self) -> bool {
-        self.tripped.load(Ordering::Relaxed)
+        self.tripped.load(Ordering::Relaxed) // lint: atomic — relaxed: poll; a stale read only delays the stop by one checkpoint
     }
 }
 

@@ -14,9 +14,9 @@
 //! cache degrades to a slower service, never to wrong answers.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
 
 use fgh_core::Decomposition;
+use fgh_invariant::{lock_order, OrderedMutex, OrderedMutexGuard};
 
 /// 64-bit FNV-1a over a byte stream — tiny, deterministic, and
 /// dependency-free; collision resistance is adequate for a cache whose
@@ -77,7 +77,7 @@ struct Inner {
 /// irrelevant next to partitioning cost.
 pub struct PlanCache {
     byte_cap: usize,
-    inner: Mutex<Inner>,
+    inner: OrderedMutex<Inner>,
 }
 
 impl PlanCache {
@@ -86,19 +86,23 @@ impl PlanCache {
     pub fn new(byte_cap: usize) -> Self {
         PlanCache {
             byte_cap,
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                clock: 0,
-                bytes: 0,
-                hits: 0,
-                misses: 0,
-                evictions: 0,
-                integrity_failures: 0,
-            }),
+            inner: OrderedMutex::new(
+                "PlanCache",
+                lock_order::PLAN_CACHE,
+                Inner {
+                    map: HashMap::new(),
+                    clock: 0,
+                    bytes: 0,
+                    hits: 0,
+                    misses: 0,
+                    evictions: 0,
+                    integrity_failures: 0,
+                },
+            ),
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+    fn lock(&self) -> OrderedMutexGuard<'_, Inner> {
         match self.inner.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),

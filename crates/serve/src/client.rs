@@ -339,6 +339,7 @@ fn run_one(addr: &str, cfg: &LoadConfig, i: usize, report: &mut LoadReport) {
         }
         JobKind::Panic => {
             report.panics_sent += 1;
+            // lint: checked-cast — `i % 3` is at most 2, well inside u32
             let mut v = decompose_request(&cfg.matrix, cfg.scale, 2 + (i % 3) as u32, i as u64);
             if let Value::Obj(doc) = &mut v {
                 doc.insert("inject".into(), Value::Str("panic".into()));

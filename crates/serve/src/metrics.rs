@@ -67,11 +67,13 @@ pub struct ServeCounters {
 
 impl ServeCounters {
     /// Relaxed increment.
+    // lint: atomic — relaxed: monotonic metric counter; readers tolerate staleness
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Relaxed read.
+    // lint: atomic — relaxed: metric snapshot; cross-counter skew is acceptable
     pub fn get(counter: &AtomicU64) -> u64 {
         counter.load(Ordering::Relaxed)
     }

@@ -305,7 +305,7 @@ pub fn parse_request(v: &Value) -> Result<Request, String> {
                 .transpose()?
                 .unwrap_or("fine-grain-2d")
                 .to_string();
-            let runs = get_u64(v, "runs", 1)?.max(1) as usize; // lint: checked-cast — small count
+            let runs = get_u64(v, "runs", 1)?.max(1) as usize; // u64 -> usize is lossless on every supported target
             let budget_ms = v
                 .get("budget_ms")
                 .map(|n| n.as_u64().ok_or("budget_ms: expected an integer"))

@@ -7,8 +7,10 @@
 //! blocks workers until a job, a close, or a drain-poll timeout.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::Condvar;
 use std::time::Duration;
+
+use fgh_invariant::{lock_order, OrderedMutex, OrderedMutexGuard};
 
 /// Why a `push` was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +35,7 @@ struct Inner<T> {
 /// milliseconds to seconds of partitioning).
 pub struct BoundedQueue<T> {
     cap: usize,
-    inner: Mutex<Inner<T>>,
+    inner: OrderedMutex<Inner<T>>,
     available: Condvar,
 }
 
@@ -42,11 +44,15 @@ impl<T> BoundedQueue<T> {
     pub fn new(cap: usize) -> Self {
         BoundedQueue {
             cap: cap.max(1),
-            inner: Mutex::new(Inner {
-                items: VecDeque::new(),
-                closed: false,
-                peak_depth: 0,
-            }),
+            inner: OrderedMutex::new(
+                "JobQueue",
+                lock_order::JOB_QUEUE,
+                Inner {
+                    items: VecDeque::new(),
+                    closed: false,
+                    peak_depth: 0,
+                },
+            ),
             available: Condvar::new(),
         }
     }
@@ -56,7 +62,7 @@ impl<T> BoundedQueue<T> {
         self.cap
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+    fn lock(&self) -> OrderedMutexGuard<'_, Inner<T>> {
         // A poisoned queue mutex means a panic *while holding the lock*;
         // the queue state itself (a VecDeque of jobs) is still coherent,
         // and refusing to serve would turn one lost job into a dead
@@ -98,15 +104,9 @@ impl<T> BoundedQueue<T> {
             if g.closed {
                 return None;
             }
-            let (guard, result) = match self.available.wait_timeout(g, timeout) {
-                Ok(pair) => pair,
-                Err(poisoned) => {
-                    let pair = poisoned.into_inner();
-                    (pair.0, pair.1)
-                }
-            };
+            let (guard, timed_out) = g.wait_timeout(&self.available, timeout);
             g = guard;
-            if result.timed_out() {
+            if timed_out {
                 return g.items.pop_front();
             }
         }

@@ -32,6 +32,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::RecvTimeoutError;
 use std::sync::{Arc, Mutex};
+
+use fgh_invariant::{lock_order, OrderedMutex, OrderedMutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -100,7 +102,7 @@ struct Shared {
     shutdown: AtomicBool,
     /// Tokens of jobs currently admitted and not yet responded, keyed by
     /// a registration id; the drain deadline cancels them all.
-    in_flight: Mutex<BTreeMap<u64, CancelToken>>,
+    in_flight: OrderedMutex<BTreeMap<u64, CancelToken>>,
     next_registration: AtomicU64,
     /// Jobs responded after the drain began (for the report).
     drained_jobs: AtomicU64,
@@ -109,7 +111,7 @@ struct Shared {
 
 impl Shared {
     fn register(&self, token: &CancelToken) -> u64 {
-        let id = self.next_registration.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_registration.fetch_add(1, Ordering::Relaxed); // lint: atomic — relaxed: unique-id counter, no data guarded
         self.lock_in_flight().insert(id, token.clone());
         id
     }
@@ -118,7 +120,7 @@ impl Shared {
         self.lock_in_flight().remove(&id);
     }
 
-    fn lock_in_flight(&self) -> std::sync::MutexGuard<'_, BTreeMap<u64, CancelToken>> {
+    fn lock_in_flight(&self) -> OrderedMutexGuard<'_, BTreeMap<u64, CancelToken>> {
         match self.in_flight.lock() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
@@ -147,7 +149,7 @@ impl ServerHandle {
 
     /// Requests shutdown (same path a SIGTERM takes).
     pub fn shutdown(&self) {
-        self.shutdown_requested.store(true, Ordering::Relaxed);
+        self.shutdown_requested.store(true, Ordering::Relaxed); // lint: atomic — relaxed: latched flag, polled by the accept loop
     }
 
     /// Waits for the daemon to finish draining and returns the final
@@ -211,7 +213,11 @@ impl Server {
             counters: Arc::new(ServeCounters::default()),
             draining: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
-            in_flight: Mutex::new(BTreeMap::new()),
+            in_flight: OrderedMutex::new(
+                "InFlightTable",
+                lock_order::IN_FLIGHT_TABLE,
+                BTreeMap::new(),
+            ),
             next_registration: AtomicU64::new(0),
             drained_jobs: AtomicU64::new(0),
             fault_injection: config.fault_injection,
@@ -229,6 +235,7 @@ impl Server {
             let shared = Arc::clone(&shared);
             let handles = Arc::clone(&worker_handles);
             std::thread::spawn(move || loop {
+                // lint: atomic — relaxed: shutdown poll; staleness only delays exit by one tick
                 if shared.shutdown.load(Ordering::Relaxed) {
                     return;
                 }
@@ -257,10 +264,10 @@ impl Server {
                 let conn_threads =
                     accept_loop(&listener, &shared, &shutdown_requested, watch_signals);
                 let snapshot = drain_and_stop(&shared, drain, workers_cfg, worker_handles);
-                shared.shutdown.store(true, Ordering::Relaxed);
-                // Connection threads exit once their in-flight response
-                // (now guaranteed delivered or cancelled) is written and
-                // they observe `draining` at the next idle poll.
+                shared.shutdown.store(true, Ordering::Relaxed); // lint: atomic — relaxed: latched flag; supervisor polls it
+                                                                // Connection threads exit once their in-flight response
+                                                                // (now guaranteed delivered or cancelled) is written and
+                                                                // they observe `draining` at the next idle poll.
                 for h in conn_threads {
                     let _ = h.join();
                 }
@@ -294,6 +301,7 @@ fn accept_loop(
 ) -> Vec<JoinHandle<()>> {
     let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
     loop {
+        // lint: atomic — relaxed: shutdown poll, observed within one accept tick
         if shutdown_requested.load(Ordering::Relaxed)
             || (watch_signals && crate::signal::shutdown_requested())
         {
@@ -318,7 +326,7 @@ fn accept_loop(
     // queued work keeps flowing to workers. They are joined only AFTER
     // the drain deadline logic ran — a conn thread blocked on a stalled
     // worker needs that deadline to trip its job's cancel token.
-    shared.draining.store(true, Ordering::Relaxed);
+    shared.draining.store(true, Ordering::Relaxed); // lint: atomic — relaxed: latched drain flag; conn threads poll it
     conn_threads
 }
 
@@ -353,8 +361,8 @@ fn drain_and_stop(
             Ok(v) => v,
             Err(p) => p.into_inner(),
         },
-        Err(arc) => {
-            let mut g = match arc.lock() {
+        Err(handles) => {
+            let mut g = match handles.lock() {
                 Ok(g) => g,
                 Err(p) => p.into_inner(),
             };
@@ -365,7 +373,7 @@ fn drain_and_stop(
         let _ = h.join();
     }
     let drained = ServeCounters::get(&shared.counters.completed) - completed_at_drain;
-    shared.drained_jobs.store(drained, Ordering::Relaxed);
+    shared.drained_jobs.store(drained, Ordering::Relaxed); // lint: atomic — relaxed: report-only counter, read after joins
     snapshot(shared, workers, clean)
 }
 
@@ -394,6 +402,7 @@ fn snapshot(shared: &Shared, workers: u64, drain_clean: bool) -> ServeSnapshot {
         cache_byte_cap: shared.cache.byte_cap() as u64,
         workers,
         drain_clean,
+        // lint: atomic — relaxed: report-only read after workers joined
         drained_jobs: shared.drained_jobs.load(Ordering::Relaxed),
     }
 }
@@ -455,6 +464,7 @@ fn connection_loop(mut stream: Stream, shared: &Arc<Shared>) {
         let frame = match read_frame(&mut stream) {
             Ok(v) => v,
             Err(FrameError::Idle) => {
+                // lint: atomic — relaxed: drain poll; one extra request is harmless
                 if shared.draining.load(Ordering::Relaxed) {
                     return; // drain: shed idle keepalive connections
                 }
@@ -491,6 +501,7 @@ fn connection_loop(mut stream: Stream, shared: &Arc<Shared>) {
                 }
             }
             Request::Decompose(req) => {
+                // lint: atomic — relaxed: drain poll; one extra request is harmless
                 if shared.draining.load(Ordering::Relaxed) {
                     ServeCounters::bump(&shared.counters.rejected_shutting_down);
                     let _ = write_frame(

@@ -23,6 +23,7 @@ mod unix {
     }
 
     pub extern "C" fn handle(_signum: i32) {
+        // lint: atomic — relaxed: async-signal-safe latched flag; polled, no data guarded
         super::SHUTDOWN_REQUESTED.store(true, std::sync::atomic::Ordering::Relaxed);
     }
 }
@@ -30,9 +31,10 @@ mod unix {
 /// Installs SIGTERM/SIGINT handlers that set the shutdown flag. Safe to
 /// call more than once; a no-op off unix.
 pub fn install_shutdown_handlers() {
+    // The handler is async-signal-safe: nothing but a relaxed atomic
+    // store, and the fn pointer outlives the process.
     #[cfg(unix)]
-    // SAFETY: `signal` only swaps the process handler table entry, and
-    // the handler does nothing but a relaxed atomic store.
+    // lint: unsafe — `signal` only swaps the process handler table entry for an async-signal-safe handler
     unsafe {
         unix::signal(unix::SIGTERM, unix::handle as extern "C" fn(i32) as usize);
         unix::signal(unix::SIGINT, unix::handle as extern "C" fn(i32) as usize);
@@ -42,16 +44,16 @@ pub fn install_shutdown_handlers() {
 /// `true` once a shutdown signal has arrived (or
 /// [`request_shutdown`] ran).
 pub fn shutdown_requested() -> bool {
-    SHUTDOWN_REQUESTED.load(Ordering::Relaxed)
+    SHUTDOWN_REQUESTED.load(Ordering::Relaxed) // lint: atomic — relaxed: latched flag poll, no ordering needed
 }
 
 /// Sets the flag from in-process code — the same path a signal takes,
 /// used by `ServerHandle::shutdown` and tests.
 pub fn request_shutdown() {
-    SHUTDOWN_REQUESTED.store(true, Ordering::Relaxed);
+    SHUTDOWN_REQUESTED.store(true, Ordering::Relaxed); // lint: atomic — relaxed: latched flag, same path as the handler
 }
 
 /// Clears the flag (test isolation: the flag is process-global).
 pub fn reset_shutdown_flag() {
-    SHUTDOWN_REQUESTED.store(false, Ordering::Relaxed);
+    SHUTDOWN_REQUESTED.store(false, Ordering::Relaxed); // lint: atomic — relaxed: test-only reset, single-threaded use
 }

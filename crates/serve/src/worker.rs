@@ -15,12 +15,13 @@
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::SyncSender;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fgh_core::{
     Budget, CancelToken, DecompositionOutcome, EngineSession, FghError, JobParams, Model,
 };
+use fgh_invariant::{lock_order, OrderedMutex, OrderedMutexGuard};
 use fgh_sparse::io::parse_matrix_market_bytes_any;
 use fgh_sparse::{catalog, AnyCsrMatrix};
 use fgh_trace::json::Value;
@@ -43,18 +44,18 @@ pub struct Job {
 /// The shared engine handle with quarantine: workers take a cheap clone
 /// per job; a panic swaps the stored session for a fresh one.
 pub struct SharedSession {
-    inner: Mutex<EngineSession>,
+    inner: OrderedMutex<EngineSession>,
 }
 
 impl SharedSession {
     /// Wraps a session for shared use.
     pub fn new(session: EngineSession) -> Self {
         SharedSession {
-            inner: Mutex::new(session),
+            inner: OrderedMutex::new("SessionState", lock_order::SESSION_STATE, session),
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, EngineSession> {
+    fn lock(&self) -> OrderedMutexGuard<'_, EngineSession> {
         match self.inner.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
@@ -256,7 +257,7 @@ pub fn execute_job(
         budget.max_wall = Some(Duration::from_millis(ms));
     }
     if let Some(bytes) = req.budget_bytes {
-        budget.max_bytes = Some(bytes.min(usize::MAX as u64) as usize); // lint: checked-cast — min-clamped
+        budget.max_bytes = Some(bytes.min(usize::MAX as u64) as usize); // min-clamp makes the u64 -> usize conversion lossless
     }
     let params = JobParams::new(model, req.k)
         .with_epsilon(req.epsilon)

@@ -577,8 +577,7 @@ mod mmap {
                 return None;
             }
             let len = len as usize;
-            // SAFETY: a fresh private read-only mapping of a file we hold
-            // open; address chosen by the kernel; length is the file size.
+            // lint: unsafe — fresh private read-only mapping of a file we hold open; address chosen by the kernel, length is the file size
             let ptr = unsafe {
                 mmap(
                     core::ptr::null_mut(),
@@ -597,15 +596,14 @@ mod mmap {
         }
 
         pub fn bytes(&self) -> &[u8] {
-            // SAFETY: the mapping is valid for `len` bytes until drop, and
-            // PROT_READ makes it plain immutable memory.
+            // lint: unsafe — the mapping stays valid for `len` bytes until drop, and PROT_READ makes it plain immutable memory
             unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
         }
     }
 
     impl Drop for Mmap {
         fn drop(&mut self) {
-            // SAFETY: ptr/len are exactly what mmap returned.
+            // lint: unsafe — ptr/len are exactly what mmap returned; unmapping once in Drop cannot double-free
             unsafe {
                 munmap(self.ptr, self.len);
             }

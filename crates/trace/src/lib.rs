@@ -223,6 +223,7 @@ impl SpanHandle {
         match &self.core {
             None => Span::noop(),
             Some(core) => {
+                // lint: atomic — relaxed: unique span-id counter; uniqueness needs atomicity, not ordering
                 let id = core.next_id.fetch_add(1, Ordering::Relaxed);
                 Span {
                     core: Some(core.clone()),

@@ -7,6 +7,8 @@
 
 use std::collections::BTreeMap;
 
+use crate::lint::LockClass;
+
 /// Parsed lint configuration.
 #[derive(Debug, Clone, Default)]
 pub struct LintConfig {
@@ -16,6 +18,11 @@ pub struct LintConfig {
     /// Files (relative to the workspace root) where raw slice indexing
     /// requires a `checked-index` audit marker (rule FGH003).
     pub hot_modules: Vec<String>,
+    /// Declared lock hierarchy (rule FGH006), earliest-acquired first:
+    /// `[locks] order = [...]` plus per-class receiver patterns under
+    /// `[locks.classes]`. A class with no patterns entry matches its own
+    /// name only.
+    pub lock_order: Vec<LockClass>,
 }
 
 /// A config-file problem, reported with its line number.
@@ -42,6 +49,36 @@ impl LintConfig {
         if let Some(arr) = sections.remove("indexing.hot_modules") {
             cfg.hot_modules = arr;
         }
+        let order = sections.remove("locks.order").unwrap_or_default();
+        let mut class_patterns: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let class_keys: Vec<String> = sections
+            .keys()
+            .filter(|k| k.starts_with("locks.classes."))
+            .cloned()
+            .collect();
+        for key in class_keys {
+            let name = key["locks.classes.".len()..].to_string();
+            if !order.contains(&name) {
+                return Err(ConfigError {
+                    line: 0,
+                    message: format!(
+                        "[locks.classes] entry `{name}` is not listed in [locks] order"
+                    ),
+                });
+            }
+            if let Some(pats) = sections.remove(&key) {
+                class_patterns.insert(name, pats);
+            }
+        }
+        cfg.lock_order = order
+            .into_iter()
+            .map(|name| {
+                let patterns = class_patterns
+                    .remove(&name)
+                    .unwrap_or_else(|| vec![name.clone()]);
+                LockClass { name, patterns }
+            })
+            .collect();
         if let Some(key) = sections.keys().next() {
             return Err(ConfigError {
                 line: 0,
@@ -192,5 +229,37 @@ hot_modules = ["crates/a/src/hot.rs"]
     fn hash_inside_string_is_not_a_comment() {
         let cfg = LintConfig::parse("[crates]\nroots = [\"a#b\"]").unwrap();
         assert_eq!(cfg.crate_roots, vec!["a#b"]);
+    }
+
+    #[test]
+    fn parses_lock_hierarchy_with_patterns_and_defaults() {
+        let cfg = LintConfig::parse(
+            r#"
+[crates]
+roots = ["crates/a"]
+
+[locks]
+order = ["ArenaPool", "JobQueue"]
+
+[locks.classes]
+ArenaPool = ["arenas", "pool"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.lock_order.len(), 2);
+        assert_eq!(cfg.lock_order[0].name, "ArenaPool");
+        assert_eq!(cfg.lock_order[0].patterns, vec!["arenas", "pool"]);
+        // No patterns entry → the class matches its own name only.
+        assert_eq!(cfg.lock_order[1].name, "JobQueue");
+        assert_eq!(cfg.lock_order[1].patterns, vec!["JobQueue"]);
+    }
+
+    #[test]
+    fn rejects_class_not_listed_in_order() {
+        let err = LintConfig::parse(
+            "[crates]\nroots = [\"a\"]\n[locks]\norder = [\"A\"]\n[locks.classes]\nB = [\"b\"]\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("`B`"), "{err}");
     }
 }

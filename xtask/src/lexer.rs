@@ -449,4 +449,68 @@ mod tests {
         assert_eq!((toks[0].line, toks[0].col), (1, 1));
         assert_eq!((toks[1].line, toks[1].col), (2, 3));
     }
+
+    #[test]
+    fn raw_strings_hide_lock_calls() {
+        // FGH006 keys off `.lock()` Ident tokens: one inside a raw
+        // string (e.g. a doc example embedded in a test fixture) must
+        // not produce them.
+        let src = r####"let s = r#"let g = m.lock().unwrap();"#;"####;
+        let toks = lex(src);
+        assert_eq!(
+            toks.iter().map(|t| t.kind).collect::<Vec<_>>(),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Ident,
+                TokenKind::Punct('='),
+                TokenKind::Str,
+                TokenKind::Punct(';'),
+            ]
+        );
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text(src) == "lock"));
+    }
+
+    #[test]
+    fn nested_block_comments_hide_atomics_and_keep_lines() {
+        // FGH005 must not fire on commented-out code, and the token
+        // after a multi-line nested comment must land on the right line
+        // (marker coverage is line-based).
+        let src = "/* dead:\n /* a.store(true, Ordering::SeqCst); */\n*/\nx";
+        let toks = lex(src);
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert_eq!((toks[1].text(src), toks[1].line), ("x", 4));
+    }
+
+    #[test]
+    fn multiline_raw_string_keeps_following_line_numbers() {
+        // A `r#"…"#` literal spanning lines must advance the line
+        // counter, or every marker after it would mis-cover.
+        let src = "let q = r#\"line one\nline two \"quoted\"\nline three\"#;\nunsafe_marker";
+        let toks = lex(src);
+        assert_eq!(toks[3].kind, TokenKind::Str);
+        let last = toks.last().copied().expect("tokens");
+        assert_eq!((last.text(src), last.line), ("unsafe_marker", 4));
+    }
+
+    #[test]
+    fn cfg_gated_blocks_tokenize_around_markers() {
+        // A `// lint:` marker split from its code by a cfg attribute:
+        // the lexer must keep the comment token distinct and position
+        // the attribute's `#` directly after it, which is what the
+        // marker attribute-skip in lint.rs relies on.
+        let src = "// lint: atomic — relaxed: latched flag\n#[cfg(feature = \"p\")]\nf.store(true, Ordering::Relaxed);";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::LineComment);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].kind, TokenKind::Punct('#'));
+        assert_eq!(toks[1].line, 2);
+        let store = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident && t.text(src) == "store")
+            .expect("store token");
+        assert_eq!(store.line, 3);
+    }
 }

@@ -6,17 +6,31 @@
 //! | FGH002 | `debug_assert!(false, …)` — must be a typed internal error      |
 //! | FGH003 | Raw slice indexing `x[…]` in configured hot modules, unaudited  |
 //! | FGH004 | Crate roots missing the `deny(clippy::unwrap_used, …)` gate     |
+//! | FGH005 | Atomic `Ordering::…` uses without a `// lint: atomic` marker    |
+//! | FGH006 | `.lock()` against the declared hierarchy; `.lock().unwrap()`    |
+//! | FGH007 | `panic!`/`unwrap`/`expect`/raw indexing inside `impl Drop`      |
+//! | FGH008 | `unsafe` blocks without a `// lint: unsafe — <invariant>`       |
 //!
 //! Audit markers are line comments of the form
-//! `// lint: checked-cast — <reason>` or
-//! `// lint: checked-index — <reason>`, placed on the offending line or
-//! the line directly above. A `checked-index` marker directly above an
-//! `fn` item covers the whole (brace-matched) function body — hot loops
-//! index dozens of times per function and per-line markers there would
-//! drown the code.
+//! `// lint: <kind> — <reason>` with kinds `checked-cast`,
+//! `checked-index`, `atomic`, `lock`, and `unsafe`, placed on the
+//! offending line or the line directly above. A `checked-index`,
+//! `atomic`, or `unsafe` marker directly above an `fn` item covers the
+//! whole (brace-matched) function body — hot loops index dozens of times
+//! per function, and atomics cluster the same way. A marker directly
+//! above a `#[cfg(…)]`-gated block covers the first line past the
+//! attributes, so gating does not detach markers from their code.
+//! `lock` markers are line-scope only: each exemption from the lock
+//! hierarchy or the `.lock().unwrap()` ban must be argued at its site.
+//!
+//! FGH005 additionally requires that a marker covering a
+//! `Ordering::Relaxed` use say the word "relaxed" in its reason — the
+//! author must name why reordering is safe, not just that an ordering
+//! was chosen.
 //!
 //! Test code (`#[cfg(test)]` items and `#[test]` functions) is exempt
-//! from FGH001–FGH003: a panic in a test *is* the failure report.
+//! from every rule but FGH004: a panic in a test *is* the failure
+//! report, and tests may lock eagerly.
 
 use crate::lexer::{lex, Token, TokenKind};
 
@@ -32,6 +46,32 @@ const NON_INDEX_KEYWORDS: &[&str] = &[
     "return", "in", "if", "else", "match", "break", "continue", "move", "while", "loop", "as",
     "const", "static", "let", "mut", "ref", "dyn", "impl", "where", "type", "fn",
 ];
+
+/// The `std::sync::atomic::Ordering` variants FGH005 audits. `Less`,
+/// `Equal`, `Greater` are absent, so `std::cmp::Ordering` paths never
+/// match.
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// One level of the declared lock hierarchy (rule FGH006), in
+/// acquisition order: a lock may only be taken while holding
+/// strictly-earlier-ranked locks.
+#[derive(Debug, Clone)]
+pub struct LockClass {
+    pub name: String,
+    /// Identifiers that classify a `.lock()` site as this class: matched
+    /// against the receiver path (`self.arenas.lock()` → `arenas`,
+    /// `self`) and, failing that, the enclosing `impl` type name.
+    pub patterns: Vec<String>,
+}
+
+/// Per-file rule configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleSet<'a> {
+    /// Enables FGH003 (raw indexing) for this file.
+    pub hot: bool,
+    /// The declared lock hierarchy, earliest-acquired first (FGH006).
+    pub lock_order: &'a [LockClass],
+}
 
 /// One finding, formatted like a rustc diagnostic.
 #[derive(Debug, Clone)]
@@ -94,6 +134,9 @@ pub struct Marker {
 pub enum MarkerKind {
     CheckedCast,
     CheckedIndex,
+    Atomic,
+    Lock,
+    Unsafe,
 }
 
 impl MarkerKind {
@@ -101,7 +144,19 @@ impl MarkerKind {
         match self {
             MarkerKind::CheckedCast => "checked-cast",
             MarkerKind::CheckedIndex => "checked-index",
+            MarkerKind::Atomic => "atomic",
+            MarkerKind::Lock => "lock",
+            MarkerKind::Unsafe => "unsafe",
         }
+    }
+
+    /// Kinds whose marker, placed directly above an `fn` item, covers
+    /// the whole function body. `lock` is deliberately absent.
+    fn fn_scope(self) -> bool {
+        matches!(
+            self,
+            MarkerKind::CheckedIndex | MarkerKind::Atomic | MarkerKind::Unsafe
+        )
     }
 }
 
@@ -113,8 +168,9 @@ pub struct FileReport {
 }
 
 /// Lints one file's source. `path` is the repo-relative path used in
-/// diagnostics; `hot` enables FGH003 for this file.
-pub fn lint_file(path: &str, src: &str, hot: bool) -> FileReport {
+/// diagnostics; `rules` selects hot-module indexing checks and carries
+/// the declared lock hierarchy.
+pub fn lint_file(path: &str, src: &str, rules: &RuleSet) -> FileReport {
     let tokens = lex(src);
     let lines: Vec<&str> = src.lines().collect();
     let mut report = FileReport::default();
@@ -154,7 +210,7 @@ pub fn lint_file(path: &str, src: &str, hot: bool) -> FileReport {
                 let target = &tokens[ti];
                 if target.kind == TokenKind::Ident
                     && NARROW_TARGETS.contains(&target.text(src))
-                    && !suppressed(&mut report.markers, MarkerKind::CheckedCast, tok.line)
+                    && suppress(&mut report.markers, MarkerKind::CheckedCast, tok.line).is_none()
                 {
                     report.diagnostics.push(diag(
                         tok,
@@ -197,7 +253,7 @@ pub fn lint_file(path: &str, src: &str, hot: bool) -> FileReport {
     }
 
     // FGH003 — raw indexing in hot modules.
-    if hot {
+    if rules.hot {
         for (si, &i) in sig.iter().enumerate() {
             let tok = &tokens[i];
             if tok.kind != TokenKind::Punct('[') || si == 0 || in_test(tok) {
@@ -209,7 +265,8 @@ pub fn lint_file(path: &str, src: &str, hot: bool) -> FileReport {
                 TokenKind::Punct(']') | TokenKind::Punct(')') => true,
                 _ => false,
             };
-            if is_index_base && !suppressed(&mut report.markers, MarkerKind::CheckedIndex, tok.line)
+            if is_index_base
+                && suppress(&mut report.markers, MarkerKind::CheckedIndex, tok.line).is_none()
             {
                 report.diagnostics.push(diag(
                     tok,
@@ -223,7 +280,393 @@ pub fn lint_file(path: &str, src: &str, hot: bool) -> FileReport {
         }
     }
 
+    // FGH005 — atomic memory orderings must carry an `atomic` marker.
+    for (si, &i) in sig.iter().enumerate() {
+        let tok = &tokens[i];
+        if tok.kind != TokenKind::Ident || tok.text(src) != "Ordering" || in_test(tok) {
+            continue;
+        }
+        let c1 = sig.get(si + 1).map(|&j| &tokens[j]);
+        let c2 = sig.get(si + 2).map(|&j| &tokens[j]);
+        let Some(variant) = sig.get(si + 3).map(|&j| &tokens[j]) else {
+            continue;
+        };
+        if !matches!(c1.map(|t| t.kind), Some(TokenKind::Punct(':')))
+            || !matches!(c2.map(|t| t.kind), Some(TokenKind::Punct(':')))
+            || variant.kind != TokenKind::Ident
+            || !ATOMIC_ORDERINGS.contains(&variant.text(src))
+        {
+            continue;
+        }
+        match suppress(&mut report.markers, MarkerKind::Atomic, tok.line) {
+            None => report.diagnostics.push(diag(
+                tok,
+                variant,
+                "FGH005",
+                format!(
+                    "atomic `Ordering::{}` without an audit marker",
+                    variant.text(src)
+                ),
+                "state the required happens-before edge with \
+                 `// lint: atomic — <what this ordering synchronizes>` on the line, the line \
+                 above, or above the enclosing fn",
+            )),
+            Some(mi) => {
+                if variant.text(src) == "Relaxed"
+                    && !report.markers[mi].reason.to_lowercase().contains("relaxed")
+                {
+                    report.diagnostics.push(diag(
+                        tok,
+                        variant,
+                        "FGH005",
+                        "`Ordering::Relaxed` covered by a marker that does not say why \
+                         reordering is safe"
+                            .to_string(),
+                        "Relaxed disables all cross-thread ordering: the marker's reason must \
+                         mention `relaxed` and name why no happens-before edge is needed",
+                    ));
+                }
+            }
+        }
+    }
+
+    // FGH006 — lock-hierarchy order and the `.lock().unwrap()` ban.
+    let impls = impl_spans(&tokens, &sig, src);
+    check_locks(
+        src,
+        &tokens,
+        &sig,
+        rules.lock_order,
+        &impls,
+        &in_test,
+        &diag,
+        &mut report,
+    );
+
+    // FGH007 — no panic paths inside `impl Drop` bodies.
+    for im in impls.iter().filter(|im| im.is_drop) {
+        for (si, &i) in sig.iter().enumerate() {
+            let tok = &tokens[i];
+            if tok.start < im.start || tok.start >= im.end || in_test(tok) {
+                continue;
+            }
+            let next = sig.get(si + 1).map(|&j| &tokens[j]);
+            let next2 = sig.get(si + 2).map(|&j| &tokens[j]);
+            let help = "Drop runs during unwinding — a second panic aborts the process; \
+                        use `let _ = …`, `unwrap_or`-style fallbacks, or `get` instead";
+            match tok.kind {
+                TokenKind::Ident
+                    if matches!(
+                        tok.text(src),
+                        "panic" | "unreachable" | "todo" | "unimplemented"
+                    ) && matches!(next.map(|t| t.kind), Some(TokenKind::Punct('!'))) =>
+                {
+                    report.diagnostics.push(diag(
+                        tok,
+                        tok,
+                        "FGH007",
+                        format!("`{}!` inside an `impl Drop` body", tok.text(src)),
+                        help,
+                    ));
+                }
+                TokenKind::Punct('.')
+                    if matches!(
+                        next.map(|t| (t.kind, t.text(src))),
+                        Some((TokenKind::Ident, "unwrap" | "expect"))
+                    ) && matches!(next2.map(|t| t.kind), Some(TokenKind::Punct('('))) =>
+                {
+                    // `next` is Some here by the match guard.
+                    let name = next.map(|t| t.text(src)).unwrap_or("unwrap");
+                    report.diagnostics.push(diag(
+                        tok,
+                        next2.unwrap_or(tok),
+                        "FGH007",
+                        format!("`.{name}()` inside an `impl Drop` body"),
+                        help,
+                    ));
+                }
+                TokenKind::Punct('[') if si > 0 => {
+                    let prev = &tokens[sig[si - 1]];
+                    let is_index_base = match prev.kind {
+                        TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text(src)),
+                        TokenKind::Punct(']') | TokenKind::Punct(')') => true,
+                        _ => false,
+                    };
+                    if is_index_base {
+                        report.diagnostics.push(diag(
+                            tok,
+                            tok,
+                            "FGH007",
+                            "raw slice indexing inside an `impl Drop` body".to_string(),
+                            help,
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // FGH008 — `unsafe` blocks must carry an `unsafe` marker with the
+    // upheld invariant. `unsafe fn` / `unsafe impl` declare obligations
+    // rather than discharge them, so only `unsafe {` is matched.
+    for (si, &i) in sig.iter().enumerate() {
+        let tok = &tokens[i];
+        if tok.kind != TokenKind::Ident || tok.text(src) != "unsafe" || in_test(tok) {
+            continue;
+        }
+        let next = sig.get(si + 1).map(|&j| &tokens[j]);
+        if !matches!(next.map(|t| t.kind), Some(TokenKind::Punct('{'))) {
+            continue;
+        }
+        if suppress(&mut report.markers, MarkerKind::Unsafe, tok.line).is_none() {
+            report.diagnostics.push(diag(
+                tok,
+                tok,
+                "FGH008",
+                "`unsafe` block without an audit marker".to_string(),
+                "write down the invariant that makes this sound with \
+                 `// lint: unsafe — <invariant>` on the line, the line above, or above the \
+                 enclosing fn",
+            ));
+        }
+    }
+
     report
+}
+
+/// A parsed `impl` item: its byte span, the (last path segment of the)
+/// implemented-for type, and whether it is a `Drop` impl.
+#[derive(Debug)]
+struct ImplSpan {
+    start: usize,
+    end: usize,
+    type_name: String,
+    is_drop: bool,
+}
+
+/// Extracts every `impl` item's span and self-type name.
+fn impl_spans(tokens: &[Token], sig: &[usize], src: &str) -> Vec<ImplSpan> {
+    let mut out = Vec::new();
+    for si in 0..sig.len() {
+        let t = &tokens[sig[si]];
+        if t.kind == TokenKind::Ident && t.text(src) == "impl" {
+            if let Some(span) = parse_impl(tokens, sig, src, si) {
+                out.push(span);
+            }
+        }
+    }
+    out
+}
+
+/// Parses the header and body span of the `impl` at `sig[si]`. Handles
+/// generics (`impl<'a, T> Trait for Type<'a, T>`), paths, and `where`
+/// clauses; returns `None` for headers with no body (unreachable in
+/// valid Rust, but the lexer never fails, so the parser must not).
+fn parse_impl(tokens: &[Token], sig: &[usize], src: &str, si: usize) -> Option<ImplSpan> {
+    let start = tokens[sig[si]].start;
+    let mut angle = 0i32;
+    let mut saw_for = false;
+    let mut in_where = false;
+    let mut first_ident = String::new();
+    let mut type_name = String::new();
+    let mut body_open = None;
+    for (off, &j) in sig[si + 1..].iter().enumerate() {
+        let t = &tokens[j];
+        match t.kind {
+            TokenKind::Punct('<') => angle += 1,
+            TokenKind::Punct('>') => angle -= 1,
+            TokenKind::Punct('{') if angle <= 0 => {
+                body_open = Some(si + 1 + off);
+                break;
+            }
+            TokenKind::Punct(';') if angle <= 0 => return None,
+            TokenKind::Ident if angle <= 0 && !in_where => match t.text(src) {
+                "for" => saw_for = true,
+                "where" => in_where = true,
+                name => {
+                    if first_ident.is_empty() {
+                        first_ident = name.to_string();
+                    }
+                    // Last path segment before `{` wins: for
+                    // `impl Trait for sync::Foo<T>` this lands on `Foo`.
+                    type_name = name.to_string();
+                }
+            },
+            _ => {}
+        }
+    }
+    let open = body_open?;
+    let mut depth = 0i32;
+    for &j in &sig[open..] {
+        match tokens[j].kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(ImplSpan {
+                        start,
+                        end: tokens[j].end,
+                        type_name,
+                        is_drop: saw_for && first_ident == "Drop",
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The FGH006 sweep: walks the token stream with a brace-depth counter
+/// and a stack of textually-held locks; flags a `.lock()` whose class
+/// rank is not strictly greater than every held rank, and any
+/// `.lock().unwrap()`/`.lock().expect()` chain. `lock` markers (line
+/// scope) exempt a site — e.g. a guard provably dropped via `drop(g)`
+/// that the textual model cannot see, or a documented poison-fatal site.
+#[allow(clippy::too_many_arguments)]
+fn check_locks(
+    src: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    classes: &[LockClass],
+    impls: &[ImplSpan],
+    in_test: &dyn Fn(&Token) -> bool,
+    diag: &dyn Fn(&Token, &Token, &'static str, String, &'static str) -> Diagnostic,
+    report: &mut FileReport,
+) {
+    struct Held<'a> {
+        rank: usize,
+        depth: i32,
+        line: u32,
+        name: &'a str,
+    }
+    let mut depth = 0i32;
+    let mut held: Vec<Held> = Vec::new();
+    for (si, &i) in sig.iter().enumerate() {
+        let tok = &tokens[i];
+        match tok.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                held.retain(|h| h.depth <= depth);
+            }
+            TokenKind::Punct('.') => {
+                // `.lock()` — exactly: dot, `lock`, `(`, `)`.
+                let is_lock = matches!(
+                    sig.get(si + 1)
+                        .map(|&j| (tokens[j].kind, tokens[j].text(src))),
+                    Some((TokenKind::Ident, "lock"))
+                ) && matches!(
+                    sig.get(si + 2).map(|&j| tokens[j].kind),
+                    Some(TokenKind::Punct('('))
+                ) && matches!(
+                    sig.get(si + 3).map(|&j| tokens[j].kind),
+                    Some(TokenKind::Punct(')'))
+                );
+                if !is_lock || in_test(tok) {
+                    continue;
+                }
+                // Ban `.lock().unwrap()` outside documented sites.
+                let chained = matches!(
+                    sig.get(si + 4).map(|&j| tokens[j].kind),
+                    Some(TokenKind::Punct('.'))
+                )
+                .then(|| sig.get(si + 5).map(|&j| &tokens[j]))
+                .flatten()
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text(src));
+                if matches!(chained, Some("unwrap" | "expect"))
+                    && matches!(
+                        sig.get(si + 6).map(|&j| tokens[j].kind),
+                        Some(TokenKind::Punct('('))
+                    )
+                    && suppress(&mut report.markers, MarkerKind::Lock, tok.line).is_none()
+                {
+                    report.diagnostics.push(diag(
+                        tok,
+                        &tokens[sig[si + 3]],
+                        "FGH006",
+                        format!(
+                            "`.lock().{}()` outside a documented poison-recovery site",
+                            chained.unwrap_or("unwrap")
+                        ),
+                        "a poisoned lock is a crashed peer, not a local bug: recover with \
+                         `unwrap_or_else(std::sync::PoisonError::into_inner)`, or annotate with \
+                         `// lint: lock — <why poisoning is fatal here>`",
+                    ));
+                }
+                // Hierarchy check for classified sites.
+                let Some((rank, name)) = classify_lock(tokens, sig, src, si, impls, classes) else {
+                    continue;
+                };
+                if let Some(h) = held.iter().find(|h| rank <= h.rank) {
+                    if suppress(&mut report.markers, MarkerKind::Lock, tok.line).is_none() {
+                        report.diagnostics.push(diag(
+                            tok,
+                            &tokens[sig[si + 3]],
+                            "FGH006",
+                            format!(
+                                "`{name}` (rank {rank}) locked while `{}` (rank {}, line {}) is \
+                                 held — violates the declared lock order",
+                                h.name, h.rank, h.line
+                            ),
+                            "acquire locks in the `[locks] order` declared in xtask/lint.toml; \
+                             if the earlier guard is already dropped here, annotate with \
+                             `// lint: lock — <why the guard is not held>`",
+                        ));
+                    }
+                }
+                held.push(Held {
+                    rank,
+                    depth,
+                    line: tok.line,
+                    name,
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Maps the `.lock()` whose dot is at `sig[si]` to a lock class: first
+/// by the receiver path's identifiers (`state.in_flight.lock()` →
+/// `in_flight`), then by the enclosing `impl` type name.
+fn classify_lock<'c>(
+    tokens: &[Token],
+    sig: &[usize],
+    src: &str,
+    si: usize,
+    impls: &[ImplSpan],
+    classes: &'c [LockClass],
+) -> Option<(usize, &'c str)> {
+    let mut idents: Vec<&str> = Vec::new();
+    let mut j = si;
+    while j >= 1 {
+        let prev = &tokens[sig[j - 1]];
+        if prev.kind != TokenKind::Ident {
+            break;
+        }
+        idents.push(prev.text(src));
+        if j >= 2 && tokens[sig[j - 2]].kind == TokenKind::Punct('.') {
+            j -= 2;
+        } else {
+            break;
+        }
+    }
+    for (rank, class) in classes.iter().enumerate() {
+        if class.patterns.iter().any(|p| idents.contains(&p.as_str())) {
+            return Some((rank, &class.name));
+        }
+    }
+    let pos = tokens[sig[si]].start;
+    let enclosing = impls.iter().find(|im| pos >= im.start && pos < im.end)?;
+    for (rank, class) in classes.iter().enumerate() {
+        if class.patterns.contains(&enclosing.type_name) {
+            return Some((rank, &class.name));
+        }
+    }
+    None
 }
 
 /// FGH004 — checks a crate root (`lib.rs`) for the panic-robustness gate:
@@ -283,23 +726,22 @@ pub fn lint_crate_root(path: &str, src: &str) -> Option<Diagnostic> {
     })
 }
 
-/// Finds a marker of `kind` covering `line` and records the use. A marker
+/// Finds a marker of `kind` covering `line`, records the use, and
+/// returns its index (so FGH005 can inspect the reason). A marker
 /// sitting on the violation's own line wins over one covering it from the
 /// line above — otherwise, with trailing markers on consecutive lines, the
 /// first marker would claim both violations and the second read as unused.
-fn suppressed(markers: &mut [Marker], kind: MarkerKind, line: u32) -> bool {
+fn suppress(markers: &mut [Marker], kind: MarkerKind, line: u32) -> Option<usize> {
     let covering = |m: &Marker| m.kind == kind && line >= m.covers.0 && line <= m.covers.1;
-    if let Some(m) = markers.iter_mut().find(|m| m.line == line && covering(m)) {
-        m.uses += 1;
-        return true;
+    if let Some(idx) = markers.iter().position(|m| m.line == line && covering(m)) {
+        markers[idx].uses += 1;
+        return Some(idx);
     }
-    for m in markers.iter_mut() {
-        if covering(m) {
-            m.uses += 1;
-            return true;
-        }
+    if let Some(idx) = markers.iter().position(covering) {
+        markers[idx].uses += 1;
+        return Some(idx);
     }
-    false
+    None
 }
 
 /// Extracts `// lint: …` markers and computes their coverage spans.
@@ -318,6 +760,12 @@ fn collect_markers(path: &str, src: &str, tokens: &[Token], sig: &[usize]) -> Ve
             (MarkerKind::CheckedCast, t)
         } else if let Some(t) = rest.strip_prefix("checked-index") {
             (MarkerKind::CheckedIndex, t)
+        } else if let Some(t) = rest.strip_prefix("atomic") {
+            (MarkerKind::Atomic, t)
+        } else if let Some(t) = rest.strip_prefix("lock") {
+            (MarkerKind::Lock, t)
+        } else if let Some(t) = rest.strip_prefix("unsafe") {
+            (MarkerKind::Unsafe, t)
         } else {
             continue;
         };
@@ -326,11 +774,16 @@ fn collect_markers(path: &str, src: &str, tokens: &[Token], sig: &[usize]) -> Ve
             .trim()
             .to_string();
         // Default coverage: the marker's own line (trailing comment) and
-        // the line below (marker on its own line).
+        // the line below (marker on its own line). Attributes directly
+        // under the marker extend coverage to the first gated code line,
+        // so `#[cfg(…)]` does not detach a marker from its code.
         let mut covers = (tok.line, tok.line + 1);
-        // Fn-scope: a checked-index marker directly above an `fn` item
-        // covers the whole brace-matched body.
-        if kind == MarkerKind::CheckedIndex {
+        if let Some(past) = line_past_attrs(tokens, sig, i) {
+            covers.1 = covers.1.max(past);
+        }
+        // Fn-scope: a checked-index/atomic/unsafe marker directly above
+        // an `fn` item covers the whole brace-matched body.
+        if kind.fn_scope() {
             if let Some(span) = fn_body_span(tokens, sig, src, i) {
                 covers = span;
             }
@@ -348,15 +801,22 @@ fn collect_markers(path: &str, src: &str, tokens: &[Token], sig: &[usize]) -> Ve
 }
 
 /// If the first significant tokens after `tokens[marker_idx]` introduce a
-/// function (`pub`/`unsafe`/… then `fn`), returns the line span of the
-/// marker through the function's closing brace.
+/// function (`pub`/`unsafe`/… then `fn`, with any `#[…]` attributes
+/// skipped), returns the line span of the marker through the function's
+/// closing brace.
 fn fn_body_span(
     tokens: &[Token],
     sig: &[usize],
     src: &str,
     marker_idx: usize,
 ) -> Option<(u32, u32)> {
-    let after: Vec<usize> = sig.iter().copied().filter(|&j| j > marker_idx).collect();
+    let mut p = sig.partition_point(|&j| j <= marker_idx);
+    // Attributes between the marker and the item (`#[inline]`,
+    // `#[cfg(…)]`) do not break fn-scope coverage.
+    while p < sig.len() && tokens[sig[p]].kind == TokenKind::Punct('#') {
+        p = skip_attr(tokens, sig, p);
+    }
+    let after = &sig[p..];
     // Look for `fn` among the item's leading tokens (qualifiers and the
     // name come before the parameter list opens).
     let mut saw_fn = false;
@@ -412,6 +872,24 @@ fn fn_body_span(
         }
     }
     None
+}
+
+/// If the code directly under the marker at `tokens[marker_idx]` starts
+/// with one or more attributes, returns the line of the first token past
+/// them — the line the marker actually annotates once `cfg` gating is
+/// peeled off.
+fn line_past_attrs(tokens: &[Token], sig: &[usize], marker_idx: usize) -> Option<u32> {
+    let mut p = sig.partition_point(|&j| j <= marker_idx);
+    if p >= sig.len()
+        || tokens[sig[p]].kind != TokenKind::Punct('#')
+        || tokens[sig[p]].line > tokens[marker_idx].line + 1
+    {
+        return None;
+    }
+    while p < sig.len() && tokens[sig[p]].kind == TokenKind::Punct('#') {
+        p = skip_attr(tokens, sig, p);
+    }
+    sig.get(p).map(|&j| tokens[j].line)
 }
 
 /// Byte spans of test-only items: the item following `#[cfg(test)]` or
@@ -498,10 +976,42 @@ mod tests {
         report.diagnostics.iter().map(|d| d.rule).collect()
     }
 
+    fn run(src: &str, hot: bool) -> FileReport {
+        lint_file(
+            "t.rs",
+            src,
+            &RuleSet {
+                hot,
+                lock_order: &[],
+            },
+        )
+    }
+
+    fn classes(specs: &[(&str, &[&str])]) -> Vec<LockClass> {
+        specs
+            .iter()
+            .map(|(name, pats)| LockClass {
+                name: name.to_string(),
+                patterns: pats.iter().map(|p| p.to_string()).collect(),
+            })
+            .collect()
+    }
+
+    fn run_locks(src: &str, order: &[LockClass]) -> FileReport {
+        lint_file(
+            "t.rs",
+            src,
+            &RuleSet {
+                hot: false,
+                lock_order: order,
+            },
+        )
+    }
+
     #[test]
     fn fgh001_flags_narrow_casts_only() {
         let src = "fn f(x: u64) -> u32 { let _ = x as usize; x as u32 }\n";
-        let r = lint_file("t.rs", src, false);
+        let r = run(src, false);
         assert_eq!(rules(&r), vec!["FGH001"]);
         assert!(r.diagnostics[0].message.contains("as u32"));
     }
@@ -509,7 +1019,7 @@ mod tests {
     #[test]
     fn fgh001_marker_same_line_and_above() {
         let src = "fn f(x: u64) -> u32 {\n    // lint: checked-cast — x is a vertex id\n    x as u32\n}\nfn g(x: u64) -> u8 {\n    x as u8 // lint: checked-cast — bounded by caller\n}\n";
-        let r = lint_file("t.rs", src, false);
+        let r = run(src, false);
         assert!(rules(&r).is_empty(), "{:?}", r.diagnostics);
         assert_eq!(r.markers.len(), 2);
         assert!(r.markers.iter().all(|m| m.uses == 1));
@@ -519,25 +1029,25 @@ mod tests {
     #[test]
     fn fgh001_ignores_strings_comments_and_tests() {
         let src = "fn f() { let _ = \"x as u8\"; } // y as u8\n#[cfg(test)]\nmod tests {\n    fn g(x: u64) -> u8 { x as u8 }\n}\n";
-        let r = lint_file("t.rs", src, false);
+        let r = run(src, false);
         assert!(rules(&r).is_empty(), "{:?}", r.diagnostics);
     }
 
     #[test]
     fn fgh002_flags_debug_assert_false() {
         let src = "fn f() { debug_assert!(false, \"unreachable\"); }\n";
-        let r = lint_file("t.rs", src, false);
+        let r = run(src, false);
         assert_eq!(rules(&r), vec!["FGH002"]);
         // Ordinary debug_assert on a condition is fine.
-        let ok = lint_file("t.rs", "fn f(x: u32) { debug_assert!(x > 0); }\n", false);
+        let ok = run("fn f(x: u32) { debug_assert!(x > 0); }\n", false);
         assert!(rules(&ok).is_empty());
     }
 
     #[test]
     fn fgh003_only_in_hot_modules() {
         let src = "fn f(v: &[u32], i: usize) -> u32 { v[i] }\n";
-        assert!(rules(&lint_file("t.rs", src, false)).is_empty());
-        assert_eq!(rules(&lint_file("t.rs", src, true)), vec!["FGH003"]);
+        assert!(rules(&run(src, false)).is_empty());
+        assert_eq!(rules(&run(src, true)), vec!["FGH003"]);
     }
 
     #[test]
@@ -545,14 +1055,14 @@ mod tests {
         let src = "#[derive(Debug)]\nstruct S;\nfn f() -> [u8; 2] { let v = vec![1, 2]; [v[0], 3] }\n// lint: checked-index — v has 2 elements\n";
         // Only `v[0]` is an index expression; it is on the line above the
         // marker, which does NOT cover upwards — so exactly one finding.
-        let r = lint_file("t.rs", src, true);
+        let r = run(src, true);
         assert_eq!(rules(&r), vec!["FGH003"]);
     }
 
     #[test]
     fn fgh003_fn_scope_marker_covers_body() {
         let src = "// lint: checked-index — all ids are < len by construction\npub fn hot(v: &[u32]) -> u32 {\n    let a = v[0];\n    let b = v[1];\n    a + b\n}\nfn other(v: &[u32]) -> u32 { v[2] }\n";
-        let r = lint_file("t.rs", src, true);
+        let r = run(src, true);
         assert_eq!(rules(&r), vec!["FGH003"], "{:?}", r.diagnostics);
         assert_eq!(r.diagnostics[0].line, 7);
         assert_eq!(r.markers[0].uses, 2);
@@ -563,7 +1073,7 @@ mod tests {
         // The `;` inside `[f64; 2]` is part of the signature, not a
         // body-less fn terminator: the marker must still cover the body.
         let src = "// lint: checked-index — t is 0/1 into a [u64; 2]\npub fn hot(t: [f64; 2], w: &[u64]) -> u64 {\n    w[t[0] as usize]\n}\n";
-        let r = lint_file("t.rs", src, true);
+        let r = run(src, true);
         assert!(rules(&r).is_empty(), "{:?}", r.diagnostics);
         assert!(r.markers[0].uses > 0);
     }
@@ -573,7 +1083,7 @@ mod tests {
         // Each line's own trailing marker claims its violation; the first
         // must not absorb the second line's and leave it "unused".
         let src = "fn f(a: u64, b: u64) -> (u32, u32) {\n    let x = a as u32; // lint: checked-cast — a < 100\n    let y = b as u32; // lint: checked-cast — b < 100\n    (x, y)\n}\n";
-        let r = lint_file("t.rs", src, false);
+        let r = run(src, false);
         assert!(rules(&r).is_empty(), "{:?}", r.diagnostics);
         assert!(r.markers.iter().all(|m| m.uses == 1), "{:?}", r.markers);
     }
@@ -590,7 +1100,14 @@ mod tests {
     #[test]
     fn diagnostic_renders_rustc_style() {
         let src = "fn f(x: u64) -> u32 { x as u32 }\n";
-        let r = lint_file("crates/x/src/f.rs", src, false);
+        let r = lint_file(
+            "crates/x/src/f.rs",
+            src,
+            &RuleSet {
+                hot: false,
+                lock_order: &[],
+            },
+        );
         let text = r.diagnostics[0].to_string();
         assert!(text.contains("error[FGH001]"), "{text}");
         assert!(text.contains("--> crates/x/src/f.rs:1:25"), "{text}");
@@ -601,8 +1118,177 @@ mod tests {
     #[test]
     fn unused_markers_are_tracked() {
         let src = "// lint: checked-cast — nothing here needs it\nfn f() {}\n";
-        let r = lint_file("t.rs", src, false);
+        let r = run(src, false);
         assert_eq!(r.markers.len(), 1);
         assert_eq!(r.markers[0].uses, 0);
+    }
+
+    #[test]
+    fn fgh005_requires_atomic_marker() {
+        let src = "fn f(a: &AtomicBool) { a.store(true, Ordering::Release); }\n";
+        let r = run(src, false);
+        assert_eq!(rules(&r), vec!["FGH005"]);
+        assert!(r.diagnostics[0].message.contains("Ordering::Release"));
+        let ok = run(
+            "fn f(a: &AtomicBool) {\n    // lint: atomic — store publishes init before the flag\n    a.store(true, Ordering::Release);\n}\n",
+            false,
+        );
+        assert!(rules(&ok).is_empty(), "{:?}", ok.diagnostics);
+        assert_eq!(ok.markers[0].uses, 1);
+    }
+
+    #[test]
+    fn fgh005_relaxed_requires_named_reason() {
+        // A marker that does not say "relaxed" is not enough for Relaxed.
+        let bad = run(
+            "fn f(a: &AtomicBool) {\n    // lint: atomic — sets the flag\n    a.store(true, Ordering::Relaxed);\n}\n",
+            false,
+        );
+        assert_eq!(rules(&bad), vec!["FGH005"]);
+        assert!(bad.diagnostics[0].message.contains("Relaxed"));
+        // The marker still claims the site — no unused-marker double report.
+        assert_eq!(bad.markers[0].uses, 1);
+        let ok = run(
+            "fn f(a: &AtomicBool) {\n    // lint: atomic — latched flag; relaxed: polled, no data guarded\n    a.store(true, Ordering::Relaxed);\n}\n",
+            false,
+        );
+        assert!(rules(&ok).is_empty(), "{:?}", ok.diagnostics);
+    }
+
+    #[test]
+    fn fgh005_ignores_cmp_ordering_and_tests() {
+        let src = "fn f(a: u32, b: u32) -> Ordering { if a < b { Ordering::Less } else { Ordering::Equal } }\n#[cfg(test)]\nmod tests {\n    fn g(a: &AtomicBool) { a.store(true, Ordering::SeqCst); }\n}\n";
+        let r = run(src, false);
+        assert!(rules(&r).is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn fgh005_fn_scope_marker_covers_all_sites() {
+        let src = "// lint: atomic — release store pairs with acquire load; relaxed reads are monotonic polls\nfn f(a: &AtomicU64) -> u64 {\n    a.store(1, Ordering::Release);\n    a.load(Ordering::Relaxed)\n}\n";
+        let r = run(src, false);
+        assert!(rules(&r).is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.markers[0].uses, 2);
+    }
+
+    #[test]
+    fn fgh006_misordered_double_lock_fails() {
+        let order = classes(&[("Alpha", &["alpha"]), ("Beta", &["beta"])]);
+        // Beta (rank 1) held, then Alpha (rank 0): hierarchy violation.
+        let bad = "fn f(s: &S) {\n    let b = s.beta.lock().unwrap_or_else(PoisonError::into_inner);\n    let a = s.alpha.lock().unwrap_or_else(PoisonError::into_inner);\n    drop((a, b));\n}\n";
+        let r = run_locks(bad, &order);
+        assert_eq!(rules(&r), vec!["FGH006"], "{:?}", r.diagnostics);
+        assert!(r.diagnostics[0].message.contains("`Alpha` (rank 0)"));
+        assert!(r.diagnostics[0].message.contains("`Beta` (rank 1"));
+        // The declared order is clean.
+        let good = "fn f(s: &S) {\n    let a = s.alpha.lock().unwrap_or_else(PoisonError::into_inner);\n    let b = s.beta.lock().unwrap_or_else(PoisonError::into_inner);\n    drop((a, b));\n}\n";
+        assert!(rules(&run_locks(good, &order)).is_empty());
+    }
+
+    #[test]
+    fn fgh006_scope_exit_releases_guards() {
+        let order = classes(&[("Alpha", &["alpha"]), ("Beta", &["beta"])]);
+        // Beta's guard dies with its block, so Alpha after it is fine.
+        let src = "fn f(s: &S) {\n    {\n        let b = s.beta.lock().unwrap_or_else(PoisonError::into_inner);\n        drop(b);\n    }\n    let a = s.alpha.lock().unwrap_or_else(PoisonError::into_inner);\n    drop(a);\n}\n";
+        assert!(rules(&run_locks(src, &order)).is_empty());
+        // Same rank twice in one scope is a self-deadlock.
+        let twice = "fn f(s: &S) {\n    let a = s.alpha.lock().unwrap_or_else(PoisonError::into_inner);\n    let b = s.alpha.lock().unwrap_or_else(PoisonError::into_inner);\n    drop((a, b));\n}\n";
+        assert_eq!(rules(&run_locks(twice, &order)), vec!["FGH006"]);
+    }
+
+    #[test]
+    fn fgh006_lock_marker_exempts_a_site() {
+        let order = classes(&[("Alpha", &["alpha"]), ("Beta", &["beta"])]);
+        let src = "fn f(s: &S) {\n    let b = s.beta.lock().unwrap_or_else(PoisonError::into_inner);\n    drop(b);\n    // lint: lock — beta guard dropped on the line above\n    let a = s.alpha.lock().unwrap_or_else(PoisonError::into_inner);\n    drop(a);\n}\n";
+        let r = run_locks(src, &order);
+        assert!(rules(&r).is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.markers[0].uses, 1);
+    }
+
+    #[test]
+    fn fgh006_bans_lock_unwrap_outside_documented_sites() {
+        let src = "fn f(s: &S) { let g = s.state.lock().unwrap(); drop(g); }\n";
+        let r = run_locks(src, &[]);
+        assert_eq!(rules(&r), vec!["FGH006"]);
+        assert!(r.diagnostics[0].message.contains("unwrap"));
+        let ok = "fn f(s: &S) {\n    // lint: lock — poisoning means the validator already aborted\n    let g = s.state.lock().expect(\"poisoned\");\n    drop(g);\n}\n";
+        assert!(rules(&run_locks(ok, &[])).is_empty());
+        // Tests may lock eagerly.
+        let test = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let g = M.lock().unwrap(); drop(g); }\n}\n";
+        assert!(rules(&run_locks(test, &[])).is_empty());
+    }
+
+    #[test]
+    fn fgh006_classifies_by_enclosing_impl() {
+        let order = classes(&[("Queue", &["BoundedQueue"]), ("Cache", &["cache"])]);
+        // `self.inner.lock()` inside `impl BoundedQueue` is the Queue
+        // class; taking the cache while holding it is fine (rank 0 → 1),
+        // the other way round is flagged.
+        let src = "impl<T> BoundedQueue<T> {\n    fn f(&self) {\n        let c = self.cache.lock().unwrap_or_else(PoisonError::into_inner);\n        let g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);\n        drop((c, g));\n    }\n}\n";
+        let r = run_locks(src, &order);
+        assert_eq!(rules(&r), vec!["FGH006"], "{:?}", r.diagnostics);
+        assert!(r.diagnostics[0].message.contains("`Queue` (rank 0)"));
+    }
+
+    #[test]
+    fn fgh007_rejects_panic_paths_in_drop() {
+        let src = "impl Drop for Guard {\n    fn drop(&mut self) {\n        self.file.take().unwrap();\n        panic!(\"bad\");\n    }\n}\n";
+        let r = run(src, false);
+        assert_eq!(rules(&r), vec!["FGH007", "FGH007"], "{:?}", r.diagnostics);
+        // Raw indexing in Drop is also a panic path.
+        let idx =
+            "impl<'a, T> Drop for G<'a, T> {\n    fn drop(&mut self) { let _ = self.v[0]; }\n}\n";
+        assert_eq!(rules(&run(idx, false)), vec!["FGH007"]);
+    }
+
+    #[test]
+    fn fgh007_allows_clean_drop_and_other_impls() {
+        // `unwrap_or` is not `unwrap`; panics outside Drop impls and in
+        // test code are out of scope.
+        let src = "impl Drop for Guard {\n    fn drop(&mut self) { let _ = self.tx.send(()); self.n.checked_sub(1).unwrap_or(0); }\n}\nimpl Guard {\n    fn f(&self) { self.file.take().unwrap(); }\n}\n#[cfg(test)]\nmod tests {\n    struct T;\n    impl Drop for T {\n        fn drop(&mut self) { panic!(\"test-only\"); }\n    }\n}\n";
+        let r = run(src, false);
+        assert!(rules(&r).is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn fgh008_unsafe_block_needs_marker() {
+        let src = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let r = run(src, false);
+        assert_eq!(rules(&r), vec!["FGH008"]);
+        let ok = "fn f(p: *const u8) -> u8 {\n    // lint: unsafe — p is non-null and valid for reads by contract\n    unsafe { *p }\n}\n";
+        assert!(rules(&run(ok, false)).is_empty());
+        // Fn-scope marker covers multiple blocks in one fn.
+        let scoped = "// lint: unsafe — fd owned by self, valid until drop\nfn close(&mut self) {\n    unsafe { libc_close(self.fd) };\n    unsafe { libc_close(self.fd2) };\n}\n";
+        let r = run(scoped, false);
+        assert!(rules(&r).is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.markers[0].uses, 2);
+    }
+
+    #[test]
+    fn fgh008_skips_unsafe_fn_and_impl() {
+        // Declaring obligations is not discharging them: only `unsafe {`
+        // blocks need markers.
+        let src = "unsafe fn raw(p: *const u8) -> *const u8 { p }\nunsafe impl Send for G {}\n";
+        assert!(rules(&run(src, false)).is_empty());
+    }
+
+    #[test]
+    fn marker_covers_across_cfg_gated_block() {
+        // A marker above a `#[cfg(…)]` attribute covers the first gated
+        // line — gating must not detach markers from their code.
+        let src = "fn f(a: &AtomicU32) {\n    // lint: atomic — counter only; relaxed: no ordering needed\n    #[cfg(feature = \"fast\")]\n    a.store(1, Ordering::Relaxed);\n}\n";
+        let r = run(src, false);
+        assert!(rules(&r).is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.markers[0].uses, 1);
+        // And fn-scope coverage survives attributes before the fn.
+        let scoped = "// lint: checked-index — len checked by caller\n#[inline]\n#[cfg(not(miri))]\npub fn hot(v: &[u32]) -> u32 { v[0] }\n";
+        let r = lint_file(
+            "t.rs",
+            scoped,
+            &RuleSet {
+                hot: true,
+                lock_order: &[],
+            },
+        );
+        assert!(rules(&r).is_empty(), "{:?}", r.diagnostics);
     }
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! cargo xtask lint                 # run the custom static-analysis pass
 //! cargo xtask lint --list-allowed  # audit report of every suppression marker
+//! cargo xtask lint --json PATH     # also write a machine-readable report
 //! ```
 //!
 //! The pass walks the `src/` trees of the crates listed in
@@ -24,19 +25,33 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => {
-            let list_allowed = args.iter().any(|a| a == "--list-allowed");
-            if let Some(bad) = args[1..].iter().find(|a| a.as_str() != "--list-allowed") {
-                eprintln!("error: unknown argument `{bad}`");
-                return usage();
+            let mut list_allowed = false;
+            let mut json_path: Option<PathBuf> = None;
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--list-allowed" => list_allowed = true,
+                    "--json" => {
+                        let Some(p) = rest.next() else {
+                            eprintln!("error: --json requires a PATH argument");
+                            return usage();
+                        };
+                        json_path = Some(PathBuf::from(p));
+                    }
+                    bad => {
+                        eprintln!("error: unknown argument `{bad}`");
+                        return usage();
+                    }
+                }
             }
-            run_lint(list_allowed)
+            run_lint(list_allowed, json_path)
         }
         _ => usage(),
     }
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo xtask lint [--list-allowed]");
+    eprintln!("usage: cargo xtask lint [--list-allowed] [--json PATH]");
     ExitCode::from(2)
 }
 
@@ -48,7 +63,7 @@ fn workspace_root() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("."))
 }
 
-fn run_lint(list_allowed: bool) -> ExitCode {
+fn run_lint(list_allowed: bool, json_path: Option<PathBuf>) -> ExitCode {
     let root = workspace_root();
     let cfg_path = root.join("xtask/lint.toml");
     let cfg_text = match std::fs::read_to_string(&cfg_path) {
@@ -92,8 +107,11 @@ fn run_lint(list_allowed: bool) -> ExitCode {
                 }
             };
             files_scanned += 1;
-            let hot = cfg.hot_modules.iter().any(|h| h == &rel);
-            let mut report = lint::lint_file(&rel, &src, hot);
+            let rules = lint::RuleSet {
+                hot: cfg.hot_modules.iter().any(|h| h == &rel),
+                lock_order: &cfg.lock_order,
+            };
+            let mut report = lint::lint_file(&rel, &src, &rules);
             if file.file_name().is_some_and(|n| n == "lib.rs")
                 && file
                     .parent()
@@ -105,6 +123,14 @@ fn run_lint(list_allowed: bool) -> ExitCode {
             }
             diagnostics.append(&mut report.diagnostics);
             markers.append(&mut report.markers);
+        }
+    }
+
+    if let Some(path) = &json_path {
+        let doc = json_report(files_scanned, &diagnostics, &markers);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
         }
     }
 
@@ -164,6 +190,73 @@ fn print_allowed_report(markers: &[Marker]) {
         markers.len(),
         total_uses
     );
+}
+
+/// Renders the `fgh-lint/1` machine-readable report: every violation and
+/// every marker with its use count, so lint state is diffable across PRs.
+fn json_report(files_scanned: usize, diagnostics: &[Diagnostic], markers: &[Marker]) -> String {
+    let mut out = String::from("{\n  \"format\": \"fgh-lint/1\",\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str("  \"violations\": [");
+    for (i, d) in diagnostics.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \
+             \"message\": \"{}\"}}",
+            d.rule,
+            json_escape(&d.path),
+            d.line,
+            d.col,
+            json_escape(&d.message)
+        ));
+    }
+    out.push_str(if diagnostics.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    out.push_str("  \"markers\": [");
+    for (i, m) in markers.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"kind\": \"{}\", \"path\": \"{}\", \"line\": {}, \"uses\": {}, \
+             \"reason\": \"{}\"}}",
+            m.kind.as_str(),
+            json_escape(&m.path),
+            m.line,
+            m.uses,
+            json_escape(&m.reason)
+        ));
+    }
+    out.push_str(if markers.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    let unused = markers.iter().filter(|m| m.uses == 0).count();
+    out.push_str(&format!(
+        "  \"summary\": {{\"violations\": {}, \"markers\": {}, \"unused_markers\": {}}}\n}}\n",
+        diagnostics.len(),
+        markers.len(),
+        unused
+    ));
+    out
+}
+
+/// Minimal JSON string escaping for the report's text fields.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Recursively collects `.rs` files under `dir`.
