@@ -99,6 +99,18 @@ fn peak_rss_kb() -> u64 {
         .unwrap_or(0)
 }
 
+/// Commit the recorded numbers were measured at, so a stale committed
+/// file is detectable (`baseline_sha` ≠ HEAD means regenerate).
+fn git_head() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     // `scale` divides the catalog dimensions, so quick runs use the
@@ -164,7 +176,8 @@ fn main() {
     let peak_rss_kb = peak_rss_kb();
     println!("peak rss: {peak_rss_kb} kB");
     let json = format!(
-        "{{\n  \"bench\": \"parallel_scaling\",\n  \"matrix\": \"ken-11\",\n  \"scale\": {},\n  \"k\": {K},\n  \"seeds\": {SEEDS},\n  \"reps\": {},\n  \"quick\": {quick},\n  \"host_cpus\": {host_cpus},\n  \"peak_rss_kb\": {peak_rss_kb},\n  \"per_seed_cutsizes_identical\": true,\n  \"runs\": [{rows}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"parallel_scaling\",\n  \"matrix\": \"ken-11\",\n  \"baseline_sha\": \"{}\",\n  \"scale\": {},\n  \"k\": {K},\n  \"seeds\": {SEEDS},\n  \"reps\": {},\n  \"quick\": {quick},\n  \"host_cpus\": {host_cpus},\n  \"peak_rss_kb\": {peak_rss_kb},\n  \"per_seed_cutsizes_identical\": true,\n  \"runs\": [{rows}\n  ]\n}}\n",
+        git_head(),
         p.scale, p.reps
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");

@@ -69,8 +69,8 @@ fn usage() -> &'static str {
      \x20 fgh stats <matrix.mtx>\n\
      \x20     print the matrix properties Table 1 reports\n\
      \x20 fgh partition <matrix.mtx> --k K [--model M] [--epsilon E] [--seed N]\n\
-     \x20               [--runs N] [--out parts.txt] [--max-wall-ms N] [--strict]\n\
-     \x20               [--trace] [--metrics-json FILE]\n\
+     \x20               [--runs N] [--initial S] [--out parts.txt] [--max-wall-ms N]\n\
+     \x20               [--strict] [--trace] [--metrics-json FILE]\n\
      \x20     decompose for K processors; optionally write the mapping\n\
      \x20 fgh spmv <matrix.mtx> --k K [--model M] [--parallel] [--max-wall-ms N] [--strict]\n\
      \x20          [--trace]\n\
@@ -98,6 +98,9 @@ fn usage() -> &'static str {
      common flags:\n\
      \x20 --threads N       partitioner thread count (default: all cores);\n\
      \x20                   results are bit-identical for every N\n\
+     \x20 --initial S       initial scheme: ghg (default) | random | binpacking |\n\
+     \x20                   geometric | auto (geometric needs vertex coordinates,\n\
+     \x20                   i.e. the fine-grain model; falls back to ghg)\n\
      \x20 --parallel        (spmv) execute with one thread per processor\n\
      \x20 --max-wall-ms N   wall-clock budget for the partitioner; when it\n\
      \x20                   trips, the best partition found is returned\n\

@@ -1,6 +1,6 @@
 //! Tiny hand-rolled flag parser shared by the subcommands.
 
-use fgh_core::{DecomposeConfig, Model, Parallelism};
+use fgh_core::{DecomposeConfig, InitialScheme, Model, Parallelism};
 
 /// Parsed command line: positional arguments plus `--flag value` pairs.
 #[derive(Debug, Default)]
@@ -127,10 +127,19 @@ impl Opts {
             .map_err(|e| format!("--model: {e}"))
     }
 
+    /// The `--initial` flag (default GHG): ghg, random, binpacking,
+    /// geometric, or auto.
+    pub fn initial(&self) -> Result<InitialScheme, String> {
+        self.get("initial")
+            .unwrap_or("ghg")
+            .parse()
+            .map_err(|e| format!("--initial: {e}"))
+    }
+
     /// Builds the decomposition request shared by the subcommands from
-    /// the common flags (`--model --epsilon --seed --runs --max-wall-ms
-    /// --max-bytes --threads --trace`) and an already-resolved processor
-    /// count.
+    /// the common flags (`--model --epsilon --seed --runs --initial
+    /// --max-wall-ms --max-bytes --threads --trace`) and an
+    /// already-resolved processor count.
     pub fn decompose_config(&self, k: u32) -> Result<DecomposeConfig, String> {
         Ok(DecomposeConfig::new(self.model()?, k)
             .with_epsilon(self.parse_or("epsilon", 0.03)?)
@@ -138,7 +147,8 @@ impl Opts {
             .with_runs(self.parse_or("runs", 1)?)
             .with_budget(self.budget()?)
             .with_parallelism(self.parallelism()?)
-            .with_trace(self.has("trace")))
+            .with_trace(self.has("trace"))
+            .with_initial(self.initial()?))
     }
 }
 
@@ -188,6 +198,18 @@ mod tests {
         assert!(o.model().is_err());
         let o = Opts::parse(&sv("a b")).unwrap();
         assert!(o.one_positional("matrix").is_err());
+    }
+
+    #[test]
+    fn initial_flag_maps_to_scheme() {
+        let o = Opts::parse(&sv("m.mtx --initial geometric")).unwrap();
+        assert_eq!(o.initial().unwrap(), InitialScheme::Geometric);
+        let o = Opts::parse(&sv("m.mtx --initial AUTO")).unwrap();
+        assert_eq!(o.initial().unwrap(), InitialScheme::Auto);
+        let o = Opts::parse(&sv("m.mtx")).unwrap();
+        assert_eq!(o.initial().unwrap(), InitialScheme::Ghg);
+        let o = Opts::parse(&sv("m.mtx --initial bogus")).unwrap();
+        assert!(o.initial().is_err());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 use fgh_graph::partition_graph_best_traced_in;
 use fgh_partition::{
     partition_hypergraph_best_traced_in, ArenaIndex, ArenaPool, Budget, CancelToken, EngineStats,
-    Parallelism, PartitionConfig,
+    InitialScheme, Parallelism, PartitionConfig,
 };
 use fgh_sparse::{AnyCsrMatrix, CsrMatrix, IndexType, IndexWidth};
 use fgh_trace::{SpanHandle, Trace, Tracer};
@@ -219,6 +219,13 @@ pub struct DecomposeConfig {
     /// [`DegradedReason::Cancelled`]. `None` (the default) disables
     /// polling.
     pub cancel: Option<CancelToken>,
+    /// Initial-partitioning scheme at the coarsest level. The default is
+    /// [`InitialScheme::Ghg`] (greedy hypergraph growing, the paper's
+    /// scheme). [`InitialScheme::Geometric`] / [`InitialScheme::Auto`]
+    /// seed each bisection with a longest-axis cut through the nonzero
+    /// coordinates of the fine-grain model; models without natural
+    /// vertex coordinates fall back to GHG.
+    pub initial: InitialScheme,
 }
 
 impl DecomposeConfig {
@@ -234,6 +241,7 @@ impl DecomposeConfig {
             parallelism: Parallelism::Auto,
             trace: false,
             cancel: None,
+            initial: InitialScheme::Ghg,
         }
     }
 
@@ -283,6 +291,13 @@ impl DecomposeConfig {
         self
     }
 
+    /// The same config with a different initial-partitioning scheme (see
+    /// [`DecomposeConfig::initial`]).
+    pub fn with_initial(mut self, initial: InitialScheme) -> Self {
+        self.initial = initial;
+        self
+    }
+
     /// The [`PartitionConfig`] every engine-backed model runs under: the
     /// request's ε, seed, budget, parallelism, and cancel token carry
     /// over, everything else keeps the partitioner's defaults. The single
@@ -295,6 +310,7 @@ impl DecomposeConfig {
             budget: self.budget,
             parallelism: self.parallelism,
             cancel: self.cancel.clone(),
+            initial: self.initial,
             ..Default::default()
         }
     }
@@ -612,7 +628,7 @@ fn decompose_with_model<I: DecomposeIndex>(
     pool: &Arc<ArenaPool>,
     scope: &SpanHandle,
 ) -> std::result::Result<(Decomposition, u64, EngineStats), FghError> {
-    let pcfg = cfg.partition_config();
+    let mut pcfg = cfg.partition_config();
     let out = match cfg.model {
         Model::Graph1D => {
             let mb = scope.child("model-build");
@@ -647,6 +663,20 @@ fn decompose_with_model<I: DecomposeIndex>(
         }
         Model::FineGrain2D => {
             let model = build_spanned(scope, || FineGrainModel::build(a))?;
+            // Fine-grain vertices have natural (row, col) positions; hand
+            // them to the partitioner only when the geometric / auto
+            // scheme asks — the default GHG path stays allocation-free.
+            if matches!(cfg.initial, InitialScheme::Geometric | InitialScheme::Auto) {
+                let n = model.hypergraph().num_vertices().index();
+                let coords: Vec<(f32, f32)> = (0..n)
+                    .map(|v| {
+                        let (r, c) = model.coords(I::from_index(v));
+                        // lint: checked-cast — row/col ids as geometric positions; f32 rounding above 2^24 only nudges the sweep order, never indexes
+                        (r.index() as f32, c.index() as f32)
+                    })
+                    .collect();
+                pcfg.coords = Some(Arc::new(coords));
+            }
             hypergraph_arm(cfg, &pcfg, pool, scope, model.hypergraph(), |r| {
                 model.decode(a, &r.partition)
             })?

@@ -46,7 +46,7 @@ pub use api::{
     DecompositionOutcome, Model,
 };
 pub use decomp::Decomposition;
-pub use fgh_partition::{ArenaPool, Budget, CancelToken, EngineStats, Parallelism};
+pub use fgh_partition::{ArenaPool, Budget, CancelToken, EngineStats, InitialScheme, Parallelism};
 pub use fgh_trace::{Trace, Tracer};
 pub use metrics::CommStats;
 pub use report::{metrics_document, metrics_json, validate_metrics_value, METRICS_SCHEMA};

@@ -31,7 +31,8 @@
 //!     "fm_passes": 40, "fm_moves": 512, "fm_rollbacks": 80,
 //!     "wall_truncations": 0, "level_truncations": 0,
 //!     "fm_truncations": 0, "byte_truncations": 0,
-//!     "cancel_truncations": 0, "parallel_forks": 0
+//!     "cancel_truncations": 0, "parallel_forks": 0,
+//!     "phase_ns": {"coarsen": 2100345, "initial": 400123, "refine": 1800456}
 //!   },
 //!   "trace": [ …fgh-trace/1 span objects… ]
 //! }
@@ -44,7 +45,10 @@
 //! span forest in the `fgh-trace/1` format
 //! ([`fgh_trace::Trace::to_json`], validated by
 //! [`fgh_trace::validate_trace_value`]). All integer members are
-//! non-negative and f64-exact.
+//! non-negative and f64-exact. `engine.phase_ns` breaks the partitioner
+//! wall time down by multilevel phase; fgh-core builds fgh-partition
+//! with its `stats` feature so the three counters are populated (they
+//! are `0` only when a phase genuinely did not run).
 
 use std::collections::BTreeMap;
 
@@ -111,6 +115,11 @@ pub fn metrics_document<I: IndexType>(
     engine.insert("byte_truncations".into(), num(e.byte_truncations));
     engine.insert("cancel_truncations".into(), num(e.cancel_truncations));
     engine.insert("parallel_forks".into(), num(e.parallel_forks));
+    let mut phase_ns = BTreeMap::new();
+    phase_ns.insert("coarsen".into(), num(e.coarsen_nanos));
+    phase_ns.insert("initial".into(), num(e.initial_nanos));
+    phase_ns.insert("refine".into(), num(e.refine_nanos));
+    engine.insert("phase_ns".into(), Value::Obj(phase_ns));
 
     let trace = match &out.trace {
         // The span tree already has a tested serializer; round-tripping
@@ -217,15 +226,18 @@ const ENGINE_MEMBERS: [&str; 12] = [
     "parallel_forks",
 ];
 
+const ENGINE_PHASE_MEMBERS: [&str; 3] = ["coarsen", "initial", "refine"];
+
 fn require_counters(
     v: &Value,
     members: &[&str],
     path: &str,
     float_ok: &[&str],
+    nested: &[(&str, &[&str])],
 ) -> Result<(), String> {
     let obj = v.as_obj().ok_or(format!("{path}: expected an object"))?;
     for key in obj.keys() {
-        if !members.contains(&key.as_str()) {
+        if !members.contains(&key.as_str()) && !nested.iter().any(|(n, _)| n == key) {
             return Err(format!("{path}: unknown member {key:?}"));
         }
     }
@@ -238,6 +250,10 @@ fn require_counters(
             val.as_u64()
                 .ok_or(format!("{path}.{m}: expected a non-negative integer"))?;
         }
+    }
+    for (m, sub) in nested {
+        let val = obj.get(*m).ok_or(format!("{path}.{m}: missing"))?;
+        require_counters(val, sub, &format!("{path}.{m}"), &[], &[])?;
     }
     Ok(())
 }
@@ -278,18 +294,21 @@ pub fn validate_metrics_value(v: &Value) -> Result<(), String> {
         &MATRIX_MEMBERS,
         "metrics.matrix",
         &[],
+        &[],
     )?;
     require_counters(
         v.get("comm").unwrap_or(&Value::Null),
         &COMM_MEMBERS,
         "metrics.comm",
         &["load_imbalance_percent"],
+        &[],
     )?;
     require_counters(
         v.get("engine").unwrap_or(&Value::Null),
         &ENGINE_MEMBERS,
         "metrics.engine",
         &[],
+        &[("phase_ns", &ENGINE_PHASE_MEMBERS)],
     )?;
     let status = v
         .get("status")
@@ -360,6 +379,14 @@ mod tests {
             Some(out.stats.total_volume())
         );
         assert!(!v.get("trace").unwrap().is_null(), "trace was requested");
+        // fgh-core compiles the partitioner with `stats`, so the phase
+        // breakdown must be populated, not all-zero.
+        let phase = v.get("engine").unwrap().get("phase_ns").unwrap();
+        let total: u64 = ["coarsen", "initial", "refine"]
+            .iter()
+            .map(|p| phase.get(p).unwrap().as_u64().unwrap())
+            .sum();
+        assert!(total > 0, "phase_ns all zero despite stats feature");
     }
 
     #[test]
@@ -387,6 +414,8 @@ mod tests {
             (r#""status":"full""#, r#""status":"great""#, "status"),
             (r#""k":2"#, r#""k":-2"#, "negative k"),
             (r#""fm_moves""#, r#""fm_movez""#, "engine member"),
+            (r#""phase_ns""#, r#""phase_nz""#, "phase_ns member"),
+            (r#""coarsen""#, r#""coarsed""#, "phase name"),
         ] {
             let bad = good.replace(needle, replacement);
             assert_ne!(good, bad, "mutation {why} did not apply");

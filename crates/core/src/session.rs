@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use fgh_partition::{ArenaPool, Budget, CancelToken, Parallelism};
+use fgh_partition::{ArenaPool, Budget, CancelToken, InitialScheme, Parallelism};
 use fgh_sparse::{AnyCsrMatrix, CsrMatrix};
 
 use crate::api::{
@@ -46,6 +46,8 @@ pub struct JobParams {
     pub trace: bool,
     /// Cooperative cancellation token for this job.
     pub cancel: Option<CancelToken>,
+    /// Initial-partitioning scheme (see [`DecomposeConfig::initial`]).
+    pub initial: InitialScheme,
 }
 
 impl JobParams {
@@ -60,6 +62,7 @@ impl JobParams {
             budget: Budget::UNLIMITED,
             trace: false,
             cancel: None,
+            initial: InitialScheme::Ghg,
         }
     }
 
@@ -99,6 +102,12 @@ impl JobParams {
         self
     }
 
+    /// The same parameters with a different initial-partitioning scheme.
+    pub fn with_initial(mut self, initial: InitialScheme) -> Self {
+        self.initial = initial;
+        self
+    }
+
     /// Composes these parameters with a session's policy into the
     /// [`DecomposeConfig`] the one-shot API understands. The budget is
     /// the intersection of the request's and the session ceiling.
@@ -113,6 +122,7 @@ impl JobParams {
             parallelism: session.parallelism,
             trace: self.trace,
             cancel: self.cancel,
+            initial: self.initial,
         }
     }
 }

@@ -1,0 +1,50 @@
+//! Golden cutsize-identity tests for the hot-loop kernels.
+//!
+//! The connectivity/gain/coarsening kernel rewrites (DESIGN.md §5.10) are
+//! required to be *behavior-preserving*: every structure was redesigned for
+//! locality, not for different decisions, so the engine must reproduce the
+//! exact per-seed objectives it produced before the rewrite. These
+//! constants were captured from the pre-rewrite engine on the synthetic
+//! catalog analogues; any drift means a kernel changed tie-breaking or
+//! gain arithmetic, not just speed — treat a failure here as a
+//! correctness regression, never re-record without understanding why.
+
+use fgh_core::{decompose, DecomposeConfig, Model};
+use fgh_sparse::catalog::by_name;
+
+/// (catalog name, scale, k, [(seed, objective); 3])
+#[allow(clippy::type_complexity)]
+const GOLDEN: &[(&str, u32, u32, [(u64, u64); 3])] = &[
+    ("sherman3", 8, 8, [(1, 84), (2, 105), (3, 91)]),
+    ("bcspwr10", 8, 8, [(1, 338), (2, 363), (3, 358)]),
+    ("ken-11", 16, 4, [(1, 619), (2, 617), (3, 624)]),
+];
+
+fn objective(name: &str, scale: u32, k: u32, seed: u64) -> u64 {
+    let entry = by_name(name).unwrap_or_else(|| panic!("{name} not in catalog"));
+    let a = entry.generate_scaled(scale, 42);
+    let cfg = DecomposeConfig::new(Model::FineGrain2D, k).with_seed(seed);
+    let out = decompose(&a, &cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+    out.objective
+}
+
+#[test]
+fn per_seed_objectives_match_pre_rewrite_engine() {
+    let mut failures = Vec::new();
+    for &(name, scale, k, seeds) in GOLDEN {
+        for (seed, want) in seeds {
+            let got = objective(name, scale, k, seed);
+            println!("golden: (\"{name}\", {scale}, {k}) seed {seed} => {got}");
+            if got != want {
+                failures.push(format!(
+                    "{name} scale {scale} k {k} seed {seed}: got {got}, recorded {want}"
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "objective drift:\n{}",
+        failures.join("\n")
+    );
+}

@@ -39,6 +39,37 @@ fn metrics_json_validates_for_all_models() {
     }
 }
 
+/// `engine.phase_ns` in the metrics document mirrors the partitioner's
+/// per-phase stage timers (fgh-core builds fgh-partition with `stats`,
+/// so the counters are live), and in a serial run the three phases fit
+/// inside the measured elapsed window.
+#[test]
+fn metrics_phase_ns_mirrors_engine_stats() {
+    let a = matrix();
+    let cfg = DecomposeConfig::new(Model::FineGrain2D, 8).with_parallelism(Parallelism::Serial);
+    let out = decompose(&a, &cfg).unwrap();
+    let v = parse(&metrics_json(&a, &cfg, &out)).unwrap();
+    validate_metrics_value(&v).unwrap();
+    let phase = v.get("engine").unwrap().get("phase_ns").unwrap();
+    for (name, ns) in [
+        ("coarsen", out.engine.coarsen_nanos),
+        ("initial", out.engine.initial_nanos),
+        ("refine", out.engine.refine_nanos),
+    ] {
+        assert_eq!(
+            phase.get(name).unwrap().as_u64(),
+            Some(ns),
+            "phase_ns.{name} diverges from EngineStats"
+        );
+        assert!(ns > 0, "{name} nanos not populated despite stats feature");
+    }
+    let total = out.engine.coarsen_nanos + out.engine.initial_nanos + out.engine.refine_nanos;
+    assert!(
+        total <= out.elapsed.as_nanos() as u64,
+        "serial phase nanos ({total}) exceed the elapsed window"
+    );
+}
+
 /// The root `decompose` span covers the same window as
 /// `DecompositionOutcome::elapsed`, and the per-phase child durations sum
 /// to within 5% of it — the trace accounts for where the time went.

@@ -124,42 +124,41 @@ impl<I: ArenaIndex> Substrate for CsrGraph<I> {
         self.neighbors(v).iter().any(|&u| side[u.index()] != s)
     }
 
-    fn apply_move(
+    fn apply_move(&self, _cs: &mut (), side: &[u8], v: I, cut: &mut u64) {
+        // `side` still holds v's pre-move side; the caller flips it after.
+        let s = side[v.index()];
+        for (&u, &w) in self.neighbors(v).iter().zip(self.edge_weights(v)) {
+            if side[u.index()] == s {
+                *cut += w as u64;
+            } else {
+                *cut -= w as u64;
+            }
+        }
+    }
+
+    fn apply_move_gains(
         &self,
         _cs: &mut (),
         side: &[u8],
         v: I,
         cut: &mut u64,
-        adjust: Option<&mut dyn FnMut(I, i64)>,
+        mut adjust: impl FnMut(I, i64),
     ) {
         // `side` still holds v's pre-move side; the caller flips it after.
         let s = side[v.index()];
-        match adjust {
-            Some(adjust) => {
-                for (&u, &w) in self.neighbors(v).iter().zip(self.edge_weights(v)) {
-                    if side[u.index()] == s {
-                        // Internal edge becomes cut: u now profits from following.
-                        *cut += w as u64;
-                        adjust(u, 2 * w as i64);
-                    } else {
-                        *cut -= w as u64;
-                        adjust(u, -2 * w as i64);
-                    }
-                }
-            }
-            None => {
-                for (&u, &w) in self.neighbors(v).iter().zip(self.edge_weights(v)) {
-                    if side[u.index()] == s {
-                        *cut += w as u64;
-                    } else {
-                        *cut -= w as u64;
-                    }
-                }
+        for (&u, &w) in self.neighbors(v).iter().zip(self.edge_weights(v)) {
+            if side[u.index()] == s {
+                // Internal edge becomes cut: u now profits from following.
+                *cut += w as u64;
+                adjust(u, 2 * w as i64);
+            } else {
+                *cut -= w as u64;
+                adjust(u, -2 * w as i64);
             }
         }
     }
 
-    fn for_each_scored_neighbor(&self, u: I, _max_net_size: usize, visit: &mut dyn FnMut(I, u64)) {
+    fn for_each_scored_neighbor(&self, u: I, _max_net_size: usize, mut visit: impl FnMut(I, u64)) {
         // Every edge is a two-pin net; the net-size filter never applies.
         for (&v, &w) in self.neighbors(u).iter().zip(self.edge_weights(u)) {
             visit(v, w as u64);

@@ -98,7 +98,7 @@ pub(crate) fn coarsen_once_in<S: Substrate>(
 /// per-vertex cluster id (an arena buffer, at the substrate's index
 /// width — `S::Ix::MAX` is the "unclustered" sentinel during the pass)
 /// and the cluster count.
-// lint: checked-index — u and neighbors are < n == cluster_of.len(); cluster ids index the per-cluster vecs, which grow with each new cluster, and score is resized before use
+// lint: checked-index — u and neighbors are < n == cluster_of.len(); cluster ids index the per-cluster vecs, which grow with each new cluster, and score is pre-sized to n (cluster ids are < n)
 fn cluster_vertices<S: Substrate>(
     sub: &S,
     fixed: &[i8],
@@ -120,8 +120,10 @@ fn cluster_vertices<S: Substrate>(
     let mut cluster_size = arena.take_u32(0, 0);
     let mut cluster_fixed = arena.take_i8(0, 0);
 
-    // Scratch connectivity scores keyed by cluster id.
-    let mut score = arena.take_u64(0, 0);
+    // Scratch connectivity scores keyed by cluster id. Cluster ids are
+    // bounded by n, so sizing once up front removes the grow-check from
+    // the scoring hot loop.
+    let mut score = arena.take_u64(n, 0);
     let mut touched = S::Ix::take_ids(arena, 0, S::Ix::ZERO);
 
     for &u in order.iter() {
@@ -130,14 +132,10 @@ fn cluster_vertices<S: Substrate>(
 
         // Score already-formed clusters reachable through u's incidences.
         touched.clear();
-        let num_formed = cluster_weight.len();
-        sub.for_each_scored_neighbor(u, max_net_size, &mut |v, cost| {
+        sub.for_each_scored_neighbor(u, max_net_size, |v, cost| {
             let c = cluster_of[v.index()];
             if c == S::Ix::MAX {
                 return;
-            }
-            if score.len() <= c.index() {
-                score.resize(num_formed, 0);
             }
             if score[c.index()] == 0 {
                 touched.push(c);

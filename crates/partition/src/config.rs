@@ -145,6 +145,33 @@ pub enum InitialScheme {
     /// Weight-only bin packing: heaviest vertices first onto the lighter
     /// side, ignoring connectivity (ablation baseline).
     BinPacking,
+    /// Geometric bisection: project vertices to the coordinates attached
+    /// via [`PartitionConfig::coords`] and cut along the longest axis at
+    /// the weighted median (Fagginger Auer & Bisseling's 1D-cut scheme
+    /// for fine-grain models). Falls back to [`InitialScheme::Ghg`] when
+    /// no coordinates are attached.
+    Geometric,
+    /// Policy: [`InitialScheme::Geometric`] when coordinates are
+    /// attached, [`InitialScheme::Ghg`] otherwise.
+    Auto,
+}
+
+impl std::str::FromStr for InitialScheme {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "ghg" => Ok(InitialScheme::Ghg),
+            "random" => Ok(InitialScheme::Random),
+            "binpacking" | "bin-packing" => Ok(InitialScheme::BinPacking),
+            "geometric" => Ok(InitialScheme::Geometric),
+            "auto" => Ok(InitialScheme::Auto),
+            other => Err(format!(
+                "unknown initial scheme '{other}' (expected ghg, random, \
+                 binpacking, geometric, or auto)"
+            )),
+        }
+    }
 }
 
 /// Configuration for the multilevel partitioner.
@@ -206,6 +233,15 @@ pub struct PartitionConfig {
     /// degradation as an exhausted [`Budget`], but attributed to the
     /// caller. `None` (the default) disables polling.
     pub cancel: Option<CancelToken>,
+    /// Per-vertex 2D coordinates, indexed by *original* vertex id, for
+    /// the [`InitialScheme::Geometric`] / [`InitialScheme::Auto`]
+    /// schemes. The engine carries original-id maps through recursive
+    /// bisection and projects coordinates through coarsening levels by
+    /// weighted centroid, so one top-level array serves the whole
+    /// recursion. `None` (the default) leaves the geometric schemes
+    /// falling back to GHG. Shared by `Arc`: parallel runs clone the
+    /// config per domain, not the coordinates.
+    pub coords: Option<std::sync::Arc<Vec<(f32, f32)>>>,
 }
 
 impl Default for PartitionConfig {
@@ -227,6 +263,7 @@ impl Default for PartitionConfig {
             budget: Budget::UNLIMITED,
             parallelism: Parallelism::Serial,
             cancel: None,
+            coords: None,
         }
     }
 }
@@ -267,6 +304,22 @@ impl PartitionConfig {
             vcycles: 0,
             boundary_fm: true,
             ..Default::default()
+        }
+    }
+
+    /// The initial scheme a run will actually execute: resolves
+    /// [`InitialScheme::Auto`] and the no-coordinates fallback of
+    /// [`InitialScheme::Geometric`].
+    pub fn resolved_initial(&self) -> InitialScheme {
+        match self.initial {
+            InitialScheme::Geometric | InitialScheme::Auto => {
+                if self.coords.is_some() {
+                    InitialScheme::Geometric
+                } else {
+                    InitialScheme::Ghg
+                }
+            }
+            other => other,
         }
     }
 

@@ -88,26 +88,35 @@ pub trait Substrate: Sized {
     fn is_boundary(&self, cs: &Self::CutState, side: &[u8], v: Self::Ix) -> bool;
     /// Applies the cut/bookkeeping effects of moving `v` to the opposite
     /// side; the caller flips `side[v]` and the side weights afterwards.
-    /// When `adjust` is given, it receives `(u, delta)` for every other
-    /// vertex whose gain changes (the FM delta-gain updates).
-    fn apply_move(
+    /// Counter-only form — rollbacks and replay paths that do not keep
+    /// gain buckets use this cheaper kernel.
+    fn apply_move(&self, cs: &mut Self::CutState, side: &[u8], v: Self::Ix, cut: &mut u64);
+
+    /// Like [`Substrate::apply_move`], additionally invoking
+    /// `adjust(u, delta)` for every other vertex whose FM gain changes.
+    /// The callback is a generic parameter, not a `dyn` object: this is
+    /// the FM inner loop, and monomorphizing it lets the gain-bucket
+    /// update inline into the pin scan.
+    fn apply_move_gains(
         &self,
         cs: &mut Self::CutState,
         side: &[u8],
         v: Self::Ix,
         cut: &mut u64,
-        adjust: Option<&mut dyn FnMut(Self::Ix, i64)>,
+        adjust: impl FnMut(Self::Ix, i64),
     );
 
     /// Visits the clustering-score contributions of `u`'s neighbors:
     /// `visit(v, score)` once per shared net of size ≤ `max_net_size`
     /// (hypergraphs) or once per incident edge (graphs, which ignore
-    /// `max_net_size` — every edge has two pins).
+    /// `max_net_size` — every edge has two pins). Generic for the same
+    /// reason as [`Substrate::apply_move_gains`]: this is the coarsening
+    /// hot loop.
     fn for_each_scored_neighbor(
         &self,
         u: Self::Ix,
         max_net_size: usize,
-        visit: &mut dyn FnMut(Self::Ix, u64),
+        visit: impl FnMut(Self::Ix, u64),
     );
     /// Contracts under a clustering: cluster = coarse vertex with summed
     /// weight, degenerate nets/edges dropped, parallel ones merged.
@@ -406,6 +415,25 @@ impl MultilevelDriver {
         epsilon: f64,
         rng: &mut impl Rng,
     ) -> (Vec<u8>, u64) {
+        // No per-vertex coordinates at this entry point: the geometric
+        // initial scheme falls back to GHG (see `initial_best_in`).
+        self.bisect_with_coords(sub, fixed, targets, epsilon, rng, None)
+    }
+
+    /// [`Engine::bisect`] with optional per-vertex coordinates (indexed
+    /// by `sub`'s local vertex ids) for the geometric initial scheme.
+    /// The recursion builds these from [`PartitionConfig::coords`] via
+    /// its original-id maps; coordinates are projected level by level
+    /// through coarsening so the coarsest substrate sees centroids.
+    fn bisect_with_coords<S: Substrate>(
+        &mut self,
+        sub: &S,
+        fixed: &[i8],
+        targets: [f64; 2],
+        epsilon: f64,
+        rng: &mut impl Rng,
+        coords: Option<&[(f32, f32)]>,
+    ) -> (Vec<u8>, u64) {
         // Degenerate targets: everything belongs on one side.
         if targets[1] <= 0.0 {
             return (vec![0; sub.num_vertices()], 0);
@@ -490,6 +518,23 @@ impl MultilevelDriver {
             Some(l) => (&l.coarse, &l.fixed),
             None => (sub, fixed),
         };
+        // Project coordinates down the level stack by weighted centroid
+        // so the geometric scheme sees the contracted geometry. Only runs
+        // when the recursion attached coordinates, i.e. the geometric /
+        // auto scheme is active — the default path never allocates here.
+        let coarsest_coords: Option<Vec<(f32, f32)>> = coords.map(|top| {
+            let mut cur = top.to_vec();
+            for li in 0..levels.len() {
+                let fine: &S = if li == 0 { sub } else { &levels[li - 1].coarse };
+                cur = crate::geometric::project_centroids(
+                    fine,
+                    &levels[li].map,
+                    levels[li].coarse.num_vertices(),
+                    &cur,
+                );
+            }
+            cur
+        });
         let ispan = self.trace_child("initial", None);
         let timer = StageTimer::start();
         let mut sides = if self.interrupt_checkpoint() {
@@ -508,6 +553,7 @@ impl MultilevelDriver {
                 targets,
                 epsilon,
                 &quick,
+                None,
                 rng,
                 &mut self.arena,
                 &mut self.stats,
@@ -519,6 +565,7 @@ impl MultilevelDriver {
                 targets,
                 epsilon,
                 &self.cfg,
+                coarsest_coords.as_deref(),
                 rng,
                 &mut self.arena,
                 &mut self.stats,
@@ -690,12 +737,31 @@ impl MultilevelDriver {
             }
         }));
 
+        // When the geometric / auto scheme is active, translate the
+        // caller's original-id coordinate array into this node's local
+        // vertex space. A too-short array (caller error) degrades to the
+        // GHG fallback rather than panicking mid-recursion.
+        let local_coords: Option<Vec<(f32, f32)>> = match (self.cfg.initial, &self.cfg.coords) {
+            (
+                crate::config::InitialScheme::Geometric | crate::config::InitialScheme::Auto,
+                Some(c),
+            ) if c.len() >= fixed.len() => Some(ids.iter().map(|&orig| c[orig.index()]).collect()),
+            _ => None,
+        };
+
         // Phase spans of this bisection nest under a `bisect[part_lo]`
         // span; `part_lo` is the node's identity, so serial and parallel
         // traversals produce the same tree.
         let bspan = self.trace_child("bisect", Some(part_lo as u64));
         let saved_scope = std::mem::replace(&mut self.span, bspan.handle());
-        let (sides, cut) = self.bisect(sub, &fixed_sides, targets, eps, &mut rng);
+        let (sides, cut) = self.bisect_with_coords(
+            sub,
+            &fixed_sides,
+            targets,
+            eps,
+            &mut rng,
+            local_coords.as_deref(),
+        );
         self.span = saved_scope;
         if bspan.is_enabled() {
             bspan.counter("vertices", sub.num_vertices() as u64);
@@ -862,74 +928,110 @@ impl<I: ArenaIndex> Substrate for Hypergraph<I> {
         })
     }
 
-    fn apply_move(
+    fn apply_move(&self, cs: &mut NetSideCounts<I>, side: &[u8], v: I, cut: &mut u64) {
+        let s = side[v.index()] as usize;
+        let t = 1 - s;
+        for &n in self.nets(v) {
+            let ni = n.index();
+            let c = self.net_cost(n) as u64;
+            if cs.pc[t][ni] == I::ZERO {
+                *cut += c;
+            }
+            cs.pc[s][ni] = I::from_index(cs.pc[s][ni].index() - 1);
+            cs.pc[t][ni] = I::from_index(cs.pc[t][ni].index() + 1);
+            if cs.pc[s][ni] == I::ZERO {
+                *cut -= c;
+            }
+        }
+    }
+
+    fn apply_move_gains(
         &self,
         cs: &mut NetSideCounts<I>,
         side: &[u8],
         v: I,
         cut: &mut u64,
-        adjust: Option<&mut dyn FnMut(I, i64)>,
+        mut adjust: impl FnMut(I, i64),
     ) {
         let s = side[v.index()] as usize;
         let t = 1 - s;
-        if let Some(adjust) = adjust {
+        {
             for &n in self.nets(v) {
                 let ni = n.index();
                 let c = self.net_cost(n) as i64;
                 let (tc, fc) = (cs.pc[t][ni], cs.pc[s][ni]);
+                let fc_after = fc.index() - 1;
+                // The four λ transitions fold into one signed delta per
+                // side, so the pins are scanned once with a table lookup
+                // instead of once per firing branch. `tbl[x]` is the gain
+                // delta for every other pin currently on side `x`.
+                let mut tbl = [0i64; 2];
                 if tc == I::ZERO {
-                    // Net becomes cut: every other (free, queued) pin gains +c.
+                    // Net becomes cut: every other pin gains +c.
                     *cut += c as u64;
-                    for &u in self.pins(n) {
-                        if u != v {
-                            adjust(u, c);
-                        }
-                    }
+                    tbl = [c, c];
                 } else if tc == I::ONE {
                     // The lone pin on t loses its "uncut by moving" bonus.
+                    tbl[t] -= c;
+                }
+                if fc_after == 0 {
+                    // Net becomes internal to t: pins lose the cut malus.
+                    *cut -= c as u64;
+                    tbl[0] -= c;
+                    tbl[1] -= c;
+                } else if fc_after == 1 {
+                    // The lone remaining pin on s gains the uncut bonus.
+                    tbl[s] += c;
+                }
+                if tc == I::ONE && fc_after == 1 {
+                    // Exactly 3 pins, one left per side after the move.
+                    // The historical kernel adjusted the t-pin (−c) before
+                    // the s-pin (+c); preserve that order, since bucket
+                    // LIFO position breaks gain ties (golden_cutsize.rs).
                     for &u in self.pins(n) {
                         if u != v && side[u.index()] as usize == t {
                             adjust(u, -c);
                         }
                     }
-                }
-                let fc_after = fc.index() - 1;
-                if fc_after == 0 {
-                    // Net becomes internal to t: pins lose the "would cut" malus.
-                    *cut -= c as u64;
-                    for &u in self.pins(n) {
-                        if u != v {
-                            adjust(u, -c);
-                        }
-                    }
-                } else if fc_after == 1 {
-                    // The lone remaining pin on s gains the uncut bonus.
                     for &u in self.pins(n) {
                         if u != v && side[u.index()] as usize == s {
                             adjust(u, c);
+                        }
+                    }
+                } else if tc == I::ONE && fc_after == 0 {
+                    // A cut 2-pin net becomes internal to t. The lone
+                    // t-pin historically received two −c adjusts, and the
+                    // intermediate bucket hop re-raises the gain buckets'
+                    // cached max, re-exposing higher-gain vertices that an
+                    // earlier pop skipped as inadmissible. A coalesced
+                    // −2c skips that bucket, observably changing pop
+                    // order — keep the two-step form.
+                    for &u in self.pins(n) {
+                        if u != v {
+                            adjust(u, -c);
+                            adjust(u, -c);
+                        }
+                    }
+                } else if tbl != [0, 0] {
+                    // Every other multi-branch combination is confined to
+                    // a 2-pin net (single adjusted pin) or applies one
+                    // uniform delta, so a single in-pin-order scan emits
+                    // the same bucket insertion sequence as the branchy
+                    // original.
+                    for &u in self.pins(n) {
+                        let d = tbl[side[u.index()] as usize];
+                        if u != v && d != 0 {
+                            adjust(u, d);
                         }
                     }
                 }
                 cs.pc[s][ni] = I::from_index(fc_after);
                 cs.pc[t][ni] = I::from_index(tc.index() + 1);
             }
-        } else {
-            for &n in self.nets(v) {
-                let ni = n.index();
-                let c = self.net_cost(n) as u64;
-                if cs.pc[t][ni] == I::ZERO {
-                    *cut += c;
-                }
-                cs.pc[s][ni] = I::from_index(cs.pc[s][ni].index() - 1);
-                cs.pc[t][ni] = I::from_index(cs.pc[t][ni].index() + 1);
-                if cs.pc[s][ni] == I::ZERO {
-                    *cut -= c;
-                }
-            }
         }
     }
 
-    fn for_each_scored_neighbor(&self, u: I, max_net_size: usize, visit: &mut dyn FnMut(I, u64)) {
+    fn for_each_scored_neighbor(&self, u: I, max_net_size: usize, mut visit: impl FnMut(I, u64)) {
         for &net in self.nets(u) {
             if self.net_size(net) > max_net_size {
                 continue;

@@ -134,14 +134,43 @@ impl<I: IndexType> GainBuckets<I> {
     }
 
     /// Adjusts the gain of a queued vertex by `delta`.
-    // lint: checked-index — v < n by the constructor contract; all arrays have length n
+    ///
+    /// Semantically `remove(v)` + `insert(v, gain + delta)`, fused: one
+    /// queued-check, one unlink, one head-relink, and no redundant
+    /// `len`/`in_bucket` churn. This is the single hottest gain-bucket
+    /// operation — FM calls it once per affected pin per move. The vertex
+    /// still moves to the *head* of the destination bucket even when the
+    /// (clamped) bucket index is unchanged, because pop order among gain
+    /// ties is part of the engine's deterministic behavior.
+    // lint: checked-index — v and list links are < n; idx() asserts the bucket is in range
     pub fn adjust(&mut self, v: I, delta: i64) {
-        if delta == 0 || !self.in_bucket[v.index()] {
+        let vi = v.index();
+        if delta == 0 || !self.in_bucket[vi] {
             return;
         }
-        let g = self.gain_of[v.index()] + delta;
-        self.remove(v);
-        self.insert(v, g);
+        let g = self.gain_of[vi].saturating_add(delta);
+        let ob = self.idx(self.gain_of[vi]);
+        let nb = self.idx(g);
+        self.gain_of[vi] = g;
+        let (p, n) = (self.prev[vi], self.next[vi]);
+        if p != I::MAX {
+            self.next[p.index()] = n;
+        } else {
+            self.heads[ob] = n;
+        }
+        if n != I::MAX {
+            self.prev[n.index()] = p;
+        }
+        let head = self.heads[nb];
+        self.next[vi] = head;
+        self.prev[vi] = I::MAX;
+        if head != I::MAX {
+            self.prev[head.index()] = v;
+        }
+        self.heads[nb] = v;
+        if nb > self.max_idx {
+            self.max_idx = nb;
+        }
     }
 
     /// Reinitializes for `n` vertices and gains in `[-max_gain, max_gain]`,

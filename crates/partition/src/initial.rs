@@ -39,6 +39,7 @@ pub fn initial_best(
         targets,
         epsilon,
         &cfg,
+        None,
         rng,
         &mut LevelArena::disabled(),
         &mut EngineStats::default(),
@@ -70,6 +71,10 @@ pub fn ghg_best(
 
 /// Substrate-generic, arena-backed initial partitioning (the engine's
 /// entry point): scheme, tries, and FM passes are read from `cfg`.
+/// `coords[v]`, when present, positions *local* vertex `v` for the
+/// geometric scheme — the engine projects top-level coordinates down to
+/// the coarsest substrate before calling this. Geometric/Auto without
+/// coordinates fall back to GHG.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn initial_best_in<S: Substrate>(
     sub: &S,
@@ -77,13 +82,19 @@ pub(crate) fn initial_best_in<S: Substrate>(
     targets: [f64; 2],
     epsilon: f64,
     cfg: &PartitionConfig,
+    coords: Option<&[(f32, f32)]>,
     rng: &mut impl Rng,
     arena: &mut LevelArena,
     stats: &mut EngineStats,
 ) -> Vec<u8> {
+    let scheme = match (cfg.initial, coords) {
+        (InitialScheme::Geometric | InitialScheme::Auto, Some(_)) => InitialScheme::Geometric,
+        (InitialScheme::Geometric | InitialScheme::Auto, None) => InitialScheme::Ghg,
+        (other, _) => other,
+    };
     let mut best: Option<(u64, u64, Vec<u8>)> = None;
     for _ in 0..cfg.initial_tries.max(1) {
-        let sides = match cfg.initial {
+        let sides = match scheme {
             InitialScheme::Ghg => ghg_once(
                 sub,
                 fixed,
@@ -114,6 +125,25 @@ pub(crate) fn initial_best_in<S: Substrate>(
                 arena,
                 stats,
             ),
+            // `scheme` is resolved above: Geometric only with coords
+            // present, Auto never survives resolution.
+            InitialScheme::Geometric => {
+                let Some(coords) = coords else {
+                    unreachable!("geometric scheme resolved without coords")
+                };
+                crate::geometric::geometric_once(
+                    sub,
+                    coords,
+                    fixed,
+                    targets,
+                    epsilon,
+                    cfg.fm_passes,
+                    rng,
+                    arena,
+                    stats,
+                )
+            }
+            InitialScheme::Auto => unreachable!("Auto resolves before dispatch"),
         };
         let st = BisectionState::new_in(sub, sides, fixed, targets, epsilon, arena);
         let key = (st.balance_penalty(), st.cut());

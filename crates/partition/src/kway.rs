@@ -14,61 +14,8 @@ use fgh_sparse::IndexType;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+use crate::connectivity::NetConnectivity;
 use crate::error::PartitionError;
-
-/// Sparse per-net part-count table: for each net, the (part, pin count)
-/// pairs with nonzero count. Net connectivity `λ` is the list length.
-struct NetParts {
-    table: Vec<Vec<(u32, u64)>>,
-}
-
-impl NetParts {
-    fn build<I: IndexType>(hg: &Hypergraph<I>, partition: &Partition) -> Self {
-        let mut table: Vec<Vec<(u32, u64)>> = vec![Vec::new(); hg.num_nets().index()];
-        for (n, row) in table.iter_mut().enumerate() {
-            for &p in hg.pins(I::from_index(n)) {
-                let part = partition.part_at(p.index());
-                match row.iter_mut().find(|(q, _)| *q == part) {
-                    Some((_, c)) => *c += 1,
-                    None => row.push((part, 1)),
-                }
-            }
-        }
-        NetParts { table }
-    }
-
-    fn count<I: IndexType>(&self, net: I, part: u32) -> u64 {
-        self.table[net.index()]
-            .iter()
-            .find(|(q, _)| *q == part)
-            .map(|(_, c)| *c)
-            .unwrap_or(0)
-    }
-
-    fn lambda<I: IndexType>(&self, net: I) -> usize {
-        self.table[net.index()].len()
-    }
-
-    fn move_pin<I: IndexType>(&mut self, net: I, from: u32, to: u32) -> Result<(), PartitionError> {
-        let row = &mut self.table[net.index()];
-        let Some(i) = row.iter().position(|(q, _)| *q == from) else {
-            // Corrupt bookkeeping: a typed error, so release builds abort
-            // the refinement instead of continuing on a broken table.
-            return Err(PartitionError::internal(format!(
-                "net {net} has no pins in part {from} to move to part {to}"
-            )));
-        };
-        row[i].1 -= 1;
-        if row[i].1 == 0 {
-            row.swap_remove(i);
-        }
-        match row.iter_mut().find(|(q, _)| *q == to) {
-            Some((_, c)) => *c += 1,
-            None => row.push((to, 1)),
-        }
-        Ok(())
-    }
-}
 
 /// Runs up to `passes` greedy K-way refinement sweeps over `partition`
 /// in place. `fixed[v] != u32::MAX` pins vertex `v`. Returns the total
@@ -87,7 +34,7 @@ pub fn kway_refine<I: IndexType>(
     if k < 2 || hg.num_vertices() == I::ZERO {
         return Ok(0);
     }
-    let mut np = NetParts::build(hg, partition);
+    let mut np = NetConnectivity::build(hg, partition);
     let mut weights = partition.part_weights(hg);
     let total: u64 = weights.iter().sum();
     let cap = ((total as f64 / k as f64) * (1.0 + epsilon)).floor() as u64;
@@ -110,11 +57,11 @@ pub fn kway_refine<I: IndexType>(
                 if np.lambda(n) > 1 {
                     boundary = true;
                 }
-                for &(q, _) in &np.table[n.index()] {
+                np.for_each_part(n, |q, _| {
                     if q != from && !candidate_parts.contains(&q) {
                         candidate_parts.push(q);
                     }
-                }
+                });
             }
             if !boundary || candidate_parts.is_empty() {
                 continue;
@@ -263,22 +210,6 @@ mod tests {
         .unwrap();
         assert_eq!(g32, g64);
         assert_eq!(p32.parts(), p64.parts());
-    }
-
-    #[test]
-    fn netparts_bookkeeping() {
-        let hg = Hypergraph::from_nets(4u32, &[vec![0, 1, 2, 3]]).unwrap();
-        let p = Partition::new(2, vec![0, 0, 1, 1]).unwrap();
-        let mut np = NetParts::build(&hg, &p);
-        assert_eq!(np.lambda(0u32), 2);
-        assert_eq!(np.count(0u32, 0), 2);
-        np.move_pin(0u32, 0, 1).unwrap();
-        assert_eq!(np.count(0u32, 0), 1);
-        assert_eq!(np.count(0u32, 1), 3);
-        np.move_pin(0u32, 0, 1).unwrap();
-        assert_eq!(np.lambda(0u32), 1);
-        // Moving from a part with no pins is the typed internal error.
-        assert!(np.move_pin(0u32, 0, 1).is_err());
     }
 
     #[test]

@@ -57,9 +57,11 @@ pub mod bisect;
 pub mod cancel;
 pub mod coarsen;
 pub mod config;
+pub mod connectivity;
 pub mod engine;
 pub mod error;
 pub mod gain;
+pub mod geometric;
 pub mod initial;
 pub mod kway;
 pub mod level;
@@ -72,6 +74,7 @@ pub mod vcycle;
 pub use arena::{ArenaIndex, ArenaPool, ArenaStats, LevelArena};
 pub use cancel::CancelToken;
 pub use config::{Budget, CoarseningScheme, InitialScheme, Parallelism, PartitionConfig};
+pub use connectivity::{NaiveConnectivity, NetConnectivity};
 pub use engine::{MultilevelDriver, RecursiveOutcome, Substrate};
 pub use error::PartitionError;
 pub use level::{EngineStats, Level};

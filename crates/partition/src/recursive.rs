@@ -391,10 +391,24 @@ mod tests {
                 InitialScheme::Ghg,
                 InitialScheme::Random,
                 InitialScheme::BinPacking,
+                InitialScheme::Geometric,
+                InitialScheme::Auto,
             ] {
+                // Geometric/Auto run both with coordinates attached (an
+                // arbitrary deterministic point cloud) and without
+                // (exercising the GHG fallback).
+                let coords: Option<std::sync::Arc<Vec<(f32, f32)>>> =
+                    matches!(initial, InitialScheme::Geometric | InitialScheme::Auto).then(|| {
+                        std::sync::Arc::new(
+                            (0..300)
+                                .map(|v| ((v % 17) as f32, (v / 17) as f32))
+                                .collect(),
+                        )
+                    });
                 let cfg = PartitionConfig {
                     coarsening,
                     initial,
+                    coords,
                     ..PartitionConfig::with_seed(4)
                 };
                 let r = partition_hypergraph(&hg, 4, &cfg).unwrap();
@@ -404,6 +418,26 @@ mod tests {
                     "{coarsening:?}/{initial:?}: imbalance {}%",
                     r.imbalance_percent
                 );
+                if matches!(initial, InitialScheme::Geometric | InitialScheme::Auto) {
+                    let no_coords = PartitionConfig {
+                        coarsening,
+                        initial,
+                        ..PartitionConfig::with_seed(4)
+                    };
+                    let fallback = partition_hypergraph(&hg, 4, &no_coords).unwrap();
+                    fallback.partition.validate(&hg, true).unwrap();
+                    let ghg = PartitionConfig {
+                        coarsening,
+                        initial: InitialScheme::Ghg,
+                        ..PartitionConfig::with_seed(4)
+                    };
+                    let baseline = partition_hypergraph(&hg, 4, &ghg).unwrap();
+                    assert_eq!(
+                        fallback.partition.parts(),
+                        baseline.partition.parts(),
+                        "{coarsening:?}/{initial:?}: coordinate-less run must equal GHG"
+                    );
+                }
             }
         }
     }

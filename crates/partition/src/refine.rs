@@ -179,16 +179,15 @@ impl<'a, S: Substrate> BisectionState<'a, S> {
         let t = 1 - s;
         let w = self.sub.vertex_weight(v) as u64;
         match buckets {
-            Some(b) => self.sub.apply_move(
-                &mut self.cs,
-                &self.side,
-                v,
-                &mut self.cut,
-                Some(&mut |u, d| b.adjust(u, d)),
-            ),
+            Some(b) => {
+                self.sub
+                    .apply_move_gains(&mut self.cs, &self.side, v, &mut self.cut, |u, d| {
+                        b.adjust(u, d)
+                    })
+            }
             None => self
                 .sub
-                .apply_move(&mut self.cs, &self.side, v, &mut self.cut, None),
+                .apply_move(&mut self.cs, &self.side, v, &mut self.cut),
         }
         self.side[v.index()] = t as u8; // lint: checked-cast — t is a 0/1 side
         self.weight[s] -= w;
@@ -204,13 +203,17 @@ impl<'a, S: Substrate> BisectionState<'a, S> {
         let s = self.side[v.index()] as usize;
         let t = 1 - s;
         let w = self.sub.vertex_weight(v) as u64;
-        if self.weight[t] + w <= self.cap[t] + self.slack {
+        // Saturating adds: side weights approach the total vertex weight
+        // and caps derive from it, so the per-move admission check needs
+        // no range pre-checks — overflow saturates to "inadmissible"
+        // instead of branching.
+        if self.weight[t].saturating_add(w) <= self.cap[t].saturating_add(self.slack) {
             return true;
         }
         if self.weight[s] > self.cap[s] {
             let before = self.balance_penalty();
             let after = self.weight[s].saturating_sub(w).saturating_sub(self.cap[s])
-                + (self.weight[t] + w).saturating_sub(self.cap[t]);
+                + self.weight[t].saturating_add(w).saturating_sub(self.cap[t]);
             return after < before;
         }
         false
