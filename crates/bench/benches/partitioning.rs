@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fgh_core::models::FineGrainModel;
-use fgh_core::{decompose, DecomposeConfig, Model};
+use fgh_core::{decompose_workload, DecomposeConfig, Model, Workload, WorkloadOutcome};
 use fgh_partition::{partition_hypergraph_with, LevelArena, MultilevelDriver, PartitionConfig};
 use std::hint::black_box;
 
@@ -26,7 +26,11 @@ fn bench_models(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new(model.name(), name), &a, |b, a| {
                 b.iter(|| {
                     let cfg = DecomposeConfig::new(model, 16);
-                    black_box(decompose(black_box(a), &cfg).expect("decompose"))
+                    black_box(
+                        decompose_workload(Workload::Spmv(black_box(a)), &cfg)
+                            .and_then(WorkloadOutcome::into_spmv)
+                            .expect("decompose"),
+                    )
                 })
             });
         }
@@ -43,7 +47,11 @@ fn bench_k_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             b.iter(|| {
                 let cfg = DecomposeConfig::new(Model::FineGrain2D, k);
-                black_box(decompose(black_box(&a), &cfg).expect("decompose"))
+                black_box(
+                    decompose_workload(Workload::Spmv(black_box(&a)), &cfg)
+                        .and_then(WorkloadOutcome::into_spmv)
+                        .expect("decompose"),
+                )
             })
         });
     }

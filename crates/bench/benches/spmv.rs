@@ -2,7 +2,7 @@
 //! simulator vs the threaded executor, under a fine-grain decomposition.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fgh_core::{decompose, DecomposeConfig, Model};
+use fgh_core::{decompose_workload, DecomposeConfig, Model, Workload, WorkloadOutcome};
 use fgh_spmv::parallel::parallel_spmv;
 use fgh_spmv::DistributedSpmv;
 use std::hint::black_box;
@@ -10,7 +10,12 @@ use std::hint::black_box;
 fn bench_spmv(c: &mut Criterion) {
     let entry = fgh_sparse::catalog::by_name("bcspwr10").expect("catalog name");
     let a = entry.generate_scaled(4, 1);
-    let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 4)).expect("decompose");
+    let out = decompose_workload(
+        Workload::Spmv(&a),
+        &DecomposeConfig::new(Model::FineGrain2D, 4),
+    )
+    .and_then(WorkloadOutcome::into_spmv)
+    .expect("decompose");
     let plan = DistributedSpmv::build(&a, &out.decomposition).expect("plan");
     let x: Vec<f64> = (0..a.ncols()).map(|j| j as f64 * 1e-3 + 1.0).collect();
 

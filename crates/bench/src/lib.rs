@@ -20,7 +20,7 @@
 //! seeds on a 133 MHz PowerPC; the default here is smaller — raise
 //! `--runs` and use `--scale 1` to run the full protocol).
 
-use fgh_core::{decompose, DecomposeConfig, Model};
+use fgh_core::{decompose_workload, DecomposeConfig, Model, Workload, WorkloadOutcome};
 use fgh_sparse::catalog::CatalogEntry;
 use fgh_sparse::CsrMatrix;
 
@@ -147,7 +147,9 @@ pub fn run_instance(
         let cfg = DecomposeConfig::new(model, k)
             .with_seed(base_seed.wrapping_add(r as u64 * 7919))
             .with_parallelism(fgh_core::Parallelism::Serial);
-        let out = decompose(a, &cfg).map_err(|e| e.to_string())?;
+        let out = decompose_workload(Workload::Spmv(a), &cfg)
+            .and_then(WorkloadOutcome::into_spmv)
+            .map_err(|e| e.to_string())?;
         acc.tot += out.stats.scaled_total_volume();
         acc.max += out.stats.scaled_max_volume();
         acc.avg_msgs += out.stats.avg_messages_per_proc();

@@ -1,6 +1,8 @@
 //! `fgh compare` — all models on one matrix, Table-2 style row.
 
-use fgh_core::{decompose, DecomposeConfig, Model};
+use fgh_core::{
+    decompose_workload, DecomposeConfig, Model, Workload, WorkloadKind, WorkloadOutcome,
+};
 
 use crate::commands::{finish_outcome, load_matrix};
 use crate::error::{CmdError, CmdResult};
@@ -23,13 +25,21 @@ pub fn run(args: &[String]) -> CmdResult {
         "model", "volume", "vol/M", "max/proc", "msgs/p", "imbal%", "time"
     );
     println!("{}", "-".repeat(84));
-    for model in Model::ALL {
+    // The comparison is an SpMV shoot-out: SpGEMM-workload models need a
+    // second operand and live under `fgh spgemm`.
+    for model in Model::ALL
+        .into_iter()
+        .filter(|m| m.workload() == WorkloadKind::Spmv)
+    {
         let cfg = DecomposeConfig::new(model, k)
             .with_seed(seed)
             .with_budget(o.budget()?)
             .with_parallelism(o.parallelism()?);
-        let out = finish_outcome(decompose(&a, &cfg), o.has("strict"))
-            .map_err(|e| CmdError::new(e.code, format!("{}: {}", model.name(), e.msg)))?;
+        let out = finish_outcome(
+            decompose_workload(Workload::Spmv(&a), &cfg).and_then(WorkloadOutcome::into_spmv),
+            o.has("strict"),
+        )
+        .map_err(|e| CmdError::new(e.code, format!("{}: {}", model.name(), e.msg)))?;
         println!(
             "{:<22} {:>10} {:>10.4} {:>10} {:>8.2} {:>9.2} {:>8.3}s",
             model.name(),

@@ -5,11 +5,12 @@ pub mod convert;
 pub mod gen;
 pub mod partition;
 pub mod serve;
+pub mod spgemm;
 pub mod spmv;
 pub mod spy;
 pub mod stats;
 
-use fgh_core::{DecompositionOutcome, FghError};
+use fgh_core::{DecompositionOutcome, FghError, SpgemmOutcome};
 use fgh_sparse::{AnyCsrMatrix, CsrMatrix};
 
 use crate::error::CmdError;
@@ -40,6 +41,24 @@ pub fn finish_outcome(
     r: Result<DecompositionOutcome, FghError>,
     strict: bool,
 ) -> Result<DecompositionOutcome, CmdError> {
+    let out = r.map_err(CmdError::from)?;
+    let out = if strict {
+        out.into_strict().map_err(CmdError::from)?
+    } else {
+        out
+    };
+    if let Some(reason) = out.status.reason() {
+        eprintln!("warning: degraded decomposition: {reason}");
+    }
+    Ok(out)
+}
+
+/// [`finish_outcome`] for the SpGEMM face of the workload API — same
+/// strict/degraded policy, applied to a task-hypergraph outcome.
+pub fn finish_spgemm(
+    r: Result<SpgemmOutcome, FghError>,
+    strict: bool,
+) -> Result<SpgemmOutcome, CmdError> {
     let out = r.map_err(CmdError::from)?;
     let out = if strict {
         out.into_strict().map_err(CmdError::from)?

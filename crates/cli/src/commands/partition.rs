@@ -2,7 +2,7 @@
 
 use std::io::Write;
 
-use fgh_core::{decompose_any, Decomposition};
+use fgh_core::{decompose_workload_any, Decomposition, WorkloadAny, WorkloadOutcome};
 use fgh_sparse::AnyCsrMatrix;
 
 use crate::commands::{finish_outcome, load_matrix_any};
@@ -14,7 +14,10 @@ pub fn run(args: &[String]) -> CmdResult {
     let path = o.one_positional("matrix.mtx")?;
     let a = load_matrix_any(path)?;
     let cfg = o.decompose_config(o.parse_required("k")?)?;
-    let out = finish_outcome(decompose_any(&a, &cfg), o.has("strict"))?;
+    let out = finish_outcome(
+        decompose_workload_any(WorkloadAny::Spmv(&a), &cfg).and_then(WorkloadOutcome::into_spmv),
+        o.has("strict"),
+    )?;
 
     if let Some(trace) = &out.trace {
         eprint!("{}", trace.render());

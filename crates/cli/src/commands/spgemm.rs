@@ -1,0 +1,197 @@
+//! `fgh spgemm` — partition the fine-grain SpGEMM task hypergraph of
+//! `C = A · B`, replay the partition through the storage-traffic
+//! simulator, and cross-check that the measured remote traffic equals
+//! the model-predicted communication volume.
+
+use fgh_core::{decompose_workload_any, SpgemmOutcome, WorkloadAny, WorkloadOutcome};
+use fgh_sparse::AnyCsrMatrix;
+use fgh_traffic::TrafficReport;
+
+use crate::commands::{finish_spgemm, load_matrix_any};
+use crate::error::{CmdError, CmdResult};
+use crate::opts::Opts;
+
+pub fn run(args: &[String]) -> CmdResult {
+    let o = Opts::parse(args)?;
+    let (path_a, path_b) = o.one_or_two_positional("A.mtx [B.mtx]")?;
+    let a = load_matrix_any(path_a)?;
+    let b = match path_b {
+        Some(p) => load_matrix_any(p)?,
+        None => a.clone(), // one operand: the A·A product
+    };
+    let cfg = o.decompose_config_for("spgemm-fine-grain", o.parse_required("k")?)?;
+    let out = finish_spgemm(
+        decompose_workload_any(WorkloadAny::Spgemm(&a, &b), &cfg)
+            .and_then(WorkloadOutcome::into_spgemm),
+        o.has("strict"),
+    )?;
+
+    if let Some(trace) = &out.trace {
+        eprint!("{}", trace.render());
+    }
+
+    let (aw, bw, report) = replay_traffic(&a, &b, &out)?;
+    if report.total_remote() != out.stats.total_volume() {
+        return Err(CmdError::new(
+            1,
+            format!(
+                "traffic simulator measured {} remote words but the model predicted {} — \
+                 the exactness invariant is broken",
+                report.total_remote(),
+                out.stats.total_volume()
+            ),
+        ));
+    }
+
+    println!(
+        "A:                 {path_a} ({} x {}, {} nnz)",
+        a.nrows(),
+        a.ncols(),
+        a.nnz()
+    );
+    println!(
+        "B:                 {} ({} x {}, {} nnz)",
+        path_b.unwrap_or("= A"),
+        b.nrows(),
+        b.ncols(),
+        b.nnz()
+    );
+    println!("model:             {}", cfg.model.name());
+    println!("index width:       {} bits", out.width.bits());
+    println!("processors:        {}", cfg.k);
+    println!("multiply tasks:    {} (flops)", out.flops);
+    println!("objective:         {}", out.objective);
+    println!("comm volume:       {} words", out.stats.total_volume());
+    println!("  expand A:        {} words", out.stats.a_expand_volume);
+    println!("  expand B:        {} words", out.stats.b_expand_volume);
+    println!("  fold C:          {} words", out.stats.fold_volume);
+    println!(
+        "msgs/proc max:     {} ({} messages total)",
+        out.stats.max_messages_per_proc(),
+        out.stats.total_messages()
+    );
+    println!(
+        "load imbalance:    {:.2}%",
+        out.stats.load_imbalance_percent()
+    );
+    println!("simulated traffic (storage replay):");
+    println!(
+        "  A reads:         {} dram, {} remote",
+        report.a.dram_reads, report.a.remote_reads
+    );
+    println!(
+        "  B reads:         {} dram, {} remote",
+        report.b.dram_reads, report.b.remote_reads
+    );
+    println!(
+        "  C writes:        {} dram, {} remote",
+        report.c.dram_writes, report.c.remote_writes
+    );
+    println!(
+        "  total remote:    {} words (== predicted volume)",
+        report.total_remote()
+    );
+    println!("partition time:    {:.3}s", out.elapsed.as_secs_f64());
+    match out.status.reason() {
+        Some(r) => println!("status:            degraded ({}): {r}", r.code()),
+        None => println!("status:            full"),
+    }
+
+    if let Some(json_path) = o.get("metrics-json") {
+        let traffic = report.to_value();
+        let doc = match (&aw, &bw) {
+            (AnyCsrMatrix::U32(am), AnyCsrMatrix::U32(bm)) => {
+                fgh_core::spgemm_metrics_json(am, bm, &cfg, &out, Some(&traffic))
+            }
+            (AnyCsrMatrix::U64(am), AnyCsrMatrix::U64(bm)) => {
+                fgh_core::spgemm_metrics_json(am, bm, &cfg, &out, Some(&traffic))
+            }
+            _ => unreachable!("both operands converted to the outcome width"),
+        } + "\n";
+        std::fs::write(json_path, doc).map_err(|e| format!("{json_path}: {e}"))?;
+        println!("metrics written:   {json_path}");
+    }
+    Ok(())
+}
+
+/// Runs the storage-traffic simulator at the outcome's carrier width and
+/// returns the width-converted operands alongside the report (the
+/// metrics document reuses them).
+fn replay_traffic(
+    a: &AnyCsrMatrix,
+    b: &AnyCsrMatrix,
+    out: &SpgemmOutcome,
+) -> Result<(AnyCsrMatrix, AnyCsrMatrix, TrafficReport), CmdError> {
+    let aw = a
+        .convert_width(out.width)
+        .map_err(|e| CmdError::new(1, format!("width conversion: {e}")))?;
+    let bw = b
+        .convert_width(out.width)
+        .map_err(|e| CmdError::new(1, format!("width conversion: {e}")))?;
+    let report = match (&aw, &bw) {
+        (AnyCsrMatrix::U32(am), AnyCsrMatrix::U32(bm)) => {
+            fgh_traffic::simulate(am, bm, &out.decomposition)
+        }
+        (AnyCsrMatrix::U64(am), AnyCsrMatrix::U64(bm)) => {
+            fgh_traffic::simulate(am, bm, &out.decomposition)
+        }
+        _ => unreachable!("convert_width returned mismatched widths"),
+    }
+    .map_err(|e| CmdError::new(1, format!("traffic replay: {e}")))?;
+    Ok((aw, bw, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn workdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join("fgh_cli_spgemm").join(name);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn spgemm_partitions_two_operands_and_writes_metrics() {
+        let dir = workdir("two");
+        let dirs = dir.to_str().unwrap();
+        crate::commands::gen::run(&args(&format!("bcspwr10 --scale 64 --out {dirs}"))).unwrap();
+        let mtx = format!("{dirs}/bcspwr10_s64.mtx");
+        let json = format!("{dirs}/metrics.json");
+        run(&args(&format!("{mtx} {mtx} --k 4 --metrics-json {json}"))).unwrap();
+        let doc = std::fs::read_to_string(&json).unwrap();
+        let v = fgh_trace::json::parse(&doc).unwrap();
+        fgh_core::validate_metrics_value(&v).unwrap();
+        assert_eq!(v.get("workload").unwrap().as_str(), Some("spgemm"));
+        let traffic = v.get("traffic").unwrap();
+        assert_eq!(
+            traffic.get("total_remote").unwrap().as_u64(),
+            v.get("objective").unwrap().as_u64(),
+            "simulated traffic must equal the partitioner's objective"
+        );
+    }
+
+    #[test]
+    fn spgemm_single_operand_squares_the_matrix() {
+        let dir = workdir("square");
+        let dirs = dir.to_str().unwrap();
+        crate::commands::gen::run(&args(&format!("bcspwr10 --scale 64 --out {dirs}"))).unwrap();
+        run(&args(&format!("{dirs}/bcspwr10_s64.mtx --k 2"))).unwrap();
+    }
+
+    #[test]
+    fn spgemm_rejects_bad_inputs() {
+        assert!(run(&args("missing.mtx --k 4")).is_err());
+        let dir = workdir("errors");
+        let dirs = dir.to_str().unwrap();
+        crate::commands::gen::run(&args(&format!("bcspwr10 --scale 64 --out {dirs}"))).unwrap();
+        let mtx = format!("{dirs}/bcspwr10_s64.mtx");
+        // Missing --k and an SpMV-only model are both typed errors.
+        assert!(run(&args(&mtx)).is_err());
+        assert!(run(&args(&format!("{mtx} --k 4 --model graph-1d"))).is_err());
+    }
+}

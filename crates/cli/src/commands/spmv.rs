@@ -1,6 +1,6 @@
 //! `fgh spmv` — decompose, execute one distributed SpMV, verify.
 
-use fgh_core::{decompose, Tracer};
+use fgh_core::{decompose_workload, Tracer, Workload, WorkloadOutcome};
 use fgh_spmv::parallel::parallel_spmv;
 use fgh_spmv::DistributedSpmv;
 
@@ -13,7 +13,10 @@ pub fn run(args: &[String]) -> CmdResult {
     let path = o.one_positional("matrix.mtx")?;
     let a = load_matrix(path)?;
     let cfg = o.decompose_config(o.parse_required("k")?)?;
-    let out = finish_outcome(decompose(&a, &cfg), o.has("strict"))?;
+    let out = finish_outcome(
+        decompose_workload(Workload::Spmv(&a), &cfg).and_then(WorkloadOutcome::into_spmv),
+        o.has("strict"),
+    )?;
     if let Some(trace) = &out.trace {
         eprint!("{}", trace.render());
     }

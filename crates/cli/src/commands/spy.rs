@@ -1,7 +1,7 @@
 //! `fgh spy` — ASCII spy plot of a matrix, optionally overlaid with a
 //! decomposition's ownership map.
 
-use fgh_core::decompose;
+use fgh_core::{decompose_workload, Workload, WorkloadOutcome};
 
 use crate::commands::{finish_outcome, load_matrix};
 use crate::error::CmdResult;
@@ -23,7 +23,10 @@ pub fn run(args: &[String]) -> CmdResult {
     if let Some(kstr) = o.get("k") {
         let k: u32 = kstr.parse().map_err(|e| format!("--k: {e}"))?;
         let cfg = o.decompose_config(k)?;
-        let out = finish_outcome(decompose(&a, &cfg), o.has("strict"))?;
+        let out = finish_outcome(
+            decompose_workload(Workload::Spmv(&a), &cfg).and_then(WorkloadOutcome::into_spmv),
+            o.has("strict"),
+        )?;
         println!(
             "ownership map ({}, K = {k}; cells show the dominant owner, base 36):",
             cfg.model.name()

@@ -38,6 +38,7 @@ fn main() -> ExitCode {
         "stats" => commands::stats::run(rest),
         "partition" => commands::partition::run(rest),
         "serve" => commands::serve::run(rest),
+        "spgemm" => commands::spgemm::run(rest),
         "spmv" => commands::spmv::run(rest),
         "spy" => commands::spy::run(rest),
         "compare" => commands::compare::run(rest),
@@ -75,6 +76,11 @@ fn usage() -> &'static str {
      \x20 fgh spmv <matrix.mtx> --k K [--model M] [--parallel] [--max-wall-ms N] [--strict]\n\
      \x20          [--trace]\n\
      \x20     decompose, execute one distributed y = Ax, verify and report\n\
+     \x20 fgh spgemm <A.mtx> [B.mtx] --k K [--model M] [--strict] [--trace]\n\
+     \x20            [--metrics-json FILE]\n\
+     \x20     partition the fine-grain SpGEMM task hypergraph of C = A*B\n\
+     \x20     (B omitted = A*A), replay the storage traffic, and verify that\n\
+     \x20     measured remote words equal the model-predicted volume\n\
      \x20 fgh compare <matrix.mtx> --k K [--seed N]\n\
      \x20     run every model on the matrix and print a comparison table\n\
      \x20 fgh convert <matrix.mtx> [--model M] [--out FILE]\n\
@@ -93,7 +99,8 @@ fn usage() -> &'static str {
      \x20     validate an fgh-serve-metrics/1 report file\n\
      \n\
      models: graph-1d | hypergraph-1d-colnet | hypergraph-1d-rownet |\n\
-     \x20       fine-grain-2d (default) | checkerboard-2d | mondriaan-2d | jagged-2d | checkerboard-hg-2d\n\
+     \x20       fine-grain-2d (default) | checkerboard-2d | mondriaan-2d | jagged-2d | checkerboard-hg-2d |\n\
+     \x20       spgemm-fine-grain (spgemm workload only, its default)\n\
      \n\
      common flags:\n\
      \x20 --threads N       partitioner thread count (default: all cores);\n\

@@ -51,6 +51,17 @@ impl Opts {
         }
     }
 
+    /// One required positional plus an optional second (the SpGEMM
+    /// command's `A.mtx [B.mtx]` shape).
+    pub fn one_or_two_positional(&self, what: &str) -> Result<(&str, Option<&str>), String> {
+        match self.positional.as_slice() {
+            [a] => Ok((a, None)),
+            [a, b] => Ok((a, Some(b))),
+            [] => Err(format!("missing argument: {what}")),
+            _ => Err(format!("expected at most two arguments ({what})")),
+        }
+    }
+
     /// String flag value.
     pub fn get(&self, name: &str) -> Option<&str> {
         self.flags
@@ -120,9 +131,15 @@ impl Opts {
 
     /// The `--model` flag (default fine-grain 2D). Accepts every name
     /// and alias [`Model`]'s `FromStr` knows.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn model(&self) -> Result<Model, String> {
+        self.model_or("fine-grain-2d")
+    }
+
+    /// [`Opts::model`] with a caller-chosen default name.
+    pub fn model_or(&self, default: &str) -> Result<Model, String> {
         self.get("model")
-            .unwrap_or("fine-grain-2d")
+            .unwrap_or(default)
             .parse()
             .map_err(|e| format!("--model: {e}"))
     }
@@ -141,7 +158,18 @@ impl Opts {
     /// --max-wall-ms --max-bytes --threads --trace`) and an
     /// already-resolved processor count.
     pub fn decompose_config(&self, k: u32) -> Result<DecomposeConfig, String> {
-        Ok(DecomposeConfig::new(self.model()?, k)
+        self.decompose_config_for("fine-grain-2d", k)
+    }
+
+    /// [`Opts::decompose_config`] with a caller-chosen default model —
+    /// the SpGEMM subcommand defaults to the task-hypergraph model
+    /// instead of the SpMV fine-grain model.
+    pub fn decompose_config_for(
+        &self,
+        default_model: &str,
+        k: u32,
+    ) -> Result<DecomposeConfig, String> {
+        Ok(DecomposeConfig::new(self.model_or(default_model)?, k)
             .with_epsilon(self.parse_or("epsilon", 0.03)?)
             .with_seed(self.parse_or("seed", 1)?)
             .with_runs(self.parse_or("runs", 1)?)

@@ -100,14 +100,48 @@ pub enum Model {
     /// companion IPDPS 2001 paper): volume-minimized row stripes, then a
     /// single multi-constraint column grouping shared by all stripes.
     CheckerboardHg2D,
+    /// Fine-grain SpGEMM decomposition (`C = A · B`): one vertex per
+    /// multiply task `a_ik · b_kj`, nets modeling A-row reuse, B-column
+    /// reuse, and the C fold. The only model for
+    /// [`crate::Workload::Spgemm`] inputs — SpMV entry points reject it.
+    SpgemmFineGrain,
+}
+
+/// The workload family a [`Model`] decomposes — the coupling between a
+/// config's model and the [`crate::Workload`] variant it accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// `y = A x`: one square matrix.
+    Spmv,
+    /// `C = A · B`: a conformable matrix pair.
+    Spgemm,
+}
+
+impl WorkloadKind {
+    /// Stable lowercase name (used by the metrics document and the serve
+    /// protocol).
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadKind::Spmv => "spmv",
+            WorkloadKind::Spgemm => "spgemm",
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 impl Model {
     /// Every model, in the canonical presentation order of the paper's
-    /// tables (1D baselines first, then the 2D schemes). The single
-    /// source of truth for "all models" sweeps — the CLI's `compare`
-    /// command and the metrics tests iterate this array.
-    pub const ALL: [Model; 8] = [
+    /// tables (1D baselines first, then the 2D schemes, then the SpGEMM
+    /// extension). The single source of truth for "all models" sweeps —
+    /// the CLI's `compare` command and the metrics tests iterate this
+    /// array (filtering by [`Model::workload`] where only one workload
+    /// family applies).
+    pub const ALL: [Model; 9] = [
         Model::Graph1D,
         Model::Hypergraph1DColNet,
         Model::Hypergraph1DRowNet,
@@ -116,6 +150,7 @@ impl Model {
         Model::Mondriaan2D,
         Model::Jagged2D,
         Model::CheckerboardHg2D,
+        Model::SpgemmFineGrain,
     ];
 
     /// Short display name as used in the paper's tables. Each name parses
@@ -130,6 +165,17 @@ impl Model {
             Model::Mondriaan2D => "mondriaan-2d",
             Model::Jagged2D => "jagged-2d",
             Model::CheckerboardHg2D => "checkerboard-hg-2d",
+            Model::SpgemmFineGrain => "spgemm-fine-grain",
+        }
+    }
+
+    /// The workload family this model decomposes. Every SpMV model
+    /// rejects a SpGEMM workload and vice versa — the check lives in the
+    /// workload entry points, typed as [`crate::FghError::InvalidInput`].
+    pub fn workload(&self) -> WorkloadKind {
+        match self {
+            Model::SpgemmFineGrain => WorkloadKind::Spgemm,
+            _ => WorkloadKind::Spmv,
         }
     }
 
@@ -143,6 +189,7 @@ impl Model {
                 | Model::Hypergraph1DColNet
                 | Model::Hypergraph1DRowNet
                 | Model::FineGrain2D
+                | Model::SpgemmFineGrain
         )
     }
 }
@@ -159,7 +206,7 @@ impl std::str::FromStr for Model {
     /// Parses a model from its canonical [`Model::name`], accepting the
     /// historical CLI aliases (`graph`, `colnet`, `rownet`, `finegrain`,
     /// `fine-grain`, `checkerboard`, `mondriaan`, `jagged`,
-    /// `checkerboard-hg`) case-insensitively.
+    /// `checkerboard-hg`, `spgemm`) case-insensitively.
     fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
         let lower = s.to_ascii_lowercase();
         let m = match lower.as_str() {
@@ -171,6 +218,7 @@ impl std::str::FromStr for Model {
             "mondriaan" | "mondriaan-2d" => Model::Mondriaan2D,
             "jagged" | "jagged-2d" => Model::Jagged2D,
             "checkerboard-hg" | "checkerboard-hg-2d" => Model::CheckerboardHg2D,
+            "spgemm" | "spgemm-fine-grain" => Model::SpgemmFineGrain,
             _ => {
                 return Err(format!(
                     "unknown model '{s}' (expected one of: {})",
@@ -340,8 +388,9 @@ pub struct DecompositionOutcome {
     /// for the composite models ([`Model::Mondriaan2D`],
     /// [`Model::Jagged2D`], [`Model::CheckerboardHg2D`]) it is the
     /// **aggregate** over every internal engine run (merged counters —
-    /// note [`Model::CheckerboardHg2D`]'s phase-2 multi-constraint
-    /// partitioner is not engine-backed and contributes nothing). Zeroed
+    /// [`Model::CheckerboardHg2D`]'s phase-2 multi-constraint partitioner
+    /// reports its placement and refinement work in the same vocabulary,
+    /// with coarsening counters untouched). Zeroed
     /// only for [`Model::Checkerboard2D`], which builds its decomposition
     /// directly without any partitioner.
     pub engine: EngineStats,
@@ -399,6 +448,49 @@ fn best_effort_round_robin<I: IndexType>(
     Ok(Decomposition::general(a, k, nonzero_owner, vec_owner)?)
 }
 
+/// Status attribution shared by the SpMV and SpGEMM pipelines: a forced
+/// reason (degenerate input) wins, then cancellation, then budget
+/// truncation, then a missed balance target. The balance tolerance adds
+/// one work unit of slack (`100·K / work_units` percent) on top of ε —
+/// integer loads cannot hit a fractional average exactly, and that
+/// granularity is not a degradation. Cancellation wins the attribution
+/// over budget truncation: a cancelled run is reported as cancelled, not
+/// a budget accident.
+pub(crate) fn degradation_status(
+    forced_reason: Option<DegradedReason>,
+    engine: &EngineStats,
+    cfg: &DecomposeConfig,
+    imbalance: f64,
+    work_units: u64,
+) -> DecompositionStatus {
+    let allowed = cfg.epsilon * 100.0 + 100.0 * cfg.k as f64 / work_units.max(1) as f64 + 1e-9;
+    if let Some(reason) = forced_reason {
+        DecompositionStatus::Degraded { reason }
+    } else if engine.cancelled() {
+        DecompositionStatus::Degraded {
+            reason: DegradedReason::Cancelled,
+        }
+    } else if engine.truncated() {
+        DecompositionStatus::Degraded {
+            reason: DegradedReason::BudgetExhausted {
+                wall: engine.wall_truncations,
+                levels: engine.level_truncations,
+                fm_passes: engine.fm_truncations,
+                bytes: engine.byte_truncations,
+            },
+        }
+    } else if imbalance > allowed {
+        DecompositionStatus::Degraded {
+            reason: DegradedReason::BalanceInfeasible {
+                epsilon: cfg.epsilon,
+                achieved_percent: imbalance,
+            },
+        }
+    } else {
+        DecompositionStatus::Full
+    }
+}
+
 /// Downcast evidence for the `u32`-only composite models: `Some` on the
 /// fast path, a typed [`FghError::UnsupportedWidth`] on the big path.
 fn require_u32<I: DecomposeIndex>(
@@ -432,11 +524,13 @@ fn require_u32<I: DecomposeIndex>(
 ///   truncation is visible in [`DecompositionOutcome::engine`], and the
 ///   outcome is `Degraded` — never an OOM abort. Strict callers reject
 ///   these via [`DecompositionOutcome::into_strict`].
+#[deprecated(note = "use decompose_workload with Workload::Spmv")]
 pub fn decompose<I: DecomposeIndex>(
     a: &CsrMatrix<I>,
     cfg: &DecomposeConfig,
 ) -> std::result::Result<DecompositionOutcome, FghError> {
-    decompose_in(a, cfg, &Arc::new(ArenaPool::new()))
+    crate::workload::decompose_workload(crate::workload::Workload::Spmv(a), cfg)
+        .and_then(crate::workload::WorkloadOutcome::into_spmv)
 }
 
 /// [`decompose`] drawing all partitioner scratch arenas from a
@@ -445,11 +539,33 @@ pub fn decompose<I: DecomposeIndex>(
 /// pool to every request so warm buffers survive across whole
 /// decompositions; the engine-backed models benefit, the composite 2D
 /// models keep run-internal pools.
+///
+/// Deprecated shim: delegates to [`crate::decompose_workload_in`] with a
+/// [`crate::Workload::Spmv`] workload (parity-tested bit-for-bit).
+#[deprecated(note = "use decompose_workload_in with Workload::Spmv")]
 pub fn decompose_in<I: DecomposeIndex>(
     a: &CsrMatrix<I>,
     cfg: &DecomposeConfig,
     pool: &Arc<ArenaPool>,
 ) -> std::result::Result<DecompositionOutcome, FghError> {
+    crate::workload::decompose_workload_in(crate::workload::Workload::Spmv(a), cfg, pool)
+        .and_then(crate::workload::WorkloadOutcome::into_spmv)
+}
+
+/// The SpMV pipeline — the body behind [`crate::Workload::Spmv`] (and,
+/// through it, the deprecated [`decompose`] / [`decompose_in`] shims).
+pub(crate) fn spmv_pipeline_in<I: DecomposeIndex>(
+    a: &CsrMatrix<I>,
+    cfg: &DecomposeConfig,
+    pool: &Arc<ArenaPool>,
+) -> std::result::Result<DecompositionOutcome, FghError> {
+    if cfg.model.workload() != WorkloadKind::Spmv {
+        return Err(FghError::InvalidInput(format!(
+            "model {} decomposes a {} workload, not SpMV",
+            cfg.model.name(),
+            cfg.model.workload()
+        )));
+    }
     if cfg.k == 0 {
         return Err(FghError::InvalidInput("K must be >= 1".into()));
     }
@@ -531,39 +647,13 @@ pub fn decompose_in<I: DecomposeIndex>(
     let trace = sink.map(|s| s.build_trace());
     let stats = CommStats::compute(a, &decomposition)?;
 
-    // Degradation check: budget truncation, or a missed balance target.
-    // The balance tolerance adds one work unit of slack (100·K/nnz
-    // percent) on top of ε — integer loads cannot hit a fractional
-    // average exactly, and that granularity is not a degradation.
-    let imbalance = stats.load_imbalance_percent();
-    let allowed = cfg.epsilon * 100.0 + 100.0 * cfg.k as f64 / a.nnz() as f64 + 1e-9;
-    let status = if let Some(reason) = forced_reason {
-        DecompositionStatus::Degraded { reason }
-    } else if engine.cancelled() {
-        // Cancellation wins the attribution over budget truncation: a
-        // cancelled run is reported as cancelled, not a budget accident.
-        DecompositionStatus::Degraded {
-            reason: DegradedReason::Cancelled,
-        }
-    } else if engine.truncated() {
-        DecompositionStatus::Degraded {
-            reason: DegradedReason::BudgetExhausted {
-                wall: engine.wall_truncations,
-                levels: engine.level_truncations,
-                fm_passes: engine.fm_truncations,
-                bytes: engine.byte_truncations,
-            },
-        }
-    } else if imbalance > allowed {
-        DecompositionStatus::Degraded {
-            reason: DegradedReason::BalanceInfeasible {
-                epsilon: cfg.epsilon,
-                achieved_percent: imbalance,
-            },
-        }
-    } else {
-        DecompositionStatus::Full
-    };
+    let status = degradation_status(
+        forced_reason,
+        &engine,
+        cfg,
+        stats.load_imbalance_percent(),
+        a.nnz() as u64,
+    );
     Ok(DecompositionOutcome {
         decomposition,
         stats,
@@ -588,16 +678,33 @@ pub fn decompose_in<I: DecomposeIndex>(
 ///   which CI uses to route the whole test suite through the big path.
 ///
 /// [`DecompositionOutcome::width`] records which path actually ran.
+#[deprecated(note = "use decompose_workload_any with WorkloadAny::Spmv")]
 pub fn decompose_any(
     a: &AnyCsrMatrix,
     cfg: &DecomposeConfig,
 ) -> std::result::Result<DecompositionOutcome, FghError> {
-    decompose_any_in(a, cfg, &Arc::new(ArenaPool::new()))
+    crate::workload::decompose_workload_any(crate::workload::WorkloadAny::Spmv(a), cfg)
+        .and_then(crate::workload::WorkloadOutcome::into_spmv)
 }
 
 /// [`decompose_any`] drawing partitioner scratch from a caller-supplied
 /// [`ArenaPool`] — see [`decompose_in`].
+///
+/// Deprecated shim: delegates to [`crate::decompose_workload_any_in`]
+/// with a [`crate::WorkloadAny::Spmv`] workload.
+#[deprecated(note = "use decompose_workload_any_in with WorkloadAny::Spmv")]
 pub fn decompose_any_in(
+    a: &AnyCsrMatrix,
+    cfg: &DecomposeConfig,
+    pool: &Arc<ArenaPool>,
+) -> std::result::Result<DecompositionOutcome, FghError> {
+    crate::workload::decompose_workload_any_in(crate::workload::WorkloadAny::Spmv(a), cfg, pool)
+        .and_then(crate::workload::WorkloadOutcome::into_spmv)
+}
+
+/// The width-erased SpMV pipeline: [`IndexWidth::select`]-driven
+/// auto-upgrade in front of [`spmv_pipeline_in`].
+pub(crate) fn spmv_pipeline_any_in(
     a: &AnyCsrMatrix,
     cfg: &DecomposeConfig,
     pool: &Arc<ArenaPool>,
@@ -605,13 +712,13 @@ pub fn decompose_any_in(
     let needed = IndexWidth::select(a.nrows(), a.ncols(), a.nnz() as u64);
     let force_wide = cfg!(feature = "force-u64");
     match a {
-        AnyCsrMatrix::U64(m) => decompose_in(m, cfg, pool),
+        AnyCsrMatrix::U64(m) => spmv_pipeline_in(m, cfg, pool),
         AnyCsrMatrix::U32(m) => {
             if needed == IndexWidth::U64 || force_wide {
                 let wide: CsrMatrix<u64> = m.convert_width()?;
-                decompose_in(&wide, cfg, pool)
+                spmv_pipeline_in(&wide, cfg, pool)
             } else {
-                decompose_in(m, cfg, pool)
+                spmv_pipeline_in(m, cfg, pool)
             }
         }
     }
@@ -722,6 +829,15 @@ fn decompose_with_model<I: DecomposeIndex>(
             let vol = objective_volume(a32, &d, scope)?;
             (d, vol, stats)
         }
+        // Unreachable: spmv_pipeline_in rejects SpGEMM-workload models
+        // before dispatch; kept total rather than panicking.
+        Model::SpgemmFineGrain => {
+            return Err(FghError::InvalidInput(format!(
+                "model {} decomposes a {} workload, not SpMV",
+                cfg.model.name(),
+                cfg.model.workload()
+            )))
+        }
     };
     Ok(out)
 }
@@ -786,6 +902,24 @@ mod tests {
             ValueMode::Ones,
             &mut SmallRng::seed_from_u64(1),
         )
+    }
+
+    // Shadow the deprecated quartet with the workload path (shim parity
+    // itself is covered in `workload::tests`).
+    fn decompose<I: DecomposeIndex>(
+        a: &CsrMatrix<I>,
+        cfg: &DecomposeConfig,
+    ) -> std::result::Result<DecompositionOutcome, FghError> {
+        crate::workload::decompose_workload(crate::workload::Workload::Spmv(a), cfg)
+            .and_then(crate::workload::WorkloadOutcome::into_spmv)
+    }
+
+    fn decompose_any(
+        a: &AnyCsrMatrix,
+        cfg: &DecomposeConfig,
+    ) -> std::result::Result<DecompositionOutcome, FghError> {
+        crate::workload::decompose_workload_any(crate::workload::WorkloadAny::Spmv(a), cfg)
+            .and_then(crate::workload::WorkloadOutcome::into_spmv)
     }
 
     #[test]
@@ -934,6 +1068,12 @@ mod tests {
         let a64: CsrMatrix<u64> = test_matrix().convert_width().unwrap();
         for model in Model::ALL {
             let r = decompose(&a64, &DecomposeConfig::new(model, 4));
+            if model.workload() != WorkloadKind::Spmv {
+                // Not an SpMV model at all: the SpMV pipeline rejects it
+                // before width even matters.
+                assert!(matches!(r, Err(FghError::InvalidInput(_))), "{r:?}");
+                continue;
+            }
             if model.supports_wide_indices() {
                 assert!(r.is_ok(), "{} must run wide", model.name());
             } else {

@@ -23,10 +23,13 @@
 //! equals the connectivity−1 cutsize (verified in tests and end-to-end by
 //! `fgh-spmv`).
 //!
-//! The [`api`] module offers one-call decomposition ([`api::decompose`])
-//! used by the examples and the Table-2 harness; [`reduction`] generalizes
-//! the model to arbitrary input/output reduction problems with optional
-//! pre-assigned elements (the paper's §3 remark).
+//! The [`workload`] module offers one-call decomposition for any
+//! supported workload ([`workload::decompose_workload`] over
+//! [`workload::Workload::Spmv`] and [`workload::Workload::Spgemm`]);
+//! the legacy SpMV-only quartet in [`api`] remains as deprecated shims
+//! for one release. [`reduction`] generalizes the model to arbitrary
+//! input/output reduction problems with optional pre-assigned elements
+//! (the paper's §3 remark).
 
 // Robustness contract: library (non-test) code must not panic; provably
 // infallible sites carry a narrowly scoped `allow` with a justification.
@@ -40,18 +43,25 @@ pub mod reduction;
 pub mod report;
 pub mod session;
 pub mod status;
+pub mod workload;
 
-pub use api::{
-    decompose, decompose_any, decompose_any_in, decompose_in, DecomposeConfig, DecomposeIndex,
-    DecompositionOutcome, Model,
-};
+#[allow(deprecated)] // legacy quartet re-exported through its one deprecation cycle
+pub use api::{decompose, decompose_any, decompose_any_in, decompose_in};
+pub use api::{DecomposeConfig, DecomposeIndex, DecompositionOutcome, Model, WorkloadKind};
 pub use decomp::Decomposition;
 pub use fgh_partition::{ArenaPool, Budget, CancelToken, EngineStats, InitialScheme, Parallelism};
 pub use fgh_trace::{Trace, Tracer};
 pub use metrics::CommStats;
-pub use report::{metrics_document, metrics_json, validate_metrics_value, METRICS_SCHEMA};
+pub use report::{
+    metrics_document, metrics_json, spgemm_metrics_document, spgemm_metrics_json,
+    validate_metrics_value, METRICS_SCHEMA,
+};
 pub use session::{EngineSession, JobParams};
 pub use status::{DecompositionStatus, DegradedReason};
+pub use workload::{
+    decompose_workload, decompose_workload_any, decompose_workload_any_in, decompose_workload_in,
+    SpgemmOutcome, Workload, WorkloadAny, WorkloadOutcome,
+};
 
 /// Errors from model construction and decomposition.
 #[derive(Debug, Clone, PartialEq)]

@@ -73,11 +73,14 @@ impl CheckerboardHgModel {
     }
 
     /// [`CheckerboardHgModel::decompose`] with engine instrumentation and
-    /// trace recording. The returned [`EngineStats`] cover the phase-1 row
-    /// partitioning only: phase 2 runs the direct (non-multilevel)
-    /// multi-constraint partitioner, which keeps no engine counters. Under
-    /// an enabled `parent` scope the phases record as `rows` and `cols`
-    /// spans, with the multilevel spans nested inside `rows`.
+    /// trace recording. The returned [`EngineStats`] accumulate both
+    /// phases: the multilevel counters of the phase-1 row partitioning,
+    /// plus the phase-2 multi-constraint partitioner's counters in
+    /// multilevel vocabulary (greedy placement as initial partitioning,
+    /// refinement sweeps as FM passes, accepted moves as FM moves;
+    /// coarsening counters stay untouched because the scheme is direct).
+    /// Under an enabled `parent` scope the phases record as `rows` and
+    /// `cols` spans, with the multilevel spans nested inside `rows`.
     pub fn decompose_traced(
         &self,
         a: &CsrMatrix,
@@ -131,6 +134,7 @@ impl CheckerboardHgModel {
             let weights = MultiWeights::new(c, flat);
             let r = partition_multiconstraint(&hg, &weights, self.q, self.epsilon, cfg.seed, 4)
                 .map_err(|e| ModelError::Partition(e.to_string()))?;
+            stats.merge(&r.stats);
             r.partition.parts().to_vec()
         };
 
@@ -172,6 +176,31 @@ mod tests {
         let d = m.decompose(&a, &PartitionConfig::with_seed(1)).unwrap();
         d.validate(&a).unwrap();
         assert_eq!(d.k, 6);
+    }
+
+    #[test]
+    fn phase_two_reports_engine_counters() {
+        // With P = 1 the row phase is skipped entirely, so every counter
+        // below comes from the phase-2 multi-constraint partitioner —
+        // the gap this regression test pins closed.
+        let a = matrix();
+        let m = CheckerboardHgModel::with_grid(1, 4, 0.2).unwrap();
+        let (d, stats) = m
+            .decompose_traced(&a, &PartitionConfig::with_seed(9), &SpanHandle::noop())
+            .unwrap();
+        d.validate(&a).unwrap();
+        assert!(stats.fm_passes > 0, "refinement sweeps not counted");
+        assert!(stats.fm_moves > 0, "accepted moves not counted");
+        assert_eq!(stats.fm_rollbacks, 0, "greedy scheme never rolls back");
+        assert_eq!(stats.levels, 0, "direct scheme must not claim levels");
+        // Two-phase runs accumulate, never overwrite: a P > 1 grid keeps
+        // the multilevel phase-1 counters alongside phase 2's.
+        let (_, both) = CheckerboardHgModel::with_grid(2, 2, 0.2)
+            .unwrap()
+            .decompose_traced(&a, &PartitionConfig::with_seed(9), &SpanHandle::noop())
+            .unwrap();
+        assert!(both.bisections > 0, "phase-1 multilevel counters lost");
+        assert!(both.fm_passes > 0);
     }
 
     #[test]

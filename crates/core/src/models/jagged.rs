@@ -254,10 +254,12 @@ mod tests {
         let m = JaggedModel::new(8, 0.1).unwrap();
         let d = m.decompose(&a, &PartitionConfig::with_seed(3)).unwrap();
         let v_j = CommStats::compute(&a, &d).unwrap().total_volume();
-        let out = crate::api::decompose(
-            &a,
+        let out = crate::workload::decompose_workload(
+            crate::workload::Workload::Spmv(&a),
             &crate::api::DecomposeConfig::new(crate::api::Model::Hypergraph1DColNet, 8),
         )
+        .unwrap()
+        .into_spmv()
         .unwrap();
         assert!(
             v_j as f64 <= out.stats.total_volume() as f64 * 1.6,

@@ -290,11 +290,13 @@ mod tests {
             let m = MondriaanModel::new(8, 0.03);
             let d = m.decompose(&a, &PartitionConfig::with_seed(seed)).unwrap();
             mond += CommStats::compute(&a, &d).unwrap().total_volume();
-            let out = crate::api::decompose(
-                &a,
+            let out = crate::workload::decompose_workload(
+                crate::workload::Workload::Spmv(&a),
                 &crate::api::DecomposeConfig::new(crate::api::Model::Hypergraph1DColNet, 8)
                     .with_seed(seed),
             )
+            .unwrap()
+            .into_spmv()
             .unwrap();
             oned += out.stats.total_volume();
         }

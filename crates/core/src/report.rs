@@ -49,14 +49,35 @@
 //! wall time down by multilevel phase; fgh-core builds fgh-partition
 //! with its `stats` feature so the three counters are populated (they
 //! are `0` only when a phase genuinely did not run).
+//!
+//! # Workload members
+//!
+//! Since the workload-generic API, every document also carries:
+//!
+//! * `workload` — `"spmv"` or `"spgemm"`.
+//! * `matrix_b` — the second operand of a SpGEMM workload (same member
+//!   set as `matrix`); `null` for SpMV documents.
+//! * `flops` — multiply-task count of the SpGEMM product; `null` for
+//!   SpMV documents.
+//! * `traffic` — simulated storage-traffic counters from `fgh-traffic`
+//!   when the caller ran the simulator, else `null`:
+//!   `{"a": {"dram_reads", "remote_reads"}, "b": {...},
+//!   "c": {"dram_writes", "remote_writes"}, "total_remote"}`.
+//!
+//! For SpGEMM documents, `comm.expand_volume` is the A- plus B-expand
+//! volume and `comm.fold_volume` the C-fold volume, so the shared member
+//! set keeps meaning across workloads.
 
 use std::collections::BTreeMap;
 
-use fgh_sparse::{CsrMatrix, IndexType};
+use fgh_partition::EngineStats;
+use fgh_sparse::{CsrMatrix, IndexType, IndexWidth};
 use fgh_trace::json::{parse, Value};
 use fgh_trace::validate_trace_value;
 
 use crate::api::{DecomposeConfig, DecompositionOutcome};
+use crate::status::DecompositionStatus;
+use crate::workload::SpgemmOutcome;
 
 /// The schema identifier stamped into every document.
 pub const METRICS_SCHEMA: &str = "fgh-metrics/1";
@@ -67,41 +88,16 @@ fn num(n: u64) -> Value {
     Value::Num(n as f64)
 }
 
-/// Assembles the `fgh-metrics/1` document for one decomposition run.
-/// `a` must be the matrix the outcome was computed from.
-pub fn metrics_document<I: IndexType>(
-    a: &CsrMatrix<I>,
-    cfg: &DecomposeConfig,
-    out: &DecompositionOutcome,
-) -> Value {
+fn matrix_obj(nrows: u64, ncols: u64, nnz: u64, width: IndexWidth) -> Value {
     let mut matrix = BTreeMap::new();
-    matrix.insert("nrows".into(), num(a.nrows().as_u64()));
-    matrix.insert("ncols".into(), num(a.ncols().as_u64()));
-    matrix.insert(
-        "nnz".into(),
-        num(out.decomposition.nonzero_owner.len() as u64),
-    );
-    matrix.insert("index_bits".into(), num(out.width.bits() as u64));
+    matrix.insert("nrows".into(), num(nrows));
+    matrix.insert("ncols".into(), num(ncols));
+    matrix.insert("nnz".into(), num(nnz));
+    matrix.insert("index_bits".into(), num(width.bits() as u64));
+    Value::Obj(matrix)
+}
 
-    let s = &out.stats;
-    let mut comm = BTreeMap::new();
-    comm.insert("total_volume".into(), num(s.total_volume()));
-    comm.insert("expand_volume".into(), num(s.expand_volume));
-    comm.insert("fold_volume".into(), num(s.fold_volume));
-    comm.insert("expand_messages".into(), num(s.expand_messages));
-    comm.insert("fold_messages".into(), num(s.fold_messages));
-    comm.insert("total_messages".into(), num(s.total_messages()));
-    comm.insert(
-        "max_messages_per_proc".into(),
-        num(s.max_messages_per_proc()),
-    );
-    comm.insert("max_sent_recv_words".into(), num(s.max_sent_recv_words()));
-    comm.insert(
-        "load_imbalance_percent".into(),
-        Value::Num(s.load_imbalance_percent()),
-    );
-
-    let e = &out.engine;
+fn engine_obj(e: &EngineStats) -> Value {
     let mut engine = BTreeMap::new();
     engine.insert("bisections".into(), num(e.bisections));
     engine.insert("levels".into(), num(e.levels));
@@ -120,26 +116,48 @@ pub fn metrics_document<I: IndexType>(
     phase_ns.insert("initial".into(), num(e.initial_nanos));
     phase_ns.insert("refine".into(), num(e.refine_nanos));
     engine.insert("phase_ns".into(), Value::Obj(phase_ns));
+    Value::Obj(engine)
+}
 
-    let trace = match &out.trace {
+fn trace_obj(trace: Option<&fgh_trace::Trace>) -> Value {
+    match trace {
         // The span tree already has a tested serializer; round-tripping
         // through it keeps exactly one source of truth for that format.
         Some(t) => parse(&t.to_json()).unwrap_or(Value::Null),
         None => Value::Null,
-    };
+    }
+}
 
+#[allow(clippy::too_many_arguments)] // one assembly point for both workloads
+fn assemble_document(
+    cfg: &DecomposeConfig,
+    workload: &str,
+    matrix: Value,
+    matrix_b: Value,
+    flops: Value,
+    traffic: Value,
+    status: &DecompositionStatus,
+    objective: u64,
+    elapsed: std::time::Duration,
+    comm: Value,
+    engine: Value,
+    trace: Value,
+) -> Value {
     let mut doc = BTreeMap::new();
     doc.insert("schema".into(), Value::Str(METRICS_SCHEMA.into()));
     doc.insert("model".into(), Value::Str(cfg.model.name().into()));
+    doc.insert("workload".into(), Value::Str(workload.into()));
     doc.insert("k".into(), num(cfg.k as u64));
     doc.insert("epsilon".into(), Value::Num(cfg.epsilon));
     doc.insert("seed".into(), num(cfg.seed));
     doc.insert("runs".into(), num(cfg.runs as u64));
-    doc.insert("matrix".into(), Value::Obj(matrix));
+    doc.insert("matrix".into(), matrix);
+    doc.insert("matrix_b".into(), matrix_b);
+    doc.insert("flops".into(), flops);
     doc.insert(
         "status".into(),
         Value::Str(
-            if out.status.is_degraded() {
+            if status.is_degraded() {
                 "degraded"
             } else {
                 "full"
@@ -149,25 +167,72 @@ pub fn metrics_document<I: IndexType>(
     );
     doc.insert(
         "degraded_reason".into(),
-        match out.status.reason() {
+        match status.reason() {
             Some(r) => Value::Str(r.to_string()),
             None => Value::Null,
         },
     );
     doc.insert(
         "degraded_code".into(),
-        match out.status.code() {
+        match status.code() {
             Some(c) => Value::Str(c.into()),
             None => Value::Null,
         },
     );
-    doc.insert("objective".into(), num(out.objective));
-    let elapsed_ns = out.elapsed.as_nanos().min(u64::MAX as u128) as u64;
+    doc.insert("objective".into(), num(objective));
+    let elapsed_ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
     doc.insert("elapsed_ns".into(), num(elapsed_ns));
-    doc.insert("comm".into(), Value::Obj(comm));
-    doc.insert("engine".into(), Value::Obj(engine));
+    doc.insert("comm".into(), comm);
+    doc.insert("traffic".into(), traffic);
+    doc.insert("engine".into(), engine);
     doc.insert("trace".into(), trace);
     Value::Obj(doc)
+}
+
+/// Assembles the `fgh-metrics/1` document for one SpMV decomposition
+/// run. `a` must be the matrix the outcome was computed from.
+pub fn metrics_document<I: IndexType>(
+    a: &CsrMatrix<I>,
+    cfg: &DecomposeConfig,
+    out: &DecompositionOutcome,
+) -> Value {
+    let s = &out.stats;
+    let mut comm = BTreeMap::new();
+    comm.insert("total_volume".into(), num(s.total_volume()));
+    comm.insert("expand_volume".into(), num(s.expand_volume));
+    comm.insert("fold_volume".into(), num(s.fold_volume));
+    comm.insert("expand_messages".into(), num(s.expand_messages));
+    comm.insert("fold_messages".into(), num(s.fold_messages));
+    comm.insert("total_messages".into(), num(s.total_messages()));
+    comm.insert(
+        "max_messages_per_proc".into(),
+        num(s.max_messages_per_proc()),
+    );
+    comm.insert("max_sent_recv_words".into(), num(s.max_sent_recv_words()));
+    comm.insert(
+        "load_imbalance_percent".into(),
+        Value::Num(s.load_imbalance_percent()),
+    );
+
+    assemble_document(
+        cfg,
+        "spmv",
+        matrix_obj(
+            a.nrows().as_u64(),
+            a.ncols().as_u64(),
+            out.decomposition.nonzero_owner.len() as u64,
+            out.width,
+        ),
+        Value::Null,
+        Value::Null,
+        Value::Null,
+        &out.status,
+        out.objective,
+        out.elapsed,
+        Value::Obj(comm),
+        engine_obj(&out.engine),
+        trace_obj(out.trace.as_ref()),
+    )
 }
 
 /// [`metrics_document`] serialized to a compact JSON string (what the
@@ -180,20 +245,90 @@ pub fn metrics_json<I: IndexType>(
     metrics_document(a, cfg, out).to_json()
 }
 
-const TOP_MEMBERS: [&str; 14] = [
+/// Assembles the `fgh-metrics/1` document for one SpGEMM decomposition
+/// run. `a`/`b` must be the operands the outcome was computed from;
+/// `traffic` is the simulator's counter object (see the module docs for
+/// its member set) when the caller ran `fgh-traffic`, else `None`.
+pub fn spgemm_metrics_document<I: IndexType>(
+    a: &CsrMatrix<I>,
+    b: &CsrMatrix<I>,
+    cfg: &DecomposeConfig,
+    out: &SpgemmOutcome,
+    traffic: Option<&Value>,
+) -> Value {
+    let s = &out.stats;
+    let mut comm = BTreeMap::new();
+    comm.insert("total_volume".into(), num(s.total_volume()));
+    comm.insert("expand_volume".into(), num(s.expand_volume()));
+    comm.insert("fold_volume".into(), num(s.fold_volume));
+    comm.insert("expand_messages".into(), num(s.expand_messages()));
+    comm.insert("fold_messages".into(), num(s.fold_messages));
+    comm.insert("total_messages".into(), num(s.total_messages()));
+    comm.insert(
+        "max_messages_per_proc".into(),
+        num(s.max_messages_per_proc()),
+    );
+    comm.insert("max_sent_recv_words".into(), num(s.max_sent_recv_words()));
+    comm.insert(
+        "load_imbalance_percent".into(),
+        Value::Num(s.load_imbalance_percent()),
+    );
+
+    assemble_document(
+        cfg,
+        "spgemm",
+        matrix_obj(
+            a.nrows().as_u64(),
+            a.ncols().as_u64(),
+            a.nnz() as u64,
+            out.width,
+        ),
+        matrix_obj(
+            b.nrows().as_u64(),
+            b.ncols().as_u64(),
+            b.nnz() as u64,
+            out.width,
+        ),
+        num(out.flops),
+        traffic.cloned().unwrap_or(Value::Null),
+        &out.status,
+        out.objective,
+        out.elapsed,
+        Value::Obj(comm),
+        engine_obj(&out.engine),
+        trace_obj(out.trace.as_ref()),
+    )
+}
+
+/// [`spgemm_metrics_document`] serialized to a compact JSON string.
+pub fn spgemm_metrics_json<I: IndexType>(
+    a: &CsrMatrix<I>,
+    b: &CsrMatrix<I>,
+    cfg: &DecomposeConfig,
+    out: &SpgemmOutcome,
+    traffic: Option<&Value>,
+) -> String {
+    spgemm_metrics_document(a, b, cfg, out, traffic).to_json()
+}
+
+const TOP_MEMBERS: [&str; 18] = [
     "schema",
     "model",
+    "workload",
     "k",
     "epsilon",
     "seed",
     "runs",
     "matrix",
+    "matrix_b",
+    "flops",
     "status",
     "degraded_reason",
     "degraded_code",
     "objective",
     "elapsed_ns",
     "comm",
+    "traffic",
     "engine",
 ];
 
@@ -227,6 +362,10 @@ const ENGINE_MEMBERS: [&str; 12] = [
 ];
 
 const ENGINE_PHASE_MEMBERS: [&str; 3] = ["coarsen", "initial", "refine"];
+
+const TRAFFIC_READ_MEMBERS: [&str; 2] = ["dram_reads", "remote_reads"];
+const TRAFFIC_WRITE_MEMBERS: [&str; 2] = ["dram_writes", "remote_writes"];
+const TRAFFIC_TOTAL_MEMBERS: [&str; 1] = ["total_remote"];
 
 fn require_counters(
     v: &Value,
@@ -296,6 +435,49 @@ pub fn validate_metrics_value(v: &Value) -> Result<(), String> {
         &[],
         &[],
     )?;
+    let workload = v
+        .get("workload")
+        .and_then(|w| w.as_str())
+        .ok_or("metrics.workload: expected a string")?;
+    let matrix_b = v.get("matrix_b").ok_or("metrics.matrix_b: missing")?;
+    let flops = v.get("flops").ok_or("metrics.flops: missing")?;
+    match workload {
+        "spmv" => {
+            if !matrix_b.is_null() {
+                return Err("metrics.matrix_b: must be null for an spmv workload".to_string());
+            }
+            if !flops.is_null() {
+                return Err("metrics.flops: must be null for an spmv workload".to_string());
+            }
+        }
+        "spgemm" => {
+            require_counters(matrix_b, &MATRIX_MEMBERS, "metrics.matrix_b", &[], &[])?;
+            flops
+                .as_u64()
+                .ok_or("metrics.flops: expected a non-negative integer")?;
+        }
+        other => return Err(format!("metrics.workload: unknown workload {other:?}")),
+    }
+    match v.get("traffic") {
+        Some(t) if t.is_null() => {}
+        Some(t) => {
+            if workload != "spgemm" {
+                return Err("metrics.traffic: only spgemm workloads carry traffic".to_string());
+            }
+            require_counters(
+                t,
+                &TRAFFIC_TOTAL_MEMBERS,
+                "metrics.traffic",
+                &[],
+                &[
+                    ("a", &TRAFFIC_READ_MEMBERS),
+                    ("b", &TRAFFIC_READ_MEMBERS),
+                    ("c", &TRAFFIC_WRITE_MEMBERS),
+                ],
+            )?;
+        }
+        None => return Err("metrics.traffic: missing".to_string()),
+    }
     require_counters(
         v.get("comm").unwrap_or(&Value::Null),
         &COMM_MEMBERS,
@@ -349,10 +531,18 @@ pub fn validate_metrics_value(v: &Value) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::api::{decompose, Model};
+    use crate::api::{DecomposeIndex, Model};
+    use crate::workload::{decompose_workload, Workload, WorkloadOutcome};
     use fgh_sparse::gen::{self, ValueMode};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+
+    fn decompose<I: DecomposeIndex>(
+        a: &CsrMatrix<I>,
+        cfg: &DecomposeConfig,
+    ) -> std::result::Result<crate::api::DecompositionOutcome, crate::FghError> {
+        decompose_workload(Workload::Spmv(a), cfg).and_then(WorkloadOutcome::into_spmv)
+    }
 
     fn matrix() -> CsrMatrix {
         gen::grid5(
@@ -416,6 +606,108 @@ mod tests {
             (r#""fm_moves""#, r#""fm_movez""#, "engine member"),
             (r#""phase_ns""#, r#""phase_nz""#, "phase_ns member"),
             (r#""coarsen""#, r#""coarsed""#, "phase name"),
+            (r#""workload":"spmv""#, r#""workload":"sgemv""#, "workload"),
+            (
+                r#""matrix_b":null"#,
+                r#""matrix_b":7"#,
+                "spmv matrix_b coupling",
+            ),
+            (r#""flops":null"#, r#""flops":3"#, "spmv flops coupling"),
+            (
+                r#""traffic":null"#,
+                r#""traffic":{}"#,
+                "spmv traffic coupling",
+            ),
+        ] {
+            let bad = good.replace(needle, replacement);
+            assert_ne!(good, bad, "mutation {why} did not apply");
+            let v = parse(&bad).unwrap();
+            assert!(validate_metrics_value(&v).is_err(), "accepted bad {why}");
+        }
+    }
+
+    fn traffic_fixture() -> Value {
+        let side = |r: u64, w: u64, reads: bool| {
+            let mut m = BTreeMap::new();
+            if reads {
+                m.insert("dram_reads".into(), super::num(r));
+                m.insert("remote_reads".into(), super::num(w));
+            } else {
+                m.insert("dram_writes".into(), super::num(r));
+                m.insert("remote_writes".into(), super::num(w));
+            }
+            Value::Obj(m)
+        };
+        let mut t = BTreeMap::new();
+        t.insert("a".into(), side(10, 3, true));
+        t.insert("b".into(), side(8, 2, true));
+        t.insert("c".into(), side(12, 4, false));
+        t.insert("total_remote".into(), super::num(9));
+        Value::Obj(t)
+    }
+
+    #[test]
+    fn spgemm_document_round_trips_and_validates() {
+        let a = matrix();
+        let cfg = DecomposeConfig::new(Model::SpgemmFineGrain, 4).with_trace(true);
+        let out = decompose_workload(Workload::Spgemm(&a, &a), &cfg)
+            .unwrap()
+            .into_spgemm()
+            .unwrap();
+        let traffic = traffic_fixture();
+        let text = spgemm_metrics_json(&a, &a, &cfg, &out, Some(&traffic));
+        let v = parse(&text).unwrap();
+        validate_metrics_value(&v).unwrap();
+        assert_eq!(v.get("workload").unwrap().as_str(), Some("spgemm"));
+        assert_eq!(v.get("model").unwrap().as_str(), Some("spgemm-fine-grain"));
+        assert_eq!(v.get("flops").unwrap().as_u64(), Some(out.flops));
+        assert_eq!(
+            v.get("matrix_b").unwrap().get("nnz").unwrap().as_u64(),
+            Some(a.nnz() as u64)
+        );
+        assert_eq!(
+            v.get("comm").unwrap().get("total_volume").unwrap().as_u64(),
+            Some(out.stats.total_volume())
+        );
+        assert_eq!(
+            v.get("traffic")
+                .unwrap()
+                .get("total_remote")
+                .unwrap()
+                .as_u64(),
+            Some(9)
+        );
+        assert!(!v.get("trace").unwrap().is_null());
+
+        // Without the simulator the member is null and still validates.
+        let v = parse(&spgemm_metrics_json(&a, &a, &cfg, &out, None)).unwrap();
+        validate_metrics_value(&v).unwrap();
+        assert!(v.get("traffic").unwrap().is_null());
+    }
+
+    #[test]
+    fn spgemm_validator_rejects_traffic_mutations() {
+        let a = matrix();
+        let cfg = DecomposeConfig::new(Model::SpgemmFineGrain, 2);
+        let out = decompose_workload(Workload::Spgemm(&a, &a), &cfg)
+            .unwrap()
+            .into_spgemm()
+            .unwrap();
+        let traffic = traffic_fixture();
+        let good = spgemm_metrics_json(&a, &a, &cfg, &out, Some(&traffic));
+        parse(&good)
+            .ok()
+            .map(|v| validate_metrics_value(&v).unwrap())
+            .unwrap();
+        for (needle, replacement, why) in [
+            (r#""total_remote""#, r#""total_remorse""#, "traffic member"),
+            (r#""dram_reads""#, r#""dram_reeds""#, "traffic a/b member"),
+            (r#""dram_writes""#, r#""dram_rites""#, "traffic c member"),
+            (
+                r#""workload":"spgemm""#,
+                r#""workload":"spmv""#,
+                "workload/matrix_b coupling",
+            ),
         ] {
             let bad = good.replace(needle, replacement);
             assert_ne!(good, bad, "mutation {why} did not apply");

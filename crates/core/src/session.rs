@@ -16,8 +16,9 @@ use std::sync::Arc;
 use fgh_partition::{ArenaPool, Budget, CancelToken, InitialScheme, Parallelism};
 use fgh_sparse::{AnyCsrMatrix, CsrMatrix};
 
-use crate::api::{
-    decompose_any_in, decompose_in, DecomposeConfig, DecomposeIndex, DecompositionOutcome, Model,
+use crate::api::{DecomposeConfig, DecomposeIndex, DecompositionOutcome, Model};
+use crate::workload::{
+    decompose_workload_any_in, decompose_workload_in, Workload, WorkloadAny, WorkloadOutcome,
 };
 use crate::FghError;
 
@@ -176,25 +177,49 @@ impl EngineSession {
         self.pool.idle()
     }
 
-    /// [`crate::decompose`] through this session: same semantics, scratch
+    /// SpMV decomposition through this session: same semantics as
+    /// [`crate::decompose_workload`] with [`Workload::Spmv`], scratch
     /// drawn from the session pool, budget clamped under the ceiling.
     pub fn decompose<I: DecomposeIndex>(
         &self,
         a: &CsrMatrix<I>,
         params: JobParams,
     ) -> std::result::Result<DecompositionOutcome, FghError> {
-        let cfg = params.into_config(self);
-        decompose_in(a, &cfg, &self.pool)
+        self.decompose_workload(Workload::Spmv(a), params)?
+            .into_spmv()
     }
 
-    /// [`crate::decompose_any`] through this session (width-erased).
+    /// SpMV decomposition through this session (width-erased).
     pub fn decompose_any(
         &self,
         a: &AnyCsrMatrix,
         params: JobParams,
     ) -> std::result::Result<DecompositionOutcome, FghError> {
+        self.decompose_workload_any(WorkloadAny::Spmv(a), params)?
+            .into_spmv()
+    }
+
+    /// [`crate::decompose_workload`] through this session: any workload
+    /// family, scratch drawn from the session pool, budget clamped under
+    /// the ceiling.
+    pub fn decompose_workload<I: DecomposeIndex>(
+        &self,
+        workload: Workload<'_, I>,
+        params: JobParams,
+    ) -> std::result::Result<WorkloadOutcome, FghError> {
         let cfg = params.into_config(self);
-        decompose_any_in(a, &cfg, &self.pool)
+        decompose_workload_in(workload, &cfg, &self.pool)
+    }
+
+    /// [`crate::decompose_workload_any`] through this session
+    /// (width-erased).
+    pub fn decompose_workload_any(
+        &self,
+        workload: WorkloadAny<'_>,
+        params: JobParams,
+    ) -> std::result::Result<WorkloadOutcome, FghError> {
+        let cfg = params.into_config(self);
+        decompose_workload_any_in(workload, &cfg, &self.pool)
     }
 }
 
@@ -228,9 +253,32 @@ mod tests {
         let s = session
             .decompose(&a, JobParams::new(Model::FineGrain2D, 4))
             .unwrap();
-        let o = crate::decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 4)).unwrap();
+        let o = crate::decompose_workload(
+            Workload::Spmv(&a),
+            &DecomposeConfig::new(Model::FineGrain2D, 4),
+        )
+        .unwrap()
+        .into_spmv()
+        .unwrap();
         assert_eq!(s.decomposition, o.decomposition);
         assert_eq!(s.objective, o.objective);
+    }
+
+    #[test]
+    fn session_runs_spgemm_workloads() {
+        let a = test_matrix();
+        let session = EngineSession::new();
+        let out = session
+            .decompose_workload(
+                Workload::Spgemm(&a, &a),
+                JobParams::new(Model::SpgemmFineGrain, 4),
+            )
+            .unwrap()
+            .into_spgemm()
+            .unwrap();
+        out.decomposition.validate(&a, &a).unwrap();
+        assert_eq!(out.objective, out.stats.total_volume());
+        assert!(session.idle_arenas() > 0, "spgemm jobs share the pool");
     }
 
     #[test]

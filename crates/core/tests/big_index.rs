@@ -6,7 +6,10 @@
 //! the bottom runs a pattern whose fine-grain hypergraph genuinely
 //! exceeds `u32::MAX` pins and needs tens of GB of RAM.
 
-use fgh_core::{decompose, decompose_any, Budget, DecomposeConfig, Model};
+use fgh_core::{
+    decompose_workload, decompose_workload_any, Budget, DecomposeConfig, Model, Workload,
+    WorkloadAny, WorkloadOutcome,
+};
 use fgh_sparse::gen::BigPattern;
 use fgh_sparse::{AnyCsrMatrix, CsrMatrix, IndexWidth};
 
@@ -30,16 +33,22 @@ fn ci_sized_pattern_decomposes_on_both_paths_identically() {
     assert_eq!(any.width(), IndexWidth::U32);
 
     let cfg = DecomposeConfig::new(Model::FineGrain2D, 4);
-    let erased = decompose_any(&any, &cfg).unwrap();
+    let erased = decompose_workload_any(WorkloadAny::Spmv(&any), &cfg)
+        .and_then(WorkloadOutcome::into_spmv)
+        .unwrap();
 
     // Force the identical instance through the wide path.
     let wide = any.convert_width(IndexWidth::U64).unwrap();
     let a64 = wide.as_u64().unwrap();
-    let out = decompose(a64, &cfg).unwrap();
+    let out = decompose_workload(Workload::Spmv(a64), &cfg)
+        .and_then(WorkloadOutcome::into_spmv)
+        .unwrap();
     assert_eq!(out.width, IndexWidth::U64);
     out.decomposition.validate(a64).unwrap();
     // ... and across the width-erased entry point.
-    let erased_wide = decompose_any(&wide, &cfg).unwrap();
+    let erased_wide = decompose_workload_any(WorkloadAny::Spmv(&wide), &cfg)
+        .and_then(WorkloadOutcome::into_spmv)
+        .unwrap();
     assert_eq!(erased_wide.width, IndexWidth::U64);
 
     assert_eq!(erased.decomposition, out.decomposition);
@@ -52,7 +61,9 @@ fn wide_byte_budget_truncates_but_stays_valid() {
     let p = BigPattern::new(400, &[1, 13]);
     let a64: CsrMatrix<u64> = p.to_csr().unwrap();
     let cfg = DecomposeConfig::new(Model::FineGrain2D, 4).with_budget(Budget::bytes(1));
-    let out = decompose(&a64, &cfg).unwrap();
+    let out = decompose_workload(Workload::Spmv(&a64), &cfg)
+        .and_then(WorkloadOutcome::into_spmv)
+        .unwrap();
     out.decomposition.validate(&a64).unwrap();
     assert!(out.engine.byte_truncations > 0);
     assert!(out.status.is_degraded());
@@ -107,7 +118,9 @@ fn huge_pattern_roundtrips_on_the_wide_path() {
     // A byte budget keeps the multilevel driver from building the full
     // level hierarchy; the result is truncated-but-valid, never an abort.
     let cfg = DecomposeConfig::new(Model::FineGrain2D, 8).with_budget(Budget::bytes(64 << 30));
-    let out = decompose_any(&any, &cfg).unwrap();
+    let out = decompose_workload_any(WorkloadAny::Spmv(&any), &cfg)
+        .and_then(WorkloadOutcome::into_spmv)
+        .unwrap();
     assert_eq!(out.width, IndexWidth::U64);
     let a64 = any.as_u64().unwrap();
     out.decomposition.validate(a64).unwrap();

@@ -7,7 +7,9 @@
 
 use std::sync::Arc;
 
-use fgh_core::{DecomposeConfig, EngineSession, JobParams, Model};
+use fgh_core::{
+    DecomposeConfig, EngineSession, JobParams, Model, Workload, WorkloadAny, WorkloadOutcome,
+};
 use fgh_sparse::gen::{self, ValueMode};
 use fgh_sparse::{AnyCsrMatrix, CsrMatrix};
 use rand::rngs::SmallRng;
@@ -42,8 +44,12 @@ fn threads_sharing_one_session_match_serial_results() {
         .iter()
         .map(|&(seed, model, k)| {
             let a = matrix(seed);
-            let out =
-                fgh_core::decompose(&a, &DecomposeConfig::new(model, k).with_seed(seed)).unwrap();
+            let out = fgh_core::decompose_workload(
+                Workload::Spmv(&a),
+                &DecomposeConfig::new(model, k).with_seed(seed),
+            )
+            .and_then(WorkloadOutcome::into_spmv)
+            .unwrap();
             (out.decomposition, out.objective)
         })
         .collect();
@@ -56,7 +62,11 @@ fn threads_sharing_one_session_match_serial_results() {
             std::thread::spawn(move || {
                 let a = AnyCsrMatrix::U32(matrix(seed));
                 let out = session
-                    .decompose_any(&a, JobParams::new(model, k).with_seed(seed))
+                    .decompose_workload_any(
+                        WorkloadAny::Spmv(&a),
+                        JobParams::new(model, k).with_seed(seed),
+                    )
+                    .and_then(WorkloadOutcome::into_spmv)
                     .unwrap();
                 (seed, out)
             })
@@ -85,10 +95,11 @@ fn pool_stabilizes_under_repeated_concurrent_waves() {
                 std::thread::spawn(move || {
                     let a = matrix(7);
                     session
-                        .decompose(
-                            &a,
+                        .decompose_workload(
+                            Workload::Spmv(&a),
                             JobParams::new(Model::FineGrain2D, 4).with_seed(t as u64),
                         )
+                        .and_then(WorkloadOutcome::into_spmv)
                         .unwrap()
                 })
             })

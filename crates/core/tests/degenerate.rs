@@ -5,7 +5,10 @@
 
 use std::time::Duration;
 
-use fgh_core::{decompose, Budget, DecomposeConfig, DecompositionStatus, FghError, Model};
+use fgh_core::{
+    decompose_workload, Budget, DecomposeConfig, DecompositionStatus, FghError, Model, Workload,
+    WorkloadOutcome,
+};
 use fgh_sparse::{CooMatrix, CsrMatrix};
 
 const MODELS: [Model; 3] = [
@@ -36,7 +39,8 @@ fn degenerate_matrices() -> Vec<(&'static str, CsrMatrix)> {
 fn check(name: &str, a: &CsrMatrix, model: Model, k: u32) {
     let mut cfg = DecomposeConfig::new(model, k);
     cfg.runs = 1;
-    let out = match decompose(a, &cfg) {
+    let out = match decompose_workload(Workload::Spmv(a), &cfg).and_then(WorkloadOutcome::into_spmv)
+    {
         Ok(out) => out,
         Err(e) => panic!(
             "{name}/{}/K={k}: degenerate input must degrade, got error {e}",
@@ -84,7 +88,9 @@ fn degenerate_catalog_by_model_and_k() {
 fn k_zero_is_a_typed_bad_input() {
     let a = csr(4, vec![(0, 0, 1.0), (1, 1, 1.0)]);
     for model in MODELS {
-        match decompose(&a, &DecomposeConfig::new(model, 0)) {
+        match decompose_workload(Workload::Spmv(&a), &DecomposeConfig::new(model, 0))
+            .and_then(WorkloadOutcome::into_spmv)
+        {
             Err(FghError::InvalidInput(_)) => {}
             other => panic!("{}: expected InvalidInput, got {other:?}", model.name()),
         }
@@ -98,7 +104,10 @@ fn bad_epsilon_is_a_typed_bad_input() {
         let mut cfg = DecomposeConfig::new(Model::FineGrain2D, 2);
         cfg.epsilon = eps;
         assert!(
-            matches!(decompose(&a, &cfg), Err(FghError::InvalidInput(_))),
+            matches!(
+                decompose_workload(Workload::Spmv(&a), &cfg).and_then(WorkloadOutcome::into_spmv),
+                Err(FghError::InvalidInput(_))
+            ),
             "epsilon {eps} must be rejected"
         );
     }
@@ -109,7 +118,9 @@ fn rectangular_is_a_typed_error() {
     let a: CsrMatrix =
         CsrMatrix::from_coo(CooMatrix::from_triplets(1, 5, vec![(0, 2, 1.0)]).unwrap());
     for model in MODELS {
-        match decompose(&a, &DecomposeConfig::new(model, 2)) {
+        match decompose_workload(Workload::Spmv(&a), &DecomposeConfig::new(model, 2))
+            .and_then(WorkloadOutcome::into_spmv)
+        {
             Err(FghError::Model(fgh_core::ModelError::NotSquare { nrows: 1, ncols: 5 })) => {}
             other => panic!("{}: expected NotSquare, got {other:?}", model.name()),
         }
@@ -119,7 +130,12 @@ fn rectangular_is_a_typed_error() {
 #[test]
 fn empty_matrix_degrades_with_reason() {
     let a = csr(5, vec![]);
-    let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 4)).unwrap();
+    let out = decompose_workload(
+        Workload::Spmv(&a),
+        &DecomposeConfig::new(Model::FineGrain2D, 4),
+    )
+    .and_then(WorkloadOutcome::into_spmv)
+    .unwrap();
     match &out.status {
         DecompositionStatus::Degraded { reason } => {
             assert_eq!(reason.code(), "empty-matrix");
@@ -143,7 +159,9 @@ fn expired_wall_budget_still_returns_valid_partition() {
         .generate_scaled(48, 7);
     let cfg = DecomposeConfig::new(Model::FineGrain2D, 4)
         .with_budget(Budget::wall(Duration::from_nanos(1)));
-    let out = decompose(&a, &cfg).unwrap();
+    let out = decompose_workload(Workload::Spmv(&a), &cfg)
+        .and_then(WorkloadOutcome::into_spmv)
+        .unwrap();
     out.decomposition.validate(&a).unwrap();
     assert!(
         out.engine.truncated(),
@@ -178,7 +196,9 @@ fn generous_wall_budget_returns_valid_partition() {
         .generate_scaled(48, 7);
     let cfg = DecomposeConfig::new(Model::FineGrain2D, 8)
         .with_budget(Budget::wall(Duration::from_millis(50)));
-    let out = decompose(&a, &cfg).unwrap();
+    let out = decompose_workload(Workload::Spmv(&a), &cfg)
+        .and_then(WorkloadOutcome::into_spmv)
+        .unwrap();
     out.decomposition.validate(&a).unwrap();
     assert_eq!(out.objective, out.stats.total_volume());
     if out.engine.truncated() {
@@ -195,10 +215,11 @@ fn fm_pass_budget_caps_refinement() {
         max_fm_passes: Some(1),
         ..Budget::UNLIMITED
     };
-    let out = decompose(
-        &a,
+    let out = decompose_workload(
+        Workload::Spmv(&a),
         &DecomposeConfig::new(Model::Hypergraph1DColNet, 4).with_budget(budget),
     )
+    .and_then(WorkloadOutcome::into_spmv)
     .unwrap();
     out.decomposition.validate(&a).unwrap();
     assert!(
@@ -219,10 +240,11 @@ fn level_budget_caps_coarsening() {
         max_levels: Some(1),
         ..Budget::UNLIMITED
     };
-    let out = decompose(
-        &a,
+    let out = decompose_workload(
+        Workload::Spmv(&a),
         &DecomposeConfig::new(Model::FineGrain2D, 4).with_budget(budget),
     )
+    .and_then(WorkloadOutcome::into_spmv)
     .unwrap();
     out.decomposition.validate(&a).unwrap();
     assert!(

@@ -1,7 +1,10 @@
 //! Geometric initial-partitioning scheme: balance, determinism, fallback,
 //! and degenerate-geometry coverage on the fine-grain model.
 
-use fgh_core::{decompose, DecomposeConfig, InitialScheme, Model, Parallelism};
+use fgh_core::{
+    decompose_workload, DecomposeConfig, InitialScheme, Model, Parallelism, Workload,
+    WorkloadOutcome,
+};
 use fgh_sparse::catalog::by_name;
 use fgh_sparse::{CooMatrix, CsrMatrix};
 
@@ -21,7 +24,9 @@ fn geometric_balances_catalog() {
         let a = by_name(name).unwrap().generate_scaled(scale, 42);
         let cfg =
             DecomposeConfig::new(Model::FineGrain2D, k).with_initial(InitialScheme::Geometric);
-        let out = decompose(&a, &cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let out = decompose_workload(Workload::Spmv(&a), &cfg)
+            .and_then(WorkloadOutcome::into_spmv)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         out.decomposition
             .validate(&a)
             .unwrap_or_else(|e| panic!("{name}: invalid decomposition: {e}"));
@@ -39,15 +44,17 @@ fn geometric_balances_catalog() {
 #[test]
 fn auto_matches_geometric_on_fine_grain() {
     let a = by_name("sherman3").unwrap().generate_scaled(8, 42);
-    let geo = decompose(
-        &a,
+    let geo = decompose_workload(
+        Workload::Spmv(&a),
         &DecomposeConfig::new(Model::FineGrain2D, 8).with_initial(InitialScheme::Geometric),
     )
+    .and_then(WorkloadOutcome::into_spmv)
     .unwrap();
-    let auto = decompose(
-        &a,
+    let auto = decompose_workload(
+        Workload::Spmv(&a),
         &DecomposeConfig::new(Model::FineGrain2D, 8).with_initial(InitialScheme::Auto),
     )
+    .and_then(WorkloadOutcome::into_spmv)
     .unwrap();
     assert_eq!(geo.objective, auto.objective);
     assert_eq!(geo.stats.total_volume(), auto.stats.total_volume());
@@ -58,15 +65,17 @@ fn auto_matches_geometric_on_fine_grain() {
 #[test]
 fn geometric_falls_back_to_ghg_without_coords() {
     let a = by_name("sherman3").unwrap().generate_scaled(8, 42);
-    let ghg = decompose(
-        &a,
+    let ghg = decompose_workload(
+        Workload::Spmv(&a),
         &DecomposeConfig::new(Model::Hypergraph1DColNet, 8).with_initial(InitialScheme::Ghg),
     )
+    .and_then(WorkloadOutcome::into_spmv)
     .unwrap();
-    let geo = decompose(
-        &a,
+    let geo = decompose_workload(
+        Workload::Spmv(&a),
         &DecomposeConfig::new(Model::Hypergraph1DColNet, 8).with_initial(InitialScheme::Geometric),
     )
+    .and_then(WorkloadOutcome::into_spmv)
     .unwrap();
     assert_eq!(ghg.objective, geo.objective);
     assert_eq!(ghg.stats.total_volume(), geo.stats.total_volume());
@@ -77,19 +86,21 @@ fn geometric_falls_back_to_ghg_without_coords() {
 #[test]
 fn geometric_deterministic_across_parallelism() {
     let a = by_name("bcspwr10").unwrap().generate_scaled(8, 42);
-    let serial = decompose(
-        &a,
+    let serial = decompose_workload(
+        Workload::Spmv(&a),
         &DecomposeConfig::new(Model::FineGrain2D, 8)
             .with_initial(InitialScheme::Geometric)
             .with_parallelism(Parallelism::Serial),
     )
+    .and_then(WorkloadOutcome::into_spmv)
     .unwrap();
-    let threaded = decompose(
-        &a,
+    let threaded = decompose_workload(
+        Workload::Spmv(&a),
         &DecomposeConfig::new(Model::FineGrain2D, 8)
             .with_initial(InitialScheme::Geometric)
             .with_parallelism(Parallelism::Threads(4)),
     )
+    .and_then(WorkloadOutcome::into_spmv)
     .unwrap();
     assert_eq!(serial.objective, threaded.objective);
     assert_eq!(
@@ -126,7 +137,8 @@ fn geometric_degenerate_geometries() {
         for k in [2u32, 4] {
             let cfg =
                 DecomposeConfig::new(Model::FineGrain2D, k).with_initial(InitialScheme::Geometric);
-            let out = decompose(&a, &cfg)
+            let out = decompose_workload(Workload::Spmv(&a), &cfg)
+                .and_then(WorkloadOutcome::into_spmv)
                 .unwrap_or_else(|e| panic!("{name}/K={k}: geometric must not fail: {e}"));
             out.decomposition
                 .validate(&a)

@@ -9,7 +9,7 @@
 //! gain arithmetic, not just speed — treat a failure here as a
 //! correctness regression, never re-record without understanding why.
 
-use fgh_core::{decompose, DecomposeConfig, Model};
+use fgh_core::{decompose_workload, DecomposeConfig, Model, Workload, WorkloadOutcome};
 use fgh_sparse::catalog::by_name;
 
 /// (catalog name, scale, k, [(seed, objective); 3])
@@ -24,7 +24,9 @@ fn objective(name: &str, scale: u32, k: u32, seed: u64) -> u64 {
     let entry = by_name(name).unwrap_or_else(|| panic!("{name} not in catalog"));
     let a = entry.generate_scaled(scale, 42);
     let cfg = DecomposeConfig::new(Model::FineGrain2D, k).with_seed(seed);
-    let out = decompose(&a, &cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let out = decompose_workload(Workload::Spmv(&a), &cfg)
+        .and_then(WorkloadOutcome::into_spmv)
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
     out.objective
 }
 

@@ -3,8 +3,10 @@
 //! measured elapsed time, and span nesting matches the documented phase
 //! hierarchy under both serial and fork-join execution.
 
+use fgh_core::report::spgemm_metrics_json;
 use fgh_core::{
-    decompose, metrics_json, validate_metrics_value, DecomposeConfig, Model, Parallelism,
+    decompose_workload, metrics_json, validate_metrics_value, DecomposeConfig, Model, Parallelism,
+    Workload, WorkloadKind, WorkloadOutcome,
 };
 use fgh_sparse::catalog::by_name;
 use fgh_sparse::CsrMatrix;
@@ -17,9 +19,11 @@ fn matrix() -> CsrMatrix {
         .generate_scaled(16, 1)
 }
 
-/// Golden-snapshot check: for all 8 models the `--metrics-json` document
+/// Golden-snapshot check: for every model the `--metrics-json` document
 /// round-trips through the parser and validates against the documented
 /// schema, with a non-null embedded trace whose root is `decompose`.
+/// SpGEMM-workload models run the workload entry point with `A·A` and
+/// the SpGEMM document builder; everything else runs SpMV.
 #[test]
 fn metrics_json_validates_for_all_models() {
     let a = matrix();
@@ -27,11 +31,27 @@ fn metrics_json_validates_for_all_models() {
         let cfg = DecomposeConfig::new(model, 4)
             .with_epsilon(0.1)
             .with_trace(true);
-        let out = decompose(&a, &cfg).unwrap_or_else(|e| panic!("{model}: {e}"));
-        let text = metrics_json(&a, &cfg, &out);
+        let text = match model.workload() {
+            WorkloadKind::Spmv => {
+                let out = decompose_workload(Workload::Spmv(&a), &cfg)
+                    .and_then(WorkloadOutcome::into_spmv)
+                    .unwrap_or_else(|e| panic!("{model}: {e}"));
+                metrics_json(&a, &cfg, &out)
+            }
+            WorkloadKind::Spgemm => {
+                let out = decompose_workload(Workload::Spgemm(&a, &a), &cfg)
+                    .and_then(WorkloadOutcome::into_spgemm)
+                    .unwrap_or_else(|e| panic!("{model}: {e}"));
+                spgemm_metrics_json(&a, &a, &cfg, &out, None)
+            }
+        };
         let v = parse(&text).unwrap_or_else(|e| panic!("{model}: bad JSON: {e}"));
         validate_metrics_value(&v).unwrap_or_else(|e| panic!("{model}: {e}"));
         assert_eq!(v.get("model").unwrap().as_str(), Some(model.name()));
+        assert_eq!(
+            v.get("workload").unwrap().as_str(),
+            Some(model.workload().name())
+        );
         let trace = v.get("trace").unwrap();
         assert!(!trace.is_null(), "{model}: trace was requested");
         let root = &trace.as_arr().unwrap()[0];
@@ -47,7 +67,9 @@ fn metrics_json_validates_for_all_models() {
 fn metrics_phase_ns_mirrors_engine_stats() {
     let a = matrix();
     let cfg = DecomposeConfig::new(Model::FineGrain2D, 8).with_parallelism(Parallelism::Serial);
-    let out = decompose(&a, &cfg).unwrap();
+    let out = decompose_workload(Workload::Spmv(&a), &cfg)
+        .and_then(WorkloadOutcome::into_spmv)
+        .unwrap();
     let v = parse(&metrics_json(&a, &cfg, &out)).unwrap();
     validate_metrics_value(&v).unwrap();
     let phase = v.get("engine").unwrap().get("phase_ns").unwrap();
@@ -79,7 +101,9 @@ fn phase_durations_sum_to_elapsed() {
     let cfg = DecomposeConfig::new(Model::FineGrain2D, 8)
         .with_runs(2)
         .with_trace(true);
-    let out = decompose(&a, &cfg).unwrap();
+    let out = decompose_workload(Workload::Spmv(&a), &cfg)
+        .and_then(WorkloadOutcome::into_spmv)
+        .unwrap();
     let trace = out.trace.as_ref().expect("trace was requested");
     let root = &trace.roots[0];
     assert_eq!(root.name, "decompose");
@@ -188,7 +212,9 @@ fn span_nesting_matches_phase_hierarchy_serial_and_threaded() {
             .with_runs(runs)
             .with_parallelism(par)
             .with_trace(true);
-        let out = decompose(&a, &cfg).unwrap();
+        let out = decompose_workload(Workload::Spmv(&a), &cfg)
+            .and_then(WorkloadOutcome::into_spmv)
+            .unwrap();
         let trace = out.trace.expect("trace was requested");
         assert_eq!(trace.roots.len(), 1, "{label}: single root");
         assert_phase_hierarchy(&trace.roots[0], runs, label);

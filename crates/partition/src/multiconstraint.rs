@@ -20,6 +20,8 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::error::PartitionError;
+use crate::level::StageTimer;
+use crate::EngineStats;
 
 /// Per-vertex weight vectors for `c` constraints, stored row-major
 /// (`weights[v * c + i]`).
@@ -74,6 +76,12 @@ pub struct MultiConstraintResult {
     pub cutsize: u64,
     /// Worst percent imbalance over all constraints.
     pub worst_imbalance_percent: f64,
+    /// Engine counters for the run, in multilevel vocabulary: greedy
+    /// placement reports as initial partitioning, refinement sweeps as FM
+    /// passes, and accepted moves as FM moves (the greedy scheme never
+    /// rolls back, so `fm_rollbacks` stays 0). Coarsening counters stay 0
+    /// — the scheme is direct, not multilevel.
+    pub stats: EngineStats,
 }
 
 /// Partitions `hg` into `k` parts balancing every constraint of `weights`
@@ -107,6 +115,8 @@ pub fn partition_multiconstraint(
         .collect();
 
     let mut rng = SmallRng::seed_from_u64(seed);
+    let mut stats = EngineStats::default();
+    let placement_timer = StageTimer::start();
 
     // --- Balance-first greedy placement ---
     // Heaviest (by normalized total) vertices first; each goes to the part
@@ -160,10 +170,14 @@ pub fn partition_multiconstraint(
         }
     }
 
+    placement_timer.stop(&mut stats.initial_nanos);
+
     // --- Connectivity−1 refinement sweeps under all caps ---
+    let refine_timer = StageTimer::start();
     let mut order: Vec<u32> = (0..n).collect();
     for _ in 0..passes {
         order.shuffle(&mut rng);
+        stats.fm_passes += 1;
         let mut moved = 0usize;
         for &v in &order {
             let from = parts[v as usize];
@@ -216,10 +230,12 @@ pub fn partition_multiconstraint(
                 }
             }
         }
+        stats.fm_moves += moved as u64;
         if moved == 0 {
             break;
         }
     }
+    refine_timer.stop(&mut stats.refine_nanos);
 
     let partition = Partition::new(k, parts)?;
     let cutsize = cutsize_connectivity(hg, &partition);
@@ -238,6 +254,7 @@ pub fn partition_multiconstraint(
         partition,
         cutsize,
         worst_imbalance_percent: worst,
+        stats,
     })
 }
 

@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 use std::io::Write;
 use std::time::Duration;
 
+use fgh_core::validate_metrics_value;
 use fgh_trace::json::Value;
 
 use crate::net::Stream;
@@ -106,6 +107,23 @@ pub fn decompose_request(matrix: &str, scale: u32, k: u32, seed: u64) -> Value {
     Value::Obj(doc)
 }
 
+/// Builds a catalog SpGEMM decompose body (`B = A`, the `A·A` product).
+pub fn spgemm_request(matrix: &str, scale: u32, k: u32, seed: u64) -> Value {
+    let mut v = decompose_request(matrix, scale, k, seed);
+    if let Value::Obj(doc) = &mut v {
+        doc.insert("workload".into(), Value::Str("spgemm".into()));
+    }
+    v
+}
+
+/// Wraps decompose bodies into one `{"op":"batch"}` frame.
+pub fn batch_request(bodies: Vec<Value>) -> Value {
+    let mut doc = BTreeMap::new();
+    doc.insert("op".into(), Value::Str("batch".into()));
+    doc.insert("requests".into(), Value::Arr(bodies));
+    Value::Obj(doc)
+}
+
 /// Load-generator parameters.
 #[derive(Debug, Clone)]
 pub struct LoadConfig {
@@ -155,6 +173,8 @@ pub struct LoadReport {
     pub panics_sent: u64,
     /// Deliberately invalid request objects sent.
     pub bad_requests_sent: u64,
+    /// `batch` frames sent (each carrying several decompose bodies).
+    pub batches_sent: u64,
     /// Connections the daemon refused outright.
     pub connect_failures: u64,
     /// Every response that violated the protocol contract (the pass
@@ -180,6 +200,7 @@ impl LoadReport {
         self.disconnects_sent += other.disconnects_sent;
         self.panics_sent += other.panics_sent;
         self.bad_requests_sent += other.bad_requests_sent;
+        self.batches_sent += other.batches_sent;
         self.connect_failures += other.connect_failures;
         self.violations.extend(other.violations);
     }
@@ -220,6 +241,59 @@ impl LoadReport {
                 .push(format!("response without ok: {}", v.to_json())),
         }
     }
+
+    /// Classifies a `batch` response: the frame-level contract via
+    /// [`LoadReport::record_response`], plus the batch invariants — one
+    /// result per request in order, every successful result embedding a
+    /// validating `fgh-metrics/1` document, every failed one a typed
+    /// error.
+    pub fn record_batch_response(&mut self, v: &Value, expected: usize) {
+        self.record_response(v);
+        if v.get("ok") != Some(&Value::Bool(true)) {
+            return; // frame-level typed error, already recorded
+        }
+        let Some(results) = v.get("results").and_then(Value::as_arr) else {
+            self.violations
+                .push(format!("batch without results: {}", v.to_json()));
+            return;
+        };
+        if results.len() != expected {
+            self.violations.push(format!(
+                "batch returned {} results, expected {expected}",
+                results.len()
+            ));
+        }
+        for (j, sub) in results.iter().enumerate() {
+            match sub.get("ok") {
+                Some(Value::Bool(true)) => match sub.get("metrics") {
+                    Some(m) => {
+                        if let Err(e) = validate_metrics_value(m) {
+                            self.violations
+                                .push(format!("batch result {j}: invalid metrics: {e}"));
+                        }
+                    }
+                    None => self
+                        .violations
+                        .push(format!("batch result {j}: missing metrics document")),
+                },
+                Some(Value::Bool(false)) => {
+                    let code = sub
+                        .get("error")
+                        .and_then(|e| e.get("code"))
+                        .and_then(Value::as_str);
+                    if !matches!(code, Some(c) if codes::ALL.contains(&c)) {
+                        self.violations.push(format!(
+                            "batch result {j}: untyped error: {}",
+                            sub.to_json()
+                        ));
+                    }
+                }
+                _ => self
+                    .violations
+                    .push(format!("batch result {j} without ok: {}", sub.to_json())),
+            }
+        }
+    }
 }
 
 /// What job index `i` does under the hostile mix. Deterministic so the
@@ -236,6 +310,9 @@ enum JobKind {
     MalformedFrame,
     /// A well-framed but invalid request object.
     BadRequest,
+    /// A `batch` frame mixing SpMV and SpGEMM bodies — exercises the
+    /// multi-request path and its embedded metrics documents.
+    Batch,
 }
 
 fn job_kind(i: usize, inject: bool) -> JobKind {
@@ -244,6 +321,7 @@ fn job_kind(i: usize, inject: bool) -> JobKind {
     }
     match i % 16 {
         3 => JobKind::MalformedFrame,
+        5 => JobKind::Batch,
         7 => JobKind::Panic,
         11 => JobKind::Disconnect,
         13 => JobKind::BadRequest,
@@ -381,6 +459,32 @@ fn run_one(addr: &str, cfg: &LoadConfig, i: usize, report: &mut LoadReport) {
                 }
             }
         }
+        JobKind::Batch => {
+            report.batches_sent += 1;
+            let v = batch_request(vec![
+                decompose_request(&cfg.matrix, cfg.scale, [2u32, 4][i % 2], (i % 4) as u64),
+                spgemm_request(&cfg.matrix, cfg.scale, 2, i as u64),
+            ]);
+            for _ in 0..40 {
+                match client.request(&v) {
+                    Ok(r) if is_overloaded(&r) => {
+                        report.record_response(&r);
+                        std::thread::sleep(Duration::from_millis(100));
+                    }
+                    Ok(r) => {
+                        report.record_batch_response(&r, 2);
+                        return;
+                    }
+                    Err(e) => {
+                        report.violations.push(format!("batch job {i}: {e}"));
+                        return;
+                    }
+                }
+            }
+            report
+                .violations
+                .push(format!("batch job {i}: still overloaded after 40 retries"));
+        }
         JobKind::Honest => {
             let k = [2u32, 4, 8][i % 3];
             // Seeds cycle so identical requests repeat and the plan
@@ -480,6 +584,7 @@ mod tests {
         assert!(kinds.contains(&JobKind::Panic));
         assert!(kinds.contains(&JobKind::Disconnect));
         assert!(kinds.contains(&JobKind::BadRequest));
+        assert!(kinds.contains(&JobKind::Batch));
         assert!(kinds.iter().filter(|k| **k == JobKind::Honest).count() >= 40);
         assert_eq!(
             kinds,

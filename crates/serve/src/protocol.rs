@@ -25,6 +25,19 @@
 //! (`matrix_mm`). `{"op":"ping"}` health-checks; `{"op":"stats"}`
 //! returns live counters.
 //!
+//! A request may carry `"workload": "spgemm"` to partition the
+//! fine-grain SpGEMM task hypergraph of `C = A · B` instead of SpMV; the
+//! second operand arrives as `matrix_b`/`b_scale`/`b_gen_seed` (catalog)
+//! or `matrix_b_mm` (inline), and defaults to `A` itself (`A·A`) when
+//! absent. SpGEMM jobs bypass the plan cache.
+//!
+//! `{"op": "batch", "requests": [...]}` carries up to
+//! [`MAX_BATCH_REQUESTS`] decompose bodies (each the same shape as a
+//! `decompose` request, minus the `op`) in one frame. The batch is one
+//! queued job; the response is `{"ok": true, "status": ..., "results":
+//! [...]}` with one entry per request in order, each embedding a
+//! validated `fgh-metrics/1` document under `"metrics"`.
+//!
 //! # Responses
 //!
 //! Success: `{"ok": true, "status": "full"|"degraded",
@@ -42,6 +55,11 @@ use fgh_trace::json::{parse, Value};
 /// Hard per-frame payload cap (16 MiB). A length prefix beyond this is
 /// treated as a malformed frame, not an allocation request.
 pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Most decompose bodies one `batch` frame may carry. The batch runs as
+/// a single queued job, so the cap bounds how long one queue slot can be
+/// held hostage.
+pub const MAX_BATCH_REQUESTS: usize = 32;
 
 /// Stable machine-readable error codes carried in failure responses.
 /// Like `DegradedReason::CODES`, these are a compatibility contract:
@@ -213,6 +231,13 @@ pub enum MatrixSource {
 pub struct DecomposeRequest {
     /// Where the matrix comes from.
     pub source: MatrixSource,
+    /// `"spmv"` (default) or `"spgemm"` — validated against
+    /// `WorkloadKind` names at parse time.
+    pub workload: String,
+    /// The SpGEMM second operand (`matrix_b` / `matrix_b_mm`). `None`
+    /// for SpMV always; `None` for SpGEMM means `B = A` (the `A·A`
+    /// product).
+    pub source_b: Option<MatrixSource>,
     /// Model name (validated against `Model::from_str` by the caller).
     pub model: String,
     /// Processor count K (>= 1).
@@ -244,6 +269,9 @@ pub enum Request {
     Stats,
     /// A decomposition job; queued for a worker.
     Decompose(Box<DecomposeRequest>),
+    /// Many decompose bodies in one frame; queued as a single job whose
+    /// response embeds one `fgh-metrics/1` document per body.
+    Batch(Vec<DecomposeRequest>),
 }
 
 fn get_u64(v: &Value, key: &str, default: u64) -> Result<u64, String> {
@@ -253,6 +281,112 @@ fn get_u64(v: &Value, key: &str, default: u64) -> Result<u64, String> {
             .as_u64()
             .ok_or_else(|| format!("{key}: expected a non-negative integer")),
     }
+}
+
+/// Parses one matrix source out of a pair of mutually exclusive keys
+/// (`matrix`/`matrix_mm` for the primary, `matrix_b`/`matrix_b_mm` for
+/// the SpGEMM second operand).
+fn parse_source(
+    v: &Value,
+    name_key: &str,
+    inline_key: &str,
+    scale_key: &str,
+    seed_key: &str,
+) -> Result<Option<MatrixSource>, String> {
+    match (v.get(name_key), v.get(inline_key)) {
+        (Some(_), Some(_)) => Err(format!(
+            "{name_key} and {inline_key} are mutually exclusive"
+        )),
+        (Some(name), None) => Ok(Some(MatrixSource::Catalog {
+            name: name
+                .as_str()
+                .ok_or(format!("{name_key}: expected a string"))?
+                .to_string(),
+            scale: u32::try_from(get_u64(v, scale_key, 1)?.max(1))
+                .map_err(|_| format!("{scale_key}: out of range"))?,
+            gen_seed: get_u64(v, seed_key, 1)?,
+        })),
+        (None, Some(mm)) => Ok(Some(MatrixSource::Inline(
+            mm.as_str()
+                .ok_or(format!("{inline_key}: expected a string"))?
+                .into(),
+        ))),
+        (None, None) => Ok(None),
+    }
+}
+
+/// Parses one decompose body (the fields of a `decompose` request minus
+/// the `op`) — shared between `decompose` and the entries of `batch`.
+pub fn parse_decompose_body(v: &Value) -> Result<DecomposeRequest, String> {
+    let source = parse_source(v, "matrix", "matrix_mm", "scale", "gen_seed")?
+        .ok_or("one of matrix / matrix_mm is required")?;
+    let workload = v
+        .get("workload")
+        .map(|w| w.as_str().ok_or("workload: expected a string"))
+        .transpose()?
+        .unwrap_or("spmv")
+        .to_string();
+    if workload != "spmv" && workload != "spgemm" {
+        return Err(format!("workload: unknown workload {workload:?}"));
+    }
+    let source_b = parse_source(v, "matrix_b", "matrix_b_mm", "b_scale", "b_gen_seed")?;
+    if workload == "spmv" && source_b.is_some() {
+        return Err("matrix_b is only valid with workload \"spgemm\"".into());
+    }
+    let k64 = get_u64(v, "k", 0)?;
+    if k64 == 0 {
+        return Err("k: required, must be >= 1".into());
+    }
+    let k = u32::try_from(k64).map_err(|_| "k: out of range")?;
+    let epsilon = match v.get("epsilon") {
+        None => 0.03,
+        Some(e) => {
+            let e = e.as_f64().ok_or("epsilon: expected a number")?;
+            if !e.is_finite() || e < 0.0 {
+                return Err("epsilon: must be finite and >= 0".into());
+            }
+            e
+        }
+    };
+    let model = v
+        .get("model")
+        .map(|m| m.as_str().ok_or("model: expected a string"))
+        .transpose()?
+        .unwrap_or(if workload == "spgemm" {
+            "spgemm-fine-grain"
+        } else {
+            "fine-grain-2d"
+        })
+        .to_string();
+    let runs = get_u64(v, "runs", 1)?.max(1) as usize; // u64 -> usize is lossless on every supported target
+    let budget_ms = v
+        .get("budget_ms")
+        .map(|n| n.as_u64().ok_or("budget_ms: expected an integer"))
+        .transpose()?;
+    let budget_bytes = v
+        .get("budget_bytes")
+        .map(|n| n.as_u64().ok_or("budget_bytes: expected an integer"))
+        .transpose()?;
+    let include_owners = matches!(v.get("include_owners"), Some(Value::Bool(true)));
+    let inject = v
+        .get("inject")
+        .map(|i| i.as_str().ok_or("inject: expected a string"))
+        .transpose()?
+        .map(str::to_string);
+    Ok(DecomposeRequest {
+        source,
+        workload,
+        source_b,
+        model,
+        k,
+        epsilon,
+        seed: get_u64(v, "seed", 1)?,
+        runs,
+        budget_ms,
+        budget_bytes,
+        include_owners,
+        inject,
+    })
 }
 
 /// Parses and validates a request frame. Errors are
@@ -265,73 +399,27 @@ pub fn parse_request(v: &Value) -> Result<Request, String> {
     match op {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
-        "decompose" => {
-            let source = match (v.get("matrix"), v.get("matrix_mm")) {
-                (Some(_), Some(_)) => {
-                    return Err("matrix and matrix_mm are mutually exclusive".into())
-                }
-                (Some(name), None) => MatrixSource::Catalog {
-                    name: name
-                        .as_str()
-                        .ok_or("matrix: expected a string")?
-                        .to_string(),
-                    scale: u32::try_from(get_u64(v, "scale", 1)?.max(1))
-                        .map_err(|_| "scale: out of range")?,
-                    gen_seed: get_u64(v, "gen_seed", 1)?,
-                },
-                (None, Some(mm)) => {
-                    MatrixSource::Inline(mm.as_str().ok_or("matrix_mm: expected a string")?.into())
-                }
-                (None, None) => return Err("one of matrix / matrix_mm is required".into()),
-            };
-            let k64 = get_u64(v, "k", 0)?;
-            if k64 == 0 {
-                return Err("k: required, must be >= 1".into());
+        "decompose" => Ok(Request::Decompose(Box::new(parse_decompose_body(v)?))),
+        "batch" => {
+            let entries = v
+                .get("requests")
+                .and_then(Value::as_arr)
+                .ok_or("requests: expected an array")?;
+            if entries.is_empty() {
+                return Err("requests: must not be empty".into());
             }
-            let k = u32::try_from(k64).map_err(|_| "k: out of range")?;
-            let epsilon = match v.get("epsilon") {
-                None => 0.03,
-                Some(e) => {
-                    let e = e.as_f64().ok_or("epsilon: expected a number")?;
-                    if !e.is_finite() || e < 0.0 {
-                        return Err("epsilon: must be finite and >= 0".into());
-                    }
-                    e
-                }
-            };
-            let model = v
-                .get("model")
-                .map(|m| m.as_str().ok_or("model: expected a string"))
-                .transpose()?
-                .unwrap_or("fine-grain-2d")
-                .to_string();
-            let runs = get_u64(v, "runs", 1)?.max(1) as usize; // u64 -> usize is lossless on every supported target
-            let budget_ms = v
-                .get("budget_ms")
-                .map(|n| n.as_u64().ok_or("budget_ms: expected an integer"))
-                .transpose()?;
-            let budget_bytes = v
-                .get("budget_bytes")
-                .map(|n| n.as_u64().ok_or("budget_bytes: expected an integer"))
-                .transpose()?;
-            let include_owners = matches!(v.get("include_owners"), Some(Value::Bool(true)));
-            let inject = v
-                .get("inject")
-                .map(|i| i.as_str().ok_or("inject: expected a string"))
-                .transpose()?
-                .map(str::to_string);
-            Ok(Request::Decompose(Box::new(DecomposeRequest {
-                source,
-                model,
-                k,
-                epsilon,
-                seed: get_u64(v, "seed", 1)?,
-                runs,
-                budget_ms,
-                budget_bytes,
-                include_owners,
-                inject,
-            })))
+            if entries.len() > MAX_BATCH_REQUESTS {
+                return Err(format!(
+                    "requests: batch of {} exceeds the {MAX_BATCH_REQUESTS}-request cap",
+                    entries.len()
+                ));
+            }
+            entries
+                .iter()
+                .enumerate()
+                .map(|(i, e)| parse_decompose_body(e).map_err(|m| format!("requests[{i}]: {m}")))
+                .collect::<Result<Vec<_>, _>>()
+                .map(Request::Batch)
         }
         other => Err(format!("op: unknown operation {other:?}")),
     }
@@ -432,6 +520,105 @@ mod tests {
         // Unknown op.
         let v = obj(&[("op", Value::Str("fly".into()))]);
         assert!(parse_request(&v).is_err());
+    }
+
+    #[test]
+    fn workload_and_second_operand_parse_and_validate() {
+        // SpGEMM defaults the model to the task-hypergraph model and
+        // accepts a catalog second operand.
+        let v = obj(&[
+            ("op", Value::Str("decompose".into())),
+            ("matrix", Value::Str("bcspwr10".into())),
+            ("workload", Value::Str("spgemm".into())),
+            ("matrix_b", Value::Str("west0479".into())),
+            ("b_scale", Value::Num(4.0)),
+            ("b_gen_seed", Value::Num(9.0)),
+            ("k", Value::Num(4.0)),
+        ]);
+        match parse_request(&v).unwrap() {
+            Request::Decompose(d) => {
+                assert_eq!(d.workload, "spgemm");
+                assert_eq!(d.model, "spgemm-fine-grain");
+                assert_eq!(
+                    d.source_b,
+                    Some(MatrixSource::Catalog {
+                        name: "west0479".into(),
+                        scale: 4,
+                        gen_seed: 9
+                    })
+                );
+            }
+            other => panic!("expected Decompose, got {other:?}"),
+        }
+        // Omitted second operand is the A·A default.
+        let v = obj(&[
+            ("op", Value::Str("decompose".into())),
+            ("matrix", Value::Str("bcspwr10".into())),
+            ("workload", Value::Str("spgemm".into())),
+            ("k", Value::Num(2.0)),
+        ]);
+        match parse_request(&v).unwrap() {
+            Request::Decompose(d) => assert_eq!(d.source_b, None),
+            other => panic!("expected Decompose, got {other:?}"),
+        }
+        // matrix_b under spmv is a contradiction, not silently ignored.
+        let v = obj(&[
+            ("op", Value::Str("decompose".into())),
+            ("matrix", Value::Str("bcspwr10".into())),
+            ("matrix_b", Value::Str("west0479".into())),
+            ("k", Value::Num(2.0)),
+        ]);
+        assert!(parse_request(&v).unwrap_err().contains("matrix_b"));
+        // Unknown workloads are rejected at parse time.
+        let v = obj(&[
+            ("op", Value::Str("decompose".into())),
+            ("matrix", Value::Str("bcspwr10".into())),
+            ("workload", Value::Str("fft".into())),
+            ("k", Value::Num(2.0)),
+        ]);
+        assert!(parse_request(&v).unwrap_err().contains("workload"));
+    }
+
+    #[test]
+    fn batch_parses_validates_and_caps() {
+        let body = |name: &str| obj(&[("matrix", Value::Str(name.into())), ("k", Value::Num(2.0))]);
+        let v = obj(&[
+            ("op", Value::Str("batch".into())),
+            (
+                "requests",
+                Value::Arr(vec![body("bcspwr10"), body("west0479")]),
+            ),
+        ]);
+        match parse_request(&v).unwrap() {
+            Request::Batch(reqs) => {
+                assert_eq!(reqs.len(), 2);
+                assert_eq!(reqs[1].workload, "spmv");
+            }
+            other => panic!("expected Batch, got {other:?}"),
+        }
+        // Empty batches and over-cap batches are rejected whole.
+        let v = obj(&[
+            ("op", Value::Str("batch".into())),
+            ("requests", Value::Arr(vec![])),
+        ]);
+        assert!(parse_request(&v).unwrap_err().contains("empty"));
+        let v = obj(&[
+            ("op", Value::Str("batch".into())),
+            (
+                "requests",
+                Value::Arr(vec![body("bcspwr10"); MAX_BATCH_REQUESTS + 1]),
+            ),
+        ]);
+        assert!(parse_request(&v).unwrap_err().contains("cap"));
+        // One bad body poisons the frame, with its index in the error.
+        let v = obj(&[
+            ("op", Value::Str("batch".into())),
+            (
+                "requests",
+                Value::Arr(vec![body("bcspwr10"), obj(&[("k", Value::Num(2.0))])]),
+            ),
+        ]);
+        assert!(parse_request(&v).unwrap_err().contains("requests[1]"));
     }
 
     #[test]

@@ -47,7 +47,7 @@ use crate::protocol::{
     codes, error_response, parse_request, read_frame, write_frame, FrameError, Request,
 };
 use crate::queue::{BoundedQueue, PushError};
-use crate::worker::{worker_loop, Job, SharedSession};
+use crate::worker::{worker_loop, Job, JobPayload, SharedSession};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -500,7 +500,7 @@ fn connection_loop(mut stream: Stream, shared: &Arc<Shared>) {
                     return;
                 }
             }
-            Request::Decompose(req) => {
+            Request::Decompose(_) | Request::Batch(_) => {
                 // lint: atomic — relaxed: drain poll; one extra request is harmless
                 if shared.draining.load(Ordering::Relaxed) {
                     ServeCounters::bump(&shared.counters.rejected_shutting_down);
@@ -514,10 +514,17 @@ fn connection_loop(mut stream: Stream, shared: &Arc<Shared>) {
                     );
                     continue;
                 }
+                // A batch occupies one queue slot and one worker, same
+                // admission and cancellation story as a single request.
+                let payload = match request {
+                    Request::Decompose(req) => JobPayload::Single(req),
+                    Request::Batch(reqs) => JobPayload::Batch(reqs),
+                    _ => unreachable!("outer match admits only decompose/batch here"),
+                };
                 let cancel = CancelToken::new();
                 let (tx, rx) = std::sync::mpsc::sync_channel::<Value>(1);
                 let job = Job {
-                    request: *req,
+                    request: payload,
                     cancel: cancel.clone(),
                     respond: tx,
                 };

@@ -18,8 +18,10 @@ use std::sync::mpsc::SyncSender;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use fgh_core::report::{metrics_document, spgemm_metrics_document};
 use fgh_core::{
-    Budget, CancelToken, DecompositionOutcome, EngineSession, FghError, JobParams, Model,
+    decompose_workload_any_in, Budget, CancelToken, DecompositionOutcome, EngineSession, FghError,
+    JobParams, Model, SpgemmOutcome, WorkloadAny,
 };
 use fgh_invariant::{lock_order, OrderedMutex, OrderedMutexGuard};
 use fgh_sparse::io::parse_matrix_market_bytes_any;
@@ -30,10 +32,19 @@ use crate::cache::{fnv1a, CachedPlan, PlanCache};
 use crate::metrics::ServeCounters;
 use crate::protocol::{codes, error_response, DecomposeRequest, MatrixSource};
 
+/// What one queued job executes: a single decompose request, or a whole
+/// batch run back-to-back on one queue slot.
+pub enum JobPayload {
+    /// One `{"op":"decompose"}` request.
+    Single(Box<DecomposeRequest>),
+    /// One `{"op":"batch"}` frame's requests, in order.
+    Batch(Vec<DecomposeRequest>),
+}
+
 /// One admitted decomposition job, queued for a worker.
 pub struct Job {
-    /// The validated request.
-    pub request: DecomposeRequest,
+    /// The validated request(s).
+    pub request: JobPayload,
     /// Tripped by the connection thread on client disconnect and by the
     /// server when the drain deadline expires.
     pub cancel: CancelToken,
@@ -195,6 +206,28 @@ fn plan_from_outcome(out: &DecompositionOutcome) -> CachedPlan {
     }
 }
 
+/// Honors a request's fault-injection directive (tests/self-test only).
+fn apply_injection(fault_injection: bool, req: &DecomposeRequest, cancel: &CancelToken) {
+    if !fault_injection {
+        return;
+    }
+    if let Some(inject) = req.inject.as_deref() {
+        if inject == "panic" {
+            panic!("injected worker fault (inject=panic)");
+        }
+        if let Some(ms) = inject.strip_prefix("sleep_ms:") {
+            if let Ok(ms) = ms.parse::<u64>() {
+                // Cooperative stall: sleep in slices so cancellation
+                // (client disconnect, drain deadline) cuts it short.
+                let deadline = Instant::now() + Duration::from_millis(ms.min(60_000));
+                while Instant::now() < deadline && !cancel.is_cancelled() {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+    }
+}
+
 /// Runs one job to a response [`Value`]. Never panics on well-behaved
 /// engine code; deliberate fault injection panics are the caller's
 /// `catch_unwind` business.
@@ -207,22 +240,13 @@ pub fn execute_job(
     cancel: &CancelToken,
 ) -> Value {
     let start = Instant::now();
-    if fault_injection {
-        if let Some(inject) = req.inject.as_deref() {
-            if inject == "panic" {
-                panic!("injected worker fault (inject=panic)");
-            }
-            if let Some(ms) = inject.strip_prefix("sleep_ms:") {
-                if let Ok(ms) = ms.parse::<u64>() {
-                    // Cooperative stall: sleep in slices so cancellation
-                    // (client disconnect, drain deadline) cuts it short.
-                    let deadline = Instant::now() + Duration::from_millis(ms.min(60_000));
-                    while Instant::now() < deadline && !cancel.is_cancelled() {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                }
-            }
-        }
+    apply_injection(fault_injection, req, cancel);
+
+    // SpGEMM jobs bypass the plan cache: the cached-plan shape (a 2D
+    // SpMV decomposition) does not fit a task-hypergraph outcome, and
+    // the traffic counters are cheap relative to the partitioning.
+    if req.workload == "spgemm" {
+        return execute_workload(session, counters, req, cancel, false);
     }
 
     let a = match build_matrix(&req.source) {
@@ -283,7 +307,14 @@ pub fn execute_job(
             }
             success_response(req, &plan, false, start.elapsed())
         }
-        Err(FghError::UnsupportedWidth { model, width }) => error_response(
+        Err(e) => fgh_error_response(&e),
+    }
+}
+
+/// Maps a typed engine error onto the protocol's stable error codes.
+fn fgh_error_response(e: &FghError) -> Value {
+    match e {
+        FghError::UnsupportedWidth { model, width } => error_response(
             codes::UNSUPPORTED_WIDTH,
             &format!(
                 "model {model} cannot run at {}-bit indices; width-capable models: \
@@ -292,11 +323,245 @@ pub fn execute_job(
             ),
             None,
         ),
-        Err(e @ (FghError::InvalidInput(_) | FghError::Sparse(_) | FghError::Model(_))) => {
+        FghError::InvalidInput(_) | FghError::Sparse(_) | FghError::Model(_) => {
             error_response(codes::BAD_REQUEST, &e.to_string(), None)
         }
-        Err(e) => error_response(codes::DECOMPOSE_FAILED, &e.to_string(), None),
+        _ => error_response(codes::DECOMPOSE_FAILED, &e.to_string(), None),
     }
+}
+
+/// Replays the partitioned SpGEMM through the storage-traffic simulator
+/// at the outcome's carrier width. `Null` only when the replay itself
+/// fails (a decode/validation defect — the counters are never guessed).
+fn spgemm_traffic(a: &AnyCsrMatrix, b: &AnyCsrMatrix, out: &SpgemmOutcome) -> Value {
+    let (aw, bw) = match (a.convert_width(out.width), b.convert_width(out.width)) {
+        (Ok(aw), Ok(bw)) => (aw, bw),
+        _ => return Value::Null,
+    };
+    let report = match (&aw, &bw) {
+        (AnyCsrMatrix::U32(a), AnyCsrMatrix::U32(b)) => {
+            fgh_traffic::simulate(a, b, &out.decomposition)
+        }
+        (AnyCsrMatrix::U64(a), AnyCsrMatrix::U64(b)) => {
+            fgh_traffic::simulate(a, b, &out.decomposition)
+        }
+        _ => return Value::Null,
+    };
+    report.map_or(Value::Null, |r| r.to_value())
+}
+
+/// Executes one decompose body fresh (no plan cache) for either
+/// workload, returning a full response document. With `embed_metrics`
+/// the document carries the request's validated `fgh-metrics/1` report
+/// under `"metrics"` — the batch-response contract. SpGEMM responses
+/// always carry the simulator's `"traffic"` counters and `"flops"`.
+pub fn execute_workload(
+    session: &EngineSession,
+    counters: &ServeCounters,
+    req: &DecomposeRequest,
+    cancel: &CancelToken,
+    embed_metrics: bool,
+) -> Value {
+    let start = Instant::now();
+    let a = match build_matrix(&req.source) {
+        Ok(a) => a,
+        Err(e) => return error_response(codes::BAD_REQUEST, &e, None),
+    };
+    let model: Model = match req.model.parse() {
+        Ok(m) => m,
+        Err(e) => return error_response(codes::BAD_REQUEST, &e, None),
+    };
+    let mut budget = Budget::UNLIMITED;
+    if let Some(ms) = req.budget_ms {
+        budget.max_wall = Some(Duration::from_millis(ms));
+    }
+    if let Some(bytes) = req.budget_bytes {
+        budget.max_bytes = Some(bytes.min(usize::MAX as u64) as usize); // min-clamp makes the u64 -> usize conversion lossless
+    }
+    let params = JobParams::new(model, req.k)
+        .with_epsilon(req.epsilon)
+        .with_seed(req.seed)
+        .with_runs(req.runs)
+        .with_budget(budget)
+        .with_cancel(cancel.clone());
+    let cfg = params.into_config(session);
+
+    let mut doc = BTreeMap::new();
+    doc.insert("ok".into(), Value::Bool(true));
+    doc.insert("k".into(), num(req.k as u64));
+    doc.insert("cache".into(), Value::Str("bypass".into()));
+    doc.insert("workload".into(), Value::Str(req.workload.clone()));
+
+    if req.workload == "spgemm" {
+        let b_owned;
+        let b = match &req.source_b {
+            Some(s) => match build_matrix(s) {
+                Ok(m) => {
+                    b_owned = m;
+                    &b_owned
+                }
+                Err(e) => return error_response(codes::BAD_REQUEST, &e, None),
+            },
+            None => &a, // default: the A·A product
+        };
+        let out = decompose_workload_any_in(WorkloadAny::Spgemm(&a, b), &cfg, session.pool())
+            .and_then(fgh_core::WorkloadOutcome::into_spgemm);
+        let out = match out {
+            Ok(o) => o,
+            Err(e) => return fgh_error_response(&e),
+        };
+        if out.engine.cancelled() {
+            ServeCounters::bump(&counters.cancelled_jobs);
+        }
+        if out.status.is_degraded() {
+            ServeCounters::bump(&counters.degraded);
+        }
+        status_fields(&mut doc, out.status.code(), out.status.reason());
+        doc.insert("nnz".into(), num(a.nnz() as u64));
+        doc.insert("flops".into(), num(out.flops));
+        doc.insert("objective".into(), num(out.objective));
+        doc.insert("volume".into(), num(out.stats.total_volume()));
+        doc.insert(
+            "imbalance".into(),
+            Value::Num(out.stats.load_imbalance_percent()),
+        );
+        let traffic = spgemm_traffic(&a, b, &out);
+        if embed_metrics {
+            let traffic_ref = if traffic.is_null() {
+                None
+            } else {
+                Some(&traffic)
+            };
+            let metrics = match (&a.convert_width(out.width), &b.convert_width(out.width)) {
+                (Ok(AnyCsrMatrix::U32(aw)), Ok(AnyCsrMatrix::U32(bw))) => {
+                    spgemm_metrics_document(aw, bw, &cfg, &out, traffic_ref)
+                }
+                (Ok(AnyCsrMatrix::U64(aw)), Ok(AnyCsrMatrix::U64(bw))) => {
+                    spgemm_metrics_document(aw, bw, &cfg, &out, traffic_ref)
+                }
+                _ => Value::Null,
+            };
+            doc.insert("metrics".into(), metrics);
+        }
+        doc.insert("traffic".into(), traffic);
+    } else {
+        let out = decompose_workload_any_in(WorkloadAny::Spmv(&a), &cfg, session.pool())
+            .and_then(fgh_core::WorkloadOutcome::into_spmv);
+        let out = match out {
+            Ok(o) => o,
+            Err(e) => return fgh_error_response(&e),
+        };
+        if out.engine.cancelled() {
+            ServeCounters::bump(&counters.cancelled_jobs);
+        }
+        if out.status.is_degraded() {
+            ServeCounters::bump(&counters.degraded);
+        }
+        status_fields(&mut doc, out.status.code(), out.status.reason());
+        doc.insert(
+            "nnz".into(),
+            num(out.decomposition.nonzero_owner.len() as u64),
+        );
+        doc.insert("objective".into(), num(out.objective));
+        doc.insert("volume".into(), num(out.stats.total_volume()));
+        doc.insert(
+            "imbalance".into(),
+            Value::Num(out.stats.load_imbalance_percent()),
+        );
+        if embed_metrics {
+            let metrics = match &a {
+                AnyCsrMatrix::U32(m) => metrics_document(m, &cfg, &out),
+                AnyCsrMatrix::U64(m) => metrics_document(m, &cfg, &out),
+            };
+            doc.insert("metrics".into(), metrics);
+        }
+    }
+    let elapsed_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    doc.insert("elapsed_ns".into(), num(elapsed_ns));
+    Value::Obj(doc)
+}
+
+fn status_fields(
+    doc: &mut BTreeMap<String, Value>,
+    code: Option<&'static str>,
+    reason: Option<impl std::fmt::Display>,
+) {
+    doc.insert(
+        "status".into(),
+        Value::Str(if code.is_some() { "degraded" } else { "full" }.into()),
+    );
+    doc.insert(
+        "degraded_code".into(),
+        code.map_or(Value::Null, |c| Value::Str(c.into())),
+    );
+    doc.insert(
+        "degraded_reason".into(),
+        reason.map_or(Value::Null, |r| Value::Str(r.to_string())),
+    );
+}
+
+/// Executes a batch payload: every body runs back-to-back on this worker
+/// (cache-bypassing, metrics embedded), and the frame-level status rolls
+/// up the worst sub-result — `full` only when every body succeeded
+/// fully, `degraded` with the first degradation's code otherwise.
+pub fn execute_batch(
+    session: &EngineSession,
+    counters: &ServeCounters,
+    fault_injection: bool,
+    reqs: &[DecomposeRequest],
+    cancel: &CancelToken,
+) -> Value {
+    let start = Instant::now();
+    let mut results = Vec::with_capacity(reqs.len());
+    let mut first_code: Option<String> = None;
+    let mut first_reason: Option<String> = None;
+    for req in reqs {
+        apply_injection(fault_injection, req, cancel);
+        let r = execute_workload(session, counters, req, cancel, true);
+        if first_code.is_none() {
+            match r.get("ok") {
+                Some(Value::Bool(true)) => {
+                    if let Some(code) = r.get("degraded_code").and_then(Value::as_str) {
+                        first_code = Some(code.to_string());
+                        first_reason = r
+                            .get("degraded_reason")
+                            .and_then(Value::as_str)
+                            .map(str::to_string);
+                    }
+                }
+                _ => {
+                    let err = r.get("error");
+                    first_code = Some(
+                        err.and_then(|e| e.get("code"))
+                            .and_then(Value::as_str)
+                            .unwrap_or(codes::DECOMPOSE_FAILED)
+                            .to_string(),
+                    );
+                    first_reason = err
+                        .and_then(|e| e.get("message"))
+                        .and_then(Value::as_str)
+                        .map(str::to_string);
+                }
+            }
+        }
+        results.push(r);
+    }
+    let mut doc = BTreeMap::new();
+    doc.insert("ok".into(), Value::Bool(true));
+    doc.insert("op".into(), Value::Str("batch".into()));
+    status_fields(&mut doc, None::<&'static str>, None::<String>);
+    if let Some(code) = first_code {
+        doc.insert("status".into(), Value::Str("degraded".into()));
+        doc.insert("degraded_code".into(), Value::Str(code));
+        doc.insert(
+            "degraded_reason".into(),
+            first_reason.map_or(Value::Null, Value::Str),
+        );
+    }
+    doc.insert("results".into(), Value::Arr(results));
+    let elapsed_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    doc.insert("elapsed_ns".into(), num(elapsed_ns));
+    Value::Obj(doc)
 }
 
 /// The worker loop: pop, execute under `catch_unwind`, respond, repeat.
@@ -318,15 +583,18 @@ pub fn worker_loop(
             continue;
         };
         let snapshot = session.current();
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            execute_job(
+        let result = catch_unwind(AssertUnwindSafe(|| match &job.request {
+            JobPayload::Single(req) => execute_job(
                 &snapshot,
                 &cache,
                 &counters,
                 fault_injection,
-                &job.request,
+                req,
                 &job.cancel,
-            )
+            ),
+            JobPayload::Batch(reqs) => {
+                execute_batch(&snapshot, &counters, fault_injection, reqs, &job.cancel)
+            }
         }));
         let response = match result {
             Ok(v) => v,
@@ -367,6 +635,8 @@ mod tests {
             budget_bytes: None,
             include_owners: false,
             inject: None,
+            workload: "spmv".into(),
+            source_b: None,
         }
     }
 
@@ -479,6 +749,77 @@ mod tests {
     }
 
     #[test]
+    fn spgemm_request_bypasses_cache_and_reports_traffic() {
+        let (session, cache, counters) = fixture();
+        let token = CancelToken::new();
+        let mut req = request(4);
+        req.workload = "spgemm".into();
+        req.model = "spgemm-fine-grain".into();
+        let r = execute_job(&session, &cache, &counters, false, &req, &token);
+        assert_eq!(r.get("ok"), Some(&Value::Bool(true)), "{}", r.to_json());
+        assert_eq!(r.get("cache").unwrap().as_str(), Some("bypass"));
+        assert_eq!(r.get("workload").unwrap().as_str(), Some("spgemm"));
+        assert!(r.get("flops").unwrap().as_u64().unwrap() > 0);
+        // The simulator's replayed remote traffic must equal the
+        // model-predicted communication volume — the tentpole invariant.
+        let traffic = r.get("traffic").unwrap();
+        assert_eq!(
+            traffic.get("total_remote").unwrap().as_u64(),
+            r.get("volume").unwrap().as_u64()
+        );
+        // Re-running is always a fresh compute, never a plan-cache hit.
+        let r2 = execute_job(&session, &cache, &counters, false, &req, &token);
+        assert_eq!(r2.get("cache").unwrap().as_str(), Some("bypass"));
+    }
+
+    #[test]
+    fn batch_embeds_validating_metrics_documents() {
+        let (session, _cache, counters) = fixture();
+        let token = CancelToken::new();
+        let mut spgemm = request(3);
+        spgemm.workload = "spgemm".into();
+        spgemm.model = "spgemm-fine-grain".into();
+        let r = execute_batch(&session, &counters, false, &[request(2), spgemm], &token);
+        assert_eq!(r.get("ok"), Some(&Value::Bool(true)), "{}", r.to_json());
+        assert_eq!(r.get("op").unwrap().as_str(), Some("batch"));
+        assert_eq!(r.get("status").unwrap().as_str(), Some("full"));
+        let results = r.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 2);
+        for sub in results {
+            assert_eq!(sub.get("ok"), Some(&Value::Bool(true)));
+            fgh_core::validate_metrics_value(sub.get("metrics").unwrap()).unwrap();
+        }
+        assert_eq!(results[0].get("workload").unwrap().as_str(), Some("spmv"));
+        assert_eq!(results[1].get("workload").unwrap().as_str(), Some("spgemm"));
+    }
+
+    #[test]
+    fn batch_rolls_up_the_first_failing_body() {
+        let (session, _cache, counters) = fixture();
+        let mut bad = request(2);
+        bad.model = "quantum-3d".into();
+        let r = execute_batch(
+            &session,
+            &counters,
+            false,
+            &[request(2), bad],
+            &CancelToken::new(),
+        );
+        // Frame-level contract: ok stays true (the batch executed), the
+        // status degrades with the first failing body's code; siblings
+        // still carry their own results.
+        assert_eq!(r.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(r.get("status").unwrap().as_str(), Some("degraded"));
+        assert_eq!(
+            r.get("degraded_code").unwrap().as_str(),
+            Some(codes::BAD_REQUEST)
+        );
+        let results = r.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results[0].get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(results[1].get("ok"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
     fn injected_panic_is_contained_by_worker_loop() {
         let queue = Arc::new(crate::queue::BoundedQueue::new(4));
         let session = Arc::new(SharedSession::new(EngineSession::new()));
@@ -489,7 +830,7 @@ mod tests {
         req.inject = Some("panic".into());
         queue
             .push(Job {
-                request: req,
+                request: JobPayload::Single(Box::new(req)),
                 cancel: CancelToken::new(),
                 respond: tx,
             })
@@ -498,7 +839,7 @@ mod tests {
         let (tx2, rx2) = std::sync::mpsc::sync_channel(1);
         queue
             .push(Job {
-                request: request(2),
+                request: JobPayload::Single(Box::new(request(2))),
                 cancel: CancelToken::new(),
                 respond: tx2,
             })

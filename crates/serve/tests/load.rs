@@ -44,6 +44,9 @@ fn hostile_load_then_clean_drain() {
     assert!(report.disconnects_sent >= 1);
     assert!(report.panics_sent >= 1);
     assert!(report.bad_requests_sent >= 1);
+    // Batch frames (mixed SpMV + SpGEMM bodies with embedded metrics
+    // documents) rode the same hostile mix and validated clean.
+    assert!(report.batches_sent >= 1);
     // Every injected panic came back as the typed worker-panic error.
     assert_eq!(
         report.typed_errors.get(codes::WORKER_PANIC).copied(),

@@ -141,7 +141,9 @@ pub fn estimate(plan: &DistributedSpmv, machine: &MachineModel) -> CostEstimate 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fgh_core::{decompose, DecomposeConfig, Decomposition, Model};
+    use fgh_core::{
+        decompose_workload, DecomposeConfig, Decomposition, Model, Workload, WorkloadOutcome,
+    };
     use fgh_sparse::gen::{self, ValueMode};
     use fgh_sparse::CsrMatrix;
     use rand::rngs::SmallRng;
@@ -179,7 +181,12 @@ mod tests {
             gamma: 1e-6,
         };
         for k in [2u32, 4, 8] {
-            let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, k)).unwrap();
+            let out = decompose_workload(
+                Workload::Spmv(&a),
+                &DecomposeConfig::new(Model::FineGrain2D, k),
+            )
+            .and_then(WorkloadOutcome::into_spmv)
+            .unwrap();
             let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
             let e = estimate(&plan, &machine);
             assert!(
@@ -196,7 +203,12 @@ mod tests {
         // On an extremely latency-bound machine, phase times are dominated
         // by α · messages, so the estimate must track message counts.
         let a = matrix();
-        let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 8)).unwrap();
+        let out = decompose_workload(
+            Workload::Spmv(&a),
+            &DecomposeConfig::new(Model::FineGrain2D, 8),
+        )
+        .and_then(WorkloadOutcome::into_spmv)
+        .unwrap();
         let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
         let lat = estimate(&plan, &MachineModel::latency_bound());
         let comm = plan.planned_comm();

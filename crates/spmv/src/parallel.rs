@@ -189,7 +189,9 @@ pub fn parallel_spmv(plan: &DistributedSpmv, x: &[f64]) -> Result<(Vec<f64>, Mea
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fgh_core::{decompose, DecomposeConfig, Decomposition, Model};
+    use fgh_core::{
+        decompose_workload, DecomposeConfig, Decomposition, Model, Workload, WorkloadOutcome,
+    };
     use fgh_sparse::gen::{self, ValueMode};
     use fgh_sparse::{CooMatrix, CsrMatrix};
     use rand::rngs::SmallRng;
@@ -234,7 +236,9 @@ mod tests {
             Model::Hypergraph1DRowNet,
             Model::FineGrain2D,
         ] {
-            let out = decompose(&a, &DecomposeConfig::new(model, 4)).unwrap();
+            let out = decompose_workload(Workload::Spmv(&a), &DecomposeConfig::new(model, 4))
+                .and_then(WorkloadOutcome::into_spmv)
+                .unwrap();
             let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
             let (y_sim, m_sim) = plan.multiply(&x).unwrap();
             let (y_par, m_par) = parallel_spmv(&plan, &x).unwrap();
@@ -264,7 +268,12 @@ mod tests {
             ValueMode::Laplacian,
             &mut SmallRng::seed_from_u64(6),
         );
-        let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 4)).unwrap();
+        let out = decompose_workload(
+            Workload::Spmv(&a),
+            &DecomposeConfig::new(Model::FineGrain2D, 4),
+        )
+        .and_then(WorkloadOutcome::into_spmv)
+        .unwrap();
         let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
         let mut x = vec![1.0; a.ncols() as usize];
         for _ in 0..5 {

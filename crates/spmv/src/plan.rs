@@ -536,7 +536,9 @@ impl DistributedSpmv {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fgh_core::{decompose, CommStats, DecomposeConfig, Model};
+    use fgh_core::{
+        decompose_workload, CommStats, DecomposeConfig, Model, Workload, WorkloadOutcome,
+    };
     use fgh_sparse::gen::{self, ValueMode};
     use fgh_sparse::CooMatrix;
     use rand::rngs::SmallRng;
@@ -586,7 +588,9 @@ mod tests {
             Model::Hypergraph1DRowNet,
             Model::FineGrain2D,
         ] {
-            let out = decompose(&a, &DecomposeConfig::new(model, 4)).unwrap();
+            let out = decompose_workload(Workload::Spmv(&a), &DecomposeConfig::new(model, 4))
+                .and_then(WorkloadOutcome::into_spmv)
+                .unwrap();
             let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
             let x: Vec<f64> = (0..a.ncols()).map(|j| j as f64 * 0.25 + 1.0).collect();
             let (y, m) = plan.multiply(&x).unwrap();
@@ -628,7 +632,12 @@ mod tests {
             ValueMode::Laplacian,
             &mut SmallRng::seed_from_u64(9),
         );
-        let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 8)).unwrap();
+        let out = decompose_workload(
+            Workload::Spmv(&a),
+            &DecomposeConfig::new(Model::FineGrain2D, 8),
+        )
+        .and_then(WorkloadOutcome::into_spmv)
+        .unwrap();
         let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
         let x = vec![1.0; a.ncols() as usize];
         let (_, m) = plan.multiply(&x).unwrap();
@@ -664,7 +673,12 @@ mod tests {
             &mut SmallRng::seed_from_u64(8),
         );
         let at = a.transpose();
-        let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 5)).unwrap();
+        let out = decompose_workload(
+            Workload::Spmv(&a),
+            &DecomposeConfig::new(Model::FineGrain2D, 5),
+        )
+        .and_then(WorkloadOutcome::into_spmv)
+        .unwrap();
         let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
         let x: Vec<f64> = (0..a.nrows())
             .map(|i| (i as f64 * 0.11).sin() + 2.0)
@@ -686,7 +700,12 @@ mod tests {
             ValueMode::Laplacian,
             &mut SmallRng::seed_from_u64(3),
         );
-        let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 6)).unwrap();
+        let out = decompose_workload(
+            Workload::Spmv(&a),
+            &DecomposeConfig::new(Model::FineGrain2D, 6),
+        )
+        .and_then(WorkloadOutcome::into_spmv)
+        .unwrap();
         let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
         let x = vec![1.0; a.nrows() as usize];
         let (_, m_fwd) = plan.multiply(&x).unwrap();
@@ -710,7 +729,12 @@ mod tests {
             )
             .unwrap(),
         );
-        let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 2)).unwrap();
+        let out = decompose_workload(
+            Workload::Spmv(&a),
+            &DecomposeConfig::new(Model::FineGrain2D, 2),
+        )
+        .and_then(WorkloadOutcome::into_spmv)
+        .unwrap();
         let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
         let x = vec![1.0, 2.0, 3.0, 4.0];
         let (y, _) = plan.multiply_transpose(&x).unwrap();

@@ -119,7 +119,7 @@ impl SpmvSchedule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fgh_core::{decompose, DecomposeConfig, Model};
+    use fgh_core::{decompose_workload, DecomposeConfig, Model, Workload, WorkloadOutcome};
     use fgh_sparse::gen::{self, ValueMode};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
@@ -201,7 +201,9 @@ mod tests {
         );
         let k = 8;
         for model in [Model::Hypergraph1DColNet, Model::FineGrain2D] {
-            let out = decompose(&a, &DecomposeConfig::new(model, k)).unwrap();
+            let out = decompose_workload(Workload::Spmv(&a), &DecomposeConfig::new(model, k))
+                .and_then(WorkloadOutcome::into_spmv)
+                .unwrap();
             let plan = crate::DistributedSpmv::build(&a, &out.decomposition).unwrap();
             let sch = SpmvSchedule::build(&plan);
             check(&sch.expand, plan.expand_transfers(), k);

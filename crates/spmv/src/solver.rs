@@ -200,7 +200,7 @@ pub fn power_iteration(plan: &DistributedSpmv, iterations: usize) -> Result<Solv
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fgh_core::{decompose, DecomposeConfig, Model};
+    use fgh_core::{decompose_workload, DecomposeConfig, Model, Workload, WorkloadOutcome};
     use fgh_sparse::gen::{self, ValueMode};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
@@ -214,7 +214,12 @@ mod tests {
             ValueMode::Laplacian,
             &mut SmallRng::seed_from_u64(2),
         );
-        let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, k)).unwrap();
+        let out = decompose_workload(
+            Workload::Spmv(&a),
+            &DecomposeConfig::new(Model::FineGrain2D, k),
+        )
+        .and_then(WorkloadOutcome::into_spmv)
+        .unwrap();
         let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
         (a, plan)
     }
@@ -262,7 +267,12 @@ mod tests {
             ValueMode::Laplacian,
             &mut SmallRng::seed_from_u64(5),
         );
-        let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 2)).unwrap();
+        let out = decompose_workload(
+            Workload::Spmv(&a),
+            &DecomposeConfig::new(Model::FineGrain2D, 2),
+        )
+        .and_then(WorkloadOutcome::into_spmv)
+        .unwrap();
         let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
         let sol = power_iteration(&plan, 500).unwrap();
         // Verify A x ≈ λ x (relative to λ).
@@ -305,7 +315,12 @@ mod tests {
         }
         let a = CsrMatrix::from_coo(CooMatrix::from_triplets(n, n, t).unwrap());
         assert!(!a.pattern_symmetric());
-        let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 4)).unwrap();
+        let out = decompose_workload(
+            Workload::Spmv(&a),
+            &DecomposeConfig::new(Model::FineGrain2D, 4),
+        )
+        .and_then(WorkloadOutcome::into_spmv)
+        .unwrap();
         let plan = DistributedSpmv::build(&a, &out.decomposition).unwrap();
         let x_true: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
         let b = a.spmv(&x_true).unwrap();

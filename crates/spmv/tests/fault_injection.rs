@@ -16,7 +16,10 @@
 
 use std::time::Duration;
 
-use fgh_core::{decompose, Budget, DecomposeConfig, DecompositionStatus, Model};
+use fgh_core::{
+    decompose_workload, Budget, DecomposeConfig, DecompositionStatus, Model, Workload,
+    WorkloadOutcome,
+};
 use fgh_sparse::io::read_matrix_market_from;
 use fgh_sparse::{CooMatrix, CsrMatrix};
 use fgh_spmv::parallel::parallel_spmv;
@@ -160,7 +163,8 @@ fn check_pipeline(a: &CsrMatrix, model: Model, k: u32, epsilon: f64, budget: Bud
     let mut cfg = DecomposeConfig::new(model, k);
     cfg.epsilon = epsilon;
     cfg.budget = budget;
-    let out = match decompose(a, &cfg) {
+    let out = match decompose_workload(Workload::Spmv(a), &cfg).and_then(WorkloadOutcome::into_spmv)
+    {
         Ok(out) => out,
         // A typed error is an acceptable outcome; a panic is not (it
         // would abort the test).

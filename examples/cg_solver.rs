@@ -25,7 +25,12 @@ fn main() {
         "K", "iterations", "residual", "words moved", "words/iter"
     );
     for k in [1u32, 4, 16] {
-        let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, k)).expect("decompose");
+        let out = decompose_workload(
+            Workload::Spmv(&a),
+            &DecomposeConfig::new(Model::FineGrain2D, k),
+        )
+        .and_then(WorkloadOutcome::into_spmv)
+        .expect("decompose");
         let plan = DistributedSpmv::build(&a, &out.decomposition).expect("plan");
         let sol = conjugate_gradient(&plan, &b, 1e-10, 10 * n).expect("SPD system converges");
 

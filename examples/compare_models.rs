@@ -41,7 +41,9 @@ fn main() {
         Model::Mondriaan2D,
         Model::FineGrain2D,
     ] {
-        let out = decompose(&a, &DecomposeConfig::new(model, k)).expect("decompose");
+        let out = decompose_workload(Workload::Spmv(&a), &DecomposeConfig::new(model, k))
+            .and_then(WorkloadOutcome::into_spmv)
+            .expect("decompose");
         println!(
             "{:<22} {:>10} {:>10} {:>10.3} {:>10} {:>9.2} {:>8.3}s",
             model.name(),

@@ -15,7 +15,11 @@ fn volume(a: &CsrMatrix, model: Model, k: u32, seed: u64) -> u64 {
         seed,
         ..DecomposeConfig::new(model, k)
     };
-    decompose(a, &cfg).expect("decompose").stats.total_volume()
+    decompose_workload(Workload::Spmv(a), &cfg)
+        .and_then(WorkloadOutcome::into_spmv)
+        .expect("decompose")
+        .stats
+        .total_volume()
 }
 
 fn main() {

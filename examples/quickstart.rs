@@ -22,8 +22,12 @@ fn main() {
     // 2. Decompose for K = 8 processors with the paper's fine-grain 2D
     //    hypergraph model (3% load-imbalance tolerance).
     let k = 8;
-    let out =
-        decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, k)).expect("square matrix, K >= 1");
+    let out = decompose_workload(
+        Workload::Spmv(&a),
+        &DecomposeConfig::new(Model::FineGrain2D, k),
+    )
+    .and_then(WorkloadOutcome::into_spmv)
+    .expect("square matrix, K >= 1");
     println!(
         "fine-grain 2D decomposition for K = {k}: \
          cutsize (= predicted comm volume) {} words",

@@ -39,7 +39,9 @@ fn main() {
         Model::Jagged2D,
         Model::FineGrain2D,
     ] {
-        let out = decompose(&a, &DecomposeConfig::new(model, k)).expect("decompose");
+        let out = decompose_workload(Workload::Spmv(&a), &DecomposeConfig::new(model, k))
+            .and_then(WorkloadOutcome::into_spmv)
+            .expect("decompose");
         let plan = DistributedSpmv::build(&a, &out.decomposition).expect("plan");
         let sch = SpmvSchedule::build(&plan);
         println!(

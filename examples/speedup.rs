@@ -52,7 +52,9 @@ fn main() {
         Model::Mondriaan2D,
         Model::FineGrain2D,
     ] {
-        let out = decompose(&a, &DecomposeConfig::new(model, k)).expect("decompose");
+        let out = decompose_workload(Workload::Spmv(&a), &DecomposeConfig::new(model, k))
+            .and_then(WorkloadOutcome::into_spmv)
+            .expect("decompose");
         let plan = DistributedSpmv::build(&a, &out.decomposition).expect("plan");
         print!(
             "{:<22} {:>9} {:>8}",

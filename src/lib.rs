@@ -23,8 +23,10 @@
 //! let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
 //! let a = fgh_sparse::gen::grid5(8, 8, 1.0, ValueMode::Laplacian, &mut rng);
 //!
-//! // 2D fine-grain decomposition for 4 processors.
-//! let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 4)).unwrap();
+//! // 2D fine-grain decomposition of the SpMV workload for 4 processors.
+//! let out = decompose_workload(Workload::Spmv(&a), &DecomposeConfig::new(Model::FineGrain2D, 4))
+//!     .and_then(WorkloadOutcome::into_spmv)
+//!     .unwrap();
 //! assert_eq!(out.objective, out.stats.total_volume()); // exact volume model
 //!
 //! // Run the distributed SpMV and check it against the serial kernel.
@@ -44,9 +46,12 @@ pub use fgh_spmv as spmv;
 
 /// Commonly used items, re-exported for one-line imports.
 pub mod prelude {
+    #[allow(deprecated)] // re-exported through its one deprecation cycle
+    pub use fgh_core::decompose;
     pub use fgh_core::{
-        decompose, Budget, CommStats, DecomposeConfig, Decomposition, DecompositionOutcome,
-        DecompositionStatus, EngineStats, ErrorCategory, FghError, Model,
+        decompose_workload, decompose_workload_any, Budget, CommStats, DecomposeConfig,
+        Decomposition, DecompositionOutcome, DecompositionStatus, EngineStats, ErrorCategory,
+        FghError, Model, SpgemmOutcome, Workload, WorkloadAny, WorkloadKind, WorkloadOutcome,
     };
     pub use fgh_hypergraph::{
         cutsize_connectivity, cutsize_cutnet, Hypergraph, HypergraphBuilder, Partition,

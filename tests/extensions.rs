@@ -18,7 +18,9 @@ fn schedules_cover_all_messages() {
         .expect("catalog")
         .generate_scaled(32, 1);
     for model in [Model::Graph1D, Model::FineGrain2D, Model::Checkerboard2D] {
-        let out = decompose(&a, &DecomposeConfig::new(model, 8)).expect("ok");
+        let out = decompose_workload(Workload::Spmv(&a), &DecomposeConfig::new(model, 8))
+            .and_then(WorkloadOutcome::into_spmv)
+            .expect("ok");
         let plan = DistributedSpmv::build(&a, &out.decomposition).expect("plan");
         let sch = SpmvSchedule::build(&plan);
         let scheduled: usize = sch.expand.rounds.iter().map(|r| r.len()).sum::<usize>()
@@ -46,8 +48,18 @@ fn cost_model_tradeoff_direction() {
     let a = catalog::by_name("ken-11")
         .expect("catalog")
         .generate_scaled(16, 2);
-    let fg = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 8)).expect("ok");
-    let cb = decompose(&a, &DecomposeConfig::new(Model::Checkerboard2D, 8)).expect("ok");
+    let fg = decompose_workload(
+        Workload::Spmv(&a),
+        &DecomposeConfig::new(Model::FineGrain2D, 8),
+    )
+    .and_then(WorkloadOutcome::into_spmv)
+    .expect("ok");
+    let cb = decompose_workload(
+        Workload::Spmv(&a),
+        &DecomposeConfig::new(Model::Checkerboard2D, 8),
+    )
+    .and_then(WorkloadOutcome::into_spmv)
+    .expect("ok");
     // Sanity preconditions for this instance: fg has less volume, more msgs.
     assert!(fg.stats.total_volume() < cb.stats.total_volume());
     assert!(fg.stats.total_messages() > cb.stats.total_messages());
@@ -93,8 +105,18 @@ fn reordering_pipeline() {
     let b = permute_symmetric(&a, &order).expect("bijection");
     assert_eq!(a.nnz(), b.nnz());
 
-    let oa = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 4)).expect("ok");
-    let ob = decompose(&b, &DecomposeConfig::new(Model::FineGrain2D, 4)).expect("ok");
+    let oa = decompose_workload(
+        Workload::Spmv(&a),
+        &DecomposeConfig::new(Model::FineGrain2D, 4),
+    )
+    .and_then(WorkloadOutcome::into_spmv)
+    .expect("ok");
+    let ob = decompose_workload(
+        Workload::Spmv(&b),
+        &DecomposeConfig::new(Model::FineGrain2D, 4),
+    )
+    .and_then(WorkloadOutcome::into_spmv)
+    .expect("ok");
     // Identical structure, so volumes should be close (partitioner
     // randomness aside) — generous 2x band.
     let (va, vb) = (

@@ -27,7 +27,8 @@ fn full_catalog_pipeline() {
         let x: Vec<f64> = (0..a.ncols()).map(|j| 1.0 + (j % 13) as f64).collect();
         let y_serial = a.spmv(&x).expect("dims");
         for model in models() {
-            let out = decompose(&a, &DecomposeConfig::new(model, 4))
+            let out = decompose_workload(Workload::Spmv(&a), &DecomposeConfig::new(model, 4))
+                .and_then(WorkloadOutcome::into_spmv)
                 .unwrap_or_else(|e| panic!("{} {}: {e}", entry.name, model.name()));
             out.decomposition.validate(&a).expect("valid decomposition");
             assert!(
@@ -74,7 +75,12 @@ fn threaded_executor_agrees_with_simulator() {
         let a = catalog::by_name(name)
             .expect("catalog")
             .generate_scaled(TEST_SCALE, 2);
-        let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 6)).expect("ok");
+        let out = decompose_workload(
+            Workload::Spmv(&a),
+            &DecomposeConfig::new(Model::FineGrain2D, 6),
+        )
+        .and_then(WorkloadOutcome::into_spmv)
+        .expect("ok");
         let plan = DistributedSpmv::build(&a, &out.decomposition).expect("plan");
         let x: Vec<f64> = (0..a.ncols()).map(|j| (j as f64 * 0.37).cos()).collect();
         let (y_sim, m_sim) = plan.multiply(&x).expect("dims");
@@ -102,7 +108,9 @@ fn table2_ordering_holds_on_average() {
         .iter()
         .enumerate()
         {
-            let out = decompose(&a, &DecomposeConfig::new(*model, 8)).expect("ok");
+            let out = decompose_workload(Workload::Spmv(&a), &DecomposeConfig::new(*model, 8))
+                .and_then(WorkloadOutcome::into_spmv)
+                .expect("ok");
             vol[i] += out.stats.scaled_total_volume();
         }
     }
@@ -129,7 +137,9 @@ fn message_bounds() {
         .generate_scaled(TEST_SCALE, 4);
     let k = 8u32;
     for model in models() {
-        let out = decompose(&a, &DecomposeConfig::new(model, k)).expect("ok");
+        let out = decompose_workload(Workload::Spmv(&a), &DecomposeConfig::new(model, k))
+            .and_then(WorkloadOutcome::into_spmv)
+            .expect("ok");
         let bound = match model {
             Model::FineGrain2D => 2 * (k as u64 - 1),
             _ => k as u64 - 1,
@@ -157,8 +167,12 @@ fn matrix_market_roundtrip_through_pipeline() {
     );
     assert_eq!(a, b);
     let cfg = DecomposeConfig::new(Model::FineGrain2D, 4);
-    let oa = decompose(&a, &cfg).expect("ok");
-    let ob = decompose(&b, &cfg).expect("ok");
+    let oa = decompose_workload(Workload::Spmv(&a), &cfg)
+        .and_then(WorkloadOutcome::into_spmv)
+        .expect("ok");
+    let ob = decompose_workload(Workload::Spmv(&b), &cfg)
+        .and_then(WorkloadOutcome::into_spmv)
+        .expect("ok");
     assert_eq!(
         oa.decomposition, ob.decomposition,
         "pipeline must be deterministic"
@@ -176,8 +190,12 @@ fn pipeline_determinism() {
         seed: 17,
         ..DecomposeConfig::new(Model::FineGrain2D, 8)
     };
-    let r1 = decompose(&a, &cfg).expect("ok");
-    let r2 = decompose(&a, &cfg).expect("ok");
+    let r1 = decompose_workload(Workload::Spmv(&a), &cfg)
+        .and_then(WorkloadOutcome::into_spmv)
+        .expect("ok");
+    let r2 = decompose_workload(Workload::Spmv(&a), &cfg)
+        .and_then(WorkloadOutcome::into_spmv)
+        .expect("ok");
     assert_eq!(r1.decomposition, r2.decomposition);
     assert_eq!(r1.objective, r2.objective);
 }
@@ -194,7 +212,8 @@ fn extension_models_pipeline() {
         let x: Vec<f64> = (0..a.ncols()).map(|j| 1.0 + (j % 7) as f64).collect();
         let y_serial = a.spmv(&x).expect("dims");
         for model in [Model::Checkerboard2D, Model::Mondriaan2D, Model::Jagged2D] {
-            let out = decompose(&a, &DecomposeConfig::new(model, 6))
+            let out = decompose_workload(Workload::Spmv(&a), &DecomposeConfig::new(model, 6))
+                .and_then(WorkloadOutcome::into_spmv)
                 .unwrap_or_else(|e| panic!("{name} {}: {e}", model.name()));
             out.decomposition.validate(&a).expect("valid");
             assert_eq!(
@@ -221,7 +240,12 @@ fn transpose_spmv_catalog() {
         let a = catalog::by_name(name)
             .expect("catalog")
             .generate_scaled(TEST_SCALE, 9);
-        let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 5)).expect("ok");
+        let out = decompose_workload(
+            Workload::Spmv(&a),
+            &DecomposeConfig::new(Model::FineGrain2D, 5),
+        )
+        .and_then(WorkloadOutcome::into_spmv)
+        .expect("ok");
         let plan = DistributedSpmv::build(&a, &out.decomposition).expect("plan");
         let x: Vec<f64> = (0..a.nrows())
             .map(|i| ((i * 13) % 17) as f64 - 8.0)
@@ -244,7 +268,12 @@ fn transpose_spmv_catalog() {
 #[test]
 fn degenerate_k_larger_than_matrix() {
     let a = CsrMatrix::identity(6);
-    let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 16)).expect("ok");
+    let out = decompose_workload(
+        Workload::Spmv(&a),
+        &DecomposeConfig::new(Model::FineGrain2D, 16),
+    )
+    .and_then(WorkloadOutcome::into_spmv)
+    .expect("ok");
     out.decomposition.validate(&a).expect("valid");
     let plan = DistributedSpmv::build(&a, &out.decomposition).expect("plan");
     let (y, _) = plan.multiply(&[1.0; 6]).expect("dims");

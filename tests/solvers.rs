@@ -25,7 +25,9 @@ fn cg_across_models() {
         Model::FineGrain2D,
         Model::Jagged2D,
     ] {
-        let out = decompose(&a, &DecomposeConfig::new(model, 4)).expect("ok");
+        let out = decompose_workload(Workload::Spmv(&a), &DecomposeConfig::new(model, 4))
+            .and_then(WorkloadOutcome::into_spmv)
+            .expect("ok");
         let plan = DistributedSpmv::build(&a, &out.decomposition).expect("plan");
         let sol = conjugate_gradient(&plan, &b, 1e-10, 10 * n).expect("SPD converges");
         let err = sol
@@ -65,7 +67,12 @@ fn cgnr_nonsymmetric_catalog() {
     let n = a.nrows() as usize;
     let x_true: Vec<f64> = (0..n).map(|i| ((i % 4) as f64) - 1.5).collect();
     let b = a.spmv(&x_true).expect("dims");
-    let out = decompose(&a, &DecomposeConfig::new(Model::FineGrain2D, 4)).expect("ok");
+    let out = decompose_workload(
+        Workload::Spmv(&a),
+        &DecomposeConfig::new(Model::FineGrain2D, 4),
+    )
+    .and_then(WorkloadOutcome::into_spmv)
+    .expect("ok");
     let plan = DistributedSpmv::build(&a, &out.decomposition).expect("plan");
     let sol = cgnr(&plan, &b, 1e-12, 50 * n).expect("converges");
     let err = sol
@@ -84,7 +91,12 @@ fn power_iteration_catalog() {
     let a = catalog::by_name("cre-b")
         .expect("catalog")
         .generate_scaled(32, 3);
-    let out = decompose(&a, &DecomposeConfig::new(Model::Hypergraph1DColNet, 4)).expect("ok");
+    let out = decompose_workload(
+        Workload::Spmv(&a),
+        &DecomposeConfig::new(Model::Hypergraph1DColNet, 4),
+    )
+    .and_then(WorkloadOutcome::into_spmv)
+    .expect("ok");
     let plan = DistributedSpmv::build(&a, &out.decomposition).expect("plan");
     let sol = power_iteration(&plan, 400).expect("runs");
     let ax = a.spmv(&sol.x).expect("dims");
